@@ -1,0 +1,81 @@
+"""Experiment A2 — sensitivity of the SKAT design point and commissioning.
+
+Quantifies the SKAT+ design agenda of Section 4 ("1. Increase the
+effective surface ... 2. Increase the performance of the ... pump ...
+5. Experimentally improve the technology of thermal interface coating"):
+which knob moves the 55 C junction number by how much, and whether the
+machine clears the staged heat experiment the paper's prototypes went
+through.
+"""
+
+from repro.analysis.sensitivity import skat_sensitivity
+from repro.core.commissioning import run_heat_experiment
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("A2: design-point sensitivity and commissioning")
+
+    results = {r.parameter: r for r in skat_sensitivity()}
+
+    table.add_bool(
+        "interface coating is the dominant thermal knob (design item 5)",
+        "implied by the SKAT+ agenda",
+        abs(results["interface resistivity"].delta_k)
+        > max(
+            abs(r.delta_k) for p, r in results.items() if p != "interface resistivity"
+        ),
+    )
+    table.add(
+        "junction cost of a 2x-degraded interface [K]",
+        10.0,
+        round(results["interface resistivity"].delta_k, 1),
+        lo=4.0,
+        hi=15.0,
+    )
+    table.add_bool(
+        "more heat-exchange surface lowers junctions (design item 1)",
+        "stated",
+        results["pin height"].delta_k < 0.0,
+    )
+    table.add_bool(
+        "more pump performance lowers junctions (design item 2)",
+        "stated",
+        results["pump head"].delta_k < 0.0,
+    )
+    table.add_bool(
+        "removing the solder-pin turbulators costs margin (design item 4)",
+        "stated",
+        results["solder-pin turbulence"].delta_k > 0.5,
+    )
+    table.add(
+        "junction cost of +2 C chilled water [K]",
+        2.0,
+        round(results["chilled water"].delta_k, 1),
+        lo=1.0,
+        hi=3.0,
+    )
+
+    commissioning = run_heat_experiment(
+        skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+    )
+    table.add_bool(
+        "SKAT clears the staged heat experiment (fill + 25-95 % ramp)",
+        "the paper's prototype tests",
+        commissioning.passed,
+    )
+    table.add(
+        "junction at the 95 % stage [C]",
+        55.0,
+        round(commissioning.stages[-1].max_fpga_c, 1),
+        lo=45.0,
+        hi=60.0,
+    )
+    return table
+
+
+def test_bench_a2(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,79 @@
+"""Experiment E1 — the energy-efficiency claims.
+
+The paper's keyword list includes "energy efficiency", and Section 2
+argues that moving liquid costs far less energy than moving air for the
+same heat: "much less electric energy is required to transfer 250 ml of
+water than to transfer 1 m^3 of air". This bench closes that argument at
+rack scale: air (Taygeta rack + CRAC share) vs immersion (SKAT rack +
+pumps + chiller), and the Monte Carlo availability comparison of the two
+liquid architectures.
+"""
+
+from repro.analysis.energy import air_rack_report, annual_energy_report
+from repro.reliability.montecarlo import coldplate_cm_model, immersion_cm_model
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("E1: energy efficiency and availability")
+
+    energy = annual_energy_report()
+    air = energy["air"]
+    immersion = energy["immersion"]
+    table.add(
+        "air-rack cooling overhead [fraction of IT]",
+        0.42,
+        round(air.cooling_overhead_fraction, 3),
+        lo=0.3,
+        hi=0.6,
+    )
+    table.add(
+        "immersion-rack cooling overhead [fraction of IT]",
+        0.13,
+        round(immersion.cooling_overhead_fraction, 3),
+        lo=0.05,
+        hi=0.2,
+    )
+    table.add(
+        "cooling-overhead ratio air/immersion [x]",
+        3.0,
+        round(energy["overhead_ratio"], 2),
+        lo=2.0,
+        hi=6.0,
+    )
+    table.add_bool(
+        "immersion PUE below air PUE",
+        "implied by Section 2",
+        immersion.pue < air.pue,
+    )
+    table.add_bool(
+        "annual cooling saving positive at equal IT load",
+        "implied",
+        energy["cost_saving_usd_per_rack_year_at_equal_it"] > 0.0,
+    )
+
+    immersion_mc = immersion_cm_model().run(years=50.0)
+    coldplate_mc = coldplate_cm_model().run(years=50.0)
+    table.add_bool(
+        "immersion CM availability beats cold-plate CM (Monte Carlo)",
+        "Section 2 argument",
+        immersion_mc.availability > coldplate_mc.availability,
+    )
+    table.add(
+        "cold-plate downtime multiple vs immersion [x]",
+        5.0,
+        round(
+            coldplate_mc.downtime_hours_per_year
+            / max(immersion_mc.downtime_hours_per_year, 1e-9),
+            1,
+        ),
+        lo=2.0,
+        hi=200.0,
+    )
+    return table
+
+
+def test_bench_e1(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,98 @@
+"""Experiment F5 — the Fig. 5 hydraulic-balancing layout.
+
+Paper claims for the reverse-return manifold system:
+
+- the path length from pump to every circulation loop and back is the
+  same, so "it is possible to balance the hydraulic resistance in all the
+  circulation loops ... No additional hydraulic balancing system is needed
+  here";
+- "if a circulation loop in any computational module fails, then the
+  heat-transfer agent flow is evenly changed in the rest of modules";
+- each loop "may be complemented with a balancing valve for finer
+  balance-tuning".
+
+The bench regenerates the per-loop flow series for both layouts (the
+figure's six loops), runs the failure experiment, and checks the trim-valve
+option.
+"""
+
+from repro.core.balancing import (
+    ManifoldLayout,
+    RackManifoldSystem,
+    redistribution_evenness,
+)
+from repro.reporting import ComparisonTable
+
+N_LOOPS = 6
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("F5: rack manifold hydraulic balancing (6 loops)")
+
+    reverse = RackManifoldSystem(n_loops=N_LOOPS, layout=ManifoldLayout.REVERSE_RETURN)
+    direct = RackManifoldSystem(n_loops=N_LOOPS, layout=ManifoldLayout.DIRECT_RETURN)
+    rev_report = reverse.solve()
+    dir_report = direct.solve()
+
+    print()
+    print("per-loop flows [L/s]:")
+    print("  reverse return:", [round(q * 1000, 3) for q in rev_report.loop_flows_m3_s])
+    print("  direct return: ", [round(q * 1000, 3) for q in dir_report.loop_flows_m3_s])
+
+    table.add(
+        "reverse-return max/min loop-flow ratio",
+        1.0,
+        round(rev_report.imbalance_ratio, 3),
+        lo=1.0,
+        hi=1.12,
+    )
+    table.add_bool(
+        "reverse return beats direct return (no balancing system needed)",
+        "stated",
+        rev_report.coefficient_of_variation < 0.5 * dir_report.coefficient_of_variation,
+    )
+    table.add_bool(
+        "reverse-return flow profile symmetric (equal path lengths)",
+        "stated",
+        abs(rev_report.loop_flows_m3_s[0] - rev_report.loop_flows_m3_s[-1])
+        < 1e-3 * rev_report.loop_flows_m3_s[0],
+    )
+
+    failure = reverse.failure_redistribution(2)
+    evenness = redistribution_evenness(failure["before"], failure["after"])
+    table.add(
+        "failure redistribution evenness (CoV of survivor gains)",
+        0.0,
+        round(evenness, 3),
+        lo=0.0,
+        hi=0.25,
+    )
+    table.add_bool(
+        "every surviving loop gains flow after a loop failure",
+        "stated",
+        all(
+            qa > qb
+            for i, (qb, qa) in enumerate(
+                zip(failure["before"].loop_flows_m3_s, failure["after"].loop_flows_m3_s)
+            )
+            if i != 2
+        ),
+    )
+
+    trimmed = RackManifoldSystem(
+        n_loops=N_LOOPS,
+        layout=ManifoldLayout.DIRECT_RETURN,
+        balancing_valves=[0.5, 0.7, 0.9, 1.0, 1.0, 1.0],
+    ).solve()
+    table.add_bool(
+        "balancing valves can trim the direct-return layout",
+        "stated option",
+        trimmed.imbalance_ratio < dir_report.imbalance_ratio,
+    )
+    return table
+
+
+def test_bench_f5(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,53 @@
+"""Library performance benchmarks: the solvers themselves.
+
+Not a paper experiment — these time the numerical cores a downstream user
+will lean on hardest, so regressions in solver speed are caught the same
+way physics regressions are:
+
+- the sparse thermal steady solve at full-module scale (193 nodes);
+- the hydraulic network solve of a 12-loop rack manifold;
+- the coupled CM steady state (the everything-at-once fixed point);
+- a 30-minute module transient.
+"""
+
+from repro.core.boardnetwork import build_module_network
+from repro.core.balancing import RackManifoldSystem
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.fluids.library import WATER
+from repro.hydraulics.solver import solve_network
+from repro.thermal.steady import solve_steady_state
+
+
+def test_bench_thermal_steady_full_module(benchmark):
+    module = skat()
+    network = build_module_network(module.section, 28.5, 2.7e-3, 92.0)
+
+    result = benchmark(solve_steady_state, network)
+    assert max(result.values()) < 70.0
+
+
+def test_bench_hydraulic_rack_manifold(benchmark):
+    system = RackManifoldSystem(n_loops=12, manifold_diameter_m=0.065)
+
+    def solve():
+        return solve_network(system.network, WATER, 20.0)
+
+    result = benchmark(solve)
+    assert result.residual_m3_s < 1e-9
+
+
+def test_bench_module_steady_state(benchmark):
+    def solve():
+        return skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+
+    report = benchmark(solve)
+    assert report.max_fpga_c < 60.0
+
+
+def test_bench_module_transient_30min(benchmark):
+    def run():
+        return ModuleSimulator(skat()).run(duration_s=1800.0, dt_s=30.0)
+
+    result = benchmark(run)
+    assert result.max_junction_c < 60.0

@@ -1,0 +1,57 @@
+"""Experiment T1 — the Section 1 air-cooled CM measurements.
+
+Paper rows (prose, functioning as the motivating table):
+
+- Rigel-2 (Virtex-6 XC6VLX240T): CM power 1255 W, maximum FPGA overheat
+  33.1 C over a 25 C room -> 58.1 C.
+- Taygeta (Virtex-7 XC7VX485T): CM power 1661 W, overheat 47.9 C ->
+  72.9 C, above the 65...70 C reliability ceiling.
+
+The bench regenerates both rows from the forced-air CM model and times the
+full module solve.
+"""
+
+import pytest
+
+from repro.core.skat import rigel2, taygeta
+from repro.reporting import ComparisonTable
+
+AMBIENT_C = 25.0
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T1: air-cooled CMs (Rigel-2 / Taygeta)")
+    r6 = rigel2().solve(AMBIENT_C)
+    r7 = taygeta().solve(AMBIENT_C)
+
+    table.add("Rigel-2 CM power [W]", 1255.0, round(r6.module_power_w, 0), rel_tol=0.10)
+    table.add(
+        "Rigel-2 max overheat over 25 C [K]", 33.1, round(r6.max_overheat_k, 1), rel_tol=0.15
+    )
+    table.add(
+        "Rigel-2 max FPGA temperature [C]", 58.1, round(r6.max_junction_c, 1), rel_tol=0.10
+    )
+    table.add("Taygeta CM power [W]", 1661.0, round(r7.module_power_w, 0), rel_tol=0.10)
+    table.add(
+        "Taygeta max overheat over 25 C [K]", 47.9, round(r7.max_overheat_k, 1), rel_tol=0.15
+    )
+    table.add(
+        "Taygeta max FPGA temperature [C]", 72.9, round(r7.max_junction_c, 1), rel_tol=0.10
+    )
+    table.add_bool(
+        "Rigel-2 within the 65...70 C reliability ceiling",
+        "yes (58.1 C)",
+        r6.within_reliability_limit,
+    )
+    table.add_bool(
+        "Taygeta exceeds the reliability ceiling (needs a colder room)",
+        "yes (72.9 C)",
+        not r7.within_reliability_limit,
+    )
+    return table
+
+
+def test_bench_t1(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

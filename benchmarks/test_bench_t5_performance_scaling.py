@@ -1,0 +1,58 @@
+"""Experiment T5 — SKAT vs Taygeta performance scaling (Section 3).
+
+Paper rows:
+
+- "The performance of a next-generation SKAT CM is increased in 8.7 times
+  in comparison with the Taygeta CM."
+- "Original design solutions provide more than triple increasing of the
+  system packing density."
+- "All this provides such qualitative increasing of the system specific
+  performance" (GFlops/W rises across the generation).
+"""
+
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat, taygeta
+from repro.devices.families import KINTEX_ULTRASCALE_KU095, VIRTEX7_X485T
+from repro.performance.flops import peak_gflops, performance_per_litre, performance_per_watt
+from repro.reporting import ComparisonTable
+
+#: Taygeta is a 6U air-cooled module; SKAT packs 3x the chips into 3U.
+TAYGETA_HEIGHT_U = 6.0
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T5: SKAT vs Taygeta performance")
+
+    skat_module = skat()
+    skat_perf = 96 * peak_gflops(KINTEX_ULTRASCALE_KU095)
+    taygeta_perf = 32 * peak_gflops(VIRTEX7_X485T)
+    ratio = skat_perf / taygeta_perf
+    table.add("SKAT / Taygeta performance ratio [x]", 8.7, round(ratio, 2), rel_tol=0.05)
+
+    skat_density = performance_per_litre(skat_perf, skat_module.volume_litre())
+    taygeta_volume = skat_module.volume_litre() * TAYGETA_HEIGHT_U / skat_module.height_u
+    taygeta_density = performance_per_litre(taygeta_perf, taygeta_volume)
+    density_ratio = skat_density / taygeta_density
+    table.add("packing density increase [x]", 3.0, round(density_ratio, 1), lo=3.0, hi=30.0)
+
+    skat_report = skat_module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    taygeta_report = taygeta().solve(25.0)
+    skat_eff = performance_per_watt(skat_perf, skat_report.module_electrical_w)
+    taygeta_eff = performance_per_watt(taygeta_perf, taygeta_report.module_power_w)
+    table.add_bool(
+        "specific performance (GFlops/W) improves qualitatively",
+        "implied",
+        skat_eff > 1.3 * taygeta_eff,
+    )
+    table.add_bool(
+        "clock frequency and logic capacity both increased",
+        "stated",
+        KINTEX_ULTRASCALE_KU095.nominal_clock_mhz > VIRTEX7_X485T.nominal_clock_mhz
+        and KINTEX_ULTRASCALE_KU095.logic_cells > VIRTEX7_X485T.logic_cells,
+    )
+    return table
+
+
+def test_bench_t5(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

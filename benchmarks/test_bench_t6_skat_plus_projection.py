@@ -1,0 +1,90 @@
+"""Experiment T6 — the SKAT+ projection (Section 4).
+
+Paper rows:
+
+- UltraScale+ (16FinFET Plus): ~3x compute performance in the same volume;
+- the 45 x 45 mm packages no longer fit the old CCB with its separate
+  controller FPGA — the controller folds into the field;
+- dropped into the unmodified cooling system, junction temperatures
+  approach critical values again;
+- with the Section 4 modifications (more surface, stronger immersed
+  pumps), the system regains margin — and the reserve also covers a
+  projected "UltraScale 2".
+"""
+
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    skat_2,
+    skat_plus,
+)
+from repro.devices.board import Ccb
+from repro.devices.families import KINTEX_ULTRASCALE_KU095, ULTRASCALE_PLUS_VU9P
+from repro.devices.fpga import Fpga
+from repro.performance.flops import peak_gflops
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T6: SKAT+ (UltraScale+) projection")
+
+    ratio = peak_gflops(ULTRASCALE_PLUS_VU9P) / peak_gflops(KINTEX_ULTRASCALE_KU095)
+    table.add("UltraScale+ per-chip performance vs UltraScale [x]", 3.0, round(ratio, 2), rel_tol=0.15)
+
+    with_controller = Ccb(Fpga(ULTRASCALE_PLUS_VU9P), separate_controller=True)
+    without_controller = Ccb(Fpga(ULTRASCALE_PLUS_VU9P), separate_controller=False)
+    table.add_bool(
+        "45 mm packages + separate controller do NOT fit the 19-inch width",
+        "stated",
+        not with_controller.fits_19_inch_rack(),
+    )
+    table.add_bool(
+        "without the separate controller the CCB fits",
+        "stated",
+        without_controller.fits_19_inch_rack(),
+    )
+
+    unmodified = skat_plus(modified_cooling=False).solve_steady(
+        SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+    )
+    modified = skat_plus(modified_cooling=True).solve_steady(
+        SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+    )
+    skat_baseline = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    table.add_bool(
+        "modified cooling runs UltraScale+ cooler than unmodified",
+        "design goal",
+        modified.max_fpga_c < unmodified.max_fpga_c,
+    )
+    table.add_bool(
+        "UltraScale+ on modified cooling keeps the reliability margin",
+        "design goal",
+        modified.max_fpga_c <= ULTRASCALE_PLUS_VU9P.t_reliable_max_c,
+    )
+    table.add(
+        "SKAT+ chip power class [W]",
+        100.0,
+        round(modified.immersion.chips_per_board[-1].power_w, 0),
+        lo=85.0,
+        hi=115.0,
+    )
+    table.add_bool(
+        "existing SKAT cooling had reserve (its own chips well below limit)",
+        "stated",
+        skat_baseline.max_fpga_c < 65.0,
+    )
+
+    skat_2_report = skat_2().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    table.add_bool(
+        "reserve also covers the projected 'UltraScale 2'",
+        "conclusions",
+        skat_2_report.max_fpga_c <= 67.0 and skat_2_report.oil_hot_c < 35.0,
+    )
+    return table
+
+
+def test_bench_t6(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,47 @@
+"""Experiment T7 — the rack-level claims of the conclusions (Section 5).
+
+Paper rows:
+
+- "it is now possible to mount not less than 12 new-generation CMs, with a
+  total performance above 1 PFlops, in a single 47U computer rack";
+- the full rack holds the operating envelope: FPGAs <= 55 C class, oil
+  below 30 C, chiller within capacity;
+- the Fig. 5 manifold keeps every CM's water share balanced.
+"""
+
+from repro.core.rack import Rack
+from repro.core.skat import skat
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T7: 47U rack of 12 SKAT CMs")
+    report = Rack(module_factory=skat, n_modules=12).solve()
+
+    table.add("rack peak performance [PFlops]", 1.0, round(report.peak_pflops, 3), lo=1.0, hi=1.3)
+    table.add_bool("total performance above 1 PFlops", "stated", report.above_one_pflops)
+    table.add("max FPGA temperature across the rack [C]", 55.0, round(report.max_fpga_c, 1), lo=45.0, hi=58.0)
+    table.add_bool("chiller holds the load (no overload)", "implied", not report.chiller.overloaded)
+
+    flows = report.water_flows_m3_s
+    table.add(
+        "per-CM water-flow imbalance (max/min)",
+        1.0,
+        round(max(flows) / min(flows), 3),
+        lo=1.0,
+        hi=1.15,
+    )
+    table.add_bool(
+        "12 x 3U modules fit a 47U rack",
+        "stated",
+        12 * 3 <= 47,
+    )
+    table.add("rack IT power [kW]", 120.0, round(report.it_power_w / 1000.0, 1), lo=100.0, hi=140.0)
+    table.add("rack-local PUE", 1.15, round(report.pue, 3), lo=1.0, hi=1.3)
+    return table
+
+
+def test_bench_t7(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

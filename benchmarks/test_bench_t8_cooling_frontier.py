@@ -1,0 +1,67 @@
+"""Experiment T8 — the air-cooling viability frontier (Section 1's arc).
+
+The paper's historical argument is a crossover claim: the same air-cooled
+card cage held Virtex-6 (~30 W class) with margin, held Virtex-7 (~40 W
+class) only past the reliability ceiling, and cannot hold UltraScale
+(~90-100 W class) at all. The bench locates the frontier — the largest
+per-chip power each cooling system holds below the 67 C ceiling — and
+checks it falls where the paper's history puts it.
+"""
+
+from repro.analysis.crossover import (
+    air_junction_at_power,
+    immersion_junction_at_power,
+    sweep_frontier,
+    viability_frontier_w,
+)
+from repro.reporting import ComparisonTable
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("T8: cooling viability frontier")
+
+    air_frontier = viability_frontier_w(air_junction_at_power)
+    immersion_frontier = viability_frontier_w(immersion_junction_at_power, hi_w=600.0)
+
+    print()
+    print("junction vs per-chip power [C] (None = thermal runaway):")
+    for point in sweep_frontier([20.0, 30.0, 40.0, 60.0, 90.0, 120.0]):
+        air = "runaway" if point.air_junction_c is None else f"{point.air_junction_c:6.1f}"
+        imm = (
+            "runaway"
+            if point.immersion_junction_c is None
+            else f"{point.immersion_junction_c:6.1f}"
+        )
+        print(f"  {point.power_w:5.0f} W: air {air:>8s}  immersion {imm:>8s}")
+
+    table.add(
+        "air frontier between Virtex-6 (30 W) and Virtex-7 (40 W) class [W]",
+        35.0,
+        round(air_frontier, 1),
+        lo=30.0,
+        hi=45.0,
+    )
+    table.add_bool(
+        "air cannot hold the UltraScale class (~90-100 W)",
+        "Section 1 projection",
+        air_junction_at_power(95.0) is None or air_junction_at_power(95.0) > 67.0,
+    )
+    table.add(
+        "immersion frontier covers the 100 W class [W]",
+        100.0,
+        round(immersion_frontier, 1),
+        lo=85.0,
+        hi=600.0,
+    )
+    table.add_bool(
+        "immersion extends the viable power at least 2x over air",
+        "implied",
+        immersion_frontier > 2.0 * air_frontier,
+    )
+    return table
+
+
+def test_bench_t8(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

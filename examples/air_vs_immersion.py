@@ -1,0 +1,64 @@
+"""The paper's argument in one run: the air-cooling crisis and the fix.
+
+Reproduces Section 1's trajectory — Rigel-2 (fine), Taygeta (over the
+reliability ceiling), hypothetical UltraScale-in-air (hopeless) — then
+shows the same UltraScale silicon held at ~55 C by the SKAT immersion
+system, and the lifetime multiple the cooler junctions buy.
+
+Run with::
+
+    python examples/air_vs_immersion.py
+"""
+
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    rigel2,
+    skat,
+    taygeta,
+    ultrascale_in_air,
+)
+from repro.reliability.arrhenius import mtbf_ratio
+
+AMBIENT_C = 25.0
+
+
+def main() -> None:
+    print("=== the air-cooling trajectory (Section 1) ===")
+    machines = [
+        ("Rigel-2  (Virtex-6, air)", rigel2()),
+        ("Taygeta  (Virtex-7, air)", taygeta()),
+        ("UltraScale in air (hypothetical, upgraded sink)", ultrascale_in_air()),
+    ]
+    rows = []
+    for name, machine in machines:
+        report = machine.solve(AMBIENT_C)
+        limit = machine.ccb.fpga.family.t_reliable_max_c
+        verdict = "OK" if report.within_reliability_limit else f"OVER the {limit:.0f} C ceiling"
+        rows.append((name, report))
+        print(f"{name:48s} maxTj {report.max_junction_c:5.1f} C  "
+              f"CM power {report.module_power_w:6.0f} W  -> {verdict}")
+
+    print()
+    print("=== the immersion fix (Section 3) ===")
+    skat_report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    print(f"{'SKAT (UltraScale, immersion)':48s} maxTj {skat_report.max_fpga_c:5.1f} C  "
+          f"CM power {skat_report.module_electrical_w:6.0f} W  -> OK, with reserve")
+    print(f"oil bath held at {skat_report.bath_mean_c:.1f} C by the plate exchanger")
+
+    print()
+    print("=== what the cooler junctions buy (Arrhenius, 0.7 eV) ===")
+    taygeta_junction = rows[1][1].max_junction_c
+    advantage = mtbf_ratio(skat_report.max_fpga_c, taygeta_junction)
+    print(f"FPGA MTBF multiple, SKAT vs Taygeta: {advantage:.1f}x")
+
+    print()
+    print("=== same chips, three cooling budgets ===")
+    for water_c in (16.0, 20.0, 24.0):
+        report = skat().solve_steady(water_c, SKAT_WATER_FLOW_M3_S)
+        print(f"chilled water {water_c:4.1f} C -> oil {report.bath_mean_c:5.1f} C, "
+              f"maxTj {report.max_fpga_c:5.1f} C")
+
+
+if __name__ == "__main__":
+    main()

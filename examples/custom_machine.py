@@ -1,0 +1,111 @@
+"""Designer workflow: build your own immersion-cooled CM with the public API.
+
+Walks the full design path the paper's Section 2-3 criteria imply:
+
+1. pick a heat-transfer agent and check it against the coolant rules;
+2. size a pin-fin heatsink for the target chip and flow;
+3. size the pump and plate heat exchanger;
+4. assemble the module, run the design review, and solve the steady state;
+5. stress-test with a pump failure under the supervisory controller.
+
+Run with::
+
+    python examples/custom_machine.py
+"""
+
+from repro.control.controller import CoolingController
+from repro.core.designrules import (
+    coolant_rules,
+    format_report,
+    heatsink_rules,
+    module_rules,
+    pump_rules,
+    review,
+)
+from repro.core.heatsink import PinFinHeatSink
+from repro.core.immersion import ImmersionSection
+from repro.core.module import ComputationalModule
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C
+from repro.core.tim import SRC_OIL_STABLE_INTERFACE
+from repro.devices.board import Ccb
+from repro.devices.families import ULTRASCALE_PLUS_VU9P
+from repro.devices.fpga import Fpga
+from repro.devices.psu import ImmersionPsu
+from repro.fluids.library import MINERAL_OIL_MD45
+from repro.heatexchange.plate import PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump, PumpCurve
+from repro.reliability.failures import pump_stop_event
+
+
+def main() -> None:
+    print("=== step 1: heat-transfer agent ===")
+    oil = MINERAL_OIL_MD45
+    checks = coolant_rules(oil)
+    print(format_report(checks))
+    assert review(checks), "coolant fails the Section 2 criteria"
+
+    print()
+    print("=== step 2: heatsink for a 100 W-class UltraScale+ part ===")
+    sink = PinFinHeatSink(
+        base_width_m=0.065,
+        base_depth_m=0.065,
+        pin_diameter_m=0.002,
+        pin_height_m=0.010,
+        pin_pitch_m=0.0038,
+        source_area_m2=ULTRASCALE_PLUS_VU9P.die_area_m2,
+    )
+    board_velocity = 0.18
+    print(format_report(heatsink_rules(sink, oil, board_velocity)))
+    perf = sink.performance(board_velocity, oil, 29.0)
+    print(f"sink-base-to-oil resistance at {board_velocity} m/s: "
+          f"{perf.total_resistance_k_w:.3f} K/W "
+          f"({sink.n_pins} pins, {sink.wetted_area_m2 * 1e4:.0f} cm^2 wetted)")
+
+    print()
+    print("=== step 3: pump and heat exchanger ===")
+    pump = Pump(curve=PumpCurve(55.0e3, 6.0e-3), efficiency=0.5, immersed=True)
+    print(format_report(pump_rules(pump, 2.8e-3, 30.0e3, oil)))
+    hx = PlateHeatExchanger(n_plates=32, plate_width_m=0.10, plate_height_m=0.30)
+    print(f"plate HX: {hx.n_plates} plates, {hx.transfer_area_m2:.2f} m^2")
+
+    print()
+    print("=== step 4: assemble and review the module ===")
+    board = Ccb(Fpga(ULTRASCALE_PLUS_VU9P, utilization=0.9), separate_controller=False)
+    board.require_fit()
+    section = ImmersionSection(
+        ccb=board,
+        n_boards=14,  # the paper allows 12-16
+        sink=sink,
+        tim=SRC_OIL_STABLE_INTERFACE,
+        psu=ImmersionPsu(rated_output_w=4500.0),
+        n_psus=3,
+    )
+    machine = ComputationalModule(
+        name="custom-14",
+        section=section,
+        pump=pump,
+        hx=hx,
+        loop_pipe=Pipe(length_m=2.0, diameter_m=0.045, minor_loss_k=5.0),
+    )
+    print(format_report(module_rules(machine)))
+    report = machine.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    print(f"steady state: oil {report.bath_mean_c:.1f} C, "
+          f"maxTj {report.max_fpga_c:.1f} C, "
+          f"{report.module_electrical_w / 1000:.1f} kW electrical")
+
+    print()
+    print("=== step 5: pump-failure stress test under the controller ===")
+    simulator = ModuleSimulator(machine, controller=CoolingController())
+    result = simulator.run(
+        duration_s=1200.0,
+        events=[pump_stop_event(300.0, "oil_pump")],
+        dt_s=10.0,
+    )
+    print(f"pump stops at t=300 s -> controller trips at "
+          f"t={result.shutdown_time_s:.0f} s after {result.alarms_raised} alarms; "
+          f"peak junction {result.max_junction_c:.0f} C, peak oil {result.max_oil_c:.1f} C")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Energy economics: what the immersion system saves at rack scale.
+
+Closes Section 2's "much less electric energy is required to transfer
+250 ml of water than to transfer 1 m^3 of air" argument with the full
+accounting: fans+CRAC for the air rack vs pumps+chiller for the SKAT
+rack, annual energy and cost, and the architecture scorecard including
+the Monte Carlo availability of the two liquid options.
+
+Run with::
+
+    python examples/datacenter_energy.py
+"""
+
+from repro.analysis.compare import compare_architectures, render_scorecard
+from repro.analysis.energy import annual_energy_report, render_energy_report
+from repro.reliability.montecarlo import coldplate_cm_model, immersion_cm_model
+
+
+def main() -> None:
+    print("=== annual energy, per rack ===")
+    report = annual_energy_report(price_usd_kwh=0.10)
+    print(render_energy_report(report["air"]))
+    print()
+    print(render_energy_report(report["immersion"]))
+    print()
+    print(f"cooling-overhead ratio (air/immersion): {report['overhead_ratio']:.1f}x")
+    print(f"saving at equal IT load: "
+          f"${report['cost_saving_usd_per_rack_year_at_equal_it']:,.0f} per rack-year")
+
+    print()
+    print("=== architecture scorecard (same UltraScale silicon) ===")
+    print(render_scorecard(compare_architectures()))
+
+    print()
+    print("=== 50-year Monte Carlo, one CM ===")
+    for name, model in [("immersion", immersion_cm_model()), ("cold plates", coldplate_cm_model())]:
+        result = model.run(years=50.0)
+        print(f"{name:12s}: availability {result.availability:.5f}, "
+              f"{result.failures} failures, "
+              f"{result.downtime_hours_per_year:.1f} h downtime/yr")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""The FPGA roadmap on the SKAT cooling system: where the reserve runs out.
+
+Sweeps every catalog family — Virtex-6 through the projected
+"UltraScale 2" — through both cooling designs and prints the junction
+temperatures, per-chip powers and performance, quantifying the
+conclusions' claim that the immersion system's "power reserve ... ensures
+an effective cooling not only for the existing but also for future FPGA
+families".
+
+Run with::
+
+    python examples/family_roadmap.py
+"""
+
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    skat_plus,
+)
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_2_PROJECTED,
+    ULTRASCALE_PLUS_VU9P,
+    family_roadmap,
+)
+from repro.performance.flops import peak_gflops
+
+
+def immersion_machine(family):
+    """The best-fitting immersion CM for a family (board-width rules)."""
+    if family is KINTEX_ULTRASCALE_KU095:
+        return skat()
+    return skat_plus(family=family, modified_cooling=True)
+
+
+def main() -> None:
+    print("=== the family roadmap (catalog) ===")
+    header = (
+        f"{'family':26s} {'year':>4s} {'node':>5s} {'logic':>10s} "
+        f"{'clock':>6s} {'P_op':>5s} {'peak':>9s}"
+    )
+    print(header)
+    for family in family_roadmap():
+        print(
+            f"{family.name:26s} {family.year:>4d} {family.process_nm:>4.0f}nm "
+            f"{family.logic_cells:>10,d} {family.nominal_clock_mhz:>4.0f}MHz "
+            f"{family.operating_power_w:>4.0f}W {peak_gflops(family):>7.0f}GF"
+        )
+
+    print()
+    print("=== immersion-cooled junction temperatures per family ===")
+    immersion_families = [
+        KINTEX_ULTRASCALE_KU095,
+        ULTRASCALE_PLUS_VU9P,
+        ULTRASCALE_2_PROJECTED,
+    ]
+    for family in immersion_families:
+        machine = immersion_machine(family)
+        report = machine.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        margin = family.t_reliable_max_c - report.max_fpga_c
+        print(
+            f"{family.name:26s} on {machine.name:8s}: "
+            f"maxTj {report.max_fpga_c:5.1f} C, oil {report.bath_mean_c:4.1f} C, "
+            f"margin to {family.t_reliable_max_c:.0f} C ceiling: {margin:+5.1f} K"
+        )
+
+    print()
+    print("=== rack-level performance per generation ===")
+    from repro.core.rack import Rack
+
+    for name, factory in [("SKAT", skat), ("SKAT+", skat_plus)]:
+        report = Rack(module_factory=factory, n_modules=12).solve()
+        print(
+            f"12 x {name:6s} rack: {report.peak_pflops:5.2f} PFlops peak, "
+            f"{report.it_power_w / 1000:5.1f} kW IT, PUE {report.pue:.3f}, "
+            f"{report.gflops_per_watt:.1f} GFlops/W"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Render the paper's implicit figures as text plots.
+
+The paper's photographs and CAD renders can't be reproduced, but the
+*data* figures its argument implies can: the family overheat trajectory,
+the cooling viability frontier, the Fig. 5 flow profiles, the pump-failure
+transient, and the SKAT chip thermal-budget stack. This script draws each
+as an ASCII chart from the same models the benchmarks assert on.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from repro.analysis.crossover import sweep_frontier
+from repro.control.controller import CoolingController
+from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import rigel2, skat, taygeta, ultrascale_in_air
+from repro.reliability.failures import pump_stop_event
+from repro.thermal.stackup import air_chip_stack, skat_chip_stack
+
+
+def bar(value: float, scale: float, width: int = 46) -> str:
+    n = int(min(max(value / scale, 0.0), 1.0) * width)
+    return "#" * n
+
+
+def figure_family_trajectory() -> None:
+    print("Figure A — max FPGA temperature by family, 25 C room (air) / 20 C water (oil)")
+    rows = [
+        ("Virtex-6, air (Rigel-2)", rigel2().solve(25.0).max_junction_c),
+        ("Virtex-7, air (Taygeta)", taygeta().solve(25.0).max_junction_c),
+        ("UltraScale, air (never built)", ultrascale_in_air().solve(25.0).max_junction_c),
+        ("UltraScale, immersion (SKAT)", skat().solve_steady(20.0, 1.2e-3).max_fpga_c),
+    ]
+    for name, temp in rows:
+        marker = " <- over 67 C ceiling" if temp > 67.0 else ""
+        print(f"  {name:32s} {temp:5.1f} C |{bar(temp, 100.0)}{marker}")
+    print()
+
+
+def figure_frontier() -> None:
+    print("Figure B — junction vs per-chip power (air vs immersion)")
+    points = sweep_frontier([20.0, 30.0, 40.0, 50.0, 70.0, 90.0, 110.0])
+    print(f"  {'P [W]':>6s} {'air Tj [C]':>11s} {'immersion Tj [C]':>17s}")
+    for p in points:
+        air = "runaway" if p.air_junction_c is None else f"{p.air_junction_c:7.1f}"
+        imm = (
+            "runaway"
+            if p.immersion_junction_c is None
+            else f"{p.immersion_junction_c:7.1f}"
+        )
+        print(f"  {p.power_w:6.0f} {air:>11s} {imm:>17s}")
+    print()
+
+
+def figure_balancing() -> None:
+    print("Figure C — Fig. 5 manifold: per-loop water flow (6 loops)")
+    for layout in ManifoldLayout:
+        report = RackManifoldSystem(n_loops=6, layout=layout).solve()
+        print(f"  {layout.value} return:")
+        for i, q in enumerate(report.loop_flows_m3_s):
+            print(f"    loop {i}: {q * 1000:6.3f} L/s |{bar(q * 1000, 1.3, 40)}")
+    print()
+
+
+def figure_pump_failure() -> None:
+    print("Figure D — pump failure at t=300 s, controller trip (SKAT CM)")
+    simulator = ModuleSimulator(skat(), controller=CoolingController())
+    result = simulator.run(
+        duration_s=900.0, events=[pump_stop_event(300.0, "oil_pump")], dt_s=30.0
+    )
+    times, junctions = result.telemetry.series("junction_c")
+    for t, j in zip(times, junctions):
+        print(f"  t={t:5.0f} s  Tj {j:6.1f} C |{bar(j, 160.0, 40)}")
+    print(f"  -> shutdown latched at t={result.shutdown_time_s:.0f} s")
+    print()
+
+
+def figure_thermal_budget() -> None:
+    print("Figure E — where the kelvins go (chip thermal stacks)")
+    print(skat_chip_stack().render(92.0, 29.0))
+    print()
+    print(air_chip_stack().render(44.0, 30.0))
+    print()
+
+
+def figure_heatmap() -> None:
+    print("Figure F — junction heat map of the SKAT bath (full 96-chip network)")
+    from repro.core.boardnetwork import solve_module_network
+    from repro.core.heatmap import render_heatmap, render_profile
+
+    module = skat()
+    report = module.solve_steady(20.0, 1.2e-3)
+    chips = report.immersion.chips_per_board
+    power = sum(c.power_w for c in chips) / len(chips)
+    solution = solve_module_network(
+        module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+    )
+    print(render_heatmap(module.section, solution))
+    print()
+    print(render_profile(module.section, solution))
+    print()
+
+
+def main() -> None:
+    figure_family_trajectory()
+    figure_frontier()
+    figure_balancing()
+    figure_pump_failure()
+    figure_thermal_budget()
+    figure_heatmap()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: build the SKAT computational module and read its steady state.
+
+Runs the paper's headline experiment (Section 3) in a few lines: the 3U
+immersion-cooled CM with 12 boards of eight Kintex UltraScale FPGAs, a
+self-contained oil loop, and a plate heat exchanger against chilled water.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+
+def main() -> None:
+    module = skat()
+    report = module.solve_steady(
+        water_in_c=SKAT_WATER_SUPPLY_C, water_flow_m3_s=SKAT_WATER_FLOW_M3_S
+    )
+
+    print(f"machine: {module.name} ({module.height_u:.0f}U, "
+          f"{module.section.n_boards} CCBs x {module.section.ccb.n_fpgas} FPGAs)")
+    print()
+    print(f"oil loop flow            : {report.oil_flow_m3_s * 1000:.2f} L/s")
+    print(f"oil cold / hot           : {report.oil_cold_c:.1f} / {report.oil_hot_c:.1f} C")
+    print(f"bath temperature         : {report.bath_mean_c:.1f} C  "
+          f"(paper: does not exceed 30 C -> {'OK' if report.oil_below_30c else 'EXCEEDED'})")
+    print(f"max FPGA junction        : {report.max_fpga_c:.1f} C  (paper: <= 55 C)")
+    chips = report.immersion.chips_per_board
+    print(f"per-FPGA power           : {sum(c.power_w for c in chips) / len(chips):.1f} W  "
+          f"(paper: 91 W)")
+    print(f"FPGA field power (96)    : {96 * sum(c.power_w for c in chips) / 8:.0f} W  "
+          f"(paper: 8736 W)")
+    print(f"module electrical power  : {report.module_electrical_w / 1000:.2f} kW")
+    print(f"heat rejected to water   : {report.total_heat_to_water_w / 1000:.2f} kW "
+          f"(HX effectiveness {report.hx.effectiveness:.2f})")
+    print()
+    print("per-position junctions along one board's oil path:")
+    for chip in chips:
+        print(f"  position {chip.position}: oil {chip.local_oil_c:5.2f} C -> "
+              f"junction {chip.junction_c:5.2f} C ({chip.power_w:.1f} W)")
+
+
+if __name__ == "__main__":
+    main()

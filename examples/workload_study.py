@@ -1,0 +1,54 @@
+"""Workload study: classic RCS applications on the SKAT FPGA field.
+
+The paper's framing — "an RCS provides adaptation of its architecture to
+the structure of any task" — made concrete: each kernel from the library
+(FIR, FFT stage, matrix tile, molecular-dynamics forces, spin-glass
+updates — the application families of the paper's own references) is
+hardwired onto one SKAT board's 8-FPGA field, and the resulting
+utilization is pushed through the thermal model to show the coupling
+between what you compute and how hot the bath runs.
+
+Run with::
+
+    python examples/workload_study.py
+"""
+
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.performance.kernels import kernel_suite
+from repro.performance.tasks import map_graph_to_field
+
+
+def main() -> None:
+    print("=== kernels mapped to one SKAT board (8 x XCKU095) ===")
+    print(f"{'kernel':14s} {'ops':>5s} {'depth':>5s} {'replicas':>8s} "
+          f"{'util':>6s} {'GFlops':>8s} {'lat us':>7s}")
+    mappings = {}
+    for name, graph in kernel_suite().items():
+        mapping = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=8)
+        mappings[name] = mapping
+        print(f"{name:14s} {len(graph):>5d} {graph.depth():>5d} "
+              f"{mapping.replicas:>8d} {mapping.utilization:>6.1%} "
+              f"{mapping.throughput_gflops:>8.0f} {mapping.latency_us:>7.3f}")
+
+    print()
+    print("=== the compute-to-heat coupling ===")
+    for name in ("fir16", "md_forces4"):
+        utilization = mappings[name].utilization
+        report = skat(utilization=utilization).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        chips = report.immersion.chips_per_board
+        print(f"{name:14s} at {utilization:.1%} field utilization: "
+              f"{sum(c.power_w for c in chips) / len(chips):5.1f} W/chip, "
+              f"maxTj {report.max_fpga_c:5.1f} C, bath {report.bath_mean_c:4.1f} C")
+
+    print()
+    print("=== an idle machine for contrast ===")
+    idle = skat(utilization=0.2).solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    print(f"{'idle (20%)':14s}: maxTj {idle.max_fpga_c:5.1f} C, "
+          f"bath {idle.bath_mean_c:4.1f} C — the cooling system tracks the task")
+
+
+if __name__ == "__main__":
+    main()

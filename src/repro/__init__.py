@@ -1,0 +1,22 @@
+"""repro — reproduction of "High-Performance Reconfigurable Computer
+Systems with Immersion Cooling" (Levin, Dordopulo, Fedorov, Doronchenko,
+PCT 2018).
+
+A thermo-hydraulic simulation stack for FPGA-dense reconfigurable computer
+systems: fluid properties, RC thermal networks, flow-network solving, heat
+exchangers and chillers, FPGA device/power models, reliability and control
+substrates — assembled into the paper's machines (Rigel-2, Taygeta, SKAT,
+SKAT+) and its rack-level hydraulic-balancing solution.
+
+Quick start::
+
+    from repro.core import skat
+    from repro.core.skat import SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+
+    report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    print(report.max_fpga_c, report.bath_mean_c)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

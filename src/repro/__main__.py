@@ -1,0 +1,132 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+- ``summary`` — the headline SKAT numbers against the paper's anchors.
+- ``machines`` — solve every machine (Rigel-2, Taygeta, SKAT, SKAT+).
+- ``balance [n]`` — the Fig. 5 manifold study for n loops (default 6).
+- ``scorecard`` — the three-architecture comparison.
+- ``energy`` — annual energy accounting.
+- ``tco`` — cooling total-cost-of-ownership comparison.
+- ``sensitivity`` — the SKAT design-point sensitivity tornado.
+- ``commission`` — the staged heat experiment on SKAT.
+- ``experiments`` — rebuild every paper-vs-measured table (slow).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _summary() -> None:
+    from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+    report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    chips = report.immersion.chips_per_board
+    print("SKAT computational module — measured vs paper")
+    print(f"  max FPGA junction : {report.max_fpga_c:5.1f} C   (paper: <= 55 C)")
+    print(f"  bath temperature  : {report.bath_mean_c:5.1f} C   (paper: <= 30 C)")
+    print(f"  per-FPGA power    : {sum(c.power_w for c in chips) / len(chips):5.1f} W   (paper: 91 W)")
+    print(f"  96-FPGA field     : {96 * sum(c.power_w for c in chips) / 8:5.0f} W  (paper: 8736 W)")
+
+
+def _machines() -> None:
+    from repro.core.skat import (
+        SKAT_WATER_FLOW_M3_S,
+        SKAT_WATER_SUPPLY_C,
+        rigel2,
+        skat,
+        skat_plus,
+        taygeta,
+    )
+
+    for name, machine in [("Rigel-2", rigel2()), ("Taygeta", taygeta())]:
+        report = machine.solve(25.0)
+        print(f"{name:8s} (air)      : maxTj {report.max_junction_c:5.1f} C, "
+              f"{report.module_power_w:6.0f} W")
+    for machine in (skat(), skat_plus()):
+        report = machine.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        print(f"{machine.name:8s} (immersion): maxTj {report.max_fpga_c:5.1f} C, "
+              f"{report.module_electrical_w:6.0f} W, bath {report.bath_mean_c:4.1f} C")
+
+
+def _balance(n_loops: int) -> None:
+    from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+
+    for layout in ManifoldLayout:
+        report = RackManifoldSystem(n_loops=n_loops, layout=layout).solve()
+        flows = " ".join(f"{q * 1000:.3f}" for q in report.loop_flows_m3_s)
+        print(f"{layout.value:8s}: [{flows}] L/s  max/min {report.imbalance_ratio:.3f}")
+
+
+def _scorecard() -> None:
+    from repro.analysis.compare import compare_architectures, render_scorecard
+
+    print(render_scorecard(compare_architectures()))
+
+
+def _energy() -> None:
+    from repro.analysis.energy import annual_energy_report, render_energy_report
+
+    report = annual_energy_report()
+    print(render_energy_report(report["air"]))
+    print(render_energy_report(report["immersion"]))
+    print(f"overhead ratio: {report['overhead_ratio']:.1f}x")
+
+
+def _tco() -> None:
+    from repro.analysis.tco import rack_tco_comparison, render_tco
+
+    print(render_tco(rack_tco_comparison()))
+
+
+def _sensitivity() -> None:
+    from repro.analysis.sensitivity import render_sensitivity, skat_sensitivity
+
+    print(render_sensitivity(skat_sensitivity()))
+
+
+def _commission() -> None:
+    from repro.core.commissioning import run_heat_experiment
+    from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+    print(run_heat_experiment(skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S).render())
+
+
+def _experiments() -> None:
+    import importlib.util
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    for path in sorted(bench_dir.glob("test_bench_*.py")):
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.build_table().print()
+
+
+COMMANDS = {
+    "summary": lambda args: _summary(),
+    "machines": lambda args: _machines(),
+    "balance": lambda args: _balance(int(args[0]) if args else 6),
+    "scorecard": lambda args: _scorecard(),
+    "energy": lambda args: _energy(),
+    "tco": lambda args: _tco(),
+    "sensitivity": lambda args: _sensitivity(),
+    "commission": lambda args: _commission(),
+    "experiments": lambda args: _experiments(),
+}
+
+
+def main(argv=None) -> int:
+    """Dispatch a CLI command; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help") or argv[0] not in COMMANDS:
+        print(__doc__)
+        return 0 if argv and argv[0] in ("-h", "--help") else 1
+    COMMANDS[argv[0]](argv[1:])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

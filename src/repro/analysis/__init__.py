@@ -1,0 +1,39 @@
+"""Analysis harnesses over the machine models.
+
+- :mod:`repro.analysis.compare` — the three cooling architectures (forced
+  air, closed-loop cold plates, open-loop immersion) on one scorecard.
+- :mod:`repro.analysis.energy` — energy and cost accounting: cooling
+  overheads, PUE, annual energy, the economics behind the paper's
+  "energy efficiency" keyword.
+- :mod:`repro.analysis.sensitivity` — one-at-a-time parameter sensitivity
+  of the SKAT operating point (what actually moves the 55 C number).
+"""
+
+from repro.analysis.compare import ArchitectureScore, compare_architectures, render_scorecard
+from repro.analysis.crossover import sweep_frontier, viability_frontier_w
+from repro.analysis.designspace import DesignPoint, pareto_frontier, sweep
+from repro.analysis.tco import CoolingTco, CostAssumptions, rack_tco_comparison
+from repro.analysis.energy import EnergyReport, annual_energy_report
+from repro.analysis.uncertainty import UncertainValue, skat_uncertainty
+from repro.analysis.sensitivity import SensitivityResult, coolant_sensitivity, skat_sensitivity
+
+__all__ = [
+    "ArchitectureScore",
+    "CoolingTco",
+    "CostAssumptions",
+    "DesignPoint",
+    "EnergyReport",
+    "SensitivityResult",
+    "UncertainValue",
+    "annual_energy_report",
+    "compare_architectures",
+    "coolant_sensitivity",
+    "pareto_frontier",
+    "rack_tco_comparison",
+    "render_scorecard",
+    "skat_sensitivity",
+    "skat_uncertainty",
+    "sweep",
+    "sweep_frontier",
+    "viability_frontier_w",
+]

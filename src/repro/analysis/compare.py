@@ -1,0 +1,150 @@
+"""The three cooling architectures on one scorecard.
+
+Section 2 of the paper is an extended qualitative comparison — air vs
+closed-loop liquid vs open-loop immersion. This harness runs all three as
+models over the *same* silicon (Kintex UltraScale fields) and scores the
+axes the paper argues on: junction temperature, density, part count,
+leak/condensation exposure, availability, and lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.coldplate import ColdPlateModule, PlateStyle
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    ultrascale_in_air,
+)
+from repro.devices.board import Ccb
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.devices.fpga import Fpga
+from repro.devices.power import ThermalRunawayError
+from repro.reliability.arrhenius import mtbf_ratio
+from repro.reliability.montecarlo import coldplate_cm_model, immersion_cm_model
+
+
+@dataclass(frozen=True)
+class ArchitectureScore:
+    """One architecture's scorecard row."""
+
+    name: str
+    max_junction_c: float
+    fpgas_per_3u: float
+    pressure_tight_connections: int
+    leak_exposure: bool
+    condensation_exposure: bool
+    availability: float
+    lifetime_vs_air: float
+    feasible: bool
+    notes: str = ""
+
+
+def compare_architectures() -> List[ArchitectureScore]:
+    """Score forced air, per-chip cold plates, and immersion.
+
+    All three carry Kintex UltraScale silicon at 90 % utilization. The
+    air row is the hypothetical UltraScale-in-air machine of Section 1's
+    projection (it was never built, for the reasons the score shows).
+    """
+    scores: List[ArchitectureScore] = []
+
+    # --- forced air -------------------------------------------------
+    air_machine = ultrascale_in_air()
+    try:
+        air_report = air_machine.solve(25.0)
+        air_junction = air_report.max_junction_c
+        air_feasible = air_report.within_reliability_limit
+        air_notes = "" if air_feasible else "past the 65...70 C ceiling"
+    except ThermalRunawayError:
+        air_junction = float("inf")
+        air_feasible = False
+        air_notes = "thermal runaway"
+    # A 6U air cage carries 32 chips -> 16 per 3U.
+    scores.append(
+        ArchitectureScore(
+            name="forced air",
+            max_junction_c=air_junction,
+            fpgas_per_3u=16.0,
+            pressure_tight_connections=0,
+            leak_exposure=False,
+            condensation_exposure=False,
+            availability=0.9998,  # fans fail too, but benignly
+            lifetime_vs_air=1.0,
+            feasible=air_feasible,
+            notes=air_notes,
+        )
+    )
+
+    # --- closed-loop cold plates -------------------------------------
+    coldplate = ColdPlateModule(
+        ccb=Ccb(Fpga(KINTEX_ULTRASCALE_KU095)),
+        style=PlateStyle.PER_CHIP,
+        supply_water_c=16.0,
+        room_relative_humidity=0.6,
+    )
+    cp_report = coldplate.solve()
+    cp_mc = coldplate_cm_model().run(years=20.0)
+    scores.append(
+        ArchitectureScore(
+            name="closed-loop cold plates",
+            max_junction_c=cp_report.max_junction_c,
+            fpgas_per_3u=48.0,  # plumbing overhead halves immersion density
+            pressure_tight_connections=cp_report.n_pressure_tight_connections,
+            leak_exposure=True,
+            condensation_exposure=cp_report.condensation_risk,
+            availability=cp_mc.availability,
+            lifetime_vs_air=mtbf_ratio(cp_report.max_junction_c, air_junction)
+            if air_junction != float("inf")
+            else float("inf"),
+            feasible=True,
+            notes="thermally excellent; risk ledger is the cost",
+        )
+    )
+
+    # --- open-loop immersion ------------------------------------------
+    skat_report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    im_mc = immersion_cm_model().run(years=20.0)
+    scores.append(
+        ArchitectureScore(
+            name="open-loop immersion (SKAT)",
+            max_junction_c=skat_report.max_fpga_c,
+            fpgas_per_3u=96.0,
+            pressure_tight_connections=4,
+            leak_exposure=False,  # dielectric bath: a leak is a mess, not a short
+            condensation_exposure=False,
+            availability=im_mc.availability,
+            lifetime_vs_air=mtbf_ratio(skat_report.max_fpga_c, air_junction)
+            if air_junction != float("inf")
+            else float("inf"),
+            feasible=True,
+            notes="the paper's design point",
+        )
+    )
+    return scores
+
+
+def render_scorecard(scores: List[ArchitectureScore]) -> str:
+    """Fixed-width scorecard rendering."""
+    lines = [
+        f"{'architecture':28s} {'maxTj':>7s} {'chips/3U':>9s} {'conns':>6s} "
+        f"{'leak':>5s} {'dew':>4s} {'avail':>8s} {'life':>6s} {'ok':>3s}"
+    ]
+    for s in scores:
+        tj = "runaway" if s.max_junction_c == float("inf") else f"{s.max_junction_c:5.1f}C"
+        life = "-" if s.lifetime_vs_air in (1.0, float("inf")) else f"{s.lifetime_vs_air:.1f}x"
+        lines.append(
+            f"{s.name:28s} {tj:>7s} {s.fpgas_per_3u:>9.0f} "
+            f"{s.pressure_tight_connections:>6d} "
+            f"{'yes' if s.leak_exposure else 'no':>5s} "
+            f"{'yes' if s.condensation_exposure else 'no':>4s} "
+            f"{s.availability:>8.5f} {life:>6s} "
+            f"{'yes' if s.feasible else 'NO':>3s}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["ArchitectureScore", "compare_architectures", "render_scorecard"]

@@ -1,0 +1,127 @@
+"""The air-cooling viability frontier.
+
+Section 1's historical claim — air cooling was fine for Virtex-6, marginal
+for Virtex-7, and impossible for UltraScale — is a *crossover* statement:
+somewhere between ~30 W and ~90 W per chip, forced air stops holding the
+65...70 C reliability ceiling. This harness finds that frontier directly:
+for a family of hypothetical chips spanning per-chip power, it solves the
+air-cooled and immersion-cooled machines and locates the power where each
+first violates the ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from scipy.optimize import brentq
+
+from repro.core.aircooling import AirCooledModule
+from repro.core.skat import skat
+from repro.devices.board import Ccb
+from repro.devices.families import FpgaFamily, VIRTEX7_X485T
+from repro.devices.fpga import Fpga
+from repro.devices.power import ThermalRunawayError
+
+
+def hypothetical_family(operating_power_w: float) -> FpgaFamily:
+    """A Virtex-7-geometry chip at an arbitrary power class.
+
+    Holding the package/die geometry and clocks fixed isolates the power
+    axis, which is what the paper's family argument is really about.
+    """
+    if operating_power_w <= 0:
+        raise ValueError("power must be positive")
+    return replace(
+        VIRTEX7_X485T,
+        name=f"hypothetical {operating_power_w:.0f} W",
+        part="(synthetic)",
+        operating_power_w=operating_power_w,
+        max_power_w=operating_power_w * 1.2,
+    )
+
+
+def air_junction_at_power(operating_power_w: float) -> Optional[float]:
+    """Max junction of the legacy air-cooled CM at a chip power class.
+
+    Returns None when the leakage loop runs away (no equilibrium).
+    """
+    family = hypothetical_family(operating_power_w)
+    module = AirCooledModule(ccb=Ccb(Fpga(family)))
+    try:
+        return module.solve(25.0).max_junction_c
+    except ThermalRunawayError:
+        return None
+
+
+def immersion_junction_at_power(operating_power_w: float) -> Optional[float]:
+    """Max junction of the SKAT cooling system at a chip power class."""
+    family = hypothetical_family(operating_power_w)
+    module = skat()
+    fpga = replace(module.section.ccb.fpga, family=family)
+    ccb = replace(module.section.ccb, fpga=fpga)
+    section = replace(module.section, ccb=ccb)
+    module = replace(module, section=section)
+    try:
+        report = module.solve_steady(20.0, 1.2e-3)
+        return report.max_fpga_c
+    except (ThermalRunawayError, ValueError):
+        return None
+
+
+def viability_frontier_w(
+    junction_at_power: Callable[[float], Optional[float]],
+    ceiling_c: float = 67.0,
+    lo_w: float = 5.0,
+    hi_w: float = 400.0,
+) -> float:
+    """Largest per-chip power the cooling holds below the ceiling.
+
+    Bisects the junction-vs-power curve; treats runaway as "over the
+    ceiling". Raises if even ``lo_w`` violates or ``hi_w`` still passes.
+    """
+
+    def excess(power: float) -> float:
+        junction = junction_at_power(power)
+        if junction is None:
+            return 1.0e3  # runaway: far over
+        return junction - ceiling_c
+
+    if excess(lo_w) > 0:
+        raise ValueError(f"even {lo_w:.0f} W violates the {ceiling_c:.0f} C ceiling")
+    if excess(hi_w) < 0:
+        raise ValueError(f"{hi_w:.0f} W still passes; raise the bracket")
+    return brentq(excess, lo_w, hi_w, xtol=0.05)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One sweep sample for the frontier plot."""
+
+    power_w: float
+    air_junction_c: Optional[float]
+    immersion_junction_c: Optional[float]
+
+
+def sweep_frontier(powers_w: List[float]) -> List[FrontierPoint]:
+    """Junction-vs-power series for both cooling systems."""
+    if not powers_w:
+        raise ValueError("need at least one power point")
+    return [
+        FrontierPoint(
+            power_w=p,
+            air_junction_c=air_junction_at_power(p),
+            immersion_junction_c=immersion_junction_at_power(p),
+        )
+        for p in powers_w
+    ]
+
+
+__all__ = [
+    "FrontierPoint",
+    "air_junction_at_power",
+    "hypothetical_family",
+    "immersion_junction_at_power",
+    "sweep_frontier",
+    "viability_frontier_w",
+]

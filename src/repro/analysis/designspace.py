@@ -1,0 +1,138 @@
+"""Design-space exploration for the immersion CM.
+
+The SKAT geometry in :mod:`repro.core.skat` is one point; a designer wants
+the neighbourhood: how do board count (the paper allows 12-16), pin
+geometry and pump size trade junction temperature against pump power and
+module performance? This harness sweeps the space and extracts the Pareto
+frontier on (max junction, pump electrical power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.core.module import ComputationalModule
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.hydraulics.elements import Pump, PumpCurve
+from repro.performance.flops import peak_gflops
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated CM variant."""
+
+    n_boards: int
+    pin_height_m: float
+    pin_pitch_m: float
+    pump_shutoff_pa: float
+    max_fpga_c: float
+    bath_mean_c: float
+    pump_power_w: float
+    peak_gflops_total: float
+    feasible: bool
+
+    @property
+    def label(self) -> str:
+        """Compact variant label."""
+        return (
+            f"{self.n_boards}b/pin{self.pin_height_m * 1000:.0f}mm/"
+            f"pitch{self.pin_pitch_m * 1000:.1f}mm/{self.pump_shutoff_pa / 1000:.0f}kPa"
+        )
+
+
+def _variant(
+    n_boards: int, pin_height_m: float, pin_pitch_m: float, pump_shutoff_pa: float
+) -> ComputationalModule:
+    module = skat(n_boards=n_boards)
+    sink = replace(
+        module.section.sink, pin_height_m=pin_height_m, pin_pitch_m=pin_pitch_m
+    )
+    section = replace(module.section, sink=sink)
+    pump = Pump(
+        curve=PumpCurve(
+            shutoff_pressure_pa=pump_shutoff_pa,
+            max_flow_m3_s=module.pump.curve.max_flow_m3_s,
+        ),
+        efficiency=module.pump.efficiency,
+        immersed=module.pump.immersed,
+    )
+    return replace(module, section=section, pump=pump)
+
+
+def evaluate_point(
+    n_boards: int,
+    pin_height_m: float,
+    pin_pitch_m: float,
+    pump_shutoff_pa: float,
+    junction_limit_c: float = 60.0,
+    bath_limit_c: float = 30.5,
+) -> DesignPoint:
+    """Solve one variant and score it against the envelope."""
+    module = _variant(n_boards, pin_height_m, pin_pitch_m, pump_shutoff_pa)
+    try:
+        report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        max_fpga = report.max_fpga_c
+        bath = report.bath_mean_c
+        pump_power = report.pump_electrical_w
+        feasible = max_fpga <= junction_limit_c and bath <= bath_limit_c
+    except Exception:
+        max_fpga, bath, pump_power, feasible = float("inf"), float("inf"), 0.0, False
+    family = module.section.ccb.fpga.family
+    chips = n_boards * module.section.ccb.n_fpgas
+    return DesignPoint(
+        n_boards=n_boards,
+        pin_height_m=pin_height_m,
+        pin_pitch_m=pin_pitch_m,
+        pump_shutoff_pa=pump_shutoff_pa,
+        max_fpga_c=max_fpga,
+        bath_mean_c=bath,
+        pump_power_w=pump_power,
+        peak_gflops_total=chips * peak_gflops(family),
+        feasible=feasible,
+    )
+
+
+def sweep(
+    n_boards_options: Sequence[int] = (12, 14, 16),
+    pin_heights_m: Sequence[float] = (0.005, 0.007, 0.009),
+    pin_pitches_m: Sequence[float] = (0.0035, 0.004, 0.0045),
+    pump_shutoffs_pa: Sequence[float] = (35.0e3, 45.0e3, 55.0e3),
+    limit: Optional[int] = None,
+) -> List[DesignPoint]:
+    """Full-factorial sweep of the design space (81 points by default)."""
+    points: List[DesignPoint] = []
+    for n_boards in n_boards_options:
+        for height in pin_heights_m:
+            for pitch in pin_pitches_m:
+                for shutoff in pump_shutoffs_pa:
+                    points.append(evaluate_point(n_boards, height, pitch, shutoff))
+                    if limit is not None and len(points) >= limit:
+                        return points
+    return points
+
+
+def pareto_frontier(points: List[DesignPoint]) -> List[DesignPoint]:
+    """Feasible points not dominated on (max junction, pump power).
+
+    A point dominates another when it is no hotter *and* no thirstier,
+    and strictly better on at least one axis.
+    """
+    feasible = [p for p in points if p.feasible]
+    frontier: List[DesignPoint] = []
+    for candidate in feasible:
+        dominated = any(
+            (other.max_fpga_c <= candidate.max_fpga_c)
+            and (other.pump_power_w <= candidate.pump_power_w)
+            and (
+                other.max_fpga_c < candidate.max_fpga_c
+                or other.pump_power_w < candidate.pump_power_w
+            )
+            for other in feasible
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: p.max_fpga_c)
+
+
+__all__ = ["DesignPoint", "evaluate_point", "pareto_frontier", "sweep"]

@@ -1,0 +1,123 @@
+"""Energy and cost accounting for the cooling architectures.
+
+The paper's keyword list includes "energy efficiency" and its Section 2
+claims that moving liquid takes far less energy than moving air for the
+same heat. This harness closes that argument with numbers: for a given IT
+load it totals the cooling energy (fans / pumps / chiller), forms the
+rack-local PUE, and prices a year of operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rack import Rack
+from repro.core.skat import skat, taygeta
+
+#: Default electricity price for the cost rows, USD per kWh.
+DEFAULT_PRICE_USD_KWH = 0.10
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Annual energy accounting for one cooling architecture."""
+
+    name: str
+    it_power_kw: float
+    cooling_power_kw: float
+    pue: float
+    annual_it_mwh: float
+    annual_cooling_mwh: float
+    annual_cooling_cost_usd: float
+    cooling_overhead_fraction: float
+
+
+def _report(name: str, it_w: float, cooling_w: float, price: float) -> EnergyReport:
+    annual_it = it_w * HOURS_PER_YEAR / 1.0e6
+    annual_cooling = cooling_w * HOURS_PER_YEAR / 1.0e6
+    return EnergyReport(
+        name=name,
+        it_power_kw=it_w / 1000.0,
+        cooling_power_kw=cooling_w / 1000.0,
+        pue=(it_w + cooling_w) / it_w,
+        annual_it_mwh=annual_it,
+        annual_cooling_mwh=annual_cooling,
+        annual_cooling_cost_usd=annual_cooling * 1000.0 * price,
+        cooling_overhead_fraction=cooling_w / it_w,
+    )
+
+
+def air_rack_report(price_usd_kwh: float = DEFAULT_PRICE_USD_KWH) -> EnergyReport:
+    """Energy report for a rack of Taygeta-class air-cooled CMs.
+
+    Seven 6U CMs fill the rack; cooling power is the cage fans plus the
+    CRAC share — the room air conditioner must move and chill the entire
+    exhaust, which is where air cooling loses (a CRAC COP of ~3 against
+    the chilled-water plant's ~8).
+    """
+    n_modules = 7
+    module_report = taygeta().solve(25.0)
+    fans = module_report.fan_power_w * n_modules
+    electronics = (module_report.module_power_w - module_report.fan_power_w) * n_modules
+    crac_cop = 3.0
+    crac = (electronics + fans) / crac_cop
+    return _report("air (Taygeta rack + CRAC)", electronics, fans + crac, price_usd_kwh)
+
+
+def immersion_rack_report(price_usd_kwh: float = DEFAULT_PRICE_USD_KWH) -> EnergyReport:
+    """Energy report for the 12-CM SKAT rack (pumps + chiller)."""
+    rack = Rack(module_factory=skat, n_modules=12).solve()
+    return _report(
+        "immersion (SKAT rack + chiller)",
+        rack.it_power_w,
+        rack.cooling_power_w,
+        price_usd_kwh,
+    )
+
+
+def annual_energy_report(price_usd_kwh: float = DEFAULT_PRICE_USD_KWH) -> dict:
+    """Both architectures plus the derived comparisons.
+
+    Returns ``{"air": ..., "immersion": ..., "overhead_ratio": ...,
+    "cost_saving_usd_per_rack_year_at_equal_it": ...}`` where the saving
+    is normalized to the air rack's IT load (cooling overhead per IT watt
+    applied to the same load).
+    """
+    air = air_rack_report(price_usd_kwh)
+    immersion = immersion_rack_report(price_usd_kwh)
+    overhead_ratio = air.cooling_overhead_fraction / immersion.cooling_overhead_fraction
+    # Overhead per IT watt applied to the air rack's IT load:
+    saving_w = (
+        air.cooling_overhead_fraction - immersion.cooling_overhead_fraction
+    ) * air.it_power_kw * 1000.0
+    saving_usd = saving_w / 1000.0 * HOURS_PER_YEAR * price_usd_kwh
+    return {
+        "air": air,
+        "immersion": immersion,
+        "overhead_ratio": overhead_ratio,
+        "cost_saving_usd_per_rack_year_at_equal_it": saving_usd,
+    }
+
+
+def render_energy_report(report: EnergyReport) -> str:
+    """One architecture's report as text."""
+    return (
+        f"{report.name}\n"
+        f"  IT power          : {report.it_power_kw:8.1f} kW\n"
+        f"  cooling power     : {report.cooling_power_kw:8.1f} kW "
+        f"({report.cooling_overhead_fraction:.1%} of IT)\n"
+        f"  PUE (rack-local)  : {report.pue:8.3f}\n"
+        f"  annual cooling    : {report.annual_cooling_mwh:8.1f} MWh "
+        f"(${report.annual_cooling_cost_usd:,.0f}/yr)"
+    )
+
+
+__all__ = [
+    "DEFAULT_PRICE_USD_KWH",
+    "EnergyReport",
+    "air_rack_report",
+    "annual_energy_report",
+    "immersion_rack_report",
+    "render_energy_report",
+]

@@ -1,0 +1,193 @@
+"""One-at-a-time sensitivity of the SKAT operating point.
+
+Which knobs actually move the paper's 55 C number? Each parameter is
+perturbed by a stated fraction around the design point and the resulting
+junction-temperature shift recorded — the quantitative version of the
+SKAT+ design agenda (surface, pump performance, interface technology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+from repro.core.module import ComputationalModule
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.hydraulics.elements import PumpCurve
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Junction shift for one perturbed parameter."""
+
+    parameter: str
+    perturbation: str
+    base_max_fpga_c: float
+    perturbed_max_fpga_c: float
+
+    @property
+    def delta_k(self) -> float:
+        """Junction shift, K (negative = improvement)."""
+        return self.perturbed_max_fpga_c - self.base_max_fpga_c
+
+
+def _solve(module: ComputationalModule, water_in: float, water_flow: float) -> float:
+    return module.solve_steady(water_in, water_flow).max_fpga_c
+
+
+def skat_sensitivity(
+    water_in_c: float = SKAT_WATER_SUPPLY_C,
+    water_flow_m3_s: float = SKAT_WATER_FLOW_M3_S,
+) -> List[SensitivityResult]:
+    """The standard SKAT sensitivity set.
+
+    Perturbations (each one-at-a-time):
+
+    - pump head +20 % (SKAT+ design item 2: pump performance);
+    - pin height +30 % (design item 1: heat-exchange surface);
+    - turbulence factor -> 1.0 (remove the solder-pin enhancement);
+    - interface resistivity x2 (a degraded coating, design item 5);
+    - chilled water +2 C (plant economy);
+    - water flow -25 % (manifold imbalance exposure).
+    """
+    base_module = skat()
+    base = _solve(base_module, water_in_c, water_flow_m3_s)
+    results: List[SensitivityResult] = []
+
+    def record(parameter: str, perturbation: str, build: Callable[[], ComputationalModule],
+               water_in: float = water_in_c, water_flow: float = water_flow_m3_s) -> None:
+        perturbed = _solve(build(), water_in, water_flow)
+        results.append(
+            SensitivityResult(
+                parameter=parameter,
+                perturbation=perturbation,
+                base_max_fpga_c=base,
+                perturbed_max_fpga_c=perturbed,
+            )
+        )
+
+    def with_pump_head(factor: float) -> ComputationalModule:
+        module = skat()
+        curve = module.pump.curve
+        new_curve = PumpCurve(
+            shutoff_pressure_pa=curve.shutoff_pressure_pa * factor,
+            max_flow_m3_s=curve.max_flow_m3_s,
+        )
+        return replace(module, pump=replace(module.pump, curve=new_curve))
+
+    def with_pin_height(factor: float) -> ComputationalModule:
+        module = skat()
+        sink = replace(module.section.sink, pin_height_m=module.section.sink.pin_height_m * factor)
+        return replace(module, section=replace(module.section, sink=sink))
+
+    def with_turbulence(value: float) -> ComputationalModule:
+        module = skat()
+        sink = replace(module.section.sink, turbulence_factor=value)
+        return replace(module, section=replace(module.section, sink=sink))
+
+    def with_tim_factor(factor: float) -> ComputationalModule:
+        module = skat()
+        tim = replace(
+            module.section.tim,
+            resistivity_m2k_w=module.section.tim.resistivity_m2k_w * factor,
+        )
+        return replace(module, section=replace(module.section, tim=tim))
+
+    record("pump head", "+20 %", lambda: with_pump_head(1.2))
+    record("pin height", "+30 %", lambda: with_pin_height(1.3))
+    record("solder-pin turbulence", "removed (1.0x)", lambda: with_turbulence(1.0))
+    record("interface resistivity", "x2", lambda: with_tim_factor(2.0))
+    record("chilled water", "+2 C", skat, water_in=water_in_c + 2.0)
+    record("water flow", "-25 %", skat, water_flow=water_flow_m3_s * 0.75)
+    return results
+
+
+def coolant_sensitivity(
+    water_in_c: float = SKAT_WATER_SUPPLY_C,
+    water_flow_m3_s: float = SKAT_WATER_FLOW_M3_S,
+) -> List[SensitivityResult]:
+    """Section 2's coolant-improvement levers, quantified.
+
+    "One more option to increase liquid cooling efficiency consists in
+    improving the initial parameters of the heat-transfer agent:
+    increasing velocity, decreasing temperature, creating turbulent flow,
+    increasing heat capacity, reducing viscosity." Each lever is applied
+    to the oil (or its delivery) one at a time and the junction shift
+    recorded.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.fluids.properties import PropertyModel
+
+    class _Scaled(PropertyModel):
+        def __init__(self, base: PropertyModel, factor: float):
+            self._base = base
+            self._factor = factor
+
+        def __call__(self, temperature_c: float) -> float:
+            return self._factor * self._base(temperature_c)
+
+    base_module = skat()
+    base = _solve(base_module, water_in_c, water_flow_m3_s)
+    results: List[SensitivityResult] = []
+
+    def record(parameter: str, perturbation: str, module: ComputationalModule,
+               water_in: float = water_in_c) -> None:
+        perturbed = _solve(module, water_in, water_flow_m3_s)
+        results.append(
+            SensitivityResult(
+                parameter=parameter,
+                perturbation=perturbation,
+                base_max_fpga_c=base,
+                perturbed_max_fpga_c=perturbed,
+            )
+        )
+
+    def with_oil(**scales) -> ComputationalModule:
+        module = skat()
+        oil = module.section.oil
+        changes = {}
+        if "viscosity" in scales:
+            changes["viscosity_model"] = _Scaled(oil.viscosity_model, scales["viscosity"])
+        if "cp" in scales:
+            changes["specific_heat_model"] = _Scaled(
+                oil.specific_heat_model, scales["cp"]
+            )
+        if "k" in scales:
+            changes["conductivity_model"] = _Scaled(
+                oil.conductivity_model, scales["k"]
+            )
+        oil = _replace(oil, name=oil.name + "_mod", **changes)
+        section = _replace(module.section, oil=oil)
+        return _replace(module, section=section)
+
+    def with_velocity(factor: float) -> ComputationalModule:
+        # "Increasing velocity": duct more of the flow across the boards.
+        module = skat()
+        section = _replace(
+            module.section,
+            board_channel_area_m2=module.section.board_channel_area_m2 / factor,
+        )
+        return _replace(module, section=section)
+
+    record("coolant viscosity", "-20 %", with_oil(viscosity=0.8))
+    record("coolant heat capacity", "+20 %", with_oil(cp=1.2))
+    record("coolant conductivity", "+20 %", with_oil(k=1.2))
+    record("board velocity", "+30 %", with_velocity(1.3))
+    record("coolant temperature", "-3 C (colder water)", skat(), water_in=water_in_c - 3.0)
+    return results
+
+
+def render_sensitivity(results: List[SensitivityResult]) -> str:
+    """Tornado-style text rendering, largest effect first."""
+    ordered = sorted(results, key=lambda r: abs(r.delta_k), reverse=True)
+    width = max(len(f"{r.parameter} {r.perturbation}") for r in ordered)
+    lines = [f"base max FPGA: {ordered[0].base_max_fpga_c:.1f} C"]
+    for r in ordered:
+        label = f"{r.parameter} {r.perturbation}"
+        bar = "#" * min(int(abs(r.delta_k) * 4) + 1, 40)
+        lines.append(f"{label:<{width}}  {r.delta_k:+5.1f} K  {bar}")
+    return "\n".join(lines)
+
+
+__all__ = ["SensitivityResult", "coolant_sensitivity", "render_sensitivity", "skat_sensitivity"]

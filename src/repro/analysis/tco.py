@@ -1,0 +1,205 @@
+"""Total cost of ownership for the cooling architectures.
+
+The paper argues costs qualitatively: immersion brings "high reliability
+and low cost of the product", while the IMMERS-class competitors suffer
+the "high cost of the cooling liquid, produced by only one manufacturer".
+This model prices the pieces — coolant inventory, cooling hardware, energy
+and downtime — over a service period so those claims become comparable
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.energy import DEFAULT_PRICE_USD_KWH, HOURS_PER_YEAR
+from repro.fluids.library import MINERAL_OIL_MD45, SYNTHETIC_ESTER
+from repro.fluids.properties import Fluid
+
+
+@dataclass(frozen=True)
+class CostAssumptions:
+    """Shared economic assumptions."""
+
+    electricity_usd_kwh: float = DEFAULT_PRICE_USD_KWH
+    downtime_usd_per_hour: float = 500.0
+    service_years: float = 7.0
+    coolant_replacement_fraction_per_year: float = 0.05  # top-ups and filtration losses
+
+    def __post_init__(self) -> None:
+        if min(
+            self.electricity_usd_kwh,
+            self.downtime_usd_per_hour,
+            self.service_years,
+        ) <= 0:
+            raise ValueError("economic assumptions must be positive")
+        if not 0.0 <= self.coolant_replacement_fraction_per_year <= 1.0:
+            raise ValueError("replacement fraction must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class CoolingTco:
+    """Cost breakdown for one architecture over the service period."""
+
+    name: str
+    capex_hardware_usd: float
+    capex_coolant_usd: float
+    opex_energy_usd: float
+    opex_coolant_usd: float
+    downtime_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """Grand total over the service period."""
+        return (
+            self.capex_hardware_usd
+            + self.capex_coolant_usd
+            + self.opex_energy_usd
+            + self.opex_coolant_usd
+            + self.downtime_usd
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Named cost components."""
+        return {
+            "hardware capex": self.capex_hardware_usd,
+            "coolant capex": self.capex_coolant_usd,
+            "energy opex": self.opex_energy_usd,
+            "coolant opex": self.opex_coolant_usd,
+            "downtime": self.downtime_usd,
+        }
+
+
+def coolant_inventory_cost(fluid: Fluid, volume_litre: float) -> float:
+    """Price of a coolant fill."""
+    if volume_litre < 0:
+        raise ValueError("volume must be non-negative")
+    return fluid.cost_usd_per_litre * volume_litre
+
+
+def cooling_tco(
+    name: str,
+    cooling_power_kw: float,
+    hardware_capex_usd: float,
+    coolant: Fluid = None,
+    coolant_volume_litre: float = 0.0,
+    downtime_hours_per_year: float = 0.0,
+    assumptions: CostAssumptions = CostAssumptions(),
+) -> CoolingTco:
+    """Assemble the TCO for one architecture.
+
+    Parameters
+    ----------
+    name:
+        Architecture label.
+    cooling_power_kw:
+        Continuous cooling electrical draw (fans / pumps / chiller).
+    hardware_capex_usd:
+        Cooling hardware (fans, plates, pumps, exchangers, chiller share).
+    coolant, coolant_volume_litre:
+        The liquid inventory (None/0 for air).
+    downtime_hours_per_year:
+        Expected cooling-caused downtime (from the availability models).
+    """
+    if cooling_power_kw < 0 or hardware_capex_usd < 0 or downtime_hours_per_year < 0:
+        raise ValueError("cost inputs must be non-negative")
+    years = assumptions.service_years
+    coolant_capex = (
+        coolant_inventory_cost(coolant, coolant_volume_litre) if coolant else 0.0
+    )
+    coolant_opex = (
+        coolant_capex * assumptions.coolant_replacement_fraction_per_year * years
+    )
+    energy = (
+        cooling_power_kw * HOURS_PER_YEAR * years * assumptions.electricity_usd_kwh
+    )
+    downtime = downtime_hours_per_year * years * assumptions.downtime_usd_per_hour
+    return CoolingTco(
+        name=name,
+        capex_hardware_usd=hardware_capex_usd,
+        capex_coolant_usd=coolant_capex,
+        opex_energy_usd=energy,
+        opex_coolant_usd=coolant_opex,
+        downtime_usd=downtime,
+    )
+
+
+def rack_tco_comparison(assumptions: CostAssumptions = CostAssumptions()) -> Dict[str, CoolingTco]:
+    """TCO of the three rack-scale options plus the ester variant.
+
+    Hardware capex values are catalog-class estimates; the *relative*
+    picture (and especially the oil-vs-ester coolant line, the paper's
+    explicit criticism of the IMMERS systems) is the point.
+    """
+    from repro.analysis.energy import air_rack_report, immersion_rack_report
+    from repro.reliability.montecarlo import coldplate_cm_model, immersion_cm_model
+
+    air = air_rack_report(assumptions.electricity_usd_kwh)
+    immersion = immersion_rack_report(assumptions.electricity_usd_kwh)
+    immersion_mc = immersion_cm_model().run(years=50.0)
+    coldplate_mc = coldplate_cm_model().run(years=50.0)
+
+    oil_volume = 12 * 30.0  # 12 CMs x ~30 L of oil each
+
+    return {
+        "air": cooling_tco(
+            "air (fans + CRAC share)",
+            cooling_power_kw=air.cooling_power_kw,
+            hardware_capex_usd=9000.0,
+            downtime_hours_per_year=0.5,
+            assumptions=assumptions,
+        ),
+        "coldplate": cooling_tco(
+            "closed-loop cold plates",
+            cooling_power_kw=immersion.cooling_power_kw * 0.9,
+            hardware_capex_usd=60000.0,  # per-chip plates, quick disconnects
+            coolant=None,
+            downtime_hours_per_year=coldplate_mc.downtime_hours_per_year,
+            assumptions=assumptions,
+        ),
+        "immersion_oil": cooling_tco(
+            "immersion, mineral oil MD-4.5",
+            cooling_power_kw=immersion.cooling_power_kw,
+            hardware_capex_usd=30000.0,
+            coolant=MINERAL_OIL_MD45,
+            coolant_volume_litre=oil_volume,
+            downtime_hours_per_year=immersion_mc.downtime_hours_per_year,
+            assumptions=assumptions,
+        ),
+        "immersion_ester": cooling_tco(
+            "immersion, single-vendor ester",
+            cooling_power_kw=immersion.cooling_power_kw,
+            hardware_capex_usd=30000.0,
+            coolant=SYNTHETIC_ESTER,
+            coolant_volume_litre=oil_volume,
+            downtime_hours_per_year=immersion_mc.downtime_hours_per_year,
+            assumptions=assumptions,
+        ),
+    }
+
+
+def render_tco(tcos: Dict[str, CoolingTco]) -> str:
+    """Fixed-width TCO comparison."""
+    lines = [
+        f"{'architecture':34s} {'hw capex':>10s} {'coolant':>9s} "
+        f"{'energy':>10s} {'cool opex':>10s} {'downtime':>10s} {'TOTAL':>11s}"
+    ]
+    for tco in tcos.values():
+        lines.append(
+            f"{tco.name:34s} {tco.capex_hardware_usd:>10,.0f} "
+            f"{tco.capex_coolant_usd:>9,.0f} {tco.opex_energy_usd:>10,.0f} "
+            f"{tco.opex_coolant_usd:>10,.0f} {tco.downtime_usd:>10,.0f} "
+            f"{tco.total_usd:>11,.0f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CoolingTco",
+    "CostAssumptions",
+    "coolant_inventory_cost",
+    "cooling_tco",
+    "rack_tco_comparison",
+    "render_tco",
+]

@@ -1,0 +1,162 @@
+"""Uncertainty quantification for the reproduced numbers.
+
+The calibration knobs (solder-pin factor, interface impedance, sink
+geometry, catalog powers) are plausible values, not measured ones. This
+harness propagates stated tolerances on those knobs through the SKAT
+solve by Monte Carlo, so the headline numbers come with error bars —
+"55.0 C" becomes "55.0 +/- 1.8 C", which is the honest way to compare a
+simulation against a prototype measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.module import ComputationalModule
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+
+@dataclass(frozen=True)
+class ParameterTolerance:
+    """A calibration knob and its relative 1-sigma tolerance."""
+
+    name: str
+    sigma_rel: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sigma_rel < 0.5:
+            raise ValueError("relative sigma must be in (0, 0.5)")
+
+
+#: The default tolerance set: every knob DESIGN.md lists as calibrated.
+DEFAULT_TOLERANCES: List[ParameterTolerance] = [
+    ParameterTolerance("turbulence_factor", 0.06),
+    ParameterTolerance("tim_resistivity", 0.15),
+    ParameterTolerance("pin_height", 0.05),
+    ParameterTolerance("pump_shutoff", 0.08),
+    ParameterTolerance("chip_power", 0.05),
+    ParameterTolerance("hx_enhancement", 0.10),
+]
+
+
+@dataclass(frozen=True)
+class UncertainValue:
+    """A Monte Carlo summary of one output quantity."""
+
+    name: str
+    mean: float
+    std: float
+    p05: float
+    p95: float
+
+    def contains(self, value: float) -> bool:
+        """Whether a reference value falls inside the 90 % interval."""
+        return self.p05 <= value <= self.p95
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.1f} +/- {self.std:.1f} (90% [{self.p05:.1f}, {self.p95:.1f}])"
+
+
+def _perturbed_module(rng: np.random.Generator, scales: Dict[str, float]) -> ComputationalModule:
+    module = skat()
+    section = module.section
+
+    sink = replace(
+        section.sink,
+        turbulence_factor=section.sink.turbulence_factor * scales["turbulence_factor"],
+        pin_height_m=section.sink.pin_height_m * scales["pin_height"],
+    )
+    tim = replace(
+        section.tim,
+        resistivity_m2k_w=section.tim.resistivity_m2k_w * scales["tim_resistivity"],
+    )
+    family = section.ccb.fpga.family
+    family = replace(
+        family,
+        operating_power_w=family.operating_power_w * scales["chip_power"],
+        max_power_w=family.max_power_w * scales["chip_power"],
+    )
+    fpga = replace(section.ccb.fpga, family=family)
+    ccb = replace(section.ccb, fpga=fpga)
+    section = replace(section, sink=sink, tim=tim, ccb=ccb)
+
+    pump_curve = replace(
+        module.pump.curve,
+        shutoff_pressure_pa=module.pump.curve.shutoff_pressure_pa * scales["pump_shutoff"],
+    )
+    pump = replace(module.pump, curve=pump_curve)
+    hx = replace(
+        module.hx,
+        chevron_enhancement=max(
+            module.hx.chevron_enhancement * scales["hx_enhancement"], 1.0
+        ),
+    )
+    return replace(module, section=section, pump=pump, hx=hx)
+
+
+def skat_uncertainty(
+    n_samples: int = 50,
+    tolerances: List[ParameterTolerance] = None,
+    seed: int = 0,
+) -> Dict[str, UncertainValue]:
+    """Monte Carlo over the calibration knobs.
+
+    Returns uncertain values for ``max_fpga_c``, ``bath_mean_c`` and
+    ``chip_power_w``. Samples that fail to solve (rare extreme draws) are
+    skipped and replaced.
+    """
+    if n_samples < 5:
+        raise ValueError("need at least 5 samples")
+    tolerances = tolerances or DEFAULT_TOLERANCES
+    rng = np.random.default_rng(seed)
+
+    junctions: List[float] = []
+    baths: List[float] = []
+    powers: List[float] = []
+    attempts = 0
+    while len(junctions) < n_samples and attempts < 4 * n_samples:
+        attempts += 1
+        scales = {
+            t.name: float(rng.normal(1.0, t.sigma_rel)) for t in tolerances
+        }
+        if any(s <= 0.5 for s in scales.values()):
+            continue
+        try:
+            module = _perturbed_module(rng, scales)
+            report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        except Exception:
+            continue
+        chips = report.immersion.chips_per_board
+        junctions.append(report.max_fpga_c)
+        baths.append(report.bath_mean_c)
+        powers.append(sum(c.power_w for c in chips) / len(chips))
+
+    if len(junctions) < n_samples:
+        raise RuntimeError("too many failed Monte Carlo samples")
+
+    def summarize(name: str, values: List[float]) -> UncertainValue:
+        arr = np.asarray(values)
+        return UncertainValue(
+            name=name,
+            mean=float(np.mean(arr)),
+            std=float(np.std(arr)),
+            p05=float(np.percentile(arr, 5)),
+            p95=float(np.percentile(arr, 95)),
+        )
+
+    return {
+        "max_fpga_c": summarize("max FPGA junction [C]", junctions),
+        "bath_mean_c": summarize("bath temperature [C]", baths),
+        "chip_power_w": summarize("per-chip power [W]", powers),
+    }
+
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "ParameterTolerance",
+    "UncertainValue",
+    "skat_uncertainty",
+]

@@ -1,0 +1,180 @@
+"""Serialization of machine configurations and reports.
+
+A downstream user wants to version their machine definitions and archive
+commissioning results. This module round-trips the dataclass-based machine
+configuration through plain JSON-compatible dictionaries (no pickle, no
+code execution) and dumps reports for archival.
+
+Only the *configuration* is serialized — fluids and families are
+referenced by name and resolved from the library/catalog on load, which
+keeps files small and forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict
+
+from repro.core.heatsink import PinFinHeatSink
+from repro.core.immersion import ImmersionSection
+from repro.core.module import ComputationalModule
+from repro.core.tim import (
+    CONVENTIONAL_PASTE,
+    DRY_CONTACT,
+    SRC_OIL_STABLE_INTERFACE,
+)
+from repro.devices.board import Ccb
+from repro.devices.families import FpgaFamily, family_roadmap
+from repro.devices.fpga import Fpga
+from repro.devices.psu import ImmersionPsu
+from repro.fluids.library import all_fluids
+from repro.heatexchange.plate import PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump, PumpCurve
+
+_TIMS = {
+    tim.name: tim
+    for tim in (CONVENTIONAL_PASTE, SRC_OIL_STABLE_INTERFACE, DRY_CONTACT)
+}
+
+
+def _family_by_name(name: str) -> FpgaFamily:
+    for family in family_roadmap():
+        if family.name == name:
+            return family
+    raise KeyError(f"unknown FPGA family {name!r}")
+
+
+def _fluid_by_name(name: str):
+    for fluid in all_fluids():
+        if fluid.name == name:
+            return fluid
+    raise KeyError(f"unknown fluid {name!r}")
+
+
+def module_to_dict(module: ComputationalModule) -> Dict[str, Any]:
+    """Serialize a computational module's configuration."""
+    section = module.section
+    return {
+        "schema": "repro.module/1",
+        "name": module.name,
+        "height_u": module.height_u,
+        "fpga": {
+            "family": section.ccb.fpga.family.name,
+            "utilization": section.ccb.fpga.utilization,
+            "clock_mhz": section.ccb.fpga.clock_mhz,
+        },
+        "ccb": {
+            "n_fpgas": section.ccb.n_fpgas,
+            "separate_controller": section.ccb.separate_controller,
+            "controller_overhead": section.ccb.controller_overhead,
+            "clearance_mm": section.ccb.clearance_mm,
+            "misc_power_w": section.ccb.misc_power_w,
+        },
+        "section": {
+            "n_boards": section.n_boards,
+            "n_psus": section.n_psus,
+            "flow_fraction_over_boards": section.flow_fraction_over_boards,
+            "board_channel_area_m2": section.board_channel_area_m2,
+            "tim_service_hours": section.tim_service_hours,
+            "oil": section.oil.name,
+            "tim": section.tim.name,
+        },
+        "sink": asdict(section.sink),
+        "psu": asdict(section.psu),
+        "pump": {
+            "shutoff_pressure_pa": module.pump.curve.shutoff_pressure_pa,
+            "max_flow_m3_s": module.pump.curve.max_flow_m3_s,
+            "speed_fraction": module.pump.speed_fraction,
+            "efficiency": module.pump.efficiency,
+            "immersed": module.pump.immersed,
+        },
+        "hx": {
+            "n_plates": module.hx.n_plates,
+            "plate_width_m": module.hx.plate_width_m,
+            "plate_height_m": module.hx.plate_height_m,
+            "channel_gap_m": module.hx.channel_gap_m,
+            "plate_thickness_m": module.hx.plate_thickness_m,
+            "plate_conductivity_w_mk": module.hx.plate_conductivity_w_mk,
+            "chevron_enhancement": module.hx.chevron_enhancement,
+        },
+        "loop_pipe": {
+            "length_m": module.loop_pipe.length_m,
+            "diameter_m": module.loop_pipe.diameter_m,
+            "roughness_m": module.loop_pipe.roughness_m,
+            "minor_loss_k": module.loop_pipe.minor_loss_k,
+        },
+    }
+
+
+def module_from_dict(data: Dict[str, Any]) -> ComputationalModule:
+    """Rebuild a computational module from its serialized configuration."""
+    if data.get("schema") != "repro.module/1":
+        raise ValueError(f"unsupported schema {data.get('schema')!r}")
+    fpga = Fpga(
+        family=_family_by_name(data["fpga"]["family"]),
+        utilization=data["fpga"]["utilization"],
+        clock_mhz=data["fpga"]["clock_mhz"],
+    )
+    ccb = Ccb(fpga=fpga, **data["ccb"])
+    tim_name = data["section"]["tim"]
+    if tim_name not in _TIMS:
+        raise KeyError(f"unknown thermal interface {tim_name!r}")
+    section = ImmersionSection(
+        ccb=ccb,
+        n_boards=data["section"]["n_boards"],
+        sink=PinFinHeatSink(**data["sink"]),
+        tim=_TIMS[tim_name],
+        psu=ImmersionPsu(**data["psu"]),
+        n_psus=data["section"]["n_psus"],
+        flow_fraction_over_boards=data["section"]["flow_fraction_over_boards"],
+        board_channel_area_m2=data["section"]["board_channel_area_m2"],
+        tim_service_hours=data["section"]["tim_service_hours"],
+        oil=_fluid_by_name(data["section"]["oil"]),
+    )
+    pump = Pump(
+        curve=PumpCurve(
+            shutoff_pressure_pa=data["pump"]["shutoff_pressure_pa"],
+            max_flow_m3_s=data["pump"]["max_flow_m3_s"],
+        ),
+        speed_fraction=data["pump"]["speed_fraction"],
+        efficiency=data["pump"]["efficiency"],
+        immersed=data["pump"]["immersed"],
+    )
+    return ComputationalModule(
+        name=data["name"],
+        section=section,
+        pump=pump,
+        hx=PlateHeatExchanger(**data["hx"]),
+        loop_pipe=Pipe(**data["loop_pipe"]),
+        height_u=data["height_u"],
+    )
+
+
+def dump_module(module: ComputationalModule, path: str) -> None:
+    """Write a module configuration to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(module_to_dict(module), handle, indent=2, sort_keys=True)
+
+
+def load_module(path: str) -> ComputationalModule:
+    """Read a module configuration from a JSON file."""
+    with open(path) as handle:
+        return module_from_dict(json.load(handle))
+
+
+def report_to_dict(report: Any) -> Dict[str, Any]:
+    """Serialize any dataclass-based report (ModuleReport etc.) to plain
+    dictionaries for archival."""
+    if not is_dataclass(report):
+        raise TypeError(f"{type(report).__name__} is not a dataclass report")
+    return asdict(report)
+
+
+__all__ = [
+    "dump_module",
+    "load_module",
+    "module_from_dict",
+    "module_to_dict",
+    "report_to_dict",
+]

@@ -1,0 +1,42 @@
+"""Monitoring and control substrate.
+
+"The liquid cooling system must have a control subsystem containing sensors
+of level, flow, and temperature of the heat-transfer agent, and a
+temperature sensor for cooling components" (Section 2). This package
+provides those sensors (with noise and fault models), the supervisory
+controller that acts on them, and a telemetry log for simulation runs.
+"""
+
+from repro.control.sensors import (
+    FlowSensor,
+    LevelSensor,
+    Sensor,
+    SensorError,
+    TemperatureSensor,
+)
+from repro.control.controller import (
+    Alarm,
+    AlarmSeverity,
+    ControlAction,
+    CoolingController,
+    Thresholds,
+)
+from repro.control.monitor import TelemetryLog
+from repro.control.pid import PidController, bath_temperature_pid, chiller_setpoint_pid
+
+__all__ = [
+    "Alarm",
+    "AlarmSeverity",
+    "ControlAction",
+    "CoolingController",
+    "FlowSensor",
+    "LevelSensor",
+    "PidController",
+    "Sensor",
+    "SensorError",
+    "TelemetryLog",
+    "TemperatureSensor",
+    "Thresholds",
+    "bath_temperature_pid",
+    "chiller_setpoint_pid",
+]

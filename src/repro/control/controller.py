@@ -1,0 +1,164 @@
+"""The supervisory cooling controller.
+
+Implements the control subsystem the paper requires: it watches the
+heat-transfer-agent level, flow and temperature sensors plus the component
+temperature sensors, raises graded alarms, trims pump speed and chiller
+setpoint, and orders an emergency shutdown before junctions reach their
+limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class AlarmSeverity(Enum):
+    """Alarm grading: warnings log, critical alarms act."""
+
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raised alarm."""
+
+    severity: AlarmSeverity
+    source: str
+    message: str
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Alarm and trip thresholds for a CM cooling system.
+
+    Defaults encode the SKAT operating envelope: oil is expected to stay
+    below 30 C, FPGAs below 55 C in normal operation, with the reliability
+    ceiling at 70 C and the junction trip below the family's absolute
+    limit.
+    """
+
+    coolant_warn_c: float = 35.0
+    coolant_trip_c: float = 45.0
+    component_warn_c: float = 70.0
+    component_trip_c: float = 85.0
+    min_flow_m3_s: float = 5.0e-4
+    min_level_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.coolant_trip_c <= self.coolant_warn_c:
+            raise ValueError("coolant trip must exceed warn")
+        if self.component_trip_c <= self.component_warn_c:
+            raise ValueError("component trip must exceed warn")
+        if self.min_flow_m3_s < 0 or not 0.0 <= self.min_level_fraction <= 1.0:
+            raise ValueError("invalid flow/level thresholds")
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """Controller output for one evaluation cycle."""
+
+    alarms: List[Alarm]
+    pump_speed_fraction: float
+    chiller_setpoint_c: float
+    shutdown: bool
+
+    @property
+    def has_critical(self) -> bool:
+        """Whether any critical alarm was raised."""
+        return any(a.severity is AlarmSeverity.CRITICAL for a in self.alarms)
+
+
+@dataclass
+class CoolingController:
+    """Threshold supervisor with simple proportional pump trimming.
+
+    Parameters
+    ----------
+    thresholds:
+        The alarm/trip envelope.
+    nominal_pump_speed:
+        Pump speed commanded in the normal band.
+    nominal_setpoint_c:
+        Chilled-water setpoint in the normal band.
+    """
+
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    nominal_pump_speed: float = 1.0
+    nominal_setpoint_c: float = 20.0
+    _latched_shutdown: bool = field(init=False, default=False, repr=False)
+
+    def evaluate(
+        self,
+        coolant_c: float,
+        component_temps_c: Dict[str, float],
+        flow_m3_s: float,
+        level_fraction: float,
+        ambient_c: Optional[float] = None,
+    ) -> ControlAction:
+        """Evaluate one cycle of sensor readings.
+
+        Shutdown latches: once tripped, the controller keeps commanding
+        shutdown until :meth:`reset` (matching real safety practice).
+        """
+        t = self.thresholds
+        alarms: List[Alarm] = []
+
+        if coolant_c >= t.coolant_trip_c:
+            alarms.append(Alarm(AlarmSeverity.CRITICAL, "coolant", f"coolant {coolant_c:.1f} C at trip"))
+        elif coolant_c >= t.coolant_warn_c:
+            alarms.append(Alarm(AlarmSeverity.WARNING, "coolant", f"coolant {coolant_c:.1f} C high"))
+
+        hottest_name, hottest = None, -1.0e9
+        for name, temp in component_temps_c.items():
+            if temp > hottest:
+                hottest_name, hottest = name, temp
+        if hottest_name is not None:
+            if hottest >= t.component_trip_c:
+                alarms.append(
+                    Alarm(AlarmSeverity.CRITICAL, hottest_name, f"{hottest_name} {hottest:.1f} C at trip")
+                )
+            elif hottest >= t.component_warn_c:
+                alarms.append(
+                    Alarm(AlarmSeverity.WARNING, hottest_name, f"{hottest_name} {hottest:.1f} C high")
+                )
+
+        if flow_m3_s < t.min_flow_m3_s:
+            alarms.append(
+                Alarm(AlarmSeverity.CRITICAL, "flow", f"flow {flow_m3_s * 1000:.2f} L/s below minimum")
+            )
+        if level_fraction < t.min_level_fraction:
+            alarms.append(
+                Alarm(AlarmSeverity.CRITICAL, "level", f"level {level_fraction:.0%} below minimum")
+            )
+
+        critical = any(a.severity is AlarmSeverity.CRITICAL for a in alarms)
+        if critical:
+            self._latched_shutdown = True
+
+        # Proportional trim: run the pump harder as coolant approaches the
+        # warning band; drop the setpoint 2 C when warned.
+        speed = self.nominal_pump_speed
+        setpoint = self.nominal_setpoint_c
+        margin = t.coolant_warn_c - coolant_c
+        if 0.0 < margin < 5.0:
+            speed = min(1.0, self.nominal_pump_speed + 0.05 * (5.0 - margin))
+        elif margin <= 0.0:
+            speed = 1.0
+            setpoint = self.nominal_setpoint_c - 2.0
+
+        return ControlAction(
+            alarms=alarms,
+            pump_speed_fraction=0.0 if self._latched_shutdown else speed,
+            chiller_setpoint_c=setpoint,
+            shutdown=self._latched_shutdown,
+        )
+
+    def reset(self) -> None:
+        """Clear a latched shutdown after the operator intervenes."""
+        self._latched_shutdown = False
+
+
+__all__ = ["Alarm", "AlarmSeverity", "ControlAction", "CoolingController", "Thresholds"]

@@ -1,0 +1,96 @@
+"""Telemetry logging for simulation runs.
+
+A small append-only time-series store: the coupled simulator records every
+channel each step, and the benchmarks/examples query series, extrema and
+threshold crossings from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TelemetryLog:
+    """An append-only log of named channels sampled over time."""
+
+    _times: List[float] = field(default_factory=list)
+    _records: List[Dict[str, float]] = field(default_factory=list)
+
+    def record(self, time_s: float, values: Dict[str, float]) -> None:
+        """Append one sample; time must not decrease."""
+        if self._times and time_s < self._times[-1]:
+            raise ValueError(
+                f"time went backwards: {time_s} after {self._times[-1]}"
+            )
+        self._times.append(float(time_s))
+        self._records.append({k: float(v) for k, v in values.items()})
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def channels(self) -> List[str]:
+        """All channel names seen so far."""
+        names: List[str] = []
+        seen = set()
+        for record in self._records:
+            for key in record:
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        return names
+
+    def series(self, channel: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) for one channel, skipping samples without it."""
+        times, values = [], []
+        for t, record in zip(self._times, self._records):
+            if channel in record:
+                times.append(t)
+                values.append(record[channel])
+        if not times:
+            raise KeyError(f"channel {channel!r} never recorded")
+        return np.asarray(times), np.asarray(values)
+
+    def latest(self, channel: str) -> float:
+        """Most recent value of a channel."""
+        for record in reversed(self._records):
+            if channel in record:
+                return record[channel]
+        raise KeyError(f"channel {channel!r} never recorded")
+
+    def maximum(self, channel: str) -> float:
+        """Largest value a channel reached."""
+        _, values = self.series(channel)
+        return float(np.max(values))
+
+    def minimum(self, channel: str) -> float:
+        """Smallest value a channel reached."""
+        _, values = self.series(channel)
+        return float(np.min(values))
+
+    def first_crossing(self, channel: str, threshold: float) -> Optional[float]:
+        """Time when the channel first reached ``threshold``, or None."""
+        times, values = self.series(channel)
+        above = np.nonzero(values >= threshold)[0]
+        if len(above) == 0:
+            return None
+        return float(times[above[0]])
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """min/max/last per channel — the run's one-look report."""
+        out: Dict[str, Dict[str, float]] = {}
+        for channel in self.channels:
+            _, values = self.series(channel)
+            out[channel] = {
+                "min": float(np.min(values)),
+                "max": float(np.max(values)),
+                "last": float(values[-1]),
+            }
+        return out
+
+
+__all__ = ["TelemetryLog"]

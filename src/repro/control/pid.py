@@ -1,0 +1,117 @@
+"""PID regulator for the cooling loops.
+
+The threshold supervisor in :mod:`repro.control.controller` handles
+alarms and trips; continuous regulation — holding the bath temperature by
+trimming the pump speed, or holding the chilled-water supply by modulating
+the chiller — is a PID job. The implementation is a standard discrete
+positional PID with anti-windup clamping and output limits, suitable for
+the slow (tens of seconds) thermal loops of the machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PidController:
+    """A discrete positional PID controller.
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Proportional, integral and derivative gains. Error convention:
+        ``error = setpoint - measurement``, so for a *cooling* actuator
+        (more pump speed -> lower temperature) use negative gains or
+        invert the output at the call site via ``reverse_acting=True``.
+    setpoint:
+        Target process value.
+    output_min, output_max:
+        Actuator limits; the integral term is clamped so the output can
+        always come off the limit (anti-windup).
+    reverse_acting:
+        True when increasing the actuator *decreases* the process value
+        (pump speed vs temperature) — the controller negates the error.
+    """
+
+    kp: float
+    ki: float
+    kd: float
+    setpoint: float
+    output_min: float = 0.0
+    output_max: float = 1.0
+    reverse_acting: bool = False
+    _integral: float = field(init=False, default=0.0, repr=False)
+    _last_error: float = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.output_max <= self.output_min:
+            raise ValueError("output_max must exceed output_min")
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("gains must be non-negative (use reverse_acting)")
+
+    def reset(self) -> None:
+        """Clear the integral and derivative memory."""
+        self._integral = 0.0
+        self._last_error = None
+
+    def update(self, measurement: float, dt_s: float) -> float:
+        """One control step; returns the clamped actuator command."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        error = self.setpoint - measurement
+        if self.reverse_acting:
+            error = -error
+
+        proportional = self.kp * error
+
+        self._integral += self.ki * error * dt_s
+        # Anti-windup: keep the integral inside the span the output can use.
+        span = self.output_max - self.output_min
+        self._integral = max(-span, min(self._integral, span))
+
+        if self._last_error is None or self.kd == 0.0:
+            derivative = 0.0
+        else:
+            derivative = self.kd * (error - self._last_error) / dt_s
+        self._last_error = error
+
+        raw = proportional + self._integral + derivative
+        return max(self.output_min, min(self.output_min + span / 2.0 + raw, self.output_max))
+
+
+def bath_temperature_pid(setpoint_c: float = 29.0) -> PidController:
+    """A tuned PID holding the bath temperature with pump speed.
+
+    Reverse acting: more speed, colder bath. Gains are tuned for the SKAT
+    bath's ~1e5 J/K thermal mass and the pump's authority of a few kelvin.
+    """
+    return PidController(
+        kp=0.15,
+        ki=0.002,
+        kd=0.0,
+        setpoint=setpoint_c,
+        output_min=0.3,  # never stop circulation entirely
+        output_max=1.0,
+        reverse_acting=True,
+    )
+
+
+def chiller_setpoint_pid(setpoint_c: float = 29.0) -> PidController:
+    """A tuned PID holding the bath temperature with the chiller setpoint.
+
+    Direct acting on the water temperature command (bath too hot -> lower
+    water setpoint). Output is the chilled-water setpoint in Celsius.
+    """
+    return PidController(
+        kp=1.2,
+        ki=0.01,
+        kd=0.0,
+        setpoint=setpoint_c,
+        output_min=12.0,
+        output_max=24.0,
+        reverse_acting=False,
+    )
+
+
+__all__ = ["PidController", "bath_temperature_pid", "chiller_setpoint_pid"]

@@ -1,0 +1,108 @@
+"""Sensor models for the cooling control subsystem.
+
+Each sensor wraps a physical truth value with measurement range, resolution,
+Gaussian noise and an injectable fault (bias or stuck reading). Noise is
+drawn from an owned, seeded generator so simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class SensorError(ValueError):
+    """Raised for out-of-range configuration or readings."""
+
+
+@dataclass
+class Sensor:
+    """A generic analog sensor.
+
+    Parameters
+    ----------
+    name:
+        Sensor identifier used in telemetry and alarms.
+    lo, hi:
+        Measurement range; readings clip to it (real transmitters rail).
+    noise_std:
+        Standard deviation of additive Gaussian noise, in sensor units.
+    resolution:
+        Quantization step of the digital readout (0 for none).
+    seed:
+        Seed for the sensor's private random generator.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    noise_std: float = 0.0
+    resolution: float = 0.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _bias: float = field(init=False, default=0.0, repr=False)
+    _stuck_at: Optional[float] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SensorError("sensor name must be non-empty")
+        if self.hi <= self.lo:
+            raise SensorError(f"{self.name}: range high must exceed low")
+        if self.noise_std < 0 or self.resolution < 0:
+            raise SensorError(f"{self.name}: noise and resolution must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, truth: float) -> float:
+        """Produce a reading for the physical truth value."""
+        if self._stuck_at is not None:
+            return self._stuck_at
+        value = truth + self._bias
+        if self.noise_std > 0:
+            value += float(self._rng.normal(0.0, self.noise_std))
+        if self.resolution > 0:
+            value = round(value / self.resolution) * self.resolution
+        return float(min(max(value, self.lo), self.hi))
+
+    def inject_bias(self, offset: float) -> None:
+        """Apply a constant offset fault (drifted calibration)."""
+        self._bias = offset
+
+    def stick_at(self, value: float) -> None:
+        """Freeze the sensor at a value (failed transmitter)."""
+        self._stuck_at = value
+
+    def clear_faults(self) -> None:
+        """Remove injected faults."""
+        self._bias = 0.0
+        self._stuck_at = None
+
+    @property
+    def faulted(self) -> bool:
+        """Whether any fault is currently injected."""
+        return self._bias != 0.0 or self._stuck_at is not None
+
+
+def TemperatureSensor(
+    name: str, lo: float = -10.0, hi: float = 150.0, noise_std: float = 0.1, seed: int = 0
+) -> Sensor:
+    """A PT100-class temperature sensor (Celsius)."""
+    return Sensor(name=name, lo=lo, hi=hi, noise_std=noise_std, resolution=0.1, seed=seed)
+
+
+def FlowSensor(
+    name: str, lo: float = 0.0, hi: float = 0.02, noise_std: float = 5.0e-5, seed: int = 0
+) -> Sensor:
+    """A turbine/ultrasonic flow sensor (m^3/s)."""
+    return Sensor(name=name, lo=lo, hi=hi, noise_std=noise_std, resolution=1.0e-5, seed=seed)
+
+
+def LevelSensor(
+    name: str, lo: float = 0.0, hi: float = 1.0, noise_std: float = 0.002, seed: int = 0
+) -> Sensor:
+    """A bath level sensor (fraction of full)."""
+    return Sensor(name=name, lo=lo, hi=hi, noise_std=noise_std, resolution=0.001, seed=seed)
+
+
+__all__ = ["FlowSensor", "LevelSensor", "Sensor", "SensorError", "TemperatureSensor"]

@@ -1,0 +1,107 @@
+"""The paper's contribution: immersion-cooled reconfigurable computer systems.
+
+This package assembles the substrates (fluids, thermal, hydraulics, heat
+exchange, devices, reliability, control, performance) into the machines and
+engineering solutions the paper presents:
+
+- :mod:`repro.core.heatsink` — the SKAT solder-pin heatsink and baselines.
+- :mod:`repro.core.tim` — thermal interfaces, including oil washout.
+- :mod:`repro.core.aircooling` — the legacy Rigel-2/Taygeta air-cooled CMs.
+- :mod:`repro.core.coldplate` — the rejected closed-loop alternative.
+- :mod:`repro.core.immersion` — the open-loop immersion bath.
+- :mod:`repro.core.module` — the 3U computational module (bath + pump + HX).
+- :mod:`repro.core.rack` — the 47U rack with chiller.
+- :mod:`repro.core.balancing` — Fig. 5 reverse-return hydraulic balancing.
+- :mod:`repro.core.designrules` — the selection criteria as checks.
+- :mod:`repro.core.skat` — factories for Rigel-2, Taygeta, SKAT, SKAT+.
+- :mod:`repro.core.simulation` — coupled transient runs with failures.
+"""
+
+from repro.core.aircooling import AirCooledModule, AirCoolingReport
+from repro.core.bathlevel import BathGeometry, BathInventory
+from repro.core.commissioning import (
+    CommissioningReport,
+    Envelope,
+    run_heat_experiment,
+)
+from repro.core.balancing import (
+    BalanceReport,
+    ManifoldLayout,
+    RackManifoldSystem,
+    redistribution_evenness,
+)
+from repro.core.boardnetwork import NetworkSolution, solve_module_network
+from repro.core.coldplate import ColdPlateModule, ColdPlateReport, PlateStyle
+from repro.core.heatmap import render_heatmap, render_profile
+from repro.core.heatsink import BarePlate, PinFinHeatSink, StraightFinAirSink
+from repro.core.immersion import ImmersionReport, ImmersionSection
+from repro.core.module import ComputationalModule, ModuleReport
+from repro.core.rack import Rack, RackReport
+from repro.core.serviceability import (
+    Architecture,
+    annual_service_score,
+    service_comparison,
+)
+from repro.core.racksim import RackSimResult, RackSimulator
+from repro.core.simulation import ModuleSimulator, SimulationResult
+from repro.core.skat import (
+    rigel2,
+    skat,
+    skat_2,
+    skat_plus,
+    taygeta,
+    ultrascale_in_air,
+)
+from repro.core.tim import (
+    CONVENTIONAL_PASTE,
+    DRY_CONTACT,
+    SRC_OIL_STABLE_INTERFACE,
+    ThermalInterface,
+)
+
+__all__ = [
+    "AirCooledModule",
+    "Architecture",
+    "AirCoolingReport",
+    "BalanceReport",
+    "BarePlate",
+    "BathGeometry",
+    "BathInventory",
+    "CONVENTIONAL_PASTE",
+    "ColdPlateModule",
+    "ColdPlateReport",
+    "CommissioningReport",
+    "ComputationalModule",
+    "DRY_CONTACT",
+    "Envelope",
+    "ImmersionReport",
+    "ImmersionSection",
+    "ManifoldLayout",
+    "ModuleReport",
+    "ModuleSimulator",
+    "NetworkSolution",
+    "PinFinHeatSink",
+    "PlateStyle",
+    "Rack",
+    "RackManifoldSystem",
+    "RackReport",
+    "RackSimResult",
+    "RackSimulator",
+    "SRC_OIL_STABLE_INTERFACE",
+    "SimulationResult",
+    "StraightFinAirSink",
+    "ThermalInterface",
+    "annual_service_score",
+    "redistribution_evenness",
+    "render_heatmap",
+    "render_profile",
+    "rigel2",
+    "service_comparison",
+    "run_heat_experiment",
+    "skat",
+    "skat_2",
+    "solve_module_network",
+    "skat_plus",
+    "taygeta",
+    "ultrascale_in_air",
+]

@@ -1,0 +1,180 @@
+"""The legacy forced-air computational module (Rigel-2 / Taygeta class).
+
+Section 1's evidence that "air cooling systems have reached their heat
+limit": the Rigel-2 (Virtex-6, 1255 W) ran its hottest FPGA 33.1 C above a
+25 C room; the Taygeta (Virtex-7, 1661 W) ran 47.9 C above it — past the
+65...70 C long-service ceiling. This module reproduces those numbers from
+first principles: per-chip sink resistance plus the air preheat accumulated
+along each board's chip row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.heatsink import StraightFinAirSink
+from repro.core.tim import ThermalInterface, CONVENTIONAL_PASTE
+from repro.devices.board import Ccb
+from repro.devices.power import ThermalRunawayError
+from repro.fluids.library import AIR
+from repro.fluids.properties import Fluid
+
+
+@dataclass(frozen=True)
+class AirChipReport:
+    """Thermal state of one FPGA position along the airflow."""
+
+    position: int
+    local_air_c: float
+    junction_c: float
+    power_w: float
+
+    @property
+    def overheat_vs_ambient_k(self) -> float:
+        """Junction rise above the room — the paper's reported overheat
+        (it quotes temperatures "relative to an environment temperature")."""
+        return self.junction_c - self.local_air_c + (self.local_air_c - 0.0)
+
+
+@dataclass(frozen=True)
+class AirCoolingReport:
+    """Full thermal/power report for an air-cooled CM at steady state."""
+
+    ambient_c: float
+    chips: List[AirChipReport]
+    max_junction_c: float
+    max_overheat_k: float
+    board_power_w: float
+    module_power_w: float
+    fan_power_w: float
+    within_reliability_limit: bool
+    reliability_limit_c: float
+
+    @property
+    def thermal_gradient_k(self) -> float:
+        """Junction spread from the first to the last chip in the airflow —
+        the "considerable thermal gradients" the paper attributes to
+        under-designed circulation."""
+        return self.chips[-1].junction_c - self.chips[0].junction_c
+
+
+@dataclass(frozen=True)
+class AirCooledModule:
+    """A card-cage CM cooled by forced air.
+
+    Parameters
+    ----------
+    ccb:
+        The board design (FPGAs in a row along the airflow).
+    n_boards:
+        Boards in the cage (Rigel-2/Taygeta carry 4).
+    sink:
+        The per-chip finned air heatsink.
+    tim:
+        Interface between package and sink.
+    channel_velocity_m_s:
+        Air velocity through the fin channels.
+    board_airflow_m3_s:
+        Air volume delivered along each board.
+    psu_efficiency:
+        Module supply efficiency (losses add to module power).
+    cage_pressure_drop_pa:
+        Static pressure the fans must develop.
+    fan_efficiency:
+        Wire-to-air fan efficiency.
+    """
+
+    ccb: Ccb
+    n_boards: int = 4
+    sink: StraightFinAirSink = field(default_factory=StraightFinAirSink)
+    tim: ThermalInterface = CONVENTIONAL_PASTE
+    channel_velocity_m_s: float = 4.0
+    board_airflow_m3_s: float = 0.055
+    psu_efficiency: float = 0.94
+    cage_pressure_drop_pa: float = 150.0
+    fan_efficiency: float = 0.30
+    air: Fluid = AIR
+
+    def __post_init__(self) -> None:
+        if self.n_boards < 1:
+            raise ValueError("module needs at least one board")
+        if self.channel_velocity_m_s <= 0 or self.board_airflow_m3_s <= 0:
+            raise ValueError("air velocities and flows must be positive")
+        if not 0.5 < self.psu_efficiency <= 1.0:
+            raise ValueError("PSU efficiency must be within (0.5, 1]")
+        if not 0.0 < self.fan_efficiency <= 1.0:
+            raise ValueError("fan efficiency must be within (0, 1]")
+
+    def chip_resistance_k_w(self, air_temperature_c: float) -> float:
+        """Junction-to-local-air resistance of one chip: package + interface
+        + sink (spreading and convection)."""
+        family = self.ccb.fpga.family
+        sink_perf = self.sink.performance(
+            self.channel_velocity_m_s, self.air, air_temperature_c
+        )
+        r_tim = self.tim.resistance_k_w(family.die_area_m2)
+        return family.theta_jc_k_w + r_tim + sink_perf.total_resistance_k_w
+
+    def solve(self, ambient_c: float = 25.0) -> AirCoolingReport:
+        """Steady state of the module at a room temperature.
+
+        Chips are solved in airflow order: each chip's junction balances
+        against air already preheated by every chip upstream of it, so the
+        last position is the paper's "maximum overheat" chip.
+
+        Raises
+        ------
+        ThermalRunawayError
+            When leakage feedback prevents any chip from reaching
+            equilibrium (the air-cooling dead end made literal).
+        """
+        fpga = self.ccb.fpga
+        air_capacity = self.air.heat_capacity_rate(self.board_airflow_m3_s, ambient_c)
+        chips: List[AirChipReport] = []
+        local_air = ambient_c
+        upstream_heat = 0.0
+        for position in range(self.ccb.n_fpgas):
+            local_air = ambient_c + upstream_heat / air_capacity
+            resistance = self.chip_resistance_k_w(local_air)
+            try:
+                point = fpga.operate(resistance, local_air)
+            except ThermalRunawayError:
+                raise
+            chips.append(
+                AirChipReport(
+                    position=position,
+                    local_air_c=local_air,
+                    junction_c=point.junction_c,
+                    power_w=point.power_w,
+                )
+            )
+            upstream_heat += point.power_w
+
+        board_power = upstream_heat + self.ccb.misc_power_w
+        if self.ccb.separate_controller:
+            board_power += chips[0].power_w / 3.0
+        electronics = board_power * self.n_boards
+        fan_power = (
+            self.n_boards
+            * self.board_airflow_m3_s
+            * self.cage_pressure_drop_pa
+            / self.fan_efficiency
+        )
+        module_power = electronics / self.psu_efficiency + fan_power
+        max_junction = max(c.junction_c for c in chips)
+        limit = fpga.family.t_reliable_max_c
+        return AirCoolingReport(
+            ambient_c=ambient_c,
+            chips=chips,
+            max_junction_c=max_junction,
+            max_overheat_k=max_junction - ambient_c,
+            board_power_w=board_power,
+            module_power_w=module_power,
+            fan_power_w=fan_power,
+            within_reliability_limit=max_junction <= limit,
+            reliability_limit_c=limit,
+        )
+
+
+__all__ = ["AirChipReport", "AirCooledModule", "AirCoolingReport"]

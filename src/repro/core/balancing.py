@@ -1,0 +1,271 @@
+"""Hydraulic balancing of the rack heat-exchange system (Fig. 5).
+
+The paper's engineering solution: arrange the supply and return manifolds
+so that "the closed trajectory of the heat-transfer agent flow is similar
+for all loops, and the distance between each loop and the pump is the same:
+pump - inlet of the supply manifold - supply manifold - circulation loop -
+return manifold - outlet of the return manifold - return pipe - chiller -
+pump". This is the reverse-return (Tichelmann) layout: the return manifold
+exits at the *far* end, so every loop's path crosses the same total
+manifold length. The conventional direct-return layout (return exits at the
+near end) short-circuits the first loop and starves the last.
+
+This module builds both layouts as hydraulic networks, solves the per-loop
+flows, and runs the paper's failure experiment: shut one loop and check the
+remaining flows change *evenly*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fluids.library import WATER
+from repro.fluids.properties import Fluid
+from repro.hydraulics.elements import (
+    HeatExchangerPassage,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+from repro.hydraulics.network import HydraulicNetwork
+from repro.hydraulics.solver import SolveResult, solve_network
+
+
+class ManifoldLayout(Enum):
+    """Where the return manifold exits relative to the supply inlet."""
+
+    DIRECT_RETURN = "direct"  # same end: unequal path lengths
+    REVERSE_RETURN = "reverse"  # far end: the paper's Fig. 5 solution
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Per-loop flow distribution and its evenness metrics."""
+
+    layout: ManifoldLayout
+    loop_flows_m3_s: List[float]
+    failed_loops: List[int]
+
+    @property
+    def active_flows(self) -> List[float]:
+        """Flows of the loops still in service."""
+        return [q for i, q in enumerate(self.loop_flows_m3_s) if i not in self.failed_loops]
+
+    @property
+    def total_flow_m3_s(self) -> float:
+        """Pump flow, m^3/s."""
+        return sum(self.loop_flows_m3_s)
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """Max/min flow among active loops; 1.0 is perfect balance."""
+        flows = self.active_flows
+        low = min(flows)
+        if low <= 0:
+            return math.inf
+        return max(flows) / low
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Std/mean of active-loop flows; 0 is perfect balance."""
+        flows = np.asarray(self.active_flows)
+        mean = float(np.mean(flows))
+        if mean == 0:
+            return math.inf
+        return float(np.std(flows)) / mean
+
+
+@dataclass
+class RackManifoldSystem:
+    """The Fig. 5 rack loop: pump, chiller piping, manifolds, CM loops.
+
+    Parameters
+    ----------
+    n_loops:
+        Circulation loops (one per CM; Fig. 5 draws six).
+    layout:
+        Direct or reverse return.
+    pump:
+        The primary-loop pump (Fig. 5 item 1).
+    segment_pipe_length_m, manifold_diameter_m:
+        Geometry of each manifold segment between adjacent taps (one 3U CM
+        of vertical run per segment).
+    loop_passage:
+        Hydraulic resistance of one circulation loop (the CM heat
+        exchanger, Fig. 5 item 15, plus its hoses).
+    riser_pipe_length_m, riser_diameter_m:
+        The return pipe (Fig. 5 item 12) plus chiller circuit.
+    balancing_valves:
+        Optional per-loop trim-valve openings ("each circulation loop may
+        be complemented with a balancing valve for finer balance-tuning");
+        None leaves the loops valveless but still closable for servicing.
+    fluid:
+        Primary heat-transfer agent (water or antifreeze).
+    """
+
+    n_loops: int = 6
+    layout: ManifoldLayout = ManifoldLayout.REVERSE_RETURN
+    pump: Pump = field(
+        default_factory=lambda: Pump(
+            curve=PumpCurve(shutoff_pressure_pa=120.0e3, max_flow_m3_s=2.0e-2),
+            efficiency=0.6,
+        )
+    )
+    segment_pipe_length_m: float = 0.15
+    manifold_diameter_m: float = 0.04
+    loop_passage: HeatExchangerPassage = field(
+        default_factory=lambda: HeatExchangerPassage(
+            r_linear_pa_per_m3_s=2.0e6, r_quadratic_pa_per_m3_s2=2.0e10
+        )
+    )
+    riser_pipe_length_m: float = 8.0
+    riser_diameter_m: float = 0.05
+    balancing_valves: Optional[List[float]] = None
+    fluid: Fluid = WATER
+    temperature_c: float = 20.0
+    _network: HydraulicNetwork = field(init=False, repr=False)
+    _valve_names: List[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_loops < 2:
+            raise ValueError("a manifold system needs at least 2 loops")
+        if self.balancing_valves is not None and len(self.balancing_valves) != self.n_loops:
+            raise ValueError("one balancing-valve opening per loop required")
+        self._build()
+
+    def _segment(self) -> Pipe:
+        return Pipe(
+            length_m=self.segment_pipe_length_m,
+            diameter_m=self.manifold_diameter_m,
+            minor_loss_k=0.3,
+        )
+
+    def _build(self) -> None:
+        net = HydraulicNetwork()
+        n = self.n_loops
+        net.add_junction("pump_in")
+        net.add_junction("pump_out")
+        net.set_reference("pump_in")
+        for i in range(n):
+            net.add_junction(f"s{i}")
+            net.add_junction(f"r{i}")
+            net.add_junction(f"m{i}")  # mid-loop node between valve and passage
+
+        net.add_branch("pump", "pump_in", "pump_out", self.pump)
+        # Supply manifold: inlet (Fig. 5 item 8) at the loop-0 end.
+        net.add_branch("supply_in", "pump_out", "s0", self._segment())
+        for i in range(n - 1):
+            net.add_branch(f"supply_{i}_{i + 1}", f"s{i}", f"s{i + 1}", self._segment())
+
+        self._valve_names = []
+        for i in range(n):
+            opening = 1.0 if self.balancing_valves is None else self.balancing_valves[i]
+            valve_name = f"valve_{i}"
+            self._valve_names.append(valve_name)
+            net.add_branch(
+                valve_name,
+                f"s{i}",
+                f"m{i}",
+                Valve(k_open=2.0, diameter_m=0.025, opening=opening),
+            )
+            net.add_branch(f"loop_{i}", f"m{i}", f"r{i}", self.loop_passage)
+
+        # Return manifold segments always run along the rack; only the
+        # outlet position differs between the layouts.
+        for i in range(n - 1):
+            net.add_branch(f"return_{i}_{i + 1}", f"r{i}", f"r{i + 1}", self._segment())
+        riser = Pipe(
+            length_m=self.riser_pipe_length_m,
+            diameter_m=self.riser_diameter_m,
+            minor_loss_k=12.0,  # chiller circuit and bends
+        )
+        if self.layout is ManifoldLayout.REVERSE_RETURN:
+            # Fig. 5: outlet of the return manifold (item 11) at the far
+            # end, returned by pipe 12 through the chiller to the pump.
+            net.add_branch("riser", f"r{n - 1}", "pump_in", riser)
+        else:
+            net.add_branch("riser", "r0", "pump_in", riser)
+        self._network = net
+
+    @property
+    def network(self) -> HydraulicNetwork:
+        """The underlying hydraulic network (for inspection)."""
+        return self._network
+
+    def fail_loop(self, index: int) -> None:
+        """Valve a loop off for servicing (the paper's failure scenario)."""
+        self._check_index(index)
+        self._network.replace_element(
+            self._valve_names[index], Valve(k_open=2.0, diameter_m=0.025, opening=0.0)
+        )
+
+    def restore_loop(self, index: int, opening: float = 1.0) -> None:
+        """Return a serviced loop to operation."""
+        self._check_index(index)
+        self._network.replace_element(
+            self._valve_names[index], Valve(k_open=2.0, diameter_m=0.025, opening=opening)
+        )
+
+    def solve(self) -> BalanceReport:
+        """Solve the network and report the per-loop flow distribution."""
+        result: SolveResult = solve_network(
+            self._network, self.fluid, self.temperature_c
+        )
+        failed = [
+            i
+            for i, name in enumerate(self._valve_names)
+            if self._network.branch(name).element.is_closed
+        ]
+        flows = [
+            0.0 if i in failed else result.flow(f"loop_{i}")
+            for i in range(self.n_loops)
+        ]
+        return BalanceReport(
+            layout=self.layout, loop_flows_m3_s=flows, failed_loops=failed
+        )
+
+    def failure_redistribution(self, index: int) -> Dict[str, BalanceReport]:
+        """The paper's experiment: flows before and after one loop fails.
+
+        Returns ``{"before": ..., "after": ...}``; the loop is restored
+        afterwards so the system object can be reused.
+        """
+        before = self.solve()
+        self.fail_loop(index)
+        after = self.solve()
+        self.restore_loop(index)
+        return {"before": before, "after": after}
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_loops:
+            raise ValueError(f"loop index {index} outside [0, {self.n_loops})")
+
+
+def redistribution_evenness(before: BalanceReport, after: BalanceReport) -> float:
+    """How evenly a failure's flow was redistributed: the coefficient of
+    variation of the per-surviving-loop flow *increase*. 0 means perfectly
+    even — the paper's claim for the reverse-return layout."""
+    increases = [
+        qa - qb
+        for i, (qb, qa) in enumerate(zip(before.loop_flows_m3_s, after.loop_flows_m3_s))
+        if i not in after.failed_loops
+    ]
+    arr = np.asarray(increases)
+    mean = float(np.mean(arr))
+    if mean == 0:
+        return math.inf
+    return float(np.std(arr)) / abs(mean)
+
+
+__all__ = [
+    "BalanceReport",
+    "ManifoldLayout",
+    "RackManifoldSystem",
+    "redistribution_evenness",
+]

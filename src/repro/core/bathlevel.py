@@ -1,0 +1,148 @@
+"""Oil inventory, thermal expansion and the level-sensor physics.
+
+The control subsystem the paper requires includes "sensors of level ...
+of the heat-transfer agent" (Section 2). The level in a hermetic bath is
+not constant: mineral oil expands roughly 7 x 10^-4 per kelvin, so a cold
+fill rises measurably between cold start and operating temperature — and
+a *drop* below the thermal-expansion envelope is the leak signature the
+level alarm must catch without false-tripping on normal warm-up.
+
+This module models the bath inventory and produces the alarm thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fluids.library import MINERAL_OIL_MD45
+from repro.fluids.properties import Fluid
+
+
+@dataclass(frozen=True)
+class BathGeometry:
+    """The computational section's tank.
+
+    Parameters
+    ----------
+    length_m, width_m:
+        Free-surface footprint of the bath.
+    depth_m:
+        Internal depth.
+    displaced_volume_m3:
+        Volume taken by boards, PSUs and structure below the surface.
+    """
+
+    length_m: float = 0.70
+    width_m: float = 0.44
+    depth_m: float = 0.11
+    displaced_volume_m3: float = 0.012
+
+    def __post_init__(self) -> None:
+        if min(self.length_m, self.width_m, self.depth_m) <= 0:
+            raise ValueError("bath dimensions must be positive")
+        if self.displaced_volume_m3 < 0:
+            raise ValueError("displaced volume must be non-negative")
+        if self.displaced_volume_m3 >= self.gross_volume_m3:
+            raise ValueError("internals cannot displace the whole bath")
+
+    @property
+    def surface_area_m2(self) -> float:
+        """Free-surface area, m^2."""
+        return self.length_m * self.width_m
+
+    @property
+    def gross_volume_m3(self) -> float:
+        """Empty-tank volume, m^3."""
+        return self.surface_area_m2 * self.depth_m
+
+    @property
+    def oil_capacity_m3(self) -> float:
+        """Oil volume at a completely full tank, m^3."""
+        return self.gross_volume_m3 - self.displaced_volume_m3
+
+
+@dataclass(frozen=True)
+class BathInventory:
+    """A filled bath: fixed oil *mass*, temperature-dependent level.
+
+    Parameters
+    ----------
+    geometry:
+        The tank.
+    fill_temperature_c:
+        Temperature at which the bath was filled.
+    fill_fraction:
+        Level fraction at fill (the paper's machines fill to ~95 % cold so
+        warm expansion does not overflow).
+    oil:
+        The heat-transfer agent.
+    """
+
+    geometry: BathGeometry = BathGeometry()
+    fill_temperature_c: float = 20.0
+    fill_fraction: float = 0.95
+    oil: Fluid = MINERAL_OIL_MD45
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.fill_fraction <= 1.0:
+            raise ValueError("fill fraction must be within [0.1, 1.0]")
+
+    @property
+    def oil_mass_kg(self) -> float:
+        """Conserved oil mass from the fill conditions, kg."""
+        volume = self.geometry.oil_capacity_m3 * self.fill_fraction
+        return volume * self.oil.density(self.fill_temperature_c)
+
+    def oil_volume_m3(self, temperature_c: float, leaked_kg: float = 0.0) -> float:
+        """Oil volume at a temperature after an optional mass loss."""
+        if leaked_kg < 0:
+            raise ValueError("leaked mass must be non-negative")
+        mass = self.oil_mass_kg - leaked_kg
+        if mass <= 0:
+            return 0.0
+        return mass / self.oil.density(temperature_c)
+
+    def level_fraction(self, temperature_c: float, leaked_kg: float = 0.0) -> float:
+        """Level-sensor reading (fraction of full) at a bath temperature."""
+        volume = self.oil_volume_m3(temperature_c, leaked_kg)
+        return min(volume / self.geometry.oil_capacity_m3, 1.0)
+
+    def thermal_mass_j_k(self, temperature_c: float) -> float:
+        """Bath heat capacitance ``m cp``, J/K — feeds the transient
+        simulator's oil state."""
+        return self.oil_mass_kg * self.oil.specific_heat(temperature_c)
+
+    def expansion_headroom_fraction(self, max_temperature_c: float) -> float:
+        """Remaining level headroom at the hottest allowed bath state.
+
+        Negative means the warm bath would overflow the hermetic tank —
+        a fill-procedure error the commissioning check flags.
+        """
+        return 1.0 - self.level_fraction(max_temperature_c)
+
+    def leak_alarm_threshold(
+        self, min_operating_c: float = 20.0, margin_fraction: float = 0.01
+    ) -> float:
+        """Level threshold that alarms on leaks but not on cold oil.
+
+        The lowest legitimate level occurs at the coldest operating
+        temperature; anything below it minus a sensor margin means mass
+        left the tank.
+        """
+        if margin_fraction < 0:
+            raise ValueError("margin must be non-negative")
+        return self.level_fraction(min_operating_c) - margin_fraction
+
+    def detectable_leak_kg(
+        self, temperature_c: float, min_operating_c: float = 20.0, margin_fraction: float = 0.01
+    ) -> float:
+        """Smallest leaked mass the level alarm catches at a bath state."""
+        threshold = self.leak_alarm_threshold(min_operating_c, margin_fraction)
+        # Find the mass loss that brings the level to the threshold.
+        target_volume = threshold * self.geometry.oil_capacity_m3
+        full_volume = self.oil_volume_m3(temperature_c)
+        missing_volume = max(full_volume - target_volume, 0.0)
+        return missing_volume * self.oil.density(temperature_c)
+
+
+__all__ = ["BathGeometry", "BathInventory"]

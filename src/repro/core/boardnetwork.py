@@ -1,0 +1,148 @@
+"""Full-resolution thermal network of the computational section.
+
+The production solver (:mod:`repro.core.immersion`) marches chip by chip
+along the oil stream — fast, but it linearizes the oil path and ignores
+chip-to-chip conduction through the board. This module builds the *full*
+RC network of the bath — every junction, every sink, every local oil cell,
+board conduction, 12 boards — and solves it with the generic sparse solver
+from :mod:`repro.thermal.steady`.
+
+Two uses:
+
+- cross-validation: the marching solver must agree with the full network
+  at the design point (asserted by the test suite);
+- gradient studies: the full network resolves the in-board temperature
+  field the paper worries about ("considerable thermal gradients" in
+  under-designed immersion systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.immersion import ImmersionSection
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady import boundary_heat_flows, solve_steady_state
+
+#: Board in-plane conduction between adjacent chip sites, K/W. FR4 with
+#: copper planes over a ~50 mm pitch: a weak but nonzero path.
+BOARD_SITE_TO_SITE_K_W = 8.0
+
+
+@dataclass(frozen=True)
+class NetworkSolution:
+    """Solved full-network state of the computational section."""
+
+    temperatures_c: Dict[str, float]
+    max_junction_c: float
+    junction_by_position: Dict[int, float]
+    oil_outlet_c: float
+    total_heat_w: float
+
+    @property
+    def board_gradient_k(self) -> float:
+        """First-to-last junction spread along the oil path."""
+        positions = sorted(self.junction_by_position)
+        return (
+            self.junction_by_position[positions[-1]]
+            - self.junction_by_position[positions[0]]
+        )
+
+
+def build_module_network(
+    section: ImmersionSection,
+    oil_supply_c: float,
+    oil_flow_m3_s: float,
+    chip_power_w: float,
+) -> ThermalNetwork:
+    """Assemble the full thermal network of the bath.
+
+    Structure per board: one oil cell per chip position, each tied to the
+    supply boundary through its *cumulative* advection resistance
+    ``(k + 1) / (m_dot c_p)`` — for a uniformly heated stream this
+    reproduces the exact advection profile ``T_k = T_s + sum(Q_j)/C``
+    while keeping the network symmetric and solvable by the generic
+    sparse solver. Each chip's junction hangs off its oil cell through
+    the chip resistance, and adjacent chip sites couple through the board
+    plane.
+
+    ``chip_power_w`` is the (uniform) dissipation per field FPGA; the
+    caller iterates it against the power model when self-consistency is
+    wanted.
+    """
+    if oil_flow_m3_s <= 0 or chip_power_w < 0:
+        raise ValueError("flow must be positive and power non-negative")
+    network = ThermalNetwork()
+    network.add_boundary("oil_supply", oil_supply_c)
+
+    per_board_flow = oil_flow_m3_s * section.flow_fraction_over_boards / section.n_boards
+    capacity = section.oil.heat_capacity_rate(per_board_flow, oil_supply_c)
+    r_chip = section.chip_resistance_k_w(oil_flow_m3_s, oil_supply_c)
+
+    for board in range(section.n_boards):
+        for position in range(section.ccb.n_fpgas):
+            oil_cell = f"b{board}_oil{position}"
+            junction = f"b{board}_j{position}"
+            network.add_node(oil_cell)
+            network.add_node(junction, heat_w=chip_power_w)
+            network.add_resistance(
+                oil_cell,
+                "oil_supply",
+                (position + 1) / capacity,
+                label="advection",
+            )
+            network.add_resistance(junction, oil_cell, r_chip, label="chip")
+            if position > 0:
+                network.add_resistance(
+                    junction,
+                    f"b{board}_j{position - 1}",
+                    BOARD_SITE_TO_SITE_K_W,
+                    label="board",
+                )
+    return network
+
+
+def solve_module_network(
+    section: ImmersionSection,
+    oil_supply_c: float,
+    oil_flow_m3_s: float,
+    chip_power_w: float,
+) -> NetworkSolution:
+    """Build and solve the full network; aggregate per-position results."""
+    network = build_module_network(section, oil_supply_c, oil_flow_m3_s, chip_power_w)
+    temperatures = solve_steady_state(network)
+
+    junctions: Dict[int, float] = {}
+    for position in range(section.ccb.n_fpgas):
+        values = [
+            temperatures[f"b{board}_j{position}"] for board in range(section.n_boards)
+        ]
+        junctions[position] = max(values)
+
+    # Bulk outlet: the flow-weighted board outlets mixed with the bypass
+    # stream that never crossed the boards.
+    outlet_cells = [
+        temperatures[f"b{board}_oil{section.ccb.n_fpgas - 1}"]
+        for board in range(section.n_boards)
+    ]
+    board_outlet = sum(outlet_cells) / len(outlet_cells)
+    f = section.flow_fraction_over_boards
+    oil_outlet = f * board_outlet + (1.0 - f) * oil_supply_c
+
+    flows = boundary_heat_flows(network, temperatures)
+    return NetworkSolution(
+        temperatures_c=temperatures,
+        max_junction_c=max(max(junctions.values()), 0.0),
+        junction_by_position=junctions,
+        oil_outlet_c=oil_outlet,
+        total_heat_w=flows["oil_supply"],
+    )
+
+
+__all__ = [
+    "BOARD_SITE_TO_SITE_K_W",
+    "NetworkSolution",
+    "build_module_network",
+    "solve_module_network",
+]

@@ -1,0 +1,189 @@
+"""Closed-loop cold-plate cooling — the alternative the paper rejects.
+
+Section 2 describes both styles: "one cooling plate, one printed circuit
+board" (SKIF-Avrora) and "one cooling plate, one (heated) chip" (IBM
+Aquasar), and catalogs their liabilities: a complex piping system, a large
+number of pressure-tight connections, conducting-liquid leaks that "can be
+fatal", and the dew-point condensation problem. This model quantifies the
+thermal performance *and* those liabilities so the architecture comparison
+benches have both sides of the ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.tim import ThermalInterface, CONVENTIONAL_PASTE
+from repro.devices.board import Ccb
+from repro.fluids.library import WATER
+from repro.fluids.properties import Fluid
+from repro.thermal.convection import duct_film
+from repro.thermal.resistances import conduction_slab, spreading
+
+
+class PlateStyle(Enum):
+    """The two closed-loop styles the paper names."""
+
+    PER_CHIP = "per_chip"  # IBM Aquasar: one plate per heated chip
+    PER_BOARD = "per_board"  # SKIF-Avrora: one relief plate per board
+
+
+def dew_point_c(air_c: float, relative_humidity: float) -> float:
+    """Magnus-formula dew point of room air.
+
+    The paper's condensation hazard: "if some parts of these plates are too
+    cold and the air in the section of data processing is warmer and not
+    very dry, then moisture can condense out of the air on the plates."
+    """
+    if not 0.0 < relative_humidity <= 1.0:
+        raise ValueError("relative humidity must be in (0, 1]")
+    a, b = 17.62, 243.12
+    gamma = math.log(relative_humidity) + a * air_c / (b + air_c)
+    return b * gamma / (a - gamma)
+
+
+@dataclass(frozen=True)
+class ColdPlateReport:
+    """Thermal and risk report for a closed-loop cold-plate module."""
+
+    max_junction_c: float
+    chip_resistance_k_w: float
+    plate_surface_c: float
+    condensation_risk: bool
+    dew_point_c: float
+    n_pressure_tight_connections: int
+    n_leak_sensors: int
+    water_flow_m3_s: float
+    pump_pressure_pa: float
+
+
+@dataclass(frozen=True)
+class ColdPlateModule:
+    """A closed-loop water-cooled CM.
+
+    Parameters
+    ----------
+    ccb:
+        The board design.
+    n_boards:
+        Boards in the module.
+    style:
+        Per-chip or per-board plates.
+    channel_diameter_m, channel_length_m:
+        The water channel serving one chip's footprint.
+    water_velocity_m_s:
+        Design channel velocity.
+    plate_thickness_m, plate_conductivity_w_mk:
+        Plate body between the chip and the channel.
+    tim:
+        Chip-to-plate interface.
+    supply_water_c:
+        Chilled-water supply temperature.
+    room_air_c, room_relative_humidity:
+        Data-hall air state for the dew-point check.
+    """
+
+    ccb: Ccb
+    n_boards: int = 12
+    style: PlateStyle = PlateStyle.PER_CHIP
+    channel_diameter_m: float = 0.006
+    channel_length_m: float = 0.30
+    water_velocity_m_s: float = 1.0
+    plate_thickness_m: float = 0.004
+    plate_conductivity_w_mk: float = 390.0
+    tim: ThermalInterface = CONVENTIONAL_PASTE
+    supply_water_c: float = 20.0
+    room_air_c: float = 25.0
+    room_relative_humidity: float = 0.55
+    water: Fluid = WATER
+
+    def __post_init__(self) -> None:
+        if self.n_boards < 1:
+            raise ValueError("module needs at least one board")
+        if min(self.channel_diameter_m, self.channel_length_m, self.water_velocity_m_s) <= 0:
+            raise ValueError("channel geometry and velocity must be positive")
+
+    @property
+    def n_plates(self) -> int:
+        """Cold plates in the module."""
+        per_board = self.ccb.package_sites if self.style is PlateStyle.PER_CHIP else 1
+        return per_board * self.n_boards
+
+    @property
+    def n_pressure_tight_connections(self) -> int:
+        """Hose connections: two per plate, two per board manifold, two per
+        module manifold — the paper's "large number of pressure-tight
+        connections"."""
+        return 2 * self.n_plates + 2 * self.n_boards + 2
+
+    @property
+    def n_leak_sensors(self) -> int:
+        """Humidity/leak sensors: one per board plus one per module (the
+        "many internal humidity and leak sensors" of Section 2)."""
+        return self.n_boards + 1
+
+    def chip_resistance_k_w(self) -> float:
+        """Junction-to-water resistance through plate and channel film."""
+        family = self.ccb.fpga.family
+        film = duct_film(
+            self.water_velocity_m_s, self.channel_diameter_m, self.water, self.supply_water_c
+        )
+        channel_area = math.pi * self.channel_diameter_m * self.channel_length_m
+        r_film = 1.0 / (film.h_w_m2k * channel_area)
+        plate_area = (
+            family.package_area_m2 * 1.5
+            if self.style is PlateStyle.PER_CHIP
+            else family.package_area_m2 * 2.5
+        )
+        r_spread = spreading(
+            family.die_area_m2,
+            plate_area,
+            self.plate_thickness_m,
+            self.plate_conductivity_w_mk,
+            film.h_w_m2k * channel_area / plate_area,
+        )
+        r_body = conduction_slab(
+            self.plate_thickness_m / 2.0, self.plate_conductivity_w_mk, plate_area
+        )
+        r_tim = self.tim.resistance_k_w(family.die_area_m2)
+        return family.theta_jc_k_w + r_tim + r_spread + r_body + r_film
+
+    def solve(self) -> ColdPlateReport:
+        """Steady state plus the risk ledger.
+
+        Water warms only slightly per chip at design flow, so the chips are
+        solved against the supply temperature directly; the risk terms
+        (connections, sensors, condensation) are what differentiate the
+        architectures.
+        """
+        resistance = self.chip_resistance_k_w()
+        point = self.ccb.fpga.operate(resistance, self.supply_water_c)
+
+        # Coldest exposed metal is roughly the plate near the inlet.
+        plate_surface = self.supply_water_c + 1.0
+        dew = dew_point_c(self.room_air_c, self.room_relative_humidity)
+
+        channel_flow = (
+            self.water_velocity_m_s * math.pi * self.channel_diameter_m ** 2 / 4.0
+        )
+        total_flow = channel_flow * self.n_plates
+        film_length_dp = 0.25 * self.channel_length_m / self.channel_diameter_m
+        rho = self.water.density(self.supply_water_c)
+        pump_dp = (film_length_dp + 8.0) * rho * self.water_velocity_m_s ** 2 / 2.0
+
+        return ColdPlateReport(
+            max_junction_c=point.junction_c,
+            chip_resistance_k_w=resistance,
+            plate_surface_c=plate_surface,
+            condensation_risk=plate_surface <= dew,
+            dew_point_c=dew,
+            n_pressure_tight_connections=self.n_pressure_tight_connections,
+            n_leak_sensors=self.n_leak_sensors,
+            water_flow_m3_s=total_flow,
+            pump_pressure_pa=pump_dp,
+        )
+
+
+__all__ = ["ColdPlateModule", "ColdPlateReport", "PlateStyle", "dew_point_c"]

@@ -1,0 +1,184 @@
+"""Commissioning: the staged heat experiment the paper ran on its prototype.
+
+"For the purpose of testing technical and technological solutions, and
+determining the expected technical and economical characteristics and
+service performance ... we designed a number of models, experimental and
+technological prototypes" (Section 3). The commissioning procedure
+formalized here is what produced the paper's measured rows: fill checks,
+a staged utilization ramp with the envelope verified at each stage, and a
+final report of the measured operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.core.bathlevel import BathInventory
+from repro.core.module import ComputationalModule, ModuleReport
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """One utilization stage of the heat experiment."""
+
+    utilization: float
+    max_fpga_c: float
+    bath_mean_c: float
+    oil_flow_m3_s: float
+    per_chip_power_w: float
+    passed: bool
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class CommissioningReport:
+    """The full commissioning record."""
+
+    machine_name: str
+    fill_check_passed: bool
+    fill_notes: str
+    stages: List[StageResult]
+    final: Optional[ModuleReport]
+
+    @property
+    def passed(self) -> bool:
+        """Whether the machine is cleared for service."""
+        return self.fill_check_passed and all(s.passed for s in self.stages)
+
+    def render(self) -> str:
+        """Human-readable commissioning protocol."""
+        lines = [
+            f"commissioning protocol: {self.machine_name}",
+            f"  fill check: {'PASS' if self.fill_check_passed else 'FAIL'} ({self.fill_notes})",
+            "  heat experiment stages:",
+        ]
+        for s in self.stages:
+            verdict = "PASS" if s.passed else "FAIL"
+            lines.append(
+                f"    util {s.utilization:.0%}: maxTj {s.max_fpga_c:5.1f} C, "
+                f"bath {s.bath_mean_c:4.1f} C, {s.per_chip_power_w:5.1f} W/chip "
+                f"[{verdict}]{' ' + s.notes if s.notes else ''}"
+            )
+        lines.append(f"  result: {'CLEARED FOR SERVICE' if self.passed else 'NOT CLEARED'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The acceptance envelope the stages are verified against.
+
+    Defaults encode the paper's measured SKAT envelope with a small test
+    margin.
+    """
+
+    max_fpga_c: float = 60.0
+    max_bath_c: float = 32.0
+    min_oil_flow_m3_s: float = 1.0e-3
+
+    def check(self, report: ModuleReport) -> List[str]:
+        """Violations at a module operating point (empty = pass)."""
+        violations = []
+        if report.max_fpga_c > self.max_fpga_c:
+            violations.append(
+                f"maxTj {report.max_fpga_c:.1f} C > {self.max_fpga_c:.1f} C"
+            )
+        if report.bath_mean_c > self.max_bath_c:
+            violations.append(
+                f"bath {report.bath_mean_c:.1f} C > {self.max_bath_c:.1f} C"
+            )
+        if report.oil_flow_m3_s < self.min_oil_flow_m3_s:
+            violations.append(
+                f"oil flow {report.oil_flow_m3_s * 1000:.2f} L/s below minimum"
+            )
+        return violations
+
+
+def fill_check(
+    inventory: BathInventory, max_bath_temperature_c: float = 45.0
+) -> tuple:
+    """Verify the cold fill leaves warm-expansion headroom.
+
+    Returns ``(passed, notes)``. The hermetic container must not overflow
+    at the hottest bath state the trip thresholds allow.
+    """
+    headroom = inventory.expansion_headroom_fraction(max_bath_temperature_c)
+    cold_level = inventory.level_fraction(inventory.fill_temperature_c)
+    passed = headroom > 0.0 and cold_level >= 0.85
+    notes = (
+        f"cold level {cold_level:.1%}, headroom at {max_bath_temperature_c:.0f} C: "
+        f"{headroom:+.1%}"
+    )
+    return passed, notes
+
+
+def run_heat_experiment(
+    module: ComputationalModule,
+    water_in_c: float,
+    water_flow_m3_s: float,
+    stages: Optional[List[float]] = None,
+    envelope: Envelope = Envelope(),
+    inventory: Optional[BathInventory] = None,
+) -> CommissioningReport:
+    """Run the staged heat experiment on a module.
+
+    The utilization ramp (default 25 % -> 95 %) mirrors commissioning
+    practice: each stage must settle inside the envelope before the next
+    is applied; the final stage's report becomes the machine's measured
+    operating point.
+    """
+    if stages is None:
+        stages = [0.25, 0.5, 0.75, 0.9, 0.95]
+    if not stages:
+        raise ValueError("need at least one stage")
+    if any(not 0.0 < u <= 1.0 for u in stages):
+        raise ValueError("stage utilizations must be in (0, 1]")
+
+    inventory = inventory or BathInventory()
+    fill_passed, fill_notes = fill_check(inventory)
+
+    results: List[StageResult] = []
+    final: Optional[ModuleReport] = None
+    for utilization in stages:
+        staged_module = _with_utilization(module, utilization)
+        report = staged_module.solve_steady(water_in_c, water_flow_m3_s)
+        violations = envelope.check(report)
+        chips = report.immersion.chips_per_board
+        results.append(
+            StageResult(
+                utilization=utilization,
+                max_fpga_c=report.max_fpga_c,
+                bath_mean_c=report.bath_mean_c,
+                oil_flow_m3_s=report.oil_flow_m3_s,
+                per_chip_power_w=sum(c.power_w for c in chips) / len(chips),
+                passed=not violations,
+                notes="; ".join(violations),
+            )
+        )
+        if violations:
+            break  # commissioning stops at the first failed stage
+        final = report
+    return CommissioningReport(
+        machine_name=module.name,
+        fill_check_passed=fill_passed,
+        fill_notes=fill_notes,
+        stages=results,
+        final=final,
+    )
+
+
+def _with_utilization(module: ComputationalModule, utilization: float) -> ComputationalModule:
+    """A copy of the module with every field FPGA at a new utilization."""
+    fpga = replace(module.section.ccb.fpga, utilization=utilization)
+    ccb = replace(module.section.ccb, fpga=fpga)
+    section = replace(module.section, ccb=ccb)
+    return replace(module, section=section)
+
+
+__all__ = [
+    "CommissioningReport",
+    "Envelope",
+    "StageResult",
+    "fill_check",
+    "run_heat_experiment",
+]

@@ -1,0 +1,236 @@
+"""The paper's selection criteria as executable checks.
+
+Sections 2-3 state the design criteria in prose; this module turns each
+into a pass/fail rule with the measured value attached, so a design review
+of any machine configuration is a function call:
+
+- heat-transfer agent: dielectric strength, heat capacity, viscosity,
+  fire safety, cost;
+- heatsink: wetted surface, turbulence-promoting flow, manufacturability
+  proxy (pin count);
+- pump: duty performance, oil compatibility, suction head, protection
+  class;
+- heat exchanger: plate type, compactness;
+- module: 3U x 19", 12-16 CCBs, up to 8 FPGAs of ~100 W per CCB, chilled
+  water as secondary coolant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.heatsink import PinFinHeatSink
+from repro.core.module import ComputationalModule
+from repro.fluids.library import AIR
+from repro.fluids.properties import Fluid
+from repro.hydraulics.elements import Pump
+
+
+@dataclass(frozen=True)
+class RuleCheck:
+    """One evaluated design rule."""
+
+    rule: str
+    passed: bool
+    value: str
+    requirement: str
+
+
+def _check(rule: str, passed: bool, value: str, requirement: str) -> RuleCheck:
+    return RuleCheck(rule=rule, passed=bool(passed), value=value, requirement=requirement)
+
+
+def coolant_rules(fluid: Fluid, operating_c: float = 30.0) -> List[RuleCheck]:
+    """Section 2's heat-transfer-agent requirements.
+
+    "The heat-transfer agent must have the best possible dielectric
+    strength, high heat transfer capacity, the maximum possible heat
+    capacity, and low viscosity" — plus the chemical-composition demands:
+    toxicity/fire safety, parameter stability, reasonable cost.
+    """
+    vhc = fluid.volumetric_heat_capacity(operating_c)
+    vhc_air = AIR.volumetric_heat_capacity(operating_c)
+    mu = fluid.viscosity(operating_c)
+    checks = [
+        _check(
+            "dielectric (may touch live electronics)",
+            fluid.dielectric,
+            "yes" if fluid.dielectric else "no",
+            "must be electrically non-conducting",
+        ),
+        _check(
+            "dielectric strength",
+            fluid.dielectric_strength_kv_mm >= 10.0,
+            f"{fluid.dielectric_strength_kv_mm:.0f} kV/mm",
+            ">= 10 kV/mm",
+        ),
+        _check(
+            "volumetric heat capacity",
+            vhc >= 1000.0 * vhc_air,
+            f"{vhc / vhc_air:.0f}x air",
+            ">= 1000x air",
+        ),
+        _check(
+            "low viscosity (pumpable)",
+            mu <= 0.05,
+            f"{mu * 1000:.1f} mPa s",
+            "<= 50 mPa s at operating temperature",
+        ),
+        _check(
+            "fire safety",
+            fluid.flash_point_c >= 150.0,
+            "nonflammable" if math.isinf(fluid.flash_point_c) else f"{fluid.flash_point_c:.0f} C flash",
+            "flash point >= 150 C",
+        ),
+        _check(
+            "reasonable cost",
+            fluid.cost_usd_per_litre <= 15.0,
+            f"{fluid.cost_usd_per_litre:.0f} USD/L",
+            "<= 15 USD/L (multi-vendor)",
+        ),
+    ]
+    return checks
+
+
+def heatsink_rules(
+    sink: PinFinHeatSink, fluid: Fluid, approach_velocity_m_s: float, operating_c: float = 30.0
+) -> List[RuleCheck]:
+    """Section 2's heatsink requirements: "the maximum possible surface of
+    heat dissipation, ... circulation of the heat-transfer agent turbulent
+    flow through itself, and manufacturability"."""
+    perf = sink.performance(approach_velocity_m_s, fluid, operating_c)
+    area_ratio = sink.wetted_area_m2 / sink.base_area_m2
+    return [
+        _check(
+            "surface extension",
+            area_ratio >= 2.5,
+            f"{area_ratio:.1f}x base",
+            "wetted area >= 2.5x base footprint",
+        ),
+        _check(
+            "local turbulence",
+            perf.film.reynolds * sink.turbulence_factor >= 40.0,
+            f"Re={perf.film.reynolds:.0f} x {sink.turbulence_factor:.2f}",
+            "pin-bank Re (turbulence-assisted) >= 40",
+        ),
+        _check(
+            "low height (packing)",
+            sink.height_m <= 0.015,
+            f"{sink.height_m * 1000:.1f} mm",
+            "<= 15 mm for 12-16 boards in 3U",
+        ),
+        _check(
+            "manufacturability",
+            sink.n_pins <= 400,
+            f"{sink.n_pins} pins",
+            "<= 400 solder pins per sink",
+        ),
+    ]
+
+
+def pump_rules(
+    pump: Pump, duty_flow_m3_s: float, duty_head_pa: float, fluid: Fluid
+) -> List[RuleCheck]:
+    """Section 2's pump criteria: duty performance, oil compatibility,
+    continuous duty, minimal positive suction head, IP-55 motor."""
+    head_at_duty = pump.head_pa(duty_flow_m3_s)
+    return [
+        _check(
+            "performance at duty point",
+            head_at_duty >= duty_head_pa,
+            f"{head_at_duty / 1000:.1f} kPa at {duty_flow_m3_s * 1000:.1f} L/s",
+            f">= {duty_head_pa / 1000:.1f} kPa",
+        ),
+        _check(
+            "oil compatibility",
+            fluid.dielectric,
+            fluid.name,
+            "rated for oil products of the specified viscosity",
+        ),
+        _check(
+            "continuous maintenance mode",
+            pump.efficiency >= 0.4,
+            f"eta={pump.efficiency:.2f}",
+            "industrial-duty efficiency >= 0.40",
+        ),
+        _check(
+            "motor protection",
+            True,
+            "IP-55 (immersed)" if pump.immersed else "IP-55",
+            "protection class >= IP-55",
+        ),
+    ]
+
+
+def module_rules(module: ComputationalModule) -> List[RuleCheck]:
+    """Section 3's CM design principles."""
+    section = module.section
+    ccb = section.ccb
+    chip_power = ccb.fpga.family.operating_power_w
+    return [
+        _check(
+            "3U module height",
+            module.height_u <= 3.0,
+            f"{module.height_u:.0f}U",
+            "<= 3U",
+        ),
+        _check(
+            "12-16 CCBs per module",
+            12 <= section.n_boards <= 16,
+            f"{section.n_boards} boards",
+            "12 to 16",
+        ),
+        _check(
+            "up to 8 FPGAs per CCB",
+            ccb.n_fpgas <= 8,
+            f"{ccb.n_fpgas} FPGAs",
+            "<= 8",
+        ),
+        _check(
+            "~100 W per FPGA capability",
+            chip_power <= 110.0,
+            f"{chip_power:.0f} W",
+            "dissipating heat flow about 100 W per FPGA",
+        ),
+        _check(
+            "19-inch board fit",
+            ccb.fits_19_inch_rack(),
+            f"{ccb.row_width_mm:.0f} mm",
+            "<= 450 mm usable width",
+        ),
+        _check(
+            "dielectric bath coolant",
+            section.oil.dielectric,
+            section.oil.name,
+            "electrically neutral heat-transfer agent",
+        ),
+    ]
+
+
+def review(checks: List[RuleCheck]) -> bool:
+    """True when every rule passes."""
+    if not checks:
+        raise ValueError("no checks supplied")
+    return all(c.passed for c in checks)
+
+
+def format_report(checks: List[RuleCheck]) -> str:
+    """Human-readable rule report (used by the examples)."""
+    lines = []
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] {c.rule}: {c.value} (req: {c.requirement})")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RuleCheck",
+    "coolant_rules",
+    "format_report",
+    "heatsink_rules",
+    "module_rules",
+    "pump_rules",
+    "review",
+]

@@ -1,0 +1,70 @@
+"""ASCII heat maps of the computational section.
+
+Renders the full-network temperature field from
+:mod:`repro.core.boardnetwork` as a terminal heat map — boards as rows,
+chip positions as columns — the quick-look a thermal engineer wants from a
+heat experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.boardnetwork import NetworkSolution
+from repro.core.immersion import ImmersionSection
+
+#: Shade ramp from coolest to hottest.
+RAMP = " .:-=+*#%@"
+
+
+def _shade(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return RAMP[0]
+    fraction = (value - lo) / (hi - lo)
+    index = int(min(max(fraction, 0.0), 1.0) * (len(RAMP) - 1))
+    return RAMP[index]
+
+
+def junction_grid(section: ImmersionSection, solution: NetworkSolution) -> List[List[float]]:
+    """Junction temperatures as ``[board][position]``."""
+    return [
+        [
+            solution.temperatures_c[f"b{board}_j{position}"]
+            for position in range(section.ccb.n_fpgas)
+        ]
+        for board in range(section.n_boards)
+    ]
+
+
+def render_heatmap(
+    section: ImmersionSection, solution: NetworkSolution, title: str = "junction map"
+) -> str:
+    """The section's junction field as an ASCII map with a scale bar.
+
+    Columns run along the oil path (coolest chips left), rows are boards.
+    """
+    grid = junction_grid(section, solution)
+    flat = [t for row in grid for t in row]
+    lo, hi = min(flat), max(flat)
+    lines = [f"{title}  [{lo:.1f} C '{RAMP[0]}' .. {hi:.1f} C '{RAMP[-1]}']"]
+    header = "        " + "".join(f"{p:>4d}" for p in range(section.ccb.n_fpgas))
+    lines.append(header + "   <- position along oil path")
+    for board, row in enumerate(grid):
+        cells = "".join(f"   {_shade(t, lo, hi)}" for t in row)
+        lines.append(f"board{board:>2d} {cells}   max {max(row):5.1f} C")
+    return "\n".join(lines)
+
+
+def render_profile(section: ImmersionSection, solution: NetworkSolution) -> str:
+    """The worst board's junction profile as a bar chart."""
+    positions = sorted(solution.junction_by_position)
+    temps = [solution.junction_by_position[p] for p in positions]
+    lo = min(temps) - 1.0
+    lines = ["junction profile along the oil path (worst board):"]
+    for position, temp in zip(positions, temps):
+        bar = "#" * int((temp - lo) * 8)
+        lines.append(f"  pos {position}: {temp:5.1f} C |{bar}")
+    return "\n".join(lines)
+
+
+__all__ = ["RAMP", "junction_grid", "render_heatmap", "render_profile"]

@@ -1,0 +1,330 @@
+"""Heatsink designs: the SKAT pin-fin sink and the baselines it replaced.
+
+The paper's heat-engineering contribution (Section 2): "a fundamentally new
+design of a heat-sink with original solder pins which create a local
+turbulent flow of the heat-transfer agent", low-height so 12-16 boards pack
+into a 3U module. We model it as a staggered pin bank with a turbulence
+enhancement factor, and provide the two baselines the ablation benches
+compare against:
+
+- a plain flat cold surface in oil flow (what you get with no sink at all),
+- the classic straight-fin air heatsink of the Rigel-2 / Taygeta CMs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fluids.properties import Fluid
+from repro.thermal.convection import (
+    FilmResult,
+    flat_plate_film,
+    pin_bank_film,
+    pin_fin_efficiency,
+    straight_fin_efficiency,
+)
+from repro.thermal.resistances import spreading
+
+#: Conductivities of the usual sink materials, W/(m K).
+COPPER_W_MK = 390.0
+ALUMINUM_W_MK = 200.0
+
+#: Calibrated enhancement of the SRC solder-pin surface over a smooth
+#: machined pin bank (the "original solder pins" of Section 2).
+SOLDER_PIN_TURBULENCE_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class SinkPerformance:
+    """Resolved thermal/hydraulic performance of a heatsink at a flow."""
+
+    film: FilmResult
+    fin_efficiency: float
+    wetted_area_m2: float
+    effective_conductance_w_k: float
+    spreading_resistance_k_w: float
+    convection_resistance_k_w: float
+    pressure_drop_pa: float
+
+    @property
+    def total_resistance_k_w(self) -> float:
+        """Sink-base (die footprint) to coolant resistance, K/W."""
+        return self.spreading_resistance_k_w + self.convection_resistance_k_w
+
+
+def _stagnant(wetted_area_m2: float) -> SinkPerformance:
+    """The no-flow limit: no forced film, no pressure drop."""
+    return SinkPerformance(
+        film=FilmResult(reynolds=0.0, prandtl=1.0, nusselt=0.0, h_w_m2k=0.0),
+        fin_efficiency=1.0,
+        wetted_area_m2=wetted_area_m2,
+        effective_conductance_w_k=0.0,
+        spreading_resistance_k_w=0.0,
+        convection_resistance_k_w=math.inf,
+        pressure_drop_pa=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class PinFinHeatSink:
+    """The SKAT low-height solder-pin heatsink.
+
+    Geometry: a rectangular base carrying a square staggered array of
+    cylindrical pins.
+
+    Parameters
+    ----------
+    base_width_m, base_depth_m:
+        Base footprint (flow runs along the depth).
+    base_thickness_m:
+        Base plate thickness (spreading path).
+    pin_diameter_m, pin_height_m, pin_pitch_m:
+        Pin array geometry; pitch is centre-to-centre in both directions.
+    conductivity_w_mk:
+        Sink material conductivity.
+    turbulence_factor:
+        Nusselt enhancement of the pin surface; 1.0 for machined pins,
+        :data:`SOLDER_PIN_TURBULENCE_FACTOR` for the SRC solder-pin design.
+    source_area_m2:
+        Footprint of the heat source feeding the base (the FPGA die).
+    """
+
+    base_width_m: float = 0.060
+    base_depth_m: float = 0.060
+    base_thickness_m: float = 0.003
+    pin_diameter_m: float = 0.002
+    pin_height_m: float = 0.008
+    pin_pitch_m: float = 0.004
+    conductivity_w_mk: float = COPPER_W_MK
+    turbulence_factor: float = SOLDER_PIN_TURBULENCE_FACTOR
+    source_area_m2: float = 26.0e-3 ** 2
+
+    def __post_init__(self) -> None:
+        if min(self.base_width_m, self.base_depth_m, self.base_thickness_m) <= 0:
+            raise ValueError("base dimensions must be positive")
+        if min(self.pin_diameter_m, self.pin_height_m, self.pin_pitch_m) <= 0:
+            raise ValueError("pin dimensions must be positive")
+        if self.pin_pitch_m <= self.pin_diameter_m:
+            raise ValueError("pin pitch must exceed pin diameter")
+        if self.source_area_m2 > self.base_area_m2:
+            raise ValueError("heat source larger than the sink base")
+
+    @property
+    def base_area_m2(self) -> float:
+        """Base footprint, m^2."""
+        return self.base_width_m * self.base_depth_m
+
+    @property
+    def pins_across(self) -> int:
+        """Pins across the width."""
+        return int(self.base_width_m / self.pin_pitch_m)
+
+    @property
+    def pin_rows(self) -> int:
+        """Pin rows along the flow."""
+        return int(self.base_depth_m / self.pin_pitch_m)
+
+    @property
+    def n_pins(self) -> int:
+        """Total pin count."""
+        return self.pins_across * self.pin_rows
+
+    @property
+    def pin_area_m2(self) -> float:
+        """Total lateral pin surface, m^2."""
+        return self.n_pins * math.pi * self.pin_diameter_m * self.pin_height_m
+
+    @property
+    def exposed_base_area_m2(self) -> float:
+        """Base surface between the pins, m^2."""
+        covered = self.n_pins * math.pi * self.pin_diameter_m ** 2 / 4.0
+        return max(self.base_area_m2 - covered, 0.0)
+
+    @property
+    def wetted_area_m2(self) -> float:
+        """Full coolant-contact surface, m^2 — the quantity SKAT+ design
+        item 1 ("increase the effective surface of heat-exchange") grows."""
+        return self.pin_area_m2 + self.exposed_base_area_m2
+
+    @property
+    def height_m(self) -> float:
+        """Overall sink height (the "low-height" packing constraint)."""
+        return self.base_thickness_m + self.pin_height_m
+
+    def max_interpin_velocity(self, approach_velocity_m_s: float) -> float:
+        """Peak velocity between pins (continuity through the narrowest gap)."""
+        if approach_velocity_m_s < 0:
+            raise ValueError("approach velocity must be non-negative")
+        gap_fraction = (self.pin_pitch_m - self.pin_diameter_m) / self.pin_pitch_m
+        return approach_velocity_m_s / gap_fraction
+
+    def performance(
+        self, approach_velocity_m_s: float, fluid: Fluid, temperature_c: float
+    ) -> SinkPerformance:
+        """Resolve the sink at an approach velocity in the given coolant.
+
+        Zero velocity (stopped pump) returns a zero-conductance, zero-drop
+        result so hydraulic system curves can be evaluated from rest;
+        natural-convection survival is analysed separately.
+        """
+        v_max = self.max_interpin_velocity(approach_velocity_m_s)
+        if v_max == 0.0:
+            return _stagnant(self.wetted_area_m2)
+        film = pin_bank_film(
+            v_max, self.pin_diameter_m, fluid, temperature_c, self.turbulence_factor
+        )
+        eta = pin_fin_efficiency(
+            film.h_w_m2k, self.pin_diameter_m, self.pin_height_m, self.conductivity_w_mk
+        )
+        conductance = film.h_w_m2k * (eta * self.pin_area_m2 + self.exposed_base_area_m2)
+        h_effective = conductance / self.base_area_m2
+        r_spread = spreading(
+            self.source_area_m2,
+            self.base_area_m2,
+            self.base_thickness_m,
+            self.conductivity_w_mk,
+            h_effective,
+        )
+        rho = fluid.density(temperature_c)
+        # Staggered-bank loss: one Euler-number's worth of velocity head per
+        # row, a serviceable engineering estimate at these Reynolds numbers.
+        euler_per_row = 1.2
+        dp = self.pin_rows * euler_per_row * rho * v_max ** 2 / 2.0
+        return SinkPerformance(
+            film=film,
+            fin_efficiency=eta,
+            wetted_area_m2=self.wetted_area_m2,
+            effective_conductance_w_k=conductance,
+            spreading_resistance_k_w=r_spread,
+            convection_resistance_k_w=1.0 / conductance,
+            pressure_drop_pa=dp,
+        )
+
+
+@dataclass(frozen=True)
+class BarePlate:
+    """No heatsink: the lidded package cooled directly by the oil flow.
+
+    The ablation baseline showing why immersion alone (as in the one-or-two
+    microprocessor products the paper criticises) cannot cool a 100 W FPGA.
+    """
+
+    width_m: float = 0.0425
+    depth_m: float = 0.0425
+    source_area_m2: float = 26.0e-3 ** 2
+
+    @property
+    def wetted_area_m2(self) -> float:
+        """Coolant-contact surface: just the package top, m^2."""
+        return self.width_m * self.depth_m
+
+    def performance(
+        self, approach_velocity_m_s: float, fluid: Fluid, temperature_c: float
+    ) -> SinkPerformance:
+        """Resolve the bare surface at an approach velocity."""
+        film = flat_plate_film(approach_velocity_m_s, self.depth_m, fluid, temperature_c)
+        conductance = film.h_w_m2k * self.wetted_area_m2
+        return SinkPerformance(
+            film=film,
+            fin_efficiency=1.0,
+            wetted_area_m2=self.wetted_area_m2,
+            effective_conductance_w_k=conductance,
+            spreading_resistance_k_w=0.0,
+            convection_resistance_k_w=1.0 / conductance,
+            pressure_drop_pa=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class StraightFinAirSink:
+    """The legacy forced-air heatsink of the Rigel-2 / Taygeta CMs.
+
+    Straight rectangular fins on a base plate, air forced along the fin
+    channels by the card-cage blowers.
+    """
+
+    base_width_m: float = 0.060
+    base_depth_m: float = 0.060
+    base_thickness_m: float = 0.004
+    fin_height_m: float = 0.030
+    fin_thickness_m: float = 0.001
+    fin_gap_m: float = 0.003
+    conductivity_w_mk: float = ALUMINUM_W_MK
+    source_area_m2: float = 22.0e-3 ** 2
+
+    def __post_init__(self) -> None:
+        if min(self.fin_height_m, self.fin_thickness_m, self.fin_gap_m) <= 0:
+            raise ValueError("fin dimensions must be positive")
+
+    @property
+    def n_fins(self) -> int:
+        """Fin count across the base width."""
+        pitch = self.fin_thickness_m + self.fin_gap_m
+        return int((self.base_width_m - self.fin_thickness_m) / pitch) + 1
+
+    @property
+    def fin_area_m2(self) -> float:
+        """Total fin surface (both faces), m^2."""
+        return self.n_fins * 2.0 * self.fin_height_m * self.base_depth_m
+
+    @property
+    def base_channel_area_m2(self) -> float:
+        """Exposed base between fins, m^2."""
+        return (self.n_fins - 1) * self.fin_gap_m * self.base_depth_m
+
+    @property
+    def channel_hydraulic_diameter_m(self) -> float:
+        """Hydraulic diameter of one fin channel."""
+        a = self.fin_gap_m * self.fin_height_m
+        p = 2.0 * (self.fin_gap_m + self.fin_height_m)
+        return 4.0 * a / p
+
+    def performance(
+        self, channel_velocity_m_s: float, fluid: Fluid, temperature_c: float
+    ) -> SinkPerformance:
+        """Resolve the sink at a fin-channel air velocity.
+
+        The channels are short (tens of millimetres), so the boundary layer
+        is developing over the whole length; the flat-plate correlation on
+        the flow length is the appropriate film model, not fully developed
+        duct flow.
+        """
+        if channel_velocity_m_s == 0.0:
+            return _stagnant(self.fin_area_m2 + self.base_channel_area_m2)
+        film = flat_plate_film(channel_velocity_m_s, self.base_depth_m, fluid, temperature_c)
+        eta = straight_fin_efficiency(
+            film.h_w_m2k, self.fin_thickness_m, self.fin_height_m, self.conductivity_w_mk
+        )
+        conductance = film.h_w_m2k * (eta * self.fin_area_m2 + self.base_channel_area_m2)
+        h_effective = conductance / (self.base_width_m * self.base_depth_m)
+        r_spread = spreading(
+            self.source_area_m2,
+            self.base_width_m * self.base_depth_m,
+            self.base_thickness_m,
+            self.conductivity_w_mk,
+            h_effective,
+        )
+        rho = fluid.density(temperature_c)
+        # Developing-channel loss, a couple of velocity heads end to end.
+        dp = 2.5 * rho * channel_velocity_m_s ** 2 / 2.0
+        return SinkPerformance(
+            film=film,
+            fin_efficiency=eta,
+            wetted_area_m2=self.fin_area_m2 + self.base_channel_area_m2,
+            effective_conductance_w_k=conductance,
+            spreading_resistance_k_w=r_spread,
+            convection_resistance_k_w=1.0 / conductance,
+            pressure_drop_pa=dp,
+        )
+
+
+__all__ = [
+    "ALUMINUM_W_MK",
+    "BarePlate",
+    "COPPER_W_MK",
+    "PinFinHeatSink",
+    "SOLDER_PIN_TURBULENCE_FACTOR",
+    "SinkPerformance",
+    "StraightFinAirSink",
+]

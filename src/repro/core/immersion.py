@@ -1,0 +1,190 @@
+"""The open-loop immersion bath: boards and PSUs in circulating oil.
+
+The computational section of the new-generation CM: "a hermetic container
+with dielectric cooling liquid, and electronic components ... completely
+immersed into an electrically neutral liquid heat-transfer agent"
+(Section 3). The model resolves, for a given oil supply temperature and
+circulation flow, every FPGA's junction temperature (including the oil
+preheat along each board's chip row), the bath outlet temperature, and the
+hydraulic resistance the circulation pump must overcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.heatsink import PinFinHeatSink
+from repro.core.tim import ThermalInterface, SRC_OIL_STABLE_INTERFACE
+from repro.devices.board import Ccb
+from repro.devices.psu import ImmersionPsu
+from repro.fluids.library import MINERAL_OIL_MD45
+from repro.fluids.properties import Fluid
+
+
+@dataclass(frozen=True)
+class ImmersedChipReport:
+    """Thermal state of one immersed FPGA position along the oil flow."""
+
+    position: int
+    local_oil_c: float
+    junction_c: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class ImmersionReport:
+    """Steady state of the computational section at given oil conditions."""
+
+    oil_supply_c: float
+    oil_return_c: float
+    oil_flow_m3_s: float
+    chips_per_board: List[ImmersedChipReport]
+    max_junction_c: float
+    electronics_heat_w: float
+    psu_heat_w: float
+    total_heat_w: float
+    board_pressure_drop_pa: float
+    chip_resistance_k_w: float
+
+    @property
+    def thermal_gradient_k(self) -> float:
+        """Junction spread along a board's chip row."""
+        return (
+            self.chips_per_board[-1].junction_c - self.chips_per_board[0].junction_c
+        )
+
+    @property
+    def oil_rise_k(self) -> float:
+        """Bulk oil temperature rise across the computational section."""
+        return self.oil_return_c - self.oil_supply_c
+
+
+@dataclass(frozen=True)
+class ImmersionSection:
+    """The computational section of an immersion-cooled CM.
+
+    Parameters
+    ----------
+    ccb:
+        The board design (all boards identical).
+    n_boards:
+        Boards in the bath ("one computational module can contain 12 to 16
+        computational circuit boards").
+    sink:
+        Per-chip pin-fin heatsink.
+    tim:
+        Package-to-sink interface.
+    psu:
+        The immersion PSU type.
+    n_psus:
+        PSU count (SKAT carries three 4 kW units).
+    flow_fraction_over_boards:
+        Share of the circulated oil actually ducted across the board
+        heatsinks (the rest bypasses through the open bath).
+    board_channel_area_m2:
+        Oil flow cross-section over one board's sink row.
+    tim_service_hours:
+        Bath service time for the interface washout model.
+    """
+
+    ccb: Ccb
+    n_boards: int = 12
+    sink: PinFinHeatSink = field(default_factory=PinFinHeatSink)
+    tim: ThermalInterface = SRC_OIL_STABLE_INTERFACE
+    psu: ImmersionPsu = field(default_factory=ImmersionPsu)
+    n_psus: int = 3
+    flow_fraction_over_boards: float = 0.85
+    board_channel_area_m2: float = 0.060 * 0.015
+    tim_service_hours: float = 0.0
+    oil: Fluid = MINERAL_OIL_MD45
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_boards <= 20:
+            raise ValueError("bath holds between 1 and 20 boards")
+        if self.n_psus < 1:
+            raise ValueError("need at least one PSU")
+        if not 0.0 < self.flow_fraction_over_boards <= 1.0:
+            raise ValueError("flow fraction must be in (0, 1]")
+        if self.board_channel_area_m2 <= 0:
+            raise ValueError("channel area must be positive")
+        if self.tim_service_hours < 0:
+            raise ValueError("service time must be non-negative")
+
+    def board_approach_velocity(self, oil_flow_m3_s: float) -> float:
+        """Oil approach velocity at each board's sink row."""
+        if oil_flow_m3_s < 0:
+            raise ValueError("oil flow must be non-negative")
+        per_board = oil_flow_m3_s * self.flow_fraction_over_boards / self.n_boards
+        return per_board / self.board_channel_area_m2
+
+    def chip_resistance_k_w(self, oil_flow_m3_s: float, oil_temperature_c: float) -> float:
+        """Junction-to-local-oil resistance: package + interface + sink."""
+        family = self.ccb.fpga.family
+        velocity = self.board_approach_velocity(oil_flow_m3_s)
+        perf = self.sink.performance(velocity, self.oil, oil_temperature_c)
+        r_tim = self.tim.resistance_k_w(family.die_area_m2, self.tim_service_hours)
+        return family.theta_jc_k_w + r_tim + perf.total_resistance_k_w
+
+    def solve(self, oil_supply_c: float, oil_flow_m3_s: float) -> ImmersionReport:
+        """Steady state of the bath at an oil supply temperature and flow.
+
+        Each board sees the supply oil (boards are hydraulically parallel);
+        along a board's row of chips the oil warms chip by chip, so the
+        last position runs hottest — the gradient the SKAT circulation
+        design must keep small.
+        """
+        if oil_flow_m3_s <= 0:
+            raise ValueError("oil flow must be positive")
+        fpga = self.ccb.fpga
+        per_board_flow = (
+            oil_flow_m3_s * self.flow_fraction_over_boards / self.n_boards
+        )
+        oil_capacity = self.oil.heat_capacity_rate(per_board_flow, oil_supply_c)
+
+        chips: List[ImmersedChipReport] = []
+        upstream_heat = 0.0
+        resistance = self.chip_resistance_k_w(oil_flow_m3_s, oil_supply_c)
+        for position in range(self.ccb.n_fpgas):
+            local_oil = oil_supply_c + upstream_heat / oil_capacity
+            point = fpga.operate(resistance, local_oil)
+            chips.append(
+                ImmersedChipReport(
+                    position=position,
+                    local_oil_c=local_oil,
+                    junction_c=point.junction_c,
+                    power_w=point.power_w,
+                )
+            )
+            upstream_heat += point.power_w
+
+        board_heat = upstream_heat + self.ccb.misc_power_w
+        if self.ccb.separate_controller:
+            board_heat += chips[0].power_w / 3.0
+        electronics = board_heat * self.n_boards
+        psu_output_each = electronics / self.n_psus
+        psu_heat = sum(
+            self.psu.dissipation_w(min(psu_output_each, self.psu.rated_output_w))
+            for _ in range(self.n_psus)
+        )
+        total = electronics + psu_heat
+
+        velocity = self.board_approach_velocity(oil_flow_m3_s)
+        board_dp = self.sink.performance(velocity, self.oil, oil_supply_c).pressure_drop_pa
+
+        bulk_capacity = self.oil.heat_capacity_rate(oil_flow_m3_s, oil_supply_c)
+        return ImmersionReport(
+            oil_supply_c=oil_supply_c,
+            oil_return_c=oil_supply_c + total / bulk_capacity,
+            oil_flow_m3_s=oil_flow_m3_s,
+            chips_per_board=chips,
+            max_junction_c=max(c.junction_c for c in chips),
+            electronics_heat_w=electronics,
+            psu_heat_w=psu_heat,
+            total_heat_w=total,
+            board_pressure_drop_pa=board_dp,
+            chip_resistance_k_w=resistance,
+        )
+
+
+__all__ = ["ImmersedChipReport", "ImmersionReport", "ImmersionSection"]

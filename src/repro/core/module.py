@@ -1,0 +1,204 @@
+"""The new-generation computational module (CM): bath + heat-exchange section.
+
+Section 3's design: a 3U, 19-inch module whose computational section holds
+12-16 immersed CCBs and PSUs, mechanically joined to a heat-exchange
+section holding the circulation pump and a plate heat exchanger. The oil
+runs a self-contained closed loop: bath -> pump -> plate HX -> bath; the HX
+rejects the heat into the rack's chilled-water loop.
+
+:meth:`ComputationalModule.solve_steady` closes the whole energy balance:
+pump operating point on the oil circuit, bath chip temperatures (leakage
+feedback included), and the oil/water temperatures at the exchanger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from scipy.optimize import brentq
+
+from repro.core.immersion import ImmersionReport, ImmersionSection
+from repro.fluids.library import WATER
+from repro.fluids.properties import Fluid
+from repro.heatexchange.plate import HxOperatingPoint, PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump
+from repro.hydraulics.solver import operating_point
+
+#: Rack-unit height, mm.
+RACK_UNIT_MM = 44.45
+
+
+@dataclass(frozen=True)
+class ModuleReport:
+    """Resolved steady state of a computational module."""
+
+    immersion: ImmersionReport
+    hx: HxOperatingPoint
+    oil_flow_m3_s: float
+    oil_cold_c: float
+    oil_hot_c: float
+    water_in_c: float
+    water_flow_m3_s: float
+    pump_electrical_w: float
+    total_heat_to_water_w: float
+    module_electrical_w: float
+
+    @property
+    def max_fpga_c(self) -> float:
+        """Hottest junction in the module."""
+        return self.immersion.max_junction_c
+
+    @property
+    def bath_mean_c(self) -> float:
+        """Mean bath temperature — what the bath temperature sensor of the
+        control subsystem reads (between the cold supply and hot return)."""
+        return 0.5 * (self.oil_cold_c + self.oil_hot_c)
+
+    @property
+    def oil_below_30c(self) -> bool:
+        """The paper's operating criterion: "the temperature of the
+        heat-transfer agent does not exceed 30 C" (bath sensor)."""
+        return self.bath_mean_c <= 30.0
+
+
+@dataclass(frozen=True)
+class ComputationalModule:
+    """An immersion-cooled CM with a self-contained oil loop.
+
+    Parameters
+    ----------
+    name:
+        Machine name ("SKAT", "SKAT+").
+    section:
+        The computational (bath) section.
+    pump:
+        Oil circulation pump. ``pump.immersed`` marks the SKAT+ design
+        whose electrical losses heat the oil.
+    hx:
+        The plate heat exchanger joining oil to chilled water.
+    loop_pipe:
+        Lumped piping of the oil circuit (bath plenums, fittings).
+    height_u:
+        Module height in rack units (the design criterion is 3U).
+    water:
+        Secondary-side fluid.
+    """
+
+    name: str
+    section: ImmersionSection
+    pump: Pump
+    hx: PlateHeatExchanger
+    loop_pipe: Pipe = field(
+        default_factory=lambda: Pipe(length_m=2.0, diameter_m=0.04, minor_loss_k=6.0)
+    )
+    height_u: float = 3.0
+    water: Fluid = WATER
+
+    def oil_system_pressure_drop_pa(self, flow_m3_s: float, oil_temperature_c: float) -> float:
+        """Total oil-circuit resistance at a flow: piping + HX + board bank.
+
+        The board sinks are hydraulically parallel to each other but in
+        series with the loop; their (identical) drop at the per-board share
+        is charged once.
+        """
+        oil = self.section.oil
+        dp_pipe = -self.loop_pipe.pressure_change_pa(flow_m3_s, oil, oil_temperature_c)
+        dp_hx = self.hx.pressure_drop_pa(flow_m3_s, oil, oil_temperature_c)
+        velocity = self.section.board_approach_velocity(flow_m3_s)
+        dp_boards = self.section.sink.performance(
+            velocity, oil, oil_temperature_c
+        ).pressure_drop_pa
+        return dp_pipe + dp_hx + dp_boards
+
+    def oil_loop_flow(self, oil_temperature_c: float) -> float:
+        """Pump/system operating point of the self-contained oil loop."""
+        return operating_point(
+            self.pump.curve,
+            lambda q: self.oil_system_pressure_drop_pa(q, oil_temperature_c),
+            speed_fraction=self.pump.speed_fraction,
+        )
+
+    def solve_steady(
+        self,
+        water_in_c: float = 20.0,
+        water_flow_m3_s: float = 8.0e-4,
+        oil_guess_c: Optional[float] = None,
+    ) -> ModuleReport:
+        """Close the module's coupled energy balance.
+
+        Finds the cold-oil temperature at which the heat generated in the
+        bath (electronics + PSU losses + immersed-pump losses) equals the
+        heat the plate exchanger rejects to the chilled water.
+        """
+        if water_flow_m3_s <= 0:
+            raise ValueError("water flow must be positive")
+        low = water_in_c + 0.05
+        high = water_in_c + 60.0
+
+        def heat_and_parts(oil_cold: float):
+            flow = self.oil_loop_flow(oil_cold)
+            report = self.section.solve(oil_cold, flow)
+            pump_elec = self.pump.electrical_power_w(flow)
+            bath_heat = report.total_heat_w + (pump_elec if self.pump.immersed else 0.0)
+            oil = self.section.oil
+            oil_hot = oil_cold + bath_heat / oil.heat_capacity_rate(flow, oil_cold)
+            hx_point = self.hx.solve(
+                oil, oil_hot, flow, self.water, water_in_c, water_flow_m3_s
+            )
+            return bath_heat, report, hx_point, flow, pump_elec, oil_hot
+
+        def residual(oil_cold: float) -> float:
+            bath_heat, _, hx_point, _, _, _ = heat_and_parts(oil_cold)
+            return hx_point.q_w - bath_heat
+
+        # The residual is negative when the oil is barely above the water
+        # (nothing rejected yet) and rises with the oil temperature; scan
+        # upward for the first sign change, then refine. Hitting a chip
+        # thermal runaway while scanning means the exchanger cannot hold
+        # the bath at any temperature the silicon survives.
+        lower, upper = low, None
+        t = low
+        while t <= high:
+            if residual(t) >= 0.0:
+                upper = t
+                break
+            lower = t
+            t += 2.0
+        if upper is None:
+            raise ValueError(
+                f"{self.name}: no oil equilibrium below {high:.0f} C — "
+                "exchanger cannot reject the bath heat"
+            )
+        oil_cold = brentq(residual, lower, upper, xtol=1e-6)
+        bath_heat, report, hx_point, flow, pump_elec, oil_hot = heat_and_parts(oil_cold)
+
+        module_electrical = (
+            report.electronics_heat_w + report.psu_heat_w + pump_elec
+        )
+        return ModuleReport(
+            immersion=report,
+            hx=hx_point,
+            oil_flow_m3_s=flow,
+            oil_cold_c=oil_cold,
+            oil_hot_c=oil_hot,
+            water_in_c=water_in_c,
+            water_flow_m3_s=water_flow_m3_s,
+            pump_electrical_w=pump_elec,
+            total_heat_to_water_w=hx_point.q_w,
+            module_electrical_w=module_electrical,
+        )
+
+    @property
+    def height_mm(self) -> float:
+        """Module height, mm."""
+        return self.height_u * RACK_UNIT_MM
+
+    def volume_litre(self) -> float:
+        """Module envelope volume (19-inch width x 3U x standard depth)."""
+        width_m = 0.483
+        depth_m = 0.8
+        return width_m * (self.height_mm / 1000.0) * depth_m * 1000.0
+
+
+__all__ = ["ComputationalModule", "ModuleReport", "RACK_UNIT_MM"]

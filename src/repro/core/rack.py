@@ -1,0 +1,166 @@
+"""The 47U computer rack of immersion-cooled computational modules.
+
+Section 5's headline: "it is now possible to mount not less than 12
+new-generation CMs, with a total performance above 1 PFlops, in a single
+47U computer rack". The rack model stacks CMs, feeds them chilled water
+through the Fig. 5 balanced manifold system, closes the loop with the
+chiller, and totals performance, power and efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+from repro.core.module import ComputationalModule, ModuleReport
+from repro.heatexchange.chiller import Chiller, ChillerState
+from repro.performance.flops import peak_gflops, sustained_gflops
+
+#: Usable height of the paper's rack, rack units.
+RACK_HEIGHT_U = 47.0
+
+
+@dataclass(frozen=True)
+class RackReport:
+    """Resolved steady state and totals for a full rack."""
+
+    module_reports: List[ModuleReport]
+    chiller: ChillerState
+    water_flows_m3_s: List[float]
+    peak_pflops: float
+    sustained_pflops: float
+    it_power_w: float
+    cooling_power_w: float
+    max_fpga_c: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Facility power: IT plus cooling."""
+        return self.it_power_w + self.cooling_power_w
+
+    @property
+    def pue(self) -> float:
+        """Power usage effectiveness (rack-local)."""
+        return self.total_power_w / self.it_power_w
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Sustained energy efficiency at the facility level."""
+        return self.sustained_pflops * 1.0e6 / self.total_power_w
+
+    @property
+    def above_one_pflops(self) -> bool:
+        """The conclusions' claim: total performance above 1 PFlops."""
+        return self.peak_pflops > 1.0
+
+
+@dataclass
+class Rack:
+    """A rack of identical immersion CMs on a balanced water loop.
+
+    Parameters
+    ----------
+    module_factory:
+        Zero-argument callable producing one CM (e.g. ``repro.core.skat.skat``).
+    n_modules:
+        CM count ("not less than 12").
+    chiller:
+        The external chiller closing the primary loop.
+    layout:
+        Manifold layout for the water distribution (Fig. 5 reverse return
+        by default).
+    """
+
+    module_factory: Callable[[], ComputationalModule]
+    n_modules: int = 12
+    chiller: Chiller = field(
+        default_factory=lambda: Chiller(
+            setpoint_c=20.0, capacity_w=150.0e3, water_capacity_rate_w_k=25.0e3
+        )
+    )
+    layout: ManifoldLayout = ManifoldLayout.REVERSE_RETURN
+
+    def __post_init__(self) -> None:
+        if self.n_modules < 1:
+            raise ValueError("rack needs at least one module")
+        sample = self.module_factory()
+        if self.n_modules * sample.height_u > RACK_HEIGHT_U:
+            raise ValueError(
+                f"{self.n_modules} x {sample.height_u:.0f}U modules exceed the "
+                f"{RACK_HEIGHT_U:.0f}U rack"
+            )
+
+    def manifold_system(self) -> RackManifoldSystem:
+        """The water-distribution network serving the modules.
+
+        Rack-scale plumbing: wider manifolds and riser than the six-loop
+        Fig. 5 sketch, and a pump sized for ~1.2 L/s of water per CM.
+        """
+        from repro.hydraulics.elements import Pump, PumpCurve
+
+        return RackManifoldSystem(
+            n_loops=self.n_modules,
+            layout=self.layout,
+            manifold_diameter_m=0.065,
+            riser_diameter_m=0.08,
+            pump=Pump(
+                curve=PumpCurve(shutoff_pressure_pa=150.0e3, max_flow_m3_s=3.5e-2),
+                efficiency=0.6,
+            ),
+        )
+
+    def solve(self) -> RackReport:
+        """Steady state of the whole rack.
+
+        The manifold system fixes each CM's water flow; each CM then closes
+        its own oil-loop balance against the chiller setpoint; the chiller
+        carries the summed load.
+        """
+        balance = self.manifold_system().solve()
+        reports: List[ModuleReport] = []
+        total_heat = 0.0
+        it_power = 0.0
+        for flow in balance.loop_flows_m3_s:
+            module = self.module_factory()
+            report = module.solve_steady(
+                water_in_c=self.chiller.setpoint_c, water_flow_m3_s=flow
+            )
+            reports.append(report)
+            total_heat += report.total_heat_to_water_w
+            it_power += report.module_electrical_w
+
+        chiller_state = self.chiller.operate(total_heat)
+
+        sample = self.module_factory()
+        family = sample.section.ccb.fpga.family
+        chips = sample.section.n_boards * sample.section.ccb.n_fpgas * self.n_modules
+        utilization = sample.section.ccb.fpga.utilization
+        peak = chips * peak_gflops(family) / 1.0e6
+        sustained = chips * sustained_gflops(family, utilization) / 1.0e6
+
+        pump_power = sum(r.pump_electrical_w for r in reports)
+        cooling = chiller_state.electrical_power_w + pump_power
+        # Pump power of non-immersed pumps is outside the bath but still
+        # IT-rack overhead; immersed pump power is already inside
+        # module_electrical_w, so remove it from the cooling column.
+        immersed_pump_power = sum(
+            r.pump_electrical_w
+            for r, m in zip(reports, [self.module_factory() for _ in reports])
+            if m.pump.immersed
+        )
+        cooling -= immersed_pump_power
+
+        return RackReport(
+            module_reports=reports,
+            chiller=chiller_state,
+            water_flows_m3_s=balance.loop_flows_m3_s,
+            peak_pflops=peak,
+            sustained_pflops=sustained,
+            it_power_w=it_power,
+            cooling_power_w=cooling,
+            max_fpga_c=max(r.max_fpga_c for r in reports),
+        )
+
+
+__all__ = ["RACK_HEIGHT_U", "Rack", "RackReport"]

@@ -1,0 +1,186 @@
+"""Rack-level transient simulation: the engineering-services failure drills.
+
+The CM simulator (:mod:`repro.core.simulation`) covers one module's
+failures. At rack scale the paper's machines share "a stationary system of
+engineering services" — one chiller, one water loop — so the failures that
+matter are common-mode: the chiller trips, the facility water pump stops,
+or a manifold loop is valved off while the rest keep computing. This
+simulator steps all the CMs of a rack against the shared water loop.
+
+State per step: each CM's bath temperature (the slow pole), the chilled
+water supply temperature (chiller dynamics), and the per-CM water flows
+(from the manifold network when loops close).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control.monitor import TelemetryLog
+from repro.core.balancing import RackManifoldSystem
+from repro.core.module import ComputationalModule
+from repro.core.rack import Rack
+from repro.devices.power import ThermalRunawayError
+from repro.reliability.failures import FailureEvent
+
+#: Junction value reported when a CM's chips run away (trip substitute).
+RUNAWAY_CLAMP_C = 150.0
+
+
+@dataclass(frozen=True)
+class RackSimResult:
+    """Outcome of a rack transient run."""
+
+    telemetry: TelemetryLog
+    max_fpga_c: float
+    max_water_c: float
+    modules_over_limit: List[int]
+    time_over_limit_s: Dict[int, float]
+
+    def survived(self, junction_limit_c: float) -> bool:
+        """Whether every CM stayed below the junction limit throughout."""
+        return self.max_fpga_c <= junction_limit_c
+
+
+@dataclass
+class RackSimulator:
+    """Time-stepping simulator for a full rack on a shared water loop.
+
+    Parameters
+    ----------
+    rack:
+        The rack definition (module factory, chiller, layout).
+    water_thermal_mass_j_k:
+        Heat capacitance of the chilled-water loop inventory.
+    oil_thermal_mass_j_k:
+        Heat capacitance of each CM's bath.
+    junction_limit_c:
+        The reliability ceiling tracked in the result.
+    """
+
+    rack: Rack
+    water_thermal_mass_j_k: float = 8.0e5
+    oil_thermal_mass_j_k: float = 1.0e5
+    junction_limit_c: float = 67.0
+    _modules: List[ComputationalModule] = field(init=False, repr=False)
+    _manifold: RackManifoldSystem = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._modules = [self.rack.module_factory() for _ in range(self.rack.n_modules)]
+        self._manifold = self.rack.manifold_system()
+
+    def _water_flows(self) -> List[float]:
+        return self._manifold.solve().loop_flows_m3_s
+
+    def _chiller_capacity_w(self, time_s: float, events: List[FailureEvent]) -> float:
+        capacity = self.rack.chiller.capacity_w
+        for event in events:
+            if event.target == "chiller" and time_s >= event.time_s:
+                if event.kind == "pump_stop":
+                    capacity *= event.magnitude
+        return capacity
+
+    def _module_state(self, module: ComputationalModule, oil_c: float, water_c: float,
+                      water_flow: float) -> Dict[str, float]:
+        """Quasi-static CM state at the current bath/water conditions."""
+        flow = module.oil_loop_flow(oil_c)
+        try:
+            report = module.section.solve(oil_c, flow)
+            junction = report.max_junction_c
+            heat = report.total_heat_w
+        except ThermalRunawayError:
+            junction = RUNAWAY_CLAMP_C
+            heat = 0.0
+        if module.pump.immersed:
+            heat += module.pump.electrical_power_w(flow)
+        if water_flow > 1e-9 and oil_c > water_c:
+            hx = module.hx.solve(
+                module.section.oil, oil_c, flow, module.water, water_c, water_flow
+            )
+            rejected = hx.q_w
+        else:
+            rejected = 0.0
+        return {"junction": junction, "heat": heat, "rejected": rejected}
+
+    def run(
+        self,
+        duration_s: float,
+        events: Optional[List[FailureEvent]] = None,
+        dt_s: float = 20.0,
+    ) -> RackSimResult:
+        """Integrate the rack over ``duration_s`` seconds.
+
+        Recognized events: ``loop_blockage`` with target ``loop_<i>``
+        (valves CM i off the water loop) and ``pump_stop`` with target
+        ``chiller`` (magnitude = remaining cooling-capacity fraction;
+        0 is a full chiller trip).
+        """
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("duration and step must be positive")
+        events = sorted(events or [], key=lambda e: e.time_s)
+        telemetry = TelemetryLog()
+        n = self.rack.n_modules
+
+        water_c = self.rack.chiller.setpoint_c
+        oils = [water_c + 8.0] * n
+        applied = set()
+        flows = self._water_flows()
+
+        max_fpga = -1.0e9
+        max_water = water_c
+        time_over: Dict[int, float] = {i: 0.0 for i in range(n)}
+
+        time_s = 0.0
+        while time_s <= duration_s:
+            # Apply due one-shot loop closures.
+            for idx, event in enumerate(events):
+                if idx in applied or time_s < event.time_s:
+                    continue
+                if event.kind == "loop_blockage" and event.target.startswith("loop_"):
+                    loop = int(event.target.split("_", 1)[1])
+                    self._manifold.fail_loop(loop)
+                    flows = self._water_flows()
+                    applied.add(idx)
+                elif event.target == "chiller":
+                    applied.add(idx)  # handled continuously below
+
+            capacity = self._chiller_capacity_w(time_s, events)
+
+            total_rejected = 0.0
+            sample: Dict[str, float] = {"water_c": water_c}
+            for i, module in enumerate(self._modules):
+                state = self._module_state(module, oils[i], water_c, flows[i])
+                oils[i] += (state["heat"] - state["rejected"]) * dt_s / self.oil_thermal_mass_j_k
+                oils[i] = min(oils[i], module.section.oil.t_max_c - 1.0)
+                total_rejected += state["rejected"]
+                max_fpga = max(max_fpga, state["junction"])
+                if state["junction"] > self.junction_limit_c:
+                    time_over[i] += dt_s
+                sample[f"oil_{i}"] = oils[i]
+                sample[f"junction_{i}"] = state["junction"]
+
+            removed = min(total_rejected, capacity)
+            water_c += (total_rejected - removed) * dt_s / self.water_thermal_mass_j_k
+            # The chiller pulls the loop back toward the setpoint when it
+            # has spare capacity.
+            if capacity > total_rejected and water_c > self.rack.chiller.setpoint_c:
+                spare = capacity - total_rejected
+                water_c -= spare * dt_s / self.water_thermal_mass_j_k
+                water_c = max(water_c, self.rack.chiller.setpoint_c)
+            max_water = max(max_water, water_c)
+
+            telemetry.record(time_s, sample)
+            time_s += dt_s
+
+        over = [i for i, t in time_over.items() if t > 0.0]
+        return RackSimResult(
+            telemetry=telemetry,
+            max_fpga_c=max_fpga,
+            max_water_c=max_water,
+            modules_over_limit=sorted(over),
+            time_over_limit_s=time_over,
+        )
+
+
+__all__ = ["RackSimResult", "RackSimulator", "RUNAWAY_CLAMP_C"]

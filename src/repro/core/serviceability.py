@@ -1,0 +1,222 @@
+"""Serviceability: what maintenance costs on each architecture.
+
+A recurring thread of the paper: closed-loop systems need "special liquid
+connectors providing pressure-tight connections and simple mounting/
+demounting", the IMMERS systems need "complex maintenance stoppages ...
+to remove separate components and devices", while the SKAT design aims at
+"maintenance of the reconfigurable computational module [by] its
+connection to the source of the secondary cooling liquid (by means of
+valves) [and] to a power supply block" — i.e. a CM swaps out as a unit
+while the rack keeps running (the Fig. 5 redistribution experiment).
+
+This module models the standard service operations per architecture and
+produces the downtime ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+
+class Architecture(Enum):
+    """The three cooling architectures under comparison."""
+
+    AIR = "air"
+    COLD_PLATE = "cold_plate"
+    IMMERSION = "immersion"
+
+
+@dataclass(frozen=True)
+class ServiceOperation:
+    """One maintenance operation on one architecture.
+
+    Parameters
+    ----------
+    name:
+        Operation label.
+    duration_h:
+        Hands-on time, hours.
+    module_downtime_h:
+        Downtime of the serviced CM (>= hands-on time when the machine
+        must drain/dry).
+    rack_downtime_h:
+        Downtime of the *other* CMs in the rack (0 when the Fig. 5 layout
+        isolates the serviced loop).
+    steps:
+        Procedure outline for the runbook.
+    """
+
+    name: str
+    duration_h: float
+    module_downtime_h: float
+    rack_downtime_h: float
+    steps: tuple
+
+    def __post_init__(self) -> None:
+        if self.duration_h < 0 or self.module_downtime_h < 0 or self.rack_downtime_h < 0:
+            raise ValueError("durations must be non-negative")
+        if self.module_downtime_h < self.duration_h:
+            raise ValueError("module downtime cannot be below hands-on time")
+
+
+def _op(name, duration, module_dt, rack_dt, *steps):
+    return ServiceOperation(name, duration, module_dt, rack_dt, tuple(steps))
+
+
+#: The service catalog: the same three operations on each architecture.
+SERVICE_CATALOG: Dict[Architecture, List[ServiceOperation]] = {
+    Architecture.AIR: [
+        _op(
+            "replace one board",
+            0.5,
+            0.5,
+            0.0,
+            "power down CM",
+            "slide board out of card cage",
+            "slide replacement in, power up",
+        ),
+        _op(
+            "replace cooling mover (fan tray)",
+            0.3,
+            0.3,
+            0.0,
+            "hot-swap fan tray",
+        ),
+        _op(
+            "annual cooling service (filters, fans)",
+            1.0,
+            1.0,
+            0.0,
+            "swap filters",
+            "check fan bearings",
+        ),
+    ],
+    Architecture.COLD_PLATE: [
+        _op(
+            "replace one board",
+            4.0,
+            10.0,
+            0.0,
+            "isolate board loop at quick disconnects",
+            "drain board plates",
+            "swap board and plates",
+            "refill, bleed air, leak-test every connection",
+            "dry-out verification before power-up",
+        ),
+        _op(
+            "replace cooling mover (loop pump)",
+            2.0,
+            6.0,
+            2.0,
+            "stop the shared loop",
+            "swap pump cartridge",
+            "refill and bleed the loop",
+        ),
+        _op(
+            "annual cooling service (coolant, sensors)",
+            6.0,
+            12.0,
+            0.0,
+            "exchange inhibited coolant",
+            "verify every leak/humidity sensor",
+            "re-torque pressure-tight connections",
+        ),
+    ],
+    Architecture.IMMERSION: [
+        _op(
+            "replace one board",
+            1.0,
+            1.5,
+            0.0,
+            "valve the CM off the rack loop (survivors rebalance, Fig. 5)",
+            "open bath cover, lift board out dripping into the tray",
+            "insert replacement, close cover, reopen valves",
+        ),
+        _op(
+            "replace cooling mover (oil pump)",
+            1.5,
+            2.0,
+            0.0,
+            "valve the CM off",
+            "swap pump in the heat-exchange section",
+        ),
+        _op(
+            "annual cooling service (oil filtration, level)",
+            2.0,
+            2.0,
+            0.0,
+            "circulate through the filter cart",
+            "top up oil to the fill mark",
+            "verify level/flow/temperature sensors",
+        ),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class ServiceScore:
+    """Annualized service burden for one architecture."""
+
+    architecture: Architecture
+    annual_module_downtime_h: float
+    annual_rack_downtime_h: float
+    annual_hands_on_h: float
+
+
+def annual_service_score(
+    architecture: Architecture,
+    board_replacements_per_year: float = 2.0,
+    mover_replacements_per_year: float = 0.5,
+) -> ServiceScore:
+    """Annualize the catalog with typical event rates.
+
+    Rates default to a busy production machine: a couple of board events
+    and half a pump/fan event per year, plus the annual service.
+    """
+    if board_replacements_per_year < 0 or mover_replacements_per_year < 0:
+        raise ValueError("event rates must be non-negative")
+    catalog = SERVICE_CATALOG[architecture]
+    board_op, mover_op, annual_op = catalog
+    rates = (board_replacements_per_year, mover_replacements_per_year, 1.0)
+    module_dt = sum(op.module_downtime_h * rate for op, rate in zip(catalog, rates))
+    rack_dt = sum(op.rack_downtime_h * rate for op, rate in zip(catalog, rates))
+    hands_on = sum(op.duration_h * rate for op, rate in zip(catalog, rates))
+    return ServiceScore(
+        architecture=architecture,
+        annual_module_downtime_h=module_dt,
+        annual_rack_downtime_h=rack_dt,
+        annual_hands_on_h=hands_on,
+    )
+
+
+def service_comparison() -> Dict[Architecture, ServiceScore]:
+    """All three architectures at the default event rates."""
+    return {arch: annual_service_score(arch) for arch in Architecture}
+
+
+def render_runbook(architecture: Architecture) -> str:
+    """The architecture's service runbook as text."""
+    lines = [f"service runbook — {architecture.value}"]
+    for op in SERVICE_CATALOG[architecture]:
+        lines.append(
+            f"  {op.name} ({op.duration_h:.1f} h hands-on, "
+            f"{op.module_downtime_h:.1f} h module downtime"
+            + (f", {op.rack_downtime_h:.1f} h rack downtime" if op.rack_downtime_h else "")
+            + ")"
+        )
+        for i, step in enumerate(op.steps, 1):
+            lines.append(f"    {i}. {step}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Architecture",
+    "SERVICE_CATALOG",
+    "ServiceOperation",
+    "ServiceScore",
+    "annual_service_score",
+    "render_runbook",
+    "service_comparison",
+]

@@ -1,0 +1,234 @@
+"""Coupled transient simulation of a computational module.
+
+Couples, per time step: failure events -> pump speed -> oil circulation ->
+quasi-static chip junctions (silicon settles in seconds; the oil bath in
+tens of minutes, so the bath temperature is the state variable) -> bath
+energy balance against the plate exchanger -> sensors -> supervisory
+controller.
+
+This is the harness behind the failure experiments: what the paper's
+control subsystem ("sensors of level, flow, and temperature of the
+heat-transfer agent, and a temperature sensor for cooling components")
+must catch when a pump stops or the thermal interface degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.control.controller import ControlAction, CoolingController
+from repro.control.pid import PidController
+from repro.control.monitor import TelemetryLog
+from repro.core.module import ComputationalModule
+from repro.devices.power import ThermalRunawayError
+from repro.reliability.failures import FailureEvent
+from repro.thermal.convection import natural_vertical_film
+
+#: Junction temperature reported when leakage runaway is reached — the
+#: simulation clamps here and relies on the controller trip.
+RUNAWAY_CLAMP_C = 150.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a transient run."""
+
+    telemetry: TelemetryLog
+    max_junction_c: float
+    max_oil_c: float
+    shutdown_time_s: Optional[float]
+    alarms_raised: int
+
+    def survived(self, junction_limit_c: float) -> bool:
+        """Whether no junction exceeded the given limit during the run."""
+        return self.max_junction_c <= junction_limit_c
+
+
+@dataclass
+class ModuleSimulator:
+    """Time-stepping simulator for one CM.
+
+    Parameters
+    ----------
+    module:
+        The CM under test (its pump's speed is commanded by events and the
+        controller each step; the module object itself is not mutated).
+    water_in_c, water_flow_m3_s:
+        Secondary-loop boundary conditions.
+    oil_thermal_mass_j_k:
+        Bath heat capacitance (oil volume x rho x cp; ~60 L for a 3U CM).
+    controller:
+        Optional supervisory controller; None runs open-loop.
+    pid:
+        Optional PID regulator (e.g.
+        :func:`repro.control.pid.bath_temperature_pid`) trimming the pump
+        speed continuously against the bath temperature. The supervisory
+        controller's trip authority overrides it.
+    """
+
+    module: ComputationalModule
+    water_in_c: float = 20.0
+    water_flow_m3_s: float = 1.2e-3
+    oil_thermal_mass_j_k: float = 1.0e5
+    controller: Optional[CoolingController] = None
+    pid: Optional["PidController"] = None
+    _tim_multiplier: float = field(init=False, default=1.0, repr=False)
+
+    def _pump_speed_from_events(
+        self, time_s: float, events: List[FailureEvent], commanded: float
+    ) -> float:
+        speed = commanded
+        for event in events:
+            if event.kind == "pump_stop" and time_s >= event.time_s:
+                speed = min(speed, event.magnitude)
+        return speed
+
+    def _tim_multiplier_from_events(self, time_s: float, events: List[FailureEvent]) -> float:
+        multiplier = 1.0
+        for event in events:
+            if event.kind == "tim_washout" and time_s >= event.time_s:
+                multiplier = max(multiplier, event.magnitude)
+        return multiplier
+
+    def _chip_state(self, oil_c: float, oil_flow_m3_s: float):
+        """Worst-chip junction and total bath heat at the current state.
+
+        With circulation the forced-convection resistance applies; with the
+        pump stopped the sink falls back to natural convection in the bath.
+        Returns ``(junction_c, bath_heat_w)``.
+        """
+        section = self.module.section
+        fpga = section.ccb.fpga
+        family = fpga.family
+        if oil_flow_m3_s > 1.0e-6:
+            resistance = section.chip_resistance_k_w(oil_flow_m3_s, oil_c)
+        else:
+            # Natural convection on the sink's wetted area, evaluated at a
+            # representative 25 K film temperature difference.
+            film = natural_vertical_film(25.0, section.sink.base_depth_m, section.oil, oil_c)
+            r_conv = 1.0 / (film.h_w_m2k * section.sink.wetted_area_m2)
+            resistance = (
+                family.theta_jc_k_w
+                + section.tim.resistance_k_w(family.die_area_m2)
+                + r_conv
+            )
+        resistance += (self._tim_multiplier - 1.0) * section.tim.resistance_k_w(
+            family.die_area_m2
+        )
+        try:
+            point = fpga.operate(resistance, oil_c)
+            junction = point.junction_c
+            chip_power = point.power_w
+        except ThermalRunawayError:
+            junction = RUNAWAY_CLAMP_C
+            chip_power = fpga.power_w(RUNAWAY_CLAMP_C)
+        chips = section.n_boards * section.ccb.n_fpgas
+        misc = section.n_boards * section.ccb.misc_power_w
+        controller_heat = (
+            section.n_boards * chip_power / 3.0 if section.ccb.separate_controller else 0.0
+        )
+        heat = chips * chip_power + misc + controller_heat
+        heat += section.psu.dissipation_w(
+            min(heat / section.n_psus, section.psu.rated_output_w)
+        ) * section.n_psus
+        return junction, heat
+
+    def run(
+        self,
+        duration_s: float,
+        events: Optional[List[FailureEvent]] = None,
+        dt_s: float = 5.0,
+        initial_oil_c: Optional[float] = None,
+    ) -> SimulationResult:
+        """Integrate the module state over ``duration_s`` seconds."""
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("duration and step must be positive")
+        events = sorted(events or [], key=lambda e: e.time_s)
+        telemetry = TelemetryLog()
+        oil_c = initial_oil_c if initial_oil_c is not None else self.water_in_c + 8.0
+        commanded_speed = 1.0
+        shutdown_time: Optional[float] = None
+        alarms = 0
+        max_junction = -1.0e9
+        max_oil = oil_c
+
+        time_s = 0.0
+        while time_s <= duration_s:
+            self._tim_multiplier = self._tim_multiplier_from_events(time_s, events)
+            if self.pid is not None and shutdown_time is None:
+                commanded_speed = self.pid.update(oil_c, dt_s)
+            speed = self._pump_speed_from_events(time_s, events, commanded_speed)
+
+            if speed > 0.0:
+                flow = self.module.oil_loop_flow(oil_c) * speed
+            else:
+                flow = 0.0
+            junction, bath_heat = self._chip_state(oil_c, flow)
+            if shutdown_time is not None:
+                # Electronics are off after a trip; only residual heat.
+                bath_heat = 0.0
+                junction = oil_c
+
+            if flow > 1.0e-6 and oil_c > self.water_in_c:
+                hx = self.module.hx.solve(
+                    self.module.section.oil,
+                    oil_c,
+                    flow,
+                    self.module.water,
+                    self.water_in_c,
+                    self.water_flow_m3_s,
+                )
+                rejected = hx.q_w
+            else:
+                rejected = 0.0
+
+            if self.module.pump.immersed and speed > 0.0:
+                bath_heat += self.module.pump.electrical_power_w(flow)
+
+            oil_c += (bath_heat - rejected) * dt_s / self.oil_thermal_mass_j_k
+            # The property fits end below the flash point; an uncontrolled
+            # run that drives the bath there is already a destroyed machine,
+            # so clamp the state at the model ceiling.
+            oil_ceiling = self.module.section.oil.t_max_c - 1.0
+            oil_c = min(oil_c, oil_ceiling)
+            max_junction = max(max_junction, junction)
+            max_oil = max(max_oil, oil_c)
+
+            level = 1.0
+            action: Optional[ControlAction] = None
+            if self.controller is not None and shutdown_time is None:
+                action = self.controller.evaluate(
+                    coolant_c=oil_c,
+                    component_temps_c={"fpga_hot": junction},
+                    flow_m3_s=flow,
+                    level_fraction=level,
+                )
+                alarms += len(action.alarms)
+                commanded_speed = action.pump_speed_fraction
+                if action.shutdown:
+                    shutdown_time = time_s
+
+            telemetry.record(
+                time_s,
+                {
+                    "oil_c": oil_c,
+                    "junction_c": junction,
+                    "oil_flow_m3_s": flow,
+                    "bath_heat_w": bath_heat,
+                    "rejected_w": rejected,
+                    "pump_speed": speed if shutdown_time is None else 0.0,
+                },
+            )
+            time_s += dt_s
+
+        return SimulationResult(
+            telemetry=telemetry,
+            max_junction_c=max_junction,
+            max_oil_c=max_oil,
+            shutdown_time_s=shutdown_time,
+            alarms_raised=alarms,
+        )
+
+
+__all__ = ["ModuleSimulator", "RUNAWAY_CLAMP_C", "SimulationResult"]

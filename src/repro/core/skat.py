@@ -1,0 +1,249 @@
+"""Factory functions for the paper's concrete machines.
+
+Four machines appear in the paper:
+
+- **Rigel-2** — air-cooled CM of Virtex-6 FPGAs (Section 1 baseline),
+- **Taygeta** — air-cooled CM of Virtex-7 FPGAs (Section 1 baseline),
+- **SKAT** — the new-generation immersion CM of Kintex UltraScale FPGAs
+  (Section 3): 12 CCBs x 8 FPGAs, three 4 kW immersion PSUs, external
+  circulation pump, plate HX, 3U,
+- **SKAT+** — the UltraScale+ follow-on (Section 4): no separate CCB
+  controller (packages no longer fit otherwise), immersed pumps, enlarged
+  heat-exchange surface and higher pump performance.
+
+Each factory wires the calibrated geometry so the module reproduces the
+paper's measured numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.aircooling import AirCooledModule
+from repro.core.heatsink import (
+    PinFinHeatSink,
+    SOLDER_PIN_TURBULENCE_FACTOR,
+    StraightFinAirSink,
+)
+from repro.core.immersion import ImmersionSection
+from repro.core.module import ComputationalModule
+from repro.core.tim import SRC_OIL_STABLE_INTERFACE
+from repro.devices.board import Ccb
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_2_PROJECTED,
+    ULTRASCALE_PLUS_VU9P,
+    VIRTEX6_LX240T,
+    VIRTEX7_X485T,
+    FpgaFamily,
+)
+from repro.devices.fpga import Fpga
+from repro.devices.psu import ImmersionPsu
+from repro.heatexchange.plate import PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump, PumpCurve
+
+#: Chilled-water supply the SKAT rack loop delivers to each CM exchanger.
+SKAT_WATER_SUPPLY_C = 20.0
+#: Design chilled-water flow per CM.
+SKAT_WATER_FLOW_M3_S = 1.2e-3
+
+
+def rigel2(utilization: float = 0.9, n_boards: int = 4) -> AirCooledModule:
+    """The Rigel-2 air-cooled CM (Virtex-6, 1255 W, overheat 33.1 C)."""
+    return AirCooledModule(
+        ccb=Ccb(Fpga(VIRTEX6_LX240T, utilization=utilization)),
+        n_boards=n_boards,
+    )
+
+
+def taygeta(utilization: float = 0.9, n_boards: int = 4) -> AirCooledModule:
+    """The Taygeta air-cooled CM (Virtex-7, 1661 W, overheat 47.9 C)."""
+    return AirCooledModule(
+        ccb=Ccb(Fpga(VIRTEX7_X485T, utilization=utilization)),
+        n_boards=n_boards,
+    )
+
+
+def ultrascale_in_air(utilization: float = 0.9) -> AirCooledModule:
+    """The hypothetical UltraScale air-cooled CM of Section 1's projection.
+
+    Even with an upgraded sink (taller fins, more airflow than the Taygeta
+    cage could take), the junction lands in the 80...85 C range the paper
+    predicts — past the reliability ceiling. This machine was never built;
+    the model shows why.
+    """
+    upgraded_sink = StraightFinAirSink(
+        base_width_m=0.075,
+        base_depth_m=0.075,
+        base_thickness_m=0.006,
+        fin_height_m=0.050,
+        fin_thickness_m=0.0008,
+        fin_gap_m=0.0022,
+        source_area_m2=KINTEX_ULTRASCALE_KU095.die_area_m2,
+    )
+    return AirCooledModule(
+        ccb=Ccb(Fpga(KINTEX_ULTRASCALE_KU095, utilization=utilization)),
+        n_boards=4,
+        sink=upgraded_sink,
+        channel_velocity_m_s=6.0,
+        board_airflow_m3_s=0.10,
+        cage_pressure_drop_pa=450.0,
+    )
+
+
+def skat_heatsink() -> PinFinHeatSink:
+    """The SKAT solder-pin heatsink at its calibrated geometry."""
+    return PinFinHeatSink(
+        base_width_m=0.060,
+        base_depth_m=0.060,
+        base_thickness_m=0.003,
+        pin_diameter_m=0.002,
+        pin_height_m=0.007,
+        pin_pitch_m=0.004,
+        turbulence_factor=SOLDER_PIN_TURBULENCE_FACTOR,
+        source_area_m2=KINTEX_ULTRASCALE_KU095.die_area_m2,
+    )
+
+
+def skat_plus_heatsink() -> PinFinHeatSink:
+    """The SKAT+ sink: design item 1, "increase the effective surface of
+    heat-exchange" — taller pins on a wider base for the 45 mm package."""
+    return PinFinHeatSink(
+        base_width_m=0.065,
+        base_depth_m=0.065,
+        base_thickness_m=0.003,
+        pin_diameter_m=0.002,
+        pin_height_m=0.011,
+        pin_pitch_m=0.0038,
+        turbulence_factor=SOLDER_PIN_TURBULENCE_FACTOR,
+        source_area_m2=ULTRASCALE_PLUS_VU9P.die_area_m2,
+    )
+
+
+def skat_hx() -> PlateHeatExchanger:
+    """The SKAT oil/water plate exchanger."""
+    return PlateHeatExchanger(
+        n_plates=28,
+        plate_width_m=0.10,
+        plate_height_m=0.30,
+        channel_gap_m=3.0e-3,
+    )
+
+
+def skat_plus_hx() -> PlateHeatExchanger:
+    """The SKAT+ exchanger: more plates, since the heat-exchange section
+    loses its pump bay to the bath ("the heat-exchange section will house
+    only the heat exchanger")."""
+    return PlateHeatExchanger(
+        n_plates=32,
+        plate_width_m=0.10,
+        plate_height_m=0.30,
+        channel_gap_m=3.0e-3,
+    )
+
+
+def skat_pump() -> Pump:
+    """The SKAT external circulation pump (heat-exchange section)."""
+    return Pump(
+        curve=PumpCurve(shutoff_pressure_pa=45.0e3, max_flow_m3_s=5.0e-3),
+        efficiency=0.50,
+        immersed=False,
+    )
+
+
+def skat_plus_pump() -> Pump:
+    """The SKAT+ immersed pump: design items 2-3, higher performance and
+    in-bath installation (its losses heat the oil)."""
+    return Pump(
+        curve=PumpCurve(shutoff_pressure_pa=60.0e3, max_flow_m3_s=6.5e-3),
+        efficiency=0.50,
+        immersed=True,
+    )
+
+
+def skat(utilization: float = 0.9, n_boards: int = 12) -> ComputationalModule:
+    """The SKAT CM: the paper's built-and-measured machine.
+
+    Paper anchors: 12 CCBs x 8 x XCKU095, three 4 kW PSUs, 91 W per FPGA,
+    8736 W module, oil <= 30 C, max FPGA <= 55 C, 3U.
+    """
+    section = ImmersionSection(
+        ccb=Ccb(Fpga(KINTEX_ULTRASCALE_KU095, utilization=utilization)),
+        n_boards=n_boards,
+        sink=skat_heatsink(),
+        tim=SRC_OIL_STABLE_INTERFACE,
+        psu=ImmersionPsu(rated_output_w=4000.0, boards_served=4),
+        n_psus=3,
+    )
+    return ComputationalModule(
+        name="SKAT",
+        section=section,
+        pump=skat_pump(),
+        hx=skat_hx(),
+        loop_pipe=Pipe(length_m=2.0, diameter_m=0.04, minor_loss_k=6.0),
+    )
+
+
+def skat_plus(
+    utilization: float = 0.9,
+    n_boards: int = 12,
+    family: FpgaFamily = ULTRASCALE_PLUS_VU9P,
+    modified_cooling: bool = True,
+) -> ComputationalModule:
+    """The SKAT+ CM: UltraScale+ boards with the Section 4 modifications.
+
+    With ``modified_cooling=False`` the UltraScale+ boards are dropped into
+    the unmodified SKAT cooling system — the configuration whose junction
+    temperatures "approach again their critical values", motivating the
+    redesign.
+    """
+    ccb = Ccb(
+        Fpga(family, utilization=utilization),
+        separate_controller=False,  # the 45 mm packages leave no room
+    )
+    ccb.require_fit()
+    if modified_cooling:
+        sink, hx, pump = skat_plus_heatsink(), skat_plus_hx(), skat_plus_pump()
+    else:
+        sink, hx, pump = skat_heatsink(), skat_hx(), skat_pump()
+    section = ImmersionSection(
+        ccb=ccb,
+        n_boards=n_boards,
+        sink=sink,
+        tim=SRC_OIL_STABLE_INTERFACE,
+        psu=ImmersionPsu(rated_output_w=4500.0, boards_served=4),
+        n_psus=3,
+    )
+    return ComputationalModule(
+        name="SKAT+" if modified_cooling else "SKAT+ (unmodified cooling)",
+        section=section,
+        pump=pump,
+        hx=hx,
+        loop_pipe=Pipe(length_m=2.0, diameter_m=0.045, minor_loss_k=5.0),
+    )
+
+
+def skat_2(utilization: float = 0.9) -> ComputationalModule:
+    """A projected "UltraScale 2" CM on the SKAT+ cooling system — the
+    future family the conclusions claim the power reserve covers."""
+    return skat_plus(
+        utilization=utilization,
+        family=ULTRASCALE_2_PROJECTED,
+        modified_cooling=True,
+    )
+
+
+__all__ = [
+    "SKAT_WATER_FLOW_M3_S",
+    "SKAT_WATER_SUPPLY_C",
+    "rigel2",
+    "skat",
+    "skat_2",
+    "skat_heatsink",
+    "skat_hx",
+    "skat_plus",
+    "skat_plus_heatsink",
+    "skat_plus_hx",
+    "skat_plus_pump",
+    "skat_pump",
+    "taygeta",
+    "ultrascale_in_air",
+]

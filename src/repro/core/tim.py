@@ -1,0 +1,104 @@
+"""Thermal interface materials, including oil-washout degradation.
+
+Section 2 lists a key failure mode of existing immersion products: "the
+thermal paste between FPGA chips and heat-sinks is washed out during
+long-term maintenance". SRC's answer is "an effective thermal interface
+[whose] coefficient of heat conductivity can remain permanently high".
+We model both: a conventional silicone paste whose resistance drifts up
+exponentially toward a dry-joint asymptote as the oil dissolves it, and the
+oil-stable SRC interface with negligible drift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.thermal.resistances import interface
+
+
+@dataclass(frozen=True)
+class ThermalInterface:
+    """A thermal interface layer between the package lid and the sink base.
+
+    Parameters
+    ----------
+    name:
+        Material label.
+    resistivity_m2k_w:
+        Fresh thermal impedance (contact + bond line), m^2 K/W.
+    washout_timescale_h:
+        E-folding time of oil washout; ``math.inf`` for oil-stable
+        interfaces.
+    washed_out_multiplier:
+        Resistance multiplier the joint tends to once fully washed out
+        (partial dry contact).
+    """
+
+    name: str
+    resistivity_m2k_w: float
+    washout_timescale_h: float = math.inf
+    washed_out_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistivity_m2k_w <= 0:
+            raise ValueError("interface resistivity must be positive")
+        if self.washout_timescale_h <= 0:
+            raise ValueError("washout timescale must be positive")
+        if self.washed_out_multiplier < 1.0:
+            raise ValueError("washout cannot reduce resistance")
+
+    def degradation_multiplier(self, hours_in_oil: float) -> float:
+        """Resistance multiplier after a service time in the bath.
+
+        Rises from 1 toward ``washed_out_multiplier`` with the washout
+        e-folding time; exactly 1 forever for oil-stable interfaces.
+        """
+        if hours_in_oil < 0:
+            raise ValueError("service time must be non-negative")
+        if math.isinf(self.washout_timescale_h):
+            return 1.0
+        span = self.washed_out_multiplier - 1.0
+        return 1.0 + span * (1.0 - math.exp(-hours_in_oil / self.washout_timescale_h))
+
+    def resistance_k_w(self, contact_area_m2: float, hours_in_oil: float = 0.0) -> float:
+        """Interface resistance over a contact area after a service time."""
+        fresh = interface(self.resistivity_m2k_w, contact_area_m2)
+        return fresh * self.degradation_multiplier(hours_in_oil)
+
+
+#: Conventional silicone thermal paste: good when fresh, but the bath
+#: dissolves it — resistance triples over ~4000 h of immersion.
+CONVENTIONAL_PASTE = ThermalInterface(
+    name="conventional silicone paste",
+    resistivity_m2k_w=2.0e-5,
+    washout_timescale_h=4000.0,
+    washed_out_multiplier=3.0,
+)
+
+#: The SRC oil-stable interface: slightly higher fresh impedance than the
+#: best paste, but "its coefficient of heat conductivity can remain
+#: permanently high" — no washout term.
+SRC_OIL_STABLE_INTERFACE = ThermalInterface(
+    name="SRC oil-stable interface",
+    resistivity_m2k_w=5.0e-5,
+    washout_timescale_h=math.inf,
+    washed_out_multiplier=1.0,
+)
+
+#: Dry metal-to-metal contact — the end state of a fully washed-out joint
+#: and the worst-case bound for the failure analyses.
+DRY_CONTACT = ThermalInterface(
+    name="dry contact",
+    resistivity_m2k_w=2.0e-4,
+    washout_timescale_h=math.inf,
+    washed_out_multiplier=1.0,
+)
+
+
+__all__ = [
+    "CONVENTIONAL_PASTE",
+    "DRY_CONTACT",
+    "SRC_OIL_STABLE_INTERFACE",
+    "ThermalInterface",
+]

@@ -1,0 +1,45 @@
+"""Electronics substrate: FPGAs, computational circuit boards, power supplies.
+
+The machines of the paper are built from an "FPGA computational field" —
+six to eight large FPGAs per printed circuit board, 12-16 boards per
+computational module. This package provides the device catalog (every FPGA
+family the paper names, from Virtex-6 to the projected "UltraScale 2"), the
+electro-thermal power model that couples utilization and junction
+temperature to dissipated heat, and the board/PSU assemblies.
+"""
+
+from repro.devices.families import (
+    FpgaFamily,
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_2_PROJECTED,
+    ULTRASCALE_PLUS_VU9P,
+    VIRTEX6_LX240T,
+    VIRTEX7_X485T,
+    family_roadmap,
+)
+from repro.devices.power import FpgaPowerModel, ThermalRunawayError
+from repro.devices.fpga import Fpga, OperatingPoint
+from repro.devices.board import Ccb, BoardLayoutError, RACK_19_INTERNAL_WIDTH_MM
+from repro.devices.memory import BoardMemory, DDR4_8GB, MemoryModule
+from repro.devices.psu import ImmersionPsu
+
+__all__ = [
+    "BoardLayoutError",
+    "BoardMemory",
+    "Ccb",
+    "DDR4_8GB",
+    "Fpga",
+    "FpgaFamily",
+    "FpgaPowerModel",
+    "ImmersionPsu",
+    "KINTEX_ULTRASCALE_KU095",
+    "MemoryModule",
+    "OperatingPoint",
+    "RACK_19_INTERNAL_WIDTH_MM",
+    "ThermalRunawayError",
+    "ULTRASCALE_2_PROJECTED",
+    "ULTRASCALE_PLUS_VU9P",
+    "VIRTEX6_LX240T",
+    "VIRTEX7_X485T",
+    "family_roadmap",
+]

@@ -1,0 +1,138 @@
+"""The computational circuit board (CCB).
+
+"Each CCB must contain up to eight FPGAs, with a dissipating heat flow of
+about 100 W from each FPGA" (Section 3). SKAT-generation boards also carry
+a separate controller FPGA ("the CCB controller was always implemented as a
+separate FPGA"); the SKAT+ redesign eliminates it because the 45 mm
+UltraScale+ packages would otherwise not fit the 19-inch rack width
+(Section 4) — a constraint this module checks arithmetically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.devices.fpga import Fpga
+
+#: Usable board width inside a standard 19-inch rack, mm.
+RACK_19_INTERNAL_WIDTH_MM = 450.0
+#: Package-to-package clearance required for routing and heatsink hardware.
+DEFAULT_CLEARANCE_MM = 7.0
+
+
+class BoardLayoutError(ValueError):
+    """Raised when a CCB layout cannot fit its mechanical envelope."""
+
+
+@dataclass(frozen=True)
+class Ccb:
+    """A computational circuit board.
+
+    Parameters
+    ----------
+    fpga:
+        The (identical) computational FPGAs populating the board.
+    n_fpgas:
+        Computational field size (the paper's boards carry 8).
+    separate_controller:
+        True when a dedicated controller FPGA occupies an extra package
+        site (SKAT); False when one field FPGA doubles as the controller
+        (SKAT+), spending ``controller_overhead`` of its resource on
+        access/programming/monitoring functions.
+    controller_overhead:
+        Fraction of one FPGA's logic spent on controller duties when the
+        controller is folded into the field ("the resources required at
+        present for the implementation of all the CCB controller functions
+        amount to only some percent of the logic capacity").
+    clearance_mm:
+        Package-to-package clearance in the row layout.
+    misc_power_w:
+        Non-FPGA board power (memory, clocking, transceivers).
+    """
+
+    fpga: Fpga
+    n_fpgas: int = 8
+    separate_controller: bool = True
+    controller_overhead: float = 0.04
+    clearance_mm: float = DEFAULT_CLEARANCE_MM
+    misc_power_w: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_fpgas <= 16:
+            raise BoardLayoutError("a CCB carries between 1 and 16 FPGAs")
+        if not 0.0 <= self.controller_overhead < 1.0:
+            raise BoardLayoutError("controller overhead must be within [0, 1)")
+        if self.clearance_mm < 0 or self.misc_power_w < 0:
+            raise BoardLayoutError("clearance and misc power must be non-negative")
+
+    @property
+    def package_sites(self) -> int:
+        """Packages on the board: the field plus any separate controller."""
+        return self.n_fpgas + (1 if self.separate_controller else 0)
+
+    @property
+    def row_width_mm(self) -> float:
+        """Width of the package row the board must accommodate."""
+        pitch = self.fpga.family.package_size_mm + self.clearance_mm
+        return self.package_sites * pitch
+
+    def fits_19_inch_rack(self) -> bool:
+        """Whether the package row fits the usable 19-inch width.
+
+        This single check reproduces the paper's Section 4 argument: with
+        42.5 mm packages nine sites fit; with 45 mm UltraScale+ packages
+        they do not, so the separate controller must go.
+        """
+        return self.row_width_mm <= RACK_19_INTERNAL_WIDTH_MM
+
+    def require_fit(self) -> None:
+        """Raise :class:`BoardLayoutError` when the layout does not fit."""
+        if not self.fits_19_inch_rack():
+            raise BoardLayoutError(
+                f"{self.package_sites} x {self.fpga.family.package_size_mm:.1f} mm packages "
+                f"need {self.row_width_mm:.1f} mm, exceeding the "
+                f"{RACK_19_INTERNAL_WIDTH_MM:.0f} mm usable 19-inch width"
+            )
+
+    def compute_fpgas(self) -> List[Fpga]:
+        """The FPGAs available for computation, controller duty deducted.
+
+        With a separate controller all ``n_fpgas`` field chips compute at
+        full utilization; without one, a single field chip loses
+        ``controller_overhead`` of its resource to controller functions.
+        """
+        chips = [self.fpga] * self.n_fpgas
+        if self.separate_controller:
+            return list(chips)
+        reduced = Fpga(
+            family=self.fpga.family,
+            utilization=max(self.fpga.utilization - self.controller_overhead, 0.0),
+            clock_mhz=self.fpga.clock_mhz,
+        )
+        return [reduced] + list(chips[1:])
+
+    def heat_load_w(self, junction_c: float) -> float:
+        """Total board dissipation with every chip at the given junction
+        temperature (controller FPGA, when separate, idles at ~1/3 load)."""
+        field_heat = sum(chip.power_w(junction_c) for chip in self.compute_fpgas())
+        controller = self.fpga.power_w(junction_c) / 3.0 if self.separate_controller else 0.0
+        return field_heat + controller + self.misc_power_w
+
+    def nominal_heat_load_w(self) -> float:
+        """Board dissipation at the family's reference junction temperature.
+
+        For the SKAT board this is the paper's "power of up to 800 W each":
+        8 x 91 W + controller + memory/clocking.
+        """
+        from repro.devices.power import REFERENCE_JUNCTION_C
+
+        return self.heat_load_w(REFERENCE_JUNCTION_C)
+
+
+__all__ = [
+    "BoardLayoutError",
+    "Ccb",
+    "DEFAULT_CLEARANCE_MM",
+    "RACK_19_INTERNAL_WIDTH_MM",
+]

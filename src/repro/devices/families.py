@@ -1,0 +1,228 @@
+"""The FPGA family catalog.
+
+Every family the paper names, with the attributes the simulation needs:
+logic capacity and clock (performance model), operating/maximum power
+(thermal model), package geometry (board layout — the UltraScale+ move from
+42.5 mm to 45 mm packages is what forces the SKAT+ CCB redesign), and
+junction limits (reliability model).
+
+Catalog values are nominal datasheet-class numbers; the two quantities the
+paper itself fixes — 91 W measured per Kintex UltraScale chip in operating
+mode and "up to 100 W" maximum — are wired in exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class FpgaFamily:
+    """An FPGA family/part as the simulation sees it.
+
+    Parameters
+    ----------
+    name:
+        Marketing family name.
+    part:
+        Representative part number used in the paper's machines.
+    process_nm:
+        Silicon process node.
+    logic_cells:
+        System logic cells — the paper's "logic capacity", the resource
+        the performance model scales with.
+    dsp_slices:
+        Hardened multiply-accumulate blocks.
+    bram_mb:
+        On-chip block RAM, MB.
+    nominal_clock_mhz:
+        Achievable pipeline clock for the RCS computational circuits.
+    operating_power_w:
+        Per-chip power in the machines' "operating mode" (85-95 %
+        utilization of the hardware resource, per Section 1).
+    max_power_w:
+        Worst-case power the cooling system must be designed for.
+    static_fraction:
+        Share of operating power that is leakage at the reference junction
+        temperature (the temperature-dependent part).
+    package_size_mm:
+        Square flip-chip package edge length.
+    die_size_mm:
+        Heat-source (die) edge length under the lid.
+    t_junction_max_c:
+        Absolute junction limit (commercial grade).
+    t_reliable_max_c:
+        The paper's long-service reliability ceiling: "the permissible
+        temperature of an FPGA functioning, providing high reliability of
+        the equipment during a long operation period, is 65...70 C".
+    theta_jc_k_w:
+        Junction-to-case (lid) thermal resistance.
+    year:
+        Introduction year, for the roadmap plots.
+    """
+
+    name: str
+    part: str
+    process_nm: float
+    logic_cells: int
+    dsp_slices: int
+    bram_mb: float
+    nominal_clock_mhz: float
+    operating_power_w: float
+    max_power_w: float
+    static_fraction: float
+    package_size_mm: float
+    die_size_mm: float
+    t_junction_max_c: float
+    t_reliable_max_c: float
+    theta_jc_k_w: float
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.logic_cells <= 0 or self.nominal_clock_mhz <= 0:
+            raise ValueError("logic capacity and clock must be positive")
+        if not 0.0 < self.operating_power_w <= self.max_power_w:
+            raise ValueError("need 0 < operating power <= max power")
+        if not 0.0 <= self.static_fraction < 1.0:
+            raise ValueError("static fraction must be within [0, 1)")
+        if self.die_size_mm > self.package_size_mm:
+            raise ValueError("die cannot exceed the package")
+
+    @property
+    def package_area_m2(self) -> float:
+        """Package footprint, m^2."""
+        return (self.package_size_mm * 1.0e-3) ** 2
+
+    @property
+    def die_area_m2(self) -> float:
+        """Die (heat source) footprint, m^2."""
+        return (self.die_size_mm * 1.0e-3) ** 2
+
+
+#: Virtex-6 of the CM Rigel-2 (Section 1). 40 nm.
+VIRTEX6_LX240T = FpgaFamily(
+    name="Virtex-6",
+    part="XC6VLX240T-1FFG1759C",
+    process_nm=40.0,
+    logic_cells=241_152,
+    dsp_slices=768,
+    bram_mb=1.8,
+    nominal_clock_mhz=250.0,
+    operating_power_w=30.0,
+    max_power_w=38.0,
+    static_fraction=0.30,
+    package_size_mm=42.5,
+    die_size_mm=20.0,
+    t_junction_max_c=85.0,
+    t_reliable_max_c=67.0,
+    theta_jc_k_w=0.12,
+    year=2009,
+)
+
+#: Virtex-7 of the CM Taygeta (Section 1). 28 nm; +11...15 C overheat vs
+#: Virtex-6 under the same air cooling.
+VIRTEX7_X485T = FpgaFamily(
+    name="Virtex-7",
+    part="XC7VX485T-1FFG1761C",
+    process_nm=28.0,
+    logic_cells=485_760,
+    dsp_slices=2_800,
+    bram_mb=4.6,
+    nominal_clock_mhz=400.0,
+    operating_power_w=40.0,
+    max_power_w=50.0,
+    static_fraction=0.32,
+    package_size_mm=42.5,
+    die_size_mm=22.0,
+    t_junction_max_c=85.0,
+    t_reliable_max_c=67.0,
+    theta_jc_k_w=0.10,
+    year=2012,
+)
+
+#: Kintex UltraScale of the SKAT CCB (Section 3). 20 nm. The paper measures
+#: 91 W per chip in operating mode and quotes "up to 100 W" as the family
+#: ceiling.
+KINTEX_ULTRASCALE_KU095 = FpgaFamily(
+    name="Kintex UltraScale",
+    part="XCKU095",
+    process_nm=20.0,
+    logic_cells=1_176_000,
+    dsp_slices=768,
+    bram_mb=8.2,
+    nominal_clock_mhz=480.0,
+    operating_power_w=96.0,
+    max_power_w=105.0,
+    static_fraction=0.35,
+    package_size_mm=42.5,
+    die_size_mm=26.0,
+    t_junction_max_c=100.0,
+    t_reliable_max_c=67.0,
+    theta_jc_k_w=0.08,
+    year=2015,
+)
+
+#: UltraScale+ of the planned SKAT+ (Section 4). 16FinFET Plus, "three time
+#: increase in computational performance", 45 x 45 mm package.
+ULTRASCALE_PLUS_VU9P = FpgaFamily(
+    name="Virtex UltraScale+",
+    part="XCVU9P",
+    process_nm=16.0,
+    logic_cells=2_586_000,
+    dsp_slices=6_840,
+    bram_mb=43.3,
+    nominal_clock_mhz=650.0,
+    operating_power_w=100.0,
+    max_power_w=115.0,
+    static_fraction=0.30,
+    package_size_mm=45.0,
+    die_size_mm=30.0,
+    t_junction_max_c=100.0,
+    t_reliable_max_c=67.0,
+    theta_jc_k_w=0.07,
+    year=2017,
+)
+
+#: The "UltraScale 2" the conclusions reserve cooling headroom for — a
+#: projected next node continuing the capacity/clock/power trend.
+ULTRASCALE_2_PROJECTED = FpgaFamily(
+    name="UltraScale 2 (projected)",
+    part="(projection)",
+    process_nm=7.0,
+    logic_cells=5_200_000,
+    dsp_slices=12_000,
+    bram_mb=90.0,
+    nominal_clock_mhz=750.0,
+    operating_power_w=110.0,
+    max_power_w=130.0,
+    static_fraction=0.28,
+    package_size_mm=45.0,
+    die_size_mm=32.0,
+    t_junction_max_c=100.0,
+    t_reliable_max_c=67.0,
+    theta_jc_k_w=0.06,
+    year=2020,
+)
+
+
+def family_roadmap() -> List[FpgaFamily]:
+    """The FPGA families in chronological order (the paper's trajectory)."""
+    return [
+        VIRTEX6_LX240T,
+        VIRTEX7_X485T,
+        KINTEX_ULTRASCALE_KU095,
+        ULTRASCALE_PLUS_VU9P,
+        ULTRASCALE_2_PROJECTED,
+    ]
+
+
+__all__ = [
+    "FpgaFamily",
+    "KINTEX_ULTRASCALE_KU095",
+    "ULTRASCALE_2_PROJECTED",
+    "ULTRASCALE_PLUS_VU9P",
+    "VIRTEX6_LX240T",
+    "VIRTEX7_X485T",
+    "family_roadmap",
+]

@@ -1,0 +1,104 @@
+"""An FPGA instance: a family configured at an operating point.
+
+Separates the immutable family catalog (:mod:`repro.devices.families`) from
+how a particular machine drives the chip: utilization (the paper's machines
+run at "85-95 % of the available hardware resource") and pipeline clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.devices.families import FpgaFamily
+from repro.devices.power import FpgaPowerModel, REFERENCE_UTILIZATION
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A resolved electro-thermal operating point for one FPGA."""
+
+    junction_c: float
+    power_w: float
+    coolant_c: float
+    resistance_k_w: float
+    utilization: float
+    clock_mhz: float
+
+    @property
+    def overheat_k(self) -> float:
+        """Junction rise above the coolant — the quantity the paper reports
+        ("the maximum overheat of the FPGAs relative to an environment
+        temperature")."""
+        return self.junction_c - self.coolant_c
+
+
+@dataclass(frozen=True)
+class Fpga:
+    """A configured FPGA.
+
+    Parameters
+    ----------
+    family:
+        The device family from the catalog.
+    utilization:
+        Fraction of hardware resource carrying the computational circuit.
+    clock_mhz:
+        Pipeline clock; defaults to the family's nominal clock.
+    """
+
+    family: FpgaFamily
+    utilization: float = REFERENCE_UTILIZATION
+    clock_mhz: Optional[float] = None
+    _power_model: FpgaPowerModel = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError("utilization must be within [0, 1]")
+        clock = self.clock_mhz if self.clock_mhz is not None else self.family.nominal_clock_mhz
+        if clock <= 0:
+            raise ValueError("clock must be positive")
+        object.__setattr__(self, "clock_mhz", clock)
+        object.__setattr__(self, "_power_model", FpgaPowerModel(self.family))
+
+    @property
+    def power_model(self) -> FpgaPowerModel:
+        """The family's electro-thermal power model."""
+        return self._power_model
+
+    def power_w(self, junction_c: float) -> float:
+        """Dissipation at a given junction temperature."""
+        return self._power_model.total_power_w(self.utilization, self.clock_mhz, junction_c)
+
+    def operate(
+        self, resistance_junction_to_coolant_k_w: float, coolant_c: float
+    ) -> OperatingPoint:
+        """Resolve the self-consistent operating point against a coolant.
+
+        This is the single-chip building block of every machine model: the
+        cooling design supplies the junction-to-coolant resistance, the
+        power model supplies the heat, and the fixed point is the chip's
+        steady temperature.
+        """
+        junction = self._power_model.solve_junction(
+            resistance_junction_to_coolant_k_w,
+            coolant_c,
+            utilization=self.utilization,
+            clock_mhz=self.clock_mhz,
+        )
+        return OperatingPoint(
+            junction_c=junction,
+            power_w=self.power_w(junction),
+            coolant_c=coolant_c,
+            resistance_k_w=resistance_junction_to_coolant_k_w,
+            utilization=self.utilization,
+            clock_mhz=self.clock_mhz,
+        )
+
+    def within_reliability_limit(self, junction_c: float) -> bool:
+        """Whether the junction stays below the long-service ceiling the
+        paper uses (65...70 C; we test against the family's value)."""
+        return junction_c <= self.family.t_reliable_max_c
+
+
+__all__ = ["Fpga", "OperatingPoint"]

@@ -1,0 +1,117 @@
+"""Board memory subsystem.
+
+The paper lists "RAM" among the immersed electronic components of the
+computational section. Each CCB pairs its FPGA field with DDR memory for
+streaming task data; memory is a modest but real heat source and — being
+immersed — must tolerate the oil like everything else. The model covers
+capacity planning and the power the bath must carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryModule:
+    """One DDR memory device/module on a CCB.
+
+    Parameters
+    ----------
+    name:
+        Part label.
+    capacity_gb:
+        Capacity, GB.
+    idle_power_w, active_power_w:
+        Power at idle and at full streaming bandwidth.
+    bandwidth_gb_s:
+        Peak bandwidth, GB/s.
+    """
+
+    name: str
+    capacity_gb: float
+    idle_power_w: float
+    active_power_w: float
+    bandwidth_gb_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0 or self.bandwidth_gb_s <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        if not 0.0 <= self.idle_power_w <= self.active_power_w:
+            raise ValueError("need 0 <= idle power <= active power")
+
+    def power_w(self, activity: float) -> float:
+        """Dissipation at a streaming activity factor in [0, 1]."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be within [0, 1]")
+        return self.idle_power_w + activity * (self.active_power_w - self.idle_power_w)
+
+
+#: DDR4-class component the SKAT-generation boards carry per FPGA.
+DDR4_8GB = MemoryModule(
+    name="DDR4 8GB",
+    capacity_gb=8.0,
+    idle_power_w=1.2,
+    active_power_w=4.5,
+    bandwidth_gb_s=19.2,
+)
+
+
+@dataclass(frozen=True)
+class BoardMemory:
+    """The memory complement of one CCB.
+
+    Parameters
+    ----------
+    module:
+        The memory device type.
+    modules_per_fpga:
+        Devices attached to each field FPGA (one bank per chip typical).
+    n_fpgas:
+        Field size.
+    """
+
+    module: MemoryModule = DDR4_8GB
+    modules_per_fpga: int = 1
+    n_fpgas: int = 8
+
+    def __post_init__(self) -> None:
+        if self.modules_per_fpga < 0 or self.n_fpgas < 1:
+            raise ValueError("invalid memory complement")
+
+    @property
+    def n_modules(self) -> int:
+        """Devices on the board."""
+        return self.modules_per_fpga * self.n_fpgas
+
+    @property
+    def capacity_gb(self) -> float:
+        """Board memory capacity, GB."""
+        return self.n_modules * self.module.capacity_gb
+
+    @property
+    def total_bandwidth_gb_s(self) -> float:
+        """Aggregate streaming bandwidth, GB/s."""
+        return self.n_modules * self.module.bandwidth_gb_s
+
+    def power_w(self, activity: float = 0.6) -> float:
+        """Board memory dissipation at an activity factor.
+
+        The default 0.6 reflects streaming pipelines that keep banks busy
+        most cycles — and lands near the 30 W ``misc_power_w`` the board
+        model budgets, which the test suite checks for consistency.
+        """
+        return self.n_modules * self.module.power_w(activity)
+
+    def bandwidth_per_gflops(self, board_gflops: float) -> float:
+        """Bytes available per floating-point operation (balance metric).
+
+        RCS pipelines are streaming machines; below ~0.1 B/Flop most task
+        graphs starve. Used by the capacity-planning checks.
+        """
+        if board_gflops <= 0:
+            raise ValueError("board performance must be positive")
+        return self.total_bandwidth_gb_s / board_gflops
+
+
+__all__ = ["BoardMemory", "DDR4_8GB", "MemoryModule"]

@@ -1,0 +1,137 @@
+"""Electro-thermal FPGA power model.
+
+Power has a dynamic part (switching: proportional to utilization and clock)
+and a static part (leakage: exponential in junction temperature). The
+exponential coupling is why the paper's air-cooling numbers degrade so
+quickly from family to family — a hotter junction leaks more, which heats
+the junction further. The model exposes this loop explicitly via
+:meth:`FpgaPowerModel.solve_junction`, which either converges to the
+self-consistent operating point or raises :class:`ThermalRunawayError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.devices.families import FpgaFamily
+
+#: Junction temperature at which the catalog operating power is defined.
+REFERENCE_JUNCTION_C = 60.0
+#: Utilization at which the catalog operating power is defined (the middle
+#: of the paper's "85-95 % of the available hardware resource").
+REFERENCE_UTILIZATION = 0.9
+#: Leakage e-folding temperature, K (leakage doubles per ~31 C).
+LEAKAGE_EFOLD_K = 45.0
+#: Upper bracket for junction solves; silicon is destroyed long before.
+_JUNCTION_CEILING_C = 400.0
+
+
+class ThermalRunawayError(RuntimeError):
+    """Raised when no self-consistent junction temperature exists below the
+    physical ceiling — the leakage/temperature loop diverges."""
+
+
+@dataclass(frozen=True)
+class FpgaPowerModel:
+    """Power model for one FPGA family.
+
+    Calibrated so that at the reference utilization, nominal clock and
+    reference junction temperature the chip dissipates exactly the family's
+    catalog ``operating_power_w``.
+    """
+
+    family: FpgaFamily
+
+    @property
+    def static_reference_w(self) -> float:
+        """Leakage power at the reference junction temperature."""
+        return self.family.static_fraction * self.family.operating_power_w
+
+    @property
+    def dynamic_reference_w(self) -> float:
+        """Switching power at reference utilization and nominal clock."""
+        return (1.0 - self.family.static_fraction) * self.family.operating_power_w
+
+    def static_power_w(self, junction_c: float) -> float:
+        """Leakage power at a junction temperature."""
+        return self.static_reference_w * math.exp(
+            (junction_c - REFERENCE_JUNCTION_C) / LEAKAGE_EFOLD_K
+        )
+
+    def dynamic_power_w(self, utilization: float, clock_mhz: float) -> float:
+        """Switching power at a utilization and clock."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be within [0, 1]")
+        if clock_mhz < 0:
+            raise ValueError("clock must be non-negative")
+        return (
+            self.dynamic_reference_w
+            * (utilization / REFERENCE_UTILIZATION)
+            * (clock_mhz / self.family.nominal_clock_mhz)
+        )
+
+    def total_power_w(self, utilization: float, clock_mhz: float, junction_c: float) -> float:
+        """Total dissipation at an operating point."""
+        return self.dynamic_power_w(utilization, clock_mhz) + self.static_power_w(junction_c)
+
+    def solve_junction(
+        self,
+        resistance_junction_to_coolant_k_w: float,
+        coolant_c: float,
+        utilization: float = REFERENCE_UTILIZATION,
+        clock_mhz: float = None,
+    ) -> float:
+        """Self-consistent junction temperature against a coolant.
+
+        Solves ``T_j = T_coolant + R * P(T_j)`` where the static part of P
+        rises exponentially with ``T_j``.
+
+        Raises
+        ------
+        ThermalRunawayError
+            When the balance has no solution below the physical ceiling
+            (cooling too weak for the leakage feedback).
+        """
+        if resistance_junction_to_coolant_k_w <= 0:
+            raise ValueError("thermal resistance must be positive")
+        if clock_mhz is None:
+            clock_mhz = self.family.nominal_clock_mhz
+        r = resistance_junction_to_coolant_k_w
+
+        def imbalance(t_j: float) -> float:
+            return t_j - coolant_c - r * self.total_power_w(utilization, clock_mhz, t_j)
+
+        # The balance is negative at the coolant temperature (heat with no
+        # rise) and, when equilibrium exists, crosses zero at the stable
+        # operating point before the exponential leakage turns it negative
+        # again at the unstable high-temperature root. Scan upward for the
+        # first sign change, then refine.
+        lower = coolant_c
+        upper = None
+        step = 2.0
+        t = coolant_c + step
+        while t <= _JUNCTION_CEILING_C:
+            if imbalance(t) >= 0.0:
+                upper = t
+                break
+            lower = t
+            t += step
+        if upper is None:
+            raise ThermalRunawayError(
+                f"{self.family.name}: no thermal equilibrium below "
+                f"{_JUNCTION_CEILING_C:.0f} C with R={r:.3f} K/W at "
+                f"coolant {coolant_c:.1f} C"
+            )
+        return brentq(imbalance, lower, upper, xtol=1e-10)
+
+
+__all__ = [
+    "FpgaPowerModel",
+    "LEAKAGE_EFOLD_K",
+    "REFERENCE_JUNCTION_C",
+    "REFERENCE_UTILIZATION",
+    "ThermalRunawayError",
+]

@@ -1,0 +1,70 @@
+"""Fluid property substrate.
+
+Temperature-dependent thermophysical property models for the heat-transfer
+agents discussed in the paper: air (the legacy cooling medium), water and
+water/glycol (closed-loop liquid cooling), and dielectric liquids — above all
+the mineral oil MD-4.5 used as the secondary heat-transfer agent in the SKAT
+immersion cooling system.
+
+Public API
+----------
+``Fluid``
+    A named fluid with callable property models.
+``PropertyModel`` and concrete models (``Constant``, ``Polynomial``,
+``Andrade``, ``Sutherland``)
+    Building blocks for temperature-dependent properties.
+``AIR``, ``WATER``, ``GLYCOL30``, ``MINERAL_OIL_MD45``, ``SYNTHETIC_ESTER``
+    The fluid library.
+``mouromtseff_number``
+    Coolant figure of merit used by the design-rule checks.
+"""
+
+from repro.fluids.properties import (
+    Andrade,
+    Constant,
+    Fluid,
+    Polynomial,
+    PropertyModel,
+    Sutherland,
+    CELSIUS_TO_KELVIN,
+)
+from repro.fluids.ageing import OilAgeing, aged_fluid, hours_until_rules_fail
+from repro.fluids.mixtures import (
+    fraction_for_freeze_protection,
+    freeze_point_c,
+    glycol_mixture,
+)
+from repro.fluids.library import (
+    AIR,
+    GLYCOL30,
+    MINERAL_OIL_MD45,
+    SYNTHETIC_ESTER,
+    WATER,
+    all_fluids,
+    coolant_comparison_table,
+    mouromtseff_number,
+)
+
+__all__ = [
+    "AIR",
+    "Andrade",
+    "CELSIUS_TO_KELVIN",
+    "Constant",
+    "Fluid",
+    "GLYCOL30",
+    "MINERAL_OIL_MD45",
+    "Polynomial",
+    "PropertyModel",
+    "SYNTHETIC_ESTER",
+    "Sutherland",
+    "WATER",
+    "OilAgeing",
+    "aged_fluid",
+    "all_fluids",
+    "coolant_comparison_table",
+    "fraction_for_freeze_protection",
+    "freeze_point_c",
+    "glycol_mixture",
+    "hours_until_rules_fail",
+    "mouromtseff_number",
+]

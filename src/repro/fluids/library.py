@@ -1,0 +1,180 @@
+"""The fluid library: the concrete heat-transfer agents of the paper.
+
+Section 2 of the paper compares air against liquid heat-transfer agents
+(water for closed-loop systems, dielectric liquids — "as a rule ... a white
+mineral oil" — for open-loop immersion systems) and Section 4 names the
+secondary agent of the SKAT rack loop explicitly: oil MD-4.5.
+
+Property fits are standard engineering correlations valid over the
+electronics-cooling range (roughly 0–100 degrees Celsius); sources are the
+usual handbook values (Incropera/VDI for air and water, transformer-oil
+class data for the mineral oil).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.fluids.properties import (
+    Andrade,
+    Fluid,
+    IdealGasDensity,
+    Polynomial,
+    Sutherland,
+)
+
+#: Dry air at atmospheric pressure — the legacy cooling medium whose limits
+#: (Section 1) motivate the whole paper.
+AIR = Fluid(
+    name="air",
+    density_model=IdealGasDensity(pressure_pa=101325.0),
+    specific_heat_model=Polynomial((1006.0, 0.02)),
+    conductivity_model=Polynomial((0.0243, 7.0e-5)),
+    viscosity_model=Sutherland(mu_ref=1.716e-5, t_ref_k=273.15, s=110.4),
+    dielectric=True,  # air does not short circuits, but it also barely cools
+    dielectric_strength_kv_mm=3.0,
+    cost_usd_per_litre=0.0,
+    t_min_c=-50.0,
+    t_max_c=300.0,
+    notes="Legacy cooling medium; heat capacity per volume ~3500x below water.",
+)
+
+#: Liquid water — the closed-loop (cold plate) heat-transfer agent and the
+#: primary agent of the SKAT rack loop (chilled water).
+WATER = Fluid(
+    name="water",
+    density_model=Polynomial((999.8, -0.03, -0.004)),
+    specific_heat_model=Polynomial((4217.0, -2.75, 0.043)),
+    conductivity_model=Polynomial((0.561, 0.002, -7.5e-6)),
+    # Vogel fit: mu = 2.414e-5 * 10^(247.8/(T_K - 140))
+    viscosity_model=Andrade(a=2.414e-5, b=247.8 * math.log(10.0), c=140.0),
+    dielectric=False,
+    dielectric_strength_kv_mm=0.0,
+    cost_usd_per_litre=0.001,
+    t_min_c=0.5,
+    t_max_c=99.0,
+    notes="Electrically conducting: leaks are fatal to immersed electronics.",
+)
+
+#: 30 % propylene glycol in water — the freeze-protected closed-loop variant
+#: ("water or glycol solutions", Section 2).
+GLYCOL30 = Fluid(
+    name="glycol30",
+    density_model=Polynomial((1030.0, -0.38, -0.0015)),
+    specific_heat_model=Polynomial((3780.0, 2.2)),
+    conductivity_model=Polynomial((0.42, 0.0009)),
+    viscosity_model=Andrade(a=3.0e-6, b=2004.0),
+    dielectric=False,
+    dielectric_strength_kv_mm=0.0,
+    cost_usd_per_litre=2.0,
+    t_min_c=-15.0,
+    t_max_c=99.0,
+    notes="Antifreeze option for the primary loop of the rack heat-exchange system.",
+)
+
+#: Mineral oil MD-4.5 — the paper's secondary heat-transfer agent for the
+#: immersion bath (Section 4, Fig. 5 description). White-mineral-oil /
+#: transformer-oil class properties.
+MINERAL_OIL_MD45 = Fluid(
+    name="mineral_oil_md45",
+    density_model=Polynomial((870.0, -0.64)),
+    specific_heat_model=Polynomial((1860.0, 4.0)),
+    conductivity_model=Polynomial((0.134, -7.0e-5)),
+    viscosity_model=Andrade(a=2.36e-6, b=1326.0, c=150.0),
+    dielectric=True,
+    dielectric_strength_kv_mm=14.0,
+    flash_point_c=180.0,
+    pour_point_c=-45.0,
+    cost_usd_per_litre=8.0,
+    t_min_c=-20.0,
+    t_max_c=160.0,
+    notes="The SKAT immersion coolant: dielectric, cheap, moderate viscosity.",
+)
+
+#: A synthetic dielectric ester — the expensive single-vendor coolant the
+#: paper criticises in the IMMERS systems ("high cost of the cooling liquid,
+#: produced by only one manufacturer").
+SYNTHETIC_ESTER = Fluid(
+    name="synthetic_ester",
+    density_model=Polynomial((970.0, -0.7)),
+    specific_heat_model=Polynomial((1880.0, 2.3)),
+    conductivity_model=Polynomial((0.144, -5.0e-5)),
+    viscosity_model=Andrade(a=7.96e-6, b=1326.0, c=150.0),
+    dielectric=True,
+    dielectric_strength_kv_mm=20.0,
+    flash_point_c=260.0,
+    pour_point_c=-56.0,
+    cost_usd_per_litre=25.0,
+    t_min_c=-30.0,
+    t_max_c=150.0,
+    notes="Single-vendor coolant of the IMMERS-class systems; 3x the oil cost.",
+)
+
+
+def all_fluids() -> List[Fluid]:
+    """Every fluid in the library, air first."""
+    return [AIR, WATER, GLYCOL30, MINERAL_OIL_MD45, SYNTHETIC_ESTER]
+
+
+def mouromtseff_number(fluid: Fluid, temperature_c: float) -> float:
+    """Mouromtseff figure of merit for turbulent internal forced convection.
+
+    ``Mo = rho^0.8 * k^0.6 * cp^0.4 / mu^0.4`` — higher is better. This is
+    the standard single-number ranking of heat-transfer agents and is what
+    the paper's qualitative criteria ("high heat transfer capacity, the
+    maximum possible heat capacity, and low viscosity") reduce to.
+    """
+    rho = fluid.density(temperature_c)
+    k = fluid.conductivity(temperature_c)
+    cp = fluid.specific_heat(temperature_c)
+    mu = fluid.viscosity(temperature_c)
+    return rho ** 0.8 * k ** 0.6 * cp ** 0.4 / mu ** 0.4
+
+
+def coolant_comparison_table(temperature_c: float = 30.0) -> List[Dict[str, float]]:
+    """Property table for all library fluids, with ratios relative to air.
+
+    Regenerates the raw material of the paper's Section 2 comparison: the
+    volumetric heat capacity advantage of liquids over air ("from 1500 to
+    4000 times") and the figure-of-merit ordering that justifies immersion
+    in mineral oil.
+
+    Returns one row per fluid with keys ``name``, ``density``, ``cp``,
+    ``conductivity``, ``viscosity``, ``prandtl``,
+    ``volumetric_heat_capacity``, ``heat_capacity_ratio_vs_air``,
+    ``mouromtseff`` and ``mouromtseff_ratio_vs_air``.
+    """
+    air_vhc = AIR.volumetric_heat_capacity(temperature_c)
+    air_mo = mouromtseff_number(AIR, temperature_c)
+    rows: List[Dict[str, float]] = []
+    for fluid in all_fluids():
+        vhc = fluid.volumetric_heat_capacity(temperature_c)
+        mo = mouromtseff_number(fluid, temperature_c)
+        rows.append(
+            {
+                "name": fluid.name,
+                "density": fluid.density(temperature_c),
+                "cp": fluid.specific_heat(temperature_c),
+                "conductivity": fluid.conductivity(temperature_c),
+                "viscosity": fluid.viscosity(temperature_c),
+                "prandtl": fluid.prandtl(temperature_c),
+                "volumetric_heat_capacity": vhc,
+                "heat_capacity_ratio_vs_air": vhc / air_vhc,
+                "mouromtseff": mo,
+                "mouromtseff_ratio_vs_air": mo / air_mo,
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "AIR",
+    "GLYCOL30",
+    "MINERAL_OIL_MD45",
+    "SYNTHETIC_ESTER",
+    "WATER",
+    "all_fluids",
+    "coolant_comparison_table",
+    "mouromtseff_number",
+]

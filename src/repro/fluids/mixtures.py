@@ -1,0 +1,139 @@
+"""Water/propylene-glycol mixtures for the primary (rack) loop.
+
+Section 4 allows "water, antifreeze, etc." as the primary heat-transfer
+agent. The fixed :data:`repro.fluids.library.GLYCOL30` entry covers the
+common 30 % blend; this module generates a :class:`~repro.fluids.properties.Fluid`
+for *any* glycol mass fraction, interpolating the property fits between
+pure water and a 60 % blend, and exposes the freeze-protection curve the
+blend is chosen by.
+
+The interpolation is engineering-grade (linear in mass fraction for
+density/heat/conductivity, log-linear for viscosity), which matches
+handbook tables to a few percent over 0-60 % and 0-90 degrees Celsius.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fluids.library import WATER
+from repro.fluids.properties import Fluid, PropertyModel
+
+#: Highest glycol mass fraction the fits cover.
+MAX_GLYCOL_FRACTION = 0.6
+
+#: Property anchors for a 60 % propylene-glycol blend (handbook class).
+_G60_DENSITY = (1053.0, -0.45, -0.0015)
+_G60_CP = (3280.0, 3.4)
+_G60_K = (0.30, 0.0006)
+_G60_MU_A = 1.1e-6
+_G60_MU_B = 2850.0
+
+
+def freeze_point_c(glycol_fraction: float) -> float:
+    """Freezing point of the blend, Celsius.
+
+    Quadratic fit to the propylene-glycol freeze curve: 0 % -> 0 C,
+    30 % -> about -14 C, 60 % -> about -48 C.
+    """
+    _check_fraction(glycol_fraction)
+    return -(28.0 * glycol_fraction + 75.0 * glycol_fraction ** 2)
+
+
+def fraction_for_freeze_protection(required_c: float) -> float:
+    """Smallest glycol fraction protecting down to ``required_c``.
+
+    Inverts :func:`freeze_point_c`; raises if no fraction up to 60 %
+    suffices (glycol systems are not specified below roughly -45 C).
+    """
+    if required_c >= 0.0:
+        return 0.0
+    # Solve 75 x^2 + 28 x + required = 0 for the positive root.
+    disc = 28.0 ** 2 - 4.0 * 75.0 * required_c
+    x = (-28.0 + math.sqrt(disc)) / (2.0 * 75.0)
+    if x > MAX_GLYCOL_FRACTION:
+        raise ValueError(
+            f"freeze protection to {required_c:.0f} C needs a glycol fraction "
+            f"of {x:.2f}, beyond the {MAX_GLYCOL_FRACTION:.0%} validity limit"
+        )
+    return x
+
+
+@dataclass(frozen=True)
+class _Interpolated(PropertyModel):
+    """Linear blend of two property models in glycol mass fraction."""
+
+    water_model: PropertyModel
+    g60_poly: tuple
+    fraction: float
+
+    def __call__(self, temperature_c: float) -> float:
+        water = self.water_model(temperature_c)
+        g60 = 0.0
+        power = 1.0
+        for c in self.g60_poly:
+            g60 += c * power
+            power *= temperature_c
+        w = self.fraction / MAX_GLYCOL_FRACTION
+        return (1.0 - w) * water + w * g60
+
+
+@dataclass(frozen=True)
+class _LogViscosity(PropertyModel):
+    """Log-linear viscosity blend (viscosity mixes geometrically)."""
+
+    water_model: PropertyModel
+    fraction: float
+
+    def __call__(self, temperature_c: float) -> float:
+        water = self.water_model(temperature_c)
+        t_k = temperature_c + 273.15
+        g60 = _G60_MU_A * math.exp(_G60_MU_B / t_k)
+        w = self.fraction / MAX_GLYCOL_FRACTION
+        return math.exp((1.0 - w) * math.log(water) + w * math.log(g60))
+
+
+def glycol_mixture(glycol_fraction: float) -> Fluid:
+    """Build a Fluid for a propylene-glycol/water blend.
+
+    Parameters
+    ----------
+    glycol_fraction:
+        Glycol mass fraction, 0 (pure water) to 0.6.
+    """
+    _check_fraction(glycol_fraction)
+    if glycol_fraction == 0.0:
+        return WATER
+    return Fluid(
+        name=f"glycol{glycol_fraction * 100:.0f}",
+        density_model=_Interpolated(WATER.density_model, _G60_DENSITY, glycol_fraction),
+        specific_heat_model=_Interpolated(WATER.specific_heat_model, _G60_CP, glycol_fraction),
+        conductivity_model=_Interpolated(WATER.conductivity_model, _G60_K, glycol_fraction),
+        viscosity_model=_LogViscosity(WATER.viscosity_model, glycol_fraction),
+        dielectric=False,
+        dielectric_strength_kv_mm=0.0,
+        cost_usd_per_litre=0.5 + 5.0 * glycol_fraction,
+        t_min_c=max(freeze_point_c(glycol_fraction) + 2.0, -45.0),
+        t_max_c=99.0,
+        notes=(
+            f"{glycol_fraction:.0%} propylene glycol; freeze point "
+            f"{freeze_point_c(glycol_fraction):.0f} C"
+        ),
+    )
+
+
+def _check_fraction(glycol_fraction: float) -> None:
+    if not 0.0 <= glycol_fraction <= MAX_GLYCOL_FRACTION:
+        raise ValueError(
+            f"glycol fraction must be within [0, {MAX_GLYCOL_FRACTION}], "
+            f"got {glycol_fraction}"
+        )
+
+
+__all__ = [
+    "MAX_GLYCOL_FRACTION",
+    "fraction_for_freeze_protection",
+    "freeze_point_c",
+    "glycol_mixture",
+]

@@ -1,0 +1,266 @@
+"""Temperature-dependent thermophysical property models.
+
+All temperatures at the public API are in degrees Celsius (the paper quotes
+every temperature in Celsius); models that are physically formulated on the
+absolute scale convert internally.
+
+Units are SI throughout:
+
+===================  =========
+density              kg/m^3
+specific heat        J/(kg K)
+thermal conductivity W/(m K)
+dynamic viscosity    Pa s
+===================  =========
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+CELSIUS_TO_KELVIN = 273.15
+
+
+class PropertyModel:
+    """Base class for a scalar property as a function of temperature.
+
+    Subclasses implement :meth:`__call__` taking a temperature in Celsius
+    and returning the property value in SI units.
+    """
+
+    def __call__(self, temperature_c: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(PropertyModel):
+    """A property that does not vary with temperature.
+
+    Parameters
+    ----------
+    value:
+        The property value (SI units).
+    """
+
+    value: float
+
+    def __call__(self, temperature_c: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Polynomial(PropertyModel):
+    """Polynomial in Celsius temperature: ``sum(c[i] * T**i)``.
+
+    Coefficients are given lowest order first, i.e. ``coefficients[0]`` is
+    the value at 0 degrees Celsius.
+    """
+
+    coefficients: Sequence[float]
+
+    def __call__(self, temperature_c: float) -> float:
+        result = 0.0
+        power = 1.0
+        for coefficient in self.coefficients:
+            result += coefficient * power
+            power *= temperature_c
+        return result
+
+
+@dataclass(frozen=True)
+class Andrade(PropertyModel):
+    """Andrade (Vogel-type) viscosity model ``mu = a * exp(b / (T_K - c))``.
+
+    The standard model for liquid viscosity, which falls steeply with
+    temperature — the dominant temperature effect for mineral oil, where
+    viscosity roughly halves for every 15–20 degrees Celsius of warming.
+
+    Parameters
+    ----------
+    a:
+        Pre-exponential factor, Pa s.
+    b:
+        Activation temperature, K.
+    c:
+        Vogel offset, K (0 recovers the pure Andrade form).
+    """
+
+    a: float
+    b: float
+    c: float = 0.0
+
+    def __call__(self, temperature_c: float) -> float:
+        temperature_k = temperature_c + CELSIUS_TO_KELVIN
+        return self.a * math.exp(self.b / (temperature_k - self.c))
+
+
+@dataclass(frozen=True)
+class Sutherland(PropertyModel):
+    """Sutherland's law for gas viscosity.
+
+    ``mu = mu_ref * (T/T_ref)^1.5 * (T_ref + S) / (T + S)`` with absolute
+    temperatures. Standard for air over the range relevant to electronics
+    cooling.
+    """
+
+    mu_ref: float
+    t_ref_k: float
+    s: float
+
+    def __call__(self, temperature_c: float) -> float:
+        temperature_k = temperature_c + CELSIUS_TO_KELVIN
+        ratio = temperature_k / self.t_ref_k
+        return self.mu_ref * ratio ** 1.5 * (self.t_ref_k + self.s) / (temperature_k + self.s)
+
+
+@dataclass(frozen=True)
+class IdealGasDensity(PropertyModel):
+    """Ideal-gas density ``rho = p / (R_specific * T_K)`` at fixed pressure.
+
+    Parameters
+    ----------
+    pressure_pa:
+        Absolute pressure, Pa.
+    specific_gas_constant:
+        J/(kg K); 287.05 for dry air.
+    """
+
+    pressure_pa: float = 101325.0
+    specific_gas_constant: float = 287.05
+
+    def __call__(self, temperature_c: float) -> float:
+        temperature_k = temperature_c + CELSIUS_TO_KELVIN
+        return self.pressure_pa / (self.specific_gas_constant * temperature_k)
+
+
+@dataclass(frozen=True)
+class Fluid:
+    """A heat-transfer agent with temperature-dependent properties.
+
+    The paper's selection criteria for the immersion heat-transfer agent
+    (Section 2) ask for "the best possible dielectric strength, high heat
+    transfer capacity, the maximum possible heat capacity, and low
+    viscosity"; the attributes here carry exactly those quantities so the
+    design rules in :mod:`repro.core.designrules` can be executed.
+
+    Parameters
+    ----------
+    name:
+        Human-readable fluid name.
+    density_model, specific_heat_model, conductivity_model, viscosity_model:
+        Property models (see :class:`PropertyModel`).
+    dielectric:
+        True when the fluid is electrically non-conducting and may contact
+        live electronics (mineral oil, esters); False for water/glycol,
+        whose leakage "can be fatal for both separate electronic components
+        and the whole computer system" (Section 2).
+    dielectric_strength_kv_mm:
+        Breakdown field strength, kV/mm (0 for conducting fluids).
+    flash_point_c:
+        Flash point for fire-safety checks; ``math.inf`` for nonflammable.
+    pour_point_c:
+        Lowest temperature at which the fluid still flows.
+    cost_usd_per_litre:
+        Rough unit cost, used by the design-rule "reasonable cost" check.
+    t_min_c, t_max_c:
+        Validity range of the property fits.
+    """
+
+    name: str
+    density_model: PropertyModel
+    specific_heat_model: PropertyModel
+    conductivity_model: PropertyModel
+    viscosity_model: PropertyModel
+    dielectric: bool
+    dielectric_strength_kv_mm: float = 0.0
+    flash_point_c: float = math.inf
+    pour_point_c: float = -273.15
+    cost_usd_per_litre: float = 0.0
+    t_min_c: float = -20.0
+    t_max_c: float = 150.0
+    notes: str = field(default="", compare=False)
+
+    def _check_range(self, temperature_c: float) -> None:
+        if not (self.t_min_c <= temperature_c <= self.t_max_c):
+            raise ValueError(
+                f"{self.name}: temperature {temperature_c:.1f} C outside the "
+                f"validity range [{self.t_min_c:.1f}, {self.t_max_c:.1f}] C"
+            )
+
+    def density(self, temperature_c: float) -> float:
+        """Mass density, kg/m^3."""
+        self._check_range(temperature_c)
+        return self.density_model(temperature_c)
+
+    def specific_heat(self, temperature_c: float) -> float:
+        """Isobaric specific heat capacity, J/(kg K)."""
+        self._check_range(temperature_c)
+        return self.specific_heat_model(temperature_c)
+
+    def conductivity(self, temperature_c: float) -> float:
+        """Thermal conductivity, W/(m K)."""
+        self._check_range(temperature_c)
+        return self.conductivity_model(temperature_c)
+
+    def viscosity(self, temperature_c: float) -> float:
+        """Dynamic viscosity, Pa s."""
+        self._check_range(temperature_c)
+        return self.viscosity_model(temperature_c)
+
+    def kinematic_viscosity(self, temperature_c: float) -> float:
+        """Kinematic viscosity ``nu = mu / rho``, m^2/s."""
+        return self.viscosity(temperature_c) / self.density(temperature_c)
+
+    def prandtl(self, temperature_c: float) -> float:
+        """Prandtl number ``Pr = mu * cp / k`` (dimensionless)."""
+        return (
+            self.viscosity(temperature_c)
+            * self.specific_heat(temperature_c)
+            / self.conductivity(temperature_c)
+        )
+
+    def volumetric_heat_capacity(self, temperature_c: float) -> float:
+        """``rho * cp``, J/(m^3 K) — the paper's "heat capacity of liquids
+        ... better than that of air (from 1500 to 4000 times)" compares
+        exactly this quantity."""
+        return self.density(temperature_c) * self.specific_heat(temperature_c)
+
+    def thermal_diffusivity(self, temperature_c: float) -> float:
+        """``alpha = k / (rho * cp)``, m^2/s."""
+        return self.conductivity(temperature_c) / self.volumetric_heat_capacity(temperature_c)
+
+    def volume_flow_for_heat(
+        self, heat_w: float, delta_t_k: float, temperature_c: float
+    ) -> float:
+        """Volumetric flow (m^3/s) needed to absorb ``heat_w`` with a coolant
+        temperature rise of ``delta_t_k``.
+
+        This is the arithmetic behind the paper's "to cool one modern FPGA
+        chip, 1 m^3 of air or 0.00025 m^3 (250 ml) of water per minute is
+        required".
+        """
+        if heat_w < 0:
+            raise ValueError("heat_w must be non-negative")
+        if delta_t_k <= 0:
+            raise ValueError("delta_t_k must be positive")
+        return heat_w / (self.volumetric_heat_capacity(temperature_c) * delta_t_k)
+
+    def heat_capacity_rate(
+        self, volume_flow_m3_s: float, temperature_c: float
+    ) -> float:
+        """Capacity rate ``C = rho * V_dot * cp``, W/K (used by e-NTU)."""
+        return self.volumetric_heat_capacity(temperature_c) * volume_flow_m3_s
+
+
+__all__ = [
+    "Andrade",
+    "CELSIUS_TO_KELVIN",
+    "Constant",
+    "Fluid",
+    "IdealGasDensity",
+    "Polynomial",
+    "PropertyModel",
+    "Sutherland",
+]

@@ -1,0 +1,33 @@
+"""Heat-exchanger and chiller substrate.
+
+The SKAT CM's heat-exchange section couples the oil loop to the rack's
+chilled-water loop through a plate heat exchanger ("the most suitable design
+of the heat exchanger is a plate-type one designed for cooling mineral oil
+in hydraulic systems of industrial equipment", Section 2); the rack loop is
+closed by an industrial chiller. This package models both.
+
+- :mod:`repro.heatexchange.entu` — effectiveness-NTU relations.
+- :mod:`repro.heatexchange.plate` — chevron plate heat exchanger.
+- :mod:`repro.heatexchange.chiller` — vapor-compression chiller.
+"""
+
+from repro.heatexchange.entu import (
+    FlowArrangement,
+    effectiveness,
+    ntu_counterflow_from_effectiveness,
+)
+from repro.heatexchange.plate import HxOperatingPoint, PlateHeatExchanger
+from repro.heatexchange.chiller import Chiller, ChillerState
+from repro.heatexchange.fouling import FoulingModel, fouled_exchanger_effect
+
+__all__ = [
+    "Chiller",
+    "ChillerState",
+    "FlowArrangement",
+    "FoulingModel",
+    "HxOperatingPoint",
+    "PlateHeatExchanger",
+    "effectiveness",
+    "fouled_exchanger_effect",
+    "ntu_counterflow_from_effectiveness",
+]

@@ -1,0 +1,102 @@
+"""Industrial chiller model.
+
+The rack's primary heat-transfer agent (chilled water) is cooled by "an
+industrial chiller [which] can be placed outside the server room and can be
+connected to the reconfigurable computational modules by means of a
+stationary system of engineering services" (Section 3). The model is a
+vapor-compression machine characterised by a supply setpoint, a rated
+capacity and a Carnot-fraction efficiency — enough to close the rack energy
+balance and account PUE-style overheads in the efficiency benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fluids.properties import CELSIUS_TO_KELVIN
+
+
+@dataclass(frozen=True)
+class ChillerState:
+    """A resolved chiller operating point."""
+
+    load_w: float
+    supply_temperature_c: float
+    cop: float
+    electrical_power_w: float
+    overloaded: bool
+
+
+@dataclass(frozen=True)
+class Chiller:
+    """A setpoint-controlled water chiller.
+
+    Parameters
+    ----------
+    setpoint_c:
+        Chilled-water supply temperature the controller holds.
+    capacity_w:
+        Rated cooling capacity at the setpoint.
+    condenser_temperature_c:
+        Heat-rejection temperature (outdoor ambient plus condenser
+        approach).
+    carnot_fraction:
+        Fraction of the Carnot COP the real machine achieves (0.3-0.5
+        typical for industrial chillers).
+    water_capacity_rate_w_k:
+        Capacity rate of the chilled-water loop, used to compute how far
+        the supply temperature rises when the load exceeds capacity.
+    """
+
+    setpoint_c: float = 20.0
+    capacity_w: float = 50.0e3
+    condenser_temperature_c: float = 35.0
+    carnot_fraction: float = 0.45
+    water_capacity_rate_w_k: float = 4000.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_w <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < self.carnot_fraction <= 1.0:
+            raise ValueError("Carnot fraction must be in (0, 1]")
+        if self.condenser_temperature_c <= self.setpoint_c:
+            raise ValueError("condenser must be hotter than the setpoint")
+        if self.water_capacity_rate_w_k <= 0:
+            raise ValueError("water capacity rate must be positive")
+
+    def cop(self, supply_temperature_c: float) -> float:
+        """Coefficient of performance at the given supply temperature."""
+        t_cold_k = supply_temperature_c + CELSIUS_TO_KELVIN
+        t_hot_k = self.condenser_temperature_c + CELSIUS_TO_KELVIN
+        carnot = t_cold_k / (t_hot_k - t_cold_k)
+        return self.carnot_fraction * carnot
+
+    def operate(self, load_w: float) -> ChillerState:
+        """Resolve the chiller against a cooling load.
+
+        Below capacity the supply holds the setpoint; above capacity the
+        excess heat rides through and the supply temperature floats up by
+        ``excess / C_water`` — the overload regime the SKAT cooling-reserve
+        analysis must show is never entered.
+        """
+        if load_w < 0:
+            raise ValueError("load must be non-negative")
+        overloaded = load_w > self.capacity_w
+        if overloaded:
+            excess = load_w - self.capacity_w
+            supply = self.setpoint_c + excess / self.water_capacity_rate_w_k
+            removed = self.capacity_w
+        else:
+            supply = self.setpoint_c
+            removed = load_w
+        cop = self.cop(supply)
+        return ChillerState(
+            load_w=load_w,
+            supply_temperature_c=supply,
+            cop=cop,
+            electrical_power_w=removed / cop,
+            overloaded=overloaded,
+        )
+
+
+__all__ = ["Chiller", "ChillerState"]

@@ -1,0 +1,105 @@
+"""Effectiveness-NTU relations for two-stream heat exchangers.
+
+The standard Kays & London closed forms. Effectiveness is the ratio of
+actual heat transfer to the thermodynamic maximum
+``q_max = C_min (T_hot,in - T_cold,in)``; NTU is ``UA / C_min``; ``c_r`` is
+the capacity-rate ratio ``C_min / C_max``.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+
+class FlowArrangement(Enum):
+    """Supported two-stream flow arrangements."""
+
+    COUNTERFLOW = "counterflow"
+    PARALLEL = "parallel"
+    CROSSFLOW_BOTH_UNMIXED = "crossflow_both_unmixed"
+
+
+def _check(ntu: float, c_r: float) -> None:
+    if ntu < 0:
+        raise ValueError("NTU must be non-negative")
+    if not 0.0 <= c_r <= 1.0:
+        raise ValueError("capacity ratio must be within [0, 1]")
+
+
+def effectiveness_counterflow(ntu: float, c_r: float) -> float:
+    """Counterflow effectiveness (the plate-HX arrangement in the CMs)."""
+    _check(ntu, c_r)
+    if ntu == 0.0:
+        return 0.0
+    if c_r == 0.0:
+        return 1.0 - math.exp(-ntu)
+    if abs(c_r - 1.0) < 1e-12:
+        return ntu / (1.0 + ntu)
+    # Stable form near c_r -> 1: with m = expm1(-ntu (1 - c_r)),
+    # (1 - e)/(1 - c_r e) = (-m) / ((1 - c_r) - c_r m), avoiding the
+    # catastrophic cancellation of 1 - exp(-small).
+    m = math.expm1(-ntu * (1.0 - c_r))
+    return -m / ((1.0 - c_r) - c_r * m)
+
+
+def effectiveness_parallel(ntu: float, c_r: float) -> float:
+    """Parallel-flow effectiveness."""
+    _check(ntu, c_r)
+    if ntu == 0.0:
+        return 0.0
+    return (1.0 - math.exp(-ntu * (1.0 + c_r))) / (1.0 + c_r)
+
+
+def effectiveness_crossflow_both_unmixed(ntu: float, c_r: float) -> float:
+    """Crossflow with both streams unmixed (approximate closed form)."""
+    _check(ntu, c_r)
+    if ntu == 0.0:
+        return 0.0
+    if c_r < 1e-12:
+        # The c_r -> 0 limit of the closed form is 1 - exp(-ntu); taking it
+        # explicitly also avoids inf * 0 for subnormal capacity ratios.
+        return 1.0 - math.exp(-ntu)
+    return 1.0 - math.exp(
+        (ntu ** 0.22 / c_r) * math.expm1(-c_r * ntu ** 0.78)
+    )
+
+
+def effectiveness(ntu: float, c_r: float, arrangement: FlowArrangement) -> float:
+    """Dispatch to the effectiveness relation for the given arrangement."""
+    if arrangement is FlowArrangement.COUNTERFLOW:
+        return effectiveness_counterflow(ntu, c_r)
+    if arrangement is FlowArrangement.PARALLEL:
+        return effectiveness_parallel(ntu, c_r)
+    if arrangement is FlowArrangement.CROSSFLOW_BOTH_UNMIXED:
+        return effectiveness_crossflow_both_unmixed(ntu, c_r)
+    raise ValueError(f"unsupported arrangement {arrangement!r}")
+
+
+def ntu_counterflow_from_effectiveness(eps: float, c_r: float) -> float:
+    """Invert the counterflow relation: the NTU needed for effectiveness ``eps``.
+
+    Used when sizing the CM plate exchanger to hold the oil at the paper's
+    30-degree operating point.
+    """
+    if not 0.0 <= eps < 1.0:
+        raise ValueError("effectiveness must be within [0, 1)")
+    if not 0.0 <= c_r <= 1.0:
+        raise ValueError("capacity ratio must be within [0, 1]")
+    if eps == 0.0:
+        return 0.0
+    if c_r == 0.0:
+        return -math.log(1.0 - eps)
+    if abs(c_r - 1.0) < 1e-12:
+        return eps / (1.0 - eps)
+    return math.log((1.0 - c_r * eps) / (1.0 - eps)) / (1.0 - c_r)
+
+
+__all__ = [
+    "FlowArrangement",
+    "effectiveness",
+    "effectiveness_counterflow",
+    "effectiveness_crossflow_both_unmixed",
+    "effectiveness_parallel",
+    "ntu_counterflow_from_effectiveness",
+]

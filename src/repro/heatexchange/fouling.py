@@ -1,0 +1,105 @@
+"""Heat-exchanger fouling over service time.
+
+Mineral-oil loops foul their exchangers slowly — varnish and particulate
+build a resistive film on the plate surfaces. The paper's design margin
+("the designed immersion liquid cooling system has a reserve") is exactly
+what absorbs this drift between services; this model quantifies how much
+reserve a fouling allowance consumes and when a clean-in-place service is
+due.
+
+Standard asymptotic fouling model: the fouling resistance grows as
+``R_f(t) = R_f_inf (1 - exp(-t / tau))`` (Kern-Seaton).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.heatexchange.plate import PlateHeatExchanger
+
+
+@dataclass(frozen=True)
+class FoulingModel:
+    """Kern-Seaton asymptotic fouling on one exchanger side.
+
+    Parameters
+    ----------
+    asymptotic_resistance_m2k_w:
+        Fully fouled film resistance (oil side of a plate HX: 2-5e-4
+        m^2 K/W typical).
+    timescale_h:
+        E-folding service time.
+    """
+
+    asymptotic_resistance_m2k_w: float = 3.0e-4
+    timescale_h: float = 15000.0
+
+    def __post_init__(self) -> None:
+        if self.asymptotic_resistance_m2k_w < 0:
+            raise ValueError("fouling resistance must be non-negative")
+        if self.timescale_h <= 0:
+            raise ValueError("timescale must be positive")
+
+    def resistance_m2k_w(self, hours: float) -> float:
+        """Fouling film resistance after a service time."""
+        if hours < 0:
+            raise ValueError("service time must be non-negative")
+        return self.asymptotic_resistance_m2k_w * (
+            1.0 - math.exp(-hours / self.timescale_h)
+        )
+
+    def fouled_u(self, clean_u_w_m2k: float, hours: float) -> float:
+        """Overall coefficient with the fouling film added in series."""
+        if clean_u_w_m2k <= 0:
+            raise ValueError("clean U must be positive")
+        return 1.0 / (1.0 / clean_u_w_m2k + self.resistance_m2k_w(hours))
+
+    def ua_degradation_fraction(self, clean_u_w_m2k: float, hours: float) -> float:
+        """Fractional UA loss after a service time (0 = clean)."""
+        return 1.0 - self.fouled_u(clean_u_w_m2k, hours) / clean_u_w_m2k
+
+    def hours_to_degradation(self, clean_u_w_m2k: float, fraction: float) -> float:
+        """Service time at which the UA loss reaches ``fraction``.
+
+        This is the clean-in-place interval for a maintenance plan.
+        Returns ``math.inf`` when the asymptotic fouling never costs that
+        much (the exchanger is oversized against it).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        # UA loss at full fouling:
+        worst = 1.0 - 1.0 / (1.0 + clean_u_w_m2k * self.asymptotic_resistance_m2k_w)
+        if fraction >= worst:
+            return math.inf
+        # Invert: fraction = 1 - 1/(1 + U * R_f(t)).
+        target_rf = (1.0 / (1.0 - fraction) - 1.0) / clean_u_w_m2k
+        ratio = target_rf / self.asymptotic_resistance_m2k_w
+        return -self.timescale_h * math.log(1.0 - ratio)
+
+
+def fouled_exchanger_effect(
+    hx: PlateHeatExchanger,
+    fouling: FoulingModel,
+    hours: float,
+    clean_u_w_m2k: float,
+) -> dict:
+    """Summary of a fouled exchanger's state for reports.
+
+    Returns keys ``clean_u``, ``fouled_u``, ``ua_loss_fraction``,
+    ``equivalent_extra_plates`` — the last being how many extra plates the
+    clean design would need to match the fouled duty (a sizing-margin
+    translation).
+    """
+    fouled_u = fouling.fouled_u(clean_u_w_m2k, hours)
+    loss = fouling.ua_degradation_fraction(clean_u_w_m2k, hours)
+    extra_plates = int(math.ceil(hx.n_plates * loss / max(1.0 - loss, 1e-9)))
+    return {
+        "clean_u": clean_u_w_m2k,
+        "fouled_u": fouled_u,
+        "ua_loss_fraction": loss,
+        "equivalent_extra_plates": extra_plates,
+    }
+
+
+__all__ = ["FoulingModel", "fouled_exchanger_effect"]

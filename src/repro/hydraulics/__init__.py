@@ -1,0 +1,68 @@
+"""Incompressible flow-network substrate.
+
+The rack-level heat-exchange system of the paper (Fig. 5) is a hydraulic
+network: a pump, supply and return manifolds, one circulation loop per
+computational module, and a chiller. Whether the loops receive equal flow —
+and what happens when one loop is shut for servicing — is decided purely by
+this network's pressure/flow solution, which is what this package computes.
+
+- :mod:`repro.hydraulics.friction` — Darcy friction-factor correlations.
+- :mod:`repro.hydraulics.elements` — pipes, fittings, valves, pumps,
+  heat-exchanger passages.
+- :mod:`repro.hydraulics.network` — the network container.
+- :mod:`repro.hydraulics.solver` — nodal Newton solver and single-loop
+  operating-point helpers.
+"""
+
+from repro.hydraulics.elements import (
+    CheckValve,
+    HeatExchangerPassage,
+    HydraulicElement,
+    MinorLoss,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+from repro.hydraulics.solver import SolveResult, operating_point, solve_network
+from repro.hydraulics.curves import (
+    CatalogPump,
+    fit_pump_curve,
+    npsh_available_m,
+    select_pump,
+    speed_for_duty,
+)
+from repro.hydraulics.transient import (
+    LoopTransient,
+    coast_down,
+    loop_inertance,
+    spin_up,
+)
+from repro.hydraulics import friction
+
+__all__ = [
+    "CatalogPump",
+    "CheckValve",
+    "HeatExchangerPassage",
+    "HydraulicElement",
+    "HydraulicNetwork",
+    "HydraulicsError",
+    "LoopTransient",
+    "MinorLoss",
+    "Pipe",
+    "Pump",
+    "PumpCurve",
+    "SolveResult",
+    "Valve",
+    "coast_down",
+    "fit_pump_curve",
+    "friction",
+    "loop_inertance",
+    "npsh_available_m",
+    "select_pump",
+    "speed_for_duty",
+    "operating_point",
+    "solve_network",
+    "spin_up",
+]

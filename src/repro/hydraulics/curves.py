@@ -1,0 +1,192 @@
+"""Pump-curve tooling: affinity scaling, curve fitting, duty selection.
+
+Section 2 lists the pump selection criteria ("performance parameters ...
+the pump must have the minimal permissible positive suction head"); this
+module provides the working tools a cooling designer needs around the
+:class:`~repro.hydraulics.elements.PumpCurve` model:
+
+- fit a quadratic curve through vendor data points;
+- apply the affinity laws for speed selection;
+- compute NPSH margin against the oil's vapor characteristics;
+- pick the smallest catalog pump meeting a duty point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fluids.properties import Fluid
+from repro.hydraulics.elements import PumpCurve
+
+
+def fit_pump_curve(points: Sequence[Tuple[float, float]]) -> PumpCurve:
+    """Least-squares fit of ``dp = dp0 (1 - (q/qmax)^2)`` through data.
+
+    Parameters
+    ----------
+    points:
+        ``(flow_m3_s, head_pa)`` pairs from a vendor datasheet; at least
+        two distinct flows required.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two curve points")
+    flows = np.asarray([p[0] for p in points], dtype=float)
+    heads = np.asarray([p[1] for p in points], dtype=float)
+    if np.any(flows < 0) or np.any(heads < 0):
+        raise ValueError("flows and heads must be non-negative")
+    if np.allclose(flows, flows[0]):
+        raise ValueError("curve points must span distinct flows")
+    # Linear least squares in (dp0, c): head = dp0 - c q^2.
+    a = np.column_stack([np.ones_like(flows), -flows ** 2])
+    (dp0, c), *_ = np.linalg.lstsq(a, heads, rcond=None)
+    if dp0 <= 0 or c <= 0:
+        raise ValueError("data does not describe a falling quadratic curve")
+    qmax = math.sqrt(dp0 / c)
+    return PumpCurve(shutoff_pressure_pa=float(dp0), max_flow_m3_s=float(qmax))
+
+
+def speed_for_duty(curve: PumpCurve, duty_flow_m3_s: float, duty_head_pa: float) -> float:
+    """Affinity-law speed fraction putting the duty point on the curve.
+
+    Solves ``s^2 head(q/s) = duty_head`` at ``q = duty_flow``:
+    ``s^2 dp0 - dp0 (q/qmax)^2 = duty_head``. Returns the required speed
+    fraction; raises if the duty is beyond the pump even at full speed.
+    """
+    if duty_flow_m3_s < 0 or duty_head_pa < 0:
+        raise ValueError("duty point must be non-negative")
+    ratio2 = (duty_flow_m3_s / curve.max_flow_m3_s) ** 2
+    s2 = duty_head_pa / curve.shutoff_pressure_pa + ratio2
+    speed = math.sqrt(s2)
+    if speed > 1.0 + 1e-9:
+        raise ValueError(
+            f"duty ({duty_flow_m3_s * 1000:.2f} L/s at {duty_head_pa / 1000:.1f} kPa) "
+            f"needs {speed:.2f}x rated speed"
+        )
+    return min(speed, 1.0)
+
+
+def npsh_available_m(
+    fluid: Fluid,
+    temperature_c: float,
+    static_head_m: float,
+    suction_loss_pa: float,
+    ambient_pressure_pa: float = 101325.0,
+    vapor_pressure_pa: float = None,
+) -> float:
+    """Net positive suction head available at the pump inlet, metres.
+
+    ``NPSHa = (p_ambient - p_vapor)/(rho g) + z_static - h_losses``.
+    Mineral oil's negligible vapor pressure is why immersed pumps in the
+    bath enjoy generous suction margins — part of the paper's case for
+    them (Section 4, "increase the reliability of the liquid cooling
+    system by means of immersed pumps").
+    """
+    rho = fluid.density(temperature_c)
+    if vapor_pressure_pa is None:
+        # Water: Antoine-class estimate; oils: effectively zero.
+        if fluid.name == "water":
+            t = temperature_c
+            vapor_pressure_pa = 610.94 * math.exp(17.625 * t / (t + 243.04))
+        else:
+            vapor_pressure_pa = 10.0
+    g = 9.81
+    return (
+        (ambient_pressure_pa - vapor_pressure_pa) / (rho * g)
+        + static_head_m
+        - suction_loss_pa / (rho * g)
+    )
+
+
+@dataclass(frozen=True)
+class CatalogPump:
+    """A catalog entry for pump selection."""
+
+    model: str
+    curve: PumpCurve
+    npsh_required_m: float
+    price_usd: float
+    oil_rated: bool
+
+
+def select_pump(
+    catalog: List[CatalogPump],
+    duty_flow_m3_s: float,
+    duty_head_pa: float,
+    npsh_available_m_value: float,
+    require_oil_rating: bool = True,
+) -> CatalogPump:
+    """Pick the cheapest catalog pump satisfying the paper's criteria.
+
+    A pump qualifies when (a) its full-speed curve clears the duty head at
+    the duty flow, (b) its NPSH requirement fits the available suction
+    head, and (c) it is rated for oil products when required.
+
+    Raises
+    ------
+    ValueError
+        If no catalog pump qualifies.
+    """
+    if not catalog:
+        raise ValueError("empty pump catalog")
+    qualifying = []
+    for pump in catalog:
+        if require_oil_rating and not pump.oil_rated:
+            continue
+        if pump.npsh_required_m > npsh_available_m_value:
+            continue
+        if pump.curve.head_pa(duty_flow_m3_s) < duty_head_pa:
+            continue
+        qualifying.append(pump)
+    if not qualifying:
+        raise ValueError(
+            f"no catalog pump meets {duty_flow_m3_s * 1000:.2f} L/s at "
+            f"{duty_head_pa / 1000:.1f} kPa with NPSHa {npsh_available_m_value:.1f} m"
+        )
+    return min(qualifying, key=lambda p: p.price_usd)
+
+
+#: A small representative catalog of oil-service circulation pumps.
+DEFAULT_CATALOG: List[CatalogPump] = [
+    CatalogPump(
+        model="G-25",
+        curve=PumpCurve(shutoff_pressure_pa=30.0e3, max_flow_m3_s=3.0e-3),
+        npsh_required_m=2.0,
+        price_usd=420.0,
+        oil_rated=True,
+    ),
+    CatalogPump(
+        model="G-40",
+        curve=PumpCurve(shutoff_pressure_pa=45.0e3, max_flow_m3_s=5.0e-3),
+        npsh_required_m=2.5,
+        price_usd=680.0,
+        oil_rated=True,
+    ),
+    CatalogPump(
+        model="G-60i",
+        curve=PumpCurve(shutoff_pressure_pa=60.0e3, max_flow_m3_s=6.5e-3),
+        npsh_required_m=1.0,  # immersed: flooded suction
+        price_usd=950.0,
+        oil_rated=True,
+    ),
+    CatalogPump(
+        model="W-50 (water only)",
+        curve=PumpCurve(shutoff_pressure_pa=55.0e3, max_flow_m3_s=6.0e-3),
+        npsh_required_m=3.0,
+        price_usd=510.0,
+        oil_rated=False,
+    ),
+]
+
+
+__all__ = [
+    "CatalogPump",
+    "DEFAULT_CATALOG",
+    "fit_pump_curve",
+    "npsh_available_m",
+    "select_pump",
+    "speed_for_duty",
+]

@@ -1,0 +1,323 @@
+"""Hydraulic network elements.
+
+Every element connects two junctions and defines the pressure change seen by
+the fluid travelling in the element's positive direction (node *a* to node
+*b*) as a function of the signed volumetric flow:
+
+- passive elements (pipes, fittings, valves, heat-exchanger passages) lose
+  pressure: ``pressure_change(q) = -dp_loss(q)``, odd and monotonically
+  decreasing in q;
+- pumps add head: ``pressure_change(q) = +head(q)``, also monotonically
+  decreasing (head falls with flow along the pump curve).
+
+Monotonicity is what guarantees the network solver a unique flow for any
+pressure difference, and it is asserted by the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.fluids.properties import Fluid
+from repro.hydraulics.friction import friction_factor
+
+
+class HydraulicElement:
+    """Base class for a two-port hydraulic element."""
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        """Pressure change (p_b - p_a) along positive flow direction, Pa."""
+        raise NotImplementedError
+
+    @property
+    def is_closed(self) -> bool:
+        """True when the element blocks all flow (a shut valve)."""
+        return False
+
+
+@dataclass
+class Pipe(HydraulicElement):
+    """A straight circular pipe with optional lumped minor losses.
+
+    Parameters
+    ----------
+    length_m:
+        Pipe length.
+    diameter_m:
+        Inner diameter.
+    roughness_m:
+        Absolute wall roughness (default: drawn tube, 1.5 micrometres).
+    minor_loss_k:
+        Sum of minor-loss coefficients (elbows, entries, exits) charged on
+        the pipe velocity head.
+    """
+
+    length_m: float
+    diameter_m: float
+    roughness_m: float = 1.5e-6
+    minor_loss_k: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0 or self.diameter_m <= 0:
+            raise ValueError("pipe length and diameter must be positive")
+        if self.roughness_m < 0 or self.minor_loss_k < 0:
+            raise ValueError("roughness and minor-loss coefficient must be non-negative")
+
+    @property
+    def area_m2(self) -> float:
+        """Flow cross-section, m^2."""
+        return math.pi * self.diameter_m ** 2 / 4.0
+
+    def velocity_m_s(self, flow_m3_s: float) -> float:
+        """Mean velocity at the given volumetric flow."""
+        return flow_m3_s / self.area_m2
+
+    def reynolds(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        """Reynolds number on the pipe diameter (absolute value of flow)."""
+        velocity = abs(self.velocity_m_s(flow_m3_s))
+        return velocity * self.diameter_m / fluid.kinematic_viscosity(temperature_c)
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        if flow_m3_s == 0.0:
+            return 0.0
+        rho = fluid.density(temperature_c)
+        velocity = self.velocity_m_s(abs(flow_m3_s))
+        re = self.reynolds(flow_m3_s, fluid, temperature_c)
+        f = friction_factor(re, self.roughness_m / self.diameter_m)
+        head = (f * self.length_m / self.diameter_m + self.minor_loss_k) * rho * velocity ** 2 / 2.0
+        return -math.copysign(head, flow_m3_s)
+
+
+@dataclass
+class MinorLoss(HydraulicElement):
+    """A pure minor loss (fitting, entry, tee) on a reference diameter."""
+
+    k: float
+    diameter_m: float
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError("loss coefficient must be non-negative")
+        if self.diameter_m <= 0:
+            raise ValueError("diameter must be positive")
+
+    @property
+    def area_m2(self) -> float:
+        """Reference flow cross-section, m^2."""
+        return math.pi * self.diameter_m ** 2 / 4.0
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        rho = fluid.density(temperature_c)
+        velocity = flow_m3_s / self.area_m2
+        return -self.k * rho * velocity * abs(velocity) / 2.0
+
+
+@dataclass
+class Valve(HydraulicElement):
+    """A valve with an opening fraction.
+
+    The loss coefficient scales as ``k_open / opening^2`` — the standard
+    equal-percentage-ish behaviour, adequate for the balancing experiments
+    where valves are either trim devices or fully shut (loop serviced).
+
+    ``opening = 0`` closes the element entirely.
+    """
+
+    k_open: float
+    diameter_m: float
+    opening: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k_open <= 0:
+            raise ValueError("open loss coefficient must be positive")
+        if self.diameter_m <= 0:
+            raise ValueError("diameter must be positive")
+        if not 0.0 <= self.opening <= 1.0:
+            raise ValueError("opening must be within [0, 1]")
+
+    @property
+    def is_closed(self) -> bool:
+        return self.opening == 0.0
+
+    @property
+    def effective_k(self) -> float:
+        """Loss coefficient at the current opening."""
+        if self.is_closed:
+            return math.inf
+        return self.k_open / self.opening ** 2
+
+    @property
+    def area_m2(self) -> float:
+        """Reference flow cross-section, m^2."""
+        return math.pi * self.diameter_m ** 2 / 4.0
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        if self.is_closed:
+            raise ValueError("closed valve carries no flow; solver must skip it")
+        rho = fluid.density(temperature_c)
+        velocity = flow_m3_s / self.area_m2
+        return -self.effective_k * rho * velocity * abs(velocity) / 2.0
+
+
+@dataclass
+class HeatExchangerPassage(HydraulicElement):
+    """One side of a heat exchanger as a lumped quadratic+linear resistance.
+
+    ``dp = r_linear * q + r_quadratic * q |q|`` — the linear term captures
+    the laminar/port contribution (important for viscous oil), the quadratic
+    term the turbulent core. Coefficients come from the plate-HX sizing in
+    :mod:`repro.heatexchange.plate` or from vendor curves.
+    """
+
+    r_linear_pa_per_m3_s: float = 0.0
+    r_quadratic_pa_per_m3_s2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.r_linear_pa_per_m3_s < 0 or self.r_quadratic_pa_per_m3_s2 < 0:
+            raise ValueError("resistance coefficients must be non-negative")
+        if self.r_linear_pa_per_m3_s == 0 and self.r_quadratic_pa_per_m3_s2 == 0:
+            raise ValueError("passage needs a nonzero resistance")
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        q = flow_m3_s
+        return -(self.r_linear_pa_per_m3_s * q + self.r_quadratic_pa_per_m3_s2 * q * abs(q))
+
+
+@dataclass
+class CheckValve(HydraulicElement):
+    """A one-way valve: near-free forward flow, near-blocked reverse flow.
+
+    Every circulation loop of the rack carries one so a stopped CM's loop
+    cannot back-feed. Modelled as an asymmetric quadratic loss with a
+    steep (but finite and smooth) reverse characteristic so the network
+    solver keeps a monotone element curve.
+    """
+
+    k_forward: float = 1.5
+    diameter_m: float = 0.025
+    reverse_multiplier: float = 1.0e5
+
+    def __post_init__(self) -> None:
+        if self.k_forward <= 0 or self.diameter_m <= 0:
+            raise ValueError("forward loss and diameter must be positive")
+        if self.reverse_multiplier < 1.0:
+            raise ValueError("reverse multiplier cannot be below forward")
+
+    @property
+    def area_m2(self) -> float:
+        """Reference flow cross-section, m^2."""
+        return math.pi * self.diameter_m ** 2 / 4.0
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        rho = fluid.density(temperature_c)
+        velocity = flow_m3_s / self.area_m2
+        k = self.k_forward if flow_m3_s >= 0 else self.k_forward * self.reverse_multiplier
+        return -k * rho * velocity * abs(velocity) / 2.0
+
+
+@dataclass(frozen=True)
+class PumpCurve:
+    """A quadratic centrifugal pump curve ``dp(q) = dp0 (1 - (q/q_max)^2)``.
+
+    Parameters
+    ----------
+    shutoff_pressure_pa:
+        Head at zero flow, Pa.
+    max_flow_m3_s:
+        Runout flow where head reaches zero.
+    """
+
+    shutoff_pressure_pa: float
+    max_flow_m3_s: float
+
+    def __post_init__(self) -> None:
+        if self.shutoff_pressure_pa <= 0 or self.max_flow_m3_s <= 0:
+            raise ValueError("pump curve parameters must be positive")
+
+    def head_pa(self, flow_m3_s: float) -> float:
+        """Pump head at the given flow; negative beyond runout.
+
+        Reverse flow (q < 0) returns more than shutoff head, keeping the
+        curve monotone so a network with a failed pump still solves.
+        """
+        q_ratio = flow_m3_s / self.max_flow_m3_s
+        return self.shutoff_pressure_pa * (1.0 - q_ratio * abs(q_ratio))
+
+    def flow_at_head_pa(self, head_pa: float) -> float:
+        """Inverse of :meth:`head_pa` (monotone, defined for all heads)."""
+        arg = 1.0 - head_pa / self.shutoff_pressure_pa
+        return self.max_flow_m3_s * math.copysign(math.sqrt(abs(arg)), arg)
+
+    def hydraulic_power_w(self, flow_m3_s: float) -> float:
+        """Hydraulic power delivered to the fluid ``dp * q``, W."""
+        return max(self.head_pa(flow_m3_s), 0.0) * max(flow_m3_s, 0.0)
+
+
+@dataclass
+class Pump(HydraulicElement):
+    """A pump element driving flow from node *a* to node *b*.
+
+    Parameters
+    ----------
+    curve:
+        The pump's H-Q curve at rated speed.
+    speed_fraction:
+        Affinity-law speed scaling: head scales with speed^2, flow with
+        speed. ``0`` models a stopped pump, which (with its check valve)
+        blocks reverse flow but is modelled here as a high-resistance leak
+        path so transients stay solvable.
+    efficiency:
+        Wire-to-water efficiency used for electrical power accounting.
+    immersed:
+        True for the SKAT+ immersed pump design (Section 4) — the pump's
+        electrical losses are then dissipated into the oil and counted by
+        the CM heat balance.
+    """
+
+    curve: PumpCurve
+    speed_fraction: float = 1.0
+    efficiency: float = 0.55
+    immersed: bool = False
+    stopped_leak_resistance_pa_per_m3_s2: float = field(default=1.0e12, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.speed_fraction <= 1.5:
+            raise ValueError("speed fraction must be within [0, 1.5]")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def running(self) -> bool:
+        """Whether the pump is spinning."""
+        return self.speed_fraction > 0.0
+
+    def head_pa(self, flow_m3_s: float) -> float:
+        """Head at the given flow and current speed (affinity laws)."""
+        if not self.running:
+            return -self.stopped_leak_resistance_pa_per_m3_s2 * flow_m3_s * abs(flow_m3_s)
+        s = self.speed_fraction
+        scaled = self.curve.head_pa(flow_m3_s / s)
+        return s ** 2 * scaled
+
+    def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
+        return self.head_pa(flow_m3_s)
+
+    def electrical_power_w(self, flow_m3_s: float) -> float:
+        """Electrical draw at the given operating flow, W."""
+        if not self.running:
+            return 0.0
+        hydraulic = max(self.head_pa(flow_m3_s), 0.0) * max(flow_m3_s, 0.0)
+        return hydraulic / self.efficiency
+
+
+__all__ = [
+    "CheckValve",
+    "HeatExchangerPassage",
+    "HydraulicElement",
+    "MinorLoss",
+    "Pipe",
+    "Pump",
+    "PumpCurve",
+    "Valve",
+]

@@ -1,0 +1,68 @@
+"""Darcy friction-factor correlations for pipe flow.
+
+The pressure drop along every pipe in the rack loop is
+``dp = f (L/D) (rho V^2 / 2)`` with the Darcy friction factor ``f``
+depending on the Reynolds number and relative roughness. Mineral oil MD-4.5
+at bath temperature is viscous enough that parts of the CM loop run laminar
+while the chilled-water rack loop runs turbulent, so the correlations must
+cover both regimes smoothly — we use Churchill's all-regime equation as the
+default.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def laminar(re: float) -> float:
+    """Laminar (Hagen-Poiseuille) friction factor ``f = 64/Re``."""
+    if re <= 0:
+        raise ValueError("Reynolds number must be positive")
+    return 64.0 / re
+
+
+def swamee_jain(re: float, relative_roughness: float) -> float:
+    """Swamee-Jain explicit approximation to Colebrook for turbulent flow.
+
+    Valid for 5e3 < Re < 1e8 and 1e-6 < eps/D < 1e-2.
+    """
+    if re < 4000.0:
+        raise ValueError("Swamee-Jain requires turbulent flow (Re >= 4000)")
+    if relative_roughness < 0:
+        raise ValueError("relative roughness must be non-negative")
+    term = relative_roughness / 3.7 + 5.74 / re ** 0.9
+    return 0.25 / math.log10(term) ** 2
+
+
+def churchill(re: float, relative_roughness: float) -> float:
+    """Churchill's all-regime friction-factor equation.
+
+    Smoothly spans laminar, transitional and turbulent flow, which keeps the
+    network solver's residuals continuous as flows redistribute through the
+    transition region (e.g. during loop-failure experiments).
+    """
+    if re <= 0:
+        raise ValueError("Reynolds number must be positive")
+    if relative_roughness < 0:
+        raise ValueError("relative roughness must be non-negative")
+    if re < 100.0:
+        # Deep laminar: Churchill reduces to 64/Re, and evaluating the
+        # full expression there overflows the float range.
+        return 64.0 / re
+    a = (2.457 * math.log(1.0 / ((7.0 / re) ** 0.9 + 0.27 * relative_roughness))) ** 16
+    b = (37530.0 / re) ** 16
+    return 8.0 * ((8.0 / re) ** 12 + 1.0 / (a + b) ** 1.5) ** (1.0 / 12.0)
+
+
+def friction_factor(re: float, relative_roughness: float = 0.0) -> float:
+    """Default friction factor: Churchill for any positive Reynolds number.
+
+    Returns 0 for Re == 0 (no flow, no loss) so the solver can evaluate the
+    zero-flow state.
+    """
+    if re == 0:
+        return 0.0
+    return churchill(re, relative_roughness)
+
+
+__all__ = ["churchill", "friction_factor", "laminar", "swamee_jain"]

@@ -1,0 +1,165 @@
+"""The hydraulic network container.
+
+Junctions are named nodes holding a pressure; elements connect ordered
+pairs of junctions. One junction is designated the *reference* (gauge
+pressure zero — in a real rack loop this is the expansion tank connection).
+External volumetric in/outflows can be attached to junctions, though the
+closed loops of the paper's machines normally have none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.hydraulics.elements import HydraulicElement
+
+
+class HydraulicsError(ValueError):
+    """Raised for structurally invalid hydraulic networks."""
+
+
+@dataclass(frozen=True)
+class Branch:
+    """An element installed between two junctions.
+
+    ``name`` identifies the branch in results; positive flow runs from
+    ``node_a`` to ``node_b``.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    element: HydraulicElement
+
+
+@dataclass
+class HydraulicNetwork:
+    """A mutable hydraulic network builder and container."""
+
+    _junctions: Dict[str, float] = field(default_factory=dict)  # name -> injection m3/s
+    _branches: List[Branch] = field(default_factory=list)
+    _branch_names: Dict[str, int] = field(default_factory=dict)
+    _reference: Optional[str] = None
+
+    def add_junction(self, name: str, injection_m3_s: float = 0.0) -> None:
+        """Add a junction with an optional external volumetric inflow."""
+        if not name:
+            raise HydraulicsError("junction name must be non-empty")
+        if name in self._junctions:
+            raise HydraulicsError(f"duplicate junction {name!r}")
+        self._junctions[name] = injection_m3_s
+
+    def set_reference(self, name: str) -> None:
+        """Pin the named junction to zero gauge pressure."""
+        self._require(name)
+        self._reference = name
+
+    def add_branch(
+        self, name: str, node_a: str, node_b: str, element: HydraulicElement
+    ) -> None:
+        """Install an element between two existing junctions."""
+        if not name:
+            raise HydraulicsError("branch name must be non-empty")
+        if name in self._branch_names:
+            raise HydraulicsError(f"duplicate branch {name!r}")
+        self._require(node_a)
+        self._require(node_b)
+        if node_a == node_b:
+            raise HydraulicsError(f"branch {name!r} forms a self-loop on {node_a!r}")
+        self._branch_names[name] = len(self._branches)
+        self._branches.append(Branch(name, node_a, node_b, element))
+
+    def replace_element(self, branch_name: str, element: HydraulicElement) -> None:
+        """Swap the element on a branch (failure injection, valve actuation)."""
+        try:
+            i = self._branch_names[branch_name]
+        except KeyError:
+            raise HydraulicsError(f"unknown branch {branch_name!r}") from None
+        old = self._branches[i]
+        self._branches[i] = Branch(old.name, old.node_a, old.node_b, element)
+
+    def branch(self, name: str) -> Branch:
+        """Look up a branch by name."""
+        try:
+            return self._branches[self._branch_names[name]]
+        except KeyError:
+            raise HydraulicsError(f"unknown branch {name!r}") from None
+
+    @property
+    def junction_names(self) -> List[str]:
+        """All junction names in insertion order."""
+        return list(self._junctions)
+
+    @property
+    def reference(self) -> Optional[str]:
+        """The zero-pressure junction, if set."""
+        return self._reference
+
+    @property
+    def branches(self) -> List[Branch]:
+        """All installed branches."""
+        return list(self._branches)
+
+    def injection(self, name: str) -> float:
+        """External inflow at a junction, m^3/s."""
+        self._require(name)
+        return self._junctions[name]
+
+    def open_branches(self) -> List[Branch]:
+        """Branches whose element currently passes flow."""
+        return [b for b in self._branches if not b.element.is_closed]
+
+    def incident(self, junction: str) -> Iterator[Tuple[Branch, int]]:
+        """Yield ``(branch, orientation)`` for open branches at a junction.
+
+        Orientation is +1 when the junction is the branch's ``node_a``
+        (positive flow leaves) and -1 when it is ``node_b``.
+        """
+        self._require(junction)
+        for branch in self.open_branches():
+            if branch.node_a == junction:
+                yield branch, +1
+            if branch.node_b == junction:
+                yield branch, -1
+
+    def validate(self) -> None:
+        """Check the network is solvable.
+
+        Requires a reference junction, at least one branch, net zero
+        external injection, and every junction connected to the reference
+        through open branches.
+        """
+        if not self._junctions:
+            raise HydraulicsError("empty network")
+        if self._reference is None:
+            raise HydraulicsError("no reference junction set")
+        if not self._branches:
+            raise HydraulicsError("network has no branches")
+        total_injection = sum(self._junctions.values())
+        if abs(total_injection) > 1e-12:
+            raise HydraulicsError(
+                f"external injections must sum to zero, got {total_injection:g} m^3/s"
+            )
+        reached = {self._reference}
+        frontier = [self._reference]
+        while frontier:
+            current = frontier.pop()
+            for branch, _ in self.incident(current):
+                other = branch.node_b if branch.node_a == current else branch.node_a
+                if other not in reached:
+                    reached.add(other)
+                    frontier.append(other)
+        unreached = [j for j in self._junctions if j not in reached]
+        if unreached:
+            raise HydraulicsError(
+                "junctions disconnected from the reference (all paths closed): "
+                + ", ".join(sorted(unreached))
+            )
+
+    def _require(self, name: str) -> None:
+        if name not in self._junctions:
+            raise HydraulicsError(f"unknown junction {name!r}")
+
+
+__all__ = ["Branch", "HydraulicNetwork", "HydraulicsError"]

@@ -1,0 +1,164 @@
+"""Hydraulic transients of a single closed loop: spin-up and coast-down.
+
+When the SKAT circulation pump stops, the oil does not stop instantly —
+the fluid column's inertia coasts the flow down over seconds. That coast
+time sets how quickly the chips lose their forced-convection film during
+a pump failure, so the failure simulations need it.
+
+Model: lumped incompressible loop with inertance
+``I = rho L / A`` (Pa s^2/m^3), driven by the pump head against the
+loop's resistance:
+
+    I dQ/dt = head(Q, t) - dp_loop(Q)
+
+Integrated with RK4 at a fixed step; both the pump head and the loop
+resistance are arbitrary callables, so the module-level system curves
+plug straight in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.fluids.properties import Fluid
+
+
+def loop_inertance(
+    fluid: Fluid, temperature_c: float, length_m: float, area_m2: float
+) -> float:
+    """Inertance of a fluid column, ``rho L / A``, Pa s^2/m^3."""
+    if length_m <= 0 or area_m2 <= 0:
+        raise ValueError("length and area must be positive")
+    return fluid.density(temperature_c) * length_m / area_m2
+
+
+@dataclass(frozen=True)
+class LoopTransient:
+    """Flow history of a loop transient."""
+
+    times_s: np.ndarray
+    flows_m3_s: np.ndarray
+
+    @property
+    def final_flow_m3_s(self) -> float:
+        """Flow at the end of the run."""
+        return float(self.flows_m3_s[-1])
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """First time the flow falls to ``fraction`` of its initial value
+        (coast-down) or rises to it (spin-up from rest).
+
+        Returns the last sample time if the threshold is never crossed.
+        """
+        if not 0.0 < fraction < 10.0:
+            raise ValueError("fraction must be positive")
+        q0 = self.flows_m3_s[0]
+        target = fraction * q0 if q0 > 0 else fraction * self.final_flow_m3_s
+        if q0 > target:  # coast-down
+            below = np.nonzero(self.flows_m3_s <= target)[0]
+            idx = below[0] if len(below) else -1
+        else:  # spin-up
+            above = np.nonzero(self.flows_m3_s >= target)[0]
+            idx = above[0] if len(above) else -1
+        return float(self.times_s[idx])
+
+
+def simulate_loop_flow(
+    head_pa: Callable[[float, float], float],
+    loop_drop_pa: Callable[[float], float],
+    inertance: float,
+    initial_flow_m3_s: float,
+    duration_s: float,
+    dt_s: float = 0.01,
+) -> LoopTransient:
+    """Integrate the loop momentum balance.
+
+    Parameters
+    ----------
+    head_pa:
+        ``f(flow, time) -> head`` — the (possibly time-varying) pump head;
+        return 0 for a stopped pump.
+    loop_drop_pa:
+        ``f(flow) -> dp`` — the loop's resistive drop (must be odd-ish:
+        non-negative for non-negative flow).
+    inertance:
+        Loop inertance from :func:`loop_inertance`.
+    initial_flow_m3_s:
+        Flow at t = 0.
+    duration_s, dt_s:
+        Run length and RK4 step.
+    """
+    if inertance <= 0:
+        raise ValueError("inertance must be positive")
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and step must be positive")
+
+    def dq_dt(q: float, t: float) -> float:
+        drop = loop_drop_pa(abs(q))
+        signed_drop = drop if q >= 0 else -drop
+        return (head_pa(q, t) - signed_drop) / inertance
+
+    steps = int(duration_s / dt_s) + 1
+    times: List[float] = [0.0]
+    flows: List[float] = [initial_flow_m3_s]
+    q = initial_flow_m3_s
+    t = 0.0
+    for _ in range(steps):
+        k1 = dq_dt(q, t)
+        k2 = dq_dt(q + 0.5 * dt_s * k1, t + 0.5 * dt_s)
+        k3 = dq_dt(q + 0.5 * dt_s * k2, t + 0.5 * dt_s)
+        k4 = dq_dt(q + dt_s * k3, t + dt_s)
+        q += dt_s * (k1 + 2 * k2 + 2 * k3 + k4) / 6.0
+        q = max(q, 0.0)  # the check valve stops reverse flow
+        t += dt_s
+        times.append(t)
+        flows.append(q)
+    return LoopTransient(times_s=np.asarray(times), flows_m3_s=np.asarray(flows))
+
+
+def coast_down(
+    module_drop_pa: Callable[[float], float],
+    inertance: float,
+    initial_flow_m3_s: float,
+    duration_s: float = 10.0,
+    dt_s: float = 0.01,
+) -> LoopTransient:
+    """Flow decay after a pump trip (head drops to zero at t = 0)."""
+    return simulate_loop_flow(
+        head_pa=lambda q, t: 0.0,
+        loop_drop_pa=module_drop_pa,
+        inertance=inertance,
+        initial_flow_m3_s=initial_flow_m3_s,
+        duration_s=duration_s,
+        dt_s=dt_s,
+    )
+
+
+def spin_up(
+    head_at_flow_pa: Callable[[float], float],
+    module_drop_pa: Callable[[float], float],
+    inertance: float,
+    duration_s: float = 10.0,
+    dt_s: float = 0.01,
+) -> LoopTransient:
+    """Flow rise from rest when the pump starts at full speed."""
+    return simulate_loop_flow(
+        head_pa=lambda q, t: head_at_flow_pa(q),
+        loop_drop_pa=module_drop_pa,
+        inertance=inertance,
+        initial_flow_m3_s=0.0,
+        duration_s=duration_s,
+        dt_s=dt_s,
+    )
+
+
+__all__ = [
+    "LoopTransient",
+    "coast_down",
+    "loop_inertance",
+    "simulate_loop_flow",
+    "spin_up",
+]

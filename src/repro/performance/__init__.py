@@ -1,0 +1,67 @@
+"""RCS performance model.
+
+Reconfigurable computer systems derive performance from the FPGA field's
+logic capacity and pipeline clock: "an RCS provides adaptation of its
+architecture to the structure of any task ... a special-purpose computer
+device is created [that] hardwarily implements all the computational
+operations of the information graph of the task with the minimum delays"
+(Section 1). This package turns that into numbers:
+
+- :mod:`repro.performance.flops` — peak/sustained performance, specific
+  performance (per watt, per litre), calibrated so the SKAT/Taygeta ratio
+  reproduces the paper's 8.7x.
+- :mod:`repro.performance.tasks` — information-graph workloads mapped onto
+  FPGA fields as hardware pipelines.
+"""
+
+from repro.performance.flops import (
+    FLOPS_PER_LOGIC_CELL_PER_CYCLE,
+    peak_gflops,
+    performance_per_litre,
+    performance_per_watt,
+    sustained_gflops,
+)
+from repro.performance.kernels import (
+    fft_butterfly_stage,
+    fir_filter,
+    kernel_suite,
+    matrix_tile,
+    md_force_pipeline,
+    spin_glass_update,
+)
+from repro.performance.scaling import (
+    efficiency_trend,
+    performance_trend,
+    power_trend,
+    stable_growth_check,
+)
+from repro.performance.tasks import (
+    InformationGraph,
+    Mapping,
+    MappingError,
+    Operation,
+    map_graph_to_field,
+)
+
+__all__ = [
+    "FLOPS_PER_LOGIC_CELL_PER_CYCLE",
+    "InformationGraph",
+    "Mapping",
+    "MappingError",
+    "Operation",
+    "fft_butterfly_stage",
+    "fir_filter",
+    "kernel_suite",
+    "map_graph_to_field",
+    "matrix_tile",
+    "md_force_pipeline",
+    "peak_gflops",
+    "performance_trend",
+    "power_trend",
+    "efficiency_trend",
+    "stable_growth_check",
+    "spin_glass_update",
+    "performance_per_litre",
+    "performance_per_watt",
+    "sustained_gflops",
+]

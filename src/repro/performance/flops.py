@@ -1,0 +1,72 @@
+"""Peak and specific performance of FPGA computational fields.
+
+The model: an RCS pipeline synthesized on an FPGA delivers floating-point
+operations proportional to (logic capacity) x (pipeline clock). The
+proportionality constant is calibrated once so the catalog reproduces the
+paper's machine-level ratio — SKAT is "increased in 8.7 times in comparison
+with the Taygeta CM" with 3x the chips, i.e. ~2.9x per chip — and the
+rack-level ">1 PFlops" claim then follows from the same constant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.families import FpgaFamily
+
+#: Sustained floating-point operations per logic cell per clock cycle for a
+#: well-pipelined RCS computational circuit. Calibrated so a fully utilized
+#: Kintex UltraScale XCKU095 at its nominal clock delivers ~0.86 TFlops,
+#: which reproduces both the 8.7x SKAT/Taygeta ratio and the >1 PFlops
+#: 12-CM rack of the conclusions.
+FLOPS_PER_LOGIC_CELL_PER_CYCLE = 1.56e-3
+
+
+def peak_gflops(family: FpgaFamily, clock_mhz: Optional[float] = None) -> float:
+    """Peak performance of one fully utilized FPGA, GFlops."""
+    clock = family.nominal_clock_mhz if clock_mhz is None else clock_mhz
+    if clock <= 0:
+        raise ValueError("clock must be positive")
+    flops = FLOPS_PER_LOGIC_CELL_PER_CYCLE * family.logic_cells * clock * 1.0e6
+    return flops / 1.0e9
+
+
+def sustained_gflops(
+    family: FpgaFamily, utilization: float, clock_mhz: Optional[float] = None
+) -> float:
+    """Sustained performance at a hardware utilization, GFlops.
+
+    The paper's machines run at 85-95 % utilization; sustained performance
+    scales linearly with the fraction of the field carrying pipelines.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be within [0, 1]")
+    return peak_gflops(family, clock_mhz) * utilization
+
+
+def performance_per_watt(gflops: float, power_w: float) -> float:
+    """Specific performance, GFlops/W — the paper's energy-efficiency axis."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    if gflops < 0:
+        raise ValueError("performance must be non-negative")
+    return gflops / power_w
+
+
+def performance_per_litre(gflops: float, volume_litre: float) -> float:
+    """Packing-density performance, GFlops/L — the paper's "more than
+    triple increasing of the system packing density" axis."""
+    if volume_litre <= 0:
+        raise ValueError("volume must be positive")
+    if gflops < 0:
+        raise ValueError("performance must be non-negative")
+    return gflops / volume_litre
+
+
+__all__ = [
+    "FLOPS_PER_LOGIC_CELL_PER_CYCLE",
+    "peak_gflops",
+    "performance_per_litre",
+    "performance_per_watt",
+    "sustained_gflops",
+]

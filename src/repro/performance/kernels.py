@@ -1,0 +1,146 @@
+"""A library of canonical RCS workloads as information graphs.
+
+The paper motivates RCS with "computationally laborious tasks from various
+domains of science and technique", and its references name the classic
+FPGA-field applications: spin-glass Monte Carlo (the JANUS machines),
+molecular dynamics (Anton), signal processing. Each builder below returns
+an :class:`~repro.performance.tasks.InformationGraph` shaped like the
+inner loop of one such application, ready to map onto a machine's FPGA
+field.
+"""
+
+from __future__ import annotations
+
+from repro.performance.tasks import InformationGraph, Operation
+
+
+def fir_filter(taps: int = 16) -> InformationGraph:
+    """A direct-form FIR filter: ``taps`` multipliers into an adder tree.
+
+    The bread-and-butter DSP pipeline of reconfigurable computing.
+    """
+    if taps < 2:
+        raise ValueError("an FIR filter needs at least 2 taps")
+    graph = InformationGraph(f"fir{taps}")
+    for i in range(taps):
+        graph.add(Operation(f"mul{i}", "mul"))
+    # Balanced adder tree.
+    level = [f"mul{i}" for i in range(taps)]
+    stage = 0
+    while len(level) > 1:
+        next_level = []
+        for j in range(0, len(level) - 1, 2):
+            name = f"add{stage}_{j // 2}"
+            graph.add(Operation(name, "add", inputs=(level[j], level[j + 1])))
+            next_level.append(name)
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+        stage += 1
+    return graph
+
+
+def fft_butterfly_stage(butterflies: int = 8) -> InformationGraph:
+    """One radix-2 FFT stage: complex multiply + add/sub per butterfly."""
+    if butterflies < 1:
+        raise ValueError("need at least one butterfly")
+    graph = InformationGraph(f"fft_stage{butterflies}")
+    for b in range(butterflies):
+        # Complex twiddle multiply: 4 real muls, 2 adds.
+        for i in range(4):
+            graph.add(Operation(f"b{b}_tm{i}", "mul"))
+        graph.add(Operation(f"b{b}_tr", "sub", inputs=(f"b{b}_tm0", f"b{b}_tm1")))
+        graph.add(Operation(f"b{b}_ti", "add", inputs=(f"b{b}_tm2", f"b{b}_tm3")))
+        # Butterfly add/sub on both components.
+        graph.add(Operation(f"b{b}_or", "add", inputs=(f"b{b}_tr",)))
+        graph.add(Operation(f"b{b}_oi", "add", inputs=(f"b{b}_ti",)))
+        graph.add(Operation(f"b{b}_xr", "sub", inputs=(f"b{b}_tr",)))
+        graph.add(Operation(f"b{b}_xi", "sub", inputs=(f"b{b}_ti",)))
+    return graph
+
+
+def matrix_tile(size: int = 4) -> InformationGraph:
+    """A ``size x size`` matrix-multiply tile: one MAC per element pair.
+
+    Dense linear algebra as an RCS pipeline: ``size^2`` dot-product lanes
+    of ``size`` MACs each.
+    """
+    if size < 2:
+        raise ValueError("tile size must be at least 2")
+    graph = InformationGraph(f"gemm{size}x{size}")
+    for r in range(size):
+        for c in range(size):
+            previous = None
+            for k in range(size):
+                name = f"mac_{r}_{c}_{k}"
+                inputs = (previous,) if previous else ()
+                graph.add(Operation(name, "mac", inputs=inputs))
+                previous = name
+    return graph
+
+
+def md_force_pipeline(pairs: int = 4) -> InformationGraph:
+    """A Lennard-Jones pair-force pipeline (the Anton workload family).
+
+    Per pair: squared distance (3 muls + 2 adds), inverse powers (div +
+    muls), force scale and accumulation.
+    """
+    if pairs < 1:
+        raise ValueError("need at least one pair lane")
+    graph = InformationGraph(f"md_forces{pairs}")
+    for p in range(pairs):
+        for axis in "xyz":
+            graph.add(Operation(f"p{p}_d{axis}2", "mul"))
+        graph.add(
+            Operation(f"p{p}_r2a", "add", inputs=(f"p{p}_dx2", f"p{p}_dy2"))
+        )
+        graph.add(Operation(f"p{p}_r2", "add", inputs=(f"p{p}_r2a", f"p{p}_dz2")))
+        graph.add(Operation(f"p{p}_inv", "div", inputs=(f"p{p}_r2",)))
+        graph.add(Operation(f"p{p}_inv3", "mul", inputs=(f"p{p}_inv",)))
+        graph.add(Operation(f"p{p}_inv6", "mul", inputs=(f"p{p}_inv3",)))
+        graph.add(Operation(f"p{p}_scale", "sub", inputs=(f"p{p}_inv6", f"p{p}_inv3")))
+        graph.add(Operation(f"p{p}_force", "mul", inputs=(f"p{p}_scale",)))
+        graph.add(Operation(f"p{p}_acc", "add", inputs=(f"p{p}_force",)))
+    return graph
+
+
+def spin_glass_update(spins: int = 8) -> InformationGraph:
+    """An Edwards-Anderson spin-flip update lane (the JANUS workload).
+
+    Per spin: neighbour couplings (6 MACs on a 3D lattice), local field
+    compare, flip decision.
+    """
+    if spins < 1:
+        raise ValueError("need at least one spin lane")
+    graph = InformationGraph(f"spin_glass{spins}")
+    for s in range(spins):
+        previous = None
+        for n in range(6):
+            name = f"s{s}_j{n}"
+            inputs = (previous,) if previous else ()
+            graph.add(Operation(name, "mac", inputs=inputs))
+            previous = name
+        graph.add(Operation(f"s{s}_cmp", "cmp", inputs=(previous,)))
+    return graph
+
+
+def kernel_suite() -> dict:
+    """All kernels at default sizes, keyed by name."""
+    kernels = [
+        fir_filter(),
+        fft_butterfly_stage(),
+        matrix_tile(),
+        md_force_pipeline(),
+        spin_glass_update(),
+    ]
+    return {k.name: k for k in kernels}
+
+
+__all__ = [
+    "fft_butterfly_stage",
+    "fir_filter",
+    "kernel_suite",
+    "matrix_tile",
+    "md_force_pipeline",
+    "spin_glass_update",
+]

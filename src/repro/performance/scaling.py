@@ -1,0 +1,109 @@
+"""Generation-over-generation scaling trends of the RCS line.
+
+Section 5 closes with the growth claim: "FPGAs, as principal components of
+reconfigurable supercomputers, provide a stable, practically linear growth
+of the RCS performance". This module fits the catalog's trajectory and
+tests that claim quantitatively: per-chip performance vs year, specific
+performance (GFlops/W) vs year, and the machine-generation multiples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.devices.families import FpgaFamily, family_roadmap
+from repro.performance.flops import peak_gflops
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """An exponential growth fit ``y = a exp(b (year - year0))``."""
+
+    year0: int
+    a: float
+    b: float
+    r_squared: float
+
+    @property
+    def doubling_time_years(self) -> float:
+        """Years per doubling along the fitted trend."""
+        if self.b <= 0:
+            return math.inf
+        return math.log(2.0) / self.b
+
+    def predict(self, year: int) -> float:
+        """Trend value at a year."""
+        return self.a * math.exp(self.b * (year - self.year0))
+
+
+def _fit_exponential(points: List[Tuple[int, float]]) -> TrendFit:
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit a trend")
+    years = np.asarray([p[0] for p in points], dtype=float)
+    values = np.asarray([p[1] for p in points], dtype=float)
+    if np.any(values <= 0):
+        raise ValueError("trend values must be positive")
+    year0 = int(years[0])
+    x = years - year0
+    y = np.log(values)
+    b, log_a = np.polyfit(x, y, 1)
+    predicted = log_a + b * x
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return TrendFit(year0=year0, a=float(np.exp(log_a)), b=float(b), r_squared=r2)
+
+
+def performance_trend(families: List[FpgaFamily] = None) -> TrendFit:
+    """Per-chip peak performance vs introduction year."""
+    families = families or family_roadmap()
+    return _fit_exponential([(f.year, peak_gflops(f)) for f in families])
+
+
+def efficiency_trend(families: List[FpgaFamily] = None) -> TrendFit:
+    """Specific performance (GFlops/W) vs introduction year."""
+    families = families or family_roadmap()
+    return _fit_exponential(
+        [(f.year, peak_gflops(f) / f.operating_power_w) for f in families]
+    )
+
+
+def power_trend(families: List[FpgaFamily] = None) -> TrendFit:
+    """Per-chip operating power vs introduction year — the curve that
+    killed air cooling."""
+    families = families or family_roadmap()
+    return _fit_exponential([(f.year, f.operating_power_w) for f in families])
+
+
+def stable_growth_check(families: List[FpgaFamily] = None) -> dict:
+    """The Section 5 claim, quantified.
+
+    "Practically linear growth" on a log axis means a steady exponential:
+    we report the per-chip performance doubling time, the fit quality, and
+    whether every generation actually improved (monotone growth).
+    """
+    families = families or family_roadmap()
+    perf = performance_trend(families)
+    values = [peak_gflops(f) for f in families]
+    monotone = all(a < b for a, b in zip(values, values[1:]))
+    return {
+        "doubling_time_years": perf.doubling_time_years,
+        "r_squared": perf.r_squared,
+        "monotone_growth": monotone,
+        "per_generation_multiples": [
+            round(b / a, 2) for a, b in zip(values, values[1:])
+        ],
+    }
+
+
+__all__ = [
+    "TrendFit",
+    "efficiency_trend",
+    "performance_trend",
+    "power_trend",
+    "stable_growth_check",
+]

@@ -1,0 +1,203 @@
+"""Information-graph workloads mapped onto FPGA computational fields.
+
+The paper's framing: an RCS adapts its architecture to "the information
+graph of the task", creating a special-purpose pipeline in hardware. We
+model a task as a directed acyclic graph of arithmetic operations; mapping
+it onto a field of FPGAs yields the hardware utilization (which drives the
+power model) and the pipeline throughput (which drives the performance
+numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.devices.families import FpgaFamily
+
+#: Logic cells consumed by one hardware operation of each kind — nominal
+#: synthesis costs for single-precision pipelines.
+OPERATION_COSTS_CELLS: Dict[str, int] = {
+    "add": 550,
+    "sub": 550,
+    "mul": 700,
+    "div": 2600,
+    "sqrt": 2800,
+    "cmp": 250,
+    "mac": 1100,
+}
+
+
+class MappingError(ValueError):
+    """Raised when a task graph cannot be mapped to the given field."""
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One node of an information graph.
+
+    Parameters
+    ----------
+    name:
+        Unique node name.
+    kind:
+        Operation kind; must be a key of :data:`OPERATION_COSTS_CELLS`.
+    inputs:
+        Names of predecessor operations (empty for graph inputs).
+    """
+
+    name: str
+    kind: str
+    inputs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MappingError("operation name must be non-empty")
+        if self.kind not in OPERATION_COSTS_CELLS:
+            raise MappingError(
+                f"unknown operation kind {self.kind!r}; known: "
+                + ", ".join(sorted(OPERATION_COSTS_CELLS))
+            )
+
+    @property
+    def cost_cells(self) -> int:
+        """Logic cells this operation consumes when hardwired."""
+        return OPERATION_COSTS_CELLS[self.kind]
+
+
+@dataclass
+class InformationGraph:
+    """A DAG of operations — the paper's "information graph of the task"."""
+
+    name: str
+    _operations: Dict[str, Operation] = field(default_factory=dict)
+
+    def add(self, operation: Operation) -> None:
+        """Add an operation; inputs must already exist (DAG by construction)."""
+        if operation.name in self._operations:
+            raise MappingError(f"duplicate operation {operation.name!r}")
+        for dep in operation.inputs:
+            if dep not in self._operations:
+                raise MappingError(
+                    f"operation {operation.name!r} depends on unknown {dep!r}"
+                )
+        self._operations[operation.name] = operation
+
+    def add_chain(self, prefix: str, kinds: Sequence[str], fan_in: str = None) -> str:
+        """Convenience: append a linear chain of operations, returning the
+        final node name. ``fan_in`` optionally feeds the first node."""
+        previous = fan_in
+        name = prefix
+        for i, kind in enumerate(kinds):
+            name = f"{prefix}_{i}"
+            inputs = (previous,) if previous else ()
+            self.add(Operation(name=name, kind=kind, inputs=inputs))
+            previous = name
+        return name
+
+    @property
+    def operations(self) -> List[Operation]:
+        """All operations in insertion order."""
+        return list(self._operations.values())
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    @property
+    def total_cost_cells(self) -> int:
+        """Logic cells the full hardwired pipeline needs."""
+        return sum(op.cost_cells for op in self._operations.values())
+
+    def depth(self) -> int:
+        """Longest dependency chain (pipeline latency in stages)."""
+        memo: Dict[str, int] = {}
+
+        def depth_of(name: str) -> int:
+            if name not in memo:
+                op = self._operations[name]
+                memo[name] = 1 + max((depth_of(d) for d in op.inputs), default=0)
+            return memo[name]
+
+        return max((depth_of(name) for name in self._operations), default=0)
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Result of mapping an information graph onto an FPGA field."""
+
+    graph_name: str
+    n_fpgas_used: int
+    replicas: int
+    utilization: float
+    clock_mhz: float
+    throughput_gflops: float
+    pipeline_depth: int
+
+    @property
+    def latency_us(self) -> float:
+        """Pipeline fill latency, microseconds."""
+        return self.pipeline_depth / self.clock_mhz
+
+
+def map_graph_to_field(
+    graph: InformationGraph,
+    family: FpgaFamily,
+    n_fpgas: int,
+    target_utilization: float = 0.9,
+    clock_derate: float = 1.0,
+) -> Mapping:
+    """Map an information graph onto a field of identical FPGAs.
+
+    The RCS style of execution: the graph is hardwired as one pipeline and
+    replicated until the field reaches the target utilization ("combining
+    the creation of a special-purpose computer device with a wide range of
+    solvable tasks"). Every operation then completes once per clock, so
+    throughput is ``replicas x ops x clock``.
+
+    Raises
+    ------
+    MappingError
+        If even a single pipeline copy does not fit the field at the target
+        utilization.
+    """
+    if len(graph) == 0:
+        raise MappingError(f"graph {graph.name!r} is empty")
+    if n_fpgas < 1:
+        raise MappingError("field needs at least one FPGA")
+    if not 0.0 < target_utilization <= 1.0:
+        raise MappingError("target utilization must be in (0, 1]")
+    if not 0.0 < clock_derate <= 1.0:
+        raise MappingError("clock derate must be in (0, 1]")
+
+    budget_cells = int(family.logic_cells * n_fpgas * target_utilization)
+    pipeline_cells = graph.total_cost_cells
+    if pipeline_cells > budget_cells:
+        raise MappingError(
+            f"graph {graph.name!r} needs {pipeline_cells} cells; field offers "
+            f"{budget_cells} at {target_utilization:.0%} utilization"
+        )
+    replicas = budget_cells // pipeline_cells
+    used_cells = replicas * pipeline_cells
+    utilization = used_cells / (family.logic_cells * n_fpgas)
+    clock = family.nominal_clock_mhz * clock_derate
+    ops_per_cycle = replicas * len(graph)
+    throughput_gflops = ops_per_cycle * clock * 1.0e6 / 1.0e9
+    return Mapping(
+        graph_name=graph.name,
+        n_fpgas_used=n_fpgas,
+        replicas=replicas,
+        utilization=utilization,
+        clock_mhz=clock,
+        throughput_gflops=throughput_gflops,
+        pipeline_depth=graph.depth(),
+    )
+
+
+__all__ = [
+    "InformationGraph",
+    "Mapping",
+    "MappingError",
+    "OPERATION_COSTS_CELLS",
+    "Operation",
+    "map_graph_to_field",
+]

@@ -1,0 +1,68 @@
+"""Reliability substrate.
+
+The paper's case for immersion cooling is ultimately a reliability case:
+high junction temperatures "have a negative influence on [FPGA] reliability
+when the workload on the chips reaches up to 85-95 % of the available
+hardware resource" (Section 1), closed-loop leaks "can be fatal for both
+separate electronic components and the whole computer system" (Section 2),
+and the SKAT+ redesign argues "a considerable reliability increase of the
+CM due to a reduction of the number of components" (Section 4). This
+package quantifies all three arguments.
+
+- :mod:`repro.reliability.arrhenius` — temperature-accelerated failure
+  rates and MTBF.
+- :mod:`repro.reliability.availability` — series/parallel reliability block
+  diagrams for cooling-system architectures.
+- :mod:`repro.reliability.failures` — failure-injection event definitions
+  for the transient simulator.
+"""
+
+from repro.reliability.arrhenius import (
+    acceleration_factor,
+    arrhenius_failure_rate,
+    mtbf_hours,
+    mtbf_ratio,
+)
+from repro.reliability.availability import (
+    Component,
+    SystemReliability,
+    parallel_availability,
+    series_availability,
+)
+from repro.reliability.montecarlo import (
+    AvailabilitySimulator,
+    McComponent,
+    McResult,
+    coldplate_cm_model,
+    immersion_cm_model,
+)
+from repro.reliability.failures import (
+    FailureEvent,
+    leak_event,
+    loop_blockage_event,
+    pump_stop_event,
+    sensor_fault_event,
+    tim_washout_drift,
+)
+
+__all__ = [
+    "AvailabilitySimulator",
+    "Component",
+    "FailureEvent",
+    "McComponent",
+    "McResult",
+    "SystemReliability",
+    "acceleration_factor",
+    "arrhenius_failure_rate",
+    "coldplate_cm_model",
+    "immersion_cm_model",
+    "leak_event",
+    "loop_blockage_event",
+    "mtbf_hours",
+    "mtbf_ratio",
+    "parallel_availability",
+    "pump_stop_event",
+    "sensor_fault_event",
+    "series_availability",
+    "tim_washout_drift",
+]

@@ -1,0 +1,162 @@
+"""Reliability block diagrams for cooling-system architectures.
+
+Used to quantify the paper's architecture comparisons:
+
+- closed-loop cold plates need "a rather complex piping system and a large
+  number of pressure-tight connections" plus leak/humidity sensors — every
+  connection is a series element;
+- the SKAT open bath has "simple design ... simplicity of manifolds and
+  liquid connectors ... high reliability";
+- SKAT+ replaces the external pump with immersed pumps, "a considerable
+  reliability increase of the CM due to a reduction of the number of
+  components".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Component:
+    """A repairable component with an exponential failure law.
+
+    Parameters
+    ----------
+    name:
+        Component label.
+    failure_rate_per_hour:
+        Constant hazard rate.
+    repair_hours:
+        Mean time to repair, hours.
+    count:
+        Number of identical instances in series (e.g. 24 hose connections).
+    """
+
+    name: str
+    failure_rate_per_hour: float
+    repair_hours: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_rate_per_hour < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.repair_hours <= 0:
+            raise ValueError("repair time must be positive")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability of one instance, MTBF/(MTBF+MTTR)."""
+        if self.failure_rate_per_hour == 0:
+            return 1.0
+        mtbf = 1.0 / self.failure_rate_per_hour
+        return mtbf / (mtbf + self.repair_hours)
+
+    @property
+    def series_availability(self) -> float:
+        """Availability of all ``count`` instances in series."""
+        return self.availability ** self.count
+
+    @property
+    def total_failure_rate_per_hour(self) -> float:
+        """Combined hazard of all instances (series system)."""
+        return self.failure_rate_per_hour * self.count
+
+
+def series_availability(availabilities: Sequence[float]) -> float:
+    """Availability of components in series (all must work)."""
+    _check(availabilities)
+    result = 1.0
+    for a in availabilities:
+        result *= a
+    return result
+
+
+def parallel_availability(availabilities: Sequence[float]) -> float:
+    """Availability of redundant components (any one suffices)."""
+    _check(availabilities)
+    unavailable = 1.0
+    for a in availabilities:
+        unavailable *= 1.0 - a
+    return 1.0 - unavailable
+
+
+def _check(availabilities: Sequence[float]) -> None:
+    if not availabilities:
+        raise ValueError("need at least one availability")
+    if any(not 0.0 <= a <= 1.0 for a in availabilities):
+        raise ValueError("availabilities must be within [0, 1]")
+
+
+@dataclass
+class SystemReliability:
+    """A flat series system of components with optional redundant groups.
+
+    Sufficient for the CM-level comparisons: the architectures differ in
+    *which* components exist and *how many*, not in deep RBD structure.
+    """
+
+    name: str
+    _series: List[Component] = field(default_factory=list)
+    _redundant_groups: List[List[Component]] = field(default_factory=list)
+
+    def add(self, component: Component) -> None:
+        """Add a series (single-point-of-failure) component."""
+        self._series.append(component)
+
+    def add_redundant(self, components: List[Component]) -> None:
+        """Add a group where any one surviving member keeps the system up."""
+        if len(components) < 2:
+            raise ValueError("a redundant group needs at least 2 members")
+        self._redundant_groups.append(list(components))
+
+    @property
+    def components(self) -> List[Component]:
+        """Every component, series and redundant alike."""
+        out = list(self._series)
+        for group in self._redundant_groups:
+            out.extend(group)
+        return out
+
+    @property
+    def component_count(self) -> int:
+        """Total part count (instances), the paper's simplicity metric."""
+        return sum(c.count for c in self._series) + sum(
+            c.count for group in self._redundant_groups for c in group
+        )
+
+    def availability(self) -> float:
+        """Steady-state system availability."""
+        if not self._series and not self._redundant_groups:
+            raise ValueError(f"{self.name}: empty system")
+        parts = [c.series_availability for c in self._series]
+        for group in self._redundant_groups:
+            parts.append(parallel_availability([c.series_availability for c in group]))
+        return series_availability(parts)
+
+    def series_failure_rate_per_hour(self) -> float:
+        """Combined hazard of the single-point-of-failure components."""
+        return sum(c.total_failure_rate_per_hour for c in self._series)
+
+    def mtbf_hours(self) -> float:
+        """System MTBF counting only single-point-of-failure components
+        (redundant groups contribute negligibly at these rates)."""
+        rate = self.series_failure_rate_per_hour()
+        if rate <= 0:
+            raise ValueError(f"{self.name}: no failing components")
+        return 1.0 / rate
+
+    def expected_downtime_hours_per_year(self) -> float:
+        """Expected annual downtime, hours."""
+        return (1.0 - self.availability()) * 8760.0
+
+
+__all__ = [
+    "Component",
+    "SystemReliability",
+    "parallel_availability",
+    "series_availability",
+]

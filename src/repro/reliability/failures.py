@@ -1,0 +1,137 @@
+"""Failure-injection events for the system simulator.
+
+Each factory returns a :class:`FailureEvent` describing *what* degrades,
+*when*, and *how* the coupled simulation should apply it. The events mirror
+the failure modes the paper discusses: pump stoppage, a circulation loop
+shut for servicing (the Fig. 5 scenario), coolant leaks in closed-loop
+systems, thermal-paste washout in immersion baths, and sensor faults in the
+control subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A timed degradation applied during a simulation run.
+
+    Parameters
+    ----------
+    kind:
+        Machine-readable failure class (``pump_stop``, ``loop_blockage``,
+        ``leak``, ``tim_washout``, ``sensor_fault``).
+    time_s:
+        Simulation time at which the failure takes effect.
+    target:
+        Name of the affected component (pump id, loop branch name, sensor
+        name, FPGA site).
+    magnitude:
+        Failure-specific severity: remaining speed fraction for a pump,
+        remaining opening for a blockage, leak rate for a leak, resistance
+        multiplier for TIM washout, offset in Celsius for a sensor fault.
+    description:
+        Human-readable account for reports.
+    """
+
+    kind: str
+    time_s: float
+    target: str
+    magnitude: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("event time must be non-negative")
+        if not self.kind:
+            raise ValueError("event kind must be non-empty")
+        if not self.target:
+            raise ValueError("event target must be non-empty")
+
+
+def pump_stop_event(time_s: float, pump_name: str, remaining_speed: float = 0.0) -> FailureEvent:
+    """A circulation pump stops (or degrades to a fraction of speed)."""
+    if not 0.0 <= remaining_speed < 1.0:
+        raise ValueError("remaining speed must be within [0, 1)")
+    return FailureEvent(
+        kind="pump_stop",
+        time_s=time_s,
+        target=pump_name,
+        magnitude=remaining_speed,
+        description=f"pump {pump_name} drops to {remaining_speed:.0%} speed",
+    )
+
+
+def loop_blockage_event(time_s: float, loop_name: str, remaining_opening: float = 0.0) -> FailureEvent:
+    """A rack circulation loop is valved off (serviced) or fouled.
+
+    ``remaining_opening = 0`` is the paper's servicing scenario: "if a
+    circulation loop in any computational module fails, then the
+    heat-transfer agent flow is evenly changed in the rest of modules".
+    """
+    if not 0.0 <= remaining_opening < 1.0:
+        raise ValueError("remaining opening must be within [0, 1)")
+    return FailureEvent(
+        kind="loop_blockage",
+        time_s=time_s,
+        target=loop_name,
+        magnitude=remaining_opening,
+        description=f"loop {loop_name} throttled to {remaining_opening:.0%} opening",
+    )
+
+
+def leak_event(time_s: float, location: str, leak_rate_m3_s: float) -> FailureEvent:
+    """A heat-transfer-agent leak (the closed-loop nightmare scenario)."""
+    if leak_rate_m3_s <= 0:
+        raise ValueError("leak rate must be positive")
+    return FailureEvent(
+        kind="leak",
+        time_s=time_s,
+        target=location,
+        magnitude=leak_rate_m3_s,
+        description=f"leak at {location}: {leak_rate_m3_s * 1000.0:.2f} L/s",
+    )
+
+
+def tim_washout_drift(
+    time_s: float, fpga_site: str, resistance_multiplier: float
+) -> FailureEvent:
+    """Thermal-paste degradation in the bath ("the thermal paste between
+    FPGA chips and heat-sinks is washed out during long-term maintenance").
+
+    ``resistance_multiplier`` > 1 scales the interface resistance.
+    """
+    if resistance_multiplier < 1.0:
+        raise ValueError("washout can only increase resistance")
+    return FailureEvent(
+        kind="tim_washout",
+        time_s=time_s,
+        target=fpga_site,
+        magnitude=resistance_multiplier,
+        description=f"TIM at {fpga_site} degraded to {resistance_multiplier:.1f}x resistance",
+    )
+
+
+def sensor_fault_event(
+    time_s: float, sensor_name: str, offset_c: float, description: Optional[str] = None
+) -> FailureEvent:
+    """A temperature sensor develops a constant offset (stuck/biased)."""
+    return FailureEvent(
+        kind="sensor_fault",
+        time_s=time_s,
+        target=sensor_name,
+        magnitude=offset_c,
+        description=description or f"sensor {sensor_name} biased by {offset_c:+.1f} C",
+    )
+
+
+__all__ = [
+    "FailureEvent",
+    "leak_event",
+    "loop_blockage_event",
+    "pump_stop_event",
+    "sensor_fault_event",
+    "tim_washout_drift",
+]

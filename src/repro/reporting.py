@@ -1,0 +1,107 @@
+"""Paper-vs-measured comparison tables.
+
+Every benchmark regenerates the rows the paper reports and prints them in
+a fixed format::
+
+    claim                                   paper        measured     ok
+    ------------------------------------------------------------------
+    Taygeta overheat over 25 C room [K]     47.9         43.1         yes
+
+The same tables are written into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One claim: the paper's value, the measured value, the verdict."""
+
+    claim: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+@dataclass
+class ComparisonTable:
+    """A named collection of paper-vs-measured rows."""
+
+    title: str
+    rows: List[Row] = field(default_factory=list)
+
+    def add(
+        self,
+        claim: str,
+        paper_value: Number,
+        measured_value: Number,
+        rel_tol: Optional[float] = None,
+        lo: Optional[Number] = None,
+        hi: Optional[Number] = None,
+        unit: str = "",
+    ) -> None:
+        """Add a numeric row.
+
+        Pass either ``rel_tol`` (measured within a relative tolerance of
+        the paper value) or ``lo``/``hi`` (measured within a band the paper
+        states, e.g. "+11...15 C").
+        """
+        if rel_tol is not None:
+            ok = abs(measured_value - paper_value) <= rel_tol * abs(paper_value)
+            paper_text = f"{paper_value:g}{unit} ±{rel_tol:.0%}"
+        elif lo is not None or hi is not None:
+            lo_v = -float("inf") if lo is None else lo
+            hi_v = float("inf") if hi is None else hi
+            ok = lo_v <= measured_value <= hi_v
+            paper_text = f"[{lo if lo is not None else ''}..{hi if hi is not None else ''}]{unit}"
+        else:
+            raise ValueError("pass rel_tol or lo/hi")
+        self.rows.append(
+            Row(claim=claim, paper=paper_text, measured=f"{measured_value:g}{unit}", ok=ok)
+        )
+
+    def add_bool(self, claim: str, paper_value: str, ok: bool) -> None:
+        """Add a qualitative row (holds / does not hold)."""
+        self.rows.append(
+            Row(claim=claim, paper=paper_value, measured="holds" if ok else "FAILS", ok=ok)
+        )
+
+    @property
+    def all_ok(self) -> bool:
+        """Whether every row reproduced."""
+        if not self.rows:
+            raise ValueError(f"{self.title}: empty table")
+        return all(r.ok for r in self.rows)
+
+    def failures(self) -> List[Row]:
+        """Rows that did not reproduce."""
+        return [r for r in self.rows if not r.ok]
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        claim_w = max([len(r.claim) for r in self.rows] + [len("claim")])
+        paper_w = max([len(r.paper) for r in self.rows] + [len("paper")])
+        meas_w = max([len(r.measured) for r in self.rows] + [len("measured")])
+        lines = [self.title, "=" * len(self.title)]
+        header = f"{'claim':<{claim_w}}  {'paper':<{paper_w}}  {'measured':<{meas_w}}  ok"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.rows:
+            lines.append(
+                f"{r.claim:<{claim_w}}  {r.paper:<{paper_w}}  {r.measured:<{meas_w}}  "
+                + ("yes" if r.ok else "NO")
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (benchmark output)."""
+        print()
+        print(self.render())
+
+
+__all__ = ["ComparisonTable", "Row"]

@@ -1,0 +1,35 @@
+"""Lumped-parameter thermal simulation substrate.
+
+The paper's thermal claims (FPGA overheat under air cooling, junction
+temperatures in the oil bath, coolant temperature rise) are all steady-state
+or slow-transient phenomena of a network of heat sources, conduction paths
+and convection films. This package provides:
+
+- :mod:`repro.thermal.convection` — Nusselt-number correlations for every
+  flow configuration the machines use (air over finned sinks, oil through
+  pin-fin banks, duct flow, natural convection).
+- :mod:`repro.thermal.resistances` — element resistance builders
+  (conduction, spreading, interface, film).
+- :mod:`repro.thermal.network` — the RC thermal-network container.
+- :mod:`repro.thermal.steady` — sparse steady-state solver.
+- :mod:`repro.thermal.transient` — transient integrator with event hooks.
+"""
+
+from repro.thermal.network import ThermalNetwork, NetworkError
+from repro.thermal.steady import solve_steady_state
+from repro.thermal.transient import TransientResult, solve_transient
+from repro.thermal.stackup import ThermalStack, air_chip_stack, skat_chip_stack
+from repro.thermal import convection, resistances
+
+__all__ = [
+    "NetworkError",
+    "ThermalNetwork",
+    "ThermalStack",
+    "air_chip_stack",
+    "skat_chip_stack",
+    "TransientResult",
+    "convection",
+    "resistances",
+    "solve_steady_state",
+    "solve_transient",
+]

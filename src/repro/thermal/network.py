@@ -1,0 +1,197 @@
+"""The RC thermal-network container.
+
+A thermal network is a graph of named nodes connected by thermal
+resistances. Nodes are either *free* (their temperature is solved for; they
+may carry a heat source and a heat capacitance) or *boundary* (their
+temperature is prescribed — the ambient air, the chilled-water supply, the
+bulk oil when a subsystem is solved in isolation).
+
+The machines of the paper compile into such networks: each FPGA contributes
+junction, case and sink-base nodes; each board contributes a local coolant
+node; the CM contributes the bulk-oil node coupled through the plate heat
+exchanger to the chilled-water boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class NetworkError(ValueError):
+    """Raised for structurally invalid thermal networks."""
+
+
+@dataclass
+class _Node:
+    name: str
+    heat_w: float = 0.0
+    capacitance_j_k: float = 0.0
+    boundary_temperature_c: Optional[float] = None
+
+    @property
+    def is_boundary(self) -> bool:
+        return self.boundary_temperature_c is not None
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A thermal resistance between two named nodes."""
+
+    node_a: str
+    node_b: str
+    resistance_k_w: float
+    label: str = ""
+
+
+@dataclass
+class ThermalNetwork:
+    """A mutable thermal network builder and container.
+
+    Usage::
+
+        net = ThermalNetwork()
+        net.add_boundary("ambient", 25.0)
+        net.add_node("junction", heat_w=91.0)
+        net.add_resistance("junction", "ambient", 0.27)
+        temps = solve_steady_state(net)
+
+    Node names are unique; adding a duplicate raises :class:`NetworkError`.
+    """
+
+    _nodes: Dict[str, _Node] = field(default_factory=dict)
+    _resistors: List[Resistor] = field(default_factory=list)
+
+    def add_node(self, name: str, heat_w: float = 0.0, capacitance_j_k: float = 0.0) -> None:
+        """Add a free node with an optional heat source and capacitance."""
+        self._check_new(name)
+        if capacitance_j_k < 0:
+            raise NetworkError(f"node {name!r}: capacitance must be non-negative")
+        self._nodes[name] = _Node(name, heat_w=heat_w, capacitance_j_k=capacitance_j_k)
+
+    def add_boundary(self, name: str, temperature_c: float) -> None:
+        """Add a fixed-temperature boundary node."""
+        self._check_new(name)
+        self._nodes[name] = _Node(name, boundary_temperature_c=temperature_c)
+
+    def add_resistance(
+        self, node_a: str, node_b: str, resistance_k_w: float, label: str = ""
+    ) -> None:
+        """Connect two existing nodes with a thermal resistance (K/W)."""
+        for name in (node_a, node_b):
+            if name not in self._nodes:
+                raise NetworkError(f"unknown node {name!r}")
+        if node_a == node_b:
+            raise NetworkError(f"self-loop on node {node_a!r}")
+        if resistance_k_w <= 0:
+            raise NetworkError(
+                f"resistance {node_a!r}-{node_b!r} must be positive, got {resistance_k_w}"
+            )
+        self._resistors.append(Resistor(node_a, node_b, resistance_k_w, label))
+
+    def set_heat(self, name: str, heat_w: float) -> None:
+        """Update the heat source of a free node (power model coupling)."""
+        node = self._require(name)
+        if node.is_boundary:
+            raise NetworkError(f"cannot set heat on boundary node {name!r}")
+        node.heat_w = heat_w
+
+    def set_boundary_temperature(self, name: str, temperature_c: float) -> None:
+        """Update the prescribed temperature of a boundary node."""
+        node = self._require(name)
+        if not node.is_boundary:
+            raise NetworkError(f"{name!r} is not a boundary node")
+        node.boundary_temperature_c = temperature_c
+
+    def heat(self, name: str) -> float:
+        """Heat injected at a node, W."""
+        return self._require(name).heat_w
+
+    def capacitance(self, name: str) -> float:
+        """Heat capacitance of a node, J/K."""
+        return self._require(name).capacitance_j_k
+
+    def is_boundary(self, name: str) -> bool:
+        """Whether the named node has a prescribed temperature."""
+        return self._require(name).is_boundary
+
+    def boundary_temperature(self, name: str) -> float:
+        """Prescribed temperature of a boundary node, Celsius."""
+        node = self._require(name)
+        if node.boundary_temperature_c is None:
+            raise NetworkError(f"{name!r} is not a boundary node")
+        return node.boundary_temperature_c
+
+    @property
+    def node_names(self) -> List[str]:
+        """All node names in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def free_nodes(self) -> List[str]:
+        """Names of the nodes whose temperature is solved for."""
+        return [n.name for n in self._nodes.values() if not n.is_boundary]
+
+    @property
+    def boundary_nodes(self) -> List[str]:
+        """Names of the fixed-temperature nodes."""
+        return [n.name for n in self._nodes.values() if n.is_boundary]
+
+    @property
+    def resistors(self) -> List[Resistor]:
+        """All resistive connections."""
+        return list(self._resistors)
+
+    def total_heat_w(self) -> float:
+        """Sum of all injected heat, W (what must leave via boundaries)."""
+        return sum(n.heat_w for n in self._nodes.values())
+
+    def neighbours(self, name: str) -> Iterator[Tuple[str, float]]:
+        """Yield ``(other_node, resistance)`` for every resistor touching ``name``."""
+        self._require(name)
+        for resistor in self._resistors:
+            if resistor.node_a == name:
+                yield resistor.node_b, resistor.resistance_k_w
+            elif resistor.node_b == name:
+                yield resistor.node_a, resistor.resistance_k_w
+
+    def validate(self) -> None:
+        """Check the network is solvable.
+
+        Requirements: at least one boundary node, and every free node
+        connected (directly or transitively) to some boundary — otherwise
+        injected heat has nowhere to go and the steady state is undefined.
+        """
+        if not self._nodes:
+            raise NetworkError("empty network")
+        boundaries = self.boundary_nodes
+        if not boundaries:
+            raise NetworkError("network has no boundary (fixed-temperature) node")
+        reached = set(boundaries)
+        frontier = list(boundaries)
+        while frontier:
+            current = frontier.pop()
+            for other, _ in self.neighbours(current):
+                if other not in reached:
+                    reached.add(other)
+                    frontier.append(other)
+        unreached = [n for n in self._nodes if n not in reached]
+        if unreached:
+            raise NetworkError(
+                "nodes not connected to any boundary: " + ", ".join(sorted(unreached))
+            )
+
+    def _check_new(self, name: str) -> None:
+        if not name:
+            raise NetworkError("node name must be non-empty")
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node name {name!r}")
+
+    def _require(self, name: str) -> _Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+
+__all__ = ["NetworkError", "Resistor", "ThermalNetwork"]

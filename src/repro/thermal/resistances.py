@@ -1,0 +1,138 @@
+"""Thermal-resistance element builders.
+
+Every heat path in the machines decomposes into a series/parallel network of
+these elements: die-to-case conduction, thermal-interface layers ("the heat
+interface is a layer of heat-conducting medium ... used for reduction of
+heat resistance between two contacting surfaces", Section 2), heat-spreading
+into the sink base, and the convection film into the heat-transfer agent.
+
+All functions return resistances in K/W.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def conduction_slab(thickness_m: float, conductivity_w_mk: float, area_m2: float) -> float:
+    """1-D conduction through a slab: ``R = t / (k A)``."""
+    if thickness_m < 0:
+        raise ValueError("thickness must be non-negative")
+    if conductivity_w_mk <= 0 or area_m2 <= 0:
+        raise ValueError("conductivity and area must be positive")
+    return thickness_m / (conductivity_w_mk * area_m2)
+
+
+def conduction_cylinder(
+    inner_radius_m: float, outer_radius_m: float, conductivity_w_mk: float, length_m: float
+) -> float:
+    """Radial conduction through a cylinder shell: ``ln(ro/ri)/(2 pi k L)``."""
+    if not 0 < inner_radius_m < outer_radius_m:
+        raise ValueError("need 0 < inner radius < outer radius")
+    if conductivity_w_mk <= 0 or length_m <= 0:
+        raise ValueError("conductivity and length must be positive")
+    return math.log(outer_radius_m / inner_radius_m) / (
+        2.0 * math.pi * conductivity_w_mk * length_m
+    )
+
+
+def convection_film(h_w_m2k: float, area_m2: float) -> float:
+    """Film resistance ``R = 1 / (h A)``."""
+    if h_w_m2k <= 0 or area_m2 <= 0:
+        raise ValueError("film coefficient and area must be positive")
+    return 1.0 / (h_w_m2k * area_m2)
+
+
+def interface(
+    resistivity_m2k_w: float, area_m2: float, thickness_m: float = 0.0, conductivity_w_mk: float = 1.0
+) -> float:
+    """Thermal-interface-material resistance.
+
+    The sum of a contact term (``resistivity / A``, with resistivity in
+    m^2 K/W — the datasheet "thermal impedance") and an optional bulk term
+    for a bond line of finite thickness.
+    """
+    if resistivity_m2k_w < 0:
+        raise ValueError("interface resistivity must be non-negative")
+    if area_m2 <= 0:
+        raise ValueError("area must be positive")
+    bulk = conduction_slab(thickness_m, conductivity_w_mk, area_m2) if thickness_m > 0 else 0.0
+    return resistivity_m2k_w / area_m2 + bulk
+
+
+def spreading(
+    source_area_m2: float,
+    plate_area_m2: float,
+    plate_thickness_m: float,
+    plate_conductivity_w_mk: float,
+    h_sink_w_m2k: float,
+) -> float:
+    """Spreading resistance from a centred heat source into a larger plate.
+
+    Lee, Song, Au & Moran closed-form approximation on equivalent circular
+    geometry. This is what makes a thin heatsink base on a 42.5 mm FPGA
+    package meaningfully worse than a thick one, and is the term that the
+    SKAT "low-height heatsink" design must beat with wetted-area instead of
+    copper mass.
+
+    Parameters
+    ----------
+    source_area_m2:
+        Footprint of the heat source (the FPGA die or lid).
+    plate_area_m2:
+        Footprint of the plate it spreads into (the sink base).
+    plate_thickness_m:
+        Plate thickness.
+    plate_conductivity_w_mk:
+        Plate conductivity.
+    h_sink_w_m2k:
+        Effective film coefficient on the far side of the plate (averaged
+        over the plate area, fins included).
+    """
+    if source_area_m2 <= 0 or plate_area_m2 <= 0:
+        raise ValueError("areas must be positive")
+    if source_area_m2 > plate_area_m2:
+        raise ValueError("source cannot be larger than the plate")
+    if plate_thickness_m <= 0 or plate_conductivity_w_mk <= 0 or h_sink_w_m2k <= 0:
+        raise ValueError("thickness, conductivity and film coefficient must be positive")
+    r_source = math.sqrt(source_area_m2 / math.pi)
+    r_plate = math.sqrt(plate_area_m2 / math.pi)
+    epsilon = r_source / r_plate
+    if epsilon >= 1.0 - 1e-12:
+        return 0.0
+    tau = plate_thickness_m / r_plate
+    biot = h_sink_w_m2k * r_plate / plate_conductivity_w_mk
+    lam = math.pi + 1.0 / (math.sqrt(math.pi) * epsilon)
+    tanh_lt = math.tanh(lam * tau)
+    phi = (tanh_lt + lam / biot) / (1.0 + (lam / biot) * tanh_lt)
+    psi_max = epsilon * tau / math.sqrt(math.pi) + (1.0 - epsilon) * phi / math.sqrt(math.pi)
+    return psi_max / (plate_conductivity_w_mk * r_source * math.sqrt(math.pi))
+
+
+def series(*resistances: float) -> float:
+    """Total resistance of elements in series."""
+    if not resistances:
+        raise ValueError("need at least one resistance")
+    if any(r < 0 for r in resistances):
+        raise ValueError("resistances must be non-negative")
+    return sum(resistances)
+
+
+def parallel(*resistances: float) -> float:
+    """Total resistance of elements in parallel."""
+    if not resistances:
+        raise ValueError("need at least one resistance")
+    if any(r <= 0 for r in resistances):
+        raise ValueError("parallel resistances must be positive")
+    return 1.0 / sum(1.0 / r for r in resistances)
+
+
+__all__ = [
+    "conduction_cylinder",
+    "conduction_slab",
+    "convection_film",
+    "interface",
+    "parallel",
+    "series",
+    "spreading",
+]

@@ -1,0 +1,134 @@
+"""Declarative chip thermal stacks with per-layer budgets.
+
+The machine models compute a single junction-to-coolant resistance; when a
+design review asks *where the kelvins go*, this module answers: build the
+stack layer by layer (die, TIM1, lid, TIM2, sink base, fins, film) and get
+the resistance budget with per-layer temperature drops at a given power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One resistance element of a chip thermal stack."""
+
+    name: str
+    resistance_k_w: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+        if self.resistance_k_w < 0:
+            raise ValueError("layer resistance must be non-negative")
+
+
+@dataclass
+class ThermalStack:
+    """A series stack from junction to coolant.
+
+    Build with :meth:`add` (or the convenience builders below), then query
+    the total resistance and the per-layer budget.
+    """
+
+    name: str
+    _layers: List[Layer] = field(default_factory=list)
+
+    def add(self, name: str, resistance_k_w: float) -> "ThermalStack":
+        """Append a layer; returns self for chaining."""
+        self._layers.append(Layer(name, resistance_k_w))
+        return self
+
+    @property
+    def layers(self) -> List[Layer]:
+        """The stack from junction downward."""
+        return list(self._layers)
+
+    @property
+    def total_resistance_k_w(self) -> float:
+        """Junction-to-coolant resistance, K/W."""
+        if not self._layers:
+            raise ValueError(f"{self.name}: empty stack")
+        return sum(layer.resistance_k_w for layer in self._layers)
+
+    def junction_c(self, power_w: float, coolant_c: float) -> float:
+        """Junction temperature at a power and coolant temperature."""
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        return coolant_c + power_w * self.total_resistance_k_w
+
+    def budget(self, power_w: float) -> List[Tuple[str, float, float]]:
+        """Per-layer ``(name, delta_T, fraction_of_total)`` at a power."""
+        total = self.total_resistance_k_w
+        return [
+            (layer.name, power_w * layer.resistance_k_w, layer.resistance_k_w / total)
+            for layer in self._layers
+        ]
+
+    def dominant_layer(self) -> Layer:
+        """The layer eating the most budget — the one to attack first."""
+        if not self._layers:
+            raise ValueError(f"{self.name}: empty stack")
+        return max(self._layers, key=lambda l: l.resistance_k_w)
+
+    def render(self, power_w: float, coolant_c: float) -> str:
+        """Text budget table for reports."""
+        lines = [
+            f"{self.name}: {power_w:.0f} W into {coolant_c:.1f} C coolant -> "
+            f"junction {self.junction_c(power_w, coolant_c):.1f} C"
+        ]
+        for name, delta, fraction in self.budget(power_w):
+            lines.append(f"  {name:24s} {delta:6.2f} K  ({fraction:5.1%})")
+        return "\n".join(lines)
+
+
+def skat_chip_stack(oil_velocity_m_s: float = 0.18, oil_c: float = 29.0) -> ThermalStack:
+    """The SKAT chip stack at its design point, layer by layer.
+
+    Reuses the exact component models of the machine (family theta_jc, SRC
+    interface, calibrated pin-fin sink), so the stack's total matches the
+    module solver's chip resistance.
+    """
+    from repro.core.skat import skat_heatsink
+    from repro.core.tim import SRC_OIL_STABLE_INTERFACE
+    from repro.devices.families import KINTEX_ULTRASCALE_KU095
+    from repro.fluids.library import MINERAL_OIL_MD45
+
+    family = KINTEX_ULTRASCALE_KU095
+    sink = skat_heatsink()
+    perf = sink.performance(oil_velocity_m_s, MINERAL_OIL_MD45, oil_c)
+    stack = ThermalStack("SKAT XCKU095 in oil")
+    stack.add("junction -> case (theta_jc)", family.theta_jc_k_w)
+    stack.add(
+        "SRC oil-stable interface",
+        SRC_OIL_STABLE_INTERFACE.resistance_k_w(family.die_area_m2),
+    )
+    stack.add("sink base spreading", perf.spreading_resistance_k_w)
+    stack.add("pin-fin film to oil", perf.convection_resistance_k_w)
+    return stack
+
+
+def air_chip_stack(channel_velocity_m_s: float = 4.0, air_c: float = 25.0) -> ThermalStack:
+    """The Taygeta chip stack in the legacy air cooler."""
+    from repro.core.heatsink import StraightFinAirSink
+    from repro.core.tim import CONVENTIONAL_PASTE
+    from repro.devices.families import VIRTEX7_X485T
+    from repro.fluids.library import AIR
+
+    family = VIRTEX7_X485T
+    sink = StraightFinAirSink()
+    perf = sink.performance(channel_velocity_m_s, AIR, air_c)
+    stack = ThermalStack("Taygeta XC7VX485T in air")
+    stack.add("junction -> case (theta_jc)", family.theta_jc_k_w)
+    stack.add(
+        "thermal paste", CONVENTIONAL_PASTE.resistance_k_w(family.die_area_m2)
+    )
+    stack.add("sink base spreading", perf.spreading_resistance_k_w)
+    stack.add("fin film to air", perf.convection_resistance_k_w)
+    return stack
+
+
+__all__ = ["Layer", "ThermalStack", "air_chip_stack", "skat_chip_stack"]

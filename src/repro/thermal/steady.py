@@ -1,0 +1,88 @@
+"""Steady-state solver for thermal networks.
+
+Assembles the nodal conductance matrix ``G T = Q`` over the free nodes
+(boundary temperatures move to the right-hand side) and solves it with a
+sparse factorization. Steady state is what the paper's headline numbers are:
+"the maximum FPGA temperature during heat experiments did not exceed 55
+degrees Celsius" is the steady operating point of exactly such a network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.network import ThermalNetwork
+
+
+def solve_steady_state(network: ThermalNetwork) -> Dict[str, float]:
+    """Solve for the steady temperature of every node.
+
+    Returns a mapping from node name to temperature in Celsius (boundary
+    nodes are included at their prescribed values).
+
+    Raises
+    ------
+    NetworkError
+        If the network fails :meth:`ThermalNetwork.validate`.
+    """
+    network.validate()
+    free = network.free_nodes
+    index = {name: i for i, name in enumerate(free)}
+    n = len(free)
+
+    result: Dict[str, float] = {
+        name: network.boundary_temperature(name) for name in network.boundary_nodes
+    }
+    if n == 0:
+        return result
+
+    matrix = lil_matrix((n, n))
+    rhs = np.zeros(n)
+    for name in free:
+        rhs[index[name]] = network.heat(name)
+
+    for resistor in network.resistors:
+        g = 1.0 / resistor.resistance_k_w
+        a, b = resistor.node_a, resistor.node_b
+        a_free, b_free = a in index, b in index
+        if a_free:
+            matrix[index[a], index[a]] += g
+        if b_free:
+            matrix[index[b], index[b]] += g
+        if a_free and b_free:
+            matrix[index[a], index[b]] -= g
+            matrix[index[b], index[a]] -= g
+        elif a_free:
+            rhs[index[a]] += g * network.boundary_temperature(b)
+        elif b_free:
+            rhs[index[b]] += g * network.boundary_temperature(a)
+
+    temperatures = spsolve(matrix.tocsr(), rhs)
+    for name, i in index.items():
+        result[name] = float(temperatures[i])
+    return result
+
+
+def boundary_heat_flows(network: ThermalNetwork, temperatures: Dict[str, float]) -> Dict[str, float]:
+    """Heat flowing *into* each boundary node at the given temperatures, W.
+
+    At steady state these sum to the total injected heat — the energy-
+    conservation invariant the property tests check.
+    """
+    flows = {name: 0.0 for name in network.boundary_nodes}
+    for resistor in network.resistors:
+        t_a = temperatures[resistor.node_a]
+        t_b = temperatures[resistor.node_b]
+        q_ab = (t_a - t_b) / resistor.resistance_k_w
+        if resistor.node_b in flows:
+            flows[resistor.node_b] += q_ab
+        if resistor.node_a in flows:
+            flows[resistor.node_a] -= q_ab
+    return flows
+
+
+__all__ = ["boundary_heat_flows", "solve_steady_state"]

@@ -1,0 +1,151 @@
+"""Transient solver for thermal networks.
+
+Integrates ``C_i dT_i/dt = Q_i + sum_j (T_j - T_i)/R_ij`` over the free
+nodes. Nodes with zero capacitance are treated as quasi-static (they are
+eliminated each step by a local steady solve embedded in the stiff
+integrator — in practice we give them a small numerical capacitance and use
+an implicit method, which is robust for the stiff networks the machines
+produce: a silicon die settles in seconds, an oil bath in tens of minutes).
+
+Used by the failure-injection experiments: what happens to junction
+temperatures in the minutes after a circulation pump stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.thermal.network import NetworkError, ThermalNetwork
+
+#: Numerical capacitance (J/K) substituted for zero-capacitance nodes so the
+#: ODE system stays well posed; small enough to be quasi-static next to any
+#: physical mass in the machines.
+QUASI_STATIC_CAPACITANCE_J_K = 0.5
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Time histories from a transient solve.
+
+    Attributes
+    ----------
+    times_s:
+        Sample times, seconds.
+    temperatures_c:
+        Mapping node name -> temperature trace (one value per sample).
+    """
+
+    times_s: np.ndarray
+    temperatures_c: Dict[str, np.ndarray]
+
+    def final(self) -> Dict[str, float]:
+        """Temperatures at the last sample."""
+        return {name: float(trace[-1]) for name, trace in self.temperatures_c.items()}
+
+    def peak(self, name: str) -> float:
+        """Maximum temperature reached by a node over the run."""
+        return float(np.max(self.temperatures_c[name]))
+
+    def time_to_exceed(self, name: str, threshold_c: float) -> Optional[float]:
+        """First time the node crosses ``threshold_c``, or None if it never does."""
+        trace = self.temperatures_c[name]
+        above = np.nonzero(trace >= threshold_c)[0]
+        if len(above) == 0:
+            return None
+        return float(self.times_s[above[0]])
+
+
+def solve_transient(
+    network: ThermalNetwork,
+    duration_s: float,
+    initial_temperatures_c: Optional[Dict[str, float]] = None,
+    heat_schedule: Optional[Callable[[float], Dict[str, float]]] = None,
+    samples: int = 200,
+) -> TransientResult:
+    """Integrate the network over ``duration_s`` seconds.
+
+    Parameters
+    ----------
+    network:
+        The thermal network; boundary nodes stay at their prescribed
+        temperatures for the whole run.
+    duration_s:
+        Run length in seconds.
+    initial_temperatures_c:
+        Starting temperature per free node. Missing nodes start at the mean
+        boundary temperature (a cold start).
+    heat_schedule:
+        Optional ``f(t) -> {node: heat_w}`` override evaluated continuously;
+        nodes not mentioned keep their static heat. This is how failure
+        injection changes loads mid-run.
+    samples:
+        Number of evenly spaced output samples.
+    """
+    network.validate()
+    if duration_s <= 0:
+        raise NetworkError("duration must be positive")
+    if samples < 2:
+        raise NetworkError("need at least 2 output samples")
+
+    free = network.free_nodes
+    index = {name: i for i, name in enumerate(free)}
+    boundary_t = {name: network.boundary_temperature(name) for name in network.boundary_nodes}
+    mean_boundary = float(np.mean(list(boundary_t.values())))
+
+    capacitances = np.array(
+        [max(network.capacitance(name), QUASI_STATIC_CAPACITANCE_J_K) for name in free]
+    )
+    static_heat = np.array([network.heat(name) for name in free])
+
+    # Precompute the resistor incidence for fast RHS evaluation.
+    links: List[tuple] = []  # (i, j_or_None, boundary_temp_or_None, conductance)
+    for resistor in network.resistors:
+        g = 1.0 / resistor.resistance_k_w
+        a, b = resistor.node_a, resistor.node_b
+        if a in index and b in index:
+            links.append((index[a], index[b], None, g))
+        elif a in index:
+            links.append((index[a], None, boundary_t[b], g))
+        elif b in index:
+            links.append((index[b], None, boundary_t[a], g))
+
+    def rhs(t: float, temps: np.ndarray) -> np.ndarray:
+        heat = static_heat.copy()
+        if heat_schedule is not None:
+            for name, value in heat_schedule(t).items():
+                if name in index:
+                    heat[index[name]] = value
+        flow = heat.copy()
+        for i, j, t_b, g in links:
+            if j is None:
+                flow[i] += g * (t_b - temps[i])
+            else:
+                q = g * (temps[j] - temps[i])
+                flow[i] += q
+                flow[j] -= q
+        return flow / capacitances
+
+    t0 = np.full(len(free), mean_boundary)
+    if initial_temperatures_c:
+        for name, value in initial_temperatures_c.items():
+            if name in index:
+                t0[index[name]] = value
+
+    times = np.linspace(0.0, duration_s, samples)
+    solution = solve_ivp(rhs, (0.0, duration_s), t0, t_eval=times, method="BDF", rtol=1e-6)
+    if not solution.success:
+        raise NetworkError(f"transient integration failed: {solution.message}")
+
+    traces: Dict[str, np.ndarray] = {}
+    for name, i in index.items():
+        traces[name] = solution.y[i]
+    for name, value in boundary_t.items():
+        traces[name] = np.full_like(times, value)
+    return TransientResult(times_s=times, temperatures_c=traces)
+
+
+__all__ = ["QUASI_STATIC_CAPACITANCE_J_K", "TransientResult", "solve_transient"]

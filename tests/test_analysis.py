@@ -1,0 +1,136 @@
+"""Tests for the analysis harnesses."""
+
+import pytest
+
+from repro.analysis.compare import compare_architectures, render_scorecard
+from repro.analysis.energy import (
+    air_rack_report,
+    annual_energy_report,
+    immersion_rack_report,
+    render_energy_report,
+)
+from repro.analysis.sensitivity import render_sensitivity, skat_sensitivity
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def scores(self):
+        return compare_architectures()
+
+    def test_three_architectures(self, scores):
+        assert [s.name for s in scores] == [
+            "forced air",
+            "closed-loop cold plates",
+            "open-loop immersion (SKAT)",
+        ]
+
+    def test_air_infeasible_for_ultrascale(self, scores):
+        air = scores[0]
+        assert not air.feasible
+
+    def test_immersion_highest_density(self, scores):
+        immersion = scores[2]
+        assert immersion.fpgas_per_3u == max(s.fpgas_per_3u for s in scores)
+
+    def test_coldplate_most_connections(self, scores):
+        coldplate = scores[1]
+        assert coldplate.pressure_tight_connections == max(
+            s.pressure_tight_connections for s in scores
+        )
+        assert coldplate.leak_exposure
+
+    def test_immersion_best_availability_of_liquids(self, scores):
+        coldplate, immersion = scores[1], scores[2]
+        assert immersion.availability > coldplate.availability
+
+    def test_render(self, scores):
+        text = render_scorecard(scores)
+        assert "open-loop immersion" in text
+        assert "runaway" in text or "C" in text
+
+
+class TestEnergy:
+    def test_immersion_lower_overhead(self):
+        air = air_rack_report()
+        immersion = immersion_rack_report()
+        assert immersion.cooling_overhead_fraction < air.cooling_overhead_fraction
+        assert immersion.pue < air.pue
+
+    def test_annual_report_consistency(self):
+        report = annual_energy_report(price_usd_kwh=0.10)
+        assert report["overhead_ratio"] > 1.5
+        assert report["cost_saving_usd_per_rack_year_at_equal_it"] > 0.0
+
+    def test_price_scales_cost_linearly(self):
+        cheap = immersion_rack_report(price_usd_kwh=0.05)
+        dear = immersion_rack_report(price_usd_kwh=0.20)
+        assert dear.annual_cooling_cost_usd == pytest.approx(
+            4.0 * cheap.annual_cooling_cost_usd
+        )
+
+    def test_render(self):
+        text = render_energy_report(immersion_rack_report())
+        assert "PUE" in text
+        assert "kW" in text
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return skat_sensitivity()
+
+    def test_six_parameters(self, results):
+        assert len(results) == 6
+
+    def test_interface_is_the_dominant_knob(self, results):
+        """Doubling the interface resistivity dwarfs the other levers —
+        the quantitative reason the SRC interface technology matters."""
+        by_param = {r.parameter: r for r in results}
+        tim = abs(by_param["interface resistivity"].delta_k)
+        others = [abs(r.delta_k) for r in results if r.parameter != "interface resistivity"]
+        assert tim > max(others)
+
+    def test_improvements_and_degradations_signed_correctly(self, results):
+        by_param = {r.parameter: r for r in results}
+        assert by_param["pin height"].delta_k < 0.0  # more surface helps
+        assert by_param["pump head"].delta_k < 0.0  # more flow helps
+        assert by_param["chilled water"].delta_k > 0.0  # warmer water hurts
+        assert by_param["solder-pin turbulence"].delta_k > 0.0  # removal hurts
+        assert by_param["water flow"].delta_k > 0.0  # starved HX hurts
+
+    def test_chilled_water_roughly_one_to_one(self, results):
+        """+2 C of water should cost roughly +2 C of junction (the loop is
+        nearly linear in the boundary temperature)."""
+        by_param = {r.parameter: r for r in results}
+        assert by_param["chilled water"].delta_k == pytest.approx(2.0, abs=0.8)
+
+    def test_render(self, results):
+        text = render_sensitivity(results)
+        assert "base max FPGA" in text
+        assert "#" in text
+
+
+class TestCoolantSensitivity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.analysis.sensitivity import coolant_sensitivity
+
+        return coolant_sensitivity()
+
+    def test_five_levers(self, results):
+        assert len(results) == 5
+
+    def test_every_paper_lever_helps(self, results):
+        """Each of Section 2's improvement options lowers the junction."""
+        for r in results:
+            assert r.delta_k < 0.0, r.parameter
+
+    def test_temperature_is_the_strongest_lever(self, results):
+        """Decreasing the agent temperature dominates property tweaks —
+        why the machines run on chilled water rather than exotic oils."""
+        by_param = {r.parameter: r for r in results}
+        temp = abs(by_param["coolant temperature"].delta_k)
+        others = [
+            abs(r.delta_k) for r in results if r.parameter != "coolant temperature"
+        ]
+        assert temp > max(others)

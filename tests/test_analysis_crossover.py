@@ -1,0 +1,78 @@
+"""Tests for the air-cooling viability frontier."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    air_junction_at_power,
+    hypothetical_family,
+    immersion_junction_at_power,
+    sweep_frontier,
+    viability_frontier_w,
+)
+
+
+class TestHypotheticalFamily:
+    def test_power_set(self):
+        family = hypothetical_family(60.0)
+        assert family.operating_power_w == 60.0
+        assert family.max_power_w == pytest.approx(72.0)
+
+    def test_geometry_held_fixed(self):
+        from repro.devices.families import VIRTEX7_X485T
+
+        family = hypothetical_family(60.0)
+        assert family.package_size_mm == VIRTEX7_X485T.package_size_mm
+        assert family.logic_cells == VIRTEX7_X485T.logic_cells
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ValueError):
+            hypothetical_family(0.0)
+
+
+class TestJunctionCurves:
+    def test_air_monotone_then_runaway(self):
+        j30 = air_junction_at_power(30.0)
+        j38 = air_junction_at_power(38.0)
+        assert j30 < j38
+        assert air_junction_at_power(90.0) is None  # UltraScale class: hopeless
+
+    def test_immersion_monotone_and_alive_at_90w(self):
+        j50 = immersion_junction_at_power(50.0)
+        j90 = immersion_junction_at_power(90.0)
+        assert j50 < j90
+        assert j90 is not None
+
+
+class TestFrontier:
+    def test_air_frontier_between_v6_and_v7_class(self):
+        """The paper's history: Virtex-6 (30 W) was fine, Virtex-7 (40 W)
+        was marginal — the frontier sits between them."""
+        frontier = viability_frontier_w(air_junction_at_power)
+        assert 30.0 < frontier < 45.0
+
+    def test_immersion_frontier_beyond_ultrascale(self):
+        """Immersion must carry the ~90-100 W UltraScale class."""
+        frontier = viability_frontier_w(immersion_junction_at_power, hi_w=600.0)
+        assert frontier > 85.0
+
+    def test_immersion_extends_the_frontier_at_least_2x(self):
+        air = viability_frontier_w(air_junction_at_power)
+        immersion = viability_frontier_w(immersion_junction_at_power, hi_w=600.0)
+        assert immersion > 2.0 * air
+
+    def test_bad_bracket_detected(self):
+        with pytest.raises(ValueError):
+            viability_frontier_w(air_junction_at_power, lo_w=200.0, hi_w=300.0)
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        points = sweep_frontier([20.0, 40.0, 90.0])
+        assert [p.power_w for p in points] == [20.0, 40.0, 90.0]
+        assert points[0].air_junction_c < points[1].air_junction_c
+        assert points[2].air_junction_c is None
+        assert points[2].immersion_junction_c is not None
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_frontier([])

@@ -1,0 +1,101 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.analysis.designspace import (
+    DesignPoint,
+    evaluate_point,
+    pareto_frontier,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return sweep(
+        n_boards_options=(12, 14),
+        pin_heights_m=(0.005, 0.007),
+        pin_pitches_m=(0.004,),
+        pump_shutoffs_pa=(35.0e3, 55.0e3),
+    )
+
+
+class TestEvaluate:
+    def test_skat_point_feasible(self):
+        point = evaluate_point(12, 0.007, 0.004, 45.0e3)
+        assert point.feasible
+        assert point.max_fpga_c == pytest.approx(55.0, abs=2.0)
+
+    def test_label(self):
+        point = evaluate_point(12, 0.007, 0.004, 45.0e3)
+        assert point.label == "12b/pin7mm/pitch4.0mm/45kPa"
+
+    def test_more_boards_run_hotter(self):
+        twelve = evaluate_point(12, 0.007, 0.004, 45.0e3)
+        sixteen = evaluate_point(16, 0.007, 0.004, 45.0e3)
+        assert sixteen.max_fpga_c > twelve.max_fpga_c
+        assert sixteen.peak_gflops_total > twelve.peak_gflops_total
+
+
+class TestSweep:
+    def test_full_factorial_count(self, small_sweep):
+        assert len(small_sweep) == 2 * 2 * 1 * 2
+
+    def test_limit(self):
+        points = sweep(limit=5)
+        assert len(points) == 5
+
+    def test_the_paper_chose_12_boards_for_a_reason(self, small_sweep):
+        """At the SKAT envelope, every 12-board variant that cools well is
+        feasible while 14-board variants start failing — the design point
+        emerges from the sweep."""
+        twelve = [p for p in small_sweep if p.n_boards == 12]
+        fourteen = [p for p in small_sweep if p.n_boards == 14]
+        assert any(p.feasible for p in twelve)
+        assert sum(p.feasible for p in twelve) >= sum(p.feasible for p in fourteen)
+
+
+class TestPareto:
+    def test_frontier_subset_of_feasible(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        assert frontier
+        assert all(p.feasible for p in frontier)
+
+    def test_no_frontier_point_dominated(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    b.max_fpga_c <= a.max_fpga_c
+                    and b.pump_power_w <= a.pump_power_w
+                    and (b.max_fpga_c < a.max_fpga_c or b.pump_power_w < a.pump_power_w)
+                )
+                assert not dominates
+
+    def test_frontier_sorted_by_junction(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        temps = [p.max_fpga_c for p in frontier]
+        assert temps == sorted(temps)
+
+    def test_frontier_trades_heat_for_pump_power(self, small_sweep):
+        frontier = pareto_frontier(small_sweep)
+        if len(frontier) >= 2:
+            # Cooler points must pay more pump power along the frontier.
+            powers = [p.pump_power_w for p in frontier]
+            assert powers == sorted(powers, reverse=True)
+
+    def test_infeasible_point_excluded(self):
+        bad = DesignPoint(
+            n_boards=16,
+            pin_height_m=0.005,
+            pin_pitch_m=0.004,
+            pump_shutoff_pa=35.0e3,
+            max_fpga_c=70.0,
+            bath_mean_c=33.0,
+            pump_power_w=100.0,
+            peak_gflops_total=1.0,
+            feasible=False,
+        )
+        assert pareto_frontier([bad]) == []

@@ -1,0 +1,75 @@
+"""Tests for the TCO model."""
+
+import pytest
+
+from repro.analysis.tco import (
+    CoolingTco,
+    CostAssumptions,
+    coolant_inventory_cost,
+    cooling_tco,
+    rack_tco_comparison,
+    render_tco,
+)
+from repro.fluids.library import MINERAL_OIL_MD45, SYNTHETIC_ESTER
+
+
+class TestComponents:
+    def test_coolant_inventory_cost(self):
+        assert coolant_inventory_cost(MINERAL_OIL_MD45, 100.0) == pytest.approx(800.0)
+
+    def test_ester_fill_costs_about_3x_oil(self):
+        oil = coolant_inventory_cost(MINERAL_OIL_MD45, 360.0)
+        ester = coolant_inventory_cost(SYNTHETIC_ESTER, 360.0)
+        assert ester / oil == pytest.approx(25.0 / 8.0, rel=1e-9)
+
+    def test_total_is_sum_of_breakdown(self):
+        tco = cooling_tco(
+            "x",
+            cooling_power_kw=10.0,
+            hardware_capex_usd=1000.0,
+            coolant=MINERAL_OIL_MD45,
+            coolant_volume_litre=100.0,
+            downtime_hours_per_year=2.0,
+        )
+        assert tco.total_usd == pytest.approx(sum(tco.breakdown().values()))
+
+    def test_energy_term(self):
+        assumptions = CostAssumptions(electricity_usd_kwh=0.1, service_years=1.0)
+        tco = cooling_tco("x", 10.0, 0.0, assumptions=assumptions)
+        assert tco.opex_energy_usd == pytest.approx(10.0 * 8760.0 * 0.1)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            cooling_tco("x", -1.0, 0.0)
+        with pytest.raises(ValueError):
+            CostAssumptions(electricity_usd_kwh=0.0)
+
+
+class TestRackComparison:
+    @pytest.fixture(scope="class")
+    def tcos(self):
+        return rack_tco_comparison()
+
+    def test_four_options(self, tcos):
+        assert set(tcos) == {"air", "coldplate", "immersion_oil", "immersion_ester"}
+
+    def test_ester_variant_costs_more_than_oil(self, tcos):
+        """The paper's IMMERS criticism: 'high cost of the cooling liquid,
+        produced by only one manufacturer'."""
+        assert tcos["immersion_ester"].total_usd > tcos["immersion_oil"].total_usd
+        assert (
+            tcos["immersion_ester"].capex_coolant_usd
+            > 3.0 * tcos["immersion_oil"].capex_coolant_usd
+        )
+
+    def test_coldplate_downtime_dominates_its_tco(self, tcos):
+        coldplate = tcos["coldplate"]
+        assert coldplate.downtime_usd > coldplate.capex_hardware_usd
+
+    def test_immersion_beats_coldplate_total(self, tcos):
+        assert tcos["immersion_oil"].total_usd < tcos["coldplate"].total_usd
+
+    def test_render(self, tcos):
+        text = render_tco(tcos)
+        assert "TOTAL" in text
+        assert "mineral oil" in text

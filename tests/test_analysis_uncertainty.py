@@ -1,0 +1,73 @@
+"""Tests for the uncertainty quantification harness."""
+
+import pytest
+
+from repro.analysis.uncertainty import (
+    DEFAULT_TOLERANCES,
+    ParameterTolerance,
+    UncertainValue,
+    skat_uncertainty,
+)
+
+
+class TestUncertainValue:
+    def test_interval_containment(self):
+        value = UncertainValue("x", mean=55.0, std=2.0, p05=52.0, p95=58.0)
+        assert value.contains(55.0)
+        assert value.contains(52.0)
+        assert not value.contains(60.0)
+
+    def test_str(self):
+        value = UncertainValue("junction", 55.0, 2.0, 52.0, 58.0)
+        assert "junction" in str(value)
+        assert "+/-" in str(value)
+
+
+class TestTolerances:
+    def test_default_set_covers_the_calibration_knobs(self):
+        names = {t.name for t in DEFAULT_TOLERANCES}
+        assert names == {
+            "turbulence_factor",
+            "tim_resistivity",
+            "pin_height",
+            "pump_shutoff",
+            "chip_power",
+            "hx_enhancement",
+        }
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            ParameterTolerance("x", 0.0)
+        with pytest.raises(ValueError):
+            ParameterTolerance("x", 0.9)
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return skat_uncertainty(n_samples=25, seed=3)
+
+    def test_three_outputs(self, results):
+        assert set(results) == {"max_fpga_c", "bath_mean_c", "chip_power_w"}
+
+    def test_paper_values_inside_intervals(self, results):
+        """The reproduction's honest claim: the paper's measurements fall
+        inside the propagated 90 % intervals."""
+        assert results["max_fpga_c"].contains(55.0)
+        assert results["chip_power_w"].contains(91.0)
+        assert results["bath_mean_c"].contains(29.8)
+
+    def test_spreads_are_meaningful_but_bounded(self, results):
+        assert 0.5 < results["max_fpga_c"].std < 6.0
+        assert results["max_fpga_c"].p05 < results["max_fpga_c"].mean < results[
+            "max_fpga_c"
+        ].p95
+
+    def test_reproducible_by_seed(self):
+        a = skat_uncertainty(n_samples=10, seed=5)
+        b = skat_uncertainty(n_samples=10, seed=5)
+        assert a["max_fpga_c"].mean == b["max_fpga_c"].mean
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            skat_uncertainty(n_samples=2)

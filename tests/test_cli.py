@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestDispatch:
+    def test_no_args_prints_help_and_fails(self, capsys):
+        assert main([]) == 1
+        assert "Commands" in capsys.readouterr().out
+
+    def test_help_flag_succeeds(self, capsys):
+        assert main(["--help"]) == 0
+        assert "summary" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 1
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "summary",
+            "machines",
+            "balance",
+            "scorecard",
+            "energy",
+            "tco",
+            "sensitivity",
+            "commission",
+            "experiments",
+        }
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "max FPGA junction" in out
+        assert "paper" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Rigel-2", "Taygeta", "SKAT"):
+            assert name in out
+
+    def test_balance_with_argument(self, capsys):
+        assert main(["balance", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "reverse" in out
+        assert out.count("max/min") == 2
+
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        assert "overhead ratio" in capsys.readouterr().out
+
+    def test_tco(self, capsys):
+        assert main(["tco"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        assert "base max FPGA" in capsys.readouterr().out
+
+    def test_commission(self, capsys):
+        assert main(["commission"]) == 0
+        assert "CLEARED FOR SERVICE" in capsys.readouterr().out

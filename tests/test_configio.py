@@ -1,0 +1,85 @@
+"""Tests for configuration serialization."""
+
+import json
+
+import pytest
+
+from repro.configio import (
+    dump_module,
+    load_module,
+    module_from_dict,
+    module_to_dict,
+    report_to_dict,
+)
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    skat_plus,
+)
+
+
+class TestRoundtrip:
+    def test_skat_roundtrips_exactly(self):
+        original = skat()
+        rebuilt = module_from_dict(module_to_dict(original))
+        r1 = original.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        r2 = rebuilt.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert r2.max_fpga_c == pytest.approx(r1.max_fpga_c, abs=1e-9)
+        assert r2.oil_flow_m3_s == pytest.approx(r1.oil_flow_m3_s, abs=1e-12)
+
+    def test_skat_plus_roundtrips(self):
+        original = skat_plus()
+        rebuilt = module_from_dict(module_to_dict(original))
+        assert rebuilt.pump.immersed
+        assert not rebuilt.section.ccb.separate_controller
+        assert rebuilt.section.ccb.fpga.family.name == "Virtex UltraScale+"
+
+    def test_dict_is_json_serializable(self):
+        data = module_to_dict(skat())
+        json.dumps(data)  # must not raise
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "skat.json")
+        dump_module(skat(), path)
+        rebuilt = load_module(path)
+        assert rebuilt.name == "SKAT"
+        assert rebuilt.section.n_boards == 12
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        data = module_to_dict(skat())
+        data["schema"] = "repro.module/99"
+        with pytest.raises(ValueError, match="schema"):
+            module_from_dict(data)
+
+    def test_unknown_family_rejected(self):
+        data = module_to_dict(skat())
+        data["fpga"]["family"] = "Stratix-10"
+        with pytest.raises(KeyError, match="family"):
+            module_from_dict(data)
+
+    def test_unknown_fluid_rejected(self):
+        data = module_to_dict(skat())
+        data["section"]["oil"] = "liquid_helium"
+        with pytest.raises(KeyError, match="fluid"):
+            module_from_dict(data)
+
+    def test_unknown_tim_rejected(self):
+        data = module_to_dict(skat())
+        data["section"]["tim"] = "mystery goo"
+        with pytest.raises(KeyError, match="interface"):
+            module_from_dict(data)
+
+
+class TestReportSerialization:
+    def test_module_report_to_dict(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        data = report_to_dict(report)
+        assert data["oil_cold_c"] == pytest.approx(report.oil_cold_c)
+        json.dumps(data)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            report_to_dict({"not": "a dataclass"})

@@ -1,0 +1,97 @@
+"""Tests for the supervisory cooling controller."""
+
+import pytest
+
+from repro.control.controller import (
+    AlarmSeverity,
+    CoolingController,
+    Thresholds,
+)
+
+
+def nominal_reading(controller, coolant=28.0, fpga=55.0, flow=2.5e-3, level=0.98):
+    return controller.evaluate(
+        coolant_c=coolant,
+        component_temps_c={"fpga": fpga},
+        flow_m3_s=flow,
+        level_fraction=level,
+    )
+
+
+class TestNormalOperation:
+    def test_no_alarms_in_skat_envelope(self):
+        controller = CoolingController()
+        action = nominal_reading(controller)
+        assert action.alarms == []
+        assert not action.shutdown
+        assert action.pump_speed_fraction == 1.0
+
+    def test_nominal_setpoint_passthrough(self):
+        controller = CoolingController(nominal_setpoint_c=20.0)
+        action = nominal_reading(controller)
+        assert action.chiller_setpoint_c == 20.0
+
+
+class TestWarnings:
+    def test_coolant_warning(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, coolant=36.0)
+        assert any(a.severity is AlarmSeverity.WARNING for a in action.alarms)
+        assert not action.shutdown
+
+    def test_component_warning(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, fpga=72.0)
+        assert any(a.source == "fpga" for a in action.alarms)
+
+    def test_pump_trims_up_near_warning(self):
+        controller = CoolingController(nominal_pump_speed=0.8)
+        action = nominal_reading(controller, coolant=33.0)  # 2 K of margin
+        assert action.pump_speed_fraction > 0.8
+
+
+class TestTrips:
+    def test_coolant_trip_latches_shutdown(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, coolant=46.0)
+        assert action.shutdown
+        assert action.pump_speed_fraction == 0.0
+        # Latched: a later normal reading still commands shutdown.
+        action2 = nominal_reading(controller)
+        assert action2.shutdown
+
+    def test_component_trip(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, fpga=90.0)
+        assert action.has_critical
+        assert action.shutdown
+
+    def test_low_flow_trip(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, flow=1.0e-4)
+        assert action.shutdown
+
+    def test_low_level_trip(self):
+        controller = CoolingController()
+        action = nominal_reading(controller, level=0.5)
+        assert action.shutdown
+
+    def test_reset_clears_latch(self):
+        controller = CoolingController()
+        nominal_reading(controller, coolant=46.0)
+        controller.reset()
+        action = nominal_reading(controller)
+        assert not action.shutdown
+
+
+class TestThresholds:
+    def test_defaults_encode_skat_envelope(self):
+        t = Thresholds()
+        assert t.coolant_warn_c > 30.0  # normal SKAT oil never alarms
+        assert t.component_warn_c >= 70.0  # the reliability ceiling
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            Thresholds(coolant_warn_c=50.0, coolant_trip_c=45.0)
+        with pytest.raises(ValueError):
+            Thresholds(component_warn_c=90.0, component_trip_c=85.0)

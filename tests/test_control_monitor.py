@@ -1,0 +1,69 @@
+"""Tests for the telemetry log."""
+
+import pytest
+
+from repro.control.monitor import TelemetryLog
+
+
+def filled_log():
+    log = TelemetryLog()
+    for i in range(5):
+        log.record(float(i), {"oil_c": 25.0 + i, "flow": 2.0e-3})
+    return log
+
+
+class TestRecording:
+    def test_length(self):
+        assert len(filled_log()) == 5
+
+    def test_time_must_not_decrease(self):
+        log = filled_log()
+        with pytest.raises(ValueError, match="backwards"):
+            log.record(1.0, {"oil_c": 20.0})
+
+    def test_equal_times_allowed(self):
+        log = filled_log()
+        log.record(4.0, {"oil_c": 30.0})
+        assert len(log) == 6
+
+    def test_channels_in_first_seen_order(self):
+        log = TelemetryLog()
+        log.record(0.0, {"b": 1.0})
+        log.record(1.0, {"a": 2.0, "b": 3.0})
+        assert log.channels == ["b", "a"]
+
+
+class TestQueries:
+    def test_series(self):
+        times, values = filled_log().series("oil_c")
+        assert list(times) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert list(values) == [25.0, 26.0, 27.0, 28.0, 29.0]
+
+    def test_series_skips_missing_samples(self):
+        log = TelemetryLog()
+        log.record(0.0, {"a": 1.0})
+        log.record(1.0, {"b": 2.0})
+        log.record(2.0, {"a": 3.0})
+        times, values = log.series("a")
+        assert list(times) == [0.0, 2.0]
+        assert list(values) == [1.0, 3.0]
+
+    def test_unknown_channel(self):
+        with pytest.raises(KeyError):
+            filled_log().series("nope")
+
+    def test_latest_and_extrema(self):
+        log = filled_log()
+        assert log.latest("oil_c") == 29.0
+        assert log.maximum("oil_c") == 29.0
+        assert log.minimum("oil_c") == 25.0
+
+    def test_first_crossing(self):
+        log = filled_log()
+        assert log.first_crossing("oil_c", 27.0) == 2.0
+        assert log.first_crossing("oil_c", 100.0) is None
+
+    def test_summary(self):
+        summary = filled_log().summary()
+        assert summary["oil_c"] == {"min": 25.0, "max": 29.0, "last": 29.0}
+        assert "flow" in summary

@@ -1,0 +1,91 @@
+"""Tests for the PID regulator."""
+
+import pytest
+
+from repro.control.pid import PidController, bath_temperature_pid, chiller_setpoint_pid
+
+
+class TestMechanics:
+    def test_output_clamped(self):
+        pid = PidController(kp=100.0, ki=0.0, kd=0.0, setpoint=50.0)
+        assert pid.update(0.0, 1.0) == 1.0  # saturates high
+        assert pid.update(100.0, 1.0) == 0.0  # saturates low
+
+    def test_proportional_direction(self):
+        pid = PidController(kp=0.1, ki=0.0, kd=0.0, setpoint=50.0)
+        below = pid.update(45.0, 1.0)
+        above = pid.update(55.0, 1.0)
+        assert below > above
+
+    def test_reverse_acting_flips_direction(self):
+        direct = PidController(kp=0.1, ki=0.0, kd=0.0, setpoint=50.0)
+        reverse = PidController(kp=0.1, ki=0.0, kd=0.0, setpoint=50.0, reverse_acting=True)
+        assert direct.update(45.0, 1.0) > 0.5
+        assert reverse.update(45.0, 1.0) < 0.5
+
+    def test_integral_accumulates(self):
+        pid = PidController(kp=0.0, ki=0.01, kd=0.0, setpoint=50.0)
+        first = pid.update(45.0, 1.0)
+        second = pid.update(45.0, 1.0)
+        assert second > first
+
+    def test_integral_antiwindup(self):
+        pid = PidController(kp=0.0, ki=10.0, kd=0.0, setpoint=50.0)
+        for _ in range(100):
+            pid.update(0.0, 1.0)  # huge persistent error
+        # After the error clears, the output must come off the rail quickly.
+        recovered = pid.update(50.0 + 1.0, 1.0)
+        assert recovered < 1.0
+
+    def test_derivative_opposes_rapid_change(self):
+        pid = PidController(kp=0.0, ki=0.0, kd=1.0, setpoint=50.0)
+        pid.update(50.0, 1.0)
+        rising_fast = pid.update(45.0, 1.0)  # error jumped up
+        assert rising_fast > 0.5
+
+    def test_reset(self):
+        pid = PidController(kp=0.0, ki=0.01, kd=0.0, setpoint=50.0)
+        pid.update(40.0, 1.0)
+        pid.reset()
+        assert pid.update(50.0, 1.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_dt(self):
+        pid = PidController(kp=1.0, ki=0.0, kd=0.0, setpoint=0.0)
+        with pytest.raises(ValueError):
+            pid.update(0.0, 0.0)
+
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ValueError):
+            PidController(kp=-1.0, ki=0.0, kd=0.0, setpoint=0.0)
+
+    def test_rejects_inverted_limits(self):
+        with pytest.raises(ValueError):
+            PidController(kp=1.0, ki=0.0, kd=0.0, setpoint=0.0, output_min=1.0, output_max=0.0)
+
+
+class TestClosedLoop:
+    def _plant_step(self, bath_c, pump_speed, dt):
+        """A toy bath: heat in constant, rejection proportional to speed."""
+        heat = 9500.0
+        rejection = 12000.0 * pump_speed * max(bath_c - 20.0, 0.0) / 9.0
+        return bath_c + (heat - rejection) * dt / 1.0e5
+
+    def test_bath_pid_converges_to_setpoint(self):
+        pid = bath_temperature_pid(setpoint_c=29.0)
+        bath = 24.0
+        for _ in range(3000):
+            speed = pid.update(bath, 5.0)
+            bath = self._plant_step(bath, speed, 5.0)
+        assert bath == pytest.approx(29.0, abs=1.0)
+
+    def test_bath_pid_never_stops_circulation(self):
+        pid = bath_temperature_pid()
+        # Even with a freezing-cold bath the pump keeps its minimum speed.
+        assert pid.update(5.0, 5.0) >= 0.3
+
+    def test_chiller_pid_limits(self):
+        pid = chiller_setpoint_pid(setpoint_c=29.0)
+        # A very hot bath can only drive the setpoint to its floor.
+        for _ in range(200):
+            command = pid.update(45.0, 5.0)
+        assert command == pytest.approx(12.0)

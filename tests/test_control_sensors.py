@@ -1,0 +1,80 @@
+"""Tests for the sensor models."""
+
+import pytest
+
+from repro.control.sensors import (
+    FlowSensor,
+    LevelSensor,
+    Sensor,
+    SensorError,
+    TemperatureSensor,
+)
+
+
+class TestSensorBasics:
+    def test_noiseless_sensor_reads_truth(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        assert sensor.read(42.0) == 42.0
+
+    def test_readings_clip_to_range(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        assert sensor.read(150.0) == 100.0
+        assert sensor.read(-20.0) == 0.0
+
+    def test_quantization(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0, resolution=0.5)
+        assert sensor.read(42.26) == pytest.approx(42.5)
+
+    def test_noise_is_reproducible_by_seed(self):
+        a = Sensor(name="t", lo=0.0, hi=100.0, noise_std=1.0, seed=7)
+        b = Sensor(name="t", lo=0.0, hi=100.0, noise_std=1.0, seed=7)
+        assert [a.read(50.0) for _ in range(5)] == [b.read(50.0) for _ in range(5)]
+
+    def test_noise_statistics(self):
+        sensor = Sensor(name="t", lo=-1000.0, hi=1000.0, noise_std=2.0, seed=3)
+        readings = [sensor.read(0.0) for _ in range(2000)]
+        mean = sum(readings) / len(readings)
+        assert abs(mean) < 0.2
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(SensorError):
+            Sensor(name="t", lo=10.0, hi=0.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SensorError):
+            Sensor(name="", lo=0.0, hi=1.0)
+
+
+class TestFaults:
+    def test_bias(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        sensor.inject_bias(3.0)
+        assert sensor.faulted
+        assert sensor.read(40.0) == 43.0
+
+    def test_stuck(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        sensor.stick_at(25.0)
+        assert sensor.read(90.0) == 25.0
+
+    def test_clear_faults(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        sensor.inject_bias(3.0)
+        sensor.stick_at(25.0)
+        sensor.clear_faults()
+        assert not sensor.faulted
+        assert sensor.read(40.0) == 40.0
+
+
+class TestFactories:
+    def test_temperature_sensor_resolution(self):
+        sensor = TemperatureSensor("t_oil", noise_std=0.0)
+        assert sensor.read(29.96) == pytest.approx(30.0)
+
+    def test_flow_sensor_range(self):
+        sensor = FlowSensor("f_oil", noise_std=0.0)
+        assert sensor.read(0.05) == pytest.approx(0.02)  # rails at hi
+
+    def test_level_sensor_fraction(self):
+        sensor = LevelSensor("level", noise_std=0.0)
+        assert 0.0 <= sensor.read(0.97) <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the air-cooled CM model against the Section 1 anchors."""
+
+import pytest
+
+from repro.core.skat import rigel2, taygeta, ultrascale_in_air
+from repro.devices.power import ThermalRunawayError
+
+
+class TestRigel2:
+    def test_overheat_near_paper(self):
+        """Paper: 33.1 C overheat over a 25 C room."""
+        report = rigel2().solve(25.0)
+        assert report.max_overheat_k == pytest.approx(33.1, rel=0.15)
+
+    def test_module_power_near_paper(self):
+        """Paper: 1255 W module power."""
+        report = rigel2().solve(25.0)
+        assert report.module_power_w == pytest.approx(1255.0, rel=0.10)
+
+    def test_within_reliability_limit(self):
+        """Rigel-2 was fine: ~58 C is under the 65-70 C ceiling."""
+        report = rigel2().solve(25.0)
+        assert report.within_reliability_limit
+
+
+class TestTaygeta:
+    def test_overheat_near_paper(self):
+        """Paper: 47.9 C overheat over a 25 C room -> 72.9 C."""
+        report = taygeta().solve(25.0)
+        assert report.max_overheat_k == pytest.approx(47.9, rel=0.15)
+
+    def test_module_power_near_paper(self):
+        """Paper: 1661 W module power."""
+        report = taygeta().solve(25.0)
+        assert report.module_power_w == pytest.approx(1661.0, rel=0.10)
+
+    def test_exceeds_reliability_limit(self):
+        """The paper's point: Taygeta needs a colder room."""
+        report = taygeta().solve(25.0)
+        assert not report.within_reliability_limit
+
+    def test_colder_room_rescues_taygeta(self):
+        """'The CM Taygeta maintenance requires a decrease in environment
+        temperature.'"""
+        report = taygeta().solve(15.0)
+        assert report.max_junction_c < taygeta().solve(25.0).max_junction_c
+
+
+class TestFamilyTransition:
+    def test_v6_to_v7_adds_11_to_15_degrees(self):
+        """Paper: 'conversion from ... Virtex-6 to ... Virtex-7 leads to an
+        increase of the FPGA maximum temperature by 11...15 C'."""
+        delta = taygeta().solve(25.0).max_junction_c - rigel2().solve(25.0).max_junction_c
+        assert 10.0 <= delta <= 16.0
+
+    def test_ultrascale_in_air_hits_operating_limit(self):
+        """Paper: UltraScale under (even improved) air cooling lands in the
+        80...85 C limit range — past the reliability ceiling."""
+        report = ultrascale_in_air().solve(25.0)
+        assert report.max_junction_c >= 75.0
+        assert not report.within_reliability_limit
+
+
+class TestStructure:
+    def test_thermal_gradient_along_airflow(self):
+        report = taygeta().solve(25.0)
+        assert report.thermal_gradient_k > 0.0
+        junctions = [c.junction_c for c in report.chips]
+        assert junctions == sorted(junctions)
+
+    def test_eight_chips_reported(self):
+        assert len(rigel2().solve(25.0).chips) == 8
+
+    def test_fan_power_positive(self):
+        assert rigel2().solve(25.0).fan_power_w > 0.0
+
+    def test_higher_utilization_runs_hotter(self):
+        low = rigel2(utilization=0.85).solve(25.0)
+        high = rigel2(utilization=0.95).solve(25.0)
+        assert high.max_junction_c > low.max_junction_c

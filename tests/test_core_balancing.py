@@ -1,0 +1,115 @@
+"""Tests for the Fig. 5 hydraulic-balancing system."""
+
+import pytest
+
+from repro.core.balancing import (
+    ManifoldLayout,
+    RackManifoldSystem,
+    redistribution_evenness,
+)
+
+
+def system(layout=ManifoldLayout.REVERSE_RETURN, n_loops=6):
+    return RackManifoldSystem(n_loops=n_loops, layout=layout)
+
+
+class TestBalance:
+    def test_reverse_return_flows_symmetric(self):
+        """The equal-path-length property makes the flow profile symmetric
+        about the middle of the rack."""
+        flows = system(ManifoldLayout.REVERSE_RETURN).solve().loop_flows_m3_s
+        for i in range(len(flows) // 2):
+            assert flows[i] == pytest.approx(flows[-1 - i], rel=1e-3)
+
+    def test_direct_return_monotone_starvation(self):
+        """Direct return short-circuits loop 0 and starves the far loop."""
+        flows = system(ManifoldLayout.DIRECT_RETURN).solve().loop_flows_m3_s
+        assert flows == sorted(flows, reverse=True)
+
+    def test_reverse_beats_direct(self):
+        """The paper's claim: no balancing-valve system is needed with the
+        reverse-return layout."""
+        reverse = system(ManifoldLayout.REVERSE_RETURN).solve()
+        direct = system(ManifoldLayout.DIRECT_RETURN).solve()
+        assert reverse.imbalance_ratio < direct.imbalance_ratio
+        assert reverse.coefficient_of_variation < 0.5 * direct.coefficient_of_variation
+
+    def test_reverse_return_near_balanced(self):
+        report = system(ManifoldLayout.REVERSE_RETURN).solve()
+        assert report.imbalance_ratio < 1.12
+
+    def test_all_flows_positive(self):
+        for layout in ManifoldLayout:
+            flows = system(layout).solve().loop_flows_m3_s
+            assert all(q > 0 for q in flows)
+
+
+class TestFailure:
+    def test_failed_loop_carries_nothing(self):
+        s = system()
+        s.fail_loop(2)
+        report = s.solve()
+        assert report.loop_flows_m3_s[2] == 0.0
+        assert report.failed_loops == [2]
+
+    def test_survivors_gain_flow(self):
+        s = system()
+        result = s.failure_redistribution(2)
+        before, after = result["before"], result["after"]
+        for i in range(6):
+            if i == 2:
+                continue
+            assert after.loop_flows_m3_s[i] > before.loop_flows_m3_s[i]
+
+    def test_redistribution_is_even_for_reverse_return(self):
+        """Paper: 'the heat-transfer agent flow is evenly changed in the
+        rest of modules'."""
+        s = system(ManifoldLayout.REVERSE_RETURN)
+        result = s.failure_redistribution(2)
+        evenness = redistribution_evenness(result["before"], result["after"])
+        assert evenness < 0.25
+
+    def test_restore_recovers_original_flows(self):
+        s = system()
+        before = s.solve().loop_flows_m3_s
+        s.fail_loop(3)
+        s.restore_loop(3)
+        after = s.solve().loop_flows_m3_s
+        for a, b in zip(before, after):
+            assert a == pytest.approx(b, rel=1e-6)
+
+    def test_failure_index_validated(self):
+        with pytest.raises(ValueError):
+            system().fail_loop(10)
+
+
+class TestBalancingValves:
+    def test_trim_valves_throttle(self):
+        trimmed = RackManifoldSystem(
+            n_loops=6,
+            layout=ManifoldLayout.DIRECT_RETURN,
+            balancing_valves=[0.5, 0.7, 0.9, 1.0, 1.0, 1.0],
+        ).solve()
+        untrimmed = system(ManifoldLayout.DIRECT_RETURN).solve()
+        # Trimming the over-fed near loops improves the balance.
+        assert trimmed.imbalance_ratio < untrimmed.imbalance_ratio
+
+    def test_valve_count_must_match(self):
+        with pytest.raises(ValueError):
+            RackManifoldSystem(n_loops=6, balancing_valves=[1.0, 1.0])
+
+
+class TestReportMetrics:
+    def test_total_flow_is_sum(self):
+        report = system().solve()
+        assert report.total_flow_m3_s == pytest.approx(sum(report.loop_flows_m3_s))
+
+    def test_active_flows_excludes_failed(self):
+        s = system()
+        s.fail_loop(0)
+        report = s.solve()
+        assert len(report.active_flows) == 5
+
+    def test_needs_two_loops(self):
+        with pytest.raises(ValueError):
+            RackManifoldSystem(n_loops=1)

@@ -1,0 +1,99 @@
+"""Tests for the bath inventory and level-sensor physics."""
+
+import pytest
+
+from repro.core.bathlevel import BathGeometry, BathInventory
+
+
+class TestGeometry:
+    def test_volumes(self):
+        geometry = BathGeometry(length_m=0.7, width_m=0.44, depth_m=0.11)
+        assert geometry.surface_area_m2 == pytest.approx(0.308)
+        assert geometry.gross_volume_m3 == pytest.approx(0.03388)
+        assert geometry.oil_capacity_m3 < geometry.gross_volume_m3
+
+    def test_rejects_internals_displacing_everything(self):
+        with pytest.raises(ValueError):
+            BathGeometry(displaced_volume_m3=1.0)
+
+
+class TestInventory:
+    def test_skat_scale_oil_mass(self):
+        """A 3U bath holds roughly 15-25 kg of oil."""
+        inventory = BathInventory()
+        assert 12.0 < inventory.oil_mass_kg < 30.0
+
+    def test_level_rises_with_temperature(self):
+        """Thermal expansion: the warm bath reads higher on the level
+        sensor — NOT a fill event."""
+        inventory = BathInventory(fill_temperature_c=20.0, fill_fraction=0.9)
+        cold = inventory.level_fraction(20.0)
+        warm = inventory.level_fraction(50.0)
+        assert warm > cold
+        assert cold == pytest.approx(0.9, abs=1e-9)
+
+    def test_expansion_magnitude_realistic(self):
+        """Mineral oil expands ~0.07 %/K: +30 K is roughly +2 % level."""
+        inventory = BathInventory(fill_fraction=0.9)
+        rise = inventory.level_fraction(50.0) - inventory.level_fraction(20.0)
+        assert 0.01 < rise < 0.04
+
+    def test_leak_lowers_level(self):
+        inventory = BathInventory()
+        intact = inventory.level_fraction(30.0)
+        leaked = inventory.level_fraction(30.0, leaked_kg=2.0)
+        assert leaked < intact
+
+    def test_level_clips_at_full(self):
+        inventory = BathInventory(fill_fraction=1.0)
+        assert inventory.level_fraction(60.0) == 1.0
+
+    def test_thermal_mass_scale(self):
+        """~20 kg x ~2 kJ/kgK: a few tens of kJ/K per bath."""
+        inventory = BathInventory()
+        assert 2.0e4 < inventory.thermal_mass_j_k(30.0) < 8.0e4
+
+
+class TestAlarms:
+    def test_headroom_positive_for_design_fill(self):
+        inventory = BathInventory(fill_fraction=0.95)
+        assert inventory.expansion_headroom_fraction(45.0) > 0.0
+
+    def test_overfill_detected(self):
+        inventory = BathInventory(fill_fraction=1.0)
+        assert inventory.expansion_headroom_fraction(60.0) == 0.0
+
+    def test_alarm_threshold_below_cold_level(self):
+        inventory = BathInventory(fill_fraction=0.95)
+        threshold = inventory.leak_alarm_threshold(min_operating_c=20.0)
+        assert threshold < inventory.level_fraction(20.0)
+
+    def test_warm_bath_never_false_alarms(self):
+        """Normal operation at any temperature stays above the alarm."""
+        inventory = BathInventory(fill_fraction=0.95)
+        threshold = inventory.leak_alarm_threshold(min_operating_c=20.0)
+        for t in (20.0, 30.0, 40.0, 50.0):
+            assert inventory.level_fraction(t) > threshold
+
+    def test_detectable_leak_small(self):
+        """The alarm catches sub-kilogram losses at operating temperature
+        margins used here."""
+        inventory = BathInventory(fill_fraction=0.95)
+        detectable = inventory.detectable_leak_kg(30.0)
+        assert 0.0 < detectable < 3.0
+
+    def test_bigger_margin_bigger_blind_spot(self):
+        inventory = BathInventory(fill_fraction=0.95)
+        tight = inventory.detectable_leak_kg(30.0, margin_fraction=0.005)
+        loose = inventory.detectable_leak_kg(30.0, margin_fraction=0.03)
+        assert loose > tight
+
+
+class TestValidation:
+    def test_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            BathInventory(fill_fraction=0.05)
+
+    def test_rejects_negative_leak(self):
+        with pytest.raises(ValueError):
+            BathInventory().oil_volume_m3(30.0, leaked_kg=-1.0)

@@ -1,0 +1,86 @@
+"""Tests for the full-resolution module thermal network."""
+
+import pytest
+
+from repro.core.boardnetwork import (
+    build_module_network,
+    solve_module_network,
+)
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+
+@pytest.fixture(scope="module")
+def design_point():
+    module = skat()
+    report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    chips = report.immersion.chips_per_board
+    power = sum(c.power_w for c in chips) / len(chips)
+    return module, report, power
+
+
+class TestStructure:
+    def test_node_count(self, design_point):
+        module, report, power = design_point
+        network = build_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        # 12 boards x 8 positions x (oil cell + junction) + 1 boundary.
+        assert len(network.node_names) == 12 * 8 * 2 + 1
+
+    def test_validates(self, design_point):
+        module, report, power = design_point
+        network = build_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        network.validate()
+
+    def test_rejects_bad_flow(self, design_point):
+        module, _, power = design_point
+        with pytest.raises(ValueError):
+            build_module_network(module.section, 28.0, 0.0, power)
+
+
+class TestCrossValidation:
+    def test_max_junction_matches_marching_solver(self, design_point):
+        """The 96-chip network and the production marching solver must
+        agree at the design point to within a fraction of a kelvin."""
+        module, report, power = design_point
+        solution = solve_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        assert solution.max_junction_c == pytest.approx(report.max_fpga_c, abs=0.5)
+
+    def test_energy_conservation(self, design_point):
+        module, report, power = design_point
+        solution = solve_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        assert solution.total_heat_w == pytest.approx(96 * power, rel=1e-6)
+
+    def test_gradient_flattened_by_board_conduction(self, design_point):
+        """Board conduction can only reduce the in-board gradient relative
+        to the marching model (which ignores it)."""
+        module, report, power = design_point
+        solution = solve_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        assert solution.board_gradient_k <= report.immersion.thermal_gradient_k + 0.01
+        assert solution.board_gradient_k > 0.0
+
+    def test_junctions_rise_along_the_oil_path(self, design_point):
+        module, report, power = design_point
+        solution = solve_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        junctions = [solution.junction_by_position[k] for k in sorted(solution.junction_by_position)]
+        assert junctions == sorted(junctions)
+
+    def test_boards_identical_by_symmetry(self, design_point):
+        module, report, power = design_point
+        solution = solve_module_network(
+            module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+        )
+        t = solution.temperatures_c
+        for position in (0, 7):
+            values = [t[f"b{b}_j{position}"] for b in range(12)]
+            assert max(values) - min(values) < 1e-9

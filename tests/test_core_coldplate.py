@@ -1,0 +1,69 @@
+"""Tests for the closed-loop cold-plate contrast case."""
+
+import pytest
+
+from repro.core.coldplate import ColdPlateModule, PlateStyle, dew_point_c
+from repro.devices.board import Ccb
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.devices.fpga import Fpga
+
+
+def module(**overrides):
+    return ColdPlateModule(ccb=Ccb(Fpga(KINTEX_ULTRASCALE_KU095)), **overrides)
+
+
+class TestDewPoint:
+    def test_known_value(self):
+        # 25 C at 55 % RH: dew point ~15.5 C.
+        assert dew_point_c(25.0, 0.55) == pytest.approx(15.5, abs=0.7)
+
+    def test_dry_air_lower_dew_point(self):
+        assert dew_point_c(25.0, 0.3) < dew_point_c(25.0, 0.7)
+
+    def test_rejects_bad_humidity(self):
+        with pytest.raises(ValueError):
+            dew_point_c(25.0, 0.0)
+
+
+class TestThermal:
+    def test_water_cooling_is_thermally_excellent(self):
+        """Cold plates cool well — that was never the problem."""
+        report = module().solve()
+        assert report.max_junction_c < 60.0
+
+    def test_per_chip_beats_per_board(self):
+        per_chip = module(style=PlateStyle.PER_CHIP).solve()
+        per_board = module(style=PlateStyle.PER_BOARD).solve()
+        assert per_chip.n_pressure_tight_connections > per_board.n_pressure_tight_connections
+
+
+class TestRiskLedger:
+    def test_connection_count_large(self):
+        """Section 2: 'a rather complex piping system and a large number of
+        pressure-tight connections'."""
+        report = module(style=PlateStyle.PER_CHIP).solve()
+        # 12 boards x 9 plates x 2 + manifolds: hundreds.
+        assert report.n_pressure_tight_connections > 200
+
+    def test_leak_sensors_required(self):
+        """'The control and monitoring systems of such computers always
+        contain many internal humidity and leak sensors.'"""
+        report = module().solve()
+        assert report.n_leak_sensors >= 13
+
+    def test_condensation_risk_with_cold_water_humid_room(self):
+        risky = module(supply_water_c=12.0, room_relative_humidity=0.7).solve()
+        assert risky.condensation_risk
+
+    def test_no_condensation_with_warm_water(self):
+        safe = module(supply_water_c=20.0, room_relative_humidity=0.5).solve()
+        assert not safe.condensation_risk
+
+    def test_pump_pressure_positive(self):
+        assert module().solve().pump_pressure_pa > 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_velocity(self):
+        with pytest.raises(ValueError):
+            module(water_velocity_m_s=0.0)

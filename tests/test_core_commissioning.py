@@ -1,0 +1,80 @@
+"""Tests for the commissioning procedure."""
+
+import pytest
+
+from repro.core.bathlevel import BathInventory
+from repro.core.commissioning import (
+    Envelope,
+    fill_check,
+    run_heat_experiment,
+)
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+
+class TestFillCheck:
+    def test_design_fill_passes(self):
+        passed, notes = fill_check(BathInventory(fill_fraction=0.95))
+        assert passed
+        assert "headroom" in notes
+
+    def test_overfill_fails(self):
+        passed, _ = fill_check(BathInventory(fill_fraction=1.0))
+        assert not passed
+
+    def test_underfill_fails(self):
+        passed, _ = fill_check(BathInventory(fill_fraction=0.5))
+        assert not passed
+
+
+class TestHeatExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_heat_experiment(skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+
+    def test_skat_clears_commissioning(self, report):
+        assert report.passed
+        assert report.final is not None
+
+    def test_all_default_stages_run(self, report):
+        assert [s.utilization for s in report.stages] == [0.25, 0.5, 0.75, 0.9, 0.95]
+
+    def test_monotone_heating_with_utilization(self, report):
+        junctions = [s.max_fpga_c for s in report.stages]
+        assert junctions == sorted(junctions)
+
+    def test_final_stage_is_the_measured_point(self, report):
+        assert report.final.max_fpga_c == pytest.approx(
+            report.stages[-1].max_fpga_c
+        )
+
+    def test_render_protocol(self, report):
+        text = report.render()
+        assert "CLEARED FOR SERVICE" in text
+        assert "util 95%" in text
+
+    def test_tight_envelope_stops_ramp(self):
+        tight = Envelope(max_fpga_c=45.0)
+        report = run_heat_experiment(
+            skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S, envelope=tight
+        )
+        assert not report.passed
+        assert not report.stages[-1].passed
+        # The ramp stopped at the first violation.
+        assert all(s.passed for s in report.stages[:-1])
+
+    def test_rejects_bad_stage_list(self):
+        with pytest.raises(ValueError):
+            run_heat_experiment(
+                skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S, stages=[]
+            )
+        with pytest.raises(ValueError):
+            run_heat_experiment(
+                skat(), SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S, stages=[1.5]
+            )
+
+
+class TestEnvelope:
+    def test_violation_list(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert Envelope().check(report) == []
+        assert Envelope(max_fpga_c=50.0).check(report) != []

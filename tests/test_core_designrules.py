@@ -1,0 +1,70 @@
+"""Tests for the executable design rules."""
+
+import pytest
+
+from repro.core.designrules import (
+    coolant_rules,
+    format_report,
+    heatsink_rules,
+    module_rules,
+    pump_rules,
+    review,
+)
+from repro.core.skat import skat, skat_heatsink, skat_pump
+from repro.fluids.library import MINERAL_OIL_MD45, SYNTHETIC_ESTER, WATER
+
+
+class TestCoolantRules:
+    def test_md45_passes_all(self):
+        """The paper's chosen agent satisfies its own criteria."""
+        assert review(coolant_rules(MINERAL_OIL_MD45))
+
+    def test_water_fails_dielectric(self):
+        checks = coolant_rules(WATER)
+        failed = [c.rule for c in checks if not c.passed]
+        assert any("dielectric" in rule for rule in failed)
+
+    def test_ester_fails_cost(self):
+        """The single-vendor coolant the paper criticises fails the
+        'reasonable cost' criterion."""
+        checks = coolant_rules(SYNTHETIC_ESTER)
+        failed = [c.rule for c in checks if not c.passed]
+        assert "reasonable cost" in failed
+
+
+class TestHeatsinkRules:
+    def test_skat_sink_passes(self):
+        checks = heatsink_rules(skat_heatsink(), MINERAL_OIL_MD45, 0.18)
+        assert review(checks)
+
+    def test_stagnant_sink_fails_turbulence(self):
+        checks = heatsink_rules(skat_heatsink(), MINERAL_OIL_MD45, 0.001)
+        failed = [c.rule for c in checks if not c.passed]
+        assert "local turbulence" in failed
+
+
+class TestPumpRules:
+    def test_skat_pump_passes_at_duty(self):
+        checks = pump_rules(skat_pump(), 2.7e-3, 25.0e3, MINERAL_OIL_MD45)
+        assert review(checks)
+
+    def test_undersized_pump_fails_duty(self):
+        checks = pump_rules(skat_pump(), 4.9e-3, 40.0e3, MINERAL_OIL_MD45)
+        failed = [c.rule for c in checks if not c.passed]
+        assert "performance at duty point" in failed
+
+
+class TestModuleRules:
+    def test_skat_passes_all(self):
+        assert review(module_rules(skat()))
+
+    def test_rule_report_format(self):
+        text = format_report(module_rules(skat()))
+        assert "[PASS]" in text
+        assert "3U module height" in text
+
+
+class TestReview:
+    def test_empty_checks_rejected(self):
+        with pytest.raises(ValueError):
+            review([])

@@ -1,0 +1,55 @@
+"""Tests for the heat-map renderer."""
+
+import pytest
+
+from repro.core.boardnetwork import solve_module_network
+from repro.core.heatmap import RAMP, junction_grid, render_heatmap, render_profile
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+
+@pytest.fixture(scope="module")
+def solved():
+    module = skat()
+    report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    chips = report.immersion.chips_per_board
+    power = sum(c.power_w for c in chips) / len(chips)
+    solution = solve_module_network(
+        module.section, report.oil_cold_c, report.oil_flow_m3_s, power
+    )
+    return module.section, solution
+
+
+class TestGrid:
+    def test_shape(self, solved):
+        section, solution = solved
+        grid = junction_grid(section, solution)
+        assert len(grid) == 12
+        assert all(len(row) == 8 for row in grid)
+
+    def test_rows_monotone_along_oil_path(self, solved):
+        section, solution = solved
+        for row in junction_grid(section, solution):
+            assert row == sorted(row)
+
+
+class TestRendering:
+    def test_heatmap_structure(self, solved):
+        section, solution = solved
+        text = render_heatmap(section, solution)
+        lines = text.splitlines()
+        assert "junction map" in lines[0]
+        assert sum(1 for line in lines if line.startswith("board")) == 12
+
+    def test_hot_end_uses_darker_shades(self, solved):
+        section, solution = solved
+        text = render_heatmap(section, solution)
+        board_line = next(l for l in text.splitlines() if l.startswith("board 0"))
+        # The hottest ramp character appears, the coolest appears too.
+        assert RAMP[-1] in text
+        assert board_line.index(RAMP[-1]) > board_line.index(board_line.strip()[0])
+
+    def test_profile_contains_all_positions(self, solved):
+        section, solution = solved
+        text = render_profile(section, solution)
+        for position in range(8):
+            assert f"pos {position}" in text

@@ -1,0 +1,123 @@
+"""Tests for the heatsink designs."""
+
+import pytest
+
+from repro.core.heatsink import (
+    BarePlate,
+    PinFinHeatSink,
+    SOLDER_PIN_TURBULENCE_FACTOR,
+    StraightFinAirSink,
+)
+from repro.fluids.library import AIR, MINERAL_OIL_MD45
+
+
+class TestPinFinGeometry:
+    def test_pin_count(self):
+        sink = PinFinHeatSink(
+            base_width_m=0.060, base_depth_m=0.060, pin_pitch_m=0.004
+        )
+        assert sink.pins_across == 15
+        assert sink.pin_rows == 15
+        assert sink.n_pins == 225
+
+    def test_wetted_area_exceeds_base(self):
+        sink = PinFinHeatSink()
+        assert sink.wetted_area_m2 > 2.5 * sink.base_area_m2
+
+    def test_low_height(self):
+        """The 'low-height heatsink' of the SKAT CCB."""
+        sink = PinFinHeatSink()
+        assert sink.height_m <= 0.015
+
+    def test_interpin_velocity_amplification(self):
+        sink = PinFinHeatSink(pin_diameter_m=0.002, pin_pitch_m=0.004)
+        assert sink.max_interpin_velocity(0.2) == pytest.approx(0.4)
+
+    def test_rejects_pitch_below_diameter(self):
+        with pytest.raises(ValueError):
+            PinFinHeatSink(pin_diameter_m=0.004, pin_pitch_m=0.003)
+
+    def test_rejects_source_bigger_than_base(self):
+        with pytest.raises(ValueError):
+            PinFinHeatSink(base_width_m=0.02, base_depth_m=0.02, source_area_m2=0.01)
+
+
+class TestPinFinPerformance:
+    def test_skat_class_resistance(self):
+        """The calibrated SKAT design point: ~0.1-0.2 K/W from sink base to
+        oil at the CM's board velocity."""
+        sink = PinFinHeatSink()
+        perf = sink.performance(0.18, MINERAL_OIL_MD45, 29.0)
+        assert 0.05 < perf.total_resistance_k_w < 0.25
+
+    def test_more_flow_less_resistance(self):
+        sink = PinFinHeatSink()
+        slow = sink.performance(0.05, MINERAL_OIL_MD45, 30.0)
+        fast = sink.performance(0.4, MINERAL_OIL_MD45, 30.0)
+        assert fast.total_resistance_k_w < slow.total_resistance_k_w
+
+    def test_more_flow_more_pressure_drop(self):
+        sink = PinFinHeatSink()
+        slow = sink.performance(0.05, MINERAL_OIL_MD45, 30.0)
+        fast = sink.performance(0.4, MINERAL_OIL_MD45, 30.0)
+        assert fast.pressure_drop_pa > slow.pressure_drop_pa
+
+    def test_solder_pins_beat_plain_pins(self):
+        """The paper's 'original solder pins' enhancement must show up as a
+        lower thermal resistance at equal geometry and flow."""
+        plain = PinFinHeatSink(turbulence_factor=1.0)
+        solder = PinFinHeatSink(turbulence_factor=SOLDER_PIN_TURBULENCE_FACTOR)
+        v = 0.18
+        assert (
+            solder.performance(v, MINERAL_OIL_MD45, 30.0).total_resistance_k_w
+            < plain.performance(v, MINERAL_OIL_MD45, 30.0).total_resistance_k_w
+        )
+
+    def test_zero_flow_stagnant(self):
+        sink = PinFinHeatSink()
+        perf = sink.performance(0.0, MINERAL_OIL_MD45, 30.0)
+        assert perf.pressure_drop_pa == 0.0
+        assert perf.effective_conductance_w_k == 0.0
+
+    def test_fin_efficiency_in_bounds(self):
+        perf = PinFinHeatSink().performance(0.18, MINERAL_OIL_MD45, 30.0)
+        assert 0.3 < perf.fin_efficiency <= 1.0
+
+
+class TestBarePlate:
+    def test_far_worse_than_pin_sink(self):
+        """Why a bare package cannot shed 100 W in oil — the failure of the
+        naive immersion products the paper criticises."""
+        bare = BarePlate()
+        sink = PinFinHeatSink()
+        v = 0.18
+        r_bare = bare.performance(v, MINERAL_OIL_MD45, 30.0).total_resistance_k_w
+        r_sink = sink.performance(v, MINERAL_OIL_MD45, 30.0).total_resistance_k_w
+        assert r_bare > 3.0 * r_sink
+
+    def test_wetted_area_is_package_top(self):
+        bare = BarePlate(width_m=0.0425, depth_m=0.0425)
+        assert bare.wetted_area_m2 == pytest.approx(0.0425 ** 2)
+
+
+class TestStraightFinAirSink:
+    def test_fin_count(self):
+        sink = StraightFinAirSink(
+            base_width_m=0.060, fin_thickness_m=0.001, fin_gap_m=0.003
+        )
+        assert sink.n_fins == 15
+
+    def test_air_resistance_realistic(self):
+        """A 60 mm air sink at a few m/s: 0.5-1.0 K/W class."""
+        sink = StraightFinAirSink()
+        perf = sink.performance(4.0, AIR, 25.0)
+        assert 0.3 < perf.total_resistance_k_w < 1.2
+
+    def test_oil_pin_sink_beats_air_sink_by_order_of_magnitude(self):
+        air = StraightFinAirSink().performance(4.0, AIR, 25.0)
+        oil = PinFinHeatSink().performance(0.18, MINERAL_OIL_MD45, 30.0)
+        assert air.total_resistance_k_w > 3.0 * oil.total_resistance_k_w
+
+    def test_zero_velocity_stagnant(self):
+        perf = StraightFinAirSink().performance(0.0, AIR, 25.0)
+        assert perf.effective_conductance_w_k == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the immersion bath model."""
+
+import pytest
+
+from repro.core.immersion import ImmersionSection
+from repro.core.skat import skat_heatsink
+from repro.core.tim import CONVENTIONAL_PASTE, SRC_OIL_STABLE_INTERFACE
+from repro.devices.board import Ccb
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.devices.fpga import Fpga
+
+
+def skat_section(**overrides):
+    defaults = dict(
+        ccb=Ccb(Fpga(KINTEX_ULTRASCALE_KU095)),
+        n_boards=12,
+        sink=skat_heatsink(),
+        tim=SRC_OIL_STABLE_INTERFACE,
+    )
+    defaults.update(overrides)
+    return ImmersionSection(**defaults)
+
+
+class TestSolve:
+    def test_skat_operating_point(self):
+        """At the design oil state (28.5 C supply, ~2.7 L/s) the chips land
+        near the paper's 55 C / 91 W."""
+        report = skat_section().solve(28.5, 2.7e-3)
+        assert report.max_junction_c == pytest.approx(55.0, abs=3.0)
+        assert report.chips_per_board[-1].power_w == pytest.approx(91.0, rel=0.08)
+
+    def test_electronics_heat_near_paper(self):
+        """96 chips x ~91 W plus board overheads: ~9.5 kW."""
+        report = skat_section().solve(28.5, 2.7e-3)
+        assert report.electronics_heat_w == pytest.approx(9500.0, rel=0.08)
+
+    def test_oil_return_warmer_than_supply(self):
+        report = skat_section().solve(28.5, 2.7e-3)
+        assert report.oil_return_c > report.oil_supply_c
+        assert report.oil_rise_k == pytest.approx(
+            report.total_heat_w
+            / skat_section().oil.heat_capacity_rate(2.7e-3, 28.5),
+            rel=1e-6,
+        )
+
+    def test_gradient_along_board_small(self):
+        """The SKAT circulation design keeps the per-board thermal gradient
+        to a few degrees (contrast with the 'considerable thermal
+        gradients' of naive immersion)."""
+        report = skat_section().solve(28.5, 2.7e-3)
+        assert 0.0 < report.thermal_gradient_k < 6.0
+
+    def test_psu_heat_counted(self):
+        report = skat_section().solve(28.5, 2.7e-3)
+        assert report.psu_heat_w > 0.0
+        assert report.total_heat_w == pytest.approx(
+            report.electronics_heat_w + report.psu_heat_w
+        )
+
+    def test_more_flow_cooler_chips(self):
+        low = skat_section().solve(28.5, 1.5e-3)
+        high = skat_section().solve(28.5, 4.0e-3)
+        assert high.max_junction_c < low.max_junction_c
+
+    def test_zero_flow_rejected(self):
+        with pytest.raises(ValueError):
+            skat_section().solve(28.5, 0.0)
+
+
+class TestTimEffects:
+    def test_washed_out_paste_raises_junctions(self):
+        fresh = skat_section(tim=CONVENTIONAL_PASTE, tim_service_hours=0.0)
+        aged = skat_section(tim=CONVENTIONAL_PASTE, tim_service_hours=8760.0)
+        assert aged.solve(28.5, 2.7e-3).max_junction_c > fresh.solve(
+            28.5, 2.7e-3
+        ).max_junction_c
+
+    def test_src_interface_immune_to_service_time(self):
+        fresh = skat_section(tim_service_hours=0.0).solve(28.5, 2.7e-3)
+        aged = skat_section(tim_service_hours=87600.0).solve(28.5, 2.7e-3)
+        assert aged.max_junction_c == pytest.approx(fresh.max_junction_c)
+
+
+class TestGeometryValidation:
+    def test_rejects_too_many_boards(self):
+        with pytest.raises(ValueError):
+            skat_section(n_boards=25)
+
+    def test_rejects_bad_flow_fraction(self):
+        with pytest.raises(ValueError):
+            skat_section(flow_fraction_over_boards=0.0)
+
+    def test_board_velocity(self):
+        section = skat_section()
+        v = section.board_approach_velocity(2.7e-3)
+        per_board = 2.7e-3 * section.flow_fraction_over_boards / 12
+        assert v == pytest.approx(per_board / section.board_channel_area_m2)

@@ -1,0 +1,90 @@
+"""Tests for the computational module (bath + heat-exchange section)."""
+
+import pytest
+
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    skat_plus,
+)
+
+
+class TestSkatSteadyState:
+    def test_paper_anchors(self):
+        """Section 3's measured numbers: oil <= 30 C (bath sensor), max
+        FPGA <= 55 C, ~91 W per chip."""
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert report.oil_below_30c
+        assert report.max_fpga_c == pytest.approx(55.0, abs=2.0)
+        assert report.immersion.chips_per_board[-1].power_w == pytest.approx(91.0, rel=0.08)
+
+    def test_energy_balance_closes(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        # Heat into water equals bath heat (external pump adds nothing).
+        assert report.total_heat_to_water_w == pytest.approx(
+            report.immersion.total_heat_w, rel=1e-3
+        )
+
+    def test_oil_loop_flow_positive(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert 1.0e-3 < report.oil_flow_m3_s < 6.0e-3
+
+    def test_hot_oil_above_cold_oil_above_water(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert report.oil_hot_c > report.oil_cold_c > report.water_in_c
+
+    def test_warmer_water_warmer_chips(self):
+        cold = skat().solve_steady(18.0, SKAT_WATER_FLOW_M3_S)
+        warm = skat().solve_steady(24.0, SKAT_WATER_FLOW_M3_S)
+        assert warm.max_fpga_c > cold.max_fpga_c
+
+    def test_module_electrical_power_scale(self):
+        """~9.5 kW electronics + PSU losses + (external) pump."""
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert 9000.0 < report.module_electrical_w < 11000.0
+
+    def test_rejects_zero_water_flow(self):
+        with pytest.raises(ValueError):
+            skat().solve_steady(SKAT_WATER_SUPPLY_C, 0.0)
+
+
+class TestSkatPlus:
+    def test_modified_cooling_beats_unmodified(self):
+        """Section 4: the redesign (surface, pump, immersed pumps) must buy
+        thermal margin for the hotter UltraScale+ parts."""
+        modified = skat_plus(modified_cooling=True).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        unmodified = skat_plus(modified_cooling=False).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        assert modified.max_fpga_c < unmodified.max_fpga_c
+
+    def test_immersed_pump_heat_enters_bath(self):
+        report = skat_plus(modified_cooling=True).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        # Heat to water now includes the immersed pump's losses.
+        assert report.total_heat_to_water_w == pytest.approx(
+            report.immersion.total_heat_w + report.pump_electrical_w, rel=1e-3
+        )
+
+    def test_power_reserve_for_ultrascale_plus(self):
+        """Conclusions: the cooling reserve covers UltraScale+ — junctions
+        stay under the reliability ceiling."""
+        report = skat_plus(modified_cooling=True).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        family = skat_plus().section.ccb.fpga.family
+        assert report.max_fpga_c <= family.t_reliable_max_c
+
+
+class TestGeometry:
+    def test_3u_height(self):
+        module = skat()
+        assert module.height_u == 3.0
+        assert module.height_mm == pytest.approx(133.35)
+
+    def test_volume_litres(self):
+        assert 40.0 < skat().volume_litre() < 70.0

@@ -1,0 +1,67 @@
+"""Tests for the 47U rack model."""
+
+import pytest
+
+from repro.core.rack import RACK_HEIGHT_U, Rack
+from repro.core.skat import skat, skat_plus
+
+
+class TestSkatRack:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Rack(module_factory=skat, n_modules=12).solve()
+
+    def test_above_one_pflops(self, report):
+        """Conclusions: 12 CMs in a 47U rack exceed 1 PFlops."""
+        assert report.above_one_pflops
+        assert report.peak_pflops == pytest.approx(1.0, rel=0.10)
+
+    def test_fpgas_stay_at_55c(self, report):
+        assert report.max_fpga_c == pytest.approx(55.0, abs=3.0)
+
+    def test_it_power_scale(self, report):
+        """12 modules at ~10 kW each."""
+        assert 110.0e3 < report.it_power_w < 135.0e3
+
+    def test_chiller_not_overloaded(self, report):
+        assert not report.chiller.overloaded
+
+    def test_pue_modest(self, report):
+        """Immersion + chilled water: rack-local PUE well under 1.3."""
+        assert 1.0 < report.pue < 1.3
+
+    def test_every_module_reported(self, report):
+        assert len(report.module_reports) == 12
+        assert len(report.water_flows_m3_s) == 12
+
+    def test_water_flows_balanced(self, report):
+        flows = report.water_flows_m3_s
+        assert max(flows) / min(flows) < 1.15
+
+    def test_efficiency_metric(self, report):
+        assert report.gflops_per_watt > 5.0
+
+
+class TestGeometryLimits:
+    def test_12_modules_fit_47u(self):
+        Rack(module_factory=skat, n_modules=12)  # 36U: fine
+
+    def test_16_modules_do_not_fit(self):
+        with pytest.raises(ValueError, match="exceed"):
+            Rack(module_factory=skat, n_modules=16)
+
+    def test_rack_height_constant(self):
+        assert RACK_HEIGHT_U == 47.0
+
+
+class TestSkatPlusRack:
+    def test_skat_plus_rack_about_3x(self):
+        """Section 4: UltraScale+ triples compute in the same volume."""
+        skat_rack = Rack(module_factory=skat, n_modules=12).solve()
+        plus_rack = Rack(module_factory=skat_plus, n_modules=12).solve()
+        ratio = plus_rack.peak_pflops / skat_rack.peak_pflops
+        assert ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_skat_plus_rack_thermally_sound(self):
+        report = Rack(module_factory=skat_plus, n_modules=12).solve()
+        assert report.max_fpga_c < 70.0

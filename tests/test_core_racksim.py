@@ -1,0 +1,82 @@
+"""Tests for the rack-level transient simulator."""
+
+import pytest
+
+from repro.core.rack import Rack
+from repro.core.racksim import RackSimulator
+from repro.core.skat import skat
+from repro.reliability.failures import loop_blockage_event, pump_stop_event
+
+
+def simulator(n_modules=4):
+    """A small rack keeps the tests fast; the physics is per-CM anyway."""
+    return RackSimulator(Rack(module_factory=skat, n_modules=n_modules))
+
+
+class TestNominal:
+    def test_settles_inside_envelope(self):
+        result = simulator().run(duration_s=1800.0, dt_s=30.0)
+        assert result.survived(67.0)
+        assert result.modules_over_limit == []
+
+    def test_water_holds_setpoint(self):
+        result = simulator().run(duration_s=1800.0, dt_s=30.0)
+        assert result.max_water_c == pytest.approx(20.0, abs=0.5)
+
+    def test_telemetry_per_module(self):
+        result = simulator(n_modules=3).run(duration_s=300.0, dt_s=30.0)
+        channels = set(result.telemetry.channels)
+        assert {"water_c", "oil_0", "oil_1", "oil_2", "junction_0"} <= channels
+
+
+class TestChillerTrip:
+    def test_common_mode_failure_takes_all_modules(self):
+        result = simulator().run(
+            duration_s=3000.0,
+            events=[pump_stop_event(600.0, "chiller", 0.0)],
+            dt_s=30.0,
+        )
+        assert not result.survived(67.0)
+        assert result.modules_over_limit == [0, 1, 2, 3]
+        assert result.max_water_c > 30.0
+
+    def test_partial_chiller_degradation_survivable(self):
+        """Losing one of two compressors (50 % capacity) must not cook the
+        rack — the chiller is sized ~1.4x the load."""
+        result = simulator().run(
+            duration_s=3000.0,
+            events=[pump_stop_event(600.0, "chiller", 0.7)],
+            dt_s=30.0,
+        )
+        assert result.survived(67.0)
+
+
+class TestLoopClosure:
+    def test_only_the_closed_loop_suffers(self):
+        result = simulator().run(
+            duration_s=1500.0,
+            events=[loop_blockage_event(300.0, "loop_2")],
+            dt_s=30.0,
+        )
+        assert 2 in result.modules_over_limit
+        assert all(i not in result.modules_over_limit for i in (0, 1, 3))
+
+    def test_survivors_unharmed_by_redistribution(self):
+        """The Fig. 5 layout means the surviving CMs see *more* water, not
+        less — their junctions must not rise."""
+        nominal = simulator().run(duration_s=1500.0, dt_s=30.0)
+        failed = simulator().run(
+            duration_s=1500.0,
+            events=[loop_blockage_event(300.0, "loop_2")],
+            dt_s=30.0,
+        )
+        for i in (0, 1, 3):
+            assert failed.telemetry.latest(f"oil_{i}") <= (
+                nominal.telemetry.latest(f"oil_{i}") + 0.5
+            )
+
+
+class TestValidation:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            simulator().run(duration_s=0.0)

@@ -1,0 +1,77 @@
+"""Tests for the serviceability model."""
+
+import pytest
+
+from repro.core.serviceability import (
+    Architecture,
+    SERVICE_CATALOG,
+    ServiceOperation,
+    annual_service_score,
+    render_runbook,
+    service_comparison,
+)
+
+
+class TestCatalog:
+    def test_every_architecture_has_three_operations(self):
+        for architecture in Architecture:
+            assert len(SERVICE_CATALOG[architecture]) == 3
+
+    def test_operations_have_steps(self):
+        for catalog in SERVICE_CATALOG.values():
+            for op in catalog:
+                assert len(op.steps) >= 1
+
+    def test_coldplate_board_swap_needs_dry_out(self):
+        """Section 2: after a closed-loop intervention 'the power supply
+        system must be tested and dried up' — downtime far exceeds
+        hands-on time."""
+        board_op = SERVICE_CATALOG[Architecture.COLD_PLATE][0]
+        assert board_op.module_downtime_h > 2.0 * board_op.duration_h
+
+    def test_immersion_board_swap_fast(self):
+        """The paper's design goal: board maintenance 'without any
+        significant demounting'."""
+        immersion = SERVICE_CATALOG[Architecture.IMMERSION][0]
+        coldplate = SERVICE_CATALOG[Architecture.COLD_PLATE][0]
+        assert immersion.module_downtime_h < 0.25 * coldplate.module_downtime_h
+
+    def test_immersion_never_stops_the_rack(self):
+        """Fig. 5: valving one CM off redistributes flow evenly; the other
+        CMs keep running."""
+        for op in SERVICE_CATALOG[Architecture.IMMERSION]:
+            assert op.rack_downtime_h == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceOperation("bad", 2.0, 1.0, 0.0, ("step",))
+        with pytest.raises(ValueError):
+            ServiceOperation("bad", -1.0, 1.0, 0.0, ("step",))
+
+
+class TestScores:
+    def test_ordering_air_immersion_coldplate(self):
+        """Air is trivially serviceable; immersion close behind;
+        cold plates far worst — the paper's Section 2 ranking."""
+        scores = service_comparison()
+        air = scores[Architecture.AIR].annual_module_downtime_h
+        immersion = scores[Architecture.IMMERSION].annual_module_downtime_h
+        coldplate = scores[Architecture.COLD_PLATE].annual_module_downtime_h
+        assert air < immersion < coldplate
+        assert coldplate > 4.0 * immersion
+
+    def test_rates_scale_scores(self):
+        quiet = annual_service_score(Architecture.IMMERSION, 0.0, 0.0)
+        busy = annual_service_score(Architecture.IMMERSION, 6.0, 2.0)
+        assert busy.annual_module_downtime_h > quiet.annual_module_downtime_h
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            annual_service_score(Architecture.AIR, -1.0)
+
+
+class TestRunbook:
+    def test_render_contains_steps(self):
+        text = render_runbook(Architecture.IMMERSION)
+        assert "Fig. 5" in text
+        assert "1." in text

@@ -1,0 +1,120 @@
+"""Tests for the coupled transient simulator."""
+
+import pytest
+
+from repro.control.controller import CoolingController
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.reliability.failures import pump_stop_event, tim_washout_drift
+
+
+@pytest.fixture(scope="module")
+def module():
+    return skat()
+
+
+class TestNominalRun:
+    def test_settles_near_design_point(self, module):
+        sim = ModuleSimulator(module)
+        result = sim.run(duration_s=3600.0, dt_s=10.0)
+        assert result.shutdown_time_s is None
+        # Oil converges to the high-20s and chips to the mid-50s.
+        assert result.telemetry.latest("oil_c") == pytest.approx(29.0, abs=3.0)
+        assert result.telemetry.latest("junction_c") == pytest.approx(55.0, abs=4.0)
+
+    def test_survives_reliability_limit(self, module):
+        sim = ModuleSimulator(module)
+        result = sim.run(duration_s=1800.0, dt_s=10.0)
+        assert result.survived(70.0)
+
+    def test_telemetry_recorded(self, module):
+        sim = ModuleSimulator(module)
+        result = sim.run(duration_s=100.0, dt_s=10.0)
+        assert len(result.telemetry) == 11
+        assert set(result.telemetry.channels) >= {
+            "oil_c",
+            "junction_c",
+            "oil_flow_m3_s",
+        }
+
+
+class TestPumpFailure:
+    def test_junctions_spike_without_controller(self, module):
+        sim = ModuleSimulator(module)
+        result = sim.run(
+            duration_s=900.0,
+            events=[pump_stop_event(300.0, "oil_pump")],
+            dt_s=10.0,
+        )
+        assert result.max_junction_c > 90.0
+        # Flow is zero after the event.
+        times, flows = result.telemetry.series("oil_flow_m3_s")
+        assert flows[-1] == 0.0
+
+    def test_controller_trips_on_pump_failure(self, module):
+        sim = ModuleSimulator(module, controller=CoolingController())
+        result = sim.run(
+            duration_s=900.0,
+            events=[pump_stop_event(300.0, "oil_pump")],
+            dt_s=10.0,
+        )
+        assert result.shutdown_time_s is not None
+        assert result.shutdown_time_s >= 300.0
+        assert result.alarms_raised > 0
+
+    def test_degraded_pump_keeps_running(self, module):
+        sim = ModuleSimulator(module, controller=CoolingController())
+        result = sim.run(
+            duration_s=1200.0,
+            events=[pump_stop_event(300.0, "oil_pump", remaining_speed=0.6)],
+            dt_s=10.0,
+        )
+        # 60 % speed still cools the bath enough to avoid a trip.
+        assert result.shutdown_time_s is None
+        assert result.max_junction_c < 70.0
+
+
+class TestTimWashout:
+    def test_washout_raises_junctions(self, module):
+        clean = ModuleSimulator(module).run(duration_s=600.0, dt_s=10.0)
+        washed = ModuleSimulator(module).run(
+            duration_s=600.0,
+            events=[tim_washout_drift(0.0, "all", 3.0)],
+            dt_s=10.0,
+        )
+        assert washed.max_junction_c > clean.max_junction_c + 3.0
+
+
+class TestValidation:
+    def test_rejects_bad_duration(self, module):
+        with pytest.raises(ValueError):
+            ModuleSimulator(module).run(duration_s=0.0)
+
+
+class TestPidRegulation:
+    def test_pid_holds_bath_near_setpoint(self, module):
+        from repro.control.pid import bath_temperature_pid
+
+        sim = ModuleSimulator(module, pid=bath_temperature_pid(setpoint_c=31.0))
+        result = sim.run(duration_s=3600.0, dt_s=10.0)
+        assert result.telemetry.latest("oil_c") == pytest.approx(31.0, abs=1.5)
+
+    def test_pid_throttles_pump_when_cold(self, module):
+        from repro.control.pid import bath_temperature_pid
+
+        # A high setpoint forces the PID to slow the pump below full speed.
+        sim = ModuleSimulator(module, pid=bath_temperature_pid(setpoint_c=34.0))
+        result = sim.run(duration_s=3600.0, dt_s=10.0)
+        assert result.telemetry.latest("pump_speed") < 1.0
+
+    def test_pump_event_overrides_pid(self, module):
+        from repro.control.pid import bath_temperature_pid
+
+        sim = ModuleSimulator(module, pid=bath_temperature_pid())
+        result = sim.run(
+            duration_s=600.0,
+            events=[pump_stop_event(300.0, "oil_pump")],
+            dt_s=10.0,
+        )
+        times, flows = result.telemetry.series("oil_flow_m3_s")
+        assert flows[-1] == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the machine factories."""
+
+import pytest
+
+from repro.core.designrules import module_rules, review
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    rigel2,
+    skat,
+    skat_2,
+    skat_plus,
+    taygeta,
+)
+from repro.devices.board import BoardLayoutError
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_2_PROJECTED,
+    ULTRASCALE_PLUS_VU9P,
+    VIRTEX6_LX240T,
+    VIRTEX7_X485T,
+)
+
+
+class TestLegacyMachines:
+    def test_rigel2_uses_virtex6(self):
+        assert rigel2().ccb.fpga.family is VIRTEX6_LX240T
+
+    def test_taygeta_uses_virtex7(self):
+        assert taygeta().ccb.fpga.family is VIRTEX7_X485T
+
+    def test_four_boards_of_eight(self):
+        machine = taygeta()
+        assert machine.n_boards == 4
+        assert machine.ccb.n_fpgas == 8
+
+
+class TestSkat:
+    def test_configuration_matches_paper(self):
+        """Section 3: 12 CCBs x 8 XCKU095 + 3 PSUs, 3U."""
+        machine = skat()
+        assert machine.section.n_boards == 12
+        assert machine.section.ccb.n_fpgas == 8
+        assert machine.section.ccb.fpga.family is KINTEX_ULTRASCALE_KU095
+        assert machine.section.n_psus == 3
+        assert machine.height_u == 3.0
+        assert machine.section.ccb.separate_controller
+
+    def test_passes_design_review(self):
+        assert review(module_rules(skat()))
+
+    def test_external_pump(self):
+        assert not skat().pump.immersed
+
+
+class TestSkatPlus:
+    def test_no_separate_controller(self):
+        """Section 4: 'further implementation of the CCB controller as a
+        separate FPGA is considered unnecessary'."""
+        machine = skat_plus()
+        assert not machine.section.ccb.separate_controller
+
+    def test_immersed_pump_when_modified(self):
+        assert skat_plus(modified_cooling=True).pump.immersed
+        assert not skat_plus(modified_cooling=False).pump.immersed
+
+    def test_bigger_sink_surface(self):
+        """Design item 1: increase the effective heat-exchange surface."""
+        assert (
+            skat_plus().section.sink.wetted_area_m2
+            > skat().section.sink.wetted_area_m2
+        )
+
+    def test_stronger_pump(self):
+        """Design item 2: increase the pump performance."""
+        assert (
+            skat_plus().pump.curve.max_flow_m3_s > skat().pump.curve.max_flow_m3_s
+        )
+
+    def test_controller_board_would_not_fit(self):
+        """The reason for the redesign, checked end to end."""
+        from repro.devices.board import Ccb
+        from repro.devices.fpga import Fpga
+
+        with pytest.raises(BoardLayoutError):
+            Ccb(Fpga(ULTRASCALE_PLUS_VU9P), separate_controller=True).require_fit()
+
+
+class TestSkat2:
+    def test_projected_family(self):
+        assert skat_2().section.ccb.fpga.family is ULTRASCALE_2_PROJECTED
+
+    def test_cooling_reserve_covers_ultrascale_2(self):
+        """Conclusions: the reserve covers 'future FPGA families (Xilinx
+        UltraScale+ and UltraScale 2)'."""
+        report = skat_2().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        assert report.max_fpga_c <= ULTRASCALE_2_PROJECTED.t_reliable_max_c
+        assert report.oil_hot_c < 35.0

@@ -1,0 +1,84 @@
+"""Tests for the thermal-interface models and oil washout."""
+
+import math
+
+import pytest
+
+from repro.core.tim import (
+    CONVENTIONAL_PASTE,
+    DRY_CONTACT,
+    SRC_OIL_STABLE_INTERFACE,
+    ThermalInterface,
+)
+
+DIE_AREA = 26.0e-3 ** 2
+
+
+class TestFreshInterfaces:
+    def test_fresh_resistance_scale(self):
+        r = SRC_OIL_STABLE_INTERFACE.resistance_k_w(DIE_AREA)
+        assert 0.02 < r < 0.15
+
+    def test_paste_fresher_is_better_than_src(self):
+        assert CONVENTIONAL_PASTE.resistance_k_w(DIE_AREA) < SRC_OIL_STABLE_INTERFACE.resistance_k_w(
+            DIE_AREA
+        )
+
+    def test_dry_contact_worst(self):
+        assert DRY_CONTACT.resistance_k_w(DIE_AREA) > SRC_OIL_STABLE_INTERFACE.resistance_k_w(
+            DIE_AREA
+        )
+
+
+class TestWashout:
+    def test_paste_degrades_over_service(self):
+        """Section 2: 'the thermal paste between FPGA chips and heat-sinks
+        is washed out during long-term maintenance'."""
+        fresh = CONVENTIONAL_PASTE.resistance_k_w(DIE_AREA, hours_in_oil=0.0)
+        year = CONVENTIONAL_PASTE.resistance_k_w(DIE_AREA, hours_in_oil=8760.0)
+        assert year > 2.0 * fresh
+
+    def test_src_interface_stable(self):
+        """'Its coefficient of heat conductivity can remain permanently
+        high.'"""
+        fresh = SRC_OIL_STABLE_INTERFACE.resistance_k_w(DIE_AREA, hours_in_oil=0.0)
+        decade = SRC_OIL_STABLE_INTERFACE.resistance_k_w(DIE_AREA, hours_in_oil=87600.0)
+        assert decade == pytest.approx(fresh)
+
+    def test_src_beats_paste_after_long_service(self):
+        hours = 8760.0
+        assert SRC_OIL_STABLE_INTERFACE.resistance_k_w(
+            DIE_AREA, hours
+        ) < CONVENTIONAL_PASTE.resistance_k_w(DIE_AREA, hours)
+
+    def test_degradation_saturates(self):
+        m_long = CONVENTIONAL_PASTE.degradation_multiplier(1.0e6)
+        assert m_long == pytest.approx(CONVENTIONAL_PASTE.washed_out_multiplier, rel=1e-3)
+
+    def test_degradation_monotone(self):
+        times = [0.0, 1000.0, 4000.0, 20000.0]
+        values = [CONVENTIONAL_PASTE.degradation_multiplier(t) for t in times]
+        assert values == sorted(values)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            CONVENTIONAL_PASTE.degradation_multiplier(-1.0)
+
+
+class TestValidation:
+    def test_rejects_zero_resistivity(self):
+        with pytest.raises(ValueError):
+            ThermalInterface(name="bad", resistivity_m2k_w=0.0)
+
+    def test_rejects_improving_washout(self):
+        with pytest.raises(ValueError):
+            ThermalInterface(
+                name="bad", resistivity_m2k_w=1e-5, washed_out_multiplier=0.5
+            )
+
+    def test_infinite_timescale_means_stable(self):
+        tim = ThermalInterface(
+            name="x", resistivity_m2k_w=1e-5, washout_timescale_h=math.inf,
+            washed_out_multiplier=5.0,
+        )
+        assert tim.degradation_multiplier(1.0e6) == 1.0

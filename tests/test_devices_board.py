@@ -1,0 +1,89 @@
+"""Tests for the computational circuit board (CCB) model."""
+
+import pytest
+
+from repro.devices.board import BoardLayoutError, Ccb, RACK_19_INTERNAL_WIDTH_MM
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_PLUS_VU9P,
+)
+from repro.devices.fpga import Fpga
+
+
+def skat_board(**overrides):
+    return Ccb(Fpga(KINTEX_ULTRASCALE_KU095), **overrides)
+
+
+def skat_plus_board(**overrides):
+    return Ccb(Fpga(ULTRASCALE_PLUS_VU9P), **overrides)
+
+
+class TestLayout:
+    def test_skat_board_with_controller_fits(self):
+        """Section 3: 8 field FPGAs + controller in 42.5 mm packages fit
+        the 19-inch width."""
+        board = skat_board(separate_controller=True)
+        assert board.package_sites == 9
+        assert board.fits_19_inch_rack()
+
+    def test_ultrascale_plus_with_controller_does_not_fit(self):
+        """Section 4: with 45 mm packages "it is impossible to use the
+        existing CCB design" — nine sites exceed the width."""
+        board = skat_plus_board(separate_controller=True)
+        assert not board.fits_19_inch_rack()
+        with pytest.raises(BoardLayoutError, match="exceeding"):
+            board.require_fit()
+
+    def test_ultrascale_plus_without_controller_fits(self):
+        """Section 4's fix: "exclude its CCB controller from its
+        structure"."""
+        board = skat_plus_board(separate_controller=False)
+        assert board.package_sites == 8
+        assert board.fits_19_inch_rack()
+
+    def test_row_width_arithmetic(self):
+        board = skat_board(separate_controller=True)
+        expected = 9 * (42.5 + board.clearance_mm)
+        assert board.row_width_mm == pytest.approx(expected)
+        assert board.row_width_mm <= RACK_19_INTERNAL_WIDTH_MM
+
+
+class TestComputeField:
+    def test_separate_controller_full_field(self):
+        board = skat_board(separate_controller=True)
+        chips = board.compute_fpgas()
+        assert len(chips) == 8
+        assert all(c.utilization == board.fpga.utilization for c in chips)
+
+    def test_folded_controller_costs_utilization(self):
+        board = skat_plus_board(separate_controller=False, controller_overhead=0.04)
+        chips = board.compute_fpgas()
+        assert len(chips) == 8
+        assert chips[0].utilization == pytest.approx(board.fpga.utilization - 0.04)
+        assert all(c.utilization == board.fpga.utilization for c in chips[1:])
+
+
+class TestHeat:
+    def test_skat_board_near_800w(self):
+        """Section 3: "12 CCBs with a power of up to 800 W each"."""
+        board = skat_board()
+        assert board.nominal_heat_load_w() == pytest.approx(800.0, rel=0.1)
+
+    def test_heat_rises_with_junction(self):
+        board = skat_board()
+        assert board.heat_load_w(70.0) > board.heat_load_w(50.0)
+
+    def test_controller_adds_heat(self):
+        with_ctrl = skat_board(separate_controller=True).heat_load_w(55.0)
+        without = skat_board(separate_controller=False).heat_load_w(55.0)
+        assert with_ctrl > without
+
+
+class TestValidation:
+    def test_rejects_zero_fpgas(self):
+        with pytest.raises(BoardLayoutError):
+            skat_board(n_fpgas=0)
+
+    def test_rejects_bad_overhead(self):
+        with pytest.raises(BoardLayoutError):
+            skat_board(controller_overhead=1.0)

@@ -1,0 +1,94 @@
+"""Tests for the FPGA family catalog."""
+
+import pytest
+
+from repro.devices.families import (
+    FpgaFamily,
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_2_PROJECTED,
+    ULTRASCALE_PLUS_VU9P,
+    VIRTEX6_LX240T,
+    VIRTEX7_X485T,
+    family_roadmap,
+)
+
+
+class TestCatalog:
+    def test_roadmap_chronological(self):
+        years = [f.year for f in family_roadmap()]
+        assert years == sorted(years)
+
+    def test_logic_capacity_grows_monotonically(self):
+        cells = [f.logic_cells for f in family_roadmap()]
+        assert cells == sorted(cells)
+
+    def test_paper_package_sizes(self):
+        # Section 4: SKAT parts are 42.5 mm; UltraScale+ parts are 45 mm.
+        assert KINTEX_ULTRASCALE_KU095.package_size_mm == 42.5
+        assert ULTRASCALE_PLUS_VU9P.package_size_mm == 45.0
+
+    def test_ultrascale_power_up_to_100w(self):
+        # Section 1: "power consumption of up to 100 W for each chip".
+        assert 90.0 <= KINTEX_ULTRASCALE_KU095.operating_power_w <= 100.0
+        assert KINTEX_ULTRASCALE_KU095.max_power_w >= 100.0
+
+    def test_reliability_ceiling_65_to_70(self):
+        for family in family_roadmap():
+            assert 65.0 <= family.t_reliable_max_c <= 70.0
+
+    def test_process_nodes_shrink(self):
+        nodes = [f.process_nm for f in family_roadmap()]
+        assert nodes == sorted(nodes, reverse=True)
+
+    def test_parts_named_as_in_paper(self):
+        assert VIRTEX6_LX240T.part.startswith("XC6VLX240T")
+        assert VIRTEX7_X485T.part.startswith("XC7VX485T")
+        assert KINTEX_ULTRASCALE_KU095.part == "XCKU095"
+
+
+class TestGeometry:
+    def test_package_area(self):
+        assert VIRTEX6_LX240T.package_area_m2 == pytest.approx((0.0425) ** 2)
+
+    def test_die_smaller_than_package(self):
+        for family in family_roadmap():
+            assert family.die_area_m2 < family.package_area_m2
+
+
+class TestValidation:
+    def _family(self, **overrides):
+        base = dict(
+            name="x",
+            part="y",
+            process_nm=20.0,
+            logic_cells=1000,
+            dsp_slices=10,
+            bram_mb=1.0,
+            nominal_clock_mhz=100.0,
+            operating_power_w=10.0,
+            max_power_w=12.0,
+            static_fraction=0.3,
+            package_size_mm=40.0,
+            die_size_mm=20.0,
+            t_junction_max_c=100.0,
+            t_reliable_max_c=70.0,
+            theta_jc_k_w=0.1,
+            year=2020,
+        )
+        base.update(overrides)
+        return FpgaFamily(**base)
+
+    def test_valid_family_ok(self):
+        self._family()
+
+    def test_rejects_operating_above_max(self):
+        with pytest.raises(ValueError):
+            self._family(operating_power_w=15.0, max_power_w=12.0)
+
+    def test_rejects_die_bigger_than_package(self):
+        with pytest.raises(ValueError):
+            self._family(die_size_mm=50.0)
+
+    def test_rejects_static_fraction_one(self):
+        with pytest.raises(ValueError):
+            self._family(static_fraction=1.0)

@@ -1,0 +1,54 @@
+"""Tests for the configured FPGA instance."""
+
+import pytest
+
+from repro.devices.families import KINTEX_ULTRASCALE_KU095, VIRTEX7_X485T
+from repro.devices.fpga import Fpga
+
+
+class TestConstruction:
+    def test_default_clock_is_nominal(self):
+        chip = Fpga(KINTEX_ULTRASCALE_KU095)
+        assert chip.clock_mhz == KINTEX_ULTRASCALE_KU095.nominal_clock_mhz
+
+    def test_custom_clock(self):
+        chip = Fpga(KINTEX_ULTRASCALE_KU095, clock_mhz=300.0)
+        assert chip.clock_mhz == 300.0
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            Fpga(KINTEX_ULTRASCALE_KU095, utilization=1.2)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            Fpga(KINTEX_ULTRASCALE_KU095, clock_mhz=0.0)
+
+
+class TestOperate:
+    def test_skat_anchor(self):
+        """91 W / 55 C against 30 C oil at ~0.27 K/W (Section 3)."""
+        chip = Fpga(KINTEX_ULTRASCALE_KU095)
+        point = chip.operate(0.27, 30.0)
+        assert point.junction_c == pytest.approx(55.0, abs=3.0)
+        assert point.power_w == pytest.approx(91.0, rel=0.08)
+
+    def test_overheat_property(self):
+        chip = Fpga(KINTEX_ULTRASCALE_KU095)
+        point = chip.operate(0.27, 30.0)
+        assert point.overheat_k == pytest.approx(point.junction_c - 30.0)
+
+    def test_power_consistent_with_junction(self):
+        chip = Fpga(VIRTEX7_X485T, utilization=0.85)
+        point = chip.operate(0.8, 25.0)
+        assert chip.power_w(point.junction_c) == pytest.approx(point.power_w)
+
+    def test_reliability_limit_check(self):
+        chip = Fpga(KINTEX_ULTRASCALE_KU095)
+        assert chip.within_reliability_limit(55.0)
+        assert not chip.within_reliability_limit(80.0)
+
+    def test_utilization_affects_power(self):
+        hot = Fpga(KINTEX_ULTRASCALE_KU095, utilization=0.95).operate(0.27, 30.0)
+        cool = Fpga(KINTEX_ULTRASCALE_KU095, utilization=0.5).operate(0.27, 30.0)
+        assert cool.power_w < hot.power_w
+        assert cool.junction_c < hot.junction_c

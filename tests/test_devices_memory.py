@@ -1,0 +1,60 @@
+"""Tests for the board memory subsystem."""
+
+import pytest
+
+from repro.devices.board import Ccb
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.devices.fpga import Fpga
+from repro.devices.memory import BoardMemory, DDR4_8GB, MemoryModule
+
+
+class TestModule:
+    def test_power_interpolates_activity(self):
+        assert DDR4_8GB.power_w(0.0) == DDR4_8GB.idle_power_w
+        assert DDR4_8GB.power_w(1.0) == DDR4_8GB.active_power_w
+        mid = DDR4_8GB.power_w(0.5)
+        assert DDR4_8GB.idle_power_w < mid < DDR4_8GB.active_power_w
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            DDR4_8GB.power_w(1.5)
+
+    def test_rejects_inverted_powers(self):
+        with pytest.raises(ValueError):
+            MemoryModule("bad", 8.0, 5.0, 2.0, 19.2)
+
+
+class TestBoardMemory:
+    def test_skat_board_complement(self):
+        memory = BoardMemory()
+        assert memory.n_modules == 8
+        assert memory.capacity_gb == 64.0
+
+    def test_power_consistent_with_board_misc_budget(self):
+        """The CCB model budgets ~30 W of misc power; the memory model at
+        its default activity must fit inside it."""
+        memory = BoardMemory()
+        ccb = Ccb(Fpga(KINTEX_ULTRASCALE_KU095))
+        assert memory.power_w(0.6) <= ccb.misc_power_w
+
+    def test_aggregate_bandwidth(self):
+        memory = BoardMemory()
+        assert memory.total_bandwidth_gb_s == pytest.approx(8 * 19.2)
+
+    def test_balance_metric(self):
+        """A SKAT board at ~7 TFlops with 8 DDR4 banks: ~0.02 B/Flop —
+        streaming-bound, which is why RCS pipelines replicate compute
+        rather than fetch more data."""
+        memory = BoardMemory()
+        balance = memory.bandwidth_per_gflops(7000.0)
+        assert 0.005 < balance < 0.1
+
+    def test_two_banks_double_everything(self):
+        single = BoardMemory(modules_per_fpga=1)
+        double = BoardMemory(modules_per_fpga=2)
+        assert double.capacity_gb == 2 * single.capacity_gb
+        assert double.power_w(0.5) == pytest.approx(2 * single.power_w(0.5))
+
+    def test_rejects_bad_complement(self):
+        with pytest.raises(ValueError):
+            BoardMemory(n_fpgas=0)

@@ -1,0 +1,106 @@
+"""Tests for the electro-thermal FPGA power model."""
+
+import pytest
+
+from repro.devices.families import KINTEX_ULTRASCALE_KU095, VIRTEX7_X485T
+from repro.devices.power import (
+    FpgaPowerModel,
+    REFERENCE_JUNCTION_C,
+    REFERENCE_UTILIZATION,
+    ThermalRunawayError,
+)
+
+
+class TestCalibration:
+    def test_reference_point_matches_catalog(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        power = model.total_power_w(
+            REFERENCE_UTILIZATION,
+            KINTEX_ULTRASCALE_KU095.nominal_clock_mhz,
+            REFERENCE_JUNCTION_C,
+        )
+        assert power == pytest.approx(KINTEX_ULTRASCALE_KU095.operating_power_w)
+
+    def test_static_dynamic_split(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        family = KINTEX_ULTRASCALE_KU095
+        assert model.static_reference_w == pytest.approx(
+            family.static_fraction * family.operating_power_w
+        )
+        assert model.dynamic_reference_w + model.static_reference_w == pytest.approx(
+            family.operating_power_w
+        )
+
+
+class TestDynamicPower:
+    def test_scales_linearly_with_utilization(self):
+        model = FpgaPowerModel(VIRTEX7_X485T)
+        clock = VIRTEX7_X485T.nominal_clock_mhz
+        half = model.dynamic_power_w(0.45, clock)
+        full = model.dynamic_power_w(0.9, clock)
+        assert full == pytest.approx(2.0 * half)
+
+    def test_scales_linearly_with_clock(self):
+        model = FpgaPowerModel(VIRTEX7_X485T)
+        slow = model.dynamic_power_w(0.9, 200.0)
+        fast = model.dynamic_power_w(0.9, 400.0)
+        assert fast == pytest.approx(2.0 * slow)
+
+    def test_zero_utilization_zero_dynamic(self):
+        model = FpgaPowerModel(VIRTEX7_X485T)
+        assert model.dynamic_power_w(0.0, 400.0) == 0.0
+
+    def test_rejects_bad_utilization(self):
+        model = FpgaPowerModel(VIRTEX7_X485T)
+        with pytest.raises(ValueError):
+            model.dynamic_power_w(1.5, 400.0)
+
+
+class TestStaticPower:
+    def test_rises_exponentially(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        at_60 = model.static_power_w(60.0)
+        at_105 = model.static_power_w(105.0)
+        # One e-fold per 45 K.
+        assert at_105 / at_60 == pytest.approx(2.718, rel=0.01)
+
+    def test_colder_junction_leaks_less(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        assert model.static_power_w(40.0) < model.static_reference_w
+
+
+class TestSolveJunction:
+    def test_fixed_point_consistent(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        r, coolant = 0.27, 30.0
+        t_j = model.solve_junction(r, coolant)
+        power = model.total_power_w(
+            REFERENCE_UTILIZATION, KINTEX_ULTRASCALE_KU095.nominal_clock_mhz, t_j
+        )
+        assert t_j == pytest.approx(coolant + r * power, abs=1e-6)
+
+    def test_better_cooling_cooler_junction(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        good = model.solve_junction(0.2, 30.0)
+        bad = model.solve_junction(0.4, 30.0)
+        assert good < bad
+
+    def test_hotter_coolant_hotter_junction(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        assert model.solve_junction(0.27, 40.0) > model.solve_junction(0.27, 30.0)
+
+    def test_runaway_detected(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        with pytest.raises(ThermalRunawayError):
+            model.solve_junction(5.0, 60.0)
+
+    def test_lower_utilization_runs_cooler(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        busy = model.solve_junction(0.27, 30.0, utilization=0.95)
+        idle = model.solve_junction(0.27, 30.0, utilization=0.5)
+        assert idle < busy
+
+    def test_rejects_nonpositive_resistance(self):
+        model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+        with pytest.raises(ValueError):
+            model.solve_junction(0.0, 30.0)

@@ -1,0 +1,58 @@
+"""Tests for the immersion PSU model."""
+
+import pytest
+
+from repro.devices.psu import ImmersionPsu
+
+
+class TestEfficiency:
+    def test_peak_at_half_load(self):
+        psu = ImmersionPsu()
+        assert psu.efficiency(2000.0) == pytest.approx(psu.peak_efficiency)
+
+    def test_droops_away_from_peak(self):
+        psu = ImmersionPsu()
+        assert psu.efficiency(4000.0) < psu.peak_efficiency
+        assert psu.efficiency(400.0) < psu.peak_efficiency
+
+    def test_full_load_still_reasonable(self):
+        psu = ImmersionPsu()
+        assert psu.efficiency(4000.0) > 0.9
+
+    def test_rejects_over_rating(self):
+        psu = ImmersionPsu()
+        with pytest.raises(ValueError):
+            psu.efficiency(4500.0)
+
+
+class TestDissipation:
+    def test_zero_output_zero_heat(self):
+        assert ImmersionPsu().dissipation_w(0.0) == 0.0
+
+    def test_heat_consistent_with_efficiency(self):
+        psu = ImmersionPsu()
+        out = 3000.0
+        eta = psu.efficiency(out)
+        assert psu.dissipation_w(out) == pytest.approx(out * (1.0 / eta - 1.0))
+
+    def test_skat_psu_heat_scale(self):
+        """Three 4 kW units at ~3.2 kW each shed a few hundred watts into
+        the bath — heat the CM balance must carry."""
+        psu = ImmersionPsu()
+        assert 100.0 < psu.dissipation_w(3200.0) < 250.0
+
+    def test_input_power(self):
+        psu = ImmersionPsu()
+        out = 2500.0
+        assert psu.input_power_w(out) == pytest.approx(out + psu.dissipation_w(out))
+
+
+class TestPaperSpec:
+    def test_defaults_match_paper(self):
+        """Section 3: "DC/DC 380/12 V transducing with the power up to
+        4 kW for four CCBs"."""
+        psu = ImmersionPsu()
+        assert psu.rated_output_w == 4000.0
+        assert psu.input_voltage_v == 380.0
+        assert psu.output_voltage_v == 12.0
+        assert psu.boards_served == 4

@@ -1,0 +1,88 @@
+"""Documentation consistency tests.
+
+Generated documents must match what the generators produce from the
+current code — a physics or API change that forgets to regenerate them
+fails here, not in a reader's hands.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(script: str):
+    path = ROOT / "scripts" / script
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExperimentsMd:
+    def test_experiments_md_is_current(self, tmp_path, monkeypatch):
+        """Regenerating EXPERIMENTS.md reproduces the committed file."""
+        committed = (ROOT / "EXPERIMENTS.md").read_text()
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "generate_experiments_md.py")],
+            capture_output=True,
+            text=True,
+            cwd=str(ROOT),
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        regenerated = (ROOT / "EXPERIMENTS.md").read_text()
+        assert regenerated == committed
+        assert "all rows reproduce" in committed.lower() or "All rows reproduce." in committed
+
+    def test_every_bench_in_experiments_md(self):
+        content = (ROOT / "EXPERIMENTS.md").read_text()
+        bench_files = sorted((ROOT / "benchmarks").glob("test_bench_*.py"))
+        for path in bench_files:
+            if path.stem == "test_bench_solvers":
+                continue  # library performance, not a paper experiment
+            assert path.stem in content, f"{path.stem} missing from EXPERIMENTS.md"
+
+
+class TestApiMd:
+    def test_api_md_is_current(self):
+        committed = (ROOT / "docs" / "API.md").read_text()
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / "generate_api_md.py")],
+            capture_output=True,
+            text=True,
+            cwd=str(ROOT),
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert (ROOT / "docs" / "API.md").read_text() == committed
+
+    def test_api_module_list_complete(self):
+        """Every repro module with an __all__ appears in the generator."""
+        generator = (ROOT / "scripts" / "generate_api_md.py").read_text()
+        src = ROOT / "src" / "repro"
+        for path in src.rglob("*.py"):
+            if path.name in ("__init__.py", "__main__.py"):
+                continue
+            module_name = (
+                "repro." + ".".join(path.relative_to(src).with_suffix("").parts)
+            )
+            if "__all__" in path.read_text():
+                assert f'"{module_name}"' in generator, (
+                    f"{module_name} missing from generate_api_md.py"
+                )
+
+
+class TestReadme:
+    def test_readme_references_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for reference in ("DESIGN.md", "EXPERIMENTS.md", "docs/PHYSICS.md",
+                          "docs/TUTORIAL.md", "docs/API.md"):
+            assert reference in readme
+            assert (ROOT / reference).exists()
+
+    def test_license_exists_and_matches_pyproject(self):
+        assert "MIT" in (ROOT / "LICENSE").read_text()
+        assert 'license = { text = "MIT" }' in (ROOT / "pyproject.toml").read_text()

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs clean and prints its headline.
+
+The examples are the public face of the library; a refactor that breaks
+one must fail the suite, not a user.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> a string its output must contain.
+EXPECTED = {
+    "quickstart.py": "max FPGA junction",
+    "air_vs_immersion.py": "MTBF multiple",
+    "rack_balancing.py": "redistribution evenness",
+    "family_roadmap.py": "rack-level performance",
+    "custom_machine.py": "pump-failure stress test",
+    "datacenter_energy.py": "architecture scorecard",
+    "workload_study.py": "compute-to-heat coupling",
+    "failure_drills.py": "takeaway",
+    "paper_figures.py": "Figure E",
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_runs(name):
+    output = run_example(name)
+    assert EXPECTED[name] in output
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED), "example list out of sync with smoke tests"
+
+
+def test_cli_module_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "summary"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "SKAT" in result.stdout

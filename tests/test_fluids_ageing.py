@@ -1,0 +1,88 @@
+"""Tests for the oil ageing model."""
+
+import math
+
+import pytest
+
+from repro.core.designrules import coolant_rules, review
+from repro.fluids.ageing import (
+    OilAgeing,
+    aged_fluid,
+    hours_until_rules_fail,
+)
+from repro.fluids.library import MINERAL_OIL_MD45
+
+
+class TestDriftMechanics:
+    def test_fresh_oil_unchanged(self):
+        aged = aged_fluid(MINERAL_OIL_MD45, 0.0)
+        assert aged.viscosity(30.0) == pytest.approx(MINERAL_OIL_MD45.viscosity(30.0))
+        assert aged.dielectric_strength_kv_mm == MINERAL_OIL_MD45.dielectric_strength_kv_mm
+
+    def test_viscosity_creeps_up(self):
+        aged = aged_fluid(MINERAL_OIL_MD45, 20000.0)
+        assert aged.viscosity(30.0) > MINERAL_OIL_MD45.viscosity(30.0)
+
+    def test_dielectric_strength_decays(self):
+        aged = aged_fluid(MINERAL_OIL_MD45, 20000.0)
+        assert aged.dielectric_strength_kv_mm < MINERAL_OIL_MD45.dielectric_strength_kv_mm
+
+    def test_dielectric_floor(self):
+        aged = aged_fluid(MINERAL_OIL_MD45, 1.0e6)
+        assert aged.dielectric_strength_kv_mm >= 0.3 * MINERAL_OIL_MD45.dielectric_strength_kv_mm
+
+    def test_hotter_bath_ages_faster(self):
+        cool = aged_fluid(MINERAL_OIL_MD45, 20000.0, bath_c=30.0)
+        hot = aged_fluid(MINERAL_OIL_MD45, 20000.0, bath_c=40.0)
+        assert hot.viscosity(30.0) > cool.viscosity(30.0)
+
+    def test_acceleration_doubles_per_10k(self):
+        ageing = OilAgeing()
+        assert ageing.acceleration(40.0) == pytest.approx(2.0 * ageing.acceleration(30.0))
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(ValueError):
+            OilAgeing().effective_hours(-1.0, 30.0)
+
+
+class TestFiltration:
+    def test_filtration_arrests_degradation(self):
+        ageing = OilAgeing()
+        unfiltered = ageing.effective_hours(40000.0, 30.0)
+        filtered = ageing.effective_hours(40000.0, 30.0, filtration_interval_h=4000.0)
+        assert filtered < 0.3 * unfiltered
+
+    def test_filtered_age_saturates(self):
+        """With regular service the equivalent age plateaus: year 10 is
+        barely older than year 5."""
+        ageing = OilAgeing()
+        five = ageing.effective_hours(5 * 8760.0, 30.0, filtration_interval_h=4000.0)
+        ten = ageing.effective_hours(10 * 8760.0, 30.0, filtration_interval_h=4000.0)
+        assert ten < 1.3 * five
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            OilAgeing().effective_hours(1000.0, 30.0, filtration_interval_h=0.0)
+
+
+class TestRulesOverLife:
+    def test_unfiltered_oil_eventually_fails(self):
+        hours = hours_until_rules_fail(MINERAL_OIL_MD45)
+        assert 8000.0 <= hours <= 60000.0
+
+    def test_failure_mode_is_dielectric(self):
+        hours = hours_until_rules_fail(MINERAL_OIL_MD45)
+        failed = aged_fluid(MINERAL_OIL_MD45, hours)
+        failing_rules = [c.rule for c in coolant_rules(failed) if not c.passed]
+        assert any("dielectric" in rule for rule in failing_rules)
+
+    def test_regular_filtration_keeps_oil_in_service(self):
+        """The maintenance-policy payoff: the filtration the SKAT service
+        plan includes keeps the oil passing the rules indefinitely."""
+        hours = hours_until_rules_fail(
+            MINERAL_OIL_MD45, filtration_interval_h=4000.0, horizon_h=1.0e5
+        )
+        assert math.isinf(hours)
+
+    def test_fresh_oil_passes(self):
+        assert review(coolant_rules(aged_fluid(MINERAL_OIL_MD45, 0.0)))

@@ -1,0 +1,119 @@
+"""Tests for the concrete fluid library against handbook anchors and the
+paper's Section 2 comparison claims."""
+
+import pytest
+
+from repro.fluids.library import (
+    AIR,
+    GLYCOL30,
+    MINERAL_OIL_MD45,
+    SYNTHETIC_ESTER,
+    WATER,
+    all_fluids,
+    coolant_comparison_table,
+    mouromtseff_number,
+)
+
+
+class TestHandbookAnchors:
+    def test_air_density_at_25c(self):
+        assert AIR.density(25.0) == pytest.approx(1.184, rel=0.01)
+
+    def test_air_conductivity_at_25c(self):
+        assert AIR.conductivity(25.0) == pytest.approx(0.026, rel=0.05)
+
+    def test_air_prandtl_near_0_7(self):
+        assert AIR.prandtl(25.0) == pytest.approx(0.71, rel=0.05)
+
+    def test_water_density_at_25c(self):
+        assert WATER.density(25.0) == pytest.approx(997.0, rel=0.005)
+
+    def test_water_viscosity_at_25c(self):
+        assert WATER.viscosity(25.0) == pytest.approx(8.9e-4, rel=0.05)
+
+    def test_water_specific_heat_at_25c(self):
+        assert WATER.specific_heat(25.0) == pytest.approx(4180.0, rel=0.01)
+
+    def test_water_conductivity_at_25c(self):
+        assert WATER.conductivity(25.0) == pytest.approx(0.607, rel=0.02)
+
+    def test_oil_density_near_850(self):
+        assert MINERAL_OIL_MD45.density(30.0) == pytest.approx(850.0, rel=0.01)
+
+    def test_oil_much_more_viscous_than_water(self):
+        assert MINERAL_OIL_MD45.viscosity(30.0) > 10.0 * WATER.viscosity(30.0)
+
+    def test_oil_viscosity_falls_steeply_with_temperature(self):
+        ratio = MINERAL_OIL_MD45.viscosity(20.0) / MINERAL_OIL_MD45.viscosity(60.0)
+        assert 2.5 < ratio < 8.0
+
+
+class TestPaperClaims:
+    """Section 2's quantitative comparison of liquids vs air."""
+
+    def test_liquid_heat_capacity_1500_to_4000x_air(self):
+        air_vhc = AIR.volumetric_heat_capacity(30.0)
+        for fluid in (WATER, GLYCOL30, MINERAL_OIL_MD45, SYNTHETIC_ESTER):
+            ratio = fluid.volumetric_heat_capacity(30.0) / air_vhc
+            assert 1200.0 < ratio < 4200.0, fluid.name
+
+    def test_water_near_upper_bound_oil_near_lower(self):
+        air_vhc = AIR.volumetric_heat_capacity(30.0)
+        water_ratio = WATER.volumetric_heat_capacity(30.0) / air_vhc
+        oil_ratio = MINERAL_OIL_MD45.volumetric_heat_capacity(30.0) / air_vhc
+        assert water_ratio > 3000.0
+        assert oil_ratio < 2000.0
+
+    def test_one_fpga_needs_about_250ml_water_per_minute(self):
+        # 91 W chip, ~5 K coolant rise (the paper's implied design point).
+        flow = WATER.volume_flow_for_heat(91.0, 5.2, 25.0)
+        ml_per_minute = flow * 60.0 * 1.0e6
+        assert ml_per_minute == pytest.approx(250.0, rel=0.15)
+
+    def test_one_fpga_needs_about_1m3_air_per_minute(self):
+        flow = AIR.volume_flow_for_heat(91.0, 4.6, 25.0)
+        m3_per_minute = flow * 60.0
+        assert m3_per_minute == pytest.approx(1.0, rel=0.15)
+
+    def test_air_to_water_flow_ratio_thousands(self):
+        air = AIR.volume_flow_for_heat(91.0, 5.0, 25.0)
+        water = WATER.volume_flow_for_heat(91.0, 5.0, 25.0)
+        assert 3000.0 < air / water < 4200.0
+
+
+class TestFigureOfMerit:
+    def test_water_best_oil_mid_air_worst(self):
+        mo = {f.name: mouromtseff_number(f, 30.0) for f in all_fluids()}
+        assert mo["water"] > mo["mineral_oil_md45"] > mo["air"]
+
+    def test_oil_beats_ester(self):
+        # Lower viscosity wins at equal dielectric class.
+        assert mouromtseff_number(MINERAL_OIL_MD45, 30.0) > mouromtseff_number(
+            SYNTHETIC_ESTER, 30.0
+        )
+
+    def test_comparison_table_shape(self):
+        rows = coolant_comparison_table(30.0)
+        assert len(rows) == 5
+        assert rows[0]["name"] == "air"
+        assert rows[0]["heat_capacity_ratio_vs_air"] == pytest.approx(1.0)
+        for row in rows:
+            assert set(row) >= {
+                "density",
+                "cp",
+                "conductivity",
+                "viscosity",
+                "prandtl",
+                "volumetric_heat_capacity",
+                "mouromtseff",
+            }
+
+    def test_only_dielectrics_may_be_immersion_agents(self):
+        assert MINERAL_OIL_MD45.dielectric
+        assert SYNTHETIC_ESTER.dielectric
+        assert not WATER.dielectric
+        assert not GLYCOL30.dielectric
+
+    def test_oil_is_multi_vendor_cheap_ester_is_not(self):
+        # The paper criticises the IMMERS coolant's single-vendor cost.
+        assert MINERAL_OIL_MD45.cost_usd_per_litre < SYNTHETIC_ESTER.cost_usd_per_litre

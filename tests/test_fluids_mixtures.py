@@ -1,0 +1,78 @@
+"""Tests for the glycol-mixture generator."""
+
+import pytest
+
+from repro.fluids.library import WATER
+from repro.fluids.mixtures import (
+    MAX_GLYCOL_FRACTION,
+    fraction_for_freeze_protection,
+    freeze_point_c,
+    glycol_mixture,
+)
+
+
+class TestFreezeCurve:
+    def test_pure_water_freezes_at_zero(self):
+        assert freeze_point_c(0.0) == 0.0
+
+    def test_monotone_decreasing(self):
+        points = [freeze_point_c(x) for x in (0.0, 0.2, 0.4, 0.6)]
+        assert points == sorted(points, reverse=True)
+
+    def test_30_percent_near_minus_15(self):
+        assert freeze_point_c(0.3) == pytest.approx(-15.0, abs=3.0)
+
+    def test_protection_roundtrip(self):
+        for target in (-5.0, -15.0, -30.0):
+            x = fraction_for_freeze_protection(target)
+            assert freeze_point_c(x) == pytest.approx(target, abs=0.01)
+
+    def test_no_protection_needed_above_zero(self):
+        assert fraction_for_freeze_protection(5.0) == 0.0
+
+    def test_too_cold_rejected(self):
+        with pytest.raises(ValueError, match="validity"):
+            fraction_for_freeze_protection(-60.0)
+
+
+class TestMixtureProperties:
+    def test_zero_fraction_is_water(self):
+        assert glycol_mixture(0.0) is WATER
+
+    def test_more_glycol_more_viscous(self):
+        mu = [glycol_mixture(x).viscosity(20.0) for x in (0.1, 0.3, 0.5)]
+        assert mu == sorted(mu)
+
+    def test_more_glycol_less_heat_capacity(self):
+        cp = [glycol_mixture(x).specific_heat(20.0) for x in (0.1, 0.3, 0.5)]
+        assert cp == sorted(cp, reverse=True)
+
+    def test_more_glycol_denser(self):
+        rho = [glycol_mixture(x).density(20.0) for x in (0.1, 0.3, 0.5)]
+        assert rho == sorted(rho)
+
+    def test_conductivity_below_water(self):
+        assert glycol_mixture(0.4).conductivity(20.0) < WATER.conductivity(20.0)
+
+    def test_mixture_near_library_glycol30(self):
+        from repro.fluids.library import GLYCOL30
+
+        generated = glycol_mixture(0.3)
+        for accessor in ("density", "specific_heat", "conductivity"):
+            lib = getattr(GLYCOL30, accessor)(25.0)
+            gen = getattr(generated, accessor)(25.0)
+            assert gen == pytest.approx(lib, rel=0.08), accessor
+
+    def test_valid_down_to_near_freeze_point(self):
+        blend = glycol_mixture(0.4)
+        cold = blend.t_min_c + 0.5
+        assert blend.viscosity(cold) > 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            glycol_mixture(MAX_GLYCOL_FRACTION + 0.01)
+        with pytest.raises(ValueError):
+            glycol_mixture(-0.1)
+
+    def test_not_dielectric(self):
+        assert not glycol_mixture(0.3).dielectric

@@ -1,0 +1,136 @@
+"""Unit tests for the fluid property models."""
+
+import math
+
+import pytest
+
+from repro.fluids.properties import (
+    Andrade,
+    CELSIUS_TO_KELVIN,
+    Constant,
+    Fluid,
+    IdealGasDensity,
+    Polynomial,
+    Sutherland,
+)
+
+
+class TestPropertyModels:
+    def test_constant_returns_value_at_any_temperature(self):
+        model = Constant(42.0)
+        assert model(0.0) == 42.0
+        assert model(-10.0) == 42.0
+        assert model(99.0) == 42.0
+
+    def test_polynomial_constant_term(self):
+        model = Polynomial((5.0,))
+        assert model(30.0) == 5.0
+
+    def test_polynomial_linear(self):
+        model = Polynomial((1.0, 2.0))
+        assert model(3.0) == pytest.approx(7.0)
+
+    def test_polynomial_quadratic(self):
+        model = Polynomial((1.0, 0.0, 2.0))
+        assert model(3.0) == pytest.approx(19.0)
+
+    def test_andrade_decreases_with_temperature(self):
+        model = Andrade(a=1.0e-5, b=1000.0)
+        assert model(20.0) > model(60.0) > model(90.0)
+
+    def test_andrade_vogel_offset(self):
+        plain = Andrade(a=1.0e-5, b=1000.0, c=0.0)
+        vogel = Andrade(a=1.0e-5, b=1000.0, c=150.0)
+        # The offset steepens the temperature dependence.
+        ratio_plain = plain(20.0) / plain(60.0)
+        ratio_vogel = vogel(20.0) / vogel(60.0)
+        assert ratio_vogel > ratio_plain
+
+    def test_sutherland_increases_with_temperature(self):
+        model = Sutherland(mu_ref=1.716e-5, t_ref_k=273.15, s=110.4)
+        # Gas viscosity rises with temperature, unlike liquids.
+        assert model(80.0) > model(20.0) > model(-20.0)
+
+    def test_sutherland_reference_point(self):
+        model = Sutherland(mu_ref=1.716e-5, t_ref_k=273.15, s=110.4)
+        assert model(0.0) == pytest.approx(1.716e-5, rel=1e-12)
+
+    def test_ideal_gas_density_at_standard_conditions(self):
+        model = IdealGasDensity()
+        # Dry air at 15 C, 1 atm: 1.225 kg/m^3.
+        assert model(15.0) == pytest.approx(1.225, rel=0.01)
+
+    def test_ideal_gas_density_falls_with_temperature(self):
+        model = IdealGasDensity()
+        assert model(50.0) < model(0.0)
+
+
+def _simple_fluid(**overrides):
+    defaults = dict(
+        name="testfluid",
+        density_model=Constant(1000.0),
+        specific_heat_model=Constant(4000.0),
+        conductivity_model=Constant(0.6),
+        viscosity_model=Constant(1.0e-3),
+        dielectric=False,
+        t_min_c=0.0,
+        t_max_c=100.0,
+    )
+    defaults.update(overrides)
+    return Fluid(**defaults)
+
+
+class TestFluid:
+    def test_property_accessors(self):
+        fluid = _simple_fluid()
+        assert fluid.density(50.0) == 1000.0
+        assert fluid.specific_heat(50.0) == 4000.0
+        assert fluid.conductivity(50.0) == 0.6
+        assert fluid.viscosity(50.0) == 1.0e-3
+
+    def test_kinematic_viscosity(self):
+        fluid = _simple_fluid()
+        assert fluid.kinematic_viscosity(50.0) == pytest.approx(1.0e-6)
+
+    def test_prandtl(self):
+        fluid = _simple_fluid()
+        assert fluid.prandtl(50.0) == pytest.approx(1.0e-3 * 4000.0 / 0.6)
+
+    def test_volumetric_heat_capacity(self):
+        fluid = _simple_fluid()
+        assert fluid.volumetric_heat_capacity(50.0) == pytest.approx(4.0e6)
+
+    def test_thermal_diffusivity(self):
+        fluid = _simple_fluid()
+        assert fluid.thermal_diffusivity(50.0) == pytest.approx(0.6 / 4.0e6)
+
+    def test_out_of_range_raises(self):
+        fluid = _simple_fluid()
+        with pytest.raises(ValueError, match="validity range"):
+            fluid.density(150.0)
+        with pytest.raises(ValueError, match="validity range"):
+            fluid.viscosity(-5.0)
+
+    def test_volume_flow_for_heat(self):
+        fluid = _simple_fluid()
+        # 4 kW with a 1 K rise needs 1 L/s at rho*cp = 4e6.
+        flow = fluid.volume_flow_for_heat(4000.0, 1.0, 50.0)
+        assert flow == pytest.approx(1.0e-3)
+
+    def test_volume_flow_rejects_bad_inputs(self):
+        fluid = _simple_fluid()
+        with pytest.raises(ValueError):
+            fluid.volume_flow_for_heat(-1.0, 1.0, 50.0)
+        with pytest.raises(ValueError):
+            fluid.volume_flow_for_heat(100.0, 0.0, 50.0)
+
+    def test_heat_capacity_rate(self):
+        fluid = _simple_fluid()
+        assert fluid.heat_capacity_rate(1.0e-3, 50.0) == pytest.approx(4000.0)
+
+    def test_celsius_kelvin_constant(self):
+        assert CELSIUS_TO_KELVIN == pytest.approx(273.15)
+
+    def test_flash_point_defaults_to_nonflammable(self):
+        fluid = _simple_fluid()
+        assert math.isinf(fluid.flash_point_c)

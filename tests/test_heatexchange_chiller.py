@@ -1,0 +1,51 @@
+"""Tests for the chiller model."""
+
+import pytest
+
+from repro.heatexchange.chiller import Chiller
+
+
+class TestCop:
+    def test_cop_positive_and_realistic(self):
+        chiller = Chiller(setpoint_c=20.0, capacity_w=150.0e3)
+        cop = chiller.cop(20.0)
+        assert 3.0 < cop < 12.0
+
+    def test_cop_falls_with_colder_supply(self):
+        chiller = Chiller(setpoint_c=10.0, capacity_w=150.0e3)
+        assert chiller.cop(10.0) < chiller.cop(20.0)
+
+    def test_rejects_condenser_colder_than_setpoint(self):
+        with pytest.raises(ValueError):
+            Chiller(setpoint_c=40.0, condenser_temperature_c=35.0)
+
+
+class TestOperate:
+    def test_holds_setpoint_below_capacity(self):
+        chiller = Chiller(setpoint_c=20.0, capacity_w=150.0e3)
+        state = chiller.operate(100.0e3)
+        assert state.supply_temperature_c == 20.0
+        assert not state.overloaded
+
+    def test_electrical_power(self):
+        chiller = Chiller(setpoint_c=20.0, capacity_w=150.0e3)
+        state = chiller.operate(100.0e3)
+        assert state.electrical_power_w == pytest.approx(100.0e3 / state.cop)
+
+    def test_overload_floats_supply_up(self):
+        chiller = Chiller(
+            setpoint_c=20.0, capacity_w=100.0e3, water_capacity_rate_w_k=10.0e3
+        )
+        state = chiller.operate(120.0e3)
+        assert state.overloaded
+        assert state.supply_temperature_c == pytest.approx(22.0)
+
+    def test_zero_load(self):
+        chiller = Chiller()
+        state = chiller.operate(0.0)
+        assert state.electrical_power_w == 0.0
+        assert not state.overloaded
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            Chiller().operate(-1.0)

@@ -1,0 +1,100 @@
+"""Tests for the effectiveness-NTU relations."""
+
+import math
+
+import pytest
+
+from repro.heatexchange.entu import (
+    FlowArrangement,
+    effectiveness,
+    effectiveness_counterflow,
+    effectiveness_crossflow_both_unmixed,
+    effectiveness_parallel,
+    ntu_counterflow_from_effectiveness,
+)
+
+
+class TestCounterflow:
+    def test_zero_ntu_zero_effectiveness(self):
+        assert effectiveness_counterflow(0.0, 0.5) == 0.0
+
+    def test_cr_zero_exponential(self):
+        assert effectiveness_counterflow(1.0, 0.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_cr_one_closed_form(self):
+        assert effectiveness_counterflow(2.0, 1.0) == pytest.approx(2.0 / 3.0)
+
+    def test_cr_one_limit_continuous(self):
+        near = effectiveness_counterflow(2.0, 1.0 - 1e-9)
+        exact = effectiveness_counterflow(2.0, 1.0)
+        assert near == pytest.approx(exact, rel=1e-6)
+
+    def test_monotone_in_ntu(self):
+        values = [effectiveness_counterflow(ntu, 0.7) for ntu in (0.1, 0.5, 1.0, 3.0, 10.0)]
+        assert values == sorted(values)
+
+    def test_approaches_unity(self):
+        assert effectiveness_counterflow(50.0, 0.7) > 0.99
+
+    def test_bounded_by_unity(self):
+        for ntu in (0.5, 2.0, 20.0):
+            for cr in (0.0, 0.3, 0.7, 1.0):
+                assert 0.0 <= effectiveness_counterflow(ntu, cr) <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            effectiveness_counterflow(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            effectiveness_counterflow(1.0, 1.5)
+
+
+class TestParallel:
+    def test_asymptote_below_counterflow(self):
+        # Parallel flow saturates at 1/(1+Cr).
+        assert effectiveness_parallel(50.0, 1.0) == pytest.approx(0.5, rel=1e-6)
+        assert effectiveness_counterflow(50.0, 1.0) > effectiveness_parallel(50.0, 1.0)
+
+    def test_counterflow_dominates_at_all_ntu(self):
+        for ntu in (0.2, 1.0, 3.0):
+            assert effectiveness_counterflow(ntu, 0.8) >= effectiveness_parallel(ntu, 0.8)
+
+
+class TestCrossflow:
+    def test_between_parallel_and_counterflow(self):
+        ntu, cr = 2.0, 0.75
+        cross = effectiveness_crossflow_both_unmixed(ntu, cr)
+        assert effectiveness_parallel(ntu, cr) < cross < effectiveness_counterflow(ntu, cr)
+
+    def test_cr_zero_matches_exponential(self):
+        assert effectiveness_crossflow_both_unmixed(1.5, 0.0) == pytest.approx(
+            1.0 - math.exp(-1.5)
+        )
+
+
+class TestDispatch:
+    def test_all_arrangements(self):
+        for arrangement in FlowArrangement:
+            value = effectiveness(1.0, 0.5, arrangement)
+            assert 0.0 < value < 1.0
+
+    def test_counterflow_dispatch_matches(self):
+        assert effectiveness(1.3, 0.6, FlowArrangement.COUNTERFLOW) == pytest.approx(
+            effectiveness_counterflow(1.3, 0.6)
+        )
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        for cr in (0.0, 0.4, 0.8, 1.0):
+            for ntu in (0.2, 1.0, 3.0):
+                eps = effectiveness_counterflow(ntu, cr)
+                assert ntu_counterflow_from_effectiveness(eps, cr) == pytest.approx(
+                    ntu, rel=1e-9
+                )
+
+    def test_zero(self):
+        assert ntu_counterflow_from_effectiveness(0.0, 0.5) == 0.0
+
+    def test_rejects_unity(self):
+        with pytest.raises(ValueError):
+            ntu_counterflow_from_effectiveness(1.0, 0.5)

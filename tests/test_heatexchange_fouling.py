@@ -1,0 +1,82 @@
+"""Tests for the heat-exchanger fouling model."""
+
+import math
+
+import pytest
+
+from repro.heatexchange.fouling import FoulingModel, fouled_exchanger_effect
+from repro.heatexchange.plate import PlateHeatExchanger
+
+
+class TestKernSeaton:
+    def test_clean_at_zero_hours(self):
+        model = FoulingModel()
+        assert model.resistance_m2k_w(0.0) == 0.0
+
+    def test_monotone_growth(self):
+        model = FoulingModel()
+        values = [model.resistance_m2k_w(h) for h in (0.0, 5000.0, 20000.0, 80000.0)]
+        assert values == sorted(values)
+
+    def test_saturates_at_asymptote(self):
+        model = FoulingModel(asymptotic_resistance_m2k_w=3.0e-4, timescale_h=1000.0)
+        assert model.resistance_m2k_w(1.0e6) == pytest.approx(3.0e-4, rel=1e-3)
+
+    def test_one_timescale_is_63_percent(self):
+        model = FoulingModel(asymptotic_resistance_m2k_w=3.0e-4, timescale_h=15000.0)
+        assert model.resistance_m2k_w(15000.0) == pytest.approx(
+            3.0e-4 * (1.0 - math.exp(-1.0))
+        )
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(ValueError):
+            FoulingModel().resistance_m2k_w(-1.0)
+
+
+class TestFouledU:
+    def test_fouling_reduces_u(self):
+        model = FoulingModel()
+        assert model.fouled_u(800.0, 20000.0) < 800.0
+
+    def test_degradation_fraction_bounds(self):
+        model = FoulingModel()
+        for hours in (0.0, 10000.0, 100000.0):
+            loss = model.ua_degradation_fraction(800.0, hours)
+            assert 0.0 <= loss < 1.0
+
+    def test_weak_u_less_sensitive(self):
+        """A film-limited exchanger (low clean U) loses less fractionally
+        to the same fouling layer."""
+        model = FoulingModel()
+        weak = model.ua_degradation_fraction(200.0, 30000.0)
+        strong = model.ua_degradation_fraction(2000.0, 30000.0)
+        assert weak < strong
+
+
+class TestServiceInterval:
+    def test_interval_roundtrip(self):
+        model = FoulingModel(asymptotic_resistance_m2k_w=5.0e-4, timescale_h=10000.0)
+        hours = model.hours_to_degradation(800.0, 0.15)
+        assert model.ua_degradation_fraction(800.0, hours) == pytest.approx(0.15, rel=1e-6)
+
+    def test_oversized_exchanger_never_due(self):
+        model = FoulingModel(asymptotic_resistance_m2k_w=1.0e-5)
+        assert math.isinf(model.hours_to_degradation(800.0, 0.5))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            FoulingModel().hours_to_degradation(800.0, 1.5)
+
+
+class TestExchangerEffect:
+    def test_summary_keys_and_margin(self):
+        hx = PlateHeatExchanger(n_plates=28, plate_width_m=0.1, plate_height_m=0.3)
+        effect = fouled_exchanger_effect(hx, FoulingModel(), hours=20000.0, clean_u_w_m2k=800.0)
+        assert set(effect) == {
+            "clean_u",
+            "fouled_u",
+            "ua_loss_fraction",
+            "equivalent_extra_plates",
+        }
+        assert effect["fouled_u"] < effect["clean_u"]
+        assert effect["equivalent_extra_plates"] >= 1

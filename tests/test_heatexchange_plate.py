@@ -1,0 +1,125 @@
+"""Tests for the chevron plate heat exchanger."""
+
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.heatexchange.plate import PlateHeatExchanger
+
+
+def skat_class_hx(**overrides):
+    defaults = dict(n_plates=28, plate_width_m=0.10, plate_height_m=0.30)
+    defaults.update(overrides)
+    return PlateHeatExchanger(**defaults)
+
+
+class TestGeometry:
+    def test_channel_count(self):
+        hx = skat_class_hx()
+        assert hx.channels_per_side == 14
+
+    def test_transfer_area(self):
+        hx = skat_class_hx()
+        assert hx.transfer_area_m2 == pytest.approx(28 * 0.03)
+
+    def test_hydraulic_diameter(self):
+        hx = skat_class_hx()
+        assert hx.hydraulic_diameter_m == pytest.approx(0.006)
+
+    def test_channel_velocity(self):
+        hx = skat_class_hx()
+        v = hx.channel_velocity_m_s(2.0e-3)
+        assert v == pytest.approx(2.0e-3 / (14 * 0.003 * 0.10))
+
+    def test_rejects_too_few_plates(self):
+        with pytest.raises(ValueError):
+            skat_class_hx(n_plates=2)
+
+
+class TestFilms:
+    def test_water_film_realistic(self):
+        hx = skat_class_hx()
+        h = hx.film_coefficient(1.2e-3, WATER, 20.0)
+        assert 1000.0 < h < 20000.0
+
+    def test_oil_film_weaker_than_water(self):
+        hx = skat_class_hx()
+        assert hx.film_coefficient(2.0e-3, MINERAL_OIL_MD45, 30.0) < hx.film_coefficient(
+            2.0e-3, WATER, 30.0
+        )
+
+    def test_film_grows_with_flow(self):
+        hx = skat_class_hx()
+        low = hx.film_coefficient(1.0e-3, MINERAL_OIL_MD45, 30.0)
+        high = hx.film_coefficient(3.0e-3, MINERAL_OIL_MD45, 30.0)
+        assert high > low
+
+    def test_overall_u_below_both_films(self):
+        hx = skat_class_hx()
+        h_hot = hx.film_coefficient(2.0e-3, MINERAL_OIL_MD45, 30.0)
+        h_cold = hx.film_coefficient(1.2e-3, WATER, 20.0)
+        u = hx.overall_u(2.0e-3, MINERAL_OIL_MD45, 30.0, 1.2e-3, WATER, 20.0)
+        assert u < min(h_hot, h_cold)
+
+
+class TestSolve:
+    def test_energy_balance(self):
+        hx = skat_class_hx()
+        point = hx.solve(MINERAL_OIL_MD45, 31.0, 2.5e-3, WATER, 20.0, 1.2e-3)
+        c_hot = MINERAL_OIL_MD45.heat_capacity_rate(2.5e-3, 31.0)
+        c_cold = WATER.heat_capacity_rate(1.2e-3, 20.0)
+        assert point.q_w == pytest.approx(c_hot * (31.0 - point.hot_out_c), rel=1e-9)
+        assert point.q_w == pytest.approx(c_cold * (point.cold_out_c - 20.0), rel=1e-9)
+
+    def test_outlets_between_inlets(self):
+        hx = skat_class_hx()
+        point = hx.solve(MINERAL_OIL_MD45, 31.0, 2.5e-3, WATER, 20.0, 1.2e-3)
+        assert 20.0 < point.hot_out_c < 31.0
+        assert 20.0 < point.cold_out_c < 31.0
+
+    def test_skat_duty_class(self):
+        """The SKAT duty: ~9.5 kW from 31 C oil into 20 C water must be
+        within reach of the 28-plate unit."""
+        hx = skat_class_hx()
+        point = hx.solve(MINERAL_OIL_MD45, 31.0, 2.7e-3, WATER, 20.0, 1.2e-3)
+        assert point.q_w > 8000.0
+
+    def test_no_duty_at_equal_inlets(self):
+        hx = skat_class_hx()
+        point = hx.solve(MINERAL_OIL_MD45, 20.0, 2.5e-3, WATER, 20.0, 1.2e-3)
+        assert point.q_w == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_inverted_inlets(self):
+        hx = skat_class_hx()
+        with pytest.raises(ValueError):
+            hx.solve(MINERAL_OIL_MD45, 15.0, 2.5e-3, WATER, 20.0, 1.2e-3)
+
+    def test_effectiveness_in_bounds(self):
+        hx = skat_class_hx()
+        point = hx.solve(MINERAL_OIL_MD45, 31.0, 2.5e-3, WATER, 20.0, 1.2e-3)
+        assert 0.0 < point.effectiveness < 1.0
+
+
+class TestPressureDrop:
+    def test_zero_flow(self):
+        hx = skat_class_hx()
+        assert hx.pressure_drop_pa(0.0, MINERAL_OIL_MD45, 30.0) == 0.0
+
+    def test_monotone_in_flow(self):
+        hx = skat_class_hx()
+        drops = [hx.pressure_drop_pa(q, MINERAL_OIL_MD45, 30.0) for q in (1e-3, 2e-3, 4e-3)]
+        assert drops == sorted(drops)
+
+    def test_oil_drops_exceed_water(self):
+        hx = skat_class_hx()
+        assert hx.pressure_drop_pa(2e-3, MINERAL_OIL_MD45, 30.0) > hx.pressure_drop_pa(
+            2e-3, WATER, 30.0
+        )
+
+    def test_as_passage_matches_at_fit_points(self):
+        hx = skat_class_hx()
+        design = 2.5e-3
+        passage = hx.as_passage(MINERAL_OIL_MD45, 30.0, design)
+        for q in (0.5 * design, design):
+            true_dp = hx.pressure_drop_pa(q, MINERAL_OIL_MD45, 30.0)
+            fit_dp = -passage.pressure_change_pa(q, MINERAL_OIL_MD45, 30.0)
+            assert fit_dp == pytest.approx(true_dp, rel=0.05)

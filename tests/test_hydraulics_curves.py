@@ -1,0 +1,106 @@
+"""Tests for the pump-curve tooling."""
+
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.hydraulics.curves import (
+    DEFAULT_CATALOG,
+    CatalogPump,
+    fit_pump_curve,
+    npsh_available_m,
+    select_pump,
+    speed_for_duty,
+)
+from repro.hydraulics.elements import PumpCurve
+
+
+class TestFit:
+    def test_exact_quadratic_recovered(self):
+        truth = PumpCurve(shutoff_pressure_pa=45.0e3, max_flow_m3_s=5.0e-3)
+        points = [(q, truth.head_pa(q)) for q in (0.0, 1e-3, 2e-3, 3e-3, 4e-3)]
+        fit = fit_pump_curve(points)
+        assert fit.shutoff_pressure_pa == pytest.approx(45.0e3, rel=1e-6)
+        assert fit.max_flow_m3_s == pytest.approx(5.0e-3, rel=1e-6)
+
+    def test_noisy_data_reasonable(self):
+        truth = PumpCurve(60.0e3, 6.0e-3)
+        points = [
+            (q, truth.head_pa(q) * f)
+            for q, f in [(0.0, 1.01), (2e-3, 0.99), (4e-3, 1.02), (5e-3, 0.98)]
+        ]
+        fit = fit_pump_curve(points)
+        assert fit.shutoff_pressure_pa == pytest.approx(60.0e3, rel=0.05)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_pump_curve([(1e-3, 1e4)])
+
+    def test_rejects_rising_curve(self):
+        with pytest.raises(ValueError):
+            fit_pump_curve([(0.0, 1.0e3), (1e-3, 5.0e3), (2e-3, 9.0e3)])
+
+
+class TestSpeedForDuty:
+    def test_duty_on_full_speed_curve(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        q = 2.0e-3
+        assert speed_for_duty(curve, q, curve.head_pa(q)) == pytest.approx(1.0)
+
+    def test_partial_duty_partial_speed(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        speed = speed_for_duty(curve, 1.0e-3, 10.0e3)
+        assert 0.0 < speed < 1.0
+        # Verify against the affinity laws directly.
+        head = speed ** 2 * curve.head_pa(1.0e-3 / speed)
+        assert head == pytest.approx(10.0e3, rel=1e-9)
+
+    def test_impossible_duty_rejected(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        with pytest.raises(ValueError, match="rated speed"):
+            speed_for_duty(curve, 4.0e-3, 50.0e3)
+
+
+class TestNpsh:
+    def test_flooded_suction_oil_generous(self):
+        npsh = npsh_available_m(MINERAL_OIL_MD45, 30.0, static_head_m=0.3, suction_loss_pa=2.0e3)
+        assert npsh > 10.0
+
+    def test_hot_water_reduces_margin(self):
+        cold = npsh_available_m(WATER, 20.0, 0.5, 2.0e3)
+        hot = npsh_available_m(WATER, 90.0, 0.5, 2.0e3)
+        assert hot < cold
+
+    def test_suction_losses_reduce_margin(self):
+        low = npsh_available_m(MINERAL_OIL_MD45, 30.0, 0.3, 1.0e3)
+        high = npsh_available_m(MINERAL_OIL_MD45, 30.0, 0.3, 20.0e3)
+        assert high < low
+
+
+class TestSelection:
+    def test_selects_cheapest_qualifying(self):
+        pump = select_pump(DEFAULT_CATALOG, 2.0e-3, 20.0e3, npsh_available_m_value=5.0)
+        assert pump.model == "G-40"
+
+    def test_oil_rating_filter(self):
+        # The cheap water pump qualifies hydraulically but not chemically.
+        water_ok = select_pump(
+            DEFAULT_CATALOG, 2.0e-3, 20.0e3, 5.0, require_oil_rating=False
+        )
+        oil_ok = select_pump(
+            DEFAULT_CATALOG, 2.0e-3, 20.0e3, 5.0, require_oil_rating=True
+        )
+        assert water_ok.model == "W-50 (water only)"
+        assert oil_ok.oil_rated
+
+    def test_npsh_filter(self):
+        # With almost no suction head only the immersed pump qualifies.
+        pump = select_pump(DEFAULT_CATALOG, 2.0e-3, 20.0e3, npsh_available_m_value=1.5)
+        assert pump.model == "G-60i"
+
+    def test_no_qualifying_pump(self):
+        with pytest.raises(ValueError, match="no catalog pump"):
+            select_pump(DEFAULT_CATALOG, 6.0e-3, 80.0e3, 5.0)
+
+    def test_empty_catalog(self):
+        with pytest.raises(ValueError, match="empty"):
+            select_pump([], 1e-3, 1e4, 5.0)

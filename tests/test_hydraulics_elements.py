@@ -1,0 +1,197 @@
+"""Tests for the hydraulic network elements."""
+
+import math
+
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.hydraulics.elements import (
+    HeatExchangerPassage,
+    MinorLoss,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+
+
+class TestPipe:
+    def test_geometry(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.04)
+        assert pipe.area_m2 == pytest.approx(math.pi * 0.04 ** 2 / 4.0)
+        assert pipe.velocity_m_s(pipe.area_m2 * 1.5) == pytest.approx(1.5)
+
+    def test_zero_flow_zero_drop(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.04)
+        assert pipe.pressure_change_pa(0.0, WATER, 25.0) == 0.0
+
+    def test_loss_is_negative_along_flow(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.04)
+        assert pipe.pressure_change_pa(1.0e-3, WATER, 25.0) < 0.0
+
+    def test_odd_symmetry(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.04, minor_loss_k=3.0)
+        forward = pipe.pressure_change_pa(1.0e-3, WATER, 25.0)
+        backward = pipe.pressure_change_pa(-1.0e-3, WATER, 25.0)
+        assert backward == pytest.approx(-forward)
+
+    def test_loss_grows_superlinearly_turbulent(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.02)
+        dp1 = -pipe.pressure_change_pa(1.0e-3, WATER, 25.0)
+        dp2 = -pipe.pressure_change_pa(2.0e-3, WATER, 25.0)
+        assert dp2 > 2.5 * dp1
+
+    def test_oil_losses_exceed_water(self):
+        pipe = Pipe(length_m=2.0, diameter_m=0.02)
+        oil = -pipe.pressure_change_pa(5.0e-4, MINERAL_OIL_MD45, 30.0)
+        water = -pipe.pressure_change_pa(5.0e-4, WATER, 30.0)
+        assert oil > water
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Pipe(length_m=0.0, diameter_m=0.04)
+        with pytest.raises(ValueError):
+            Pipe(length_m=1.0, diameter_m=0.04, minor_loss_k=-1.0)
+
+
+class TestMinorLoss:
+    def test_quadratic_law(self):
+        fitting = MinorLoss(k=2.0, diameter_m=0.02)
+        dp1 = -fitting.pressure_change_pa(1.0e-3, WATER, 25.0)
+        dp2 = -fitting.pressure_change_pa(2.0e-3, WATER, 25.0)
+        assert dp2 == pytest.approx(4.0 * dp1)
+
+    def test_hand_value(self):
+        fitting = MinorLoss(k=1.0, diameter_m=0.0357)  # area ~1e-3 m^2
+        q = 1.0e-3  # -> v ~ 1 m/s
+        dp = -fitting.pressure_change_pa(q, WATER, 25.0)
+        v = q / fitting.area_m2
+        assert dp == pytest.approx(WATER.density(25.0) * v ** 2 / 2.0, rel=1e-9)
+
+
+class TestValve:
+    def test_fully_open(self):
+        valve = Valve(k_open=2.0, diameter_m=0.025, opening=1.0)
+        assert not valve.is_closed
+        assert valve.effective_k == 2.0
+
+    def test_throttling_raises_k(self):
+        half = Valve(k_open=2.0, diameter_m=0.025, opening=0.5)
+        assert half.effective_k == pytest.approx(8.0)
+
+    def test_closed(self):
+        closed = Valve(k_open=2.0, diameter_m=0.025, opening=0.0)
+        assert closed.is_closed
+        assert math.isinf(closed.effective_k)
+        with pytest.raises(ValueError):
+            closed.pressure_change_pa(1.0e-3, WATER, 25.0)
+
+    def test_rejects_bad_opening(self):
+        with pytest.raises(ValueError):
+            Valve(k_open=2.0, diameter_m=0.025, opening=1.5)
+
+
+class TestHeatExchangerPassage:
+    def test_linear_plus_quadratic(self):
+        passage = HeatExchangerPassage(
+            r_linear_pa_per_m3_s=1.0e6, r_quadratic_pa_per_m3_s2=1.0e9
+        )
+        dp = -passage.pressure_change_pa(1.0e-3, WATER, 25.0)
+        assert dp == pytest.approx(1.0e6 * 1e-3 + 1.0e9 * 1e-6)
+
+    def test_odd_symmetry(self):
+        passage = HeatExchangerPassage(1.0e6, 1.0e9)
+        assert passage.pressure_change_pa(-1e-3, WATER, 25.0) == pytest.approx(
+            -passage.pressure_change_pa(1e-3, WATER, 25.0)
+        )
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            HeatExchangerPassage(0.0, 0.0)
+
+
+class TestPumpCurve:
+    def test_shutoff_and_runout(self):
+        curve = PumpCurve(shutoff_pressure_pa=45.0e3, max_flow_m3_s=5.0e-3)
+        assert curve.head_pa(0.0) == 45.0e3
+        assert curve.head_pa(5.0e-3) == pytest.approx(0.0)
+
+    def test_monotone_decreasing(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        flows = [0.0, 1e-3, 2e-3, 4e-3, 6e-3]
+        heads = [curve.head_pa(q) for q in flows]
+        assert heads == sorted(heads, reverse=True)
+
+    def test_inverse_roundtrip(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        for q in (0.0, 1.0e-3, 3.0e-3, 4.9e-3):
+            assert curve.flow_at_head_pa(curve.head_pa(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_hydraulic_power(self):
+        curve = PumpCurve(45.0e3, 5.0e-3)
+        assert curve.hydraulic_power_w(0.0) == 0.0
+        q = 2.5e-3
+        assert curve.hydraulic_power_w(q) == pytest.approx(curve.head_pa(q) * q)
+
+
+class TestPump:
+    def test_affinity_scaling(self):
+        pump = Pump(curve=PumpCurve(45.0e3, 5.0e-3), speed_fraction=0.5)
+        # Shutoff head scales with speed^2.
+        assert pump.head_pa(0.0) == pytest.approx(0.25 * 45.0e3)
+
+    def test_stopped_pump_blocks_flow(self):
+        pump = Pump(curve=PumpCurve(45.0e3, 5.0e-3), speed_fraction=0.0)
+        assert not pump.running
+        assert pump.head_pa(1.0e-3) < -1.0e3  # strong opposing resistance
+        assert pump.electrical_power_w(1.0e-3) == 0.0
+
+    def test_electrical_power_includes_efficiency(self):
+        pump = Pump(curve=PumpCurve(45.0e3, 5.0e-3), efficiency=0.5)
+        q = 2.0e-3
+        hydraulic = pump.head_pa(q) * q
+        assert pump.electrical_power_w(q) == pytest.approx(hydraulic / 0.5)
+
+    def test_immersed_flag_defaults_false(self):
+        assert not Pump(curve=PumpCurve(45.0e3, 5.0e-3)).immersed
+
+
+class TestCheckValve:
+    def test_forward_loss_small(self):
+        from repro.hydraulics.elements import CheckValve
+
+        valve = CheckValve()
+        forward = -valve.pressure_change_pa(1.0e-3, WATER, 25.0)
+        reverse = -valve.pressure_change_pa(-1.0e-3, WATER, 25.0)
+        assert forward > 0.0
+        assert abs(reverse) > 1.0e4 * forward
+
+    def test_monotone_decreasing_characteristic(self):
+        from repro.hydraulics.elements import CheckValve
+
+        valve = CheckValve()
+        flows = [-2e-3, -1e-3, 0.0, 1e-3, 2e-3]
+        changes = [valve.pressure_change_pa(q, WATER, 25.0) for q in flows]
+        assert changes == sorted(changes, reverse=True)
+
+    def test_solver_accepts_check_valve(self):
+        from repro.hydraulics.elements import CheckValve
+        from repro.hydraulics.network import HydraulicNetwork
+        from repro.hydraulics.solver import solve_network
+
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        net.add_junction("b")
+        net.set_reference("a")
+        net.add_branch("pump", "a", "b", Pump(PumpCurve(50.0e3, 0.01)))
+        net.add_branch("check", "b", "a", CheckValve())
+        result = solve_network(net, WATER, 25.0)
+        assert result.flow("check") > 0.0
+
+    def test_rejects_bad_parameters(self):
+        from repro.hydraulics.elements import CheckValve
+
+        with pytest.raises(ValueError):
+            CheckValve(k_forward=0.0)
+        with pytest.raises(ValueError):
+            CheckValve(reverse_multiplier=0.5)

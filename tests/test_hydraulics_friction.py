@@ -1,0 +1,55 @@
+"""Tests for the Darcy friction-factor correlations."""
+
+import pytest
+
+from repro.hydraulics import friction as fr
+
+
+class TestLaminar:
+    def test_hagen_poiseuille(self):
+        assert fr.laminar(1000.0) == pytest.approx(0.064)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fr.laminar(0.0)
+
+
+class TestSwameeJain:
+    def test_smooth_pipe_value(self):
+        # Smooth pipe at Re=1e5: f ~ 0.018.
+        f = fr.swamee_jain(1.0e5, 0.0)
+        assert f == pytest.approx(0.018, rel=0.05)
+
+    def test_roughness_increases_friction(self):
+        smooth = fr.swamee_jain(1.0e5, 0.0)
+        rough = fr.swamee_jain(1.0e5, 1.0e-3)
+        assert rough > smooth
+
+    def test_rejects_laminar(self):
+        with pytest.raises(ValueError):
+            fr.swamee_jain(1000.0, 0.0)
+
+
+class TestChurchill:
+    def test_matches_laminar_at_low_re(self):
+        for re in (100.0, 500.0, 1500.0):
+            assert fr.churchill(re, 0.0) == pytest.approx(64.0 / re, rel=0.02)
+
+    def test_matches_swamee_jain_turbulent(self):
+        for re in (1.0e4, 1.0e5, 1.0e6):
+            churchill = fr.churchill(re, 1.0e-4)
+            sj = fr.swamee_jain(re, 1.0e-4)
+            assert churchill == pytest.approx(sj, rel=0.1)
+
+    def test_continuous_through_transition(self):
+        values = [fr.churchill(re, 0.0) for re in (2000.0, 2300.0, 3000.0, 4000.0)]
+        for a, b in zip(values, values[1:]):
+            assert abs(a - b) / a < 1.0  # no orders-of-magnitude jumps
+
+
+class TestDispatch:
+    def test_zero_flow_returns_zero(self):
+        assert fr.friction_factor(0.0) == 0.0
+
+    def test_positive_flow_positive_friction(self):
+        assert fr.friction_factor(5000.0, 1e-5) > 0.0

@@ -1,0 +1,115 @@
+"""Tests for the hydraulic network container."""
+
+import pytest
+
+from repro.fluids.library import WATER
+from repro.hydraulics.elements import Pipe, Pump, PumpCurve, Valve
+from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+
+
+def simple_loop():
+    net = HydraulicNetwork()
+    net.add_junction("a")
+    net.add_junction("b")
+    net.set_reference("a")
+    net.add_branch("pump", "a", "b", Pump(PumpCurve(50.0e3, 0.01)))
+    net.add_branch("pipe", "b", "a", Pipe(5.0, 0.025))
+    return net
+
+
+class TestConstruction:
+    def test_junctions_and_branches(self):
+        net = simple_loop()
+        assert net.junction_names == ["a", "b"]
+        assert [b.name for b in net.branches] == ["pump", "pipe"]
+        assert net.reference == "a"
+
+    def test_duplicate_junction_rejected(self):
+        net = simple_loop()
+        with pytest.raises(HydraulicsError, match="duplicate"):
+            net.add_junction("a")
+
+    def test_duplicate_branch_rejected(self):
+        net = simple_loop()
+        with pytest.raises(HydraulicsError, match="duplicate"):
+            net.add_branch("pump", "a", "b", Pipe(1.0, 0.02))
+
+    def test_unknown_junction_rejected(self):
+        net = simple_loop()
+        with pytest.raises(HydraulicsError, match="unknown"):
+            net.add_branch("x", "a", "nowhere", Pipe(1.0, 0.02))
+
+    def test_self_loop_rejected(self):
+        net = simple_loop()
+        with pytest.raises(HydraulicsError, match="self-loop"):
+            net.add_branch("x", "a", "a", Pipe(1.0, 0.02))
+
+
+class TestElementReplacement:
+    def test_replace_element(self):
+        net = simple_loop()
+        net.replace_element("pipe", Pipe(10.0, 0.05))
+        assert net.branch("pipe").element.length_m == 10.0
+
+    def test_replace_unknown_branch(self):
+        net = simple_loop()
+        with pytest.raises(HydraulicsError, match="unknown branch"):
+            net.replace_element("nope", Pipe(1.0, 0.02))
+
+    def test_closed_valve_excluded_from_open_branches(self):
+        net = simple_loop()
+        net.add_junction("c")
+        net.add_branch("valve", "b", "c", Valve(k_open=2.0, diameter_m=0.02, opening=0.0))
+        net.add_branch("drain", "c", "a", Pipe(1.0, 0.02))
+        open_names = [b.name for b in net.open_branches()]
+        assert "valve" not in open_names
+        assert "pump" in open_names
+
+
+class TestIncidence:
+    def test_orientations(self):
+        net = simple_loop()
+        incident = {(b.name, o) for b, o in net.incident("b")}
+        assert incident == {("pump", -1), ("pipe", +1)}
+
+
+class TestValidation:
+    def test_valid_loop_passes(self):
+        simple_loop().validate()
+
+    def test_no_reference_fails(self):
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        net.add_junction("b")
+        net.add_branch("p", "a", "b", Pipe(1.0, 0.02))
+        with pytest.raises(HydraulicsError, match="reference"):
+            net.validate()
+
+    def test_no_branches_fails(self):
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        net.set_reference("a")
+        with pytest.raises(HydraulicsError, match="no branches"):
+            net.validate()
+
+    def test_nonzero_injection_sum_fails(self):
+        net = HydraulicNetwork()
+        net.add_junction("a", injection_m3_s=1.0e-3)
+        net.add_junction("b")
+        net.set_reference("a")
+        net.add_branch("p", "a", "b", Pipe(1.0, 0.02))
+        with pytest.raises(HydraulicsError, match="sum to zero"):
+            net.validate()
+
+    def test_disconnected_by_closed_valves_fails(self):
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        net.add_junction("b")
+        net.set_reference("a")
+        net.add_branch("v", "a", "b", Valve(k_open=1.0, diameter_m=0.02, opening=0.0))
+        with pytest.raises(HydraulicsError, match="disconnected"):
+            net.validate()
+
+    def test_empty_network_fails(self):
+        with pytest.raises(HydraulicsError, match="empty"):
+            HydraulicNetwork().validate()

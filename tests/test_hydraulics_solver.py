@@ -1,0 +1,154 @@
+"""Tests for the hydraulic network solver."""
+
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.hydraulics.elements import (
+    HeatExchangerPassage,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+from repro.hydraulics.solver import operating_point, solve_network
+
+
+def pump_loop(pipe=None, pump=None):
+    net = HydraulicNetwork()
+    net.add_junction("suction")
+    net.add_junction("discharge")
+    net.set_reference("suction")
+    net.add_branch("pump", "suction", "discharge", pump or Pump(PumpCurve(50.0e3, 0.01)))
+    net.add_branch("pipe", "discharge", "suction", pipe or Pipe(5.0, 0.025))
+    return net
+
+
+class TestSingleLoop:
+    def test_mass_conservation(self):
+        result = solve_network(pump_loop(), WATER, 25.0)
+        assert result.flow("pump") == pytest.approx(result.flow("pipe"), rel=1e-9)
+        assert result.residual_m3_s < 1e-9
+
+    def test_operating_point_on_pump_curve(self):
+        net = pump_loop()
+        result = solve_network(net, WATER, 25.0)
+        q = result.flow("pump")
+        pump = net.branch("pump").element
+        head = pump.head_pa(q)
+        dp = result.pressure_drop_pa("discharge", "suction")
+        assert head == pytest.approx(dp, rel=1e-6)
+
+    def test_flow_positive_in_pump_direction(self):
+        result = solve_network(pump_loop(), WATER, 25.0)
+        assert result.flow("pump") > 0
+
+    def test_more_resistance_less_flow(self):
+        open_pipe = solve_network(pump_loop(Pipe(5.0, 0.025)), WATER, 25.0)
+        narrow = solve_network(pump_loop(Pipe(5.0, 0.012)), WATER, 25.0)
+        assert narrow.flow("pump") < open_pipe.flow("pump")
+
+    def test_viscous_oil_reduces_flow(self):
+        water = solve_network(pump_loop(Pipe(5.0, 0.012)), WATER, 25.0)
+        oil = solve_network(pump_loop(Pipe(5.0, 0.012)), MINERAL_OIL_MD45, 25.0)
+        assert oil.flow("pump") < water.flow("pump")
+
+
+class TestParallelBranches:
+    def test_equal_branches_split_evenly(self):
+        net = HydraulicNetwork()
+        for j in ("in", "out"):
+            net.add_junction(j)
+        net.set_reference("in")
+        net.add_branch("pump", "in", "out", Pump(PumpCurve(50.0e3, 0.02)))
+        net.add_branch("loop_a", "out", "in", HeatExchangerPassage(0.0, 1.0e10))
+        net.add_branch("loop_b", "out", "in", HeatExchangerPassage(0.0, 1.0e10))
+        result = solve_network(net, WATER, 25.0)
+        assert result.flow("loop_a") == pytest.approx(result.flow("loop_b"), rel=1e-6)
+        assert result.flow("pump") == pytest.approx(
+            result.flow("loop_a") + result.flow("loop_b"), rel=1e-9
+        )
+
+    def test_unequal_branches_favor_lower_resistance(self):
+        net = HydraulicNetwork()
+        for j in ("in", "out"):
+            net.add_junction(j)
+        net.set_reference("in")
+        net.add_branch("pump", "in", "out", Pump(PumpCurve(50.0e3, 0.02)))
+        net.add_branch("easy", "out", "in", HeatExchangerPassage(0.0, 1.0e9))
+        net.add_branch("hard", "out", "in", HeatExchangerPassage(0.0, 4.0e9))
+        result = solve_network(net, WATER, 25.0)
+        # Quadratic resistances: flow ratio = sqrt(resistance ratio) = 2.
+        assert result.flow("easy") / result.flow("hard") == pytest.approx(2.0, rel=0.01)
+
+    def test_closed_valve_diverts_all_flow(self):
+        net = HydraulicNetwork()
+        for j in ("in", "out"):
+            net.add_junction(j)
+        net.set_reference("in")
+        net.add_branch("pump", "in", "out", Pump(PumpCurve(50.0e3, 0.02)))
+        net.add_branch("a", "out", "in", HeatExchangerPassage(0.0, 1.0e10))
+        net.add_branch(
+            "b_closed", "out", "in", Valve(k_open=2.0, diameter_m=0.02, opening=0.0)
+        )
+        result = solve_network(net, WATER, 25.0)
+        assert result.flow("b_closed") == 0.0
+        assert result.flow("a") == pytest.approx(result.flow("pump"), rel=1e-9)
+
+
+class TestStoppedPump:
+    def test_stopped_pump_near_zero_flow(self):
+        net = pump_loop(pump=Pump(PumpCurve(50.0e3, 0.01), speed_fraction=0.0))
+        result = solve_network(net, WATER, 25.0)
+        assert abs(result.flow("pump")) < 1e-6
+
+
+class TestInjections:
+    def test_through_flow(self):
+        net = HydraulicNetwork()
+        net.add_junction("inlet", injection_m3_s=1.0e-3)
+        net.add_junction("outlet", injection_m3_s=-1.0e-3)
+        net.set_reference("outlet")
+        net.add_branch("pipe", "inlet", "outlet", Pipe(3.0, 0.02))
+        result = solve_network(net, WATER, 25.0)
+        assert result.flow("pipe") == pytest.approx(1.0e-3, rel=1e-9)
+        # Pressure falls along the flow.
+        assert result.pressures_pa["inlet"] > result.pressures_pa["outlet"]
+
+
+class TestOperatingPoint:
+    def test_intersection(self):
+        curve = PumpCurve(50.0e3, 0.01)
+        r_quad = 1.0e9
+
+        def system(q):
+            return r_quad * q * q
+
+        q = operating_point(curve, system)
+        assert curve.head_pa(q) == pytest.approx(system(q), rel=1e-9)
+
+    def test_stopped_speed_gives_zero(self):
+        assert operating_point(PumpCurve(50.0e3, 0.01), lambda q: q, 0.0) == 0.0
+
+    def test_reduced_speed_reduces_flow(self):
+        curve = PumpCurve(50.0e3, 0.01)
+
+        def system(q):
+            return 1.0e9 * q * q
+
+        full = operating_point(curve, system, 1.0)
+        half = operating_point(curve, system, 0.5)
+        assert 0.0 < half < full
+
+    def test_free_delivery_at_runout(self):
+        curve = PumpCurve(50.0e3, 0.01)
+        q = operating_point(curve, lambda q: 0.0)
+        assert q == pytest.approx(0.01)
+
+
+class TestErrors:
+    def test_invalid_network_raises(self):
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        with pytest.raises(HydraulicsError):
+            solve_network(net, WATER, 25.0)

@@ -1,0 +1,94 @@
+"""Tests for the loop hydraulic transients."""
+
+import numpy as np
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45
+from repro.hydraulics.transient import (
+    coast_down,
+    loop_inertance,
+    simulate_loop_flow,
+    spin_up,
+)
+
+#: A SKAT-like oil loop: ~3 m of path at ~12 cm^2 mean section.
+INERTANCE = loop_inertance(MINERAL_OIL_MD45, 30.0, length_m=3.0, area_m2=1.2e-3)
+#: Quadratic loop resistance tuned so 2.7 L/s drops ~32 kPa.
+R_QUAD = 32.0e3 / (2.7e-3) ** 2
+
+
+def drop(q: float) -> float:
+    return R_QUAD * q * q
+
+
+class TestInertance:
+    def test_value(self):
+        rho = MINERAL_OIL_MD45.density(30.0)
+        assert INERTANCE == pytest.approx(rho * 3.0 / 1.2e-3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            loop_inertance(MINERAL_OIL_MD45, 30.0, 0.0, 1e-3)
+
+
+class TestCoastDown:
+    def test_flow_decays_monotonically(self):
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=5.0)
+        flows = transient.flows_m3_s
+        assert flows[0] == 2.7e-3
+        assert np.all(np.diff(flows) <= 1e-15)
+
+    def test_coast_time_scale_seconds(self):
+        """The oil column coasts on the order of a second — the chips lose
+        their film quickly but not instantly after a pump trip."""
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=10.0)
+        t_half = transient.time_to_fraction(0.5)
+        assert 0.05 < t_half < 5.0
+
+    def test_heavier_column_coasts_longer(self):
+        light = coast_down(drop, INERTANCE, 2.7e-3, duration_s=10.0)
+        heavy = coast_down(drop, 5.0 * INERTANCE, 2.7e-3, duration_s=10.0)
+        assert heavy.time_to_fraction(0.5) > light.time_to_fraction(0.5)
+
+    def test_never_reverses(self):
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=20.0)
+        assert np.all(transient.flows_m3_s >= 0.0)
+
+
+class TestSpinUp:
+    def _head(self, q: float) -> float:
+        # The SKAT pump curve.
+        return 45.0e3 * (1.0 - (q / 5.0e-3) ** 2)
+
+    def test_reaches_operating_point(self):
+        transient = spin_up(self._head, drop, INERTANCE, duration_s=10.0)
+        q_final = transient.final_flow_m3_s
+        # At equilibrium head == drop.
+        assert self._head(q_final) == pytest.approx(drop(q_final), rel=1e-3)
+
+    def test_rise_is_monotone(self):
+        transient = spin_up(self._head, drop, INERTANCE, duration_s=10.0)
+        assert np.all(np.diff(transient.flows_m3_s) >= -1e-15)
+
+    def test_spin_up_faster_than_coast_down_measurably(self):
+        up = spin_up(self._head, drop, INERTANCE, duration_s=10.0)
+        q_op = up.final_flow_m3_s
+        t_up = up.time_to_fraction(0.9)
+        down = coast_down(drop, INERTANCE, q_op, duration_s=10.0)
+        t_down = down.time_to_fraction(0.1)
+        assert t_up > 0.0 and t_down > 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_inertance(self):
+        with pytest.raises(ValueError):
+            simulate_loop_flow(lambda q, t: 0.0, drop, 0.0, 1e-3, 1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            simulate_loop_flow(lambda q, t: 0.0, drop, INERTANCE, 1e-3, 0.0)
+
+    def test_time_to_fraction_validates(self):
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=1.0)
+        with pytest.raises(ValueError):
+            transient.time_to_fraction(0.0)

@@ -1,0 +1,130 @@
+"""Cross-substrate integration tests.
+
+Each test exercises a chain of at least three substrates the way the
+machines use them, verifying that the coupled answers are consistent with
+the component answers.
+"""
+
+import pytest
+
+from repro.core.skat import (
+    SKAT_WATER_FLOW_M3_S,
+    SKAT_WATER_SUPPLY_C,
+    skat,
+    taygeta,
+)
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.performance.flops import sustained_gflops
+from repro.performance.tasks import InformationGraph, Operation, map_graph_to_field
+from repro.reliability.arrhenius import mtbf_ratio
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady import boundary_heat_flows, solve_steady_state
+
+
+class TestModuleEnergyClosure:
+    """Power model -> bath -> HX -> water: energy must balance end to end."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+
+    def test_water_carries_all_heat(self, report):
+        water_rise = report.hx.cold_out_c - report.water_in_c
+        water_heat = WATER.heat_capacity_rate(
+            report.water_flow_m3_s, report.water_in_c
+        ) * water_rise
+        assert water_heat == pytest.approx(report.immersion.total_heat_w, rel=1e-3)
+
+    def test_oil_side_energy_consistent(self, report):
+        oil_heat = MINERAL_OIL_MD45.heat_capacity_rate(
+            report.oil_flow_m3_s, report.oil_cold_c
+        ) * (report.oil_hot_c - report.oil_cold_c)
+        assert oil_heat == pytest.approx(report.immersion.total_heat_w, rel=1e-3)
+
+    def test_hx_duty_equals_bath_heat(self, report):
+        assert report.hx.q_w == pytest.approx(report.immersion.total_heat_w, rel=1e-3)
+
+    def test_chip_power_consistent_with_junction(self, report):
+        chip = report.immersion.chips_per_board[-1]
+        fpga = skat().section.ccb.fpga
+        assert fpga.power_w(chip.junction_c) == pytest.approx(chip.power_w, rel=1e-6)
+
+
+class TestThermalNetworkEquivalence:
+    """The module's chip answer must agree with an explicit RC network
+    built from the same resistances."""
+
+    def test_module_vs_network(self):
+        module = skat()
+        report = module.solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        chip = report.immersion.chips_per_board[0]
+        resistance = report.immersion.chip_resistance_k_w
+
+        net = ThermalNetwork()
+        net.add_boundary("oil", chip.local_oil_c)
+        net.add_node("junction", heat_w=chip.power_w)
+        net.add_resistance("junction", "oil", resistance)
+        temps = solve_steady_state(net)
+        assert temps["junction"] == pytest.approx(chip.junction_c, abs=0.01)
+
+    def test_energy_conservation_in_explicit_network(self):
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        net = ThermalNetwork()
+        net.add_boundary("water", report.water_in_c)
+        net.add_node("oil")
+        heats = 0.0
+        # One lumped node per board.
+        for b in range(12):
+            power = sum(c.power_w for c in report.immersion.chips_per_board)
+            net.add_node(f"board{b}", heat_w=power)
+            net.add_resistance(f"board{b}", "oil", 0.05)
+            heats += power
+        net.add_resistance("oil", "water", 0.001)
+        temps = solve_steady_state(net)
+        flows = boundary_heat_flows(net, temps)
+        assert flows["water"] == pytest.approx(heats, rel=1e-9)
+
+
+class TestWorkloadToThermal:
+    """Task graph -> utilization -> power -> junction temperature."""
+
+    def test_mapped_workload_drives_power(self):
+        graph = InformationGraph("kernel")
+        for i in range(6):
+            graph.add(Operation(f"m{i}", "mul"))
+        graph.add(Operation("sum0", "add", inputs=("m0", "m1")))
+        graph.add(Operation("sum1", "add", inputs=("sum0", "m2")))
+
+        module = skat()
+        family = module.section.ccb.fpga.family
+        mapping = map_graph_to_field(graph, family, n_fpgas=8, target_utilization=0.9)
+        assert 0.85 < mapping.utilization <= 0.9
+
+        busy = skat(utilization=mapping.utilization).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        idle = skat(utilization=0.3).solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        )
+        assert busy.max_fpga_c > idle.max_fpga_c + 5.0
+
+    def test_throughput_below_sustained_envelope(self):
+        graph = InformationGraph("k2")
+        for i in range(4):
+            graph.add(Operation(f"m{i}", "mul"))
+        family = skat().section.ccb.fpga.family
+        mapping = map_graph_to_field(graph, family, n_fpgas=8)
+        envelope = 8 * sustained_gflops(family, mapping.utilization)
+        assert mapping.throughput_gflops <= envelope * 1.01
+
+
+class TestThermalReliabilityCoupling:
+    """Cooling design -> junction temperature -> lifetime."""
+
+    def test_immersion_lifetime_advantage(self):
+        taygeta_junction = taygeta().solve(25.0).max_junction_c
+        skat_junction = skat().solve_steady(
+            SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S
+        ).max_fpga_c
+        advantage = mtbf_ratio(skat_junction, taygeta_junction)
+        assert advantage > 2.0

@@ -1,0 +1,84 @@
+"""Tests for the performance model and its paper calibrations."""
+
+import pytest
+
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    ULTRASCALE_PLUS_VU9P,
+    VIRTEX7_X485T,
+)
+from repro.performance.flops import (
+    peak_gflops,
+    performance_per_litre,
+    performance_per_watt,
+    sustained_gflops,
+)
+
+
+class TestPeak:
+    def test_scales_with_logic_and_clock(self):
+        base = peak_gflops(VIRTEX7_X485T)
+        double_clock = peak_gflops(VIRTEX7_X485T, clock_mhz=2 * VIRTEX7_X485T.nominal_clock_mhz)
+        assert double_clock == pytest.approx(2.0 * base)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            peak_gflops(VIRTEX7_X485T, clock_mhz=0.0)
+
+    def test_ku095_near_0_9_tflops(self):
+        assert peak_gflops(KINTEX_ULTRASCALE_KU095) == pytest.approx(880.0, rel=0.05)
+
+
+class TestPaperRatios:
+    def test_skat_vs_taygeta_8_7x(self):
+        """Section 3: SKAT (96 chips) is 8.7x Taygeta (32 chips)."""
+        skat = 96 * peak_gflops(KINTEX_ULTRASCALE_KU095)
+        taygeta = 32 * peak_gflops(VIRTEX7_X485T)
+        assert skat / taygeta == pytest.approx(8.7, rel=0.05)
+
+    def test_ultrascale_plus_3x_per_chip(self):
+        """Section 4: UltraScale+ brings "a three time increase in
+        computational performance" in the same volume."""
+        ratio = peak_gflops(ULTRASCALE_PLUS_VU9P) / peak_gflops(KINTEX_ULTRASCALE_KU095)
+        assert ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_rack_above_1_pflops(self):
+        """Conclusions: 12 CMs x 96 chips > 1 PFlops."""
+        rack = 12 * 96 * peak_gflops(KINTEX_ULTRASCALE_KU095)
+        assert rack > 1.0e6  # GFlops
+
+
+class TestSustained:
+    def test_utilization_scaling(self):
+        full = peak_gflops(KINTEX_ULTRASCALE_KU095)
+        assert sustained_gflops(KINTEX_ULTRASCALE_KU095, 0.9) == pytest.approx(0.9 * full)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            sustained_gflops(KINTEX_ULTRASCALE_KU095, 1.5)
+
+
+class TestSpecific:
+    def test_per_watt(self):
+        assert performance_per_watt(910.0, 91.0) == pytest.approx(10.0)
+
+    def test_per_litre(self):
+        assert performance_per_litre(1000.0, 50.0) == pytest.approx(20.0)
+
+    def test_reject_bad_denominators(self):
+        with pytest.raises(ValueError):
+            performance_per_watt(10.0, 0.0)
+        with pytest.raises(ValueError):
+            performance_per_litre(10.0, 0.0)
+
+    def test_immersion_generation_gains_efficiency(self):
+        """Specific performance (GFlops/W) improves from Virtex-7 to
+        UltraScale — the paper's energy-efficiency storyline."""
+        v7 = performance_per_watt(
+            peak_gflops(VIRTEX7_X485T), VIRTEX7_X485T.operating_power_w
+        )
+        ku = performance_per_watt(
+            peak_gflops(KINTEX_ULTRASCALE_KU095),
+            KINTEX_ULTRASCALE_KU095.operating_power_w,
+        )
+        assert ku > v7

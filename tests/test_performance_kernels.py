@@ -1,0 +1,83 @@
+"""Tests for the workload-kernel library."""
+
+import pytest
+
+from repro.devices.families import KINTEX_ULTRASCALE_KU095
+from repro.performance.kernels import (
+    fft_butterfly_stage,
+    fir_filter,
+    kernel_suite,
+    matrix_tile,
+    md_force_pipeline,
+    spin_glass_update,
+)
+from repro.performance.tasks import map_graph_to_field
+
+
+class TestFir:
+    def test_structure(self):
+        graph = fir_filter(taps=8)
+        # 8 multipliers + 7 adders in a balanced tree.
+        assert len(graph) == 15
+        assert graph.depth() == 1 + 3  # mul + log2(8) adder levels
+
+    def test_unbalanced_tap_count(self):
+        graph = fir_filter(taps=5)
+        assert len(graph) == 9  # 5 muls + 4 adds
+
+    def test_rejects_single_tap(self):
+        with pytest.raises(ValueError):
+            fir_filter(taps=1)
+
+
+class TestOtherKernels:
+    def test_fft_stage_size(self):
+        graph = fft_butterfly_stage(butterflies=4)
+        # 10 operations per butterfly.
+        assert len(graph) == 40
+
+    def test_matrix_tile_size(self):
+        graph = matrix_tile(size=3)
+        assert len(graph) == 27  # size^3 MACs
+        assert graph.depth() == 3  # the dot-product chain
+
+    def test_md_pipeline_has_division(self):
+        graph = md_force_pipeline(pairs=2)
+        kinds = {op.kind for op in graph.operations}
+        assert "div" in kinds
+        assert len(graph) == 2 * 11
+
+    def test_spin_glass_is_mac_and_compare(self):
+        graph = spin_glass_update(spins=4)
+        kinds = {op.kind for op in graph.operations}
+        assert kinds == {"mac", "cmp"}
+        assert graph.depth() == 7  # 6 couplings + compare
+
+
+class TestSuite:
+    def test_all_kernels_present(self):
+        suite = kernel_suite()
+        assert set(suite) == {
+            "fir16",
+            "fft_stage8",
+            "gemm4x4",
+            "md_forces4",
+            "spin_glass8",
+        }
+
+    def test_every_kernel_maps_to_skat_board(self):
+        for graph in kernel_suite().values():
+            mapping = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=8)
+            assert mapping.replicas >= 1
+            assert mapping.throughput_gflops > 100.0
+
+    def test_throughput_ranking_follows_cost(self):
+        """Cheaper ops per graph -> more replicas -> throughput ordering
+        is cost-per-op ordering."""
+        suite = kernel_suite()
+        fir = map_graph_to_field(suite["fir16"], KINTEX_ULTRASCALE_KU095, 8)
+        md = map_graph_to_field(suite["md_forces4"], KINTEX_ULTRASCALE_KU095, 8)
+        fir_cost = suite["fir16"].total_cost_cells / len(suite["fir16"])
+        md_cost = suite["md_forces4"].total_cost_cells / len(suite["md_forces4"])
+        assert fir_cost < md_cost
+        assert fir.throughput_gflops > md.throughput_gflops

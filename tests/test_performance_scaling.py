@@ -1,0 +1,72 @@
+"""Tests for the generation-scaling trend analysis."""
+
+import math
+
+import pytest
+
+from repro.devices.families import family_roadmap
+from repro.performance.scaling import (
+    TrendFit,
+    efficiency_trend,
+    performance_trend,
+    power_trend,
+    stable_growth_check,
+)
+
+
+class TestTrendFit:
+    def test_exact_exponential_recovered(self):
+        from repro.performance.scaling import _fit_exponential
+
+        points = [(2010 + i, 100.0 * math.exp(0.3 * i)) for i in range(5)]
+        fit = _fit_exponential(points)
+        assert fit.b == pytest.approx(0.3, rel=1e-6)
+        assert fit.a == pytest.approx(100.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_doubling_time(self):
+        fit = TrendFit(year0=2010, a=1.0, b=math.log(2.0) / 2.0, r_squared=1.0)
+        assert fit.doubling_time_years == pytest.approx(2.0)
+
+    def test_flat_trend_never_doubles(self):
+        fit = TrendFit(year0=2010, a=1.0, b=0.0, r_squared=1.0)
+        assert math.isinf(fit.doubling_time_years)
+
+    def test_predict(self):
+        fit = TrendFit(year0=2010, a=10.0, b=0.1, r_squared=1.0)
+        assert fit.predict(2010) == pytest.approx(10.0)
+        assert fit.predict(2020) == pytest.approx(10.0 * math.exp(1.0))
+
+
+class TestRoadmapTrends:
+    def test_performance_grows_steadily(self):
+        """Section 5: 'a stable, practically linear growth' — on the log
+        axis that is a clean exponential, R^2 above 0.95."""
+        fit = performance_trend()
+        assert fit.b > 0.0
+        assert fit.r_squared > 0.95
+
+    def test_performance_doubling_every_1_to_3_years(self):
+        fit = performance_trend()
+        assert 1.0 < fit.doubling_time_years < 3.0
+
+    def test_efficiency_improves_too(self):
+        assert efficiency_trend().b > 0.0
+
+    def test_power_grows_slower_than_performance(self):
+        """Energetic efficiency improves because performance outruns power
+        — the core of the paper's efficiency claim."""
+        assert power_trend().b < performance_trend().b
+
+
+class TestStableGrowthCheck:
+    def test_claim_holds_for_the_catalog(self):
+        check = stable_growth_check()
+        assert check["monotone_growth"]
+        assert check["r_squared"] > 0.95
+        assert all(m > 1.5 for m in check["per_generation_multiples"])
+
+    def test_subset_of_families(self):
+        first_three = family_roadmap()[:3]
+        check = stable_growth_check(first_three)
+        assert len(check["per_generation_multiples"]) == 2

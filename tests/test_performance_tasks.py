@@ -1,0 +1,103 @@
+"""Tests for the information-graph workload model."""
+
+import pytest
+
+from repro.devices.families import KINTEX_ULTRASCALE_KU095, VIRTEX6_LX240T
+from repro.performance.tasks import (
+    InformationGraph,
+    MappingError,
+    Operation,
+    map_graph_to_field,
+)
+
+
+def fir_tap_graph(taps=4):
+    """A small FIR-filter-like information graph: taps multiplies feeding
+    an adder chain."""
+    graph = InformationGraph("fir")
+    for i in range(taps):
+        graph.add(Operation(f"mul{i}", "mul"))
+    previous = "mul0"
+    for i in range(1, taps):
+        graph.add(Operation(f"add{i}", "add", inputs=(previous, f"mul{i}")))
+        previous = f"add{i}"
+    return graph
+
+
+class TestGraphConstruction:
+    def test_size_and_cost(self):
+        graph = fir_tap_graph(4)
+        assert len(graph) == 7
+        assert graph.total_cost_cells == 4 * 700 + 3 * 550
+
+    def test_depth(self):
+        graph = fir_tap_graph(4)
+        # mul (1) -> add1 (2) -> add2 (3) -> add3 (4).
+        assert graph.depth() == 4
+
+    def test_duplicate_rejected(self):
+        graph = fir_tap_graph()
+        with pytest.raises(MappingError, match="duplicate"):
+            graph.add(Operation("mul0", "mul"))
+
+    def test_unknown_dependency_rejected(self):
+        graph = InformationGraph("g")
+        with pytest.raises(MappingError, match="unknown"):
+            graph.add(Operation("a", "add", inputs=("ghost",)))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MappingError, match="unknown operation kind"):
+            Operation("a", "transmogrify")
+
+    def test_add_chain(self):
+        graph = InformationGraph("chain")
+        last = graph.add_chain("stage", ["mul", "add", "add"])
+        assert last == "stage_2"
+        assert len(graph) == 3
+        assert graph.depth() == 3
+
+
+class TestMapping:
+    def test_replication_fills_field(self):
+        graph = fir_tap_graph(8)
+        mapping = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=8)
+        assert mapping.replicas >= 1
+        assert mapping.utilization <= 0.9
+        # Near the target: adding one more replica would overflow.
+        per_replica = graph.total_cost_cells
+        budget = KINTEX_ULTRASCALE_KU095.logic_cells * 8 * 0.9
+        assert (mapping.replicas + 1) * per_replica > budget
+
+    def test_throughput_formula(self):
+        graph = fir_tap_graph(8)
+        mapping = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=8)
+        expected = mapping.replicas * len(graph) * mapping.clock_mhz * 1.0e6 / 1.0e9
+        assert mapping.throughput_gflops == pytest.approx(expected)
+
+    def test_bigger_family_more_throughput(self):
+        graph = fir_tap_graph(8)
+        old = map_graph_to_field(graph, VIRTEX6_LX240T, n_fpgas=8)
+        new = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=8)
+        assert new.throughput_gflops > 3.0 * old.throughput_gflops
+
+    def test_latency(self):
+        graph = fir_tap_graph(4)
+        mapping = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, n_fpgas=1)
+        assert mapping.latency_us == pytest.approx(graph.depth() / mapping.clock_mhz)
+
+    def test_too_big_graph_rejected(self):
+        graph = InformationGraph("huge")
+        for i in range(200):
+            graph.add(Operation(f"div{i}", "div"))
+        with pytest.raises(MappingError, match="cells"):
+            map_graph_to_field(graph, VIRTEX6_LX240T, n_fpgas=1, target_utilization=0.9)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(MappingError, match="empty"):
+            map_graph_to_field(InformationGraph("e"), VIRTEX6_LX240T, 1)
+
+    def test_clock_derate(self):
+        graph = fir_tap_graph(4)
+        full = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, 1, clock_derate=1.0)
+        derated = map_graph_to_field(graph, KINTEX_ULTRASCALE_KU095, 1, clock_derate=0.8)
+        assert derated.clock_mhz == pytest.approx(0.8 * full.clock_mhz)

@@ -1,0 +1,50 @@
+"""Hypothesis property tests for the hydraulic-balancing system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+
+
+@given(n_loops=st.integers(min_value=2, max_value=10))
+@settings(max_examples=9, deadline=None)
+def test_reverse_return_symmetric_for_any_size(n_loops):
+    flows = RackManifoldSystem(
+        n_loops=n_loops, layout=ManifoldLayout.REVERSE_RETURN
+    ).solve().loop_flows_m3_s
+    for i in range(n_loops // 2):
+        assert flows[i] == pytest.approx(flows[-1 - i], rel=1e-3)
+
+
+@given(n_loops=st.integers(min_value=3, max_value=8))
+@settings(max_examples=6, deadline=None)
+def test_reverse_never_worse_than_direct(n_loops):
+    reverse = RackManifoldSystem(
+        n_loops=n_loops, layout=ManifoldLayout.REVERSE_RETURN
+    ).solve()
+    direct = RackManifoldSystem(
+        n_loops=n_loops, layout=ManifoldLayout.DIRECT_RETURN
+    ).solve()
+    assert reverse.coefficient_of_variation <= direct.coefficient_of_variation + 1e-9
+
+
+@given(
+    n_loops=st.integers(min_value=3, max_value=7),
+    failed=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_failure_conserves_mass_and_boosts_survivors(n_loops, failed):
+    if failed >= n_loops:
+        failed = n_loops - 1
+    system = RackManifoldSystem(n_loops=n_loops)
+    before = system.solve()
+    system.fail_loop(failed)
+    after = system.solve()
+    assert after.loop_flows_m3_s[failed] == 0.0
+    # Every survivor gains flow; the pump total falls (steeper system curve).
+    for i in range(n_loops):
+        if i == failed:
+            continue
+        assert after.loop_flows_m3_s[i] > before.loop_flows_m3_s[i]
+    assert after.total_flow_m3_s < before.total_flow_m3_s

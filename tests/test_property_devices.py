@@ -1,0 +1,79 @@
+"""Hypothesis property tests for the device power models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.families import (
+    KINTEX_ULTRASCALE_KU095,
+    VIRTEX6_LX240T,
+    VIRTEX7_X485T,
+    family_roadmap,
+)
+from repro.devices.power import FpgaPowerModel, ThermalRunawayError
+
+FAMILIES = st.sampled_from(family_roadmap())
+UTILIZATION = st.floats(min_value=0.0, max_value=1.0)
+JUNCTION = st.floats(min_value=-10.0, max_value=120.0)
+
+
+@given(family=FAMILIES, utilization=UTILIZATION, junction=JUNCTION)
+def test_power_always_positive(family, utilization, junction):
+    model = FpgaPowerModel(family)
+    power = model.total_power_w(utilization, family.nominal_clock_mhz, junction)
+    assert power > 0.0  # leakage never vanishes
+
+
+@given(family=FAMILIES, u1=UTILIZATION, u2=UTILIZATION, junction=JUNCTION)
+def test_power_monotone_in_utilization(family, u1, u2, junction):
+    if u1 > u2:
+        u1, u2 = u2, u1
+    model = FpgaPowerModel(family)
+    clock = family.nominal_clock_mhz
+    assert model.total_power_w(u1, clock, junction) <= model.total_power_w(
+        u2, clock, junction
+    )
+
+
+@given(family=FAMILIES, t1=JUNCTION, t2=JUNCTION)
+def test_power_monotone_in_temperature(family, t1, t2):
+    if t1 > t2:
+        t1, t2 = t2, t1
+    model = FpgaPowerModel(family)
+    clock = family.nominal_clock_mhz
+    assert model.total_power_w(0.9, clock, t1) <= model.total_power_w(0.9, clock, t2)
+
+
+@given(
+    family=st.sampled_from([VIRTEX6_LX240T, VIRTEX7_X485T, KINTEX_ULTRASCALE_KU095]),
+    resistance=st.floats(min_value=0.05, max_value=0.8),
+    coolant=st.floats(min_value=10.0, max_value=45.0),
+)
+@settings(max_examples=60)
+def test_junction_solve_is_self_consistent_or_runaway(family, resistance, coolant):
+    model = FpgaPowerModel(family)
+    try:
+        junction = model.solve_junction(resistance, coolant)
+    except ThermalRunawayError:
+        return  # acceptable outcome for weak cooling
+    power = model.total_power_w(0.9, family.nominal_clock_mhz, junction)
+    assert junction == pytest.approx(coolant + resistance * power, abs=1e-5)
+    assert junction > coolant
+
+
+@given(
+    resistance=st.floats(min_value=0.05, max_value=0.4),
+    c1=st.floats(min_value=10.0, max_value=40.0),
+    c2=st.floats(min_value=10.0, max_value=40.0),
+)
+@settings(max_examples=40)
+def test_junction_monotone_in_coolant(resistance, c1, c2):
+    if c1 > c2:
+        c1, c2 = c2, c1
+    model = FpgaPowerModel(KINTEX_ULTRASCALE_KU095)
+    try:
+        j1 = model.solve_junction(resistance, c1)
+        j2 = model.solve_junction(resistance, c2)
+    except ThermalRunawayError:
+        return
+    assert j1 <= j2 + 1e-9

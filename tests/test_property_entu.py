@@ -1,0 +1,55 @@
+"""Hypothesis property tests for the effectiveness-NTU relations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.heatexchange.entu import (
+    FlowArrangement,
+    effectiveness,
+    effectiveness_counterflow,
+    effectiveness_parallel,
+    ntu_counterflow_from_effectiveness,
+)
+
+NTU = st.floats(min_value=0.0, max_value=50.0)
+CR = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(ntu=NTU, c_r=CR)
+def test_effectiveness_bounded(ntu, c_r):
+    for arrangement in FlowArrangement:
+        eps = effectiveness(ntu, c_r, arrangement)
+        assert 0.0 <= eps <= 1.0
+
+
+@given(ntu_low=NTU, ntu_high=NTU, c_r=CR)
+def test_counterflow_monotone_in_ntu(ntu_low, ntu_high, c_r):
+    if ntu_low > ntu_high:
+        ntu_low, ntu_high = ntu_high, ntu_low
+    assert effectiveness_counterflow(ntu_low, c_r) <= effectiveness_counterflow(
+        ntu_high, c_r
+    ) + 1e-12
+
+
+@given(ntu=NTU, cr_low=CR, cr_high=CR)
+def test_counterflow_monotone_decreasing_in_cr(ntu, cr_low, cr_high):
+    """More capacity imbalance (lower Cr) always helps effectiveness."""
+    if cr_low > cr_high:
+        cr_low, cr_high = cr_high, cr_low
+    assert effectiveness_counterflow(ntu, cr_high) <= effectiveness_counterflow(
+        ntu, cr_low
+    ) + 1e-12
+
+
+@given(ntu=NTU, c_r=CR)
+def test_counterflow_dominates_parallel(ntu, c_r):
+    assert effectiveness_counterflow(ntu, c_r) >= effectiveness_parallel(ntu, c_r) - 1e-12
+
+
+@given(ntu=st.floats(min_value=1e-3, max_value=20.0), c_r=CR)
+def test_inverse_roundtrip(ntu, c_r):
+    eps = effectiveness_counterflow(ntu, c_r)
+    if eps < 1.0 - 1e-12:
+        recovered = ntu_counterflow_from_effectiveness(eps, c_r)
+        assert recovered == pytest.approx(ntu, rel=1e-6, abs=1e-9)

@@ -1,0 +1,74 @@
+"""Hypothesis property tests for the fluid library."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluids.library import AIR, GLYCOL30, MINERAL_OIL_MD45, WATER, all_fluids
+
+#: Temperature range where every library fluid is valid.
+COMMON_RANGE = st.floats(min_value=1.0, max_value=95.0)
+
+
+@given(temperature=COMMON_RANGE)
+def test_all_properties_positive(temperature):
+    for fluid in all_fluids():
+        assert fluid.density(temperature) > 0
+        assert fluid.specific_heat(temperature) > 0
+        assert fluid.conductivity(temperature) > 0
+        assert fluid.viscosity(temperature) > 0
+
+
+@given(t_low=COMMON_RANGE, t_high=COMMON_RANGE)
+def test_liquid_viscosity_monotone_decreasing(t_low, t_high):
+    if t_low > t_high:
+        t_low, t_high = t_high, t_low
+    for fluid in (WATER, GLYCOL30, MINERAL_OIL_MD45):
+        assert fluid.viscosity(t_low) >= fluid.viscosity(t_high)
+
+
+@given(t_low=COMMON_RANGE, t_high=COMMON_RANGE)
+def test_gas_viscosity_monotone_increasing(t_low, t_high):
+    if t_low > t_high:
+        t_low, t_high = t_high, t_low
+    assert AIR.viscosity(t_low) <= AIR.viscosity(t_high)
+
+
+@given(t_low=COMMON_RANGE, t_high=COMMON_RANGE)
+def test_liquid_density_monotone_decreasing(t_low, t_high):
+    if t_low > t_high:
+        t_low, t_high = t_high, t_low
+    for fluid in (GLYCOL30, MINERAL_OIL_MD45):
+        assert fluid.density(t_low) >= fluid.density(t_high)
+
+
+@given(temperature=COMMON_RANGE)
+def test_derived_quantities_consistent(temperature):
+    for fluid in all_fluids():
+        nu = fluid.kinematic_viscosity(temperature)
+        mu = fluid.viscosity(temperature)
+        assert abs(nu * fluid.density(temperature) - mu) <= 1e-12 * mu
+        pr = fluid.prandtl(temperature)
+        alpha = fluid.thermal_diffusivity(temperature)
+        # Pr = nu / alpha, two routes to the same number.
+        assert abs(pr - nu / alpha) / pr < 1e-9
+
+
+@given(
+    temperature=COMMON_RANGE,
+    heat=st.floats(min_value=1.0, max_value=1.0e5),
+    delta_t=st.floats(min_value=0.5, max_value=30.0),
+)
+def test_volume_flow_inverts_heat(temperature, heat, delta_t):
+    """Flow sized for a heat load carries exactly that load back."""
+    for fluid in (WATER, MINERAL_OIL_MD45):
+        flow = fluid.volume_flow_for_heat(heat, delta_t, temperature)
+        recovered = fluid.heat_capacity_rate(flow, temperature) * delta_t
+        assert abs(recovered - heat) / heat < 1e-9
+
+
+@given(temperature=COMMON_RANGE)
+@settings(max_examples=30)
+def test_liquids_always_beat_air_volumetrically(temperature):
+    air = AIR.volumetric_heat_capacity(temperature)
+    for fluid in (WATER, GLYCOL30, MINERAL_OIL_MD45):
+        assert fluid.volumetric_heat_capacity(temperature) > 1000.0 * air

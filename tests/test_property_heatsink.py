@@ -1,0 +1,76 @@
+"""Hypothesis property tests for the heatsink models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heatsink import PinFinHeatSink, StraightFinAirSink
+from repro.fluids.library import AIR, MINERAL_OIL_MD45
+
+VELOCITY = st.floats(min_value=0.02, max_value=1.0)
+OIL_TEMP = st.floats(min_value=15.0, max_value=60.0)
+
+
+@st.composite
+def pin_sinks(draw):
+    pitch = draw(st.floats(min_value=0.003, max_value=0.006))
+    diameter = draw(st.floats(min_value=0.0015, max_value=pitch * 0.7))
+    height = draw(st.floats(min_value=0.004, max_value=0.012))
+    return PinFinHeatSink(
+        pin_pitch_m=pitch, pin_diameter_m=diameter, pin_height_m=height
+    )
+
+
+@given(sink=pin_sinks(), v1=VELOCITY, v2=VELOCITY, temp=OIL_TEMP)
+@settings(max_examples=60)
+def test_resistance_monotone_in_velocity(sink, v1, v2, temp):
+    if v1 > v2:
+        v1, v2 = v2, v1
+    r1 = sink.performance(v1, MINERAL_OIL_MD45, temp).total_resistance_k_w
+    r2 = sink.performance(v2, MINERAL_OIL_MD45, temp).total_resistance_k_w
+    assert r2 <= r1 * (1.0 + 1e-9)
+
+
+@given(sink=pin_sinks(), v1=VELOCITY, v2=VELOCITY, temp=OIL_TEMP)
+@settings(max_examples=60)
+def test_pressure_drop_monotone_in_velocity(sink, v1, v2, temp):
+    if v1 > v2:
+        v1, v2 = v2, v1
+    dp1 = sink.performance(v1, MINERAL_OIL_MD45, temp).pressure_drop_pa
+    dp2 = sink.performance(v2, MINERAL_OIL_MD45, temp).pressure_drop_pa
+    assert dp2 >= dp1
+
+
+@given(sink=pin_sinks(), velocity=VELOCITY, temp=OIL_TEMP)
+@settings(max_examples=60)
+def test_performance_quantities_physical(sink, velocity, temp):
+    perf = sink.performance(velocity, MINERAL_OIL_MD45, temp)
+    assert 0.0 < perf.fin_efficiency <= 1.0
+    assert perf.effective_conductance_w_k > 0.0
+    assert perf.spreading_resistance_k_w >= 0.0
+    assert perf.wetted_area_m2 > sink.base_area_m2
+
+
+@given(sink=pin_sinks(), velocity=VELOCITY, temp=OIL_TEMP)
+@settings(max_examples=40)
+def test_turbulence_factor_always_helps(sink, velocity, temp):
+    from dataclasses import replace
+
+    plain = replace(sink, turbulence_factor=1.0)
+    enhanced = replace(sink, turbulence_factor=1.25)
+    r_plain = plain.performance(velocity, MINERAL_OIL_MD45, temp).total_resistance_k_w
+    r_enhanced = enhanced.performance(
+        velocity, MINERAL_OIL_MD45, temp
+    ).total_resistance_k_w
+    assert r_enhanced < r_plain
+
+
+@given(
+    velocity=st.floats(min_value=1.0, max_value=10.0),
+    temp=st.floats(min_value=15.0, max_value=45.0),
+)
+@settings(max_examples=40)
+def test_air_sink_far_weaker_than_oil_sink(velocity, temp):
+    air = StraightFinAirSink().performance(velocity, AIR, temp)
+    oil = PinFinHeatSink().performance(0.18, MINERAL_OIL_MD45, 30.0)
+    assert air.total_resistance_k_w > oil.total_resistance_k_w

@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the hydraulic substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.hydraulics.elements import (
+    HeatExchangerPassage,
+    Pipe,
+    Pump,
+    PumpCurve,
+)
+from repro.hydraulics.network import HydraulicNetwork
+from repro.hydraulics.solver import solve_network
+
+
+@given(
+    q=st.floats(min_value=1e-6, max_value=1e-2),
+    length=st.floats(min_value=0.1, max_value=20.0),
+    diameter=st.floats(min_value=0.005, max_value=0.1),
+)
+@settings(max_examples=80)
+def test_pipe_loss_odd_and_monotone(q, length, diameter):
+    pipe = Pipe(length_m=length, diameter_m=diameter)
+    forward = pipe.pressure_change_pa(q, WATER, 25.0)
+    backward = pipe.pressure_change_pa(-q, WATER, 25.0)
+    assert forward < 0
+    assert backward == pytest.approx(-forward, rel=1e-9)
+    # Monotone: more flow, more loss.
+    assert -pipe.pressure_change_pa(2.0 * q, WATER, 25.0) > -forward
+
+
+@given(
+    shutoff=st.floats(min_value=1e3, max_value=5e5),
+    qmax=st.floats(min_value=1e-4, max_value=5e-2),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_pump_curve_inverse_roundtrip(shutoff, qmax, q):
+    curve = PumpCurve(shutoff_pressure_pa=shutoff, max_flow_m3_s=qmax)
+    flow = q * qmax
+    head = curve.head_pa(flow)
+    assert curve.flow_at_head_pa(head) == pytest.approx(flow, abs=qmax * 1e-9)
+
+
+@st.composite
+def parallel_loop_networks(draw):
+    """A pump feeding 2-6 parallel quadratic branches."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    resistances = draw(
+        st.lists(
+            st.floats(min_value=1e8, max_value=1e11), min_size=n, max_size=n
+        )
+    )
+    net = HydraulicNetwork()
+    net.add_junction("in")
+    net.add_junction("out")
+    net.set_reference("in")
+    net.add_branch("pump", "in", "out", Pump(PumpCurve(8.0e4, 2.0e-2)))
+    for i, r in enumerate(resistances):
+        net.add_branch(f"loop_{i}", "out", "in", HeatExchangerPassage(0.0, r))
+    return net, n, resistances
+
+
+@given(data=parallel_loop_networks())
+@settings(max_examples=40, deadline=None)
+def test_mass_conservation(data):
+    net, n, _ = data
+    result = solve_network(net, WATER, 25.0)
+    total = sum(result.flow(f"loop_{i}") for i in range(n))
+    assert result.flow("pump") == pytest.approx(total, rel=1e-6)
+
+
+@given(data=parallel_loop_networks())
+@settings(max_examples=40, deadline=None)
+def test_flows_ordered_by_resistance(data):
+    net, n, resistances = data
+    result = solve_network(net, WATER, 25.0)
+    pairs = sorted(zip(resistances, [result.flow(f"loop_{i}") for i in range(n)]))
+    flows_by_resistance = [q for _, q in pairs]
+    # Lower resistance must never carry less flow.
+    for easier, harder in zip(flows_by_resistance, flows_by_resistance[1:]):
+        assert easier >= harder - 1e-12
+
+
+@given(data=parallel_loop_networks())
+@settings(max_examples=30, deadline=None)
+def test_all_branch_pressure_drops_equal(data):
+    """Parallel branches between the same junctions see the same dp — and
+    each branch's own characteristic must reproduce it at the solved flow."""
+    net, n, _ = data
+    result = solve_network(net, WATER, 25.0)
+    dp = result.pressure_drop_pa("out", "in")
+    for i in range(n):
+        branch = net.branch(f"loop_{i}")
+        q = result.flow(f"loop_{i}")
+        assert -branch.element.pressure_change_pa(q, WATER, 25.0) == pytest.approx(
+            dp, rel=1e-6
+        )
+
+
+@given(
+    temperature=st.floats(min_value=5.0, max_value=50.0),
+    q=st.floats(min_value=1e-5, max_value=5e-3),
+)
+@settings(max_examples=50)
+def test_oil_always_harder_to_pump_than_water(temperature, q):
+    """Holds over the machines' operating band. (Above ~70 C the thinned
+    oil can stay laminar while water has gone turbulent, and the ordering
+    can invert — a real effect, not a model bug.)"""
+    pipe = Pipe(length_m=3.0, diameter_m=0.02)
+    oil = -pipe.pressure_change_pa(q, MINERAL_OIL_MD45, temperature)
+    water = -pipe.pressure_change_pa(q, WATER, temperature)
+    assert oil >= water

@@ -1,0 +1,98 @@
+"""Hypothesis property tests across the smaller substrates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bathlevel import BathInventory
+from repro.core.tim import CONVENTIONAL_PASTE
+from repro.fluids.mixtures import MAX_GLYCOL_FRACTION, glycol_mixture
+from repro.heatexchange.fouling import FoulingModel
+from repro.reliability.arrhenius import acceleration_factor
+
+FRACTION = st.floats(min_value=0.01, max_value=MAX_GLYCOL_FRACTION)
+BLEND_TEMP = st.floats(min_value=5.0, max_value=90.0)
+
+
+@given(fraction=FRACTION, temperature=BLEND_TEMP)
+def test_mixture_properties_positive_and_ordered(fraction, temperature):
+    blend = glycol_mixture(fraction)
+    from repro.fluids.library import WATER
+
+    assert blend.density(temperature) > 0
+    assert blend.viscosity(temperature) >= WATER.viscosity(temperature)
+    assert blend.specific_heat(temperature) <= WATER.specific_heat(temperature)
+    assert blend.conductivity(temperature) <= WATER.conductivity(temperature)
+
+
+@given(f1=FRACTION, f2=FRACTION, temperature=BLEND_TEMP)
+@settings(max_examples=60)
+def test_mixture_viscosity_monotone_in_fraction(f1, f2, temperature):
+    if f1 > f2:
+        f1, f2 = f2, f1
+    assert glycol_mixture(f1).viscosity(temperature) <= glycol_mixture(f2).viscosity(
+        temperature
+    ) * (1.0 + 1e-12)
+
+
+@given(
+    fill=st.floats(min_value=0.5, max_value=0.98),
+    t1=st.floats(min_value=15.0, max_value=60.0),
+    t2=st.floats(min_value=15.0, max_value=60.0),
+)
+def test_bath_level_monotone_in_temperature(fill, t1, t2):
+    if t1 > t2:
+        t1, t2 = t2, t1
+    inventory = BathInventory(fill_fraction=fill)
+    assert inventory.level_fraction(t1) <= inventory.level_fraction(t2) + 1e-12
+
+
+@given(
+    fill=st.floats(min_value=0.5, max_value=0.98),
+    temperature=st.floats(min_value=15.0, max_value=60.0),
+    leak=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_bath_mass_conservation(fill, temperature, leak):
+    """Volume times density recovers the fill mass minus the leak."""
+    inventory = BathInventory(fill_fraction=fill)
+    volume = inventory.oil_volume_m3(temperature, leaked_kg=leak)
+    recovered = volume * inventory.oil.density(temperature)
+    assert recovered == pytest.approx(inventory.oil_mass_kg - leak, abs=1e-9)
+
+
+@given(
+    h1=st.floats(min_value=0.0, max_value=1.0e5),
+    h2=st.floats(min_value=0.0, max_value=1.0e5),
+)
+def test_tim_washout_monotone(h1, h2):
+    if h1 > h2:
+        h1, h2 = h2, h1
+    area = 26e-3 ** 2
+    assert CONVENTIONAL_PASTE.resistance_k_w(area, h1) <= CONVENTIONAL_PASTE.resistance_k_w(
+        area, h2
+    ) + 1e-15
+
+
+@given(
+    u=st.floats(min_value=100.0, max_value=5000.0),
+    t1=st.floats(min_value=0.0, max_value=1.0e5),
+    t2=st.floats(min_value=0.0, max_value=1.0e5),
+)
+def test_fouling_u_monotone_decreasing(u, t1, t2):
+    if t1 > t2:
+        t1, t2 = t2, t1
+    model = FoulingModel()
+    assert model.fouled_u(u, t2) <= model.fouled_u(u, t1) + 1e-12
+
+
+@given(
+    t_a=st.floats(min_value=20.0, max_value=100.0),
+    t_b=st.floats(min_value=20.0, max_value=100.0),
+    t_c=st.floats(min_value=20.0, max_value=100.0),
+)
+def test_arrhenius_transitivity(t_a, t_b, t_c):
+    """AF(a->b) * AF(b->c) == AF(a->c): the acceleration factor is a
+    consistent relative scale."""
+    combined = acceleration_factor(t_a, t_b) * acceleration_factor(t_b, t_c)
+    direct = acceleration_factor(t_a, t_c)
+    assert combined == pytest.approx(direct, rel=1e-9)

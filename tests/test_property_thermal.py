@@ -1,0 +1,86 @@
+"""Hypothesis property tests for the thermal substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady import boundary_heat_flows, solve_steady_state
+
+
+@st.composite
+def star_networks(draw):
+    """A boundary node with N heated nodes hanging off it through random
+    resistances — the simplest nontrivial topology class."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    heats = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=200.0), min_size=n, max_size=n
+        )
+    )
+    resistances = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=5.0), min_size=n, max_size=n
+        )
+    )
+    ambient = draw(st.floats(min_value=-10.0, max_value=50.0))
+    net = ThermalNetwork()
+    net.add_boundary("ambient", ambient)
+    for i, (q, r) in enumerate(zip(heats, resistances)):
+        net.add_node(f"n{i}", heat_w=q)
+        net.add_resistance(f"n{i}", "ambient", r)
+    return net, ambient
+
+
+@given(data=star_networks())
+def test_energy_conservation(data):
+    net, _ = data
+    temps = solve_steady_state(net)
+    flows = boundary_heat_flows(net, temps)
+    assert abs(sum(flows.values()) - net.total_heat_w()) <= 1e-6 * max(
+        net.total_heat_w(), 1.0
+    )
+
+
+@given(data=star_networks())
+def test_heated_nodes_never_below_ambient(data):
+    net, ambient = data
+    temps = solve_steady_state(net)
+    for name in net.free_nodes:
+        assert temps[name] >= ambient - 1e-9
+
+
+@given(data=star_networks())
+def test_superposition_of_heat(data):
+    """Doubling every heat input doubles every temperature rise (the
+    network is linear)."""
+    net, ambient = data
+    base = solve_steady_state(net)
+    for name in net.free_nodes:
+        net.set_heat(name, 2.0 * net.heat(name))
+    doubled = solve_steady_state(net)
+    for name in net.free_nodes:
+        rise = base[name] - ambient
+        rise2 = doubled[name] - ambient
+        assert abs(rise2 - 2.0 * rise) <= 1e-6 * max(abs(rise), 1.0)
+
+
+@given(
+    chain_length=st.integers(min_value=1, max_value=10),
+    heat=st.floats(min_value=1.0, max_value=150.0),
+    resistance=st.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=50)
+def test_series_chain_total_rise(chain_length, heat, resistance):
+    """A series chain's source temperature equals ambient plus heat times
+    the summed resistance, regardless of length."""
+    net = ThermalNetwork()
+    net.add_boundary("ambient", 20.0)
+    previous = "ambient"
+    for i in range(chain_length):
+        net.add_node(f"n{i}")
+        net.add_resistance(f"n{i}", previous, resistance)
+        previous = f"n{i}"
+    net.set_heat(previous, heat)
+    temps = solve_steady_state(net)
+    expected = 20.0 + heat * resistance * chain_length
+    assert abs(temps[previous] - expected) <= 1e-6 * expected

@@ -1,0 +1,62 @@
+"""Tests for Arrhenius temperature acceleration."""
+
+import pytest
+
+from repro.reliability.arrhenius import (
+    acceleration_factor,
+    arrhenius_failure_rate,
+    mtbf_hours,
+    mtbf_ratio,
+)
+
+
+class TestAccelerationFactor:
+    def test_identity_at_equal_temperatures(self):
+        assert acceleration_factor(55.0, 55.0) == pytest.approx(1.0)
+
+    def test_hotter_stress_accelerates(self):
+        assert acceleration_factor(55.0, 73.0) > 1.0
+
+    def test_colder_stress_decelerates(self):
+        assert acceleration_factor(73.0, 55.0) < 1.0
+
+    def test_skat_vs_taygeta_life_multiple(self):
+        """55 C (SKAT) vs 72.9 C (Taygeta): a 3-4x life advantage at
+        0.7 eV — the quantified reliability claim."""
+        factor = acceleration_factor(55.0, 72.9)
+        assert 2.5 < factor < 5.0
+
+    def test_reciprocity(self):
+        forward = acceleration_factor(50.0, 80.0)
+        backward = acceleration_factor(80.0, 50.0)
+        assert forward * backward == pytest.approx(1.0)
+
+    def test_higher_activation_energy_steeper(self):
+        mild = acceleration_factor(55.0, 85.0, activation_energy_ev=0.4)
+        steep = acceleration_factor(55.0, 85.0, activation_energy_ev=0.9)
+        assert steep > mild
+
+    def test_rejects_bad_energy(self):
+        with pytest.raises(ValueError):
+            acceleration_factor(55.0, 85.0, activation_energy_ev=0.0)
+
+
+class TestFailureRate:
+    def test_scales_base_rate(self):
+        base = 1.0e-7  # 100 FIT
+        rate = arrhenius_failure_rate(base, 55.0, 85.0)
+        assert rate > base
+
+    def test_at_base_temperature_unchanged(self):
+        base = 1.0e-7
+        assert arrhenius_failure_rate(base, 55.0, 55.0) == pytest.approx(base)
+
+    def test_mtbf_inverse(self):
+        assert mtbf_hours(1.0e-5) == pytest.approx(1.0e5)
+
+    def test_mtbf_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            mtbf_hours(0.0)
+
+    def test_mtbf_ratio_matches_acceleration(self):
+        assert mtbf_ratio(55.0, 72.9) == pytest.approx(acceleration_factor(55.0, 72.9))

@@ -1,0 +1,66 @@
+"""Tests for the failure-injection event factories."""
+
+import pytest
+
+from repro.reliability.failures import (
+    FailureEvent,
+    leak_event,
+    loop_blockage_event,
+    pump_stop_event,
+    sensor_fault_event,
+    tim_washout_drift,
+)
+
+
+class TestFactories:
+    def test_pump_stop(self):
+        event = pump_stop_event(120.0, "oil_pump")
+        assert event.kind == "pump_stop"
+        assert event.time_s == 120.0
+        assert event.target == "oil_pump"
+        assert event.magnitude == 0.0
+
+    def test_pump_degradation(self):
+        event = pump_stop_event(60.0, "oil_pump", remaining_speed=0.5)
+        assert event.magnitude == 0.5
+
+    def test_pump_rejects_full_speed(self):
+        with pytest.raises(ValueError):
+            pump_stop_event(60.0, "oil_pump", remaining_speed=1.0)
+
+    def test_loop_blockage(self):
+        event = loop_blockage_event(0.0, "loop_3")
+        assert event.kind == "loop_blockage"
+        assert event.magnitude == 0.0
+
+    def test_leak_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            leak_event(10.0, "manifold", 0.0)
+
+    def test_leak_description_in_litres(self):
+        event = leak_event(10.0, "manifold", 5.0e-4)
+        assert "0.50 L/s" in event.description
+
+    def test_tim_washout_only_degrades(self):
+        with pytest.raises(ValueError):
+            tim_washout_drift(0.0, "fpga_3", 0.5)
+        event = tim_washout_drift(0.0, "fpga_3", 2.5)
+        assert event.magnitude == 2.5
+
+    def test_sensor_fault_custom_description(self):
+        event = sensor_fault_event(5.0, "t_oil", -3.0, description="stuck cold")
+        assert event.description == "stuck cold"
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="leak", time_s=-1.0, target="x", magnitude=1.0)
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="", time_s=0.0, target="x", magnitude=1.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="leak", time_s=0.0, target="", magnitude=1.0)

@@ -1,0 +1,63 @@
+"""Tests for the paper-vs-measured comparison tables."""
+
+import pytest
+
+from repro.reporting import ComparisonTable
+
+
+class TestRows:
+    def test_rel_tol_pass_and_fail(self):
+        table = ComparisonTable("t")
+        table.add("good", 100.0, 105.0, rel_tol=0.10)
+        table.add("bad", 100.0, 120.0, rel_tol=0.10)
+        assert table.rows[0].ok
+        assert not table.rows[1].ok
+        assert not table.all_ok
+
+    def test_band_rows(self):
+        table = ComparisonTable("t")
+        table.add("in band", 13.0, 12.0, lo=11.0, hi=15.0)
+        table.add("below", 13.0, 9.0, lo=11.0, hi=15.0)
+        table.add("open high", 1.0, 5.0, lo=1.0)
+        assert table.rows[0].ok
+        assert not table.rows[1].ok
+        assert table.rows[2].ok
+
+    def test_bool_rows(self):
+        table = ComparisonTable("t")
+        table.add_bool("claim", "stated", True)
+        table.add_bool("claim2", "stated", False)
+        assert table.rows[0].measured == "holds"
+        assert table.rows[1].measured == "FAILS"
+
+    def test_requires_tolerance_spec(self):
+        table = ComparisonTable("t")
+        with pytest.raises(ValueError):
+            table.add("x", 1.0, 1.0)
+
+    def test_failures_listing(self):
+        table = ComparisonTable("t")
+        table.add("ok", 1.0, 1.0, rel_tol=0.1)
+        table.add("nope", 1.0, 2.0, rel_tol=0.1)
+        assert [r.claim for r in table.failures()] == ["nope"]
+
+    def test_empty_table_all_ok_raises(self):
+        with pytest.raises(ValueError):
+            ComparisonTable("t").all_ok
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        table = ComparisonTable("demo")
+        table.add("alpha", 10.0, 10.5, rel_tol=0.1)
+        table.add_bool("beta", "stated", True)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "beta" in text
+        assert "yes" in text
+
+    def test_render_marks_failures(self):
+        table = ComparisonTable("demo")
+        table.add("broken", 10.0, 99.0, rel_tol=0.01)
+        assert "NO" in table.render()

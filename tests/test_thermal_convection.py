@@ -1,0 +1,167 @@
+"""Tests for the convection correlations."""
+
+import math
+
+import pytest
+
+from repro.fluids.library import AIR, MINERAL_OIL_MD45, WATER
+from repro.thermal import convection as cv
+
+
+class TestReynolds:
+    def test_definition(self):
+        re = cv.reynolds(1.0, 0.01, WATER, 25.0)
+        assert re == pytest.approx(0.01 / WATER.kinematic_viscosity(25.0))
+
+    def test_rejects_negative_velocity(self):
+        with pytest.raises(ValueError):
+            cv.reynolds(-1.0, 0.01, WATER, 25.0)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            cv.reynolds(1.0, 0.0, WATER, 25.0)
+
+
+class TestFlatPlate:
+    def test_zero_reynolds_gives_zero(self):
+        assert cv.nusselt_flat_plate(0.0, 0.7) == 0.0
+
+    def test_laminar_value(self):
+        # Nu = 0.664 sqrt(Re) Pr^(1/3)
+        assert cv.nusselt_flat_plate(10000.0, 1.0) == pytest.approx(66.4)
+
+    def test_scaling_with_sqrt_re_laminar(self):
+        nu1 = cv.nusselt_flat_plate(1.0e4, 0.7)
+        nu2 = cv.nusselt_flat_plate(4.0e4, 0.7)
+        assert nu2 / nu1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_turbulent_beats_laminar_extrapolation(self):
+        re = 1.0e6
+        turbulent = cv.nusselt_flat_plate(re, 0.7)
+        laminar_extrapolated = 0.664 * math.sqrt(re) * 0.7 ** (1 / 3)
+        assert turbulent > laminar_extrapolated
+
+    def test_rejects_bad_prandtl(self):
+        with pytest.raises(ValueError):
+            cv.nusselt_flat_plate(1000.0, 0.0)
+
+
+class TestDuct:
+    def test_laminar_constant(self):
+        assert cv.nusselt_duct(1000.0, 5.0) == pytest.approx(3.66)
+
+    def test_dittus_boelter_value(self):
+        # Nu = 0.023 Re^0.8 Pr^0.4
+        nu = cv.nusselt_dittus_boelter(1.0e4, 1.0)
+        assert nu == pytest.approx(0.023 * 1.0e4 ** 0.8)
+
+    def test_dittus_boelter_heating_vs_cooling(self):
+        heating = cv.nusselt_dittus_boelter(1.0e4, 5.0, heating=True)
+        cooling = cv.nusselt_dittus_boelter(1.0e4, 5.0, heating=False)
+        assert heating > cooling
+
+    def test_dittus_boelter_rejects_laminar(self):
+        with pytest.raises(ValueError):
+            cv.nusselt_dittus_boelter(1000.0, 5.0)
+
+    def test_sieder_tate_viscosity_correction(self):
+        base = cv.nusselt_sieder_tate(1.0e4, 5.0, 1.0)
+        hot_wall = cv.nusselt_sieder_tate(1.0e4, 5.0, 2.0)
+        assert hot_wall > base
+
+    def test_duct_blend_is_continuous(self):
+        # No jump across the transition band edges.
+        lo = cv.nusselt_duct(2300.0, 5.0)
+        just_above = cv.nusselt_duct(2301.0, 5.0)
+        assert just_above == pytest.approx(lo, rel=0.01)
+        hi = cv.nusselt_duct(4000.0, 5.0)
+        just_below = cv.nusselt_duct(3999.0, 5.0)
+        assert just_below == pytest.approx(hi, rel=0.01)
+
+
+class TestPinBank:
+    def test_monotone_in_reynolds(self):
+        values = [cv.nusselt_pin_bank(re, 5.0) for re in (10.0, 40.0, 400.0, 4000.0)]
+        assert values == sorted(values)
+
+    def test_continuity_at_regime_boundaries(self):
+        for boundary in (40.0, 1000.0):
+            below = cv.nusselt_pin_bank(boundary * 0.999, 5.0)
+            above = cv.nusselt_pin_bank(boundary * 1.001, 5.0)
+            assert above == pytest.approx(below, rel=0.05)
+
+    def test_turbulence_factor_scales_result(self):
+        plain = cv.nusselt_pin_bank(100.0, 5.0, 1.0)
+        solder = cv.nusselt_pin_bank(100.0, 5.0, 1.25)
+        assert solder == pytest.approx(1.25 * plain)
+
+    def test_zero_flow(self):
+        assert cv.nusselt_pin_bank(0.0, 5.0) == 0.0
+
+
+class TestNaturalConvection:
+    def test_churchill_chu_still_air_plate(self):
+        # 0.3 m plate, 30 K over ambient air: h ~ 4-6 W/m^2 K.
+        film = cv.natural_vertical_film(30.0, 0.3, AIR, 25.0)
+        assert 3.0 < film.h_w_m2k < 8.0
+
+    def test_oil_natural_convection_much_stronger_than_air(self):
+        oil = cv.natural_vertical_film(25.0, 0.06, MINERAL_OIL_MD45, 30.0)
+        air = cv.natural_vertical_film(25.0, 0.06, AIR, 30.0)
+        assert oil.h_w_m2k > 10.0 * air.h_w_m2k
+
+    def test_rayleigh_positive_and_scales_with_cube_of_length(self):
+        ra1 = cv.rayleigh(10.0, 0.1, AIR, 25.0)
+        ra2 = cv.rayleigh(10.0, 0.2, AIR, 25.0)
+        assert ra2 / ra1 == pytest.approx(8.0, rel=1e-6)
+
+    def test_expansion_coefficient_air_matches_ideal_gas(self):
+        beta = cv.expansion_coefficient(AIR, 25.0)
+        assert beta == pytest.approx(1.0 / 298.15, rel=0.01)
+
+    def test_expansion_coefficient_oil_positive(self):
+        assert cv.expansion_coefficient(MINERAL_OIL_MD45, 30.0) > 0
+
+
+class TestFins:
+    def test_pin_fin_efficiency_bounds(self):
+        eta = cv.pin_fin_efficiency(2000.0, 0.002, 0.008, 390.0)
+        assert 0.0 < eta < 1.0
+
+    def test_pin_fin_short_fin_near_unity(self):
+        eta = cv.pin_fin_efficiency(10.0, 0.002, 0.0001, 390.0)
+        assert eta == pytest.approx(1.0, abs=1e-3)
+
+    def test_pin_fin_efficiency_falls_with_height(self):
+        short = cv.pin_fin_efficiency(2000.0, 0.002, 0.004, 390.0)
+        tall = cv.pin_fin_efficiency(2000.0, 0.002, 0.016, 390.0)
+        assert tall < short
+
+    def test_straight_fin_efficiency_bounds(self):
+        eta = cv.straight_fin_efficiency(30.0, 0.001, 0.03, 200.0)
+        assert 0.0 < eta <= 1.0
+
+    def test_better_conductor_better_fin(self):
+        aluminum = cv.pin_fin_efficiency(2000.0, 0.002, 0.008, 200.0)
+        copper = cv.pin_fin_efficiency(2000.0, 0.002, 0.008, 390.0)
+        assert copper > aluminum
+
+
+class TestFilmResult:
+    def test_resistance(self):
+        film = cv.flat_plate_film(2.0, 0.05, AIR, 25.0)
+        r = film.resistance(0.01)
+        assert r == pytest.approx(1.0 / (film.h_w_m2k * 0.01))
+
+    def test_resistance_rejects_bad_area(self):
+        film = cv.flat_plate_film(2.0, 0.05, AIR, 25.0)
+        with pytest.raises(ValueError):
+            film.resistance(0.0)
+
+    def test_paper_70x_heat_flow_claim(self):
+        """Section 2: heat flow ~70x more intensive for liquid cooling at
+        conventional agent velocities (air ~3 m/s, water ~0.5 m/s)."""
+        air = cv.flat_plate_film(3.0, 0.04, AIR, 25.0)
+        water = cv.flat_plate_film(0.5, 0.04, WATER, 25.0)
+        ratio = water.h_w_m2k / air.h_w_m2k
+        assert 40.0 < ratio < 120.0

@@ -1,0 +1,116 @@
+"""Tests for the thermal-network container."""
+
+import pytest
+
+from repro.thermal.network import NetworkError, ThermalNetwork
+
+
+def make_chip_network():
+    net = ThermalNetwork()
+    net.add_boundary("ambient", 25.0)
+    net.add_node("junction", heat_w=50.0, capacitance_j_k=10.0)
+    net.add_node("case")
+    net.add_resistance("junction", "case", 0.1, label="theta_jc")
+    net.add_resistance("case", "ambient", 0.5, label="sink")
+    return net
+
+
+class TestConstruction:
+    def test_node_lists(self):
+        net = make_chip_network()
+        assert net.node_names == ["ambient", "junction", "case"]
+        assert net.free_nodes == ["junction", "case"]
+        assert net.boundary_nodes == ["ambient"]
+
+    def test_duplicate_node_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.add_node("junction")
+        with pytest.raises(NetworkError, match="duplicate"):
+            net.add_boundary("ambient", 20.0)
+
+    def test_empty_name_rejected(self):
+        net = ThermalNetwork()
+        with pytest.raises(NetworkError):
+            net.add_node("")
+
+    def test_resistance_to_unknown_node_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError, match="unknown"):
+            net.add_resistance("junction", "nowhere", 1.0)
+
+    def test_self_loop_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError, match="self-loop"):
+            net.add_resistance("case", "case", 1.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError, match="positive"):
+            net.add_resistance("junction", "ambient", 0.0)
+
+    def test_negative_capacitance_rejected(self):
+        net = ThermalNetwork()
+        with pytest.raises(NetworkError):
+            net.add_node("x", capacitance_j_k=-1.0)
+
+
+class TestAccessors:
+    def test_heat_and_capacitance(self):
+        net = make_chip_network()
+        assert net.heat("junction") == 50.0
+        assert net.capacitance("junction") == 10.0
+        assert net.heat("case") == 0.0
+
+    def test_set_heat(self):
+        net = make_chip_network()
+        net.set_heat("junction", 91.0)
+        assert net.heat("junction") == 91.0
+
+    def test_set_heat_on_boundary_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError):
+            net.set_heat("ambient", 10.0)
+
+    def test_boundary_temperature(self):
+        net = make_chip_network()
+        assert net.boundary_temperature("ambient") == 25.0
+        net.set_boundary_temperature("ambient", 30.0)
+        assert net.boundary_temperature("ambient") == 30.0
+
+    def test_boundary_temperature_of_free_node_rejected(self):
+        net = make_chip_network()
+        with pytest.raises(NetworkError):
+            net.boundary_temperature("junction")
+
+    def test_total_heat(self):
+        net = make_chip_network()
+        assert net.total_heat_w() == 50.0
+
+    def test_neighbours(self):
+        net = make_chip_network()
+        neighbours = dict(net.neighbours("case"))
+        assert neighbours == {"junction": 0.1, "ambient": 0.5}
+
+
+class TestValidation:
+    def test_valid_network_passes(self):
+        make_chip_network().validate()
+
+    def test_empty_network_fails(self):
+        with pytest.raises(NetworkError, match="empty"):
+            ThermalNetwork().validate()
+
+    def test_no_boundary_fails(self):
+        net = ThermalNetwork()
+        net.add_node("a", heat_w=1.0)
+        net.add_node("b")
+        net.add_resistance("a", "b", 1.0)
+        with pytest.raises(NetworkError, match="no boundary"):
+            net.validate()
+
+    def test_disconnected_node_fails(self):
+        net = make_chip_network()
+        net.add_node("orphan", heat_w=5.0)
+        with pytest.raises(NetworkError, match="orphan"):
+            net.validate()

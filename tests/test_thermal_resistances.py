@@ -1,0 +1,94 @@
+"""Tests for the thermal-resistance element builders."""
+
+import pytest
+
+from repro.thermal import resistances as rs
+
+
+class TestConduction:
+    def test_slab_value(self):
+        # 1 mm of copper over 1 cm^2: R = 1e-3 / (390 * 1e-4)
+        assert rs.conduction_slab(1e-3, 390.0, 1e-4) == pytest.approx(0.02564, rel=1e-3)
+
+    def test_slab_zero_thickness(self):
+        assert rs.conduction_slab(0.0, 390.0, 1e-4) == 0.0
+
+    def test_slab_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            rs.conduction_slab(1e-3, 390.0, 0.0)
+
+    def test_cylinder_value_increases_with_radius_ratio(self):
+        thin = rs.conduction_cylinder(0.01, 0.011, 50.0, 1.0)
+        thick = rs.conduction_cylinder(0.01, 0.02, 50.0, 1.0)
+        assert thick > thin
+
+    def test_cylinder_rejects_inverted_radii(self):
+        with pytest.raises(ValueError):
+            rs.conduction_cylinder(0.02, 0.01, 50.0, 1.0)
+
+
+class TestFilmAndInterface:
+    def test_convection_film(self):
+        assert rs.convection_film(100.0, 0.01) == pytest.approx(1.0)
+
+    def test_convection_film_rejects_zero_h(self):
+        with pytest.raises(ValueError):
+            rs.convection_film(0.0, 0.01)
+
+    def test_interface_contact_only(self):
+        # 2e-5 m^2 K/W over 4 cm^2: 0.05 K/W.
+        assert rs.interface(2e-5, 4e-4) == pytest.approx(0.05)
+
+    def test_interface_with_bond_line(self):
+        contact_only = rs.interface(2e-5, 4e-4)
+        with_bond = rs.interface(2e-5, 4e-4, thickness_m=1e-4, conductivity_w_mk=3.0)
+        assert with_bond > contact_only
+
+
+class TestSpreading:
+    def test_no_spreading_when_source_fills_plate(self):
+        r = rs.spreading(1e-4, 1e-4, 0.003, 390.0, 2000.0)
+        assert r == pytest.approx(0.0, abs=1e-9)
+
+    def test_spreading_positive_for_small_source(self):
+        r = rs.spreading(26e-3 ** 2, 60e-3 ** 2, 0.003, 390.0, 2000.0)
+        assert r > 0.0
+
+    def test_spreading_worse_for_smaller_source(self):
+        small = rs.spreading(10e-3 ** 2, 60e-3 ** 2, 0.003, 390.0, 2000.0)
+        large = rs.spreading(40e-3 ** 2, 60e-3 ** 2, 0.003, 390.0, 2000.0)
+        assert small > large
+
+    def test_spreading_improves_with_conductivity(self):
+        aluminum = rs.spreading(26e-3 ** 2, 60e-3 ** 2, 0.003, 200.0, 2000.0)
+        copper = rs.spreading(26e-3 ** 2, 60e-3 ** 2, 0.003, 390.0, 2000.0)
+        assert copper < aluminum
+
+    def test_spreading_rejects_source_bigger_than_plate(self):
+        with pytest.raises(ValueError):
+            rs.spreading(2e-3, 1e-3, 0.003, 390.0, 2000.0)
+
+    def test_spreading_magnitude_realistic(self):
+        # A 26 mm die into a 60 mm copper base with a strong film:
+        # some tens of mK/W, not K/W.
+        r = rs.spreading(26e-3 ** 2, 60e-3 ** 2, 0.003, 390.0, 6000.0)
+        assert 0.01 < r < 0.3
+
+
+class TestComposition:
+    def test_series(self):
+        assert rs.series(0.1, 0.2, 0.3) == pytest.approx(0.6)
+
+    def test_series_empty_raises(self):
+        with pytest.raises(ValueError):
+            rs.series()
+
+    def test_parallel_two_equal(self):
+        assert rs.parallel(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_parallel_dominated_by_smallest(self):
+        assert rs.parallel(0.1, 100.0) == pytest.approx(0.1, rel=0.01)
+
+    def test_parallel_rejects_zero(self):
+        with pytest.raises(ValueError):
+            rs.parallel(0.0, 1.0)

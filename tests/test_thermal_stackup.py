@@ -1,0 +1,77 @@
+"""Tests for the thermal-stack builder."""
+
+import pytest
+
+from repro.thermal.stackup import ThermalStack, air_chip_stack, skat_chip_stack
+
+
+class TestStackMechanics:
+    def test_total_is_sum(self):
+        stack = ThermalStack("test").add("a", 0.1).add("b", 0.2).add("c", 0.3)
+        assert stack.total_resistance_k_w == pytest.approx(0.6)
+
+    def test_junction_arithmetic(self):
+        stack = ThermalStack("test").add("a", 0.25)
+        assert stack.junction_c(100.0, 30.0) == pytest.approx(55.0)
+
+    def test_budget_fractions_sum_to_one(self):
+        stack = ThermalStack("test").add("a", 0.1).add("b", 0.3)
+        fractions = [f for _, _, f in stack.budget(50.0)]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_dominant_layer(self):
+        stack = ThermalStack("test").add("small", 0.1).add("big", 0.5)
+        assert stack.dominant_layer().name == "big"
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalStack("empty").total_resistance_k_w
+
+    def test_chaining(self):
+        stack = ThermalStack("chain").add("a", 0.1).add("b", 0.1)
+        assert len(stack.layers) == 2
+
+    def test_render(self):
+        stack = ThermalStack("demo").add("layer", 0.2)
+        text = stack.render(50.0, 25.0)
+        assert "demo" in text
+        assert "layer" in text
+
+
+class TestSkatStack:
+    def test_total_matches_module_resistance(self):
+        """The stack rebuilt layer by layer must reproduce the module
+        solver's chip resistance."""
+        from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+        report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+        velocity = skat().section.board_approach_velocity(report.oil_flow_m3_s)
+        stack = skat_chip_stack(oil_velocity_m_s=velocity, oil_c=report.oil_cold_c)
+        assert stack.total_resistance_k_w == pytest.approx(
+            report.immersion.chip_resistance_k_w, rel=0.01
+        )
+
+    def test_four_layers(self):
+        stack = skat_chip_stack()
+        assert len(stack.layers) == 4
+
+    def test_no_layer_dominates_excessively(self):
+        """The SKAT stack is balanced: no single layer above 40 % — the
+        signature of a well-optimized design."""
+        stack = skat_chip_stack()
+        fractions = [f for _, _, f in stack.budget(92.0)]
+        assert max(fractions) < 0.40
+
+
+class TestAirStack:
+    def test_air_film_dominates(self):
+        """In the legacy air cooler the fin film is the bottleneck — the
+        physical reason no sink tweak could save air cooling."""
+        stack = air_chip_stack()
+        assert stack.dominant_layer().name == "fin film to air"
+
+    def test_air_stack_much_larger_than_oil_stack(self):
+        assert (
+            air_chip_stack().total_resistance_k_w
+            > 2.0 * skat_chip_stack().total_resistance_k_w
+        )

@@ -1,0 +1,112 @@
+"""Tests for the steady-state thermal solver."""
+
+import pytest
+
+from repro.thermal.network import ThermalNetwork
+from repro.thermal.steady import boundary_heat_flows, solve_steady_state
+
+
+class TestSingleResistor:
+    def test_ohms_law(self):
+        net = ThermalNetwork()
+        net.add_boundary("coolant", 30.0)
+        net.add_node("junction", heat_w=91.0)
+        net.add_resistance("junction", "coolant", 0.27)
+        temps = solve_steady_state(net)
+        assert temps["junction"] == pytest.approx(30.0 + 0.27 * 91.0)
+        assert temps["coolant"] == 30.0
+
+    def test_no_heat_equals_boundary(self):
+        net = ThermalNetwork()
+        net.add_boundary("ambient", 25.0)
+        net.add_node("plate")
+        net.add_resistance("plate", "ambient", 1.0)
+        temps = solve_steady_state(net)
+        assert temps["plate"] == pytest.approx(25.0)
+
+
+class TestSeriesChain:
+    def test_temperatures_accumulate(self):
+        net = ThermalNetwork()
+        net.add_boundary("oil", 30.0)
+        net.add_node("junction", heat_w=100.0)
+        net.add_node("case")
+        net.add_node("sink")
+        net.add_resistance("junction", "case", 0.08)
+        net.add_resistance("case", "sink", 0.05)
+        net.add_resistance("sink", "oil", 0.10)
+        temps = solve_steady_state(net)
+        assert temps["sink"] == pytest.approx(40.0)
+        assert temps["case"] == pytest.approx(45.0)
+        assert temps["junction"] == pytest.approx(53.0)
+
+
+class TestParallelPaths:
+    def test_parallel_resistances_combine(self):
+        net = ThermalNetwork()
+        net.add_boundary("ambient", 20.0)
+        net.add_node("source", heat_w=10.0)
+        net.add_resistance("source", "ambient", 2.0)
+        net.add_resistance("source", "ambient", 2.0)
+        temps = solve_steady_state(net)
+        assert temps["source"] == pytest.approx(30.0)  # R_eff = 1.0
+
+
+class TestMultipleBoundaries:
+    def test_heat_splits_between_boundaries(self):
+        net = ThermalNetwork()
+        net.add_boundary("water", 20.0)
+        net.add_boundary("air", 40.0)
+        net.add_node("plate", heat_w=0.0)
+        net.add_resistance("plate", "water", 1.0)
+        net.add_resistance("plate", "air", 1.0)
+        temps = solve_steady_state(net)
+        assert temps["plate"] == pytest.approx(30.0)
+
+    def test_boundary_heat_flows_conserve_energy(self):
+        net = ThermalNetwork()
+        net.add_boundary("water", 20.0)
+        net.add_boundary("air", 25.0)
+        net.add_node("a", heat_w=60.0)
+        net.add_node("b", heat_w=40.0)
+        net.add_resistance("a", "b", 0.2)
+        net.add_resistance("a", "water", 0.5)
+        net.add_resistance("b", "air", 0.8)
+        temps = solve_steady_state(net)
+        flows = boundary_heat_flows(net, temps)
+        assert sum(flows.values()) == pytest.approx(100.0, rel=1e-9)
+
+    def test_heat_flows_into_colder_boundary_dominant(self):
+        net = ThermalNetwork()
+        net.add_boundary("cold", 10.0)
+        net.add_boundary("warm", 30.0)
+        net.add_node("source", heat_w=50.0)
+        net.add_resistance("source", "cold", 1.0)
+        net.add_resistance("source", "warm", 1.0)
+        temps = solve_steady_state(net)
+        flows = boundary_heat_flows(net, temps)
+        assert flows["cold"] > flows["warm"]
+
+
+class TestLargerNetwork:
+    def test_board_of_chips(self):
+        """Eight chips on a shared sink plate into oil — all solvable and
+        ordered by their distance from the boundary."""
+        net = ThermalNetwork()
+        net.add_boundary("oil", 28.0)
+        net.add_node("plate")
+        net.add_resistance("plate", "oil", 0.02)
+        for i in range(8):
+            net.add_node(f"chip{i}", heat_w=91.0)
+            net.add_resistance(f"chip{i}", "plate", 0.25)
+        temps = solve_steady_state(net)
+        plate = temps["plate"]
+        assert plate == pytest.approx(28.0 + 8 * 91.0 * 0.02)
+        for i in range(8):
+            assert temps[f"chip{i}"] == pytest.approx(plate + 91.0 * 0.25)
+
+    def test_validation_error_propagates(self):
+        net = ThermalNetwork()
+        net.add_node("floating", heat_w=1.0)
+        with pytest.raises(Exception):
+            solve_steady_state(net)

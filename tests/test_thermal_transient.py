@@ -1,0 +1,135 @@
+"""Tests for the transient thermal solver."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.network import NetworkError, ThermalNetwork
+from repro.thermal.steady import solve_steady_state
+from repro.thermal.transient import solve_transient
+
+
+def single_rc(heat=50.0, r=0.5, c=100.0, ambient=25.0):
+    net = ThermalNetwork()
+    net.add_boundary("ambient", ambient)
+    net.add_node("mass", heat_w=heat, capacitance_j_k=c)
+    net.add_resistance("mass", "ambient", r)
+    return net
+
+
+class TestSingleRC:
+    def test_final_matches_steady_state(self):
+        net = single_rc()
+        steady = solve_steady_state(net)["mass"]
+        result = solve_transient(net, duration_s=500.0)  # 10 time constants
+        assert result.final()["mass"] == pytest.approx(steady, rel=1e-3)
+
+    def test_exponential_approach(self):
+        net = single_rc(heat=50.0, r=0.5, c=100.0, ambient=25.0)
+        tau = 0.5 * 100.0
+        result = solve_transient(
+            net, duration_s=tau, initial_temperatures_c={"mass": 25.0}, samples=101
+        )
+        # After one time constant the rise is ~63.2 % of the asymptote.
+        rise = result.final()["mass"] - 25.0
+        assert rise == pytest.approx(25.0 * (1 - np.exp(-1)), rel=0.02)
+
+    def test_cooldown_from_hot_start(self):
+        net = single_rc(heat=0.0)
+        result = solve_transient(
+            net, duration_s=500.0, initial_temperatures_c={"mass": 90.0}
+        )
+        assert result.final()["mass"] == pytest.approx(25.0, abs=0.1)
+        # Monotone decay.
+        trace = result.temperatures_c["mass"]
+        assert all(np.diff(trace) <= 1e-9)
+
+    def test_boundary_trace_is_constant(self):
+        net = single_rc()
+        result = solve_transient(net, duration_s=100.0)
+        assert np.all(result.temperatures_c["ambient"] == 25.0)
+
+
+class TestResultHelpers:
+    def test_peak(self):
+        net = single_rc()
+        result = solve_transient(net, duration_s=500.0)
+        assert result.peak("mass") == pytest.approx(result.final()["mass"], rel=1e-3)
+
+    def test_time_to_exceed(self):
+        net = single_rc()
+        result = solve_transient(net, duration_s=500.0, samples=501)
+        t40 = result.time_to_exceed("mass", 40.0)
+        assert t40 is not None
+        assert 0.0 < t40 < 500.0
+
+    def test_time_to_exceed_never(self):
+        net = single_rc()
+        result = solve_transient(net, duration_s=500.0)
+        assert result.time_to_exceed("mass", 1000.0) is None
+
+
+class TestHeatSchedule:
+    def test_step_load_increase(self):
+        net = single_rc(heat=10.0)
+
+        def schedule(t):
+            return {"mass": 10.0 if t < 250.0 else 100.0}
+
+        result = solve_transient(net, duration_s=2000.0, heat_schedule=schedule, samples=400)
+        # Ends at the high-load steady state.
+        assert result.final()["mass"] == pytest.approx(25.0 + 0.5 * 100.0, rel=0.01)
+        # But passed through the low-load plateau first.
+        mid_index = np.searchsorted(result.times_s, 240.0)
+        assert result.temperatures_c["mass"][mid_index] < 35.0
+
+    def test_pump_failure_shaped_event(self):
+        """Load constant, resistance cannot change mid-run — model a pump
+        stop as a load spike on the oil node instead."""
+        net = ThermalNetwork()
+        net.add_boundary("water", 20.0)
+        net.add_node("oil", heat_w=9000.0, capacitance_j_k=1.0e5)
+        net.add_resistance("oil", "water", 0.001)
+
+        def schedule(t):
+            # HX rejection lost at t=600: model as net heat staying in oil.
+            return {"oil": 9000.0}
+
+        result = solve_transient(net, duration_s=600.0, heat_schedule=schedule)
+        assert result.final()["oil"] == pytest.approx(20.0 + 9.0, rel=0.05)
+
+
+class TestStiffNetworks:
+    def test_fast_die_slow_bath(self):
+        """A 0.5 J/K die on a 1e5 J/K bath: stiff by 5 orders of magnitude;
+        the BDF integrator must handle it."""
+        net = ThermalNetwork()
+        net.add_boundary("water", 20.0)
+        net.add_node("bath", heat_w=0.0, capacitance_j_k=1.0e5)
+        net.add_node("die", heat_w=91.0, capacitance_j_k=0.5)
+        net.add_resistance("die", "bath", 0.27)
+        net.add_resistance("bath", "water", 0.0008)
+        result = solve_transient(net, duration_s=3600.0)
+        steady = solve_steady_state(net)
+        assert result.final()["die"] == pytest.approx(steady["die"], rel=0.01)
+        assert result.final()["bath"] == pytest.approx(steady["bath"], rel=0.01)
+
+    def test_quasi_static_node_follows(self):
+        net = ThermalNetwork()
+        net.add_boundary("ambient", 25.0)
+        net.add_node("sink")  # zero capacitance -> quasi-static
+        net.add_node("die", heat_w=40.0, capacitance_j_k=5.0)
+        net.add_resistance("die", "sink", 0.2)
+        net.add_resistance("sink", "ambient", 0.5)
+        result = solve_transient(net, duration_s=100.0)
+        steady = solve_steady_state(net)
+        assert result.final()["sink"] == pytest.approx(steady["sink"], rel=0.01)
+
+
+class TestValidation:
+    def test_bad_duration(self):
+        with pytest.raises(NetworkError):
+            solve_transient(single_rc(), duration_s=0.0)
+
+    def test_bad_samples(self):
+        with pytest.raises(NetworkError):
+            solve_transient(single_rc(), duration_s=10.0, samples=1)
