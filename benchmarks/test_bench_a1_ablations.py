@@ -30,6 +30,7 @@ from repro.fluids.library import MINERAL_OIL_MD45
 from repro.reliability.arrhenius import mtbf_ratio
 from repro.reliability.availability import Component, SystemReliability
 from repro.reporting import ComparisonTable
+from repro.sweep import SweepCase, run_sweep
 
 BOARD_VELOCITY_M_S = 0.18
 OIL_C = 29.0
@@ -39,13 +40,30 @@ YEAR_H = 8760.0
 def build_table() -> ComparisonTable:
     table = ComparisonTable("A1: design-choice ablations")
 
-    # 1. Heatsink ablation.
-    solder = skat_heatsink().performance(BOARD_VELOCITY_M_S, MINERAL_OIL_MD45, OIL_C)
+    # 1. Heatsink ablation — the three sink variants evaluated as a
+    # parallel sweep (results keyed by case name, order-independent).
     from dataclasses import replace
 
-    plain_sink = replace(skat_heatsink(), turbulence_factor=1.0)
-    plain = plain_sink.performance(BOARD_VELOCITY_M_S, MINERAL_OIL_MD45, OIL_C)
-    bare = BarePlate().performance(BOARD_VELOCITY_M_S, MINERAL_OIL_MD45, OIL_C)
+    sink_cases = [
+        SweepCase(name="solder", params={"sink": skat_heatsink()}),
+        SweepCase(
+            name="plain",
+            params={"sink": replace(skat_heatsink(), turbulence_factor=1.0)},
+        ),
+        SweepCase(name="bare", params={"sink": BarePlate()}),
+    ]
+    performances = {
+        outcome.case.name: outcome.value
+        for outcome in run_sweep(
+            lambda case: case.params["sink"].performance(
+                BOARD_VELOCITY_M_S, MINERAL_OIL_MD45, OIL_C
+            ),
+            sink_cases,
+        )
+    }
+    solder = performances["solder"]
+    plain = performances["plain"]
+    bare = performances["bare"]
     table.add_bool(
         "solder-pin turbulators beat machined pins (lower R)",
         "stated",

@@ -13,17 +13,52 @@ Paper claims for the reverse-return manifold system:
 
 The bench regenerates the per-loop flow series for both layouts (the
 figure's six loops), runs the failure experiment, and checks the trim-valve
-option.
+option. It also exercises the solver fast path: repeated re-solves with
+warm starts and the solution cache must beat the cold path by >= 2x while
+reproducing its flows within 1e-6 relative.
 """
+
+import time
+from typing import List
 
 from repro.core.balancing import (
     ManifoldLayout,
     RackManifoldSystem,
     redistribution_evenness,
 )
+from repro.hydraulics import NetworkSolver
 from repro.reporting import ComparisonTable
+from repro.sweep import SweepCase, sweep_cases, sweep_values
 
 N_LOOPS = 6
+
+#: Fail/restore cycles for the warm-start + cache timing comparison (each
+#: cycle is two solves: nominal and one-loop-out).
+RESOLVE_CYCLES = 6
+
+
+def _resolve_cycle(system: RackManifoldSystem, cycles: int) -> List[List[float]]:
+    """Alternate nominal / loop-2-failed solves, returning every flow set."""
+    flows: List[List[float]] = []
+    for _ in range(cycles):
+        flows.append(system.solve().loop_flows_m3_s)
+        system.fail_loop(2)
+        flows.append(system.solve().loop_flows_m3_s)
+        system.restore_loop(2)
+    return flows
+
+
+def _max_rel_diff(a: List[List[float]], b: List[List[float]]) -> float:
+    worst = 0.0
+    for row_a, row_b in zip(a, b):
+        for qa, qb in zip(row_a, row_b):
+            worst = max(worst, abs(qa - qb) / max(abs(qb), 1e-9))
+    return worst
+
+
+def _sweep_imbalance(case: SweepCase) -> float:
+    report = RackManifoldSystem(n_loops=case.params["n_loops"]).solve()
+    return report.imbalance_ratio
 
 
 def build_table() -> ComparisonTable:
@@ -88,6 +123,53 @@ def build_table() -> ComparisonTable:
         "balancing valves can trim the direct-return layout",
         "stated option",
         trimmed.imbalance_ratio < dir_report.imbalance_ratio,
+    )
+
+    # Solver fast path: repeated re-solves (service cycles on loop 2) with
+    # warm starts + the solution cache against a stateless cold solver.
+    fast_system = RackManifoldSystem(n_loops=N_LOOPS)
+    cold_system = RackManifoldSystem(
+        n_loops=N_LOOPS,
+        solver=NetworkSolver(use_cache=False, warm_start=False),
+    )
+    start = time.perf_counter()
+    fast_flows = _resolve_cycle(fast_system, RESOLVE_CYCLES)
+    fast_s = time.perf_counter() - start
+    start = time.perf_counter()
+    cold_flows = _resolve_cycle(cold_system, RESOLVE_CYCLES)
+    cold_s = time.perf_counter() - start
+    counters = fast_system.solver_counters
+    print(
+        f"re-solve timing: cold {cold_s * 1e3:.1f} ms, warm+cache "
+        f"{fast_s * 1e3:.1f} ms ({cold_s / max(fast_s, 1e-9):.1f}x); "
+        f"cache hits {counters.cache_hits}/{counters.solves}"
+    )
+    table.add_bool(
+        "warm-start + cache >= 2x faster on repeated re-solves",
+        "fast-path criterion",
+        cold_s >= 2.0 * fast_s,
+    )
+    table.add_bool(
+        "warm/cached flows match the cold path within 1e-6 relative",
+        "fast-path criterion",
+        _max_rel_diff(fast_flows, cold_flows) <= 1.0e-6,
+    )
+    table.add_bool(
+        "solution cache replays repeated states (hits >= half the solves)",
+        "fast-path criterion",
+        counters.cache_hits >= counters.solves / 2,
+    )
+
+    # Parallel sweep across rack sizes: the reverse-return layout must stay
+    # balanced however many CM loops the rack carries.
+    sizes = [4, 5, 6, 7, 8]
+    ratios = sweep_values(_sweep_imbalance, sweep_cases(n_loops=sizes))
+    table.add(
+        "worst reverse-return imbalance ratio, 4-8 loop racks (sweep)",
+        1.0,
+        round(max(ratios), 3),
+        lo=1.0,
+        hi=1.25,
     )
     return table
 

@@ -2,15 +2,26 @@
 
 A small append-only time-series store: the coupled simulator records every
 channel each step, and the benchmarks/examples query series, extrema and
-threshold crossings from it.
+threshold crossings from it. Beyond sampled channels it carries two
+run-scoped facilities:
+
+- **counters** — monotonically accumulated named tallies (solver cache
+  hits, scalar fallbacks, alarm episodes) that describe the run as a
+  whole rather than a point in time;
+- :class:`AlarmLog` — an alarm history that deduplicates the repeated
+  re-raising of the same condition every evaluation cycle into discrete
+  episodes, the way an operator's annunciator panel would.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.control.controller import Alarm
 
 
 @dataclass
@@ -19,6 +30,7 @@ class TelemetryLog:
 
     _times: List[float] = field(default_factory=list)
     _records: List[Dict[str, float]] = field(default_factory=list)
+    _counters: Dict[str, float] = field(default_factory=dict)
 
     def record(self, time_s: float, values: Dict[str, float]) -> None:
         """Append one sample; time must not decrease."""
@@ -80,8 +92,40 @@ class TelemetryLog:
             return None
         return float(times[above[0]])
 
+    def increment(self, counter: str, amount: float = 1.0) -> None:
+        """Accumulate a named run-scoped counter (negative amounts rejected)."""
+        if not counter:
+            raise ValueError("counter name must be non-empty")
+        if amount < 0:
+            raise ValueError("counters only accumulate; amount must be >= 0")
+        self._counters[counter] = self._counters.get(counter, 0.0) + float(amount)
+
+    def set_counters(self, values: Dict[str, float]) -> None:
+        """Merge a batch of counter values (e.g. ``SolverCounters.as_dict()``).
+
+        Each value *replaces* the stored one — use for counters that are
+        already cumulative at the source.
+        """
+        for name, value in values.items():
+            if not name:
+                raise ValueError("counter name must be non-empty")
+            self._counters[name] = float(value)
+
+    def counter(self, name: str) -> float:
+        """Current value of one counter (0 if never touched)."""
+        return self._counters.get(name, 0.0)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """A copy of all run-scoped counters."""
+        return dict(self._counters)
+
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """min/max/last per channel — the run's one-look report."""
+        """min/max/last per channel — the run's one-look report.
+
+        When run-scoped counters were recorded they appear under the
+        ``"counters"`` key.
+        """
         out: Dict[str, Dict[str, float]] = {}
         for channel in self.channels:
             _, values = self.series(channel)
@@ -90,7 +134,70 @@ class TelemetryLog:
                 "max": float(np.max(values)),
                 "last": float(values[-1]),
             }
+        if self._counters:
+            out["counters"] = dict(self._counters)
         return out
 
 
-__all__ = ["TelemetryLog"]
+@dataclass(frozen=True)
+class AlarmRecord:
+    """One deduplicated alarm episode."""
+
+    time_s: float
+    alarm: "Alarm"
+
+
+@dataclass
+class AlarmLog:
+    """Alarm history with consecutive-repeat deduplication.
+
+    The supervisory controller re-raises an active condition on every
+    evaluation cycle; feeding those through :meth:`observe` collapses them
+    into *episodes*: an alarm is new only when its (source, severity) pair
+    was not active on the previous observation. A condition that clears
+    and later re-trips counts as a fresh episode.
+    """
+
+    _history: List[AlarmRecord] = field(default_factory=list)
+    _active: Set[Tuple[str, str]] = field(default_factory=set)
+    _last_time_s: Optional[float] = field(default=None, repr=False)
+
+    @staticmethod
+    def _key(alarm: "Alarm") -> Tuple[str, str]:
+        return (alarm.source, alarm.severity.value)
+
+    def observe(self, time_s: float, alarms: Iterable["Alarm"]) -> List["Alarm"]:
+        """Record one evaluation cycle's alarms; return the new episodes."""
+        if self._last_time_s is not None and time_s < self._last_time_s:
+            raise ValueError(
+                f"time went backwards: {time_s} after {self._last_time_s}"
+            )
+        self._last_time_s = time_s
+        now = {self._key(a): a for a in alarms}
+        fresh = [alarm for key, alarm in now.items() if key not in self._active]
+        for alarm in fresh:
+            self._history.append(AlarmRecord(time_s=time_s, alarm=alarm))
+        self._active = set(now)
+        return fresh
+
+    @property
+    def episodes(self) -> int:
+        """Number of distinct alarm episodes so far."""
+        return len(self._history)
+
+    @property
+    def history(self) -> List[AlarmRecord]:
+        """All episodes in raise order."""
+        return list(self._history)
+
+    @property
+    def active(self) -> Set[Tuple[str, str]]:
+        """(source, severity) pairs active at the last observation."""
+        return set(self._active)
+
+    def episodes_from(self, source: str) -> int:
+        """Episodes raised by one source."""
+        return sum(1 for r in self._history if r.alarm.source == source)
+
+
+__all__ = ["AlarmLog", "AlarmRecord", "TelemetryLog"]

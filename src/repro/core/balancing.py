@@ -33,8 +33,9 @@ from repro.hydraulics.elements import (
     PumpCurve,
     Valve,
 )
+from repro.hydraulics.cache import SolverCounters
 from repro.hydraulics.network import HydraulicNetwork
-from repro.hydraulics.solver import SolveResult, solve_network
+from repro.hydraulics.solver import NetworkSolver, SolveResult, solve_network
 
 
 class ManifoldLayout(Enum):
@@ -129,6 +130,7 @@ class RackManifoldSystem:
     balancing_valves: Optional[List[float]] = None
     fluid: Fluid = WATER
     temperature_c: float = 20.0
+    solver: NetworkSolver = field(default_factory=NetworkSolver, repr=False)
     _network: HydraulicNetwork = field(init=False, repr=False)
     _valve_names: List[str] = field(init=False, repr=False)
 
@@ -212,10 +214,29 @@ class RackManifoldSystem:
             self._valve_names[index], Valve(k_open=2.0, diameter_m=0.025, opening=opening)
         )
 
+    @property
+    def solver_counters(self) -> SolverCounters:
+        """The owned solver's counters (cache hits, fallbacks, ...)."""
+        return self.solver.counters
+
+    def reset_solver(self) -> None:
+        """Drop cached solutions, warm-start state and counters.
+
+        Call between independent experiments on the same system object
+        when run-to-run isolation matters more than speed.
+        """
+        self.solver.reset()
+
     def solve(self) -> BalanceReport:
-        """Solve the network and report the per-loop flow distribution."""
+        """Solve the network and report the per-loop flow distribution.
+
+        Re-solves are warm-started from the previous pressure field, and
+        previously seen valve/pump states are replayed from the solver's
+        solution cache — both exact to solver tolerance, see
+        :class:`repro.hydraulics.solver.NetworkSolver`.
+        """
         result: SolveResult = solve_network(
-            self._network, self.fluid, self.temperature_c
+            self._network, self.fluid, self.temperature_c, solver=self.solver
         )
         failed = [
             i

@@ -118,6 +118,12 @@ class RackSimulator:
         """
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and step must be positive")
+        # Rebuild the manifold (a previous run's loop closures stay with
+        # the old object) and reset its solver so back-to-back runs are
+        # order-independent; within the run, warm starts and the solution
+        # cache make the repeated manifold re-solves nearly free.
+        self._manifold = self.rack.manifold_system()
+        self._manifold.reset_solver()
         events = sorted(events or [], key=lambda e: e.time_s)
         telemetry = TelemetryLog()
         n = self.rack.n_modules
@@ -173,6 +179,15 @@ class RackSimulator:
             telemetry.record(time_s, sample)
             time_s += dt_s
 
+        counters = self._manifold.solver_counters
+        telemetry.set_counters(
+            {
+                "hydraulic_solves": counters.solves,
+                "hydraulic_cache_hits": counters.cache_hits,
+                "hydraulic_warm_starts": counters.warm_starts,
+                "hydraulic_scalar_fallbacks": counters.scalar_fallbacks,
+            }
+        )
         over = [i for i, t in time_over.items() if t > 0.0]
         return RackSimResult(
             telemetry=telemetry,

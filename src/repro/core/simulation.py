@@ -15,11 +15,11 @@ must catch when a pump stops or the thermal interface degrades.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.control.controller import ControlAction, CoolingController
 from repro.control.pid import PidController
-from repro.control.monitor import TelemetryLog
+from repro.control.monitor import AlarmLog, TelemetryLog
 from repro.core.module import ComputationalModule
 from repro.devices.power import ThermalRunawayError
 from repro.reliability.failures import FailureEvent
@@ -32,13 +32,20 @@ RUNAWAY_CLAMP_C = 150.0
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Outcome of a transient run."""
+    """Outcome of a transient run.
+
+    ``alarms_raised`` counts every alarm of every evaluation cycle (a
+    persistent condition inflates it each step); ``alarm_log`` holds the
+    deduplicated episodes — see
+    :class:`~repro.control.monitor.AlarmLog`.
+    """
 
     telemetry: TelemetryLog
     max_junction_c: float
     max_oil_c: float
     shutdown_time_s: Optional[float]
     alarms_raised: int
+    alarm_log: AlarmLog = field(default_factory=AlarmLog)
 
     def survived(self, junction_limit_c: float) -> bool:
         """Whether no junction exceeded the given limit during the run."""
@@ -73,7 +80,48 @@ class ModuleSimulator:
     oil_thermal_mass_j_k: float = 1.0e5
     controller: Optional[CoolingController] = None
     pid: Optional["PidController"] = None
+    #: Bath-temperature quantization of the pump operating-point cache;
+    #: the oil loop's flow changes ~0.1 % across the default bucket, far
+    #: inside the model's calibration error, while the cache removes a
+    #: bracketed root find from almost every step.
+    flow_cache_bucket_c: float = 0.1
     _tim_multiplier: float = field(init=False, default=1.0, repr=False)
+    _flow_cache: Dict[int, float] = field(init=False, default_factory=dict, repr=False)
+    _flow_cache_hits: int = field(init=False, default=0, repr=False)
+    _flow_cache_misses: int = field(init=False, default=0, repr=False)
+
+    def reset(self) -> None:
+        """Restore pristine per-run state (caches, latches, PID memory).
+
+        Called automatically at the start of every :meth:`run`, so
+        back-to-back simulations on one simulator are order-independent:
+        a tripped controller latch, accumulated PID integral, TIM
+        multiplier or cached operating points from a previous scenario
+        cannot leak into the next.
+        """
+        self._tim_multiplier = 1.0
+        self._flow_cache.clear()
+        self._flow_cache_hits = 0
+        self._flow_cache_misses = 0
+        if self.pid is not None:
+            self.pid.reset()
+        if self.controller is not None:
+            self.controller.reset()
+
+    def _loop_flow(self, oil_c: float) -> float:
+        """Full-speed oil-loop flow, cached on the bucketed bath temperature."""
+        if self.flow_cache_bucket_c <= 0:
+            return self.module.oil_loop_flow(oil_c)
+        bucket = int(round(oil_c / self.flow_cache_bucket_c))
+        try:
+            flow = self._flow_cache[bucket]
+            self._flow_cache_hits += 1
+            return flow
+        except KeyError:
+            flow = self.module.oil_loop_flow(bucket * self.flow_cache_bucket_c)
+            self._flow_cache[bucket] = flow
+            self._flow_cache_misses += 1
+            return flow
 
     def _pump_speed_from_events(
         self, time_s: float, events: List[FailureEvent], commanded: float
@@ -144,8 +192,10 @@ class ModuleSimulator:
         """Integrate the module state over ``duration_s`` seconds."""
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and step must be positive")
+        self.reset()
         events = sorted(events or [], key=lambda e: e.time_s)
         telemetry = TelemetryLog()
+        alarm_log = AlarmLog()
         oil_c = initial_oil_c if initial_oil_c is not None else self.water_in_c + 8.0
         commanded_speed = 1.0
         shutdown_time: Optional[float] = None
@@ -161,7 +211,7 @@ class ModuleSimulator:
             speed = self._pump_speed_from_events(time_s, events, commanded_speed)
 
             if speed > 0.0:
-                flow = self.module.oil_loop_flow(oil_c) * speed
+                flow = self._loop_flow(oil_c) * speed
             else:
                 flow = 0.0
             junction, bath_heat = self._chip_state(oil_c, flow)
@@ -205,6 +255,7 @@ class ModuleSimulator:
                     level_fraction=level,
                 )
                 alarms += len(action.alarms)
+                alarm_log.observe(time_s, action.alarms)
                 commanded_speed = action.pump_speed_fraction
                 if action.shutdown:
                     shutdown_time = time_s
@@ -222,12 +273,20 @@ class ModuleSimulator:
             )
             time_s += dt_s
 
+        telemetry.set_counters(
+            {
+                "flow_cache_hits": self._flow_cache_hits,
+                "flow_cache_misses": self._flow_cache_misses,
+                "alarm_episodes": alarm_log.episodes,
+            }
+        )
         return SimulationResult(
             telemetry=telemetry,
             max_junction_c=max_junction,
             max_oil_c=max_oil,
             shutdown_time_s=shutdown_time,
             alarms_raised=alarms,
+            alarm_log=alarm_log,
         )
 
 

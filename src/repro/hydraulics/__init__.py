@@ -10,8 +10,10 @@ this network's pressure/flow solution, which is what this package computes.
 - :mod:`repro.hydraulics.elements` — pipes, fittings, valves, pumps,
   heat-exchanger passages.
 - :mod:`repro.hydraulics.network` — the network container.
-- :mod:`repro.hydraulics.solver` — nodal Newton solver and single-loop
-  operating-point helpers.
+- :mod:`repro.hydraulics.solver` — nodal Newton solver (fast path +
+  robust fallback) and single-loop operating-point helpers.
+- :mod:`repro.hydraulics.cache` — solution cache and solver counters
+  behind the warm-started fast path.
 """
 
 from repro.hydraulics.elements import (
@@ -24,8 +26,15 @@ from repro.hydraulics.elements import (
     PumpCurve,
     Valve,
 )
+from repro.hydraulics.cache import SolutionCache, SolverCounters, network_state_key
 from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
-from repro.hydraulics.solver import SolveResult, operating_point, solve_network
+from repro.hydraulics.solver import (
+    NetworkSolver,
+    SolveResult,
+    operating_point,
+    solve_network,
+    solve_network_robust,
+)
 from repro.hydraulics.curves import (
     CatalogPump,
     fit_pump_curve,
@@ -50,19 +59,24 @@ __all__ = [
     "HydraulicsError",
     "LoopTransient",
     "MinorLoss",
+    "NetworkSolver",
     "Pipe",
     "Pump",
     "PumpCurve",
+    "SolutionCache",
     "SolveResult",
+    "SolverCounters",
     "Valve",
     "coast_down",
     "fit_pump_curve",
     "friction",
     "loop_inertance",
+    "network_state_key",
     "npsh_available_m",
     "select_pump",
     "speed_for_duty",
     "operating_point",
     "solve_network",
+    "solve_network_robust",
     "spin_up",
 ]

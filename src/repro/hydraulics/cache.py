@@ -1,0 +1,197 @@
+"""Solution caching and instrumentation for the hydraulic fast path.
+
+The balancing and transient experiments re-solve the same small networks
+thousands of times with only a handful of distinct operating states (valve
+positions, pump speeds, fluid temperature). This module provides the three
+pieces the fast path needs:
+
+- :class:`SolverCounters` — lightweight counters (solve calls, Newton
+  residual evaluations, cache hits, scalar fallbacks) that the simulators
+  surface through :class:`repro.control.monitor.TelemetryLog`;
+- :func:`network_state_key` — a hashable fingerprint of (topology, element
+  states, fluid, temperature bucket) under which a converged solution may
+  be replayed exactly;
+- :class:`SolutionCache` — a bounded LRU of converged
+  :class:`~repro.hydraulics.solver.SolveResult` objects.
+
+Temperatures are bucketed (default 0.25 C) before entering the key: fluid
+properties drift far less than the solver tolerance across a bucket, and
+bucketing is what lets a quasi-static transient — whose bath temperature
+creeps a few millikelvin per step — hit the cache at all. The *solution*
+stored is the one converged at the first temperature seen in the bucket.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.fluids.properties import Fluid
+from repro.hydraulics.network import HydraulicNetwork
+
+#: Default temperature bucket width for cache keys, Celsius.
+DEFAULT_TEMPERATURE_BUCKET_C = 0.25
+
+
+@dataclass
+class SolverCounters:
+    """Counters for one solver's (or simulator's) lifetime.
+
+    Attributes
+    ----------
+    solves:
+        Total :meth:`~repro.hydraulics.solver.NetworkSolver.solve` calls.
+    cache_hits, cache_misses:
+        Solution-cache outcomes (hits skip the Newton solve entirely).
+    warm_starts, cold_starts:
+        Newton solves started from a previous pressure field vs from zero.
+    residual_evaluations:
+        Residual-function evaluations across all Newton solves (the
+        dominant cost; scipy's ``nfev``).
+    fast_path_solves:
+        Solves completed by the vectorized/analytic-inversion path.
+    scalar_fallbacks:
+        Solves that dropped back to the bracketed scalar formulation.
+    bracket_inversions:
+        Per-branch bracketed (brentq) flow inversions performed.
+    """
+
+    solves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    warm_starts: int = 0
+    cold_starts: int = 0
+    residual_evaluations: int = 0
+    fast_path_solves: int = 0
+    scalar_fallbacks: int = 0
+    bracket_inversions: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter values keyed by name (telemetry-friendly)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per solve (0 when nothing was solved)."""
+        if self.solves == 0:
+            return 0.0
+        return self.cache_hits / self.solves
+
+
+def _freeze(value: Any) -> Hashable:
+    """Reduce an element/field value to a hashable fingerprint."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, _freeze(getattr(value, f.name))) for f in fields(value)),
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    # Unhashable exotic objects fall back to identity: same object, same
+    # key — conservative (a mutated object aliases), so element classes
+    # used with the cache should be dataclasses.
+    return id(value)
+
+
+def element_state_key(element: Any) -> Hashable:
+    """Fingerprint of one hydraulic element's full state."""
+    return _freeze(element)
+
+
+def temperature_bucket(
+    temperature_c: float, bucket_c: float = DEFAULT_TEMPERATURE_BUCKET_C
+) -> int:
+    """The integer temperature bucket a cache key uses."""
+    if bucket_c <= 0:
+        raise ValueError("temperature bucket must be positive")
+    return int(round(temperature_c / bucket_c))
+
+
+def network_state_key(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    bucket_c: float = DEFAULT_TEMPERATURE_BUCKET_C,
+) -> Tuple[Hashable, ...]:
+    """Hashable key identifying a network's exact solvable state.
+
+    Covers topology (junctions, injections, reference), every branch's
+    element state (valve openings, pump speeds, geometry), the fluid, and
+    the bucketed temperature. Two states with equal keys have identical
+    solutions up to the property drift within one temperature bucket.
+    """
+    junctions = tuple(
+        (name, network.injection(name)) for name in network.junction_names
+    )
+    branches = tuple(
+        (b.name, b.node_a, b.node_b, element_state_key(b.element))
+        for b in network.branches
+    )
+    return (
+        junctions,
+        branches,
+        network.reference,
+        fluid.name,
+        temperature_bucket(temperature_c, bucket_c),
+    )
+
+
+class SolutionCache:
+    """A bounded LRU cache of converged network solutions.
+
+    Values are stored and returned as-is; :class:`SolveResult` is a frozen
+    dataclass whose consumers treat the flow/pressure mappings as
+    read-only, so no defensive copying is done on the hot path.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache size must be positive")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value for ``key`` (refreshing it), or None."""
+        try:
+            value = self._store[key]
+        except KeyError:
+            return None
+        self._store.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a value, evicting the least-recently-used beyond capacity."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached solution."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+
+__all__ = [
+    "DEFAULT_TEMPERATURE_BUCKET_C",
+    "SolutionCache",
+    "SolverCounters",
+    "element_state_key",
+    "network_state_key",
+    "temperature_bucket",
+]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.fluids.properties import Fluid
 from repro.hydraulics.friction import friction_factor
@@ -30,10 +31,31 @@ class HydraulicElement:
         """Pressure change (p_b - p_a) along positive flow direction, Pa."""
         raise NotImplementedError
 
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        """Inverse of :meth:`pressure_change_pa`, when cheaply available.
+
+        Returns the unique signed flow at which the element produces the
+        given pressure change, or ``None`` when the element has no fast
+        inverse — the network solver then falls back to its bracketed
+        scalar root find for that branch. Implementations must agree with
+        :meth:`pressure_change_pa` to solver precision (the fast path
+        cross-checks and falls back otherwise).
+        """
+        return None
+
     @property
     def is_closed(self) -> bool:
         """True when the element blocks all flow (a shut valve)."""
         return False
+
+
+def _invert_quadratic_loss(dp_pa: float, c: float) -> Optional[float]:
+    """Invert ``dp = -c q |q|`` for q (None when the element is lossless)."""
+    if c <= 0.0 or not math.isfinite(c):
+        return None
+    return -math.copysign(math.sqrt(abs(dp_pa) / c), dp_pa)
 
 
 @dataclass
@@ -88,6 +110,37 @@ class Pipe(HydraulicElement):
         head = (f * self.length_m / self.diameter_m + self.minor_loss_k) * rho * velocity ** 2 / 2.0
         return -math.copysign(head, flow_m3_s)
 
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        """Fixed-point inversion of the loss curve (Colebrook-style).
+
+        Iterates velocity -> Reynolds -> friction factor -> velocity; the
+        friction factor varies slowly with velocity, so the map contracts
+        in a handful of iterations across laminar, transitional and
+        turbulent regimes. Returns None (scalar fallback) if it fails to
+        settle.
+        """
+        if dp_pa == 0.0:
+            return 0.0
+        rho = fluid.density(temperature_c)
+        nu = fluid.kinematic_viscosity(temperature_c)
+        head = abs(dp_pa)
+        rel_roughness = self.roughness_m / self.diameter_m
+        f = 0.02  # generic turbulent seed; the loop self-corrects
+        velocity = 0.0
+        for _ in range(80):
+            geometry = f * self.length_m / self.diameter_m + self.minor_loss_k
+            new_velocity = math.sqrt(2.0 * head / (rho * geometry))
+            if abs(new_velocity - velocity) <= 1e-13 * new_velocity:
+                velocity = new_velocity
+                break
+            velocity = new_velocity
+            f = friction_factor(velocity * self.diameter_m / nu, rel_roughness)
+        else:
+            return None
+        return -math.copysign(velocity * self.area_m2, dp_pa)
+
 
 @dataclass
 class MinorLoss(HydraulicElement):
@@ -111,6 +164,14 @@ class MinorLoss(HydraulicElement):
         rho = fluid.density(temperature_c)
         velocity = flow_m3_s / self.area_m2
         return -self.k * rho * velocity * abs(velocity) / 2.0
+
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        if dp_pa == 0.0:
+            return 0.0
+        c = self.k * fluid.density(temperature_c) / (2.0 * self.area_m2 ** 2)
+        return _invert_quadratic_loss(dp_pa, c)
 
 
 @dataclass
@@ -159,6 +220,16 @@ class Valve(HydraulicElement):
         velocity = flow_m3_s / self.area_m2
         return -self.effective_k * rho * velocity * abs(velocity) / 2.0
 
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        if self.is_closed:
+            raise ValueError("closed valve carries no flow; solver must skip it")
+        if dp_pa == 0.0:
+            return 0.0
+        c = self.effective_k * fluid.density(temperature_c) / (2.0 * self.area_m2 ** 2)
+        return _invert_quadratic_loss(dp_pa, c)
+
 
 @dataclass
 class HeatExchangerPassage(HydraulicElement):
@@ -182,6 +253,20 @@ class HeatExchangerPassage(HydraulicElement):
     def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
         q = flow_m3_s
         return -(self.r_linear_pa_per_m3_s * q + self.r_quadratic_pa_per_m3_s2 * q * abs(q))
+
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        if dp_pa == 0.0:
+            return 0.0
+        r1 = self.r_linear_pa_per_m3_s
+        r2 = self.r_quadratic_pa_per_m3_s2
+        drop = abs(dp_pa)  # the curve is odd: solve the magnitude, restore sign
+        if r2 == 0.0:
+            magnitude = drop / r1
+        else:
+            magnitude = (-r1 + math.sqrt(r1 * r1 + 4.0 * r2 * drop)) / (2.0 * r2)
+        return -math.copysign(magnitude, dp_pa)
 
 
 @dataclass
@@ -214,6 +299,16 @@ class CheckValve(HydraulicElement):
         velocity = flow_m3_s / self.area_m2
         k = self.k_forward if flow_m3_s >= 0 else self.k_forward * self.reverse_multiplier
         return -k * rho * velocity * abs(velocity) / 2.0
+
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        if dp_pa == 0.0:
+            return 0.0
+        # dp < 0 is a forward loss (q > 0); dp > 0 drives reverse flow.
+        k = self.k_forward if dp_pa < 0 else self.k_forward * self.reverse_multiplier
+        c = k * fluid.density(temperature_c) / (2.0 * self.area_m2 ** 2)
+        return _invert_quadratic_loss(dp_pa, c)
 
 
 @dataclass(frozen=True)
@@ -302,6 +397,18 @@ class Pump(HydraulicElement):
 
     def pressure_change_pa(self, flow_m3_s: float, fluid: Fluid, temperature_c: float) -> float:
         return self.head_pa(flow_m3_s)
+
+    def flow_at_pressure_change_pa(
+        self, dp_pa: float, fluid: Fluid, temperature_c: float
+    ) -> Optional[float]:
+        if not self.running:
+            if dp_pa == 0.0:
+                return 0.0
+            return _invert_quadratic_loss(
+                dp_pa, self.stopped_leak_resistance_pa_per_m3_s2
+            )
+        s = self.speed_fraction
+        return s * self.curve.flow_at_head_pa(dp_pa / s ** 2)
 
     def electrical_power_w(self, flow_m3_s: float) -> float:
         """Electrical draw at the given operating flow, W."""

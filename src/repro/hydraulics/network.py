@@ -41,6 +41,15 @@ class HydraulicNetwork:
     _branches: List[Branch] = field(default_factory=list)
     _branch_names: Dict[str, int] = field(default_factory=dict)
     _reference: Optional[str] = None
+    # Junction -> [(branch index, orientation)] adjacency, memoized across
+    # solves (the solver walks incidence once per junction per residual
+    # evaluation) and invalidated by any structural mutation.
+    _adjacency: Optional[Dict[str, List[Tuple[int, int]]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _invalidate(self) -> None:
+        self._adjacency = None
 
     def add_junction(self, name: str, injection_m3_s: float = 0.0) -> None:
         """Add a junction with an optional external volumetric inflow."""
@@ -49,6 +58,7 @@ class HydraulicNetwork:
         if name in self._junctions:
             raise HydraulicsError(f"duplicate junction {name!r}")
         self._junctions[name] = injection_m3_s
+        self._invalidate()
 
     def set_reference(self, name: str) -> None:
         """Pin the named junction to zero gauge pressure."""
@@ -69,6 +79,7 @@ class HydraulicNetwork:
             raise HydraulicsError(f"branch {name!r} forms a self-loop on {node_a!r}")
         self._branch_names[name] = len(self._branches)
         self._branches.append(Branch(name, node_a, node_b, element))
+        self._invalidate()
 
     def replace_element(self, branch_name: str, element: HydraulicElement) -> None:
         """Swap the element on a branch (failure injection, valve actuation)."""
@@ -114,14 +125,24 @@ class HydraulicNetwork:
         """Yield ``(branch, orientation)`` for open branches at a junction.
 
         Orientation is +1 when the junction is the branch's ``node_a``
-        (positive flow leaves) and -1 when it is ``node_b``.
+        (positive flow leaves) and -1 when it is ``node_b``. Adjacency is
+        memoized (and invalidated on mutation); openness is re-checked on
+        every call so valve actuation through :meth:`replace_element` is
+        always respected.
         """
         self._require(junction)
-        for branch in self.open_branches():
-            if branch.node_a == junction:
-                yield branch, +1
-            if branch.node_b == junction:
-                yield branch, -1
+        if self._adjacency is None:
+            adjacency: Dict[str, List[Tuple[int, int]]] = {
+                name: [] for name in self._junctions
+            }
+            for i, branch in enumerate(self._branches):
+                adjacency[branch.node_a].append((i, +1))
+                adjacency[branch.node_b].append((i, -1))
+            self._adjacency = adjacency
+        for i, orientation in self._adjacency[junction]:
+            branch = self._branches[i]
+            if not branch.element.is_closed:
+                yield branch, orientation
 
     def validate(self) -> None:
         """Check the network is solvable.

@@ -2,31 +2,60 @@
 
 Unknowns are the junction pressures (the reference junction is pinned to
 zero gauge). For a candidate pressure field, every open branch's flow is
-recovered by inverting its monotone pressure-change characteristic with a
-bracketed scalar root find; the residual is the volumetric imbalance at
-each junction. The outer system is solved with scipy's hybrid
-Newton (Powell) method.
+recovered by inverting its monotone pressure-change characteristic; the
+residual is the volumetric imbalance at each junction. The outer system is
+solved with scipy's hybrid Newton (Powell) method.
 
-This is deliberately the robust formulation rather than the fastest one:
-the balancing experiments repeatedly re-solve small networks (tens of
-junctions) with valves slamming shut, and bracketed inversion never
-diverges no matter how stiff the element curves are.
+Two formulations coexist:
+
+- the **fast path** (:class:`NetworkSolver`, default) inverts each branch
+  analytically where the element provides
+  :meth:`~repro.hydraulics.elements.HydraulicElement.flow_at_pressure_change_pa`
+  (quadratic losses, pump curves, Colebrook fixed-point for pipes) and
+  assembles the junction residuals as numpy arrays. It supports
+  warm-starting the Newton iteration from the previous pressure field and
+  replaying converged solutions from an LRU cache
+  (:mod:`repro.hydraulics.cache`);
+- the **robust path** brackets every inversion with an expanding interval
+  and Brent's method. It never diverges no matter how stiff the element
+  curves are, so the fast path falls back to it automatically whenever its
+  solution fails the convergence or element-consistency checks (e.g. a
+  valve-slam state that defeats the analytic inverses).
+
+Both paths converge to the same junction imbalance tolerance, so their
+solutions agree to solver precision — a property the test suite asserts on
+randomized networks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import brentq, root
 
 from repro.fluids.properties import Fluid
+from repro.hydraulics.cache import (
+    DEFAULT_TEMPERATURE_BUCKET_C,
+    SolutionCache,
+    SolverCounters,
+    network_state_key,
+)
 from repro.hydraulics.elements import HydraulicElement, PumpCurve
 from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
 
 #: Largest conceivable branch flow used to cap bracket expansion, m^3/s.
 _FLOW_CAP_M3_S = 1.0e3
+
+#: Relative/absolute tolerance of the fast path's element-consistency
+#: cross-check (inverted flow re-evaluated through the element curve).
+_CONSISTENCY_RTOL = 1.0e-8
+_CONSISTENCY_ATOL = 1.0e-4
+
+
+class _FastPathFailed(Exception):
+    """Internal: the fast formulation did not produce a verified solution."""
 
 
 def _branch_flow(
@@ -39,7 +68,8 @@ def _branch_flow(
 
     ``pressure_change`` is monotone decreasing in q for every element type,
     so the root is unique; we expand a symmetric bracket until it straddles
-    the root, then apply Brent's method.
+    the root, then apply Brent's method. This is the robust inversion the
+    fast path falls back to.
     """
 
     def residual(q: float) -> float:
@@ -94,30 +124,239 @@ class SolveResult:
         return self.pressures_pa[node_a] - self.pressures_pa[node_b]
 
 
-def solve_network(
-    network: HydraulicNetwork,
-    fluid: Fluid,
-    temperature_c: float,
-    tolerance_m3_s: float = 1.0e-9,
-) -> SolveResult:
-    """Solve the network for junction pressures and branch flows.
+class NetworkSolver:
+    """A stateful network solver: fast path + warm start + solution cache.
+
+    One instance should own one family of networks that are re-solved many
+    times (a manifold system across valve actuations, a transient stepping
+    a loop through temperature). Not thread-safe; give each worker of a
+    parameter sweep its own instance.
 
     Parameters
     ----------
-    network:
-        A validated (or validatable) hydraulic network.
-    fluid, temperature_c:
-        The working fluid and its bulk temperature (fluid properties are
-        evaluated once at this temperature).
-    tolerance_m3_s:
-        Acceptable worst-junction volumetric imbalance.
-
-    Raises
-    ------
-    HydraulicsError
-        If the network is invalid or the solver fails to converge.
+    use_cache:
+        Replay converged solutions for previously seen (topology, element
+        states, fluid, temperature-bucket) keys.
+    cache_size:
+        LRU capacity when the cache is enabled.
+    warm_start:
+        Seed Newton with the last converged pressure field of the same
+        junction set (falls back to a cold start automatically when the
+        warm start fails to converge).
+    temperature_bucket_c:
+        Temperature quantization of the cache key — see
+        :func:`repro.hydraulics.cache.network_state_key`.
+    counters:
+        An existing :class:`~repro.hydraulics.cache.SolverCounters` to
+        accumulate into (a fresh one is created otherwise).
     """
-    network.validate()
+
+    def __init__(
+        self,
+        use_cache: bool = True,
+        cache_size: int = 256,
+        warm_start: bool = True,
+        temperature_bucket_c: float = DEFAULT_TEMPERATURE_BUCKET_C,
+        counters: Optional[SolverCounters] = None,
+    ) -> None:
+        self.cache: Optional[SolutionCache] = (
+            SolutionCache(cache_size) if use_cache else None
+        )
+        self.warm_start = warm_start
+        self.temperature_bucket_c = temperature_bucket_c
+        self.counters = counters if counters is not None else SolverCounters()
+        self._warm: Dict[Tuple, np.ndarray] = {}
+
+    def reset(self) -> None:
+        """Drop cached solutions, warm-start state and counters."""
+        if self.cache is not None:
+            self.cache.clear()
+        self._warm.clear()
+        self.counters.reset()
+
+    def solve(
+        self,
+        network: HydraulicNetwork,
+        fluid: Fluid,
+        temperature_c: float,
+        tolerance_m3_s: float = 1.0e-9,
+    ) -> SolveResult:
+        """Solve the network (see :func:`solve_network` for semantics)."""
+        network.validate()
+        counters = self.counters
+        counters.solves += 1
+
+        key = None
+        if self.cache is not None:
+            key = network_state_key(
+                network, fluid, temperature_c, self.temperature_bucket_c
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                counters.cache_hits += 1
+                return cached
+            counters.cache_misses += 1
+
+        unknowns = [j for j in network.junction_names if j != network.reference]
+        topo_key = (tuple(network.junction_names), network.reference)
+        x0: Optional[np.ndarray] = None
+        if self.warm_start:
+            previous = self._warm.get(topo_key)
+            if previous is not None and len(previous) == len(unknowns):
+                x0 = previous
+        if x0 is None:
+            counters.cold_starts += 1
+        else:
+            counters.warm_starts += 1
+
+        result, x = _solve_with_fallback(
+            network, fluid, temperature_c, tolerance_m3_s, x0, counters
+        )
+        if self.warm_start and x is not None:
+            self._warm[topo_key] = x.copy()
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+
+def _compile(
+    network: HydraulicNetwork, unknowns: List[str]
+) -> Tuple[List, np.ndarray, np.ndarray, np.ndarray]:
+    """Precompute branch/junction index arrays for residual assembly.
+
+    Returns ``(open_branches, a_idx, b_idx, injections)`` where the index
+    arrays map each open branch's end nodes into the unknown vector, with
+    the reference junction mapped to the extra slot ``len(unknowns)``
+    (pinned at zero pressure).
+    """
+    node_index = {name: i for i, name in enumerate(unknowns)}
+    node_index[network.reference] = len(unknowns)
+    open_branches = network.open_branches()
+    a_idx = np.array([node_index[b.node_a] for b in open_branches], dtype=int)
+    b_idx = np.array([node_index[b.node_b] for b in open_branches], dtype=int)
+    injections = np.array([network.injection(name) for name in unknowns])
+    return open_branches, a_idx, b_idx, injections
+
+
+def _solve_with_fallback(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    tolerance_m3_s: float,
+    x0: Optional[np.ndarray],
+    counters: SolverCounters,
+) -> Tuple[SolveResult, Optional[np.ndarray]]:
+    """Fast path first; bracketed scalar formulation when it fails."""
+    try:
+        result, x = _fast_solve(
+            network, fluid, temperature_c, tolerance_m3_s, x0, counters
+        )
+        counters.fast_path_solves += 1
+        return result, x
+    except (_FastPathFailed, HydraulicsError, FloatingPointError, ValueError):
+        counters.scalar_fallbacks += 1
+        return _robust_solve(
+            network, fluid, temperature_c, tolerance_m3_s, x0, counters
+        )
+
+
+def _fast_solve(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    tolerance_m3_s: float,
+    x0: Optional[np.ndarray],
+    counters: SolverCounters,
+) -> Tuple[SolveResult, Optional[np.ndarray]]:
+    unknowns = [j for j in network.junction_names if j != network.reference]
+    n = len(unknowns)
+    open_branches, a_idx, b_idx, injections = _compile(network, unknowns)
+    elements = [b.element for b in open_branches]
+    a_interior = a_idx < n
+    b_interior = b_idx < n
+
+    def flows_at(dp: np.ndarray) -> np.ndarray:
+        q = np.empty(len(elements))
+        for i, element in enumerate(elements):
+            qi = element.flow_at_pressure_change_pa(dp[i], fluid, temperature_c)
+            if qi is None:
+                # Branch-level automatic fallback: no (or failed) analytic
+                # inverse — bracketed inversion for this branch only.
+                counters.bracket_inversions += 1
+                qi = _branch_flow(element, dp[i], fluid, temperature_c)
+            q[i] = qi
+        return q
+
+    def branch_dp(x: np.ndarray) -> np.ndarray:
+        pressures = np.concatenate((x, (0.0,)))
+        return pressures[b_idx] - pressures[a_idx]
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        counters.residual_evaluations += 1
+        q = flows_at(branch_dp(x))
+        out = injections.copy()
+        np.add.at(out, a_idx[a_interior], -q[a_interior])
+        np.add.at(out, b_idx[b_interior], q[b_interior])
+        return out
+
+    if n:
+        starts: List[np.ndarray] = []
+        if x0 is not None:
+            starts.append(np.asarray(x0, dtype=float))
+        starts.append(np.zeros(n))
+        x = None
+        last = np.zeros(n)
+        for attempt, start in enumerate(starts):
+            solution = root(residuals, start, method="hybr", tol=1e-13)
+            worst = float(np.max(np.abs(residuals(solution.x))))
+            if worst <= tolerance_m3_s:
+                x = solution.x
+                break
+            last = solution.x
+        if x is None:
+            # One retry from a perturbed start; Powell hybrid occasionally
+            # stalls on the flat zero-flow region of quadratic elements.
+            solution = root(residuals, last + 1.0e3, method="hybr", tol=1e-13)
+            worst = float(np.max(np.abs(residuals(solution.x))))
+            if worst > tolerance_m3_s:
+                raise _FastPathFailed
+            x = solution.x
+    else:
+        x = np.zeros(0)
+        worst = 0.0
+
+    dp = branch_dp(x)
+    q = flows_at(dp)
+    # Element-consistency cross-check: the inverted flows must land back on
+    # the true element curves, otherwise an analytic inverse disagreed with
+    # pressure_change_pa and the robust path must take over.
+    for i, element in enumerate(elements):
+        back = element.pressure_change_pa(float(q[i]), fluid, temperature_c)
+        if abs(back - dp[i]) > max(_CONSISTENCY_RTOL * abs(dp[i]), _CONSISTENCY_ATOL):
+            raise _FastPathFailed
+
+    pressures = {network.reference: 0.0}
+    for name, value in zip(unknowns, x):
+        pressures[name] = float(value)
+    flows = {b.name: float(qi) for b, qi in zip(open_branches, q)}
+    for branch in network.branches:
+        if branch.element.is_closed:
+            flows[branch.name] = 0.0
+    return (
+        SolveResult(pressures_pa=pressures, flows_m3_s=flows, residual_m3_s=worst),
+        x,
+    )
+
+
+def _robust_solve(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    tolerance_m3_s: float,
+    x0: Optional[np.ndarray],
+    counters: SolverCounters,
+) -> Tuple[SolveResult, Optional[np.ndarray]]:
+    """The original bracketed scalar formulation (never diverges)."""
     unknowns = [j for j in network.junction_names if j != network.reference]
     index = {name: i for i, name in enumerate(unknowns)}
     open_branches = network.open_branches()
@@ -132,10 +371,12 @@ def solve_network(
         flows = {}
         for branch in open_branches:
             dp = p[branch.node_b] - p[branch.node_a]
+            counters.bracket_inversions += 1
             flows[branch.name] = _branch_flow(branch.element, dp, fluid, temperature_c)
         return flows
 
     def residuals(x: np.ndarray) -> np.ndarray:
+        counters.residual_evaluations += 1
         p = pressures_from(x)
         flows = flows_from(p)
         out = np.zeros(len(unknowns))
@@ -148,14 +389,23 @@ def solve_network(
         return out
 
     if unknowns:
-        x0 = np.zeros(len(unknowns))
-        solution = root(residuals, x0, method="hybr", tol=1e-13)
-        x = solution.x
-        worst = float(np.max(np.abs(residuals(x)))) if len(unknowns) else 0.0
-        if worst > tolerance_m3_s:
+        starts: List[np.ndarray] = []
+        if x0 is not None:
+            starts.append(np.asarray(x0, dtype=float))
+        starts.append(np.zeros(len(unknowns)))
+        x = None
+        last = np.zeros(len(unknowns))
+        for start in starts:
+            solution = root(residuals, start, method="hybr", tol=1e-13)
+            worst = float(np.max(np.abs(residuals(solution.x))))
+            if worst <= tolerance_m3_s:
+                x = solution.x
+                break
+            last = solution.x
+        if x is None:
             # One retry from a perturbed start; Powell hybrid occasionally
             # stalls on the flat zero-flow region of quadratic elements.
-            solution = root(residuals, x + 1.0e3, method="hybr", tol=1e-13)
+            solution = root(residuals, last + 1.0e3, method="hybr", tol=1e-13)
             x = solution.x
             worst = float(np.max(np.abs(residuals(x))))
             if worst > tolerance_m3_s:
@@ -171,7 +421,70 @@ def solve_network(
     for branch in network.branches:
         if branch.element.is_closed:
             flows[branch.name] = 0.0
-    return SolveResult(pressures_pa=pressures, flows_m3_s=flows, residual_m3_s=worst)
+    return (
+        SolveResult(pressures_pa=pressures, flows_m3_s=flows, residual_m3_s=worst),
+        x,
+    )
+
+
+def solve_network(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    tolerance_m3_s: float = 1.0e-9,
+    solver: Optional[NetworkSolver] = None,
+) -> SolveResult:
+    """Solve the network for junction pressures and branch flows.
+
+    Parameters
+    ----------
+    network:
+        A validated (or validatable) hydraulic network.
+    fluid, temperature_c:
+        The working fluid and its bulk temperature (fluid properties are
+        evaluated once at this temperature).
+    tolerance_m3_s:
+        Acceptable worst-junction volumetric imbalance.
+    solver:
+        An optional stateful :class:`NetworkSolver` supplying warm starts
+        and a solution cache across calls. Without one, the solve is
+        stateless and deterministic: fast path with automatic fallback,
+        cold start, no cache.
+
+    Raises
+    ------
+    HydraulicsError
+        If the network is invalid or the solver fails to converge.
+    """
+    if solver is not None:
+        return solver.solve(network, fluid, temperature_c, tolerance_m3_s)
+    network.validate()
+    counters = SolverCounters()
+    counters.solves += 1
+    counters.cold_starts += 1
+    result, _ = _solve_with_fallback(
+        network, fluid, temperature_c, tolerance_m3_s, None, counters
+    )
+    return result
+
+
+def solve_network_robust(
+    network: HydraulicNetwork,
+    fluid: Fluid,
+    temperature_c: float,
+    tolerance_m3_s: float = 1.0e-9,
+) -> SolveResult:
+    """Solve via the bracketed scalar formulation only (reference path).
+
+    The fast path is validated against this in the property tests; it is
+    also the right tool for exotic element classes whose analytic inverses
+    are suspect.
+    """
+    network.validate()
+    result, _ = _robust_solve(
+        network, fluid, temperature_c, tolerance_m3_s, None, SolverCounters()
+    )
+    return result
 
 
 def operating_point(
@@ -202,4 +515,10 @@ def operating_point(
     return brentq(mismatch, 0.0, q_hi, xtol=1e-15, rtol=1e-12)
 
 
-__all__ = ["SolveResult", "operating_point", "solve_network"]
+__all__ = [
+    "NetworkSolver",
+    "SolveResult",
+    "operating_point",
+    "solve_network",
+    "solve_network_robust",
+]

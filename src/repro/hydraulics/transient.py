@@ -19,7 +19,7 @@ plug straight in.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -37,15 +37,26 @@ def loop_inertance(
 
 @dataclass(frozen=True)
 class LoopTransient:
-    """Flow history of a loop transient."""
+    """Flow history of a loop transient.
+
+    ``settled`` is True when an early-settle tolerance was given and the
+    integration stopped because the flow derivative fell inside it before
+    the requested duration elapsed.
+    """
 
     times_s: np.ndarray
     flows_m3_s: np.ndarray
+    settled: bool = False
 
     @property
     def final_flow_m3_s(self) -> float:
         """Flow at the end of the run."""
         return float(self.flows_m3_s[-1])
+
+    @property
+    def steps(self) -> int:
+        """RK4 steps actually integrated."""
+        return len(self.times_s) - 1
 
     def time_to_fraction(self, fraction: float) -> float:
         """First time the flow falls to ``fraction`` of its initial value
@@ -73,6 +84,7 @@ def simulate_loop_flow(
     initial_flow_m3_s: float,
     duration_s: float,
     dt_s: float = 0.01,
+    settle_atol_m3_s2: Optional[float] = None,
 ) -> LoopTransient:
     """Integrate the loop momentum balance.
 
@@ -90,11 +102,20 @@ def simulate_loop_flow(
         Flow at t = 0.
     duration_s, dt_s:
         Run length and RK4 step.
+    settle_atol_m3_s2:
+        Optional early exit: stop once ``|dQ/dt|`` falls below this
+        threshold (the transient has settled). None — the default —
+        always integrates the full duration, so existing callers see
+        identical histories. Note :meth:`LoopTransient.time_to_fraction`
+        reports the last sample time for thresholds the truncated run
+        never reached.
     """
     if inertance <= 0:
         raise ValueError("inertance must be positive")
     if duration_s <= 0 or dt_s <= 0:
         raise ValueError("duration and step must be positive")
+    if settle_atol_m3_s2 is not None and settle_atol_m3_s2 <= 0:
+        raise ValueError("settle tolerance must be positive")
 
     def dq_dt(q: float, t: float) -> float:
         drop = loop_drop_pa(abs(q))
@@ -106,8 +127,12 @@ def simulate_loop_flow(
     flows: List[float] = [initial_flow_m3_s]
     q = initial_flow_m3_s
     t = 0.0
+    settled = False
     for _ in range(steps):
         k1 = dq_dt(q, t)
+        if settle_atol_m3_s2 is not None and abs(k1) < settle_atol_m3_s2:
+            settled = True
+            break
         k2 = dq_dt(q + 0.5 * dt_s * k1, t + 0.5 * dt_s)
         k3 = dq_dt(q + 0.5 * dt_s * k2, t + 0.5 * dt_s)
         k4 = dq_dt(q + dt_s * k3, t + dt_s)
@@ -116,7 +141,9 @@ def simulate_loop_flow(
         t += dt_s
         times.append(t)
         flows.append(q)
-    return LoopTransient(times_s=np.asarray(times), flows_m3_s=np.asarray(flows))
+    return LoopTransient(
+        times_s=np.asarray(times), flows_m3_s=np.asarray(flows), settled=settled
+    )
 
 
 def coast_down(
@@ -125,6 +152,7 @@ def coast_down(
     initial_flow_m3_s: float,
     duration_s: float = 10.0,
     dt_s: float = 0.01,
+    settle_atol_m3_s2: Optional[float] = None,
 ) -> LoopTransient:
     """Flow decay after a pump trip (head drops to zero at t = 0)."""
     return simulate_loop_flow(
@@ -134,6 +162,7 @@ def coast_down(
         initial_flow_m3_s=initial_flow_m3_s,
         duration_s=duration_s,
         dt_s=dt_s,
+        settle_atol_m3_s2=settle_atol_m3_s2,
     )
 
 
@@ -143,6 +172,7 @@ def spin_up(
     inertance: float,
     duration_s: float = 10.0,
     dt_s: float = 0.01,
+    settle_atol_m3_s2: Optional[float] = None,
 ) -> LoopTransient:
     """Flow rise from rest when the pump starts at full speed."""
     return simulate_loop_flow(
@@ -152,6 +182,7 @@ def spin_up(
         initial_flow_m3_s=0.0,
         duration_s=duration_s,
         dt_s=dt_s,
+        settle_atol_m3_s2=settle_atol_m3_s2,
     )
 
 

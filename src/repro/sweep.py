@@ -1,0 +1,211 @@
+"""Deterministic parallel parameter sweeps.
+
+The cooling studies live on cheap sweeps: regenerate Fig. 5 for a range of
+loop counts, scan valve trims, rerun a failure drill across scenarios.
+This module runs such sweeps over a thread pool with three guarantees the
+ad-hoc loops they replace did not have:
+
+- **deterministic ordering** — results come back in case order, never in
+  completion order;
+- **chunked dispatch** — cases are grouped into contiguous chunks so tiny
+  cases do not drown in executor overhead;
+- **isolation by construction** — the helpers build one fresh model object
+  per case, so stateful solvers (warm starts, solution caches) are never
+  shared across concurrent workers.
+
+Evaluation functions should be pure CPU work; the heavy lifting inside
+scipy/numpy releases the GIL often enough for thread-level parallelism to
+pay off on the network solves, and threads keep every model object
+picklability-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Ceiling on the default worker count (sweeps are short; oversubscribing
+#: a laptop-class host buys nothing).
+_DEFAULT_MAX_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of a parameter sweep."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep case name must be non-empty")
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The result of evaluating one sweep case.
+
+    ``value`` holds the evaluation result; ``error`` the repr of the
+    exception when the case failed and errors are being captured.
+    """
+
+    case: SweepCase
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the case evaluated without error."""
+        return self.error is None
+
+
+def sweep_cases(**axes: Sequence[Any]) -> List[SweepCase]:
+    """Build the cartesian product of named parameter axes.
+
+    ``sweep_cases(n_loops=[4, 6], opening=[0.5, 1.0])`` yields four cases
+    named ``"n_loops=4,opening=0.5"`` etc., in row-major (first axis
+    slowest) order.
+    """
+    if not axes:
+        raise ValueError("at least one axis required")
+    names = list(axes)
+    cases = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        params = dict(zip(names, values))
+        label = ",".join(f"{k}={v}" for k, v in params.items())
+        cases.append(SweepCase(name=label, params=params))
+    return cases
+
+
+def _resolve_workers(n_cases: int, max_workers: Optional[int]) -> int:
+    if max_workers is not None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        return min(max_workers, n_cases) or 1
+    cpus = os.cpu_count() or 1
+    return max(1, min(_DEFAULT_MAX_WORKERS, cpus, n_cases))
+
+
+def _chunks(
+    items: List[Tuple[int, SweepCase]], chunk_size: int
+) -> List[List[Tuple[int, SweepCase]]]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def run_sweep(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+) -> List[SweepOutcome]:
+    """Evaluate ``fn`` over every case, in parallel, in case order.
+
+    Parameters
+    ----------
+    fn:
+        The evaluation; called with one :class:`SweepCase`. Must not share
+        mutable state (stateful solvers, simulators) across cases — build
+        fresh objects inside the call.
+    cases:
+        The sweep points, in the order results are wanted.
+    max_workers:
+        Thread count (default: min(8, cpu count, len(cases))). ``1`` runs
+        serially with no executor at all — bit-identical to a plain loop.
+    chunk_size:
+        Cases per dispatched task (default: balanced so each worker gets a
+        few chunks).
+    on_error:
+        ``"raise"`` re-raises the first failing case's exception (cases
+        are still all evaluated); ``"capture"`` records the error on the
+        outcome and keeps going.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture'")
+    cases = list(cases)
+    if not cases:
+        return []
+
+    def evaluate(index: int, case: SweepCase) -> SweepOutcome:
+        try:
+            return SweepOutcome(case=case, index=index, value=fn(case))
+        except Exception as exc:  # noqa: BLE001 - reported per-case
+            if on_error == "raise":
+                raise
+            return SweepOutcome(case=case, index=index, error=repr(exc))
+
+    workers = _resolve_workers(len(cases), max_workers)
+    indexed = list(enumerate(cases))
+    if workers == 1:
+        return [evaluate(i, c) for i, c in indexed]
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(cases) // (workers * 4)))
+    elif chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+
+    def run_chunk(chunk: List[Tuple[int, SweepCase]]) -> List[SweepOutcome]:
+        return [evaluate(i, c) for i, c in chunk]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        chunk_results = list(pool.map(run_chunk, _chunks(indexed, chunk_size)))
+    return [outcome for chunk in chunk_results for outcome in chunk]
+
+
+def sweep_values(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """:func:`run_sweep` returning just the values (errors re-raised)."""
+    return [
+        outcome.value
+        for outcome in run_sweep(
+            fn, cases, max_workers=max_workers, chunk_size=chunk_size
+        )
+    ]
+
+
+def sweep_simulations(
+    simulator_factory: Callable[[], Any],
+    scenarios: Mapping[str, Optional[List[Any]]],
+    duration_s: float,
+    dt_s: float = 5.0,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one :class:`~repro.core.simulation.ModuleSimulator` per scenario.
+
+    ``scenarios`` maps scenario name to its failure-event list (None for a
+    nominal run). A **fresh simulator** comes from ``simulator_factory``
+    for every scenario, so controller latches, PID memory and solver
+    caches cannot leak between concurrent cases. Returns
+    ``{name: SimulationResult}`` with deterministic (input) ordering.
+    """
+    names = list(scenarios)
+    cases = [
+        SweepCase(name=name, params={"events": scenarios[name]}) for name in names
+    ]
+
+    def evaluate(case: SweepCase) -> Any:
+        simulator = simulator_factory()
+        return simulator.run(
+            duration_s=duration_s, events=case.params["events"], dt_s=dt_s
+        )
+
+    outcomes = run_sweep(evaluate, cases, max_workers=max_workers)
+    return {outcome.case.name: outcome.value for outcome in outcomes}
+
+
+__all__ = [
+    "SweepCase",
+    "SweepOutcome",
+    "run_sweep",
+    "sweep_cases",
+    "sweep_simulations",
+    "sweep_values",
+]

@@ -1,8 +1,13 @@
-"""Tests for the telemetry log."""
+"""Tests for the telemetry log, run counters and the alarm log."""
 
 import pytest
 
-from repro.control.monitor import TelemetryLog
+from repro.control.controller import Alarm, AlarmSeverity
+from repro.control.monitor import AlarmLog, TelemetryLog
+
+
+def _alarm(source="oil", severity=AlarmSeverity.WARNING, message="hot"):
+    return Alarm(severity=severity, source=source, message=message)
 
 
 def filled_log():
@@ -67,3 +72,139 @@ class TestQueries:
         summary = filled_log().summary()
         assert summary["oil_c"] == {"min": 25.0, "max": 29.0, "last": 29.0}
         assert "flow" in summary
+
+
+class TestSensorDropout:
+    """A channel that stops reporting mid-run must not corrupt queries."""
+
+    def dropout_log(self):
+        log = TelemetryLog()
+        log.record(0.0, {"oil_c": 25.0, "flow": 2.0e-3})
+        log.record(1.0, {"oil_c": 26.0, "flow": 2.1e-3})
+        log.record(2.0, {"oil_c": 27.0})  # flow sensor drops out
+        log.record(3.0, {"oil_c": 28.0})
+        log.record(4.0, {"oil_c": 29.0, "flow": 1.9e-3})  # sensor returns
+        return log
+
+    def test_series_skips_the_gap(self):
+        times, values = self.dropout_log().series("flow")
+        assert list(times) == [0.0, 1.0, 4.0]
+        assert list(values) == [2.0e-3, 2.1e-3, 1.9e-3]
+
+    def test_latest_is_post_recovery(self):
+        assert self.dropout_log().latest("flow") == 1.9e-3
+
+    def test_extrema_span_the_gap(self):
+        log = self.dropout_log()
+        assert log.maximum("flow") == 2.1e-3
+        assert log.minimum("flow") == 1.9e-3
+
+    def test_permanent_dropout_keeps_last_value(self):
+        log = TelemetryLog()
+        log.record(0.0, {"level": 1.0})
+        log.record(1.0, {"level": 0.9})
+        log.record(2.0, {})  # level sensor dead from here on
+        log.record(3.0, {})
+        assert log.latest("level") == 0.9
+        assert log.first_crossing("level", 0.95) == 0.0
+
+    def test_summary_only_covers_reported_samples(self):
+        summary = self.dropout_log().summary()
+        assert summary["flow"]["last"] == 1.9e-3
+        assert summary["oil_c"]["last"] == 29.0
+
+
+class TestCounters:
+    def test_increment_accumulates(self):
+        log = TelemetryLog()
+        log.increment("cache_hits")
+        log.increment("cache_hits", 4.0)
+        assert log.counter("cache_hits") == 5.0
+
+    def test_untouched_counter_reads_zero(self):
+        assert TelemetryLog().counter("nope") == 0.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError, match="accumulate"):
+            TelemetryLog().increment("x", -1.0)
+
+    def test_empty_name_rejected(self):
+        log = TelemetryLog()
+        with pytest.raises(ValueError, match="non-empty"):
+            log.increment("")
+        with pytest.raises(ValueError, match="non-empty"):
+            log.set_counters({"": 1.0})
+
+    def test_set_counters_replaces(self):
+        log = TelemetryLog()
+        log.increment("solves", 3.0)
+        log.set_counters({"solves": 10.0, "fallbacks": 1.0})
+        assert log.counter("solves") == 10.0
+        assert log.counter("fallbacks") == 1.0
+
+    def test_counters_property_is_a_copy(self):
+        log = TelemetryLog()
+        log.increment("solves")
+        snapshot = log.counters
+        snapshot["solves"] = 99.0
+        assert log.counter("solves") == 1.0
+
+    def test_summary_includes_counters_only_when_present(self):
+        log = filled_log()
+        assert "counters" not in log.summary()
+        log.increment("cache_hits", 2.0)
+        assert log.summary()["counters"] == {"cache_hits": 2.0}
+
+
+class TestAlarmLog:
+    def test_repeats_deduplicate_into_one_episode(self):
+        log = AlarmLog()
+        for t in range(5):
+            log.observe(float(t), [_alarm()])
+        assert log.episodes == 1
+
+    def test_clear_and_retrip_is_a_new_episode(self):
+        log = AlarmLog()
+        log.observe(0.0, [_alarm()])
+        log.observe(1.0, [])  # condition clears
+        fresh = log.observe(2.0, [_alarm()])
+        assert log.episodes == 2
+        assert len(fresh) == 1
+
+    def test_severity_escalation_is_a_new_episode(self):
+        log = AlarmLog()
+        log.observe(0.0, [_alarm(severity=AlarmSeverity.WARNING)])
+        log.observe(1.0, [_alarm(severity=AlarmSeverity.CRITICAL)])
+        assert log.episodes == 2
+
+    def test_distinct_sources_tracked_independently(self):
+        log = AlarmLog()
+        log.observe(0.0, [_alarm(source="oil"), _alarm(source="flow")])
+        log.observe(1.0, [_alarm(source="oil"), _alarm(source="flow")])
+        assert log.episodes == 2
+        assert log.episodes_from("oil") == 1
+        assert log.episodes_from("flow") == 1
+
+    def test_same_key_within_one_cycle_collapses(self):
+        log = AlarmLog()
+        log.observe(0.0, [_alarm(message="a"), _alarm(message="b")])
+        assert log.episodes == 1
+
+    def test_time_must_not_go_backwards(self):
+        log = AlarmLog()
+        log.observe(5.0, [])
+        with pytest.raises(ValueError, match="backwards"):
+            log.observe(4.0, [])
+
+    def test_history_records_times(self):
+        log = AlarmLog()
+        log.observe(0.0, [])
+        log.observe(7.0, [_alarm()])
+        assert [r.time_s for r in log.history] == [7.0]
+
+    def test_active_reflects_last_observation(self):
+        log = AlarmLog()
+        log.observe(0.0, [_alarm()])
+        assert log.active == {("oil", "warning")}
+        log.observe(1.0, [])
+        assert log.active == set()

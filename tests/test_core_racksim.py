@@ -80,3 +80,30 @@ class TestValidation:
     def test_rejects_bad_duration(self):
         with pytest.raises(ValueError):
             simulator().run(duration_s=0.0)
+
+
+class TestRunIsolation:
+    def test_loop_blockage_does_not_leak_into_next_run(self):
+        """A failed loop from one run must not starve the following run."""
+        sim = simulator()
+        blocked = sim.run(
+            duration_s=900.0,
+            events=[loop_blockage_event(300.0, "loop_2")],
+            dt_s=30.0,
+        )
+        repeat = sim.run(duration_s=900.0, dt_s=30.0)
+        fresh = simulator().run(duration_s=900.0, dt_s=30.0)
+        assert repeat.max_fpga_c == pytest.approx(fresh.max_fpga_c, rel=1e-9)
+        assert repeat.telemetry.latest("oil_2") == pytest.approx(
+            fresh.telemetry.latest("oil_2"), rel=1e-9
+        )
+
+    def test_hydraulic_counters_reported(self):
+        result = simulator().run(
+            duration_s=900.0,
+            events=[loop_blockage_event(300.0, "loop_1")],
+            dt_s=30.0,
+        )
+        counters = result.telemetry.counters
+        assert counters["hydraulic_solves"] >= 2  # nominal + post-blockage
+        assert counters["hydraulic_scalar_fallbacks"] == 0

@@ -1,0 +1,158 @@
+"""Golden-regression tests for the headline simulation outputs.
+
+Each golden pins one scalar the paper's claims hang on — SKAT steady-state
+temperatures, the 47U rack's PFLOPS and PUE, the reverse-return manifold
+balance — to a committed JSON value with an explicit per-quantity
+tolerance. A solver change that silently shifts the physics (as opposed to
+only the speed) fails here before it can drift the benchmark tables.
+
+Regenerate after an *intentional* physics change with::
+
+    PYTHONPATH=src python tests/test_goldens.py --regen
+
+and review the JSON diff like any other code change.
+"""
+
+import json
+import math
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Default relative tolerance for solver-derived quantities (the steady
+#: solvers iterate to 1e-6 absolute on temperature; everything downstream
+#: is smooth in that error).
+SOLVER_RTOL = 1.0e-4
+#: Tolerance for closed-form arithmetic (board counts x clock rates).
+EXACT_RTOL = 1.0e-9
+
+
+def _skat_steady() -> Dict[str, Dict[str, float]]:
+    from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+
+    report = skat().solve_steady(SKAT_WATER_SUPPLY_C, SKAT_WATER_FLOW_M3_S)
+    return {
+        "max_fpga_c": {"value": report.max_fpga_c, "rtol": SOLVER_RTOL},
+        "bath_mean_c": {"value": report.bath_mean_c, "rtol": SOLVER_RTOL},
+        "oil_cold_c": {"value": report.oil_cold_c, "rtol": SOLVER_RTOL},
+        "oil_hot_c": {"value": report.oil_hot_c, "rtol": SOLVER_RTOL},
+        "oil_flow_m3_s": {"value": report.oil_flow_m3_s, "rtol": SOLVER_RTOL},
+        "total_heat_to_water_w": {
+            "value": report.total_heat_to_water_w,
+            "rtol": SOLVER_RTOL,
+        },
+    }
+
+
+def _rack() -> Dict[str, Dict[str, float]]:
+    from repro.core.rack import Rack
+    from repro.core.skat import skat
+
+    report = Rack(module_factory=skat, n_modules=12).solve()
+    return {
+        "peak_pflops": {"value": report.peak_pflops, "rtol": EXACT_RTOL},
+        "sustained_pflops": {"value": report.sustained_pflops, "rtol": SOLVER_RTOL},
+        "pue": {"value": report.pue, "rtol": SOLVER_RTOL},
+        "max_fpga_c": {"value": report.max_fpga_c, "rtol": SOLVER_RTOL},
+        "it_power_w": {"value": report.it_power_w, "rtol": SOLVER_RTOL},
+        "total_water_flow_m3_s": {
+            "value": sum(report.water_flows_m3_s),
+            "rtol": SOLVER_RTOL,
+        },
+    }
+
+
+def _manifold() -> Dict[str, Dict[str, float]]:
+    from repro.core.balancing import (
+        ManifoldLayout,
+        RackManifoldSystem,
+        redistribution_evenness,
+    )
+
+    reverse = RackManifoldSystem(n_loops=6, layout=ManifoldLayout.REVERSE_RETURN)
+    direct = RackManifoldSystem(n_loops=6, layout=ManifoldLayout.DIRECT_RETURN)
+    rev_report = reverse.solve()
+    dir_report = direct.solve()
+    failure = reverse.failure_redistribution(2)
+    return {
+        "reverse_imbalance_ratio": {
+            "value": rev_report.imbalance_ratio,
+            "rtol": SOLVER_RTOL,
+        },
+        "direct_imbalance_ratio": {
+            "value": dir_report.imbalance_ratio,
+            "rtol": SOLVER_RTOL,
+        },
+        "reverse_total_flow_m3_s": {
+            "value": rev_report.total_flow_m3_s,
+            "rtol": SOLVER_RTOL,
+        },
+        "reverse_first_loop_flow_m3_s": {
+            "value": rev_report.loop_flows_m3_s[0],
+            "rtol": SOLVER_RTOL,
+        },
+        "reverse_last_loop_flow_m3_s": {
+            "value": rev_report.loop_flows_m3_s[-1],
+            "rtol": SOLVER_RTOL,
+        },
+        "failure_redistribution_evenness": {
+            "value": redistribution_evenness(failure["before"], failure["after"]),
+            "rtol": 1.0e-3,
+        },
+    }
+
+
+GOLDEN_BUILDERS = {
+    "skat_steady": _skat_steady,
+    "rack": _rack,
+    "manifold": _manifold,
+}
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_BUILDERS))
+def test_golden(name):
+    path = _golden_path(name)
+    assert path.exists(), (
+        f"golden {path} missing — regenerate with "
+        "`PYTHONPATH=src python tests/test_goldens.py --regen`"
+    )
+    expected = json.loads(path.read_text())
+    measured = GOLDEN_BUILDERS[name]()
+    assert set(measured) == set(expected), "golden quantity set changed"
+    for quantity, spec in expected.items():
+        value = measured[quantity]["value"]
+        assert math.isfinite(value), quantity
+        assert value == pytest.approx(spec["value"], rel=spec["rtol"]), (
+            f"{name}.{quantity}: measured {value!r}, golden {spec['value']!r} "
+            f"(rtol {spec['rtol']:g})"
+        )
+
+
+def test_goldens_have_no_strays():
+    """Every committed golden file corresponds to a builder."""
+    committed = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(GOLDEN_BUILDERS)
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in sorted(GOLDEN_BUILDERS.items()):
+        path = _golden_path(name)
+        path.write_text(json.dumps(builder(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,142 @@
+"""Tests for the solver's solution cache, state keys and counters."""
+
+import pytest
+
+from repro.fluids.library import MINERAL_OIL_MD45, WATER
+from repro.hydraulics.cache import (
+    DEFAULT_TEMPERATURE_BUCKET_C,
+    SolutionCache,
+    SolverCounters,
+    element_state_key,
+    network_state_key,
+    temperature_bucket,
+)
+from repro.hydraulics.elements import Pump, PumpCurve, Valve
+from repro.hydraulics.network import HydraulicNetwork
+
+
+def two_loop_network(opening=1.0, speed=1.0):
+    net = HydraulicNetwork()
+    net.add_junction("in")
+    net.add_junction("out")
+    net.set_reference("in")
+    pump = Pump(PumpCurve(8.0e4, 2.0e-2))
+    pump.speed_fraction = speed
+    net.add_branch("pump", "in", "out", pump)
+    net.add_branch(
+        "v0", "out", "in", Valve(k_open=2.0, diameter_m=0.025, opening=opening)
+    )
+    net.add_branch("v1", "out", "in", Valve(k_open=2.0, diameter_m=0.025))
+    return net
+
+
+class TestTemperatureBucket:
+    def test_default_bucket_width(self):
+        assert temperature_bucket(20.0) == temperature_bucket(20.1)
+        assert temperature_bucket(20.0) != temperature_bucket(20.2)
+
+    def test_bucket_scales(self):
+        assert temperature_bucket(20.0, bucket_c=1.0) == temperature_bucket(
+            20.4, bucket_c=1.0
+        )
+
+    def test_rejects_nonpositive_bucket(self):
+        with pytest.raises(ValueError):
+            temperature_bucket(20.0, bucket_c=0.0)
+
+
+class TestStateKeys:
+    def test_same_state_same_key(self):
+        key_a = network_state_key(two_loop_network(), WATER, 20.0)
+        key_b = network_state_key(two_loop_network(), WATER, 20.05)
+        assert key_a == key_b
+        assert hash(key_a) == hash(key_b)
+
+    def test_valve_opening_changes_key(self):
+        key_a = network_state_key(two_loop_network(opening=1.0), WATER, 20.0)
+        key_b = network_state_key(two_loop_network(opening=0.5), WATER, 20.0)
+        assert key_a != key_b
+
+    def test_pump_speed_changes_key(self):
+        key_a = network_state_key(two_loop_network(speed=1.0), WATER, 20.0)
+        key_b = network_state_key(two_loop_network(speed=0.7), WATER, 20.0)
+        assert key_a != key_b
+
+    def test_fluid_changes_key(self):
+        net = two_loop_network()
+        assert network_state_key(net, WATER, 20.0) != network_state_key(
+            net, MINERAL_OIL_MD45, 20.0
+        )
+
+    def test_temperature_bucket_changes_key(self):
+        net = two_loop_network()
+        apart = 4 * DEFAULT_TEMPERATURE_BUCKET_C
+        assert network_state_key(net, WATER, 20.0) != network_state_key(
+            net, WATER, 20.0 + apart
+        )
+
+    def test_in_place_mutation_changes_key(self):
+        """The key must see element state, not element identity."""
+        net = two_loop_network()
+        before = network_state_key(net, WATER, 20.0)
+        net.branch("v0").element.opening = 0.25
+        assert network_state_key(net, WATER, 20.0) != before
+
+    def test_element_key_distinguishes_parameters(self):
+        assert element_state_key(
+            Valve(k_open=2.0, diameter_m=0.025)
+        ) != element_state_key(Valve(k_open=3.0, diameter_m=0.025))
+
+
+class TestSolutionCache:
+    def test_round_trip(self):
+        cache = SolutionCache(maxsize=4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert "k" in cache and len(cache) == 1
+
+    def test_miss_returns_none(self):
+        assert SolutionCache().get("missing") is None
+
+    def test_lru_eviction_order(self):
+        cache = SolutionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: b is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_overwrite_refreshes(self):
+        cache = SolutionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_clear(self):
+        cache = SolutionCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SolutionCache(maxsize=0)
+
+
+class TestSolverCounters:
+    def test_defaults_zero(self):
+        counters = SolverCounters()
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_reset(self):
+        counters = SolverCounters(solves=5, cache_hits=3, bracket_inversions=7)
+        counters.reset()
+        assert counters.as_dict() == SolverCounters().as_dict()
+
+    def test_hit_rate(self):
+        assert SolverCounters().hit_rate == 0.0
+        assert SolverCounters(solves=4, cache_hits=1).hit_rate == 0.25

@@ -1,0 +1,221 @@
+"""Property-based tests locking in the solver fast path.
+
+Three families of invariants over randomized manifold-style networks:
+
+- **agreement** — the fast path (analytic inverses, vectorized residuals)
+  and the robust path (bracketed Brent inversion) solve to the same flows;
+- **conservation** — junction mass balance closes at every junction, and
+  element characteristics reproduce the solved pressure drops;
+- **statefulness is invisible** — warm-started re-solves and cache
+  replays return the cold-solve answer.
+
+Comparisons use a combined absolute + relative tolerance: branches that
+are hydraulically dead (behind a closed valve) carry flows at the 1e-14
+level where a pure relative comparison is meaningless noise.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluids.library import WATER
+from repro.hydraulics.cache import SolverCounters
+from repro.hydraulics.elements import (
+    CheckValve,
+    HeatExchangerPassage,
+    MinorLoss,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+from repro.hydraulics.network import HydraulicNetwork
+from repro.hydraulics.solver import (
+    NetworkSolver,
+    solve_network,
+    solve_network_robust,
+)
+
+#: Absolute flow floor for comparisons, m^3/s. Flows on hydraulically
+#: dead stubs (behind a closed valve) are pinned only by the junction
+#: residuals, which each path drives below 1e-9 m^3/s independently — so
+#: a stub chain can legitimately differ by a few times that between
+#: formulations. 1e-8 absolute is still five orders below any live flow.
+FLOW_ATOL = 1.0e-8
+FLOW_RTOL = 1.0e-6
+
+
+def _assert_flows_close(result_a, result_b, network):
+    for branch in network.branches:
+        qa = result_a.flow(branch.name)
+        qb = result_b.flow(branch.name)
+        assert qa == pytest.approx(qb, rel=FLOW_RTOL, abs=FLOW_ATOL), branch.name
+
+
+@st.composite
+def manifold_networks(draw):
+    """A pump feeding 2-6 valved loops through manifold pipe segments.
+
+    Mirrors the Fig. 5 rack loop: supply segments, a trim valve plus a
+    heat-exchanger passage per loop, return segments, a riser with minor
+    losses. Valve openings are drawn per loop, and at most one loop may be
+    valved fully closed (the paper's servicing scenario).
+    """
+    n = draw(st.integers(min_value=2, max_value=6))
+    openings = draw(
+        st.lists(
+            st.floats(min_value=0.3, max_value=1.0), min_size=n, max_size=n
+        )
+    )
+    r_linear = draw(st.floats(min_value=1.0e5, max_value=5.0e6))
+    r_quadratic = draw(st.floats(min_value=1.0e9, max_value=1.0e11))
+    shutoff = draw(st.floats(min_value=4.0e4, max_value=3.0e5))
+    closed_loop = draw(st.integers(min_value=-1, max_value=n - 1))
+
+    net = HydraulicNetwork()
+    net.add_junction("pump_in")
+    net.add_junction("pump_out")
+    net.set_reference("pump_in")
+    net.add_branch(
+        "pump", "pump_in", "pump_out", Pump(PumpCurve(shutoff, 2.0e-2))
+    )
+    segment = lambda: Pipe(length_m=0.2, diameter_m=0.04, minor_loss_k=0.3)
+    for i in range(n):
+        net.add_junction(f"s{i}")
+        net.add_junction(f"m{i}")
+        net.add_junction(f"r{i}")
+    net.add_branch("supply_in", "pump_out", "s0", segment())
+    for i in range(n - 1):
+        net.add_branch(f"supply_{i}", f"s{i}", f"s{i + 1}", segment())
+        net.add_branch(f"return_{i}", f"r{i}", f"r{i + 1}", segment())
+    for i in range(n):
+        opening = 0.0 if i == closed_loop else openings[i]
+        net.add_branch(
+            f"valve_{i}",
+            f"s{i}",
+            f"m{i}",
+            Valve(k_open=2.0, diameter_m=0.025, opening=opening),
+        )
+        net.add_branch(
+            f"loop_{i}", f"m{i}", f"r{i}", HeatExchangerPassage(r_linear, r_quadratic)
+        )
+    net.add_branch(
+        "riser",
+        f"r{n - 1}",
+        "pump_in",
+        Pipe(length_m=6.0, diameter_m=0.05, minor_loss_k=10.0),
+    )
+    return net
+
+
+@given(net=manifold_networks())
+@settings(max_examples=25, deadline=None)
+def test_fast_path_matches_robust_path(net):
+    """The vectorized/analytic solve agrees with the bracketed reference."""
+    fast = solve_network(net, WATER, 20.0)
+    robust = solve_network_robust(net, WATER, 20.0)
+    _assert_flows_close(fast, robust, net)
+
+
+@given(net=manifold_networks(), temperature=st.floats(min_value=5.0, max_value=60.0))
+@settings(max_examples=25, deadline=None)
+def test_junction_mass_balance_closes(net, temperature):
+    """Net volumetric flow at every junction is zero to solver tolerance."""
+    result = solve_network(net, WATER, temperature)
+    imbalance = {name: 0.0 for name in net.junction_names}
+    for branch in net.branches:
+        q = result.flow(branch.name)
+        imbalance[branch.node_a] -= q
+        imbalance[branch.node_b] += q
+    for name, net_flow in imbalance.items():
+        assert abs(net_flow) < 1.0e-8, name
+
+
+@given(net=manifold_networks())
+@settings(max_examples=20, deadline=None)
+def test_element_curves_reproduce_solution(net):
+    """Each open branch's characteristic holds at the solved flow/drop."""
+    result = solve_network(net, WATER, 20.0)
+    for branch in net.open_branches():
+        q = result.flow(branch.name)
+        dp_element = branch.element.pressure_change_pa(q, WATER, 20.0)
+        dp_nodes = (
+            result.pressures_pa[branch.node_b] - result.pressures_pa[branch.node_a]
+        )
+        assert dp_element == pytest.approx(dp_nodes, rel=1e-6, abs=1.0)
+
+
+@given(net=manifold_networks())
+@settings(max_examples=15, deadline=None)
+def test_warm_start_matches_cold_solve(net):
+    """Warm-started re-solves equal a stateless cold solve."""
+    warm_solver = NetworkSolver(use_cache=False, warm_start=True)
+    first = warm_solver.solve(net, WATER, 20.0)
+    again = warm_solver.solve(net, WATER, 20.0)  # warm-started from `first`
+    cold = solve_network(net, WATER, 20.0)
+    assert warm_solver.counters.warm_starts >= 1
+    _assert_flows_close(first, cold, net)
+    _assert_flows_close(again, cold, net)
+
+
+@given(net=manifold_networks())
+@settings(max_examples=15, deadline=None)
+def test_cache_replay_is_exact(net):
+    """A cache hit replays the first solution bit-for-bit."""
+    solver = NetworkSolver(use_cache=True, warm_start=True)
+    first = solver.solve(net, WATER, 20.0)
+    replay = solver.solve(net, WATER, 20.0)
+    assert solver.counters.cache_hits == 1
+    assert replay.flows_m3_s == first.flows_m3_s
+    assert replay.pressures_pa == first.pressures_pa
+
+
+@given(
+    net=manifold_networks(),
+    t_a=st.floats(min_value=18.0, max_value=22.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_temperature_bucketing_respects_bucket_edges(net, t_a):
+    """Solves in different temperature buckets never share a cache entry."""
+    solver = NetworkSolver(use_cache=True, temperature_bucket_c=0.25)
+    solver.solve(net, WATER, t_a)
+    solver.solve(net, WATER, t_a + 1.0)  # four buckets away
+    assert solver.counters.cache_hits == 0
+    assert solver.counters.cache_misses == 2
+
+
+@given(
+    dp=st.floats(min_value=-8.0e4, max_value=8.0e4),
+    opening=st.floats(min_value=0.2, max_value=1.0),
+)
+@settings(max_examples=60)
+def test_analytic_inverses_roundtrip(dp, opening):
+    """flow_at_pressure_change_pa inverts pressure_change_pa exactly
+    (to fixed-point/rounding precision) for every element family."""
+    elements = [
+        Pipe(length_m=2.0, diameter_m=0.03, minor_loss_k=0.5),
+        MinorLoss(k=3.0, diameter_m=0.03),
+        Valve(k_open=2.0, diameter_m=0.025, opening=opening),
+        HeatExchangerPassage(2.0e6, 2.0e10),
+        CheckValve(k_forward=2.0, diameter_m=0.03),
+        Pump(PumpCurve(1.2e5, 2.0e-2)),
+    ]
+    for element in elements:
+        q = element.flow_at_pressure_change_pa(dp, WATER, 25.0)
+        if q is None:
+            continue
+        dp_back = element.pressure_change_pa(q, WATER, 25.0)
+        assert dp_back == pytest.approx(dp, rel=1e-7, abs=1e-4), type(element).__name__
+
+
+def test_counters_accumulate_and_reset():
+    counters = SolverCounters()
+    counters.solves += 3
+    counters.cache_hits += 2
+    counters.cache_misses += 1
+    assert counters.hit_rate == pytest.approx(2.0 / 3.0)
+    as_dict = counters.as_dict()
+    assert as_dict["solves"] == 3
+    counters.reset()
+    assert counters.solves == 0
+    assert counters.hit_rate == 0.0

@@ -92,3 +92,60 @@ class TestValidation:
         transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=1.0)
         with pytest.raises(ValueError):
             transient.time_to_fraction(0.0)
+
+
+class TestEarlySettle:
+    def test_default_integrates_full_duration(self):
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=5.0, dt_s=0.01)
+        assert not transient.settled
+        assert transient.times_s[-1] == pytest.approx(5.0 + 0.01)
+
+    def test_settle_truncates_a_finished_coast_down(self):
+        full = coast_down(drop, INERTANCE, 2.7e-3, duration_s=30.0, dt_s=0.01)
+        early = coast_down(
+            drop,
+            INERTANCE,
+            2.7e-3,
+            duration_s=30.0,
+            dt_s=0.01,
+            settle_atol_m3_s2=1e-5,
+        )
+        assert early.settled
+        assert early.steps < full.steps
+
+    def test_truncated_history_matches_full_prefix(self):
+        full = coast_down(drop, INERTANCE, 2.7e-3, duration_s=30.0, dt_s=0.01)
+        early = coast_down(
+            drop,
+            INERTANCE,
+            2.7e-3,
+            duration_s=30.0,
+            dt_s=0.01,
+            settle_atol_m3_s2=1e-5,
+        )
+        n = early.steps + 1
+        assert np.array_equal(early.times_s, full.times_s[:n])
+        assert np.array_equal(early.flows_m3_s, full.flows_m3_s[:n])
+
+    def test_spin_up_settles_at_operating_point(self):
+        def head(q: float) -> float:
+            return max(0.0, 40.0e3 * (1.0 - q / 8.0e-3))
+
+        settled = spin_up(
+            head, drop, INERTANCE, duration_s=60.0, dt_s=0.01,
+            settle_atol_m3_s2=1e-8,
+        )
+        assert settled.settled
+        # dQ/dt ~ 0: the pump head balances the loop drop.
+        q = settled.final_flow_m3_s
+        assert head(q) == pytest.approx(drop(q), abs=1.0)
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError):
+            coast_down(
+                drop, INERTANCE, 2.7e-3, duration_s=1.0, settle_atol_m3_s2=0.0
+            )
+
+    def test_steps_property(self):
+        transient = coast_down(drop, INERTANCE, 2.7e-3, duration_s=1.0, dt_s=0.1)
+        assert transient.steps == len(transient.times_s) - 1

@@ -1,0 +1,156 @@
+"""Tests for the deterministic parallel sweep runner."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sweep import (
+    SweepCase,
+    SweepOutcome,
+    run_sweep,
+    sweep_cases,
+    sweep_simulations,
+    sweep_values,
+)
+
+
+class TestSweepCases:
+    def test_cartesian_product_row_major(self):
+        cases = sweep_cases(a=[1, 2], b=["x", "y"])
+        assert [c.name for c in cases] == [
+            "a=1,b=x",
+            "a=1,b=y",
+            "a=2,b=x",
+            "a=2,b=y",
+        ]
+        assert cases[0].params == {"a": 1, "b": "x"}
+
+    def test_single_axis(self):
+        cases = sweep_cases(n=[4, 6, 8])
+        assert [c.params["n"] for c in cases] == [4, 6, 8]
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_cases()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SweepCase(name="")
+
+
+class TestRunSweep:
+    def test_results_in_case_order(self):
+        cases = [SweepCase(name=f"c{i}", params={"i": i}) for i in range(20)]
+
+        def slow_for_early_cases(case):
+            # Early cases sleep longer, so completion order is reversed
+            # from case order — results must still come back in case order.
+            time.sleep((20 - case.params["i"]) * 1e-3)
+            return case.params["i"] * 10
+
+        outcomes = run_sweep(slow_for_early_cases, cases, max_workers=4)
+        assert [o.index for o in outcomes] == list(range(20))
+        assert [o.value for o in outcomes] == [i * 10 for i in range(20)]
+
+    def test_parallel_matches_serial(self):
+        cases = [SweepCase(name=f"c{i}", params={"i": i}) for i in range(13)]
+        fn = lambda case: case.params["i"] ** 2
+        serial = [o.value for o in run_sweep(fn, cases, max_workers=1)]
+        parallel = [o.value for o in run_sweep(fn, cases, max_workers=4, chunk_size=2)]
+        assert serial == parallel
+
+    def test_actually_runs_concurrently(self):
+        cases = [SweepCase(name=f"c{i}") for i in range(4)]
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def track(case):
+            with lock:
+                active.append(case.name)
+                peak.append(len(active))
+            time.sleep(0.05)
+            with lock:
+                active.remove(case.name)
+            return None
+
+        run_sweep(track, cases, max_workers=4, chunk_size=1)
+        assert max(peak) >= 2
+
+    def test_empty_cases(self):
+        assert run_sweep(lambda c: 1, []) == []
+
+    def test_error_raise_mode(self):
+        cases = [SweepCase(name="ok"), SweepCase(name="boom")]
+
+        def maybe_fail(case):
+            if case.name == "boom":
+                raise RuntimeError("sweep case failed")
+            return 1
+
+        with pytest.raises(RuntimeError, match="sweep case failed"):
+            run_sweep(maybe_fail, cases, max_workers=1)
+
+    def test_error_capture_mode(self):
+        cases = [SweepCase(name="ok"), SweepCase(name="boom"), SweepCase(name="ok2")]
+
+        def maybe_fail(case):
+            if case.name == "boom":
+                raise RuntimeError("nope")
+            return case.name
+
+        outcomes = run_sweep(maybe_fail, cases, max_workers=2, on_error="capture")
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error is not None and "nope" in outcomes[1].error
+        assert outcomes[2].value == "ok2"
+
+    def test_invalid_on_error(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda c: 1, [SweepCase(name="a")], on_error="ignore")
+
+    def test_invalid_workers_and_chunks(self):
+        cases = [SweepCase(name="a"), SweepCase(name="b")]
+        with pytest.raises(ValueError):
+            run_sweep(lambda c: 1, cases, max_workers=0)
+        with pytest.raises(ValueError):
+            run_sweep(lambda c: 1, cases, max_workers=2, chunk_size=0)
+
+    def test_sweep_values(self):
+        cases = sweep_cases(i=[1, 2, 3])
+        assert sweep_values(lambda c: c.params["i"] + 1, cases) == [2, 3, 4]
+
+    def test_outcome_ok_property(self):
+        good = SweepOutcome(case=SweepCase(name="a"), index=0, value=1)
+        bad = SweepOutcome(case=SweepCase(name="a"), index=0, error="E")
+        assert good.ok and not bad.ok
+
+
+class TestSweepSimulations:
+    def test_scenarios_isolated_and_ordered(self):
+        from repro.core.simulation import ModuleSimulator
+        from repro.core.skat import skat
+        from repro.control.controller import CoolingController
+        from repro.reliability.failures import pump_stop_event
+
+        module = skat()
+
+        def factory():
+            return ModuleSimulator(module, controller=CoolingController())
+
+        scenarios = {
+            "pump_trip": [pump_stop_event(120.0, "oil_pump")],
+            "nominal": None,
+        }
+        results = sweep_simulations(
+            factory, scenarios, duration_s=600.0, dt_s=30.0, max_workers=2
+        )
+        assert list(results) == ["pump_trip", "nominal"]
+        # The trip scenario must not contaminate the nominal one.
+        assert results["pump_trip"].shutdown_time_s is not None
+        assert results["nominal"].shutdown_time_s is None
+
+        reference = factory().run(duration_s=600.0, dt_s=30.0)
+        assert results["nominal"].max_junction_c == pytest.approx(
+            reference.max_junction_c, rel=1e-12
+        )
