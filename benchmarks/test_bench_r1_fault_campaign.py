@@ -1,0 +1,231 @@
+"""Experiment R1 — supervised fault-injection campaign survivability.
+
+The paper's operational story is graceful degradation: the open bath is
+serviced without stopping the machine, a failed circulation loop leaves
+"the rest of modules" computing, and the control subsystem's sensors
+catch pump and interface failures before the silicon does. This bench
+drills that story closed-loop:
+
+- every fault kind in :mod:`repro.reliability.failures` is injected into
+  a supervised CM and must draw a supervisory response — ride-through
+  (failover, throttle, chiller fallback) or a latched SAFE_SHUTDOWN,
+  never an unbounded excursion;
+- the same pump-stop that runs away open-loop is survived supervised,
+  with degraded-mode performance above the documented floor
+  (``throttle_floor / nominal_utilization`` = 85/90 of nominal PFLOPS,
+  see docs/RESILIENCE.md);
+- a seeded campaign's survivability report is byte-for-byte reproducible
+  (the CI smoke-job property);
+- the Fig. 5 rack drill: a blocked loop's CM is individually isolated
+  while every surviving CM stays under the junction limit;
+- the campaign's observed mitigation behaviour feeds the Monte Carlo
+  availability model without losing the machine-stopping leak penalty.
+"""
+
+from repro.control.supervisor import Supervisor
+from repro.core.rack import Rack
+from repro.core.racksim import RackSimulator
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.performance.flops import sustained_gflops
+from repro.reliability.failures import loop_blockage_event, pump_stop_event
+from repro.reporting import ComparisonTable
+from repro.resilience import (
+    draw_scenarios,
+    mc_model_from_campaign,
+    run_campaign,
+    single_fault_scenarios,
+)
+
+#: Campaign step and horizon: long enough for the slow bath pole to
+#: answer every injected fault, short enough for a smoke-speed bench.
+DT_S = 5.0
+DURATION_S = 1500.0
+#: Component-trip ceiling used as the campaign's survival limit.
+JUNCTION_LIMIT_C = 85.0
+#: The drawn-campaign seed; the CI job pins the same value.
+SEED = 42
+
+
+def _supervised_simulator() -> ModuleSimulator:
+    return ModuleSimulator(module=skat(), supervisor=Supervisor())
+
+
+def _nominal_pflops(simulator: ModuleSimulator, utilization: float) -> float:
+    section = simulator.module.section
+    chips = section.n_boards * section.ccb.n_fpgas
+    return chips * sustained_gflops(section.ccb.fpga.family, utilization) / 1.0e6
+
+
+def build_table() -> ComparisonTable:
+    table = ComparisonTable("R1: supervised fault-injection campaign")
+
+    # --- every fault kind answered, bounded ---------------------------
+    singles = run_campaign(
+        _supervised_simulator,
+        single_fault_scenarios(),
+        duration_s=DURATION_S,
+        dt_s=DT_S,
+        junction_limit_c=JUNCTION_LIMIT_C,
+    )
+    print()
+    for s in singles.scenarios:
+        print(
+            f"  {s.name:13s} -> {s.final_state:13s} peak {s.peak_junction_c:6.1f} C  "
+            f"actions {[kind for _, kind, _ in s.actions]}"
+        )
+    table.add_bool(
+        "campaign ran every single-fault scenario without errors",
+        "engine criterion",
+        all(s.ok for s in singles.scenarios) and not singles.failures,
+    )
+    table.add_bool(
+        "every fault kind drew at least one supervisory response",
+        "stated (control subsystem)",
+        all(len(s.actions) >= 1 for s in singles.scenarios),
+    )
+    table.add_bool(
+        "every scenario bounded: under limit or latched SAFE_SHUTDOWN",
+        "resilience criterion",
+        singles.bounded_fraction == 1.0,
+    )
+    table.add_bool(
+        "a leak is always answered by SAFE_SHUTDOWN (no auto-recovery)",
+        "stated (closed-loop nightmare)",
+        singles.safe_shutdown_fraction_for("leak") == 1.0,
+    )
+
+    # --- pump failover: open loop runs away, supervised survives ------
+    pump_events = [pump_stop_event(240.0, "oil_pump", 0.0)]
+    open_loop = ModuleSimulator(module=skat()).run(
+        DURATION_S, events=list(pump_events), dt_s=DT_S
+    )
+    supervised = _supervised_simulator().run(
+        DURATION_S, events=list(pump_events), dt_s=DT_S
+    )
+    table.add_bool(
+        "open-loop pump stop exceeds 90 C (the unprotected baseline)",
+        "baseline",
+        open_loop.max_junction_c > 90.0,
+    )
+    table.add_bool(
+        "supervised pump stop survives under the junction limit",
+        "resilience criterion",
+        supervised.max_junction_c <= JUNCTION_LIMIT_C
+        and supervised.shutdown_time_s is None,
+    )
+    table.add_bool(
+        "the mitigation was a pump failover to the standby",
+        "resilience criterion",
+        any(a.kind == "pump_failover" for a in supervised.recovery_actions),
+    )
+    nominal = _nominal_pflops(_supervised_simulator(), Supervisor().nominal_utilization)
+    floor = nominal * (Supervisor().throttle_floor / Supervisor().nominal_utilization)
+    print(
+        f"  pump failover: degraded {supervised.degraded_pflops:.4f} PFlops, "
+        f"floor {floor:.4f}, nominal {nominal:.4f}"
+    )
+    table.add(
+        "degraded PFLOPS under pump failover / documented floor",
+        1.0,
+        round(supervised.degraded_pflops / floor, 4),
+        lo=1.0,
+        hi=1.2,
+    )
+
+    # --- seeded campaign reproducibility ------------------------------
+    drawn = draw_scenarios(SEED, 8, dt_s=DT_S)
+    report_a = run_campaign(
+        _supervised_simulator,
+        drawn,
+        duration_s=DURATION_S,
+        dt_s=DT_S,
+        junction_limit_c=JUNCTION_LIMIT_C,
+        seed=SEED,
+    )
+    report_b = run_campaign(
+        _supervised_simulator,
+        draw_scenarios(SEED, 8, dt_s=DT_S),
+        duration_s=DURATION_S,
+        dt_s=DT_S,
+        junction_limit_c=JUNCTION_LIMIT_C,
+        seed=SEED,
+    )
+    print(
+        f"  drawn campaign: {report_a.n_scenarios} scenarios, "
+        f"survived {report_a.survived_fraction:.2f}, "
+        f"safe-shutdown {report_a.safe_shutdown_fraction:.2f}, "
+        f"bounded {report_a.bounded_fraction:.2f}"
+    )
+    table.add_bool(
+        "identical seeds yield byte-identical survivability reports",
+        "determinism criterion",
+        report_a.to_json() == report_b.to_json(),
+    )
+    table.add_bool(
+        "drawn campaign bounded throughout (no unbounded excursions)",
+        "resilience criterion",
+        report_a.bounded_fraction == 1.0 and all(s.ok for s in report_a.scenarios),
+    )
+
+    # --- Fig. 5 at rack scale: isolate the blocked CM -----------------
+    rack = Rack(module_factory=skat, n_modules=4)
+    rack_sim = RackSimulator(rack=rack, supervisor=Supervisor())
+    rack_result = rack_sim.run(
+        1200.0, events=[loop_blockage_event(200.0, "loop_2", 0.0)], dt_s=20.0
+    )
+    survivor_peaks = [
+        rack_result.telemetry.maximum(f"junction_{i}")
+        for i in range(rack.n_modules)
+        if i not in rack_result.modules_shutdown
+    ]
+    print(
+        f"  rack blockage: blocked CM peak "
+        f"{rack_result.telemetry.maximum('junction_2'):.1f} C, survivors "
+        f"{[round(p, 1) for p in survivor_peaks]}, "
+        f"shutdown {rack_result.modules_shutdown}, state {rack_result.final_state}"
+    )
+    table.add_bool(
+        "blocked CM is individually isolated (no rack-wide shutdown)",
+        "stated (Fig. 5 drill)",
+        rack_result.modules_shutdown == (2,)
+        and rack_result.final_state != "SAFE_SHUTDOWN",
+    )
+    table.add_bool(
+        "every surviving CM stays under the 67 C junction limit",
+        "stated (Fig. 5 drill)",
+        all(p <= rack_sim.junction_limit_c for p in survivor_peaks),
+    )
+    table.add_bool(
+        "the blocked CM's excursion is bounded well below runaway",
+        "resilience criterion",
+        rack_result.telemetry.maximum("junction_2") < 100.0,
+    )
+
+    # --- Monte Carlo bridge -------------------------------------------
+    mc = mc_model_from_campaign(singles, seed=SEED)
+    mc_result = mc.run(years=10.0)
+    leak_component = next(
+        c for c in mc.components if c.component.name == "leak"
+    )
+    print(
+        f"  MC bridge: availability {mc_result.availability:.5f}, "
+        f"leak stoppage {leak_component.stoppage_hours:.1f} h"
+    )
+    table.add_bool(
+        "campaign-calibrated availability model stays above 99 %",
+        "reliability criterion",
+        mc_result.availability > 0.99,
+    )
+    table.add_bool(
+        "leak failures carry the full machine-stopping downtime charge",
+        "stated (closed-loop nightmare)",
+        leak_component.stoppage_hours == 24.0,
+    )
+    return table
+
+
+def test_bench_r1(benchmark):
+    table = benchmark(build_table)
+    table.print()
+    assert table.all_ok, f"unreproduced rows: {table.failures()}"

@@ -1,0 +1,77 @@
+"""Run a seeded fault-injection campaign and print its survivability report.
+
+The report JSON is canonical (sorted keys, fixed separators, rounded
+floats), so two invocations with the same arguments are byte-for-byte
+identical — the property the CI smoke job enforces with a plain diff.
+
+Run with::
+
+    python scripts/run_fault_campaign.py --seed 42 --scenarios 8
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.control.supervisor import Supervisor
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.resilience.campaign import (
+    draw_scenarios,
+    run_campaign,
+    single_fault_scenarios,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=42, help="campaign draw seed")
+    parser.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        help="number of drawn scenarios (0 = canonical single-fault set only)",
+    )
+    parser.add_argument("--duration", type=float, default=1500.0, help="run horizon, s")
+    parser.add_argument("--dt", type=float, default=5.0, help="time step, s")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel workers (default: auto)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the report JSON here too"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = list(single_fault_scenarios())
+    if args.scenarios > 0:
+        scenarios += list(
+            draw_scenarios(args.seed, args.scenarios, dt_s=args.dt)
+        )
+
+    report = run_campaign(
+        lambda: ModuleSimulator(module=skat(), supervisor=Supervisor()),
+        scenarios,
+        duration_s=args.duration,
+        dt_s=args.dt,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    payload = report.to_json()
+    print(payload)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+
+    if report.failures:
+        print(f"{len(report.failures)} scenario(s) crashed", file=sys.stderr)
+        return 1
+    if report.bounded_fraction < 1.0:
+        print("unbounded excursion in campaign", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,12 @@ from repro.control.controller import (
 )
 from repro.control.monitor import TelemetryLog
 from repro.control.pid import PidController, bath_temperature_pid, chiller_setpoint_pid
+from repro.control.supervisor import (
+    RecoveryAction,
+    Supervisor,
+    SupervisorDecision,
+    SupervisorState,
+)
 
 __all__ = [
     "Alarm",
@@ -32,8 +38,12 @@ __all__ = [
     "FlowSensor",
     "LevelSensor",
     "PidController",
+    "RecoveryAction",
     "Sensor",
     "SensorError",
+    "Supervisor",
+    "SupervisorDecision",
+    "SupervisorState",
     "TelemetryLog",
     "TemperatureSensor",
     "Thresholds",

@@ -7,6 +7,7 @@ drawn from an owned, seeded generator so simulation runs are reproducible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -55,9 +56,18 @@ class Sensor:
         self._rng = np.random.default_rng(self.seed)
 
     def read(self, truth: float) -> float:
-        """Produce a reading for the physical truth value."""
+        """Produce a reading for the physical truth value.
+
+        A stuck transmitter reports its frozen value regardless of the
+        truth. Otherwise a non-finite truth (NaN/inf from a diverged
+        solve) raises :class:`SensorError` instead of quietly railing —
+        the supervisor surfaces it as a ``sensor_fault`` alarm rather
+        than letting NaN propagate into the controller.
+        """
         if self._stuck_at is not None:
             return self._stuck_at
+        if not math.isfinite(truth):
+            raise SensorError(f"{self.name}: non-finite truth value {truth!r}")
         value = truth + self._bias
         if self.noise_std > 0:
             value += float(self._rng.normal(0.0, self.noise_std))

@@ -1,0 +1,398 @@
+"""Supervisory graceful-degradation state machine.
+
+The :class:`~repro.control.controller.CoolingController` grades alarms and
+latches an emergency shutdown; this module adds the layer the paper's
+production machines need above it — a per-step supervisor that *recovers*
+before giving up. It consumes the controller's alarms plus redundant-sensor
+votes and walks a bounded mitigation ladder:
+
+``NORMAL -> DEGRADED -> THROTTLED -> SAFE_SHUTDOWN``
+
+- a lost-flow trip is answered by failing over to a standby pump (once);
+- a temperature excursion is answered by throttling the FPGA workload
+  along the paper's 85-95 % utilization range and dropping the chiller
+  setpoint for extra margin;
+- a lost bath level (a leak) has no automatic recovery — the machine is
+  taken to SAFE_SHUTDOWN before the pump runs dry;
+- a blind sensor bank (every redundant reading rejected) likewise forces
+  SAFE_SHUTDOWN: the supervisor never controls on data it cannot trust.
+
+States only escalate within a run; SAFE_SHUTDOWN latches like the
+controller's trip and is cleared only by :meth:`Supervisor.reset` (the
+operator intervening). Every mitigation is recorded as a
+:class:`RecoveryAction` so campaign reports can measure time-to-mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.control.controller import (
+    Alarm,
+    AlarmSeverity,
+    CoolingController,
+)
+from repro.resilience.voting import VoteResult
+
+
+class SupervisorState(Enum):
+    """The graceful-degradation ladder; values order the escalation."""
+
+    NORMAL = 0
+    DEGRADED = 1
+    THROTTLED = 2
+    SAFE_SHUTDOWN = 3
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One supervisory intervention, timestamped for the campaign report."""
+
+    time_s: float
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class SupervisorDecision:
+    """The supervisor's output for one evaluation cycle."""
+
+    state: SupervisorState
+    alarms: List[Alarm]
+    pump_speed_fraction: float
+    active_pump: str
+    utilization: float
+    chiller_setpoint_c: float
+    shutdown: bool
+    new_actions: Tuple[RecoveryAction, ...] = ()
+
+    @property
+    def throttled(self) -> bool:
+        """Whether the workload is currently throttled below nominal."""
+        return self.state in (SupervisorState.THROTTLED, SupervisorState.SAFE_SHUTDOWN)
+
+
+#: Alarm sources the supervisor treats as temperature excursions (anything
+#: else critical that is not flow/level/sensor is a component sensor name).
+_PLANT_SOURCES = frozenset({"flow", "level", "sensor", "coolant"})
+
+
+@dataclass
+class Supervisor:
+    """Closed-loop recovery supervisor wrapping a cooling controller.
+
+    Parameters
+    ----------
+    controller:
+        The alarm/trip authority; the supervisor owns it (resetting its
+        latch when a mitigation substitutes for a shutdown).
+    nominal_utilization:
+        FPGA utilization of the unthrottled workload.
+    throttle_step, throttle_floor:
+        Workload throttling ladder: each temperature escalation sheds one
+        step until the floor — the bottom of the paper's 85-95 % range.
+    primary_pump, standby_pump:
+        Names of the duty and standby circulation pumps (failure-event
+        targets are matched against the *active* name).
+    max_pump_failovers:
+        How many times the supervisor may switch pumps (one standby).
+    standby_speed_fraction:
+        Delivered speed capability of the standby pump.
+    chiller_fallback_delta_c, chiller_setpoint_floor_c, max_chiller_fallbacks:
+        Chilled-water setpoint fallback: each temperature escalation drops
+        the setpoint by the delta, bounded by the floor and the budget.
+    """
+
+    controller: CoolingController = field(default_factory=CoolingController)
+    nominal_utilization: float = 0.9
+    throttle_step: float = 0.05
+    throttle_floor: float = 0.85
+    primary_pump: str = "oil_pump"
+    standby_pump: str = "standby_pump"
+    max_pump_failovers: int = 1
+    standby_speed_fraction: float = 1.0
+    chiller_fallback_delta_c: float = 4.0
+    chiller_setpoint_floor_c: float = 12.0
+    max_chiller_fallbacks: int = 2
+    _state: SupervisorState = field(init=False, default=SupervisorState.NORMAL, repr=False)
+    _active_pump: str = field(init=False, default="", repr=False)
+    _failovers_used: int = field(init=False, default=0, repr=False)
+    _fallbacks_used: int = field(init=False, default=0, repr=False)
+    _utilization: float = field(init=False, default=0.0, repr=False)
+    _chiller_setpoint_c: float = field(init=False, default=0.0, repr=False)
+    _sensor_flagged: bool = field(init=False, default=False, repr=False)
+    _actions: List[RecoveryAction] = field(init=False, default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.throttle_floor <= self.nominal_utilization <= 1.0:
+            raise ValueError("need 0 < throttle_floor <= nominal_utilization <= 1")
+        if self.throttle_step <= 0:
+            raise ValueError("throttle step must be positive")
+        if not 0.0 < self.standby_speed_fraction <= 1.0:
+            raise ValueError("standby speed fraction must be in (0, 1]")
+        if self.max_pump_failovers < 0 or self.max_chiller_fallbacks < 0:
+            raise ValueError("mitigation budgets must be non-negative")
+        self.reset()
+
+    def reset(self) -> None:
+        """Operator intervention: restore the pristine NORMAL state."""
+        self._state = SupervisorState.NORMAL
+        self._active_pump = self.primary_pump
+        self._failovers_used = 0
+        self._fallbacks_used = 0
+        self._utilization = self.nominal_utilization
+        self._chiller_setpoint_c = self.controller.nominal_setpoint_c
+        self._sensor_flagged = False
+        self._actions = []
+        self.controller.reset()
+
+    @property
+    def state(self) -> SupervisorState:
+        """Current ladder state."""
+        return self._state
+
+    @property
+    def active_pump(self) -> str:
+        """Name of the pump currently driving the loop."""
+        return self._active_pump
+
+    @property
+    def utilization(self) -> float:
+        """Currently commanded FPGA utilization."""
+        return self._utilization
+
+    @property
+    def actions(self) -> List[RecoveryAction]:
+        """Every recovery action taken since the last reset, in order."""
+        return list(self._actions)
+
+    def record(
+        self,
+        time_s: float,
+        kind: str,
+        detail: str,
+        state: Optional[SupervisorState] = None,
+    ) -> None:
+        """Log an externally observed recovery (e.g. a solver retry or a
+        per-module shutdown performed by the rack simulator), optionally
+        escalating the ladder."""
+        self._actions.append(RecoveryAction(time_s=time_s, kind=kind, detail=detail))
+        if state is not None:
+            self._escalate(state)
+
+    def _escalate(self, state: SupervisorState) -> None:
+        if state.value > self._state.value:
+            self._state = state
+
+    def _throttle(self, time_s: float, reason: str) -> bool:
+        """Shed one workload step; False when already at the floor."""
+        floor = self.throttle_floor
+        if self._utilization <= floor + 1e-12:
+            return False
+        new = max(floor, self._utilization - self.throttle_step)
+        self.record(
+            time_s,
+            "throttle",
+            f"utilization {self._utilization:.2f} -> {new:.2f} ({reason})",
+        )
+        self._utilization = new
+        self._escalate(SupervisorState.THROTTLED)
+        return True
+
+    def _chiller_fallback(self, time_s: float, reason: str) -> bool:
+        """Drop the chilled-water setpoint one step; False when exhausted."""
+        if self._fallbacks_used >= self.max_chiller_fallbacks:
+            return False
+        floor = self.chiller_setpoint_floor_c
+        if self._chiller_setpoint_c <= floor + 1e-12:
+            return False
+        new = max(floor, self._chiller_setpoint_c - self.chiller_fallback_delta_c)
+        self.record(
+            time_s,
+            "chiller_fallback",
+            f"setpoint {self._chiller_setpoint_c:.1f} -> {new:.1f} C ({reason})",
+        )
+        self._chiller_setpoint_c = new
+        self._fallbacks_used += 1
+        self._escalate(SupervisorState.DEGRADED)
+        return True
+
+    def _pump_failover(self, time_s: float, reason: str) -> bool:
+        """Switch to the standby pump; False when none remains."""
+        if self._failovers_used >= self.max_pump_failovers:
+            return False
+        self.record(
+            time_s,
+            "pump_failover",
+            f"{self._active_pump} -> {self.standby_pump} ({reason})",
+        )
+        self._active_pump = self.standby_pump
+        self._failovers_used += 1
+        self._escalate(SupervisorState.DEGRADED)
+        return True
+
+    def flow_interlock(self, time_s: float, flow_m3_s: float) -> bool:
+        """Fast loss-of-flow interlock: auto-start the standby pump.
+
+        Real redundant pump skids switch over on a hardware interlock
+        within seconds — far faster than the thermal supervision cycle —
+        so the simulators call this *within* the time step, before the
+        chips see stagnant oil. Returns True when a failover happened on
+        this call (the caller must re-apply pump actuation for the step).
+        """
+        if self._state is SupervisorState.SAFE_SHUTDOWN:
+            return False
+        if flow_m3_s >= self.controller.thresholds.min_flow_m3_s:
+            return False
+        return self._pump_failover(time_s, "loss-of-flow interlock")
+
+    def _safe_shutdown(self, time_s: float, reason: str) -> None:
+        if self._state is not SupervisorState.SAFE_SHUTDOWN:
+            self.record(time_s, "safe_shutdown", reason)
+        self._state = SupervisorState.SAFE_SHUTDOWN
+
+    def _shutdown_decision(self, alarms: List[Alarm]) -> SupervisorDecision:
+        return SupervisorDecision(
+            state=self._state,
+            alarms=alarms,
+            pump_speed_fraction=0.0,
+            active_pump=self._active_pump,
+            utilization=self._utilization,
+            chiller_setpoint_c=self._chiller_setpoint_c,
+            shutdown=True,
+        )
+
+    def step(
+        self,
+        time_s: float,
+        coolant: Union[float, VoteResult],
+        component_temps_c: Dict[str, float],
+        flow_m3_s: float,
+        level_fraction: float = 1.0,
+    ) -> SupervisorDecision:
+        """Evaluate one cycle: vote guards, alarms, then the mitigation
+        ladder. ``coolant`` is a pre-voted :class:`VoteResult` from a
+        redundant bank, or a plain trusted reading."""
+        if self._state is SupervisorState.SAFE_SHUTDOWN:
+            return self._shutdown_decision([])
+        actions_before = len(self._actions)
+
+        if isinstance(coolant, VoteResult):
+            vote = coolant
+        else:
+            vote = VoteResult(value=float(coolant), valid_count=1)
+
+        extra_alarms: List[Alarm] = []
+        if vote.failed:
+            extra_alarms.append(
+                Alarm(
+                    AlarmSeverity.CRITICAL,
+                    "sensor",
+                    f"sensor_fault: coolant bank blind ({len(vote.rejected)} rejected)",
+                )
+            )
+            self._safe_shutdown(
+                time_s, "no plausible coolant reading — cannot control blind"
+            )
+            return replace(
+                self._shutdown_decision(extra_alarms),
+                new_actions=tuple(self._actions[actions_before:]),
+            )
+        if vote.degraded and not self._sensor_flagged:
+            self._sensor_flagged = True
+            self.record(
+                time_s,
+                "sensor_vote",
+                f"sensor_fault outvoted ({len(vote.rejected)} rejected, "
+                f"{len(vote.suspects)} suspect)",
+                state=SupervisorState.DEGRADED,
+            )
+        if vote.degraded:
+            extra_alarms.append(
+                Alarm(
+                    AlarmSeverity.WARNING,
+                    "sensor",
+                    f"sensor_fault: {len(vote.rejected)} rejected, "
+                    f"{len(vote.suspects)} suspect of {vote.valid_count + len(vote.rejected)}",
+                )
+            )
+
+        action = self.controller.evaluate(
+            coolant_c=vote.value,
+            component_temps_c=component_temps_c,
+            flow_m3_s=flow_m3_s,
+            level_fraction=level_fraction,
+        )
+        alarms = action.alarms + extra_alarms
+        speed = action.pump_speed_fraction
+        setpoint = min(action.chiller_setpoint_c, self._chiller_setpoint_c)
+
+        if action.shutdown:
+            critical = {
+                a.source for a in action.alarms if a.severity is AlarmSeverity.CRITICAL
+            }
+            mitigated = False
+            if "level" in critical:
+                # A leak: there is no automatic recovery that refills the
+                # bath; stop before the pump runs dry.
+                self._safe_shutdown(time_s, "bath level below minimum (leak)")
+            elif "flow" in critical:
+                mitigated = self._pump_failover(time_s, "loss of circulation flow")
+                if not mitigated:
+                    self._safe_shutdown(time_s, "flow lost, no standby pump left")
+            else:
+                # Coolant or component temperature at trip: shed load and
+                # buy margin; only give up when the ladder is exhausted.
+                source = ", ".join(sorted(critical)) or "temperature"
+                fell_back = self._chiller_fallback(time_s, f"{source} at trip")
+                throttled = self._throttle(time_s, f"{source} at trip")
+                mitigated = fell_back or throttled
+                if not mitigated:
+                    self._safe_shutdown(
+                        time_s, f"{source} at trip with mitigations exhausted"
+                    )
+            if self._state is SupervisorState.SAFE_SHUTDOWN:
+                return replace(
+                    self._shutdown_decision(alarms),
+                    new_actions=tuple(self._actions[actions_before:]),
+                )
+            # A mitigation substituted for the trip: clear the latch and
+            # keep (or restore) circulation.
+            self.controller.reset()
+            speed = self.controller.nominal_pump_speed
+            setpoint = self._chiller_setpoint_c
+        else:
+            # Pre-emptive mitigation on warnings, before anything trips.
+            warn = {
+                a.source for a in action.alarms if a.severity is AlarmSeverity.WARNING
+            }
+            component_warn = sorted(warn - _PLANT_SOURCES)
+            if component_warn:
+                self._throttle(time_s, f"{', '.join(component_warn)} high")
+            if "coolant" in warn:
+                self._chiller_fallback(time_s, "coolant high")
+            setpoint = min(setpoint, self._chiller_setpoint_c)
+
+        if self._active_pump == self.standby_pump:
+            speed = min(speed, self.standby_speed_fraction)
+
+        return SupervisorDecision(
+            state=self._state,
+            alarms=alarms,
+            pump_speed_fraction=speed,
+            active_pump=self._active_pump,
+            utilization=self._utilization,
+            chiller_setpoint_c=setpoint,
+            shutdown=False,
+            new_actions=tuple(self._actions[actions_before:]),
+        )
+
+
+__all__ = [
+    "RecoveryAction",
+    "Supervisor",
+    "SupervisorDecision",
+    "SupervisorState",
+]

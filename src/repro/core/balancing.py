@@ -227,16 +227,23 @@ class RackManifoldSystem:
         """
         self.solver.reset()
 
-    def solve(self) -> BalanceReport:
+    def solve(self, tolerance_m3_s: float = 1.0e-9) -> BalanceReport:
         """Solve the network and report the per-loop flow distribution.
 
         Re-solves are warm-started from the previous pressure field, and
         previously seen valve/pump states are replayed from the solver's
         solution cache — both exact to solver tolerance, see
-        :class:`repro.hydraulics.solver.NetworkSolver`.
+        :class:`repro.hydraulics.solver.NetworkSolver`. ``tolerance_m3_s``
+        is the acceptable worst-junction imbalance; the rack simulator's
+        retry-with-backoff relaxes it when a post-failure manifold state
+        refuses to converge at the default.
         """
         result: SolveResult = solve_network(
-            self._network, self.fluid, self.temperature_c, solver=self.solver
+            self._network,
+            self.fluid,
+            self.temperature_c,
+            tolerance_m3_s=tolerance_m3_s,
+            solver=self.solver,
         )
         failed = [
             i

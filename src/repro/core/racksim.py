@@ -14,15 +14,19 @@ water supply temperature (chiller dynamics), and the per-CM water flows
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
-from repro.control.monitor import TelemetryLog
+from repro.control.monitor import AlarmLog, TelemetryLog
+from repro.control.supervisor import RecoveryAction, Supervisor, SupervisorState
 from repro.core.balancing import RackManifoldSystem
 from repro.core.module import ComputationalModule
 from repro.core.rack import Rack
 from repro.devices.power import ThermalRunawayError
+from repro.hydraulics import HydraulicsError
+from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
+from repro.resilience.retry import retry_with_backoff
 
 #: Junction value reported when a CM's chips run away (trip substitute).
 RUNAWAY_CLAMP_C = 150.0
@@ -37,6 +41,20 @@ class RackSimResult:
     max_water_c: float
     modules_over_limit: List[int]
     time_over_limit_s: Dict[int, float]
+    #: Supervisor ladder state at the end of a supervised run; None when
+    #: unsupervised.
+    final_state: Optional[str] = None
+    #: Every supervisory intervention of the run, in order.
+    recovery_actions: Tuple[RecoveryAction, ...] = ()
+    #: CM indices the supervisor individually shut down (tripped modules
+    #: isolated so the rest of the rack keeps computing).
+    modules_shutdown: Tuple[int, ...] = ()
+    #: Rack sustained performance with the shut-down modules dark and the
+    #: survivors at the lowest commanded utilization, PFlops; None when
+    #: unsupervised.
+    degraded_pflops: Optional[float] = None
+    #: Deduplicated alarm episodes of a supervised run.
+    alarm_log: AlarmLog = field(default_factory=AlarmLog)
 
     def survived(self, junction_limit_c: float) -> bool:
         """Whether every CM stayed below the junction limit throughout."""
@@ -57,21 +75,95 @@ class RackSimulator:
         Heat capacitance of each CM's bath.
     junction_limit_c:
         The reliability ceiling tracked in the result.
+    supervisor:
+        Optional :class:`~repro.control.supervisor.Supervisor`. A
+        supervised run isolates a tripped CM (shutting just that module
+        down instead of the rack), throttles the surviving FPGAs on
+        temperature excursions, drops the chiller setpoint for margin,
+        and escalates to a rack-wide SAFE_SHUTDOWN only when the ladder
+        is exhausted. The supervisor also logs the hydraulic solver's
+        retry-with-backoff recoveries.
+    hydraulic_retry_attempts:
+        Bounded attempts for the manifold re-solve; attempt ``i`` relaxes
+        the flow tolerance to ``1e-9 * 10**i`` m^3/s. On total failure the
+        step keeps the last converged flow field (recorded as a recovery
+        action) rather than crashing the run.
     """
 
     rack: Rack
     water_thermal_mass_j_k: float = 8.0e5
     oil_thermal_mass_j_k: float = 1.0e5
     junction_limit_c: float = 67.0
+    supervisor: Optional[Supervisor] = None
+    hydraulic_retry_attempts: int = 3
     _modules: List[ComputationalModule] = field(init=False, repr=False)
     _manifold: RackManifoldSystem = field(init=False, repr=False)
+    _throttled: Dict[Tuple[int, float], ComputationalModule] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _retry_attempts: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
+        if self.hydraulic_retry_attempts < 1:
+            raise ValueError("need at least one hydraulic solve attempt")
         self._modules = [self.rack.module_factory() for _ in range(self.rack.n_modules)]
         self._manifold = self.rack.manifold_system()
 
-    def _water_flows(self) -> List[float]:
-        return self._manifold.solve().loop_flows_m3_s
+    def _water_flows(self, time_s: float = 0.0) -> Optional[List[float]]:
+        """Manifold flows with bounded tolerance relaxation on failure.
+
+        Returns None when no attempt converged — the caller holds the
+        last good flow field for the step (a frozen estimate beats a
+        crashed campaign; the discrepancy is logged as a recovery
+        action).
+        """
+        outcome = retry_with_backoff(
+            lambda attempt: self._manifold.solve(
+                tolerance_m3_s=1.0e-9 * 10.0**attempt
+            ).loop_flows_m3_s,
+            attempts=self.hydraulic_retry_attempts,
+            retry_on=(HydraulicsError,),
+        )
+        self._retry_attempts += outcome.attempts - (1 if outcome.ok else 0)
+        if self.supervisor is not None:
+            if outcome.ok and outcome.retried:
+                self.supervisor.record(
+                    time_s,
+                    "hydraulic_retry",
+                    f"manifold converged on attempt {outcome.attempts} "
+                    f"(tolerance relaxed to {1.0e-9 * 10.0 ** (outcome.attempts - 1):g})",
+                )
+            elif not outcome.ok:
+                self.supervisor.record(
+                    time_s,
+                    "hydraulic_fallback",
+                    f"manifold solve failed after {outcome.attempts} attempts; "
+                    "holding last converged flows",
+                    state=SupervisorState.DEGRADED,
+                )
+        return outcome.value if outcome.ok else None
+
+    def _throttled_module(self, index: int, utilization: float) -> ComputationalModule:
+        """CM ``index`` with its FPGAs re-rated (cached per step level)."""
+        key = (index, utilization)
+        try:
+            return self._throttled[key]
+        except KeyError:
+            module = self._modules[index]
+            section = module.section
+            if section.ccb.fpga.utilization != utilization:
+                module = replace(
+                    module,
+                    section=replace(
+                        section,
+                        ccb=replace(
+                            section.ccb,
+                            fpga=replace(section.ccb.fpga, utilization=utilization),
+                        ),
+                    ),
+                )
+            self._throttled[key] = module
+            return module
 
     def _chiller_capacity_w(self, time_s: float, events: List[FailureEvent]) -> float:
         capacity = self.rack.chiller.capacity_w
@@ -124,18 +216,39 @@ class RackSimulator:
         # cache make the repeated manifold re-solves nearly free.
         self._manifold = self.rack.manifold_system()
         self._manifold.reset_solver()
+        self._throttled.clear()
+        self._retry_attempts = 0
+        supervised = self.supervisor is not None
+        if supervised:
+            self.supervisor.reset()
         events = sorted(events or [], key=lambda e: e.time_s)
         telemetry = TelemetryLog()
+        alarm_log = AlarmLog()
         n = self.rack.n_modules
 
         water_c = self.rack.chiller.setpoint_c
         oils = [water_c + 8.0] * n
         applied = set()
-        flows = self._water_flows()
+        flows = self._water_flows(0.0)
+        if flows is None:
+            raise HydraulicsError("initial manifold solve failed")
 
         max_fpga = -1.0e9
         max_water = water_c
         time_over: Dict[int, float] = {i: 0.0 for i in range(n)}
+        down: set = set()
+        modules_shutdown: List[int] = []
+        utilization: Optional[float] = (
+            self.supervisor.nominal_utilization if supervised else None
+        )
+        min_utilization = utilization
+        water_target = self.rack.chiller.setpoint_c
+        rack_shutdown_time: Optional[float] = None
+        trip_c = (
+            self.supervisor.controller.thresholds.component_trip_c
+            if supervised
+            else None
+        )
 
         time_s = 0.0
         while time_s <= duration_s:
@@ -146,7 +259,9 @@ class RackSimulator:
                 if event.kind == "loop_blockage" and event.target.startswith("loop_"):
                     loop = int(event.target.split("_", 1)[1])
                     self._manifold.fail_loop(loop)
-                    flows = self._water_flows()
+                    new_flows = self._water_flows(time_s)
+                    if new_flows is not None:
+                        flows = new_flows
                     applied.add(idx)
                 elif event.target == "chiller":
                     applied.add(idx)  # handled continuously below
@@ -154,9 +269,18 @@ class RackSimulator:
             capacity = self._chiller_capacity_w(time_s, events)
 
             total_rejected = 0.0
+            junctions: Dict[str, float] = {}
             sample: Dict[str, float] = {"water_c": water_c}
-            for i, module in enumerate(self._modules):
+            for i in range(n):
+                module = self._modules[i]
+                if supervised and utilization is not None and i not in down:
+                    module = self._throttled_module(i, utilization)
                 state = self._module_state(module, oils[i], water_c, flows[i])
+                if i in down:
+                    # A dark module: no heat, its loop still rejects the
+                    # stored bath energy while it cools down.
+                    state["heat"] = 0.0
+                    state["junction"] = oils[i]
                 oils[i] += (state["heat"] - state["rejected"]) * dt_s / self.oil_thermal_mass_j_k
                 oils[i] = min(oils[i], module.section.oil.t_max_c - 1.0)
                 total_rejected += state["rejected"]
@@ -165,15 +289,60 @@ class RackSimulator:
                     time_over[i] += dt_s
                 sample[f"oil_{i}"] = oils[i]
                 sample[f"junction_{i}"] = state["junction"]
+                if i not in down:
+                    junctions[f"cm_{i}"] = state["junction"]
+
+            if supervised and rack_shutdown_time is None:
+                # Isolate individually tripped CMs *before* the rack-wide
+                # decision: one runaway module must not latch the whole
+                # rack into SAFE_SHUTDOWN while eleven others run cold.
+                for i in range(n):
+                    name = f"cm_{i}"
+                    if name in junctions and junctions[name] >= trip_c:
+                        down.add(i)
+                        modules_shutdown.append(i)
+                        del junctions[name]
+                        self.supervisor.record(
+                            time_s,
+                            "module_shutdown",
+                            f"cm_{i} junction {sample[f'junction_{i}']:.1f} C "
+                            "at trip; module isolated",
+                            state=SupervisorState.DEGRADED,
+                        )
+                decision = self.supervisor.step(
+                    time_s,
+                    water_c,
+                    component_temps_c=junctions,
+                    flow_m3_s=sum(flows),
+                    level_fraction=1.0,
+                )
+                alarm_log.observe(time_s, decision.alarms)
+                utilization = decision.utilization
+                if min_utilization is None or utilization < min_utilization:
+                    min_utilization = utilization
+                water_target = min(
+                    self.rack.chiller.setpoint_c, decision.chiller_setpoint_c
+                )
+                if decision.shutdown:
+                    rack_shutdown_time = time_s
+                    down.update(range(n))
+
+            if supervised:
+                sample["supervisor_state"] = float(self.supervisor.state.value)
+                sample["utilization"] = (
+                    utilization
+                    if utilization is not None
+                    else self.supervisor.nominal_utilization
+                )
 
             removed = min(total_rejected, capacity)
             water_c += (total_rejected - removed) * dt_s / self.water_thermal_mass_j_k
-            # The chiller pulls the loop back toward the setpoint when it
-            # has spare capacity.
-            if capacity > total_rejected and water_c > self.rack.chiller.setpoint_c:
+            # The chiller pulls the loop back toward the (possibly
+            # fallen-back) setpoint when it has spare capacity.
+            if capacity > total_rejected and water_c > water_target:
                 spare = capacity - total_rejected
                 water_c -= spare * dt_s / self.water_thermal_mass_j_k
-                water_c = max(water_c, self.rack.chiller.setpoint_c)
+                water_c = max(water_c, water_target)
             max_water = max(max_water, water_c)
 
             telemetry.record(time_s, sample)
@@ -186,15 +355,37 @@ class RackSimulator:
                 "hydraulic_cache_hits": counters.cache_hits,
                 "hydraulic_warm_starts": counters.warm_starts,
                 "hydraulic_scalar_fallbacks": counters.scalar_fallbacks,
+                "hydraulic_retry_attempts": self._retry_attempts,
+                "alarm_episodes": alarm_log.episodes,
             }
         )
         over = [i for i, t in time_over.items() if t > 0.0]
+        final_state: Optional[str] = None
+        recovery_actions: Tuple[RecoveryAction, ...] = ()
+        degraded_pflops: Optional[float] = None
+        if supervised:
+            final_state = self.supervisor.state.name
+            recovery_actions = tuple(self.supervisor.actions)
+            alive = n - len(down)
+            section = self._modules[0].section
+            chips = section.n_boards * section.ccb.n_fpgas
+            degraded_pflops = (
+                alive
+                * chips
+                * sustained_gflops(section.ccb.fpga.family, min_utilization)
+                / 1.0e6
+            )
         return RackSimResult(
             telemetry=telemetry,
             max_fpga_c=max_fpga,
             max_water_c=max_water,
             modules_over_limit=sorted(over),
             time_over_limit_s=time_over,
+            final_state=final_state,
+            recovery_actions=recovery_actions,
+            modules_shutdown=tuple(modules_shutdown),
+            degraded_pflops=degraded_pflops,
+            alarm_log=alarm_log,
         )
 
 

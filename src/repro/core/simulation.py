@@ -14,15 +14,20 @@ must catch when a pump stops or the thermal interface degrades.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.control.controller import ControlAction, CoolingController
 from repro.control.pid import PidController
 from repro.control.monitor import AlarmLog, TelemetryLog
+from repro.control.sensors import Sensor, SensorError, TemperatureSensor
+from repro.control.supervisor import RecoveryAction, Supervisor
 from repro.core.module import ComputationalModule
+from repro.devices.fpga import Fpga
 from repro.devices.power import ThermalRunawayError
+from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
+from repro.resilience.voting import median_vote
 from repro.thermal.convection import natural_vertical_film
 
 #: Junction temperature reported when leakage runaway is reached — the
@@ -46,6 +51,14 @@ class SimulationResult:
     shutdown_time_s: Optional[float]
     alarms_raised: int
     alarm_log: AlarmLog = field(default_factory=AlarmLog)
+    #: Supervisor ladder state at the end of a supervised run ("NORMAL",
+    #: "DEGRADED", "THROTTLED", "SAFE_SHUTDOWN"); None when unsupervised.
+    final_state: Optional[str] = None
+    #: Every supervisory intervention of the run, in order.
+    recovery_actions: Tuple[RecoveryAction, ...] = ()
+    #: Sustained module performance at the *lowest* utilization the
+    #: supervisor commanded during the run, PFlops; None when unsupervised.
+    degraded_pflops: Optional[float] = None
 
     def survived(self, junction_limit_c: float) -> bool:
         """Whether no junction exceeded the given limit during the run."""
@@ -67,11 +80,23 @@ class ModuleSimulator:
         Bath heat capacitance (oil volume x rho x cp; ~60 L for a 3U CM).
     controller:
         Optional supervisory controller; None runs open-loop.
+    supervisor:
+        Optional recovery supervisor
+        (:class:`~repro.control.supervisor.Supervisor`). Mutually
+        exclusive with ``controller`` — the supervisor owns its own. A
+        supervised run reads the bath through a redundant 3-sensor bank,
+        votes it down (:func:`repro.resilience.voting.median_vote`) and
+        closes the loop on the decision: pump failover re-routes
+        ``pump_stop`` events to the active pump, throttling re-rates the
+        FPGAs, the chiller fallback lowers the water supply temperature.
     pid:
         Optional PID regulator (e.g.
         :func:`repro.control.pid.bath_temperature_pid`) trimming the pump
         speed continuously against the bath temperature. The supervisory
         controller's trip authority overrides it.
+    bath_volume_m3:
+        Open-bath oil inventory; converts a leak's volumetric rate into a
+        level-fraction drop per step (~60 L for a 3U CM).
     """
 
     module: ComputationalModule
@@ -79,7 +104,11 @@ class ModuleSimulator:
     water_flow_m3_s: float = 1.2e-3
     oil_thermal_mass_j_k: float = 1.0e5
     controller: Optional[CoolingController] = None
+    supervisor: Optional[Supervisor] = None
     pid: Optional["PidController"] = None
+    bath_volume_m3: float = 0.06
+    #: Gaussian noise of each redundant bath sensor, Celsius.
+    coolant_sensor_noise_std: float = 0.05
     #: Bath-temperature quantization of the pump operating-point cache;
     #: the oil loop's flow changes ~0.1 % across the default bucket, far
     #: inside the model's calibration error, while the cache removes a
@@ -89,6 +118,22 @@ class ModuleSimulator:
     _flow_cache: Dict[int, float] = field(init=False, default_factory=dict, repr=False)
     _flow_cache_hits: int = field(init=False, default=0, repr=False)
     _flow_cache_misses: int = field(init=False, default=0, repr=False)
+    _utilization: Optional[float] = field(init=False, default=None, repr=False)
+    _throttled_fpgas: Dict[float, Fpga] = field(
+        init=False, default_factory=dict, repr=False
+    )
+    _coolant_sensors: List[Sensor] = field(
+        init=False, default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.controller is not None and self.supervisor is not None:
+            raise ValueError(
+                "pass either a controller or a supervisor, not both "
+                "(the supervisor owns its own controller)"
+            )
+        if self.bath_volume_m3 <= 0:
+            raise ValueError("bath volume must be positive")
 
     def reset(self) -> None:
         """Restore pristine per-run state (caches, latches, PID memory).
@@ -103,10 +148,23 @@ class ModuleSimulator:
         self._flow_cache.clear()
         self._flow_cache_hits = 0
         self._flow_cache_misses = 0
+        self._utilization = None
         if self.pid is not None:
             self.pid.reset()
         if self.controller is not None:
             self.controller.reset()
+        if self.supervisor is not None:
+            self.supervisor.reset()
+            # A fresh seeded bank per run: the noise draws of one scenario
+            # cannot shift the readings of the next.
+            self._coolant_sensors = [
+                TemperatureSensor(
+                    f"oil_temp_{i}",
+                    noise_std=self.coolant_sensor_noise_std,
+                    seed=1000 + i,
+                )
+                for i in range(3)
+            ]
 
     def _loop_flow(self, oil_c: float) -> float:
         """Full-speed oil-loop flow, cached on the bucketed bath temperature."""
@@ -124,13 +182,61 @@ class ModuleSimulator:
             return flow
 
     def _pump_speed_from_events(
-        self, time_s: float, events: List[FailureEvent], commanded: float
+        self,
+        time_s: float,
+        events: List[FailureEvent],
+        commanded: float,
+        active_pump: Optional[str] = None,
     ) -> float:
+        """Degrade the commanded speed by due pump failures.
+
+        Unsupervised, every ``pump_stop`` applies (there is only one
+        pump). Supervised, only events targeting the *active* pump bite —
+        a failover to the standby escapes the primary's failure.
+        """
         speed = commanded
         for event in events:
-            if event.kind == "pump_stop" and time_s >= event.time_s:
-                speed = min(speed, event.magnitude)
+            if event.kind != "pump_stop" or time_s < event.time_s:
+                continue
+            if active_pump is not None and event.target != active_pump:
+                continue
+            speed = min(speed, event.magnitude)
         return speed
+
+    def _flow_multiplier_from_events(
+        self, time_s: float, events: List[FailureEvent]
+    ) -> float:
+        """Remaining oil-loop opening under due blockage events."""
+        multiplier = 1.0
+        for event in events:
+            if event.kind == "loop_blockage" and time_s >= event.time_s:
+                multiplier = min(multiplier, event.magnitude)
+        return multiplier
+
+    def _apply_sensor_faults(
+        self, time_s: float, events: List[FailureEvent], applied: set
+    ) -> None:
+        """Inject due ``sensor_fault`` events into the redundant bank."""
+        if not self._coolant_sensors:
+            return
+        for idx, event in enumerate(events):
+            if idx in applied or event.kind != "sensor_fault" or time_s < event.time_s:
+                continue
+            suffix = event.target.rsplit("_", 1)[-1]
+            bank_index = int(suffix) if suffix.isdigit() else 0
+            bank_index %= len(self._coolant_sensors)
+            self._coolant_sensors[bank_index].inject_bias(event.magnitude)
+            applied.add(idx)
+
+    def _throttled_fpga(self, utilization: float) -> Fpga:
+        """The module's FPGA re-rated to a commanded utilization (cached —
+        the supervisor only ever commands a handful of distinct steps)."""
+        try:
+            return self._throttled_fpgas[utilization]
+        except KeyError:
+            fpga = replace(self.module.section.ccb.fpga, utilization=utilization)
+            self._throttled_fpgas[utilization] = fpga
+            return fpga
 
     def _tim_multiplier_from_events(self, time_s: float, events: List[FailureEvent]) -> float:
         multiplier = 1.0
@@ -148,6 +254,8 @@ class ModuleSimulator:
         """
         section = self.module.section
         fpga = section.ccb.fpga
+        if self._utilization is not None and self._utilization != fpga.utilization:
+            fpga = self._throttled_fpga(self._utilization)
         family = fpga.family
         if oil_flow_m3_s > 1.0e-6:
             resistance = section.chip_resistance_k_w(oil_flow_m3_s, oil_c)
@@ -202,31 +310,68 @@ class ModuleSimulator:
         alarms = 0
         max_junction = -1.0e9
         max_oil = oil_c
+        supervised = self.supervisor is not None
+        active_pump: Optional[str] = (
+            self.supervisor.active_pump if supervised else None
+        )
+        water_in_c = self.water_in_c
+        level = 1.0
+        min_utilization: Optional[float] = (
+            self.supervisor.nominal_utilization if supervised else None
+        )
+        sensor_faults_applied: set = set()
+        oil_ceiling = self.module.section.oil.t_max_c - 1.0
 
         time_s = 0.0
         while time_s <= duration_s:
             self._tim_multiplier = self._tim_multiplier_from_events(time_s, events)
-            if self.pid is not None and shutdown_time is None:
+            # A leak drains the open bath at its volumetric rate; there is
+            # no automatic make-up, so the level only falls.
+            for event in events:
+                if event.kind == "leak" and time_s >= event.time_s:
+                    level -= event.magnitude * dt_s / self.bath_volume_m3
+            level = max(level, 0.0)
+            self._apply_sensor_faults(time_s, events, sensor_faults_applied)
+
+            if self.pid is not None and shutdown_time is None and not supervised:
                 commanded_speed = self.pid.update(oil_c, dt_s)
-            speed = self._pump_speed_from_events(time_s, events, commanded_speed)
+            speed = self._pump_speed_from_events(
+                time_s, events, commanded_speed, active_pump
+            )
 
             if speed > 0.0:
                 flow = self._loop_flow(oil_c) * speed
+                flow *= self._flow_multiplier_from_events(time_s, events)
             else:
                 flow = 0.0
+            if supervised and shutdown_time is None:
+                # The loss-of-flow interlock switches pumps within the
+                # step — the standby spins up before the chips see
+                # stagnant oil (the thermal decision below is slower).
+                if self.supervisor.flow_interlock(time_s, flow):
+                    active_pump = self.supervisor.active_pump
+                    speed = self._pump_speed_from_events(
+                        time_s, events, commanded_speed, active_pump
+                    )
+                    speed = min(speed, self.supervisor.standby_speed_fraction)
+                    if speed > 0.0:
+                        flow = self._loop_flow(oil_c) * speed
+                        flow *= self._flow_multiplier_from_events(time_s, events)
+                    else:
+                        flow = 0.0
             junction, bath_heat = self._chip_state(oil_c, flow)
             if shutdown_time is not None:
                 # Electronics are off after a trip; only residual heat.
                 bath_heat = 0.0
                 junction = oil_c
 
-            if flow > 1.0e-6 and oil_c > self.water_in_c:
+            if flow > 1.0e-6 and oil_c > water_in_c:
                 hx = self.module.hx.solve(
                     self.module.section.oil,
                     oil_c,
                     flow,
                     self.module.water,
-                    self.water_in_c,
+                    water_in_c,
                     self.water_flow_m3_s,
                 )
                 rejected = hx.q_w
@@ -240,12 +385,10 @@ class ModuleSimulator:
             # The property fits end below the flash point; an uncontrolled
             # run that drives the bath there is already a destroyed machine,
             # so clamp the state at the model ceiling.
-            oil_ceiling = self.module.section.oil.t_max_c - 1.0
             oil_c = min(oil_c, oil_ceiling)
             max_junction = max(max_junction, junction)
             max_oil = max(max_oil, oil_c)
 
-            level = 1.0
             action: Optional[ControlAction] = None
             if self.controller is not None and shutdown_time is None:
                 action = self.controller.evaluate(
@@ -259,18 +402,56 @@ class ModuleSimulator:
                 commanded_speed = action.pump_speed_fraction
                 if action.shutdown:
                     shutdown_time = time_s
+            elif supervised and shutdown_time is None:
+                readings: List[Optional[float]] = []
+                for sensor in self._coolant_sensors:
+                    try:
+                        readings.append(sensor.read(oil_c))
+                    except SensorError:
+                        readings.append(None)
+                vote = median_vote(
+                    readings,
+                    lo=-10.0,
+                    hi=oil_ceiling + 30.0,
+                    deviation_limit=3.0,
+                )
+                decision = self.supervisor.step(
+                    time_s,
+                    vote,
+                    component_temps_c={"fpga_hot": junction},
+                    flow_m3_s=flow,
+                    level_fraction=level,
+                )
+                alarms += len(decision.alarms)
+                alarm_log.observe(time_s, decision.alarms)
+                commanded_speed = decision.pump_speed_fraction
+                active_pump = decision.active_pump
+                self._utilization = decision.utilization
+                if min_utilization is None or decision.utilization < min_utilization:
+                    min_utilization = decision.utilization
+                # The chiller fallback only helps (the facility never
+                # supplies warmer water than the actual plant delivers).
+                water_in_c = min(self.water_in_c, decision.chiller_setpoint_c)
+                if decision.shutdown:
+                    shutdown_time = time_s
 
-            telemetry.record(
-                time_s,
-                {
-                    "oil_c": oil_c,
-                    "junction_c": junction,
-                    "oil_flow_m3_s": flow,
-                    "bath_heat_w": bath_heat,
-                    "rejected_w": rejected,
-                    "pump_speed": speed if shutdown_time is None else 0.0,
-                },
-            )
+            sample = {
+                "oil_c": oil_c,
+                "junction_c": junction,
+                "oil_flow_m3_s": flow,
+                "bath_heat_w": bath_heat,
+                "rejected_w": rejected,
+                "pump_speed": speed if shutdown_time is None else 0.0,
+                "level_fraction": level,
+            }
+            if supervised:
+                sample["utilization"] = (
+                    self._utilization
+                    if self._utilization is not None
+                    else self.supervisor.nominal_utilization
+                )
+                sample["supervisor_state"] = float(self.supervisor.state.value)
+            telemetry.record(time_s, sample)
             time_s += dt_s
 
         telemetry.set_counters(
@@ -280,6 +461,19 @@ class ModuleSimulator:
                 "alarm_episodes": alarm_log.episodes,
             }
         )
+        final_state: Optional[str] = None
+        recovery_actions: Tuple[RecoveryAction, ...] = ()
+        degraded_pflops: Optional[float] = None
+        if supervised:
+            final_state = self.supervisor.state.name
+            recovery_actions = tuple(self.supervisor.actions)
+            section = self.module.section
+            chips = section.n_boards * section.ccb.n_fpgas
+            degraded_pflops = (
+                chips
+                * sustained_gflops(section.ccb.fpga.family, min_utilization)
+                / 1.0e6
+            )
         return SimulationResult(
             telemetry=telemetry,
             max_junction_c=max_junction,
@@ -287,6 +481,9 @@ class ModuleSimulator:
             shutdown_time_s=shutdown_time,
             alarms_raised=alarms,
             alarm_log=alarm_log,
+            final_state=final_state,
+            recovery_actions=recovery_actions,
+            degraded_pflops=degraded_pflops,
         )
 
 

@@ -10,8 +10,19 @@ control subsystem.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
+
+#: Largest credible leak, m^3/s — a full hose blow-off is ~1 L/s; beyond
+#: 10 L/s the number is a unit mistake, not a scenario.
+MAX_LEAK_RATE_M3_S = 1.0e-2
+#: Largest credible TIM degradation multiplier; a fully washed-out
+#: interface is ~an order of magnitude, two orders is a modeling error.
+MAX_TIM_MULTIPLIER = 100.0
+#: Largest credible sensor offset magnitude, Celsius (the transmitters
+#: rail at their range ends well inside this).
+MAX_SENSOR_OFFSET_C = 100.0
 
 
 @dataclass(frozen=True)
@@ -43,8 +54,10 @@ class FailureEvent:
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.time_s < 0:
-            raise ValueError("event time must be non-negative")
+        if not math.isfinite(self.time_s) or self.time_s < 0:
+            raise ValueError("event time must be finite and non-negative")
+        if not math.isfinite(self.magnitude):
+            raise ValueError("event magnitude must be finite")
         if not self.kind:
             raise ValueError("event kind must be non-empty")
         if not self.target:
@@ -84,8 +97,13 @@ def loop_blockage_event(time_s: float, loop_name: str, remaining_opening: float 
 
 def leak_event(time_s: float, location: str, leak_rate_m3_s: float) -> FailureEvent:
     """A heat-transfer-agent leak (the closed-loop nightmare scenario)."""
-    if leak_rate_m3_s <= 0:
-        raise ValueError("leak rate must be positive")
+    if not math.isfinite(leak_rate_m3_s) or leak_rate_m3_s <= 0:
+        raise ValueError("leak rate must be finite and positive")
+    if leak_rate_m3_s > MAX_LEAK_RATE_M3_S:
+        raise ValueError(
+            f"leak rate {leak_rate_m3_s:g} m^3/s exceeds the credible maximum "
+            f"{MAX_LEAK_RATE_M3_S:g} (check units: m^3/s, not L/s)"
+        )
     return FailureEvent(
         kind="leak",
         time_s=time_s,
@@ -103,8 +121,13 @@ def tim_washout_drift(
 
     ``resistance_multiplier`` > 1 scales the interface resistance.
     """
-    if resistance_multiplier < 1.0:
-        raise ValueError("washout can only increase resistance")
+    if not math.isfinite(resistance_multiplier) or resistance_multiplier < 1.0:
+        raise ValueError("washout multiplier must be finite and >= 1")
+    if resistance_multiplier > MAX_TIM_MULTIPLIER:
+        raise ValueError(
+            f"washout multiplier {resistance_multiplier:g} exceeds the credible "
+            f"maximum {MAX_TIM_MULTIPLIER:g}"
+        )
     return FailureEvent(
         kind="tim_washout",
         time_s=time_s,
@@ -118,6 +141,13 @@ def sensor_fault_event(
     time_s: float, sensor_name: str, offset_c: float, description: Optional[str] = None
 ) -> FailureEvent:
     """A temperature sensor develops a constant offset (stuck/biased)."""
+    if not math.isfinite(offset_c):
+        raise ValueError("sensor offset must be finite")
+    if abs(offset_c) > MAX_SENSOR_OFFSET_C:
+        raise ValueError(
+            f"sensor offset {offset_c:g} C exceeds the credible magnitude "
+            f"{MAX_SENSOR_OFFSET_C:g} C"
+        )
     return FailureEvent(
         kind="sensor_fault",
         time_s=time_s,
@@ -129,6 +159,9 @@ def sensor_fault_event(
 
 __all__ = [
     "FailureEvent",
+    "MAX_LEAK_RATE_M3_S",
+    "MAX_SENSOR_OFFSET_C",
+    "MAX_TIM_MULTIPLIER",
     "leak_event",
     "loop_blockage_event",
     "pump_stop_event",

@@ -1,0 +1,46 @@
+"""Resilience substrate: graceful degradation under injected faults.
+
+The paper's operational claims are resilience claims — the open bath
+tolerates servicing without shutdown, the Fig. 5 manifold passively keeps
+CMs cooled when a loop is shut, and SKAT stays under the 65-70 C
+reliability ceiling. This package supplies the machinery that *tests*
+those claims closed-loop:
+
+- :mod:`repro.resilience.voting` — median-of-N redundant-sensor voting
+  with plausibility and NaN guards;
+- :mod:`repro.resilience.retry` — bounded deterministic retry-with-backoff
+  for solver convergence failures;
+- :mod:`repro.resilience.campaign` — the seeded fault-injection campaign
+  engine and its survivability report.
+
+The supervisory state machine that consumes these lives with the rest of
+the control subsystem in :mod:`repro.control.supervisor`.
+"""
+
+from repro.resilience.campaign import (
+    KINDS,
+    CampaignReport,
+    FaultScenario,
+    ScenarioReport,
+    draw_scenarios,
+    mc_model_from_campaign,
+    run_campaign,
+    single_fault_scenarios,
+)
+from repro.resilience.retry import RetryOutcome, retry_with_backoff
+from repro.resilience.voting import VoteResult, median_vote
+
+__all__ = [
+    "CampaignReport",
+    "FaultScenario",
+    "KINDS",
+    "RetryOutcome",
+    "ScenarioReport",
+    "VoteResult",
+    "draw_scenarios",
+    "mc_model_from_campaign",
+    "median_vote",
+    "retry_with_backoff",
+    "run_campaign",
+    "single_fault_scenarios",
+]

@@ -1,0 +1,487 @@
+"""Seeded fault-injection campaigns and their survivability report.
+
+A resilience claim is only as good as the fault space it was tested
+against. This module turns the one-off failure drills of
+:mod:`repro.reliability.failures` into *campaigns*: seeded, deterministic
+batches of single- and compound-fault scenarios run in parallel over
+:func:`repro.sweep.run_sweep`, each scored into a
+:class:`ScenarioReport` (did the supervisor hold the junction, how fast
+did it alarm and mitigate, how much performance did degraded mode cost)
+and aggregated into a :class:`CampaignReport` whose JSON serialization is
+byte-for-byte reproducible for a given seed — the property the CI smoke
+job pins.
+
+The campaign also closes the loop back to the reliability models:
+:func:`mc_model_from_campaign` converts the observed mitigation behaviour
+(what fraction of each fault class ended in a machine-stopping
+SAFE_SHUTDOWN rather than a ride-through) into repair/stoppage charges
+for :class:`repro.reliability.montecarlo.AvailabilitySimulator`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.reliability.availability import Component
+from repro.reliability.failures import (
+    FailureEvent,
+    leak_event,
+    loop_blockage_event,
+    pump_stop_event,
+    sensor_fault_event,
+    tim_washout_drift,
+)
+from repro.reliability.montecarlo import AvailabilitySimulator, McComponent
+from repro.sweep import SweepCase, run_sweep, summarize_failures
+
+#: Every fault class the simulators understand; a campaign drawn with
+#: default weights exercises all of them.
+KINDS: Tuple[str, ...] = (
+    "pump_stop",
+    "loop_blockage",
+    "leak",
+    "tim_washout",
+    "sensor_fault",
+)
+
+#: Default per-kind hazard rates for the Monte Carlo bridge, per hour
+#: (order-of-magnitude engineering priors: pumps are the wear item,
+#: sensors drift, leaks and washout are rare maintenance-induced events).
+_DEFAULT_RATES_PER_HOUR: Dict[str, float] = {
+    "pump_stop": 2.0e-5,
+    "loop_blockage": 8.0e-6,
+    "leak": 4.0e-6,
+    "tim_washout": 2.0e-6,
+    "sensor_fault": 1.5e-5,
+}
+
+#: Base mean-time-to-repair per kind, hours, assuming the fault was ridden
+#: through (hot-swap the pump, re-open the valve, recalibrate the sensor).
+_DEFAULT_REPAIR_HOURS: Dict[str, float] = {
+    "pump_stop": 4.0,
+    "loop_blockage": 2.0,
+    "leak": 8.0,
+    "tim_washout": 12.0,
+    "sensor_fault": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named bundle of failure events injected into one run."""
+
+    name: str
+    events: Tuple[FailureEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.events:
+            raise ValueError("scenario must carry at least one event")
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """The distinct fault kinds involved, sorted."""
+        return tuple(sorted({event.kind for event in self.events}))
+
+    @property
+    def first_fault_time_s(self) -> float:
+        """Injection time of the earliest event."""
+        return min(event.time_s for event in self.events)
+
+
+def single_fault_scenarios(fault_time_s: float = 240.0) -> List[FaultScenario]:
+    """The canonical one-scenario-per-kind set (deterministic, no RNG).
+
+    Every fault class in :data:`KINDS` appears exactly once with a
+    representative severe magnitude, so a campaign over this set proves
+    the acceptance property "every failure kind has a supervisor
+    response".
+    """
+    return [
+        FaultScenario(
+            name="pump_stop",
+            events=(pump_stop_event(fault_time_s, "oil_pump", 0.0),),
+        ),
+        FaultScenario(
+            name="loop_blockage",
+            events=(loop_blockage_event(fault_time_s, "oil_loop", 0.3),),
+        ),
+        FaultScenario(
+            name="leak",
+            events=(leak_event(fault_time_s, "bath", 2.0e-5),),
+        ),
+        FaultScenario(
+            name="tim_washout",
+            events=(tim_washout_drift(fault_time_s, "fpga_hot", 4.0),),
+        ),
+        FaultScenario(
+            name="sensor_fault",
+            events=(sensor_fault_event(fault_time_s, "oil_temp_0", 25.0),),
+        ),
+    ]
+
+
+def _draw_event(rng: np.random.Generator, kind: str, time_s: float) -> FailureEvent:
+    if kind == "pump_stop":
+        return pump_stop_event(time_s, "oil_pump", float(rng.uniform(0.0, 0.5)))
+    if kind == "loop_blockage":
+        return loop_blockage_event(time_s, "oil_loop", float(rng.uniform(0.0, 0.5)))
+    if kind == "leak":
+        return leak_event(time_s, "bath", float(rng.uniform(1.0e-6, 5.0e-5)))
+    if kind == "tim_washout":
+        return tim_washout_drift(time_s, "fpga_hot", float(rng.uniform(2.0, 6.0)))
+    if kind == "sensor_fault":
+        offset = float(rng.uniform(5.0, 30.0)) * (1.0 if rng.random() < 0.5 else -1.0)
+        sensor = f"oil_temp_{int(rng.integers(0, 3))}"
+        return sensor_fault_event(time_s, sensor, offset)
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+def draw_scenarios(
+    seed: int,
+    n: int,
+    compound_fraction: float = 0.25,
+    dt_s: float = 5.0,
+    min_time_s: float = 120.0,
+    max_time_s: float = 600.0,
+) -> List[FaultScenario]:
+    """Draw ``n`` random scenarios from a seeded generator.
+
+    All magnitudes stay inside the ranges the
+    :mod:`repro.reliability.failures` factories validate; injection times
+    land on the ``dt_s`` grid so a drawn scenario replays identically at
+    the campaign's step size. A ``compound_fraction`` of the scenarios
+    carry two faults of *different* kinds (the double-fault drills).
+    """
+    if n < 1:
+        raise ValueError("need at least one scenario")
+    if not 0.0 <= compound_fraction <= 1.0:
+        raise ValueError("compound fraction must be within [0, 1]")
+    if dt_s <= 0 or min_time_s < 0 or max_time_s <= min_time_s:
+        raise ValueError("bad time parameters")
+    rng = np.random.default_rng(seed)
+    scenarios = []
+    for i in range(n):
+        compound = bool(rng.random() < compound_fraction)
+        n_faults = 2 if compound else 1
+        kinds = [str(k) for k in rng.choice(KINDS, size=n_faults, replace=False)]
+        events = []
+        for kind in kinds:
+            raw = float(rng.uniform(min_time_s, max_time_s))
+            time_s = round(raw / dt_s) * dt_s
+            events.append(_draw_event(rng, kind, time_s))
+        label = "+".join(kinds)
+        scenarios.append(
+            FaultScenario(name=f"s{i:03d}_{label}", events=tuple(events))
+        )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Survivability score of one scenario run.
+
+    ``survived`` means the junction never crossed the campaign limit;
+    ``safe_shutdown`` that the supervisor latched SAFE_SHUTDOWN (the
+    controlled way to lose). Acceptance: never both False with a bounded
+    result — an unsupervised runaway fails both.
+    """
+
+    name: str
+    kinds: Tuple[str, ...]
+    ok: bool
+    error: Optional[str]
+    survived: bool
+    safe_shutdown: bool
+    final_state: Optional[str]
+    peak_junction_c: float
+    peak_oil_c: float
+    time_to_alarm_s: Optional[float]
+    time_to_mitigation_s: Optional[float]
+    min_utilization: Optional[float]
+    degraded_pflops: Optional[float]
+    actions: Tuple[Tuple[float, str, str], ...] = ()
+
+    @property
+    def bounded(self) -> bool:
+        """Survived outright, or lost in the controlled way."""
+        return self.survived or self.safe_shutdown
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict form (floats rounded for stability)."""
+        return {
+            "name": self.name,
+            "kinds": list(self.kinds),
+            "ok": self.ok,
+            "error": self.error,
+            "survived": self.survived,
+            "safe_shutdown": self.safe_shutdown,
+            "final_state": self.final_state,
+            "peak_junction_c": _round(self.peak_junction_c),
+            "peak_oil_c": _round(self.peak_oil_c),
+            "time_to_alarm_s": _round(self.time_to_alarm_s),
+            "time_to_mitigation_s": _round(self.time_to_mitigation_s),
+            "min_utilization": _round(self.min_utilization),
+            "degraded_pflops": _round(self.degraded_pflops),
+            "actions": [
+                [_round(t), kind, detail] for t, kind, detail in self.actions
+            ],
+        }
+
+
+def _round(value: Optional[float], digits: int = 6) -> Optional[float]:
+    if value is None:
+        return None
+    return round(float(value), digits)
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate of one campaign; serializes byte-for-byte reproducibly."""
+
+    scenarios: Tuple[ScenarioReport, ...]
+    seed: Optional[int]
+    duration_s: float
+    dt_s: float
+    junction_limit_c: float
+    failures: Tuple[Dict[str, Any], ...] = ()
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def survived_fraction(self) -> float:
+        """Fraction of scenarios that rode the fault through under limit."""
+        if not self.scenarios:
+            return 0.0
+        return sum(1 for s in self.scenarios if s.survived) / len(self.scenarios)
+
+    @property
+    def safe_shutdown_fraction(self) -> float:
+        """Fraction that ended in a supervisor-latched SAFE_SHUTDOWN."""
+        if not self.scenarios:
+            return 0.0
+        return sum(1 for s in self.scenarios if s.safe_shutdown) / len(self.scenarios)
+
+    @property
+    def bounded_fraction(self) -> float:
+        """Fraction that either survived or shut down safely."""
+        if not self.scenarios:
+            return 0.0
+        return sum(1 for s in self.scenarios if s.bounded) / len(self.scenarios)
+
+    @property
+    def worst_peak_junction_c(self) -> float:
+        """Hottest junction seen across the whole campaign."""
+        peaks = [s.peak_junction_c for s in self.scenarios if s.ok]
+        return max(peaks) if peaks else float("nan")
+
+    def safe_shutdown_fraction_for(self, kind: str) -> float:
+        """SAFE_SHUTDOWN fraction among scenarios involving ``kind``."""
+        hits = [s for s in self.scenarios if kind in s.kinds]
+        if not hits:
+            return 0.0
+        return sum(1 for s in hits if s.safe_shutdown) / len(hits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration_s": _round(self.duration_s),
+            "dt_s": _round(self.dt_s),
+            "junction_limit_c": _round(self.junction_limit_c),
+            "n_scenarios": self.n_scenarios,
+            "survived_fraction": _round(self.survived_fraction),
+            "safe_shutdown_fraction": _round(self.safe_shutdown_fraction),
+            "bounded_fraction": _round(self.bounded_fraction),
+            "worst_peak_junction_c": _round(self.worst_peak_junction_c),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "failures": [dict(f) for f in self.failures],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, fixed separators, rounded
+        floats — identical seeds yield identical bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _first_alarm_time(result: Any) -> Optional[float]:
+    log = getattr(result, "alarm_log", None)
+    if log is None or not log.history:
+        return None
+    return float(log.history[0].time_s)
+
+
+def _score(
+    scenario: FaultScenario, result: Any, junction_limit_c: float
+) -> ScenarioReport:
+    """Fold one simulation result into a scenario report."""
+    fault_t = scenario.first_fault_time_s
+    peak_junction = float(
+        getattr(result, "max_junction_c", getattr(result, "max_fpga_c", float("nan")))
+    )
+    peak_oil = float(
+        getattr(result, "max_oil_c", getattr(result, "max_water_c", float("nan")))
+    )
+    final_state = getattr(result, "final_state", None)
+    actions = tuple(
+        (float(a.time_s), str(a.kind), str(a.detail))
+        for a in getattr(result, "recovery_actions", ())
+    )
+    mitigations = [t for t, kind, _ in actions if kind != "safe_shutdown" and t >= fault_t]
+    alarm_t = _first_alarm_time(result)
+    telemetry = getattr(result, "telemetry", None)
+    min_util: Optional[float] = None
+    if telemetry is not None and "utilization" in telemetry.channels:
+        min_util = float(telemetry.minimum("utilization"))
+    degraded_pflops = getattr(result, "degraded_pflops", None)
+    return ScenarioReport(
+        name=scenario.name,
+        kinds=scenario.kinds,
+        ok=True,
+        error=None,
+        survived=peak_junction <= junction_limit_c,
+        safe_shutdown=final_state == "SAFE_SHUTDOWN",
+        final_state=final_state,
+        peak_junction_c=peak_junction,
+        peak_oil_c=peak_oil,
+        time_to_alarm_s=(alarm_t - fault_t) if alarm_t is not None else None,
+        time_to_mitigation_s=(min(mitigations) - fault_t) if mitigations else None,
+        min_utilization=min_util,
+        degraded_pflops=degraded_pflops,
+        actions=actions,
+    )
+
+
+def _failed_report(scenario: FaultScenario, error: str) -> ScenarioReport:
+    return ScenarioReport(
+        name=scenario.name,
+        kinds=scenario.kinds,
+        ok=False,
+        error=error,
+        survived=False,
+        safe_shutdown=False,
+        final_state=None,
+        peak_junction_c=float("nan"),
+        peak_oil_c=float("nan"),
+        time_to_alarm_s=None,
+        time_to_mitigation_s=None,
+        min_utilization=None,
+        degraded_pflops=None,
+    )
+
+
+def run_campaign(
+    simulator_factory: Callable[[], Any],
+    scenarios: Sequence[FaultScenario],
+    duration_s: float = 1500.0,
+    dt_s: float = 5.0,
+    junction_limit_c: float = 85.0,
+    max_workers: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> CampaignReport:
+    """Run every scenario on a fresh simulator; never raises per-case.
+
+    A **fresh simulator** comes from the factory for every scenario (the
+    supervisor and controller are stateful latches), cases run in
+    parallel with deterministic ordering, and a scenario whose simulation
+    itself blows up is captured — its traceback lands in
+    ``report.failures`` via :func:`repro.sweep.summarize_failures`
+    instead of killing the campaign.
+    """
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ValueError("campaign needs at least one scenario")
+    by_name = {s.name: s for s in scenarios}
+    if len(by_name) != len(scenarios):
+        raise ValueError("scenario names must be unique")
+    cases = [SweepCase(name=s.name, params={"scenario": s}) for s in scenarios]
+
+    def evaluate(case: SweepCase) -> Any:
+        scenario: FaultScenario = case.params["scenario"]
+        simulator = simulator_factory()
+        return simulator.run(
+            duration_s=duration_s, events=list(scenario.events), dt_s=dt_s
+        )
+
+    outcomes = run_sweep(evaluate, cases, max_workers=max_workers, on_error="capture")
+    reports = []
+    for outcome in outcomes:
+        scenario = by_name[outcome.case.name]
+        if outcome.ok:
+            reports.append(_score(scenario, outcome.value, junction_limit_c))
+        else:
+            reports.append(_failed_report(scenario, outcome.error or "error"))
+    failures = tuple(
+        {k: v for k, v in record.items() if k != "params"}
+        for record in summarize_failures(outcomes)
+    )
+    return CampaignReport(
+        scenarios=tuple(reports),
+        seed=seed,
+        duration_s=duration_s,
+        dt_s=dt_s,
+        junction_limit_c=junction_limit_c,
+        failures=failures,
+    )
+
+
+def mc_model_from_campaign(
+    report: CampaignReport,
+    rates_per_hour: Optional[Dict[str, float]] = None,
+    repair_hours: Optional[Dict[str, float]] = None,
+    shutdown_stoppage_hours: float = 24.0,
+    seed: int = 0,
+) -> AvailabilitySimulator:
+    """Bridge the campaign's observed mitigation behaviour into the Monte
+    Carlo availability model.
+
+    Each fault kind the campaign exercised becomes one
+    :class:`~repro.reliability.montecarlo.McComponent`. Its repair time is
+    the kind's base MTTR; its *stoppage* charge — the extra whole-system
+    downtime of a machine-stopping failure — is ``shutdown_stoppage_hours``
+    weighted by the fraction of that kind's scenarios the supervisor could
+    only answer with SAFE_SHUTDOWN. A kind the supervisor always rides
+    through contributes no stoppage at all; a kind that always stops the
+    machine (leaks) carries the full charge.
+    """
+    if shutdown_stoppage_hours < 0:
+        raise ValueError("stoppage hours must be non-negative")
+    rates = dict(_DEFAULT_RATES_PER_HOUR)
+    rates.update(rates_per_hour or {})
+    repairs = dict(_DEFAULT_REPAIR_HOURS)
+    repairs.update(repair_hours or {})
+    kinds = sorted({kind for s in report.scenarios for kind in s.kinds})
+    if not kinds:
+        raise ValueError("campaign exercised no fault kinds")
+    components = []
+    for kind in kinds:
+        shutdown_fraction = report.safe_shutdown_fraction_for(kind)
+        components.append(
+            McComponent(
+                component=Component(
+                    name=kind,
+                    failure_rate_per_hour=rates.get(kind, 1.0e-5),
+                    repair_hours=max(0.1, repairs.get(kind, 4.0)),
+                ),
+                stoppage_hours=shutdown_stoppage_hours * shutdown_fraction,
+            )
+        )
+    return AvailabilitySimulator(components=components, seed=seed)
+
+
+__all__ = [
+    "CampaignReport",
+    "FaultScenario",
+    "KINDS",
+    "ScenarioReport",
+    "draw_scenarios",
+    "mc_model_from_campaign",
+    "run_campaign",
+    "single_fault_scenarios",
+]

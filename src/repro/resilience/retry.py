@@ -1,0 +1,84 @@
+"""Bounded deterministic retry-with-backoff for solver failures.
+
+The hydraulic fast path already falls back to the bracketed robust
+formulation per solve; this module covers the layer above it — a solve
+that fails *outright* (e.g. a valve-slam manifold state no formulation
+converges on at the requested tolerance). Callers retry a bounded number
+of times, backing off along a *relaxation schedule* (each attempt index
+typically maps to a 10x looser convergence tolerance) rather than a
+wall-clock delay: simulation time is not wall time, and a deterministic
+schedule keeps seeded campaigns byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """Result of a bounded retry loop.
+
+    Attributes
+    ----------
+    ok:
+        Whether any attempt succeeded.
+    value:
+        The successful attempt's return value (None when every attempt
+        failed — distinguish via ``ok``, not the value).
+    attempts:
+        Attempts actually made (1 for a first-try success).
+    errors:
+        Repr of each failed attempt's exception, in attempt order.
+    """
+
+    ok: bool
+    value: Any
+    attempts: int
+    errors: Tuple[str, ...] = ()
+
+    @property
+    def retried(self) -> bool:
+        """Whether success required more than one attempt."""
+        return self.ok and self.attempts > 1
+
+
+def retry_with_backoff(
+    fn: Callable[[int], Any],
+    attempts: int = 3,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+) -> RetryOutcome:
+    """Call ``fn(attempt_index)`` until it succeeds or attempts run out.
+
+    Parameters
+    ----------
+    fn:
+        The operation; receives the 0-based attempt index so it can relax
+        its own tolerance / perturb its own start along a backoff
+        schedule (``tolerance * 10 ** attempt`` is the convention used by
+        the rack simulator's manifold re-solve).
+    attempts:
+        Maximum attempts (>= 1).
+    retry_on:
+        Exception classes that trigger a retry; anything else propagates
+        immediately.
+
+    Never raises for exhausted retries — the caller inspects ``ok`` and
+    decides whether a degraded continuation (last known good state) or an
+    abort is appropriate.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    errors = []
+    for index in range(attempts):
+        try:
+            return RetryOutcome(
+                ok=True, value=fn(index), attempts=index + 1, errors=tuple(errors)
+            )
+        except retry_on as exc:
+            errors.append(repr(exc))
+    return RetryOutcome(ok=False, value=None, attempts=attempts, errors=tuple(errors))
+
+
+__all__ = ["RetryOutcome", "retry_with_backoff"]

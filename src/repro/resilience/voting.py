@@ -1,0 +1,113 @@
+"""Redundant-sensor voting: median-of-N with plausibility and NaN guards.
+
+The control subsystem must not trip — or, worse, fail to trip — on one
+lying transmitter. The supervisor therefore reads the bath temperature
+through a small redundant bank and votes: readings that are missing
+(the sensor raised :class:`~repro.control.sensors.SensorError`), non-finite,
+or outside the physically plausible band are *rejected* before the median;
+readings that survive the guards but sit far from the voted value are
+flagged as *suspects* (a drifting sensor the operator should replace) while
+still being outvoted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import median
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of one median vote over a redundant sensor bank.
+
+    Attributes
+    ----------
+    value:
+        The voted reading, or None when no reading survived the guards.
+    valid_count:
+        How many readings entered the median.
+    rejected:
+        Indices of readings discarded before the vote (missing, non-finite
+        or implausible).
+    suspects:
+        Indices of readings that voted but deviate from the median by more
+        than the deviation limit — outvoted, probably faulted.
+    """
+
+    value: Optional[float]
+    valid_count: int
+    rejected: Tuple[int, ...] = ()
+    suspects: Tuple[int, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        """True when no reading survived — the bank is blind."""
+        return self.value is None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the vote succeeded but some reading misbehaved."""
+        return self.value is not None and bool(self.rejected or self.suspects)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every reading voted and agreed."""
+        return self.value is not None and not self.rejected and not self.suspects
+
+
+def median_vote(
+    readings: Sequence[Optional[float]],
+    lo: float = -math.inf,
+    hi: float = math.inf,
+    deviation_limit: Optional[float] = None,
+) -> VoteResult:
+    """Vote a redundant sensor bank down to one trusted value.
+
+    Parameters
+    ----------
+    readings:
+        One entry per bank member; ``None`` marks a sensor that failed to
+        produce a reading at all.
+    lo, hi:
+        Plausibility band; readings outside it are rejected before the
+        median (a bath thermometer reporting -40 C is broken, not cold).
+    deviation_limit:
+        When given, surviving readings farther than this from the median
+        are flagged as suspects (but still counted in the vote — the
+        median has already outvoted them).
+    """
+    if not len(readings):
+        raise ValueError("vote requires at least one reading")
+    if hi < lo:
+        raise ValueError("plausibility band high must not be below low")
+
+    rejected = []
+    valid = []  # (index, value)
+    for i, reading in enumerate(readings):
+        if reading is None or not math.isfinite(reading) or not lo <= reading <= hi:
+            rejected.append(i)
+        else:
+            valid.append((i, float(reading)))
+
+    if not valid:
+        return VoteResult(value=None, valid_count=0, rejected=tuple(rejected))
+
+    voted = float(median(value for _, value in valid))
+    suspects = ()
+    if deviation_limit is not None:
+        if deviation_limit < 0:
+            raise ValueError("deviation limit must be non-negative")
+        suspects = tuple(
+            i for i, value in valid if abs(value - voted) > deviation_limit
+        )
+    return VoteResult(
+        value=voted,
+        valid_count=len(valid),
+        rejected=tuple(rejected),
+        suspects=suspects,
+    )
+
+
+__all__ = ["VoteResult", "median_vote"]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import traceback as _traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -49,13 +50,16 @@ class SweepOutcome:
     """The result of evaluating one sweep case.
 
     ``value`` holds the evaluation result; ``error`` the repr of the
-    exception when the case failed and errors are being captured.
+    exception when the case failed and errors are being captured, with
+    ``error_traceback`` carrying the full formatted traceback for
+    diagnosis (see :func:`summarize_failures`).
     """
 
     case: SweepCase
     index: int
     value: Any = None
     error: Optional[str] = None
+    error_traceback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -136,7 +140,12 @@ def run_sweep(
         except Exception as exc:  # noqa: BLE001 - reported per-case
             if on_error == "raise":
                 raise
-            return SweepOutcome(case=case, index=index, error=repr(exc))
+            return SweepOutcome(
+                case=case,
+                index=index,
+                error=repr(exc),
+                error_traceback=_traceback.format_exc(),
+            )
 
     workers = _resolve_workers(len(cases), max_workers)
     indexed = list(enumerate(cases))
@@ -154,6 +163,44 @@ def run_sweep(
     with ThreadPoolExecutor(max_workers=workers) as pool:
         chunk_results = list(pool.map(run_chunk, _chunks(indexed, chunk_size)))
     return [outcome for chunk in chunk_results for outcome in chunk]
+
+
+def summarize_failures(outcomes: Sequence[SweepOutcome]) -> List[Dict[str, Any]]:
+    """Condense a sweep's captured failures into diagnosable records.
+
+    A campaign that quietly reports ``ok=False`` for a third of its cases
+    is undebuggable; this helper turns each failed outcome into
+
+    ``{"case": name, "params": axes, "kind": exception class,
+    "error": repr, "where": innermost traceback frame}``
+
+    where ``where`` is the deepest ``File "...", line N, in fn`` frame of
+    the captured traceback — the raise site, not the executor plumbing.
+    Outcomes that succeeded are skipped; an all-ok sweep yields ``[]``.
+    """
+    records: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        kind = (outcome.error or "").split("(", 1)[0]
+        where = ""
+        if outcome.error_traceback:
+            frames = [
+                line.strip()
+                for line in outcome.error_traceback.splitlines()
+                if line.lstrip().startswith("File \"")
+            ]
+            where = frames[-1] if frames else ""
+        records.append(
+            {
+                "case": outcome.case.name,
+                "params": dict(outcome.case.params),
+                "kind": kind,
+                "error": outcome.error,
+                "where": where,
+            }
+        )
+    return records
 
 
 def sweep_values(
@@ -205,6 +252,7 @@ __all__ = [
     "SweepCase",
     "SweepOutcome",
     "run_sweep",
+    "summarize_failures",
     "sweep_cases",
     "sweep_simulations",
     "sweep_values",

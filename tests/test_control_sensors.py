@@ -78,3 +78,24 @@ class TestFactories:
     def test_level_sensor_fraction(self):
         sensor = LevelSensor("level", noise_std=0.0)
         assert 0.0 <= sensor.read(0.97) <= 1.0
+
+
+class TestNonFiniteTruth:
+    def test_nan_truth_raises_sensor_error(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        with pytest.raises(SensorError, match="non-finite"):
+            sensor.read(float("nan"))
+
+    def test_infinite_truth_raises_sensor_error(self):
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        with pytest.raises(SensorError):
+            sensor.read(float("inf"))
+        with pytest.raises(SensorError):
+            sensor.read(float("-inf"))
+
+    def test_stuck_sensor_ignores_nan_truth(self):
+        # A failed transmitter never sees the truth; its frozen value
+        # keeps coming back even when the plant model diverges.
+        sensor = Sensor(name="t", lo=0.0, hi=100.0)
+        sensor.stick_at(25.0)
+        assert sensor.read(float("nan")) == 25.0

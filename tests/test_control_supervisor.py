@@ -1,0 +1,191 @@
+"""Unit tests for the supervisory graceful-degradation state machine."""
+
+import pytest
+
+from repro.control.supervisor import Supervisor, SupervisorState
+from repro.resilience.voting import median_vote
+
+
+def make_supervisor(**kwargs):
+    return Supervisor(**kwargs)
+
+
+NOMINAL = dict(
+    coolant=28.0,
+    component_temps_c={"fpga_hot": 55.0},
+    flow_m3_s=1.5e-3,
+    level_fraction=1.0,
+)
+
+
+class TestNormalOperation:
+    def test_nominal_step_stays_normal(self):
+        sup = make_supervisor()
+        decision = sup.step(0.0, **NOMINAL)
+        assert sup.state is SupervisorState.NORMAL
+        assert not decision.shutdown
+        assert decision.utilization == pytest.approx(0.9)
+        assert decision.active_pump == "oil_pump"
+        assert decision.new_actions == ()
+
+    def test_plain_float_coolant_accepted(self):
+        sup = make_supervisor()
+        decision = sup.step(0.0, 28.0, {"fpga_hot": 55.0}, 1.5e-3)
+        assert not decision.shutdown
+
+
+class TestPumpFailover:
+    def test_flow_trip_answered_by_failover(self):
+        sup = make_supervisor()
+        decision = sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        assert not decision.shutdown
+        assert decision.active_pump == "standby_pump"
+        assert sup.state is SupervisorState.DEGRADED
+        assert [a.kind for a in decision.new_actions] == ["pump_failover"]
+
+    def test_second_flow_trip_exhausts_standby(self):
+        sup = make_supervisor()
+        sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        decision = sup.step(20.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        assert decision.shutdown
+        assert sup.state is SupervisorState.SAFE_SHUTDOWN
+
+    def test_flow_interlock_switches_below_min_flow(self):
+        sup = make_supervisor()
+        assert sup.flow_interlock(5.0, 1.0e-5)
+        assert sup.active_pump == "standby_pump"
+        # Budget spent: a second interlock cannot switch again.
+        assert not sup.flow_interlock(10.0, 1.0e-5)
+
+    def test_flow_interlock_ignores_healthy_flow(self):
+        sup = make_supervisor()
+        assert not sup.flow_interlock(5.0, 1.5e-3)
+        assert sup.active_pump == "oil_pump"
+
+    def test_standby_speed_cap_applies(self):
+        sup = make_supervisor(standby_speed_fraction=0.8)
+        sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        decision = sup.step(20.0, **NOMINAL)
+        assert decision.pump_speed_fraction <= 0.8
+
+
+class TestTemperatureLadder:
+    def test_component_warning_throttles(self):
+        sup = make_supervisor()
+        decision = sup.step(10.0, 28.0, {"fpga_hot": 75.0}, 1.5e-3)
+        assert not decision.shutdown
+        assert decision.utilization == pytest.approx(0.85)
+        assert sup.state is SupervisorState.THROTTLED
+
+    def test_coolant_warning_drops_chiller_setpoint(self):
+        sup = make_supervisor()
+        decision = sup.step(10.0, 38.0, {"fpga_hot": 55.0}, 1.5e-3)
+        assert not decision.shutdown
+        assert decision.chiller_setpoint_c < sup.controller.nominal_setpoint_c
+        assert sup.state is SupervisorState.DEGRADED
+
+    def test_throttle_bottoms_at_floor(self):
+        sup = make_supervisor()
+        for step in range(5):
+            sup.step(10.0 * step, 28.0, {"fpga_hot": 75.0}, 1.5e-3)
+        assert sup.utilization == pytest.approx(0.85)
+
+    def test_temperature_trip_mitigated_then_exhausted(self):
+        sup = make_supervisor()
+        decisions = [
+            sup.step(10.0 * i, 28.0, {"fpga_hot": 90.0}, 1.5e-3) for i in range(6)
+        ]
+        # The first trips are answered by fallback + throttle, the latch
+        # cleared; once budgets and the floor are spent the machine goes
+        # to SAFE_SHUTDOWN.
+        assert not decisions[0].shutdown
+        assert any(d.shutdown for d in decisions)
+        assert sup.state is SupervisorState.SAFE_SHUTDOWN
+
+    def test_chiller_fallback_budget_bounded(self):
+        sup = make_supervisor(max_chiller_fallbacks=1, chiller_fallback_delta_c=4.0)
+        sup.step(0.0, 38.0, {"fpga_hot": 55.0}, 1.5e-3)
+        before = sup.step(10.0, 38.0, {"fpga_hot": 55.0}, 1.5e-3).chiller_setpoint_c
+        after = sup.step(20.0, 38.0, {"fpga_hot": 55.0}, 1.5e-3).chiller_setpoint_c
+        assert before == after == pytest.approx(16.0)
+
+
+class TestLevelAndSensors:
+    def test_level_trip_forces_safe_shutdown(self):
+        sup = make_supervisor()
+        decision = sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.5e-3, level_fraction=0.5)
+        assert decision.shutdown
+        assert sup.state is SupervisorState.SAFE_SHUTDOWN
+        assert [a.kind for a in decision.new_actions] == ["safe_shutdown"]
+
+    def test_blind_sensor_bank_forces_safe_shutdown(self):
+        sup = make_supervisor()
+        vote = median_vote([None, None, None])
+        decision = sup.step(10.0, vote, {"fpga_hot": 55.0}, 1.5e-3)
+        assert decision.shutdown
+        assert sup.state is SupervisorState.SAFE_SHUTDOWN
+        assert any(a.source == "sensor" for a in decision.alarms)
+
+    def test_outvoted_sensor_degrades_once(self):
+        sup = make_supervisor()
+        vote = median_vote([28.0, 60.0, 28.2], deviation_limit=3.0)
+        first = sup.step(10.0, vote, {"fpga_hot": 55.0}, 1.5e-3)
+        second = sup.step(20.0, vote, {"fpga_hot": 55.0}, 1.5e-3)
+        assert sup.state is SupervisorState.DEGRADED
+        assert [a.kind for a in first.new_actions] == ["sensor_vote"]
+        assert second.new_actions == ()  # flagged only once
+        assert any(a.source == "sensor" for a in second.alarms)
+
+
+class TestLatchAndReset:
+    def test_safe_shutdown_latches(self):
+        sup = make_supervisor()
+        sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.5e-3, level_fraction=0.5)
+        decision = sup.step(20.0, **NOMINAL)
+        assert decision.shutdown
+        assert decision.pump_speed_fraction == 0.0
+
+    def test_reset_restores_pristine_state(self):
+        sup = make_supervisor()
+        sup.step(10.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        sup.step(20.0, 28.0, {"fpga_hot": 55.0}, 1.0e-5)
+        sup.reset()
+        assert sup.state is SupervisorState.NORMAL
+        assert sup.active_pump == "oil_pump"
+        assert sup.utilization == pytest.approx(0.9)
+        assert sup.actions == []
+        decision = sup.step(0.0, **NOMINAL)
+        assert not decision.shutdown
+
+    def test_states_only_escalate(self):
+        sup = make_supervisor()
+        sup.step(0.0, 28.0, {"fpga_hot": 75.0}, 1.5e-3)
+        assert sup.state is SupervisorState.THROTTLED
+        sup.step(10.0, **NOMINAL)
+        assert sup.state is SupervisorState.THROTTLED
+
+    def test_record_logs_external_recovery(self):
+        sup = make_supervisor()
+        sup.record(5.0, "hydraulic_retry", "relaxed tolerance")
+        assert [a.kind for a in sup.actions] == ["hydraulic_retry"]
+        assert sup.state is SupervisorState.NORMAL
+        sup.record(6.0, "module_shutdown", "cm_2", state=SupervisorState.DEGRADED)
+        assert sup.state is SupervisorState.DEGRADED
+
+
+class TestValidation:
+    def test_rejects_floor_above_nominal(self):
+        with pytest.raises(ValueError):
+            make_supervisor(throttle_floor=0.95, nominal_utilization=0.9)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ValueError):
+            make_supervisor(throttle_step=0.0)
+
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(ValueError):
+            make_supervisor(max_pump_failovers=-1)
+
+    def test_rejects_bad_standby_fraction(self):
+        with pytest.raises(ValueError):
+            make_supervisor(standby_speed_fraction=0.0)

@@ -107,3 +107,101 @@ class TestRunIsolation:
         counters = result.telemetry.counters
         assert counters["hydraulic_solves"] >= 2  # nominal + post-blockage
         assert counters["hydraulic_scalar_fallbacks"] == 0
+
+
+def supervised_simulator(n_modules=4):
+    from repro.control.supervisor import Supervisor
+
+    return RackSimulator(
+        Rack(module_factory=skat, n_modules=n_modules), supervisor=Supervisor()
+    )
+
+
+class TestSupervisedRack:
+    def test_nominal_supervised_run_stays_normal(self):
+        result = supervised_simulator().run(duration_s=900.0, dt_s=30.0)
+        assert result.final_state == "NORMAL"
+        assert result.recovery_actions == ()
+        assert result.modules_shutdown == ()
+        assert result.survived(67.0)
+
+    def test_blocked_loop_module_isolated_not_the_rack(self):
+        result = supervised_simulator().run(
+            duration_s=1500.0,
+            events=[loop_blockage_event(300.0, "loop_2")],
+            dt_s=30.0,
+        )
+        assert result.modules_shutdown == (2,)
+        assert result.final_state != "SAFE_SHUTDOWN"
+        # Survivors stay under the reliability ceiling throughout.
+        for i in (0, 1, 3):
+            assert result.telemetry.maximum(f"junction_{i}") <= 67.0
+        # The blocked module is caught at the component trip, far below
+        # the unsupervised runaway clamp.
+        assert result.telemetry.maximum("junction_2") < 100.0
+        assert any(a.kind == "module_shutdown" for a in result.recovery_actions)
+
+    def test_chiller_trip_ends_in_safe_shutdown_not_runaway(self):
+        result = supervised_simulator().run(
+            duration_s=3000.0,
+            events=[pump_stop_event(600.0, "chiller", 0.0)],
+            dt_s=30.0,
+        )
+        assert result.final_state == "SAFE_SHUTDOWN"
+        # The ladder fought first: throttle and/or chiller fallback came
+        # before the controlled loss.
+        kinds = [a.kind for a in result.recovery_actions]
+        assert "safe_shutdown" in kinds
+        assert any(k in kinds for k in ("throttle", "chiller_fallback"))
+        # Junctions never ran away uncontrolled.
+        assert result.max_fpga_c < 100.0
+
+    def test_partial_chiller_loss_ridden_through(self):
+        result = supervised_simulator().run(
+            duration_s=3000.0,
+            events=[pump_stop_event(600.0, "chiller", 0.7)],
+            dt_s=30.0,
+        )
+        assert result.final_state != "SAFE_SHUTDOWN"
+        assert result.survived(67.0)
+
+    def test_degraded_pflops_reported(self):
+        nominal = supervised_simulator().run(duration_s=600.0, dt_s=30.0)
+        degraded = supervised_simulator().run(
+            duration_s=1500.0,
+            events=[loop_blockage_event(300.0, "loop_2")],
+            dt_s=30.0,
+        )
+        assert nominal.degraded_pflops is not None
+        assert degraded.degraded_pflops is not None
+        # One CM dark (and possibly throttled survivors) costs performance.
+        assert degraded.degraded_pflops < nominal.degraded_pflops
+
+    def test_back_to_back_faulted_runs_order_independent(self):
+        sim = supervised_simulator()
+        blockage = [loop_blockage_event(300.0, "loop_2")]
+        chiller = [pump_stop_event(600.0, "chiller", 0.0)]
+        first_a = sim.run(duration_s=1500.0, events=list(blockage), dt_s=30.0)
+        first_b = sim.run(duration_s=1500.0, events=list(chiller), dt_s=30.0)
+        # Reverse order on the same simulator object.
+        second_b = sim.run(duration_s=1500.0, events=list(chiller), dt_s=30.0)
+        second_a = sim.run(duration_s=1500.0, events=list(blockage), dt_s=30.0)
+        assert first_a.max_fpga_c == pytest.approx(second_a.max_fpga_c, rel=1e-12)
+        assert first_b.max_fpga_c == pytest.approx(second_b.max_fpga_c, rel=1e-12)
+        assert first_a.modules_shutdown == second_a.modules_shutdown
+        assert first_b.final_state == second_b.final_state
+        assert [a.kind for a in first_a.recovery_actions] == [
+            a.kind for a in second_a.recovery_actions
+        ]
+
+    def test_supervised_telemetry_channels(self):
+        result = supervised_simulator().run(duration_s=300.0, dt_s=30.0)
+        channels = set(result.telemetry.channels)
+        assert {"supervisor_state", "utilization"} <= channels
+        assert "hydraulic_retry_attempts" in result.telemetry.counters
+
+    def test_unsupervised_result_has_no_supervisor_fields(self):
+        result = simulator().run(duration_s=300.0, dt_s=30.0)
+        assert result.final_state is None
+        assert result.recovery_actions == ()
+        assert result.degraded_pflops is None

@@ -191,3 +191,124 @@ class TestRunCounters:
         episodes = result.telemetry.counter("alarm_episodes")
         assert episodes == result.alarm_log.episodes
         assert 1 <= episodes <= result.alarms_raised
+
+
+class TestSupervisedModule:
+    """Closed-loop supervision: failover, throttle, leak, sensor voting."""
+
+    @staticmethod
+    def _supervised():
+        from repro.control.supervisor import Supervisor
+
+        return ModuleSimulator(module=skat(), supervisor=Supervisor())
+
+    def test_controller_and_supervisor_are_mutually_exclusive(self, module):
+        from repro.control.supervisor import Supervisor
+
+        with pytest.raises(ValueError):
+            ModuleSimulator(
+                module, controller=CoolingController(), supervisor=Supervisor()
+            )
+
+    def test_pump_stop_survived_where_controller_trips(self, module):
+        events = [pump_stop_event(300.0, "oil_pump")]
+        tripped = ModuleSimulator(module, controller=CoolingController()).run(
+            duration_s=900.0, events=list(events), dt_s=10.0
+        )
+        assert tripped.shutdown_time_s is not None
+
+        supervised = self._supervised().run(
+            duration_s=900.0, events=list(events), dt_s=10.0
+        )
+        assert supervised.shutdown_time_s is None
+        assert supervised.max_junction_c <= 85.0
+        assert supervised.final_state == "DEGRADED"
+        assert any(a.kind == "pump_failover" for a in supervised.recovery_actions)
+
+    def test_standby_pump_restores_flow_within_the_step(self, module):
+        result = self._supervised().run(
+            duration_s=900.0,
+            events=[pump_stop_event(300.0, "oil_pump")],
+            dt_s=10.0,
+        )
+        times, flows = result.telemetry.series("oil_flow_m3_s")
+        # The interlock switches pumps inside the faulted step, so flow
+        # never reads zero anywhere in the telemetry.
+        assert min(flows) > 0.0
+
+    def test_leak_ends_in_safe_shutdown(self, module):
+        from repro.reliability.failures import leak_event
+
+        result = self._supervised().run(
+            duration_s=1500.0,
+            events=[leak_event(240.0, "bath", 2.0e-5)],
+            dt_s=10.0,
+        )
+        assert result.final_state == "SAFE_SHUTDOWN"
+        assert result.shutdown_time_s is not None
+        assert result.shutdown_time_s > 240.0
+        times, levels = result.telemetry.series("level_fraction")
+        assert levels[-1] < 1.0
+        assert any(a.kind == "safe_shutdown" for a in result.recovery_actions)
+
+    def test_biased_sensor_outvoted_without_trip(self, module):
+        from repro.reliability.failures import sensor_fault_event
+
+        result = self._supervised().run(
+            duration_s=900.0,
+            events=[sensor_fault_event(240.0, "oil_temp_0", 25.0)],
+            dt_s=10.0,
+        )
+        assert result.shutdown_time_s is None
+        assert result.final_state == "DEGRADED"
+        assert any(a.kind == "sensor_vote" for a in result.recovery_actions)
+
+    def test_supervised_telemetry_channels(self, module):
+        result = self._supervised().run(duration_s=200.0, dt_s=10.0)
+        assert set(result.telemetry.channels) >= {
+            "utilization",
+            "supervisor_state",
+            "level_fraction",
+        }
+        assert result.telemetry.maximum("supervisor_state") == 0.0
+        assert result.telemetry.minimum("utilization") == pytest.approx(0.9)
+        assert result.degraded_pflops is not None and result.degraded_pflops > 0.0
+
+    def test_back_to_back_supervised_runs_order_independent(self, module):
+        from repro.reliability.failures import leak_event
+
+        scenarios = {
+            "nominal": None,
+            "pump_trip": [pump_stop_event(300.0, "oil_pump")],
+            "leak": [leak_event(240.0, "bath", 2.0e-5)],
+        }
+
+        def signature(result):
+            return (
+                result.max_junction_c,
+                result.shutdown_time_s,
+                result.final_state,
+                tuple(a.kind for a in result.recovery_actions),
+                tuple(result.telemetry.series("oil_c")[1]),
+            )
+
+        sim = self._supervised()
+        forward = {
+            name: signature(
+                sim.run(duration_s=900.0, events=scenarios[name], dt_s=10.0)
+            )
+            for name in scenarios
+        }
+        backward = {
+            name: signature(
+                sim.run(duration_s=900.0, events=scenarios[name], dt_s=10.0)
+            )
+            for name in reversed(list(scenarios))
+        }
+        assert forward == backward
+
+    def test_unsupervised_result_has_empty_supervision_fields(self, module):
+        result = ModuleSimulator(module).run(duration_s=100.0, dt_s=10.0)
+        assert result.final_state is None
+        assert result.recovery_actions == ()
+        assert result.degraded_pflops is None

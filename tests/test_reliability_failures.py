@@ -64,3 +64,44 @@ class TestValidation:
     def test_empty_target_rejected(self):
         with pytest.raises(ValueError):
             FailureEvent(kind="leak", time_s=0.0, target="", magnitude=1.0)
+
+    def test_infinite_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="leak", time_s=0.0, target="x", magnitude=float("inf"))
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(kind="leak", time_s=float("nan"), target="x", magnitude=1.0)
+
+
+class TestMagnitudeRanges:
+    def test_leak_rate_above_credible_maximum_rejected(self):
+        with pytest.raises(ValueError, match="credible maximum"):
+            leak_event(10.0, "manifold", 2.0e-2)
+
+    def test_leak_rate_at_maximum_accepted(self):
+        from repro.reliability.failures import MAX_LEAK_RATE_M3_S
+
+        assert leak_event(10.0, "manifold", MAX_LEAK_RATE_M3_S).magnitude == 1.0e-2
+
+    def test_nan_leak_rate_rejected(self):
+        with pytest.raises(ValueError):
+            leak_event(10.0, "manifold", float("nan"))
+
+    def test_tim_multiplier_above_credible_maximum_rejected(self):
+        with pytest.raises(ValueError, match="credible"):
+            tim_washout_drift(0.0, "fpga_3", 150.0)
+
+    def test_infinite_tim_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            tim_washout_drift(0.0, "fpga_3", float("inf"))
+
+    def test_sensor_offset_beyond_rail_rejected(self):
+        with pytest.raises(ValueError, match="credible"):
+            sensor_fault_event(5.0, "t_oil", 250.0)
+        with pytest.raises(ValueError, match="credible"):
+            sensor_fault_event(5.0, "t_oil", -250.0)
+
+    def test_nan_sensor_offset_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_fault_event(5.0, "t_oil", float("nan"))

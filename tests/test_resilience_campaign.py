@@ -1,0 +1,243 @@
+"""Tests for the seeded fault-injection campaign engine."""
+
+import json
+
+import pytest
+
+from repro.control.supervisor import Supervisor
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.reliability.failures import (
+    MAX_LEAK_RATE_M3_S,
+    MAX_SENSOR_OFFSET_C,
+    MAX_TIM_MULTIPLIER,
+    pump_stop_event,
+)
+from repro.resilience.campaign import (
+    KINDS,
+    CampaignReport,
+    FaultScenario,
+    ScenarioReport,
+    draw_scenarios,
+    mc_model_from_campaign,
+    run_campaign,
+    single_fault_scenarios,
+)
+
+
+def supervised_simulator():
+    return ModuleSimulator(module=skat(), supervisor=Supervisor())
+
+
+class TestFaultScenario:
+    def test_kinds_sorted_and_deduplicated(self):
+        scenario = FaultScenario(
+            name="double",
+            events=(
+                pump_stop_event(100.0, "oil_pump", 0.0),
+                pump_stop_event(200.0, "standby_pump", 0.0),
+            ),
+        )
+        assert scenario.kinds == ("pump_stop",)
+        assert scenario.first_fault_time_s == 100.0
+
+    def test_rejects_empty_name_and_events(self):
+        with pytest.raises(ValueError):
+            FaultScenario(name="", events=(pump_stop_event(1.0, "p", 0.0),))
+        with pytest.raises(ValueError):
+            FaultScenario(name="empty", events=())
+
+
+class TestScenarioGeneration:
+    def test_single_fault_set_covers_every_kind(self):
+        scenarios = single_fault_scenarios()
+        assert sorted(s.name for s in scenarios) == sorted(KINDS)
+        kinds = {kind for s in scenarios for kind in s.kinds}
+        assert kinds == set(KINDS)
+
+    def test_draw_is_deterministic_per_seed(self):
+        a = draw_scenarios(7, 12)
+        b = draw_scenarios(7, 12)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert all(
+            ea.magnitude == eb.magnitude and ea.time_s == eb.time_s
+            for sa, sb in zip(a, b)
+            for ea, eb in zip(sa.events, sb.events)
+        )
+
+    def test_different_seeds_differ(self):
+        a = draw_scenarios(7, 12)
+        b = draw_scenarios(8, 12)
+        assert [s.name for s in a] != [s.name for s in b] or any(
+            ea.magnitude != eb.magnitude
+            for sa, sb in zip(a, b)
+            for ea, eb in zip(sa.events, sb.events)
+        )
+
+    def test_times_land_on_the_dt_grid(self):
+        for scenario in draw_scenarios(3, 20, dt_s=5.0):
+            for event in scenario.events:
+                assert event.time_s % 5.0 == pytest.approx(0.0)
+
+    def test_magnitudes_inside_validated_ranges(self):
+        # The factories raise on out-of-range magnitudes, so surviving
+        # construction is itself the check; spot-check the bounds anyway.
+        for scenario in draw_scenarios(11, 40, compound_fraction=0.5):
+            for event in scenario.events:
+                if event.kind == "leak":
+                    assert 0.0 < event.magnitude <= MAX_LEAK_RATE_M3_S
+                elif event.kind == "tim_washout":
+                    assert 1.0 <= event.magnitude <= MAX_TIM_MULTIPLIER
+                elif event.kind == "sensor_fault":
+                    assert abs(event.magnitude) <= MAX_SENSOR_OFFSET_C
+                else:
+                    assert 0.0 <= event.magnitude < 1.0
+
+    def test_compound_scenarios_mix_distinct_kinds(self):
+        scenarios = draw_scenarios(5, 40, compound_fraction=1.0)
+        for scenario in scenarios:
+            assert len(scenario.events) == 2
+            assert len(scenario.kinds) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            draw_scenarios(1, 0)
+        with pytest.raises(ValueError):
+            draw_scenarios(1, 4, compound_fraction=1.5)
+        with pytest.raises(ValueError):
+            draw_scenarios(1, 4, dt_s=0.0)
+
+
+class TestRunCampaign:
+    def test_identical_seeds_identical_reports(self):
+        scenarios = draw_scenarios(21, 4)
+        kwargs = dict(duration_s=600.0, dt_s=5.0, seed=21)
+        a = run_campaign(supervised_simulator, scenarios, **kwargs)
+        b = run_campaign(supervised_simulator, draw_scenarios(21, 4), **kwargs)
+        assert a.to_json() == b.to_json()
+
+    def test_serial_matches_parallel(self):
+        scenarios = single_fault_scenarios()
+        serial = run_campaign(
+            supervised_simulator, scenarios, duration_s=600.0, max_workers=1
+        )
+        parallel = run_campaign(
+            supervised_simulator, scenarios, duration_s=600.0, max_workers=4
+        )
+        assert serial.to_json() == parallel.to_json()
+
+    def test_json_round_trips(self):
+        report = run_campaign(
+            supervised_simulator, single_fault_scenarios(), duration_s=400.0
+        )
+        payload = json.loads(report.to_json())
+        assert payload["n_scenarios"] == len(KINDS)
+        assert {s["name"] for s in payload["scenarios"]} == set(KINDS)
+
+    def test_simulator_crash_is_captured_not_raised(self):
+        class Exploding:
+            def run(self, duration_s, events, dt_s):
+                raise RuntimeError("boom in the solver")
+
+        report = run_campaign(
+            lambda: Exploding(), single_fault_scenarios(), duration_s=400.0
+        )
+        assert all(not s.ok for s in report.scenarios)
+        assert len(report.failures) == len(KINDS)
+        assert all(f["kind"] == "RuntimeError" for f in report.failures)
+        assert report.bounded_fraction == 0.0
+
+    def test_rejects_duplicate_names_and_empty(self):
+        scenario = single_fault_scenarios()[0]
+        with pytest.raises(ValueError):
+            run_campaign(supervised_simulator, [scenario, scenario])
+        with pytest.raises(ValueError):
+            run_campaign(supervised_simulator, [])
+
+    def test_scores_mitigation_timing(self):
+        report = run_campaign(
+            supervised_simulator,
+            [
+                FaultScenario(
+                    name="pump", events=(pump_stop_event(240.0, "oil_pump", 0.0),)
+                )
+            ],
+            duration_s=600.0,
+        )
+        (score,) = report.scenarios
+        assert score.ok and score.bounded
+        assert score.time_to_mitigation_s is not None
+        assert 0.0 <= score.time_to_mitigation_s <= 60.0
+        assert score.min_utilization == pytest.approx(0.9)
+        assert score.degraded_pflops is not None and score.degraded_pflops > 0.0
+
+
+class TestMonteCarloBridge:
+    def _campaign(self):
+        return run_campaign(
+            supervised_simulator, single_fault_scenarios(), duration_s=1500.0
+        )
+
+    def test_one_component_per_exercised_kind(self):
+        mc = mc_model_from_campaign(self._campaign())
+        assert sorted(c.component.name for c in mc.components) == sorted(KINDS)
+
+    def test_safe_shutdown_kinds_carry_stoppage(self):
+        report = self._campaign()
+        mc = mc_model_from_campaign(report, shutdown_stoppage_hours=24.0)
+        by_name = {c.component.name: c for c in mc.components}
+        # Leaks always end in SAFE_SHUTDOWN -> full stoppage charge; a
+        # ridden-through pump failover carries none.
+        assert by_name["leak"].stoppage_hours == pytest.approx(24.0)
+        assert by_name["pump_stop"].stoppage_hours == pytest.approx(0.0)
+
+    def test_simulation_runs_and_is_seeded(self):
+        mc = mc_model_from_campaign(self._campaign(), seed=3)
+        a = mc.run(years=5.0)
+        b = mc_model_from_campaign(self._campaign(), seed=3).run(years=5.0)
+        assert a.availability == b.availability
+        assert 0.9 < a.availability <= 1.0
+
+    def test_rejects_negative_stoppage(self):
+        with pytest.raises(ValueError):
+            mc_model_from_campaign(self._campaign(), shutdown_stoppage_hours=-1.0)
+
+
+class TestCampaignReportAggregates:
+    def _report(self, flags):
+        scenarios = tuple(
+            ScenarioReport(
+                name=f"s{i}",
+                kinds=("pump_stop",),
+                ok=True,
+                error=None,
+                survived=survived,
+                safe_shutdown=shutdown,
+                final_state="SAFE_SHUTDOWN" if shutdown else "NORMAL",
+                peak_junction_c=60.0,
+                peak_oil_c=30.0,
+                time_to_alarm_s=None,
+                time_to_mitigation_s=None,
+                min_utilization=None,
+                degraded_pflops=None,
+            )
+            for i, (survived, shutdown) in enumerate(flags)
+        )
+        return CampaignReport(
+            scenarios=scenarios,
+            seed=0,
+            duration_s=100.0,
+            dt_s=5.0,
+            junction_limit_c=85.0,
+        )
+
+    def test_fractions(self):
+        report = self._report([(True, False), (False, True), (False, False)])
+        assert report.survived_fraction == pytest.approx(1.0 / 3.0)
+        assert report.safe_shutdown_fraction == pytest.approx(1.0 / 3.0)
+        assert report.bounded_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_per_kind_shutdown_fraction(self):
+        report = self._report([(True, False), (False, True)])
+        assert report.safe_shutdown_fraction_for("pump_stop") == pytest.approx(0.5)
+        assert report.safe_shutdown_fraction_for("leak") == 0.0

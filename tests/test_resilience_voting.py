@@ -1,0 +1,129 @@
+"""Tests for redundant-sensor voting and bounded retry."""
+
+import math
+
+import pytest
+
+from repro.resilience.retry import RetryOutcome, retry_with_backoff
+from repro.resilience.voting import VoteResult, median_vote
+
+
+class TestMedianVote:
+    def test_healthy_bank_votes_median(self):
+        vote = median_vote([30.0, 30.2, 29.8])
+        assert vote.value == pytest.approx(30.0)
+        assert vote.valid_count == 3
+        assert vote.healthy
+        assert not vote.degraded and not vote.failed
+
+    def test_none_reading_rejected(self):
+        vote = median_vote([30.0, None, 30.4])
+        assert vote.value == pytest.approx(30.2)
+        assert vote.rejected == (1,)
+        assert vote.degraded
+
+    def test_nan_and_inf_rejected(self):
+        vote = median_vote([float("nan"), 31.0, float("inf")])
+        assert vote.value == pytest.approx(31.0)
+        assert vote.rejected == (0, 2)
+
+    def test_implausible_reading_rejected(self):
+        vote = median_vote([30.0, -40.0, 30.4], lo=-10.0, hi=150.0)
+        assert vote.rejected == (1,)
+        assert vote.value == pytest.approx(30.2)
+
+    def test_single_liar_outvoted(self):
+        vote = median_vote([30.0, 55.0, 30.4], deviation_limit=3.0)
+        assert vote.value == pytest.approx(30.4)
+        assert vote.suspects == (1,)
+        assert vote.degraded
+
+    def test_all_rejected_is_blind(self):
+        vote = median_vote([None, float("nan"), 999.0], lo=-10.0, hi=150.0)
+        assert vote.failed
+        assert vote.value is None
+        assert vote.valid_count == 0
+        assert vote.rejected == (0, 1, 2)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            median_vote([])
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            median_vote([30.0], lo=10.0, hi=0.0)
+
+    def test_negative_deviation_limit_rejected(self):
+        with pytest.raises(ValueError):
+            median_vote([30.0, 30.1], deviation_limit=-1.0)
+
+    def test_infinite_band_accepts_extremes(self):
+        vote = median_vote([1.0e6, -1.0e6, 0.0])
+        assert vote.value == pytest.approx(0.0)
+        assert vote.healthy
+
+
+class TestRetryWithBackoff:
+    def test_first_try_success(self):
+        outcome = retry_with_backoff(lambda i: i + 10)
+        assert outcome.ok and outcome.value == 10
+        assert outcome.attempts == 1
+        assert not outcome.retried
+        assert outcome.errors == ()
+
+    def test_succeeds_on_relaxed_attempt(self):
+        def flaky(attempt):
+            if attempt < 2:
+                raise ValueError(f"attempt {attempt} too tight")
+            return "converged"
+
+        outcome = retry_with_backoff(flaky, attempts=3, retry_on=(ValueError,))
+        assert outcome.ok and outcome.value == "converged"
+        assert outcome.attempts == 3
+        assert outcome.retried
+        assert len(outcome.errors) == 2
+
+    def test_exhaustion_never_raises(self):
+        def always_fails(attempt):
+            raise ValueError("no")
+
+        outcome = retry_with_backoff(always_fails, attempts=2, retry_on=(ValueError,))
+        assert not outcome.ok
+        assert outcome.value is None
+        assert outcome.attempts == 2
+        assert len(outcome.errors) == 2
+
+    def test_unlisted_exception_propagates(self):
+        def wrong_kind(attempt):
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(wrong_kind, attempts=3, retry_on=(ValueError,))
+
+    def test_attempt_indices_passed_in_order(self):
+        seen = []
+
+        def record(attempt):
+            seen.append(attempt)
+            raise ValueError("again")
+
+        retry_with_backoff(record, attempts=3, retry_on=(ValueError,))
+        assert seen == [0, 1, 2]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda i: i, attempts=0)
+
+    def test_deterministic_schedule(self):
+        tolerances = []
+
+        def relax(attempt):
+            tolerance = 1.0e-9 * 10.0**attempt
+            tolerances.append(tolerance)
+            if tolerance < 1.0e-8:
+                raise ValueError("too tight")
+            return tolerance
+
+        outcome = retry_with_backoff(relax, attempts=3, retry_on=(ValueError,))
+        assert outcome.ok
+        assert tolerances == [1.0e-9, 1.0e-8]

@@ -9,6 +9,7 @@ from repro.sweep import (
     SweepCase,
     SweepOutcome,
     run_sweep,
+    summarize_failures,
     sweep_cases,
     sweep_simulations,
     sweep_values,
@@ -154,3 +155,47 @@ class TestSweepSimulations:
         assert results["nominal"].max_junction_c == pytest.approx(
             reference.max_junction_c, rel=1e-12
         )
+
+
+class TestFailureSummaries:
+    def _failing_sweep(self):
+        cases = [
+            SweepCase(name="ok", params={"x": 1}),
+            SweepCase(name="bad_value", params={"x": -1}),
+            SweepCase(name="bad_key", params={"x": None}),
+        ]
+
+        def evaluate(case):
+            if case.params["x"] is None:
+                raise KeyError("missing axis")
+            if case.params["x"] < 0:
+                raise ValueError("x must be non-negative")
+            return case.params["x"]
+
+        return run_sweep(evaluate, cases, max_workers=1, on_error="capture")
+
+    def test_traceback_captured_on_failure(self):
+        outcomes = self._failing_sweep()
+        assert outcomes[0].error_traceback is None
+        assert outcomes[1].error_traceback is not None
+        assert "ValueError" in outcomes[1].error_traceback
+        assert 'File "' in outcomes[1].error_traceback
+
+    def test_summary_one_record_per_failure(self):
+        records = summarize_failures(self._failing_sweep())
+        assert [r["case"] for r in records] == ["bad_value", "bad_key"]
+        assert [r["kind"] for r in records] == ["ValueError", "KeyError"]
+        assert records[0]["params"] == {"x": -1}
+        assert "x must be non-negative" in records[0]["error"]
+
+    def test_summary_points_at_the_raise_site(self):
+        records = summarize_failures(self._failing_sweep())
+        # The innermost frame is the evaluate() body, not executor plumbing.
+        assert "evaluate" in records[0]["where"]
+        assert records[0]["where"].startswith('File "')
+
+    def test_all_ok_sweep_summarizes_empty(self):
+        outcomes = run_sweep(
+            lambda c: 1, [SweepCase(name="a")], max_workers=1, on_error="capture"
+        )
+        assert summarize_failures(outcomes) == []
