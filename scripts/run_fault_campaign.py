@@ -19,6 +19,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.control.supervisor import Supervisor
 from repro.core.simulation import ModuleSimulator
 from repro.core.skat import skat
+from repro.obs import MetricsRegistry, use_registry, write_json
 from repro.resilience.campaign import (
     draw_scenarios,
     run_campaign,
@@ -43,6 +44,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None, help="write the report JSON here too"
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the campaign's deterministic metrics (canonical JSON) here",
+    )
     args = parser.parse_args(argv)
 
     scenarios = list(single_fault_scenarios())
@@ -51,14 +58,17 @@ def main(argv=None) -> int:
             draw_scenarios(args.seed, args.scenarios, dt_s=args.dt)
         )
 
-    report = run_campaign(
-        lambda: ModuleSimulator(module=skat(), supervisor=Supervisor()),
-        scenarios,
-        duration_s=args.duration,
-        dt_s=args.dt,
-        max_workers=args.workers,
-        seed=args.seed,
-    )
+    with use_registry(MetricsRegistry()) as obs:
+        report = run_campaign(
+            lambda: ModuleSimulator(module=skat(), supervisor=Supervisor()),
+            scenarios,
+            duration_s=args.duration,
+            dt_s=args.dt,
+            max_workers=args.workers,
+            seed=args.seed,
+        )
+        if args.metrics_out is not None:
+            write_json(obs, args.metrics_out)
     payload = report.to_json()
     print(payload)
     if args.out is not None:

@@ -1,0 +1,137 @@
+"""Profile a named bench scenario and print its top-N hot-path table.
+
+Installs a live :class:`repro.obs.MetricsRegistry` around one scenario,
+prints the ranked hot paths (wall time + call counts) and, with
+``--trace``, the nested span tree of the run. ``--metrics-out`` writes the
+registry's *deterministic* metric state as canonical JSON (and
+``--prom-out`` as Prometheus text): two same-seed invocations produce
+byte-identical files — the property the CI metrics-smoke job diffs.
+
+Run with::
+
+    python scripts/run_profile.py --scenario module --top 10
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import (
+    MetricsRegistry,
+    format_hot_paths,
+    format_trace,
+    use_registry,
+    write_json,
+    write_prometheus,
+)
+
+
+def _scenario_module(obs: MetricsRegistry, args) -> None:
+    """A supervised CM transient riding through a pump stop."""
+    from repro.control.supervisor import Supervisor
+    from repro.core.simulation import ModuleSimulator
+    from repro.core.skat import skat
+    from repro.reliability.failures import pump_stop_event
+
+    simulator = ModuleSimulator(module=skat(), supervisor=Supervisor())
+    with obs.profile("scenario.module"):
+        simulator.run(
+            duration_s=args.duration,
+            events=[pump_stop_event(args.duration / 3.0, "oil_pump", 0.0)],
+            dt_s=args.dt,
+        )
+
+
+def _scenario_manifold(obs: MetricsRegistry, args) -> None:
+    """F5-style warm-started manifold re-solves (fail/restore cycles)."""
+    from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+
+    system = RackManifoldSystem(n_loops=6, layout=ManifoldLayout.REVERSE_RETURN)
+    with obs.profile("scenario.manifold"):
+        for _ in range(args.cycles):
+            with obs.profile("manifold.solve"):
+                system.solve()
+            system.fail_loop(2)
+            with obs.profile("manifold.solve"):
+                system.solve()
+            system.restore_loop(2)
+
+
+def _scenario_campaign(obs: MetricsRegistry, args) -> None:
+    """The canonical single-fault campaign on a supervised CM."""
+    from repro.control.supervisor import Supervisor
+    from repro.core.simulation import ModuleSimulator
+    from repro.core.skat import skat
+    from repro.resilience.campaign import run_campaign, single_fault_scenarios
+
+    with obs.profile("scenario.campaign"):
+        run_campaign(
+            lambda: ModuleSimulator(module=skat(), supervisor=Supervisor()),
+            single_fault_scenarios(),
+            duration_s=args.duration,
+            dt_s=args.dt,
+            max_workers=args.workers,
+        )
+
+
+SCENARIOS = {
+    "module": _scenario_module,
+    "manifold": _scenario_manifold,
+    "campaign": _scenario_campaign,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="module",
+        help="named bench scenario to profile",
+    )
+    parser.add_argument("--top", type=int, default=10, help="hot paths to print")
+    parser.add_argument("--duration", type=float, default=600.0, help="run horizon, s")
+    parser.add_argument("--dt", type=float, default=5.0, help="time step, s")
+    parser.add_argument(
+        "--cycles", type=int, default=6, help="manifold fail/restore cycles"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="campaign workers (default: auto)"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the deterministic metrics as canonical JSON here",
+    )
+    parser.add_argument(
+        "--prom-out",
+        type=Path,
+        default=None,
+        help="write the deterministic metrics in Prometheus text format here",
+    )
+    parser.add_argument(
+        "--trace", action="store_true", help="also print the span trees"
+    )
+    args = parser.parse_args(argv)
+
+    with use_registry(MetricsRegistry()) as obs:
+        SCENARIOS[args.scenario](obs, args)
+        print(format_hot_paths(obs.hot_paths(args.top), title=f"hot paths — {args.scenario}"))
+        if args.trace:
+            for worker, roots in sorted(obs.traces().items()):
+                print(f"\ntrace [{worker}]")
+                for root in roots:
+                    print(format_trace(root))
+        if args.metrics_out is not None:
+            write_json(obs, args.metrics_out)
+        if args.prom_out is not None:
+            write_prometheus(obs, args.prom_out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry, sanitize_metric_name
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.control.controller import Alarm
 
@@ -40,6 +42,7 @@ class TelemetryLog:
             )
         self._times.append(float(time_s))
         self._records.append({k: float(v) for k, v in values.items()})
+        get_registry().inc("telemetry_samples_total")
 
     def __len__(self) -> int:
         return len(self._times)
@@ -93,18 +96,29 @@ class TelemetryLog:
         return float(times[above[0]])
 
     def increment(self, counter: str, amount: float = 1.0) -> None:
-        """Accumulate a named run-scoped counter (negative amounts rejected)."""
+        """Accumulate a named run-scoped counter (negative amounts rejected).
+
+        Each increment is mirrored into the process metrics registry as
+        ``telemetry_<counter>_total``, so a log's counters also feed the
+        process-wide totals.
+        """
         if not counter:
             raise ValueError("counter name must be non-empty")
         if amount < 0:
             raise ValueError("counters only accumulate; amount must be >= 0")
         self._counters[counter] = self._counters.get(counter, 0.0) + float(amount)
+        get_registry().inc(
+            f"telemetry_{sanitize_metric_name(counter)}_total", float(amount)
+        )
 
     def set_counters(self, values: Dict[str, float]) -> None:
         """Merge a batch of counter values (e.g. ``SolverCounters.as_dict()``).
 
         Each value *replaces* the stored one — use for counters that are
-        already cumulative at the source.
+        already cumulative at the source. Replacement semantics cannot be
+        mirrored into the accumulate-only process registry, so callers
+        that want process totals publish those separately (the simulators
+        do, under their own prefixes).
         """
         for name, value in values.items():
             if not name:
@@ -178,6 +192,8 @@ class AlarmLog:
         for alarm in fresh:
             self._history.append(AlarmRecord(time_s=time_s, alarm=alarm))
         self._active = set(now)
+        if fresh:
+            get_registry().inc("alarm_episodes_total", len(fresh))
         return fresh
 
     @property

@@ -24,6 +24,7 @@ from repro.core.module import ComputationalModule
 from repro.core.rack import Rack
 from repro.devices.power import ThermalRunawayError
 from repro.hydraulics import HydraulicsError
+from repro.obs import MetricsRegistry, get_registry
 from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
 from repro.resilience.retry import retry_with_backoff
@@ -102,12 +103,36 @@ class RackSimulator:
         init=False, default_factory=dict, repr=False
     )
     _retry_attempts: int = field(init=False, default=0, repr=False)
+    #: Run-scoped metrics of the *last* run (steps, hydraulic retries,
+    #: shutdowns); :meth:`reset` zeroes it so back-to-back runs stay
+    #: order-independent, and each run also publishes its totals into the
+    #: process registry under the ``rack_sim_`` prefix.
+    metrics: MetricsRegistry = field(
+        init=False, default_factory=MetricsRegistry, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.hydraulic_retry_attempts < 1:
             raise ValueError("need at least one hydraulic solve attempt")
         self._modules = [self.rack.module_factory() for _ in range(self.rack.n_modules)]
         self._manifold = self.rack.manifold_system()
+
+    def reset(self) -> None:
+        """Restore pristine per-run state (manifold, caches, metrics).
+
+        Rebuilds the manifold (a previous run's loop closures stay with
+        the old object), resets its solver, and zeroes the run-scoped
+        metrics, so back-to-back runs on one simulator are
+        order-independent. Called automatically at the start of every
+        :meth:`run`.
+        """
+        self._manifold = self.rack.manifold_system()
+        self._manifold.reset_solver()
+        self._throttled.clear()
+        self._retry_attempts = 0
+        self.metrics.reset()
+        if self.supervisor is not None:
+            self.supervisor.reset()
 
     def _water_flows(self, time_s: float = 0.0) -> Optional[List[float]]:
         """Manifold flows with bounded tolerance relaxation on failure.
@@ -208,19 +233,22 @@ class RackSimulator:
         ``chiller`` (magnitude = remaining cooling-capacity fraction;
         0 is a full chiller trip).
         """
+        obs = get_registry()
+        with obs.span("rack_sim.run"), obs.profile("rack_sim.run"):
+            return self._run(duration_s, events, dt_s)
+
+    def _run(
+        self,
+        duration_s: float,
+        events: Optional[List[FailureEvent]],
+        dt_s: float,
+    ) -> RackSimResult:
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and step must be positive")
-        # Rebuild the manifold (a previous run's loop closures stay with
-        # the old object) and reset its solver so back-to-back runs are
-        # order-independent; within the run, warm starts and the solution
-        # cache make the repeated manifold re-solves nearly free.
-        self._manifold = self.rack.manifold_system()
-        self._manifold.reset_solver()
-        self._throttled.clear()
-        self._retry_attempts = 0
+        # Within the run, warm starts and the solution cache make the
+        # repeated manifold re-solves nearly free.
+        self.reset()
         supervised = self.supervisor is not None
-        if supervised:
-            self.supervisor.reset()
         events = sorted(events or [], key=lambda e: e.time_s)
         telemetry = TelemetryLog()
         alarm_log = AlarmLog()
@@ -359,6 +387,25 @@ class RackSimulator:
                 "alarm_episodes": alarm_log.episodes,
             }
         )
+        # Run-scoped instance metrics (zeroed by reset()), then the same
+        # totals accumulated into the process-wide registry. The manifold
+        # solver's own counters already stream there per solve under the
+        # ``hydraulics_`` prefix.
+        self.metrics.merge_counters(
+            {
+                "runs": 1,
+                "steps": len(telemetry),
+                "hydraulic_retry_attempts": self._retry_attempts,
+                "alarm_episodes": alarm_log.episodes,
+                "modules_shutdown": len(modules_shutdown),
+                "rack_shutdowns": 1 if rack_shutdown_time is not None else 0,
+            }
+        )
+        obs = get_registry()
+        if obs.enabled:
+            obs.merge_counters(
+                self.metrics.as_dict()["counters"], prefix="rack_sim_"
+            )
         over = [i for i, t in time_over.items() if t > 0.0]
         final_state: Optional[str] = None
         recovery_actions: Tuple[RecoveryAction, ...] = ()

@@ -25,6 +25,7 @@ from repro.control.supervisor import RecoveryAction, Supervisor
 from repro.core.module import ComputationalModule
 from repro.devices.fpga import Fpga
 from repro.devices.power import ThermalRunawayError
+from repro.obs import MetricsRegistry, get_registry
 from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
 from repro.resilience.voting import median_vote
@@ -97,6 +98,16 @@ class ModuleSimulator:
     bath_volume_m3:
         Open-bath oil inventory; converts a leak's volumetric rate into a
         level-fraction drop per step (~60 L for a 3U CM).
+
+    Attributes
+    ----------
+    metrics:
+        A per-instance, run-scoped :class:`~repro.obs.MetricsRegistry`
+        holding the *last run's* counters (``steps``,
+        ``flow_cache_hits``, ...). :meth:`reset` zeroes it, so
+        back-to-back runs never accumulate stale counts; at the end of
+        each run the totals are also published into the process-wide
+        registry under the ``module_sim_`` prefix.
     """
 
     module: ComputationalModule
@@ -125,6 +136,9 @@ class ModuleSimulator:
     _coolant_sensors: List[Sensor] = field(
         init=False, default_factory=list, repr=False
     )
+    metrics: MetricsRegistry = field(
+        init=False, default_factory=MetricsRegistry, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.controller is not None and self.supervisor is not None:
@@ -141,9 +155,10 @@ class ModuleSimulator:
         Called automatically at the start of every :meth:`run`, so
         back-to-back simulations on one simulator are order-independent:
         a tripped controller latch, accumulated PID integral, TIM
-        multiplier or cached operating points from a previous scenario
-        cannot leak into the next.
+        multiplier, cached operating points or registered metrics from a
+        previous scenario cannot leak into the next.
         """
+        self.metrics.reset()
         self._tim_multiplier = 1.0
         self._flow_cache.clear()
         self._flow_cache_hits = 0
@@ -298,6 +313,17 @@ class ModuleSimulator:
         initial_oil_c: Optional[float] = None,
     ) -> SimulationResult:
         """Integrate the module state over ``duration_s`` seconds."""
+        obs = get_registry()
+        with obs.span("module_sim.run"), obs.profile("module_sim.run"):
+            return self._run(duration_s, events, dt_s, initial_oil_c)
+
+    def _run(
+        self,
+        duration_s: float,
+        events: Optional[List[FailureEvent]],
+        dt_s: float,
+        initial_oil_c: Optional[float],
+    ) -> SimulationResult:
         if duration_s <= 0 or dt_s <= 0:
             raise ValueError("duration and step must be positive")
         self.reset()
@@ -461,6 +487,24 @@ class ModuleSimulator:
                 "alarm_episodes": alarm_log.episodes,
             }
         )
+        # Run-scoped instance metrics (zeroed by reset()), then the same
+        # totals accumulated into the process-wide registry.
+        self.metrics.merge_counters(
+            {
+                "runs": 1,
+                "steps": len(telemetry),
+                "flow_cache_hits": self._flow_cache_hits,
+                "flow_cache_misses": self._flow_cache_misses,
+                "alarm_episodes": alarm_log.episodes,
+                "alarms_raised": alarms,
+                "shutdowns": 1 if shutdown_time is not None else 0,
+            }
+        )
+        obs = get_registry()
+        if obs.enabled:
+            obs.merge_counters(
+                self.metrics.as_dict()["counters"], prefix="module_sim_"
+            )
         final_state: Optional[str] = None
         recovery_actions: Tuple[RecoveryAction, ...] = ()
         degraded_pflops: Optional[float] = None

@@ -83,6 +83,22 @@ class SolverCounters:
             return 0.0
         return self.cache_hits / self.solves
 
+    def publish(self, registry: Any = None, prefix: str = "hydraulics_") -> None:
+        """Mirror the current values into a metrics registry as counters.
+
+        With no explicit registry the process-wide one is used
+        (:func:`repro.obs.get_registry`); under the default no-op registry
+        this is a handful of no-op calls. :class:`NetworkSolver` publishes
+        per-solve *deltas* automatically, so call this only for counters
+        accumulated outside a solver (e.g. the stateless solve path).
+        """
+        from repro.obs import get_registry
+
+        target = registry if registry is not None else get_registry()
+        for name, value in self.as_dict().items():
+            if value:
+                target.inc(prefix + name, value)
+
 
 def _freeze(value: Any) -> Hashable:
     """Reduce an element/field value to a hashable fingerprint."""

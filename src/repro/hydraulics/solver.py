@@ -44,6 +44,7 @@ from repro.hydraulics.cache import (
 )
 from repro.hydraulics.elements import HydraulicElement, PumpCurve
 from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+from repro.obs import get_registry
 
 #: Largest conceivable branch flow used to cap bracket expansion, m^3/s.
 _FLOW_CAP_M3_S = 1.0e3
@@ -52,6 +53,10 @@ _FLOW_CAP_M3_S = 1.0e3
 #: cross-check (inverted flow re-evaluated through the element curve).
 _CONSISTENCY_RTOL = 1.0e-8
 _CONSISTENCY_ATOL = 1.0e-4
+
+#: Bucket edges of the per-solve residual-evaluation histogram (cache
+#: hits land in the first bucket at 0 evaluations).
+_RESIDUAL_EVAL_BUCKETS = (0.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
 
 
 class _FastPathFailed(Exception):
@@ -181,7 +186,39 @@ class NetworkSolver:
         temperature_c: float,
         tolerance_m3_s: float = 1.0e-9,
     ) -> SolveResult:
-        """Solve the network (see :func:`solve_network` for semantics)."""
+        """Solve the network (see :func:`solve_network` for semantics).
+
+        Each call mirrors its counter deltas into the process metrics
+        registry under the ``hydraulics_`` prefix (a no-op under the
+        default null registry, whose ``enabled`` flag skips the snapshot
+        entirely).
+        """
+        obs = get_registry()
+        if not obs.enabled:
+            return self._solve(network, fluid, temperature_c, tolerance_m3_s)
+        before = self.counters.as_dict()
+        with obs.span("hydraulics.solve"):
+            try:
+                return self._solve(network, fluid, temperature_c, tolerance_m3_s)
+            finally:
+                after = self.counters.as_dict()
+                for name, value in after.items():
+                    delta = value - before[name]
+                    if delta:
+                        obs.inc("hydraulics_" + name, delta)
+                obs.observe(
+                    "hydraulics_residual_evaluations_per_solve",
+                    after["residual_evaluations"] - before["residual_evaluations"],
+                    buckets=_RESIDUAL_EVAL_BUCKETS,
+                )
+
+    def _solve(
+        self,
+        network: HydraulicNetwork,
+        fluid: Fluid,
+        temperature_c: float,
+        tolerance_m3_s: float,
+    ) -> SolveResult:
         network.validate()
         counters = self.counters
         counters.solves += 1
@@ -465,6 +502,9 @@ def solve_network(
     result, _ = _solve_with_fallback(
         network, fluid, temperature_c, tolerance_m3_s, None, counters
     )
+    obs = get_registry()
+    if obs.enabled:
+        counters.publish(obs)
     return result
 
 
@@ -481,9 +521,15 @@ def solve_network_robust(
     are suspect.
     """
     network.validate()
+    counters = SolverCounters()
+    counters.solves += 1
+    counters.cold_starts += 1
     result, _ = _robust_solve(
-        network, fluid, temperature_c, tolerance_m3_s, None, SolverCounters()
+        network, fluid, temperature_c, tolerance_m3_s, None, counters
     )
+    obs = get_registry()
+    if obs.enabled:
+        counters.publish(obs)
     return result
 
 

@@ -1,0 +1,59 @@
+"""Unified observability layer: metrics registry, span tracing, profiling.
+
+Every instrumented layer of the stack — the hydraulic solver, the control
+monitor, the module/rack simulators, the sweep runner and the fault
+campaigns — reports through one process-wide registry:
+
+- :mod:`repro.obs.registry` — counters, gauges, fixed-bucket histograms,
+  and the near-zero-cost no-op default registry;
+- :mod:`repro.obs.spans` — nested timing spans with per-worker traces;
+- :mod:`repro.obs.profile` — wall-time + call-count hot-path hooks;
+- :mod:`repro.obs.export` — byte-stable Prometheus and canonical JSON
+  exporters over the deterministic metric state.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs.export import to_json, to_prometheus, write_json, write_prometheus
+from repro.obs.profile import HotPath, ProfileStore, format_hot_paths, profiled
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    sanitize_metric_name,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import NULL_SPAN, Span, SpanRecord, TraceStore, format_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HotPath",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "ProfileStore",
+    "Span",
+    "SpanRecord",
+    "TraceStore",
+    "format_hot_paths",
+    "format_trace",
+    "get_registry",
+    "profiled",
+    "sanitize_metric_name",
+    "set_registry",
+    "to_json",
+    "to_prometheus",
+    "use_registry",
+    "write_json",
+    "write_prometheus",
+]

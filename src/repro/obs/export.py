@@ -1,0 +1,99 @@
+"""Deterministic metric exporters: Prometheus text format and canonical JSON.
+
+Both exporters serialize only the registry's **metric** state (counters,
+gauges, histograms) — the quantities that are deterministic for a seeded
+scenario — with sorted names, fixed separators and a stable float format,
+so two same-seed runs produce byte-identical output. Spans and profile
+hooks carry wall-clock timing and are deliberately excluded; render those
+with :func:`repro.obs.spans.format_trace` and
+:func:`repro.obs.profile.format_hot_paths` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = ["to_json", "to_prometheus", "write_json", "write_prometheus"]
+
+#: Decimal places metric values are rounded to before export; far below
+#: any physical tolerance in the models, and what makes float-valued
+#: gauges byte-stable across accumulation orderings.
+EXPORT_DIGITS = 9
+
+
+def _fmt(value: float) -> str:
+    """Stable scalar rendering: integral floats print as integers."""
+    value = round(float(value), EXPORT_DIGITS)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _num(value: float) -> Union[int, float]:
+    """Stable JSON number: integral floats become ints."""
+    value = round(float(value), EXPORT_DIGITS)
+    if value == int(value):
+        return int(value)
+    return value
+
+
+def to_prometheus(registry: Any) -> str:
+    """The registry's metrics in Prometheus text exposition format.
+
+    Metric families are sorted by name; histograms expose cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    data = registry.as_dict()
+    lines = []
+    for name, value in data["counters"].items():
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(value)}")
+    for name, value in data["gauges"].items():
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(value)}")
+    for name, hist in data["histograms"].items():
+        lines.append(f"# TYPE {name} histogram")
+        running = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            running += count
+            lines.append(f'{name}_bucket{{le="{_fmt(edge)}"}} {running}')
+        running += hist["counts"][-1] if hist["counts"] else 0
+        lines.append(f'{name}_bucket{{le="+Inf"}} {running}')
+        lines.append(f"{name}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{name}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: Any) -> str:
+    """Canonical JSON export: sorted keys, fixed separators, rounded floats."""
+    data = registry.as_dict()
+    payload = {
+        "counters": {k: _num(v) for k, v in data["counters"].items()},
+        "gauges": {k: _num(v) for k, v in data["gauges"].items()},
+        "histograms": {
+            name: {
+                "edges": [_num(e) for e in hist["edges"]],
+                "counts": list(hist["counts"]),
+                "sum": _num(hist["sum"]),
+                "count": hist["count"],
+            }
+            for name, hist in data["histograms"].items()
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_json(registry: Any, path: Union[str, Path]) -> Path:
+    """Write the canonical JSON export (trailing newline) to ``path``."""
+    path = Path(path)
+    path.write_text(to_json(registry) + "\n")
+    return path
+
+
+def write_prometheus(registry: Any, path: Union[str, Path]) -> Path:
+    """Write the Prometheus text export to ``path``."""
+    path = Path(path)
+    path.write_text(to_prometheus(registry))
+    return path

@@ -1,0 +1,119 @@
+"""Lightweight profiling hooks: wall time + call count per hot path.
+
+A :class:`ProfileStore` accumulates ``(calls, total wall seconds)`` per
+named hot path; :meth:`hot_paths` ranks them for the top-N table printed
+by ``scripts/run_profile.py``. Like spans, profile data is wall-clock
+timing and is excluded from the deterministic metric exports.
+
+Use through the registry::
+
+    obs = get_registry()
+    with obs.profile("manifold.solve"):
+        system.solve()
+
+or decorate a function with :func:`profiled`, which resolves the process
+registry at *call* time (so importing an instrumented module never pins
+the registry that was active at import).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
+
+__all__ = ["HotPath", "ProfileStore", "format_hot_paths", "profiled"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+@dataclass(frozen=True)
+class HotPath:
+    """Aggregated profile of one named hot path."""
+
+    name: str
+    calls: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall time per call (0 when never called)."""
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class ProfileStore:
+    """Thread-safe accumulator of per-hot-path wall time and call counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: Dict[str, List[float]] = {}
+
+    def add(self, name: str, elapsed_s: float, calls: int = 1) -> None:
+        """Fold one timed call (or a batch) into a hot path's totals."""
+        if not name:
+            raise ValueError("hot path name must be non-empty")
+        with self._lock:
+            stat = self._stats.setdefault(name, [0, 0.0])
+            stat[0] += calls
+            stat[1] += elapsed_s
+
+    @contextmanager
+    def record(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def hot_paths(self, top_n: Optional[int] = None) -> List[HotPath]:
+        """Hot paths sorted by total wall time (name breaks ties)."""
+        with self._lock:
+            paths = [
+                HotPath(name=name, calls=int(stat[0]), total_s=float(stat[1]))
+                for name, stat in self._stats.items()
+            ]
+        paths.sort(key=lambda p: (-p.total_s, p.name))
+        return paths if top_n is None else paths[:top_n]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+def format_hot_paths(paths: List[HotPath], title: str = "hot paths") -> str:
+    """Render a ranked hot-path table as plain text."""
+    header = f"{'#':>2}  {'hot path':<40} {'calls':>8} {'total ms':>10} {'mean ms':>10}"
+    lines = [title, header, "-" * len(header)]
+    for rank, path in enumerate(paths, start=1):
+        lines.append(
+            f"{rank:>2}  {path.name:<40} {path.calls:>8} "
+            f"{path.total_s * 1e3:>10.3f} {path.mean_s * 1e3:>10.4f}"
+        )
+    if not paths:
+        lines.append("(no hot paths recorded)")
+    return "\n".join(lines)
+
+
+def profiled(name: Optional[str] = None) -> Callable[[_F], _F]:
+    """Decorator profiling every call of a function into the registry.
+
+    The process registry is looked up per call; under the default no-op
+    registry the wrapper adds only a function call and a null context.
+    """
+
+    def decorate(fn: _F) -> _F:
+        path = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.obs.registry import get_registry
+
+            with get_registry().profile(path):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,486 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is the single reporting surface for every
+instrumented layer (hydraulics solver, control monitor, module/rack
+simulators, sweep runner, fault campaigns). The **default** process
+registry is a :class:`NullRegistry` whose every operation is a no-op on a
+shared immutable object — instrumentation left in a hot path costs one
+method call, which the overhead-budget test pins below 5% of a hydraulic
+solve loop. Install a live registry around the code you want measured::
+
+    from repro.obs import MetricsRegistry, use_registry, to_json
+
+    with use_registry(MetricsRegistry()) as obs:
+        run_campaign(...)
+        print(to_json(obs))
+
+Metric values (counters/gauges/histograms) are deterministic for a seeded
+scenario and are what the exporters serialize byte-stably; spans and
+profile hooks carry wall-clock timing and live outside the deterministic
+export (see :mod:`repro.obs.spans` and :mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.profile import HotPath, ProfileStore
+from repro.obs.spans import NULL_SPAN, Span, SpanRecord, TraceStore
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "get_registry",
+    "sanitize_metric_name",
+    "set_registry",
+    "use_registry",
+]
+
+#: Default histogram bucket edges (a generic 1-2-5 decade ladder).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise ValueError(
+            f"invalid metric name {name!r} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    return name
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary label into a legal metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name or "")
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class Counter:
+    """A monotone accumulating counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add a non-negative amount."""
+        if amount < 0:
+            raise ValueError("counters only accumulate; amount must be >= 0")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A point-in-time value that can move either way."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = _check_name(name)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram (Prometheus-style cumulative export).
+
+    ``buckets`` are the finite upper edges, strictly increasing; an
+    implicit ``+Inf`` overflow bucket always exists. Observations also
+    accumulate ``sum`` and ``count``.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = _check_name(name)
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        for edge in edges:
+            if not math.isfinite(edge):
+                raise ValueError("bucket edges must be finite")
+        for lo, hi in zip(edges, edges[1:]):
+            if not lo < hi:
+                raise ValueError(
+                    f"bucket edges must be strictly increasing, got {lo} >= {hi}"
+                )
+        self.buckets = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow last."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative counts per edge plus ``+Inf`` (Prometheus ``le``)."""
+        counts = self.bucket_counts()
+        out, running = [], 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """The single reporting surface for every instrumented layer.
+
+    Metric handles are created on first use and re-registration returns
+    the existing handle (a name may hold only one metric type). The
+    registry also owns the trace store (:meth:`span`) and profile store
+    (:meth:`profile`, :meth:`hot_paths`).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._traces = TraceStore()
+        self._profiles = ProfileStore()
+
+    # -- registration -------------------------------------------------
+
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._claim(name, "counter")
+                metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._claim(name, "gauge")
+                metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._claim(name, "histogram")
+                metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    # -- convenience hot-path operations ------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter by name."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge by name."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Observe a value into a histogram by name."""
+        self.histogram(name, buckets).observe(value)
+
+    def merge_counters(self, values: Mapping[str, float], prefix: str = "") -> None:
+        """Accumulate a batch of counter values (e.g. per-run totals)."""
+        for name, value in values.items():
+            if value:
+                self.inc(prefix + sanitize_metric_name(name), value)
+
+    # -- tracing / profiling ------------------------------------------
+
+    def span(self, name: str, **labels: Any) -> Span:
+        """A new timing span nesting under this thread's open span."""
+        return Span(self._traces, name, labels)
+
+    def traces(self) -> Dict[str, List[SpanRecord]]:
+        """Finished root spans grouped per worker thread."""
+        return self._traces.traces()
+
+    def current_span(self) -> Optional[SpanRecord]:
+        """The calling thread's innermost open span record, if any."""
+        return self._traces.current()
+
+    def profile(self, name: str):
+        """Context manager accumulating wall time into a hot path."""
+        return self._profiles.record(name)
+
+    def add_profile(self, name: str, elapsed_s: float, calls: int = 1) -> None:
+        """Fold an externally timed batch into a hot path."""
+        self._profiles.add(name, elapsed_s, calls)
+
+    def hot_paths(self, top_n: Optional[int] = None) -> List[HotPath]:
+        """Hot paths ranked by total wall time."""
+        return self._profiles.hot_paths(top_n)
+
+    # -- lifecycle / introspection ------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric and drop all traces and profiles."""
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric.reset()
+        self._traces.clear()
+        self._profiles.clear()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Deterministic plain-dict snapshot of every metric (sorted)."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {name: g.value for name, g in self._gauges.items()}
+            histograms = {
+                name: {
+                    "edges": list(h.buckets),
+                    "counts": h.bucket_counts(),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in self._histograms.items()
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+
+class _NullMetric:
+    """Shared no-op stand-in for every metric type."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def bucket_counts(self) -> List[int]:
+        return []
+
+    def cumulative_counts(self) -> List[int]:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullProfileContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_PROFILE = _NullProfileContext()
+
+
+class NullRegistry:
+    """The near-zero-cost default: every operation is a no-op.
+
+    Instrumented hot paths check :attr:`enabled` before doing any
+    per-call bookkeeping (snapshots, dict copies); the plain ``inc`` /
+    ``span`` / ``profile`` calls themselves degrade to a method call on a
+    shared object.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        pass
+
+    def merge_counters(self, values: Mapping[str, float], prefix: str = "") -> None:
+        pass
+
+    def span(self, name: str, **labels: Any):
+        return NULL_SPAN
+
+    def traces(self) -> Dict[str, List[SpanRecord]]:
+        return {}
+
+    def current_span(self) -> Optional[SpanRecord]:
+        return None
+
+    def profile(self, name: str) -> _NullProfileContext:
+        return _NULL_PROFILE
+
+    def add_profile(self, name: str, elapsed_s: float, calls: int = 1) -> None:
+        pass
+
+    def hot_paths(self, top_n: Optional[int] = None) -> List[HotPath]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The shared no-op registry (the process default).
+NULL_REGISTRY = NullRegistry()
+
+_current: Any = NULL_REGISTRY
+_current_lock = threading.Lock()
+
+
+def get_registry() -> Any:
+    """The process-wide registry (the no-op default unless installed)."""
+    return _current
+
+
+def set_registry(registry: Optional[Any]) -> Any:
+    """Install a registry process-wide; ``None`` restores the no-op default.
+
+    Returns the previously installed registry.
+    """
+    global _current
+    with _current_lock:
+        previous = _current
+        _current = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[Any]:
+    """Scope a registry installation: install, yield it, restore.
+
+    With no argument a fresh :class:`MetricsRegistry` is created — the
+    common "measure just this block" idiom.
+    """
+    installed = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(installed)
+    try:
+        yield installed
+    finally:
+        set_registry(previous)

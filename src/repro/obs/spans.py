@@ -1,0 +1,188 @@
+"""Structured timing spans with parent/child nesting.
+
+A :class:`Span` is a context manager that measures one region of work and
+records it as a :class:`SpanRecord`. Spans opened while another span is
+active on the same thread become its children, so a run's trace is a tree
+whose child durations nest inside their parent's by construction.
+
+The active-span stack is **thread-local**: concurrent sweep workers each
+build their own trace tree and finished root spans land in the
+:class:`TraceStore` keyed by worker thread, never interleaved across
+workers. Trace data is wall-clock timing and therefore deliberately *not*
+part of the deterministic metric exports (:mod:`repro.obs.export`); render
+it with :func:`format_trace`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TraceStore",
+    "format_trace",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span.
+
+    ``duration_s`` is 0 until the span closes; ``status`` is ``"ok"`` or
+    ``"error"`` with ``error`` carrying the exception repr on the error
+    path. ``depth`` is 0 for a root span, 1 for its children, and so on.
+    """
+
+    name: str
+    labels: Tuple[Tuple[str, Any], ...] = ()
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    depth: int = 0
+    status: str = "ok"
+    error: Optional[str] = None
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> List["SpanRecord"]:
+        """This span and every descendant, depth-first."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+
+class TraceStore:
+    """Finished root spans, grouped per worker thread.
+
+    Each thread owns a private active-span stack (``threading.local``), so
+    spans from concurrent workers can never nest into each other; a root
+    span that closes is appended to its worker's list under a lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: Dict[str, List[SpanRecord]] = {}
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @staticmethod
+    def worker_key() -> str:
+        """The trace-group key of the calling thread."""
+        thread = threading.current_thread()
+        return f"{thread.name}:{thread.ident}"
+
+    def push(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        record.depth = len(stack)
+        stack.append(record)
+
+    def pop(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not record:
+            raise RuntimeError(
+                f"span {record.name!r} closed out of order on this thread"
+            )
+        stack.pop()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            key = self.worker_key()
+            with self._lock:
+                self._roots.setdefault(key, []).append(record)
+
+    def current(self) -> Optional[SpanRecord]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def traces(self) -> Dict[str, List[SpanRecord]]:
+        """Finished root spans per worker key (a shallow copy)."""
+        with self._lock:
+            return {key: list(roots) for key, roots in self._roots.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class Span:
+    """Context manager timing one region; nests under the open span.
+
+    Created via :meth:`repro.obs.registry.MetricsRegistry.span`. Closing
+    on an exception records ``status="error"`` (with the exception repr)
+    and re-raises — a span can never be left open by an error path.
+    """
+
+    __slots__ = ("record", "_store", "_t0")
+
+    def __init__(self, store: TraceStore, name: str, labels: Dict[str, Any]):
+        if not name:
+            raise ValueError("span name must be non-empty")
+        self._store = store
+        self.record = SpanRecord(name=name, labels=tuple(sorted(labels.items())))
+        self._t0 = 0.0
+
+    def annotate(self, **labels: Any) -> "Span":
+        """Attach extra labels to the span's record."""
+        merged = dict(self.record.labels)
+        merged.update(labels)
+        self.record.labels = tuple(sorted(merged.items()))
+        return self
+
+    def __enter__(self) -> "Span":
+        self._store.push(self.record)
+        self._t0 = time.perf_counter()
+        self.record.start_s = self._t0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.record.duration_s = time.perf_counter() - self._t0
+        if exc is not None:
+            self.record.status = "error"
+            self.record.error = repr(exc)
+        self._store.pop(self.record)
+        return False
+
+
+class _NullSpan:
+    """A reusable, stateless no-op span (the disabled-registry default)."""
+
+    __slots__ = ()
+
+    def annotate(self, **labels: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared no-op span handed out by the null registry.
+NULL_SPAN = _NullSpan()
+
+
+def format_trace(record: SpanRecord) -> str:
+    """Render one trace tree as an indented text block."""
+    lines = []
+    for span in record.walk():
+        indent = "  " * span.depth
+        label = "".join(
+            f" {key}={value}" for key, value in span.labels
+        )
+        suffix = f" [{span.status}]" if span.status != "ok" else ""
+        lines.append(
+            f"{indent}{span.name}{label} {span.duration_s * 1e3:.3f} ms{suffix}"
+        )
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ from repro.reliability.failures import (
     sensor_fault_event,
     tim_washout_drift,
 )
+from repro.obs import get_registry
 from repro.reliability.montecarlo import AvailabilitySimulator, McComponent
 from repro.sweep import SweepCase, run_sweep, summarize_failures
 
@@ -409,7 +410,13 @@ def run_campaign(
             duration_s=duration_s, events=list(scenario.events), dt_s=dt_s
         )
 
-    outcomes = run_sweep(evaluate, cases, max_workers=max_workers, on_error="capture")
+    obs = get_registry()
+    with obs.span("campaign.run", scenarios=len(scenarios)), obs.profile(
+        "campaign.run"
+    ):
+        outcomes = run_sweep(
+            evaluate, cases, max_workers=max_workers, on_error="capture"
+        )
     reports = []
     for outcome in outcomes:
         scenario = by_name[outcome.case.name]
@@ -420,6 +427,17 @@ def run_campaign(
     failures = tuple(
         {k: v for k, v in record.items() if k != "params"}
         for record in summarize_failures(outcomes)
+    )
+    obs.merge_counters(
+        {
+            "campaign_runs_total": 1,
+            "campaign_scenarios_total": len(scenarios),
+            "campaign_scenario_failures_total": len(failures),
+            "campaign_survived_total": sum(1 for r in reports if r.survived),
+            "campaign_safe_shutdown_total": sum(
+                1 for r in reports if r.safe_shutdown
+            ),
+        }
     )
     return CampaignReport(
         scenarios=tuple(reports),

@@ -28,6 +28,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import get_registry
+
 #: Ceiling on the default worker count (sweeps are short; oversubscribing
 #: a laptop-class host buys nothing).
 _DEFAULT_MAX_WORKERS = 8
@@ -133,11 +135,18 @@ def run_sweep(
     cases = list(cases)
     if not cases:
         return []
+    obs = get_registry()
+    obs.inc("sweep_runs_total")
+    obs.inc("sweep_cases_total", len(cases))
 
     def evaluate(index: int, case: SweepCase) -> SweepOutcome:
+        # Each case is timed as a span (grouped per worker thread, so
+        # concurrent workers never interleave traces) and as a hot path.
         try:
-            return SweepOutcome(case=case, index=index, value=fn(case))
+            with obs.span("sweep.case", case=case.name), obs.profile("sweep.case"):
+                return SweepOutcome(case=case, index=index, value=fn(case))
         except Exception as exc:  # noqa: BLE001 - reported per-case
+            obs.inc("sweep_case_errors_total")
             if on_error == "raise":
                 raise
             return SweepOutcome(

@@ -1,0 +1,138 @@
+"""Exporter determinism: canonical JSON + Prometheus text, golden-pinned.
+
+The golden scenario is a seeded, supervised CM transient (fixed sensor
+seeds, fixed event times): its metric state is integer-valued and
+platform-stable, so the exports are pinned byte-for-byte under
+``tests/goldens/``. Regenerate after an *intentional* instrumentation
+change with::
+
+    PYTHONPATH=src python tests/test_obs_export.py --regen
+
+and review the diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, to_json, to_prometheus, use_registry
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_JSON = GOLDEN_DIR / "obs_export.json"
+GOLDEN_PROM = GOLDEN_DIR / "obs_export.prom"
+
+
+def _run_golden_scenario() -> MetricsRegistry:
+    """The pinned scenario: supervised CM under a pump stop + TIM washout."""
+    from repro.control.supervisor import Supervisor
+    from repro.core.simulation import ModuleSimulator
+    from repro.core.skat import skat
+    from repro.reliability.failures import pump_stop_event, tim_washout_drift
+
+    with use_registry() as obs:
+        simulator = ModuleSimulator(module=skat(), supervisor=Supervisor())
+        simulator.run(
+            duration_s=600.0,
+            events=[
+                pump_stop_event(240.0, "oil_pump", 0.0),
+                tim_washout_drift(300.0, "fpga_hot", 4.0),
+            ],
+            dt_s=5.0,
+        )
+    return obs
+
+
+class TestDeterminism:
+    def test_same_scenario_exports_identical_bytes(self):
+        """Same seed + same scenario => byte-identical exports."""
+        first = _run_golden_scenario()
+        second = _run_golden_scenario()
+        assert to_json(first) == to_json(second)
+        assert to_prometheus(first) == to_prometheus(second)
+
+    def test_exports_exclude_wall_clock_state(self):
+        """Spans and profile hooks never leak into the deterministic export."""
+        reg = MetricsRegistry()
+        reg.inc("c", 1)
+        with reg.span("timed"):
+            pass
+        with reg.profile("hot"):
+            pass
+        payload = json.loads(to_json(reg))
+        assert payload == {
+            "counters": {"c": 1},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert "timed" not in to_prometheus(reg)
+
+    def test_registration_order_does_not_change_bytes(self):
+        a = MetricsRegistry()
+        a.inc("x", 1)
+        a.inc("y", 2)
+        b = MetricsRegistry()
+        b.inc("y", 2)
+        b.inc("x", 1)
+        assert to_json(a) == to_json(b)
+        assert to_prometheus(a) == to_prometheus(b)
+
+
+class TestFormats:
+    def test_prometheus_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("solves_total", 3)
+        reg.set_gauge("oil_c", 41.25)
+        hist = reg.histogram("residuals", buckets=(1.0, 5.0))
+        hist.observe(0.5)
+        hist.observe(7.0)
+        text = to_prometheus(reg)
+        assert "# TYPE solves_total counter\nsolves_total 3\n" in text
+        assert "# TYPE oil_c gauge\noil_c 41.25\n" in text
+        assert 'residuals_bucket{le="1"} 1' in text
+        assert 'residuals_bucket{le="5"} 1' in text
+        assert 'residuals_bucket{le="+Inf"} 2' in text
+        assert "residuals_sum 7.5" in text
+        assert "residuals_count 2" in text
+        assert text.endswith("\n")
+
+    def test_integral_floats_render_as_integers(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2.0)
+        reg.set_gauge("g", 3.0)
+        assert '"c":2' in to_json(reg)
+        assert "c 2\n" in to_prometheus(reg)
+        assert "g 3\n" in to_prometheus(reg)
+
+    def test_json_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        payload = to_json(reg)
+        assert payload == json.dumps(
+            json.loads(payload), sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestGoldens:
+    def test_json_export_matches_golden(self):
+        obs = _run_golden_scenario()
+        assert to_json(obs) + "\n" == GOLDEN_JSON.read_text()
+
+    def test_prometheus_export_matches_golden(self):
+        obs = _run_golden_scenario()
+        assert to_prometheus(obs) == GOLDEN_PROM.read_text()
+
+
+def _regen() -> None:
+    obs = _run_golden_scenario()
+    GOLDEN_JSON.write_text(to_json(obs) + "\n")
+    GOLDEN_PROM.write_text(to_prometheus(obs))
+    print(f"wrote {GOLDEN_JSON} and {GOLDEN_PROM}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

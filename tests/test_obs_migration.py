@@ -1,0 +1,179 @@
+"""Every instrumented layer reports through one installed registry.
+
+These are the migration guarantees of the unified observability layer:
+hydraulics, the module/rack simulators, monitoring, the sweep runner and
+the resilience campaign all publish into whatever registry
+:func:`repro.obs.get_registry` returns — and publish *nothing* when the
+default no-op registry is installed.
+"""
+
+import pytest
+
+from repro.control.controller import Alarm, AlarmSeverity
+from repro.control.monitor import AlarmLog, TelemetryLog
+from repro.control.supervisor import Supervisor
+from repro.core.balancing import RackManifoldSystem
+from repro.core.rack import Rack
+from repro.core.racksim import RackSimulator
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.fluids.library import WATER
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.reliability.failures import pump_stop_event
+from repro.resilience.campaign import FaultScenario, run_campaign
+from repro.sweep import SweepCase, run_sweep
+
+
+class TestHydraulicsLayer:
+    def test_manifold_solve_publishes_counters_and_histogram(self):
+        with use_registry() as obs:
+            system = RackManifoldSystem(n_loops=4)
+            system.solve()
+            system.solve()  # cache replay
+        counters = obs.as_dict()["counters"]
+        assert counters["hydraulics_solves"] == 2
+        assert counters["hydraulics_cold_starts"] == 1
+        assert counters["hydraulics_cache_hits"] == 1
+        assert counters["hydraulics_residual_evaluations"] > 0
+        hist = obs.histogram("hydraulics_residual_evaluations_per_solve")
+        assert hist.count == 2
+
+    def test_stateless_solve_network_publishes(self):
+        from repro.hydraulics.elements import CheckValve, Pump, PumpCurve
+        from repro.hydraulics.network import HydraulicNetwork
+        from repro.hydraulics.solver import solve_network
+
+        net = HydraulicNetwork()
+        net.add_junction("a")
+        net.add_junction("b")
+        net.set_reference("a")
+        net.add_branch("pump", "a", "b", Pump(PumpCurve(50.0e3, 0.01)))
+        net.add_branch("check", "b", "a", CheckValve())
+        with use_registry() as obs:
+            solve_network(net, WATER, 25.0)
+        counters = obs.as_dict()["counters"]
+        assert counters["hydraulics_solves"] == 1
+        assert counters["hydraulics_cold_starts"] == 1
+
+
+class TestSimulatorLayers:
+    def test_module_simulator_totals_accumulate_per_run_metrics_reset(self):
+        """Global counters accumulate; per-run metrics reset (satellite)."""
+        events = [pump_stop_event(240.0, "oil_pump", 0.0)]
+        with use_registry() as obs:
+            sim = ModuleSimulator(module=skat(), supervisor=Supervisor())
+            sim.run(duration_s=400.0, events=list(events), dt_s=5.0)
+            first = sim.metrics.as_dict()["counters"]
+            sim.run(duration_s=400.0, events=list(events), dt_s=5.0)
+            second = sim.metrics.as_dict()["counters"]
+        # reset() zeroed the run-scoped registry: repeat runs are
+        # order-independent, not cumulative.
+        assert first == second
+        assert first["runs"] == 1
+        counters = obs.as_dict()["counters"]
+        assert counters["module_sim_runs"] == 2
+        assert counters["module_sim_steps"] == 2 * first["steps"]
+
+    def test_rack_simulator_publishes_and_resets(self):
+        with use_registry() as obs:
+            sim = RackSimulator(Rack(module_factory=skat, n_modules=2))
+            sim.run(duration_s=150.0, events=[], dt_s=5.0)
+            per_run = sim.metrics.as_dict()["counters"]
+            sim.reset()
+        assert per_run["runs"] == 1
+        assert per_run["steps"] > 0
+        assert all(v == 0 for v in sim.metrics.as_dict()["counters"].values())
+        counters = obs.as_dict()["counters"]
+        assert counters["rack_sim_runs"] == 1
+        assert counters["rack_sim_steps"] == per_run["steps"]
+
+    def test_default_noop_path_leaves_process_registry_empty(self):
+        """Uninstrumented runs must not leak into the null registry."""
+        sim = ModuleSimulator(module=skat())
+        sim.run(duration_s=100.0, events=[], dt_s=5.0)
+        assert get_registry().as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        # The per-instance registry still works without an installed one.
+        assert sim.metrics.as_dict()["counters"]["runs"] == 1
+
+
+class TestSweepAndCampaignLayers:
+    def test_run_sweep_counts_runs_cases_and_errors(self):
+        cases = [SweepCase(name=f"c{i}", params={"i": i}) for i in range(4)]
+
+        def evaluate(case):
+            if case.params["i"] == 2:
+                raise RuntimeError("boom")
+            return case.params["i"]
+
+        with use_registry() as obs:
+            outcomes = run_sweep(evaluate, cases, on_error="capture")
+        assert sum(1 for o in outcomes if not o.ok) == 1
+        counters = obs.as_dict()["counters"]
+        assert counters["sweep_runs_total"] == 1
+        assert counters["sweep_cases_total"] == 4
+        assert counters["sweep_case_errors_total"] == 1
+
+    def test_run_campaign_publishes_accounting(self):
+        scenarios = [
+            FaultScenario(
+                name="pump_stop",
+                events=(pump_stop_event(120.0, "oil_pump", 0.0),),
+            ),
+            FaultScenario(
+                name="pump_derate",
+                events=(pump_stop_event(120.0, "oil_pump", 0.5),),
+            ),
+        ]
+        with use_registry() as obs:
+            report = run_campaign(
+                lambda: ModuleSimulator(module=skat(), supervisor=Supervisor()),
+                scenarios,
+                duration_s=300.0,
+                dt_s=5.0,
+            )
+        counters = obs.as_dict()["counters"]
+        assert counters["campaign_runs_total"] == 1
+        assert counters["campaign_scenarios_total"] == 2
+        assert counters.get("campaign_scenario_failures_total", 0) == 0
+        assert counters["campaign_survived_total"] == sum(
+            1 for r in report.scenarios if r.survived
+        )
+        # The sweep layer underneath reported through the same registry.
+        assert counters["sweep_cases_total"] == 2
+
+
+class TestMonitorLayer:
+    def test_telemetry_record_and_increment_mirror(self):
+        with use_registry() as obs:
+            log = TelemetryLog()
+            log.record(0.0, {"t_oil_c": 40.0})
+            log.record(5.0, {"t_oil_c": 41.0})
+            log.increment("throttle events")
+        counters = obs.as_dict()["counters"]
+        assert counters["telemetry_samples_total"] == 2
+        assert counters["telemetry_throttle_events_total"] == 1
+
+    def test_alarm_log_counts_fresh_episodes_only(self):
+        alarm = Alarm(
+            severity=AlarmSeverity.CRITICAL, source="overtemp", message="hot"
+        )
+        with use_registry() as obs:
+            log = AlarmLog()
+            log.observe(0.0, [alarm])
+            log.observe(5.0, [alarm])  # still latched: not a fresh episode
+        assert obs.as_dict()["counters"]["alarm_episodes_total"] == 1
+
+    def test_set_counters_is_not_mirrored(self):
+        """Replacement semantics: bulk restore must not inflate totals."""
+        with use_registry() as obs:
+            log = TelemetryLog()
+            log.set_counters({"restored": 7.0})
+        assert "telemetry_restored_total" not in obs.as_dict()["counters"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

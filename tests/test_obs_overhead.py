@@ -1,0 +1,92 @@
+"""Overhead budget of the disabled (no-op) observability layer.
+
+The default process registry is the shared :class:`NullRegistry`; the
+instrumentation left on the solver hot path is then exactly one
+``get_registry()`` lookup plus an ``enabled`` check per solve. This suite
+times an F5-style manifold solve loop and asserts that a *generous*
+multiple of those no-op operations still costs less than 5% of the loop —
+the budget every future instrumentation change has to live inside.
+"""
+
+import time
+
+import pytest
+
+from repro.core.balancing import RackManifoldSystem
+from repro.obs import MetricsRegistry, NullRegistry, get_registry
+
+#: Solves per timing sample (each cycle is a nominal + one-loop-out solve).
+_CYCLES = 5
+_SOLVES = 2 * _CYCLES
+
+#: Safety factor: we charge this many times more no-op operations per
+#: solve than the hot path actually performs (one lookup + one check).
+_OPS_PER_SOLVE = 8
+
+#: Fraction of the solve loop the no-op instrumentation may cost.
+_BUDGET = 0.05
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    return min(fn() for _ in range(repeats))
+
+
+def _time_solve_loop(system: RackManifoldSystem) -> float:
+    t0 = time.perf_counter()
+    for _ in range(_CYCLES):
+        system.solve()
+        system.fail_loop(1)
+        system.solve()
+        system.restore_loop(1)
+    return time.perf_counter() - t0
+
+
+def _time_noop_ops(n: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obs = get_registry()
+        if obs.enabled:  # pragma: no cover - null registry is disabled
+            raise AssertionError("expected the no-op registry")
+    return time.perf_counter() - t0
+
+
+class TestNoOpOverheadBudget:
+    def test_default_registry_is_the_noop(self):
+        assert isinstance(get_registry(), NullRegistry)
+        assert not get_registry().enabled
+
+    def test_noop_overhead_under_budget_for_f5_solve_loop(self):
+        """A generous multiple of the no-op ops stays under 5% of the loop."""
+        system = RackManifoldSystem(n_loops=4)
+        _time_solve_loop(system)  # warm: caches, numpy, scipy
+        t_loop = _best_of(lambda: _time_solve_loop(system))
+        n_ops = _SOLVES * _OPS_PER_SOLVE
+        _time_noop_ops(n_ops)  # warm
+        t_noop = _best_of(lambda: _time_noop_ops(n_ops))
+        assert t_noop < _BUDGET * t_loop, (
+            f"no-op instrumentation {t_noop * 1e6:.1f} us exceeds "
+            f"{_BUDGET:.0%} of the {t_loop * 1e6:.1f} us solve loop"
+        )
+
+    def test_null_span_and_profile_are_allocation_free(self):
+        """The null registry hands out the same shared objects every time."""
+        obs = get_registry()
+        assert obs.span("a") is obs.span("b")
+        assert obs.counter("a") is obs.counter("b")
+        assert obs.profile("a") is obs.profile("b")
+
+
+class TestHistogramValidation:
+    """Bucket-edge validation rides with the overhead budget (satellite)."""
+
+    def test_monotone_edges_accepted(self):
+        hist = MetricsRegistry().histogram("ok", buckets=(0.0, 1.0, 2.5, 10.0))
+        assert hist.buckets == (0.0, 1.0, 2.5, 10.0)
+
+    @pytest.mark.parametrize(
+        "buckets",
+        [(), (1.0, 1.0), (2.0, 1.0), (0.0, float("nan")), (float("inf"),)],
+    )
+    def test_bad_edges_rejected(self, buckets):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=buckets)

@@ -1,0 +1,184 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    sanitize_metric_name,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("solves_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_counter_handle_is_shared(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        reg.inc("c", 2)
+        assert reg.counter("c").value == 2
+
+    def test_threaded_increments_are_exact(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauges:
+    def test_gauge_set_and_move(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("oil_c")
+        gauge.set(42.5)
+        assert gauge.value == 42.5
+        gauge.inc(-2.5)
+        assert gauge.value == 40.0
+
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+
+class TestHistograms:
+    def test_bucketing(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        # le semantics: 0.5 and 1.0 land in the first bucket.
+        assert hist.bucket_counts() == [2, 1, 1, 1]
+        assert hist.cumulative_counts() == [2, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(111.5)
+
+    def test_edges_must_be_strictly_increasing(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("bad2", buckets=(5.0, 1.0))
+
+    def test_edges_must_be_finite_and_present(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("bad2", buckets=(1.0, float("inf")))
+
+
+class TestRegistryLifecycle:
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for name in ("", "2leading", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                reg.counter(name)
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("cache hits/misses") == "cache_hits_misses"
+        assert sanitize_metric_name("2nd") == "_2nd"
+        assert sanitize_metric_name("") == "_"
+
+    def test_merge_counters_prefix_and_zero_skip(self):
+        reg = MetricsRegistry()
+        reg.merge_counters({"hits": 3, "misses": 0}, prefix="cache_")
+        snapshot = reg.as_dict()["counters"]
+        assert snapshot == {"cache_hits": 3.0}
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 3.0, buckets=(1.0, 5.0))
+        with reg.span("s"):
+            pass
+        with reg.profile("p"):
+            pass
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.gauge("g").value == 0
+        assert reg.histogram("h").count == 0
+        assert reg.traces() == {}
+        assert reg.hot_paths() == []
+
+    def test_as_dict_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("zeta")
+        reg.inc("alpha")
+        assert list(reg.as_dict()["counters"]) == ["alpha", "zeta"]
+
+
+class TestProcessRegistry:
+    def test_default_is_null(self):
+        assert isinstance(get_registry(), NullRegistry)
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_use_registry_installs_and_restores(self):
+        before = get_registry()
+        with use_registry() as obs:
+            assert get_registry() is obs
+            assert obs.enabled
+        assert get_registry() is before
+
+    def test_use_registry_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_none_restores_null(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+        assert previous is NULL_REGISTRY
+
+    def test_null_registry_is_inert(self):
+        null = NullRegistry()
+        null.inc("anything", 5)
+        null.set_gauge("g", 1.0)
+        null.observe("h", 2.0)
+        null.merge_counters({"a": 1})
+        with null.span("s") as span:
+            span.annotate(case="x")
+        with null.profile("p"):
+            pass
+        assert null.counter("anything").value == 0
+        assert null.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert null.traces() == {}
+        assert null.hot_paths() == []
+        assert null.current_span() is None

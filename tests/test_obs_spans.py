@@ -1,0 +1,135 @@
+"""Span nesting, error paths and per-worker trace isolation."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, format_trace, use_registry
+from repro.obs.spans import SpanRecord, TraceStore
+from repro.sweep import SweepCase, run_sweep
+
+
+class TestNesting:
+    def test_children_nest_under_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with reg.span("child_a"):
+                pass
+            with reg.span("child_b"):
+                with reg.span("grandchild"):
+                    pass
+        traces = reg.traces()
+        assert len(traces) == 1
+        (roots,) = traces.values()
+        assert [r.name for r in roots] == ["parent"]
+        parent = roots[0]
+        assert [c.name for c in parent.children] == ["child_a", "child_b"]
+        assert [g.name for g in parent.children[1].children] == ["grandchild"]
+        assert [s.depth for s in parent.walk()] == [0, 1, 1, 2]
+
+    def test_child_duration_within_parent(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with reg.span("child"):
+                sum(range(1000))
+        parent = next(iter(reg.traces().values()))[0]
+        child = parent.children[0]
+        assert 0.0 <= child.duration_s <= parent.duration_s
+        assert parent.start_s <= child.start_s
+        assert (
+            child.start_s + child.duration_s
+            <= parent.start_s + parent.duration_s
+        )
+
+    def test_current_span_tracks_stack(self):
+        reg = MetricsRegistry()
+        assert reg.current_span() is None
+        with reg.span("outer"):
+            assert reg.current_span().name == "outer"
+            with reg.span("inner"):
+                assert reg.current_span().name == "inner"
+            assert reg.current_span().name == "outer"
+        assert reg.current_span() is None
+
+    def test_labels_and_annotate(self):
+        reg = MetricsRegistry()
+        with reg.span("s", case="a") as span:
+            span.annotate(extra=1)
+        record = next(iter(reg.traces().values()))[0]
+        assert record.labels == (("case", "a"), ("extra", 1))
+
+
+class TestErrorPaths:
+    def test_span_closes_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("failing"):
+                raise RuntimeError("boom")
+        record = next(iter(reg.traces().values()))[0]
+        assert record.status == "error"
+        assert "boom" in record.error
+        assert record.duration_s >= 0.0
+        # The stack unwound: a new root opens cleanly.
+        with reg.span("after"):
+            assert reg.current_span().name == "after"
+
+    def test_nested_error_marks_only_failing_spans(self):
+        reg = MetricsRegistry()
+        with reg.span("parent"):
+            with pytest.raises(ValueError):
+                with reg.span("child"):
+                    raise ValueError("inner")
+        parent = next(iter(reg.traces().values()))[0]
+        assert parent.status == "ok"
+        assert parent.children[0].status == "error"
+
+    def test_out_of_order_close_is_refused(self):
+        store = TraceStore()
+        a, b = SpanRecord(name="a"), SpanRecord(name="b")
+        store.push(a)
+        store.push(b)
+        with pytest.raises(RuntimeError):
+            store.pop(a)
+
+    def test_empty_span_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.span("")
+
+
+class TestWorkerIsolation:
+    def test_sweep_workers_produce_non_interleaved_traces(self):
+        """Each worker's trace group holds only its own, well-formed trees."""
+        cases = [SweepCase(name=f"case_{i}", params={"i": i}) for i in range(16)]
+
+        with use_registry() as obs:
+
+            def evaluate(case):
+                with obs.span("inner", case=case.name):
+                    return case.params["i"]
+
+            outcomes = run_sweep(evaluate, cases, max_workers=4, chunk_size=1)
+            traces = obs.traces()
+
+        assert [o.value for o in outcomes] == list(range(16))
+        roots = [root for worker in traces.values() for root in worker]
+        # One sweep.case root per case, each wrapping exactly its inner span.
+        assert len(roots) == 16
+        seen = set()
+        for root in roots:
+            assert root.name == "sweep.case"
+            assert root.depth == 0
+            assert [c.name for c in root.children] == ["inner"]
+            assert root.labels == root.children[0].labels
+            seen.add(dict(root.labels)["case"])
+        assert seen == {case.name for case in cases}
+
+    def test_format_trace_renders_tree(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            with reg.span("root", case="x"):
+                with reg.span("leaf"):
+                    raise KeyError("k")
+        text = format_trace(next(iter(reg.traces().values()))[0])
+        lines = text.splitlines()
+        assert lines[0].startswith("root case=x")
+        assert lines[1].startswith("  leaf")
+        assert "[error]" in lines[1]
