@@ -1,0 +1,93 @@
+"""Run the facility scenario sweep on a chosen backend; print canonical JSON.
+
+The payload is the facility sweep's case summaries (sorted keys, fixed
+separators, rounded floats), identical bytes whichever backend executed
+it — the property the CI ``facility-smoke`` job enforces with a plain
+diff against the pinned golden. ``--metrics-out`` writes the sweep's
+deterministic metrics as canonical JSON with the backend-marker counters
+(``sweep_backend_*``) excluded, so those bytes are backend-independent
+too.
+
+Run with::
+
+    python scripts/run_facility.py --racks 4 --backend process
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.facility.sweep import run_facility_sweep, smoke_cases
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import available_backends
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--racks", type=int, default=4, help="racks on the loop")
+    parser.add_argument(
+        "--modules", type=int, default=2, help="CMs per rack (small = fast)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="process",
+        help="sweep execution backend",
+    )
+    parser.add_argument("--duration", type=float, default=400.0, help="run horizon, s")
+    parser.add_argument("--dt", type=float, default=20.0, help="time step, s")
+    parser.add_argument(
+        "--fault-time", type=float, default=120.0, help="scenario injection time, s"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="sweep workers (default: auto)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the payload JSON here too"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the sweep's deterministic metrics (canonical JSON) here",
+    )
+    args = parser.parse_args(argv)
+
+    cases = smoke_cases(
+        racks=args.racks,
+        modules=args.modules,
+        duration_s=args.duration,
+        dt_s=args.dt,
+        fault_time_s=args.fault_time,
+    )
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_facility_sweep(
+            cases, backend=args.backend, max_workers=args.workers
+        )
+        metrics = to_json(obs, exclude=("sweep_backend_",))
+
+    payload = json.dumps(
+        [outcome.value for outcome in outcomes],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    print(payload)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(metrics + "\n")
+
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        print(f"{len(failed)} facility case(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from repro.hydraulics.elements import (
     Valve,
 )
 from repro.hydraulics.cache import SolverCounters
+from repro.hydraulics.manifold import build_return_manifold_network
 from repro.hydraulics.network import HydraulicNetwork
 from repro.hydraulics.solver import NetworkSolver, SolveResult, solve_network
 
@@ -149,51 +150,29 @@ class RackManifoldSystem:
         )
 
     def _build(self) -> None:
-        net = HydraulicNetwork()
         n = self.n_loops
-        net.add_junction("pump_in")
-        net.add_junction("pump_out")
-        net.set_reference("pump_in")
-        for i in range(n):
-            net.add_junction(f"s{i}")
-            net.add_junction(f"r{i}")
-            net.add_junction(f"m{i}")  # mid-loop node between valve and passage
-
-        net.add_branch("pump", "pump_in", "pump_out", self.pump)
-        # Supply manifold: inlet (Fig. 5 item 8) at the loop-0 end.
-        net.add_branch("supply_in", "pump_out", "s0", self._segment())
-        for i in range(n - 1):
-            net.add_branch(f"supply_{i}_{i + 1}", f"s{i}", f"s{i + 1}", self._segment())
-
-        self._valve_names = []
-        for i in range(n):
-            opening = 1.0 if self.balancing_valves is None else self.balancing_valves[i]
-            valve_name = f"valve_{i}"
-            self._valve_names.append(valve_name)
-            net.add_branch(
-                valve_name,
-                f"s{i}",
-                f"m{i}",
-                Valve(k_open=2.0, diameter_m=0.025, opening=opening),
-            )
-            net.add_branch(f"loop_{i}", f"m{i}", f"r{i}", self.loop_passage)
-
-        # Return manifold segments always run along the rack; only the
-        # outlet position differs between the layouts.
-        for i in range(n - 1):
-            net.add_branch(f"return_{i}_{i + 1}", f"r{i}", f"r{i + 1}", self._segment())
+        openings = (
+            [1.0] * n if self.balancing_valves is None else self.balancing_valves
+        )
         riser = Pipe(
             length_m=self.riser_pipe_length_m,
             diameter_m=self.riser_diameter_m,
             minor_loss_k=12.0,  # chiller circuit and bends
         )
-        if self.layout is ManifoldLayout.REVERSE_RETURN:
-            # Fig. 5: outlet of the return manifold (item 11) at the far
-            # end, returned by pipe 12 through the chiller to the pump.
-            net.add_branch("riser", f"r{n - 1}", "pump_in", riser)
-        else:
-            net.add_branch("riser", "r0", "pump_in", riser)
-        self._network = net
+        plan = build_return_manifold_network(
+            n_loops=n,
+            reverse_return=self.layout is ManifoldLayout.REVERSE_RETURN,
+            pump=self.pump,
+            segment_factory=self._segment,
+            valves=[
+                Valve(k_open=2.0, diameter_m=0.025, opening=opening)
+                for opening in openings
+            ],
+            passages=[self.loop_passage] * n,
+            riser=riser,
+        )
+        self._network = plan.network
+        self._valve_names = plan.valve_names
 
     @property
     def network(self) -> HydraulicNetwork:

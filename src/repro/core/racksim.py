@@ -56,6 +56,21 @@ class RackSimResult:
     degraded_pflops: Optional[float] = None
     #: Deduplicated alarm episodes of a supervised run.
     alarm_log: AlarmLog = field(default_factory=AlarmLog)
+    #: Total heat rejected into the shared water loop over the run, J —
+    #: what the facility chiller plant ultimately has to remove (and what
+    #: a heat-reuse installation could harvest).
+    heat_rejected_j: float = 0.0
+
+    @property
+    def mean_rejected_w(self) -> float:
+        """Run-average heat rejection into the water loop, W."""
+        if not len(self.telemetry):
+            return 0.0
+        times, _ = self.telemetry.series("water_c")
+        duration = float(times[-1] - times[0])
+        if duration <= 0.0:
+            return 0.0
+        return self.heat_rejected_j / duration
 
     def survived(self, junction_limit_c: float) -> bool:
         """Whether every CM stayed below the junction limit throughout."""
@@ -263,6 +278,7 @@ class RackSimulator:
 
         max_fpga = -1.0e9
         max_water = water_c
+        heat_rejected_j = 0.0
         time_over: Dict[int, float] = {i: 0.0 for i in range(n)}
         down: set = set()
         modules_shutdown: List[int] = []
@@ -363,6 +379,7 @@ class RackSimulator:
                     else self.supervisor.nominal_utilization
                 )
 
+            heat_rejected_j += total_rejected * dt_s
             removed = min(total_rejected, capacity)
             water_c += (total_rejected - removed) * dt_s / self.water_thermal_mass_j_k
             # The chiller pulls the loop back toward the (possibly
@@ -433,6 +450,7 @@ class RackSimulator:
             modules_shutdown=tuple(modules_shutdown),
             degraded_pflops=degraded_pflops,
             alarm_log=alarm_log,
+            heat_rejected_j=heat_rejected_j,
         )
 
 

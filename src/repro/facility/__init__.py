@@ -1,0 +1,44 @@
+"""Facility-scale simulation: a machine room of racks on shared services.
+
+One rack's story (:mod:`repro.core.racksim`) scaled to the paper's
+computer hall: N racks on a reverse-return secondary loop
+(:class:`~repro.facility.network.FacilityLoopSystem`), a chiller plant
+with a standby skid (:class:`~repro.facility.simulator.ChillerPlant`),
+facility-scope fault campaigns (:mod:`repro.facility.campaign`) and
+picklable sweep cases that shard across processes
+(:mod:`repro.facility.sweep`). See ``docs/FACILITY.md``.
+"""
+
+from repro.facility.campaign import (
+    draw_facility_scenarios,
+    facility_fault_scenarios,
+    run_facility_campaign,
+)
+from repro.facility.network import FacilityLoopSystem
+from repro.facility.simulator import (
+    ChillerPlant,
+    FacilityResult,
+    FacilitySimulator,
+    PlantDispatch,
+)
+from repro.facility.sweep import (
+    SCENARIOS,
+    evaluate_facility_case,
+    run_facility_sweep,
+    smoke_cases,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "ChillerPlant",
+    "FacilityLoopSystem",
+    "FacilityResult",
+    "FacilitySimulator",
+    "PlantDispatch",
+    "draw_facility_scenarios",
+    "evaluate_facility_case",
+    "facility_fault_scenarios",
+    "run_facility_campaign",
+    "run_facility_sweep",
+    "smoke_cases",
+]

@@ -1,0 +1,175 @@
+"""Facility-scope fault campaigns: rack-level failures at machine-room scale.
+
+The resilience campaign harness (:mod:`repro.resilience.campaign`) only
+asks a simulator for ``run(duration_s, events, dt_s)`` and scores the
+result by duck-typing, so a :class:`~repro.facility.simulator.
+FacilitySimulator` drops straight in. What changes at facility scope is
+the *scenario vocabulary*: instead of one module's pump or loop, a
+campaign here trips the chiller plant, valves a whole rack off the
+secondary loop, or forwards a fault into one rack while its neighbours
+keep computing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.facility.simulator import FacilitySimulator
+from repro.reliability.failures import FailureEvent
+from repro.resilience.campaign import CampaignReport, FaultScenario, run_campaign
+
+#: Facility-scope fault vocabulary (scenario kinds use the underlying
+#: event kinds; the targets carry the facility semantics).
+FACILITY_TARGETS = ("plant", "rack_branch", "rack_internal")
+
+
+def _plant_event(time_s: float, magnitude: float) -> FailureEvent:
+    return FailureEvent(
+        kind="pump_stop",
+        time_s=time_s,
+        target="plant",
+        magnitude=magnitude,
+        description=f"chiller plant derated to {magnitude:.0%}",
+    )
+
+
+def _branch_event(time_s: float, rack: int) -> FailureEvent:
+    return FailureEvent(
+        kind="loop_blockage",
+        time_s=time_s,
+        target=f"rack_{rack}",
+        magnitude=0.0,
+        description=f"rack_{rack} facility branch valved off",
+    )
+
+
+def _internal_event(time_s: float, rack: int, loop: int) -> FailureEvent:
+    return FailureEvent(
+        kind="loop_blockage",
+        time_s=time_s,
+        target=f"rack_{rack}/loop_{loop}",
+        magnitude=0.0,
+        description=f"CM {loop} valved off inside rack_{rack}",
+    )
+
+
+def facility_fault_scenarios(
+    n_racks: int = 4, fault_time_s: float = 240.0
+) -> List[FaultScenario]:
+    """The canonical facility drill set (deterministic, no RNG).
+
+    One scenario per facility failure mode plus one compound drill, so a
+    campaign over this set proves "every facility-scope failure has a
+    bounded, supervised outcome".
+    """
+    return [
+        FaultScenario(
+            name="plant_trip", events=(_plant_event(fault_time_s, 0.0),)
+        ),
+        FaultScenario(
+            name="plant_brownout", events=(_plant_event(fault_time_s, 0.5),)
+        ),
+        FaultScenario(
+            name="rack_branch_closed",
+            events=(_branch_event(fault_time_s, n_racks - 1),),
+        ),
+        FaultScenario(
+            name="rack_internal_blockage",
+            events=(_internal_event(fault_time_s, 0, 1),),
+        ),
+        FaultScenario(
+            name="plant_brownout+rack_branch",
+            events=(
+                _plant_event(fault_time_s, 0.5),
+                _branch_event(fault_time_s + 60.0, 0),
+            ),
+        ),
+    ]
+
+
+def draw_facility_scenarios(
+    seed: int,
+    n: int,
+    n_racks: int = 4,
+    modules_per_rack: int = 2,
+    compound_fraction: float = 0.25,
+    dt_s: float = 20.0,
+    min_time_s: float = 60.0,
+    max_time_s: float = 300.0,
+) -> List[FaultScenario]:
+    """Draw ``n`` random facility scenarios from a seeded generator.
+
+    Injection times land on the ``dt_s`` grid so a drawn scenario replays
+    identically at the campaign's step size; a ``compound_fraction`` of
+    scenarios carry two faults of different facility targets.
+    """
+    if n < 1:
+        raise ValueError("need at least one scenario")
+    if not 0.0 <= compound_fraction <= 1.0:
+        raise ValueError("compound fraction must be within [0, 1]")
+    if dt_s <= 0 or min_time_s < 0 or max_time_s <= min_time_s:
+        raise ValueError("bad time parameters")
+    rng = np.random.default_rng(seed)
+    scenarios: List[FaultScenario] = []
+    for i in range(n):
+        compound = bool(rng.random() < compound_fraction)
+        n_faults = 2 if compound else 1
+        targets = [
+            str(t)
+            for t in rng.choice(FACILITY_TARGETS, size=n_faults, replace=False)
+        ]
+        events: List[FailureEvent] = []
+        for target in targets:
+            raw = float(rng.uniform(min_time_s, max_time_s))
+            time_s = round(raw / dt_s) * dt_s
+            if target == "plant":
+                magnitude = float(rng.uniform(0.0, 0.6))
+                events.append(_plant_event(time_s, magnitude))
+            elif target == "rack_branch":
+                rack = int(rng.integers(0, n_racks))
+                events.append(_branch_event(time_s, rack))
+            else:
+                rack = int(rng.integers(0, n_racks))
+                loop = int(rng.integers(0, modules_per_rack))
+                events.append(_internal_event(time_s, rack, loop))
+        label = "+".join(targets)
+        scenarios.append(
+            FaultScenario(name=f"f{i:03d}_{label}", events=tuple(events))
+        )
+    return scenarios
+
+
+def run_facility_campaign(
+    facility_factory: Callable[[], FacilitySimulator],
+    scenarios: Optional[Sequence[FaultScenario]] = None,
+    duration_s: float = 900.0,
+    dt_s: float = 20.0,
+    junction_limit_c: float = 85.0,
+    max_workers: Optional[int] = None,
+) -> CampaignReport:
+    """Run facility scenarios through the resilience campaign harness.
+
+    A fresh facility (fresh loop solver, fresh per-rack supervisors)
+    evaluates every scenario; scoring, ordering and the canonical report
+    come from :func:`repro.resilience.campaign.run_campaign` unchanged.
+    """
+    if scenarios is None:
+        scenarios = facility_fault_scenarios()
+    return run_campaign(
+        facility_factory,
+        scenarios,
+        duration_s=duration_s,
+        dt_s=dt_s,
+        junction_limit_c=junction_limit_c,
+        max_workers=max_workers,
+    )
+
+
+__all__ = [
+    "FACILITY_TARGETS",
+    "draw_facility_scenarios",
+    "facility_fault_scenarios",
+    "run_facility_campaign",
+]

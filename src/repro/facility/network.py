@@ -1,0 +1,198 @@
+"""The facility-level chilled-water secondary loop.
+
+Scaling the paper's Fig. 5 answer one level up: a machine room of N racks
+shares one secondary chilled-water loop the way one rack's CMs share its
+manifold. The facility loop uses the same reverse-return (Tichelmann)
+discipline — supply header down the rack row, per-rack branch (isolation
+valve + rack heat-exchange passage), return header exiting at the far end
+— so every rack sees the same hydraulic path length and the branch flows
+self-balance without trim valves. iDataCool-style facility questions
+(chiller sizing, heat reuse, how unevenly a rack row starves when the
+header is undersized) start from exactly this flow distribution.
+
+The network is built by the shared manifold builder
+(:mod:`repro.hydraulics.manifold`) and solved by the same fast-path
+solver the rack manifold uses, warm starts and solution cache included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.balancing import BalanceReport, ManifoldLayout
+from repro.fluids.library import WATER
+from repro.fluids.properties import Fluid
+from repro.hydraulics.cache import SolverCounters
+from repro.hydraulics.elements import (
+    HeatExchangerPassage,
+    Pipe,
+    Pump,
+    PumpCurve,
+    Valve,
+)
+from repro.hydraulics.manifold import build_return_manifold_network
+from repro.hydraulics.network import HydraulicNetwork
+from repro.hydraulics.solver import NetworkSolver, SolveResult, solve_network
+
+#: Isolation-valve geometry of one rack branch (DN80 butterfly valve).
+_BRANCH_VALVE_K_OPEN = 3.0
+_BRANCH_VALVE_DIAMETER_M = 0.08
+
+
+@dataclass
+class FacilityLoopSystem:
+    """The machine-room secondary loop: plant pump, headers, rack branches.
+
+    Parameters
+    ----------
+    n_racks:
+        Rack branches on the loop (at least 2).
+    layout:
+        Reverse return (the balanced default) or direct return.
+    pump:
+        The secondary-loop circulation pump in the plant room.
+    segment_pipe_length_m, header_diameter_m:
+        Geometry of each header segment between adjacent rack taps (one
+        rack pitch of horizontal run per segment).
+    branch_passage:
+        Hydraulic resistance of one rack's heat-exchange circuit (the
+        rack CDU / water-side of its manifold loop plus hoses).
+    riser_pipe_length_m, riser_diameter_m:
+        Return run to the plant room through the chiller plant.
+    balancing_valves:
+        Optional per-rack trim-valve openings; None leaves the branches
+        fully open but still closable for servicing.
+    fluid, temperature_c:
+        Secondary-loop heat-transfer agent and its temperature.
+    """
+
+    n_racks: int = 4
+    layout: ManifoldLayout = ManifoldLayout.REVERSE_RETURN
+    pump: Pump = field(
+        default_factory=lambda: Pump(
+            curve=PumpCurve(shutoff_pressure_pa=320.0e3, max_flow_m3_s=0.12),
+            efficiency=0.72,
+        )
+    )
+    segment_pipe_length_m: float = 1.2
+    header_diameter_m: float = 0.15
+    branch_passage: HeatExchangerPassage = field(
+        default_factory=lambda: HeatExchangerPassage(
+            r_linear_pa_per_m3_s=1.5e6, r_quadratic_pa_per_m3_s2=1.0e8
+        )
+    )
+    riser_pipe_length_m: float = 30.0
+    riser_diameter_m: float = 0.2
+    balancing_valves: Optional[List[float]] = None
+    fluid: Fluid = WATER
+    temperature_c: float = 16.0
+    solver: NetworkSolver = field(default_factory=NetworkSolver, repr=False)
+    _network: HydraulicNetwork = field(init=False, repr=False)
+    _valve_names: List[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 2:
+            raise ValueError("a facility loop needs at least 2 rack branches")
+        if self.balancing_valves is not None and len(self.balancing_valves) != self.n_racks:
+            raise ValueError("one balancing-valve opening per rack required")
+        self._build()
+
+    def _segment(self) -> Pipe:
+        return Pipe(
+            length_m=self.segment_pipe_length_m,
+            diameter_m=self.header_diameter_m,
+            minor_loss_k=0.4,
+        )
+
+    def _branch_valve(self, opening: float) -> Valve:
+        return Valve(
+            k_open=_BRANCH_VALVE_K_OPEN,
+            diameter_m=_BRANCH_VALVE_DIAMETER_M,
+            opening=opening,
+        )
+
+    def _build(self) -> None:
+        n = self.n_racks
+        openings = (
+            [1.0] * n if self.balancing_valves is None else self.balancing_valves
+        )
+        riser = Pipe(
+            length_m=self.riser_pipe_length_m,
+            diameter_m=self.riser_diameter_m,
+            minor_loss_k=18.0,  # chiller plant, strainers and plant-room bends
+        )
+        plan = build_return_manifold_network(
+            n_loops=n,
+            reverse_return=self.layout is ManifoldLayout.REVERSE_RETURN,
+            pump=self.pump,
+            segment_factory=self._segment,
+            valves=[self._branch_valve(opening) for opening in openings],
+            passages=[self.branch_passage] * n,
+            riser=riser,
+        )
+        self._network = plan.network
+        self._valve_names = plan.valve_names
+
+    @property
+    def network(self) -> HydraulicNetwork:
+        """The underlying hydraulic network (for inspection)."""
+        return self._network
+
+    @property
+    def solver_counters(self) -> SolverCounters:
+        """The owned solver's counters (cache hits, fallbacks, ...)."""
+        return self.solver.counters
+
+    def reset_solver(self) -> None:
+        """Drop cached solutions, warm-start state and counters."""
+        self.solver.reset()
+
+    def fail_rack(self, index: int) -> None:
+        """Valve a rack branch off the loop (rack isolated for service)."""
+        self._check_index(index)
+        self._network.replace_element(
+            self._valve_names[index], self._branch_valve(0.0)
+        )
+
+    def restore_rack(self, index: int, opening: float = 1.0) -> None:
+        """Return an isolated rack branch to service."""
+        self._check_index(index)
+        self._network.replace_element(
+            self._valve_names[index], self._branch_valve(opening)
+        )
+
+    def solve(self, tolerance_m3_s: float = 1.0e-9) -> BalanceReport:
+        """Per-rack branch flows of the facility loop.
+
+        Same semantics as the rack manifold's
+        :meth:`~repro.core.balancing.RackManifoldSystem.solve`: warm
+        starts and the solution cache make re-solves after a valve change
+        nearly free, and failed (valved-off) branches report zero flow.
+        """
+        result: SolveResult = solve_network(
+            self._network,
+            self.fluid,
+            self.temperature_c,
+            tolerance_m3_s=tolerance_m3_s,
+            solver=self.solver,
+        )
+        failed = [
+            i
+            for i, name in enumerate(self._valve_names)
+            if self._network.branch(name).element.is_closed
+        ]
+        flows = [
+            0.0 if i in failed else result.flow(f"loop_{i}")
+            for i in range(self.n_racks)
+        ]
+        return BalanceReport(
+            layout=self.layout, loop_flows_m3_s=flows, failed_loops=failed
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_racks:
+            raise ValueError(f"rack index {index} outside [0, {self.n_racks})")
+
+
+__all__ = ["FacilityLoopSystem"]

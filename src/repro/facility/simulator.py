@@ -1,0 +1,627 @@
+"""Facility transient simulation: N racks on one chiller plant.
+
+The paper's endgame is not one rack but a machine room: Section 5's racks
+"mounted in a standard computer hall" sharing "a stationary system of
+engineering services". This module composes :class:`~repro.core.racksim.
+RackSimulator` instances into that machine room. The shared pieces are
+
+- the **secondary loop** (:class:`~repro.facility.network.
+  FacilityLoopSystem`): per-rack branch flows from the reverse-return
+  header hydraulics decide each rack's *share* of the plant;
+- the **chiller plant** (:class:`ChillerPlant`): a primary machine plus a
+  standby skid that starts a dispatch delay after the primary degrades.
+
+Coupling model: each rack receives a chilled-water cooling capacity
+``alloc_j = min(rack_capacity_j, plant_capacity * share_j)`` — the branch
+flow caps how much of the plant a rack can draw, and the rack's own heat
+exchanger caps what it can absorb. Facility-scope events change the
+allocation piecewise in time, and the changes reach each rack as
+multiplicative chiller-capacity events on its own simulation. When the
+plant is unconstrained (every allocation equals the rack's own capacity
+and no facility events fire) each rack's run is **bit-identical** to an
+isolated :class:`RackSimulator` run — the differential suite pins this.
+
+Facility event grammar (on top of the rack grammar):
+
+- ``target="plant"``, kind ``pump_stop`` — the primary chiller degrades
+  to ``magnitude`` of its capacity; the standby skid starts
+  ``standby_start_delay_s`` later.
+- ``target="rack_<j>"`` — rack *j*'s branch is valved to ``magnitude``
+  opening on the facility loop (0 isolates the rack; flows rebalance).
+- ``target="rack_<j>/<inner>"`` — forwarded to rack *j*'s own simulation
+  with target ``<inner>`` (e.g. ``rack_1/loop_2`` valves CM 2 off inside
+  rack 1, ``rack_0/chiller`` trips rack 0's local chiller).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.control.monitor import AlarmLog
+from repro.control.supervisor import RecoveryAction, Supervisor, SupervisorState
+from repro.core.rack import Rack
+from repro.core.racksim import RackSimResult, RackSimulator
+from repro.core.skat import skat
+from repro.facility.network import FacilityLoopSystem
+from repro.obs import get_registry
+from repro.reliability.failures import FailureEvent
+from repro.sweep import SweepCase, run_sweep
+
+#: Floor on a rack's allocated-capacity fraction. Multiplicative capacity
+#: events cannot recover from an exact zero (0 times anything is 0), so a
+#: fully starved rack is held at this thermally-negligible fraction
+#: instead — recovery events then stay finite.
+MIN_CAPACITY_FRACTION = 1.0e-9
+#: Ratio band treated as "no change" when emitting capacity events.
+_RATIO_EPS = 1.0e-12
+
+
+@dataclass(frozen=True)
+class PlantDispatch:
+    """Steady dispatch of the chiller plant against a heat load."""
+
+    load_w: float
+    capacity_w: float
+    standby_started: bool
+
+    @property
+    def utilization(self) -> float:
+        """Load fraction of the dispatched capacity."""
+        return self.load_w / self.capacity_w if self.capacity_w > 0.0 else math.inf
+
+    @property
+    def headroom_w(self) -> float:
+        """Capacity margin above the load (negative when overloaded)."""
+        return self.capacity_w - self.load_w
+
+
+@dataclass(frozen=True)
+class ChillerPlant:
+    """The machine-room chiller plant: primary machine plus standby skid.
+
+    Parameters
+    ----------
+    primary_capacity_w:
+        Nominal cooling capacity of the duty chiller.
+    standby_capacity_w:
+        Capacity of the standby skid (a smaller packaged unit).
+    standby_start_delay_s:
+        Dispatch delay between the primary degrading and the skid
+        carrying load (start-up plus loop mixing).
+    setpoint_c:
+        Secondary-loop supply temperature.
+    cop:
+        Plant coefficient of performance, for electrical-power estimates.
+    """
+
+    primary_capacity_w: float = 700.0e3
+    standby_capacity_w: float = 350.0e3
+    standby_start_delay_s: float = 120.0
+    setpoint_c: float = 16.0
+    cop: float = 4.5
+
+    def __post_init__(self) -> None:
+        if self.primary_capacity_w <= 0.0:
+            raise ValueError("primary capacity must be positive")
+        if self.standby_capacity_w < 0.0:
+            raise ValueError("standby capacity cannot be negative")
+        if self.standby_start_delay_s < 0.0:
+            raise ValueError("standby start delay cannot be negative")
+        if self.cop <= 0.0:
+            raise ValueError("plant COP must be positive")
+
+    def dispatch(self, load_w: float) -> PlantDispatch:
+        """Steady dispatch: the skid starts only when the primary is short."""
+        standby = load_w > self.primary_capacity_w and self.standby_capacity_w > 0.0
+        capacity = self.primary_capacity_w + (
+            self.standby_capacity_w if standby else 0.0
+        )
+        return PlantDispatch(
+            load_w=load_w, capacity_w=capacity, standby_started=standby
+        )
+
+    def electrical_power_w(self, load_w: float) -> float:
+        """Compressor/pump electrical draw carrying ``load_w`` of heat."""
+        return load_w / self.cop
+
+    def capacity_profile(
+        self, plant_events: Sequence[FailureEvent], duration_s: float
+    ) -> List[Tuple[float, float]]:
+        """Piecewise-constant plant capacity over a run, ``[(t, W), ...]``.
+
+        Each ``pump_stop`` event multiplies the primary's capacity by its
+        magnitude from its time onward. The standby skid comes online
+        ``standby_start_delay_s`` after the **first** degrading event and
+        stays online. The profile starts at ``(0.0, primary)`` and is
+        sorted, deduplicated and clipped to the run.
+        """
+        fraction = 1.0
+        first_trip: Optional[float] = None
+        steps: List[Tuple[float, float]] = [(0.0, self.primary_capacity_w)]
+        for event in sorted(plant_events, key=lambda e: e.time_s):
+            if event.kind != "pump_stop" or event.time_s > duration_s:
+                continue
+            fraction *= max(event.magnitude, 0.0)
+            if first_trip is None and event.magnitude < 1.0:
+                first_trip = event.time_s
+            steps.append((event.time_s, fraction * self.primary_capacity_w))
+        if first_trip is not None and self.standby_capacity_w > 0.0:
+            start = first_trip + self.standby_start_delay_s
+            if start <= duration_s:
+                # Capacity at the skid's start time: primary fraction then
+                # in force, plus the skid; later primary steps carry it too.
+                in_force = [capacity for t, capacity in steps if t <= start][-1]
+                steps = [
+                    (t, c + (self.standby_capacity_w if t > start else 0.0))
+                    for t, c in steps
+                ]
+                steps.append((start, in_force + self.standby_capacity_w))
+        merged: Dict[float, float] = {}
+        for t, capacity in sorted(steps):
+            merged[t] = capacity
+        return sorted(merged.items())
+
+
+def _capacity_at(profile: Sequence[Tuple[float, float]], time_s: float) -> float:
+    value = profile[0][1]
+    for t, capacity in profile:
+        if t <= time_s:
+            value = capacity
+        else:
+            break
+    return value
+
+
+@dataclass(frozen=True)
+class FacilityResult:
+    """Outcome of a facility transient run."""
+
+    n_racks: int
+    duration_s: float
+    dt_s: float
+    #: Facility-loop branch flows at t=0, one per rack, m^3/s.
+    branch_flows_m3_s: Tuple[float, ...]
+    #: Each rack's flow share of the facility loop at t=0.
+    flow_shares: Tuple[float, ...]
+    #: Chilled-water capacity allocated to each rack at t=0, W.
+    allocated_capacity_w: Tuple[float, ...]
+    rack_results: Tuple[RackSimResult, ...]
+    max_fpga_c: float
+    max_water_c: float
+    #: Total heat pushed into the facility loop over the run, J.
+    heat_rejected_j: float
+    #: Plant dispatch against the run-average heat load.
+    plant: PlantDispatch
+    #: Estimated loop return-water temperature at the average load — the
+    #: iDataCool heat-reuse number (what a reuse installation harvests).
+    reuse_return_water_c: float
+    #: Worst rack's supervisor ladder state; None when unsupervised.
+    final_state: Optional[str] = None
+    #: Every rack's supervisory interventions, merged in time order, each
+    #: detail prefixed with its rack (``rack_2: ...``).
+    recovery_actions: Tuple[RecoveryAction, ...] = ()
+
+    @property
+    def mean_rejected_w(self) -> float:
+        """Run-average facility heat load, W."""
+        return self.heat_rejected_j / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def degraded_pflops(self) -> Optional[float]:
+        """Facility sustained performance after shutdowns/throttling."""
+        values = [r.degraded_pflops for r in self.rack_results]
+        if any(v is None for v in values):
+            return None
+        return sum(values)
+
+    @property
+    def modules_shutdown(self) -> int:
+        """CMs individually isolated across the whole facility."""
+        return sum(len(r.modules_shutdown) for r in self.rack_results)
+
+    @property
+    def alarm_episodes(self) -> int:
+        """Alarm episodes across every rack."""
+        return sum(r.alarm_log.episodes for r in self.rack_results)
+
+    @property
+    def alarm_log(self) -> AlarmLog:
+        """The rack alarm log with the earliest first episode.
+
+        Duck-typing hook for :func:`repro.resilience.campaign.run_campaign`
+        (time-to-alarm scoring reads ``alarm_log.history[0]``).
+        """
+        candidates = [r.alarm_log for r in self.rack_results if r.alarm_log.history]
+        if not candidates:
+            return AlarmLog()
+        return min(candidates, key=lambda log: log.history[0].time_s)
+
+    def survived(self, junction_limit_c: float) -> bool:
+        """Whether every CM in every rack stayed under the limit."""
+        return self.max_fpga_c <= junction_limit_c
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical plain-data summary (stable across sweep backends).
+
+        Floats are rounded to 9 significant decimal places like the
+        metric exporters, so the dict — and any JSON dump of it — is
+        byte-identical however the containing sweep was executed, and
+        picklable for the process backend.
+        """
+
+        def r(x: float) -> float:
+            return round(float(x), 9)
+
+        return {
+            "n_racks": self.n_racks,
+            "duration_s": r(self.duration_s),
+            "dt_s": r(self.dt_s),
+            "branch_flows_m3_s": [r(f) for f in self.branch_flows_m3_s],
+            "flow_shares": [r(s) for s in self.flow_shares],
+            "allocated_capacity_w": [r(a) for a in self.allocated_capacity_w],
+            "max_fpga_c": r(self.max_fpga_c),
+            "max_water_c": r(self.max_water_c),
+            "heat_rejected_j": r(self.heat_rejected_j),
+            "mean_rejected_w": r(self.mean_rejected_w),
+            "plant_load_w": r(self.plant.load_w),
+            "plant_capacity_w": r(self.plant.capacity_w),
+            "plant_standby_started": self.plant.standby_started,
+            "reuse_return_water_c": r(self.reuse_return_water_c),
+            "final_state": self.final_state,
+            "degraded_pflops": (
+                None if self.degraded_pflops is None else r(self.degraded_pflops)
+            ),
+            "modules_shutdown": self.modules_shutdown,
+            "alarm_episodes": self.alarm_episodes,
+            "recovery_actions": len(self.recovery_actions),
+            "racks": [
+                {
+                    "max_fpga_c": r(res.max_fpga_c),
+                    "max_water_c": r(res.max_water_c),
+                    "heat_rejected_j": r(res.heat_rejected_j),
+                    "final_state": res.final_state,
+                    "modules_over_limit": list(res.modules_over_limit),
+                    "modules_shutdown": list(res.modules_shutdown),
+                }
+                for res in self.rack_results
+            ],
+        }
+
+
+def _default_rack() -> Rack:
+    return Rack(module_factory=skat, n_modules=12)
+
+
+@dataclass
+class FacilitySimulator:
+    """N racks on a shared secondary loop and chiller plant.
+
+    Parameters
+    ----------
+    n_racks:
+        Racks on the facility loop.
+    rack_factory:
+        Zero-argument callable producing one rack definition. Called once
+        per rack, so racks never share mutable state. Must be a
+        module-level function for process-backend facility sweeps.
+    plant:
+        The chiller plant shared by all racks.
+    loop:
+        The facility secondary loop; default is a
+        :class:`FacilityLoopSystem` sized for ``n_racks``.
+    supervised:
+        Give every rack its own :class:`~repro.control.supervisor.
+        Supervisor` (fresh per run).
+    water_thermal_mass_j_k, oil_thermal_mass_j_k, junction_limit_c:
+        Passed through to each :class:`RackSimulator`.
+    """
+
+    n_racks: int = 4
+    rack_factory: Callable[[], Rack] = _default_rack
+    plant: ChillerPlant = field(default_factory=ChillerPlant)
+    loop: Optional[FacilityLoopSystem] = None
+    supervised: bool = True
+    water_thermal_mass_j_k: float = 8.0e5
+    oil_thermal_mass_j_k: float = 1.0e5
+    junction_limit_c: float = 67.0
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 2:
+            raise ValueError("a facility needs at least 2 racks")
+        if self.loop is None:
+            self.loop = FacilityLoopSystem(n_racks=self.n_racks)
+        if self.loop.n_racks != self.n_racks:
+            raise ValueError(
+                f"facility loop has {self.loop.n_racks} branches for "
+                f"{self.n_racks} racks"
+            )
+
+    # -- event partitioning -------------------------------------------------
+
+    def _partition_events(
+        self, events: Optional[Sequence[FailureEvent]]
+    ) -> Tuple[List[FailureEvent], List[FailureEvent], Dict[int, List[FailureEvent]]]:
+        """Split into (plant, branch, per-rack forwarded) event lists."""
+        plant: List[FailureEvent] = []
+        branch: List[FailureEvent] = []
+        forwarded: Dict[int, List[FailureEvent]] = {
+            j: [] for j in range(self.n_racks)
+        }
+        for event in sorted(events or [], key=lambda e: e.time_s):
+            if event.target == "plant":
+                plant.append(event)
+                continue
+            if event.target.startswith("rack_"):
+                head, _, inner = event.target.partition("/")
+                try:
+                    index = int(head[len("rack_") :])
+                except ValueError:
+                    raise ValueError(f"malformed facility target {event.target!r}")
+                if not 0 <= index < self.n_racks:
+                    raise ValueError(
+                        f"event targets rack {index}; facility has {self.n_racks}"
+                    )
+                if inner:
+                    forwarded[index].append(replace(event, target=inner))
+                else:
+                    branch.append(event)
+                continue
+            raise ValueError(
+                f"facility event target {event.target!r} is not 'plant', "
+                "'rack_<j>' or 'rack_<j>/<inner>'"
+            )
+        return plant, branch, forwarded
+
+    # -- allocation timeline ------------------------------------------------
+
+    def _shares_for(self, openings: Tuple[float, ...]) -> Tuple[float, ...]:
+        """Flow shares of the facility loop with the given branch openings."""
+        assert self.loop is not None
+        for j, opening in enumerate(openings):
+            if opening <= 0.0:
+                self.loop.fail_rack(j)
+            else:
+                self.loop.restore_rack(j, opening)
+        report = self.loop.solve()
+        total = report.total_flow_m3_s
+        if total <= 0.0:
+            return tuple(0.0 for _ in range(self.n_racks))
+        return tuple(f / total for f in report.loop_flows_m3_s)
+
+    def _allocation_timeline(
+        self,
+        plant_events: List[FailureEvent],
+        branch_events: List[FailureEvent],
+        duration_s: float,
+    ) -> Tuple[List[Tuple[float, Tuple[float, ...]]], List[Tuple[float, float]], Tuple[float, ...]]:
+        """Allocated capacity per rack, piecewise over the run.
+
+        Returns ``(timeline, capacity_profile, shares0)`` where timeline
+        is ``[(t, (alloc_0, ..., alloc_{n-1})), ...]`` sorted by time.
+        """
+        rack_caps = [self.rack_factory().chiller.capacity_w for _ in range(self.n_racks)]
+        profile = self.plant.capacity_profile(plant_events, duration_s)
+
+        openings = [1.0] * self.n_racks
+        opening_steps: List[Tuple[float, Tuple[float, ...]]] = [
+            (0.0, tuple(openings))
+        ]
+        for event in branch_events:
+            if event.time_s > duration_s:
+                continue
+            index = int(event.target[len("rack_") :])
+            openings[index] = max(0.0, min(1.0, event.magnitude))
+            opening_steps.append((event.time_s, tuple(openings)))
+
+        share_cache: Dict[Tuple[float, ...], Tuple[float, ...]] = {}
+
+        def shares_at(opening: Tuple[float, ...]) -> Tuple[float, ...]:
+            if opening not in share_cache:
+                share_cache[opening] = self._shares_for(opening)
+            return share_cache[opening]
+
+        times = sorted(
+            {0.0}
+            | {t for t, _ in profile}
+            | {t for t, _ in opening_steps}
+        )
+        timeline: List[Tuple[float, Tuple[float, ...]]] = []
+        for t in times:
+            if t > duration_s:
+                continue
+            opening = [o for ts, o in opening_steps if ts <= t][-1]
+            shares = shares_at(opening)
+            plant_cap = _capacity_at(profile, t)
+            alloc = tuple(
+                min(rack_caps[j], plant_cap * shares[j])
+                for j in range(self.n_racks)
+            )
+            timeline.append((t, alloc))
+        shares0 = shares_at(opening_steps[0][1])
+        return timeline, profile, shares0
+
+    @staticmethod
+    def _capacity_events(
+        timeline: List[Tuple[float, Tuple[float, ...]]], rack_index: int
+    ) -> List[FailureEvent]:
+        """Per-rack multiplicative chiller events realizing the timeline.
+
+        The rack simulator multiplies the magnitudes of every active
+        ``pump_stop``/``chiller`` event, so a piecewise fraction profile
+        ``f_k`` becomes ratio events ``m_k = f_k / f_{k-1}`` (fractions
+        floored at :data:`MIN_CAPACITY_FRACTION` to keep recovery finite).
+        """
+        base = timeline[0][1][rack_index]
+        if base <= 0.0:
+            # Fully starved from t=0: the rack's chiller is built at the
+            # floor capacity already; no events needed.
+            return []
+        events: List[FailureEvent] = []
+        previous = 1.0
+        for t, alloc in timeline[1:]:
+            fraction = max(alloc[rack_index] / base, MIN_CAPACITY_FRACTION)
+            ratio = fraction / previous
+            if abs(ratio - 1.0) <= _RATIO_EPS:
+                continue
+            events.append(
+                FailureEvent(
+                    kind="pump_stop",
+                    time_s=t,
+                    target="chiller",
+                    magnitude=ratio,
+                    description=(
+                        f"facility allocation for rack_{rack_index} now "
+                        f"{fraction:.3g} of its t=0 share"
+                    ),
+                )
+            )
+            previous = fraction
+        return events
+
+    # -- the run ------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        events: Optional[Sequence[FailureEvent]] = None,
+        dt_s: float = 20.0,
+    ) -> FacilityResult:
+        """Integrate every rack over ``duration_s`` under the shared plant.
+
+        The racks are evaluated through the serial sweep backend (facility
+        *sweeps* shard whole facility cases across processes; nesting a
+        pool per facility would oversubscribe the host).
+        """
+        obs = get_registry()
+        with obs.span("facility.run", racks=str(self.n_racks)), obs.profile(
+            "facility.run"
+        ):
+            result = self._run(duration_s, events, dt_s)
+        obs.inc("facility_runs_total")
+        obs.inc("facility_rack_runs_total", self.n_racks)
+        return result
+
+    def _run(
+        self,
+        duration_s: float,
+        events: Optional[Sequence[FailureEvent]],
+        dt_s: float,
+    ) -> FacilityResult:
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("duration and step must be positive")
+        assert self.loop is not None
+        self.loop.reset_solver()
+        plant_events, branch_events, forwarded = self._partition_events(events)
+        timeline, profile, shares0 = self._allocation_timeline(
+            plant_events, branch_events, duration_s
+        )
+        alloc0 = timeline[0][1]
+        branch_flows0 = self._initial_flows()
+
+        racks: List[Rack] = []
+        rack_events: List[List[FailureEvent]] = []
+        for j in range(self.n_racks):
+            rack = self.rack_factory()
+            allocated = min(rack.chiller.capacity_w, alloc0[j])
+            floor = rack.chiller.capacity_w * MIN_CAPACITY_FRACTION
+            capacity = max(allocated, floor)
+            if capacity != rack.chiller.capacity_w:
+                rack = replace(
+                    rack, chiller=replace(rack.chiller, capacity_w=capacity)
+                )
+            racks.append(rack)
+            rack_events.append(
+                sorted(
+                    self._capacity_events(timeline, j) + forwarded[j],
+                    key=lambda e: e.time_s,
+                )
+            )
+
+        def evaluate(case: SweepCase) -> RackSimResult:
+            index = case.params["rack"]
+            simulator = RackSimulator(
+                rack=racks[index],
+                water_thermal_mass_j_k=self.water_thermal_mass_j_k,
+                oil_thermal_mass_j_k=self.oil_thermal_mass_j_k,
+                junction_limit_c=self.junction_limit_c,
+                supervisor=Supervisor() if self.supervised else None,
+            )
+            return simulator.run(
+                duration_s=duration_s, events=rack_events[index], dt_s=dt_s
+            )
+
+        cases = [
+            SweepCase(name=f"rack_{j}", params={"rack": j})
+            for j in range(self.n_racks)
+        ]
+        outcomes = run_sweep(evaluate, cases, backend="serial")
+        results = tuple(outcome.value for outcome in outcomes)
+
+        heat_total = sum(r.heat_rejected_j for r in results)
+        mean_load = heat_total / duration_s
+        final_state: Optional[str] = None
+        actions: Tuple[RecoveryAction, ...] = ()
+        if self.supervised:
+            final_state = max(
+                (r.final_state for r in results if r.final_state is not None),
+                key=lambda name: SupervisorState[name].value,
+                default=None,
+            )
+            merged = [
+                (action.time_s, j, action)
+                for j, r in enumerate(results)
+                for action in r.recovery_actions
+            ]
+            merged.sort(key=lambda item: (item[0], item[1]))
+            actions = tuple(
+                RecoveryAction(
+                    time_s=action.time_s,
+                    kind=action.kind,
+                    detail=f"rack_{j}: {action.detail}",
+                )
+                for _, j, action in merged
+            )
+
+        total_flow = sum(branch_flows0)
+        if total_flow > 0.0 and mean_load > 0.0:
+            rate = self.loop.fluid.heat_capacity_rate(
+                total_flow, self.plant.setpoint_c
+            )
+            reuse_c = self.plant.setpoint_c + mean_load / rate
+        else:
+            reuse_c = self.plant.setpoint_c
+
+        return FacilityResult(
+            n_racks=self.n_racks,
+            duration_s=duration_s,
+            dt_s=dt_s,
+            branch_flows_m3_s=branch_flows0,
+            flow_shares=shares0,
+            allocated_capacity_w=alloc0,
+            rack_results=results,
+            max_fpga_c=max(r.max_fpga_c for r in results),
+            max_water_c=max(r.max_water_c for r in results),
+            heat_rejected_j=heat_total,
+            plant=self.plant.dispatch(mean_load),
+            reuse_return_water_c=reuse_c,
+            final_state=final_state,
+            recovery_actions=actions,
+        )
+
+    def _initial_flows(self) -> Tuple[float, ...]:
+        """Branch flows with every valve open (fresh solve)."""
+        assert self.loop is not None
+        for j in range(self.n_racks):
+            self.loop.restore_rack(j)
+        return tuple(self.loop.solve().loop_flows_m3_s)
+
+
+__all__ = [
+    "ChillerPlant",
+    "FacilityResult",
+    "FacilitySimulator",
+    "MIN_CAPACITY_FRACTION",
+    "PlantDispatch",
+]

@@ -1,0 +1,183 @@
+"""Facility sweep cases: picklable evaluation for every backend.
+
+The process backend ships cases to worker processes, so everything here
+is module-level and plain-data: the evaluation function is importable,
+case params are strings and numbers, and the returned value is the
+canonical :meth:`~repro.facility.simulator.FacilityResult.to_dict`
+summary. The same case builders feed the CLI
+(``scripts/run_facility.py``), the golden regression
+(``tests/goldens/facility_sweep.json``) and the CI smoke job, so all
+three pin the same bytes.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.rack import Rack
+from repro.core.skat import skat
+from repro.facility.simulator import FacilitySimulator
+from repro.reliability.failures import FailureEvent
+from repro.sweep import SweepCase, SweepOutcome, run_sweep
+
+
+def facility_rack(n_modules: int) -> Rack:
+    """One rack of SKAT modules (module-level, hence picklable)."""
+    return Rack(module_factory=skat, n_modules=n_modules)
+
+
+def _nominal(n_racks: int, t: float) -> List[FailureEvent]:
+    return []
+
+
+def _plant_trip(n_racks: int, t: float) -> List[FailureEvent]:
+    return [
+        FailureEvent(
+            kind="pump_stop",
+            time_s=t,
+            target="plant",
+            magnitude=0.0,
+            description="primary chiller trips; standby skid dispatches",
+        )
+    ]
+
+
+def _plant_brownout(n_racks: int, t: float) -> List[FailureEvent]:
+    return [
+        FailureEvent(
+            kind="pump_stop",
+            time_s=t,
+            target="plant",
+            magnitude=0.5,
+            description="primary chiller derated to half capacity",
+        )
+    ]
+
+
+def _rack_isolated(n_racks: int, t: float) -> List[FailureEvent]:
+    return [
+        FailureEvent(
+            kind="loop_blockage",
+            time_s=t,
+            target=f"rack_{n_racks - 1}",
+            magnitude=0.0,
+            description="last rack's facility branch valved off",
+        )
+    ]
+
+
+def _cm_blockage(n_racks: int, t: float) -> List[FailureEvent]:
+    return [
+        FailureEvent(
+            kind="loop_blockage",
+            time_s=t,
+            target="rack_0/loop_1",
+            magnitude=0.0,
+            description="CM 1 valved off inside rack 0",
+        )
+    ]
+
+
+#: Scenario name -> events builder ``(n_racks, fault_time_s) -> events``.
+SCENARIOS: Dict[str, Callable[[int, float], List[FailureEvent]]] = {
+    "nominal": _nominal,
+    "plant_trip": _plant_trip,
+    "plant_brownout": _plant_brownout,
+    "rack_isolated": _rack_isolated,
+    "cm_blockage": _cm_blockage,
+}
+
+
+def scenario_events(name: str, n_racks: int, fault_time_s: float) -> List[FailureEvent]:
+    """The named scenario's event list for an ``n_racks`` facility."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown facility scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return builder(n_racks, fault_time_s)
+
+
+def build_facility(params: Mapping[str, Any]) -> FacilitySimulator:
+    """A :class:`FacilitySimulator` from plain-data case params."""
+    return FacilitySimulator(
+        n_racks=int(params["racks"]),
+        rack_factory=partial(facility_rack, int(params["modules"])),
+        supervised=bool(params.get("supervised", True)),
+    )
+
+
+def evaluate_facility_case(case: SweepCase) -> Dict[str, Any]:
+    """Run one facility scenario; return its canonical plain-data summary.
+
+    Module-level on purpose: the process backend pickles this function by
+    reference. A fresh simulator is built per case, so no solver or
+    supervisor state crosses cases on any backend.
+    """
+    params = case.params
+    simulator = build_facility(params)
+    events = scenario_events(
+        str(params["scenario"]), int(params["racks"]), float(params["fault_time_s"])
+    )
+    result = simulator.run(
+        duration_s=float(params["duration_s"]),
+        events=events,
+        dt_s=float(params["dt_s"]),
+    )
+    return {"case": case.name, **result.to_dict()}
+
+
+def smoke_cases(
+    racks: int = 4,
+    modules: int = 2,
+    duration_s: float = 400.0,
+    dt_s: float = 20.0,
+    fault_time_s: float = 120.0,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[SweepCase]:
+    """The pinned facility scenario matrix (every named scenario once).
+
+    Small on purpose — 2-module racks, a 400 s window — so the full
+    matrix runs in seconds on any backend while still exercising the
+    plant trip, the standby dispatch, a branch isolation and a forwarded
+    in-rack fault.
+    """
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    return [
+        SweepCase(
+            name=name,
+            params={
+                "scenario": name,
+                "racks": racks,
+                "modules": modules,
+                "duration_s": duration_s,
+                "dt_s": dt_s,
+                "fault_time_s": fault_time_s,
+            },
+        )
+        for name in names
+    ]
+
+
+def run_facility_sweep(
+    cases: Sequence[SweepCase],
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+) -> List[SweepOutcome]:
+    """Sweep facility cases on the chosen backend (errors re-raised)."""
+    return run_sweep(
+        evaluate_facility_case, cases, backend=backend, max_workers=max_workers
+    )
+
+
+__all__ = [
+    "SCENARIOS",
+    "build_facility",
+    "evaluate_facility_case",
+    "facility_rack",
+    "run_facility_sweep",
+    "scenario_events",
+    "smoke_cases",
+]

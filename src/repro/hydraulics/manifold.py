@@ -1,0 +1,115 @@
+"""Shared builder for supply/return manifold networks (Fig. 5 topology).
+
+Both distribution scales of the reproduction use the same plumbing idiom:
+a pump feeds a supply manifold, N parallel branches (a trim valve in
+series with a hydraulic passage) drop to a return manifold, and a riser
+closes the loop back through the heat sink to the pump. The rack-level
+system (:class:`repro.core.balancing.RackManifoldSystem`, one branch per
+CM) and the facility-level secondary loop
+(:class:`repro.facility.network.FacilityLoopSystem`, one branch per rack)
+only differ in element sizing and in what a "branch" means, so the
+network construction lives here once.
+
+Junction/branch naming is part of the contract — solution caches
+fingerprint the topology, and the simulators valve branches off by name —
+so both callers share it: junctions ``s{i}``/``m{i}``/``r{i}``, branches
+``pump``, ``supply_in``, ``supply_{i}_{i+1}``, ``valve_{i}``,
+``loop_{i}``, ``return_{i}_{i+1}``, ``riser``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.hydraulics.elements import HydraulicElement, Pump
+from repro.hydraulics.network import HydraulicNetwork
+
+
+@dataclass(frozen=True)
+class ManifoldNetworkPlan:
+    """A built manifold network plus the names the caller operates by."""
+
+    network: HydraulicNetwork
+    valve_names: List[str]
+    loop_names: List[str]
+
+
+def build_return_manifold_network(
+    n_loops: int,
+    reverse_return: bool,
+    pump: Pump,
+    segment_factory: Callable[[], HydraulicElement],
+    valves: Sequence[HydraulicElement],
+    passages: Sequence[HydraulicElement],
+    riser: HydraulicElement,
+) -> ManifoldNetworkPlan:
+    """Build the Fig. 5 manifold loop as a solvable network.
+
+    Parameters
+    ----------
+    n_loops:
+        Parallel branch count (CM loops at rack scale, rack branches at
+        facility scale); at least 2.
+    reverse_return:
+        True places the return-manifold outlet at the far end (the
+        paper's balanced Tichelmann layout); False short-circuits at the
+        near end (direct return).
+    pump:
+        The primary circulation pump.
+    segment_factory:
+        Zero-argument callable producing one manifold segment element
+        (called once per supply and return segment).
+    valves, passages:
+        Per-branch isolation/trim valve and branch hydraulic resistance,
+        one each per loop. The valve sits between the supply tap and the
+        mid-branch node, the passage between the mid node and the return
+        tap.
+    riser:
+        The return pipe plus heat-sink circuit closing the loop.
+    """
+    if n_loops < 2:
+        raise ValueError("a manifold system needs at least 2 loops")
+    if len(valves) != n_loops or len(passages) != n_loops:
+        raise ValueError("one valve and one passage per loop required")
+    net = HydraulicNetwork()
+    net.add_junction("pump_in")
+    net.add_junction("pump_out")
+    net.set_reference("pump_in")
+    for i in range(n_loops):
+        net.add_junction(f"s{i}")
+        net.add_junction(f"r{i}")
+        net.add_junction(f"m{i}")  # mid-loop node between valve and passage
+
+    net.add_branch("pump", "pump_in", "pump_out", pump)
+    # Supply manifold: inlet (Fig. 5 item 8) at the loop-0 end.
+    net.add_branch("supply_in", "pump_out", "s0", segment_factory())
+    for i in range(n_loops - 1):
+        net.add_branch(f"supply_{i}_{i + 1}", f"s{i}", f"s{i + 1}", segment_factory())
+
+    valve_names: List[str] = []
+    loop_names: List[str] = []
+    for i in range(n_loops):
+        valve_name = f"valve_{i}"
+        valve_names.append(valve_name)
+        net.add_branch(valve_name, f"s{i}", f"m{i}", valves[i])
+        loop_name = f"loop_{i}"
+        loop_names.append(loop_name)
+        net.add_branch(loop_name, f"m{i}", f"r{i}", passages[i])
+
+    # Return manifold segments always run along the row; only the outlet
+    # position differs between the layouts.
+    for i in range(n_loops - 1):
+        net.add_branch(f"return_{i}_{i + 1}", f"r{i}", f"r{i + 1}", segment_factory())
+    if reverse_return:
+        # Fig. 5: outlet of the return manifold (item 11) at the far end,
+        # returned by pipe 12 through the heat sink to the pump.
+        net.add_branch("riser", f"r{n_loops - 1}", "pump_in", riser)
+    else:
+        net.add_branch("riser", "r0", "pump_in", riser)
+    return ManifoldNetworkPlan(
+        network=net, valve_names=valve_names, loop_names=loop_names
+    )
+
+
+__all__ = ["ManifoldNetworkPlan", "build_return_manifold_network"]

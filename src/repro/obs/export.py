@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Dict, Sequence, Union
 
 __all__ = ["to_json", "to_prometheus", "write_json", "write_prometheus"]
 
@@ -39,13 +39,30 @@ def _num(value: float) -> Union[int, float]:
     return value
 
 
-def to_prometheus(registry: Any) -> str:
+def _filtered(data: Dict[str, Any], exclude: Sequence[str]) -> Dict[str, Any]:
+    """The ``as_dict`` payload with excluded name prefixes dropped."""
+    if not exclude:
+        return data
+    return {
+        section: {
+            name: value
+            for name, value in metrics.items()
+            if not any(name.startswith(prefix) for prefix in exclude)
+        }
+        for section, metrics in data.items()
+    }
+
+
+def to_prometheus(registry: Any, exclude: Sequence[str] = ()) -> str:
     """The registry's metrics in Prometheus text exposition format.
 
     Metric families are sorted by name; histograms expose cumulative
-    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``. ``exclude``
+    drops metrics whose name starts with any given prefix — e.g.
+    ``("sweep_backend_",)`` when comparing runs that intentionally differ
+    only in which sweep backend executed them.
     """
-    data = registry.as_dict()
+    data = _filtered(registry.as_dict(), exclude)
     lines = []
     for name, value in data["counters"].items():
         lines.append(f"# TYPE {name} counter")
@@ -66,9 +83,12 @@ def to_prometheus(registry: Any) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_json(registry: Any) -> str:
-    """Canonical JSON export: sorted keys, fixed separators, rounded floats."""
-    data = registry.as_dict()
+def to_json(registry: Any, exclude: Sequence[str] = ()) -> str:
+    """Canonical JSON export: sorted keys, fixed separators, rounded floats.
+
+    ``exclude`` drops metrics by name prefix, as in :func:`to_prometheus`.
+    """
+    data = _filtered(registry.as_dict(), exclude)
     payload = {
         "counters": {k: _num(v) for k, v in data["counters"].items()},
         "gauges": {k: _num(v) for k, v in data["gauges"].items()},

@@ -173,6 +173,24 @@ class Histogram:
         with self._lock:
             return list(self._counts)
 
+    def merge(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Fold another histogram's per-bucket counts into this one.
+
+        ``counts`` must carry one entry per finite edge plus the overflow
+        bucket, in the same edge order — the cross-process merge refuses
+        to mix histograms of different shape rather than misbucket.
+        """
+        if len(counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} buckets "
+                f"into {len(self.buckets) + 1}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._sum += float(total)
+            self._count += int(count)
+
     def cumulative_counts(self) -> List[int]:
         """Cumulative counts per edge plus ``+Inf`` (Prometheus ``le``)."""
         counts = self.bucket_counts()
@@ -275,6 +293,32 @@ class MetricsRegistry:
         for name, value in values.items():
             if value:
                 self.inc(prefix + sanitize_metric_name(name), value)
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        The cross-process join of the sweep runner: each worker process
+        runs its shard under a fresh registry, ships the snapshot back,
+        and the parent merges the shards **in shard order** so the merged
+        registry is deterministic. Counters accumulate, gauges take the
+        snapshot's value (so applying shards in order reproduces
+        last-writer-wins), histograms merge per-bucket and must agree on
+        their edges. Spans and profiles are wall-clock state and are not
+        part of a snapshot.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist in snapshot.get("histograms", {}).items():
+            target = self.histogram(name, hist["edges"])
+            if tuple(target.buckets) != tuple(float(e) for e in hist["edges"]):
+                raise ValueError(
+                    f"histogram {name!r}: snapshot edges {hist['edges']} do not "
+                    f"match registered edges {list(target.buckets)}"
+                )
+            target.merge(hist["counts"], hist["sum"], hist["count"])
 
     # -- tracing / profiling ------------------------------------------
 
@@ -420,6 +464,9 @@ class NullRegistry:
         pass
 
     def merge_counters(self, values: Mapping[str, float], prefix: str = "") -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
         pass
 
     def span(self, name: str, **labels: Any):

@@ -1,0 +1,42 @@
+"""Deterministic parameter sweeps over pluggable execution backends.
+
+The public surface is unchanged from the original single-module runner —
+``from repro.sweep import run_sweep, SweepCase, ...`` keeps working — plus
+the backend layer: :func:`run_sweep` takes ``backend="serial" | "thread" |
+"process"`` and :mod:`repro.sweep.backends` exposes the implementations.
+See ``docs/FACILITY.md`` for the backend-selection and determinism guide.
+"""
+
+from repro.sweep.backends import (
+    DEFAULT_MAX_WORKERS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+)
+from repro.sweep.runner import (
+    SweepCase,
+    SweepOutcome,
+    run_sweep,
+    summarize_failures,
+    sweep_cases,
+    sweep_simulations,
+    sweep_values,
+)
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "ProcessBackend",
+    "SerialBackend",
+    "SweepCase",
+    "SweepOutcome",
+    "ThreadBackend",
+    "available_backends",
+    "get_backend",
+    "run_sweep",
+    "summarize_failures",
+    "sweep_cases",
+    "sweep_simulations",
+    "sweep_values",
+]

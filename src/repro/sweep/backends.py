@@ -1,0 +1,219 @@
+"""Pluggable execution backends for the sweep runner.
+
+Three interchangeable ways to evaluate a case list, all returning
+outcomes in case order:
+
+- ``serial`` — a plain loop in the calling thread. The oracle: zero
+  scheduling, bit-identical to iterating the cases yourself.
+- ``thread`` — the historical default: a chunked
+  :class:`~concurrent.futures.ThreadPoolExecutor`. Right for evaluation
+  functions whose heavy lifting releases the GIL (scipy/numpy network
+  solves) and for model objects that cannot be pickled.
+- ``process`` — a sharded :class:`~concurrent.futures.ProcessPoolExecutor`
+  for facility-scale sweeps that need real cores. The evaluation function
+  and every case's params must be picklable (module-level functions,
+  plain-data params). Each worker runs its shard under a **fresh seeded
+  metrics registry** and ships the outcome list plus the registry
+  snapshot back; the parent merges the snapshots in shard order
+  (:meth:`repro.obs.MetricsRegistry.merge_snapshot`), so counter totals,
+  gauge values and histograms — and therefore the canonical metric
+  exports — are identical to a serial run of the same cases.
+
+Determinism contract, regardless of backend: outcomes come back in case
+order, and a sweep whose evaluation is deterministic produces an
+identical ``SweepOutcome`` sequence and identical metric exports on all
+three backends. The differential suite
+(``tests/test_facility_differential.py``) enforces this.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import get_registry
+from repro.sweep.cases import SweepCase, SweepOutcome, evaluate_case
+
+#: Ceiling on the default worker count (sweeps are short; oversubscribing
+#: a laptop-class host buys nothing).
+DEFAULT_MAX_WORKERS = 8
+
+IndexedCase = Tuple[int, SweepCase]
+
+
+def resolve_workers(n_cases: int, max_workers: Optional[int]) -> int:
+    """Worker count for a sweep: explicit, else min(8, cpus, cases)."""
+    import os
+
+    if max_workers is not None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        return min(max_workers, n_cases) or 1
+    cpus = os.cpu_count() or 1
+    return max(1, min(DEFAULT_MAX_WORKERS, cpus, n_cases))
+
+
+def chunk_items(items: List[IndexedCase], chunk_size: int) -> List[List[IndexedCase]]:
+    """Split into contiguous chunks preserving case order."""
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+class SerialBackend:
+    """The oracle: evaluate in a plain loop, raising at the failing case."""
+
+    name = "serial"
+
+    def run(
+        self,
+        fn: Callable[[SweepCase], Any],
+        indexed: List[IndexedCase],
+        workers: int,
+        chunk_size: Optional[int],
+        on_error: str,
+    ) -> List[SweepOutcome]:
+        obs = get_registry()
+        reraise = on_error == "raise"
+        return [
+            evaluate_case(obs, fn, i, case, reraise=reraise)[0]
+            for i, case in indexed
+        ]
+
+
+class ThreadBackend:
+    """Chunked thread-pool evaluation (shared-memory, GIL-releasing work)."""
+
+    name = "thread"
+
+    def run(
+        self,
+        fn: Callable[[SweepCase], Any],
+        indexed: List[IndexedCase],
+        workers: int,
+        chunk_size: Optional[int],
+        on_error: str,
+    ) -> List[SweepOutcome]:
+        if workers <= 1:
+            # Bit-identical to a plain loop — no executor at all.
+            return SerialBackend().run(fn, indexed, workers, chunk_size, on_error)
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(indexed) // (workers * 4)))
+        obs = get_registry()
+        reraise = on_error == "raise"
+
+        def run_chunk(chunk: List[IndexedCase]) -> List[SweepOutcome]:
+            return [
+                evaluate_case(obs, fn, i, case, reraise=reraise)[0]
+                for i, case in chunk
+            ]
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(pool.map(run_chunk, chunk_items(indexed, chunk_size)))
+        return [outcome for chunk in chunk_results for outcome in chunk]
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """The exception itself when it pickles, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure downgrades
+        return RuntimeError(f"unpicklable sweep-case exception: {exc!r}")
+
+
+def run_shard(
+    payload: Tuple[Callable[[SweepCase], Any], List[IndexedCase]],
+) -> Tuple[List[SweepOutcome], Dict[str, Any], Optional[BaseException]]:
+    """Worker entrypoint: evaluate one shard under a fresh registry.
+
+    Module-level (importable) so every process start method can pickle
+    it. Failures are always captured into the outcomes; the shard's first
+    exception also travels back as an object so the parent can honour
+    ``on_error="raise"`` with the original exception type.
+    """
+    from repro.obs import MetricsRegistry, use_registry
+
+    fn, shard = payload
+    outcomes: List[SweepOutcome] = []
+    first_exc: Optional[BaseException] = None
+    with use_registry(MetricsRegistry()) as obs:
+        for index, case in shard:
+            outcome, exc = evaluate_case(obs, fn, index, case, reraise=False)
+            outcomes.append(outcome)
+            if exc is not None and first_exc is None:
+                first_exc = _picklable_exception(exc)
+        snapshot = obs.as_dict()
+    return outcomes, snapshot, first_exc
+
+
+class ProcessBackend:
+    """Sharded process-pool evaluation with deterministic metric merge.
+
+    Cases are split into contiguous shards (default: one per worker);
+    each shard evaluates in a worker process under a fresh registry. On
+    join the parent flattens the outcome lists in shard order (= case
+    order) and folds every shard's registry snapshot into the installed
+    process registry, also in shard order.
+    """
+
+    name = "process"
+
+    def run(
+        self,
+        fn: Callable[[SweepCase], Any],
+        indexed: List[IndexedCase],
+        workers: int,
+        chunk_size: Optional[int],
+        on_error: str,
+    ) -> List[SweepOutcome]:
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(indexed) // workers))
+        shards = chunk_items(indexed, chunk_size)
+        payloads = [(fn, shard) for shard in shards]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_shard, payloads))
+        obs = get_registry()
+        outcomes: List[SweepOutcome] = []
+        first_exc: Optional[BaseException] = None
+        for shard_outcomes, snapshot, shard_exc in results:
+            outcomes.extend(shard_outcomes)
+            obs.merge_snapshot(snapshot)
+            if first_exc is None and shard_exc is not None:
+                first_exc = shard_exc
+        if on_error == "raise" and first_exc is not None:
+            raise first_exc
+        return outcomes
+
+
+_BACKENDS = {
+    backend.name: backend
+    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend())
+}
+
+
+def available_backends() -> List[str]:
+    """The registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str) -> Any:
+    """Look a backend up by name (``serial``, ``thread``, ``process``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "available_backends",
+    "chunk_items",
+    "get_backend",
+    "resolve_workers",
+    "run_shard",
+]

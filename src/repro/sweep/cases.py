@@ -1,0 +1,104 @@
+"""Sweep case/outcome types and the per-case evaluation wrapper.
+
+These are the pieces every execution backend shares: the immutable case
+description, the outcome record results come back in, and the one
+function that turns ``(fn, case)`` into an outcome under observability
+instrumentation. They live apart from the runner so the process backend's
+worker entrypoint (which must be importable by a fresh interpreter) can
+reuse them without pulling in executor machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of a parameter sweep."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sweep case name must be non-empty")
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The result of evaluating one sweep case.
+
+    ``value`` holds the evaluation result; ``error`` the repr of the
+    exception when the case failed and errors are being captured, with
+    ``error_traceback`` carrying the full formatted traceback for
+    diagnosis (see :func:`repro.sweep.runner.summarize_failures`).
+    """
+
+    case: SweepCase
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    error_traceback: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the case evaluated without error."""
+        return self.error is None
+
+
+def sweep_cases(**axes: Sequence[Any]) -> List[SweepCase]:
+    """Build the cartesian product of named parameter axes.
+
+    ``sweep_cases(n_loops=[4, 6], opening=[0.5, 1.0])`` yields four cases
+    named ``"n_loops=4,opening=0.5"`` etc., in row-major (first axis
+    slowest) order.
+    """
+    if not axes:
+        raise ValueError("at least one axis required")
+    names = list(axes)
+    cases = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        params = dict(zip(names, values))
+        label = ",".join(f"{k}={v}" for k, v in params.items())
+        cases.append(SweepCase(name=label, params=params))
+    return cases
+
+
+def evaluate_case(
+    obs: Any,
+    fn: Callable[[SweepCase], Any],
+    index: int,
+    case: SweepCase,
+    reraise: bool,
+) -> Tuple[SweepOutcome, Optional[BaseException]]:
+    """Evaluate one case under span/profile instrumentation.
+
+    Returns ``(outcome, exception)``; the exception is None on success.
+    With ``reraise`` the failure propagates instead (the serial/thread
+    ``on_error="raise"`` path); without it the failure is captured on the
+    outcome *and* returned, so the process backend can ship the original
+    exception object back to the parent for deferred re-raising.
+    """
+    try:
+        with obs.span("sweep.case", case=case.name), obs.profile("sweep.case"):
+            return SweepOutcome(case=case, index=index, value=fn(case)), None
+    except Exception as exc:  # noqa: BLE001 - reported per-case
+        obs.inc("sweep_case_errors_total")
+        if reraise:
+            raise
+        return (
+            SweepOutcome(
+                case=case,
+                index=index,
+                error=repr(exc),
+                error_traceback=_traceback.format_exc(),
+            ),
+            exc,
+        )
+
+
+__all__ = ["SweepCase", "SweepOutcome", "evaluate_case", "sweep_cases"]

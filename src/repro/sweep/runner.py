@@ -1,0 +1,188 @@
+"""Deterministic parallel parameter sweeps.
+
+The cooling studies live on cheap sweeps: regenerate Fig. 5 for a range of
+loop counts, scan valve trims, rerun a failure drill across scenarios.
+This module runs such sweeps over a pluggable execution backend
+(:mod:`repro.sweep.backends`) with three guarantees the ad-hoc loops they
+replace did not have:
+
+- **deterministic ordering** — results come back in case order, never in
+  completion order, regardless of backend;
+- **chunked dispatch** — cases are grouped into contiguous chunks/shards
+  so tiny cases do not drown in executor overhead;
+- **isolation by construction** — the helpers build one fresh model object
+  per case, so stateful solvers (warm starts, solution caches) are never
+  shared across concurrent workers.
+
+The default ``thread`` backend suits evaluation functions whose heavy
+lifting inside scipy/numpy releases the GIL; ``process`` shards picklable
+cases across real cores (facility-scale sweeps); ``serial`` is the
+oracle the other two are differential-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs import get_registry
+from repro.sweep.backends import get_backend, resolve_workers
+from repro.sweep.cases import SweepCase, SweepOutcome, sweep_cases  # noqa: F401
+
+
+def run_sweep(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    on_error: str = "raise",
+    backend: Optional[str] = None,
+) -> List[SweepOutcome]:
+    """Evaluate ``fn`` over every case, in parallel, in case order.
+
+    Parameters
+    ----------
+    fn:
+        The evaluation; called with one :class:`SweepCase`. Must not share
+        mutable state (stateful solvers, simulators) across cases — build
+        fresh objects inside the call. With the ``process`` backend it
+        must additionally be picklable (a module-level function), as must
+        every case's params and every returned value.
+    cases:
+        The sweep points, in the order results are wanted.
+    max_workers:
+        Worker count (default: min(8, cpu count, len(cases))). ``1`` on
+        the thread backend runs serially with no executor at all —
+        bit-identical to a plain loop.
+    chunk_size:
+        Cases per dispatched task (thread default: balanced so each
+        worker gets a few chunks; process default: one contiguous shard
+        per worker).
+    on_error:
+        ``"raise"`` re-raises the first failing case's exception;
+        ``"capture"`` records the error on the outcome and keeps going.
+        How much of the sweep still runs before a raise is
+        backend-specific (serial stops at the failure, process finishes
+        the sweep first); captured outcomes are identical across
+        backends up to the executor frames in ``error_traceback``.
+    backend:
+        ``"serial"``, ``"thread"`` (default) or ``"process"`` — see
+        :mod:`repro.sweep.backends`.
+    """
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture'")
+    engine = get_backend(backend if backend is not None else "thread")
+    cases = list(cases)
+    if not cases:
+        return []
+    workers = resolve_workers(len(cases), max_workers)
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    obs = get_registry()
+    obs.inc("sweep_runs_total")
+    obs.inc("sweep_cases_total", len(cases))
+    obs.inc(f"sweep_backend_{engine.name}_runs_total")
+    indexed = list(enumerate(cases))
+    return engine.run(
+        fn, indexed, workers=workers, chunk_size=chunk_size, on_error=on_error
+    )
+
+
+def summarize_failures(outcomes: Sequence[SweepOutcome]) -> List[Dict[str, Any]]:
+    """Condense a sweep's captured failures into diagnosable records.
+
+    A campaign that quietly reports ``ok=False`` for a third of its cases
+    is undebuggable; this helper turns each failed outcome into
+
+    ``{"case": name, "params": axes, "kind": exception class,
+    "error": repr, "where": innermost traceback frame}``
+
+    where ``where`` is the deepest ``File "...", line N, in fn`` frame of
+    the captured traceback — the raise site, not the executor plumbing.
+    Outcomes that succeeded are skipped; an all-ok sweep yields ``[]``.
+    """
+    records: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        kind = (outcome.error or "").split("(", 1)[0]
+        where = ""
+        if outcome.error_traceback:
+            frames = [
+                line.strip()
+                for line in outcome.error_traceback.splitlines()
+                if line.lstrip().startswith("File \"")
+            ]
+            where = frames[-1] if frames else ""
+        records.append(
+            {
+                "case": outcome.case.name,
+                "params": dict(outcome.case.params),
+                "kind": kind,
+                "error": outcome.error,
+                "where": where,
+            }
+        )
+    return records
+
+
+def sweep_values(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> List[Any]:
+    """:func:`run_sweep` returning just the values (errors re-raised)."""
+    return [
+        outcome.value
+        for outcome in run_sweep(
+            fn,
+            cases,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            backend=backend,
+        )
+    ]
+
+
+def sweep_simulations(
+    simulator_factory: Callable[[], Any],
+    scenarios: Mapping[str, Optional[List[Any]]],
+    duration_s: float,
+    dt_s: float = 5.0,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one :class:`~repro.core.simulation.ModuleSimulator` per scenario.
+
+    ``scenarios`` maps scenario name to its failure-event list (None for a
+    nominal run). A **fresh simulator** comes from ``simulator_factory``
+    for every scenario, so controller latches, PID memory and solver
+    caches cannot leak between concurrent cases. Returns
+    ``{name: SimulationResult}`` with deterministic (input) ordering.
+    Thread-backed: the factory closure and the result objects need not be
+    picklable.
+    """
+    names = list(scenarios)
+    cases = [
+        SweepCase(name=name, params={"events": scenarios[name]}) for name in names
+    ]
+
+    def evaluate(case: SweepCase) -> Any:
+        simulator = simulator_factory()
+        return simulator.run(
+            duration_s=duration_s, events=case.params["events"], dt_s=dt_s
+        )
+
+    outcomes = run_sweep(evaluate, cases, max_workers=max_workers)
+    return {outcome.case.name: outcome.value for outcome in outcomes}
+
+
+__all__ = [
+    "SweepCase",
+    "SweepOutcome",
+    "run_sweep",
+    "summarize_failures",
+    "sweep_cases",
+    "sweep_simulations",
+    "sweep_values",
+]

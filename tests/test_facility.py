@@ -1,0 +1,357 @@
+"""Unit tests for the facility package: loop, plant, simulator, campaign."""
+
+import math
+
+import pytest
+
+from repro.core.balancing import ManifoldLayout
+from repro.core.rack import Rack
+from repro.core.skat import skat
+from repro.facility.campaign import (
+    draw_facility_scenarios,
+    facility_fault_scenarios,
+    run_facility_campaign,
+)
+from repro.facility.network import FacilityLoopSystem
+from repro.facility.simulator import (
+    ChillerPlant,
+    FacilitySimulator,
+    MIN_CAPACITY_FRACTION,
+)
+from repro.facility.sweep import (
+    SCENARIOS,
+    build_facility,
+    evaluate_facility_case,
+    scenario_events,
+    smoke_cases,
+)
+from repro.reliability.failures import FailureEvent
+
+
+def tiny_rack():
+    return Rack(module_factory=skat, n_modules=2)
+
+
+def tiny_facility(n_racks=2, **kwargs):
+    return FacilitySimulator(n_racks=n_racks, rack_factory=tiny_rack, **kwargs)
+
+
+class TestFacilityLoop:
+    def test_needs_two_racks(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            FacilityLoopSystem(n_racks=1)
+
+    def test_valve_count_must_match(self):
+        with pytest.raises(ValueError, match="per rack"):
+            FacilityLoopSystem(n_racks=3, balancing_valves=[1.0, 1.0])
+
+    def test_reverse_return_flows_positive_and_symmetric(self):
+        report = FacilityLoopSystem(n_racks=4).solve()
+        flows = report.loop_flows_m3_s
+        assert all(f > 0.0 for f in flows)
+        assert flows[0] == pytest.approx(flows[3], rel=1e-3)
+        assert flows[1] == pytest.approx(flows[2], rel=1e-3)
+
+    def test_fail_and_restore_rack(self):
+        system = FacilityLoopSystem(n_racks=4)
+        nominal = system.solve()
+        system.fail_rack(1)
+        failed = system.solve()
+        assert failed.loop_flows_m3_s[1] == 0.0
+        assert failed.failed_loops == [1]
+        # Survivors gain flow off the shared header.
+        for i in (0, 2, 3):
+            assert failed.loop_flows_m3_s[i] > nominal.loop_flows_m3_s[i]
+        system.restore_rack(1)
+        restored = system.solve()
+        assert restored.loop_flows_m3_s == pytest.approx(
+            nominal.loop_flows_m3_s, rel=1e-6
+        )
+
+    def test_fail_rack_bounds(self):
+        system = FacilityLoopSystem(n_racks=2)
+        with pytest.raises(ValueError, match="outside"):
+            system.fail_rack(2)
+
+    def test_direct_return_less_balanced(self):
+        reverse = FacilityLoopSystem(
+            n_racks=6, layout=ManifoldLayout.REVERSE_RETURN
+        ).solve()
+        direct = FacilityLoopSystem(
+            n_racks=6, layout=ManifoldLayout.DIRECT_RETURN
+        ).solve()
+        assert (
+            reverse.coefficient_of_variation
+            <= direct.coefficient_of_variation + 1e-9
+        )
+
+
+class TestChillerPlant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChillerPlant(primary_capacity_w=0.0)
+        with pytest.raises(ValueError):
+            ChillerPlant(standby_capacity_w=-1.0)
+        with pytest.raises(ValueError):
+            ChillerPlant(cop=0.0)
+
+    def test_dispatch_standby_only_on_overload(self):
+        plant = ChillerPlant(primary_capacity_w=100.0, standby_capacity_w=50.0)
+        under = plant.dispatch(80.0)
+        assert not under.standby_started
+        assert under.capacity_w == 100.0
+        assert under.headroom_w == pytest.approx(20.0)
+        over = plant.dispatch(120.0)
+        assert over.standby_started
+        assert over.capacity_w == 150.0
+        assert over.utilization == pytest.approx(0.8)
+
+    def test_capacity_profile_trip_then_standby(self):
+        plant = ChillerPlant(
+            primary_capacity_w=100.0,
+            standby_capacity_w=40.0,
+            standby_start_delay_s=30.0,
+        )
+        trip = FailureEvent(
+            kind="pump_stop", time_s=60.0, target="plant", magnitude=0.0
+        )
+        profile = plant.capacity_profile([trip], duration_s=300.0)
+        assert profile == [(0.0, 100.0), (60.0, 0.0), (90.0, 40.0)]
+
+    def test_capacity_profile_brownout_compounds(self):
+        plant = ChillerPlant(
+            primary_capacity_w=100.0, standby_capacity_w=0.0
+        )
+        events = [
+            FailureEvent(kind="pump_stop", time_s=10.0, target="plant", magnitude=0.5),
+            FailureEvent(kind="pump_stop", time_s=20.0, target="plant", magnitude=0.5),
+        ]
+        profile = plant.capacity_profile(events, duration_s=100.0)
+        assert profile == [(0.0, 100.0), (10.0, 50.0), (20.0, 25.0)]
+
+    def test_capacity_profile_nominal_is_flat(self):
+        plant = ChillerPlant(primary_capacity_w=100.0)
+        assert plant.capacity_profile([], 100.0) == [(0.0, 100.0)]
+
+
+class TestFacilitySimulator:
+    def test_needs_two_racks(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            FacilitySimulator(n_racks=1, rack_factory=tiny_rack)
+
+    def test_loop_size_must_match(self):
+        with pytest.raises(ValueError, match="branches"):
+            FacilitySimulator(
+                n_racks=3,
+                rack_factory=tiny_rack,
+                loop=FacilityLoopSystem(n_racks=2),
+            )
+
+    def test_rejects_unknown_target(self):
+        facility = tiny_facility()
+        bad = FailureEvent(
+            kind="pump_stop", time_s=10.0, target="chiller", magnitude=0.0
+        )
+        with pytest.raises(ValueError, match="not 'plant'"):
+            facility.run(duration_s=100.0, events=[bad], dt_s=20.0)
+
+    def test_rejects_out_of_range_rack(self):
+        facility = tiny_facility()
+        bad = FailureEvent(
+            kind="loop_blockage", time_s=10.0, target="rack_7", magnitude=0.0
+        )
+        with pytest.raises(ValueError, match="facility has 2"):
+            facility.run(duration_s=100.0, events=[bad], dt_s=20.0)
+
+    def test_nominal_run_shape(self):
+        facility = tiny_facility()
+        result = facility.run(duration_s=200.0, dt_s=20.0)
+        assert result.n_racks == 2
+        assert len(result.rack_results) == 2
+        assert result.final_state == "NORMAL"
+        assert result.plant.load_w == pytest.approx(result.mean_rejected_w)
+        assert not result.plant.standby_started
+        assert result.heat_rejected_j == pytest.approx(
+            sum(r.heat_rejected_j for r in result.rack_results)
+        )
+        assert result.reuse_return_water_c > facility.plant.setpoint_c
+        assert result.survived(90.0)
+        # Unconstrained plant: every rack gets its own chiller capacity.
+        assert result.allocated_capacity_w == (150.0e3, 150.0e3)
+        assert sum(result.flow_shares) == pytest.approx(1.0)
+
+    def test_constrained_plant_caps_allocation(self):
+        plant = ChillerPlant(
+            primary_capacity_w=100.0e3, standby_capacity_w=0.0
+        )
+        facility = tiny_facility(plant=plant)
+        result = facility.run(duration_s=100.0, dt_s=20.0)
+        for alloc, share in zip(result.allocated_capacity_w, result.flow_shares):
+            assert alloc == pytest.approx(100.0e3 * share, rel=1e-9)
+            assert alloc < 150.0e3
+
+    def test_plant_trip_heats_every_rack(self):
+        facility = tiny_facility(
+            plant=ChillerPlant(
+                primary_capacity_w=700.0e3,
+                standby_capacity_w=0.0,
+            )
+        )
+        nominal = facility.run(duration_s=400.0, dt_s=20.0)
+        trip = FailureEvent(
+            kind="pump_stop", time_s=100.0, target="plant", magnitude=0.0
+        )
+        tripped = facility.run(duration_s=400.0, events=[trip], dt_s=20.0)
+        assert tripped.max_water_c > nominal.max_water_c
+        for before, after in zip(nominal.rack_results, tripped.rack_results):
+            assert after.max_water_c > before.max_water_c
+
+    def test_standby_skid_limits_excursion(self):
+        trip = FailureEvent(
+            kind="pump_stop", time_s=100.0, target="plant", magnitude=0.0
+        )
+        no_standby = tiny_facility(
+            plant=ChillerPlant(standby_capacity_w=0.0)
+        ).run(duration_s=600.0, events=[trip], dt_s=20.0)
+        with_standby = tiny_facility(
+            plant=ChillerPlant(
+                standby_capacity_w=350.0e3, standby_start_delay_s=60.0
+            )
+        ).run(duration_s=600.0, events=[trip], dt_s=20.0)
+        assert with_standby.max_water_c < no_standby.max_water_c
+
+    def test_branch_isolation_starves_only_that_rack(self):
+        facility = tiny_facility()
+        isolate = FailureEvent(
+            kind="loop_blockage", time_s=60.0, target="rack_1", magnitude=0.0
+        )
+        result = facility.run(duration_s=400.0, events=[isolate], dt_s=20.0)
+        isolated, survivor = result.rack_results[1], result.rack_results[0]
+        assert isolated.max_water_c > survivor.max_water_c
+
+    def test_forwarded_event_reaches_inner_rack(self):
+        facility = tiny_facility()
+        inner = FailureEvent(
+            kind="loop_blockage", time_s=60.0, target="rack_0/loop_1", magnitude=0.0
+        )
+        result = facility.run(duration_s=400.0, events=[inner], dt_s=20.0)
+        affected, untouched = result.rack_results
+        assert affected.max_fpga_c > untouched.max_fpga_c
+        # The merged action log names the rack.
+        assert result.recovery_actions
+        assert all(a.detail.startswith("rack_") for a in result.recovery_actions)
+        assert any(a.detail.startswith("rack_0:") for a in result.recovery_actions)
+
+    def test_recovery_actions_time_ordered(self):
+        facility = tiny_facility()
+        events = [
+            FailureEvent(
+                kind="loop_blockage", time_s=60.0, target="rack_0/loop_0",
+                magnitude=0.0,
+            ),
+            FailureEvent(
+                kind="loop_blockage", time_s=120.0, target="rack_1/loop_1",
+                magnitude=0.0,
+            ),
+        ]
+        result = facility.run(duration_s=400.0, events=events, dt_s=20.0)
+        times = [a.time_s for a in result.recovery_actions]
+        assert times == sorted(times)
+
+    def test_min_capacity_fraction_keeps_chiller_valid(self):
+        # A rack isolated from t=0 still needs a constructible chiller.
+        facility = tiny_facility()
+        isolate = FailureEvent(
+            kind="loop_blockage", time_s=0.0, target="rack_0", magnitude=0.0
+        )
+        result = facility.run(duration_s=100.0, events=[isolate], dt_s=20.0)
+        assert result.allocated_capacity_w[0] == 0.0
+        assert result.rack_results[0].max_water_c > 20.0
+        assert MIN_CAPACITY_FRACTION > 0.0
+
+    def test_to_dict_is_plain_json_data(self):
+        import json
+
+        result = tiny_facility().run(duration_s=100.0, dt_s=20.0)
+        payload = result.to_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text) == payload
+
+    def test_invalid_durations(self):
+        facility = tiny_facility()
+        with pytest.raises(ValueError):
+            facility.run(duration_s=0.0)
+        with pytest.raises(ValueError):
+            facility.run(duration_s=100.0, dt_s=-1.0)
+
+
+class TestFacilitySweepCases:
+    def test_scenario_registry_complete(self):
+        assert set(SCENARIOS) == {
+            "nominal",
+            "plant_trip",
+            "plant_brownout",
+            "rack_isolated",
+            "cm_blockage",
+        }
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown facility scenario"):
+            scenario_events("meltdown", 4, 100.0)
+
+    def test_smoke_cases_cover_all_scenarios(self):
+        cases = smoke_cases(racks=2)
+        assert [c.name for c in cases] == sorted(SCENARIOS)
+        for case in cases:
+            assert case.params["racks"] == 2
+
+    def test_evaluate_facility_case_returns_plain_dict(self):
+        case = smoke_cases(
+            racks=2, modules=2, duration_s=100.0, dt_s=20.0, fault_time_s=40.0
+        )[0]
+        value = evaluate_facility_case(case)
+        assert value["case"] == case.name
+        assert value["n_racks"] == 2
+        assert isinstance(value["max_fpga_c"], float)
+
+    def test_build_facility_honours_params(self):
+        facility = build_facility({"racks": 3, "modules": 2})
+        assert facility.n_racks == 3
+        assert facility.rack_factory().n_modules == 2
+
+
+class TestFacilityCampaign:
+    def test_canonical_scenarios_shape(self):
+        scenarios = facility_fault_scenarios(n_racks=3)
+        names = [s.name for s in scenarios]
+        assert "plant_trip" in names and "rack_branch_closed" in names
+        for scenario in scenarios:
+            assert scenario.events
+
+    def test_draw_is_seeded_and_deterministic(self):
+        a = draw_facility_scenarios(seed=7, n=6, n_racks=3)
+        b = draw_facility_scenarios(seed=7, n=6, n_racks=3)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.events for s in a] == [s.events for s in b]
+        c = draw_facility_scenarios(seed=8, n=6, n_racks=3)
+        assert [s.events for s in a] != [s.events for s in c]
+
+    def test_draw_validation(self):
+        with pytest.raises(ValueError):
+            draw_facility_scenarios(seed=1, n=0)
+        with pytest.raises(ValueError):
+            draw_facility_scenarios(seed=1, n=2, compound_fraction=2.0)
+
+    def test_campaign_runs_and_stays_bounded(self):
+        report = run_facility_campaign(
+            lambda: tiny_facility(),
+            facility_fault_scenarios(n_racks=2, fault_time_s=60.0),
+            duration_s=300.0,
+            dt_s=20.0,
+            junction_limit_c=95.0,
+        )
+        assert not report.failures
+        assert report.bounded_fraction == 1.0
+        for scenario in report.scenarios:
+            assert scenario.ok
+            assert math.isfinite(scenario.peak_junction_c)

@@ -1,0 +1,190 @@
+"""Differential tests: the sharded facility path against the scalar oracle.
+
+The determinism contract of :mod:`repro.sweep.backends`: the same seeded
+scenario matrix produces an **identical** ``SweepOutcome`` sequence and
+**identical** canonical metric exports on the serial, thread and process
+backends (exports modulo the ``sweep_backend_*`` marker counters, which
+exist precisely to record which backend ran). On top of that, a facility
+run with an unconstrained plant must equal the **sum of isolated rack
+runs** — the shared loop adds nothing when it isn't a bottleneck. The
+pinned byte-for-byte goldens (``tests/goldens/facility_sweep.json``,
+``facility_metrics.json``) tie all of it to the CI smoke job, which
+regenerates the same bytes via ``scripts/run_facility.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.control.supervisor import Supervisor
+from repro.core.racksim import RackSimulator
+from repro.facility.simulator import FacilitySimulator
+from repro.facility.sweep import (
+    build_facility,
+    evaluate_facility_case,
+    facility_rack,
+    smoke_cases,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import available_backends, run_sweep
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+BACKENDS = ("serial", "thread", "process")
+
+#: The matrix every backend must reproduce identically: every named
+#: facility scenario on a 3-rack room of 2-CM racks.
+MATRIX = smoke_cases(racks=3, modules=2, duration_s=300.0, dt_s=20.0)
+
+
+def run_matrix(backend, max_workers=2):
+    """The matrix's outcomes plus the canonical metric export."""
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep(
+            evaluate_facility_case,
+            MATRIX,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        export = to_json(obs, exclude=("sweep_backend_",))
+    return outcomes, export
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return run_matrix("serial")
+
+
+def test_all_backends_registered():
+    assert sorted(BACKENDS) == available_backends()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_outcome_sequences_identical(backend, oracle):
+    serial_outcomes, _ = oracle
+    outcomes, _ = run_matrix(backend)
+    assert outcomes == serial_outcomes
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_metric_exports_identical(backend, oracle):
+    _, serial_export = oracle
+    _, export = run_matrix(backend)
+    assert export == serial_export
+
+
+def test_worker_count_does_not_change_results(oracle):
+    serial_outcomes, serial_export = oracle
+    for workers in (1, 3):
+        outcomes, export = run_matrix("process", max_workers=workers)
+        assert outcomes == serial_outcomes
+        assert export == serial_export
+
+
+def test_unconstrained_facility_equals_sum_of_isolated_racks():
+    """With the shared loop unconstrained, composition adds nothing.
+
+    Every rack's allocation equals its own chiller capacity and no
+    facility events fire, so each rack's in-facility run must be
+    *identical* (not just close) to an isolated RackSimulator run, and
+    the facility totals must be exact sums.
+    """
+    n_racks = 3
+    facility = FacilitySimulator(
+        n_racks=n_racks, rack_factory=lambda: facility_rack(2)
+    )
+    result = facility.run(duration_s=300.0, dt_s=20.0)
+    assert result.allocated_capacity_w == tuple(
+        facility_rack(2).chiller.capacity_w for _ in range(n_racks)
+    )
+    isolated = []
+    for _ in range(n_racks):
+        simulator = RackSimulator(rack=facility_rack(2), supervisor=Supervisor())
+        isolated.append(simulator.run(duration_s=300.0, dt_s=20.0))
+    for in_facility, alone in zip(result.rack_results, isolated):
+        assert in_facility.max_fpga_c == alone.max_fpga_c
+        assert in_facility.max_water_c == alone.max_water_c
+        assert in_facility.heat_rejected_j == alone.heat_rejected_j
+        assert in_facility.final_state == alone.final_state
+        assert in_facility.recovery_actions == alone.recovery_actions
+    assert result.heat_rejected_j == sum(r.heat_rejected_j for r in isolated)
+    assert result.max_fpga_c == max(r.max_fpga_c for r in isolated)
+    assert result.max_water_c == max(r.max_water_c for r in isolated)
+
+
+def test_error_capture_identical_up_to_executor_frames():
+    """A failing case captures identically on every backend.
+
+    ``error_traceback`` legitimately differs in executor frames, so the
+    comparison covers everything else.
+    """
+    cases = smoke_cases(racks=2, modules=2, duration_s=100.0, dt_s=20.0)
+    bad = cases[0].params.copy()
+    bad["scenario"] = "does_not_exist"
+    from repro.sweep import SweepCase
+
+    mixed = [SweepCase(name="bad", params=bad)] + cases[1:3]
+    records = {}
+    for backend in BACKENDS:
+        outcomes = run_sweep(
+            evaluate_facility_case, mixed, backend=backend, on_error="capture"
+        )
+        records[backend] = [
+            (o.case, o.index, o.value, o.ok, o.error) for o in outcomes
+        ]
+    assert records["thread"] == records["serial"]
+    assert records["process"] == records["serial"]
+    assert records["serial"][0][3] is False  # the bad case captured
+
+
+class TestPinnedGoldens:
+    """All three backends must reproduce the committed bytes."""
+
+    @pytest.fixture(scope="class")
+    def golden_payload(self):
+        return (GOLDEN_DIR / "facility_sweep.json").read_text()
+
+    @pytest.fixture(scope="class")
+    def golden_metrics(self):
+        return (GOLDEN_DIR / "facility_metrics.json").read_text()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_reproduces_goldens(
+        self, backend, golden_payload, golden_metrics
+    ):
+        cases = smoke_cases()  # the script's defaults: 4 racks, 2 CMs
+        with use_registry(MetricsRegistry()) as obs:
+            outcomes = run_sweep(evaluate_facility_case, cases, backend=backend)
+            metrics = to_json(obs, exclude=("sweep_backend_",))
+        payload = json.dumps(
+            [outcome.value for outcome in outcomes],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        assert payload + "\n" == golden_payload, (
+            "facility sweep payload drifted from tests/goldens/"
+            "facility_sweep.json — regenerate with scripts/run_facility.py "
+            "--out and review the diff"
+        )
+        assert metrics + "\n" == golden_metrics, (
+            "facility metrics drifted from tests/goldens/"
+            "facility_metrics.json — regenerate with scripts/run_facility.py "
+            "--metrics-out and review the diff"
+        )
+
+
+def test_facility_case_values_are_canonical():
+    """Sweep values are plain data already rounded for byte-stable JSON."""
+    case = smoke_cases(racks=2, modules=2, duration_s=100.0, dt_s=20.0)[1]
+    value = evaluate_facility_case(case)
+    assert json.loads(json.dumps(value)) == value
+
+
+def test_build_facility_fresh_state_per_case():
+    """Two evaluations of one case share nothing and agree exactly."""
+    case = smoke_cases(racks=2, modules=2, duration_s=100.0, dt_s=20.0)[0]
+    assert evaluate_facility_case(case) == evaluate_facility_case(case)
+    facility_a = build_facility(case.params)
+    facility_b = build_facility(case.params)
+    assert facility_a.loop is not facility_b.loop

@@ -105,10 +105,47 @@ def _manifold() -> Dict[str, Dict[str, float]]:
     }
 
 
+def _facility() -> Dict[str, Dict[str, float]]:
+    from repro.core.rack import Rack
+    from repro.core.skat import skat
+    from repro.facility.network import FacilityLoopSystem
+    from repro.facility.simulator import FacilitySimulator
+
+    loop_report = FacilityLoopSystem(n_racks=4).solve()
+    result = FacilitySimulator(
+        n_racks=4,
+        rack_factory=lambda: Rack(module_factory=skat, n_modules=2),
+    ).run(duration_s=400.0, dt_s=20.0)
+    return {
+        "loop_total_flow_m3_s": {
+            "value": loop_report.total_flow_m3_s,
+            "rtol": SOLVER_RTOL,
+        },
+        "loop_first_branch_flow_m3_s": {
+            "value": loop_report.loop_flows_m3_s[0],
+            "rtol": SOLVER_RTOL,
+        },
+        "loop_imbalance_ratio": {
+            "value": loop_report.imbalance_ratio,
+            "rtol": SOLVER_RTOL,
+        },
+        "run_max_fpga_c": {"value": result.max_fpga_c, "rtol": SOLVER_RTOL},
+        "run_heat_rejected_j": {
+            "value": result.heat_rejected_j,
+            "rtol": SOLVER_RTOL,
+        },
+        "run_reuse_return_water_c": {
+            "value": result.reuse_return_water_c,
+            "rtol": SOLVER_RTOL,
+        },
+    }
+
+
 GOLDEN_BUILDERS = {
     "skat_steady": _skat_steady,
     "rack": _rack,
     "manifold": _manifold,
+    "facility": _facility,
 }
 
 
@@ -138,11 +175,13 @@ def test_golden(name):
 def test_goldens_have_no_strays():
     """Every committed golden file corresponds to a builder."""
     # The observability exports (obs_export.*) are owned by
-    # tests/test_obs_export.py, which pins them byte-for-byte.
+    # tests/test_obs_export.py and the facility backend goldens
+    # (facility_sweep/facility_metrics) by
+    # tests/test_facility_differential.py; both pin bytes, not values.
     committed = {
         p.stem
         for p in GOLDEN_DIR.glob("*.json")
-        if not p.stem.startswith("obs_")
+        if not p.stem.startswith(("obs_", "facility_"))
     }
     assert committed == set(GOLDEN_BUILDERS)
 

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.balancing import ManifoldLayout, RackManifoldSystem
+from repro.facility.network import FacilityLoopSystem
 
 
 @given(n_loops=st.integers(min_value=2, max_value=10))
@@ -44,6 +45,64 @@ def test_failure_conserves_mass_and_boosts_survivors(n_loops, failed):
     assert after.loop_flows_m3_s[failed] == 0.0
     # Every survivor gains flow; the pump total falls (steeper system curve).
     for i in range(n_loops):
+        if i == failed:
+            continue
+        assert after.loop_flows_m3_s[i] > before.loop_flows_m3_s[i]
+    assert after.total_flow_m3_s < before.total_flow_m3_s
+
+
+# -- facility secondary loop (same hydraulic discipline, one scale up) -----
+
+
+@given(n_racks=st.integers(min_value=2, max_value=8))
+@settings(max_examples=7, deadline=None)
+def test_facility_reverse_return_symmetric_branch_flows(n_racks):
+    """Symmetric racks on a reverse-return header draw mirror-equal flows."""
+    flows = FacilityLoopSystem(n_racks=n_racks).solve().loop_flows_m3_s
+    assert all(f > 0.0 for f in flows)
+    for i in range(n_racks // 2):
+        assert flows[i] == pytest.approx(flows[-1 - i], rel=1e-3)
+
+
+@given(n_racks=st.integers(min_value=2, max_value=8))
+@settings(max_examples=7, deadline=None)
+def test_facility_branch_flows_equal_within_header_imbalance(n_racks):
+    """With identical racks every branch is within the layout's tight CV."""
+    report = FacilityLoopSystem(n_racks=n_racks).solve()
+    assert report.coefficient_of_variation < 0.10
+    mean = report.total_flow_m3_s / n_racks
+    for flow in report.loop_flows_m3_s:
+        assert flow == pytest.approx(mean, rel=0.15)
+
+
+@given(n_racks=st.integers(min_value=3, max_value=8))
+@settings(max_examples=5, deadline=None)
+def test_facility_reverse_never_worse_than_direct(n_racks):
+    reverse = FacilityLoopSystem(
+        n_racks=n_racks, layout=ManifoldLayout.REVERSE_RETURN
+    ).solve()
+    direct = FacilityLoopSystem(
+        n_racks=n_racks, layout=ManifoldLayout.DIRECT_RETURN
+    ).solve()
+    assert reverse.coefficient_of_variation <= direct.coefficient_of_variation + 1e-9
+
+
+@given(
+    n_racks=st.integers(min_value=3, max_value=7),
+    failed=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=8, deadline=None)
+def test_facility_rack_failure_conserves_mass_and_boosts_survivors(
+    n_racks, failed
+):
+    if failed >= n_racks:
+        failed = n_racks - 1
+    system = FacilityLoopSystem(n_racks=n_racks)
+    before = system.solve()
+    system.fail_rack(failed)
+    after = system.solve()
+    assert after.loop_flows_m3_s[failed] == 0.0
+    for i in range(n_racks):
         if i == failed:
             continue
         assert after.loop_flows_m3_s[i] > before.loop_flows_m3_s[i]

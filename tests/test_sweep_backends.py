@@ -1,0 +1,224 @@
+"""Unit tests for the sweep backend layer and the cross-process metric merge."""
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.sweep import (
+    DEFAULT_MAX_WORKERS,
+    SweepCase,
+    available_backends,
+    get_backend,
+    run_sweep,
+    sweep_values,
+)
+from repro.sweep.backends import chunk_items, resolve_workers
+
+
+def square(case):
+    return case.params["x"] ** 2
+
+
+def fail_on_three(case):
+    x = case.params["x"]
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class Unpicklable(Exception):
+    def __init__(self, handle):
+        super().__init__("carries a live handle")
+        self.handle = handle
+
+    def __reduce__(self):
+        raise TypeError("refuses to pickle")
+
+
+def raise_unpicklable(case):
+    raise Unpicklable(handle=object())
+
+
+def count_in_registry(case):
+    get_registry().inc("worker_side_counter", case.params["x"])
+    get_registry().observe("worker_side_values", case.params["x"], buckets=[2, 5])
+    return case.params["x"]
+
+
+CASES = [SweepCase(name=f"x={x}", params={"x": x}) for x in range(6)]
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ["process", "serial", "thread"]
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            get_backend("quantum")
+
+    def test_run_sweep_default_is_thread(self):
+        with use_registry(MetricsRegistry()) as obs:
+            run_sweep(square, CASES[:2])
+            counters = obs.as_dict()["counters"]
+        assert counters["sweep_backend_thread_runs_total"] == 1
+
+    def test_backend_marker_counter(self):
+        with use_registry(MetricsRegistry()) as obs:
+            run_sweep(square, CASES[:2], backend="serial")
+            counters = obs.as_dict()["counters"]
+        assert counters["sweep_backend_serial_runs_total"] == 1
+
+
+class TestWorkerResolution:
+    def test_explicit_wins_but_is_capped_by_cases(self):
+        assert resolve_workers(3, 10) == 3
+        assert resolve_workers(10, 3) == 3
+
+    def test_default_capped_by_constant(self):
+        assert resolve_workers(1000, None) <= DEFAULT_MAX_WORKERS
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_workers(5, 0)
+
+    def test_chunks_are_contiguous_and_complete(self):
+        items = list(enumerate("abcdefg"))
+        chunks = chunk_items(items, 3)
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [item for chunk in chunks for item in chunk] == items
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestEveryBackend:
+    def test_values_in_case_order(self, backend):
+        values = sweep_values(square, CASES, backend=backend, max_workers=2)
+        assert values == [x**2 for x in range(6)]
+
+    def test_empty_sweep(self, backend):
+        assert run_sweep(square, [], backend=backend) == []
+
+    def test_on_error_raise(self, backend):
+        with pytest.raises(ValueError, match="three is right out"):
+            run_sweep(fail_on_three, CASES, backend=backend, max_workers=2)
+
+    def test_on_error_capture(self, backend):
+        outcomes = run_sweep(
+            fail_on_three, CASES, backend=backend, on_error="capture",
+            max_workers=2,
+        )
+        assert [o.ok for o in outcomes] == [True, True, True, False, True, True]
+        assert "three is right out" in outcomes[3].error
+        assert outcomes[3].error_traceback
+
+    def test_error_counter(self, backend):
+        with use_registry(MetricsRegistry()) as obs:
+            run_sweep(
+                fail_on_three, CASES, backend=backend, on_error="capture",
+                max_workers=2,
+            )
+            counters = obs.as_dict()["counters"]
+        assert counters["sweep_case_errors_total"] == 1
+
+
+class TestProcessBackend:
+    def test_worker_metrics_merged_into_parent(self):
+        with use_registry(MetricsRegistry()) as obs:
+            run_sweep(count_in_registry, CASES, backend="process", max_workers=2)
+            data = obs.as_dict()
+        assert data["counters"]["worker_side_counter"] == sum(range(6))
+        hist = data["histograms"]["worker_side_values"]
+        # x in 0..5 against bucket edges [2, 5]: 0,1,2 | 3,4,5(=edge) | none
+        assert hist["count"] == 6
+        assert sum(hist["counts"]) == 6
+
+    def test_merge_matches_serial_exactly(self):
+        results = {}
+        for backend in ("serial", "process"):
+            with use_registry(MetricsRegistry()) as obs:
+                run_sweep(count_in_registry, CASES, backend=backend, max_workers=3)
+                results[backend] = obs.as_dict()
+        # Everything except executor-specific marker counters is identical.
+        for section in ("gauges", "histograms"):
+            assert results["process"][section] == results["serial"][section]
+        serial_counters = {
+            k: v
+            for k, v in results["serial"]["counters"].items()
+            if not k.startswith("sweep_backend_")
+        }
+        process_counters = {
+            k: v
+            for k, v in results["process"]["counters"].items()
+            if not k.startswith("sweep_backend_")
+        }
+        assert process_counters == serial_counters
+
+    def test_unpicklable_exception_downgraded(self):
+        with pytest.raises(RuntimeError, match="unpicklable sweep-case exception"):
+            run_sweep(raise_unpicklable, CASES[:2], backend="process")
+
+    def test_unpicklable_exception_still_captured(self):
+        outcomes = run_sweep(
+            raise_unpicklable, CASES[:2], backend="process", on_error="capture"
+        )
+        assert all(not o.ok for o in outcomes)
+        assert "Unpicklable" in outcomes[0].error
+
+    def test_process_raise_finishes_sweep_first(self):
+        # Captured outcomes exist for *every* case even when raising: the
+        # failure is re-raised after the shards join.
+        try:
+            run_sweep(fail_on_three, CASES, backend="process", max_workers=2)
+        except ValueError as exc:
+            assert "three is right out" in str(exc)
+        else:  # pragma: no cover - the raise is the point
+            pytest.fail("expected the captured failure to re-raise")
+
+
+class TestSnapshotMerge:
+    def test_counters_and_gauges(self):
+        a = MetricsRegistry()
+        a.inc("hits", 3)
+        a.set_gauge("level", 1.0)
+        b = MetricsRegistry()
+        b.inc("hits", 4)
+        b.set_gauge("level", 2.5)
+        a.merge_snapshot(b.as_dict())
+        data = a.as_dict()
+        assert data["counters"]["hits"] == 7
+        assert data["gauges"]["level"] == 2.5
+
+    def test_histograms_bucket_add(self):
+        a = MetricsRegistry()
+        a.observe("t", 1.0, buckets=[2, 5])
+        b = MetricsRegistry()
+        b.observe("t", 3.0, buckets=[2, 5])
+        b.observe("t", 10.0, buckets=[2, 5])
+        a.merge_snapshot(b.as_dict())
+        hist = a.as_dict()["histograms"]["t"]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(14.0)
+
+    def test_histogram_edge_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.observe("t", 1.0, buckets=[2, 5])
+        b = MetricsRegistry()
+        b.observe("t", 1.0, buckets=[3, 6])
+        with pytest.raises(ValueError, match="edges"):
+            a.merge_snapshot(b.as_dict())
+
+    def test_merge_into_empty_is_copy(self):
+        b = MetricsRegistry()
+        b.inc("hits", 2)
+        b.observe("t", 1.0, buckets=[2])
+        a = MetricsRegistry()
+        a.merge_snapshot(b.as_dict())
+        assert a.as_dict() == b.as_dict()
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.observe("t", 1.0, buckets=[2])
+        snapshot = registry.as_dict()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot

@@ -1,0 +1,152 @@
+"""Order-dependence and isolation tests for the sweep machinery.
+
+Two ways a sweep can silently rot: hidden mutable state that makes the
+second run of the same case list differ from the first (warm caches,
+latched supervisors, leaked registries), and new module-level mutable
+containers that couple cases to each other across an interpreter's
+lifetime. The first is tested by running the same matrix repeatedly —
+in one process, across backends, and across fresh worker pools — and
+demanding identical outcomes and metric exports every time. The second
+is an executable audit: every module-level ``dict``/``list``/``set`` in
+``repro`` must appear in the pinned read-only allowlist below, and its
+contents must be unchanged after a full facility sweep.
+"""
+
+import copy
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+from repro.facility.sweep import evaluate_facility_case, smoke_cases
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import run_sweep
+
+MATRIX = smoke_cases(racks=2, modules=2, duration_s=100.0, dt_s=20.0)
+
+
+def run_matrix(backend):
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep(
+            evaluate_facility_case, MATRIX, backend=backend, max_workers=2
+        )
+        export = to_json(obs, exclude=("sweep_backend_",))
+    return outcomes, export
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_same_cases_twice_in_one_process(backend):
+    """Run N then run N again: byte-identical outcomes and metrics."""
+    first = run_matrix(backend)
+    second = run_matrix(backend)
+    assert second == first
+
+
+def test_interleaved_backends_do_not_contaminate():
+    """serial / process / serial — the bread slices must match."""
+    before = run_matrix("serial")
+    run_matrix("process")
+    after = run_matrix("serial")
+    assert after == before
+
+
+def test_fresh_worker_pools_reproduce():
+    """Every process-backend run builds a fresh pool; results must agree."""
+    runs = [run_matrix("process") for _ in range(2)]
+    assert runs[0] == runs[1]
+
+
+#: Every module-level mutable container in ``repro``, by (module, name).
+#: All are read-only lookup tables or registries populated at import
+#: time. Adding a new one is fine — add it here *after* convincing
+#: yourself nothing writes to it at run time (a run-time write couples
+#: sweep cases to each other and breaks order-independence).
+MUTABLE_ALLOWLIST = {
+    ("repro.__main__", "COMMANDS"),
+    ("repro.analysis.uncertainty", "DEFAULT_TOLERANCES"),
+    ("repro.configio", "_TIMS"),
+    ("repro.core.serviceability", "SERVICE_CATALOG"),
+    ("repro.facility.sweep", "SCENARIOS"),
+    ("repro.hydraulics.curves", "DEFAULT_CATALOG"),
+    ("repro.performance.tasks", "OPERATION_COSTS_CELLS"),
+    ("repro.resilience.campaign", "_DEFAULT_RATES_PER_HOUR"),
+    ("repro.resilience.campaign", "_DEFAULT_REPAIR_HOURS"),
+    ("repro.sweep.backends", "_BACKENDS"),
+}
+
+
+def _module_level_mutables():
+    """Every (module, name, value) module-level container, deduped by id.
+
+    Re-exports (``repro.facility.SCENARIOS`` is the same object as
+    ``repro.facility.sweep.SCENARIOS``) are attributed to whichever
+    allowlisted module claims them, so aliases don't need duplicate
+    entries.
+    """
+    found = {}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        for name, value in vars(module).items():
+            if name.startswith("__"):
+                continue
+            if isinstance(value, (dict, list, set)):
+                entry = (info.name, name)
+                previous = found.get(id(value))
+                if previous is None or (
+                    previous not in MUTABLE_ALLOWLIST
+                    and entry in MUTABLE_ALLOWLIST
+                ):
+                    found[id(value)] = entry
+    values = {}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        for name, value in vars(module).items():
+            if (info.name, name) in found.values() and isinstance(
+                value, (dict, list, set)
+            ):
+                values[(info.name, name)] = value
+    return values
+
+
+def test_module_level_mutable_state_is_allowlisted():
+    mutables = _module_level_mutables()
+    unexpected = set(mutables) - MUTABLE_ALLOWLIST
+    assert not unexpected, (
+        f"new module-level mutable container(s) {sorted(unexpected)}; "
+        "audit them for run-time writes and extend MUTABLE_ALLOWLIST in "
+        "tests/test_sweep_isolation.py"
+    )
+
+
+def test_allowlisted_tables_unchanged_by_sweeps():
+    """A full facility sweep must not write to any module-level table."""
+    mutables = _module_level_mutables()
+    snapshots = {key: copy.deepcopy(value) for key, value in mutables.items()}
+    run_matrix("serial")
+    run_matrix("process")
+    for key, before in snapshots.items():
+        after = mutables[key]
+        if key == ("repro.sweep.backends", "_BACKENDS"):
+            # Instances are stateless singletons; identity of keys suffices.
+            assert sorted(after) == sorted(before)
+            continue
+        assert after == before, f"sweep mutated module-level state {key}"
+
+
+def test_rack_simulator_back_to_back_runs_identical():
+    """One simulator instance, two runs: reset() restores pristine state."""
+    from repro.control.supervisor import Supervisor
+    from repro.core.rack import Rack
+    from repro.core.skat import skat
+    from repro.core.racksim import RackSimulator
+
+    simulator = RackSimulator(
+        rack=Rack(module_factory=skat, n_modules=2), supervisor=Supervisor()
+    )
+    first = simulator.run(duration_s=100.0, dt_s=20.0)
+    second = simulator.run(duration_s=100.0, dt_s=20.0)
+    assert first.max_fpga_c == second.max_fpga_c
+    assert first.heat_rejected_j == second.heat_rejected_j
+    assert first.recovery_actions == second.recovery_actions
