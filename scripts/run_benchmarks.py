@@ -1,0 +1,109 @@
+"""Run the timed benchmark suite and distill a ``BENCH_<label>.json``.
+
+Wraps ``pytest benchmarks/ --benchmark-json`` in a subprocess, then
+distills the raw pytest-benchmark payload into a small sorted record —
+one entry per benchmark with min/median/mean seconds and round counts —
+suitable for committing or uploading as a CI artifact. Timing numbers
+are machine-dependent by nature, so the distilled file is for trend
+tracking across runs of the *same* runner, not a pass/fail gate (the
+claim-row assertions inside the benchmark modules are the gate, and they
+run with ``--benchmark-disable`` in the tier-1 CI job).
+
+Run with::
+
+    python scripts/run_benchmarks.py --label local
+    python scripts/run_benchmarks.py --label nightly --select solvers
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def distill(raw: dict) -> dict:
+    """Reduce the pytest-benchmark payload to a stable, sorted record."""
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        entries.append(
+            {
+                "name": bench["fullname"],
+                "group": bench.get("group"),
+                "min_s": stats["min"],
+                "median_s": stats["median"],
+                "mean_s": stats["mean"],
+                "stddev_s": stats["stddev"],
+                "rounds": stats["rounds"],
+                "iterations": stats["iterations"],
+            }
+        )
+    entries.sort(key=lambda e: e["name"])
+    machine = raw.get("machine_info", {})
+    return {
+        "benchmarks": entries,
+        "machine": {
+            "python": machine.get("python_version"),
+            "cpu_count": machine.get("cpu", {}).get("count"),
+        },
+        "n_benchmarks": len(entries),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label", default="local", help="suffix for the BENCH_<label>.json output"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="only run benchmark files whose name contains this substring",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=ROOT, help="directory for the distilled file"
+    )
+    args = parser.parse_args(argv)
+
+    targets = sorted(ROOT.glob("benchmarks/test_bench_*.py"))
+    if args.select:
+        targets = [t for t in targets if args.select in t.name]
+    if not targets:
+        print(f"no benchmark files match --select {args.select!r}", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+            *[str(t) for t in targets],
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(ROOT / "src"), env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(command, cwd=ROOT, env=env)
+        if proc.returncode != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return proc.returncode
+        raw = json.loads(raw_path.read_text())
+
+    payload = distill(raw)
+    out = args.out_dir / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({payload['n_benchmarks']} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Run the seeded scenario fuzzer under the full invariant-checker suite.
+
+Generates a deterministic scenario stream, runs every scenario through
+the conservation-law checkers on the chosen sweep backend, and prints a
+canonical-JSON report (byte-identical for the same seed regardless of
+backend). On violations the first failing scenario is greedily shrunk
+and written to ``--artifact`` as a minimal replayable repro, and the
+process exits non-zero.
+
+Run with::
+
+    python scripts/run_verify_fuzz.py --seed 1337 --scenarios 200 --backend process
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.sweep import available_backends
+from repro.verify import (
+    generate_scenarios,
+    run_fuzz,
+    run_scenario,
+    shrink_scenario,
+    write_repro_artifact,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1337, help="stream seed")
+    parser.add_argument(
+        "--scenarios", type=int, default=200, help="scenarios to generate and run"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="sweep execution backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="sweep workers (default: auto)"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any violation (the report is still written)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the report JSON here too"
+    )
+    parser.add_argument(
+        "--artifact",
+        type=Path,
+        default=Path("fuzz_repro.json"),
+        help="where to write the shrunk repro on failure",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_fuzz(
+        args.seed,
+        args.scenarios,
+        backend=args.backend,
+        max_workers=args.workers,
+    )
+    text = report.to_json()
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+
+    if report.ok:
+        print(
+            f"# {report.n_scenarios} scenarios, {report.checks_run} checks, "
+            f"0 violations (digest {report.scenario_digest[:12]})",
+            file=sys.stderr,
+        )
+        return 0
+
+    # Shrink the first violating scenario into a replayable artifact.
+    failing_names = {v["scenario"] for v in report.violations}
+    scenario = next(
+        s
+        for s in generate_scenarios(args.seed, args.scenarios)
+        if s.name in failing_names
+    )
+
+    def reproduces(candidate) -> bool:
+        return bool(run_scenario(candidate)["violations"])
+
+    shrunk = shrink_scenario(scenario, reproduces)
+    violations = run_scenario(shrunk)["violations"]
+    write_repro_artifact(str(args.artifact), shrunk, violations)
+    print(
+        f"# {len(report.violations)} violation(s); minimized repro for "
+        f"{scenario.name} written to {args.artifact}",
+        file=sys.stderr,
+    )
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,8 +35,13 @@ from repro.hydraulics.elements import (
 )
 from repro.hydraulics.cache import SolverCounters
 from repro.hydraulics.manifold import build_return_manifold_network
-from repro.hydraulics.network import HydraulicNetwork
-from repro.hydraulics.solver import NetworkSolver, SolveResult, solve_network
+from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+from repro.hydraulics.solver import (
+    NetworkSolver,
+    SolveResult,
+    junction_residuals,
+    solve_network,
+)
 
 
 class ManifoldLayout(Enum):
@@ -134,6 +139,7 @@ class RackManifoldSystem:
     solver: NetworkSolver = field(default_factory=NetworkSolver, repr=False)
     _network: HydraulicNetwork = field(init=False, repr=False)
     _valve_names: List[str] = field(init=False, repr=False)
+    _last_result: Optional[SolveResult] = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_loops < 2:
@@ -224,6 +230,7 @@ class RackManifoldSystem:
             tolerance_m3_s=tolerance_m3_s,
             solver=self.solver,
         )
+        self._last_result = result
         failed = [
             i
             for i, name in enumerate(self._valve_names)
@@ -236,6 +243,18 @@ class RackManifoldSystem:
         return BalanceReport(
             layout=self.layout, loop_flows_m3_s=flows, failed_loops=failed
         )
+
+    def junction_residuals_m3_s(self) -> Dict[str, float]:
+        """Per-junction continuity residuals of the last :meth:`solve`.
+
+        The flow-continuity invariant the verification layer enforces:
+        every manifold junction's external injection balances the net
+        branch flow leaving it, within the solve tolerance. Raises when
+        no solve has run yet.
+        """
+        if self._last_result is None:
+            raise HydraulicsError("no solution yet — call solve() first")
+        return junction_residuals(self._network, self._last_result)
 
     def failure_redistribution(self, index: int) -> Dict[str, BalanceReport]:
         """The paper's experiment: flows before and after one loop fails.

@@ -15,7 +15,7 @@ water supply temperature (chiller dynamics), and the per-CM water flows
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.control.monitor import AlarmLog, TelemetryLog
 from repro.control.supervisor import RecoveryAction, Supervisor, SupervisorState
@@ -28,6 +28,9 @@ from repro.obs import MetricsRegistry, get_registry
 from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
 from repro.resilience.retry import retry_with_backoff
+
+if TYPE_CHECKING:  # pragma: no cover - verify imports this module
+    from repro.verify.checkers import CheckSuite
 
 #: Junction value reported when a CM's chips run away (trip substitute).
 RUNAWAY_CLAMP_C = 150.0
@@ -112,6 +115,12 @@ class RackSimulator:
     junction_limit_c: float = 67.0
     supervisor: Optional[Supervisor] = None
     hydraulic_retry_attempts: int = 3
+    #: Optional invariant-checker suite (:class:`repro.verify.checkers.
+    #: CheckSuite`). When attached, every manifold solve is audited for
+    #: flow continuity, the run records per-module heat/rejection
+    #: channels, and the finished run is audited against the
+    #: conservation-law catalog; None skips every hook.
+    checks: Optional["CheckSuite"] = None
     _modules: List[ComputationalModule] = field(init=False, repr=False)
     _manifold: RackManifoldSystem = field(init=False, repr=False)
     _throttled: Dict[Tuple[int, float], ComputationalModule] = field(
@@ -165,6 +174,10 @@ class RackSimulator:
             retry_on=(HydraulicsError,),
         )
         self._retry_attempts += outcome.attempts - (1 if outcome.ok else 0)
+        if outcome.ok and self.checks is not None:
+            self.checks.check_manifold(
+                self._manifold, level="rack", where=f"t={time_s:g}"
+            )
         if self.supervisor is not None:
             if outcome.ok and outcome.retried:
                 self.supervisor.record(
@@ -313,6 +326,7 @@ class RackSimulator:
             capacity = self._chiller_capacity_w(time_s, events)
 
             total_rejected = 0.0
+            total_heat = 0.0
             junctions: Dict[str, float] = {}
             sample: Dict[str, float] = {"water_c": water_c}
             for i in range(n):
@@ -328,11 +342,17 @@ class RackSimulator:
                 oils[i] += (state["heat"] - state["rejected"]) * dt_s / self.oil_thermal_mass_j_k
                 oils[i] = min(oils[i], module.section.oil.t_max_c - 1.0)
                 total_rejected += state["rejected"]
+                total_heat += state["heat"]
                 max_fpga = max(max_fpga, state["junction"])
                 if state["junction"] > self.junction_limit_c:
                     time_over[i] += dt_s
                 sample[f"oil_{i}"] = oils[i]
                 sample[f"junction_{i}"] = state["junction"]
+                if self.checks is not None:
+                    # The per-module energy terms the verification layer
+                    # replays the bath updates from.
+                    sample[f"heat_{i}"] = state["heat"]
+                    sample[f"rejected_{i}"] = state["rejected"]
                 if i not in down:
                     junctions[f"cm_{i}"] = state["junction"]
 
@@ -378,6 +398,11 @@ class RackSimulator:
                     if utilization is not None
                     else self.supervisor.nominal_utilization
                 )
+
+            sample["heat_w"] = total_heat
+            sample["rejected_w"] = total_rejected
+            sample["chiller_capacity_w"] = capacity
+            sample["water_target_c"] = water_target
 
             heat_rejected_j += total_rejected * dt_s
             removed = min(total_rejected, capacity)
@@ -439,7 +464,7 @@ class RackSimulator:
                 * sustained_gflops(section.ccb.fpga.family, min_utilization)
                 / 1.0e6
             )
-        return RackSimResult(
+        result = RackSimResult(
             telemetry=telemetry,
             max_fpga_c=max_fpga,
             max_water_c=max_water,
@@ -452,6 +477,9 @@ class RackSimulator:
             alarm_log=alarm_log,
             heat_rejected_j=heat_rejected_j,
         )
+        if self.checks is not None:
+            self.checks.check_rack_run(self, result, dt_s=dt_s)
+        return result
 
 
 __all__ = ["RackSimResult", "RackSimulator", "RUNAWAY_CLAMP_C"]

@@ -15,7 +15,7 @@ must catch when a pump stops or the thermal interface degrades.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.control.controller import ControlAction, CoolingController
 from repro.control.pid import PidController
@@ -30,6 +30,9 @@ from repro.performance.flops import sustained_gflops
 from repro.reliability.failures import FailureEvent
 from repro.resilience.voting import median_vote
 from repro.thermal.convection import natural_vertical_film
+
+if TYPE_CHECKING:  # pragma: no cover - verify imports this module
+    from repro.verify.checkers import CheckSuite
 
 #: Junction temperature reported when leakage runaway is reached — the
 #: simulation clamps here and relies on the controller trip.
@@ -125,6 +128,11 @@ class ModuleSimulator:
     #: inside the model's calibration error, while the cache removes a
     #: bracketed root find from almost every step.
     flow_cache_bucket_c: float = 0.1
+    #: Optional invariant-checker suite (:class:`repro.verify.checkers.
+    #: CheckSuite`). When attached, every finished run is audited against
+    #: the conservation-law catalog; None (the default) skips the hook
+    #: entirely, so unchecked runs pay nothing.
+    checks: Optional["CheckSuite"] = None
     _tim_multiplier: float = field(init=False, default=1.0, repr=False)
     _flow_cache: Dict[int, float] = field(init=False, default_factory=dict, repr=False)
     _flow_cache_hits: int = field(init=False, default=0, repr=False)
@@ -331,6 +339,7 @@ class ModuleSimulator:
         telemetry = TelemetryLog()
         alarm_log = AlarmLog()
         oil_c = initial_oil_c if initial_oil_c is not None else self.water_in_c + 8.0
+        initial_bath_c = oil_c
         commanded_speed = 1.0
         shutdown_time: Optional[float] = None
         alarms = 0
@@ -518,7 +527,7 @@ class ModuleSimulator:
                 * sustained_gflops(section.ccb.fpga.family, min_utilization)
                 / 1.0e6
             )
-        return SimulationResult(
+        result = SimulationResult(
             telemetry=telemetry,
             max_junction_c=max_junction,
             max_oil_c=max_oil,
@@ -529,6 +538,11 @@ class ModuleSimulator:
             recovery_actions=recovery_actions,
             degraded_pflops=degraded_pflops,
         )
+        if self.checks is not None:
+            self.checks.check_module_run(
+                self, result, dt_s=dt_s, initial_oil_c=initial_bath_c
+            )
+        return result
 
 
 __all__ = ["ModuleSimulator", "RUNAWAY_CLAMP_C", "SimulationResult"]

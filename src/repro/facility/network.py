@@ -18,7 +18,7 @@ solver the rack manifold uses, warm starts and solution cache included.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.balancing import BalanceReport, ManifoldLayout
 from repro.fluids.library import WATER
@@ -32,8 +32,13 @@ from repro.hydraulics.elements import (
     Valve,
 )
 from repro.hydraulics.manifold import build_return_manifold_network
-from repro.hydraulics.network import HydraulicNetwork
-from repro.hydraulics.solver import NetworkSolver, SolveResult, solve_network
+from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
+from repro.hydraulics.solver import (
+    NetworkSolver,
+    SolveResult,
+    junction_residuals,
+    solve_network,
+)
 
 #: Isolation-valve geometry of one rack branch (DN80 butterfly valve).
 _BRANCH_VALVE_K_OPEN = 3.0
@@ -90,6 +95,7 @@ class FacilityLoopSystem:
     solver: NetworkSolver = field(default_factory=NetworkSolver, repr=False)
     _network: HydraulicNetwork = field(init=False, repr=False)
     _valve_names: List[str] = field(init=False, repr=False)
+    _last_result: Optional[SolveResult] = field(init=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_racks < 2:
@@ -177,6 +183,7 @@ class FacilityLoopSystem:
             tolerance_m3_s=tolerance_m3_s,
             solver=self.solver,
         )
+        self._last_result = result
         failed = [
             i
             for i, name in enumerate(self._valve_names)
@@ -189,6 +196,16 @@ class FacilityLoopSystem:
         return BalanceReport(
             layout=self.layout, loop_flows_m3_s=flows, failed_loops=failed
         )
+
+    def junction_residuals_m3_s(self) -> Dict[str, float]:
+        """Per-junction continuity residuals of the last :meth:`solve`.
+
+        Raises when no solve has run yet; see
+        :meth:`repro.core.balancing.RackManifoldSystem.junction_residuals_m3_s`.
+        """
+        if self._last_result is None:
+            raise HydraulicsError("no solution yet — call solve() first")
+        return junction_residuals(self._network, self._last_result)
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.n_racks:

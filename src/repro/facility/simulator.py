@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.control.monitor import AlarmLog
 from repro.control.supervisor import RecoveryAction, Supervisor, SupervisorState
@@ -48,6 +48,9 @@ from repro.facility.network import FacilityLoopSystem
 from repro.obs import get_registry
 from repro.reliability.failures import FailureEvent
 from repro.sweep import SweepCase, run_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - verify imports this module
+    from repro.verify.checkers import CheckSuite
 
 #: Floor on a rack's allocated-capacity fraction. Multiplicative capacity
 #: events cannot recover from an exact zero (0 times anything is 0), so a
@@ -326,6 +329,11 @@ class FacilitySimulator:
     water_thermal_mass_j_k: float = 8.0e5
     oil_thermal_mass_j_k: float = 1.0e5
     junction_limit_c: float = 67.0
+    #: Optional invariant-checker suite (:class:`repro.verify.checkers.
+    #: CheckSuite`). Forwarded to every rack simulator of the run (they
+    #: execute serially, so one shared suite is safe) and applied to the
+    #: facility loop solve and the aggregate result; None skips all hooks.
+    checks: Optional["CheckSuite"] = None
 
     def __post_init__(self) -> None:
         if self.n_racks < 2:
@@ -519,6 +527,8 @@ class FacilitySimulator:
         )
         alloc0 = timeline[0][1]
         branch_flows0 = self._initial_flows()
+        if self.checks is not None:
+            self.checks.check_manifold(self.loop, level="facility", where="t=0")
 
         racks: List[Rack] = []
         rack_events: List[List[FailureEvent]] = []
@@ -547,6 +557,7 @@ class FacilitySimulator:
                 oil_thermal_mass_j_k=self.oil_thermal_mass_j_k,
                 junction_limit_c=self.junction_limit_c,
                 supervisor=Supervisor() if self.supervised else None,
+                checks=self.checks,
             )
             return simulator.run(
                 duration_s=duration_s, events=rack_events[index], dt_s=dt_s
@@ -593,7 +604,7 @@ class FacilitySimulator:
         else:
             reuse_c = self.plant.setpoint_c
 
-        return FacilityResult(
+        result = FacilityResult(
             n_racks=self.n_racks,
             duration_s=duration_s,
             dt_s=dt_s,
@@ -609,6 +620,9 @@ class FacilitySimulator:
             final_state=final_state,
             recovery_actions=actions,
         )
+        if self.checks is not None:
+            self.checks.check_facility_run(self, result)
+        return result
 
     def _initial_flows(self) -> Tuple[float, ...]:
         """Branch flows with every valve open (fresh solve)."""

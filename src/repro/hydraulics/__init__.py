@@ -31,6 +31,7 @@ from repro.hydraulics.network import HydraulicNetwork, HydraulicsError
 from repro.hydraulics.solver import (
     NetworkSolver,
     SolveResult,
+    junction_residuals,
     operating_point,
     solve_network,
     solve_network_robust,
@@ -70,6 +71,7 @@ __all__ = [
     "coast_down",
     "fit_pump_curve",
     "friction",
+    "junction_residuals",
     "loop_inertance",
     "network_state_key",
     "npsh_available_m",

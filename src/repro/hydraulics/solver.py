@@ -129,6 +129,27 @@ class SolveResult:
         return self.pressures_pa[node_a] - self.pressures_pa[node_b]
 
 
+def junction_residuals(
+    network: HydraulicNetwork, result: SolveResult
+) -> Dict[str, float]:
+    """Signed volumetric imbalance at every junction of a solution, m^3/s.
+
+    For each junction: external injection minus the net flow leaving
+    through its open branches. A converged solution keeps every entry
+    within the solve tolerance; the verification layer
+    (:mod:`repro.verify.checkers`) re-checks this continuity law on every
+    manifold solve instead of trusting only the solver's own worst-case
+    ``residual_m3_s``.
+    """
+    residuals: Dict[str, float] = {}
+    for name in network.junction_names:
+        balance = network.injection(name)
+        for branch, orientation in network.incident(name):
+            balance -= orientation * result.flows_m3_s[branch.name]
+        residuals[name] = balance
+    return residuals
+
+
 class NetworkSolver:
     """A stateful network solver: fast path + warm start + solution cache.
 
@@ -564,6 +585,7 @@ def operating_point(
 __all__ = [
     "NetworkSolver",
     "SolveResult",
+    "junction_residuals",
     "operating_point",
     "solve_network",
     "solve_network_robust",

@@ -1,0 +1,61 @@
+"""Physics-invariant verification layer.
+
+Three complementary oracles over the simulator stack, none of which
+needs a hand-written expected value:
+
+- :mod:`repro.verify.checkers` — conservation-law and state-machine
+  invariants audited on every run (attach a :class:`CheckSuite` via a
+  simulator's ``checks=`` field);
+- :mod:`repro.verify.metamorphic` — relations between *pairs* of runs
+  (rack relabeling, load scaling, unit round-trips);
+- :mod:`repro.verify.fuzz` — a seeded scenario fuzzer that runs random
+  configs and event scripts under all checkers on any sweep backend and
+  shrinks failures to minimal replayable artifacts.
+
+See ``docs/VERIFICATION.md`` for the invariant catalog, the tolerances
+and their physical justification, and the fuzzer workflow.
+"""
+
+from repro.verify.checkers import (
+    CheckSuite,
+    InvariantViolationError,
+    Tolerances,
+    Violation,
+)
+from repro.verify.fuzz import (
+    FuzzReport,
+    FuzzScenario,
+    generate_scenarios,
+    run_fuzz,
+    run_scenario,
+    scenario_stream_digest,
+    shrink_scenario,
+    write_repro_artifact,
+)
+from repro.verify.metamorphic import (
+    kilowatts_from_watts,
+    relation_load_scaling,
+    relation_rack_permutation,
+    relation_unit_round_trip,
+    watts_from_kilowatts,
+)
+
+__all__ = [
+    "CheckSuite",
+    "FuzzReport",
+    "FuzzScenario",
+    "InvariantViolationError",
+    "Tolerances",
+    "Violation",
+    "generate_scenarios",
+    "kilowatts_from_watts",
+    "relation_load_scaling",
+    "relation_rack_permutation",
+    "relation_unit_round_trip",
+    "run_fuzz",
+    "run_scenario",
+    "scenario_stream_digest",
+    "shrink_scenario",
+    "watts_from_kilowatts",
+    "write_repro_artifact",
+]

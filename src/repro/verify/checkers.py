@@ -1,0 +1,952 @@
+"""Conservation-law and state-machine invariant checkers.
+
+The paper's thermal claims rest on balance arguments — heat into the oil
+equals heat out through the plate exchangers plus bath storage, and
+manifold flows sum to pump flow (iDataCool closes its energy balance the
+same way). Nothing outside hand-picked goldens enforced those laws, so a
+regression that violates conservation while staying inside a golden
+tolerance would ship silently. This module turns every simulator run into
+a self-checking experiment.
+
+Invariant catalog (see ``docs/VERIFICATION.md`` for tolerances and their
+physical justification):
+
+``energy_balance``
+    Module/rack bath temperatures must replay exactly from the recorded
+    per-step heat and rejection terms (``C dT = (Q_in - Q_out) dt``, with
+    the model's bath ceiling clamp); integrated rack heat must equal the
+    step sum; facility heat must equal the sum over racks.
+``flow_continuity``
+    Every manifold junction's external injection balances the net branch
+    flow leaving it (checked per hydraulic solve, rack and facility loop).
+``temperature_monotonicity``
+    The bath moves in the direction of the net heat: positive net heat
+    never cools the bath, negative net heat never warms it.
+``thermal_ordering``
+    A powered chip's junction is never colder than the bath it heats
+    (skipped at the runaway clamp, where the model pins the junction).
+``level_conservation``
+    The open bath has no automatic make-up: the level only falls, and
+    stays within [0, 1].
+``supervisor_legality``
+    The degradation ladder only escalates (NORMAL -> DEGRADED ->
+    THROTTLED -> SAFE_SHUTDOWN), and SAFE_SHUTDOWN is only reachable
+    through a recorded ``safe_shutdown`` latch action.
+``result_consistency``
+    Result scalars (maxima, aggregates, shares, plant dispatch) agree
+    with the telemetry and the per-rack results they summarize.
+
+Attach a :class:`CheckSuite` to a simulator via its ``checks=`` field;
+with ``checks=None`` (the default) the simulators skip every hook, so the
+existing <5 % observability overhead budget is untouched. Violations are
+collected on the suite, counted in the process
+:class:`~repro.obs.MetricsRegistry` (``verify_violations_total`` /
+``verify_checks_total``) and — in strict mode — raised as
+:class:`InvariantViolationError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.control.supervisor import SupervisorState
+from repro.obs import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.racksim import RackSimResult, RackSimulator
+    from repro.core.simulation import ModuleSimulator, SimulationResult
+    from repro.facility.simulator import FacilityResult, FacilitySimulator
+
+#: Names of the supervisor ladder states, by value.
+_STATE_NAMES = {state.value: state.name for state in SupervisorState}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation: what law broke, where, and by how much."""
+
+    invariant: str
+    level: str
+    where: str
+    detail: str
+    magnitude: float
+    tolerance: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (canonical-JSON friendly, floats rounded)."""
+        return {
+            "invariant": self.invariant,
+            "level": self.level,
+            "where": self.where,
+            "detail": self.detail,
+            "magnitude": round(float(self.magnitude), 9),
+            "tolerance": round(float(self.tolerance), 12),
+        }
+
+
+class InvariantViolationError(RuntimeError):
+    """Raised in strict mode when a check finds violations."""
+
+    def __init__(self, violations: Sequence[Violation]):
+        self.violations: Tuple[Violation, ...] = tuple(violations)
+        first = self.violations[0]
+        extra = (
+            "" if len(self.violations) == 1 else f" (+{len(self.violations) - 1} more)"
+        )
+        super().__init__(
+            f"{first.invariant} at {first.level}:{first.where}: "
+            f"{first.detail}{extra}"
+        )
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Numerical slack per invariant family.
+
+    The defaults are *reconstruction* tolerances, not physical ones: the
+    checkers replay the simulators' own update expressions on the recorded
+    telemetry, so agreement is expected to round-off, and the bands only
+    absorb float noise (1e-9 C on a ~100 C state is ~1e4 ULP of margin).
+    ``flow_abs_m3_s`` is the one genuinely physical band: the hydraulic
+    solver converges junctions to 1e-9 m^3/s by default and the rack
+    simulator's retry ladder may relax that to 1e-7, so 1e-6 (a
+    thousandth of a typical loop flow) accepts every converged solve and
+    rejects anything hydraulically meaningless.
+    """
+
+    #: Per-step bath-temperature reconstruction error, Celsius.
+    energy_abs_c: float = 1.0e-9
+    #: Relative slack on integrated/aggregated energies (sum reordering).
+    energy_rel: float = 1.0e-9
+    #: Worst acceptable junction continuity residual, m^3/s.
+    flow_abs_m3_s: float = 1.0e-6
+    #: Slack on flow-share sums and other O(1) ratios.
+    share_abs: float = 1.0e-9
+    #: Slack on temperature comparisons (maxima, ordering), Celsius.
+    temp_abs_c: float = 1.0e-9
+    #: Slack on level fractions.
+    level_abs: float = 1.0e-12
+
+
+@dataclass
+class CheckSuite:
+    """Collects invariant checks for one or more simulator runs.
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`InvariantViolationError` as soon as a check finds
+        violations. With ``strict=False`` (metrics-only mode) violations
+        accumulate on :attr:`violations` and are only counted in the obs
+        registry.
+    tolerances:
+        Numerical slack per invariant family.
+
+    One suite may be shared by the simulators of one composed run (the
+    facility simulator forwards its suite to every rack); give concurrent
+    sweeps one suite per case.
+    """
+
+    strict: bool = False
+    tolerances: Tolerances = field(default_factory=Tolerances)
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, found: List[Violation]) -> List[Violation]:
+        self.checks_run += 1
+        obs = get_registry()
+        if obs.enabled:
+            obs.inc("verify_checks_total")
+            if found:
+                obs.inc("verify_violations_total", len(found))
+        self.violations.extend(found)
+        if self.strict and found:
+            raise InvariantViolationError(found)
+        return found
+
+    @property
+    def ok(self) -> bool:
+        """Whether no check has found a violation so far."""
+        return not self.violations
+
+    # -- hydraulics --------------------------------------------------------
+
+    def check_manifold(self, system, *, level: str, where: str) -> List[Violation]:
+        """Flow continuity at every junction of a solved manifold system.
+
+        ``system`` is any object with ``junction_residuals_m3_s()``
+        (:class:`~repro.core.balancing.RackManifoldSystem`,
+        :class:`~repro.facility.network.FacilityLoopSystem`).
+        """
+        tol = self.tolerances.flow_abs_m3_s
+        found = [
+            Violation(
+                invariant="flow_continuity",
+                level=level,
+                where=f"{where} junction {name}",
+                detail=(
+                    f"junction {name} imbalance {residual:.3e} m^3/s "
+                    f"exceeds {tol:g}"
+                ),
+                magnitude=abs(residual),
+                tolerance=tol,
+            )
+            for name, residual in sorted(system.junction_residuals_m3_s().items())
+            if not abs(residual) <= tol
+        ]
+        return self._report(found)
+
+    # -- shared telemetry laws ---------------------------------------------
+
+    def _bath_replay(
+        self,
+        found: List[Violation],
+        *,
+        level: str,
+        label: str,
+        times: Sequence[float],
+        oil: Sequence[float],
+        heat: Sequence[float],
+        rejected: Sequence[float],
+        junction: Sequence[float],
+        dt_s: float,
+        thermal_mass_j_k: float,
+        ceiling_c: float,
+        initial_oil_c: float,
+        runaway_clamp_c: float,
+    ) -> None:
+        """Replay one bath's energy balance, monotonicity and ordering."""
+        tol = self.tolerances
+        prev = initial_oil_c
+        for k in range(len(times)):
+            expected = prev + (heat[k] - rejected[k]) * dt_s / thermal_mass_j_k
+            expected = min(expected, ceiling_c)
+            error = abs(oil[k] - expected)
+            if not error <= tol.energy_abs_c:
+                found.append(
+                    Violation(
+                        invariant="energy_balance",
+                        level=level,
+                        where=f"{label} t={times[k]:g}",
+                        detail=(
+                            f"bath {oil[k]:.6f} C does not replay from "
+                            f"C dT = (Q_in - Q_out) dt (expected "
+                            f"{expected:.6f} C, error {error:.3e} C)"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.energy_abs_c,
+                    )
+                )
+            net = heat[k] - rejected[k]
+            delta = oil[k] - prev
+            if (net > 0.0 and delta < -tol.temp_abs_c) or (
+                net < 0.0 and delta > tol.temp_abs_c
+            ):
+                found.append(
+                    Violation(
+                        invariant="temperature_monotonicity",
+                        level=level,
+                        where=f"{label} t={times[k]:g}",
+                        detail=(
+                            f"bath moved {delta:+.3e} C against a net heat "
+                            f"of {net:+.3e} W"
+                        ),
+                        magnitude=abs(delta),
+                        tolerance=tol.temp_abs_c,
+                    )
+                )
+            if (
+                junction[k] != runaway_clamp_c
+                and junction[k] < prev - tol.temp_abs_c
+            ):
+                found.append(
+                    Violation(
+                        invariant="thermal_ordering",
+                        level=level,
+                        where=f"{label} t={times[k]:g}",
+                        detail=(
+                            f"junction {junction[k]:.6f} C colder than the "
+                            f"bath {prev:.6f} C heating it"
+                        ),
+                        magnitude=prev - junction[k],
+                        tolerance=tol.temp_abs_c,
+                    )
+                )
+            prev = oil[k]
+
+    def _supervisor_legality(
+        self,
+        found: List[Violation],
+        *,
+        level: str,
+        times: Sequence[float],
+        states: Sequence[float],
+        final_state: Optional[str],
+        recovery_actions: Sequence,
+    ) -> None:
+        """The ladder only escalates; SAFE_SHUTDOWN needs a latch record."""
+        prev_value: Optional[int] = None
+        for k in range(len(times)):
+            value = int(states[k])
+            if value != states[k] or value not in _STATE_NAMES:
+                found.append(
+                    Violation(
+                        invariant="supervisor_legality",
+                        level=level,
+                        where=f"t={times[k]:g}",
+                        detail=f"telemetry state {states[k]!r} is not a ladder state",
+                        magnitude=float(states[k]),
+                        tolerance=0.0,
+                    )
+                )
+                continue
+            if prev_value is not None and value < prev_value:
+                found.append(
+                    Violation(
+                        invariant="supervisor_legality",
+                        level=level,
+                        where=f"t={times[k]:g}",
+                        detail=(
+                            f"ladder de-escalated {_STATE_NAMES[prev_value]} -> "
+                            f"{_STATE_NAMES[value]} (states only escalate)"
+                        ),
+                        magnitude=float(prev_value - value),
+                        tolerance=0.0,
+                    )
+                )
+            prev_value = value
+        if len(times):
+            last = _STATE_NAMES.get(int(states[-1]))
+            if final_state is not None and last != final_state:
+                found.append(
+                    Violation(
+                        invariant="supervisor_legality",
+                        level=level,
+                        where=f"t={times[-1]:g}",
+                        detail=(
+                            f"result final_state {final_state!r} disagrees with "
+                            f"last telemetry state {last!r}"
+                        ),
+                        magnitude=0.0,
+                        tolerance=0.0,
+                    )
+                )
+        if final_state == SupervisorState.SAFE_SHUTDOWN.name and not any(
+            action.kind == "safe_shutdown" for action in recovery_actions
+        ):
+            found.append(
+                Violation(
+                    invariant="supervisor_legality",
+                    level=level,
+                    where="end of run",
+                    detail=(
+                        "SAFE_SHUTDOWN reached without a recorded "
+                        "safe_shutdown latch action"
+                    ),
+                    magnitude=0.0,
+                    tolerance=0.0,
+                )
+            )
+
+    # -- module level ------------------------------------------------------
+
+    def check_module_run(
+        self,
+        simulator: "ModuleSimulator",
+        result: "SimulationResult",
+        *,
+        dt_s: float,
+        initial_oil_c: float,
+    ) -> List[Violation]:
+        """Every module-level invariant on one finished run."""
+        from repro.core.simulation import RUNAWAY_CLAMP_C
+
+        tol = self.tolerances
+        found: List[Violation] = []
+        telemetry = result.telemetry
+        times, oil = telemetry.series("oil_c")
+        _, heat = telemetry.series("bath_heat_w")
+        _, rejected = telemetry.series("rejected_w")
+        _, junction = telemetry.series("junction_c")
+        ceiling = simulator.module.section.oil.t_max_c - 1.0
+        self._bath_replay(
+            found,
+            level="module",
+            label="bath",
+            times=times,
+            oil=oil,
+            heat=heat,
+            rejected=rejected,
+            junction=junction,
+            dt_s=dt_s,
+            thermal_mass_j_k=simulator.oil_thermal_mass_j_k,
+            ceiling_c=ceiling,
+            initial_oil_c=initial_oil_c,
+            runaway_clamp_c=RUNAWAY_CLAMP_C,
+        )
+
+        _, level_series = telemetry.series("level_fraction")
+        prev_level = 1.0
+        for k in range(len(times)):
+            value = level_series[k]
+            if value > prev_level + tol.level_abs or not 0.0 <= value <= 1.0:
+                found.append(
+                    Violation(
+                        invariant="level_conservation",
+                        level="module",
+                        where=f"t={times[k]:g}",
+                        detail=(
+                            f"bath level {value:.9f} rose from {prev_level:.9f} "
+                            "or left [0, 1] (no automatic make-up exists)"
+                        ),
+                        magnitude=abs(value - prev_level),
+                        tolerance=tol.level_abs,
+                    )
+                )
+            prev_level = value
+
+        max_oil = max([initial_oil_c] + [float(v) for v in oil])
+        max_junction = max(float(v) for v in junction)
+        for name, measured, recomputed in (
+            ("max_oil_c", result.max_oil_c, max_oil),
+            ("max_junction_c", result.max_junction_c, max_junction),
+        ):
+            error = abs(measured - recomputed)
+            if not error <= tol.temp_abs_c:
+                found.append(
+                    Violation(
+                        invariant="result_consistency",
+                        level="module",
+                        where=name,
+                        detail=(
+                            f"result {name} {measured:.6f} C disagrees with the "
+                            f"telemetry maximum {recomputed:.6f} C"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.temp_abs_c,
+                    )
+                )
+
+        if "supervisor_state" in telemetry.channels:
+            _, states = telemetry.series("supervisor_state")
+            self._supervisor_legality(
+                found,
+                level="module",
+                times=times,
+                states=states,
+                final_state=result.final_state,
+                recovery_actions=result.recovery_actions,
+            )
+        return self._report(found)
+
+    # -- rack level --------------------------------------------------------
+
+    def check_rack_run(
+        self,
+        simulator: "RackSimulator",
+        result: "RackSimResult",
+        *,
+        dt_s: float,
+    ) -> List[Violation]:
+        """Every rack-level invariant on one finished run."""
+        from repro.core.racksim import RUNAWAY_CLAMP_C
+
+        tol = self.tolerances
+        found: List[Violation] = []
+        telemetry = result.telemetry
+        times, water = telemetry.series("water_c")
+        _, total_heat = telemetry.series("heat_w")
+        _, total_rejected = telemetry.series("rejected_w")
+        _, capacity = telemetry.series("chiller_capacity_w")
+        _, target = telemetry.series("water_target_c")
+
+        # Integrated energy balance: the result's heat_rejected_j must be
+        # the step sum of the recorded rejection (same accumulation order,
+        # so agreement is expected to round-off).
+        integrated = 0.0
+        for k in range(len(times)):
+            integrated += total_rejected[k] * dt_s
+        scale = max(abs(integrated), abs(result.heat_rejected_j), 1.0)
+        error = abs(result.heat_rejected_j - integrated)
+        if not error <= tol.energy_rel * scale:
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="rack",
+                    where="heat_rejected_j",
+                    detail=(
+                        f"result heat_rejected_j {result.heat_rejected_j:.6e} J "
+                        f"differs from the integrated telemetry "
+                        f"{integrated:.6e} J"
+                    ),
+                    magnitude=error,
+                    tolerance=tol.energy_rel * scale,
+                )
+            )
+
+        # Water-loop energy balance: replay the loop update (rejection in,
+        # chiller removal out, spare-capacity pull-down to the target).
+        # The recorded water_c is the pre-update value of each step.
+        mass = simulator.water_thermal_mass_j_k
+        w = water[0] if len(times) else 0.0
+        for k in range(len(times)):
+            error = abs(water[k] - w)
+            if not error <= tol.energy_abs_c:
+                found.append(
+                    Violation(
+                        invariant="energy_balance",
+                        level="rack",
+                        where=f"water loop t={times[k]:g}",
+                        detail=(
+                            f"water {water[k]:.6f} C does not replay from the "
+                            f"loop balance (expected {w:.6f} C, error "
+                            f"{error:.3e} C)"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.energy_abs_c,
+                    )
+                )
+                w = water[k]  # re-anchor so one slip reports once
+            removed = min(total_rejected[k], capacity[k])
+            w = w + (total_rejected[k] - removed) * dt_s / mass
+            if capacity[k] > total_rejected[k] and w > target[k]:
+                spare = capacity[k] - total_rejected[k]
+                w = w - spare * dt_s / mass
+                w = max(w, target[k])
+
+        max_water = max([float(v) for v in water] + [w]) if len(times) else w
+        if not abs(result.max_water_c - max_water) <= tol.temp_abs_c:
+            found.append(
+                Violation(
+                    invariant="result_consistency",
+                    level="rack",
+                    where="max_water_c",
+                    detail=(
+                        f"result max_water_c {result.max_water_c:.6f} C "
+                        f"disagrees with the replayed maximum {max_water:.6f} C"
+                    ),
+                    magnitude=abs(result.max_water_c - max_water),
+                    tolerance=tol.temp_abs_c,
+                )
+            )
+
+        # Per-module bath replays (channels recorded when checks are on).
+        n = simulator.rack.n_modules
+        initial_oil = water[0] + 8.0 if len(times) else 0.0
+        max_junction = -math.inf
+        for i in range(n):
+            if f"heat_{i}" not in telemetry.channels:
+                continue
+            _, oil_i = telemetry.series(f"oil_{i}")
+            _, heat_i = telemetry.series(f"heat_{i}")
+            _, rejected_i = telemetry.series(f"rejected_{i}")
+            _, junction_i = telemetry.series(f"junction_{i}")
+            max_junction = max(max_junction, max(float(v) for v in junction_i))
+            ceiling = simulator._modules[i].section.oil.t_max_c - 1.0
+            self._bath_replay(
+                found,
+                level="rack",
+                label=f"cm_{i}",
+                times=times,
+                oil=oil_i,
+                heat=heat_i,
+                rejected=rejected_i,
+                junction=junction_i,
+                dt_s=dt_s,
+                thermal_mass_j_k=simulator.oil_thermal_mass_j_k,
+                ceiling_c=ceiling,
+                initial_oil_c=initial_oil,
+                runaway_clamp_c=RUNAWAY_CLAMP_C,
+            )
+        if math.isfinite(max_junction):
+            error = abs(result.max_fpga_c - max_junction)
+            if not error <= tol.temp_abs_c:
+                found.append(
+                    Violation(
+                        invariant="result_consistency",
+                        level="rack",
+                        where="max_fpga_c",
+                        detail=(
+                            f"result max_fpga_c {result.max_fpga_c:.6f} C "
+                            f"disagrees with the telemetry maximum "
+                            f"{max_junction:.6f} C"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.temp_abs_c,
+                    )
+                )
+
+        if "supervisor_state" in telemetry.channels:
+            _, states = telemetry.series("supervisor_state")
+            self._supervisor_legality(
+                found,
+                level="rack",
+                times=times,
+                states=states,
+                final_state=result.final_state,
+                recovery_actions=result.recovery_actions,
+            )
+            isolations = sum(
+                1 for action in result.recovery_actions
+                if action.kind == "module_shutdown"
+            )
+            if isolations != len(result.modules_shutdown):
+                found.append(
+                    Violation(
+                        invariant="supervisor_legality",
+                        level="rack",
+                        where="modules_shutdown",
+                        detail=(
+                            f"{len(result.modules_shutdown)} modules shut down "
+                            f"but {isolations} module_shutdown actions recorded"
+                        ),
+                        magnitude=float(
+                            abs(isolations - len(result.modules_shutdown))
+                        ),
+                        tolerance=0.0,
+                    )
+                )
+        return self._report(found)
+
+    # -- facility level ----------------------------------------------------
+
+    def check_facility_run(
+        self,
+        simulator: "FacilitySimulator",
+        result: "FacilityResult",
+    ) -> List[Violation]:
+        """Aggregation invariants tying the facility result to its racks."""
+        tol = self.tolerances
+        found: List[Violation] = []
+        racks = result.rack_results
+
+        heat_sum = sum(r.heat_rejected_j for r in racks)
+        scale = max(abs(heat_sum), abs(result.heat_rejected_j), 1.0)
+        error = abs(result.heat_rejected_j - heat_sum)
+        if not error <= tol.energy_rel * scale:
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="heat_rejected_j",
+                    detail=(
+                        f"facility heat_rejected_j {result.heat_rejected_j:.6e} J "
+                        f"is not the sum over racks {heat_sum:.6e} J"
+                    ),
+                    magnitude=error,
+                    tolerance=tol.energy_rel * scale,
+                )
+            )
+        load = result.heat_rejected_j / result.duration_s
+        error = abs(result.plant.load_w - load)
+        if not error <= tol.energy_rel * max(abs(load), 1.0):
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="plant_load_w",
+                    detail=(
+                        f"plant dispatch load {result.plant.load_w:.6e} W is not "
+                        f"the run-average heat {load:.6e} W"
+                    ),
+                    magnitude=error,
+                    tolerance=tol.energy_rel * max(abs(load), 1.0),
+                )
+            )
+
+        for name, facility_value, rack_value in (
+            ("max_fpga_c", result.max_fpga_c, max(r.max_fpga_c for r in racks)),
+            ("max_water_c", result.max_water_c, max(r.max_water_c for r in racks)),
+        ):
+            error = abs(facility_value - rack_value)
+            if not error <= tol.temp_abs_c:
+                found.append(
+                    Violation(
+                        invariant="result_consistency",
+                        level="facility",
+                        where=name,
+                        detail=(
+                            f"facility {name} {facility_value:.6f} C is not the "
+                            f"worst rack's {rack_value:.6f} C"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.temp_abs_c,
+                    )
+                )
+
+        total_flow = sum(result.branch_flows_m3_s)
+        if total_flow > 0.0:
+            share_sum = sum(result.flow_shares)
+            if not abs(share_sum - 1.0) <= tol.share_abs:
+                found.append(
+                    Violation(
+                        invariant="flow_continuity",
+                        level="facility",
+                        where="flow_shares",
+                        detail=(
+                            f"branch flow shares sum to {share_sum:.12f}, "
+                            "not 1 (flows must add up to the pump flow)"
+                        ),
+                        magnitude=abs(share_sum - 1.0),
+                        tolerance=tol.share_abs,
+                    )
+                )
+            for j, (flow, share) in enumerate(
+                zip(result.branch_flows_m3_s, result.flow_shares)
+            ):
+                error = abs(share * total_flow - flow)
+                if not error <= tol.flow_abs_m3_s:
+                    found.append(
+                        Violation(
+                            invariant="flow_continuity",
+                            level="facility",
+                            where=f"rack_{j} share",
+                            detail=(
+                                f"rack_{j} share {share:.9f} of the total flow "
+                                f"disagrees with its branch flow {flow:.3e} m^3/s"
+                            ),
+                            magnitude=error,
+                            tolerance=tol.flow_abs_m3_s,
+                        )
+                    )
+
+        rack_cap = simulator.rack_factory().chiller.capacity_w
+        for j, alloc in enumerate(result.allocated_capacity_w):
+            if alloc < 0.0 or alloc > rack_cap * (1.0 + tol.energy_rel):
+                found.append(
+                    Violation(
+                        invariant="result_consistency",
+                        level="facility",
+                        where=f"rack_{j} allocation",
+                        detail=(
+                            f"allocated capacity {alloc:.6e} W outside "
+                            f"[0, rack capacity {rack_cap:.6e} W]"
+                        ),
+                        magnitude=float(alloc),
+                        tolerance=rack_cap,
+                    )
+                )
+
+        if simulator.supervised:
+            worst = max(
+                (r.final_state for r in racks if r.final_state is not None),
+                key=lambda name: SupervisorState[name].value,
+                default=None,
+            )
+            if result.final_state != worst:
+                found.append(
+                    Violation(
+                        invariant="supervisor_legality",
+                        level="facility",
+                        where="final_state",
+                        detail=(
+                            f"facility final_state {result.final_state!r} is not "
+                            f"the worst rack state {worst!r}"
+                        ),
+                        magnitude=0.0,
+                        tolerance=0.0,
+                    )
+                )
+        return self._report(found)
+
+    def check_facility_summary(self, summary: Mapping[str, object]) -> List[Violation]:
+        """Aggregation invariants on a canonical facility summary dict.
+
+        Works on :meth:`repro.facility.simulator.FacilityResult.to_dict`
+        output — including the byte-pinned golden sweeps — so conservation
+        can be audited on committed artifacts without re-running anything.
+        Summary floats are rounded to 9 decimal places, so the bands here
+        are rounding-aware rather than the reconstruction defaults.
+        """
+        found: List[Violation] = []
+        racks = summary["racks"]
+        n = len(racks)
+
+        def _num(value) -> float:
+            return float(value)
+
+        if summary["n_racks"] != n:
+            found.append(
+                Violation(
+                    invariant="result_consistency",
+                    level="facility",
+                    where="n_racks",
+                    detail=(
+                        f"summary lists {n} rack entries for n_racks="
+                        f"{summary['n_racks']}"
+                    ),
+                    magnitude=float(abs(n - int(summary["n_racks"]))),
+                    tolerance=0.0,
+                )
+            )
+        heat = _num(summary["heat_rejected_j"])
+        rack_heat = sum(_num(r["heat_rejected_j"]) for r in racks)
+        # Each term was rounded to 1e-9 absolute; allow that plus float sum
+        # noise on ~1e8 J magnitudes.
+        tol_heat = max(1.0e-6, 1.0e-9 * abs(heat)) + 5.0e-10 * (n + 1)
+        if not abs(heat - rack_heat) <= tol_heat:
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="heat_rejected_j",
+                    detail=(
+                        f"summary heat_rejected_j {heat:.6e} J is not the sum "
+                        f"over rack entries {rack_heat:.6e} J"
+                    ),
+                    magnitude=abs(heat - rack_heat),
+                    tolerance=tol_heat,
+                )
+            )
+        mean = _num(summary["mean_rejected_w"])
+        duration = _num(summary["duration_s"])
+        tol_mean = max(1.0e-6, 1.0e-9 * abs(heat)) + 5.0e-10 * max(duration, 1.0)
+        if not abs(mean * duration - heat) <= tol_mean:
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="mean_rejected_w",
+                    detail=(
+                        f"mean_rejected_w x duration {mean * duration:.6e} J is "
+                        f"not heat_rejected_j {heat:.6e} J"
+                    ),
+                    magnitude=abs(mean * duration - heat),
+                    tolerance=tol_mean,
+                )
+            )
+        plant_load = _num(summary["plant_load_w"])
+        if not abs(plant_load - mean) <= max(1.0e-8, 1.0e-9 * abs(mean)):
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="plant_load_w",
+                    detail=(
+                        f"plant_load_w {plant_load:.6e} W is not the mean "
+                        f"rejection {mean:.6e} W"
+                    ),
+                    magnitude=abs(plant_load - mean),
+                    tolerance=max(1.0e-8, 1.0e-9 * abs(mean)),
+                )
+            )
+        for name in ("max_fpga_c", "max_water_c"):
+            value = _num(summary[name])
+            worst = max(_num(r[name]) for r in racks)
+            if not abs(value - worst) <= 2.0e-9:
+                found.append(
+                    Violation(
+                        invariant="result_consistency",
+                        level="facility",
+                        where=name,
+                        detail=(
+                            f"summary {name} {value:.6f} C is not the worst "
+                            f"rack entry {worst:.6f} C"
+                        ),
+                        magnitude=abs(value - worst),
+                        tolerance=2.0e-9,
+                    )
+                )
+        shares = [_num(s) for s in summary["flow_shares"]]
+        if any(_num(f) > 0.0 for f in summary["branch_flows_m3_s"]):
+            share_sum = sum(shares)
+            tol_share = 2.0e-9 * (n + 1)
+            if not abs(share_sum - 1.0) <= tol_share:
+                found.append(
+                    Violation(
+                        invariant="flow_continuity",
+                        level="facility",
+                        where="flow_shares",
+                        detail=(
+                            f"summary flow shares sum to {share_sum:.12f}, not 1"
+                        ),
+                        magnitude=abs(share_sum - 1.0),
+                        tolerance=tol_share,
+                    )
+                )
+        shutdown = sum(len(r["modules_shutdown"]) for r in racks)
+        if summary["modules_shutdown"] != shutdown:
+            found.append(
+                Violation(
+                    invariant="result_consistency",
+                    level="facility",
+                    where="modules_shutdown",
+                    detail=(
+                        f"summary modules_shutdown {summary['modules_shutdown']} "
+                        f"is not the rack total {shutdown}"
+                    ),
+                    magnitude=float(abs(int(summary["modules_shutdown"]) - shutdown)),
+                    tolerance=0.0,
+                )
+            )
+        states = [r["final_state"] for r in racks if r["final_state"] is not None]
+        worst_state = (
+            max(states, key=lambda name: SupervisorState[name].value)
+            if states
+            else None
+        )
+        if summary["final_state"] != worst_state:
+            found.append(
+                Violation(
+                    invariant="supervisor_legality",
+                    level="facility",
+                    where="final_state",
+                    detail=(
+                        f"summary final_state {summary['final_state']!r} is not "
+                        f"the worst rack entry {worst_state!r}"
+                    ),
+                    magnitude=0.0,
+                    tolerance=0.0,
+                )
+            )
+        return self._report(found)
+
+    # -- golden value specs ------------------------------------------------
+
+    def check_value_spec(
+        self,
+        expected: Mapping[str, Mapping[str, float]],
+        measured: Mapping[str, float],
+        *,
+        where: str,
+    ) -> List[Violation]:
+        """Measured quantities against a pinned ``{name: {value, rtol}}`` spec.
+
+        The machinery behind the golden-acceptance property tests: the
+        committed goldens (``tests/goldens/*.json``) must pass unmodified,
+        and any seeded 5 % perturbation of an energy term must fail (every
+        pinned rtol is at most 1e-3).
+        """
+        found: List[Violation] = []
+        for name in sorted(expected):
+            spec = expected[name]
+            value = measured[name]
+            tolerance = abs(spec["rtol"] * spec["value"])
+            error = abs(value - spec["value"])
+            if not (math.isfinite(value) and error <= tolerance):
+                found.append(
+                    Violation(
+                        invariant="golden_consistency",
+                        level="golden",
+                        where=f"{where}.{name}",
+                        detail=(
+                            f"measured {value!r} vs pinned {spec['value']!r} "
+                            f"(rtol {spec['rtol']:g})"
+                        ),
+                        magnitude=error,
+                        tolerance=tolerance,
+                    )
+                )
+        return self._report(found)
+
+
+__all__ = [
+    "CheckSuite",
+    "InvariantViolationError",
+    "Tolerances",
+    "Violation",
+]

@@ -1,0 +1,631 @@
+"""Deterministic scenario fuzzer for the simulator stack.
+
+Random testing for physics code only pays off when three things hold:
+the scenario stream is **reproducible** (same seed, same bytes, any
+machine, any backend), every run is **self-checking** (the
+conservation-law suite of :mod:`repro.verify.checkers` is the oracle —
+no hand-written expectations per scenario), and a failure **shrinks**
+to a minimal artifact a human can replay. This module provides all
+three on top of the PR 4 failure-event grammar.
+
+Determinism contract: scenarios are drawn from
+``numpy.random.default_rng(seed)`` in a fixed order, event times are
+snapped to the scenario's time grid and magnitudes rounded to a fixed
+number of decimals, and every serialization is canonical JSON
+(``sort_keys=True``, compact separators). The stream digest in a
+:class:`FuzzReport` is therefore byte-stable across serial, thread and
+process sweep backends — the CI smoke job pins exactly this.
+
+Usage::
+
+    report = run_fuzz(seed=7, n_scenarios=200, backend="process")
+    assert report.ok, report.violations
+
+    # On failure: shrink the first offending scenario to its essence.
+    small = shrink_scenario(bad, lambda s: bool(run_scenario(s)["violations"]))
+    write_repro_artifact("repro.json", small)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.control.supervisor import Supervisor
+from repro.core.simulation import ModuleSimulator
+from repro.core.racksim import RackSimulator
+from repro.core.skat import skat
+from repro.facility.simulator import FacilitySimulator
+from repro.facility.sweep import facility_rack
+from repro.reliability.failures import FailureEvent
+from repro.sweep import SweepCase, run_sweep
+from repro.verify.checkers import (
+    CheckSuite,
+    InvariantViolationError,
+    Tolerances,
+    Violation,
+)
+
+#: Scenario levels the fuzzer cycles through, in generation order.
+LEVELS: Tuple[str, ...] = ("module", "rack", "facility")
+
+#: Decimal places magnitudes are rounded to, per event kind (leaks are
+#: m^3/s-scale, everything else is O(1)).
+_MAGNITUDE_DECIMALS = {"leak": 6}
+_DEFAULT_DECIMALS = 3
+
+
+def canonical_json(payload: Any) -> str:
+    """The one JSON encoding used everywhere (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One generated scenario: a simulator config plus an event script."""
+
+    index: int
+    level: str
+    duration_s: float
+    dt_s: float
+    n_modules: int
+    n_racks: int
+    supervised: bool
+    events: Tuple[FailureEvent, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return f"fuzz_{self.level}_{self.index:04d}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "level": self.level,
+            "duration_s": self.duration_s,
+            "dt_s": self.dt_s,
+            "n_modules": self.n_modules,
+            "n_racks": self.n_racks,
+            "supervised": self.supervised,
+            "events": [
+                {
+                    "kind": e.kind,
+                    "time_s": e.time_s,
+                    "target": e.target,
+                    "magnitude": e.magnitude,
+                }
+                for e in self.events
+            ],
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "FuzzScenario":
+        return FuzzScenario(
+            index=int(payload["index"]),
+            level=str(payload["level"]),
+            duration_s=float(payload["duration_s"]),
+            dt_s=float(payload["dt_s"]),
+            n_modules=int(payload["n_modules"]),
+            n_racks=int(payload["n_racks"]),
+            supervised=bool(payload["supervised"]),
+            events=tuple(
+                FailureEvent(
+                    kind=str(e["kind"]),
+                    time_s=float(e["time_s"]),
+                    target=str(e["target"]),
+                    magnitude=float(e["magnitude"]),
+                )
+                for e in payload["events"]
+            ),
+        )
+
+
+# -- generation --------------------------------------------------------------
+
+
+def _snap(rng: np.random.Generator, duration_s: float, dt_s: float) -> float:
+    """A grid-aligned event time in [dt, 0.6 * duration]."""
+    raw = float(rng.uniform(dt_s, 0.6 * duration_s))
+    return max(dt_s, round(raw / dt_s) * dt_s)
+
+
+def _magnitude(rng: np.random.Generator, kind: str, lo: float, hi: float) -> float:
+    decimals = _MAGNITUDE_DECIMALS.get(kind, _DEFAULT_DECIMALS)
+    return round(float(rng.uniform(lo, hi)), decimals)
+
+
+def _module_events(
+    rng: np.random.Generator, duration_s: float, dt_s: float, n_events: int
+) -> List[FailureEvent]:
+    events: List[FailureEvent] = []
+    for _ in range(n_events):
+        kind = ("pump_stop", "loop_blockage", "leak", "tim_washout", "sensor_fault")[
+            int(rng.integers(0, 5))
+        ]
+        t = _snap(rng, duration_s, dt_s)
+        if kind == "pump_stop":
+            events.append(
+                FailureEvent(kind, t, "oil_pump", _magnitude(rng, kind, 0.0, 0.9))
+            )
+        elif kind == "loop_blockage":
+            events.append(
+                FailureEvent(kind, t, "oil_loop", _magnitude(rng, kind, 0.0, 0.9))
+            )
+        elif kind == "leak":
+            events.append(
+                FailureEvent(kind, t, "bath", _magnitude(rng, kind, 1.0e-5, 5.0e-3))
+            )
+        elif kind == "tim_washout":
+            events.append(
+                FailureEvent(kind, t, "fpga_0", _magnitude(rng, kind, 1.5, 8.0))
+            )
+        else:
+            bank = int(rng.integers(0, 3))
+            events.append(
+                FailureEvent(
+                    kind, t, f"oil_temp_{bank}", _magnitude(rng, kind, -20.0, 20.0)
+                )
+            )
+    return events
+
+
+def _rack_events(
+    rng: np.random.Generator,
+    duration_s: float,
+    dt_s: float,
+    n_modules: int,
+    n_events: int,
+) -> List[FailureEvent]:
+    events: List[FailureEvent] = []
+    for _ in range(n_events):
+        kind = ("loop_blockage", "chiller")[int(rng.integers(0, 2))]
+        t = _snap(rng, duration_s, dt_s)
+        if kind == "loop_blockage":
+            loop = int(rng.integers(0, n_modules))
+            events.append(
+                FailureEvent(kind, t, f"loop_{loop}", _magnitude(rng, kind, 0.0, 0.9))
+            )
+        else:
+            events.append(
+                FailureEvent(
+                    "pump_stop", t, "chiller", _magnitude(rng, "pump_stop", 0.0, 0.9)
+                )
+            )
+    return events
+
+
+def _facility_events(
+    rng: np.random.Generator,
+    duration_s: float,
+    dt_s: float,
+    n_racks: int,
+    n_modules: int,
+    n_events: int,
+) -> List[FailureEvent]:
+    events: List[FailureEvent] = []
+    for _ in range(n_events):
+        choice = int(rng.integers(0, 4))
+        t = _snap(rng, duration_s, dt_s)
+        rack = int(rng.integers(0, n_racks))
+        if choice == 0:
+            events.append(
+                FailureEvent(
+                    "pump_stop", t, "plant", _magnitude(rng, "pump_stop", 0.0, 0.9)
+                )
+            )
+        elif choice == 1:
+            events.append(
+                FailureEvent(
+                    "loop_blockage",
+                    t,
+                    f"rack_{rack}",
+                    _magnitude(rng, "loop_blockage", 0.0, 0.9),
+                )
+            )
+        elif choice == 2:
+            loop = int(rng.integers(0, n_modules))
+            events.append(
+                FailureEvent(
+                    "loop_blockage",
+                    t,
+                    f"rack_{rack}/loop_{loop}",
+                    _magnitude(rng, "loop_blockage", 0.0, 0.9),
+                )
+            )
+        else:
+            events.append(
+                FailureEvent(
+                    "pump_stop",
+                    t,
+                    f"rack_{rack}/chiller",
+                    _magnitude(rng, "pump_stop", 0.0, 0.9),
+                )
+            )
+    return events
+
+
+def generate_scenarios(
+    seed: int,
+    n_scenarios: int,
+    levels: Sequence[str] = LEVELS,
+) -> List[FuzzScenario]:
+    """``n_scenarios`` seeded scenarios, round-robin over ``levels``.
+
+    One :class:`numpy.random.Generator` drives everything in a fixed
+    draw order, so the stream — and its canonical-JSON digest — depends
+    on nothing but ``(seed, n_scenarios, levels)``.
+    """
+    for level in levels:
+        if level not in LEVELS:
+            raise ValueError(f"unknown fuzz level {level!r}; choose from {LEVELS}")
+    rng = np.random.default_rng(seed)
+    scenarios: List[FuzzScenario] = []
+    for index in range(n_scenarios):
+        level = levels[index % len(levels)]
+        supervised = bool(rng.integers(0, 2))
+        n_events = int(rng.integers(0, 4))
+        if level == "module":
+            duration = float((120.0, 240.0)[int(rng.integers(0, 2))])
+            dt = 5.0
+            events = _module_events(rng, duration, dt, n_events)
+            n_modules, n_racks = 1, 0
+        elif level == "rack":
+            duration = float((200.0, 400.0)[int(rng.integers(0, 2))])
+            dt = 20.0
+            n_modules = int(rng.integers(2, 5))
+            n_racks = 0
+            events = _rack_events(rng, duration, dt, n_modules, n_events)
+        else:
+            duration = float((200.0, 400.0)[int(rng.integers(0, 2))])
+            dt = 20.0
+            n_modules = 2
+            n_racks = int(rng.integers(2, 4))
+            events = _facility_events(rng, duration, dt, n_racks, n_modules, n_events)
+        scenarios.append(
+            FuzzScenario(
+                index=index,
+                level=level,
+                duration_s=duration,
+                dt_s=dt,
+                n_modules=n_modules,
+                n_racks=n_racks,
+                supervised=supervised,
+                events=tuple(sorted(events, key=lambda e: (e.time_s, e.kind, e.target))),
+            )
+        )
+    return scenarios
+
+
+def scenario_stream_digest(scenarios: Sequence[FuzzScenario]) -> str:
+    """SHA-256 of the canonical-JSON scenario stream (byte-stability pin)."""
+    stream = "\n".join(s.to_json() for s in scenarios)
+    return hashlib.sha256(stream.encode("utf-8")).hexdigest()
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: FuzzScenario, tolerances: Optional[Tolerances] = None
+) -> Dict[str, Any]:
+    """Run one scenario under the full checker suite (metrics-only mode).
+
+    Returns a plain-data record — picklable and canonical-JSON friendly,
+    identical on every sweep backend::
+
+        {"scenario": <name>, "level": ..., "violations": [...],
+         "checks_run": <int>, "summary": {...}}
+    """
+    suite = CheckSuite(
+        strict=False,
+        tolerances=tolerances if tolerances is not None else Tolerances(),
+    )
+    events = list(scenario.events)
+
+    def r(x: float) -> float:
+        return round(float(x), 9)
+
+    if scenario.level == "module":
+        simulator = ModuleSimulator(
+            module=skat(),
+            supervisor=Supervisor() if scenario.supervised else None,
+            checks=suite,
+        )
+        result = simulator.run(
+            scenario.duration_s, events=events, dt_s=scenario.dt_s
+        )
+        summary = {
+            "max_junction_c": r(result.max_junction_c),
+            "max_oil_c": r(result.max_oil_c),
+            "final_state": result.final_state,
+            "shutdown": result.shutdown_time_s is not None,
+        }
+    elif scenario.level == "rack":
+        rack_simulator = RackSimulator(
+            rack=facility_rack(scenario.n_modules),
+            supervisor=Supervisor() if scenario.supervised else None,
+            checks=suite,
+        )
+        rack_result = rack_simulator.run(
+            scenario.duration_s, events=events, dt_s=scenario.dt_s
+        )
+        summary = {
+            "max_fpga_c": r(rack_result.max_fpga_c),
+            "max_water_c": r(rack_result.max_water_c),
+            "heat_rejected_j": r(rack_result.heat_rejected_j),
+            "final_state": rack_result.final_state,
+        }
+    elif scenario.level == "facility":
+        facility = FacilitySimulator(
+            n_racks=scenario.n_racks,
+            rack_factory=partial(facility_rack, scenario.n_modules),
+            supervised=scenario.supervised,
+            checks=suite,
+        )
+        facility_result = facility.run(
+            scenario.duration_s, events=events, dt_s=scenario.dt_s
+        )
+        summary = {
+            "max_fpga_c": r(facility_result.max_fpga_c),
+            "max_water_c": r(facility_result.max_water_c),
+            "heat_rejected_j": r(facility_result.heat_rejected_j),
+            "final_state": facility_result.final_state,
+        }
+    else:
+        raise ValueError(f"unknown fuzz level {scenario.level!r}")
+
+    return {
+        "scenario": scenario.name,
+        "level": scenario.level,
+        "violations": [v.to_dict() for v in suite.violations],
+        "checks_run": suite.checks_run,
+        "summary": summary,
+    }
+
+
+def evaluate_fuzz_case(case: SweepCase) -> Dict[str, Any]:
+    """Sweep adapter around :func:`run_scenario`.
+
+    Module-level on purpose — the process backend pickles it by
+    reference; the scenario and tolerances travel as plain dicts.
+    """
+    scenario = FuzzScenario.from_dict(case.params["scenario"])
+    tolerances = case.params.get("tolerances")
+    return run_scenario(
+        scenario,
+        tolerances=None if tolerances is None else Tolerances(**tolerances),
+    )
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Aggregate outcome of one fuzz campaign."""
+
+    seed: int
+    n_scenarios: int
+    backend: str
+    scenario_digest: str
+    results: Tuple[Dict[str, Any], ...]
+    violations: Tuple[Dict[str, Any], ...]
+    checks_run: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_scenarios": self.n_scenarios,
+            "backend": self.backend,
+            "scenario_digest": self.scenario_digest,
+            "checks_run": self.checks_run,
+            "violations": list(self.violations),
+            "results": list(self.results),
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+
+def run_fuzz(
+    seed: int,
+    n_scenarios: int,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    levels: Sequence[str] = LEVELS,
+    tolerances: Optional[Tolerances] = None,
+    strict: bool = False,
+) -> FuzzReport:
+    """Generate, run and aggregate a seeded fuzz campaign.
+
+    Every scenario runs under the full checker suite in metrics-only
+    mode, so one bad scenario never hides the others; the aggregated
+    report carries every violation, each tagged with its scenario name.
+    With ``strict=True`` the campaign raises
+    :class:`~repro.verify.checkers.InvariantViolationError` after the
+    whole sweep has been aggregated.
+    """
+    scenarios = generate_scenarios(seed, n_scenarios, levels)
+    digest = scenario_stream_digest(scenarios)
+    params_tol = None if tolerances is None else asdict(tolerances)
+    cases = [
+        SweepCase(
+            name=s.name,
+            params={"scenario": s.to_dict(), "tolerances": params_tol},
+        )
+        for s in scenarios
+    ]
+    outcomes = run_sweep(
+        evaluate_fuzz_case, cases, backend=backend, max_workers=max_workers
+    )
+    results = tuple(outcome.value for outcome in outcomes)
+    violations = tuple(
+        {"scenario": record["scenario"], **violation}
+        for record in results
+        for violation in record["violations"]
+    )
+    report = FuzzReport(
+        seed=seed,
+        n_scenarios=n_scenarios,
+        backend=backend,
+        scenario_digest=digest,
+        results=results,
+        violations=violations,
+        checks_run=sum(record["checks_run"] for record in results),
+    )
+    if strict and violations:
+        raise InvariantViolationError(
+            [
+                Violation(
+                    invariant=v["invariant"],
+                    level=v["level"],
+                    where=f"{v['scenario']}: {v['where']}",
+                    detail=v["detail"],
+                    magnitude=v["magnitude"],
+                    tolerance=v["tolerance"],
+                )
+                for v in violations
+            ]
+        )
+    return report
+
+
+# -- shrinking ---------------------------------------------------------------
+
+
+def _events_valid(scenario: FuzzScenario) -> bool:
+    """Whether every event target still exists at the scenario's size."""
+    for event in scenario.events:
+        target = event.target
+        if scenario.level == "facility" and target.startswith("rack_"):
+            head, _, inner = target.partition("/")
+            if int(head[len("rack_") :]) >= scenario.n_racks:
+                return False
+            target = inner
+        if target.startswith("loop_") and int(target[len("loop_") :]) >= (
+            scenario.n_modules
+        ):
+            return False
+    return True
+
+
+def _simpler_magnitude(event: FailureEvent) -> Optional[float]:
+    """The canonical magnitude for the kind, or None if already there."""
+    canonical = {
+        "pump_stop": 0.0,
+        "loop_blockage": 0.0,
+        "leak": 1.0e-4,
+        "tim_washout": 2.0,
+        "sensor_fault": 10.0,
+    }.get(event.kind)
+    if canonical is None or event.magnitude == canonical:
+        return None
+    return canonical
+
+
+def shrink_scenario(
+    scenario: FuzzScenario,
+    reproduces: Callable[[FuzzScenario], bool],
+    max_rounds: int = 32,
+) -> FuzzScenario:
+    """Greedy deterministic shrink: the smallest scenario still failing.
+
+    ``reproduces`` must return True when a candidate still exhibits the
+    original failure (it is called on ``scenario`` first; shrinking a
+    non-failing scenario is a caller bug). Each round tries, in order:
+    dropping one event, halving the duration (grid-snapped, at least two
+    steps), removing a rack, removing a module, and simplifying one
+    event magnitude to its canonical value. The first accepted candidate
+    restarts the round; rounds repeat until a fixpoint (or
+    ``max_rounds``). Deterministic by construction — no randomness, a
+    fixed candidate order — so the same failure always shrinks to the
+    same artifact.
+    """
+    if not reproduces(scenario):
+        raise ValueError("shrink_scenario called with a non-reproducing scenario")
+
+    def candidates(current: FuzzScenario) -> List[FuzzScenario]:
+        out: List[FuzzScenario] = []
+        for i in range(len(current.events)):
+            out.append(
+                replace(
+                    current,
+                    events=current.events[:i] + current.events[i + 1 :],
+                )
+            )
+        half = round(current.duration_s / 2.0 / current.dt_s) * current.dt_s
+        if half >= 2.0 * current.dt_s and half < current.duration_s:
+            shorter = replace(current, duration_s=half)
+            if all(e.time_s <= half for e in shorter.events):
+                out.append(shorter)
+        if current.level == "facility" and current.n_racks > 2:
+            out.append(replace(current, n_racks=current.n_racks - 1))
+        if current.level in ("rack", "facility") and current.n_modules > 2:
+            out.append(replace(current, n_modules=current.n_modules - 1))
+        for i, event in enumerate(current.events):
+            simpler = _simpler_magnitude(event)
+            if simpler is not None:
+                out.append(
+                    replace(
+                        current,
+                        events=current.events[:i]
+                        + (replace(event, magnitude=simpler),)
+                        + current.events[i + 1 :],
+                    )
+                )
+        return [c for c in out if _events_valid(c)]
+
+    current = scenario
+    for _ in range(max_rounds):
+        for candidate in candidates(current):
+            if reproduces(candidate):
+                current = candidate
+                break
+        else:
+            break
+    return current
+
+
+def write_repro_artifact(
+    path: str,
+    scenario: FuzzScenario,
+    violations: Optional[Sequence[Dict[str, Any]]] = None,
+) -> str:
+    """Write a minimized scenario (plus its violations) as canonical JSON.
+
+    The artifact replays with::
+
+        scenario = FuzzScenario.from_dict(json.load(open(path))["scenario"])
+        run_scenario(scenario)
+    """
+    payload = {
+        "scenario": scenario.to_dict(),
+        "violations": list(violations or []),
+    }
+    text = canonical_json(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+__all__ = [
+    "FuzzReport",
+    "FuzzScenario",
+    "LEVELS",
+    "canonical_json",
+    "evaluate_fuzz_case",
+    "generate_scenarios",
+    "run_fuzz",
+    "run_scenario",
+    "scenario_stream_digest",
+    "shrink_scenario",
+    "write_repro_artifact",
+]

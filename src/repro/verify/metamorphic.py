@@ -1,0 +1,345 @@
+"""Metamorphic relations over the facility simulator.
+
+Where the invariant checkers audit *one* run against conservation laws,
+the relations here audit *pairs* of runs against transformations with a
+known answer: relabeling hydraulically identical racks permutes the
+per-rack results and changes nothing else; replicating the whole rack
+row under a proportionally larger plant scales the heat and preserves
+every temperature; unit conversions round-trip on their grid. These
+catch the bugs single-run checks cannot — an indexing slip that swaps
+two racks' event streams conserves energy perfectly.
+
+Each relation returns a list of
+:class:`~repro.verify.checkers.Violation` records (empty when the
+relation holds) so the reports compose with the checker suite's.
+
+Floating-point contract: per-rack summaries are compared **exactly** —
+an unconstrained facility run evaluates each rack independently, so a
+relabeled or replicated rack must reproduce bit-for-bit (the
+differential suite already pins facility-vs-isolated equality).
+Aggregates that sum over racks are compared to 1e-9 relative, because
+summation order changes under the transformation and float addition is
+not associative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.facility.simulator import ChillerPlant, FacilitySimulator
+from repro.facility.sweep import facility_rack
+from repro.reliability.failures import FailureEvent
+from repro.verify.checkers import Violation
+
+from functools import partial
+
+#: Relative slack on rack-summed aggregates (summation reordering).
+AGGREGATE_RTOL = 1.0e-9
+
+
+def watts_from_kilowatts(value_kw: float) -> float:
+    """Kilowatts to watts."""
+    return value_kw * 1000.0
+
+
+def kilowatts_from_watts(value_w: float) -> float:
+    """Watts to kilowatts."""
+    return value_w / 1000.0
+
+
+def relation_unit_round_trip(values_w: Sequence[float]) -> List[Violation]:
+    """W -> kW -> W must be the identity on the kilowatt grid.
+
+    Exact for every ``n * 1000.0`` with integer ``n`` below 2**53 (the
+    product is exact, and the correctly rounded quotient of an exact
+    multiple is exact), which covers every capacity and load the
+    configuration layer writes. A conversion helper that multiplies by a
+    rounded reciprocal breaks this immediately.
+    """
+    violations: List[Violation] = []
+    for value in values_w:
+        round_trip = watts_from_kilowatts(kilowatts_from_watts(value))
+        if round_trip != value:
+            violations.append(
+                Violation(
+                    invariant="unit_round_trip",
+                    level="units",
+                    where=f"{value!r} W",
+                    detail=(
+                        f"W -> kW -> W returned {round_trip!r} for {value!r}"
+                    ),
+                    magnitude=abs(round_trip - value),
+                    tolerance=0.0,
+                )
+            )
+    return violations
+
+
+def _rel_close(a: float, b: float) -> bool:
+    return abs(a - b) <= AGGREGATE_RTOL * max(abs(a), abs(b), 1.0)
+
+
+def _forwarded_only(events: Sequence[FailureEvent]) -> None:
+    """The facility relations need hydraulically symmetric runs.
+
+    Bare ``rack_<j>`` branch events and ``plant`` events couple the racks
+    through the (not exactly symmetric) loop solution and the shared
+    capacity timeline, so only forwarded ``rack_<j>/<inner>`` targets
+    keep the transformed run bit-comparable.
+    """
+    for event in events:
+        if not (event.target.startswith("rack_") and "/" in event.target):
+            raise ValueError(
+                f"metamorphic facility relations accept only forwarded "
+                f"'rack_<j>/<inner>' events, got target {event.target!r}"
+            )
+
+
+def _retarget(event: FailureEvent, new_rack: int) -> FailureEvent:
+    _, _, inner = event.target.partition("/")
+    return replace(event, target=f"rack_{new_rack}/{inner}")
+
+
+def _rack_index(event: FailureEvent) -> int:
+    head, _, _ = event.target.partition("/")
+    return int(head[len("rack_") :])
+
+
+def _build(
+    n_racks: int, n_modules: int, plant: Optional[ChillerPlant], supervised: bool
+) -> FacilitySimulator:
+    return FacilitySimulator(
+        n_racks=n_racks,
+        rack_factory=partial(facility_rack, n_modules),
+        plant=plant if plant is not None else ChillerPlant(),
+        supervised=supervised,
+    )
+
+
+def _require_unconstrained(
+    result, rack_capacity_w: float, label: str
+) -> None:
+    for j, alloc in enumerate(result.allocated_capacity_w):
+        if alloc != rack_capacity_w:
+            raise ValueError(
+                f"{label}: rack_{j} allocation {alloc:g} W != its chiller "
+                f"capacity {rack_capacity_w:g} W — the plant constrains the "
+                "racks, so the relation's preconditions do not hold"
+            )
+
+
+def relation_rack_permutation(
+    permutation: Sequence[int],
+    *,
+    n_modules: int = 2,
+    duration_s: float = 200.0,
+    dt_s: float = 20.0,
+    events: Optional[Sequence[FailureEvent]] = None,
+    supervised: bool = True,
+) -> List[Violation]:
+    """Relabeling the racks permutes the per-rack results, nothing more.
+
+    Run A applies ``events`` as given; run B retargets every event from
+    rack ``j`` to rack ``permutation[j]``. Then B's rack
+    ``permutation[j]`` summary must equal A's rack ``j`` summary
+    **exactly**, and the facility aggregates must agree to
+    :data:`AGGREGATE_RTOL`.
+    """
+    n_racks = len(permutation)
+    if sorted(permutation) != list(range(n_racks)):
+        raise ValueError(f"{permutation!r} is not a permutation of 0..{n_racks - 1}")
+    events = list(events or [])
+    _forwarded_only(events)
+    permuted = [_retarget(e, permutation[_rack_index(e)]) for e in events]
+
+    a = _build(n_racks, n_modules, None, supervised).run(
+        duration_s, events, dt_s=dt_s
+    )
+    b = _build(n_racks, n_modules, None, supervised).run(
+        duration_s, permuted, dt_s=dt_s
+    )
+    capacity = facility_rack(n_modules).chiller.capacity_w
+    _require_unconstrained(a, capacity, "rack permutation")
+    _require_unconstrained(b, capacity, "rack permutation")
+
+    violations: List[Violation] = []
+    racks_a = a.to_dict()["racks"]
+    racks_b = b.to_dict()["racks"]
+    for j in range(n_racks):
+        if racks_a[j] != racks_b[permutation[j]]:
+            violations.append(
+                Violation(
+                    invariant="rack_permutation",
+                    level="facility",
+                    where=f"rack_{j} -> rack_{permutation[j]}",
+                    detail=(
+                        f"permuted run's rack_{permutation[j]} summary differs "
+                        f"from the original rack_{j}: "
+                        f"{racks_b[permutation[j]]!r} vs {racks_a[j]!r}"
+                    ),
+                    magnitude=0.0,
+                    tolerance=0.0,
+                )
+            )
+    for name, va, vb in (
+        ("heat_rejected_j", a.heat_rejected_j, b.heat_rejected_j),
+        ("max_fpga_c", a.max_fpga_c, b.max_fpga_c),
+        ("max_water_c", a.max_water_c, b.max_water_c),
+        ("modules_shutdown", float(a.modules_shutdown), float(b.modules_shutdown)),
+    ):
+        if not _rel_close(va, vb):
+            violations.append(
+                Violation(
+                    invariant="rack_permutation",
+                    level="facility",
+                    where=name,
+                    detail=(
+                        f"aggregate {name} changed under a rack relabeling: "
+                        f"{va!r} -> {vb!r}"
+                    ),
+                    magnitude=abs(va - vb),
+                    tolerance=AGGREGATE_RTOL * max(abs(va), abs(vb), 1.0),
+                )
+            )
+    if a.final_state != b.final_state:
+        violations.append(
+            Violation(
+                invariant="rack_permutation",
+                level="facility",
+                where="final_state",
+                detail=(
+                    f"final state changed under a rack relabeling: "
+                    f"{a.final_state!r} -> {b.final_state!r}"
+                ),
+                magnitude=0.0,
+                tolerance=0.0,
+            )
+        )
+    return violations
+
+
+def relation_load_scaling(
+    scale: int,
+    *,
+    n_racks: int = 2,
+    n_modules: int = 2,
+    duration_s: float = 200.0,
+    dt_s: float = 20.0,
+    events: Optional[Sequence[FailureEvent]] = None,
+    supervised: bool = True,
+) -> List[Violation]:
+    """``scale`` x the racks under ``scale`` x the plant changes no temperature.
+
+    Run A is an ``n_racks`` facility on the stock plant; run B replicates
+    the rack row ``scale`` times (rack ``g*n_racks + j`` receives rack
+    ``j``'s events) under a plant with every capacity scaled by the same
+    factor. Normalized quantities must be preserved: every replicated
+    rack's summary equals its original **exactly**, the facility maxima
+    are unchanged, and the total heat scales by ``scale`` to
+    :data:`AGGREGATE_RTOL`.
+    """
+    if scale < 2:
+        raise ValueError("scale must be at least 2 to transform the run")
+    events = list(events or [])
+    _forwarded_only(events)
+    base_plant = ChillerPlant()
+    scaled_plant = replace(
+        base_plant,
+        primary_capacity_w=base_plant.primary_capacity_w * scale,
+        standby_capacity_w=base_plant.standby_capacity_w * scale,
+    )
+    replicated = [
+        _retarget(e, g * n_racks + _rack_index(e))
+        for g in range(scale)
+        for e in events
+    ]
+
+    a = _build(n_racks, n_modules, base_plant, supervised).run(
+        duration_s, events, dt_s=dt_s
+    )
+    b = _build(n_racks * scale, n_modules, scaled_plant, supervised).run(
+        duration_s, replicated, dt_s=dt_s
+    )
+    capacity = facility_rack(n_modules).chiller.capacity_w
+    _require_unconstrained(a, capacity, "load scaling")
+    _require_unconstrained(b, capacity, "load scaling")
+
+    violations: List[Violation] = []
+    racks_a = a.to_dict()["racks"]
+    racks_b = b.to_dict()["racks"]
+    for g in range(scale):
+        for j in range(n_racks):
+            if racks_a[j] != racks_b[g * n_racks + j]:
+                violations.append(
+                    Violation(
+                        invariant="load_scaling",
+                        level="facility",
+                        where=f"rack_{j} replica {g}",
+                        detail=(
+                            f"replica rack_{g * n_racks + j} summary differs "
+                            f"from the original rack_{j}: "
+                            f"{racks_b[g * n_racks + j]!r} vs {racks_a[j]!r}"
+                        ),
+                        magnitude=0.0,
+                        tolerance=0.0,
+                    )
+                )
+    for name, va, vb in (
+        ("max_fpga_c", a.max_fpga_c, b.max_fpga_c),
+        ("max_water_c", a.max_water_c, b.max_water_c),
+    ):
+        if va != vb:
+            violations.append(
+                Violation(
+                    invariant="load_scaling",
+                    level="facility",
+                    where=name,
+                    detail=(
+                        f"normalized temperature {name} changed under load "
+                        f"scaling: {va!r} -> {vb!r}"
+                    ),
+                    magnitude=abs(va - vb),
+                    tolerance=0.0,
+                )
+            )
+    if not _rel_close(b.heat_rejected_j, scale * a.heat_rejected_j):
+        violations.append(
+            Violation(
+                invariant="load_scaling",
+                level="facility",
+                where="heat_rejected_j",
+                detail=(
+                    f"total heat {b.heat_rejected_j!r} J is not {scale} x the "
+                    f"base run's {a.heat_rejected_j!r} J"
+                ),
+                magnitude=abs(b.heat_rejected_j - scale * a.heat_rejected_j),
+                tolerance=AGGREGATE_RTOL
+                * max(abs(b.heat_rejected_j), scale * abs(a.heat_rejected_j), 1.0),
+            )
+        )
+    if b.modules_shutdown != scale * a.modules_shutdown:
+        violations.append(
+            Violation(
+                invariant="load_scaling",
+                level="facility",
+                where="modules_shutdown",
+                detail=(
+                    f"{b.modules_shutdown} modules shut down; expected "
+                    f"{scale} x {a.modules_shutdown}"
+                ),
+                magnitude=float(abs(b.modules_shutdown - scale * a.modules_shutdown)),
+                tolerance=0.0,
+            )
+        )
+    return violations
+
+
+__all__ = [
+    "AGGREGATE_RTOL",
+    "kilowatts_from_watts",
+    "relation_load_scaling",
+    "relation_rack_permutation",
+    "relation_unit_round_trip",
+    "watts_from_kilowatts",
+]

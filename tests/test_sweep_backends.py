@@ -222,3 +222,72 @@ class TestSnapshotMerge:
         registry.observe("t", 1.0, buckets=[2])
         snapshot = registry.as_dict()
         assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+class TestMidShardException:
+    """Regression: an exception in the middle of a thread-backend chunk.
+
+    With workers=2 and chunk_size=3 the six cases split into exactly two
+    chunks; case x=4 fails in the middle of the second chunk. The pinned
+    contract: ``on_error="capture"`` still returns one outcome per case
+    in case order (indices 0..5, the cases after the failure included),
+    and the captured error matches the serial oracle field-for-field.
+    """
+
+    @staticmethod
+    def _fail_on_four(case):
+        x = case.params["x"]
+        if x == 4:
+            raise ValueError("four fails mid-chunk")
+        return x * 10
+
+    def test_capture_keeps_ordering_and_completes_the_shard(self):
+        outcomes = run_sweep(
+            self._fail_on_four,
+            CASES,
+            backend="thread",
+            max_workers=2,
+            chunk_size=3,
+            on_error="capture",
+        )
+        assert [o.index for o in outcomes] == list(range(6))
+        assert [o.case.name for o in outcomes] == [c.name for c in CASES]
+        assert [o.value for o in outcomes] == [0, 10, 20, 30, None, 50]
+        failed = outcomes[4]
+        assert not failed.ok
+        assert "four fails mid-chunk" in failed.error
+        assert "ValueError" in failed.error_traceback
+        # The case *after* the failure, in the same chunk, still ran.
+        assert outcomes[5].ok
+
+    def test_capture_parity_with_the_serial_oracle(self):
+        threaded = run_sweep(
+            self._fail_on_four,
+            CASES,
+            backend="thread",
+            max_workers=2,
+            chunk_size=3,
+            on_error="capture",
+        )
+        serial = run_sweep(
+            self._fail_on_four, CASES, backend="serial", on_error="capture"
+        )
+        for t, s in zip(threaded, serial):
+            assert (t.index, t.case, t.value, t.error) == (
+                s.index,
+                s.case,
+                s.value,
+                s.error,
+            )
+            assert t.ok == s.ok
+
+    def test_raise_mode_still_surfaces_the_mid_shard_error(self):
+        with pytest.raises(ValueError, match="four fails mid-chunk"):
+            run_sweep(
+                self._fail_on_four,
+                CASES,
+                backend="thread",
+                max_workers=2,
+                chunk_size=3,
+                on_error="raise",
+            )

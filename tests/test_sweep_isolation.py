@@ -74,6 +74,8 @@ MUTABLE_ALLOWLIST = {
     ("repro.resilience.campaign", "_DEFAULT_RATES_PER_HOUR"),
     ("repro.resilience.campaign", "_DEFAULT_REPAIR_HOURS"),
     ("repro.sweep.backends", "_BACKENDS"),
+    ("repro.verify.checkers", "_STATE_NAMES"),
+    ("repro.verify.fuzz", "_MAGNITUDE_DECIMALS"),
 }
 
 

@@ -1,0 +1,309 @@
+"""The invariant checkers: clean runs pass, tampered runs fail.
+
+The contract under test is two-sided. Soundness: a nominal simulator run
+at every level — module, rack, facility, supervised or not, with or
+without injected failures — produces **zero** violations, because the
+checkers replay the simulators' own update expressions on the recorded
+telemetry. Sensitivity: perturbing any recorded energy term, breaking a
+flow balance, or forging a supervisor transition is caught, reported
+through the obs registry, and raised in strict mode.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.control.monitor import TelemetryLog
+from repro.control.supervisor import Supervisor
+from repro.core.balancing import RackManifoldSystem
+from repro.core.racksim import RackSimulator
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.facility.simulator import FacilitySimulator
+from repro.facility.sweep import facility_rack
+from repro.hydraulics import HydraulicsError
+from repro.obs import MetricsRegistry, use_registry
+from repro.reliability.failures import (
+    leak_event,
+    loop_blockage_event,
+    pump_stop_event,
+    sensor_fault_event,
+    tim_washout_drift,
+)
+from repro.verify import CheckSuite, InvariantViolationError, Tolerances, Violation
+
+DT_MODULE = 5.0
+DT_RACK = 20.0
+
+
+def _retampered(telemetry: TelemetryLog, channel: str, step: int, factor: float,
+                offset: float = 0.0) -> TelemetryLog:
+    """A copy of ``telemetry`` with one sample of one channel perturbed."""
+    times, _ = telemetry.series(next(iter(telemetry.channels)))
+    rebuilt = TelemetryLog()
+    for k in range(len(times)):
+        row = {
+            name: float(telemetry.series(name)[1][k]) for name in telemetry.channels
+        }
+        if k == step:
+            row[channel] = row[channel] * factor + offset
+        rebuilt.record(float(times[k]), row)
+    return rebuilt
+
+
+class TestModuleLevel:
+    def test_nominal_run_is_clean(self):
+        suite = CheckSuite(strict=True)
+        ModuleSimulator(module=skat(), checks=suite).run(200.0, dt_s=DT_MODULE)
+        assert suite.ok
+        assert suite.checks_run == 1
+
+    def test_faulted_supervised_run_is_clean(self):
+        events = [
+            pump_stop_event(30.0, "oil_pump", 0.0),
+            tim_washout_drift(50.0, "fpga_0", 4.0),
+            leak_event(70.0, "bath", 1.0e-4),
+            sensor_fault_event(40.0, "oil_temp_1", 12.0),
+            loop_blockage_event(90.0, "oil_loop", 0.3),
+        ]
+        suite = CheckSuite(strict=True)
+        sim = ModuleSimulator(module=skat(), supervisor=Supervisor(), checks=suite)
+        sim.run(400.0, events=events, dt_s=DT_MODULE)
+        assert suite.ok
+
+    def test_tampered_heat_term_violates_energy_balance(self):
+        sim = ModuleSimulator(module=skat())
+        result = sim.run(120.0, dt_s=DT_MODULE)
+        bad = dataclasses.replace(
+            result, telemetry=_retampered(result.telemetry, "bath_heat_w", 10, 1.05)
+        )
+        suite = CheckSuite()
+        suite.check_module_run(
+            sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+        )
+        assert any(v.invariant == "energy_balance" for v in suite.violations)
+
+    def test_tampered_oil_sample_breaks_the_replay_chain(self):
+        sim = ModuleSimulator(module=skat())
+        result = sim.run(120.0, dt_s=DT_MODULE)
+        bad = dataclasses.replace(
+            result, telemetry=_retampered(result.telemetry, "oil_c", 5, 1.0, 0.5)
+        )
+        suite = CheckSuite()
+        suite.check_module_run(
+            sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+        )
+        assert any(v.invariant == "energy_balance" for v in suite.violations)
+
+    def test_rising_level_violates_level_conservation(self):
+        sim = ModuleSimulator(module=skat())
+        result = sim.run(120.0, events=[leak_event(10.0, "bath", 1.0e-4)], dt_s=DT_MODULE)
+        bad = dataclasses.replace(
+            result,
+            telemetry=_retampered(result.telemetry, "level_fraction", 15, 1.0, 0.2),
+        )
+        suite = CheckSuite()
+        suite.check_module_run(
+            sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+        )
+        assert any(v.invariant == "level_conservation" for v in suite.violations)
+
+    def test_forged_supervisor_deescalation_is_illegal(self):
+        sim = ModuleSimulator(module=skat(), supervisor=Supervisor())
+        result = sim.run(
+            200.0, events=[pump_stop_event(30.0, "oil_pump", 0.0)], dt_s=DT_MODULE
+        )
+        _, states = result.telemetry.series("supervisor_state")
+        assert max(states) > 0, "scenario must escalate for this test to bite"
+        # Zeroing the *last* sample turns the tail into a de-escalation.
+        bad = dataclasses.replace(
+            result,
+            telemetry=_retampered(
+                result.telemetry, "supervisor_state", len(states) - 1, 0.0, 0.0
+            ),
+        )
+        suite = CheckSuite()
+        suite.check_module_run(
+            sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+        )
+        assert any(v.invariant == "supervisor_legality" for v in suite.violations)
+
+    def test_wrong_result_maximum_is_inconsistent(self):
+        sim = ModuleSimulator(module=skat())
+        result = sim.run(120.0, dt_s=DT_MODULE)
+        bad = dataclasses.replace(result, max_oil_c=result.max_oil_c + 1.0)
+        suite = CheckSuite()
+        suite.check_module_run(
+            sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+        )
+        assert any(v.invariant == "result_consistency" for v in suite.violations)
+
+    def test_strict_mode_raises_with_the_violation_attached(self):
+        sim = ModuleSimulator(module=skat())
+        result = sim.run(120.0, dt_s=DT_MODULE)
+        bad = dataclasses.replace(
+            result, telemetry=_retampered(result.telemetry, "bath_heat_w", 3, 1.05)
+        )
+        suite = CheckSuite(strict=True)
+        with pytest.raises(InvariantViolationError) as err:
+            suite.check_module_run(
+                sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+            )
+        assert err.value.violations
+        assert err.value.violations[0].invariant == "energy_balance"
+        assert isinstance(err.value.violations[0], Violation)
+
+
+class TestRackLevel:
+    def test_nominal_and_faulted_runs_are_clean(self):
+        for events in (
+            [],
+            [
+                loop_blockage_event(60.0, "loop_1", 0.0),
+                pump_stop_event(100.0, "chiller", 0.2),
+            ],
+        ):
+            suite = CheckSuite(strict=True)
+            RackSimulator(rack=facility_rack(3), checks=suite).run(
+                400.0, events=events, dt_s=DT_RACK
+            )
+            assert suite.ok
+            suite = CheckSuite(strict=True)
+            RackSimulator(
+                rack=facility_rack(3), supervisor=Supervisor(), checks=suite
+            ).run(400.0, events=events, dt_s=DT_RACK)
+            assert suite.ok
+
+    def test_tampered_module_heat_violates_energy_balance(self):
+        suite = CheckSuite()
+        sim = RackSimulator(rack=facility_rack(2), checks=suite)
+        result = sim.run(200.0, dt_s=DT_RACK)
+        assert suite.ok
+        bad = dataclasses.replace(
+            result, telemetry=_retampered(result.telemetry, "heat_0", 4, 1.05)
+        )
+        audit = CheckSuite()
+        audit.check_rack_run(sim, bad, dt_s=DT_RACK)
+        assert any(v.invariant == "energy_balance" for v in audit.violations)
+
+    def test_tampered_total_rejection_breaks_water_loop_balance(self):
+        suite = CheckSuite()
+        sim = RackSimulator(rack=facility_rack(2), checks=suite)
+        result = sim.run(200.0, dt_s=DT_RACK)
+        bad = dataclasses.replace(
+            result, telemetry=_retampered(result.telemetry, "rejected_w", 6, 1.05)
+        )
+        audit = CheckSuite()
+        audit.check_rack_run(sim, bad, dt_s=DT_RACK)
+        assert any(v.invariant == "energy_balance" for v in audit.violations)
+
+    def test_wrong_integrated_heat_is_caught(self):
+        suite = CheckSuite()
+        sim = RackSimulator(rack=facility_rack(2), checks=suite)
+        result = sim.run(200.0, dt_s=DT_RACK)
+        bad = dataclasses.replace(
+            result, heat_rejected_j=result.heat_rejected_j * 1.05
+        )
+        audit = CheckSuite()
+        audit.check_rack_run(sim, bad, dt_s=DT_RACK)
+        assert any(
+            v.invariant == "energy_balance" and v.where == "heat_rejected_j"
+            for v in audit.violations
+        )
+
+
+class TestManifoldContinuity:
+    def test_converged_solve_passes(self):
+        system = RackManifoldSystem(n_loops=4)
+        system.solve()
+        suite = CheckSuite(strict=True)
+        suite.check_manifold(system, level="rack", where="test")
+        assert suite.ok
+
+    def test_zero_tolerance_flags_solver_residual(self):
+        system = RackManifoldSystem(n_loops=4)
+        system.solve()
+        suite = CheckSuite(tolerances=Tolerances(flow_abs_m3_s=0.0))
+        found = suite.check_manifold(system, level="rack", where="test")
+        assert found and all(v.invariant == "flow_continuity" for v in found)
+
+    def test_unsolved_system_raises(self):
+        system = RackManifoldSystem(n_loops=4)
+        with pytest.raises(HydraulicsError):
+            system.junction_residuals_m3_s()
+
+
+class TestFacilityLevel:
+    def test_nominal_facility_run_is_clean(self):
+        suite = CheckSuite(strict=True)
+        FacilitySimulator(
+            n_racks=2,
+            rack_factory=lambda: facility_rack(2),
+            checks=suite,
+        ).run(200.0, dt_s=DT_RACK)
+        assert suite.ok
+        # One manifold check, two rack audits, one facility audit at least.
+        assert suite.checks_run >= 4
+
+    def test_wrong_aggregate_heat_is_caught(self):
+        sim = FacilitySimulator(n_racks=2, rack_factory=lambda: facility_rack(2))
+        result = sim.run(200.0, dt_s=DT_RACK)
+        bad = dataclasses.replace(
+            result, heat_rejected_j=result.heat_rejected_j * 1.05
+        )
+        suite = CheckSuite()
+        suite.check_facility_run(sim, bad)
+        assert any(v.invariant == "energy_balance" for v in suite.violations)
+
+    def test_wrong_facility_maximum_is_caught(self):
+        sim = FacilitySimulator(n_racks=2, rack_factory=lambda: facility_rack(2))
+        result = sim.run(200.0, dt_s=DT_RACK)
+        bad = dataclasses.replace(result, max_fpga_c=result.max_fpga_c + 2.0)
+        suite = CheckSuite()
+        suite.check_facility_run(sim, bad)
+        assert any(v.invariant == "result_consistency" for v in suite.violations)
+
+
+class TestReporting:
+    def test_violations_flow_into_the_obs_registry(self):
+        obs = MetricsRegistry()
+        with use_registry(obs):
+            sim = ModuleSimulator(module=skat())
+            result = sim.run(120.0, dt_s=DT_MODULE)
+            bad = dataclasses.replace(
+                result,
+                telemetry=_retampered(result.telemetry, "bath_heat_w", 3, 1.05),
+            )
+            suite = CheckSuite()
+            suite.check_module_run(
+                sim, bad, dt_s=DT_MODULE, initial_oil_c=sim.water_in_c + 8.0
+            )
+        counters = obs.as_dict()["counters"]
+        assert counters["verify_checks_total"] >= 1
+        assert counters["verify_violations_total"] == len(suite.violations) >= 1
+
+    def test_violation_dicts_are_plain_data(self):
+        violation = Violation(
+            invariant="energy_balance",
+            level="module",
+            where="bath t=5",
+            detail="synthetic",
+            magnitude=0.123456789123,
+            tolerance=1e-9,
+        )
+        payload = violation.to_dict()
+        assert payload["invariant"] == "energy_balance"
+        assert payload["magnitude"] == pytest.approx(0.123456789, abs=1e-12)
+
+    def test_checks_disabled_records_no_extra_channels(self):
+        plain = RackSimulator(rack=facility_rack(2)).run(100.0, dt_s=DT_RACK)
+        assert "heat_0" not in plain.telemetry.channels
+        checked = RackSimulator(
+            rack=facility_rack(2), checks=CheckSuite(strict=True)
+        ).run(100.0, dt_s=DT_RACK)
+        assert "heat_0" in checked.telemetry.channels
+        # The shared channels stay bit-identical either way.
+        for channel in ("water_c", "oil_0", "junction_1"):
+            _, a = plain.telemetry.series(channel)
+            _, b = checked.telemetry.series(channel)
+            assert list(a) == list(b)

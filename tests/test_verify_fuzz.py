@@ -1,0 +1,151 @@
+"""Determinism and shrinking guarantees of the scenario fuzzer.
+
+The fuzzer's whole value is reproducibility: the same seed must emit a
+byte-identical scenario stream on any machine and any backend, a failure
+must shrink to the same minimal artifact every time, and that artifact
+must replay to the same violation after a round-trip through disk.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.verify import (
+    FuzzScenario,
+    InvariantViolationError,
+    Tolerances,
+    generate_scenarios,
+    run_fuzz,
+    run_scenario,
+    scenario_stream_digest,
+    shrink_scenario,
+    write_repro_artifact,
+)
+from repro.verify.fuzz import canonical_json
+
+SEED = 1337
+
+#: Impossible tolerance — every energy-balance comparison fails, giving the
+#: shrink/replay tests a deterministic "bug" to reproduce without having to
+#: break the simulators.
+BROKEN = Tolerances(energy_abs_c=-1.0, energy_rel=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_yields_a_byte_identical_stream(self):
+        first = generate_scenarios(SEED, 24)
+        second = generate_scenarios(SEED, 24)
+        assert [s.to_json() for s in first] == [s.to_json() for s in second]
+        assert scenario_stream_digest(first) == scenario_stream_digest(second)
+
+    def test_different_seeds_differ(self):
+        assert scenario_stream_digest(
+            generate_scenarios(SEED, 24)
+        ) != scenario_stream_digest(generate_scenarios(SEED + 1, 24))
+
+    def test_prefix_stability(self):
+        """Asking for more scenarios never changes the ones already drawn."""
+        short = generate_scenarios(SEED, 6)
+        long = generate_scenarios(SEED, 12)
+        assert [s.to_json() for s in long[:6]] == [s.to_json() for s in short]
+
+    def test_scenario_round_trips_through_dict_and_json(self):
+        for scenario in generate_scenarios(SEED, 9):
+            assert FuzzScenario.from_dict(scenario.to_dict()) == scenario
+            assert (
+                FuzzScenario.from_dict(json.loads(scenario.to_json())) == scenario
+            )
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = canonical_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_agree_with_serial(self, backend):
+        serial = run_fuzz(SEED, 9, backend="serial")
+        other = run_fuzz(SEED, 9, backend=backend, max_workers=2)
+        assert serial.ok and other.ok
+        assert other.scenario_digest == serial.scenario_digest
+        assert other.results == serial.results
+        assert other.checks_run == serial.checks_run
+
+    def test_report_serializes(self):
+        report = run_fuzz(SEED, 3)
+        payload = json.loads(report.to_json())
+        assert payload["seed"] == SEED
+        assert payload["n_scenarios"] == 3
+        assert payload["violations"] == []
+
+    def test_strict_mode_raises_under_broken_tolerances(self):
+        with pytest.raises(InvariantViolationError) as err:
+            run_fuzz(SEED, 3, tolerances=BROKEN, strict=True)
+        assert err.value.violations
+
+    def test_broken_tolerances_surface_per_scenario_violations(self):
+        report = run_fuzz(SEED, 3, tolerances=BROKEN)
+        assert not report.ok
+        assert all("scenario" in v for v in report.violations)
+
+
+class TestShrinking:
+    def _failing_scenario(self):
+        for scenario in generate_scenarios(SEED, 12):
+            if run_scenario(scenario, tolerances=BROKEN)["violations"]:
+                return scenario
+        raise AssertionError("no scenario tripped the broken tolerances")
+
+    @staticmethod
+    def _reproduces(scenario):
+        return bool(run_scenario(scenario, tolerances=BROKEN)["violations"])
+
+    def test_shrink_is_deterministic(self):
+        scenario = self._failing_scenario()
+        first = shrink_scenario(scenario, self._reproduces)
+        second = shrink_scenario(scenario, self._reproduces)
+        assert first == second
+        assert first.to_json() == second.to_json()
+
+    def test_shrunk_scenario_still_replays_the_violation(self):
+        scenario = self._failing_scenario()
+        original = run_scenario(scenario, tolerances=BROKEN)["violations"]
+        shrunk = shrink_scenario(scenario, self._reproduces)
+        replayed = run_scenario(shrunk, tolerances=BROKEN)["violations"]
+        assert replayed
+        assert replayed[0]["invariant"] == original[0]["invariant"]
+        assert shrunk.duration_s <= scenario.duration_s
+        assert len(shrunk.events) <= len(scenario.events)
+
+    def test_shrink_with_synthetic_predicate_reaches_the_floor(self):
+        scenario = next(
+            s for s in generate_scenarios(SEED, 12) if s.level == "facility"
+        )
+        shrunk = shrink_scenario(scenario, lambda s: True)
+        assert shrunk.events == ()
+        assert shrunk.n_racks == 2
+        assert shrunk.n_modules == 2
+        assert shrunk.duration_s >= 2.0 * shrunk.dt_s
+
+    def test_shrinking_a_passing_scenario_is_a_caller_bug(self):
+        scenario = generate_scenarios(SEED, 1)[0]
+        with pytest.raises(ValueError):
+            shrink_scenario(scenario, lambda s: False)
+
+
+class TestArtifacts:
+    def test_artifact_round_trips_and_replays(self, tmp_path):
+        scenario = generate_scenarios(SEED, 3)[1]
+        violations = run_scenario(scenario, tolerances=BROKEN)["violations"]
+        path = tmp_path / "repro.json"
+        text = write_repro_artifact(str(path), scenario, violations)
+        payload = json.loads(path.read_text())
+        assert payload == json.loads(text)
+        restored = FuzzScenario.from_dict(payload["scenario"])
+        assert restored == scenario
+        assert payload["violations"] == list(violations)
+        # Canonical form: writing the restored scenario is byte-identical.
+        again = tmp_path / "again.json"
+        write_repro_artifact(str(again), restored, violations)
+        assert again.read_text() == path.read_text()

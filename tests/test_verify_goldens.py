@@ -1,0 +1,79 @@
+"""Checkers versus the pinned goldens — accept all, reject any 5 % tamper.
+
+Property one (acceptance): every committed golden in ``tests/goldens``
+passes :meth:`CheckSuite.check_value_spec` against a fresh run of its
+builder, with zero violations. Property two (sensitivity): perturb any
+single pinned quantity by a seeded 5 % and the checker must flag exactly
+that quantity — every pinned rtol is at most 1e-3, fifty times tighter
+than the injected error.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.verify import CheckSuite, InvariantViolationError, Tolerances
+
+sys.path.insert(0, str(Path(__file__).parent))
+from test_goldens import GOLDEN_BUILDERS, GOLDEN_DIR  # noqa: E402
+
+PERTURBATION = 0.05
+SEED = 20260806
+
+
+def _golden(name):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_BUILDERS))
+def test_committed_goldens_pass_unmodified(name):
+    expected = _golden(name)
+    measured = {q: spec["value"] for q, spec in GOLDEN_BUILDERS[name]().items()}
+    suite = CheckSuite(strict=True)
+    suite.check_value_spec(expected, measured, where=name)
+    assert suite.ok
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_BUILDERS))
+def test_every_quantity_rejects_a_seeded_five_percent_bump(name):
+    expected = _golden(name)
+    baseline = {q: spec["value"] for q, spec in expected.items()}
+    rng = np.random.default_rng(SEED)
+    for quantity in sorted(expected):
+        sign = 1.0 if rng.integers(0, 2) else -1.0
+        tampered = dict(baseline)
+        tampered[quantity] = baseline[quantity] * (1.0 + sign * PERTURBATION)
+        suite = CheckSuite()
+        found = suite.check_value_spec(expected, tampered, where=name)
+        assert [v.where for v in found] == [f"{name}.{quantity}"], (
+            f"5% perturbation of {name}.{quantity} was not isolated"
+        )
+        assert all(v.invariant == "golden_consistency" for v in found)
+
+
+def test_pinned_rtols_leave_margin_below_the_perturbation():
+    for name in sorted(GOLDEN_BUILDERS):
+        for quantity, spec in _golden(name).items():
+            assert spec["rtol"] <= 1e-3, f"{name}.{quantity} rtol too loose"
+
+
+def test_strict_suite_raises_on_golden_mismatch():
+    expected = _golden("rack")
+    tampered = {q: spec["value"] for q, spec in expected.items()}
+    first = sorted(tampered)[0]
+    tampered[first] *= 1.0 + PERTURBATION
+    suite = CheckSuite(strict=True, tolerances=Tolerances())
+    with pytest.raises(InvariantViolationError):
+        suite.check_value_spec(expected, tampered, where="rack")
+
+
+def test_non_finite_measurement_is_a_violation():
+    expected = _golden("skat_steady")
+    measured = {q: spec["value"] for q, spec in expected.items()}
+    first = sorted(measured)[0]
+    measured[first] = float("nan")
+    found = CheckSuite().check_value_spec(expected, measured, where="skat_steady")
+    assert [v.where for v in found] == [f"skat_steady.{first}"]

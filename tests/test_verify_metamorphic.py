@@ -1,0 +1,77 @@
+"""Metamorphic relations between pairs of facility runs.
+
+No hand-computed expected values anywhere: each relation derives run B
+from run A (relabel racks, scale load and plant together, round-trip
+units) and checks that the outputs transform the way physics says they
+must. Violations mean either a simulator bug or a broken symmetry.
+"""
+
+import pytest
+
+from repro.reliability.failures import loop_blockage_event, pump_stop_event
+from repro.verify import (
+    kilowatts_from_watts,
+    relation_load_scaling,
+    relation_rack_permutation,
+    relation_unit_round_trip,
+    watts_from_kilowatts,
+)
+
+
+class TestUnitRoundTrip:
+    def test_exact_for_integral_watt_values(self):
+        values = [0.0, 150.0, 1.0e3, 7.25e5, 1.8e6]
+        assert relation_unit_round_trip(values) == []
+
+    def test_detects_a_value_that_does_not_round_trip(self):
+        # 157 * 0.1 is not representable: W -> kW -> W lands one ulp off.
+        value = 15.700000000000001
+        assert watts_from_kilowatts(kilowatts_from_watts(value)) != value
+        violations = relation_unit_round_trip([value])
+        assert len(violations) == 1
+        assert violations[0].invariant == "unit_round_trip"
+
+    def test_conversions_are_inverse_scalings(self):
+        assert watts_from_kilowatts(2.5) == 2500.0
+        assert kilowatts_from_watts(2500.0) == 2.5
+
+
+class TestRackPermutation:
+    def test_identity_permutation_holds(self):
+        assert relation_rack_permutation([0, 1]) == []
+
+    def test_swap_holds_with_forwarded_events(self):
+        events = [
+            pump_stop_event(60.0, "rack_0/chiller", 0.2),
+            loop_blockage_event(100.0, "rack_1/loop_0", 0.0),
+        ]
+        assert relation_rack_permutation([1, 0], events=events) == []
+
+    def test_three_cycle_holds_unsupervised(self):
+        assert relation_rack_permutation([2, 0, 1], supervised=False) == []
+
+    def test_invalid_permutation_is_rejected(self):
+        with pytest.raises(ValueError):
+            relation_rack_permutation([0, 0])
+
+    def test_non_forwarded_event_targets_are_rejected(self):
+        with pytest.raises(ValueError):
+            relation_rack_permutation(
+                [1, 0], events=[pump_stop_event(60.0, "plant", 0.2)]
+            )
+
+
+class TestLoadScaling:
+    def test_doubling_racks_and_plant_preserves_per_rack_physics(self):
+        assert relation_load_scaling(2) == []
+
+    def test_scaling_holds_with_forwarded_events(self):
+        events = [pump_stop_event(80.0, "rack_0/chiller", 0.3)]
+        assert relation_load_scaling(2, events=events) == []
+
+    def test_tripling_holds_unsupervised(self):
+        assert relation_load_scaling(3, supervised=False) == []
+
+    def test_scale_below_two_is_rejected(self):
+        with pytest.raises(ValueError):
+            relation_load_scaling(1)
