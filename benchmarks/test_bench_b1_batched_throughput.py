@@ -1,0 +1,159 @@
+"""Experiment B — batched structure-of-arrays engine throughput.
+
+Not a paper experiment: these time the :mod:`repro.batch` engines against
+the per-object serial solvers they mirror, across batch widths N = 1, 32,
+256 and 1024. Every benchmark records ``batch_size`` and the measured
+``scenarios_per_sec`` in its ``extra_info`` (distilled into
+``BENCH_<label>.json`` by ``scripts/run_benchmarks.py``), and the N = 256
+rows assert the batched engines clear >= 10x the serial scenario rate on
+the A1/T4-style module steady sweep and the F5-style manifold sweep —
+the headline claim of the batched core.
+
+The differential suite (``tests/test_batch_differential.py``) pins the
+*values* of these fast paths to the serial oracle; this module pins the
+*speed*.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch.manifold import solve_manifold_batch
+from repro.batch.steady import solve_module_steady_batch
+from repro.batch.transient import run_module_transient_batch
+from repro.core.balancing import RackManifoldSystem
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+
+#: Serial sample size used to estimate the per-scenario serial cost.
+SERIAL_SAMPLE = 6
+
+#: Batched-vs-serial scenario-rate floor asserted at N = 256.
+STEADY_SPEEDUP_FLOOR = 10.0
+MANIFOLD_SPEEDUP_FLOOR = 10.0
+TRANSIENT_SPEEDUP_FLOOR = 5.0
+
+BATCH_SIZES = [1, 32, 256, 1024]
+
+TRANSIENT_DT_S = 30.0
+TRANSIENT_DURATION_S = 1800.0
+
+
+def _steady_grid(n: int):
+    water_in = np.linspace(14.0, 26.0, n) if n > 1 else np.array([20.0])
+    water_flow = np.full(n, 8.0e-4)
+    return water_in, water_flow
+
+
+def _time_once(fn) -> float:
+    best = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("n", BATCH_SIZES)
+def test_bench_b1_module_steady_batched(benchmark, n):
+    module = skat()
+    water_in, water_flow = _steady_grid(n)
+
+    def solve():
+        return solve_module_steady_batch(module, water_in, water_flow)
+
+    elapsed = _time_once(solve)
+    benchmark.extra_info["batch_size"] = n
+    benchmark.extra_info["scenarios_per_sec"] = round(n / elapsed, 1)
+
+    batch = benchmark(solve)
+    assert all(error is None for error in batch.errors)
+
+    if n == 256:
+        serial_start = time.perf_counter()
+        for i in range(SERIAL_SAMPLE):
+            module.solve_steady(float(water_in[i]), float(water_flow[i]))
+        serial_per_case = (time.perf_counter() - serial_start) / SERIAL_SAMPLE
+        speedup = (serial_per_case * n) / elapsed
+        benchmark.extra_info["serial_scenarios_per_sec"] = round(
+            1.0 / serial_per_case, 1
+        )
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 1)
+        assert speedup >= STEADY_SPEEDUP_FLOOR, (
+            f"batched steady solve at N={n} reached only {speedup:.1f}x "
+            f"the serial scenario rate (floor {STEADY_SPEEDUP_FLOOR}x)"
+        )
+
+
+@pytest.mark.parametrize("n", BATCH_SIZES)
+def test_bench_b2_rack_manifold_batched(benchmark, n):
+    template = RackManifoldSystem()
+    rng = np.random.default_rng(1905)
+    openings = rng.uniform(0.3, 1.0, size=(n, template.n_loops))
+
+    def solve():
+        return solve_manifold_batch(template, openings)
+
+    elapsed = _time_once(solve)
+    benchmark.extra_info["batch_size"] = n
+    benchmark.extra_info["scenarios_per_sec"] = round(n / elapsed, 1)
+
+    batch = benchmark(solve)
+    assert all(error is None for error in batch.errors)
+    assert not np.any(batch.fallback_mask)
+
+    if n == 256:
+        serial_start = time.perf_counter()
+        for i in range(SERIAL_SAMPLE):
+            RackManifoldSystem(balancing_valves=list(openings[i])).solve()
+        serial_per_case = (time.perf_counter() - serial_start) / SERIAL_SAMPLE
+        speedup = (serial_per_case * n) / elapsed
+        benchmark.extra_info["serial_scenarios_per_sec"] = round(
+            1.0 / serial_per_case, 1
+        )
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 1)
+        assert speedup >= MANIFOLD_SPEEDUP_FLOOR, (
+            f"batched manifold solve at N={n} reached only {speedup:.1f}x "
+            f"the serial scenario rate (floor {MANIFOLD_SPEEDUP_FLOOR}x)"
+        )
+
+
+@pytest.mark.parametrize("n", [1, 32, 256])
+def test_bench_b3_module_transient_batched(benchmark, n):
+    module = skat()
+    water_in = np.linspace(18.0, 24.0, n) if n > 1 else np.array([20.0])
+    scenarios = [[] for _ in range(n)]
+
+    def run():
+        return run_module_transient_batch(
+            module,
+            TRANSIENT_DURATION_S,
+            scenarios,
+            dt_s=TRANSIENT_DT_S,
+            water_in_c=water_in,
+        )
+
+    elapsed = _time_once(run)
+    benchmark.extra_info["batch_size"] = n
+    benchmark.extra_info["scenarios_per_sec"] = round(n / elapsed, 1)
+
+    batch = benchmark(run)
+    assert all(error is None for error in batch.errors)
+
+    if n == 256:
+        serial_start = time.perf_counter()
+        for i in range(SERIAL_SAMPLE):
+            ModuleSimulator(module, water_in_c=float(water_in[i])).run(
+                duration_s=TRANSIENT_DURATION_S, dt_s=TRANSIENT_DT_S
+            )
+        serial_per_case = (time.perf_counter() - serial_start) / SERIAL_SAMPLE
+        speedup = (serial_per_case * n) / elapsed
+        benchmark.extra_info["serial_scenarios_per_sec"] = round(
+            1.0 / serial_per_case, 1
+        )
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 1)
+        assert speedup >= TRANSIENT_SPEEDUP_FLOOR, (
+            f"batched transient at N={n} reached only {speedup:.1f}x "
+            f"the serial scenario rate (floor {TRANSIENT_SPEEDUP_FLOOR}x)"
+        )

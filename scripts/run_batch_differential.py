@@ -1,0 +1,152 @@
+"""Run the batched sweeps on a chosen backend and diff them against serial.
+
+The CI ``batch-smoke`` job's gate: evaluate the deterministic module-steady
+and rack-manifold matrices through :func:`repro.sweep.run_sweep_batched`
+on the requested backend, re-evaluate every case through the untouched
+per-case serial oracle, and fail when any quantity drifts outside the
+differential tolerances (1e-6 relative for the steady family, whose serial
+root stops at ``brentq(xtol=1e-6)``; 1e-9 for the manifold family, whose
+batched Newton replays the serial arithmetic). Prints the canonical JSON
+payload; ``--out`` / ``--metrics-out`` write the byte-pinned goldens the
+differential test suite compares against.
+
+Run with::
+
+    python scripts/run_batch_differential.py --cases 256 --backend process
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.batch.sweepfns import (
+    MODULE_STEADY,
+    RACK_MANIFOLD,
+    manifold_smoke_cases,
+    steady_smoke_cases,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import available_backends, run_sweep, run_sweep_batched
+
+STEADY_RTOL = 1.0e-6
+MANIFOLD_RTOL = 1.0e-9
+
+
+def _max_rel_diff(batched, serial) -> float:
+    """Worst relative drift between two equal-shaped summary values."""
+    worst = 0.0
+    if isinstance(batched, dict):
+        for key in batched:
+            worst = max(worst, _max_rel_diff(batched[key], serial[key]))
+        return worst
+    if isinstance(batched, list):
+        for b, s in zip(batched, serial):
+            worst = max(worst, _max_rel_diff(b, s))
+        if len(batched) != len(serial):
+            return float("inf")
+        return worst
+    if batched == serial:
+        return 0.0
+    scale = max(abs(float(batched)), abs(float(serial)), 1.0e-300)
+    return abs(float(batched) - float(serial)) / scale
+
+
+def _diff_family(name, spec, cases, batch_size, backend, workers, rtol):
+    batched = run_sweep_batched(
+        spec, cases, batch_size=batch_size, backend=backend, max_workers=workers
+    )
+    # The serial oracle runs under its own registry so the ambient metric
+    # export stays that of the batched sweeps alone (the bytes the golden
+    # test pins, identical on every backend).
+    with use_registry(MetricsRegistry()):
+        serial = run_sweep(spec.serial, cases)
+    worst = 0.0
+    for b, s in zip(batched, serial):
+        if not (b.ok and s.ok):
+            raise SystemExit(f"{name}: case {b.case.name} failed to evaluate")
+        worst = max(worst, _max_rel_diff(b.value, s.value))
+    status = "ok" if worst <= rtol else "DRIFT"
+    print(
+        f"{name}: {len(cases)} cases, worst rel diff {worst:.3e} "
+        f"(tol {rtol:g}) {status}",
+        file=sys.stderr,
+    )
+    return batched, worst <= rtol
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cases", type=int, default=None, help="cases per family (overrides both)"
+    )
+    parser.add_argument("--steady", type=int, default=64, help="steady cases")
+    parser.add_argument("--manifold", type=int, default=64, help="manifold cases")
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="scenarios per batched solve"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="process",
+        help="sweep execution backend",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="sweep workers (default: auto)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the payload JSON here too"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the sweep's deterministic metrics (canonical JSON) here",
+    )
+    args = parser.parse_args(argv)
+    n_steady = args.cases if args.cases is not None else args.steady
+    n_manifold = args.cases if args.cases is not None else args.manifold
+
+    with use_registry(MetricsRegistry()) as obs:
+        steady, steady_ok = _diff_family(
+            "module_steady",
+            MODULE_STEADY,
+            steady_smoke_cases(n_steady),
+            args.batch_size,
+            args.backend,
+            args.workers,
+            STEADY_RTOL,
+        )
+        manifold, manifold_ok = _diff_family(
+            "manifold",
+            RACK_MANIFOLD,
+            manifold_smoke_cases(n_manifold),
+            args.batch_size,
+            args.backend,
+            args.workers,
+            MANIFOLD_RTOL,
+        )
+        metrics = to_json(obs, exclude=("sweep_backend_",))
+
+    payload = json.dumps(
+        {
+            "module_steady": [outcome.value for outcome in steady],
+            "manifold": [outcome.value for outcome in manifold],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    print(payload)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(metrics + "\n")
+    return 0 if steady_ok and manifold_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,18 +31,23 @@ def distill(raw: dict) -> dict:
     entries = []
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        entries.append(
-            {
-                "name": bench["fullname"],
-                "group": bench.get("group"),
-                "min_s": stats["min"],
-                "median_s": stats["median"],
-                "mean_s": stats["mean"],
-                "stddev_s": stats["stddev"],
-                "rounds": stats["rounds"],
-                "iterations": stats["iterations"],
-            }
-        )
+        entry = {
+            "name": bench["fullname"],
+            "group": bench.get("group"),
+            "min_s": stats["min"],
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+            "iterations": stats["iterations"],
+        }
+        # Benchmarks annotate derived rates (batch_size, scenarios_per_sec,
+        # speedup_vs_serial, ...) via the fixture's extra_info; carry them
+        # into the distilled record so BENCH_*.json shows throughput, not
+        # just wall time.
+        if bench.get("extra_info"):
+            entry["extra_info"] = dict(sorted(bench["extra_info"].items()))
+        entries.append(entry)
     entries.sort(key=lambda e: e["name"])
     machine = raw.get("machine_info", {})
     return {

@@ -1,0 +1,66 @@
+"""Batched structure-of-arrays simulation engines.
+
+The serial models in :mod:`repro.core` solve one scenario at a time
+through a Python object graph; the engines here stack N scenarios'
+parameters into numpy arrays and advance every root find, thermal
+network and hydraulic residual in lockstep, so a whole sweep costs a
+handful of vectorized passes instead of N object-graph walks.
+
+The serial implementations stay untouched and act as the oracle: the
+differential suite (``tests/test_batch_differential.py``) pins batched
+results to per-object serial runs for every engine, and the N=1 views
+(:meth:`repro.core.module.ComputationalModule.solve_steady_batch`,
+:meth:`repro.core.simulation.ModuleSimulator.run_many`,
+:meth:`repro.core.balancing.RackManifoldSystem.solve_batch`) rebuild the
+exact serial report objects from batch rows.
+
+Engines:
+
+- :func:`repro.batch.steady.solve_module_steady_batch` — module
+  steady-state energy balance over N (water_in, water_flow, utilization)
+  scenarios;
+- :func:`repro.batch.transient.run_module_transient_batch` — open-loop
+  transient bath integration over N failure-event scenarios;
+- :func:`repro.batch.manifold.solve_manifold_batch` — rack manifold
+  balancing over N (valve openings, pump speed, temperature) scenarios
+  with a batched damped-Newton solver and per-scenario serial fallback.
+
+Sweep integration: :func:`repro.sweep.run_sweep_batched` chunks a case
+list into batches and dispatches them over the serial/thread/process
+backends; :mod:`repro.batch.sweepfns` supplies the picklable paired
+serial/batched evaluations (``MODULE_STEADY``, ``RACK_MANIFOLD``).
+"""
+
+from importlib import import_module
+
+__all__ = [
+    "MODULE_STEADY",
+    "ManifoldBatch",
+    "ModuleSteadyBatch",
+    "ModuleTransientBatch",
+    "RACK_MANIFOLD",
+    "run_module_transient_batch",
+    "solve_manifold_batch",
+    "solve_module_steady_batch",
+]
+
+_EXPORTS = {
+    "ManifoldBatch": "repro.batch.manifold",
+    "solve_manifold_batch": "repro.batch.manifold",
+    "ModuleSteadyBatch": "repro.batch.steady",
+    "solve_module_steady_batch": "repro.batch.steady",
+    "ModuleTransientBatch": "repro.batch.transient",
+    "run_module_transient_batch": "repro.batch.transient",
+    "MODULE_STEADY": "repro.batch.sweepfns",
+    "RACK_MANIFOLD": "repro.batch.sweepfns",
+}
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy re-exports: each engine pulls in numpy/scipy machinery,
+    # so resolve submodules only when their symbols are first touched.
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.batch' has no attribute {name!r}")
+    return getattr(import_module(module), name)

@@ -1,0 +1,658 @@
+"""Batched rack-manifold balancing: N valve/pump/temperature scenarios at once.
+
+Compiles a :class:`repro.core.balancing.RackManifoldSystem`'s hydraulic
+network into index arrays once, then solves all N scenarios' junction
+pressures with a damped Newton iteration on a stacked ``[N, M, M]``
+Jacobian. Per-branch flow inverses mirror the serial element formulas
+(:mod:`repro.hydraulics.elements`) exactly — the quadratic valve inverse,
+the HX linear+quadratic inverse, the pump affinity curve, and the pipe's
+Colebrook-style velocity fixed point with the serial 1e-13 settle test —
+so a converged lane reproduces :func:`repro.hydraulics.solver.solve_network`
+flows to solver precision.
+
+Lanes are independent: each lane's Newton trajectory depends only on its
+own residuals (per-lane step damping, per-lane convergence), so batch
+results are permutation- and slicing-equivariant. Lanes that fail to
+converge, or whose pipe fixed point fails to settle, are re-solved one at
+a time through the serial :func:`solve_network` path — the same robust
+fallback ladder the scalar solver uses — and flagged in ``fallback_mask``
+without touching their neighbours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.props import eval_property, range_error, range_violation_mask
+from repro.batch.rootfind import churchill_friction_factor
+from repro.core.balancing import BalanceReport, RackManifoldSystem
+from repro.hydraulics.elements import (
+    CheckValve,
+    HeatExchangerPassage,
+    MinorLoss,
+    Pipe,
+    Pump,
+    Valve,
+)
+from repro.hydraulics.network import HydraulicNetwork
+
+__all__ = ["ManifoldBatch", "solve_manifold_batch"]
+
+# Newton controls. The serial hybr solve drives residuals to machine noise;
+# the batched loop matches it by converging each lane to _NEWTON_TOL worst
+# imbalance (far below the 1e-9 acceptance threshold) before stopping.
+_NEWTON_TOL = 1.0e-13
+_MAX_BACKTRACKS = 30
+# Derivative guards: quadratic inverses have a vertical tangent at dp = 0,
+# so the Jacobian entries are evaluated at a floored |dp| (Pa). Affects the
+# Newton direction only, never a converged value.
+_DP_FLOOR_PA = 1.0e-9
+_ARG_FLOOR = 1.0e-12
+_PIPE_SETTLE_RTOL = 1.0e-13  # serial Pipe.flow_at_pressure_change_pa
+_PIPE_MAX_ITER = 80
+
+
+@dataclass(frozen=True)
+class _BranchPlan:
+    """One compiled branch: topology indices plus element dispatch info."""
+
+    name: str
+    a_idx: int  # index into the pressure vector (reference last)
+    b_idx: int
+    kind: str  # "pump" | "pipe" | "valve" | "minor" | "hx" | "check"
+    element: object
+    valve_slot: int = -1  # openings column for kind == "valve"
+
+
+class _Compiled:
+    """Index arrays and element tables for one network topology."""
+
+    def __init__(self, system: RackManifoldSystem) -> None:
+        network = system.network
+        network.validate()
+        self.system = system
+        self.fluid = system.fluid
+        names = network.junction_names
+        reference = network.reference
+        self.unknowns: List[str] = [n for n in names if n != reference]
+        self.reference = reference
+        self.junction_names = self.unknowns + [reference]
+        index = {name: i for i, name in enumerate(self.junction_names)}
+        self.n_unknowns = len(self.unknowns)
+        self.injections = np.array(
+            [network.injection(n) for n in self.unknowns], dtype=float
+        )
+        valve_slots = {name: i for i, name in enumerate(system._valve_names)}
+        self.branches: List[_BranchPlan] = []
+        for branch in network.branches:
+            element = branch.element
+            if isinstance(element, Pump):
+                kind = "pump"
+            elif isinstance(element, Pipe):
+                kind = "pipe"
+            elif isinstance(element, Valve):
+                kind = "valve"
+            elif isinstance(element, MinorLoss):
+                kind = "minor"
+            elif isinstance(element, HeatExchangerPassage):
+                kind = "hx"
+            elif isinstance(element, CheckValve):
+                kind = "check"
+            else:
+                raise TypeError(
+                    f"branch {branch.name!r}: unsupported element type "
+                    f"{type(element).__name__} for the batched manifold engine"
+                )
+            self.branches.append(
+                _BranchPlan(
+                    name=branch.name,
+                    a_idx=index[branch.node_a],
+                    b_idx=index[branch.node_b],
+                    kind=kind,
+                    element=element,
+                    valve_slot=valve_slots.get(branch.name, -1),
+                )
+            )
+        self.branch_names = [b.name for b in self.branches]
+
+
+def _quadratic_flow(
+    dp: np.ndarray, c: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert ``dp = -c q |q|`` per lane; returns (flow, d flow / d dp).
+
+    Mirrors the serial ``_invert_quadratic_loss``: ``q = -sign(dp)
+    sqrt(|dp| / c)``. The derivative is evaluated at a floored |dp| so the
+    Jacobian stays finite at the origin.
+    """
+    mag = np.abs(dp)
+    c_safe = np.where(c > 0.0, c, 1.0)
+    q = -np.copysign(np.sqrt(mag / c_safe), dp)
+    grad = -1.0 / (2.0 * np.sqrt(c_safe * np.maximum(mag, _DP_FLOOR_PA)))
+    q = np.where(dp == 0.0, 0.0, q)
+    return q, grad
+
+
+def _hx_flow(
+    dp: np.ndarray, r1: float, r2: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Serial HeatExchangerPassage inverse: ``dp = -(r1 q + r2 q |q|)``."""
+    drop = np.abs(dp)
+    if r2 == 0.0:
+        mag = drop / r1
+    else:
+        mag = (-r1 + np.sqrt(r1 * r1 + 4.0 * r2 * drop)) / (2.0 * r2)
+    q = -np.copysign(mag, dp)
+    q = np.where(dp == 0.0, 0.0, q)
+    grad = -1.0 / (r1 + 2.0 * r2 * mag + (_DP_FLOOR_PA if r1 == 0.0 else 0.0))
+    return q, grad
+
+
+def _pump_flow(
+    dp: np.ndarray, pump: Pump, speed: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Serial Pump inverse under the affinity laws, per-lane speed.
+
+    Running lanes: ``q = s qmax sign(arg) sqrt(|arg|)`` with
+    ``arg = 1 - dp / (s^2 dp0)``. Stopped lanes fall back to the serial
+    high-resistance leak path.
+    """
+    dp0 = pump.curve.shutoff_pressure_pa
+    qmax = pump.curve.max_flow_m3_s
+    s = np.asarray(speed, dtype=float)
+    running = s > 0.0
+    s_safe = np.where(running, s, 1.0)
+    arg = 1.0 - dp / (s_safe**2 * dp0)
+    q_run = s_safe * qmax * np.copysign(np.sqrt(np.abs(arg)), arg)
+    g_run = -qmax / (
+        2.0 * s_safe * dp0 * np.sqrt(np.maximum(np.abs(arg), _ARG_FLOOR))
+    )
+    q_leak, g_leak = _quadratic_flow(
+        dp, np.full(dp.shape, pump.stopped_leak_resistance_pa_per_m3_s2)
+    )
+    return np.where(running, q_run, q_leak), np.where(running, g_run, g_leak)
+
+
+def _pipe_flow(
+    dp: np.ndarray,
+    pipe: Pipe,
+    rho: np.ndarray,
+    nu: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Serial Pipe inverse: masked Colebrook-style velocity fixed point.
+
+    Per-lane mirror of ``Pipe.flow_at_pressure_change_pa``: iterate
+    velocity -> Reynolds -> friction factor -> velocity with the serial
+    1e-13 relative settle test and 80-iteration cap; each lane freezes the
+    moment its own velocity settles, so the trajectory is lane-independent.
+    Returns ``(flow, d flow / d dp, failed_mask)`` — failed lanes are the
+    ones the serial code would send to the bracketed fallback.
+    """
+    head = np.abs(dp)
+    rel_roughness = pipe.roughness_m / pipe.diameter_m
+    geometry_l_d = pipe.length_m / pipe.diameter_m
+    f = np.full(dp.shape, 0.02)
+    velocity = np.zeros(dp.shape)
+    live = head > 0.0  # dp == 0 lanes return exactly 0 without iterating
+    done = ~live
+    for _ in range(_PIPE_MAX_ITER):
+        if not np.any(~done):
+            break
+        active = ~done
+        geometry = f * geometry_l_d + pipe.minor_loss_k
+        new_velocity = np.sqrt(2.0 * head / (rho * geometry))
+        settled = active & (
+            np.abs(new_velocity - velocity) <= _PIPE_SETTLE_RTOL * new_velocity
+        )
+        velocity = np.where(active, new_velocity, velocity)
+        done = done | settled
+        if not np.any(~done):
+            break
+        f = np.where(
+            ~done,
+            churchill_friction_factor(
+                velocity * pipe.diameter_m / nu, rel_roughness
+            ),
+            f,
+        )
+    failed = live & ~done
+    q = -np.copysign(velocity * pipe.area_m2, dp)
+    q = np.where(dp == 0.0, 0.0, q)
+    geometry = f * geometry_l_d + pipe.minor_loss_k
+    grad = -pipe.area_m2 / (
+        rho * geometry * np.maximum(velocity, 1.0e-9)
+    )
+    return q, grad, failed
+
+
+class _BatchState:
+    """Per-solve lane parameters and property tables."""
+
+    def __init__(
+        self,
+        compiled: _Compiled,
+        openings: np.ndarray,
+        speed: np.ndarray,
+        temperature_c: np.ndarray,
+    ) -> None:
+        self.openings = openings
+        self.speed = speed
+        self.temperature_c = temperature_c
+        self.n = openings.shape[0]
+        fluid = compiled.fluid
+        self.bad_range = range_violation_mask(fluid, temperature_c)
+        t_safe = np.where(
+            self.bad_range, 0.5 * (fluid.t_min_c + fluid.t_max_c), temperature_c
+        )
+        self.rho = eval_property(fluid.density_model, t_safe)
+        mu = eval_property(fluid.viscosity_model, t_safe)
+        self.nu = mu / self.rho
+
+
+def _branch_flows(
+    compiled: _Compiled, state: _BatchState, dp: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flows and derivatives for every branch at the given per-branch dp.
+
+    ``dp`` has shape [N, B]. Returns ``(q, grad, closed, pipe_failed)``;
+    closed lanes of a valve branch carry exactly 0 flow and 0 derivative
+    (the serial solver drops them from the residual assembly entirely).
+    """
+    n = dp.shape[0]
+    n_branches = len(compiled.branches)
+    q = np.zeros((n, n_branches))
+    grad = np.zeros((n, n_branches))
+    closed = np.zeros((n, n_branches), dtype=bool)
+    pipe_failed = np.zeros(n, dtype=bool)
+    for j, plan in enumerate(compiled.branches):
+        col = dp[:, j]
+        if plan.kind == "pump":
+            q[:, j], grad[:, j] = _pump_flow(col, plan.element, state.speed)
+        elif plan.kind == "pipe":
+            qj, gj, failed = _pipe_flow(col, plan.element, state.rho, state.nu)
+            q[:, j], grad[:, j] = qj, gj
+            pipe_failed |= failed
+        elif plan.kind == "valve":
+            element: Valve = plan.element
+            if plan.valve_slot >= 0:
+                opening = state.openings[:, plan.valve_slot]
+            else:
+                opening = np.full(n, element.opening)
+            shut = opening == 0.0
+            opening_safe = np.where(shut, 1.0, opening)
+            k_eff = element.k_open / opening_safe**2
+            c = k_eff * state.rho / (2.0 * element.area_m2**2)
+            qj, gj = _quadratic_flow(col, c)
+            q[:, j] = np.where(shut, 0.0, qj)
+            grad[:, j] = np.where(shut, 0.0, gj)
+            closed[:, j] = shut
+        elif plan.kind == "minor":
+            element = plan.element
+            c = element.k * state.rho / (2.0 * element.area_m2**2)
+            q[:, j], grad[:, j] = _quadratic_flow(col, c)
+        elif plan.kind == "hx":
+            element = plan.element
+            q[:, j], grad[:, j] = _hx_flow(
+                col,
+                element.r_linear_pa_per_m3_s,
+                element.r_quadratic_pa_per_m3_s2,
+            )
+        else:  # check valve
+            element = plan.element
+            k = np.where(
+                col < 0.0,
+                element.k_forward,
+                element.k_forward * element.reverse_multiplier,
+            )
+            c = k * state.rho / (2.0 * element.area_m2**2)
+            q[:, j], grad[:, j] = _quadratic_flow(col, c)
+    return q, grad, closed, pipe_failed
+
+
+def _residuals(
+    compiled: _Compiled, state: _BatchState, x: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Junction imbalance per lane: ``(res, q, grad, closed, pipe_failed)``.
+
+    ``x`` is [N, M] unknown pressures; the reference is appended at zero,
+    matching the serial unknown ordering.
+    """
+    n = x.shape[0]
+    pressures = np.concatenate((x, np.zeros((n, 1))), axis=1)
+    a_idx = np.array([b.a_idx for b in compiled.branches])
+    b_idx = np.array([b.b_idx for b in compiled.branches])
+    dp = pressures[:, b_idx] - pressures[:, a_idx]
+    q, grad, closed, pipe_failed = _branch_flows(compiled, state, dp)
+    res = np.tile(compiled.injections, (n, 1))
+    m = compiled.n_unknowns
+    for j, plan in enumerate(compiled.branches):
+        if plan.a_idx < m:
+            res[:, plan.a_idx] -= q[:, j]
+        if plan.b_idx < m:
+            res[:, plan.b_idx] += q[:, j]
+    return res, q, grad, closed, pipe_failed
+
+
+def _jacobian(
+    compiled: _Compiled, grad: np.ndarray
+) -> np.ndarray:
+    """Assemble the stacked [N, M, M] nodal Jacobian from branch slopes."""
+    n = grad.shape[0]
+    m = compiled.n_unknowns
+    jac = np.zeros((n, m, m))
+    for j, plan in enumerate(compiled.branches):
+        g = grad[:, j]
+        a, b = plan.a_idx, plan.b_idx
+        if a < m:
+            jac[:, a, a] += g
+            if b < m:
+                jac[:, a, b] -= g
+        if b < m:
+            jac[:, b, b] += g
+            if a < m:
+                jac[:, b, a] -= g
+    return jac
+
+
+@dataclass
+class ManifoldBatch:
+    """Results of one batched manifold solve over N scenarios.
+
+    ``loop_flows_m3_s`` rows reproduce the serial
+    :meth:`RackManifoldSystem.solve` flow lists; ``fallback_mask`` marks
+    lanes that were re-solved through the serial robust ladder.
+    """
+
+    system: RackManifoldSystem
+    openings: np.ndarray  # [N, n_loops]
+    pump_speed_fraction: np.ndarray  # [N]
+    temperature_c: np.ndarray  # [N]
+    loop_flows_m3_s: np.ndarray  # [N, n_loops]
+    pump_flow_m3_s: np.ndarray  # [N]
+    branch_flows_m3_s: np.ndarray  # [N, B] in network branch order
+    pressures_pa: np.ndarray  # [N, J] in junction order (reference last)
+    residual_m3_s: np.ndarray  # [N] worst junction imbalance
+    junction_names: List[str]
+    branch_names: List[str]
+    fallback_mask: np.ndarray  # [N] bool
+    errors: List[Optional[Exception]]
+
+    @property
+    def n(self) -> int:
+        """Batch width."""
+        return self.openings.shape[0]
+
+    @property
+    def ok(self) -> np.ndarray:
+        """Per-lane success mask."""
+        return np.array([e is None for e in self.errors], dtype=bool)
+
+    def report(self, i: int) -> BalanceReport:
+        """Rebuild the serial :class:`BalanceReport` for lane ``i``."""
+        err = self.errors[i]
+        if err is not None:
+            raise err
+        failed = [
+            j for j in range(self.openings.shape[1]) if self.openings[i, j] == 0.0
+        ]
+        flows = [
+            0.0 if j in failed else float(self.loop_flows_m3_s[i, j])
+            for j in range(self.openings.shape[1])
+        ]
+        return BalanceReport(
+            layout=self.system.layout, loop_flows_m3_s=flows, failed_loops=failed
+        )
+
+    def reports(self) -> List[BalanceReport]:
+        """All lane reports; raises the first lane error encountered."""
+        return [self.report(i) for i in range(self.n)]
+
+    def junction_residuals(self, i: int) -> Dict[str, float]:
+        """Continuity imbalance per junction for lane ``i`` (incl. reference)."""
+        err = self.errors[i]
+        if err is not None:
+            raise err
+        residuals: Dict[str, float] = {}
+        flows = self.branch_flows_m3_s[i]
+        name_to_col = {n: j for j, n in enumerate(self.branch_names)}
+        network = self.system.network
+        for name in network.junction_names:
+            balance = network.injection(name)
+            for branch, orientation in network.incident(name):
+                balance -= orientation * float(flows[name_to_col[branch.name]])
+            residuals[name] = balance
+        return residuals
+
+
+def _as_lane_array(value, n: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.ndim == 1 and arr.shape[0] == n:
+        return arr.astype(float, copy=True)
+    raise ValueError(f"{name} must be scalar or shape [{n}], got {arr.shape}")
+
+
+def _current_openings(system: RackManifoldSystem) -> List[float]:
+    return [
+        system.network.branch(name).element.opening
+        for name in system._valve_names
+    ]
+
+
+def _serial_lane_solve(
+    compiled: _Compiled,
+    state: _BatchState,
+    lane: int,
+    tolerance_m3_s: float,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Solve one lane through the serial robust ladder.
+
+    Clones the template network with the lane's valve openings and pump
+    speed, then runs :func:`solve_network` with a fresh solver (no cache
+    cross-talk between lanes). Returns branch flows (compiled branch
+    order), junction pressures (compiled junction order) and the serial
+    worst residual.
+    """
+    from repro.hydraulics.solver import NetworkSolver, solve_network
+
+    network = compiled.system.network
+    clone = HydraulicNetwork()
+    for name in network.junction_names:
+        clone.add_junction(name, network.injection(name))
+    clone.set_reference(network.reference)
+    for plan in compiled.branches:
+        branch = network.branch(plan.name)
+        element = plan.element
+        if plan.kind == "valve" and plan.valve_slot >= 0:
+            element = dataclasses.replace(
+                element, opening=float(state.openings[lane, plan.valve_slot])
+            )
+        elif plan.kind == "pump":
+            element = dataclasses.replace(
+                element, speed_fraction=float(state.speed[lane])
+            )
+        clone.add_branch(plan.name, branch.node_a, branch.node_b, element)
+    result = solve_network(
+        clone,
+        compiled.fluid,
+        float(state.temperature_c[lane]),
+        tolerance_m3_s=tolerance_m3_s,
+        solver=NetworkSolver(use_cache=False, warm_start=False),
+    )
+    flows = np.array([result.flows_m3_s[n] for n in compiled.branch_names])
+    pressures = np.array(
+        [result.pressures_pa[n] for n in compiled.junction_names]
+    )
+    return flows, pressures, result.residual_m3_s
+
+
+def solve_manifold_batch(
+    system: RackManifoldSystem,
+    opening_fraction: Optional[Sequence] = None,
+    *,
+    pump_speed_fraction=None,
+    temperature_c=None,
+    tolerance_m3_s: float = 1.0e-9,
+    max_iterations: int = 60,
+) -> ManifoldBatch:
+    """Solve N manifold balancing scenarios in one batched Newton iteration.
+
+    Parameters
+    ----------
+    system:
+        The template :class:`RackManifoldSystem`; its network supplies the
+        topology and element sizing. The system object is not mutated.
+    opening_fraction:
+        Per-scenario valve openings, shape ``[N, n_loops]`` (or
+        ``[n_loops]`` for a single scenario). ``None`` reads the system's
+        current valve state for every lane. ``0`` closes a loop, exactly
+        like :meth:`RackManifoldSystem.fail_loop`.
+    pump_speed_fraction, temperature_c:
+        Scalars or length-N arrays; default to the template pump's speed
+        and the system temperature.
+    tolerance_m3_s:
+        Acceptance threshold on the worst junction imbalance (the serial
+        meaning); the Newton loop itself converges far past it.
+    max_iterations:
+        Newton iteration cap per solve; lanes still unconverged at the cap
+        are re-solved serially and flagged in ``fallback_mask``.
+    """
+    compiled = _Compiled(system)
+    n_loops = system.n_loops
+
+    if opening_fraction is None:
+        openings = np.asarray(_current_openings(system), dtype=float)
+    else:
+        openings = np.asarray(opening_fraction, dtype=float)
+    if openings.ndim == 1:
+        openings = openings.reshape(1, -1)
+    if openings.ndim != 2 or openings.shape[1] != n_loops:
+        raise ValueError(
+            f"opening_fraction must have shape [N, {n_loops}], got {openings.shape}"
+        )
+    if np.any((openings < 0.0) | (openings > 1.0)):
+        raise ValueError("opening must be within [0, 1]")
+    n = openings.shape[0]
+    if n == 0:
+        raise ValueError("opening_fraction must contain at least one scenario")
+
+    if pump_speed_fraction is None:
+        pump_speed_fraction = system.pump.speed_fraction
+    speed = _as_lane_array(pump_speed_fraction, n, "pump_speed_fraction")
+    if np.any((speed < 0.0) | (speed > 1.5)):
+        raise ValueError("speed fraction must be within [0, 1.5]")
+    if temperature_c is None:
+        temperature_c = system.temperature_c
+    temps = _as_lane_array(temperature_c, n, "temperature_c")
+
+    state = _BatchState(compiled, openings, speed, temps)
+    m = compiled.n_unknowns
+    errors: List[Optional[Exception]] = [None] * n
+    for i in np.flatnonzero(state.bad_range):
+        errors[int(i)] = range_error(compiled.fluid, float(temps[int(i)]))
+    alive = ~state.bad_range
+
+    x = np.zeros((n, m))
+    res, q, grad, closed, pipe_failed = _residuals(compiled, state, x)
+    res_inf = np.max(np.abs(res), axis=1)
+    need_fallback = pipe_failed & alive
+    active = alive & ~need_fallback & (res_inf > _NEWTON_TOL)
+    for _ in range(max_iterations):
+        if not np.any(active):
+            break
+        jac = _jacobian(compiled, grad)
+        # Regularize frozen lanes so the stacked solve never sees the
+        # untouched zero blocks; their steps are discarded anyway.
+        jac[~active] = np.eye(m)[None, :, :]
+        rhs = np.where(active[:, None], -res, 0.0)
+        try:
+            step = np.linalg.solve(jac, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            jac = jac + 1.0e-18 * np.eye(m)[None, :, :]
+            step = np.linalg.solve(jac, rhs[:, :, None])[:, :, 0]
+        # Per-lane backtracking: halve a lane's step until its own worst
+        # imbalance improves. Lanes that never improve keep the smallest
+        # step (the outer loop or the serial fallback catches true stalls).
+        t = np.ones(n)
+        searching = active.copy()
+        accepted_x = x.copy()
+        accepted = ~active
+        for _ in range(_MAX_BACKTRACKS):
+            if not np.any(searching):
+                break
+            trial = x + t[:, None] * step
+            trial_res, _, _, _, trial_pipe_failed = _residuals(
+                compiled, state, np.where(searching[:, None], trial, x)
+            )
+            trial_inf = np.max(np.abs(trial_res), axis=1)
+            improved = searching & ~trial_pipe_failed & (trial_inf < res_inf)
+            accepted_x = np.where(improved[:, None], trial, accepted_x)
+            accepted = accepted | improved
+            searching = searching & ~improved
+            t = np.where(searching, 0.5 * t, t)
+        stalled = active & ~accepted
+        need_fallback = need_fallback | stalled
+        active = active & ~stalled
+        x = accepted_x
+        res, q, grad, closed, pipe_failed = _residuals(compiled, state, x)
+        res_inf = np.max(np.abs(res), axis=1)
+        newly_failed = pipe_failed & active
+        need_fallback = need_fallback | newly_failed
+        active = active & ~newly_failed & (res_inf > _NEWTON_TOL)
+    need_fallback = need_fallback | (active & (res_inf > tolerance_m3_s))
+
+    pressures = np.concatenate((x, np.zeros((n, 1))), axis=1)
+    flows = q
+    worst = res_inf.copy()
+
+    fallback_mask = need_fallback & alive
+    for i in np.flatnonzero(fallback_mask):
+        lane = int(i)
+        try:
+            lane_flows, lane_pressures, lane_worst = _serial_lane_solve(
+                compiled, state, lane, tolerance_m3_s
+            )
+        except Exception as exc:  # serial ladder exhausted: record per-lane
+            errors[lane] = exc
+            continue
+        flows[lane] = lane_flows
+        pressures[lane] = lane_pressures
+        worst[lane] = lane_worst
+
+    # Closed-valve loops report exactly 0.0, mirroring the serial result.
+    loop_cols = np.array(
+        [compiled.branch_names.index(f"loop_{j}") for j in range(n_loops)]
+    )
+    loop_flows = flows[:, loop_cols].copy()
+    loop_flows[openings == 0.0] = 0.0
+    valve_cols = [
+        j for j, b in enumerate(compiled.branches) if b.kind == "valve"
+    ]
+    for j in valve_cols:
+        plan = compiled.branches[j]
+        if plan.valve_slot >= 0:
+            flows[openings[:, plan.valve_slot] == 0.0, j] = 0.0
+
+    pump_col = next(
+        j for j, b in enumerate(compiled.branches) if b.kind == "pump"
+    )
+    return ManifoldBatch(
+        system=system,
+        openings=openings,
+        pump_speed_fraction=speed,
+        temperature_c=temps,
+        loop_flows_m3_s=loop_flows,
+        pump_flow_m3_s=flows[:, pump_col].copy(),
+        branch_flows_m3_s=flows,
+        pressures_pa=pressures,
+        residual_m3_s=worst,
+        junction_names=list(compiled.junction_names),
+        branch_names=list(compiled.branch_names),
+        fallback_mask=fallback_mask,
+        errors=errors,
+    )

@@ -1,0 +1,569 @@
+"""Vectorized module physics: every correlation on arrays of N scenarios.
+
+Each function here is an element-wise mirror of one serial routine
+(:mod:`repro.core.heatsink`, :mod:`repro.core.immersion`,
+:mod:`repro.devices.power`, :mod:`repro.heatexchange.plate`,
+:mod:`repro.hydraulics.elements`/``solver.operating_point``), written with
+the same floating-point operation order so a length-1 batch reproduces the
+serial numbers to the root-finder tolerances. The one deliberate algorithmic
+substitution is the junction solve: where the serial path scans in 2-degree
+steps and refines with ``brentq``, the batch path evaluates the closed-form
+Lambert-W roots of ``T = a + k exp(T/45)`` and reuses the serial scan-grid
+semantics only to decide *runaway* — bit-identical classification, with the
+stable root accurate to machine precision (brentq's ``xtol=1e-10`` is the
+looser of the two).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import Optional
+
+import numpy as np
+
+from repro.batch.props import FluidState, fluid_state
+from repro.batch.rootfind import (
+    churchill_friction_factor,
+    illinois_masked,
+    lambertw_real,
+)
+from repro.core.heatsink import PinFinHeatSink
+from repro.core.immersion import ImmersionSection
+from repro.core.module import ComputationalModule
+from repro.devices.power import (
+    LEAKAGE_EFOLD_K,
+    REFERENCE_JUNCTION_C,
+    REFERENCE_UTILIZATION,
+    FpgaPowerModel,
+)
+from repro.devices.psu import ImmersionPsu
+from repro.fluids.properties import Fluid
+from repro.heatexchange.plate import PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump
+
+__all__ = [
+    "HxBatch",
+    "ImmersionBatch",
+    "JUNCTION_CEILING_C",
+    "SinkPerf",
+    "effectiveness_counterflow_batch",
+    "fpga_power_batch",
+    "hx_pressure_drop_batch",
+    "hx_solve_batch",
+    "immersion_solve_batch",
+    "oil_loop_flow_batch",
+    "oil_system_pressure_drop_batch",
+    "pin_sink_performance_batch",
+    "pipe_loss_batch",
+    "psu_heat_batch",
+    "pump_electrical_batch",
+    "pump_head_batch",
+    "solve_junction_batch",
+]
+
+#: Mirror of the private ceiling in :mod:`repro.devices.power`.
+JUNCTION_CEILING_C = 400.0
+
+_SQRT_PI = math.sqrt(math.pi)
+#: ``-1/e``: below this Lambert-W argument the junction balance has no roots.
+_W_DOMAIN_EDGE = -math.exp(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Pin-fin heatsink
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SinkPerf:
+    """Batched mirror of the fields of ``SinkPerformance`` the solvers use."""
+
+    effective_conductance_w_k: np.ndarray
+    total_resistance_k_w: np.ndarray
+    pressure_drop_pa: np.ndarray
+
+
+def pin_sink_performance_batch(
+    sink: PinFinHeatSink, state: FluidState, approach_velocity_m_s: np.ndarray
+) -> SinkPerf:
+    """Vector mirror of :meth:`PinFinHeatSink.performance`.
+
+    Stagnant lanes (zero approach velocity) get the serial ``_stagnant``
+    limit: zero conductance, infinite resistance, zero pressure drop.
+    """
+    v = np.asarray(approach_velocity_m_s, dtype=float)
+    gap_fraction = (sink.pin_pitch_m - sink.pin_diameter_m) / sink.pin_pitch_m
+    v_max = v / gap_fraction
+    stagnant = v_max == 0.0
+
+    # Zukauskas pin-bank film (repro.thermal.convection.nusselt_pin_bank).
+    re = v_max * sink.pin_diameter_m / state.kinematic_viscosity_m2_s
+    pr = state.prandtl
+    re_safe = np.where(re > 0.0, re, 1.0)
+    pr36 = pr**0.36
+    # Evaluate only the Zukauskas regimes some lane actually occupies —
+    # per-lane selection is still the same masked expression, so gating on
+    # a global any() never changes a value.
+    creeping = re <= 40.0
+    transitional = ~creeping & (re <= 1.0e3)
+    turbulent = ~creeping & ~transitional
+    base = np.zeros(re.shape)
+    if np.any(creeping):
+        base = np.where(creeping, 0.75 * re_safe**0.4 * pr36, base)
+    if np.any(transitional):
+        base = np.where(transitional, 0.51 * re_safe**0.5 * pr36, base)
+    if np.any(turbulent):
+        base = np.where(turbulent, 0.26 * re_safe**0.6 * pr36, base)
+    base = np.where(re == 0.0, 0.0, base)
+    nu = sink.turbulence_factor * base
+    h = nu * state.conductivity_w_mk / sink.pin_diameter_m
+
+    # Adiabatic-tip pin efficiency (pin_fin_efficiency).
+    h_safe = np.where(h > 0.0, h, 1.0)
+    m = np.sqrt(4.0 * h_safe / (sink.conductivity_w_mk * sink.pin_diameter_m))
+    ml = m * sink.pin_height_m
+    eta = np.where(ml < 1.0e-9, 1.0, np.tanh(ml) / np.where(ml > 0.0, ml, 1.0))
+
+    conductance = h * (eta * sink.pin_area_m2 + sink.exposed_base_area_m2)
+    h_effective = conductance / sink.base_area_m2
+
+    # Lee-Song-Au-Moran spreading (repro.thermal.resistances.spreading) with
+    # scalar geometry and a vector Biot number.
+    r_source = math.sqrt(sink.source_area_m2 / math.pi)
+    r_plate = math.sqrt(sink.base_area_m2 / math.pi)
+    epsilon = r_source / r_plate
+    if epsilon >= 1.0 - 1e-12:
+        r_spread = np.zeros(v.shape)
+    else:
+        tau = sink.base_thickness_m / r_plate
+        biot = h_effective * r_plate / sink.conductivity_w_mk
+        lam = math.pi + 1.0 / (_SQRT_PI * epsilon)
+        tanh_lt = math.tanh(lam * tau)
+        lam_over_biot = lam / np.where(biot > 0.0, biot, 1.0)
+        phi = (tanh_lt + lam_over_biot) / (1.0 + lam_over_biot * tanh_lt)
+        psi_max = epsilon * tau / _SQRT_PI + (1.0 - epsilon) * phi / _SQRT_PI
+        r_spread = psi_max / (sink.conductivity_w_mk * r_source * _SQRT_PI)
+
+    dp = sink.pin_rows * 1.2 * state.density_kg_m3 * v_max**2 / 2.0
+
+    conductance = np.where(stagnant, 0.0, conductance)
+    r_spread = np.where(stagnant, 0.0, r_spread)
+    with np.errstate(divide="ignore"):
+        r_conv = 1.0 / np.where(stagnant, np.nan, conductance)
+    total = np.where(stagnant, np.inf, r_spread + r_conv)
+    return SinkPerf(
+        effective_conductance_w_k=conductance,
+        total_resistance_k_w=total,
+        pressure_drop_pa=np.where(stagnant, 0.0, dp),
+    )
+
+
+# ---------------------------------------------------------------------------
+# FPGA junction balance (Lambert-W closed form)
+# ---------------------------------------------------------------------------
+
+
+def solve_junction_batch(
+    power_model: FpgaPowerModel,
+    resistance_k_w: np.ndarray,
+    coolant_c: np.ndarray,
+    utilization: np.ndarray,
+    clock_mhz: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form mirror of :meth:`FpgaPowerModel.solve_junction`.
+
+    Returns ``(junction_c, runaway_mask)``. The balance
+    ``T = coolant + R (P_dyn + P_s0 e^{(T-60)/45})`` has roots
+    ``T = a - 45 W(arg)`` with ``a = coolant + R P_dyn``,
+    ``arg = -(k/45) e^{a/45}``, ``k = R P_s0 e^{-60/45}``; branch 0 is the
+    stable operating point, branch -1 the unstable high root. A lane is
+    classified *runaway* exactly when the serial 2-degree scan would find no
+    non-negative imbalance at or below the 400-degree ceiling: either no real
+    roots exist, or the first scan-grid point at/above the stable root
+    overshoots ``min(T_unstable, 400)``.
+    """
+    r = np.asarray(resistance_k_w, dtype=float)
+    coolant = np.asarray(coolant_c, dtype=float)
+    util = np.asarray(utilization, dtype=float)
+    p_dyn = (
+        power_model.dynamic_reference_w
+        * (util / REFERENCE_UTILIZATION)
+        * (clock_mhz / power_model.family.nominal_clock_mhz)
+    )
+    a = coolant + r * p_dyn
+    k = r * power_model.static_reference_w * math.exp(
+        -REFERENCE_JUNCTION_C / LEAKAGE_EFOLD_K
+    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        arg = -(k / LEAKAGE_EFOLD_K) * np.exp(a / LEAKAGE_EFOLD_K)
+    has_roots = arg >= _W_DOMAIN_EDGE
+    arg_safe = np.where(has_roots, arg, -0.25)
+    # arg is strictly negative whenever leakage exists; keep branch -1 off
+    # its singular endpoint for the (leakage-free) arg == 0 case.
+    arg_m1 = np.where(arg_safe < 0.0, arg_safe, -1.0e-300)
+    t_stable = a - LEAKAGE_EFOLD_K * lambertw_real(arg_safe, 0)
+    t_unstable = a - LEAKAGE_EFOLD_K * lambertw_real(arg_m1, -1)
+    # First point of the serial scan grid (coolant + 2k, k >= 1) at or above
+    # the stable root; the serial scan succeeds iff it lands in the
+    # non-negative-imbalance window [t_stable, t_unstable] at/below 400 C.
+    steps = np.maximum(np.ceil((t_stable - coolant) / 2.0), 1.0)
+    first_grid = coolant + 2.0 * steps
+    found = has_roots & (first_grid <= JUNCTION_CEILING_C) & (first_grid <= t_unstable)
+    junction = np.where(found, t_stable, coolant)
+    return junction, ~found
+
+
+def fpga_power_batch(
+    power_model: FpgaPowerModel,
+    utilization: np.ndarray,
+    clock_mhz: float,
+    junction_c: np.ndarray,
+) -> np.ndarray:
+    """Vector mirror of :meth:`FpgaPowerModel.total_power_w`."""
+    util = np.asarray(utilization, dtype=float)
+    dynamic = (
+        power_model.dynamic_reference_w
+        * (util / REFERENCE_UTILIZATION)
+        * (clock_mhz / power_model.family.nominal_clock_mhz)
+    )
+    static = power_model.static_reference_w * np.exp(
+        (np.asarray(junction_c, dtype=float) - REFERENCE_JUNCTION_C) / LEAKAGE_EFOLD_K
+    )
+    return dynamic + static
+
+
+# ---------------------------------------------------------------------------
+# Immersion bath
+# ---------------------------------------------------------------------------
+
+
+def psu_heat_batch(psu: ImmersionPsu, output_each_w: np.ndarray, n_psus: int) -> np.ndarray:
+    """Vector mirror of the PSU-loss sum in :meth:`ImmersionSection.solve`."""
+    out = np.minimum(np.asarray(output_each_w, dtype=float), psu.rated_output_w)
+    load = out / psu.rated_output_w
+    droop = 0.025 * (load - 0.5) ** 2 / 0.25
+    eta = psu.peak_efficiency - droop
+    dissipation = np.where(
+        out == 0.0, 0.0, out * (1.0 / np.where(out == 0.0, 1.0, eta) - 1.0)
+    )
+    # Serial code sums n identical dissipation terms; accumulate the same way.
+    total = np.zeros(out.shape)
+    for _ in range(n_psus):
+        total = total + dissipation
+    return total
+
+
+@dataclass(frozen=True)
+class ImmersionBatch:
+    """Batched mirror of ``ImmersionReport`` (chip axis first: ``[P, N]``)."""
+
+    oil_supply_c: np.ndarray
+    oil_return_c: np.ndarray
+    oil_flow_m3_s: np.ndarray
+    local_oil_c: np.ndarray
+    junction_c: np.ndarray
+    power_w: np.ndarray
+    max_junction_c: np.ndarray
+    electronics_heat_w: np.ndarray
+    psu_heat_w: np.ndarray
+    total_heat_w: np.ndarray
+    board_pressure_drop_pa: np.ndarray
+    chip_resistance_k_w: np.ndarray
+    runaway: np.ndarray
+    #: Local oil temperature at the first chip position that ran away
+    #: (undefined where ``runaway`` is False) — used to rebuild the serial
+    #: ``ThermalRunawayError`` message for errored lanes.
+    runaway_coolant_c: np.ndarray
+
+
+def immersion_solve_batch(
+    section: ImmersionSection,
+    state_supply: FluidState,
+    oil_supply_c: np.ndarray,
+    oil_flow_m3_s: np.ndarray,
+    utilization: Optional[np.ndarray] = None,
+) -> ImmersionBatch:
+    """Vector mirror of :meth:`ImmersionSection.solve`.
+
+    ``state_supply`` must be the oil's :class:`FluidState` at
+    ``oil_supply_c``. Lanes that hit thermal runaway at any chip position
+    are flagged in ``runaway`` and carry placeholder temperatures; callers
+    must error those lanes out rather than read their numbers.
+    """
+    supply = np.asarray(oil_supply_c, dtype=float)
+    flow = np.asarray(oil_flow_m3_s, dtype=float)
+    fpga = section.ccb.fpga
+    power_model = fpga.power_model
+    util = fpga.utilization if utilization is None else np.asarray(utilization, float)
+    clock = fpga.clock_mhz
+
+    per_board_flow = flow * section.flow_fraction_over_boards / section.n_boards
+    oil_capacity = state_supply.volumetric_heat_capacity_j_m3k * per_board_flow
+
+    velocity = per_board_flow / section.board_channel_area_m2
+    perf = pin_sink_performance_batch(section.sink, state_supply, velocity)
+    family = fpga.family
+    r_tim = section.tim.resistance_k_w(family.die_area_m2, section.tim_service_hours)
+    resistance = family.theta_jc_k_w + r_tim + perf.total_resistance_k_w
+
+    runaway = np.zeros(supply.shape, dtype=bool)
+    runaway_coolant = np.zeros(supply.shape)
+    upstream = np.zeros(supply.shape)
+    local_rows = []
+    junction_rows = []
+    power_rows = []
+    for _position in range(section.ccb.n_fpgas):
+        local = supply + upstream / oil_capacity
+        junction, lane_runaway = solve_junction_batch(
+            power_model, resistance, local, util, clock
+        )
+        power = fpga_power_batch(power_model, util, clock, junction)
+        first_runaway = lane_runaway & ~runaway
+        runaway_coolant = np.where(first_runaway, local, runaway_coolant)
+        runaway = runaway | lane_runaway
+        local_rows.append(local)
+        junction_rows.append(junction)
+        power_rows.append(power)
+        upstream = upstream + power
+
+    board_heat = upstream + section.ccb.misc_power_w
+    if section.ccb.separate_controller:
+        board_heat = board_heat + power_rows[0] / 3.0
+    electronics = board_heat * section.n_boards
+    psu_output_each = electronics / section.n_psus
+    psu_heat = psu_heat_batch(section.psu, psu_output_each, section.n_psus)
+    total = electronics + psu_heat
+
+    bulk_capacity = state_supply.volumetric_heat_capacity_j_m3k * flow
+    return ImmersionBatch(
+        oil_supply_c=supply,
+        oil_return_c=supply + total / bulk_capacity,
+        oil_flow_m3_s=flow,
+        local_oil_c=np.stack(local_rows),
+        junction_c=np.stack(junction_rows),
+        power_w=np.stack(power_rows),
+        max_junction_c=reduce(np.maximum, junction_rows),
+        electronics_heat_w=electronics,
+        psu_heat_w=psu_heat,
+        total_heat_w=total,
+        board_pressure_drop_pa=perf.pressure_drop_pa,
+        chip_resistance_k_w=resistance,
+        runaway=runaway,
+        runaway_coolant_c=runaway_coolant,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plate heat exchanger
+# ---------------------------------------------------------------------------
+
+
+def effectiveness_counterflow_batch(ntu: np.ndarray, c_r: np.ndarray) -> np.ndarray:
+    """Vector mirror of :func:`repro.heatexchange.entu.effectiveness_counterflow`."""
+    ntu = np.asarray(ntu, dtype=float)
+    c_r = np.asarray(c_r, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        m = np.expm1(-ntu * (1.0 - c_r))
+        denom = (1.0 - c_r) - c_r * m
+        general = -m / np.where(denom != 0.0, denom, 1.0)
+    eps = np.where(np.abs(c_r - 1.0) < 1e-12, ntu / (1.0 + ntu), general)
+    eps = np.where(c_r == 0.0, 1.0 - np.exp(-ntu), eps)
+    return np.where(ntu == 0.0, 0.0, eps)
+
+
+@dataclass(frozen=True)
+class HxBatch:
+    """Batched mirror of ``HxOperatingPoint``."""
+
+    q_w: np.ndarray
+    hot_out_c: np.ndarray
+    cold_out_c: np.ndarray
+    effectiveness: np.ndarray
+    ntu: np.ndarray
+    ua_w_k: np.ndarray
+    u_w_m2k: np.ndarray
+    c_min_w_k: np.ndarray
+    c_max_w_k: np.ndarray
+
+
+def _plate_film_batch(
+    hx: PlateHeatExchanger, flow_m3_s: np.ndarray, state: FluidState
+) -> np.ndarray:
+    """Vector mirror of :meth:`PlateHeatExchanger.film_coefficient`."""
+    area = hx.channels_per_side * hx.channel_gap_m * hx.plate_width_m
+    velocity = flow_m3_s / area
+    dh = hx.hydraulic_diameter_m
+    re = velocity * dh / state.kinematic_viscosity_m2_s
+    c = 0.28 * hx.chevron_enhancement / 2.5
+    nu = np.maximum(c * re**0.7 * state.prandtl ** (1.0 / 3.0), 3.66)
+    return nu * state.conductivity_w_mk / dh
+
+
+def hx_solve_batch(
+    hx: PlateHeatExchanger,
+    hot_fluid: Fluid,
+    hot_in_c: np.ndarray,
+    hot_flow_m3_s: np.ndarray,
+    cold_fluid: Fluid,
+    cold_in_c: np.ndarray,
+    cold_flow_m3_s: np.ndarray,
+) -> HxBatch:
+    """Vector mirror of :meth:`PlateHeatExchanger.solve`.
+
+    Inputs must already be valid on every lane (in-range temperatures,
+    positive flows, hot >= cold); the batch drivers clamp inactive lanes to
+    safe values before calling and discard those outputs.
+    """
+    hot_in = np.asarray(hot_in_c, dtype=float)
+    cold_in = np.asarray(cold_in_c, dtype=float)
+    hot_flow = np.asarray(hot_flow_m3_s, dtype=float)
+    cold_flow = np.asarray(cold_flow_m3_s, dtype=float)
+    hot_state = fluid_state(hot_fluid, hot_in, check=False)
+    cold_state = fluid_state(cold_fluid, cold_in, check=False)
+    c_hot = hot_state.volumetric_heat_capacity_j_m3k * hot_flow
+    c_cold = cold_state.volumetric_heat_capacity_j_m3k * cold_flow
+    c_min = np.minimum(c_hot, c_cold)
+    c_max = np.maximum(c_hot, c_cold)
+    h_hot = _plate_film_batch(hx, hot_flow, hot_state)
+    h_cold = _plate_film_batch(hx, cold_flow, cold_state)
+    wall = hx.plate_thickness_m / hx.plate_conductivity_w_mk
+    u = 1.0 / (1.0 / h_hot + wall + 1.0 / h_cold)
+    ua = u * hx.transfer_area_m2
+    ntu = ua / c_min
+    eps = effectiveness_counterflow_batch(ntu, c_min / c_max)
+    q = eps * c_min * (hot_in - cold_in)
+    return HxBatch(
+        q_w=q,
+        hot_out_c=hot_in - q / c_hot,
+        cold_out_c=cold_in + q / c_cold,
+        effectiveness=eps,
+        ntu=ntu,
+        ua_w_k=ua,
+        u_w_m2k=u,
+        c_min_w_k=c_min,
+        c_max_w_k=c_max,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Oil-loop hydraulics and the pump operating point
+# ---------------------------------------------------------------------------
+
+
+def pipe_loss_batch(pipe: Pipe, state: FluidState, flow_m3_s: np.ndarray) -> np.ndarray:
+    """Pressure *loss* (positive) of a pipe at non-negative flow.
+
+    Mirror of ``-Pipe.pressure_change_pa`` for ``q >= 0``.
+    """
+    q = np.asarray(flow_m3_s, dtype=float)
+    velocity = q / pipe.area_m2
+    re = velocity * pipe.diameter_m / state.kinematic_viscosity_m2_s
+    f = churchill_friction_factor(re, pipe.roughness_m / pipe.diameter_m)
+    head = (
+        (f * pipe.length_m / pipe.diameter_m + pipe.minor_loss_k)
+        * state.density_kg_m3
+        * velocity**2
+        / 2.0
+    )
+    return np.where(q == 0.0, 0.0, head)
+
+
+def hx_pressure_drop_batch(
+    hx: PlateHeatExchanger, state: FluidState, flow_m3_s: np.ndarray
+) -> np.ndarray:
+    """Vector mirror of :meth:`PlateHeatExchanger.pressure_drop_pa` (q >= 0)."""
+    q = np.asarray(flow_m3_s, dtype=float)
+    area = hx.channels_per_side * hx.channel_gap_m * hx.plate_width_m
+    velocity = q / area
+    dh = hx.hydraulic_diameter_m
+    re = velocity * dh / state.kinematic_viscosity_m2_s
+    f = hx.chevron_enhancement * churchill_friction_factor(re)
+    channel = f * (hx.plate_height_m / dh) * state.density_kg_m3 * velocity**2 / 2.0
+    port_area = math.pi * hx.port_diameter_m**2 / 4.0
+    port_velocity = q / port_area
+    port = hx.port_loss_k * state.density_kg_m3 * port_velocity**2 / 2.0
+    return np.where(q == 0.0, 0.0, channel + port)
+
+
+def oil_system_pressure_drop_batch(
+    module: ComputationalModule, state: FluidState, flow_m3_s: np.ndarray
+) -> np.ndarray:
+    """Vector mirror of :meth:`ComputationalModule.oil_system_pressure_drop_pa`."""
+    q = np.asarray(flow_m3_s, dtype=float)
+    section = module.section
+    dp_pipe = pipe_loss_batch(module.loop_pipe, state, q)
+    dp_hx = hx_pressure_drop_batch(module.hx, state, q)
+    per_board = q * section.flow_fraction_over_boards / section.n_boards
+    velocity = per_board / section.board_channel_area_m2
+    dp_boards = pin_sink_performance_batch(
+        module.section.sink, state, velocity
+    ).pressure_drop_pa
+    return dp_pipe + dp_hx + dp_boards
+
+
+def pump_head_batch(pump: Pump, flow_m3_s: np.ndarray) -> np.ndarray:
+    """Vector mirror of :meth:`Pump.head_pa` for a running pump."""
+    q = np.asarray(flow_m3_s, dtype=float)
+    if not pump.running:
+        return -pump.stopped_leak_resistance_pa_per_m3_s2 * q * np.abs(q)
+    s = pump.speed_fraction
+    q_ratio = (q / s) / pump.curve.max_flow_m3_s
+    scaled = pump.curve.shutoff_pressure_pa * (1.0 - q_ratio * np.abs(q_ratio))
+    return s**2 * scaled
+
+
+def pump_electrical_batch(pump: Pump, flow_m3_s: np.ndarray) -> np.ndarray:
+    """Vector mirror of :meth:`Pump.electrical_power_w`."""
+    q = np.asarray(flow_m3_s, dtype=float)
+    if not pump.running:
+        return np.zeros(q.shape)
+    hydraulic = np.maximum(pump_head_batch(pump, q), 0.0) * np.maximum(q, 0.0)
+    return hydraulic / pump.efficiency
+
+
+def oil_loop_flow_batch(
+    module: ComputationalModule,
+    state: FluidState,
+    *,
+    iterations: int = 30,
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Vector mirror of :meth:`ComputationalModule.oil_loop_flow`.
+
+    The serial path solves the pump/system intersection with ``brentq`` at
+    ``xtol=1e-15``; here a lockstep Illinois refinement of the bracket
+    ``[0, s q_max]`` reaches the same precision (the mismatch is smooth and
+    near-quadratic, where Illinois converges superlinearly). Lanes
+    deactivate individually once their bracket is below brentq-grade
+    tolerance, so the typical solve costs ~12 evaluations.
+    """
+    pump = module.pump
+    shape = state.density_kg_m3.shape
+    if not pump.running:
+        return np.zeros(shape)
+    s = pump.speed_fraction
+    q_hi = s * pump.curve.max_flow_m3_s
+
+    def mismatch(q: np.ndarray) -> np.ndarray:
+        return pump_head_batch(pump, q) - oil_system_pressure_drop_batch(
+            module, state, q
+        )
+
+    # mismatch(0) = s^2 * shutoff head exactly (no flow, no system drop).
+    f_lower = np.full(shape, -(s**2 * (pump.curve.shutoff_pressure_pa * 1.0)))
+    f_upper = -mismatch(np.full(shape, q_hi))
+    runout = f_upper < 0.0
+    _, _, flow = illinois_masked(
+        lambda q, _act: -mismatch(q),
+        np.zeros(shape),
+        np.full(shape, q_hi),
+        iterations=iterations,
+        f_lower=f_lower,
+        f_upper=f_upper,
+        active=(None if active is None else np.asarray(active, dtype=bool)),
+        xtol=1.0e-15,
+        rtol=4.0e-13,
+    )
+    return np.where(runout, q_hi, flow)

@@ -1,0 +1,158 @@
+"""Vectorized fluid-property evaluation.
+
+Mirrors :mod:`repro.fluids.properties` element-wise: each property model
+is evaluated with the same floating-point operation order as the scalar
+code path, so a length-1 batch reproduces the serial value bit-for-bit
+(up to the documented ``exp`` ULP caveat for Andrade/Sutherland, where
+``numpy`` and ``math`` may differ in the last bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fluids.properties import (
+    CELSIUS_TO_KELVIN,
+    Andrade,
+    Constant,
+    Fluid,
+    IdealGasDensity,
+    Polynomial,
+    PropertyModel,
+    Sutherland,
+)
+
+__all__ = [
+    "FluidState",
+    "check_range",
+    "eval_property",
+    "fluid_state",
+    "heat_capacity_rate",
+    "range_violation_mask",
+    "volumetric_heat_capacity",
+]
+
+
+def eval_property(model: PropertyModel, temperature_c: np.ndarray) -> np.ndarray:
+    """Evaluate a property model over an array of temperatures [C]."""
+    t = np.asarray(temperature_c, dtype=float)
+    if isinstance(model, Constant):
+        return np.full(t.shape, model.value)
+    if isinstance(model, Polynomial):
+        # Same accumulation order as the scalar loop (not Horner), so each
+        # element matches the serial evaluation bit-for-bit.
+        result = np.zeros(t.shape)
+        power = np.ones(t.shape)
+        for coefficient in model.coefficients:
+            result = result + coefficient * power
+            power = power * t
+        return result
+    if isinstance(model, Andrade):
+        t_k = t + CELSIUS_TO_KELVIN
+        return model.a * np.exp(model.b / (t_k - model.c))
+    if isinstance(model, Sutherland):
+        t_k = t + CELSIUS_TO_KELVIN
+        ratio = t_k / model.t_ref_k
+        return (
+            model.mu_ref
+            * ratio**1.5
+            * (model.t_ref_k + model.s)
+            / (t_k + model.s)
+        )
+    if isinstance(model, IdealGasDensity):
+        return model.pressure_pa / (
+            model.specific_gas_constant * (t + CELSIUS_TO_KELVIN)
+        )
+    # Unknown model subclass: fall back to per-element scalar dispatch
+    # (correct for any PropertyModel, just not vectorized).
+    flat = t.reshape(-1)
+    return np.array([model(float(x)) for x in flat]).reshape(t.shape)
+
+
+def range_violation_mask(fluid: Fluid, temperature_c: np.ndarray) -> np.ndarray:
+    """Boolean mask of lanes whose temperature falls outside the fluid's
+    validity range (NaN counts as a violation, matching the serial check)."""
+    t = np.asarray(temperature_c, dtype=float)
+    ok = (t >= fluid.t_min_c) & (t <= fluid.t_max_c)
+    return ~ok
+
+
+def range_error(fluid: Fluid, temperature_c: float) -> ValueError:
+    """Build the same ValueError the serial ``Fluid._check_range`` raises."""
+    return ValueError(
+        f"{fluid.name}: temperature {temperature_c:.1f} C outside the "
+        f"validity range [{fluid.t_min_c:.1f}, {fluid.t_max_c:.1f}] C"
+    )
+
+
+def check_range(fluid: Fluid, temperature_c: np.ndarray) -> None:
+    """Raise for the first out-of-range lane, mirroring the serial message."""
+    t = np.asarray(temperature_c, dtype=float)
+    bad = range_violation_mask(fluid, t)
+    if np.any(bad):
+        worst = float(t.reshape(-1)[int(np.argmax(bad.reshape(-1)))])
+        raise range_error(fluid, worst)
+
+
+@dataclass(frozen=True)
+class FluidState:
+    """All transport properties of one fluid evaluated at a temperature array.
+
+    Evaluating everything once per outer solver iteration keeps the inner
+    (fixed-temperature) root finds free of repeated polynomial walks.
+    """
+
+    density_kg_m3: np.ndarray
+    specific_heat_j_kgk: np.ndarray
+    conductivity_w_mk: np.ndarray
+    viscosity_pa_s: np.ndarray
+    kinematic_viscosity_m2_s: np.ndarray
+    prandtl: np.ndarray
+    volumetric_heat_capacity_j_m3k: np.ndarray
+
+
+def fluid_state(
+    fluid: Fluid, temperature_c: np.ndarray, check: bool = True
+) -> FluidState:
+    """Evaluate density/cp/k/mu and the derived groups at ``temperature_c``.
+
+    Derived groups use the same operation order as the serial accessors:
+    ``nu = mu / rho``, ``Pr = mu * cp / k``, ``rho*cp``. Pass ``check=False``
+    when the caller has already range-masked the lanes (inactive lanes then
+    just carry extrapolated values that are never read).
+    """
+    t = np.asarray(temperature_c, dtype=float)
+    if check:
+        check_range(fluid, t)
+    rho = eval_property(fluid.density_model, t)
+    cp = eval_property(fluid.specific_heat_model, t)
+    k = eval_property(fluid.conductivity_model, t)
+    mu = eval_property(fluid.viscosity_model, t)
+    return FluidState(
+        density_kg_m3=rho,
+        specific_heat_j_kgk=cp,
+        conductivity_w_mk=k,
+        viscosity_pa_s=mu,
+        kinematic_viscosity_m2_s=mu / rho,
+        prandtl=mu * cp / k,
+        volumetric_heat_capacity_j_m3k=rho * cp,
+    )
+
+
+def volumetric_heat_capacity(fluid: Fluid, temperature_c: np.ndarray) -> np.ndarray:
+    t = np.asarray(temperature_c, dtype=float)
+    check_range(fluid, t)
+    return eval_property(fluid.density_model, t) * eval_property(
+        fluid.specific_heat_model, t
+    )
+
+
+def heat_capacity_rate(
+    fluid: Fluid, volume_flow_m3_s: np.ndarray, temperature_c: np.ndarray
+) -> np.ndarray:
+    """``rho(T) * cp(T) * q`` with the serial operation order."""
+    return volumetric_heat_capacity(fluid, temperature_c) * np.asarray(
+        volume_flow_m3_s, dtype=float
+    )

@@ -1,0 +1,463 @@
+"""Batched module steady-state: N coupled energy balances in lockstep.
+
+Mirrors :meth:`repro.core.module.ComputationalModule.solve_steady` over a
+batch of (water inlet temperature, water flow, FPGA utilization) scenarios.
+
+The serial path scans the residual at ``water_in + 0.05 + 2k`` for the first
+sign change, then refines with ``brentq``. The batch path exploits that the
+scan grid is residual-independent: all 31 scan points of every lane are
+evaluated in ONE wide vectorized pass (shape ``[31 * N]``), after which each
+lane picks its serial bracket/error out of the grid; the ``brentq``
+refinement becomes a fixed-budget lane-masked Illinois iteration whose
+bracket ends far inside brentq's ``xtol=1e-6``.
+
+Per-lane failures (thermal runaway while scanning, out-of-range fluid
+temperatures, no equilibrium below ``water_in + 60``) are captured as the
+same exception types and messages the serial path raises, and re-raised
+lazily by :meth:`ModuleSteadyBatch.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.batch import modulephys as phys
+from repro.batch import props as bprops
+from repro.core.immersion import ImmersedChipReport, ImmersionReport
+from repro.core.module import ComputationalModule, ModuleReport
+from repro.devices.power import ThermalRunawayError
+from repro.heatexchange.plate import HxOperatingPoint
+
+__all__ = ["ModuleSteadyBatch", "solve_module_steady_batch"]
+
+#: Scan points of the serial sign-change search: ``low + 2k <= low + 60``.
+SCAN_POINTS = 31
+#: Illinois refinements of the 2-degree bracket; the residual is smooth, so
+#: this lands far inside the serial brentq xtol of 1e-6. Lanes deactivate
+#: individually once their bracket narrows below REFINE_XTOL (the
+#: convergence test reads only the lane's own bracket, preserving lane
+#: independence), so the typical solve uses ~10 evaluations.
+REFINE_ITERATIONS = 18
+REFINE_XTOL = 1.0e-9
+
+
+@dataclass
+class _Parts:
+    """One batched evaluation of the serial ``heat_and_parts`` closure."""
+
+    residual: np.ndarray
+    flow: np.ndarray
+    immersion: phys.ImmersionBatch
+    pump_electrical: np.ndarray
+    bath_heat: np.ndarray
+    oil_hot: np.ndarray
+    hx: phys.HxBatch
+
+
+@dataclass
+class ModuleSteadyBatch:
+    """Result of :func:`solve_module_steady_batch` over N scenario lanes.
+
+    Array fields are lane-indexed; ``errors[i]`` is None for solved lanes
+    and the serial-equivalent exception otherwise. :meth:`report` rebuilds
+    the exact serial :class:`ModuleReport` for one lane (raising for failed
+    lanes, as the serial call would).
+    """
+
+    module: ComputationalModule
+    water_in_c: np.ndarray
+    water_flow_m3_s: np.ndarray
+    utilization: Optional[np.ndarray]
+    oil_cold_c: np.ndarray
+    oil_hot_c: np.ndarray
+    oil_flow_m3_s: np.ndarray
+    pump_electrical_w: np.ndarray
+    bath_heat_w: np.ndarray
+    module_electrical_w: np.ndarray
+    immersion: phys.ImmersionBatch
+    hx: phys.HxBatch
+    errors: List[Optional[BaseException]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.water_in_c.shape[0]
+
+    @property
+    def ok(self) -> np.ndarray:
+        """Boolean mask of lanes that solved."""
+        return np.array([e is None for e in self.errors], dtype=bool)
+
+    def report(self, i: int) -> ModuleReport:
+        """Rebuild the serial :class:`ModuleReport` for lane ``i``."""
+        error = self.errors[i]
+        if error is not None:
+            raise error
+        imm = self.immersion
+        chips = [
+            ImmersedChipReport(
+                position=position,
+                local_oil_c=float(imm.local_oil_c[position, i]),
+                junction_c=float(imm.junction_c[position, i]),
+                power_w=float(imm.power_w[position, i]),
+            )
+            for position in range(imm.local_oil_c.shape[0])
+        ]
+        immersion = ImmersionReport(
+            oil_supply_c=float(imm.oil_supply_c[i]),
+            oil_return_c=float(imm.oil_return_c[i]),
+            oil_flow_m3_s=float(imm.oil_flow_m3_s[i]),
+            chips_per_board=chips,
+            max_junction_c=float(imm.max_junction_c[i]),
+            electronics_heat_w=float(imm.electronics_heat_w[i]),
+            psu_heat_w=float(imm.psu_heat_w[i]),
+            total_heat_w=float(imm.total_heat_w[i]),
+            board_pressure_drop_pa=float(imm.board_pressure_drop_pa[i]),
+            chip_resistance_k_w=float(imm.chip_resistance_k_w[i]),
+        )
+        hx_point = HxOperatingPoint(
+            q_w=float(self.hx.q_w[i]),
+            hot_out_c=float(self.hx.hot_out_c[i]),
+            cold_out_c=float(self.hx.cold_out_c[i]),
+            effectiveness=float(self.hx.effectiveness[i]),
+            ntu=float(self.hx.ntu[i]),
+            ua_w_k=float(self.hx.ua_w_k[i]),
+            u_w_m2k=float(self.hx.u_w_m2k[i]),
+            c_min_w_k=float(self.hx.c_min_w_k[i]),
+            c_max_w_k=float(self.hx.c_max_w_k[i]),
+        )
+        return ModuleReport(
+            immersion=immersion,
+            hx=hx_point,
+            oil_flow_m3_s=float(self.oil_flow_m3_s[i]),
+            oil_cold_c=float(self.oil_cold_c[i]),
+            oil_hot_c=float(self.oil_hot_c[i]),
+            water_in_c=float(self.water_in_c[i]),
+            water_flow_m3_s=float(self.water_flow_m3_s[i]),
+            pump_electrical_w=float(self.pump_electrical_w[i]),
+            total_heat_to_water_w=float(self.hx.q_w[i]),
+            module_electrical_w=float(self.module_electrical_w[i]),
+        )
+
+    def reports(self) -> List[ModuleReport]:
+        """Reports for every solved lane, in lane order (failed lanes raise)."""
+        return [self.report(i) for i in range(len(self))]
+
+
+class _SteadySolver:
+    """Internal lockstep driver; one instance per batch call."""
+
+    def __init__(
+        self,
+        module: ComputationalModule,
+        water_in: np.ndarray,
+        water_flow: np.ndarray,
+        utilization: Optional[np.ndarray],
+    ) -> None:
+        self.module = module
+        self.oil = module.section.oil
+        self.water = module.water
+        self.water_in = water_in
+        self.water_flow = water_flow
+        self.utilization = utilization
+        n = water_in.shape[0]
+        self.errors: List[Optional[BaseException]] = [None] * n
+        self.alive = np.ones(n, dtype=bool)
+        # Safe stand-ins used on lanes that are inactive or already failed,
+        # so vectorized evaluations never see invalid inputs.
+        self.water_in_safe = np.clip(water_in, self.water.t_min_c, self.water.t_max_c)
+        self.water_flow_safe = np.where(water_flow > 0.0, water_flow, 1.0e-4)
+
+    # -- error bookkeeping ------------------------------------------------
+
+    def _fail(self, mask: np.ndarray, build) -> None:
+        """Record an exception for every lane in ``mask`` (first error wins)."""
+        for i in np.flatnonzero(mask):
+            if self.errors[i] is None:
+                self.errors[i] = build(int(i))
+        self.alive &= ~mask
+
+    def _runaway_error(
+        self, resistance: np.ndarray, coolant: np.ndarray, i: int
+    ) -> ThermalRunawayError:
+        family = self.module.section.ccb.fpga.family
+        return ThermalRunawayError(
+            f"{family.name}: no thermal equilibrium below "
+            f"{phys.JUNCTION_CEILING_C:.0f} C with "
+            f"R={float(resistance[i]):.3f} K/W at "
+            f"coolant {float(coolant[i]):.1f} C"
+        )
+
+    # -- core evaluation --------------------------------------------------
+
+    def _eval_core(
+        self,
+        oil_cold: np.ndarray,
+        water_in: np.ndarray,
+        water_in_safe: np.ndarray,
+        water_flow_safe: np.ndarray,
+        utilization: Optional[np.ndarray],
+    ) -> tuple:
+        """Batched ``heat_and_parts`` + residual over arbitrary-length lanes.
+
+        Performs no error bookkeeping; invalid lanes are clamped to safe
+        inputs and flagged in the returned mask dict (in the serial raise
+        order: cold-oil range, runaway, hot-oil range, water range).
+        """
+        module = self.module
+        oil = self.oil
+        bad_cold = bprops.range_violation_mask(oil, oil_cold)
+        t_safe = np.clip(oil_cold, oil.t_min_c, oil.t_max_c)
+        state = bprops.fluid_state(oil, t_safe, check=False)
+        flow = phys.oil_loop_flow_batch(module, state)
+        imm = phys.immersion_solve_batch(
+            module.section, state, t_safe, flow, utilization
+        )
+        pump_electrical = phys.pump_electrical_batch(module.pump, flow)
+        bath_heat = imm.total_heat_w + (
+            pump_electrical if module.pump.immersed else 0.0
+        )
+        capacity = state.volumetric_heat_capacity_j_m3k * flow
+        oil_hot = t_safe + bath_heat / capacity
+        bad_hot = bprops.range_violation_mask(oil, oil_hot)
+        oil_hot_safe = np.clip(oil_hot, oil.t_min_c, oil.t_max_c)
+        bad_water = bprops.range_violation_mask(self.water, water_in)
+        hx = phys.hx_solve_batch(
+            module.hx,
+            oil,
+            oil_hot_safe,
+            flow,
+            self.water,
+            water_in_safe,
+            water_flow_safe,
+        )
+        parts = _Parts(
+            residual=hx.q_w - bath_heat,
+            flow=flow,
+            immersion=imm,
+            pump_electrical=pump_electrical,
+            bath_heat=bath_heat,
+            oil_hot=oil_hot,
+            hx=hx,
+        )
+        masks: Dict[str, np.ndarray] = {
+            "bad_cold": bad_cold,
+            "runaway": imm.runaway,
+            "bad_hot": bad_hot,
+            "bad_water": bad_water,
+        }
+        return parts, masks
+
+    def evaluate(self, oil_cold: np.ndarray, active: np.ndarray) -> tuple:
+        """N-lane evaluation that records per-lane errors in serial order.
+
+        Returns ``(parts, ok)`` where ``ok`` is ``active`` minus the lanes
+        that failed during this evaluation.
+        """
+        active = active & self.alive
+        parts, masks = self._eval_core(
+            oil_cold,
+            self.water_in,
+            self.water_in_safe,
+            self.water_flow_safe,
+            self.utilization,
+        )
+        oil = self.oil
+        imm = parts.immersion
+        oil_hot = parts.oil_hot
+        for name, mask in masks.items():
+            bad = mask & active
+            if not np.any(bad):
+                continue
+            if name == "bad_cold":
+                self._fail(bad, lambda i: bprops.range_error(oil, float(oil_cold[i])))
+            elif name == "runaway":
+                self._fail(
+                    bad,
+                    lambda i: self._runaway_error(
+                        imm.chip_resistance_k_w, imm.runaway_coolant_c, i
+                    ),
+                )
+            elif name == "bad_hot":
+                self._fail(bad, lambda i: bprops.range_error(oil, float(oil_hot[i])))
+            else:
+                self._fail(
+                    bad,
+                    lambda i: bprops.range_error(self.water, float(self.water_in[i])),
+                )
+            active = active & ~bad
+        return parts, active
+
+    # -- the solve --------------------------------------------------------
+
+    def _tile(self, a: Optional[np.ndarray], reps: int) -> Optional[np.ndarray]:
+        return None if a is None else np.tile(a, reps)
+
+    def solve(self) -> ModuleSteadyBatch:
+        n = self.water_in.shape[0]
+        bad_flow = ~(self.water_flow > 0.0)
+        if np.any(bad_flow):
+            self._fail(bad_flow, lambda i: ValueError("water flow must be positive"))
+
+        low = self.water_in + 0.05
+        high = self.water_in + 60.0
+
+        # Serial scan grid by sequential accumulation (t += 2.0), all lanes
+        # and all points in one wide evaluation.
+        rows = [low]
+        for _ in range(1, SCAN_POINTS):
+            rows.append(rows[-1] + 2.0)
+        grid = np.stack(rows)  # [S, N]
+        valid = grid <= high[None, :]
+        parts, masks = self._eval_core(
+            grid.reshape(-1),
+            np.tile(self.water_in, SCAN_POINTS),
+            np.tile(self.water_in_safe, SCAN_POINTS),
+            np.tile(self.water_flow_safe, SCAN_POINTS),
+            self._tile(self.utilization, SCAN_POINTS),
+        )
+        res = parts.residual.reshape(SCAN_POINTS, n)
+        err_grid = {k: v.reshape(SCAN_POINTS, n) for k, v in masks.items()}
+        any_err = (
+            err_grid["bad_cold"]
+            | err_grid["runaway"]
+            | err_grid["bad_hot"]
+            | err_grid["bad_water"]
+        )
+        event = valid & (any_err | (res >= 0.0))
+
+        lanes = np.arange(n)
+        has_event = event.any(axis=0)
+        first = np.argmax(event, axis=0)  # 0 where no event; gated below
+        exhausted = self.alive & ~has_event
+        if np.any(exhausted):
+            self._fail(
+                exhausted,
+                lambda i: ValueError(
+                    f"{self.module.name}: no oil equilibrium below "
+                    f"{float(high[i]):.0f} C — exchanger cannot reject "
+                    "the bath heat"
+                ),
+            )
+
+        err_at_first = any_err[first, lanes]
+        failed = self.alive & has_event & err_at_first
+        if np.any(failed):
+            oil_hot_grid = parts.oil_hot.reshape(SCAN_POINTS, n)
+            runaway_r = parts.immersion.chip_resistance_k_w.reshape(SCAN_POINTS, n)
+            runaway_coolant = parts.immersion.runaway_coolant_c.reshape(SCAN_POINTS, n)
+            for i in np.flatnonzero(failed):
+                k = int(first[i])
+                if err_grid["bad_cold"][k, i]:
+                    error = bprops.range_error(self.oil, float(grid[k, i]))
+                elif err_grid["runaway"][k, i]:
+                    error = self._runaway_error(runaway_r[k], runaway_coolant[k], i)
+                elif err_grid["bad_hot"][k, i]:
+                    error = bprops.range_error(self.oil, float(oil_hot_grid[k, i]))
+                else:
+                    error = bprops.range_error(self.water, float(self.water_in[i]))
+                if self.errors[i] is None:
+                    self.errors[i] = error
+            self.alive &= ~failed
+
+        bracketed = self.alive & has_event & ~err_at_first
+        prev = np.maximum(first - 1, 0)
+        hi = np.where(bracketed, grid[first, lanes], low)
+        lo = np.where(bracketed & (first > 0), grid[prev, lanes], low)
+        fhi = res[first, lanes]
+        flo = np.where(first > 0, res[prev, lanes], fhi)
+
+        # Illinois refinement of the serial brentq stage, with per-lane
+        # error capture on every evaluation.
+        refine = bracketed.copy()
+        last_side = np.zeros(n, dtype=np.int8)
+        for _ in range(REFINE_ITERATIONS):
+            refine = refine & self.alive & (np.abs(hi - lo) > REFINE_XTOL)
+            if not np.any(refine):
+                break
+            with np.errstate(divide="ignore", invalid="ignore"):
+                denom = fhi - flo
+                x = hi - fhi * (hi - lo) / np.where(denom != 0.0, denom, 1.0)
+            mid = 0.5 * (lo + hi)
+            inside = np.isfinite(x) & (x > np.minimum(lo, hi)) & (x < np.maximum(lo, hi))
+            x = np.where(inside, x, mid)
+            step_parts, ok = self.evaluate(x, refine)
+            refine = ok
+            fx = step_parts.residual
+            up = refine & (fx < 0.0)
+            down = refine & ~up
+            lo[up] = x[up]
+            flo[up] = fx[up]
+            hi[down] = x[down]
+            fhi[down] = fx[down]
+            repeat_up = up & (last_side == 1)
+            repeat_down = down & (last_side == -1)
+            fhi[repeat_up] = 0.5 * fhi[repeat_up]
+            flo[repeat_down] = 0.5 * flo[repeat_down]
+            last_side[up] = 1
+            last_side[down] = -1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denom = fhi - flo
+            estimate = hi - fhi * (hi - lo) / np.where(denom != 0.0, denom, 1.0)
+        inside = (
+            np.isfinite(estimate)
+            & (estimate >= np.minimum(lo, hi))
+            & (estimate <= np.maximum(lo, hi))
+        )
+        oil_cold = np.where(inside, estimate, 0.5 * (lo + hi))
+        oil_cold = np.where(bracketed, oil_cold, low)
+
+        final_active = bracketed & self.alive
+        parts, _ok = self.evaluate(oil_cold, final_active)
+        imm = parts.immersion
+        module_electrical = (
+            imm.electronics_heat_w + imm.psu_heat_w + parts.pump_electrical
+        )
+        return ModuleSteadyBatch(
+            module=self.module,
+            water_in_c=self.water_in,
+            water_flow_m3_s=self.water_flow,
+            utilization=self.utilization,
+            oil_cold_c=oil_cold,
+            oil_hot_c=parts.oil_hot,
+            oil_flow_m3_s=parts.flow,
+            pump_electrical_w=parts.pump_electrical,
+            bath_heat_w=parts.bath_heat,
+            module_electrical_w=module_electrical,
+            immersion=imm,
+            hx=parts.hx,
+            errors=self.errors,
+        )
+
+
+def solve_module_steady_batch(
+    module: ComputationalModule,
+    water_in_c,
+    water_flow_m3_s,
+    utilization=None,
+) -> ModuleSteadyBatch:
+    """Solve N module steady states in one structure-of-arrays pass.
+
+    Parameters broadcast against each other: scalars are shared across the
+    batch, arrays give per-lane values. ``utilization`` of ``None`` uses the
+    module's configured FPGA utilization on every lane.
+    """
+    water_in = np.asarray(water_in_c, dtype=float)
+    water_flow = np.asarray(water_flow_m3_s, dtype=float)
+    arrays = [water_in, water_flow]
+    if utilization is not None:
+        arrays.append(np.asarray(utilization, dtype=float))
+    shape = np.broadcast_shapes(*(a.shape for a in arrays))
+    if len(shape) > 1:
+        raise ValueError("batch parameters must be scalars or 1-D arrays")
+    n = shape[0] if shape else 1
+    water_in = np.broadcast_to(water_in, (n,)).astype(float).copy()
+    water_flow = np.broadcast_to(water_flow, (n,)).astype(float).copy()
+    util = (
+        None
+        if utilization is None
+        else np.broadcast_to(np.asarray(utilization, dtype=float), (n,)).copy()
+    )
+    solver = _SteadySolver(module, water_in, water_flow, util)
+    return solver.solve()

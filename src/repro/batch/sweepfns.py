@@ -1,0 +1,229 @@
+"""Picklable serial/batched sweep evaluations over the batch engines.
+
+Module-level functions (the process backend pickles them by reference)
+pairing each serial per-case evaluation with its structure-of-arrays
+equivalent, packaged as :class:`repro.sweep.batched.BatchedSweepFn` specs:
+
+- :data:`MODULE_STEADY` — the T4/A1-style scan: one
+  :func:`repro.core.skat.skat` (or ``skat_plus``) steady solve per
+  (water inlet, water flow, utilization) point, batched through
+  :func:`repro.batch.steady.solve_module_steady_batch`;
+- :data:`RACK_MANIFOLD` — the F5-style scan: one
+  :class:`~repro.core.balancing.RackManifoldSystem` balance per
+  (valve openings, pump speed, temperature) point, batched through
+  :func:`repro.batch.manifold.solve_manifold_batch`.
+
+Both return plain-dict summaries (canonical-JSON friendly, picklable).
+Lanes the batched engine records an error for come back as
+:data:`~repro.sweep.batched.SERIAL_FALLBACK`, so the per-case serial path
+re-raises the exact serial exception without disturbing neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.balancing import BalanceReport, RackManifoldSystem
+from repro.core.module import ModuleReport
+from repro.core.skat import skat, skat_plus
+from repro.sweep.batched import SERIAL_FALLBACK, BatchedSweepFn
+from repro.sweep.cases import SweepCase
+
+__all__ = [
+    "MODULE_STEADY",
+    "RACK_MANIFOLD",
+    "manifold_smoke_cases",
+    "module_steady_batch",
+    "module_steady_case",
+    "rack_manifold_batch",
+    "rack_manifold_case",
+    "steady_smoke_cases",
+]
+
+_MODULE_FACTORIES = {"skat": skat, "skat_plus": skat_plus}
+
+
+def _steady_params(case: SweepCase) -> Dict[str, Any]:
+    params = case.params
+    return {
+        "module": params.get("module", "skat"),
+        "n_boards": int(params.get("n_boards", 12)),
+        "utilization": float(params.get("utilization", 0.9)),
+        "water_in_c": float(params["water_in_c"]),
+        "water_flow_m3_s": float(params["water_flow_m3_s"]),
+    }
+
+
+def _steady_summary(report: ModuleReport) -> Dict[str, float]:
+    return {
+        "oil_cold_c": report.oil_cold_c,
+        "oil_hot_c": report.oil_hot_c,
+        "oil_flow_m3_s": report.oil_flow_m3_s,
+        "pump_electrical_w": report.pump_electrical_w,
+        "max_fpga_c": report.max_fpga_c,
+        "module_electrical_w": report.module_electrical_w,
+        "total_heat_to_water_w": report.total_heat_to_water_w,
+    }
+
+
+def module_steady_case(case: SweepCase) -> Dict[str, float]:
+    """Serial oracle: build the module and run the scalar steady solve."""
+    p = _steady_params(case)
+    module = _MODULE_FACTORIES[p["module"]](
+        utilization=p["utilization"], n_boards=p["n_boards"]
+    )
+    report = module.solve_steady(
+        water_in_c=p["water_in_c"], water_flow_m3_s=p["water_flow_m3_s"]
+    )
+    return _steady_summary(report)
+
+
+def module_steady_batch(cases: List[SweepCase]) -> List[Any]:
+    """One structure-of-arrays steady solve for a whole batch of cases.
+
+    All cases in a batch must share the module configuration (factory and
+    board count) — utilization and the water-side parameters vary per
+    lane. A mixed batch raises, demoting it to per-case serial evaluation.
+    """
+    from repro.batch.steady import solve_module_steady_batch
+
+    params = [_steady_params(case) for case in cases]
+    configs = {(p["module"], p["n_boards"]) for p in params}
+    if len(configs) != 1:
+        raise ValueError(f"mixed module configurations in one batch: {configs}")
+    (factory_name, n_boards), = configs
+    module = _MODULE_FACTORIES[factory_name](n_boards=n_boards)
+    batch = solve_module_steady_batch(
+        module,
+        np.array([p["water_in_c"] for p in params]),
+        np.array([p["water_flow_m3_s"] for p in params]),
+        utilization=np.array([p["utilization"] for p in params]),
+    )
+    return [
+        SERIAL_FALLBACK if batch.errors[i] is not None
+        else _steady_summary(batch.report(i))
+        for i in range(len(cases))
+    ]
+
+
+def _manifold_params(case: SweepCase) -> Dict[str, Any]:
+    params = case.params
+    openings = [float(o) for o in params["openings"]]
+    return {
+        "openings": openings,
+        "pump_speed": float(params.get("pump_speed", 1.0)),
+        "temperature_c": float(params.get("temperature_c", 20.0)),
+    }
+
+
+def _manifold_summary(report: BalanceReport) -> Dict[str, Any]:
+    return {
+        "loop_flows_m3_s": list(report.loop_flows_m3_s),
+        "failed_loops": list(report.failed_loops),
+        "total_flow_m3_s": report.total_flow_m3_s,
+    }
+
+
+def rack_manifold_case(case: SweepCase) -> Dict[str, Any]:
+    """Serial oracle: build the rack system and solve the balance."""
+    p = _manifold_params(case)
+    system = RackManifoldSystem(
+        n_loops=len(p["openings"]),
+        balancing_valves=p["openings"],
+        temperature_c=p["temperature_c"],
+    )
+    system.pump.speed_fraction = p["pump_speed"]
+    return _manifold_summary(system.solve())
+
+
+def rack_manifold_batch(cases: List[SweepCase]) -> List[Any]:
+    """One batched Newton solve for a whole batch of balancing scenarios.
+
+    All cases in a batch must share the loop count; openings, pump speed
+    and temperature vary per lane.
+    """
+    from repro.batch.manifold import solve_manifold_batch
+
+    params = [_manifold_params(case) for case in cases]
+    loop_counts = {len(p["openings"]) for p in params}
+    if len(loop_counts) != 1:
+        raise ValueError(f"mixed loop counts in one batch: {loop_counts}")
+    (n_loops,) = loop_counts
+    template = RackManifoldSystem(n_loops=n_loops)
+    batch = solve_manifold_batch(
+        template,
+        np.array([p["openings"] for p in params]),
+        pump_speed_fraction=np.array([p["pump_speed"] for p in params]),
+        temperature_c=np.array([p["temperature_c"] for p in params]),
+    )
+    return [
+        SERIAL_FALLBACK if batch.errors[i] is not None
+        else _manifold_summary(batch.report(i))
+        for i in range(len(cases))
+    ]
+
+
+#: The T4/A1-style module steady sweep, batched.
+MODULE_STEADY = BatchedSweepFn(serial=module_steady_case, batch=module_steady_batch)
+#: The F5-style rack balancing sweep, batched.
+RACK_MANIFOLD = BatchedSweepFn(serial=rack_manifold_case, batch=rack_manifold_batch)
+
+
+def steady_smoke_cases(
+    n: int = 12, module: str = "skat", n_boards: int = 12
+) -> List[SweepCase]:
+    """A deterministic :data:`MODULE_STEADY` matrix of ``n`` cases.
+
+    Sweeps water inlet temperature, water flow and FPGA utilization along
+    a fixed grid, so the differential test, the pinned goldens and the CI
+    smoke script (``scripts/run_batch_differential.py``) all see the same
+    scenarios for the same ``n``.
+    """
+    cases = []
+    for i in range(n):
+        f = i / max(n - 1, 1)
+        cases.append(
+            SweepCase(
+                name=f"steady_{i}",
+                params={
+                    "module": module,
+                    "n_boards": n_boards,
+                    "utilization": 0.55 + 0.45 * f,
+                    "water_in_c": 14.0 + 12.0 * f,
+                    "water_flow_m3_s": 5.0e-4 + 7.0e-4 * f,
+                },
+            )
+        )
+    return cases
+
+
+def manifold_smoke_cases(
+    n: int = 12, n_loops: int = 6, closed_every: int = 5
+) -> List[SweepCase]:
+    """A deterministic :data:`RACK_MANIFOLD` matrix of ``n`` cases.
+
+    Seeded trim-valve openings, pump speeds and temperatures; every
+    ``closed_every``-th case shuts one loop completely (the paper's
+    servicing scenario) so the failed-loop bookkeeping is exercised
+    mid-sweep.
+    """
+    rng = np.random.default_rng(190511)
+    cases = []
+    for i in range(n):
+        openings = rng.uniform(0.3, 1.0, size=n_loops)
+        closed = int(rng.integers(n_loops))
+        if closed_every and i % closed_every == closed_every - 1:
+            openings[closed] = 0.0
+        cases.append(
+            SweepCase(
+                name=f"manifold_{i}",
+                params={
+                    "openings": [float(o) for o in openings],
+                    "pump_speed": float(rng.uniform(0.7, 1.0)),
+                    "temperature_c": float(rng.uniform(15.0, 35.0)),
+                },
+            )
+        )
+    return cases

@@ -1,0 +1,484 @@
+"""Batched open-loop module transients: N failure scenarios in lockstep.
+
+Mirrors :meth:`repro.core.simulation.ModuleSimulator.run` (open-loop: no
+controller, supervisor, or PID — raise for anything else) over N lanes.
+Per-lane failure-event schedules are folded into ``[T, N]`` pre-pass arrays
+(pump speed, blockage opening, TIM multiplier, bath level), after which
+every step advances all lanes with a handful of vectorized evaluations:
+the bucketed flow cache becomes a shared bucket->flow dict fed by batched
+pump/system solves, the junction fixed point the Lambert-W closed form,
+and the bath update the same Euler step (element-wise identical floats, so
+the energy-replay checker accepts rebuilt runs unchanged).
+
+:meth:`ModuleTransientBatch.result` rebuilds the exact serial
+:class:`~repro.core.simulation.SimulationResult` — telemetry channels,
+counters (per-lane cache hit/miss accounting reproduces what a serial run
+of that one scenario would have counted), extrema — for one lane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.batch import modulephys as phys
+from repro.batch import props as bprops
+from repro.batch.props import FluidState
+from repro.control.monitor import AlarmLog, TelemetryLog
+from repro.core.module import ComputationalModule
+from repro.core.simulation import RUNAWAY_CLAMP_C, SimulationResult
+from repro.reliability.failures import FailureEvent
+
+__all__ = ["ModuleTransientBatch", "run_module_transient_batch"]
+
+#: Telemetry channels of an open-loop run, in serial recording order.
+_CHANNELS = (
+    "oil_c",
+    "junction_c",
+    "oil_flow_m3_s",
+    "bath_heat_w",
+    "rejected_w",
+    "pump_speed",
+    "level_fraction",
+)
+
+
+@dataclass
+class ModuleTransientBatch:
+    """Result of :func:`run_module_transient_batch` over N scenario lanes.
+
+    Channel arrays are ``[T, N]`` (step-major); :meth:`result` rebuilds the
+    serial :class:`SimulationResult` for one lane, raising the recorded
+    serial-equivalent exception for lanes whose serial run would have
+    failed.
+    """
+
+    module: ComputationalModule
+    times_s: np.ndarray
+    channels: Dict[str, np.ndarray]
+    max_junction_c: np.ndarray
+    max_oil_c: np.ndarray
+    flow_cache_hits: np.ndarray
+    flow_cache_misses: np.ndarray
+    errors: List[Optional[BaseException]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.max_oil_c.shape[0]
+
+    @property
+    def ok(self) -> np.ndarray:
+        """Boolean mask of lanes that ran to completion."""
+        return np.array([e is None for e in self.errors], dtype=bool)
+
+    def result(self, i: int) -> SimulationResult:
+        """Rebuild the serial :class:`SimulationResult` for lane ``i``."""
+        error = self.errors[i]
+        if error is not None:
+            raise error
+        telemetry = TelemetryLog()
+        for t in range(self.times_s.shape[0]):
+            telemetry.record(
+                float(self.times_s[t]),
+                {name: float(self.channels[name][t, i]) for name in _CHANNELS},
+            )
+        telemetry.set_counters(
+            {
+                "flow_cache_hits": int(self.flow_cache_hits[i]),
+                "flow_cache_misses": int(self.flow_cache_misses[i]),
+                "alarm_episodes": 0,
+            }
+        )
+        return SimulationResult(
+            telemetry=telemetry,
+            max_junction_c=float(self.max_junction_c[i]),
+            max_oil_c=float(self.max_oil_c[i]),
+            shutdown_time_s=None,
+            alarms_raised=0,
+            alarm_log=AlarmLog(),
+        )
+
+    def results(self) -> List[SimulationResult]:
+        """Results for every lane, in lane order (failed lanes raise)."""
+        return [self.result(i) for i in range(len(self))]
+
+
+def _natural_film_resistance(
+    module: ComputationalModule, oil_c: np.ndarray, state: FluidState
+) -> np.ndarray:
+    """Junction-to-bath resistance with the pump stopped (buoyancy only).
+
+    Vector mirror of the stagnant branch of ``ModuleSimulator._chip_state``:
+    Churchill-Chu natural convection on the sink's wetted area at the
+    serial's representative 25 K film difference, plus package and fresh
+    TIM resistance.
+    """
+    section = module.section
+    sink = section.sink
+    family = section.ccb.fpga.family
+    oil = section.oil
+    dt = 0.5
+    rho = state.density_kg_m3
+    rho_hi = bprops.eval_property(oil.density_model, oil_c + dt)
+    rho_lo = bprops.eval_property(oil.density_model, oil_c - dt)
+    beta = -(rho_hi - rho_lo) / (2.0 * dt * rho)
+    nu_kin = state.kinematic_viscosity_m2_s
+    alpha = state.conductivity_w_mk / state.volumetric_heat_capacity_j_m3k
+    length = sink.base_depth_m
+    ra = 9.81 * beta * abs(25.0) * length**3 / (nu_kin * alpha)
+    pr = state.prandtl
+    term = (1.0 + (0.492 / pr) ** (9.0 / 16.0)) ** (8.0 / 27.0)
+    nu_root = 0.825 + 0.387 * np.maximum(ra, 0.0) ** (1.0 / 6.0) / term
+    h = nu_root**2 * state.conductivity_w_mk / length
+    r_conv = 1.0 / (h * sink.wetted_area_m2)
+    return (
+        family.theta_jc_k_w
+        + section.tim.resistance_k_w(family.die_area_m2)
+        + r_conv
+    )
+
+
+class _TransientRunner:
+    """Internal lockstep integrator; one instance per batch call."""
+
+    def __init__(
+        self,
+        module: ComputationalModule,
+        *,
+        water_in_c: np.ndarray,
+        water_flow_m3_s: np.ndarray,
+        oil_thermal_mass_j_k: float,
+        bath_volume_m3: float,
+        flow_cache_bucket_c: float,
+    ) -> None:
+        if bath_volume_m3 <= 0:
+            raise ValueError("bath volume must be positive")
+        self.module = module
+        self.water_in = water_in_c
+        self.water_flow = water_flow_m3_s
+        self.mass = oil_thermal_mass_j_k
+        self.bath_volume = bath_volume_m3
+        self.bucket_c = flow_cache_bucket_c
+        self.oil = module.section.oil
+        self.water = module.water
+        # Shared bucket -> full-speed-flow cache: the flow at a bucketed
+        # bath temperature is lane-independent, so one dict serves every
+        # lane while per-lane hit/miss counters reproduce what each lane's
+        # own serial run would have counted.
+        self._flow_by_bucket: Dict[int, float] = {}
+
+    def _full_speed_flow(self, oil_c: np.ndarray, need: np.ndarray) -> np.ndarray:
+        """Cached full-speed loop flow per lane at the bucketed bath temp."""
+        n = oil_c.shape[0]
+        flow = np.zeros(n)
+        if not np.any(need):
+            return flow
+        if self.bucket_c <= 0:
+            state = bprops.fluid_state(
+                self.oil,
+                np.clip(oil_c, self.oil.t_min_c, self.oil.t_max_c),
+                check=False,
+            )
+            exact = phys.oil_loop_flow_batch(self.module, state)
+            return np.where(need, exact, 0.0)
+        # int(round(x)) in the serial cache is round-half-even, same as rint.
+        buckets = np.rint(oil_c / self.bucket_c).astype(np.int64)
+        missing = sorted(
+            {int(b) for b in buckets[need] if int(b) not in self._flow_by_bucket}
+        )
+        if missing:
+            temps = np.array([b * self.bucket_c for b in missing])
+            state = bprops.fluid_state(self.oil, temps, check=False)
+            solved = phys.oil_loop_flow_batch(self.module, state)
+            for b, q in zip(missing, solved):
+                self._flow_by_bucket[b] = float(q)
+        for i in np.flatnonzero(need):
+            flow[i] = self._flow_by_bucket[int(buckets[i])]
+        return flow
+
+    def run(
+        self,
+        duration_s: float,
+        events_per_lane: Sequence[Sequence[FailureEvent]],
+        dt_s: float,
+        initial_oil_c: Optional[np.ndarray],
+    ) -> ModuleTransientBatch:
+        if duration_s <= 0 or dt_s <= 0:
+            raise ValueError("duration and step must be positive")
+        module = self.module
+        section = module.section
+        fpga = section.ccb.fpga
+        family = fpga.family
+        n = self.water_in.shape[0]
+
+        # Serial time grid: float accumulation, inclusive of duration.
+        times: List[float] = []
+        t = 0.0
+        while t <= duration_s:
+            times.append(t)
+            t += dt_s
+        steps = len(times)
+        times_arr = np.asarray(times)
+
+        # --- event pre-passes -> [T, N] schedules -----------------------
+        sorted_events = [
+            sorted(events_per_lane[i], key=lambda e: e.time_s) for i in range(n)
+        ]
+        tim_mult = np.ones((steps, n))
+        speed = np.ones((steps, n))
+        blockage = np.ones((steps, n))
+        for i, lane_events in enumerate(sorted_events):
+            for event in lane_events:
+                due = times_arr >= event.time_s
+                if event.kind == "tim_washout":
+                    tim_mult[due, i] = np.maximum(tim_mult[due, i], event.magnitude)
+                elif event.kind == "pump_stop":
+                    speed[due, i] = np.minimum(speed[due, i], event.magnitude)
+                elif event.kind == "loop_blockage":
+                    blockage[due, i] = np.minimum(blockage[due, i], event.magnitude)
+        # Bath level: the serial loop subtracts each due leak's rate every
+        # step (in event order) and clamps; replay the same fold so the
+        # floats match subtraction for subtraction.
+        level = np.ones((steps, n))
+        leak_amounts = [
+            [
+                (e.time_s, e.magnitude * dt_s / self.bath_volume)
+                for e in lane_events
+                if e.kind == "leak"
+            ]
+            for lane_events in sorted_events
+        ]
+        current = np.ones(n)
+        for ti, time_s in enumerate(times):
+            for i, leaks in enumerate(leak_amounts):
+                for due_time, amount in leaks:
+                    if time_s >= due_time:
+                        current[i] -= amount
+            current = np.maximum(current, 0.0)
+            level[ti] = current
+
+        # --- state ------------------------------------------------------
+        oil_c = (
+            np.array(initial_oil_c, dtype=float, copy=True)
+            if initial_oil_c is not None
+            else self.water_in + 8.0
+        )
+        initial_bath = oil_c.copy()
+        max_junction = np.full(n, -1.0e9)
+        max_oil = oil_c.copy()
+        alive = np.ones(n, dtype=bool)
+        errors: List[Optional[BaseException]] = [None] * n
+        channels = {name: np.zeros((steps, n)) for name in _CHANNELS}
+        oil_ceiling = self.oil.t_max_c - 1.0
+
+        tim_service = section.tim.resistance_k_w(
+            family.die_area_m2, section.tim_service_hours
+        )
+        tim_fresh = section.tim.resistance_k_w(family.die_area_m2)
+        chips = section.n_boards * section.ccb.n_fpgas
+        misc = section.n_boards * section.ccb.misc_power_w
+        velocity_per_flow = (
+            section.flow_fraction_over_boards
+            / section.n_boards
+            / section.board_channel_area_m2
+        )
+
+        def fail(mask: np.ndarray, build) -> None:
+            for i in np.flatnonzero(mask):
+                if errors[i] is None:
+                    errors[i] = build(int(i))
+
+        water_bad = bprops.range_violation_mask(self.water, self.water_in)
+
+        for ti, time_s in enumerate(times):
+            # Out-of-range bath: the serial run would raise a fluid range
+            # error inside the chip-state evaluation. Freeze those lanes.
+            oil_bad = alive & bprops.range_violation_mask(self.oil, oil_c)
+            if np.any(oil_bad):
+                fail(oil_bad, lambda i: bprops.range_error(self.oil, float(oil_c[i])))
+                alive = alive & ~oil_bad
+
+            step_speed = np.where(alive, speed[ti], 0.0)
+            pumping = step_speed > 0.0
+            flow = self._full_speed_flow(oil_c, pumping) * step_speed
+            flow = flow * blockage[ti]
+            flow = np.where(pumping, flow, 0.0)
+
+            oil_safe = np.clip(oil_c, self.oil.t_min_c, self.oil.t_max_c)
+            state = bprops.fluid_state(self.oil, oil_safe, check=False)
+
+            # --- chip state (worst chip + total bath heat) --------------
+            flowing = flow > 1.0e-6
+            if np.any(flowing):
+                perf = phys.pin_sink_performance_batch(
+                    section.sink, state, flow * velocity_per_flow
+                )
+                resistance = family.theta_jc_k_w + tim_service + perf.total_resistance_k_w
+            else:
+                resistance = np.full(n, np.inf)
+            if not np.all(flowing):
+                natural = _natural_film_resistance(module, oil_safe, state)
+                resistance = np.where(flowing, resistance, natural)
+            resistance = resistance + (tim_mult[ti] - 1.0) * tim_fresh
+            junction, runaway = phys.solve_junction_batch(
+                fpga.power_model,
+                resistance,
+                oil_safe,
+                np.full(n, fpga.utilization),
+                fpga.clock_mhz,
+            )
+            junction = np.where(runaway, RUNAWAY_CLAMP_C, junction)
+            chip_power = phys.fpga_power_batch(
+                fpga.power_model,
+                np.full(n, fpga.utilization),
+                fpga.clock_mhz,
+                junction,
+            )
+            controller_heat = (
+                section.n_boards * chip_power / 3.0
+                if section.ccb.separate_controller
+                else 0.0
+            )
+            heat = chips * chip_power + misc + controller_heat
+            psu_out = np.minimum(heat / section.n_psus, section.psu.rated_output_w)
+            load = psu_out / section.psu.rated_output_w
+            droop = 0.025 * (load - 0.5) ** 2 / 0.25
+            eta = section.psu.peak_efficiency - droop
+            psu_each = np.where(psu_out == 0.0, 0.0, psu_out * (1.0 / eta - 1.0))
+            heat = heat + psu_each * section.n_psus
+
+            # --- heat exchanger -----------------------------------------
+            hx_mask = alive & flowing & (oil_c > self.water_in)
+            bad_now = hx_mask & water_bad
+            if np.any(bad_now):
+                fail(
+                    bad_now,
+                    lambda i: bprops.range_error(self.water, float(self.water_in[i])),
+                )
+                alive = alive & ~bad_now
+                hx_mask = hx_mask & ~bad_now
+            if np.any(hx_mask):
+                hx = phys.hx_solve_batch(
+                    module.hx,
+                    self.oil,
+                    oil_safe,
+                    np.where(flowing, flow, 1.0e-4),
+                    self.water,
+                    np.clip(self.water_in, self.water.t_min_c, self.water.t_max_c),
+                    self.water_flow,
+                )
+                rejected = np.where(hx_mask, hx.q_w, 0.0)
+            else:
+                rejected = np.zeros(n)
+
+            if module.pump.immersed:
+                pump_heat = phys.pump_electrical_batch(module.pump, flow)
+                heat = heat + np.where(step_speed > 0.0, pump_heat, 0.0)
+
+            new_oil = oil_c + (heat - rejected) * dt_s / self.mass
+            new_oil = np.minimum(new_oil, oil_ceiling)
+            oil_c = np.where(alive, new_oil, oil_c)
+            max_junction = np.where(
+                alive, np.maximum(max_junction, junction), max_junction
+            )
+            max_oil = np.where(alive, np.maximum(max_oil, oil_c), max_oil)
+
+            channels["oil_c"][ti] = oil_c
+            channels["junction_c"][ti] = junction
+            channels["oil_flow_m3_s"][ti] = flow
+            channels["bath_heat_w"][ti] = heat
+            channels["rejected_w"][ti] = rejected
+            channels["pump_speed"][ti] = step_speed
+            channels["level_fraction"][ti] = level[ti]
+
+        # Per-lane cache accounting: a lane's serial run evaluates the
+        # cached flow once per pumping step; distinct buckets are misses.
+        hits = np.zeros(n, dtype=np.int64)
+        misses = np.zeros(n, dtype=np.int64)
+        if self.bucket_c > 0:
+            oil_hist = channels["oil_c"]
+            # Bucket of the oil temperature *entering* each step: step 0 uses
+            # the initial bath, later steps the previous step's closing oil.
+            entering = np.vstack([initial_bath.reshape(1, -1), oil_hist[:-1]])
+            bucket_hist = np.rint(entering / self.bucket_c).astype(np.int64)
+            pumping_hist = speed > 0.0
+            for i in range(n):
+                seen: set = set()
+                for ti in range(steps):
+                    if not pumping_hist[ti, i]:
+                        continue
+                    b = int(bucket_hist[ti, i])
+                    if b in seen:
+                        hits[i] += 1
+                    else:
+                        seen.add(b)
+                        misses[i] += 1
+
+        return ModuleTransientBatch(
+            module=module,
+            times_s=times_arr,
+            channels=channels,
+            max_junction_c=max_junction,
+            max_oil_c=max_oil,
+            flow_cache_hits=hits,
+            flow_cache_misses=misses,
+            errors=errors,
+        )
+
+
+def run_module_transient_batch(
+    module: ComputationalModule,
+    duration_s: float,
+    events_per_lane: Sequence[Sequence[FailureEvent]],
+    *,
+    dt_s: float = 5.0,
+    water_in_c=20.0,
+    water_flow_m3_s=1.2e-3,
+    oil_thermal_mass_j_k: float = 1.0e5,
+    bath_volume_m3: float = 0.06,
+    flow_cache_bucket_c: float = 0.1,
+    initial_oil_c=None,
+) -> ModuleTransientBatch:
+    """Integrate N open-loop module transients in one lockstep pass.
+
+    ``events_per_lane`` fixes the batch width N; ``water_in_c``,
+    ``water_flow_m3_s`` and ``initial_oil_c`` broadcast (scalars are shared
+    across lanes). Closed-loop features (controller, supervisor, PID,
+    sensor faults) are the serial simulator's domain — the batch engine is
+    the open-loop sweep fast path.
+    """
+    n = len(events_per_lane)
+    if n == 0:
+        raise ValueError("events_per_lane must contain at least one lane")
+    # None means "no events", matching the serial run() signature.
+    events_per_lane = [
+        list(lane_events) if lane_events is not None else []
+        for lane_events in events_per_lane
+    ]
+    for lane_events in events_per_lane:
+        for event in lane_events:
+            if event.kind == "sensor_fault":
+                raise ValueError(
+                    "sensor_fault events require the supervised serial "
+                    "simulator; the batch engine is open-loop only"
+                )
+    water_in = np.broadcast_to(np.asarray(water_in_c, dtype=float), (n,)).copy()
+    water_flow = np.broadcast_to(
+        np.asarray(water_flow_m3_s, dtype=float), (n,)
+    ).copy()
+    initial = (
+        None
+        if initial_oil_c is None
+        else np.broadcast_to(np.asarray(initial_oil_c, dtype=float), (n,)).copy()
+    )
+    runner = _TransientRunner(
+        module,
+        water_in_c=water_in,
+        water_flow_m3_s=water_flow,
+        oil_thermal_mass_j_k=oil_thermal_mass_j_k,
+        bath_volume_m3=bath_volume_m3,
+        flow_cache_bucket_c=flow_cache_bucket_c,
+    )
+    return runner.run(duration_s, events_per_lane, dt_s, initial)

@@ -244,6 +244,32 @@ class RackManifoldSystem:
             layout=self.layout, loop_flows_m3_s=flows, failed_loops=failed
         )
 
+    def solve_batch(
+        self,
+        opening_fraction=None,
+        pump_speed_fraction=None,
+        temperature_c=None,
+        tolerance_m3_s: float = 1.0e-9,
+    ):
+        """Batched view of :meth:`solve` over N valve/pump/temperature rows.
+
+        Delegates to :func:`repro.batch.manifold.solve_manifold_batch`
+        with this system as the topology template (the system object is
+        not mutated); ``batch.report(i)`` rebuilds the exact serial
+        :class:`BalanceReport`. ``opening_fraction=None`` reads the
+        current valve state — a plain :meth:`solve` as an N=1 batch.
+        The scalar path above stays the differential oracle.
+        """
+        from repro.batch.manifold import solve_manifold_batch
+
+        return solve_manifold_batch(
+            self,
+            opening_fraction,
+            pump_speed_fraction=pump_speed_fraction,
+            temperature_c=temperature_c,
+            tolerance_m3_s=tolerance_m3_s,
+        )
+
     def junction_residuals_m3_s(self) -> Dict[str, float]:
         """Per-junction continuity residuals of the last :meth:`solve`.
 

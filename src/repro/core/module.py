@@ -189,6 +189,28 @@ class ComputationalModule:
             module_electrical_w=module_electrical,
         )
 
+    def solve_steady_batch(
+        self,
+        water_in_c=20.0,
+        water_flow_m3_s=8.0e-4,
+        utilization=None,
+    ):
+        """Batched view of :meth:`solve_steady` over N water/load scenarios.
+
+        Accepts scalars or length-N arrays for the water boundary
+        conditions and an optional per-scenario FPGA utilization override,
+        and returns a :class:`repro.batch.steady.ModuleSteadyBatch` whose
+        ``report(i)`` rebuilds the exact serial :class:`ModuleReport`.
+        A scalar call (``N=1``) is the thin batched view of this method;
+        the scalar implementation above stays the differential oracle
+        (``tests/test_batch_differential.py``).
+        """
+        from repro.batch.steady import solve_module_steady_batch
+
+        return solve_module_steady_batch(
+            self, water_in_c, water_flow_m3_s, utilization=utilization
+        )
+
     @property
     def height_mm(self) -> float:
         """Module height, mm."""

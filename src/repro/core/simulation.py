@@ -325,6 +325,64 @@ class ModuleSimulator:
         with obs.span("module_sim.run"), obs.profile("module_sim.run"):
             return self._run(duration_s, events, dt_s, initial_oil_c)
 
+    def run_many(
+        self,
+        duration_s: float,
+        scenarios: List[Optional[List[FailureEvent]]],
+        dt_s: float = 5.0,
+        initial_oil_c: Optional[float] = None,
+    ):
+        """Batched open-loop view of :meth:`run` over N event scenarios.
+
+        Stacks every scenario's bath state into the structure-of-arrays
+        transient engine (:func:`repro.batch.transient.
+        run_module_transient_batch`) under this simulator's boundary
+        conditions; ``batch.result(i)`` rebuilds the exact serial
+        :class:`SimulationResult`. Open-loop only — closed-loop runs
+        (controller, supervisor or PID attached) keep using :meth:`run`,
+        whose scalar stepping stays the differential oracle. When a
+        :class:`~repro.verify.checkers.CheckSuite` is attached, every
+        lane's rebuilt result is audited exactly like a serial run.
+        """
+        if (
+            self.controller is not None
+            or self.supervisor is not None
+            or self.pid is not None
+        ):
+            raise ValueError(
+                "run_many is open-loop only — closed-loop runs "
+                "(controller/supervisor/PID) use run()"
+            )
+        from repro.batch.transient import run_module_transient_batch
+
+        obs = get_registry()
+        with obs.span("module_sim.run_many"), obs.profile("module_sim.run_many"):
+            batch = run_module_transient_batch(
+                self.module,
+                duration_s,
+                list(scenarios),
+                dt_s=dt_s,
+                water_in_c=self.water_in_c,
+                water_flow_m3_s=self.water_flow_m3_s,
+                oil_thermal_mass_j_k=self.oil_thermal_mass_j_k,
+                bath_volume_m3=self.bath_volume_m3,
+                flow_cache_bucket_c=self.flow_cache_bucket_c,
+                initial_oil_c=initial_oil_c,
+            )
+        if self.checks is not None:
+            initial_bath_c = (
+                initial_oil_c if initial_oil_c is not None else self.water_in_c + 8.0
+            )
+            for i in range(len(batch.errors)):
+                if batch.errors[i] is None:
+                    self.checks.check_module_run(
+                        self,
+                        batch.result(i),
+                        dt_s=dt_s,
+                        initial_oil_c=initial_bath_c,
+                    )
+        return batch
+
     def _run(
         self,
         duration_s: float,

@@ -15,6 +15,11 @@ from repro.sweep.backends import (
     available_backends,
     get_backend,
 )
+from repro.sweep.batched import (
+    SERIAL_FALLBACK,
+    BatchedSweepFn,
+    run_sweep_batched,
+)
 from repro.sweep.runner import (
     SweepCase,
     SweepOutcome,
@@ -27,6 +32,8 @@ from repro.sweep.runner import (
 
 __all__ = [
     "DEFAULT_MAX_WORKERS",
+    "SERIAL_FALLBACK",
+    "BatchedSweepFn",
     "ProcessBackend",
     "SerialBackend",
     "SweepCase",
@@ -35,6 +42,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "run_sweep",
+    "run_sweep_batched",
     "summarize_failures",
     "sweep_cases",
     "sweep_simulations",

@@ -1,0 +1,219 @@
+"""Batched sweep execution: chunk cases into structure-of-arrays solves.
+
+:func:`run_sweep_batched` is :func:`repro.sweep.runner.run_sweep` for
+evaluations that also exist in a batched (structure-of-arrays) form, such
+as the :mod:`repro.batch` engines. Cases are grouped into contiguous
+batches of ``batch_size``; each batch is evaluated in **one** call of the
+spec's ``batch`` function, and the per-case results are unpacked back into
+ordinary :class:`~repro.sweep.cases.SweepOutcome` records — same ordering,
+same error-capture semantics, same metric determinism across the serial,
+thread and process backends as the per-case runner.
+
+Fallback ladder, mirroring the hydraulic solver's fast-path contract:
+
+- a batch function may return :data:`SERIAL_FALLBACK` for individual
+  lanes (a scenario its vectorized path cannot finish — e.g. a lane the
+  batched manifold engine already re-solved serially raises on, or a
+  steady lane with no equilibrium). Only those lanes are re-evaluated
+  through the spec's per-case ``serial`` function; their neighbours keep
+  their batched values untouched.
+- a batch function that *raises* demotes its entire batch to per-case
+  serial evaluation.
+
+Counters (merged deterministically across backends): ``sweep_batches_total``,
+``sweep_batched_cases_total``, ``sweep_batch_fallbacks_total`` (lanes
+re-run serially), ``sweep_batch_errors_total`` (whole-batch demotions).
+Note the inner dispatch counts *batches* as its sweep cases, so
+``sweep_cases_total`` advances by the batch count, while the batched
+counters account for the real scenario count.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs import get_registry
+from repro.sweep.backends import _picklable_exception
+from repro.sweep.cases import SweepCase, SweepOutcome
+from repro.sweep.runner import run_sweep
+
+__all__ = [
+    "SERIAL_FALLBACK",
+    "BatchedSweepFn",
+    "run_sweep_batched",
+]
+
+
+class _SerialFallback:
+    """Sentinel a batch function returns for lanes needing serial re-runs."""
+
+    _instance: Optional["_SerialFallback"] = None
+
+    def __new__(cls) -> "_SerialFallback":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SERIAL_FALLBACK"
+
+
+#: Lane marker: "evaluate this case through the serial path instead".
+SERIAL_FALLBACK = _SerialFallback()
+
+
+@dataclass(frozen=True)
+class BatchedSweepFn:
+    """A sweep evaluation available in per-case and batched form.
+
+    ``serial`` evaluates one case (the oracle; also the fallback path);
+    ``batch`` evaluates a whole case list in one call and returns one
+    value per case, in case order, using :data:`SERIAL_FALLBACK` for
+    lanes it could not finish. Both must be picklable (module-level
+    functions) for the process backend. The differential suite pins
+    ``batch`` == ``serial`` per case.
+    """
+
+    serial: Callable[[SweepCase], Any]
+    batch: Callable[[List[SweepCase]], Sequence[Any]]
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One case's result inside a batch outcome (picklable)."""
+
+    value: Any = None
+    exception: Optional[BaseException] = None
+    error: Optional[str] = None
+    error_traceback: Optional[str] = None
+
+
+def _evaluate_batch(batch_case: SweepCase) -> List[_Cell]:
+    """Worker-side evaluation of one batch of cases.
+
+    Never raises: per-case failures are captured into cells so the outer
+    dispatch stays error-free on every backend and ``on_error`` can be
+    honoured uniformly by the parent after flattening.
+    """
+    spec: BatchedSweepFn = batch_case.params["spec"]
+    cases: List[SweepCase] = batch_case.params["cases"]
+    obs = get_registry()
+    obs.inc("sweep_batches_total")
+    obs.inc("sweep_batched_cases_total", len(cases))
+    try:
+        values = list(spec.batch(cases))
+        if len(values) != len(cases):
+            raise ValueError(
+                f"batch function returned {len(values)} values "
+                f"for {len(cases)} cases"
+            )
+    except Exception:  # noqa: BLE001 - demote the whole batch to serial
+        obs.inc("sweep_batch_errors_total")
+        values = [SERIAL_FALLBACK] * len(cases)
+    cells: List[_Cell] = []
+    for case, value in zip(cases, values):
+        if value is SERIAL_FALLBACK:
+            obs.inc("sweep_batch_fallbacks_total")
+            try:
+                with obs.span("sweep.case", case=case.name), obs.profile(
+                    "sweep.case"
+                ):
+                    value = spec.serial(case)
+            except Exception as exc:  # noqa: BLE001 - captured per case
+                obs.inc("sweep_case_errors_total")
+                cells.append(
+                    _Cell(
+                        exception=_picklable_exception(exc),
+                        error=repr(exc),
+                        error_traceback=_traceback.format_exc(),
+                    )
+                )
+                continue
+        cells.append(_Cell(value=value))
+    return cells
+
+
+def run_sweep_batched(
+    fn: BatchedSweepFn,
+    cases: Sequence[SweepCase],
+    batch_size: int = 64,
+    max_workers: Optional[int] = None,
+    on_error: str = "raise",
+    backend: Optional[str] = None,
+) -> List[SweepOutcome]:
+    """Evaluate a sweep in structure-of-arrays batches, in case order.
+
+    Parameters
+    ----------
+    fn:
+        The paired serial/batched evaluation.
+    cases:
+        Sweep points, in the order results are wanted.
+    batch_size:
+        Scenarios per batched solve. A batch size beyond ``len(cases)``
+        simply produces one ragged batch; the final batch of any sweep is
+        ragged whenever ``len(cases) % batch_size != 0``.
+    max_workers, backend:
+        As :func:`~repro.sweep.runner.run_sweep`; parallelism is over
+        *batches* (each worker solves whole batches).
+    on_error:
+        ``"raise"`` re-raises the first failing case's exception after
+        the sweep's batches complete; ``"capture"`` records failures on
+        the outcomes.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if on_error not in ("raise", "capture"):
+        raise ValueError("on_error must be 'raise' or 'capture'")
+    if not isinstance(fn, BatchedSweepFn):
+        raise TypeError("fn must be a BatchedSweepFn")
+    cases = list(cases)
+    if not cases:
+        return []
+    obs = get_registry()
+    obs.inc("sweep_batched_runs_total")
+    batches = [
+        cases[i : i + batch_size] for i in range(0, len(cases), batch_size)
+    ]
+    starts = list(range(0, len(cases), batch_size))
+    batch_cases = [
+        SweepCase(
+            name=f"batch_{k}",
+            params={"spec": fn, "cases": batch, "start": start},
+        )
+        for k, (batch, start) in enumerate(zip(batches, starts))
+    ]
+    batch_outcomes = run_sweep(
+        _evaluate_batch,
+        batch_cases,
+        max_workers=max_workers,
+        chunk_size=1,
+        on_error="raise",  # _evaluate_batch never raises
+        backend=backend,
+    )
+    outcomes: List[SweepOutcome] = []
+    first_exc: Optional[BaseException] = None
+    for outcome, start in zip(batch_outcomes, starts):
+        cells: List[_Cell] = outcome.value
+        for offset, cell in enumerate(cells):
+            case = cases[start + offset]
+            if cell.error is None:
+                outcomes.append(
+                    SweepOutcome(case=case, index=start + offset, value=cell.value)
+                )
+            else:
+                if first_exc is None:
+                    first_exc = cell.exception or RuntimeError(cell.error)
+                outcomes.append(
+                    SweepOutcome(
+                        case=case,
+                        index=start + offset,
+                        error=cell.error,
+                        error_traceback=cell.error_traceback,
+                    )
+                )
+    if on_error == "raise" and first_exc is not None:
+        raise first_exc
+    return outcomes

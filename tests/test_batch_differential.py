@@ -1,0 +1,430 @@
+"""Differential tests: the batched engines against their serial oracles.
+
+The contract of :mod:`repro.batch`: every structure-of-arrays engine —
+module steady state, module transient, rack manifold — reproduces the
+untouched serial solver lane for lane, and the batched sweep dispatcher
+(:func:`repro.sweep.batched.run_sweep_batched`) produces an identical
+``SweepOutcome`` sequence and identical canonical metric exports on the
+serial, thread and process backends. The committed byte-for-byte goldens
+(``tests/goldens/batch_sweep.json``, ``batch_metrics.json``) tie the
+batched sweep to the CI smoke job; regenerate them after an intentional
+physics change with::
+
+    PYTHONPATH=src python scripts/run_batch_differential.py \\
+        --steady 12 --manifold 12 --batch-size 5 --backend serial \\
+        --out tests/goldens/batch_sweep.json \\
+        --metrics-out tests/goldens/batch_metrics.json
+
+Tolerances: the serial steady solve refines its oil-temperature root with
+``brentq(xtol=1e-6)`` while the batch path refines the same bracket to
+1e-9, so steady quantities agree to ~1e-8 relative and are pinned at
+1e-6. The transient and manifold engines replay the serial arithmetic
+element for element and are pinned at 1e-9.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.batch.manifold import solve_manifold_batch
+from repro.batch.steady import solve_module_steady_batch
+from repro.batch.transient import run_module_transient_batch
+from repro.batch.sweepfns import (
+    MODULE_STEADY,
+    RACK_MANIFOLD,
+    manifold_smoke_cases,
+    steady_smoke_cases,
+)
+from repro.control.supervisor import Supervisor
+from repro.core.balancing import RackManifoldSystem
+from repro.core.simulation import ModuleSimulator
+from repro.core.skat import skat
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.reliability.failures import (
+    leak_event,
+    pump_stop_event,
+    sensor_fault_event,
+    tim_washout_drift,
+)
+from repro.sweep import run_sweep, run_sweep_batched
+from repro.verify.checkers import CheckSuite
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Brentq-vs-Illinois slack of the steady root (see module docstring).
+STEADY_RTOL = 1.0e-6
+#: The transient and manifold engines mirror the serial float arithmetic.
+TRANSIENT_RTOL = 1.0e-9
+MANIFOLD_RTOL = 1.0e-9
+
+#: Batch widths of the direct engine comparisons (ragged sweep chunks are
+#: exercised separately by the 12-case, batch-size-5 sweep matrix below).
+BATCH_WIDTHS = [1, 2, 7, 64]
+
+
+def _steady_fields(report):
+    return {
+        "oil_cold_c": report.oil_cold_c,
+        "oil_hot_c": report.oil_hot_c,
+        "oil_flow_m3_s": report.oil_flow_m3_s,
+        "pump_electrical_w": report.pump_electrical_w,
+        "max_fpga_c": report.max_fpga_c,
+        "bath_mean_c": report.bath_mean_c,
+        "module_electrical_w": report.module_electrical_w,
+        "total_heat_to_water_w": report.total_heat_to_water_w,
+    }
+
+
+def _assert_fields_close(measured, expected, rtol, label):
+    for key, value in expected.items():
+        assert measured[key] == pytest.approx(value, rel=rtol), (
+            f"{label}.{key}: batched {measured[key]!r} vs serial {value!r}"
+        )
+
+
+class TestModuleSteadyDifferential:
+    """solve_module_steady_batch vs ComputationalModule.solve_steady."""
+
+    @pytest.mark.parametrize("n", BATCH_WIDTHS)
+    def test_batched_equals_serial(self, n):
+        water_in = np.linspace(14.0, 26.0, n) if n > 1 else np.array([20.0])
+        water_flow = np.linspace(5.0e-4, 1.2e-3, n) if n > 1 else np.array([8.0e-4])
+        utilization = np.linspace(0.55, 1.0, n) if n > 1 else np.array([0.9])
+        batch = solve_module_steady_batch(
+            skat(), water_in, water_flow, utilization=utilization
+        )
+        assert len(batch) == n
+        assert batch.ok.all()
+        for i in range(n):
+            serial = skat(utilization=float(utilization[i])).solve_steady(
+                water_in_c=float(water_in[i]),
+                water_flow_m3_s=float(water_flow[i]),
+            )
+            _assert_fields_close(
+                _steady_fields(batch.report(i)),
+                _steady_fields(serial),
+                STEADY_RTOL,
+                f"steady[{i}]",
+            )
+
+    def test_module_view_defaults_equal_serial(self):
+        """The N=1 view on the module reproduces the scalar call."""
+        module = skat()
+        batch = module.solve_steady_batch()
+        assert len(batch) == 1
+        _assert_fields_close(
+            _steady_fields(batch.report(0)),
+            _steady_fields(module.solve_steady()),
+            STEADY_RTOL,
+            "steady_view",
+        )
+
+    def test_failed_lane_matches_serial_and_isolates_neighbours(self):
+        """An out-of-range lane raises the serial error; neighbours are
+        bitwise identical to a batch that never contained it."""
+        module = skat()
+        with pytest.raises(ValueError) as serial_exc:
+            module.solve_steady(water_in_c=500.0)
+        mixed = solve_module_steady_batch(
+            module, np.array([20.0, 500.0, 24.0]), np.array([8.0e-4] * 3)
+        )
+        assert list(mixed.ok) == [True, False, True]
+        assert type(mixed.errors[1]) is type(serial_exc.value)
+        assert str(mixed.errors[1]) == str(serial_exc.value)
+        with pytest.raises(ValueError, match=str(serial_exc.value)[:20]):
+            mixed.report(1)
+        clean = solve_module_steady_batch(
+            module, np.array([20.0, 24.0]), np.array([8.0e-4] * 2)
+        )
+        for good, ref in ((0, 0), (2, 1)):
+            assert mixed.oil_cold_c[good] == clean.oil_cold_c[ref]
+            assert mixed.oil_flow_m3_s[good] == clean.oil_flow_m3_s[ref]
+            assert mixed.hx.q_w[good] == clean.hx.q_w[ref]
+
+
+#: Open-loop failure scripts of the transient comparison; ``None`` checks
+#: the "no events" convention the serial ``run()`` signature uses.
+TRANSIENT_SCENARIOS = [
+    None,
+    [],
+    [pump_stop_event(300.0, "oil_pump")],
+    [pump_stop_event(200.0, "oil_pump", remaining_speed=0.6)],
+    [tim_washout_drift(100.0, "all", 2.0)],
+    [leak_event(240.0, "bath", 2.0e-5)],
+    [
+        pump_stop_event(350.0, "oil_pump", remaining_speed=0.5),
+        leak_event(150.0, "bath", 1.0e-5),
+    ],
+]
+
+TRANSIENT_DURATION_S = 900.0
+TRANSIENT_DT_S = 10.0
+
+
+class TestModuleTransientDifferential:
+    """run_module_transient_batch vs ModuleSimulator.run, lane for lane."""
+
+    @pytest.mark.parametrize(
+        "scenarios",
+        [
+            TRANSIENT_SCENARIOS[:1],
+            TRANSIENT_SCENARIOS[:2],
+            TRANSIENT_SCENARIOS,
+        ],
+        ids=["n1", "n2", "n7"],
+    )
+    def test_batched_equals_serial(self, scenarios):
+        module = skat()
+        n = len(scenarios)
+        water_in = np.linspace(18.0, 24.0, n) if n > 1 else np.array([20.0])
+        batch = run_module_transient_batch(
+            module,
+            TRANSIENT_DURATION_S,
+            scenarios,
+            dt_s=TRANSIENT_DT_S,
+            water_in_c=water_in,
+        )
+        assert batch.ok.all()
+        for i, events in enumerate(scenarios):
+            serial = ModuleSimulator(module, water_in_c=float(water_in[i])).run(
+                duration_s=TRANSIENT_DURATION_S,
+                events=list(events) if events else events,
+                dt_s=TRANSIENT_DT_S,
+            )
+            rebuilt = batch.result(i)
+            serial_times, _ = serial.telemetry.series("oil_c")
+            rebuilt_times, _ = rebuilt.telemetry.series("oil_c")
+            np.testing.assert_array_equal(rebuilt_times, serial_times)
+            for channel in serial.telemetry.channels:
+                _, expected = serial.telemetry.series(channel)
+                _, measured = rebuilt.telemetry.series(channel)
+                np.testing.assert_allclose(
+                    measured,
+                    expected,
+                    rtol=TRANSIENT_RTOL,
+                    atol=1.0e-12,
+                    err_msg=f"lane {i} channel {channel}",
+                )
+            assert rebuilt.telemetry.counters == serial.telemetry.counters
+            assert rebuilt.max_junction_c == pytest.approx(
+                serial.max_junction_c, rel=TRANSIENT_RTOL
+            )
+            assert rebuilt.max_oil_c == pytest.approx(
+                serial.max_oil_c, rel=TRANSIENT_RTOL
+            )
+            assert rebuilt.shutdown_time_s == serial.shutdown_time_s
+            assert rebuilt.alarms_raised == serial.alarms_raised
+
+    def test_run_many_view_passes_check_suite(self):
+        """The N=1..k view feeds every rebuilt lane through CheckSuite."""
+        simulator = ModuleSimulator(skat(), water_in_c=20.0)
+        simulator.checks = CheckSuite(strict=True)
+        batch = simulator.run_many(
+            600.0,
+            [None, [pump_stop_event(200.0, "oil_pump")]],
+            dt_s=10.0,
+        )
+        assert batch.ok.all()
+        assert simulator.checks.violations == []
+
+    def test_run_many_rejects_closed_loop(self):
+        simulator = ModuleSimulator(skat(), supervisor=Supervisor())
+        with pytest.raises(ValueError, match="open-loop only"):
+            simulator.run_many(300.0, [None], dt_s=10.0)
+
+    def test_sensor_faults_stay_serial(self):
+        with pytest.raises(ValueError, match="sensor_fault"):
+            run_module_transient_batch(
+                skat(),
+                300.0,
+                [[sensor_fault_event(100.0, "bath_sensor_0", 5.0)]],
+                dt_s=10.0,
+            )
+
+
+class TestManifoldDifferential:
+    """solve_manifold_batch vs RackManifoldSystem.solve, lane for lane."""
+
+    @pytest.mark.parametrize("n", BATCH_WIDTHS)
+    def test_batched_equals_serial(self, n):
+        rng = np.random.default_rng(2026 + n)
+        template = RackManifoldSystem()
+        openings = rng.uniform(0.25, 1.0, size=(n, template.n_loops))
+        if n >= 2:
+            openings[1, 3] = 0.0  # one serviced loop mid-batch
+        speeds = rng.uniform(0.7, 1.0, size=n)
+        temps = rng.uniform(15.0, 35.0, size=n)
+        batch = solve_manifold_batch(
+            template, openings, pump_speed_fraction=speeds, temperature_c=temps
+        )
+        assert batch.n == n
+        assert batch.ok.all()
+        assert not batch.fallback_mask.any()
+        for i in range(n):
+            system = RackManifoldSystem(
+                balancing_valves=[float(o) for o in openings[i]],
+                temperature_c=float(temps[i]),
+            )
+            system.pump.speed_fraction = float(speeds[i])
+            serial = system.solve()
+            rebuilt = batch.report(i)
+            assert rebuilt.failed_loops == serial.failed_loops
+            assert rebuilt.layout == serial.layout
+            np.testing.assert_allclose(
+                rebuilt.loop_flows_m3_s,
+                serial.loop_flows_m3_s,
+                rtol=MANIFOLD_RTOL,
+                atol=1.0e-15,
+                err_msg=f"lane {i} loop flows",
+            )
+            worst = max(abs(r) for r in batch.junction_residuals(i).values())
+            assert worst <= 1.0e-9
+
+    def test_forced_fallback_lanes_equal_serial_exactly(self):
+        """Lanes demoted to the robust serial ladder ARE serial solves."""
+        rng = np.random.default_rng(7)
+        template = RackManifoldSystem()
+        openings = rng.uniform(0.3, 1.0, size=(3, template.n_loops))
+        starved = solve_manifold_batch(template, openings, max_iterations=1)
+        assert starved.fallback_mask.all()
+        assert starved.ok.all()
+        for i in range(3):
+            serial = RackManifoldSystem(
+                balancing_valves=[float(o) for o in openings[i]]
+            ).solve()
+            assert starved.report(i).loop_flows_m3_s == serial.loop_flows_m3_s
+
+    def test_solve_batch_view_reads_current_valve_state(self):
+        system = RackManifoldSystem(
+            balancing_valves=[1.0, 0.8, 0.6, 1.0, 0.9, 0.7]
+        )
+        serial = system.solve()
+        batch = system.solve_batch()
+        assert batch.n == 1
+        np.testing.assert_allclose(
+            batch.report(0).loop_flows_m3_s,
+            serial.loop_flows_m3_s,
+            rtol=MANIFOLD_RTOL,
+            atol=1.0e-15,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The batched sweep across backends: 12 cases in batches of 5 gives two
+# full chunks plus one ragged 2-case chunk per family.
+
+STEADY_MATRIX = steady_smoke_cases(12)
+MANIFOLD_MATRIX = manifold_smoke_cases(12)
+SWEEP_BATCH_SIZE = 5
+
+
+def run_batched_matrix(backend, max_workers=2):
+    """Both family sweeps on one backend, plus the canonical metric export."""
+    with use_registry(MetricsRegistry()) as obs:
+        steady = run_sweep_batched(
+            MODULE_STEADY,
+            STEADY_MATRIX,
+            batch_size=SWEEP_BATCH_SIZE,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        manifold = run_sweep_batched(
+            RACK_MANIFOLD,
+            MANIFOLD_MATRIX,
+            batch_size=SWEEP_BATCH_SIZE,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        export = to_json(obs, exclude=("sweep_backend_",))
+    return steady, manifold, export
+
+
+@pytest.fixture(scope="module")
+def sweep_oracle():
+    return run_batched_matrix("serial")
+
+
+class TestBatchedSweepBackends:
+    """run_sweep_batched determinism across serial/thread/process."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_outcome_sequences_identical(self, backend, sweep_oracle):
+        steady, manifold, _ = run_batched_matrix(backend)
+        assert steady == sweep_oracle[0]
+        assert manifold == sweep_oracle[1]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_metric_exports_identical(self, backend, sweep_oracle):
+        _, _, export = run_batched_matrix(backend)
+        assert export == sweep_oracle[2]
+
+    def test_batched_values_match_per_case_serial(self, sweep_oracle):
+        """The dispatcher's values equal a plain per-case serial sweep."""
+        steady, manifold, _ = sweep_oracle
+        serial_steady = run_sweep(MODULE_STEADY.serial, STEADY_MATRIX)
+        for batched, oracle in zip(steady, serial_steady):
+            assert batched.ok and oracle.ok
+            assert batched.case == oracle.case
+            assert set(batched.value) == set(oracle.value)
+            for key, expected in oracle.value.items():
+                assert batched.value[key] == pytest.approx(
+                    expected, rel=STEADY_RTOL
+                ), f"{batched.case.name}.{key}"
+        serial_manifold = run_sweep(RACK_MANIFOLD.serial, MANIFOLD_MATRIX)
+        for batched, oracle in zip(manifold, serial_manifold):
+            assert batched.ok and oracle.ok
+            assert batched.value["failed_loops"] == oracle.value["failed_loops"]
+            np.testing.assert_allclose(
+                batched.value["loop_flows_m3_s"],
+                oracle.value["loop_flows_m3_s"],
+                rtol=MANIFOLD_RTOL,
+                atol=1.0e-15,
+                err_msg=batched.case.name,
+            )
+
+    def test_ordering_and_indices_are_case_order(self, sweep_oracle):
+        steady, manifold, _ = sweep_oracle
+        assert [o.index for o in steady] == list(range(len(STEADY_MATRIX)))
+        assert [o.case.name for o in manifold] == [
+            c.name for c in MANIFOLD_MATRIX
+        ]
+
+
+class TestPinnedGoldens:
+    """All three backends must reproduce the committed bytes."""
+
+    @pytest.fixture(scope="class")
+    def golden_payload(self):
+        return (GOLDEN_DIR / "batch_sweep.json").read_text()
+
+    @pytest.fixture(scope="class")
+    def golden_metrics(self):
+        return (GOLDEN_DIR / "batch_metrics.json").read_text()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_reproduces_goldens(
+        self, backend, golden_payload, golden_metrics
+    ):
+        steady, manifold, export = run_batched_matrix(backend)
+        payload = json.dumps(
+            {
+                "module_steady": [o.value for o in steady],
+                "manifold": [o.value for o in manifold],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        assert payload + "\n" == golden_payload, (
+            "batched sweep payload drifted from tests/goldens/"
+            "batch_sweep.json — regenerate with "
+            "scripts/run_batch_differential.py (see module docstring) and "
+            "review the diff"
+        )
+        assert export + "\n" == golden_metrics, (
+            "batched sweep metrics drifted from tests/goldens/"
+            "batch_metrics.json — regenerate with "
+            "scripts/run_batch_differential.py (see module docstring)"
+        )

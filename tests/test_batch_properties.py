@@ -1,0 +1,234 @@
+"""Property tests: lane independence of the batched engines.
+
+The structure-of-arrays engines advance every scenario lane with
+elementwise arithmetic and per-lane masks, so three exact (bitwise)
+equivariances must hold for any inputs:
+
+- **duplicates** — a batch of N identical scenarios returns N identical
+  rows;
+- **permutation** — permuting the scenario lanes permutes the result rows
+  and changes nothing else;
+- **slicing** — solving a contiguous slice of the batch inputs equals the
+  same slice of the full batch solve.
+
+Hypothesis drives the scenario generator with random seeds; the checks
+compare float arrays with ``==``, not a tolerance — lane coupling of any
+magnitude is a bug, because it would break the batched==serial
+differential contract for *some* batch composition.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.manifold import solve_manifold_batch
+from repro.batch.steady import solve_module_steady_batch
+from repro.batch.transient import run_module_transient_batch
+from repro.core.balancing import RackManifoldSystem
+from repro.core.skat import skat
+
+#: Shared templates: the engines read them, never mutate them.
+MODULE = skat()
+TEMPLATE = RackManifoldSystem()
+
+COMMON = dict(deadline=None, max_examples=8)
+
+seeds = st.integers(0, 2**32 - 1)
+widths = st.integers(2, 6)
+
+
+# -- scenario generators ----------------------------------------------------
+
+
+def _steady_inputs(rng, n):
+    return (
+        rng.uniform(15.0, 26.0, size=n),
+        rng.uniform(5.0e-4, 1.2e-3, size=n),
+        rng.uniform(0.6, 1.0, size=n),
+    )
+
+
+def _steady_rows(batch):
+    assert batch.ok.all()
+    return np.column_stack(
+        [
+            batch.oil_cold_c,
+            batch.oil_hot_c,
+            batch.oil_flow_m3_s,
+            batch.pump_electrical_w,
+            batch.hx.q_w,
+            batch.immersion.max_junction_c,
+        ]
+    )
+
+
+def _manifold_inputs(rng, n):
+    return (
+        rng.uniform(0.3, 1.0, size=(n, TEMPLATE.n_loops)),
+        rng.uniform(0.7, 1.0, size=n),
+        rng.uniform(15.0, 35.0, size=n),
+    )
+
+
+def _manifold_rows(batch):
+    assert batch.ok.all()
+    return np.column_stack(
+        [batch.loop_flows_m3_s, batch.pressures_pa, batch.pump_flow_m3_s]
+    )
+
+
+def _transient_rows(batch):
+    assert batch.ok.all()
+    return np.concatenate(
+        [batch.channels[name] for name in sorted(batch.channels)]
+        + [batch.max_junction_c[None, :], batch.max_oil_c[None, :]]
+    ).T
+
+
+def _run_transient(water_in):
+    n = water_in.shape[0]
+    return run_module_transient_batch(
+        MODULE, 300.0, [[] for _ in range(n)], dt_s=30.0, water_in_c=water_in
+    )
+
+
+# -- duplicates -------------------------------------------------------------
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_steady_duplicates_identical(seed, n):
+    rng = np.random.default_rng(seed)
+    water_in, water_flow, util = _steady_inputs(rng, 1)
+    batch = solve_module_steady_batch(
+        MODULE,
+        np.full(n, water_in[0]),
+        np.full(n, water_flow[0]),
+        utilization=np.full(n, util[0]),
+    )
+    rows = _steady_rows(batch)
+    assert (rows == rows[0]).all()
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_manifold_duplicates_identical(seed, n):
+    rng = np.random.default_rng(seed)
+    openings, speeds, temps = _manifold_inputs(rng, 1)
+    batch = solve_manifold_batch(
+        TEMPLATE,
+        np.tile(openings, (n, 1)),
+        pump_speed_fraction=np.full(n, speeds[0]),
+        temperature_c=np.full(n, temps[0]),
+    )
+    rows = _manifold_rows(batch)
+    assert (rows == rows[0]).all()
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_transient_duplicates_identical(seed, n):
+    rng = np.random.default_rng(seed)
+    water_in = float(rng.uniform(16.0, 26.0))
+    rows = _transient_rows(_run_transient(np.full(n, water_in)))
+    assert (rows == rows[0]).all()
+
+
+# -- permutation invariance -------------------------------------------------
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_steady_permutation_invariant(seed, n):
+    rng = np.random.default_rng(seed)
+    water_in, water_flow, util = _steady_inputs(rng, n)
+    perm = rng.permutation(n)
+    base = solve_module_steady_batch(
+        MODULE, water_in, water_flow, utilization=util
+    )
+    shuffled = solve_module_steady_batch(
+        MODULE, water_in[perm], water_flow[perm], utilization=util[perm]
+    )
+    assert (_steady_rows(shuffled) == _steady_rows(base)[perm]).all()
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_manifold_permutation_invariant(seed, n):
+    rng = np.random.default_rng(seed)
+    openings, speeds, temps = _manifold_inputs(rng, n)
+    perm = rng.permutation(n)
+    base = solve_manifold_batch(
+        TEMPLATE, openings, pump_speed_fraction=speeds, temperature_c=temps
+    )
+    shuffled = solve_manifold_batch(
+        TEMPLATE,
+        openings[perm],
+        pump_speed_fraction=speeds[perm],
+        temperature_c=temps[perm],
+    )
+    assert (_manifold_rows(shuffled) == _manifold_rows(base)[perm]).all()
+
+
+@settings(**COMMON)
+@given(seeds, widths)
+def test_transient_permutation_invariant(seed, n):
+    rng = np.random.default_rng(seed)
+    water_in = rng.uniform(16.0, 26.0, size=n)
+    perm = rng.permutation(n)
+    base = _transient_rows(_run_transient(water_in))
+    shuffled = _transient_rows(_run_transient(water_in[perm]))
+    assert (shuffled == base[perm]).all()
+
+
+# -- slicing ----------------------------------------------------------------
+
+
+@st.composite
+def slices(draw):
+    n = draw(st.integers(3, 7))
+    lo = draw(st.integers(0, n - 2))
+    hi = draw(st.integers(lo + 1, n - 1))
+    return n, lo, hi
+
+
+@settings(**COMMON)
+@given(seeds, slices())
+def test_steady_slice_equals_solved_slice(seed, spec):
+    n, lo, hi = spec
+    rng = np.random.default_rng(seed)
+    water_in, water_flow, util = _steady_inputs(rng, n)
+    full = solve_module_steady_batch(MODULE, water_in, water_flow, utilization=util)
+    part = solve_module_steady_batch(
+        MODULE, water_in[lo:hi], water_flow[lo:hi], utilization=util[lo:hi]
+    )
+    assert (_steady_rows(part) == _steady_rows(full)[lo:hi]).all()
+
+
+@settings(**COMMON)
+@given(seeds, slices())
+def test_manifold_slice_equals_solved_slice(seed, spec):
+    n, lo, hi = spec
+    rng = np.random.default_rng(seed)
+    openings, speeds, temps = _manifold_inputs(rng, n)
+    full = solve_manifold_batch(
+        TEMPLATE, openings, pump_speed_fraction=speeds, temperature_c=temps
+    )
+    part = solve_manifold_batch(
+        TEMPLATE,
+        openings[lo:hi],
+        pump_speed_fraction=speeds[lo:hi],
+        temperature_c=temps[lo:hi],
+    )
+    assert (_manifold_rows(part) == _manifold_rows(full)[lo:hi]).all()
+
+
+@settings(**COMMON)
+@given(seeds, slices())
+def test_transient_slice_equals_solved_slice(seed, spec):
+    n, lo, hi = spec
+    rng = np.random.default_rng(seed)
+    water_in = rng.uniform(16.0, 26.0, size=n)
+    full = _transient_rows(_run_transient(water_in))
+    part = _transient_rows(_run_transient(water_in[lo:hi]))
+    assert (part == full[lo:hi]).all()

@@ -175,13 +175,15 @@ def test_golden(name):
 def test_goldens_have_no_strays():
     """Every committed golden file corresponds to a builder."""
     # The observability exports (obs_export.*) are owned by
-    # tests/test_obs_export.py and the facility backend goldens
+    # tests/test_obs_export.py, the facility backend goldens
     # (facility_sweep/facility_metrics) by
-    # tests/test_facility_differential.py; both pin bytes, not values.
+    # tests/test_facility_differential.py, and the batched-sweep goldens
+    # (batch_sweep/batch_metrics) by tests/test_batch_differential.py;
+    # all of those pin bytes, not values.
     committed = {
         p.stem
         for p in GOLDEN_DIR.glob("*.json")
-        if not p.stem.startswith(("obs_", "facility_"))
+        if not p.stem.startswith(("obs_", "facility_", "batch_"))
     }
     assert committed == set(GOLDEN_BUILDERS)
 

@@ -1,0 +1,173 @@
+"""Regression tests for the batched sweep dispatcher's edge behaviour.
+
+:func:`repro.sweep.run_sweep_batched` chunks a case list into
+structure-of-arrays solves; these tests pin the seams of that chunking —
+empty sweeps, batches wider than the sweep, mid-batch lanes that demote to
+the serial fallback, whole-batch demotions, error capture/raise semantics
+and the deterministic batch counters. The value-level batched==serial
+contract lives in ``tests/test_batch_differential.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.sweepfns import (
+    MODULE_STEADY,
+    RACK_MANIFOLD,
+    manifold_smoke_cases,
+    steady_smoke_cases,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.sweep import (
+    SERIAL_FALLBACK,
+    BatchedSweepFn,
+    SweepCase,
+    run_sweep_batched,
+)
+
+
+def _bad_temperature_case(name="bad"):
+    """A manifold case whose fluid temperature is outside water's range.
+
+    The batched engine records the serial range error for the lane, the
+    dispatcher demotes it to the per-case serial path, and that path
+    raises the identical error — which the sweep then captures or
+    re-raises depending on ``on_error``.
+    """
+    return SweepCase(
+        name=name,
+        params={
+            "openings": [1.0, 0.9, 0.8, 1.0, 0.7, 0.95],
+            "pump_speed": 1.0,
+            "temperature_c": 150.0,
+        },
+    )
+
+
+def test_empty_sweep_returns_empty_list():
+    with use_registry(MetricsRegistry()) as obs:
+        assert run_sweep_batched(RACK_MANIFOLD, []) == []
+        assert obs.counter("sweep_batched_runs_total").value == 0
+
+
+def test_batch_wider_than_sweep_is_one_ragged_batch():
+    cases = manifold_smoke_cases(3)
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep_batched(RACK_MANIFOLD, cases, batch_size=64)
+        assert obs.counter("sweep_batches_total").value == 1
+        assert obs.counter("sweep_batched_cases_total").value == 3
+        assert obs.counter("sweep_batch_fallbacks_total").value == 0
+    assert [o.index for o in outcomes] == [0, 1, 2]
+    assert all(o.ok for o in outcomes)
+
+
+def test_counters_account_for_every_batch_and_case():
+    cases = manifold_smoke_cases(7)
+    with use_registry(MetricsRegistry()) as obs:
+        run_sweep_batched(RACK_MANIFOLD, cases, batch_size=3)
+        assert obs.counter("sweep_batched_runs_total").value == 1
+        assert obs.counter("sweep_batches_total").value == 3  # 3 + 3 + 1
+        assert obs.counter("sweep_batched_cases_total").value == 7
+        # The inner dispatch counts batches as its cases.
+        assert obs.counter("sweep_cases_total").value == 3
+
+
+def test_mid_batch_fallback_does_not_contaminate_neighbours():
+    """A lane the engine rejects demotes alone; its neighbours keep values
+    bitwise identical to a sweep that never contained the bad lane."""
+    good = manifold_smoke_cases(4)
+    mixed = good[:2] + [_bad_temperature_case()] + good[2:]
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep_batched(
+            RACK_MANIFOLD, mixed, batch_size=5, on_error="capture"
+        )
+        assert obs.counter("sweep_batch_fallbacks_total").value == 1
+        assert obs.counter("sweep_case_errors_total").value == 1
+    clean = run_sweep_batched(RACK_MANIFOLD, good, batch_size=4)
+    bad = outcomes[2]
+    assert not bad.ok
+    assert "validity range" in bad.error
+    survivors = [o for i, o in enumerate(outcomes) if i != 2]
+    for survivor, reference in zip(survivors, clean):
+        assert survivor.ok
+        assert survivor.value == reference.value  # bitwise, not approx
+
+
+def test_on_error_raise_defers_until_sweep_completes():
+    cases = [_bad_temperature_case()] + manifold_smoke_cases(2)
+    with pytest.raises(ValueError, match="validity range"):
+        run_sweep_batched(RACK_MANIFOLD, cases, batch_size=2)
+
+
+def test_whole_batch_demotion_on_batch_fn_error():
+    """Mixed module configs make the batch fn raise; every case of the
+    batch is then evaluated serially and still succeeds."""
+    cases = steady_smoke_cases(2) + [
+        SweepCase(
+            name="plus",
+            params={
+                "module": "skat_plus",
+                "water_in_c": 20.0,
+                "water_flow_m3_s": 8.0e-4,
+            },
+        )
+    ]
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep_batched(MODULE_STEADY, cases, batch_size=3)
+        assert obs.counter("sweep_batch_errors_total").value == 1
+        assert obs.counter("sweep_batch_fallbacks_total").value == 3
+    assert all(o.ok for o in outcomes)
+    assert outcomes[2].value["oil_cold_c"] > 20.0
+
+
+def test_fallback_sentinel_is_a_singleton():
+    from repro.sweep.batched import _SerialFallback
+
+    assert _SerialFallback() is SERIAL_FALLBACK
+    assert repr(SERIAL_FALLBACK) == "SERIAL_FALLBACK"
+
+
+def test_invalid_arguments_rejected():
+    cases = manifold_smoke_cases(2)
+    with pytest.raises(ValueError, match="batch_size"):
+        run_sweep_batched(RACK_MANIFOLD, cases, batch_size=0)
+    with pytest.raises(ValueError, match="on_error"):
+        run_sweep_batched(RACK_MANIFOLD, cases, on_error="bogus")
+    with pytest.raises(TypeError, match="BatchedSweepFn"):
+        run_sweep_batched(lambda case: None, cases)
+
+
+def test_batch_length_mismatch_demotes_to_serial():
+    """A batch fn returning the wrong number of values is treated as a
+    whole-batch error, not silently misaligned."""
+    spec = BatchedSweepFn(
+        serial=RACK_MANIFOLD.serial,
+        batch=lambda cases: [SERIAL_FALLBACK] * (len(cases) + 1),
+    )
+    cases = manifold_smoke_cases(2)
+    with use_registry(MetricsRegistry()) as obs:
+        outcomes = run_sweep_batched(spec, cases, backend="serial")
+        assert obs.counter("sweep_batch_errors_total").value == 1
+    assert all(o.ok for o in outcomes)
+
+
+def test_engine_level_fallback_keeps_neighbour_lanes_bitwise():
+    """The manifold engine's own serial ladder (forced via a starved
+    Newton budget) re-solves only its lane; neighbours keep the batched
+    values bitwise."""
+    from repro.batch.manifold import solve_manifold_batch
+    from repro.core.balancing import RackManifoldSystem
+
+    template = RackManifoldSystem()
+    rng = np.random.default_rng(11)
+    openings = rng.uniform(0.3, 1.0, size=(4, template.n_loops))
+    full = solve_manifold_batch(template, openings)
+    assert not full.fallback_mask.any()
+    # Starving the budget forces every lane down the ladder; the ladder's
+    # results must agree with the batched Newton within solver tolerance
+    # while the differential suite pins ladder == serial exactly.
+    starved = solve_manifold_batch(template, openings, max_iterations=1)
+    assert starved.fallback_mask.all()
+    np.testing.assert_allclose(
+        starved.loop_flows_m3_s, full.loop_flows_m3_s, rtol=1.0e-6
+    )

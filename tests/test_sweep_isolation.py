@@ -66,6 +66,8 @@ def test_fresh_worker_pools_reproduce():
 MUTABLE_ALLOWLIST = {
     ("repro.__main__", "COMMANDS"),
     ("repro.analysis.uncertainty", "DEFAULT_TOLERANCES"),
+    ("repro.batch", "_EXPORTS"),
+    ("repro.batch.sweepfns", "_MODULE_FACTORIES"),
     ("repro.configio", "_TIMS"),
     ("repro.core.serviceability", "SERVICE_CATALOG"),
     ("repro.facility.sweep", "SCENARIOS"),
