@@ -24,7 +24,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.facility.sweep import run_facility_sweep, smoke_cases
 from repro.obs import MetricsRegistry, use_registry
 from repro.obs.export import to_json
-from repro.sweep import available_backends
+from repro.sweep import HarnessConfig, available_backends
 
 
 def main(argv=None) -> int:
@@ -56,7 +56,53 @@ def main(argv=None) -> int:
         default=None,
         help="write the sweep's deterministic metrics (canonical JSON) here",
     )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="run through the fault-tolerant harness, checkpointing here",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint (refused on a digest mismatch)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        help="cases per checkpointed wave",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-case deadline, s (enforced on the process backend)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="harness retries for a failed case (0 disables)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        help="write the replayable quarantine artifact here",
+    )
     args = parser.parse_args(argv)
+
+    harness = None
+    if args.checkpoint or args.resume or args.timeout or args.quarantine:
+        harness = HarnessConfig(
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            quarantine=args.quarantine,
+        )
 
     cases = smoke_cases(
         racks=args.racks,
@@ -67,9 +113,9 @@ def main(argv=None) -> int:
     )
     with use_registry(MetricsRegistry()) as obs:
         outcomes = run_facility_sweep(
-            cases, backend=args.backend, max_workers=args.workers
+            cases, backend=args.backend, max_workers=args.workers, harness=harness
         )
-        metrics = to_json(obs, exclude=("sweep_backend_",))
+        metrics = to_json(obs, exclude=("sweep_backend_", "harness_"))
 
     payload = json.dumps(
         [outcome.value for outcome in outcomes],

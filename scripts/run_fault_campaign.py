@@ -25,6 +25,7 @@ from repro.resilience.campaign import (
     run_campaign,
     single_fault_scenarios,
 )
+from repro.sweep import HarnessConfig
 
 
 def main(argv=None) -> int:
@@ -50,12 +51,58 @@ def main(argv=None) -> int:
         default=None,
         help="write the campaign's deterministic metrics (canonical JSON) here",
     )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="run through the fault-tolerant harness, checkpointing here",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint (refused on a digest mismatch)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="scenarios per checkpointed wave",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-scenario deadline, s (enforced on the process backend)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="harness retries for a failed scenario (0 disables)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        help="write the replayable quarantine artifact here",
+    )
     args = parser.parse_args(argv)
 
     scenarios = list(single_fault_scenarios())
     if args.scenarios > 0:
         scenarios += list(
             draw_scenarios(args.seed, args.scenarios, dt_s=args.dt)
+        )
+
+    harness = None
+    if args.checkpoint or args.resume or args.timeout or args.quarantine:
+        harness = HarnessConfig(
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            quarantine=args.quarantine,
         )
 
     with use_registry(MetricsRegistry()) as obs:
@@ -66,6 +113,7 @@ def main(argv=None) -> int:
             dt_s=args.dt,
             max_workers=args.workers,
             seed=args.seed,
+            harness=harness,
         )
         if args.metrics_out is not None:
             write_json(obs, args.metrics_out)

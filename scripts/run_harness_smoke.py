@@ -1,0 +1,221 @@
+"""End-to-end smoke of the fault-tolerant sweep harness (CI gate).
+
+The drill, in one self-driving invocation:
+
+1. **Reference** — run a 96-case process-backend sweep through the
+   harness uninterrupted; record the outcome sequence and the canonical
+   metric export.
+2. **Victim** — re-run the same sweep in a subprocess. One case SIGKILLs
+   its own pool worker mid-shard the first time it runs (the harness
+   must respawn the pool, bisect the shard and recover). The parent
+   watches the checkpoint file and SIGKILLs the victim's whole process
+   group at roughly half the waves — a hard mid-campaign crash.
+3. **Resume** — resume from the checkpoint and let the sweep finish.
+4. **Diff** — the resumed run's outcome sequence and metric export
+   (harness-bookkeeping counters excluded: respawns/bisections happen a
+   different number of times on the interrupted path) must be
+   byte-identical to the uninterrupted reference.
+
+Exit status 0 only if every step holds. Run with::
+
+    python scripts/run_harness_smoke.py
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import HarnessConfig, SweepCase, run_sweep_resilient
+
+N_CASES = 96
+WAVE_SIZE = 8
+KILL_AT = 37  # the case whose worker dies mid-shard, once
+WORKERS = 4
+CASE_PACING_S = 0.05  # slows the victim enough to be killed mid-run
+
+
+def evaluate_smoke_case(case):
+    """Deterministic toy evaluation with a one-shot worker suicide.
+
+    Module-level so the process backend pickles it by reference. The
+    ``kill_sentinel`` file arms the SIGKILL exactly once across the
+    victim run and its resume; the reference run pre-creates it, so the
+    evaluated values are identical everywhere.
+    """
+    x = case.params["x"]
+    if x == KILL_AT:
+        sentinel = Path(case.params["kill_sentinel"])
+        if not sentinel.exists():
+            sentinel.write_text("worker killed once\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(CASE_PACING_S)
+    get_registry().inc("smoke_cases_evaluated_total")
+    value = (x**2 + 3 * x + 1) / (x + 2.0)
+    return round(value, 9)
+
+
+def make_cases(kill_sentinel: Path):
+    return [
+        SweepCase(
+            name=f"case_{i:03d}",
+            params={"x": i, "kill_sentinel": str(kill_sentinel)},
+        )
+        for i in range(N_CASES)
+    ]
+
+
+def run_harnessed(cases, checkpoint: Path, resume: bool):
+    """One harnessed process-backend sweep under a fresh registry."""
+    with use_registry(MetricsRegistry()) as obs:
+        result = run_sweep_resilient(
+            evaluate_smoke_case,
+            cases,
+            backend="process",
+            max_workers=WORKERS,
+            config=HarnessConfig(
+                checkpoint=checkpoint,
+                resume=resume,
+                checkpoint_every=WAVE_SIZE,
+                timeout_s=30.0,
+                retries=1,
+            ),
+        )
+        metrics = to_json(obs, exclude=("harness_",))
+    outcomes = json.dumps(
+        [
+            {"index": o.index, "name": o.case.name, "value": o.value}
+            for o in result.outcomes
+        ],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return result, outcomes, metrics
+
+
+def victim_main(workdir: Path) -> int:
+    """Run the sweep destined to be SIGKILLed mid-campaign."""
+    cases = make_cases(workdir / "kill-sentinel")
+    run_harnessed(cases, workdir / "ckpt.json", resume=False)
+    return 0
+
+
+def waves_on_disk(checkpoint: Path) -> int:
+    try:
+        return len(json.loads(checkpoint.read_text())["waves"])
+    except (OSError, ValueError, KeyError):
+        return 0
+
+
+def driver_main() -> int:
+    total_waves = -(-N_CASES // WAVE_SIZE)
+    kill_after_waves = total_waves // 2
+    with tempfile.TemporaryDirectory(prefix="harness-smoke-") as tmp:
+        workdir = Path(tmp)
+        kill_sentinel = workdir / "kill-sentinel"
+
+        # 1. Uninterrupted reference: pre-arm the sentinel so the killer
+        # case evaluates normally — identical inputs, identical values.
+        kill_sentinel.write_text("pre-armed for the reference run\n")
+        cases = make_cases(kill_sentinel)
+        ref_result, ref_outcomes, ref_metrics = run_harnessed(
+            cases, workdir / "reference-ckpt.json", resume=False
+        )
+        if not ref_result.ok:
+            print("FAIL: reference run had failures", file=sys.stderr)
+            return 1
+        kill_sentinel.unlink()
+
+        # 2. Victim subprocess in its own process group (one SIGKILL
+        # takes down the driver-facing process and its pool workers).
+        victim = subprocess.Popen(
+            [sys.executable, str(Path(__file__).resolve()), "--phase", "victim",
+             "--workdir", str(workdir)],
+            start_new_session=True,
+        )
+        checkpoint = workdir / "ckpt.json"
+        deadline = time.monotonic() + 120.0
+        killed = False
+        while time.monotonic() < deadline:
+            if waves_on_disk(checkpoint) >= kill_after_waves:
+                os.killpg(victim.pid, signal.SIGKILL)
+                killed = True
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.01)
+        victim.wait(timeout=30.0)
+        if not killed:
+            print(
+                "FAIL: victim finished before it could be killed mid-campaign",
+                file=sys.stderr,
+            )
+            return 1
+        waves_at_kill = waves_on_disk(checkpoint)
+        if not 0 < waves_at_kill < total_waves:
+            print(
+                f"FAIL: kill landed at {waves_at_kill}/{total_waves} waves — "
+                "not mid-campaign",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"victim SIGKILLed at {waves_at_kill}/{total_waves} "
+            f"checkpointed waves"
+        )
+
+        # 3. Resume from the checkpoint.
+        resumed_result, resumed_outcomes, resumed_metrics = run_harnessed(
+            cases, checkpoint, resume=True
+        )
+        if resumed_result.resumed_cases == 0:
+            print("FAIL: resume re-ran everything", file=sys.stderr)
+            return 1
+        if not resumed_result.ok:
+            print("FAIL: resumed run had failures", file=sys.stderr)
+            return 1
+        print(
+            f"resume restored {resumed_result.resumed_cases}/{N_CASES} cases "
+            "from the checkpoint"
+        )
+
+        # 4. Byte-for-byte diffs against the uninterrupted reference.
+        if resumed_outcomes != ref_outcomes:
+            print("FAIL: outcome sequences differ", file=sys.stderr)
+            return 1
+        if resumed_metrics != ref_metrics:
+            print("FAIL: canonical metric exports differ", file=sys.stderr)
+            print(f"reference: {ref_metrics}", file=sys.stderr)
+            print(f"resumed:   {resumed_metrics}", file=sys.stderr)
+            return 1
+    print(
+        "harness smoke OK: worker SIGKILL recovered, mid-campaign kill "
+        "resumed byte-identically"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--phase", choices=["driver", "victim"], default="driver")
+    parser.add_argument("--workdir", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if args.phase == "victim":
+        if args.workdir is None:
+            parser.error("--phase victim requires --workdir")
+        return victim_main(args.workdir)
+    return driver_main()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ keep computing.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -148,12 +148,18 @@ def run_facility_campaign(
     dt_s: float = 20.0,
     junction_limit_c: float = 85.0,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    harness: Optional[Any] = None,
 ) -> CampaignReport:
     """Run facility scenarios through the resilience campaign harness.
 
     A fresh facility (fresh loop solver, fresh per-rack supervisors)
     evaluates every scenario; scoring, ordering and the canonical report
     come from :func:`repro.resilience.campaign.run_campaign` unchanged.
+    ``harness`` (a :class:`repro.sweep.HarnessConfig`) makes the campaign
+    checkpointed/resumable with retry, quarantine and backend demotion;
+    facility simulators are always closed-loop, so the batched campaign
+    path never engages here.
     """
     if scenarios is None:
         scenarios = facility_fault_scenarios()
@@ -164,6 +170,9 @@ def run_facility_campaign(
         dt_s=dt_s,
         junction_limit_c=junction_limit_c,
         max_workers=max_workers,
+        backend=backend,
+        batch="never",
+        harness=harness,
     )
 
 

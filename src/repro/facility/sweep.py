@@ -165,10 +165,22 @@ def run_facility_sweep(
     cases: Sequence[SweepCase],
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    harness: Optional[Any] = None,
 ) -> List[SweepOutcome]:
-    """Sweep facility cases on the chosen backend (errors re-raised)."""
+    """Sweep facility cases on the chosen backend (errors re-raised).
+
+    With a ``harness`` (:class:`repro.sweep.HarnessConfig`) the sweep
+    runs fault-tolerantly — checkpointed, deadline-supervised on the
+    process backend, retried and quarantined — and failures surface as
+    a :class:`repro.sweep.HarnessError` after the surviving cases
+    complete, instead of aborting mid-sweep.
+    """
     return run_sweep(
-        evaluate_facility_case, cases, backend=backend, max_workers=max_workers
+        evaluate_facility_case,
+        cases,
+        backend=backend,
+        max_workers=max_workers,
+        harness=harness,
     )
 
 

@@ -37,7 +37,14 @@ from repro.reliability.failures import (
 )
 from repro.obs import get_registry
 from repro.reliability.montecarlo import AvailabilitySimulator, McComponent
-from repro.sweep import SweepCase, run_sweep, summarize_failures
+from repro.sweep import (
+    SERIAL_FALLBACK,
+    BatchedSweepFn,
+    SweepCase,
+    run_sweep,
+    run_sweep_batched,
+    summarize_failures,
+)
 
 #: Every fault class the simulators understand; a campaign drawn with
 #: default weights exercises all of them.
@@ -377,6 +384,70 @@ def _failed_report(scenario: FaultScenario, error: str) -> ScenarioReport:
     )
 
 
+def _batch_eligible(
+    simulator_factory: Callable[[], Any],
+    scenarios: Sequence[FaultScenario],
+    backend: Optional[str],
+) -> bool:
+    """Whether this campaign's hot loop can ride the vectorized core.
+
+    The batched transient engine (:meth:`repro.core.simulation.
+    ModuleSimulator.run_many`) covers **open-loop** module scenarios:
+    no controller / supervisor / PID on the simulator and no
+    ``sensor_fault`` events (sensor faults act on the control path).
+    The batch functions are closures over the factory, so the process
+    backend (which must pickle them) stays on the per-case path.
+    """
+    if backend not in (None, "serial", "thread"):
+        return False
+    for scenario in scenarios:
+        if any(event.kind == "sensor_fault" for event in scenario.events):
+            return False
+    from repro.core.simulation import ModuleSimulator
+
+    try:
+        probe = simulator_factory()
+    except Exception:  # noqa: BLE001 - the sweep will surface it per case
+        return False
+    return (
+        isinstance(probe, ModuleSimulator)
+        and probe.controller is None
+        and probe.supervisor is None
+        and probe.pid is None
+    )
+
+
+def _campaign_batch_fns(
+    simulator_factory: Callable[[], Any], duration_s: float, dt_s: float
+) -> BatchedSweepFn:
+    """The per-case / batched evaluation pair for open-loop campaigns."""
+
+    def serial(case: SweepCase) -> Any:
+        scenario: FaultScenario = case.params["scenario"]
+        simulator = simulator_factory()
+        return simulator.run(
+            duration_s=duration_s, events=list(scenario.events), dt_s=dt_s
+        )
+
+    def batch(cases: List[SweepCase]) -> List[Any]:
+        simulator = simulator_factory()
+        event_lists = [
+            list(case.params["scenario"].events) for case in cases
+        ]
+        stacked = simulator.run_many(
+            duration_s=duration_s, scenarios=event_lists, dt_s=dt_s
+        )
+        values: List[Any] = []
+        for lane in range(len(cases)):
+            try:
+                values.append(stacked.result(lane))
+            except Exception:  # noqa: BLE001 - lane re-runs serially
+                values.append(SERIAL_FALLBACK)
+        return values
+
+    return BatchedSweepFn(serial=serial, batch=batch)
+
+
 def run_campaign(
     simulator_factory: Callable[[], Any],
     scenarios: Sequence[FaultScenario],
@@ -385,6 +456,10 @@ def run_campaign(
     junction_limit_c: float = 85.0,
     max_workers: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    batch: str = "auto",
+    batch_size: int = 64,
+    harness: Optional[Any] = None,
 ) -> CampaignReport:
     """Run every scenario on a fresh simulator; never raises per-case.
 
@@ -394,10 +469,25 @@ def run_campaign(
     itself blows up is captured — its traceback lands in
     ``report.failures`` via :func:`repro.sweep.summarize_failures`
     instead of killing the campaign.
+
+    ``batch`` ports the hot loop onto the vectorized core where the
+    scenarios allow it: ``"auto"`` (default) uses
+    :func:`repro.sweep.run_sweep_batched` over
+    :meth:`~repro.core.simulation.ModuleSimulator.run_many` whenever the
+    factory yields an open-loop module simulator and no scenario carries
+    a ``sensor_fault`` (see :func:`_batch_eligible`); ``"never"`` forces
+    the per-object loop; ``"always"`` raises if the campaign is not
+    batchable. ``backend`` selects the sweep backend (campaign closures
+    are not picklable, so the batched path is serial/thread only).
+    ``harness`` is an optional :class:`repro.sweep.HarnessConfig`: the
+    campaign then runs checkpointed/resumable with retry, quarantine and
+    backend demotion (see ``docs/RESILIENCE.md``).
     """
     scenarios = list(scenarios)
     if not scenarios:
         raise ValueError("campaign needs at least one scenario")
+    if batch not in ("auto", "always", "never"):
+        raise ValueError("batch must be 'auto', 'always' or 'never'")
     by_name = {s.name: s for s in scenarios}
     if len(by_name) != len(scenarios):
         raise ValueError("scenario names must be unique")
@@ -410,13 +500,40 @@ def run_campaign(
             duration_s=duration_s, events=list(scenario.events), dt_s=dt_s
         )
 
+    use_batch = batch != "never" and _batch_eligible(
+        simulator_factory, scenarios, backend
+    )
+    if batch == "always" and not use_batch:
+        raise ValueError(
+            "batch='always' but the campaign is not batchable: the factory "
+            "must yield an open-loop ModuleSimulator (no controller/"
+            "supervisor/pid), no scenario may carry a sensor_fault, and "
+            "the backend must be serial or thread"
+        )
     obs = get_registry()
     with obs.span("campaign.run", scenarios=len(scenarios)), obs.profile(
         "campaign.run"
     ):
-        outcomes = run_sweep(
-            evaluate, cases, max_workers=max_workers, on_error="capture"
-        )
+        if use_batch:
+            obs.inc("campaign_batched_runs_total")
+            outcomes = run_sweep_batched(
+                _campaign_batch_fns(simulator_factory, duration_s, dt_s),
+                cases,
+                batch_size=batch_size,
+                max_workers=max_workers,
+                on_error="capture",
+                backend=backend,
+                harness=harness,
+            )
+        else:
+            outcomes = run_sweep(
+                evaluate,
+                cases,
+                max_workers=max_workers,
+                on_error="capture",
+                backend=backend,
+                harness=harness,
+            )
     reports = []
     for outcome in outcomes:
         scenario = by_name[outcome.case.name]

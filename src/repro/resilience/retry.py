@@ -31,12 +31,19 @@ class RetryOutcome:
         Attempts actually made (1 for a first-try success).
     errors:
         Repr of each failed attempt's exception, in attempt order.
+    error_types:
+        Qualified class name (``module.QualName``) of each failed
+        attempt's exception, parallel to ``errors``. Lets downstream
+        failure taxonomies classify on the type instead of parsing the
+        repr. Defaults to empty, so pre-existing constructions stay
+        valid (backward-compatible).
     """
 
     ok: bool
     value: Any
     attempts: int
     errors: Tuple[str, ...] = ()
+    error_types: Tuple[str, ...] = ()
 
     @property
     def retried(self) -> bool:
@@ -71,14 +78,27 @@ def retry_with_backoff(
     if attempts < 1:
         raise ValueError("attempts must be at least 1")
     errors = []
+    error_types = []
     for index in range(attempts):
         try:
             return RetryOutcome(
-                ok=True, value=fn(index), attempts=index + 1, errors=tuple(errors)
+                ok=True,
+                value=fn(index),
+                attempts=index + 1,
+                errors=tuple(errors),
+                error_types=tuple(error_types),
             )
         except retry_on as exc:
             errors.append(repr(exc))
-    return RetryOutcome(ok=False, value=None, attempts=attempts, errors=tuple(errors))
+            cls = type(exc)
+            error_types.append(f"{cls.__module__}.{cls.__qualname__}")
+    return RetryOutcome(
+        ok=False,
+        value=None,
+        attempts=attempts,
+        errors=tuple(errors),
+        error_types=tuple(error_types),
+    )
 
 
 __all__ = ["RetryOutcome", "retry_with_backoff"]

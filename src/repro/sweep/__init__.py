@@ -4,7 +4,10 @@ The public surface is unchanged from the original single-module runner —
 ``from repro.sweep import run_sweep, SweepCase, ...`` keeps working — plus
 the backend layer: :func:`run_sweep` takes ``backend="serial" | "thread" |
 "process"`` and :mod:`repro.sweep.backends` exposes the implementations.
-See ``docs/FACILITY.md`` for the backend-selection and determinism guide.
+See ``docs/FACILITY.md`` for the backend-selection and determinism guide,
+and ``docs/RESILIENCE.md`` for the fault-tolerant execution harness
+(:mod:`repro.sweep.harness`): checkpoint/resume, per-case deadlines with
+worker-crash recovery, retry + quarantine, and backend demotion.
 """
 
 from repro.sweep.backends import (
@@ -20,6 +23,20 @@ from repro.sweep.batched import (
     BatchedSweepFn,
     run_sweep_batched,
 )
+from repro.sweep.harness import (
+    CaseDeadlineError,
+    CheckpointMismatchError,
+    HarnessConfig,
+    HarnessError,
+    HarnessResult,
+    QuarantineRecord,
+    WorkerCrashError,
+    classify_failure,
+    load_quarantine,
+    replay_quarantined,
+    run_sweep_resilient,
+    sweep_digest,
+)
 from repro.sweep.runner import (
     SweepCase,
     SweepOutcome,
@@ -34,17 +51,29 @@ __all__ = [
     "DEFAULT_MAX_WORKERS",
     "SERIAL_FALLBACK",
     "BatchedSweepFn",
+    "CaseDeadlineError",
+    "CheckpointMismatchError",
+    "HarnessConfig",
+    "HarnessError",
+    "HarnessResult",
     "ProcessBackend",
+    "QuarantineRecord",
     "SerialBackend",
     "SweepCase",
     "SweepOutcome",
     "ThreadBackend",
+    "WorkerCrashError",
     "available_backends",
+    "classify_failure",
     "get_backend",
+    "load_quarantine",
+    "replay_quarantined",
     "run_sweep",
     "run_sweep_batched",
+    "run_sweep_resilient",
     "summarize_failures",
     "sweep_cases",
+    "sweep_digest",
     "sweep_simulations",
     "sweep_values",
 ]

@@ -46,10 +46,15 @@ def resolve_workers(n_cases: int, max_workers: Optional[int]) -> int:
     """Worker count for a sweep: explicit, else min(8, cpus, cases)."""
     import os
 
+    if max_workers is not None and max_workers <= 0:
+        raise ValueError("max_workers must be positive")
+    if n_cases <= 0:
+        # Empty sweep: one (idle) worker, regardless of how it was asked
+        # for. Explicit — the old `min(max_workers, n_cases) or 1` relied
+        # on 0 being falsy, which read as a capping bug.
+        return 1
     if max_workers is not None:
-        if max_workers <= 0:
-            raise ValueError("max_workers must be positive")
-        return min(max_workers, n_cases) or 1
+        return min(max_workers, n_cases)
     cpus = os.cpu_count() or 1
     return max(1, min(DEFAULT_MAX_WORKERS, cpus, n_cases))
 

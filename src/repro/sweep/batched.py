@@ -32,12 +32,15 @@ from __future__ import annotations
 
 import traceback as _traceback
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.obs import get_registry
 from repro.sweep.backends import _picklable_exception
 from repro.sweep.cases import SweepCase, SweepOutcome
 from repro.sweep.runner import run_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sweep.harness import HarnessConfig
 
 __all__ = [
     "SERIAL_FALLBACK",
@@ -142,6 +145,7 @@ def run_sweep_batched(
     max_workers: Optional[int] = None,
     on_error: str = "raise",
     backend: Optional[str] = None,
+    harness: Optional["HarnessConfig"] = None,
 ) -> List[SweepOutcome]:
     """Evaluate a sweep in structure-of-arrays batches, in case order.
 
@@ -162,6 +166,14 @@ def run_sweep_batched(
         ``"raise"`` re-raises the first failing case's exception after
         the sweep's batches complete; ``"capture"`` records failures on
         the outcomes.
+    harness:
+        A :class:`~repro.sweep.harness.HarnessConfig` routes the batch
+        dispatch through the fault-tolerant harness. The harness sees
+        *batches* as its cases: checkpoints persist whole completed
+        batches, the per-case deadline budgets one batched solve, and a
+        batch whose worker dies or hangs is quarantined at batch
+        granularity — the flatten below then fails every case of that
+        batch with the batch-level error.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
@@ -172,8 +184,6 @@ def run_sweep_batched(
     cases = list(cases)
     if not cases:
         return []
-    obs = get_registry()
-    obs.inc("sweep_batched_runs_total")
     batches = [
         cases[i : i + batch_size] for i in range(0, len(cases), batch_size)
     ]
@@ -185,17 +195,58 @@ def run_sweep_batched(
         )
         for k, (batch, start) in enumerate(zip(batches, starts))
     ]
-    batch_outcomes = run_sweep(
-        _evaluate_batch,
-        batch_cases,
-        max_workers=max_workers,
-        chunk_size=1,
-        on_error="raise",  # _evaluate_batch never raises
-        backend=backend,
-    )
+    if harness is not None:
+        from repro.sweep.harness import run_sweep_resilient
+
+        engine_name = backend if backend is not None else "thread"
+        # Run-level counters (the ones the plain path increments on the
+        # parent registry) ride the harness's first wave snapshot so an
+        # interrupted-and-resumed run counts them exactly once.
+        result = run_sweep_resilient(
+            _evaluate_batch,
+            batch_cases,
+            backend=engine_name,
+            max_workers=max_workers,
+            chunk_size=1,
+            config=harness,
+            run_counters={
+                "sweep_batched_runs_total": 1,
+                "sweep_runs_total": 1,
+                "sweep_cases_total": len(batch_cases),
+                f"sweep_backend_{engine_name}_runs_total": 1,
+            },
+        )
+        batch_outcomes = list(result.outcomes)
+    else:
+        obs = get_registry()
+        obs.inc("sweep_batched_runs_total")
+        batch_outcomes = run_sweep(
+            _evaluate_batch,
+            batch_cases,
+            max_workers=max_workers,
+            chunk_size=1,
+            on_error="raise",  # _evaluate_batch never raises
+            backend=backend,
+        )
     outcomes: List[SweepOutcome] = []
     first_exc: Optional[BaseException] = None
-    for outcome, start in zip(batch_outcomes, starts):
+    for outcome, (batch, start) in zip(batch_outcomes, zip(batches, starts)):
+        if outcome.error is not None:
+            # Only possible under the harness: the whole batch hit a
+            # deadline or killed its worker and stayed failed after
+            # supervision. Attribute the batch-level error to every case.
+            for offset, case in enumerate(batch):
+                if first_exc is None:
+                    first_exc = RuntimeError(outcome.error)
+                outcomes.append(
+                    SweepOutcome(
+                        case=case,
+                        index=start + offset,
+                        error=outcome.error,
+                        error_traceback=outcome.error_traceback,
+                    )
+                )
+            continue
         cells: List[_Cell] = outcome.value
         for offset, cell in enumerate(cells):
             case = cases[start + offset]

@@ -1,0 +1,1003 @@
+"""Fault-tolerant sweep execution: checkpoint/resume, deadlines, recovery.
+
+The sweep backends (:mod:`repro.sweep.backends`) are deterministic but
+brittle in exactly the ways long campaigns are not allowed to be: a hung
+manifold solve stalls a process shard forever, a SIGKILLed worker aborts
+the whole sweep with a bare ``BrokenProcessPool``, and a 10k-case run
+that dies at case 9,999 restarts from zero. This module wraps those
+backends in an execution *harness* with four pillars:
+
+- **checkpoint/resume** — completed cases are persisted wave-by-wave as
+  canonical JSON keyed by a SHA-256 digest of (evaluation function, case
+  list, backend, wave size). An interrupted run resumes exactly where it
+  stopped; a checkpoint whose digest does not match the requested sweep
+  is refused (:class:`CheckpointMismatchError`), never silently reused.
+- **per-case deadlines and worker-crash recovery** — on the process
+  backend shards run under a supervised pool. A shard that exceeds its
+  deadline or kills its worker has the pool torn down and respawned, and
+  is narrowed by bisection until the poison case is isolated and
+  recorded as a structured failure; its shard-mates are re-evaluated and
+  keep the run alive.
+- **retry + quarantine** — failed cases re-run in the parent through
+  :func:`repro.resilience.retry.retry_with_backoff` (the attempt index
+  is exposed as a ``harness_attempt`` case param so evaluations can walk
+  a relaxation schedule). Persistent failures are quarantined into a
+  replayable canonical-JSON artifact tagged with an exception taxonomy
+  (``non-finite`` / ``non-convergence`` / ``timeout`` / ``worker-death``
+  / ``error``), in the spirit of the fuzzer's shrunk repro artifacts.
+- **graceful backend degradation** — a ``process -> thread -> serial``
+  demotion ladder mirroring the batched engine's ``SERIAL_FALLBACK``:
+  when the process pool keeps collapsing the remaining cases demote to
+  the thread backend, and an executor-level thread failure demotes to a
+  plain serial loop.
+
+Determinism contract: outcomes come back in case order, and the merged
+metric export of an interrupted-and-resumed run is byte-identical to an
+uninterrupted run of the same sweep. Every harness counter
+(``harness_checkpoints_total``, ``harness_retries_total``,
+``harness_quarantined_total``, ``harness_demotions_total``,
+``harness_pool_respawns_total``, ``harness_bisections_total``) and every
+standard sweep counter is accumulated in a per-wave child registry whose
+snapshot is both merged into the live registry and persisted in the
+checkpoint — so resuming merges exactly the snapshots the interrupted
+run already earned instead of re-counting them.
+
+Deadlines are enforced only on the process backend (threads cannot be
+killed); on ``thread``/``serial`` a configured timeout is recorded but
+not enforced.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.sweep.backends import (
+    chunk_items,
+    get_backend,
+    resolve_workers,
+    run_shard,
+)
+from repro.sweep.cases import SweepCase, SweepOutcome
+
+__all__ = [
+    "CaseDeadlineError",
+    "CheckpointMismatchError",
+    "FAILURE_TAXONOMY",
+    "HarnessConfig",
+    "HarnessError",
+    "HarnessResult",
+    "QuarantineRecord",
+    "WorkerCrashError",
+    "classify_failure",
+    "load_quarantine",
+    "replay_quarantined",
+    "run_sweep_resilient",
+    "sweep_digest",
+]
+
+#: Checkpoint file format version; bumped on any incompatible change.
+CHECKPOINT_VERSION = 1
+
+#: The demotion ladder, most capable first.
+BACKEND_LADDER: Tuple[str, ...] = ("process", "thread", "serial")
+
+#: Exception taxonomy buckets a quarantined failure is classified into.
+FAILURE_TAXONOMY: Tuple[str, ...] = (
+    "non-finite",
+    "non-convergence",
+    "timeout",
+    "worker-death",
+    "error",
+)
+
+
+class HarnessError(RuntimeError):
+    """Base class for harness-level failures."""
+
+
+class CheckpointMismatchError(HarnessError):
+    """A checkpoint was written for a different sweep than the one resuming."""
+
+
+class CaseDeadlineError(HarnessError):
+    """A case exceeded its per-case deadline and its worker was killed."""
+
+
+class WorkerCrashError(HarnessError):
+    """A case's worker process died (SIGKILL, segfault, OOM) mid-evaluation."""
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs of one fault-tolerant sweep execution.
+
+    Attributes
+    ----------
+    checkpoint:
+        Path of the canonical-JSON checkpoint file. ``None`` disables
+        persistence (supervision, retry and quarantine still apply).
+    resume:
+        Resume from ``checkpoint`` if it exists. A digest mismatch
+        raises :class:`CheckpointMismatchError`; a missing file starts
+        fresh.
+    checkpoint_every:
+        Cases per wave. The sweep is partitioned into contiguous waves
+        of this size; a checkpoint is written after every completed
+        wave, and resume restarts at the first incomplete wave. Part of
+        the digest — resuming with a different wave size is refused.
+    timeout_s:
+        Per-case deadline, seconds. A process shard's budget is
+        ``timeout_s * len(shard)``; enforcement narrows to the single
+        poison case by bisection. Unenforced on thread/serial backends.
+    retries:
+        Extra in-parent attempts for a failed case (0 disables). Each
+        attempt re-evaluates the case with ``harness_attempt`` set to
+        the 1-based attempt index in its params, so evaluations can
+        relax tolerances along a deterministic backoff schedule.
+        Timeout and worker-death failures are never retried in-parent
+        (a hung or killing case must not take the parent down).
+    quarantine:
+        Path the replayable quarantine artifact is written to (canonical
+        JSON). ``None`` keeps quarantined records only on the result.
+    max_pool_respawns:
+        Pool respawns tolerated per wave before the remaining cases
+        demote to the thread backend. Bisection of one poison case in a
+        shard of ``n`` costs about ``log2(n)`` respawns, so the budget
+        is generous by default.
+    demote:
+        Whether the ``process -> thread -> serial`` ladder is armed.
+        ``False`` re-raises infrastructure failures once the respawn
+        budget is spent.
+    """
+
+    checkpoint: Optional[Union[str, Path]] = None
+    resume: bool = False
+    checkpoint_every: int = 64
+    timeout_s: Optional[float] = None
+    retries: int = 1
+    quarantine: Optional[Union[str, Path]] = None
+    max_pool_respawns: int = 24
+    demote: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be non-negative")
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One persistently failing case, replayable from its artifact."""
+
+    digest: str
+    index: int
+    name: str
+    taxonomy: str
+    error: str
+    error_types: Tuple[str, ...]
+    attempts: int
+    params: Any
+    traceback: Optional[str]
+    case_pickle: str
+
+    def rebuild_case(self) -> SweepCase:
+        """The exact :class:`SweepCase` that failed, unpickled."""
+        return pickle.loads(base64.b64decode(self.case_pickle.encode("ascii")))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "index": self.index,
+            "name": self.name,
+            "taxonomy": self.taxonomy,
+            "error": self.error,
+            "error_types": list(self.error_types),
+            "attempts": self.attempts,
+            "params": self.params,
+            "traceback": self.traceback,
+            "case_pickle": self.case_pickle,
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "QuarantineRecord":
+        return QuarantineRecord(
+            digest=str(payload["digest"]),
+            index=int(payload["index"]),
+            name=str(payload["name"]),
+            taxonomy=str(payload["taxonomy"]),
+            error=str(payload["error"]),
+            error_types=tuple(payload.get("error_types", ())),
+            attempts=int(payload["attempts"]),
+            params=payload.get("params"),
+            traceback=payload.get("traceback"),
+            case_pickle=str(payload["case_pickle"]),
+        )
+
+
+@dataclass(frozen=True)
+class HarnessResult:
+    """Outcome of one :func:`run_sweep_resilient` run."""
+
+    outcomes: Tuple[SweepOutcome, ...]
+    digest: str
+    backend: str
+    quarantined: Tuple[QuarantineRecord, ...] = ()
+    demotions: Tuple[str, ...] = ()
+    resumed_cases: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every case ultimately succeeded."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+
+# -- digest ------------------------------------------------------------
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _fn_label(fn: Any) -> str:
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{qualname}"
+
+
+def _jsonable(value: Any) -> Any:
+    """A canonical-JSON-encodable stand-in for an arbitrary param value.
+
+    Plain data passes through; callables become their qualified name;
+    dataclasses recurse field-by-field (a ``FaultScenario`` digests by
+    its events, not its memory address); anything else falls back to
+    ``repr``. The encoding only needs to be *stable* across runs — it is
+    the digest input and the human-readable half of the quarantine
+    artifact, not a round-trippable serialization (the pickle field is).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [_jsonable(v) for v in items]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        encoded["__type__"] = type(value).__qualname__
+        return encoded
+    if callable(value):
+        return _fn_label(value)
+    return repr(value)
+
+
+def sweep_digest(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    backend: str,
+    checkpoint_every: int,
+) -> str:
+    """SHA-256 over (fn qualname, case params, backend config).
+
+    This is the checkpoint compatibility key: a resume against a
+    checkpoint whose digest differs — a different evaluation function, a
+    changed case list, another backend, or another wave size (which
+    would shift every checkpoint boundary and its metric accounting) —
+    is refused rather than silently blended.
+    """
+    payload = {
+        "fn": _fn_label(fn),
+        "backend": backend,
+        "checkpoint_every": checkpoint_every,
+        "cases": [
+            {"name": case.name, "params": _jsonable(case.params)}
+            for case in cases
+        ],
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+# -- failure taxonomy --------------------------------------------------
+
+_NON_FINITE_TYPES = frozenset(
+    {
+        "FloatingPointError",
+        "OverflowError",
+        "ZeroDivisionError",
+        "ThermalRunawayError",
+    }
+)
+_NON_FINITE_MARKERS = ("nan", "not finite", "non-finite", "infinite", "inf ")
+
+
+def classify_failure(error_types: Sequence[str], error: Optional[str]) -> str:
+    """Map a failure's exception types + repr onto the taxonomy.
+
+    Types dominate (that is why :class:`~repro.resilience.retry.
+    RetryOutcome` carries them); the repr is only consulted for the
+    non-finite / non-convergence split of generic exception classes.
+    """
+    names = {t.rsplit(".", 1)[-1] for t in error_types}
+    if "CaseDeadlineError" in names:
+        return "timeout"
+    if names & {"WorkerCrashError", "BrokenProcessPool"}:
+        return "worker-death"
+    text = (error or "").lower()
+    if names & _NON_FINITE_TYPES or any(m in text for m in _NON_FINITE_MARKERS):
+        return "non-finite"
+    if "converge" in text or any("convergence" in n.lower() for n in names):
+        return "non-convergence"
+    return "error"
+
+
+# -- checkpoint persistence --------------------------------------------
+
+
+def _json_safe(value: Any) -> bool:
+    """Whether ``value`` round-trips through JSON without changing type."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return True
+    if isinstance(value, float):
+        return math.isfinite(value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _json_safe(v) for k, v in value.items()
+        )
+    if isinstance(value, list):
+        return all(_json_safe(v) for v in value)
+    return False
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    if _json_safe(value):
+        return {"kind": "json", "data": value}
+    return {
+        "kind": "pickle",
+        "data": base64.b64encode(pickle.dumps(value)).decode("ascii"),
+    }
+
+
+def _decode_value(payload: Mapping[str, Any]) -> Any:
+    if payload["kind"] == "json":
+        return payload["data"]
+    return pickle.loads(base64.b64decode(payload["data"].encode("ascii")))
+
+
+def _encode_outcome(outcome: SweepOutcome) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"index": outcome.index, "name": outcome.case.name}
+    if outcome.error is None:
+        record["value"] = _encode_value(outcome.value)
+    else:
+        record["error"] = outcome.error
+        record["error_traceback"] = outcome.error_traceback
+    return record
+
+
+def _decode_outcome(
+    record: Mapping[str, Any], cases: Sequence[SweepCase]
+) -> SweepOutcome:
+    index = int(record["index"])
+    case = cases[index]
+    if case.name != record["name"]:
+        raise CheckpointMismatchError(
+            f"checkpointed case {record['name']!r} at index {index} does not "
+            f"match current case {case.name!r}"
+        )
+    if "error" in record:
+        return SweepOutcome(
+            case=case,
+            index=index,
+            error=record["error"],
+            error_traceback=record.get("error_traceback"),
+        )
+    return SweepOutcome(case=case, index=index, value=_decode_value(record["value"]))
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class _Checkpoint:
+    """In-memory mirror of the checkpoint file, written wave-by-wave."""
+
+    def __init__(self, digest: str, n_cases: int, checkpoint_every: int) -> None:
+        self.digest = digest
+        self.n_cases = n_cases
+        self.checkpoint_every = checkpoint_every
+        self.waves: Dict[int, Dict[str, Any]] = {}
+
+    def to_json(self) -> str:
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "digest": self.digest,
+            "n_cases": self.n_cases,
+            "checkpoint_every": self.checkpoint_every,
+            "waves": [
+                {"wave": wave, **record}
+                for wave, record in sorted(self.waves.items())
+            ],
+        }
+        return _canonical(payload)
+
+    @staticmethod
+    def load(path: Path) -> "_Checkpoint":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} has version {payload.get('version')!r}; "
+                f"this harness writes version {CHECKPOINT_VERSION}"
+            )
+        state = _Checkpoint(
+            digest=str(payload["digest"]),
+            n_cases=int(payload["n_cases"]),
+            checkpoint_every=int(payload["checkpoint_every"]),
+        )
+        for record in payload.get("waves", []):
+            record = dict(record)
+            wave = int(record.pop("wave"))
+            state.waves[wave] = record
+        return state
+
+
+# -- supervised process execution --------------------------------------
+
+IndexedCase = Tuple[int, SweepCase]
+_Shard = List[IndexedCase]
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: SIGKILL every worker, never wait on work.
+
+    A hung worker ignores a cooperative shutdown forever, so the
+    supervised path kills the processes first and only then releases the
+    executor's bookkeeping threads.
+    """
+    processes = dict(getattr(pool, "_processes", None) or {})
+    for proc in processes.values():
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+    for proc in processes.values():
+        try:
+            proc.join(timeout=5.0)
+        except Exception:  # noqa: BLE001
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - a broken pool may refuse politely
+        pass
+
+
+def _poison_outcome(
+    index: int, case: SweepCase, kind: str, detail: str
+) -> Tuple[SweepOutcome, BaseException]:
+    exc: HarnessError
+    if kind == "timeout":
+        exc = CaseDeadlineError(detail)
+    else:
+        exc = WorkerCrashError(detail)
+    outcome = SweepOutcome(
+        case=case,
+        index=index,
+        error=repr(exc),
+        error_traceback=f"{type(exc).__name__}: {detail}\n",
+    )
+    return outcome, exc
+
+
+class _ProcessSupervisor:
+    """Run one wave's shards under a respawnable, deadline-enforcing pool."""
+
+    def __init__(
+        self,
+        fn: Callable[[SweepCase], Any],
+        workers: int,
+        timeout_s: Optional[float],
+        respawn_budget: int,
+        obs: Any,
+    ) -> None:
+        self.fn = fn
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.respawn_budget = respawn_budget
+        self.obs = obs
+        self.respawns = 0
+        #: (shard start index) -> (outcomes, registry snapshot)
+        self.done: Dict[int, Tuple[List[SweepOutcome], Dict[str, Any]]] = {}
+        #: index -> structured poison failure
+        self.failures: Dict[int, Tuple[SweepOutcome, str]] = {}
+
+    def _shard_budget(self, shard: _Shard) -> Optional[float]:
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * len(shard)
+
+    def run(self, shards: List[_Shard]) -> List[_Shard]:
+        """Drive shards to completion; returns leftover shards on demotion.
+
+        An empty return list means every case either completed or was
+        recorded as a structured failure. A non-empty list means the
+        respawn budget is spent — the caller demotes those shards down
+        the backend ladder.
+        """
+        pending: List[_Shard] = list(shards)
+        while pending:
+            pending = self._one_pool_round(pending)
+            if pending and self.respawns > self.respawn_budget:
+                return pending
+        return []
+
+    def _one_pool_round(self, pending: List[_Shard]) -> List[_Shard]:
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+        broken = False
+        suspects: List[Tuple[_Shard, str, str]] = []
+        leftover: List[_Shard] = []
+        try:
+            futures = [
+                (shard, pool.submit(run_shard, (self.fn, shard)))
+                for shard in pending
+            ]
+            for shard, future in futures:
+                if broken:
+                    # The pool is already condemned: harvest what finished,
+                    # requeue everything else wholesale.
+                    if future.done() and not future.cancelled():
+                        try:
+                            self._harvest(shard, future.result(timeout=0))
+                        except BaseException:  # noqa: BLE001 - requeue instead
+                            leftover.append(shard)
+                    else:
+                        leftover.append(shard)
+                    continue
+                try:
+                    self._harvest(
+                        shard, future.result(timeout=self._shard_budget(shard))
+                    )
+                except _FutureTimeout:
+                    suspects.append(
+                        (
+                            shard,
+                            "timeout",
+                            f"shard [{shard[0][0]}..{shard[-1][0]}] exceeded "
+                            f"its {self._shard_budget(shard):.3f}s deadline",
+                        )
+                    )
+                    broken = True
+                except BrokenProcessPool:
+                    suspects.append(
+                        (
+                            shard,
+                            "worker-death",
+                            f"worker died evaluating shard "
+                            f"[{shard[0][0]}..{shard[-1][0]}]",
+                        )
+                    )
+                    broken = True
+                except Exception as exc:  # noqa: BLE001 - infrastructure error
+                    suspects.append(
+                        (
+                            shard,
+                            "worker-death",
+                            f"shard [{shard[0][0]}..{shard[-1][0]}] failed "
+                            f"in the executor: {exc!r}",
+                        )
+                    )
+                    broken = True
+        finally:
+            if broken:
+                _kill_pool(pool)
+                self.respawns += 1
+                self.obs.inc("harness_pool_respawns_total")
+            else:
+                pool.shutdown(wait=True)
+        for shard, kind, detail in suspects:
+            if len(shard) == 1:
+                index, case = shard[0]
+                self.obs.inc("sweep_case_errors_total")
+                if kind == "timeout":
+                    self.obs.inc("harness_deadline_kills_total")
+                outcome, _ = _poison_outcome(
+                    index,
+                    case,
+                    kind,
+                    f"case {case.name!r} (index {index}): {detail}",
+                )
+                self.failures[index] = (outcome, kind)
+            else:
+                # Narrow the poison case: both halves go back to a fresh
+                # pool; the healthy half completes, the sick one splits
+                # again. log2(n) rounds isolate a single poison case.
+                mid = len(shard) // 2
+                leftover.append(shard[:mid])
+                leftover.append(shard[mid:])
+                self.obs.inc("harness_bisections_total")
+        return leftover
+
+    def _harvest(self, shard: _Shard, result: Any) -> None:
+        outcomes, snapshot, _first_exc = result
+        self.done[shard[0][0]] = (outcomes, snapshot)
+
+    def collect(self) -> List[SweepOutcome]:
+        """All outcomes in case order; merges snapshots in shard order."""
+        for _start, (_outcomes, snapshot) in sorted(self.done.items()):
+            self.obs.merge_snapshot(snapshot)
+        outcomes = [
+            outcome
+            for _start, (shard_outcomes, _snap) in sorted(self.done.items())
+            for outcome in shard_outcomes
+        ]
+        outcomes.extend(outcome for outcome, _kind in self.failures.values())
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+
+# -- the harness -------------------------------------------------------
+
+
+@dataclass
+class _WaveResult:
+    outcomes: List[SweepOutcome]
+    #: index -> taxonomy for structured (non-retryable) failures
+    structured: Dict[int, str] = field(default_factory=dict)
+
+
+def _run_wave_backend(
+    fn: Callable[[SweepCase], Any],
+    indexed: List[IndexedCase],
+    backend: str,
+    workers: int,
+    chunk_size: Optional[int],
+    config: HarnessConfig,
+    obs: Any,
+    demotions: List[str],
+) -> _WaveResult:
+    """Evaluate one wave on ``backend``, walking the demotion ladder."""
+    if backend == "process":
+        shard_size = chunk_size or max(1, -(-len(indexed) // workers))
+        supervisor = _ProcessSupervisor(
+            fn,
+            workers,
+            config.timeout_s,
+            config.max_pool_respawns,
+            obs,
+        )
+        leftover = supervisor.run(chunk_items(indexed, shard_size))
+        outcomes = supervisor.collect()
+        structured = {
+            index: kind for index, (_o, kind) in supervisor.failures.items()
+        }
+        if leftover:
+            if not config.demote:
+                raise HarnessError(
+                    f"process pool collapsed {supervisor.respawns} times "
+                    f"(budget {config.max_pool_respawns}) and demotion is "
+                    f"disabled"
+                )
+            obs.inc("harness_demotions_total")
+            demotions.append("process->thread")
+            rest = [item for shard in leftover for item in shard]
+            rest.sort(key=lambda pair: pair[0])
+            demoted = _run_wave_backend(
+                fn, rest, "thread", workers, chunk_size, config, obs, demotions
+            )
+            outcomes.extend(demoted.outcomes)
+            structured.update(demoted.structured)
+            outcomes.sort(key=lambda o: o.index)
+        return _WaveResult(outcomes=outcomes, structured=structured)
+    engine = get_backend(backend)
+    try:
+        outcomes = engine.run(
+            fn, indexed, workers=workers, chunk_size=chunk_size, on_error="capture"
+        )
+    except Exception:  # noqa: BLE001 - executor-level failure, not a case error
+        if backend == "serial" or not config.demote:
+            raise
+        obs.inc("harness_demotions_total")
+        demotions.append(f"{backend}->serial")
+        outcomes = get_backend("serial").run(
+            fn, indexed, workers=1, chunk_size=chunk_size, on_error="capture"
+        )
+    return _WaveResult(outcomes=list(outcomes))
+
+
+def _retry_and_quarantine(
+    fn: Callable[[SweepCase], Any],
+    wave: _WaveResult,
+    config: HarnessConfig,
+    digest: str,
+    obs: Any,
+) -> List[QuarantineRecord]:
+    """Retry the wave's retryable failures in-parent; quarantine the rest."""
+    from repro.resilience.retry import retry_with_backoff
+
+    quarantined: List[QuarantineRecord] = []
+    for slot, outcome in enumerate(wave.outcomes):
+        if outcome.ok:
+            continue
+        taxonomy = wave.structured.get(outcome.index)
+        error_types: Tuple[str, ...] = ()
+        attempts = 1
+        if taxonomy is None and config.retries > 0:
+            # In-parent deterministic retry: each attempt sees its 1-based
+            # index as the ``harness_attempt`` param (relaxation schedule).
+            case = outcome.case
+
+            def attempt_case(attempt: int, case: SweepCase = case) -> Any:
+                relaxed = SweepCase(
+                    name=case.name,
+                    params={**case.params, "harness_attempt": attempt + 1},
+                )
+                return fn(relaxed)
+
+            retried = retry_with_backoff(attempt_case, attempts=config.retries)
+            obs.inc("harness_retries_total", retried.attempts)
+            attempts += retried.attempts
+            error_types = retried.error_types
+            if retried.ok:
+                obs.inc("harness_retry_successes_total")
+                wave.outcomes[slot] = SweepOutcome(
+                    case=case, index=outcome.index, value=retried.value
+                )
+                continue
+        if taxonomy is None:
+            kind = (outcome.error or "").split("(", 1)[0]
+            taxonomy = classify_failure(
+                tuple(error_types) + ((kind,) if kind else ()), outcome.error
+            )
+        obs.inc("harness_quarantined_total")
+        obs.inc(
+            "harness_quarantined_"
+            + taxonomy.replace("-", "_")
+            + "_total"
+        )
+        quarantined.append(
+            QuarantineRecord(
+                digest=digest,
+                index=outcome.index,
+                name=outcome.case.name,
+                taxonomy=taxonomy,
+                error=outcome.error or "",
+                error_types=tuple(error_types),
+                attempts=attempts,
+                params=_jsonable(outcome.case.params),
+                traceback=outcome.error_traceback,
+                case_pickle=base64.b64encode(
+                    pickle.dumps(outcome.case)
+                ).decode("ascii"),
+            )
+        )
+    return quarantined
+
+
+def run_sweep_resilient(
+    fn: Callable[[SweepCase], Any],
+    cases: Sequence[SweepCase],
+    backend: str = "thread",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    config: Optional[HarnessConfig] = None,
+    run_counters: Optional[Mapping[str, float]] = None,
+) -> HarnessResult:
+    """Evaluate a sweep fault-tolerantly, in case order, resumably.
+
+    The case list is partitioned into contiguous waves of
+    ``config.checkpoint_every`` cases. Each wave runs under a **fresh
+    child registry**: the backend evaluates it (supervised, on the
+    process backend), failures are retried and quarantined, the wave's
+    counters (including one ``harness_checkpoints_total``) land in the
+    child registry, and its snapshot is merged into the live registry
+    and — together with the wave's outcomes — persisted to the
+    checkpoint. Because every metric of the run rides a wave snapshot,
+    an interrupted run resumed from its checkpoint merges **exactly**
+    the snapshots it already earned and re-runs only incomplete waves:
+    outcomes and canonical metric exports are byte-identical to an
+    uninterrupted run.
+
+    ``run_counters`` are one-shot run-level counters (e.g. the standard
+    ``sweep_runs_total`` family) folded into the *first* wave's registry
+    so they, too, are counted exactly once across interruptions.
+
+    A ``KeyboardInterrupt`` (or any ``BaseException``) mid-wave kills
+    any live worker pool, leaves the checkpoint at the last completed
+    wave, and re-raises — nothing is lost but the interrupted wave.
+    """
+    config = config or HarnessConfig()
+    if backend not in BACKEND_LADDER:
+        raise ValueError(
+            f"unknown harness backend {backend!r}; available: "
+            f"{sorted(BACKEND_LADDER)}"
+        )
+    cases = list(cases)
+    digest = sweep_digest(fn, cases, backend, config.checkpoint_every)
+    if not cases:
+        return HarnessResult(outcomes=(), digest=digest, backend=backend)
+    workers = resolve_workers(len(cases), max_workers)
+    obs = get_registry()
+
+    checkpoint_path = (
+        Path(config.checkpoint) if config.checkpoint is not None else None
+    )
+    quarantine_path = (
+        Path(config.quarantine) if config.quarantine is not None else None
+    )
+    state = _Checkpoint(digest, len(cases), config.checkpoint_every)
+    if config.resume and checkpoint_path is not None and checkpoint_path.exists():
+        loaded = _Checkpoint.load(checkpoint_path)
+        if loaded.digest != digest:
+            raise CheckpointMismatchError(
+                f"checkpoint {checkpoint_path} was written for digest "
+                f"{loaded.digest[:12]}..., this sweep has digest "
+                f"{digest[:12]}... — refusing to resume"
+            )
+        if loaded.n_cases != len(cases):
+            raise CheckpointMismatchError(
+                f"checkpoint covers {loaded.n_cases} cases, sweep has "
+                f"{len(cases)}"
+            )
+        state = loaded
+
+    waves = chunk_items(list(enumerate(cases)), config.checkpoint_every)
+    outcomes_by_index: Dict[int, SweepOutcome] = {}
+    quarantined: List[QuarantineRecord] = []
+    demotions: List[str] = []
+    resumed_cases = 0
+
+    # Replay completed waves: restore outcomes, merge their recorded
+    # snapshots into the live registry in wave order (identical totals to
+    # having run them), collect their quarantine records.
+    for wave_index in sorted(state.waves):
+        record = state.waves[wave_index]
+        for encoded in record["outcomes"]:
+            outcome = _decode_outcome(encoded, cases)
+            outcomes_by_index[outcome.index] = outcome
+            resumed_cases += 1
+        obs.merge_snapshot(record["snapshot"])
+        quarantined.extend(
+            QuarantineRecord.from_dict(q) for q in record.get("quarantined", [])
+        )
+
+    # One-shot run counters ride the first wave's snapshot. On resume
+    # they are already inside the restored wave-0 snapshot (merged
+    # above), so injecting them again would double-count and break
+    # byte-identity with an uninterrupted run.
+    inject_run_counters = bool(run_counters) and not state.waves
+    try:
+        for wave_index, wave_cases in enumerate(waves):
+            if wave_index in state.waves:
+                continue
+            with use_registry(MetricsRegistry()) as wave_obs:
+                if inject_run_counters:
+                    wave_obs.merge_counters(dict(run_counters))
+                inject_run_counters = False
+                wave = _run_wave_backend(
+                    fn,
+                    wave_cases,
+                    backend,
+                    workers,
+                    chunk_size,
+                    config,
+                    wave_obs,
+                    demotions,
+                )
+                wave_quarantined = _retry_and_quarantine(
+                    fn, wave, config, digest, wave_obs
+                )
+                wave_obs.inc("harness_checkpoints_total")
+                snapshot = wave_obs.as_dict()
+            obs.merge_snapshot(snapshot)
+            for outcome in wave.outcomes:
+                outcomes_by_index[outcome.index] = outcome
+            quarantined.extend(wave_quarantined)
+            state.waves[wave_index] = {
+                "outcomes": [_encode_outcome(o) for o in wave.outcomes],
+                "snapshot": snapshot,
+                "quarantined": [q.to_dict() for q in wave_quarantined],
+            }
+            if checkpoint_path is not None:
+                _atomic_write(checkpoint_path, state.to_json() + "\n")
+            if quarantine_path is not None and quarantined:
+                _write_quarantine(quarantine_path, quarantined)
+    finally:
+        # Mid-wave interruption: the checkpoint already holds every
+        # completed wave; nothing to flush, but never leave workers
+        # behind (the supervised path kills its own pool via its
+        # finally; thread/serial have no processes to orphan).
+        pass
+
+    if quarantine_path is not None and quarantined:
+        _write_quarantine(quarantine_path, quarantined)
+    ordered = tuple(outcomes_by_index[i] for i in range(len(cases)))
+    return HarnessResult(
+        outcomes=ordered,
+        digest=digest,
+        backend=backend,
+        quarantined=tuple(quarantined),
+        demotions=tuple(demotions),
+        resumed_cases=resumed_cases,
+    )
+
+
+# -- quarantine artifact -----------------------------------------------
+
+
+def _write_quarantine(path: Path, records: Sequence[QuarantineRecord]) -> None:
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "records": [r.to_dict() for r in records],
+    }
+    _atomic_write(Path(path), _canonical(payload) + "\n")
+
+
+def load_quarantine(path: Union[str, Path]) -> List[QuarantineRecord]:
+    """Read a quarantine artifact back into records (cases replayable)."""
+    payload = json.loads(Path(path).read_text())
+    return [QuarantineRecord.from_dict(r) for r in payload.get("records", [])]
+
+
+def replay_quarantined(
+    fn: Callable[[SweepCase], Any], path: Union[str, Path]
+) -> List[SweepOutcome]:
+    """Re-run every quarantined case serially (errors captured).
+
+    The artifact stores the exact pickled :class:`SweepCase`, so the
+    replay sees byte-identical inputs — the diagnosing loop the fuzzer's
+    shrunk repro artifacts established. Deadline enforcement does not
+    apply here: a replayed hang is the point of the exercise, run it
+    under a debugger.
+    """
+    records = load_quarantine(path)
+    obs = get_registry()
+    outcomes = []
+    for record in records:
+        case = record.rebuild_case()
+        from repro.sweep.cases import evaluate_case
+
+        outcome, _exc = evaluate_case(obs, fn, record.index, case, reraise=False)
+        outcomes.append(outcome)
+    return outcomes

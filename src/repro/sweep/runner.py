@@ -22,11 +22,14 @@ oracle the other two are differential-tested against.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs import get_registry
 from repro.sweep.backends import get_backend, resolve_workers
 from repro.sweep.cases import SweepCase, SweepOutcome, sweep_cases  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sweep.harness import HarnessConfig
 
 
 def run_sweep(
@@ -36,6 +39,7 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     on_error: str = "raise",
     backend: Optional[str] = None,
+    harness: Optional["HarnessConfig"] = None,
 ) -> List[SweepOutcome]:
     """Evaluate ``fn`` over every case, in parallel, in case order.
 
@@ -67,6 +71,17 @@ def run_sweep(
     backend:
         ``"serial"``, ``"thread"`` (default) or ``"process"`` — see
         :mod:`repro.sweep.backends`.
+    harness:
+        A :class:`~repro.sweep.harness.HarnessConfig` routes the sweep
+        through the fault-tolerant execution harness
+        (:func:`~repro.sweep.harness.run_sweep_resilient`): checkpoint/
+        resume, per-case deadlines with worker-crash recovery on the
+        process backend, retry + quarantine, and the backend demotion
+        ladder. Outcome order and metric exports stay identical to the
+        plain path for a sweep that needed no intervention. With
+        ``on_error="raise"`` a case that still fails after retries
+        raises :class:`~repro.sweep.harness.HarnessError` *after* the
+        sweep completes (and is checkpointed/quarantined).
     """
     if on_error not in ("raise", "capture"):
         raise ValueError("on_error must be 'raise' or 'capture'")
@@ -74,9 +89,32 @@ def run_sweep(
     cases = list(cases)
     if not cases:
         return []
-    workers = resolve_workers(len(cases), max_workers)
     if chunk_size is not None and chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if harness is not None:
+        from repro.sweep.harness import HarnessError, run_sweep_resilient
+
+        result = run_sweep_resilient(
+            fn,
+            cases,
+            backend=engine.name,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            config=harness,
+            run_counters={
+                "sweep_runs_total": 1,
+                "sweep_cases_total": len(cases),
+                f"sweep_backend_{engine.name}_runs_total": 1,
+            },
+        )
+        if on_error == "raise" and not result.ok:
+            first = next(o for o in result.outcomes if not o.ok)
+            raise HarnessError(
+                f"case {first.case.name!r} (index {first.index}) failed "
+                f"after harness intervention: {first.error}"
+            )
+        return list(result.outcomes)
+    workers = resolve_workers(len(cases), max_workers)
     obs = get_registry()
     obs.inc("sweep_runs_total")
     obs.inc("sweep_cases_total", len(cases))

@@ -172,6 +172,119 @@ class TestRunCampaign:
         assert score.degraded_pflops is not None and score.degraded_pflops > 0.0
 
 
+def open_loop_simulator():
+    return ModuleSimulator(module=skat())
+
+
+class TestBatchedCampaign:
+    """The open-loop campaign hot loop rides the vectorized core."""
+
+    def _scenarios(self):
+        # Open-loop-eligible subset: no sensor faults.
+        return [
+            s
+            for s in single_fault_scenarios()
+            if "sensor_fault" not in s.kinds
+        ]
+
+    def test_batched_matches_per_object_byte_for_byte(self):
+        scenarios = self._scenarios()
+        kwargs = dict(duration_s=400.0, dt_s=5.0)
+        batched = run_campaign(
+            open_loop_simulator, scenarios, batch="always", **kwargs
+        )
+        per_object = run_campaign(
+            open_loop_simulator, scenarios, batch="never", **kwargs
+        )
+        assert batched.to_json() == per_object.to_json()
+
+    def test_auto_engages_only_for_open_loop(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as obs:
+            run_campaign(
+                open_loop_simulator, self._scenarios(), duration_s=300.0
+            )
+            assert obs.as_dict()["counters"]["campaign_batched_runs_total"] == 1
+        with use_registry(MetricsRegistry()) as obs:
+            run_campaign(
+                supervised_simulator, self._scenarios(), duration_s=300.0
+            )
+            counters = obs.as_dict()["counters"]
+            assert "campaign_batched_runs_total" not in counters
+
+    def test_sensor_fault_scenarios_stay_per_object(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as obs:
+            run_campaign(
+                open_loop_simulator, single_fault_scenarios(), duration_s=300.0
+            )
+            counters = obs.as_dict()["counters"]
+        assert "campaign_batched_runs_total" not in counters
+
+    def test_always_rejected_for_closed_loop(self):
+        with pytest.raises(ValueError, match="not batchable"):
+            run_campaign(
+                supervised_simulator,
+                self._scenarios(),
+                duration_s=300.0,
+                batch="always",
+            )
+
+    def test_bad_batch_value_rejected(self):
+        with pytest.raises(ValueError, match="batch must be"):
+            run_campaign(
+                open_loop_simulator,
+                self._scenarios(),
+                duration_s=300.0,
+                batch="sometimes",
+            )
+
+
+class TestCampaignHarness:
+    """Campaigns through the fault-tolerant execution harness."""
+
+    def test_harnessed_report_matches_plain(self, tmp_path):
+        from repro.sweep import HarnessConfig
+
+        scenarios = single_fault_scenarios()
+        kwargs = dict(duration_s=400.0, dt_s=5.0, seed=7)
+        plain = run_campaign(supervised_simulator, scenarios, **kwargs)
+        harnessed = run_campaign(
+            supervised_simulator,
+            single_fault_scenarios(),
+            harness=HarnessConfig(
+                checkpoint=tmp_path / "campaign.json", checkpoint_every=2
+            ),
+            **kwargs,
+        )
+        assert harnessed.to_json() == plain.to_json()
+
+    def test_campaign_resumes_from_checkpoint(self, tmp_path):
+        from repro.sweep import HarnessConfig
+
+        scenarios = single_fault_scenarios()
+        kwargs = dict(duration_s=400.0, dt_s=5.0, seed=7)
+        config = HarnessConfig(
+            checkpoint=tmp_path / "campaign.json", checkpoint_every=2
+        )
+        first = run_campaign(
+            supervised_simulator, scenarios, harness=config, **kwargs
+        )
+        resumed = run_campaign(
+            supervised_simulator,
+            single_fault_scenarios(),
+            harness=HarnessConfig(
+                checkpoint=tmp_path / "campaign.json",
+                resume=True,
+                checkpoint_every=2,
+            ),
+            **kwargs,
+        )
+        assert resumed.to_json() == first.to_json()
+
+
 class TestMonteCarloBridge:
     def _campaign(self):
         return run_campaign(

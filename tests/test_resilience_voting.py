@@ -127,3 +127,35 @@ class TestRetryWithBackoff:
         outcome = retry_with_backoff(relax, attempts=3, retry_on=(ValueError,))
         assert outcome.ok
         assert tolerances == [1.0e-9, 1.0e-8]
+
+    def test_error_types_recorded_qualified(self):
+        def mixed(attempt):
+            if attempt == 0:
+                raise ValueError("first kind")
+            raise KeyError("second kind")
+
+        outcome = retry_with_backoff(
+            mixed, attempts=2, retry_on=(ValueError, KeyError)
+        )
+        assert not outcome.ok
+        assert outcome.error_types == (
+            "builtins.ValueError",
+            "builtins.KeyError",
+        )
+        assert len(outcome.error_types) == len(outcome.errors)
+
+    def test_error_types_on_eventual_success(self):
+        def flaky(attempt):
+            if attempt < 1:
+                raise ValueError("tight")
+            return "ok"
+
+        outcome = retry_with_backoff(flaky, attempts=3, retry_on=(ValueError,))
+        assert outcome.ok
+        assert outcome.error_types == ("builtins.ValueError",)
+
+    def test_error_types_default_keeps_old_constructions_valid(self):
+        # Backward compatibility: pre-existing four-field constructions
+        # still work and default to no recorded types.
+        outcome = RetryOutcome(ok=True, value=1, attempts=1)
+        assert outcome.error_types == ()

@@ -82,6 +82,20 @@ class TestWorkerResolution:
         with pytest.raises(ValueError):
             resolve_workers(5, 0)
 
+    def test_empty_sweep_short_circuits_to_one_worker(self):
+        # Regression: `min(max_workers, n_cases) or 1` leaned on 0 being
+        # falsy; the explicit short-circuit must return 1 for an empty
+        # sweep whether or not workers were requested explicitly.
+        assert resolve_workers(0, None) == 1
+        assert resolve_workers(0, 1) == 1
+        assert resolve_workers(0, 16) == 1
+
+    def test_empty_sweep_still_validates_max_workers(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0, 0)
+        with pytest.raises(ValueError):
+            resolve_workers(0, -2)
+
     def test_chunks_are_contiguous_and_complete(self):
         items = list(enumerate("abcdefg"))
         chunks = chunk_items(items, 3)

@@ -1,0 +1,542 @@
+"""Tests for the fault-tolerant sweep execution harness.
+
+Covers the four pillars — checkpoint/resume byte-identity, per-case
+deadlines + worker-crash recovery with bisection, retry + quarantine,
+and the backend demotion ladder — plus the mid-sweep KeyboardInterrupt
+contract on all three backends (partial outcomes checkpointed, no
+orphaned worker processes, resume byte-identical to uninterrupted).
+
+Every evaluation function is module-level (the process backend pickles
+them by reference); filesystem sentinels stand in for "the first time
+this happened" state that must survive a killed worker.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.obs.export import to_json
+from repro.sweep import (
+    BatchedSweepFn,
+    HarnessConfig,
+    HarnessError,
+    CheckpointMismatchError,
+    SweepCase,
+    load_quarantine,
+    replay_quarantined,
+    run_sweep,
+    run_sweep_batched,
+    run_sweep_resilient,
+    sweep_cases,
+    sweep_digest,
+)
+from repro.sweep.harness import classify_failure
+
+
+# -- module-level evaluation functions (picklable) ---------------------
+
+
+def square(case):
+    return case.params["x"] ** 2
+
+
+def tupled(case):
+    # Tuples do not survive a JSON round trip — exercises the pickle
+    # encoding of checkpointed values.
+    return (case.params["x"], case.params["x"] + 1)
+
+
+def sleep_on_three(case):
+    if case.params["x"] == 3:
+        time.sleep(60.0)
+    return case.params["x"] * 10
+
+
+def kill_worker_on_two_once(case):
+    x = case.params["x"]
+    if x == 2:
+        sentinel = Path(case.params["sentinel"])
+        if not sentinel.exists():
+            sentinel.write_text("crashed once\n")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def kill_any_worker_process(case):
+    # Dies whenever it runs in a process other than the one recorded in
+    # params — i.e. always in a pool worker, never after thread demotion.
+    if os.getpid() != case.params["main_pid"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return case.params["x"] + 1
+
+
+def succeed_on_retry(case):
+    if case.params.get("harness_attempt", 0) >= 1:
+        return "recovered"
+    raise ValueError("needs a relaxed tolerance")
+
+
+def always_non_finite(case):
+    raise FloatingPointError("junction temperature is NaN")
+
+
+def interrupt_on_target(case):
+    x = case.params["x"]
+    if x == case.params["target"]:
+        sentinel = Path(case.params["sentinel"])
+        if not sentinel.exists():
+            sentinel.write_text("interrupted\n")
+            raise KeyboardInterrupt
+    return x + 100
+
+
+def batch_squares(cases):
+    return [case.params["x"] ** 2 for case in cases]
+
+
+def _cases(n, **extra):
+    return [
+        SweepCase(name=f"x={x}", params={"x": x, **extra}) for x in range(n)
+    ]
+
+
+def _assert_no_orphans(timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()  # also reaps zombies
+        if not children:
+            return
+        time.sleep(0.05)
+    pytest.fail(f"orphaned worker processes: {multiprocessing.active_children()}")
+
+
+# -- digest ------------------------------------------------------------
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        cases = _cases(4)
+        a = sweep_digest(square, cases, "serial", 2)
+        b = sweep_digest(square, list(cases), "serial", 2)
+        assert a == b and len(a) == 64
+
+    def test_sensitive_to_everything(self):
+        cases = _cases(4)
+        base = sweep_digest(square, cases, "serial", 2)
+        assert sweep_digest(tupled, cases, "serial", 2) != base
+        assert sweep_digest(square, cases[:3], "serial", 2) != base
+        assert sweep_digest(square, cases, "thread", 2) != base
+        assert sweep_digest(square, cases, "serial", 3) != base
+
+    def test_handles_non_json_params(self):
+        cases = [
+            SweepCase(name="c", params={"fn": square, "t": (1, 2), "o": object()})
+        ]
+        a = sweep_digest(square, cases, "serial", 1)
+        assert a == sweep_digest(square, cases, "serial", 1)
+
+
+# -- checkpoint / resume ----------------------------------------------
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_parity_with_plain_run_sweep(self, backend, tmp_path):
+        cases = _cases(9)
+        with use_registry(MetricsRegistry()) as obs:
+            plain = run_sweep(square, cases, backend=backend, max_workers=2)
+            plain_metrics = to_json(obs, exclude=("harness_",))
+        with use_registry(MetricsRegistry()) as obs:
+            harnessed = run_sweep(
+                square,
+                cases,
+                backend=backend,
+                max_workers=2,
+                harness=HarnessConfig(
+                    checkpoint=tmp_path / "ckpt.json", checkpoint_every=4
+                ),
+            )
+            harness_metrics = to_json(obs, exclude=("harness_",))
+        assert [(o.index, o.case, o.value) for o in harnessed] == [
+            (o.index, o.case, o.value) for o in plain
+        ]
+        assert harness_metrics == plain_metrics
+
+    def test_full_resume_reruns_nothing(self, tmp_path):
+        cases = _cases(6)
+        config = HarnessConfig(checkpoint=tmp_path / "c.json", checkpoint_every=2)
+        with use_registry(MetricsRegistry()) as obs:
+            first = run_sweep_resilient(square, cases, config=config)
+            first_metrics = to_json(obs)
+        resume = HarnessConfig(
+            checkpoint=tmp_path / "c.json", resume=True, checkpoint_every=2
+        )
+        with use_registry(MetricsRegistry()) as obs:
+            second = run_sweep_resilient(square, cases, config=resume)
+            second_metrics = to_json(obs)
+        assert second.resumed_cases == 6
+        assert [o.value for o in second.outcomes] == [o.value for o in first.outcomes]
+        assert second_metrics == first_metrics
+
+    def test_non_json_values_round_trip(self, tmp_path):
+        cases = _cases(4)
+        config = HarnessConfig(checkpoint=tmp_path / "c.json", checkpoint_every=2)
+        run_sweep_resilient(tupled, cases, config=config)
+        resume = HarnessConfig(
+            checkpoint=tmp_path / "c.json", resume=True, checkpoint_every=2
+        )
+        result = run_sweep_resilient(tupled, cases, config=resume)
+        assert [o.value for o in result.outcomes] == [(x, x + 1) for x in range(4)]
+        assert all(isinstance(o.value, tuple) for o in result.outcomes)
+
+    def test_digest_mismatch_refused(self, tmp_path):
+        config = HarnessConfig(checkpoint=tmp_path / "c.json", checkpoint_every=2)
+        run_sweep_resilient(square, _cases(4), config=config)
+        resume = HarnessConfig(
+            checkpoint=tmp_path / "c.json", resume=True, checkpoint_every=2
+        )
+        with pytest.raises(CheckpointMismatchError, match="refusing to resume"):
+            run_sweep_resilient(square, _cases(5), config=resume)
+
+    def test_missing_checkpoint_starts_fresh(self, tmp_path):
+        resume = HarnessConfig(checkpoint=tmp_path / "nope.json", resume=True)
+        result = run_sweep_resilient(square, _cases(3), config=resume)
+        assert result.resumed_cases == 0
+        assert [o.value for o in result.outcomes] == [0, 1, 4]
+
+    def test_checkpoint_is_canonical_json(self, tmp_path):
+        config = HarnessConfig(checkpoint=tmp_path / "c.json", checkpoint_every=2)
+        run_sweep_resilient(square, _cases(4), config=config)
+        raw = (tmp_path / "c.json").read_text()
+        payload = json.loads(raw)
+        assert raw == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ) + "\n"
+        assert payload["version"] == 1
+        assert len(payload["waves"]) == 2
+
+    def test_empty_sweep(self):
+        result = run_sweep_resilient(square, [])
+        assert result.outcomes == () and result.ok
+
+
+# -- mid-sweep KeyboardInterrupt (satellite 3) -------------------------
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestKeyboardInterrupt:
+    def test_partial_checkpoint_no_orphans_resume_byte_identical(
+        self, backend, tmp_path
+    ):
+        sentinel = tmp_path / "sentinel"
+        cases = _cases(8, sentinel=str(sentinel), target=5)
+        config = HarnessConfig(
+            checkpoint=tmp_path / "ckpt.json", checkpoint_every=2
+        )
+        with use_registry(MetricsRegistry()):
+            with pytest.raises(KeyboardInterrupt):
+                run_sweep_resilient(
+                    interrupt_on_target,
+                    cases,
+                    backend=backend,
+                    max_workers=2,
+                    config=config,
+                )
+        _assert_no_orphans()
+        # Completed waves made it to disk; the interrupted one did not.
+        payload = json.loads((tmp_path / "ckpt.json").read_text())
+        n_waves = len(payload["waves"])
+        assert 1 <= n_waves < 4
+        assert sentinel.exists()
+
+        # Resume: the sentinel exists now, so the target case completes.
+        resume = HarnessConfig(
+            checkpoint=tmp_path / "ckpt.json", resume=True, checkpoint_every=2
+        )
+        with use_registry(MetricsRegistry()) as obs:
+            resumed = run_sweep_resilient(
+                interrupt_on_target,
+                cases,
+                backend=backend,
+                max_workers=2,
+                config=resume,
+            )
+            resumed_metrics = to_json(obs)
+        assert resumed.resumed_cases == 2 * n_waves
+
+        # Uninterrupted reference over identical inputs (sentinel still
+        # present), different checkpoint file: byte-identical outcomes
+        # and metric export.
+        reference = HarnessConfig(
+            checkpoint=tmp_path / "ref.json", checkpoint_every=2
+        )
+        with use_registry(MetricsRegistry()) as obs:
+            ref = run_sweep_resilient(
+                interrupt_on_target,
+                cases,
+                backend=backend,
+                max_workers=2,
+                config=reference,
+            )
+            ref_metrics = to_json(obs)
+        assert [(o.index, o.case, o.value, o.error) for o in resumed.outcomes] == [
+            (o.index, o.case, o.value, o.error) for o in ref.outcomes
+        ]
+        assert resumed_metrics == ref_metrics
+
+
+# -- deadlines, crashes, bisection ------------------------------------
+
+
+class TestProcessSupervision:
+    def test_hung_case_deadline_killed_and_quarantined(self, tmp_path):
+        cases = _cases(6)
+        config = HarnessConfig(
+            checkpoint=tmp_path / "c.json",
+            timeout_s=0.5,
+            retries=0,
+            quarantine=tmp_path / "quarantine.json",
+        )
+        with use_registry(MetricsRegistry()) as obs:
+            result = run_sweep_resilient(
+                sleep_on_three, cases, backend="process", max_workers=2,
+                config=config,
+            )
+            counters = obs.as_dict()["counters"]
+        _assert_no_orphans()
+        # The hung case is a structured failure; the other five completed.
+        assert [o.ok for o in result.outcomes] == [
+            True, True, True, False, True, True,
+        ]
+        assert "CaseDeadlineError" in result.outcomes[3].error
+        assert [o.value for o in result.outcomes if o.ok] == [0, 10, 20, 40, 50]
+        assert len(result.quarantined) == 1
+        record = result.quarantined[0]
+        assert record.taxonomy == "timeout"
+        assert record.index == 3
+        assert counters["harness_deadline_kills_total"] == 1
+        assert counters["harness_quarantined_total"] == 1
+        assert counters["harness_pool_respawns_total"] >= 1
+        # The artifact replays: the rebuilt case is the original.
+        loaded = load_quarantine(tmp_path / "quarantine.json")
+        assert len(loaded) == 1
+        assert loaded[0].rebuild_case() == cases[3]
+
+    def test_killed_worker_recovered_by_bisection(self, tmp_path):
+        sentinel = tmp_path / "crash-sentinel"
+        cases = _cases(8, sentinel=str(sentinel))
+        with use_registry(MetricsRegistry()) as obs:
+            result = run_sweep_resilient(
+                kill_worker_on_two_once,
+                cases,
+                backend="process",
+                max_workers=2,
+                config=HarnessConfig(retries=0),
+            )
+            counters = obs.as_dict()["counters"]
+        _assert_no_orphans()
+        # The crash was transient (sentinel flips it off): every case
+        # completes, including the killer's innocent shard-mates.
+        assert result.ok
+        assert [o.value for o in result.outcomes] == [x * 10 for x in range(8)]
+        assert counters["harness_pool_respawns_total"] >= 1
+        assert counters["harness_bisections_total"] >= 1
+
+    def test_persistent_killer_isolated_as_worker_death(self, tmp_path):
+        # x == 2 kills its worker every time it runs. Bisection must
+        # isolate exactly that case; its shard-mates must all complete.
+        cases = _cases(6)
+        with use_registry(MetricsRegistry()):
+            result = run_sweep_resilient(
+                _persistent_killer, cases, backend="process", max_workers=2,
+                config=HarnessConfig(retries=0, quarantine=tmp_path / "q.json"),
+            )
+        _assert_no_orphans()
+        assert [o.ok for o in result.outcomes] == [
+            True, True, False, True, True, True,
+        ]
+        assert "WorkerCrashError" in result.outcomes[2].error
+        assert result.quarantined[0].taxonomy == "worker-death"
+
+
+def _persistent_killer(case):
+    if case.params["x"] == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return case.params["x"]
+
+
+# -- retry + quarantine ------------------------------------------------
+
+
+class TestRetryQuarantine:
+    def test_retry_succeeds_via_relaxation_param(self):
+        cases = [SweepCase(name="flaky", params={})]
+        with use_registry(MetricsRegistry()) as obs:
+            result = run_sweep_resilient(
+                succeed_on_retry, cases, config=HarnessConfig(retries=2)
+            )
+            counters = obs.as_dict()["counters"]
+        assert result.ok
+        assert result.outcomes[0].value == "recovered"
+        assert counters["harness_retries_total"] == 1
+        assert counters["harness_retry_successes_total"] == 1
+        assert counters.get("harness_quarantined_total", 0) == 0
+
+    def test_persistent_failure_quarantined_with_taxonomy(self, tmp_path):
+        cases = _cases(3)
+        config = HarnessConfig(retries=2, quarantine=tmp_path / "q.json")
+        with use_registry(MetricsRegistry()) as obs:
+            result = run_sweep_resilient(always_non_finite, cases, config=config)
+            counters = obs.as_dict()["counters"]
+        assert not result.ok
+        assert len(result.quarantined) == 3
+        assert all(q.taxonomy == "non-finite" for q in result.quarantined)
+        assert all(
+            "FloatingPointError" in t
+            for q in result.quarantined
+            for t in q.error_types
+        )
+        assert all(q.attempts == 3 for q in result.quarantined)
+        assert counters["harness_quarantined_total"] == 3
+        assert counters["harness_quarantined_non_finite_total"] == 3
+
+    def test_quarantine_artifact_replays(self, tmp_path):
+        cases = _cases(3)
+        config = HarnessConfig(retries=0, quarantine=tmp_path / "q.json")
+        run_sweep_resilient(always_non_finite, cases, config=config)
+        raw = (tmp_path / "q.json").read_text()
+        payload = json.loads(raw)
+        assert raw == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ) + "\n"
+        outcomes = replay_quarantined(square, tmp_path / "q.json")
+        assert [o.value for o in outcomes] == [0, 1, 4]
+
+    def test_run_sweep_raises_harness_error_after_completion(self, tmp_path):
+        cases = _cases(3)
+        with pytest.raises(HarnessError, match="failed after harness"):
+            run_sweep(
+                always_non_finite,
+                cases,
+                backend="serial",
+                harness=HarnessConfig(retries=0, checkpoint=tmp_path / "c.json"),
+            )
+        # The failing sweep still checkpointed every wave.
+        assert (tmp_path / "c.json").exists()
+
+
+# -- demotion ladder ---------------------------------------------------
+
+
+class TestDemotion:
+    def test_process_demotes_to_thread_when_budget_spent(self):
+        cases = [
+            SweepCase(name=f"x={x}", params={"x": x, "main_pid": os.getpid()})
+            for x in range(4)
+        ]
+        with use_registry(MetricsRegistry()) as obs:
+            result = run_sweep_resilient(
+                kill_any_worker_process,
+                cases,
+                backend="process",
+                max_workers=2,
+                config=HarnessConfig(max_pool_respawns=0, retries=0),
+            )
+            counters = obs.as_dict()["counters"]
+        _assert_no_orphans()
+        assert result.ok
+        assert [o.value for o in result.outcomes] == [1, 2, 3, 4]
+        assert "process->thread" in result.demotions
+        assert counters["harness_demotions_total"] >= 1
+
+    def test_demotion_disabled_raises(self):
+        cases = [
+            SweepCase(name=f"x={x}", params={"x": x, "main_pid": os.getpid()})
+            for x in range(4)
+        ]
+        with pytest.raises(HarnessError, match="demotion is disabled"):
+            run_sweep_resilient(
+                kill_any_worker_process,
+                cases,
+                backend="process",
+                max_workers=2,
+                config=HarnessConfig(max_pool_respawns=0, demote=False),
+            )
+        _assert_no_orphans()
+
+
+# -- taxonomy ----------------------------------------------------------
+
+
+class TestTaxonomy:
+    def test_buckets(self):
+        assert classify_failure(["x.CaseDeadlineError"], None) == "timeout"
+        assert classify_failure(["x.WorkerCrashError"], None) == "worker-death"
+        assert classify_failure(["builtins.FloatingPointError"], None) == "non-finite"
+        assert classify_failure([], "ValueError('went to nan')") == "non-finite"
+        assert (
+            classify_failure([], "RuntimeError('failed to converge')")
+            == "non-convergence"
+        )
+        assert classify_failure(["m.ConvergenceError"], None) == "non-convergence"
+        assert classify_failure(["builtins.KeyError"], "KeyError('z')") == "error"
+
+    def test_type_dominates_text(self):
+        # A deadline whose repr mentions nan still classifies as timeout.
+        assert (
+            classify_failure(["x.CaseDeadlineError"], "deadline at nan")
+            == "timeout"
+        )
+
+
+# -- config validation -------------------------------------------------
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(checkpoint_every=0)
+        with pytest.raises(ValueError):
+            HarnessConfig(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            HarnessConfig(retries=-1)
+        with pytest.raises(ValueError):
+            HarnessConfig(max_pool_respawns=-1)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown harness backend"):
+            run_sweep_resilient(square, _cases(2), backend="quantum")
+
+
+# -- batched dispatch through the harness ------------------------------
+
+
+class TestBatchedHarness:
+    def test_parity_and_resume(self, tmp_path):
+        cases = sweep_cases(x=list(range(10)))
+        spec = BatchedSweepFn(serial=square, batch=batch_squares)
+        plain = run_sweep_batched(spec, cases, batch_size=3, backend="serial")
+        config = HarnessConfig(checkpoint=tmp_path / "c.json", checkpoint_every=2)
+        harnessed = run_sweep_batched(
+            spec, cases, batch_size=3, backend="serial", harness=config
+        )
+        assert [o.value for o in harnessed] == [o.value for o in plain]
+        # Waves checkpoint whole batches: 4 batches / 2 per wave = 2 waves.
+        payload = json.loads((tmp_path / "c.json").read_text())
+        assert len(payload["waves"]) == 2
+        resumed = run_sweep_batched(
+            spec,
+            cases,
+            batch_size=3,
+            backend="serial",
+            harness=HarnessConfig(
+                checkpoint=tmp_path / "c.json", resume=True, checkpoint_every=2
+            ),
+        )
+        assert [o.value for o in resumed] == [o.value for o in plain]
