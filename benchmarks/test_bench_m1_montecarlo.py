@@ -1,0 +1,94 @@
+"""Experiment M1 — Monte Carlo sampling throughput on the batched core.
+
+Not a paper experiment: these rate the rack-level Monte Carlo evaluator
+(`repro.analysis.montecarlo`) — the one level that is vectorized end to
+end through the structure-of-arrays engines — against the per-sample
+serial path it mirrors. Every benchmark records the evaluated ``samples``
+and the measured ``samples_per_sec`` in its ``extra_info`` (distilled
+into ``BENCH_<label>.json`` by ``scripts/run_benchmarks.py``), and the
+widest row asserts the batched evaluator clears >= 8x the serial sample
+rate — the property that makes 10k-sample facility campaigns tractable.
+
+The statistical suite (``tests/test_montecarlo_estimators.py``) and the
+byte-pinned goldens (``tests/test_montecarlo_goldens.py``) pin the
+*values* of this path; this module pins the *speed*.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import make_spec, mc_batch, mc_case, run_montecarlo
+from repro.sweep.batched import SERIAL_FALLBACK
+
+#: Serial sample size used to estimate the per-sample serial cost.
+SERIAL_SAMPLE = 6
+
+#: Batched-vs-serial sample-rate floor asserted at the widest budget.
+RACK_SPEEDUP_FLOOR = 8.0
+
+#: Total evaluation budgets (Saltelli N * (k + 2) with k = 4 knobs).
+SAMPLE_BUDGETS = [12, 96, 384]
+
+
+def _time_once(fn) -> float:
+    best = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("samples", SAMPLE_BUDGETS)
+def test_bench_m1_rack_sampling_batched(benchmark, samples):
+    spec = make_spec("rack", samples=samples, seed=7)
+    cases = spec.cases()
+
+    def solve():
+        return mc_batch(cases)
+
+    elapsed = _time_once(solve)
+    benchmark.extra_info["samples"] = len(cases)
+    benchmark.extra_info["samples_per_sec"] = round(len(cases) / elapsed, 1)
+
+    results = benchmark(solve)
+    assert all(result is not SERIAL_FALLBACK for result in results)
+
+    if samples == max(SAMPLE_BUDGETS):
+        serial_start = time.perf_counter()
+        for case in cases[:SERIAL_SAMPLE]:
+            mc_case(case)
+        serial_per_sample = (time.perf_counter() - serial_start) / SERIAL_SAMPLE
+        speedup = (serial_per_sample * len(cases)) / elapsed
+        benchmark.extra_info["serial_samples_per_sec"] = round(
+            1.0 / serial_per_sample, 1
+        )
+        benchmark.extra_info["speedup_vs_serial"] = round(speedup, 1)
+        assert speedup >= RACK_SPEEDUP_FLOOR, (
+            f"batched Monte Carlo at {len(cases)} samples reached only "
+            f"{speedup:.1f}x the serial sample rate "
+            f"(floor {RACK_SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_bench_m1_rack_campaign_end_to_end(benchmark):
+    """The full pipeline — design, dispatch, estimator reduction — at a
+    small rack budget, so the distilled record also shows the overhead
+    the sweep/reduction layers add on top of the raw evaluator."""
+    spec = make_spec("rack", samples=96, seed=7)
+    n_cases = len(spec.cases())
+
+    def campaign():
+        return run_montecarlo(spec, backend="serial", batch_size=32)
+
+    elapsed = _time_once(campaign)
+    benchmark.extra_info["samples"] = n_cases
+    benchmark.extra_info["samples_per_sec"] = round(n_cases / elapsed, 1)
+
+    report = benchmark(campaign)
+    assert report.n_failed == 0
+    assert set(report.sobol["worst_module_max_fpga_c"]) == {
+        knob.name for knob in spec.knobs
+    }

@@ -1,0 +1,163 @@
+"""Run a seeded Monte Carlo uncertainty study and print its report.
+
+Samples the calibration-knob tolerance distributions as a Saltelli
+A/B/AB design, dispatches the evaluations through the batched sweep
+backends (with optional checkpoint/resume via the fault-tolerant
+harness), and reduces to quantile bands, overheat exceedance and Sobol
+indices. The report JSON is canonical (sorted keys, fixed separators,
+wall-clock and backend excluded), so two invocations with the same
+``--level --samples --seed`` are byte-for-byte identical on any backend
+— the property the CI ``mc-smoke`` job enforces with a plain diff.
+
+Run with::
+
+    python scripts/run_montecarlo.py --level facility --samples 10000 --seed 7
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.montecarlo import LEVELS, make_spec, run_montecarlo
+from repro.obs import MetricsRegistry, use_registry, write_json
+from repro.sweep import HarnessConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--level",
+        choices=sorted(LEVELS),
+        default="facility",
+        help="evaluation level (default: facility)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=10_000,
+        help="total evaluation budget; Saltelli N = samples // (k + 2)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="sample-matrix seed")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="sweep backend (default: process)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="parallel workers (default: auto)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="samples per batched solve"
+    )
+    parser.add_argument(
+        "--racks", type=int, default=None, help="facility level: racks"
+    )
+    parser.add_argument(
+        "--modules", type=int, default=None, help="facility level: modules per rack"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, help="facility level: run horizon, s"
+    )
+    parser.add_argument(
+        "--dt", type=float, default=None, help="facility level: time step, s"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the report JSON here too"
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the run's deterministic metrics (canonical JSON) here",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="run through the fault-tolerant harness, checkpointing here",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint (refused on a digest mismatch)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="batches per checkpointed wave",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-batch deadline, s (enforced on the process backend)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="harness retries for a failed batch (0 disables)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        help="write the replayable quarantine artifact here",
+    )
+    args = parser.parse_args(argv)
+
+    config = {}
+    if args.racks is not None:
+        config["racks"] = args.racks
+    if args.modules is not None:
+        config["modules"] = args.modules
+    if args.duration is not None:
+        config["duration_s"] = args.duration
+    if args.dt is not None:
+        config["dt_s"] = args.dt
+    spec = make_spec(
+        args.level, samples=args.samples, seed=args.seed, config=config or None
+    )
+
+    harness = None
+    if args.checkpoint or args.resume or args.timeout or args.quarantine:
+        harness = HarnessConfig(
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            quarantine=args.quarantine,
+        )
+
+    with use_registry(MetricsRegistry()) as obs:
+        report = run_montecarlo(
+            spec,
+            backend=args.backend,
+            max_workers=args.workers,
+            batch_size=args.batch_size,
+            harness=harness,
+        )
+        if args.metrics_out is not None:
+            write_json(obs, args.metrics_out)
+    payload = report.to_json()
+    print(payload)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+
+    if report.n_failed_rows > 0.01 * spec.n_base:
+        print(
+            f"{report.n_failed_rows} of {spec.n_base} sample rows failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

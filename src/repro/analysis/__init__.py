@@ -7,6 +7,10 @@
   "energy efficiency" keyword.
 - :mod:`repro.analysis.sensitivity` — one-at-a-time parameter sensitivity
   of the SKAT operating point (what actually moves the 55 C number).
+- :mod:`repro.analysis.montecarlo` — facility-scale Monte Carlo with
+  Saltelli sampling (:mod:`repro.analysis.sampling`) and quantile /
+  exceedance / Sobol reducers (:mod:`repro.analysis.estimators`), run
+  through the batched sweep backends with checkpoint/resume.
 """
 
 from repro.analysis.compare import ArchitectureScore, compare_architectures, render_scorecard
@@ -14,8 +18,11 @@ from repro.analysis.crossover import sweep_frontier, viability_frontier_w
 from repro.analysis.designspace import DesignPoint, pareto_frontier, sweep
 from repro.analysis.tco import CoolingTco, CostAssumptions, rack_tco_comparison
 from repro.analysis.energy import EnergyReport, annual_energy_report
-from repro.analysis.uncertainty import UncertainValue, skat_uncertainty
+from repro.analysis.uncertainty import UncertainValue, perturbed_skat, skat_uncertainty
 from repro.analysis.sensitivity import SensitivityResult, coolant_sensitivity, skat_sensitivity
+from repro.analysis.sampling import SaltelliDesign, ToleranceDistribution, saltelli_design
+from repro.analysis.estimators import exceedance_probability, quantile_bands, sobol_indices
+from repro.analysis.montecarlo import McReport, McSpec, make_spec, run_montecarlo
 
 __all__ = [
     "ArchitectureScore",
@@ -23,16 +30,27 @@ __all__ = [
     "CostAssumptions",
     "DesignPoint",
     "EnergyReport",
+    "McReport",
+    "McSpec",
+    "SaltelliDesign",
     "SensitivityResult",
+    "ToleranceDistribution",
     "UncertainValue",
     "annual_energy_report",
     "compare_architectures",
     "coolant_sensitivity",
+    "exceedance_probability",
+    "make_spec",
     "pareto_frontier",
+    "perturbed_skat",
+    "quantile_bands",
     "rack_tco_comparison",
     "render_scorecard",
+    "run_montecarlo",
+    "saltelli_design",
     "skat_sensitivity",
     "skat_uncertainty",
+    "sobol_indices",
     "sweep",
     "sweep_frontier",
     "viability_frontier_w",

@@ -1,0 +1,152 @@
+"""Statistical reducers for Monte Carlo sweeps: quantiles, exceedance, Sobol.
+
+All estimators are pure numpy closed forms over the stacked outputs of a
+Saltelli design (:mod:`repro.analysis.sampling`), so they are exactly
+reproducible for a given input array. Reports round through
+``round(x, 9)`` before export, matching the verify package's canonical
+JSON convention.
+
+Estimator choices:
+
+* Quantile bands use ``numpy.percentile`` with linear interpolation over
+  the A and B matrices only — AB rows reuse A's coordinates and would
+  bias marginal statistics.
+* The first-order index uses the Saltelli/Jansen 2010 form
+  ``S_i = mean(f_B * (f_ABi - f_A)) / V`` over outputs centered on the
+  pooled A∪B mean (unbiased either way, but the uncentered form's noise
+  scales with ``(mean/std)^2``), and the total index
+  ``ST_i = mean((f_A - f_ABi)^2) / (2 V)``, with
+  ``V = var(concat(f_A, f_B))``. Estimates are reported raw — not
+  clipped to [0, 1] — so tests can see estimator noise honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "exceedance_probability",
+    "quantile_bands",
+    "sobol_indices",
+]
+
+#: The quantile levels every Monte Carlo report carries.
+QUANTILE_LEVELS = (5.0, 50.0, 95.0)
+
+
+def _finite(values: np.ndarray) -> np.ndarray:
+    """Finite samples, sorted — summation order is fixed, so every
+    reduced statistic is exactly permutation-invariant (float addition
+    is not associative; without the sort, std/mean could differ in the
+    last ulp between two orderings of the same samples)."""
+    values = np.asarray(values, dtype=float).ravel()
+    return np.sort(values[np.isfinite(values)])
+
+
+def quantile_bands(values: np.ndarray) -> Dict[str, float]:
+    """p05/p50/p95 band plus mean and std over finite samples.
+
+    Permutation-invariant (sorting is internal to ``percentile``) and
+    monotone: every reported quantile lies within ``[min, max]`` of the
+    input, and p05 <= p50 <= p95.
+    """
+    finite = _finite(values)
+    if finite.size == 0:
+        raise ValueError("quantile_bands needs at least one finite sample")
+    p05, p50, p95 = np.percentile(finite, QUANTILE_LEVELS)
+    return {
+        "p05": round(float(p05), 9),
+        "p50": round(float(p50), 9),
+        "p95": round(float(p95), 9),
+        "mean": round(float(np.mean(finite)), 9),
+        "std": round(float(np.std(finite)), 9),
+        "min": round(float(np.min(finite)), 9),
+        "max": round(float(np.max(finite)), 9),
+    }
+
+
+def exceedance_probability(
+    values: np.ndarray, threshold: float, direction: str = "below"
+) -> float:
+    """Fraction of finite samples beyond ``threshold``.
+
+    ``direction="below"`` counts ``value < threshold`` (e.g. overheat
+    margin dropping under zero), ``"above"`` counts ``value > threshold``.
+    """
+    if direction not in ("below", "above"):
+        raise ValueError(f"unknown exceedance direction {direction!r}")
+    finite = _finite(values)
+    if finite.size == 0:
+        raise ValueError("exceedance_probability needs at least one finite sample")
+    if direction == "below":
+        hits = np.count_nonzero(finite < threshold)
+    else:
+        hits = np.count_nonzero(finite > threshold)
+    return round(float(hits / finite.size), 9)
+
+
+def sobol_indices(
+    f_a: np.ndarray,
+    f_b: np.ndarray,
+    f_ab: Sequence[np.ndarray],
+    names: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """First-order and total Sobol indices from Saltelli design outputs.
+
+    Parameters
+    ----------
+    f_a, f_b:
+        Model outputs over the A and B matrices, shape ``[N]``.
+    f_ab:
+        One output vector per knob, each over the matching AB_i matrix.
+    names:
+        Knob names, aligned with ``f_ab``.
+
+    Returns ``{name: {"first_order": S_i, "total": ST_i}}``. Rows where
+    any of ``f_a``/``f_b``/``f_ABi`` is non-finite are masked out of
+    every estimator consistently, so a failed solve drops a whole sample
+    row rather than skewing one term. If the output variance is (near)
+    zero the indices are reported as 0.0 — nothing to attribute.
+    """
+    if len(f_ab) != len(names):
+        raise ValueError("need one AB output vector per knob name")
+    f_a = np.asarray(f_a, dtype=float).ravel()
+    f_b = np.asarray(f_b, dtype=float).ravel()
+    stacked_ab = [np.asarray(col, dtype=float).ravel() for col in f_ab]
+    for col in stacked_ab:
+        if col.shape != f_a.shape or f_b.shape != f_a.shape:
+            raise ValueError("all output vectors must share the base length N")
+
+    mask = np.isfinite(f_a) & np.isfinite(f_b)
+    for col in stacked_ab:
+        mask &= np.isfinite(col)
+    if np.count_nonzero(mask) < 2:
+        raise ValueError("sobol_indices needs at least two fully finite rows")
+    f_a = f_a[mask]
+    f_b = f_b[mask]
+    stacked_ab = [col[mask] for col in stacked_ab]
+
+    # Center on the pooled mean before estimating: the first-order form
+    # is unbiased either way, but its sampling variance scales with
+    # (mean/std)^2 uncentered — outputs like availability (~0.999 with a
+    # ~2e-4 spread) would drown the signal in noise.
+    pooled = np.concatenate([f_a, f_b])
+    variance = float(np.var(pooled))
+    center = float(np.mean(pooled))
+    f_a = f_a - center
+    f_b = f_b - center
+    stacked_ab = [col - center for col in stacked_ab]
+    out: Dict[str, Dict[str, float]] = {}
+    for name, f_abi in zip(names, stacked_ab):
+        if variance <= 1.0e-30:
+            first, total = 0.0, 0.0
+        else:
+            first = float(np.mean(f_b * (f_abi - f_a)) / variance)
+            total = float(0.5 * np.mean((f_a - f_abi) ** 2) / variance)
+        out[str(name)] = {
+            "first_order": round(first, 9),
+            "total": round(total, 9),
+        }
+    return out

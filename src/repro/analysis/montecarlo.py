@@ -1,0 +1,604 @@
+"""Facility-scale Monte Carlo uncertainty + Sobol sensitivity (ROADMAP 4).
+
+Samples the calibration-knob tolerance distributions
+(:mod:`repro.analysis.sampling`), dispatches the Saltelli A/B/AB design
+as module/rack/facility evaluations through
+:func:`repro.sweep.batched.run_sweep_batched` (so any of the
+serial/thread/process backends and the fault-tolerant ``harness=``
+checkpoint/resume path apply unchanged), and reduces the stacked outputs
+with :mod:`repro.analysis.estimators` into quantile bands, overheat-margin
+exceedance probabilities, and first-order + total Sobol indices.
+
+Determinism contract (the property the goldens and the CI ``mc-smoke``
+job byte-diff):
+
+- the sample matrix is a pure function of ``(seed, n_base, knobs)``;
+- every backend runs the *same* batch partition and the same batch code,
+  so outcome values are identical floats everywhere;
+- the report excludes wall-clock and backend identity, canonicalizes as
+  sorted-key JSON, and carries a SHA-256 digest of the sample spec —
+  same spec, same bytes, on any backend, resumed or not.
+
+Evaluation levels:
+
+``module``
+    Per-sample perturbed SKAT steady solve
+    (:func:`repro.analysis.uncertainty.perturbed_skat`); chunk-serial
+    inside each batch because the knobs perturb the module *config*,
+    which the structure-of-arrays steady engine shares across lanes.
+``rack``
+    Genuinely vectorized end to end: one
+    :func:`repro.batch.manifold.solve_manifold_batch` over per-lane valve
+    trims / pump speeds / temperatures, then one
+    :func:`repro.batch.steady.solve_module_steady_batch` at each lane's
+    starved-loop flow. This is the level the M1 benchmark rates.
+``facility``
+    Per-sample :class:`repro.facility.simulator.FacilitySimulator`
+    transient (perturbed rack factory) plus the analytic immersion-CM
+    availability block with sampled MTBF/MTTR scales.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.estimators import (
+    exceedance_probability,
+    quantile_bands,
+    sobol_indices,
+)
+from repro.analysis.sampling import (
+    SaltelliDesign,
+    ToleranceDistribution,
+    normal_offset,
+    normal_scale,
+    saltelli_design,
+)
+from repro.analysis.uncertainty import perturbed_skat
+from repro.core.rack import Rack
+from repro.core.skat import SKAT_WATER_FLOW_M3_S, SKAT_WATER_SUPPLY_C, skat
+from repro.facility.simulator import FacilitySimulator
+from repro.obs import get_registry
+from repro.reliability.availability import Component
+from repro.reliability.montecarlo import immersion_cm_model
+from repro.sweep.batched import SERIAL_FALLBACK, BatchedSweepFn, run_sweep_batched
+from repro.sweep.cases import SweepCase
+
+__all__ = [
+    "LEVELS",
+    "MC_EVAL",
+    "McReport",
+    "McSpec",
+    "make_spec",
+    "run_montecarlo",
+]
+
+
+def _r(x: float) -> float:
+    return round(float(x), 9)
+
+
+# ---------------------------------------------------------------------------
+# Level definitions: knobs, default configs, junction limits, outputs.
+# ---------------------------------------------------------------------------
+
+#: Per-level tolerance sets, generalizing ``DEFAULT_TOLERANCES`` with the
+#: fluid-side knobs (supply temperature, flow) and, at facility level, the
+#: reliability-block scales.
+_MODULE_KNOBS: Tuple[ToleranceDistribution, ...] = (
+    normal_scale("turbulence_factor", 0.06),
+    normal_scale("tim_resistivity", 0.15),
+    normal_scale("pin_height", 0.05),
+    normal_scale("pump_shutoff", 0.08),
+    normal_scale("chip_power", 0.05),
+    normal_scale("hx_enhancement", 0.10),
+    normal_offset("water_supply_c", 0.5),
+    normal_scale("water_flow", 0.05),
+)
+
+_RACK_KNOBS: Tuple[ToleranceDistribution, ...] = (
+    ToleranceDistribution("valve_trim", "normal", "scale", 0.08, 0.5, 1.0),
+    ToleranceDistribution("pump_speed", "normal", "scale", 0.05, 0.7, 1.0),
+    normal_offset("water_temp_c", 0.5),
+    normal_scale("chip_power", 0.05),
+)
+
+_FACILITY_KNOBS: Tuple[ToleranceDistribution, ...] = (
+    normal_scale("chip_power", 0.05),
+    normal_scale("tim_resistivity", 0.15),
+    normal_scale("turbulence_factor", 0.06),
+    normal_scale("pump_shutoff", 0.08),
+    normal_scale("hx_enhancement", 0.10),
+    normal_scale("mtbf_scale", 0.15),
+    normal_scale("mttr_scale", 0.20),
+)
+
+#: Level name -> (knobs, default config). Config values must be plain
+#: data (they travel inside picklable sweep-case params and the spec
+#: digest).
+LEVELS: Dict[str, Tuple[Tuple[ToleranceDistribution, ...], Dict[str, Any]]] = {
+    "module": (_MODULE_KNOBS, {}),
+    "rack": (_RACK_KNOBS, {"loops": 4, "utilization": 0.9}),
+    "facility": (
+        _FACILITY_KNOBS,
+        {"racks": 2, "modules": 2, "duration_s": 40.0, "dt_s": 20.0},
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Module level: chunk-serial perturbed steady solves.
+# ---------------------------------------------------------------------------
+
+
+def _module_limit_c() -> float:
+    return float(skat().section.ccb.fpga.family.t_junction_max_c)
+
+
+def _module_eval(sample: Mapping[str, float], config: Mapping[str, Any]) -> Dict[str, float]:
+    module = perturbed_skat(dict(sample))
+    water_in_c = SKAT_WATER_SUPPLY_C + float(sample.get("water_supply_c", 0.0))
+    water_flow = SKAT_WATER_FLOW_M3_S * float(sample.get("water_flow", 1.0))
+    report = module.solve_steady(water_in_c, water_flow)
+    limit = _module_limit_c()
+    return {
+        "max_fpga_c": float(report.max_fpga_c),
+        "overheat_margin_k": float(limit - report.max_fpga_c),
+        "oil_hot_c": float(report.oil_hot_c),
+        "pump_electrical_w": float(report.pump_electrical_w),
+        "module_electrical_w": float(report.module_electrical_w),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rack level: vectorized manifold balance + steady solve at starved flow.
+# ---------------------------------------------------------------------------
+
+
+def _rack_summary(
+    loop_flows: Sequence[float], worst_module: Mapping[str, float]
+) -> Dict[str, float]:
+    """Shared between serial and batch paths so both compute the same
+    derived floats from the same lane values."""
+    flows = [float(f) for f in loop_flows]
+    limit = _module_limit_c()
+    return {
+        "min_loop_flow_m3_s": min(flows),
+        "total_flow_m3_s": sum(flows),
+        "worst_module_max_fpga_c": float(worst_module["max_fpga_c"]),
+        "overheat_margin_k": float(limit - worst_module["max_fpga_c"]),
+        "worst_module_oil_hot_c": float(worst_module["oil_hot_c"]),
+    }
+
+
+def _rack_lane_params(
+    sample: Mapping[str, float], config: Mapping[str, Any]
+) -> Dict[str, float]:
+    n_loops = int(config.get("loops", 4))
+    base_util = float(config.get("utilization", 0.9))
+    return {
+        "n_loops": n_loops,
+        "valve_trim": float(sample["valve_trim"]),
+        "pump_speed": float(sample["pump_speed"]),
+        "water_temp_c": SKAT_WATER_SUPPLY_C + float(sample["water_temp_c"]),
+        "utilization": min(base_util * float(sample["chip_power"]), 1.0),
+    }
+
+
+def _rack_eval(sample: Mapping[str, float], config: Mapping[str, Any]) -> Dict[str, float]:
+    from repro.core.balancing import RackManifoldSystem
+
+    p = _rack_lane_params(sample, config)
+    n_loops = int(p["n_loops"])
+    system = RackManifoldSystem(
+        n_loops=n_loops,
+        balancing_valves=[p["valve_trim"]] * n_loops,
+        temperature_c=p["water_temp_c"],
+    )
+    system.pump.speed_fraction = p["pump_speed"]
+    report = system.solve()
+    flows = [float(f) for f in report.loop_flows_m3_s]
+    module = skat(utilization=p["utilization"])
+    mod_report = module.solve_steady(
+        water_in_c=p["water_temp_c"], water_flow_m3_s=min(flows)
+    )
+    worst = {
+        "max_fpga_c": mod_report.max_fpga_c,
+        "oil_hot_c": mod_report.oil_hot_c,
+    }
+    return _rack_summary(flows, worst)
+
+
+def _rack_eval_batch(
+    samples: List[Mapping[str, float]], config: Mapping[str, Any]
+) -> List[Any]:
+    from repro.batch.manifold import solve_manifold_batch
+    from repro.batch.steady import solve_module_steady_batch
+    from repro.core.balancing import RackManifoldSystem
+
+    params = [_rack_lane_params(s, config) for s in samples]
+    (n_loops,) = {int(p["n_loops"]) for p in params}
+    template = RackManifoldSystem(n_loops=n_loops)
+    balance = solve_manifold_batch(
+        template,
+        np.array([[p["valve_trim"]] * n_loops for p in params]),
+        pump_speed_fraction=np.array([p["pump_speed"] for p in params]),
+        temperature_c=np.array([p["water_temp_c"] for p in params]),
+    )
+    lane_flows: List[Optional[List[float]]] = []
+    for i in range(len(params)):
+        if balance.errors[i] is not None:
+            lane_flows.append(None)
+        else:
+            lane_flows.append([float(f) for f in balance.loop_flows_m3_s[i]])
+
+    solvable = [i for i, flows in enumerate(lane_flows) if flows is not None]
+    results: List[Any] = [SERIAL_FALLBACK] * len(params)
+    if solvable:
+        module = skat()
+        steady = solve_module_steady_batch(
+            module,
+            np.array([params[i]["water_temp_c"] for i in solvable]),
+            np.array([min(lane_flows[i]) for i in solvable]),
+            utilization=np.array([params[i]["utilization"] for i in solvable]),
+        )
+        for j, i in enumerate(solvable):
+            if steady.errors[j] is not None:
+                continue
+            report = steady.report(j)
+            worst = {
+                "max_fpga_c": report.max_fpga_c,
+                "oil_hot_c": report.oil_hot_c,
+            }
+            results[i] = _rack_summary(lane_flows[i], worst)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Facility level: perturbed-rack transient + analytic availability block.
+# ---------------------------------------------------------------------------
+
+
+def _mc_module_factory(items: Tuple[Tuple[str, float], ...]):
+    return perturbed_skat(dict(items))
+
+
+def _mc_rack_factory(n_modules: int, items: Tuple[Tuple[str, float], ...]) -> Rack:
+    return Rack(
+        module_factory=partial(_mc_module_factory, items), n_modules=n_modules
+    )
+
+
+def _facility_availability(
+    mtbf_scale: float, mttr_scale: float, n_cms: int
+) -> float:
+    """Series availability of every CM's immersion reliability block,
+    with failure rates divided by ``mtbf_scale`` and repair times
+    multiplied by ``mttr_scale``."""
+    cm = 1.0
+    for mc in immersion_cm_model().components:
+        base = mc.component
+        scaled = Component(
+            name=base.name,
+            failure_rate_per_hour=base.failure_rate_per_hour / mtbf_scale,
+            repair_hours=base.repair_hours * mttr_scale,
+            count=base.count,
+        )
+        cm *= scaled.series_availability
+    return cm ** n_cms
+
+
+def _facility_eval(
+    sample: Mapping[str, float], config: Mapping[str, Any]
+) -> Dict[str, float]:
+    racks = int(config.get("racks", 2))
+    modules = int(config.get("modules", 2))
+    thermal_knobs = tuple(
+        sorted(
+            (name, float(value))
+            for name, value in sample.items()
+            if name not in ("mtbf_scale", "mttr_scale")
+        )
+    )
+    simulator = FacilitySimulator(
+        n_racks=racks,
+        rack_factory=partial(_mc_rack_factory, modules, thermal_knobs),
+        supervised=True,
+    )
+    result = simulator.run(
+        duration_s=float(config.get("duration_s", 40.0)),
+        events=[],
+        dt_s=float(config.get("dt_s", 20.0)),
+    )
+    availability = _facility_availability(
+        float(sample["mtbf_scale"]),
+        float(sample["mttr_scale"]),
+        racks * modules,
+    )
+    return {
+        "max_fpga_c": float(result.max_fpga_c),
+        "overheat_margin_k": float(simulator.junction_limit_c - result.max_fpga_c),
+        "reuse_return_water_c": float(result.reuse_return_water_c),
+        "availability": float(availability),
+    }
+
+
+_EVALUATORS = {
+    "module": _module_eval,
+    "rack": _rack_eval,
+    "facility": _facility_eval,
+}
+
+
+# ---------------------------------------------------------------------------
+# Picklable sweep-function pair.
+# ---------------------------------------------------------------------------
+
+
+def mc_case(case: SweepCase) -> Dict[str, float]:
+    """Serial oracle: evaluate one Monte Carlo sample."""
+    level = str(case.params["level"])
+    return _EVALUATORS[level](case.params["sample"], case.params["config"])
+
+
+def mc_batch(cases: List[SweepCase]) -> List[Any]:
+    """Evaluate one batch of Monte Carlo samples.
+
+    The rack level runs the genuinely vectorized path (one manifold
+    balance + one steady solve for the whole batch); module and facility
+    levels chunk-serially inside the batch, because their knobs perturb
+    per-sample object *configuration*, which the structure-of-arrays
+    engines share across lanes. Lanes that fail come back as
+    :data:`SERIAL_FALLBACK`, so the per-case serial path re-raises the
+    exact exception for error capture without disturbing neighbours.
+    """
+    (level,) = {str(case.params["level"]) for case in cases}
+    config = cases[0].params["config"]
+    if level == "rack":
+        return _rack_eval_batch([case.params["sample"] for case in cases], config)
+    evaluate = _EVALUATORS[level]
+    results: List[Any] = []
+    for case in cases:
+        try:
+            results.append(evaluate(case.params["sample"], config))
+        except Exception:  # noqa: BLE001 - lane falls back to serial capture
+            results.append(SERIAL_FALLBACK)
+    return results
+
+
+#: The Monte Carlo evaluation as a batched sweep spec (picklable).
+MC_EVAL = BatchedSweepFn(serial=mc_case, batch=mc_batch)
+
+
+# ---------------------------------------------------------------------------
+# Spec and report.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class McSpec:
+    """Everything that determines a Monte Carlo run's numbers.
+
+    The canonical-JSON digest of this spec is stamped into the report, so
+    two exports match only if they came from the same (level, seed,
+    sample count, knob set, model config).
+    """
+
+    level: str
+    n_base: int
+    seed: int
+    knobs: Tuple[ToleranceDistribution, ...]
+    config: Tuple[Tuple[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ValueError(
+                f"unknown level {self.level!r}; available: {sorted(LEVELS)}"
+            )
+
+    @property
+    def config_dict(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "level": self.level,
+            "n_base": self.n_base,
+            "seed": self.seed,
+            "knobs": [knob.to_dict() for knob in self.knobs],
+            "config": self.config_dict,
+        }
+
+    def digest(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def design(self) -> SaltelliDesign:
+        return saltelli_design(self.knobs, self.n_base, self.seed)
+
+    def cases(self) -> List[SweepCase]:
+        """The design's evaluation points as sweep cases, in the one
+        canonical order (A rows, B rows, AB_0 .. AB_{k-1} rows)."""
+        config = self.config_dict
+        return [
+            SweepCase(
+                name=f"mc_{tag}_{row}",
+                params={"level": self.level, "sample": sample, "config": config},
+            )
+            for tag, row, sample in self.design().rows()
+        ]
+
+
+def make_spec(
+    level: str,
+    samples: int = 10_000,
+    seed: int = 7,
+    config: Optional[Mapping[str, Any]] = None,
+    knobs: Optional[Sequence[ToleranceDistribution]] = None,
+) -> McSpec:
+    """A spec whose total evaluation count fits a ``samples`` budget.
+
+    ``samples`` is the total number of model evaluations; the Saltelli
+    base size becomes ``max(2, samples // (k + 2))``, so e.g.
+    ``samples=10000`` at the facility level's k=7 knobs yields N=1111 and
+    9999 actual evaluations.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown level {level!r}; available: {sorted(LEVELS)}")
+    default_knobs, default_config = LEVELS[level]
+    chosen_knobs = tuple(knobs) if knobs is not None else default_knobs
+    merged = dict(default_config)
+    if config:
+        merged.update(config)
+    n_base = max(2, int(samples) // (len(chosen_knobs) + 2))
+    return McSpec(
+        level=level,
+        n_base=n_base,
+        seed=int(seed),
+        knobs=chosen_knobs,
+        config=tuple(sorted(merged.items())),
+    )
+
+
+@dataclass(frozen=True)
+class McReport:
+    """The reduced Monte Carlo result, exportable as canonical JSON.
+
+    ``backend`` and wall-clock are deliberately *not* part of
+    :meth:`to_json` — the export must be byte-identical across the
+    serial/thread/process backends and across a kill/resume cycle.
+    """
+
+    spec: McSpec
+    backend: str
+    n_evaluations: int
+    n_failed: int
+    n_failed_rows: int
+    quantiles: Dict[str, Dict[str, float]]
+    exceedance: Dict[str, float]
+    sobol: Dict[str, Dict[str, Dict[str, float]]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec.digest(),
+            "n_evaluations": self.n_evaluations,
+            "n_failed": self.n_failed,
+            "n_failed_rows": self.n_failed_rows,
+            "quantiles": self.quantiles,
+            "exceedance": self.exceedance,
+            "sobol": self.sobol,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _reduce(
+    spec: McSpec, backend: str, values: List[Optional[Dict[str, float]]]
+) -> McReport:
+    """Stack per-case outputs back into A/B/AB blocks and run the
+    estimators. A failed evaluation poisons only itself for quantiles and
+    its whole sample row for Sobol (the estimators mask consistently)."""
+    n = spec.n_base
+    k = len(spec.knobs)
+    names = sorted({key for value in values if value for key in value})
+    if not names:
+        raise RuntimeError("every Monte Carlo evaluation failed")
+
+    stacked: Dict[str, np.ndarray] = {}
+    for name in names:
+        column = np.full(len(values), np.nan)
+        for i, value in enumerate(values):
+            if value is not None and name in value:
+                column[i] = value[name]
+        stacked[name] = column
+
+    n_failed = sum(1 for value in values if value is None)
+    row_mask = np.ones(n, dtype=bool)
+    any_column = next(iter(stacked.values()))
+    blocks = [any_column[:n], any_column[n : 2 * n]]
+    blocks += [any_column[(2 + i) * n : (3 + i) * n] for i in range(k)]
+    for block in blocks:
+        row_mask &= np.isfinite(block)
+    n_failed_rows = int(np.count_nonzero(~row_mask))
+
+    quantiles: Dict[str, Dict[str, float]] = {}
+    exceedance: Dict[str, float] = {}
+    sobol: Dict[str, Dict[str, Dict[str, float]]] = {}
+    knob_names = [knob.name for knob in spec.knobs]
+    for name in names:
+        column = stacked[name]
+        marginal = column[: 2 * n]  # A and B rows only; AB rows reuse A
+        quantiles[name] = quantile_bands(marginal)
+        sobol[name] = sobol_indices(
+            column[:n],
+            column[n : 2 * n],
+            [column[(2 + i) * n : (3 + i) * n] for i in range(k)],
+            knob_names,
+        )
+        if name == "overheat_margin_k":
+            exceedance["overheat"] = exceedance_probability(
+                marginal, 0.0, direction="below"
+            )
+
+    return McReport(
+        spec=spec,
+        backend=backend,
+        n_evaluations=len(values),
+        n_failed=n_failed,
+        n_failed_rows=n_failed_rows,
+        quantiles=quantiles,
+        exceedance=exceedance,
+        sobol=sobol,
+    )
+
+
+def run_montecarlo(
+    spec: McSpec,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    batch_size: int = 64,
+    harness: Optional[Any] = None,
+) -> McReport:
+    """Run the spec's full Saltelli design and reduce it to a report.
+
+    Dispatch goes through :func:`run_sweep_batched`, so ``backend``
+    selects serial/thread/process execution and ``harness`` (a
+    :class:`repro.sweep.HarnessConfig`) adds checkpoint/resume, deadlines
+    and quarantine at batch granularity. Failed evaluations are captured,
+    not raised; the estimators mask them and the report counts them.
+
+    The ``mc_*`` counters are incremented on the parent registry *after*
+    the sweep completes, so an interrupted-and-resumed run exports the
+    same metrics as an uninterrupted one.
+    """
+    obs = get_registry()
+    cases = spec.cases()
+    with obs.span("mc.run", level=spec.level, backend=backend), obs.profile(
+        "mc.run"
+    ):
+        outcomes = run_sweep_batched(
+            MC_EVAL,
+            cases,
+            batch_size=batch_size,
+            max_workers=max_workers,
+            on_error="capture",
+            backend=backend,
+            harness=harness,
+        )
+    values: List[Optional[Dict[str, float]]] = [
+        outcome.value if outcome.error is None else None for outcome in outcomes
+    ]
+    report = _reduce(spec, backend, values)
+    obs.inc("mc_runs_total")
+    obs.inc("mc_samples_total", report.n_evaluations)
+    obs.inc("mc_failed_samples_total", report.n_failed)
+    obs.inc(f"mc_level_{spec.level}_runs_total")
+    return report

@@ -1,0 +1,246 @@
+"""Tolerance-distribution sampling for facility-scale Monte Carlo.
+
+The calibration knobs of the reproduced machines (sink geometry factors,
+interface resistivities, pump curves, catalog powers, fluid properties)
+are plausible values, not measured ones. :mod:`repro.analysis.uncertainty`
+states 1-sigma tolerances for them; this module generalizes those
+tolerances into full sampling distributions and lays them out as the
+Saltelli A/B/AB design that the Sobol estimators of
+:mod:`repro.analysis.estimators` consume.
+
+Determinism contract: everything is a pure function of ``(seed, n_base,
+knobs)``. The unit hypercube is drawn from one
+``numpy.random.default_rng(seed)`` in a fixed order, every knob transform
+is an elementwise closed form (no iteration, no data-dependent branching),
+and the resulting sample values travel as plain floats inside sweep-case
+params — so the canonical-JSON checkpoint digest of a Monte Carlo sweep,
+and its exported report, depend on nothing but the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.special import ndtri
+
+__all__ = [
+    "SaltelliDesign",
+    "ToleranceDistribution",
+    "normal_offset",
+    "normal_scale",
+    "saltelli_design",
+    "uniform_offset",
+    "uniform_scale",
+]
+
+#: Probability clamp keeping the inverse normal CDF finite on [0, 1) draws.
+_PPF_EPS = 1.0e-12
+
+
+@dataclass(frozen=True)
+class ToleranceDistribution:
+    """One uncertain knob: a named distribution over a scale or an offset.
+
+    Parameters
+    ----------
+    name:
+        Knob identifier; the evaluation layer maps it onto the physics
+        (see ``repro.analysis.montecarlo``).
+    kind:
+        ``"normal"`` (``width`` is the 1-sigma) or ``"uniform"``
+        (``width`` is the half-width).
+    mode:
+        ``"scale"`` draws multiply a base value (centred on 1.0);
+        ``"offset"`` draws add to it (centred on 0.0).
+    width:
+        Distribution width (sigma or half-width), in scale fraction or
+        offset units.
+    clip_lo, clip_hi:
+        Hard bounds on the drawn value. Normal draws are truncated here
+        (by clipping, documented in ``docs/UNCERTAINTY.md``) so extreme
+        tails cannot push a solve outside its validity region.
+    """
+
+    name: str
+    kind: str = "normal"
+    mode: str = "scale"
+    width: float = 0.05
+    clip_lo: float = float("-inf")
+    clip_hi: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("knob name must be non-empty")
+        if self.kind not in ("normal", "uniform"):
+            raise ValueError(f"unknown distribution kind {self.kind!r}")
+        if self.mode not in ("scale", "offset"):
+            raise ValueError(f"unknown distribution mode {self.mode!r}")
+        if self.width <= 0:
+            raise ValueError("distribution width must be positive")
+        if not self.clip_lo < self.clip_hi:
+            raise ValueError("clip_lo must be below clip_hi")
+
+    @property
+    def center(self) -> float:
+        """The distribution centre (1.0 for scales, 0.0 for offsets)."""
+        return 1.0 if self.mode == "scale" else 0.0
+
+    def apply(self, u: np.ndarray) -> np.ndarray:
+        """Map unit-hypercube draws ``u`` in [0, 1) to knob values."""
+        u = np.asarray(u, dtype=float)
+        if self.kind == "normal":
+            clipped = np.clip(u, _PPF_EPS, 1.0 - _PPF_EPS)
+            values = self.center + self.width * ndtri(clipped)
+        else:
+            values = self.center + self.width * (2.0 * u - 1.0)
+        return np.clip(values, self.clip_lo, self.clip_hi)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form; unbounded clips serialize as ``None`` (JSON
+        has no infinity, and the spec digest must be canonical JSON)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "mode": self.mode,
+            "width": self.width,
+            "clip": [
+                self.clip_lo if np.isfinite(self.clip_lo) else None,
+                self.clip_hi if np.isfinite(self.clip_hi) else None,
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ToleranceDistribution":
+        clip = payload.get("clip", [None, None])
+        lo = float("-inf") if clip[0] is None else float(clip[0])
+        hi = float("inf") if clip[1] is None else float(clip[1])
+        return ToleranceDistribution(
+            name=str(payload["name"]),
+            kind=str(payload.get("kind", "normal")),
+            mode=str(payload.get("mode", "scale")),
+            width=float(payload.get("width", 0.05)),
+            clip_lo=lo,
+            clip_hi=hi,
+        )
+
+
+def normal_scale(name: str, sigma: float, n_sigma: float = 3.0) -> ToleranceDistribution:
+    """A multiplicative knob ``N(1, sigma)`` truncated at ``n_sigma``."""
+    return ToleranceDistribution(
+        name=name,
+        kind="normal",
+        mode="scale",
+        width=sigma,
+        clip_lo=1.0 - n_sigma * sigma,
+        clip_hi=1.0 + n_sigma * sigma,
+    )
+
+
+def normal_offset(name: str, sigma: float, n_sigma: float = 3.0) -> ToleranceDistribution:
+    """An additive knob ``N(0, sigma)`` truncated at ``n_sigma``."""
+    return ToleranceDistribution(
+        name=name,
+        kind="normal",
+        mode="offset",
+        width=sigma,
+        clip_lo=-n_sigma * sigma,
+        clip_hi=n_sigma * sigma,
+    )
+
+
+def uniform_scale(name: str, half_width: float) -> ToleranceDistribution:
+    """A multiplicative knob ``U(1 - w, 1 + w)``."""
+    return ToleranceDistribution(
+        name=name, kind="uniform", mode="scale", width=half_width
+    )
+
+
+def uniform_offset(name: str, half_width: float) -> ToleranceDistribution:
+    """An additive knob ``U(-w, +w)``."""
+    return ToleranceDistribution(
+        name=name, kind="uniform", mode="offset", width=half_width
+    )
+
+
+@dataclass(frozen=True)
+class SaltelliDesign:
+    """The Saltelli radial design over ``k`` knobs at base size ``N``.
+
+    ``a`` and ``b`` are two independent ``[N, k]`` sample matrices;
+    ``ab[i]`` equals ``a`` with column ``i`` replaced from ``b`` — the
+    classic ``N * (k + 2)`` evaluation layout behind the first-order and
+    total Sobol estimators (Saltelli et al. 2010), as used by the ICV
+    exemplar's N=10,000 Monte Carlo engine.
+    """
+
+    knobs: Tuple[ToleranceDistribution, ...]
+    a: np.ndarray  # [N, k] knob values
+    b: np.ndarray  # [N, k]
+    ab: Tuple[np.ndarray, ...]  # k matrices, each [N, k]
+
+    @property
+    def n_base(self) -> int:
+        return int(self.a.shape[0])
+
+    @property
+    def k(self) -> int:
+        return len(self.knobs)
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total model evaluations the design requires: ``N * (k + 2)``."""
+        return self.n_base * (self.k + 2)
+
+    def rows(self) -> List[Tuple[str, int, Dict[str, float]]]:
+        """Every evaluation point as ``(matrix_tag, row, {knob: value})``.
+
+        Tags are ``"a"``, ``"b"``, ``"ab0"`` .. ``"ab{k-1}"``, emitted in
+        that fixed order — the one canonical enumeration every backend,
+        checkpoint and golden sees.
+        """
+        names = [knob.name for knob in self.knobs]
+
+        def as_samples(matrix: np.ndarray, tag: str) -> List[Tuple[str, int, Dict[str, float]]]:
+            return [
+                (tag, row, {name: float(matrix[row, j]) for j, name in enumerate(names)})
+                for row in range(matrix.shape[0])
+            ]
+
+        out = as_samples(self.a, "a") + as_samples(self.b, "b")
+        for i, matrix in enumerate(self.ab):
+            out += as_samples(matrix, f"ab{i}")
+        return out
+
+
+def saltelli_design(
+    knobs: Sequence[ToleranceDistribution], n_base: int, seed: int
+) -> SaltelliDesign:
+    """Build the deterministic Saltelli design for ``knobs``.
+
+    One ``default_rng(seed)`` draws the ``[N, 2k]`` unit hypercube in a
+    single call; columns ``0..k-1`` become matrix A, columns ``k..2k-1``
+    matrix B, and each knob's transform maps its own columns — so the
+    design depends on nothing but ``(seed, n_base, knobs)``.
+    """
+    knobs = tuple(knobs)
+    if not knobs:
+        raise ValueError("need at least one knob")
+    names = [knob.name for knob in knobs]
+    if len(set(names)) != len(names):
+        raise ValueError("knob names must be unique")
+    if n_base < 2:
+        raise ValueError("n_base must be at least 2")
+    k = len(knobs)
+    rng = np.random.default_rng(seed)
+    unit = rng.random((n_base, 2 * k))
+    unit_a, unit_b = unit[:, :k], unit[:, k:]
+    a = np.column_stack([knobs[j].apply(unit_a[:, j]) for j in range(k)])
+    b = np.column_stack([knobs[j].apply(unit_b[:, j]) for j in range(k)])
+    ab = []
+    for i in range(k):
+        mixed = a.copy()
+        mixed[:, i] = b[:, i]
+        ab.append(mixed)
+    return SaltelliDesign(knobs=knobs, a=a, b=b, ab=tuple(ab))

@@ -60,24 +60,37 @@ class UncertainValue:
         return f"{self.name}: {self.mean:.1f} +/- {self.std:.1f} (90% [{self.p05:.1f}, {self.p95:.1f}])"
 
 
-def _perturbed_module(rng: np.random.Generator, scales: Dict[str, float]) -> ComputationalModule:
+def perturbed_skat(scales: Dict[str, float]) -> ComputationalModule:
+    """A SKAT module with its calibration knobs multiplied by ``scales``.
+
+    Recognized knobs: ``turbulence_factor``, ``pin_height``,
+    ``tim_resistivity``, ``chip_power``, ``pump_shutoff``,
+    ``hx_enhancement`` (the :data:`DEFAULT_TOLERANCES` set). Missing keys
+    default to 1.0, so a partial sample perturbs only what it names. The
+    Monte Carlo layer (:mod:`repro.analysis.montecarlo`) builds its
+    module- and facility-level evaluations on this.
+    """
+
+    def s(name: str) -> float:
+        return float(scales.get(name, 1.0))
+
     module = skat()
     section = module.section
 
     sink = replace(
         section.sink,
-        turbulence_factor=section.sink.turbulence_factor * scales["turbulence_factor"],
-        pin_height_m=section.sink.pin_height_m * scales["pin_height"],
+        turbulence_factor=section.sink.turbulence_factor * s("turbulence_factor"),
+        pin_height_m=section.sink.pin_height_m * s("pin_height"),
     )
     tim = replace(
         section.tim,
-        resistivity_m2k_w=section.tim.resistivity_m2k_w * scales["tim_resistivity"],
+        resistivity_m2k_w=section.tim.resistivity_m2k_w * s("tim_resistivity"),
     )
     family = section.ccb.fpga.family
     family = replace(
         family,
-        operating_power_w=family.operating_power_w * scales["chip_power"],
-        max_power_w=family.max_power_w * scales["chip_power"],
+        operating_power_w=family.operating_power_w * s("chip_power"),
+        max_power_w=family.max_power_w * s("chip_power"),
     )
     fpga = replace(section.ccb.fpga, family=family)
     ccb = replace(section.ccb, fpga=fpga)
@@ -85,16 +98,20 @@ def _perturbed_module(rng: np.random.Generator, scales: Dict[str, float]) -> Com
 
     pump_curve = replace(
         module.pump.curve,
-        shutoff_pressure_pa=module.pump.curve.shutoff_pressure_pa * scales["pump_shutoff"],
+        shutoff_pressure_pa=module.pump.curve.shutoff_pressure_pa * s("pump_shutoff"),
     )
     pump = replace(module.pump, curve=pump_curve)
     hx = replace(
         module.hx,
         chevron_enhancement=max(
-            module.hx.chevron_enhancement * scales["hx_enhancement"], 1.0
+            module.hx.chevron_enhancement * s("hx_enhancement"), 1.0
         ),
     )
     return replace(module, section=section, pump=pump, hx=hx)
+
+
+def _perturbed_module(rng: np.random.Generator, scales: Dict[str, float]) -> ComputationalModule:
+    return perturbed_skat(scales)
 
 
 def skat_uncertainty(
@@ -158,5 +175,6 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "ParameterTolerance",
     "UncertainValue",
+    "perturbed_skat",
     "skat_uncertainty",
 ]

@@ -312,6 +312,29 @@ def scenario_stream_digest(scenarios: Sequence[FuzzScenario]) -> str:
 # -- evaluation --------------------------------------------------------------
 
 
+def _round9(x: float) -> float:
+    return round(float(x), 9)
+
+
+def _module_record(
+    scenario: FuzzScenario, suite: CheckSuite, result: Any
+) -> Dict[str, Any]:
+    """The module-level result record (shared by the per-object and
+    batched paths, so both emit identical bytes)."""
+    return {
+        "scenario": scenario.name,
+        "level": scenario.level,
+        "violations": [v.to_dict() for v in suite.violations],
+        "checks_run": suite.checks_run,
+        "summary": {
+            "max_junction_c": _round9(result.max_junction_c),
+            "max_oil_c": _round9(result.max_oil_c),
+            "final_state": result.final_state,
+            "shutdown": result.shutdown_time_s is not None,
+        },
+    }
+
+
 def run_scenario(
     scenario: FuzzScenario, tolerances: Optional[Tolerances] = None
 ) -> Dict[str, Any]:
@@ -341,12 +364,7 @@ def run_scenario(
         result = simulator.run(
             scenario.duration_s, events=events, dt_s=scenario.dt_s
         )
-        summary = {
-            "max_junction_c": r(result.max_junction_c),
-            "max_oil_c": r(result.max_oil_c),
-            "final_state": result.final_state,
-            "shutdown": result.shutdown_time_s is not None,
-        }
+        return _module_record(scenario, suite, result)
     elif scenario.level == "rack":
         rack_simulator = RackSimulator(
             rack=facility_rack(scenario.n_modules),
@@ -404,6 +422,78 @@ def evaluate_fuzz_case(case: SweepCase) -> Dict[str, Any]:
     )
 
 
+def _batchable(scenario: FuzzScenario) -> bool:
+    """Whether the batched transient engine can evaluate this scenario.
+
+    Mirrors the fault campaign's eligibility rule: open-loop module runs
+    only (``run_many`` refuses closed-loop simulators) and no
+    ``sensor_fault`` events (sensor voting is a closed-loop concern the
+    structure-of-arrays engine does not model).
+    """
+    return (
+        scenario.level == "module"
+        and not scenario.supervised
+        and not any(e.kind == "sensor_fault" for e in scenario.events)
+    )
+
+
+def fuzz_module_batch(cases: List[SweepCase]) -> List[Any]:
+    """Batched evaluation of open-loop module scenarios via ``run_many``.
+
+    Lanes are grouped by (duration, dt, tolerances); each group becomes
+    one structure-of-arrays transient solve whose per-lane rebuilt
+    :class:`~repro.core.simulation.SimulationResult` is audited by a
+    fresh per-scenario :class:`CheckSuite` exactly like a serial run —
+    the differential suite pins the rebuilt results element-identical,
+    so the records (and therefore the fuzz report) are byte-identical to
+    the per-object path. Ineligible or failed lanes come back as
+    :data:`~repro.sweep.batched.SERIAL_FALLBACK`.
+    """
+    from repro.sweep.batched import SERIAL_FALLBACK
+
+    parsed = [
+        (
+            FuzzScenario.from_dict(case.params["scenario"]),
+            case.params.get("tolerances"),
+        )
+        for case in cases
+    ]
+    results: List[Any] = [SERIAL_FALLBACK] * len(cases)
+    groups: Dict[Tuple[float, float, str], List[int]] = {}
+    for i, (scenario, tol) in enumerate(parsed):
+        if not _batchable(scenario):
+            continue
+        key = (scenario.duration_s, scenario.dt_s, canonical_json(tol))
+        groups.setdefault(key, []).append(i)
+    for (duration_s, dt_s, _), lanes in groups.items():
+        simulator = ModuleSimulator(module=skat())
+        try:
+            batch = simulator.run_many(
+                duration_s,
+                [list(parsed[i][0].events) for i in lanes],
+                dt_s=dt_s,
+            )
+        except Exception:  # noqa: BLE001 - whole group re-runs serially
+            continue
+        for j, i in enumerate(lanes):
+            if batch.errors[j] is not None:
+                continue
+            scenario, tol = parsed[i]
+            suite = CheckSuite(
+                strict=False,
+                tolerances=Tolerances(**tol) if tol is not None else Tolerances(),
+            )
+            result = batch.result(j)
+            suite.check_module_run(
+                simulator,
+                result,
+                dt_s=dt_s,
+                initial_oil_c=simulator.water_in_c + 8.0,
+            )
+            results[i] = _module_record(scenario, suite, result)
+    return results
+
+
 @dataclass(frozen=True)
 class FuzzReport:
     """Aggregate outcome of one fuzz campaign."""
@@ -443,6 +533,8 @@ def run_fuzz(
     levels: Sequence[str] = LEVELS,
     tolerances: Optional[Tolerances] = None,
     strict: bool = False,
+    batch: str = "auto",
+    batch_size: int = 32,
 ) -> FuzzReport:
     """Generate, run and aggregate a seeded fuzz campaign.
 
@@ -452,7 +544,17 @@ def run_fuzz(
     With ``strict=True`` the campaign raises
     :class:`~repro.verify.checkers.InvariantViolationError` after the
     whole sweep has been aggregated.
+
+    ``batch`` routes the open-loop module scenarios (see
+    :func:`_batchable`) through :meth:`ModuleSimulator.run_many` via
+    :func:`~repro.sweep.run_sweep_batched` in groups of ``batch_size``:
+    ``"auto"`` batches whatever is eligible, ``"never"`` forces the
+    per-object path everywhere, ``"always"`` additionally raises if no
+    scenario is batchable. The report is byte-identical across the three
+    modes — the parity test pins this.
     """
+    if batch not in ("auto", "always", "never"):
+        raise ValueError("batch must be 'auto', 'always' or 'never'")
     scenarios = generate_scenarios(seed, n_scenarios, levels)
     digest = scenario_stream_digest(scenarios)
     params_tol = None if tolerances is None else asdict(tolerances)
@@ -463,10 +565,42 @@ def run_fuzz(
         )
         for s in scenarios
     ]
-    outcomes = run_sweep(
-        evaluate_fuzz_case, cases, backend=backend, max_workers=max_workers
+    batched_idx = (
+        [i for i, s in enumerate(scenarios) if _batchable(s)]
+        if batch != "never"
+        else []
     )
-    results = tuple(outcome.value for outcome in outcomes)
+    if batch == "always" and not batched_idx:
+        raise ValueError(
+            "batch='always' but no scenario is batchable: only open-loop "
+            "module scenarios without sensor faults run through run_many"
+        )
+    serial_idx = sorted(set(range(len(cases))) - set(batched_idx))
+    merged: List[Optional[Dict[str, Any]]] = [None] * len(cases)
+    if batched_idx:
+        from repro.obs import get_registry
+        from repro.sweep.batched import BatchedSweepFn, run_sweep_batched
+
+        get_registry().inc("fuzz_batched_runs_total")
+        batched_outcomes = run_sweep_batched(
+            BatchedSweepFn(serial=evaluate_fuzz_case, batch=fuzz_module_batch),
+            [cases[i] for i in batched_idx],
+            batch_size=batch_size,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        for i, outcome in zip(batched_idx, batched_outcomes):
+            merged[i] = outcome.value
+    if serial_idx:
+        serial_outcomes = run_sweep(
+            evaluate_fuzz_case,
+            [cases[i] for i in serial_idx],
+            backend=backend,
+            max_workers=max_workers,
+        )
+        for i, outcome in zip(serial_idx, serial_outcomes):
+            merged[i] = outcome.value
+    results = tuple(merged)
     violations = tuple(
         {"scenario": record["scenario"], **violation}
         for record in results
@@ -622,6 +756,7 @@ __all__ = [
     "LEVELS",
     "canonical_json",
     "evaluate_fuzz_case",
+    "fuzz_module_batch",
     "generate_scenarios",
     "run_fuzz",
     "run_scenario",

@@ -44,6 +44,7 @@ class TestExperimentsMd:
             if path.stem in (
                 "test_bench_solvers",
                 "test_bench_b1_batched_throughput",
+                "test_bench_m1_montecarlo",
             ):
                 continue  # library performance, not a paper experiment
             assert path.stem in content, f"{path.stem} missing from EXPERIMENTS.md"

@@ -178,12 +178,14 @@ def test_goldens_have_no_strays():
     # tests/test_obs_export.py, the facility backend goldens
     # (facility_sweep/facility_metrics) by
     # tests/test_facility_differential.py, and the batched-sweep goldens
-    # (batch_sweep/batch_metrics) by tests/test_batch_differential.py;
-    # all of those pin bytes, not values.
+    # (batch_sweep/batch_metrics) by tests/test_batch_differential.py,
+    # and the Monte Carlo goldens (montecarlo_*) by
+    # tests/test_montecarlo_goldens.py; all of those pin bytes, not
+    # values.
     committed = {
         p.stem
         for p in GOLDEN_DIR.glob("*.json")
-        if not p.stem.startswith(("obs_", "facility_", "batch_"))
+        if not p.stem.startswith(("obs_", "facility_", "batch_", "montecarlo_"))
     }
     assert committed == set(GOLDEN_BUILDERS)
 

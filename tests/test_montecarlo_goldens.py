@@ -1,0 +1,135 @@
+"""Statistical-regression goldens for the Monte Carlo layer.
+
+Unlike the value-tolerance goldens of ``test_goldens.py``, these pin
+**bytes**: a seeded Monte Carlo report is a deterministic function of its
+spec, so the committed export must match byte-for-byte — on every
+backend. Two committed files own this contract:
+
+- ``goldens/montecarlo_module.json`` — module-level spec
+- ``goldens/montecarlo_facility.json`` — facility-level spec
+
+A second layer checks *statistical* robustness in the ``test_goldens.py``
+value-tolerance style: re-sampling with a different seed (a fresh sample
+matrix over the same distributions) must reproduce the golden's central
+quantiles within 5 % — the report's value is its statistics, not the
+luck of one matrix.
+
+Regenerate after an *intentional* physics or estimator change with::
+
+    PYTHONPATH=src python tests/test_montecarlo_goldens.py --regen
+
+and review the JSON diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.montecarlo import McSpec, make_spec, run_montecarlo
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Small-but-real specs: enough samples for stable medians, small enough
+#: that three-backend byte comparisons stay test-suite fast.
+GOLDEN_SPECS = {
+    "montecarlo_module": lambda: make_spec("module", samples=300, seed=7),
+    "montecarlo_facility": lambda: make_spec("facility", samples=90, seed=7),
+}
+
+#: Quantile keys that must survive a re-seeded sample matrix within 5 %.
+RESEED_RTOL = 0.05
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def _run(spec: McSpec, backend: str = "serial") -> str:
+    return run_montecarlo(spec, backend=backend, batch_size=8).to_json()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_golden_bytes(name):
+    path = _golden_path(name)
+    assert path.exists(), (
+        f"golden {path} missing — regenerate with "
+        "`PYTHONPATH=src python tests/test_montecarlo_goldens.py --regen`"
+    )
+    assert _run(GOLDEN_SPECS[name]()) + "\n" == path.read_text()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_module_golden_byte_identical_on_every_backend(backend):
+    golden = _golden_path("montecarlo_module").read_text()
+    assert _run(GOLDEN_SPECS["montecarlo_module"](), backend) + "\n" == golden
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_facility_golden_byte_identical_on_every_backend(backend):
+    golden = _golden_path("montecarlo_facility").read_text()
+    assert _run(GOLDEN_SPECS["montecarlo_facility"](), backend) + "\n" == golden
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_reseeded_quantiles_within_five_percent(name):
+    """A fresh sample matrix (seed + 1) over the same tolerance
+    distributions reproduces the golden's central quantiles within 5 %:
+    the committed statistics describe the model, not one lucky matrix."""
+    golden = json.loads(_golden_path(name).read_text())
+    base = GOLDEN_SPECS[name]()
+    reseeded = McSpec(
+        level=base.level,
+        n_base=base.n_base,
+        seed=base.seed + 1,
+        knobs=base.knobs,
+        config=base.config,
+    )
+    report = run_montecarlo(reseeded, batch_size=8).to_dict()
+    assert report["spec_digest"] != golden["spec_digest"]
+    for output, bands in golden["quantiles"].items():
+        if output.startswith("overheat_margin"):
+            # a difference-to-limit: its small magnitude inflates relative
+            # drift; its information content is already covered by the
+            # absolute temperature output it derives from
+            continue
+        for key in ("p50", "mean"):
+            assert report["quantiles"][output][key] == pytest.approx(
+                bands[key], rel=RESEED_RTOL
+            ), f"{name}.{output}.{key} drifted more than 5% under reseeding"
+
+
+def test_spec_digest_sensitive_to_every_field():
+    base = GOLDEN_SPECS["montecarlo_module"]()
+    digests = {base.digest()}
+    for variant in (
+        McSpec(base.level, base.n_base + 1, base.seed, base.knobs, base.config),
+        McSpec(base.level, base.n_base, base.seed + 1, base.knobs, base.config),
+        McSpec(base.level, base.n_base, base.seed, base.knobs[:-1], base.config),
+        McSpec(
+            "rack",
+            base.n_base,
+            base.seed,
+            make_spec("rack").knobs,
+            make_spec("rack").config,
+        ),
+    ):
+        digests.add(variant.digest())
+    assert len(digests) == 5, "spec digest must separate every spec field"
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in sorted(GOLDEN_SPECS.items()):
+        path = _golden_path(name)
+        path.write_text(_run(build()) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

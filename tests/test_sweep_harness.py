@@ -15,6 +15,8 @@ import json
 import multiprocessing
 import os
 import signal
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -540,3 +542,102 @@ class TestBatchedHarness:
             ),
         )
         assert [o.value for o in resumed] == [o.value for o in plain]
+
+
+class TestMonteCarloKillResume:
+    """SIGKILL a checkpointed Monte Carlo campaign mid-wave; the resumed
+    run's export must be byte-identical to an uninterrupted reference.
+
+    Exercises the real CLI (``scripts/run_montecarlo.py``) on the process
+    backend so the kill takes down an actual worker pool, not a mock: a
+    facility-level campaign of 90 evaluations in 18 batches checkpoints
+    every 2 batches (9 waves), the driver watches the checkpoint file and
+    kills the whole process group about halfway through.
+    """
+
+    SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "run_montecarlo.py"
+
+    @classmethod
+    def _cli(cls, out, checkpoint=None, resume=False):
+        argv = [
+            sys.executable,
+            str(cls.SCRIPT),
+            "--level", "facility",
+            "--samples", "90",
+            "--seed", "7",
+            "--backend", "process",
+            "--batch-size", "5",
+            "--out", str(out),
+        ]
+        if checkpoint is not None:
+            argv += ["--checkpoint", str(checkpoint), "--checkpoint-every", "2"]
+        if resume:
+            argv.append("--resume")
+        return argv
+
+    @staticmethod
+    def _env():
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        return env
+
+    @staticmethod
+    def _waves_on_disk(checkpoint):
+        try:
+            return len(json.loads(checkpoint.read_text())["waves"])
+        except (OSError, ValueError, KeyError):
+            return 0
+
+    def test_sigkill_mid_campaign_resumes_byte_identically(self, tmp_path):
+        env = self._env()
+        total_waves = 9
+
+        # 1. Uninterrupted reference, no harness in the loop.
+        reference = tmp_path / "reference.json"
+        subprocess.run(
+            self._cli(reference), env=env, check=True, capture_output=True
+        )
+
+        # 2. Victim in its own process group: one SIGKILL takes down the
+        # CLI and its pool workers together, like a node loss would.
+        checkpoint = tmp_path / "mc-ckpt.json"
+        victim_out = tmp_path / "victim.json"
+        victim = subprocess.Popen(
+            self._cli(victim_out, checkpoint=checkpoint),
+            env=env,
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        killed = False
+        deadline = time.monotonic() + 120.0
+        try:
+            while time.monotonic() < deadline:
+                if self._waves_on_disk(checkpoint) >= total_waves // 2:
+                    os.killpg(victim.pid, signal.SIGKILL)
+                    killed = True
+                    break
+                if victim.poll() is not None:
+                    break
+                time.sleep(0.01)
+            victim.wait(timeout=30.0)
+        finally:
+            if victim.poll() is None:
+                os.killpg(victim.pid, signal.SIGKILL)
+        assert killed, "campaign finished before the kill could land"
+        waves_at_kill = self._waves_on_disk(checkpoint)
+        assert 0 < waves_at_kill < total_waves, "kill was not mid-campaign"
+        assert not victim_out.exists(), "killed run must not have exported"
+
+        # 3. Resume from the checkpoint and diff the export bytes.
+        resumed_out = tmp_path / "resumed.json"
+        subprocess.run(
+            self._cli(resumed_out, checkpoint=checkpoint, resume=True),
+            env=env,
+            check=True,
+            capture_output=True,
+        )
+        assert resumed_out.read_bytes() == reference.read_bytes()

@@ -65,6 +65,8 @@ def test_fresh_worker_pools_reproduce():
 #: sweep cases to each other and breaks order-independence).
 MUTABLE_ALLOWLIST = {
     ("repro.__main__", "COMMANDS"),
+    ("repro.analysis.montecarlo", "LEVELS"),
+    ("repro.analysis.montecarlo", "_EVALUATORS"),
     ("repro.analysis.uncertainty", "DEFAULT_TOLERANCES"),
     ("repro.batch", "_EXPORTS"),
     ("repro.batch.sweepfns", "_MODULE_FACTORIES"),

@@ -22,6 +22,7 @@ from repro.verify import (
     shrink_scenario,
     write_repro_artifact,
 )
+from repro.verify import fuzz
 from repro.verify.fuzz import canonical_json
 
 SEED = 1337
@@ -88,6 +89,86 @@ class TestBackendParity:
         report = run_fuzz(SEED, 3, tolerances=BROKEN)
         assert not report.ok
         assert all("scenario" in v for v in report.violations)
+
+
+class TestBatchParity:
+    """The batched run_many path is byte-identical to per-object runs."""
+
+    def test_batched_report_matches_per_object(self):
+        never = run_fuzz(SEED, 18, batch="never")
+        auto = run_fuzz(SEED, 18, batch="auto")
+        assert auto.to_json() == never.to_json()
+        assert auto.scenario_digest == never.scenario_digest
+
+    def test_module_only_stream_batches_end_to_end(self):
+        never = run_fuzz(SEED, 12, levels=("module",), batch="never")
+        always = run_fuzz(SEED, 12, levels=("module",), batch="always")
+        assert always.to_json() == never.to_json()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batched_path_agrees_across_backends(self, backend):
+        serial = run_fuzz(SEED, 12, batch="auto")
+        other = run_fuzz(SEED, 12, backend=backend, batch="auto", max_workers=2)
+        assert other.results == serial.results
+        assert other.checks_run == serial.checks_run
+
+    def test_broken_tolerances_surface_identically_when_batched(self):
+        never = run_fuzz(SEED, 9, tolerances=BROKEN, batch="never")
+        auto = run_fuzz(SEED, 9, tolerances=BROKEN, batch="auto")
+        assert not never.ok
+        assert auto.to_json() == never.to_json()
+
+    def test_always_without_batchable_scenarios_raises(self):
+        with pytest.raises(ValueError):
+            run_fuzz(SEED, 3, levels=("facility",), batch="always")
+
+    def test_only_open_loop_module_scenarios_are_batchable(self):
+        scenarios = generate_scenarios(SEED, 30)
+        batchable = [s for s in scenarios if fuzz._batchable(s)]
+        assert batchable, "stream should contain open-loop module scenarios"
+        for scenario in batchable:
+            assert scenario.level == "module"
+            assert not scenario.supervised
+            assert not any(e.kind == "sensor_fault" for e in scenario.events)
+
+    def test_shrink_artifacts_identical_under_batched_evaluation(self, tmp_path):
+        """Shrinking with the batched evaluator as the oracle yields the
+        same minimal scenario — and the same artifact bytes — as the
+        per-object oracle (same scenario digests, same shrink artifacts)."""
+        from repro.sweep import SweepCase
+        from repro.sweep.batched import SERIAL_FALLBACK
+        from repro.verify.fuzz import fuzz_module_batch
+
+        broken = dataclasses.asdict(BROKEN)
+
+        def batched_record(scenario):
+            case = SweepCase(
+                name=scenario.name,
+                params={"scenario": scenario.to_dict(), "tolerances": broken},
+            )
+            (record,) = fuzz_module_batch([case])
+            assert record is not SERIAL_FALLBACK
+            return record
+
+        scenario = next(
+            s
+            for s in generate_scenarios(SEED, 30)
+            if fuzz._batchable(s)
+            and run_scenario(s, tolerances=BROKEN)["violations"]
+        )
+        serial_shrunk = shrink_scenario(
+            scenario,
+            lambda s: bool(run_scenario(s, tolerances=BROKEN)["violations"]),
+        )
+        batched_shrunk = shrink_scenario(
+            scenario, lambda s: bool(batched_record(s)["violations"])
+        )
+        assert batched_shrunk == serial_shrunk
+        serial_path = tmp_path / "serial.json"
+        batched_path = tmp_path / "batched.json"
+        write_repro_artifact(str(serial_path), serial_shrunk)
+        write_repro_artifact(str(batched_path), batched_shrunk)
+        assert serial_path.read_bytes() == batched_path.read_bytes()
 
 
 class TestShrinking:
