@@ -1,0 +1,138 @@
+"""Experiment S — simulation-service throughput on duplicate-heavy load.
+
+Not a paper experiment: these time the :mod:`repro.service` gateway on
+the workload it exists for — concurrent request streams where most
+requests repeat a scenario someone already asked for (the ISSUE's
+acceptance bar: >= 50% repeats; this stream is ~90%). Two gateways run
+the identical stream in-process (transport excluded, so the numbers
+isolate the gateway layers):
+
+- **cached** — the production configuration: digest-keyed result cache,
+  single-flight coalescing, micro-batched dispatch;
+- **uncached baseline** — ``cache_entries=0, coalesce=False``: every
+  request pays a full solve.
+
+The claim row asserts the cached gateway clears
+:data:`SERVICE_SPEEDUP_FLOOR` x the baseline's request throughput and
+records the measured cache-hit rate; ``scripts/run_benchmarks.py
+--label service --select s1`` distills both rows into
+``BENCH_service.json``. The parity suite
+(``tests/test_service_parity.py``) pins the *values* of every one of
+these code paths to the serial oracle; this module pins the *speed*.
+"""
+
+import asyncio
+import time
+
+from repro.obs import MetricsRegistry
+from repro.service import SimulationGateway
+from repro.service.requests import normalize_request, request_digest
+from repro.verify.fuzz import generate_scenarios
+
+#: Cached-vs-uncached request-throughput floor on the duplicate stream.
+SERVICE_SPEEDUP_FLOOR = 5.0
+
+#: Workload shape: UNIQUE distinct scenarios, each repeated REPEATS
+#: times -> duplicate fraction 1 - 1/REPEATS (~ 0.94).
+UNIQUE = 6
+REPEATS = 16
+SEED = 2018
+
+
+def duplicate_heavy_requests():
+    """UNIQUE distinct module payloads (by digest), repeated REPEATS times."""
+    payloads, seen = [], set()
+    for scenario in generate_scenarios(SEED, 8 * UNIQUE, levels=("module",)):
+        payload = {k: v for k, v in scenario.to_dict().items() if k != "index"}
+        digest = request_digest(normalize_request(payload))
+        if digest not in seen:
+            seen.add(digest)
+            payloads.append(payload)
+        if len(payloads) == UNIQUE:
+            break
+    assert len(payloads) == UNIQUE
+    return [payloads[i % UNIQUE] for i in range(UNIQUE * REPEATS)]
+
+
+REQUESTS = duplicate_heavy_requests()
+
+
+def drive(**gateway_kwargs):
+    """Fire the whole stream concurrently at a fresh gateway."""
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = SimulationGateway(registry=registry, **gateway_kwargs)
+        await asyncio.gather(*(gateway.simulate(p) for p in REQUESTS))
+        await gateway.close()
+
+    asyncio.run(go())
+    return registry.as_dict()["counters"]
+
+
+def drive_cached():
+    return drive()
+
+
+def drive_uncached():
+    return drive(cache_entries=0, coalesce=False)
+
+
+def _time_once(fn) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_s1_service_cached_throughput(benchmark):
+    n = len(REQUESTS)
+    elapsed_cached = _time_once(drive_cached)
+    elapsed_uncached = _time_once(drive_uncached)
+    speedup = elapsed_uncached / elapsed_cached
+
+    counters = drive_cached()
+    hit_rate = counters["service_cache_hits_total"] / n
+
+    benchmark.extra_info["requests"] = n
+    benchmark.extra_info["unique_scenarios"] = UNIQUE
+    benchmark.extra_info["duplicate_fraction"] = round(1.0 - UNIQUE / n, 3)
+    benchmark.extra_info["cache_hit_rate"] = round(hit_rate, 3)
+    benchmark.extra_info["solves"] = counters["service_solves_total"]
+    benchmark.extra_info["requests_per_sec"] = round(n / elapsed_cached, 1)
+    benchmark.extra_info["baseline_requests_per_sec"] = round(
+        n / elapsed_uncached, 1
+    )
+    benchmark.extra_info["speedup_vs_uncached"] = round(speedup, 1)
+
+    benchmark(drive_cached)
+
+    assert counters["service_solves_total"] == float(UNIQUE)
+    assert hit_rate >= 0.5, (
+        f"duplicate-heavy stream should mostly hit the cache, got "
+        f"{hit_rate:.2f}"
+    )
+    assert speedup >= SERVICE_SPEEDUP_FLOOR, (
+        f"cached gateway reached only {speedup:.1f}x the uncached baseline "
+        f"on a {1.0 - UNIQUE / n:.0%}-duplicate stream "
+        f"(floor {SERVICE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_s1_service_uncached_baseline(benchmark):
+    n = len(REQUESTS)
+    elapsed = _time_once(drive_uncached)
+    counters = drive_uncached()
+
+    benchmark.extra_info["requests"] = n
+    benchmark.extra_info["unique_scenarios"] = UNIQUE
+    benchmark.extra_info["requests_per_sec"] = round(n / elapsed, 1)
+    benchmark.extra_info["solves"] = counters["service_solves_total"]
+
+    benchmark(drive_uncached)
+
+    # Every request pays a solve: nothing is cached, nothing coalesces.
+    assert counters["service_solves_total"] == float(n)
+    assert counters.get("service_cache_hits_total", 0.0) == 0.0

@@ -1,0 +1,262 @@
+"""Serve the simulation gateway over HTTP, or run the smoke drill.
+
+Default mode starts the stdlib HTTP bridge on ``--host``/``--port`` and
+serves ``POST /simulate``, ``POST /sweep``, ``GET /healthz`` and
+``GET /metrics`` until interrupted::
+
+    python scripts/run_service.py --port 8080
+
+``--smoke N`` instead runs the self-contained load drill the CI
+``service-smoke`` job uses: start the gateway on an ephemeral port, fire
+``N`` concurrent HTTP requests of a deterministic duplicate-heavy
+workload (``--unique`` distinct scenarios, round-robin repeated), then
+
+- verify every response's ``result`` is byte-identical canonical JSON to
+  the in-process serial oracle (:func:`repro.service.requests.
+  evaluate_request`),
+- verify the expected exact counter identities (hits = N - unique,
+  solves = unique) and a cache-hit rate above zero,
+- write the **deterministic** metric subset to ``--metrics-out`` as
+  canonical JSON — wall-clock histograms and batch-composition counters
+  are excluded by prefix, so two identical drills produce byte-identical
+  files (exactly what the CI job ``cmp``-s).
+"""
+
+import argparse
+import concurrent.futures
+import http.client
+import json
+import sys
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import MetricsRegistry, set_registry  # noqa: E402
+from repro.obs.export import to_json, write_prometheus  # noqa: E402
+from repro.service import SimulationGateway, create_app  # noqa: E402
+from repro.service.http import run, serve  # noqa: E402
+from repro.service.requests import (  # noqa: E402
+    evaluate_request,
+    normalize_request,
+    request_digest,
+)
+from repro.verify.fuzz import canonical_json, generate_scenarios  # noqa: E402
+
+#: Metric-name prefixes whose values depend on request arrival timing
+#: (batch window composition, hit-vs-join split, wall-clock latency) or
+#: on how many dispatch rounds the sweep layer happened to see. Excluded
+#: from the deterministic smoke export; everything else must reproduce
+#: byte-identically across identical drills.
+NONDETERMINISTIC_PREFIXES = (
+    "service_wall_",
+    "service_coalesced",
+    "service_batches_total",
+    "service_batch_size",
+    "sweep_",
+)
+
+
+def build_gateway(args) -> SimulationGateway:
+    return SimulationGateway(
+        cache_entries=args.cache_entries,
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        solve_batch_size=args.solve_batch_size,
+    )
+
+
+def smoke_workload(n_requests: int, n_unique: int, seed: int):
+    """A deterministic duplicate-heavy request list (module level).
+
+    Scenarios from the fuzzer stream can collide once their ``index`` is
+    stripped, so keep drawing until ``n_unique`` *distinct digests* are
+    collected — the drill's exact counter identities depend on it.
+    """
+    payloads, seen = [], set()
+    draw = n_unique
+    while len(payloads) < n_unique:
+        draw *= 2
+        payloads, seen = [], set()
+        for scenario in generate_scenarios(seed, draw, levels=("module",)):
+            payload = {
+                k: v for k, v in scenario.to_dict().items() if k != "index"
+            }
+            digest = request_digest(normalize_request(payload))
+            if digest not in seen:
+                seen.add(digest)
+                payloads.append(payload)
+            if len(payloads) == n_unique:
+                break
+    return [payloads[i % n_unique] for i in range(n_requests)], payloads
+
+
+def _post(port: int, path: str, payload) -> tuple:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def _get(port: int, path: str) -> tuple:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def run_smoke(args) -> int:
+    import asyncio
+
+    registry = MetricsRegistry()
+    set_registry(registry)
+    gateway = build_gateway(args)
+    app = create_app(gateway)
+
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    bound_port = {}
+    stop_box = {}
+
+    async def _serve():
+        stop_box["event"] = asyncio.Event()
+        server = await serve(app, host="127.0.0.1", port=0)
+        bound_port["port"] = server.sockets[0].getsockname()[1]
+        started.set()
+        async with server:
+            await stop_box["event"].wait()
+        await gateway.close()
+
+    thread = threading.Thread(
+        target=lambda: loop.run_until_complete(_serve()), daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30):
+        print("smoke: server failed to start", file=sys.stderr)
+        return 2
+    port = bound_port["port"]
+
+    requests, unique = smoke_workload(args.smoke, args.unique, args.seed)
+    oracles = {
+        canonical_json(normalize_request(p)): canonical_json(evaluate_request(normalize_request(p)))
+        for p in unique
+    }
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.workers) as pool:
+        for payload, (status, body) in zip(
+            requests, pool.map(lambda p: _post(port, "/simulate", p), requests)
+        ):
+            key = canonical_json(normalize_request(payload))
+            if status != 200:
+                print(f"smoke: HTTP {status}: {body!r}", file=sys.stderr)
+                failures += 1
+                continue
+            envelope = json.loads(body)
+            if canonical_json(envelope["result"]) != oracles[key]:
+                print("smoke: response diverged from the serial oracle", file=sys.stderr)
+                failures += 1
+
+    status, health = _get(port, "/healthz")
+    if status != 200:
+        print(f"smoke: /healthz returned {status}", file=sys.stderr)
+        failures += 1
+    status, _prom = _get(port, "/metrics")
+    if status != 200:
+        print(f"smoke: /metrics returned {status}", file=sys.stderr)
+        failures += 1
+
+    counters = registry.as_dict()["counters"]
+    hits = counters.get("service_cache_hits_total", 0)
+    misses = counters.get("service_cache_misses_total", 0)
+    solves = counters.get("service_solves_total", 0)
+    expected_hits = float(args.smoke - len(unique))
+    summary = {
+        "requests": args.smoke,
+        "unique_scenarios": len(unique),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "solves": solves,
+        "cache_hit_rate": round(hits / args.smoke, 6) if args.smoke else 0.0,
+        "failures": failures,
+    }
+    if hits != expected_hits or misses != float(len(unique)) or solves != float(
+        len(unique)
+    ):
+        print(
+            f"smoke: counter identities broken (expected hits={expected_hits}, "
+            f"misses=solves={len(unique)}; got {hits}/{misses}/{solves})",
+            file=sys.stderr,
+        )
+        failures += 1
+    if hits <= 0:
+        print("smoke: expected a non-zero cache-hit rate", file=sys.stderr)
+        failures += 1
+
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            to_json(registry, exclude=NONDETERMINISTIC_PREFIXES) + "\n"
+        )
+    if args.prom_out:
+        write_prometheus(registry, args.prom_out)
+
+    loop.call_soon_threadsafe(stop_box["event"].set)
+    thread.join(timeout=30)
+    loop.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--cache-entries", type=int, default=1024)
+    parser.add_argument("--max-batch-size", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--solve-batch-size", type=int, default=32)
+    parser.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the N-request smoke drill instead of serving",
+    )
+    parser.add_argument(
+        "--unique", type=int, default=8, help="distinct scenarios in the drill"
+    )
+    parser.add_argument("--seed", type=int, default=2018, help="drill scenario seed")
+    parser.add_argument("--workers", type=int, default=8, help="drill client threads")
+    parser.add_argument(
+        "--metrics-out", default=None, help="deterministic canonical-JSON export"
+    )
+    parser.add_argument(
+        "--prom-out", default=None, help="full Prometheus text export"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke is not None:
+        if args.smoke < args.unique:
+            parser.error("--smoke must be >= --unique")
+        return run_smoke(args)
+
+    set_registry(MetricsRegistry())
+    gateway = build_gateway(args)
+    run(create_app(gateway), host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: the async batching gateway.
+
+The codebase's serving surface (ROADMAP item 2): module/rack/facility
+runs and sweeps behind an async API, with
+
+- a **result cache** keyed by the canonical-JSON SHA-256 scenario digest
+  (:mod:`repro.service.requests` / :mod:`repro.service.cache`) so
+  identical scenarios cost one solve,
+- **single-flight coalescing** and a **micro-batching queue**
+  (:mod:`repro.service.batcher`) feeding concurrent misses into the
+  structure-of-arrays engines via
+  :func:`~repro.sweep.batched.run_sweep_batched`,
+- a transport-agnostic asyncio core
+  (:class:`~repro.service.engine.SimulationGateway`), a thin ASGI
+  adapter (:func:`~repro.service.asgi.create_app`) and a stdlib HTTP
+  bridge (:mod:`repro.service.http`).
+
+See ``docs/SERVICE.md`` for the API schema, batching/caching semantics
+and the ops runbook; ``scripts/run_service.py`` serves and smoke-tests
+the gateway from the command line.
+"""
+
+from repro.service.batcher import ManualTimer, MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.engine import ServiceEvaluationError, SimulationGateway
+from repro.service.asgi import create_app
+from repro.service.requests import (
+    ServiceRequestError,
+    evaluate_request,
+    normalize_request,
+    request_digest,
+    request_scenario,
+)
+
+__all__ = [
+    "ManualTimer",
+    "MicroBatcher",
+    "ResultCache",
+    "ServiceEvaluationError",
+    "ServiceRequestError",
+    "SimulationGateway",
+    "create_app",
+    "evaluate_request",
+    "normalize_request",
+    "request_digest",
+    "request_scenario",
+]

@@ -1,0 +1,141 @@
+"""Thin ASGI adapter over the simulation gateway.
+
+:func:`create_app` wraps a
+:class:`~repro.service.engine.SimulationGateway` in a framework-free
+ASGI 3 application — any ASGI server (uvicorn, hypercorn, the bundled
+:mod:`repro.service.http` stdlib bridge) can serve it. Routes:
+
+- ``POST /simulate`` — one request payload, returns the response
+  envelope ``{"digest", "cached", "result"}``.
+- ``POST /sweep`` — a scenario list or seeded generator spec, returns
+  ``{"count", "results"}``.
+- ``GET /healthz`` — liveness plus queue/cache occupancy.
+- ``GET /metrics`` — Prometheus text exposition of the current metrics
+  registry (:func:`repro.obs.export.to_prometheus`).
+
+Every JSON body the adapter emits is canonical (sorted keys, compact
+separators, trailing newline), so a simulation response is byte-stable
+end to end: the ``result`` object inside the envelope is exactly the
+serial oracle's canonical JSON whichever internal path produced it.
+
+Status mapping: malformed payloads (schema violations, invalid JSON)
+are 400 with ``{"error": ...}``; a valid request whose simulation fails
+is 500; unknown paths 404; wrong methods 405.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple
+
+from repro.obs import get_registry
+from repro.obs.export import to_prometheus
+from repro.service.engine import ServiceEvaluationError, SimulationGateway
+from repro.service.requests import ServiceRequestError
+from repro.verify.fuzz import canonical_json
+
+__all__ = ["create_app"]
+
+_JSON = [(b"content-type", b"application/json; charset=utf-8")]
+_TEXT = [(b"content-type", b"text/plain; version=0.0.4; charset=utf-8")]
+
+
+async def _read_body(receive: Callable) -> bytes:
+    chunks = []
+    while True:
+        message = await receive()
+        if message["type"] != "http.request":  # pragma: no cover - disconnect
+            break
+        chunks.append(message.get("body", b""))
+        if not message.get("more_body", False):
+            break
+    return b"".join(chunks)
+
+
+async def _respond(send: Callable, status: int, body: bytes, headers) -> None:
+    await send(
+        {
+            "type": "http.response.start",
+            "status": status,
+            "headers": list(headers)
+            + [(b"content-length", str(len(body)).encode("ascii"))],
+        }
+    )
+    await send({"type": "http.response.body", "body": body})
+
+
+async def _respond_json(send: Callable, status: int, payload: Any) -> None:
+    await _respond(
+        send, status, (canonical_json(payload) + "\n").encode("utf-8"), _JSON
+    )
+
+
+def create_app(gateway: SimulationGateway) -> Callable:
+    """Build the ASGI application serving ``gateway``."""
+
+    async def handle(
+        method: str, path: str, body: bytes, send: Callable
+    ) -> None:
+        if path == "/healthz":
+            if method != "GET":
+                await _respond_json(send, 405, {"error": "method not allowed"})
+                return
+            await _respond_json(
+                send, 200, {"status": "ok", **gateway.stats()}
+            )
+            return
+        if path == "/metrics":
+            if method != "GET":
+                await _respond_json(send, 405, {"error": "method not allowed"})
+                return
+            registry = (
+                gateway._registry
+                if gateway._registry is not None
+                else get_registry()
+            )
+            await _respond(
+                send, 200, to_prometheus(registry).encode("utf-8"), _TEXT
+            )
+            return
+        if path in ("/simulate", "/sweep"):
+            if method != "POST":
+                await _respond_json(send, 405, {"error": "method not allowed"})
+                return
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                await _respond_json(
+                    send, 400, {"error": f"invalid JSON body: {exc}"}
+                )
+                return
+            try:
+                if path == "/simulate":
+                    envelope = await gateway.simulate(payload)
+                else:
+                    envelope = await gateway.sweep(payload)
+            except ServiceRequestError as exc:
+                await _respond_json(send, 400, {"error": str(exc)})
+                return
+            except ServiceEvaluationError as exc:
+                await _respond_json(send, 500, {"error": exc.error})
+                return
+            await _respond_json(send, 200, envelope)
+            return
+        await _respond_json(send, 404, {"error": f"no route for {path}"})
+
+    async def app(scope: Dict[str, Any], receive: Callable, send: Callable) -> None:
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await gateway.close()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        body = await _read_body(receive)
+        await handle(scope["method"], scope["path"], body, send)
+
+    return app

@@ -1,0 +1,208 @@
+"""Micro-batching queue: coalesce concurrent requests into batched solves.
+
+Requests submitted to a :class:`MicroBatcher` are held in a collection
+window and dispatched together: the window closes — and one batched
+dispatch fires — as soon as ``max_batch_size`` requests are pending *or*
+``max_wait_s`` has elapsed since the window opened, whichever comes
+first. Under heavy concurrent load batches fill instantly and the
+structure-of-arrays engines see wide lanes; a lone request pays at most
+``max_wait_s`` of extra latency.
+
+Determinism seam — how the tests pin max-wait coalescing
+--------------------------------------------------------
+Real time makes batch composition racy: whether two requests share a
+batch depends on scheduler jitter. The batcher therefore never calls
+``asyncio.sleep`` directly; it awaits an injected **timer**::
+
+    batcher = MicroBatcher(dispatch, max_wait_s=0.002, timer=asyncio.sleep)
+
+The ``timer`` is any ``async callable(delay_s)`` that returns when the
+collection window should close. Production uses the default
+``asyncio.sleep``; tests inject a :class:`ManualTimer`, whose windows
+only ever close when the test calls :meth:`ManualTimer.fire` — so "K
+submits, then the window expires" is a reproducible, clock-free
+statement, and every batch-composition assertion in
+``tests/test_service_batcher.py`` is exact rather than timing-dependent.
+Wall-clock queue latency is still measured (via an injectable ``clock``,
+default ``time.monotonic``) but flows only into the
+``service_wall_queue_s`` histogram, which the deterministic metric
+exports exclude by prefix.
+
+Cancellation contract: a waiter that is cancelled (or times out) while
+its request is pending simply has its slot dropped when the window
+closes — the batch dispatches for the remaining waiters, their results
+are unaffected, and no slot leaks. If *every* waiter of a window is
+cancelled the dispatch is skipped entirely. A dispatch failure rejects
+exactly the waiters of that batch; the next window starts clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Awaitable, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import get_registry
+
+__all__ = ["ManualTimer", "MicroBatcher"]
+
+#: Bucket edges for the batch-size histogram (lanes per dispatch).
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Bucket edges for wall-clock queue latency, seconds.
+QUEUE_WAIT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5, 1.0,
+)
+
+
+class ManualTimer:
+    """A timer whose windows close only when the test says so.
+
+    Each batcher window awaits ``timer(delay_s)``; a :class:`ManualTimer`
+    parks that await on a future and releases it on :meth:`fire`. The
+    :attr:`pending` count says how many windows are currently open.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: List["asyncio.Future[None]"] = []
+
+    @property
+    def pending(self) -> int:
+        """Open collection windows currently awaiting :meth:`fire`."""
+        return len(self._waiters)
+
+    async def __call__(self, delay_s: float) -> None:
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            await future
+        finally:
+            if future in self._waiters:
+                self._waiters.remove(future)
+
+    def fire(self) -> bool:
+        """Close the oldest open window; False when none is open."""
+        while self._waiters:
+            future = self._waiters.pop(0)
+            if not future.done():
+                future.set_result(None)
+                return True
+        return False
+
+
+class _Slot:
+    """One queued request: its item, its waiter and its enqueue time."""
+
+    __slots__ = ("item", "future", "enqueued_at")
+
+    def __init__(self, item: Any, future: "asyncio.Future[Any]", enqueued_at: float):
+        self.item = item
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesce submitted items into batched dispatches (see module doc).
+
+    ``dispatch`` is an ``async callable(items) -> results`` returning one
+    result per item, in item order. It runs in its own task, so a slow
+    solve never blocks the next collection window from filling.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[Any]], Awaitable[Sequence[Any]]],
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.002,
+        timer: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[Any] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_s < 0.0:
+            raise ValueError("max_wait_s cannot be negative")
+        self._dispatch = dispatch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._timer = timer
+        self._clock = clock
+        self._registry = registry
+        self._pending: List[_Slot] = []
+        self._window_task: Optional["asyncio.Task[None]"] = None
+        self._dispatch_tasks: "set[asyncio.Task[None]]" = set()
+
+    def _obs(self) -> Any:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the current collection window."""
+        return len(self._pending)
+
+    @property
+    def dispatches_in_flight(self) -> int:
+        """Batched solves currently running."""
+        return len(self._dispatch_tasks)
+
+    async def submit(self, item: Any) -> Any:
+        """Queue one item and await its result from a batched dispatch."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._pending.append(_Slot(item, future, self._clock()))
+        if len(self._pending) >= self.max_batch_size:
+            self._close_window()
+        elif self._window_task is None:
+            self._window_task = loop.create_task(self._window())
+        return await future
+
+    async def _window(self) -> None:
+        try:
+            await self._timer(self.max_wait_s)
+        except asyncio.CancelledError:
+            return
+        self._window_task = None
+        self._close_window()
+
+    def _close_window(self) -> None:
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        slots = [s for s in self._pending if not s.future.cancelled()]
+        self._pending = []
+        if not slots:
+            return
+        obs = self._obs()
+        obs.inc("service_batches_total")
+        obs.observe("service_batch_size", float(len(slots)), BATCH_SIZE_BUCKETS)
+        now = self._clock()
+        for slot in slots:
+            obs.observe(
+                "service_wall_queue_s", now - slot.enqueued_at, QUEUE_WAIT_BUCKETS
+            )
+        task = asyncio.get_running_loop().create_task(self._run(slots))
+        self._dispatch_tasks.add(task)
+        task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _run(self, slots: List[_Slot]) -> None:
+        try:
+            values = list(await self._dispatch([s.item for s in slots]))
+            if len(values) != len(slots):
+                raise RuntimeError(
+                    f"dispatch returned {len(values)} results for "
+                    f"{len(slots)} items"
+                )
+        except Exception as exc:  # noqa: BLE001 - rejected per waiter
+            for slot in slots:
+                if not slot.future.done():
+                    slot.future.set_exception(exc)
+            return
+        for slot, value in zip(slots, values):
+            if not slot.future.done():
+                slot.future.set_result(value)
+
+    async def flush(self) -> None:
+        """Dispatch whatever is pending now and wait for in-flight solves."""
+        self._close_window()
+        while self._dispatch_tasks:
+            await asyncio.gather(*list(self._dispatch_tasks), return_exceptions=True)

@@ -1,0 +1,95 @@
+"""Digest-keyed LRU result cache for the simulation gateway.
+
+Entries are keyed by the canonical-JSON SHA-256 request digest
+(:func:`repro.service.requests.request_digest`), so two requests hit the
+same entry exactly when they describe the same physics. Values are the
+serial-oracle result records — plain dicts the gateway returns verbatim,
+which is what makes a cached response byte-identical to a solved one.
+
+The cache is a bounded LRU: ``max_entries`` caps the resident set, a
+read refreshes recency, and inserting past the bound evicts the least
+recently used entry. ``max_entries=0`` disables caching entirely (every
+lookup misses, nothing is stored) — the configuration the throughput
+benchmark uses as its baseline. Only *successful* results are ever
+stored; the gateway never caches errors, so a transient failure cannot
+poison the key for later callers.
+
+A :class:`threading.Lock` guards the map: the gateway's event loop reads
+it, but results are inserted from solver threads and operators may
+inspect :meth:`stats` from anywhere. Metrics: evictions count into
+``service_cache_evictions_total`` and the resident size is mirrored to
+the ``service_cache_size`` gauge; hit/miss accounting lives in the
+gateway, which also credits coalesced joins (see
+:mod:`repro.service.engine`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.obs import get_registry
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded, thread-safe, digest-keyed LRU cache."""
+
+    def __init__(self, max_entries: int = 1024, registry: Optional[Any] = None):
+        if max_entries < 0:
+            raise ValueError("max_entries cannot be negative")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._registry = registry
+
+    def _obs(self) -> Any:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> Optional[Any]:
+        """The cached value for ``digest``, refreshing recency; else None."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            value = self._entries.get(digest)
+            if value is not None:
+                self._entries.move_to_end(digest)
+            return value
+
+    def put(self, digest: str, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU past the bound."""
+        if not self.enabled or value is None:
+            return
+        evicted = 0
+        with self._lock:
+            self._entries[digest] = value
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            size = len(self._entries)
+        obs = self._obs()
+        if evicted:
+            obs.inc("service_cache_evictions_total", evicted)
+        obs.set_gauge("service_cache_size", size)
+
+    def clear(self) -> None:
+        """Drop every entry (the size gauge tracks)."""
+        with self._lock:
+            self._entries.clear()
+        self._obs().set_gauge("service_cache_size", 0)
+
+    def stats(self) -> Dict[str, int]:
+        """Resident size and bound, for health endpoints."""
+        with self._lock:
+            return {"entries": len(self._entries), "max_entries": self.max_entries}

@@ -1,0 +1,369 @@
+"""The transport-agnostic async simulation gateway.
+
+:class:`SimulationGateway` is the core of ``repro.service``: a pure
+asyncio engine (no web framework anywhere near it) that turns simulation
+request payloads into result records through three cost-collapsing
+layers, in order:
+
+1. **Result cache** — requests are normalized and digested
+   (:mod:`repro.service.requests`); a digest already resolved is served
+   straight from the :class:`~repro.service.cache.ResultCache`.
+2. **Single-flight coalescing** — a digest currently being solved is
+   *joined*, not re-solved: the request awaits the in-flight solve's
+   future. K concurrent identical requests therefore cost exactly one
+   solve; the joiners count as cache hits (the in-flight entry is a
+   cache entry that has not resolved yet) and additionally as
+   ``service_coalesced_total``.
+3. **Micro-batching** — cache misses enter the
+   :class:`~repro.service.batcher.MicroBatcher`; each closed window is
+   dispatched as **one** :func:`~repro.sweep.batched.run_sweep_batched`
+   call in a worker thread, which routes open-loop module lanes through
+   the structure-of-arrays ``ModuleSimulator.run_many`` engine and
+   everything else through the serial oracle. The parity suite pins all
+   of these paths byte-identical.
+
+Awaiting is cancellation-safe by construction: every solve runs in its
+own task resolving a shared per-digest future, and callers await
+``asyncio.shield`` of that future. A caller that is cancelled or times
+out abandons only its own wait — the solve completes, the result lands
+in the cache, and later identical requests hit it without a second
+solve.
+
+Deterministic counters (exported byte-stably by the smoke drill):
+``service_requests_total`` (+ per-level), ``service_cache_hits_total``,
+``service_cache_misses_total``, ``service_solves_total``,
+``service_errors_total``, ``service_cache_evictions_total`` and the
+``service_cache_size`` gauge. Timing-dependent ones (excluded by the
+drill): ``service_coalesced_total`` (hit-vs-join split depends on
+arrival timing), ``service_batches_total`` / ``service_batch_size``
+(window composition) and every ``service_wall_*`` histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import get_registry
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.requests import (
+    ServiceRequestError,
+    evaluate_service_case,
+    normalize_request,
+    request_digest,
+    service_batch,
+)
+from repro.sweep.batched import BatchedSweepFn, run_sweep_batched
+from repro.sweep.cases import SweepCase
+from repro.verify.fuzz import generate_scenarios
+
+__all__ = ["ServiceEvaluationError", "SimulationGateway"]
+
+#: Ceiling on scenarios per sweep request (a public surface needs one).
+MAX_SWEEP_SCENARIOS = 512
+
+
+class ServiceEvaluationError(RuntimeError):
+    """A request that was valid but whose simulation failed."""
+
+    def __init__(self, error: str, traceback: Optional[str] = None):
+        super().__init__(error)
+        self.error = error
+        self.traceback = traceback
+
+
+class _Failure:
+    """Per-lane failure marker travelling through the batcher."""
+
+    __slots__ = ("error", "traceback")
+
+    def __init__(self, error: str, traceback: Optional[str]):
+        self.error = error
+        self.traceback = traceback
+
+
+def _retrieve(future: "asyncio.Future[Any]") -> None:
+    """Mark a future's exception retrieved (waiters may all be gone)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class SimulationGateway:
+    """Async batching gateway over the simulator stack (see module doc).
+
+    Parameters
+    ----------
+    cache_entries:
+        LRU bound of the result cache; 0 disables caching.
+    coalesce:
+        Whether identical in-flight requests join one solve. Disabled
+        (together with ``cache_entries=0``) this is the "every request
+        pays a full solve" baseline the throughput benchmark compares
+        against.
+    max_batch_size, max_wait_s, timer, clock:
+        Micro-batching knobs, passed to
+        :class:`~repro.service.batcher.MicroBatcher` (``timer`` is the
+        determinism seam — see that module's docstring).
+    solve_batch_size:
+        Lanes per :func:`run_sweep_batched` chunk inside one dispatch.
+    backend:
+        Sweep backend for the in-dispatch sweep (default serial — the
+        dispatch already runs off the event loop in a worker thread).
+    registry:
+        Metrics registry; None uses the process-wide
+        :func:`repro.obs.get_registry` at call time.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_entries: int = 1024,
+        coalesce: bool = True,
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.002,
+        solve_batch_size: int = 32,
+        backend: str = "serial",
+        timer: Any = asyncio.sleep,
+        clock: Any = None,
+        registry: Optional[Any] = None,
+    ) -> None:
+        self._registry = registry
+        self.cache = ResultCache(cache_entries, registry=registry)
+        self.coalesce = bool(coalesce)
+        self.backend = backend
+        self.solve_batch_size = int(solve_batch_size)
+        kwargs: Dict[str, Any] = {}
+        if clock is not None:
+            kwargs["clock"] = clock
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            max_batch_size=max_batch_size,
+            max_wait_s=max_wait_s,
+            timer=timer,
+            registry=registry,
+            **kwargs,
+        )
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._tasks: "set[asyncio.Task[None]]" = set()
+
+    def _obs(self) -> Any:
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- solving ------------------------------------------------------
+
+    def _solve_batch(self, requests: List[Tuple[str, Mapping[str, Any]]]) -> List[Any]:
+        """Worker-thread evaluation of one dispatched batch.
+
+        Lanes are deduplicated by digest (defense in depth — coalescing
+        normally keeps duplicates out of the queue; with coalescing off
+        every lane is solved, which is what the baseline measures), then
+        run as one batched sweep. Failures come back as :class:`_Failure`
+        lane markers, never exceptions, so one bad lane cannot reject its
+        batch neighbours.
+        """
+        obs = self._obs()
+        if self.coalesce:
+            order: List[str] = []
+            unique: Dict[str, Mapping[str, Any]] = {}
+            for digest, normalized in requests:
+                if digest not in unique:
+                    unique[digest] = normalized
+                    order.append(digest)
+            lanes = [(digest, unique[digest]) for digest in order]
+        else:
+            lanes = list(requests)
+        cases = [
+            SweepCase(name=f"req_{i:04d}_{digest[:12]}", params={"request": normalized})
+            for i, (digest, normalized) in enumerate(lanes)
+        ]
+        obs.inc("service_solves_total", len(cases))
+        outcomes = run_sweep_batched(
+            BatchedSweepFn(serial=evaluate_service_case, batch=service_batch),
+            cases,
+            batch_size=self.solve_batch_size,
+            backend=self.backend,
+            on_error="capture",
+        )
+        by_digest: Dict[str, Any] = {}
+        results: List[Any] = []
+        for (digest, _), outcome in zip(lanes, outcomes):
+            if outcome.error is None:
+                value: Any = outcome.value
+            else:
+                obs.inc("service_errors_total")
+                value = _Failure(outcome.error, outcome.error_traceback)
+            by_digest[digest] = value
+            results.append(value)
+        if self.coalesce:
+            return [by_digest[digest] for digest, _ in requests]
+        return results
+
+    async def _dispatch(self, items: List[Tuple[str, Mapping[str, Any]]]) -> List[Any]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._solve_batch, list(items))
+
+    async def _resolve(
+        self,
+        digest: str,
+        normalized: Mapping[str, Any],
+        future: "asyncio.Future[Any]",
+    ) -> None:
+        """Own one digest's solve: submit, cache, resolve the shared future."""
+        try:
+            value = await self.batcher.submit((digest, normalized))
+        except Exception as exc:  # noqa: BLE001 - surfaced to every waiter
+            self._obs().inc("service_errors_total")
+            if not future.done():
+                future.set_exception(
+                    ServiceEvaluationError(f"dispatch failed: {exc!r}")
+                )
+            return
+        finally:
+            if self._inflight.get(digest) is future:
+                del self._inflight[digest]
+        if isinstance(value, _Failure):
+            if not future.done():
+                future.set_exception(
+                    ServiceEvaluationError(value.error, value.traceback)
+                )
+            return
+        self.cache.put(digest, value)
+        if not future.done():
+            future.set_result(value)
+
+    # -- public API ---------------------------------------------------
+
+    async def simulate(
+        self, payload: Mapping[str, Any], timeout_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Serve one simulation request.
+
+        Returns the response envelope ``{"digest", "cached", "result"}``
+        where ``result`` is the serial-oracle record — byte-identical
+        canonical JSON whichever path (cache, coalesced join, batched or
+        serial solve) produced it. Raises
+        :class:`~repro.service.requests.ServiceRequestError` on a
+        malformed payload, :class:`ServiceEvaluationError` when the
+        simulation itself fails, and :class:`asyncio.TimeoutError` past
+        ``timeout_s`` (the solve keeps running and lands in the cache).
+        """
+        normalized = normalize_request(payload)
+        digest = request_digest(normalized)
+        obs = self._obs()
+        obs.inc("service_requests_total")
+        obs.inc(f"service_requests_{normalized['level']}_total")
+        cached = self.cache.get(digest)
+        if cached is not None:
+            obs.inc("service_cache_hits_total")
+            return {"digest": digest, "cached": True, "result": cached}
+        future = self._inflight.get(digest) if self.coalesce else None
+        if future is None:
+            obs.inc("service_cache_misses_total")
+            future = asyncio.get_running_loop().create_future()
+            future.add_done_callback(_retrieve)
+            if self.coalesce:
+                self._inflight[digest] = future
+            task = asyncio.get_running_loop().create_task(
+                self._resolve(digest, normalized, future)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+            was_cached = False
+        else:
+            obs.inc("service_cache_hits_total")
+            obs.inc("service_coalesced_total")
+            was_cached = True
+        wait = asyncio.shield(future)
+        if timeout_s is not None:
+            result = await asyncio.wait_for(wait, timeout_s)
+        else:
+            result = await wait
+        return {"digest": digest, "cached": was_cached, "result": result}
+
+    async def sweep(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Serve a sweep request: many scenarios through the same machinery.
+
+        Two payload forms: ``{"scenarios": [request, ...]}`` runs an
+        explicit list; ``{"seed": int, "n_scenarios": int, "levels":
+        [...]?}`` generates the deterministic fuzz stream of
+        :func:`repro.verify.fuzz.generate_scenarios` and runs that.
+        Scenarios are served concurrently, so duplicates inside one sweep
+        collapse through the cache and coalescing layers like any other
+        traffic. Per-scenario failures are reported in-place as
+        ``{"digest", "error"}`` entries; the sweep itself still succeeds.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceRequestError("sweep payload must be an object")
+        self._obs().inc("service_sweeps_total")
+        if "scenarios" in payload:
+            unknown = set(payload) - {"scenarios"}
+            if unknown:
+                raise ServiceRequestError(
+                    f"sweep has unknown keys {sorted(unknown)}"
+                )
+            raw = payload["scenarios"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise ServiceRequestError("'scenarios' must be a list")
+            requests = list(raw)
+        else:
+            unknown = set(payload) - {"seed", "n_scenarios", "levels"}
+            if unknown:
+                raise ServiceRequestError(
+                    f"sweep has unknown keys {sorted(unknown)}"
+                )
+            try:
+                seed = int(payload["seed"])
+                n_scenarios = int(payload["n_scenarios"])
+            except (KeyError, TypeError, ValueError):
+                raise ServiceRequestError(
+                    "generator sweeps need integer 'seed' and 'n_scenarios'"
+                ) from None
+            if n_scenarios < 0:
+                raise ServiceRequestError("'n_scenarios' cannot be negative")
+            levels = payload.get("levels", ("module", "rack", "facility"))
+            try:
+                scenarios = generate_scenarios(seed, n_scenarios, tuple(levels))
+            except ValueError as exc:
+                raise ServiceRequestError(str(exc)) from None
+            requests = [
+                {k: v for k, v in s.to_dict().items() if k != "index"}
+                for s in scenarios
+            ]
+        if len(requests) > MAX_SWEEP_SCENARIOS:
+            raise ServiceRequestError(
+                f"at most {MAX_SWEEP_SCENARIOS} scenarios per sweep, "
+                f"got {len(requests)}"
+            )
+        # Validate everything up front: a malformed scenario fails the
+        # whole sweep before any solve starts.
+        digests = [request_digest(normalize_request(r)) for r in requests]
+        outcomes = await asyncio.gather(
+            *(self.simulate(r) for r in requests), return_exceptions=True
+        )
+        results: List[Dict[str, Any]] = []
+        for digest, outcome in zip(digests, outcomes):
+            if isinstance(outcome, BaseException):
+                if not isinstance(outcome, ServiceEvaluationError):
+                    raise outcome
+                results.append({"digest": digest, "error": outcome.error})
+            else:
+                results.append(outcome)
+        return {"count": len(results), "results": results}
+
+    # -- lifecycle / introspection ------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Queue, in-flight and cache occupancy, for health endpoints."""
+        return {
+            "queue_depth": self.batcher.queue_depth,
+            "dispatches_in_flight": self.batcher.dispatches_in_flight,
+            "inflight_digests": len(self._inflight),
+            "cache": self.cache.stats(),
+        }
+
+    async def close(self) -> None:
+        """Flush pending windows and wait for every solve to finish."""
+        await self.batcher.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -1,0 +1,185 @@
+"""Minimal stdlib asyncio HTTP/1.1 bridge for the ASGI application.
+
+The container and CI images carry no ASGI server, so this module serves
+the adapter with nothing but ``asyncio.start_server``: one request per
+connection (``Connection: close``), ``Content-Length`` bodies, no
+chunked transfer — exactly enough protocol for the gateway's JSON API
+and the smoke drills. Production deployments should mount
+:func:`repro.service.asgi.create_app` on a real ASGI server instead;
+this bridge exists so the service is runnable and load-testable from
+the bare repository.
+
+``serve(app, host, port)`` starts and returns an
+:class:`asyncio.AbstractServer` (``port=0`` binds an ephemeral port —
+read it back from ``server.sockets[0]``); :func:`run` is the blocking
+serve-forever entry the CLI uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Tuple
+from urllib.parse import unquote, urlsplit
+
+__all__ = ["run", "serve"]
+
+#: Request-body ceiling, bytes (the JSON payloads are tiny).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes, List[Tuple[bytes, bytes]], bytes]:
+    """Parse one request: (method, path, query, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        raise ConnectionError("empty request")
+    try:
+        method, target, _version = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {request_line!r}") from None
+    headers: List[Tuple[bytes, bytes]] = []
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        name = name.strip().lower()
+        value = value.strip()
+        headers.append((name, value))
+        if name == b"content-length":
+            try:
+                content_length = int(value)
+            except ValueError:
+                raise ValueError(f"bad Content-Length {value!r}") from None
+    if content_length > MAX_BODY_BYTES:
+        raise BufferError(f"body of {content_length} bytes exceeds the cap")
+    body = await reader.readexactly(content_length) if content_length else b""
+    split = urlsplit(target)
+    return (
+        method.upper(),
+        unquote(split.path),
+        split.query.encode("latin-1"),
+        headers,
+        body,
+    )
+
+
+def _plain_response(status: int, text: str) -> bytes:
+    body = (text + "\n").encode("utf-8")
+    return (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+        f"content-type: text/plain; charset=utf-8\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+async def _handle_connection(
+    app: Callable,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, query, headers, body = await _read_request(reader)
+        except ConnectionError:
+            return
+        except BufferError as exc:
+            writer.write(_plain_response(413, str(exc)))
+            await writer.drain()
+            return
+        except (ValueError, asyncio.IncompleteReadError) as exc:
+            writer.write(_plain_response(400, f"bad request: {exc}"))
+            await writer.drain()
+            return
+
+        scope: Dict[str, Any] = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode("utf-8"),
+            "query_string": query,
+            "headers": headers,
+            "client": writer.get_extra_info("peername"),
+            "server": writer.get_extra_info("sockname"),
+        }
+        received = False
+
+        async def receive() -> Dict[str, Any]:
+            nonlocal received
+            if received:  # pragma: no cover - adapter reads the body once
+                return {"type": "http.disconnect"}
+            received = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        started = False
+
+        async def send(message: Dict[str, Any]) -> None:
+            nonlocal started
+            if message["type"] == "http.response.start":
+                started = True
+                status = message["status"]
+                lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}"]
+                for name, value in message.get("headers", []):
+                    lines.append(
+                        f"{name.decode('latin-1')}: {value.decode('latin-1')}"
+                    )
+                lines.append("connection: close")
+                writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                await writer.drain()
+
+        try:
+            await app(scope, receive, send)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            if not started:
+                writer.write(_plain_response(500, f"internal error: {exc!r}"))
+                await writer.drain()
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
+
+
+async def serve(
+    app: Callable, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Start serving ``app``; returns the running server (``port=0`` = any)."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        await _handle_connection(app, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+def run(app: Callable, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Blocking serve-forever entry point (Ctrl-C to stop)."""
+
+    async def main() -> None:
+        server = await serve(app, host=host, port=port)
+        sock = server.sockets[0].getsockname()
+        print(f"repro.service listening on http://{sock[0]}:{sock[1]}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass

@@ -1,0 +1,385 @@
+"""Service request schema: normalization, scenario digests, evaluation.
+
+The gateway accepts plain-JSON simulation requests whose fields mirror
+the :class:`~repro.verify.fuzz.FuzzScenario` grammar (level, duration,
+step, size, supervision flag, failure-event script) plus two service
+extensions: an optional ``tolerances`` block for the invariant-checker
+suite and, at facility level, an optional ``plant`` block overriding the
+:class:`~repro.facility.simulator.ChillerPlant` sizing.
+
+Identity contract — the heart of the digest-keyed result cache: two
+requests describe the same physics **iff** their *normalized* payloads
+are equal. :func:`normalize_request` therefore
+
+- fills every defaulted field explicitly (a request that spells out the
+  default digests identically to one that omits it),
+- coerces numeric spellings onto one grid (``120`` and ``120.0`` are the
+  same request),
+- converts kilowatt-spelled plant capacities to watts via the verified
+  :func:`~repro.verify.metamorphic.watts_from_kilowatts` helper
+  (``primary_capacity_kw: 700`` == ``primary_capacity_w: 700000``),
+- sorts the event script on the same key the fuzzer uses, and
+- rejects unknown keys outright, so a typo can never silently fork the
+  cache key space.
+
+:func:`request_digest` is then the SHA-256 of the canonical JSON
+(sorted keys, compact separators — the one encoding used everywhere,
+:func:`repro.verify.fuzz.canonical_json`) of that normalized payload.
+Key order in the incoming JSON cannot matter by construction.
+
+:func:`evaluate_request` is the **serial oracle**: the per-request
+evaluation every other code path (batched, coalesced, cached) is pinned
+byte-identical to by the parity suite. Without a plant override it is
+exactly :func:`repro.verify.fuzz.run_scenario` on the request's
+scenario; with one it mirrors that function's facility branch under the
+custom plant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, fields
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.facility.simulator import ChillerPlant, FacilitySimulator
+from repro.facility.sweep import facility_rack
+from repro.sweep.batched import SERIAL_FALLBACK
+from repro.sweep.cases import SweepCase
+from repro.verify.checkers import CheckSuite, Tolerances
+from repro.verify.fuzz import (
+    FuzzScenario,
+    canonical_json,
+    fuzz_module_batch,
+    run_scenario,
+)
+from repro.verify.metamorphic import watts_from_kilowatts
+
+__all__ = [
+    "LEVEL_DEFAULTS",
+    "ServiceRequestError",
+    "evaluate_request",
+    "evaluate_service_case",
+    "normalize_request",
+    "request_digest",
+    "request_scenario",
+    "service_batch",
+]
+
+
+class ServiceRequestError(ValueError):
+    """An incoming payload that does not describe a valid request."""
+
+
+#: Per-level defaults for omitted fields, matching the smallest scenario
+#: sizes the fuzzer generates (so defaulted requests are cheap).
+LEVEL_DEFAULTS: Dict[str, Dict[str, float]] = {
+    "module": {"duration_s": 240.0, "dt_s": 5.0, "n_modules": 1, "n_racks": 0},
+    "rack": {"duration_s": 200.0, "dt_s": 20.0, "n_modules": 2, "n_racks": 0},
+    "facility": {"duration_s": 200.0, "dt_s": 20.0, "n_modules": 2, "n_racks": 2},
+}
+
+_REQUEST_KEYS = frozenset(
+    {
+        "level",
+        "duration_s",
+        "dt_s",
+        "n_modules",
+        "n_racks",
+        "supervised",
+        "events",
+        "tolerances",
+        "plant",
+    }
+)
+
+_EVENT_KEYS = frozenset({"kind", "time_s", "target", "magnitude"})
+
+#: Plant keys in watts; each also accepts a ``_kw``-suffixed spelling.
+_PLANT_W_KEYS = ("primary_capacity_w", "standby_capacity_w")
+_PLANT_KEYS = frozenset(
+    _PLANT_W_KEYS + ("standby_start_delay_s", "setpoint_c", "cop")
+)
+
+#: Request size ceilings — a public surface needs hard bounds.
+_MAX_MODULES = 8
+_MAX_RACKS = 8
+_MAX_EVENTS = 32
+_MAX_DURATION_S = 24.0 * 3600.0
+
+_TOLERANCE_KEYS = frozenset(f.name for f in fields(Tolerances))
+
+
+def _fail(message: str) -> None:
+    raise ServiceRequestError(message)
+
+
+def _float(payload: Mapping[str, Any], key: str, default: float) -> float:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{key!r} must be a number, got {value!r}")
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        _fail(f"{key!r} must be finite, got {value!r}")
+    return value
+
+
+def _int(payload: Mapping[str, Any], key: str, default: int) -> int:
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(f"{key!r} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _normalize_events(raw: Any, duration_s: float) -> List[Dict[str, Any]]:
+    if not isinstance(raw, (list, tuple)):
+        _fail(f"'events' must be a list, got {raw!r}")
+    if len(raw) > _MAX_EVENTS:
+        _fail(f"at most {_MAX_EVENTS} events per request, got {len(raw)}")
+    events: List[Dict[str, Any]] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, Mapping):
+            _fail(f"events[{i}] must be an object, got {item!r}")
+        unknown = set(item) - _EVENT_KEYS
+        if unknown:
+            _fail(f"events[{i}] has unknown keys {sorted(unknown)}")
+        for key in ("kind", "target"):
+            if not isinstance(item.get(key), str) or not item.get(key):
+                _fail(f"events[{i}].{key} must be a non-empty string")
+        time_s = _float(item, "time_s", None) if "time_s" in item else _fail(
+            f"events[{i}] missing 'time_s'"
+        )
+        magnitude = (
+            _float(item, "magnitude", None)
+            if "magnitude" in item
+            else _fail(f"events[{i}] missing 'magnitude'")
+        )
+        if time_s < 0.0 or time_s > duration_s:
+            _fail(
+                f"events[{i}].time_s {time_s} outside the run [0, {duration_s}]"
+            )
+        events.append(
+            {
+                "kind": str(item["kind"]),
+                "time_s": time_s,
+                "target": str(item["target"]),
+                "magnitude": magnitude,
+            }
+        )
+    # The fuzzer's canonical event order — digests cannot depend on the
+    # order a client happened to list its events in.
+    events.sort(key=lambda e: (e["time_s"], e["kind"], e["target"]))
+    return events
+
+
+def _normalize_tolerances(raw: Any) -> Optional[Dict[str, float]]:
+    if raw is None:
+        return None
+    if not isinstance(raw, Mapping):
+        _fail(f"'tolerances' must be an object, got {raw!r}")
+    unknown = set(raw) - _TOLERANCE_KEYS
+    if unknown:
+        _fail(f"'tolerances' has unknown keys {sorted(unknown)}")
+    full = asdict(Tolerances())
+    for key in raw:
+        full[key] = _float(raw, key, None)
+    return {key: full[key] for key in sorted(full)}
+
+
+def _normalize_plant(raw: Any, level: str) -> Optional[Dict[str, float]]:
+    if raw is None:
+        return None
+    if level != "facility":
+        _fail("'plant' overrides apply to facility-level requests only")
+    if not isinstance(raw, Mapping):
+        _fail(f"'plant' must be an object, got {raw!r}")
+    merged: Dict[str, Any] = dict(raw)
+    # kW spellings normalize onto the watt grid before anything else —
+    # a request in kilowatts must digest identically to its watt twin.
+    for w_key in _PLANT_W_KEYS:
+        kw_key = w_key[: -len("_w")] + "_kw"
+        if kw_key in merged:
+            if w_key in merged:
+                _fail(f"'plant' gives both {w_key!r} and {kw_key!r}")
+            merged[w_key] = watts_from_kilowatts(_float(merged, kw_key, None))
+            del merged[kw_key]
+    unknown = set(merged) - _PLANT_KEYS
+    if unknown:
+        _fail(f"'plant' has unknown keys {sorted(unknown)}")
+    defaults = ChillerPlant()
+    plant = {
+        key: _float(merged, key, getattr(defaults, key))
+        for key in sorted(_PLANT_KEYS)
+    }
+    if plant["primary_capacity_w"] <= 0.0:
+        _fail("'plant.primary_capacity_w' must be positive")
+    if plant["standby_capacity_w"] < 0.0:
+        _fail("'plant.standby_capacity_w' cannot be negative")
+    if plant["standby_start_delay_s"] < 0.0:
+        _fail("'plant.standby_start_delay_s' cannot be negative")
+    if plant["cop"] <= 0.0:
+        _fail("'plant.cop' must be positive")
+    return plant
+
+
+def normalize_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a raw payload and return its canonical normalized form.
+
+    The returned dict always carries the full key set with defaults
+    filled, floats coerced, events sorted and plant capacities in watts —
+    see the module docstring for why. Raises
+    :class:`ServiceRequestError` on anything malformed.
+    """
+    if not isinstance(payload, Mapping):
+        _fail(f"request payload must be an object, got {payload!r}")
+    unknown = set(payload) - _REQUEST_KEYS
+    if unknown:
+        _fail(f"request has unknown keys {sorted(unknown)}")
+    level = payload.get("level")
+    if level not in LEVEL_DEFAULTS:
+        _fail(
+            f"'level' must be one of {sorted(LEVEL_DEFAULTS)}, got {level!r}"
+        )
+    defaults = LEVEL_DEFAULTS[level]
+    duration_s = _float(payload, "duration_s", defaults["duration_s"])
+    dt_s = _float(payload, "dt_s", defaults["dt_s"])
+    if duration_s <= 0.0 or dt_s <= 0.0:
+        _fail("'duration_s' and 'dt_s' must be positive")
+    if duration_s > _MAX_DURATION_S:
+        _fail(f"'duration_s' capped at {_MAX_DURATION_S} seconds per request")
+    if duration_s / dt_s > 100_000:
+        _fail("request exceeds 100000 time steps; raise dt_s")
+    n_modules = _int(payload, "n_modules", int(defaults["n_modules"]))
+    n_racks = _int(payload, "n_racks", int(defaults["n_racks"]))
+    if level == "module" and (n_modules != 1 or n_racks != 0):
+        _fail("module-level requests are a single module (n_modules=1, n_racks=0)")
+    if level == "rack":
+        if n_racks != 0:
+            _fail("rack-level requests take n_racks=0")
+        if not 1 <= n_modules <= _MAX_MODULES:
+            _fail(f"'n_modules' must be in [1, {_MAX_MODULES}]")
+    if level == "facility":
+        if not 2 <= n_racks <= _MAX_RACKS:
+            _fail(f"'n_racks' must be in [2, {_MAX_RACKS}]")
+        if not 1 <= n_modules <= _MAX_MODULES:
+            _fail(f"'n_modules' must be in [1, {_MAX_MODULES}]")
+    supervised = payload.get("supervised", False)
+    if not isinstance(supervised, bool):
+        _fail(f"'supervised' must be a boolean, got {supervised!r}")
+    return {
+        "level": level,
+        "duration_s": duration_s,
+        "dt_s": dt_s,
+        "n_modules": n_modules,
+        "n_racks": n_racks,
+        "supervised": supervised,
+        "events": _normalize_events(payload.get("events", []), duration_s),
+        "tolerances": _normalize_tolerances(payload.get("tolerances")),
+        "plant": _normalize_plant(payload.get("plant"), level),
+    }
+
+
+def request_digest(normalized: Mapping[str, Any]) -> str:
+    """SHA-256 scenario digest of a *normalized* request payload."""
+    return hashlib.sha256(
+        canonical_json(dict(normalized)).encode("utf-8")
+    ).hexdigest()
+
+
+def request_scenario(normalized: Mapping[str, Any]) -> FuzzScenario:
+    """The :class:`FuzzScenario` a normalized request describes.
+
+    Service scenarios all carry index 0 — their identity is the request
+    digest, not a position in a fuzz stream.
+    """
+    return FuzzScenario.from_dict({**dict(normalized), "index": 0})
+
+
+def _tolerances(normalized: Mapping[str, Any]) -> Optional[Tolerances]:
+    tol = normalized.get("tolerances")
+    return None if tol is None else Tolerances(**tol)
+
+
+def evaluate_request(normalized: Mapping[str, Any]) -> Dict[str, Any]:
+    """Serial oracle: evaluate one normalized request to its result record.
+
+    Identical to :func:`repro.verify.fuzz.run_scenario` unless the
+    request carries a plant override, in which case the facility branch
+    is mirrored under the custom :class:`ChillerPlant`.
+    """
+    scenario = request_scenario(normalized)
+    plant = normalized.get("plant")
+    if plant is None:
+        return run_scenario(scenario, tolerances=_tolerances(normalized))
+    suite = CheckSuite(
+        strict=False,
+        tolerances=_tolerances(normalized) or Tolerances(),
+    )
+    facility = FacilitySimulator(
+        n_racks=scenario.n_racks,
+        rack_factory=partial(facility_rack, scenario.n_modules),
+        plant=ChillerPlant(**plant),
+        supervised=scenario.supervised,
+        checks=suite,
+    )
+    result = facility.run(
+        scenario.duration_s, events=list(scenario.events), dt_s=scenario.dt_s
+    )
+
+    def r(x: float) -> float:
+        return round(float(x), 9)
+
+    return {
+        "scenario": scenario.name,
+        "level": scenario.level,
+        "violations": [v.to_dict() for v in suite.violations],
+        "checks_run": suite.checks_run,
+        "summary": {
+            "max_fpga_c": r(result.max_fpga_c),
+            "max_water_c": r(result.max_water_c),
+            "heat_rejected_j": r(result.heat_rejected_j),
+            "final_state": result.final_state,
+        },
+    }
+
+
+def evaluate_service_case(case: SweepCase) -> Dict[str, Any]:
+    """Sweep adapter around :func:`evaluate_request` (module-level so the
+    process backend can pickle it by reference)."""
+    return evaluate_request(case.params["request"])
+
+
+def service_batch(cases: List[SweepCase]) -> List[Any]:
+    """Batched evaluation of service cases via the fuzzer's batch path.
+
+    Plant-override requests always fall back to the serial oracle; the
+    rest are translated to fuzz cases and handed to
+    :func:`repro.verify.fuzz.fuzz_module_batch`, which batches the
+    open-loop module lanes through ``ModuleSimulator.run_many`` and marks
+    everything else :data:`~repro.sweep.batched.SERIAL_FALLBACK`. The
+    differential suite pins the batched records byte-identical to
+    :func:`evaluate_request`.
+    """
+    translated: List[Tuple[int, SweepCase]] = []
+    results: List[Any] = [SERIAL_FALLBACK] * len(cases)
+    for i, case in enumerate(cases):
+        normalized = case.params["request"]
+        if normalized.get("plant") is not None:
+            continue
+        translated.append(
+            (
+                i,
+                SweepCase(
+                    name=case.name,
+                    params={
+                        "scenario": request_scenario(normalized).to_dict(),
+                        "tolerances": normalized.get("tolerances"),
+                    },
+                ),
+            )
+        )
+    if translated:
+        batched = fuzz_module_batch([case for _, case in translated])
+        for (i, _), value in zip(translated, batched):
+            results[i] = value
+    return results

@@ -45,6 +45,7 @@ class TestExperimentsMd:
                 "test_bench_solvers",
                 "test_bench_b1_batched_throughput",
                 "test_bench_m1_montecarlo",
+                "test_bench_s1_service_throughput",
             ):
                 continue  # library performance, not a paper experiment
             assert path.stem in content, f"{path.stem} missing from EXPERIMENTS.md"

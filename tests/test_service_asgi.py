@@ -1,0 +1,198 @@
+"""ASGI adapter tests: routing, status mapping, canonical bodies, lifespan.
+
+The adapter is driven directly (scope/receive/send callables) — no
+server in the loop, so these tests cover exactly the adapter contract.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import ServiceEvaluationError, SimulationGateway, create_app
+from repro.service.requests import evaluate_request, normalize_request
+from repro.verify.fuzz import canonical_json
+
+MODULE = {"level": "module"}
+
+
+def call(app, method, path, payload=None, body=None):
+    """One ASGI HTTP round-trip; returns (status, headers, body bytes)."""
+    if body is None:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+
+    async def go():
+        scope = {
+            "type": "http",
+            "method": method,
+            "path": path,
+            "headers": [],
+            "query_string": b"",
+        }
+        messages = []
+        sent = {"given": False}
+
+        async def receive():
+            if sent["given"]:
+                return {"type": "http.disconnect"}
+            sent["given"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            messages.append(message)
+
+        await app(scope, receive, send)
+        return messages
+
+    messages = asyncio.run(go())
+    assert messages[0]["type"] == "http.response.start"
+    assert messages[1]["type"] == "http.response.body"
+    return (
+        messages[0]["status"],
+        dict(messages[0]["headers"]),
+        messages[1]["body"],
+    )
+
+
+def make_app(registry=None, **kwargs):
+    kwargs.setdefault("max_batch_size", 1)
+    gateway = SimulationGateway(
+        registry=registry or MetricsRegistry(), **kwargs
+    )
+    return create_app(gateway), gateway
+
+
+def test_simulate_roundtrip_is_canonical_oracle_bytes():
+    app, _ = make_app()
+    status, headers, body = call(app, "POST", "/simulate", MODULE)
+    assert status == 200
+    assert headers[b"content-type"].startswith(b"application/json")
+    assert int(headers[b"content-length"]) == len(body)
+    assert body.endswith(b"\n")
+    envelope = json.loads(body)
+    # The body IS the canonical encoding (sorted keys, compact) ...
+    assert body == (canonical_json(envelope) + "\n").encode("utf-8")
+    # ... and the result inside is the serial oracle's bytes.
+    expected = evaluate_request(normalize_request(MODULE))
+    assert canonical_json(envelope["result"]) == canonical_json(expected)
+    assert envelope["cached"] is False
+
+
+def test_sweep_roundtrip():
+    app, _ = make_app()
+    status, _, body = call(
+        app, "POST", "/sweep", {"scenarios": [MODULE, MODULE]}
+    )
+    assert status == 200
+    envelope = json.loads(body)
+    assert envelope["count"] == 2
+    assert envelope["results"][0]["result"] == envelope["results"][1]["result"]
+
+
+def test_healthz_reports_stats():
+    app, _ = make_app()
+    status, _, body = call(app, "GET", "/healthz")
+    assert status == 200
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert health["cache"] == {"entries": 0, "max_entries": 1024}
+    assert health["queue_depth"] == 0
+
+
+def test_metrics_exposition():
+    registry = MetricsRegistry()
+    app, _ = make_app(registry=registry)
+    assert call(app, "POST", "/simulate", MODULE)[0] == 200
+    status, headers, body = call(app, "GET", "/metrics")
+    assert status == 200
+    assert headers[b"content-type"].startswith(b"text/plain")
+    text = body.decode("utf-8")
+    assert "service_requests_total 1" in text
+    assert "service_solves_total 1" in text
+
+
+def test_invalid_json_is_400():
+    app, _ = make_app()
+    status, _, body = call(app, "POST", "/simulate", body=b"{nope")
+    assert status == 400
+    assert "invalid JSON" in json.loads(body)["error"]
+
+
+def test_schema_violation_is_400():
+    app, _ = make_app()
+    status, _, body = call(
+        app, "POST", "/simulate", {"level": "module", "bogus": 1}
+    )
+    assert status == 400
+    assert "unknown keys" in json.loads(body)["error"]
+
+
+def test_evaluation_failure_is_500():
+    app, gateway = make_app()
+
+    async def exploding(payload, timeout_s=None):
+        raise ServiceEvaluationError("melted")
+
+    gateway.simulate = exploding
+    status, _, body = call(app, "POST", "/simulate", MODULE)
+    assert status == 500
+    assert json.loads(body)["error"] == "melted"
+
+
+@pytest.mark.parametrize(
+    "method,path,status",
+    [
+        ("GET", "/nowhere", 404),
+        ("GET", "/simulate", 405),
+        ("GET", "/sweep", 405),
+        ("POST", "/healthz", 405),
+        ("POST", "/metrics", 405),
+    ],
+)
+def test_route_and_method_mapping(method, path, status):
+    app, _ = make_app()
+    assert call(app, method, path)[0] == status
+
+
+def test_lifespan_shutdown_closes_gateway():
+    app, gateway = make_app()
+    closed = {"done": False}
+
+    async def tracking_close():
+        closed["done"] = True
+
+    gateway.close = tracking_close
+
+    async def go():
+        events = [
+            {"type": "lifespan.startup"},
+            {"type": "lifespan.shutdown"},
+        ]
+        completions = []
+
+        async def receive():
+            return events.pop(0)
+
+        async def send(message):
+            completions.append(message["type"])
+
+        await app({"type": "lifespan"}, receive, send)
+        return completions
+
+    completions = asyncio.run(go())
+    assert completions == [
+        "lifespan.startup.complete",
+        "lifespan.shutdown.complete",
+    ]
+    assert closed["done"] is True
+
+
+def test_unsupported_scope_rejected():
+    app, _ = make_app()
+
+    async def go():
+        await app({"type": "websocket"}, None, None)
+
+    with pytest.raises(RuntimeError, match="unsupported ASGI scope"):
+        asyncio.run(go())

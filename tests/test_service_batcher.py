@@ -1,0 +1,214 @@
+"""Deterministic micro-batching tests via the injected-timer seam.
+
+Every batch-composition assertion here is exact, not timing-dependent:
+the batcher's collection windows close only when the test fires the
+:class:`~repro.service.batcher.ManualTimer` (see the seam documented in
+``repro/service/batcher.py``). No ``pytest-asyncio`` in the toolchain,
+so each test drives its own loop with ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service.batcher import ManualTimer, MicroBatcher
+
+
+class Recorder:
+    """A dispatch stub recording every batch it is handed."""
+
+    def __init__(self, fail=None):
+        self.batches = []
+        self.fail = fail
+
+    async def __call__(self, items):
+        self.batches.append(list(items))
+        if self.fail is not None:
+            raise self.fail
+        return [f"solved:{item}" for item in items]
+
+
+async def settle(predicate, rounds=200):
+    """Yield to the loop until ``predicate`` holds (bounded)."""
+    for _ in range(rounds):
+        if predicate():
+            return
+        await asyncio.sleep(0)
+    raise AssertionError("loop never reached the expected state")
+
+
+def test_window_closes_only_on_fire():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch_size=16, timer=timer)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(3)]
+        await settle(lambda: timer.pending == 1)
+        assert batcher.queue_depth == 3
+        assert recorder.batches == []  # window open, nothing dispatched
+        assert timer.fire()
+        results = await asyncio.gather(*tasks)
+        assert results == ["solved:0", "solved:1", "solved:2"]
+        assert recorder.batches == [[0, 1, 2]]
+        assert batcher.queue_depth == 0
+
+    asyncio.run(go())
+
+
+def test_full_window_dispatches_without_timer():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch_size=4, timer=timer)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(4)]
+        results = await asyncio.gather(*tasks)
+        assert results == [f"solved:{i}" for i in range(4)]
+        assert recorder.batches == [[0, 1, 2, 3]]
+        assert timer.pending == 0  # the pending window was cancelled
+
+    asyncio.run(go())
+
+
+def test_two_windows_two_batches():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch_size=16, timer=timer)
+        first = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+        await settle(lambda: timer.pending == 1)
+        timer.fire()
+        await asyncio.gather(*first)
+        second = [asyncio.create_task(batcher.submit(i)) for i in (7, 8)]
+        await settle(lambda: timer.pending == 1)
+        timer.fire()
+        await asyncio.gather(*second)
+        assert recorder.batches == [[0, 1], [7, 8]]
+
+    asyncio.run(go())
+
+
+def test_cancelled_waiter_does_not_poison_or_leak():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch_size=16, timer=timer)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(3)]
+        await settle(lambda: batcher.queue_depth == 3)
+        tasks[1].cancel()
+        await settle(lambda: tasks[1].cancelled() or tasks[1].done())
+        timer.fire()
+        survivors = await asyncio.gather(*tasks, return_exceptions=True)
+        assert survivors[0] == "solved:0"
+        assert isinstance(survivors[1], asyncio.CancelledError)
+        assert survivors[2] == "solved:2"
+        # The cancelled slot was dropped before dispatch — no leak, and
+        # the neighbours' batch simply shrank.
+        assert recorder.batches == [[0, 2]]
+        assert batcher.queue_depth == 0
+
+    asyncio.run(go())
+
+
+def test_fully_cancelled_window_skips_dispatch():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        registry = MetricsRegistry()
+        batcher = MicroBatcher(
+            recorder, max_batch_size=16, timer=timer, registry=registry
+        )
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+        await settle(lambda: batcher.queue_depth == 2)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        timer.fire()
+        await batcher.flush()
+        assert recorder.batches == []
+        assert (
+            registry.as_dict()["counters"].get("service_batches_total", 0.0)
+            == 0.0
+        )
+
+    asyncio.run(go())
+
+
+def test_dispatch_failure_rejects_only_its_batch():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder(fail=RuntimeError("solver exploded"))
+        batcher = MicroBatcher(recorder, max_batch_size=2, timer=timer)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        # The next window starts clean and succeeds.
+        recorder.fail = None
+        retry = asyncio.create_task(batcher.submit(9))
+        await settle(lambda: timer.pending == 1)
+        timer.fire()
+        assert await retry == "solved:9"
+        assert recorder.batches == [[0, 1], [9]]
+
+    asyncio.run(go())
+
+
+def test_dispatch_length_mismatch_is_an_error():
+    async def go():
+        async def bad_dispatch(items):
+            return ["only one"]
+
+        batcher = MicroBatcher(bad_dispatch, max_batch_size=2)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(2)]
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert all("2 items" in str(r) for r in results)
+
+    asyncio.run(go())
+
+
+def test_flush_dispatches_pending_window():
+    async def go():
+        timer = ManualTimer()
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch_size=16, timer=timer)
+        task = asyncio.create_task(batcher.submit("x"))
+        await settle(lambda: batcher.queue_depth == 1)
+        await batcher.flush()
+        assert await task == "solved:x"
+        assert recorder.batches == [["x"]]
+        assert batcher.dispatches_in_flight == 0
+
+    asyncio.run(go())
+
+
+def test_batch_metrics_recorded():
+    async def go():
+        recorder = Recorder()
+        registry = MetricsRegistry()
+        batcher = MicroBatcher(recorder, max_batch_size=3, registry=registry)
+        tasks = [asyncio.create_task(batcher.submit(i)) for i in range(3)]
+        await asyncio.gather(*tasks)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["service_batches_total"] == 1.0
+        hist = snapshot["histograms"]["service_batch_size"]
+        assert hist["count"] == 1 and hist["sum"] == 3.0
+        assert snapshot["histograms"]["service_wall_queue_s"]["count"] == 3
+
+    asyncio.run(go())
+
+
+def test_manual_timer_fire_with_no_window():
+    timer = ManualTimer()
+    assert timer.fire() is False
+    assert timer.pending == 0
+
+
+def test_constructor_validation():
+    async def noop(items):
+        return items
+
+    with pytest.raises(ValueError):
+        MicroBatcher(noop, max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(noop, max_wait_s=-1.0)

@@ -1,0 +1,222 @@
+"""Cache-correctness battery: digest identity and LRU bounds.
+
+The digest is the cache key, so its stability *is* cache correctness:
+two payloads must digest identically exactly when they describe the same
+physics (key order, numeric spelling, kW vs W, defaulted vs explicit
+fields must not matter), and distinct scenarios must never collide.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service.cache import ResultCache
+from repro.service.requests import (
+    LEVEL_DEFAULTS,
+    ServiceRequestError,
+    normalize_request,
+    request_digest,
+)
+from repro.verify.fuzz import canonical_json, generate_scenarios
+
+
+def digest_of(payload):
+    return request_digest(normalize_request(payload))
+
+
+# -- digest stability --------------------------------------------------
+
+
+def test_digest_ignores_key_order():
+    a = {"level": "rack", "duration_s": 200.0, "n_modules": 3, "dt_s": 20.0}
+    b = {"dt_s": 20.0, "n_modules": 3, "duration_s": 200.0, "level": "rack"}
+    assert digest_of(a) == digest_of(b)
+
+
+def test_digest_numeric_coercion_int_vs_float():
+    assert digest_of({"level": "module", "duration_s": 120}) == digest_of(
+        {"level": "module", "duration_s": 120.0}
+    )
+    assert digest_of({"level": "rack", "dt_s": 20}) == digest_of(
+        {"level": "rack", "dt_s": 20.0}
+    )
+
+
+def test_digest_defaults_spelled_out_or_omitted():
+    for level, defaults in LEVEL_DEFAULTS.items():
+        explicit = {
+            "level": level,
+            "duration_s": defaults["duration_s"],
+            "dt_s": defaults["dt_s"],
+            "n_modules": int(defaults["n_modules"]),
+            "n_racks": int(defaults["n_racks"]),
+            "supervised": False,
+            "events": [],
+        }
+        assert digest_of(explicit) == digest_of({"level": level})
+
+
+def test_digest_event_order_insensitive():
+    e1 = {"kind": "heat_spike", "time_s": 60.0, "target": "m0", "magnitude": 2.0}
+    e2 = {"kind": "pump_degrade", "time_s": 30.0, "target": "m0", "magnitude": 0.5}
+    assert digest_of({"level": "module", "events": [e1, e2]}) == digest_of(
+        {"level": "module", "events": [e2, e1]}
+    )
+
+
+def test_digest_kw_and_watt_plants_identical():
+    watts = {
+        "level": "facility",
+        "plant": {"primary_capacity_w": 700000.0, "standby_capacity_w": 350000.0},
+    }
+    kilowatts = {
+        "level": "facility",
+        "plant": {"primary_capacity_kw": 700, "standby_capacity_kw": 350},
+    }
+    assert digest_of(watts) == digest_of(kilowatts)
+
+
+def test_digest_distinct_plants_differ():
+    base = {"level": "facility", "plant": {"primary_capacity_kw": 700}}
+    other = {"level": "facility", "plant": {"primary_capacity_kw": 500}}
+    assert digest_of(base) != digest_of(other)
+    assert digest_of(base) != digest_of({"level": "facility"})
+
+
+def test_digest_collision_smoke_over_fuzzer_stream():
+    """Across the fuzz stream: digests collide iff payloads normalize equal."""
+    scenarios = generate_scenarios(2024, 60, ("module", "rack", "facility"))
+    normalized = [
+        normalize_request(
+            {k: v for k, v in s.to_dict().items() if k != "index"}
+        )
+        for s in scenarios
+    ]
+    keys = [canonical_json(n) for n in normalized]
+    digests = [request_digest(n) for n in normalized]
+    assert len(set(digests)) == len(set(keys))
+    by_digest = {}
+    for key, digest in zip(keys, digests):
+        assert by_digest.setdefault(digest, key) == key
+
+
+def test_digest_sensitive_to_every_scalar_field():
+    base = {"level": "facility", "n_racks": 3, "n_modules": 2}
+    assert digest_of(base) != digest_of({**base, "n_racks": 4})
+    assert digest_of(base) != digest_of({**base, "n_modules": 3})
+    assert digest_of(base) != digest_of({**base, "supervised": True})
+    assert digest_of(base) != digest_of({**base, "duration_s": 400.0})
+    assert digest_of(base) != digest_of(
+        {**base, "tolerances": {"temp_abs_c": 0.5}}
+    )
+
+
+# -- schema rejection --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not an object",
+        {"level": "campus"},
+        {},
+        {"level": "module", "typo_key": 1},
+        {"level": "module", "duration_s": -1.0},
+        {"level": "module", "duration_s": float("nan")},
+        {"level": "module", "duration_s": 1e9},
+        {"level": "module", "duration_s": 1000.0, "dt_s": 0.001},
+        {"level": "module", "n_modules": 2},
+        {"level": "rack", "n_racks": 2},
+        {"level": "rack", "n_modules": 0},
+        {"level": "facility", "n_racks": 1},
+        {"level": "facility", "n_racks": 99},
+        {"level": "module", "supervised": "yes"},
+        {"level": "module", "n_modules": True},
+        {"level": "module", "events": "boom"},
+        {"level": "module", "events": [{"kind": "x"}]},
+        {"level": "module", "events": [{"kind": "x", "time_s": 9e9,
+                                        "target": "m0", "magnitude": 1.0}]},
+        {"level": "module", "events": [{"kind": "x", "time_s": 1.0,
+                                        "target": "m0", "magnitude": 1.0,
+                                        "extra": 1}]},
+        {"level": "module", "tolerances": {"bogus": 1.0}},
+        {"level": "module", "tolerances": 3},
+        {"level": "module", "plant": {"cop": 4.5}},
+        {"level": "facility", "plant": "big"},
+        {"level": "facility", "plant": {"primary_capacity_w": 1.0,
+                                        "primary_capacity_kw": 1.0}},
+        {"level": "facility", "plant": {"primary_capacity_w": 0.0}},
+        {"level": "facility", "plant": {"standby_capacity_w": -1.0}},
+        {"level": "facility", "plant": {"cop": 0.0}},
+        {"level": "facility", "plant": {"chiller_count": 2}},
+    ],
+)
+def test_malformed_payloads_rejected(payload):
+    with pytest.raises(ServiceRequestError):
+        normalize_request(payload)
+
+
+def test_event_budget_enforced():
+    event = {"kind": "heat_spike", "time_s": 1.0, "target": "m0", "magnitude": 1.0}
+    with pytest.raises(ServiceRequestError, match="at most"):
+        normalize_request({"level": "module", "events": [event] * 33})
+
+
+# -- LRU behaviour -----------------------------------------------------
+
+
+def test_lru_eviction_order_and_recency_refresh():
+    registry = MetricsRegistry()
+    cache = ResultCache(max_entries=3, registry=registry)
+    for key in ("a", "b", "c"):
+        cache.put(key, {"v": key})
+    assert cache.get("a") == {"v": "a"}  # refresh 'a'; 'b' is now LRU
+    cache.put("d", {"v": "d"})
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert len(cache) == 3
+    assert registry.as_dict()["counters"]["service_cache_evictions_total"] == 1.0
+
+
+def test_lru_bound_holds_under_churn():
+    registry = MetricsRegistry()
+    cache = ResultCache(max_entries=8, registry=registry)
+    for i in range(100):
+        cache.put(f"k{i:03d}", {"v": i})
+        assert len(cache) <= 8
+    assert len(cache) == 8
+    snapshot = registry.as_dict()
+    assert snapshot["counters"]["service_cache_evictions_total"] == 92.0
+    assert snapshot["gauges"]["service_cache_size"] == 8.0
+    # The survivors are exactly the 8 most recent inserts.
+    assert all(cache.get(f"k{i:03d}") is not None for i in range(92, 100))
+
+
+def test_disabled_cache_stores_nothing():
+    cache = ResultCache(max_entries=0)
+    assert not cache.enabled
+    cache.put("a", {"v": 1})
+    assert cache.get("a") is None
+    assert len(cache) == 0
+    assert cache.stats() == {"entries": 0, "max_entries": 0}
+
+
+def test_none_values_never_stored():
+    cache = ResultCache(max_entries=4)
+    cache.put("a", None)
+    assert len(cache) == 0
+
+
+def test_clear_and_stats():
+    registry = MetricsRegistry()
+    cache = ResultCache(max_entries=4, registry=registry)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.stats() == {"entries": 2, "max_entries": 4}
+    cache.clear()
+    assert len(cache) == 0
+    assert registry.as_dict()["gauges"]["service_cache_size"] == 0.0
+
+
+def test_negative_bound_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=-1)

@@ -1,0 +1,389 @@
+"""Gateway concurrency battery: coalescing, cache accounting, failure paths.
+
+The headline invariant (ISSUE satellite 1): K concurrent identical
+requests cost exactly one solve, with the K-1 joiners accounted as cache
+hits; cancelled and timed-out waiters neither poison the batch nor leak
+queue slots. All exact assertions — batch windows close under the
+:class:`~repro.service.batcher.ManualTimer` seam or fill instantly with
+``max_batch_size=1``.
+"""
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ManualTimer,
+    ServiceEvaluationError,
+    ServiceRequestError,
+    SimulationGateway,
+)
+
+MODULE = {"level": "module"}
+
+
+def counters(registry):
+    return registry.as_dict()["counters"]
+
+
+async def settle(predicate, rounds=500):
+    for _ in range(rounds):
+        if predicate():
+            return
+        await asyncio.sleep(0)
+    raise AssertionError("loop never reached the expected state")
+
+
+def make_gateway(registry, **kwargs):
+    kwargs.setdefault("max_batch_size", 1)
+    return SimulationGateway(registry=registry, **kwargs)
+
+
+def test_k_identical_requests_one_solve():
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = make_gateway(registry)
+        envelopes = await asyncio.gather(
+            *(gateway.simulate(MODULE) for _ in range(8))
+        )
+        await gateway.close()
+        return envelopes
+
+    envelopes = asyncio.run(go())
+    values = counters(registry)
+    assert values["service_solves_total"] == 1.0
+    assert values["service_cache_misses_total"] == 1.0
+    assert values["service_cache_hits_total"] == 7.0
+    assert values["service_coalesced_total"] == 7.0
+    assert values["service_requests_total"] == 8.0
+    assert values["service_requests_module_total"] == 8.0
+    assert [e["cached"] for e in envelopes].count(False) == 1
+    assert len({e["digest"] for e in envelopes}) == 1
+    first = envelopes[0]["result"]
+    assert all(e["result"] == first for e in envelopes)
+
+
+def test_resolved_cache_hit_costs_nothing():
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = make_gateway(registry)
+        miss = await gateway.simulate(MODULE)
+        hit = await gateway.simulate(MODULE)
+        await gateway.close()
+        return miss, hit
+
+    miss, hit = asyncio.run(go())
+    assert miss["cached"] is False and hit["cached"] is True
+    assert miss["result"] == hit["result"]
+    values = counters(registry)
+    assert values["service_solves_total"] == 1.0
+    assert values["service_cache_hits_total"] == 1.0
+    assert values["service_cache_misses_total"] == 1.0
+
+
+def test_mixed_duplicates_accounting():
+    registry = MetricsRegistry()
+    payloads = [
+        {"level": "module", "duration_s": 240.0 + 10.0 * (i % 3)}
+        for i in range(12)
+    ]
+
+    async def go():
+        gateway = make_gateway(registry)
+        envelopes = await asyncio.gather(
+            *(gateway.simulate(p) for p in payloads)
+        )
+        await gateway.close()
+        return envelopes
+
+    envelopes = asyncio.run(go())
+    values = counters(registry)
+    assert values["service_solves_total"] == 3.0
+    assert values["service_cache_misses_total"] == 3.0
+    assert values["service_cache_hits_total"] == 9.0
+    assert len({e["digest"] for e in envelopes}) == 3
+
+
+def test_baseline_gateway_pays_full_price():
+    """cache_entries=0 + coalesce=False: every request is a solve."""
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = make_gateway(registry, cache_entries=0, coalesce=False)
+        envelopes = await asyncio.gather(
+            *(gateway.simulate(MODULE) for _ in range(4))
+        )
+        await gateway.close()
+        return envelopes
+
+    envelopes = asyncio.run(go())
+    values = counters(registry)
+    assert values["service_solves_total"] == 4.0
+    assert values["service_cache_misses_total"] == 4.0
+    assert values.get("service_cache_hits_total", 0.0) == 0.0
+    first = envelopes[0]["result"]
+    assert all(e["result"] == first for e in envelopes)
+
+
+def test_timed_out_waiter_does_not_lose_the_solve():
+    """A wait_for timeout abandons the wait; the solve lands in the cache."""
+    registry = MetricsRegistry()
+
+    async def go():
+        timer = ManualTimer()
+        gateway = SimulationGateway(
+            registry=registry, timer=timer, max_batch_size=16
+        )
+        with pytest.raises(asyncio.TimeoutError):
+            await gateway.simulate(MODULE, timeout_s=0.02)
+        # The window is still open (the timer never fired); release it.
+        assert gateway.batcher.queue_depth == 1
+        await settle(lambda: timer.pending == 1)
+        assert timer.fire()
+        await gateway.close()
+        hit = await gateway.simulate(MODULE)
+        await gateway.close()
+        return hit
+
+    hit = asyncio.run(go())
+    assert hit["cached"] is True
+    values = counters(registry)
+    assert values["service_solves_total"] == 1.0
+    assert values["service_cache_hits_total"] == 1.0
+
+
+def test_cancelled_owner_does_not_poison_followers():
+    registry = MetricsRegistry()
+
+    async def go():
+        timer = ManualTimer()
+        gateway = SimulationGateway(
+            registry=registry, timer=timer, max_batch_size=16
+        )
+        owner = asyncio.create_task(gateway.simulate(MODULE))
+        await settle(
+            lambda: gateway.batcher.queue_depth == 1 and timer.pending == 1
+        )
+        owner.cancel()
+        await asyncio.gather(owner, return_exceptions=True)
+        assert timer.fire()
+        await gateway.close()
+        assert gateway.stats()["inflight_digests"] == 0
+        hit = await gateway.simulate(MODULE)
+        await gateway.close()
+        return hit
+
+    hit = asyncio.run(go())
+    assert hit["cached"] is True
+    assert counters(registry)["service_solves_total"] == 1.0
+
+
+def test_solver_failure_surfaces_and_is_not_cached(monkeypatch):
+    registry = MetricsRegistry()
+
+    def failing_sweep(fn, cases, **kwargs):
+        return [
+            SimpleNamespace(value=None, error="boom", error_traceback="tb")
+            for _ in cases
+        ]
+
+    async def go():
+        gateway = make_gateway(registry)
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                "repro.service.engine.run_sweep_batched", failing_sweep
+            )
+            with pytest.raises(ServiceEvaluationError) as excinfo:
+                await gateway.simulate(MODULE)
+            assert excinfo.value.error == "boom"
+            assert excinfo.value.traceback == "tb"
+            await gateway.close()
+        # The failure was never cached: with the real solver back the
+        # same request misses again and solves cleanly.
+        retry = await gateway.simulate(MODULE)
+        await gateway.close()
+        return retry
+
+    retry = asyncio.run(go())
+    assert retry["cached"] is False
+    values = counters(registry)
+    assert values["service_errors_total"] == 1.0
+    assert values["service_cache_misses_total"] == 2.0
+    assert values["service_solves_total"] == 2.0
+
+
+def test_every_coalesced_waiter_sees_the_failure(monkeypatch):
+    registry = MetricsRegistry()
+
+    def failing_sweep(fn, cases, **kwargs):
+        return [
+            SimpleNamespace(value=None, error="bad lane", error_traceback=None)
+            for _ in cases
+        ]
+
+    async def go():
+        gateway = make_gateway(registry)
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                "repro.service.engine.run_sweep_batched", failing_sweep
+            )
+            outcomes = await asyncio.gather(
+                *(gateway.simulate(MODULE) for _ in range(3)),
+                return_exceptions=True,
+            )
+            await gateway.close()
+        return outcomes
+
+    outcomes = asyncio.run(go())
+    assert len(outcomes) == 3
+    assert all(isinstance(o, ServiceEvaluationError) for o in outcomes)
+    assert counters(registry)["service_errors_total"] == 1.0
+
+
+def test_dispatch_crash_maps_to_evaluation_error(monkeypatch):
+    registry = MetricsRegistry()
+
+    def crashing_sweep(fn, cases, **kwargs):
+        raise RuntimeError("executor died")
+
+    async def go():
+        gateway = make_gateway(registry)
+        monkeypatch.setattr(
+            "repro.service.engine.run_sweep_batched", crashing_sweep
+        )
+        with pytest.raises(ServiceEvaluationError, match="dispatch failed"):
+            await gateway.simulate(MODULE)
+        await gateway.close()
+
+    asyncio.run(go())
+    assert counters(registry)["service_errors_total"] == 1.0
+
+
+def test_malformed_payload_rejected_before_any_work():
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = make_gateway(registry)
+        with pytest.raises(ServiceRequestError):
+            await gateway.simulate({"level": "module", "bogus": 1})
+        await gateway.close()
+
+    asyncio.run(go())
+    assert counters(registry) == {}
+
+
+def test_sweep_explicit_scenarios_share_the_cache():
+    registry = MetricsRegistry()
+    scenarios = [
+        MODULE,
+        {"level": "module", "duration_s": 250.0},
+        MODULE,  # duplicate collapses through cache/coalescing
+    ]
+
+    async def go():
+        gateway = make_gateway(registry)
+        envelope = await gateway.sweep({"scenarios": scenarios})
+        await gateway.close()
+        return envelope
+
+    envelope = asyncio.run(go())
+    assert envelope["count"] == 3
+    assert envelope["results"][0]["digest"] == envelope["results"][2]["digest"]
+    assert envelope["results"][0]["result"] == envelope["results"][2]["result"]
+    values = counters(registry)
+    assert values["service_solves_total"] == 2.0
+    assert values["service_sweeps_total"] == 1.0
+
+
+def test_sweep_generator_form():
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = make_gateway(registry)
+        envelope = await gateway.sweep(
+            {"seed": 11, "n_scenarios": 4, "levels": ["module"]}
+        )
+        await gateway.close()
+        return envelope
+
+    envelope = asyncio.run(go())
+    assert envelope["count"] == 4
+    assert all("result" in r for r in envelope["results"])
+
+
+def test_sweep_failures_reported_in_place(monkeypatch):
+    registry = MetricsRegistry()
+
+    def failing_sweep(fn, cases, **kwargs):
+        return [
+            SimpleNamespace(value=None, error="lane down", error_traceback=None)
+            for _ in cases
+        ]
+
+    async def go():
+        gateway = make_gateway(registry)
+        monkeypatch.setattr(
+            "repro.service.engine.run_sweep_batched", failing_sweep
+        )
+        envelope = await gateway.sweep({"scenarios": [MODULE]})
+        await gateway.close()
+        return envelope
+
+    envelope = asyncio.run(go())
+    assert envelope["count"] == 1
+    assert envelope["results"][0] == {
+        "digest": envelope["results"][0]["digest"],
+        "error": "lane down",
+    }
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],
+        {"scenarios": "nope"},
+        {"scenarios": [], "extra": 1},
+        {"seed": 1},
+        {"seed": 1, "n_scenarios": -2},
+        {"seed": 1, "n_scenarios": 1, "levels": ["campus"]},
+        {"seed": "x", "n_scenarios": 1},
+        {"frobnicate": True},
+    ],
+)
+def test_sweep_malformed_payloads_rejected(payload):
+    async def go():
+        gateway = make_gateway(MetricsRegistry())
+        with pytest.raises(ServiceRequestError):
+            await gateway.sweep(payload)
+        await gateway.close()
+
+    asyncio.run(go())
+
+
+def test_sweep_scenario_budget_enforced():
+    async def go():
+        gateway = make_gateway(MetricsRegistry())
+        with pytest.raises(ServiceRequestError, match="at most"):
+            await gateway.sweep({"scenarios": [MODULE] * 513})
+        await gateway.close()
+
+    asyncio.run(go())
+
+
+def test_stats_shape():
+    async def go():
+        gateway = make_gateway(MetricsRegistry())
+        stats = gateway.stats()
+        assert stats == {
+            "queue_depth": 0,
+            "dispatches_in_flight": 0,
+            "inflight_digests": 0,
+            "cache": {"entries": 0, "max_entries": 1024},
+        }
+        await gateway.close()
+
+    asyncio.run(go())

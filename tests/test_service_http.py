@@ -1,0 +1,192 @@
+"""Full-stack tests of the stdlib asyncio HTTP bridge on a real socket.
+
+A live server on an ephemeral port, raw-socket HTTP/1.1 clients written
+with ``asyncio.open_connection`` — no threads, no external HTTP client
+needed. Covers round-trips, protocol error mapping (400/404/413) and
+the one-request-per-connection contract.
+"""
+
+import asyncio
+import json
+
+from repro.obs import MetricsRegistry
+from repro.service import SimulationGateway, create_app
+from repro.service.http import MAX_BODY_BYTES, serve
+from repro.service.requests import evaluate_request, normalize_request
+from repro.verify.fuzz import canonical_json
+
+MODULE = {"level": "module"}
+
+
+async def raw_roundtrip(port, raw: bytes) -> bytes:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(raw)
+    await writer.drain()
+    response = await reader.read(-1)
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+def http_bytes(method, path, body=b""):
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def parse(response: bytes):
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+def with_server(testcase):
+    """Run ``testcase(port)`` against a live gateway server."""
+
+    async def go():
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        server = await serve(create_app(gateway), port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await testcase(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await gateway.close()
+
+    return asyncio.run(go())
+
+
+def test_simulate_over_the_wire_matches_oracle():
+    async def testcase(port):
+        body = json.dumps(MODULE).encode("utf-8")
+        return await raw_roundtrip(
+            port, http_bytes("POST", "/simulate", body)
+        )
+
+    status, body = parse(with_server(testcase))
+    assert status == 200
+    envelope = json.loads(body)
+    expected = evaluate_request(normalize_request(MODULE))
+    assert canonical_json(envelope["result"]) == canonical_json(expected)
+
+
+def test_concurrent_wire_requests_share_one_solve():
+    registry = MetricsRegistry()
+
+    async def go():
+        gateway = SimulationGateway(registry=registry, max_batch_size=1)
+        server = await serve(create_app(gateway), port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            payload = json.dumps(MODULE).encode("utf-8")
+            responses = await asyncio.gather(
+                *(
+                    raw_roundtrip(port, http_bytes("POST", "/simulate", payload))
+                    for _ in range(5)
+                )
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await gateway.close()
+        return responses
+
+    responses = asyncio.run(go())
+    bodies = [parse(r) for r in responses]
+    assert all(status == 200 for status, _ in bodies)
+    results = {canonical_json(json.loads(b)["result"]) for _, b in bodies}
+    assert len(results) == 1
+    values = registry.as_dict()["counters"]
+    assert values["service_solves_total"] == 1.0
+    assert values["service_cache_hits_total"] == 4.0
+
+
+def test_healthz_and_metrics_over_the_wire():
+    async def testcase(port):
+        health = await raw_roundtrip(port, http_bytes("GET", "/healthz"))
+        metrics = await raw_roundtrip(port, http_bytes("GET", "/metrics"))
+        return health, metrics
+
+    health, metrics = with_server(testcase)
+    status, body = parse(health)
+    assert status == 200 and json.loads(body)["status"] == "ok"
+    assert parse(metrics)[0] == 200
+
+
+def test_unknown_path_is_404_and_bad_json_is_400():
+    async def testcase(port):
+        missing = await raw_roundtrip(port, http_bytes("GET", "/nope"))
+        malformed = await raw_roundtrip(
+            port, http_bytes("POST", "/simulate", b"{broken")
+        )
+        return missing, malformed
+
+    missing, malformed = with_server(testcase)
+    assert parse(missing)[0] == 404
+    assert parse(malformed)[0] == 400
+
+
+def test_malformed_request_line_is_400():
+    async def testcase(port):
+        return await raw_roundtrip(port, b"GARBAGE\r\n\r\n")
+
+    assert parse(with_server(testcase))[0] == 400
+
+
+def test_oversized_body_is_413():
+    async def testcase(port):
+        head = (
+            f"POST /simulate HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        ).encode("latin-1")
+        return await raw_roundtrip(port, head)
+
+    assert parse(with_server(testcase))[0] == 413
+
+
+def test_bad_content_length_is_400():
+    async def testcase(port):
+        raw = b"POST /simulate HTTP/1.1\r\nContent-Length: elephants\r\n\r\n"
+        return await raw_roundtrip(port, raw)
+
+    assert parse(with_server(testcase))[0] == 400
+
+
+def test_truncated_body_is_400():
+    async def testcase(port):
+        raw = (
+            b"POST /simulate HTTP/1.1\r\nContent-Length: 50\r\n\r\n{short"
+        )
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(raw)
+        await writer.drain()
+        writer.write_eof()  # half-close: the body will never arrive
+        response = await reader.read(-1)
+        writer.close()
+        await writer.wait_closed()
+        return response
+
+    assert parse(with_server(testcase))[0] == 400
+
+
+def test_connection_closes_after_one_response():
+    async def testcase(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(http_bytes("GET", "/healthz"))
+        writer.write(http_bytes("GET", "/healthz"))  # second request ignored
+        await writer.drain()
+        response = await reader.read(-1)  # EOF: the server hung up
+        writer.close()
+        await writer.wait_closed()
+        return response
+
+    response = with_server(testcase)
+    assert response.count(b"HTTP/1.1 200") == 1
+    assert b"connection: close" in response

@@ -1,0 +1,204 @@
+"""Differential parity: every gateway path is byte-identical to serial.
+
+The acceptance bar from the ISSUE: a gateway response's ``result`` —
+whether it came from a cache hit, a coalesced join, a batched lane or a
+direct serial solve — must be byte-identical canonical JSON to an
+in-process serial ``run`` for module, rack and facility requests. The
+serial oracle is :func:`repro.verify.fuzz.run_scenario` (already pinned
+lane-for-lane against ``ModuleSimulator.run``/``run_many`` by the
+differential fuzz suite), so equality here chains the whole service
+stack back to the simulators.
+"""
+
+import asyncio
+
+from repro.obs import MetricsRegistry
+from repro.service import ManualTimer, SimulationGateway
+from repro.service.requests import (
+    evaluate_request,
+    normalize_request,
+    request_scenario,
+)
+from repro.verify.fuzz import canonical_json, generate_scenarios, run_scenario
+
+SEED = 1337
+
+
+def level_payloads(level, count):
+    """Distinct fuzz-stream payloads of one level (duplicates dropped)."""
+    payloads, seen = [], set()
+    for scenario in generate_scenarios(SEED, 6 * count, levels=(level,)):
+        payload = {k: v for k, v in scenario.to_dict().items() if k != "index"}
+        key = canonical_json(normalize_request(payload))
+        if key not in seen:
+            seen.add(key)
+            payloads.append(payload)
+        if len(payloads) == count:
+            break
+    assert len(payloads) == count
+    return payloads
+
+
+def oracle_bytes(payload):
+    """Canonical JSON of the serial in-process run for ``payload``."""
+    normalized = normalize_request(payload)
+    record = run_scenario(request_scenario(normalized))
+    return canonical_json(record)
+
+
+def test_oracle_helper_matches_run_scenario():
+    """evaluate_request without a plant IS run_scenario, byte for byte."""
+    for level in ("module", "rack", "facility"):
+        payload = level_payloads(level, 1)[0]
+        normalized = normalize_request(payload)
+        assert canonical_json(evaluate_request(normalized)) == oracle_bytes(
+            payload
+        )
+
+
+def test_direct_and_cached_paths_match_serial_all_levels():
+    payloads = (
+        level_payloads("module", 3)
+        + level_payloads("rack", 2)
+        + level_payloads("facility", 2)
+    )
+
+    async def go():
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        solved = [await gateway.simulate(p) for p in payloads]
+        cached = [await gateway.simulate(p) for p in payloads]
+        await gateway.close()
+        return solved, cached
+
+    solved, cached = asyncio.run(go())
+    for payload, miss, hit in zip(payloads, solved, cached):
+        expected = oracle_bytes(payload)
+        assert canonical_json(miss["result"]) == expected
+        assert canonical_json(hit["result"]) == expected
+        assert miss["cached"] is False and hit["cached"] is True
+
+
+def test_coalesced_joiners_match_serial():
+    payload = level_payloads("rack", 1)[0]
+
+    async def go():
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        envelopes = await asyncio.gather(
+            *(gateway.simulate(payload) for _ in range(6))
+        )
+        await gateway.close()
+        return envelopes
+
+    envelopes = asyncio.run(go())
+    expected = oracle_bytes(payload)
+    assert all(canonical_json(e["result"]) == expected for e in envelopes)
+
+
+def test_one_wide_batch_window_matches_serial_lane_for_lane():
+    """Distinct requests coalesced into ONE dispatch == serial runs.
+
+    This drives the ``service_batch`` -> ``fuzz_module_batch`` ->
+    ``ModuleSimulator.run_many`` lane: module-level open-loop scenarios
+    share a structure-of-arrays solve while supervised/rack/facility
+    lanes fall back to serial inside the same window.
+    """
+    payloads = (
+        level_payloads("module", 4)
+        + level_payloads("rack", 1)
+        + level_payloads("facility", 1)
+    )
+    registry = MetricsRegistry()
+
+    async def go():
+        timer = ManualTimer()
+        gateway = SimulationGateway(
+            registry=registry, timer=timer, max_batch_size=64
+        )
+        tasks = [
+            asyncio.create_task(gateway.simulate(p)) for p in payloads
+        ]
+        for _ in range(500):
+            if (
+                gateway.batcher.queue_depth == len(payloads)
+                and timer.pending == 1
+            ):
+                break
+            await asyncio.sleep(0)
+        assert gateway.batcher.queue_depth == len(payloads)
+        assert timer.fire()
+        envelopes = await asyncio.gather(*tasks)
+        await gateway.close()
+        return envelopes
+
+    envelopes = asyncio.run(go())
+    assert registry.as_dict()["counters"]["service_batches_total"] == 1.0
+    for payload, envelope in zip(payloads, envelopes):
+        assert canonical_json(envelope["result"]) == oracle_bytes(payload)
+
+
+def test_sweep_results_match_serial():
+    payloads = level_payloads("module", 3)
+
+    async def go():
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        envelope = await gateway.sweep({"scenarios": payloads})
+        await gateway.close()
+        return envelope
+
+    envelope = asyncio.run(go())
+    for payload, entry in zip(payloads, envelope["results"]):
+        assert canonical_json(entry["result"]) == oracle_bytes(payload)
+
+
+def test_default_plant_override_matches_plantless_oracle():
+    """A plant block spelling out the defaults changes the digest but
+    must not change the physics: the plant-override evaluation branch is
+    pinned byte-identical to the plantless ``run_scenario`` facility
+    branch."""
+    base = level_payloads("facility", 1)[0]
+    with_plant = {
+        **base,
+        "plant": {
+            "primary_capacity_kw": 700.0,
+            "standby_capacity_kw": 350.0,
+            "standby_start_delay_s": 120.0,
+            "setpoint_c": 16.0,
+            "cop": 4.5,
+        },
+    }
+    plain = normalize_request(base)
+    overridden = normalize_request(with_plant)
+    assert canonical_json(plain) != canonical_json(overridden)
+    assert canonical_json(evaluate_request(overridden)) == canonical_json(
+        evaluate_request(plain)
+    )
+
+
+def test_plant_override_through_gateway_matches_oracle():
+    base = level_payloads("facility", 1)[0]
+    payload = {**base, "plant": {"primary_capacity_kw": 500.0, "cop": 5.0}}
+    expected = canonical_json(evaluate_request(normalize_request(payload)))
+
+    async def go():
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        miss = await gateway.simulate(payload)
+        hit = await gateway.simulate(
+            {**base, "plant": {"primary_capacity_w": 500000.0, "cop": 5.0}}
+        )
+        await gateway.close()
+        return miss, hit
+
+    miss, hit = asyncio.run(go())
+    # The kW spelling and its watt twin are one cache entry...
+    assert hit["cached"] is True and miss["digest"] == hit["digest"]
+    # ...and both carry the serial oracle's bytes.
+    assert canonical_json(miss["result"]) == expected
+    assert canonical_json(hit["result"]) == expected

@@ -1,0 +1,210 @@
+"""Thread-safety regression battery for the metrics registry (+ cache).
+
+The gateway mutates one :class:`~repro.obs.registry.MetricsRegistry`
+from the asyncio event loop *and* from solver threads simultaneously, so
+lost updates would silently corrupt the deterministic counter exports
+the CI smoke job byte-compares. These tests hammer every metric type
+from many threads and assert **exact** totals — a single lost increment
+fails them.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import SimulationGateway
+from repro.service.cache import ResultCache
+
+THREADS = 8
+ROUNDS = 2000
+
+
+def hammer(worker, n_threads=THREADS):
+    """Run ``worker(thread_index)`` in ``n_threads`` threads, joined."""
+    barrier = threading.Barrier(n_threads)
+
+    def runner(index):
+        barrier.wait()  # maximize contention: everyone starts together
+        worker(index)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_counter_increments_are_never_lost():
+    registry = MetricsRegistry()
+    hammer(lambda i: [registry.inc("hot_total") for _ in range(ROUNDS)])
+    assert registry.as_dict()["counters"]["hot_total"] == float(
+        THREADS * ROUNDS
+    )
+
+
+def test_histogram_observations_are_never_lost():
+    registry = MetricsRegistry()
+    edges = (1.0, 2.0, 4.0)
+    hammer(
+        lambda i: [
+            registry.observe("lat", float(i % 5), edges) for _ in range(ROUNDS)
+        ]
+    )
+    hist = registry.as_dict()["histograms"]["lat"]
+    assert hist["count"] == THREADS * ROUNDS
+    assert sum(hist["counts"]) == THREADS * ROUNDS
+
+
+def test_concurrent_first_use_yields_one_handle_per_name():
+    registry = MetricsRegistry()
+    handles = [None] * THREADS
+
+    def worker(i):
+        handles[i] = registry.counter("contended_total")
+        handles[i].inc()
+
+    hammer(worker)
+    assert len({id(h) for h in handles}) == 1
+    assert registry.as_dict()["counters"]["contended_total"] == float(THREADS)
+
+
+def test_mixed_metric_types_under_thread_churn():
+    registry = MetricsRegistry()
+
+    def worker(i):
+        for round_no in range(ROUNDS // 4):
+            registry.inc(f"per_thread_{i}_total")
+            registry.inc("shared_total", 2.0)
+            registry.set_gauge(f"gauge_{i}", float(round_no))
+            registry.observe("obs", 1.0, (1.0, 2.0))
+
+    hammer(worker)
+    snapshot = registry.as_dict()
+    per_round = ROUNDS // 4
+    assert snapshot["counters"]["shared_total"] == float(
+        THREADS * per_round * 2
+    )
+    for i in range(THREADS):
+        assert snapshot["counters"][f"per_thread_{i}_total"] == float(per_round)
+        assert snapshot["gauges"][f"gauge_{i}"] == float(per_round - 1)
+    assert snapshot["histograms"]["obs"]["count"] == THREADS * per_round
+
+
+def test_metric_name_cannot_change_type_under_race():
+    registry = MetricsRegistry()
+    registry.inc("claimed")
+    errors = []
+
+    def worker(i):
+        try:
+            registry.gauge("claimed")
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    hammer(worker)
+    assert len(errors) == THREADS
+    assert all("already registered" in e for e in errors)
+
+
+def test_merge_snapshot_from_worker_registries_is_exact():
+    """The sweep-runner join: per-thread shards merged in shard order."""
+    shards = [MetricsRegistry() for _ in range(THREADS)]
+
+    def worker(i):
+        for _ in range(ROUNDS):
+            shards[i].inc("solves_total")
+        shards[i].set_gauge("last_shard", float(i))
+        shards[i].observe("widths", float(i), (2.0, 4.0, 6.0))
+
+    hammer(worker)
+    parent = MetricsRegistry()
+    for shard in shards:
+        parent.merge_snapshot(shard.as_dict())
+    merged = parent.as_dict()
+    assert merged["counters"]["solves_total"] == float(THREADS * ROUNDS)
+    assert merged["gauges"]["last_shard"] == float(THREADS - 1)  # last wins
+    hist = merged["histograms"]["widths"]
+    assert hist["count"] == THREADS
+    assert hist["sum"] == float(sum(range(THREADS)))
+
+
+def test_merge_snapshot_rejects_mismatched_histogram_edges():
+    parent = MetricsRegistry()
+    parent.observe("h", 1.0, (1.0, 2.0))
+    with pytest.raises(ValueError, match="edges"):
+        parent.merge_snapshot(
+            {
+                "counters": {},
+                "gauges": {},
+                "histograms": {
+                    "h": {
+                        "edges": [1.0, 3.0],
+                        "counts": [1, 0, 0],
+                        "sum": 1.0,
+                        "count": 1,
+                    }
+                },
+            }
+        )
+
+
+def test_result_cache_bound_holds_under_thread_churn():
+    registry = MetricsRegistry()
+    cache = ResultCache(max_entries=16, registry=registry)
+
+    def worker(i):
+        for n in range(ROUNDS // 4):
+            key = f"{i}:{n}"
+            cache.put(key, {"v": key})
+            cache.get(key)
+            cache.get(f"{(i + 1) % THREADS}:{n}")  # cross-thread reads
+
+    hammer(worker)
+    assert len(cache) == 16
+    total_puts = THREADS * (ROUNDS // 4)
+    counters = registry.as_dict()["counters"]
+    assert counters["service_cache_evictions_total"] == float(total_puts - 16)
+    assert registry.as_dict()["gauges"]["service_cache_size"] == 16.0
+
+
+def test_gateway_loop_and_thread_mutation_coexist():
+    """Event-loop service traffic + thread-side increments: both exact."""
+    registry = MetricsRegistry()
+    done = threading.Event()
+
+    def background():
+        while not done.is_set():
+            registry.inc("background_total")
+        registry.inc("background_done_total")
+
+    threads = [threading.Thread(target=background) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+
+    async def go():
+        gateway = SimulationGateway(registry=registry, max_batch_size=1)
+        payloads = [
+            {"level": "module", "duration_s": 240.0 + 10.0 * i}
+            for i in range(3)
+        ]
+        for payload in payloads * 2:  # second pass is all cache hits
+            await gateway.simulate(payload)
+        await gateway.close()
+
+    try:
+        asyncio.run(go())
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join()
+
+    counters = registry.as_dict()["counters"]
+    assert counters["service_requests_total"] == 6.0
+    assert counters["service_solves_total"] == 3.0
+    assert counters["service_cache_hits_total"] == 3.0
+    assert counters["background_done_total"] == 4.0
+    assert counters["background_total"] >= 4.0

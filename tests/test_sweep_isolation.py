@@ -77,6 +77,10 @@ MUTABLE_ALLOWLIST = {
     ("repro.performance.tasks", "OPERATION_COSTS_CELLS"),
     ("repro.resilience.campaign", "_DEFAULT_RATES_PER_HOUR"),
     ("repro.resilience.campaign", "_DEFAULT_REPAIR_HOURS"),
+    ("repro.service.asgi", "_JSON"),
+    ("repro.service.asgi", "_TEXT"),
+    ("repro.service.http", "_REASONS"),
+    ("repro.service.requests", "LEVEL_DEFAULTS"),
     ("repro.sweep.backends", "_BACKENDS"),
     ("repro.verify.checkers", "_STATE_NAMES"),
     ("repro.verify.fuzz", "_MAGNITUDE_DECIMALS"),
