@@ -1,0 +1,124 @@
+"""Run the AI-factory workload catalog end to end; print canonical JSON.
+
+Two deterministic artifacts, byte-identical whichever backend executed
+them — the property the CI ``workload-smoke`` job enforces with a plain
+``cmp`` against the pinned goldens:
+
+- the **workload sweep** payload: every catalog scenario
+  (``gpu_training``, ``gpu_training_hot_water``) run through
+  :func:`repro.facility.sweep.run_workload_sweep` with its training
+  trace, pPUE/recovered-energy ledger and OCP verdict per case;
+- the **workload fuzz** report: a seeded scenario stream over the GPU
+  workload families (``gpu_module``, ``gpu_facility``,
+  ``hot_water_facility``) through every conservation-law checker.
+
+Run with::
+
+    python scripts/run_workloads.py --backend process
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.facility.sweep import run_workload_sweep, workload_cases
+from repro.sweep import available_backends
+from repro.verify import WORKLOAD_LEVELS, run_fuzz
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--racks", type=int, default=2, help="GPU racks per case")
+    parser.add_argument(
+        "--modules", type=int, default=2, help="GPU modules per rack"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="sweep execution backend",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=400.0, help="run horizon, s"
+    )
+    parser.add_argument("--dt", type=float, default=20.0, help="time step, s")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="sweep workers (default: auto)"
+    )
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=11, help="workload fuzz stream seed"
+    )
+    parser.add_argument(
+        "--fuzz-scenarios",
+        type=int,
+        default=6,
+        help="scenarios in the workload fuzz stream",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the sweep payload here too"
+    )
+    parser.add_argument(
+        "--fuzz-out",
+        type=Path,
+        default=None,
+        help="write the workload fuzz report (canonical JSON) here",
+    )
+    args = parser.parse_args(argv)
+
+    cases = workload_cases(
+        racks=args.racks,
+        modules=args.modules,
+        duration_s=args.duration,
+        dt_s=args.dt,
+    )
+    outcomes = run_workload_sweep(
+        cases, backend=args.backend, max_workers=args.workers
+    )
+    payload = json.dumps(
+        [outcome.value for outcome in outcomes],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    print(payload)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+
+    report = run_fuzz(
+        args.fuzz_seed,
+        args.fuzz_scenarios,
+        backend=args.backend,
+        max_workers=args.workers,
+        levels=WORKLOAD_LEVELS,
+    )
+    # Drop the backend label so the export is byte-identical whichever
+    # backend executed the stream — that identity is the whole point.
+    fuzz_payload = {
+        key: value
+        for key, value in json.loads(report.to_json()).items()
+        if key != "backend"
+    }
+    if args.fuzz_out is not None:
+        args.fuzz_out.write_text(
+            json.dumps(fuzz_payload, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        print(f"{len(failed)} workload case(s) failed", file=sys.stderr)
+        return 1
+    if not report.ok:
+        print(
+            f"workload fuzz stream raised {len(report.violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,6 +229,7 @@ class _TransientRunner:
         tim_mult = np.ones((steps, n))
         speed = np.ones((steps, n))
         blockage = np.ones((steps, n))
+        workload = np.ones((steps, n))
         for i, lane_events in enumerate(sorted_events):
             for event in lane_events:
                 due = times_arr >= event.time_s
@@ -238,6 +239,10 @@ class _TransientRunner:
                     speed[due, i] = np.minimum(speed[due, i], event.magnitude)
                 elif event.kind == "loop_blockage":
                     blockage[due, i] = np.minimum(blockage[due, i], event.magnitude)
+                elif event.kind == "power_step":
+                    # Latest-due-wins step function: lane events are
+                    # time-sorted (stable), so later events overwrite.
+                    workload[due, i] = event.magnitude
         # Bath level: the serial loop subtracts each due leak's rate every
         # step (in event order) and clamps; replay the same fold so the
         # floats match subtraction for subtraction.
@@ -322,17 +327,21 @@ class _TransientRunner:
                 natural = _natural_film_resistance(module, oil_safe, state)
                 resistance = np.where(flowing, resistance, natural)
             resistance = resistance + (tim_mult[ti] - 1.0) * tim_fresh
+            # Same clamp order as the serial min(1.0, max(0.0, u * w)).
+            utilization = np.clip(
+                np.full(n, fpga.utilization) * workload[ti], 0.0, 1.0
+            )
             junction, runaway = phys.solve_junction_batch(
                 fpga.power_model,
                 resistance,
                 oil_safe,
-                np.full(n, fpga.utilization),
+                utilization,
                 fpga.clock_mhz,
             )
             junction = np.where(runaway, RUNAWAY_CLAMP_C, junction)
             chip_power = phys.fpga_power_batch(
                 fpga.power_model,
-                np.full(n, fpga.utilization),
+                utilization,
                 fpga.clock_mhz,
                 junction,
             )

@@ -1,0 +1,145 @@
+"""The GPU-era immersion computational module (AI-factory workload catalog).
+
+Applies the paper's immersion grammar to GPU-class accelerators
+(:mod:`repro.devices.gpu`): the same bath + heat-exchange-section
+architecture as SKAT, re-sized for ~700 W dies — two boards of eight
+SXM-class packages instead of twelve boards of FPGAs, a liquid-metal
+interface, a wide tall-pin sink, a stronger circulation pump and a
+larger plate exchanger. The factories are module-level callables, so
+rack/facility sweeps can pickle them across process backends.
+
+Everything downstream is unchanged: :class:`ModuleSimulator`,
+:class:`RackSimulator`, :class:`FacilitySimulator` and the batched
+open-loop core run a GPU module exactly like a SKAT module — only the
+device catalog and the cooling geometry differ.
+"""
+
+from __future__ import annotations
+
+from repro.core.heatsink import PinFinHeatSink, SOLDER_PIN_TURBULENCE_FACTOR
+from repro.core.immersion import ImmersionSection
+from repro.core.module import ComputationalModule
+from repro.core.rack import Rack
+from repro.core.tim import LIQUID_METAL_INTERFACE
+from repro.devices.board import Ccb
+from repro.devices.families import FpgaFamily
+from repro.devices.fpga import Fpga
+from repro.devices.gpu import H100_SXM
+from repro.devices.psu import ImmersionPsu
+from repro.heatexchange.chiller import Chiller
+from repro.heatexchange.plate import PlateHeatExchanger
+from repro.hydraulics.elements import Pipe, Pump, PumpCurve
+
+#: Design chilled-water flow per GPU module — twice the SKAT figure, the
+#: bath carries ~40 % more heat in two boards.
+GPU_WATER_FLOW_M3_S = 2.4e-3
+
+
+#: Effective conductivity of the GPU sink's two-phase base: a sealed
+#: vapor chamber with heat-pipe-cored pins, standard for ~700 W dies.
+#: A solid copper base would lose ~0.045 K/W to spreading alone from a
+#: 28.5 mm die into a 70 mm base — more than the entire junction budget.
+GPU_SINK_CONDUCTIVITY_W_MK = 1500.0
+
+
+def gpu_heatsink(family: FpgaFamily = H100_SXM) -> PinFinHeatSink:
+    """The GPU-class sink: a vapor-chamber base of tall pins.
+
+    Sized for ~700 W through one die — several times the wetted surface
+    of the SKAT sink, a two-phase base to kill the spreading resistance,
+    fed at a much higher approach velocity by the GPU pump.
+    """
+    return PinFinHeatSink(
+        base_width_m=0.070,
+        base_depth_m=0.070,
+        base_thickness_m=0.005,
+        pin_diameter_m=0.003,
+        pin_height_m=0.014,
+        pin_pitch_m=0.004,
+        conductivity_w_mk=GPU_SINK_CONDUCTIVITY_W_MK,
+        turbulence_factor=SOLDER_PIN_TURBULENCE_FACTOR,
+        source_area_m2=family.die_area_m2,
+    )
+
+
+def gpu_hx() -> PlateHeatExchanger:
+    """The GPU module's oil/water plate exchanger (enlarged vs SKAT)."""
+    return PlateHeatExchanger(
+        n_plates=44,
+        plate_width_m=0.12,
+        plate_height_m=0.35,
+        channel_gap_m=3.0e-3,
+    )
+
+
+def gpu_pump() -> Pump:
+    """The GPU module's external circulation pump.
+
+    Rated well above the SKAT unit: the tall-pin sinks only reach their
+    design resistance at high oil approach velocity.
+    """
+    return Pump(
+        curve=PumpCurve(shutoff_pressure_pa=140.0e3, max_flow_m3_s=9.0e-3),
+        efficiency=0.55,
+        immersed=False,
+    )
+
+
+def gpu_module(
+    utilization: float = 0.9,
+    n_boards: int = 2,
+    family: FpgaFamily = H100_SXM,
+) -> ComputationalModule:
+    """An immersion CM of GPU-class accelerators.
+
+    Two boards of eight SXM-class packages (no separate controller — the
+    48 mm packages fill the row), one 14 kW PSU per board, liquid-metal
+    interfaces, and the GPU-sized sink/pump/exchanger set.
+    """
+    ccb = Ccb(
+        Fpga(family, utilization=utilization),
+        separate_controller=False,
+        misc_power_w=120.0,  # NVLink-switch-class board overhead
+    )
+    ccb.require_fit()
+    section = ImmersionSection(
+        ccb=ccb,
+        n_boards=n_boards,
+        sink=gpu_heatsink(family),
+        tim=LIQUID_METAL_INTERFACE,
+        psu=ImmersionPsu(rated_output_w=14000.0, boards_served=1),
+        n_psus=n_boards,
+        board_channel_area_m2=0.070 * 0.015,
+    )
+    return ComputationalModule(
+        name=f"GPU CM ({family.part})",
+        section=section,
+        pump=gpu_pump(),
+        hx=gpu_hx(),
+        loop_pipe=Pipe(length_m=2.0, diameter_m=0.05, minor_loss_k=5.0),
+    )
+
+
+def gpu_rack(n_modules: int = 4) -> Rack:
+    """A rack of GPU modules on the chilled-water loop.
+
+    The chiller skid is sized for the GPU heat density (~11 kW per
+    module plus margin).
+    """
+    return Rack(
+        module_factory=gpu_module,
+        n_modules=n_modules,
+        chiller=Chiller(
+            setpoint_c=20.0, capacity_w=200.0e3, water_capacity_rate_w_k=40.0e3
+        ),
+    )
+
+
+__all__ = [
+    "GPU_WATER_FLOW_M3_S",
+    "gpu_heatsink",
+    "gpu_hx",
+    "gpu_module",
+    "gpu_pump",
+    "gpu_rack",
+]

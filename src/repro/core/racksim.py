@@ -218,6 +218,24 @@ class RackSimulator:
             self._throttled[key] = module
             return module
 
+    def _workload_fraction_from_events(
+        self, time_s: float, events: List[FailureEvent]
+    ) -> float:
+        """Current workload fraction under due ``power_step`` events.
+
+        Rack-wide: every computing CM follows the same training trace
+        (target ``compute``). Latest due event wins; 1 before the first.
+        """
+        fraction = 1.0
+        for event in events:
+            if (
+                event.kind == "power_step"
+                and event.target == "compute"
+                and time_s >= event.time_s
+            ):
+                fraction = event.magnitude
+        return fraction
+
     def _chiller_capacity_w(self, time_s: float, events: List[FailureEvent]) -> float:
         capacity = self.rack.chiller.capacity_w
         for event in events:
@@ -257,9 +275,11 @@ class RackSimulator:
         """Integrate the rack over ``duration_s`` seconds.
 
         Recognized events: ``loop_blockage`` with target ``loop_<i>``
-        (valves CM i off the water loop) and ``pump_stop`` with target
+        (valves CM i off the water loop), ``pump_stop`` with target
         ``chiller`` (magnitude = remaining cooling-capacity fraction;
-        0 is a full chiller trip).
+        0 is a full chiller trip), and ``power_step`` with target
+        ``compute`` (training-workload fraction applied to every
+        computing CM's utilization; latest due event wins).
         """
         obs = get_registry()
         with obs.span("rack_sim.run"), obs.profile("rack_sim.run"):
@@ -324,6 +344,7 @@ class RackSimulator:
                     applied.add(idx)  # handled continuously below
 
             capacity = self._chiller_capacity_w(time_s, events)
+            workload = self._workload_fraction_from_events(time_s, events)
 
             total_rejected = 0.0
             total_heat = 0.0
@@ -331,8 +352,15 @@ class RackSimulator:
             sample: Dict[str, float] = {"water_c": water_c}
             for i in range(n):
                 module = self._modules[i]
-                if supervised and utilization is not None and i not in down:
-                    module = self._throttled_module(i, utilization)
+                if i not in down:
+                    base = (
+                        utilization
+                        if supervised and utilization is not None
+                        else module.section.ccb.fpga.utilization
+                    )
+                    effective = min(1.0, max(0.0, base * workload))
+                    if effective != module.section.ccb.fpga.utilization:
+                        module = self._throttled_module(i, effective)
                 state = self._module_state(module, oils[i], water_c, flows[i])
                 if i in down:
                     # A dark module: no heat, its loop still rejects the

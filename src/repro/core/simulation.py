@@ -134,6 +134,7 @@ class ModuleSimulator:
     #: entirely, so unchecked runs pay nothing.
     checks: Optional["CheckSuite"] = None
     _tim_multiplier: float = field(init=False, default=1.0, repr=False)
+    _workload_fraction: float = field(init=False, default=1.0, repr=False)
     _flow_cache: Dict[int, float] = field(init=False, default_factory=dict, repr=False)
     _flow_cache_hits: int = field(init=False, default=0, repr=False)
     _flow_cache_misses: int = field(init=False, default=0, repr=False)
@@ -168,6 +169,7 @@ class ModuleSimulator:
         """
         self.metrics.reset()
         self._tim_multiplier = 1.0
+        self._workload_fraction = 1.0
         self._flow_cache.clear()
         self._flow_cache_hits = 0
         self._flow_cache_misses = 0
@@ -268,6 +270,21 @@ class ModuleSimulator:
                 multiplier = max(multiplier, event.magnitude)
         return multiplier
 
+    def _workload_fraction_from_events(
+        self, time_s: float, events: List[FailureEvent]
+    ) -> float:
+        """Current workload fraction under due ``power_step`` events.
+
+        A step function, not a degradation: the *latest* due event wins
+        (``events`` arrive time-sorted), and the fraction before the
+        first event is 1 — full commanded power.
+        """
+        fraction = 1.0
+        for event in events:
+            if event.kind == "power_step" and time_s >= event.time_s:
+                fraction = event.magnitude
+        return fraction
+
     def _chip_state(self, oil_c: float, oil_flow_m3_s: float):
         """Worst-chip junction and total bath heat at the current state.
 
@@ -277,8 +294,12 @@ class ModuleSimulator:
         """
         section = self.module.section
         fpga = section.ccb.fpga
-        if self._utilization is not None and self._utilization != fpga.utilization:
-            fpga = self._throttled_fpga(self._utilization)
+        base_utilization = (
+            self._utilization if self._utilization is not None else fpga.utilization
+        )
+        effective = min(1.0, max(0.0, base_utilization * self._workload_fraction))
+        if effective != fpga.utilization:
+            fpga = self._throttled_fpga(effective)
         family = fpga.family
         if oil_flow_m3_s > 1.0e-6:
             resistance = section.chip_resistance_k_w(oil_flow_m3_s, oil_c)
@@ -418,6 +439,9 @@ class ModuleSimulator:
         time_s = 0.0
         while time_s <= duration_s:
             self._tim_multiplier = self._tim_multiplier_from_events(time_s, events)
+            self._workload_fraction = self._workload_fraction_from_events(
+                time_s, events
+            )
             # A leak drains the open bath at its volumetric rate; there is
             # no automatic make-up, so the level only falls.
             for event in events:

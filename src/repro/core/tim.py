@@ -95,10 +95,23 @@ DRY_CONTACT = ThermalInterface(
     washed_out_multiplier=1.0,
 )
 
+#: Gallium-alloy liquid-metal interface for the GPU-class dies of the
+#: AI-factory workload catalog (:mod:`repro.devices.gpu`). An order of
+#: magnitude below the best paste, and metallic, so the bath cannot wash
+#: it out — the only interface class that keeps a ~700 W die inside the
+#: OCP junction band at hot-water coolant setpoints.
+LIQUID_METAL_INTERFACE = ThermalInterface(
+    name="gallium liquid-metal interface",
+    resistivity_m2k_w=6.0e-6,
+    washout_timescale_h=math.inf,
+    washed_out_multiplier=1.0,
+)
+
 
 __all__ = [
     "CONVENTIONAL_PASTE",
     "DRY_CONTACT",
+    "LIQUID_METAL_INTERFACE",
     "SRC_OIL_STABLE_INTERFACE",
     "ThermalInterface",
 ]

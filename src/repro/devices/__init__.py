@@ -20,10 +20,19 @@ from repro.devices.families import (
 from repro.devices.power import FpgaPowerModel, ThermalRunawayError
 from repro.devices.fpga import Fpga, OperatingPoint
 from repro.devices.board import Ccb, BoardLayoutError, RACK_19_INTERNAL_WIDTH_MM
+from repro.devices.gpu import (
+    B200_SXM,
+    H100_SXM,
+    H200_SXM,
+    TrainingTraceSpec,
+    gpu_catalog,
+    training_power_events,
+)
 from repro.devices.memory import BoardMemory, DDR4_8GB, MemoryModule
 from repro.devices.psu import ImmersionPsu
 
 __all__ = [
+    "B200_SXM",
     "BoardLayoutError",
     "BoardMemory",
     "Ccb",
@@ -31,15 +40,20 @@ __all__ = [
     "Fpga",
     "FpgaFamily",
     "FpgaPowerModel",
+    "H100_SXM",
+    "H200_SXM",
     "ImmersionPsu",
     "KINTEX_ULTRASCALE_KU095",
     "MemoryModule",
     "OperatingPoint",
     "RACK_19_INTERNAL_WIDTH_MM",
     "ThermalRunawayError",
+    "TrainingTraceSpec",
     "ULTRASCALE_2_PROJECTED",
     "ULTRASCALE_PLUS_VU9P",
     "VIRTEX6_LX240T",
     "VIRTEX7_X485T",
     "family_roadmap",
+    "gpu_catalog",
+    "training_power_events",
 ]

@@ -1,0 +1,217 @@
+"""GPU-class devices for the AI-factory workload catalog.
+
+The paper's device roadmap stops at UltraScale+ FPGAs; the ROADMAP's
+north-star asks for "as many scenarios as you can imagine". This module
+opens the GPU era: H100/H200/B200-style accelerators expressed in the
+same :class:`~repro.devices.families.FpgaFamily` grammar the rest of the
+stack consumes (electro-thermal power model, board layout, reliability
+limits), plus the deterministic *training-workload power traces* that
+drive them — warmup, optimizer steps and all-reduce dips rendered as
+``power_step`` events on the existing failure-event grammar, so
+``ModuleSimulator``/``RackSimulator``/``FacilitySimulator`` and the
+batched open-loop core run GPU workloads unchanged.
+
+Catalog values are nominal datasheet-class numbers (TDP envelopes,
+die/package geometry, boost clocks); ``logic_cells``/``dsp_slices`` carry
+shader and tensor-core counts so the performance model keeps scaling
+with the compute resource.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.devices.families import FpgaFamily
+from repro.reliability.failures import FailureEvent, power_step_event
+
+#: Event-grammar target that addresses the computational load itself
+#: (every chip in scope) rather than a cooling component.
+COMPUTE_TARGET = "compute"
+
+#: An H100 SXM-class accelerator in the catalog grammar. 700 W TDP
+#: envelope; ``operating_power_w`` is the sustained training draw at the
+#: reference 90 % utilization and reference junction temperature.
+H100_SXM = FpgaFamily(
+    name="H100 SXM (GPU-class)",
+    part="H100-SXM5-80GB",
+    process_nm=4.0,
+    logic_cells=16_896,
+    dsp_slices=528,
+    bram_mb=50.0,
+    nominal_clock_mhz=1830.0,
+    operating_power_w=630.0,
+    max_power_w=700.0,
+    static_fraction=0.18,
+    package_size_mm=48.0,
+    die_size_mm=28.5,
+    t_junction_max_c=90.0,
+    t_reliable_max_c=83.0,
+    theta_jc_k_w=0.022,
+    year=2022,
+)
+
+#: H200 SXM: the same compute silicon with the HBM3e stack — identical
+#: thermals, slightly higher sustained board draw.
+H200_SXM = FpgaFamily(
+    name="H200 SXM (GPU-class)",
+    part="H200-SXM5-141GB",
+    process_nm=4.0,
+    logic_cells=16_896,
+    dsp_slices=528,
+    bram_mb=50.0,
+    nominal_clock_mhz=1830.0,
+    operating_power_w=640.0,
+    max_power_w=700.0,
+    static_fraction=0.18,
+    package_size_mm=48.0,
+    die_size_mm=28.5,
+    t_junction_max_c=90.0,
+    t_reliable_max_c=83.0,
+    theta_jc_k_w=0.022,
+    year=2023,
+)
+
+#: B200 SXM: dual-die Blackwell-class part, 1 kW TDP envelope. The larger
+#: heat-source footprint spreads the flux, so the junction-to-case path
+#: is shorter than Hopper's despite the higher power.
+B200_SXM = FpgaFamily(
+    name="B200 SXM (GPU-class)",
+    part="B200-SXM6-192GB",
+    process_nm=4.0,
+    logic_cells=33_792,
+    dsp_slices=1_056,
+    bram_mb=126.0,
+    nominal_clock_mhz=1965.0,
+    operating_power_w=890.0,
+    max_power_w=1000.0,
+    static_fraction=0.18,
+    package_size_mm=48.0,
+    die_size_mm=38.5,
+    t_junction_max_c=90.0,
+    t_reliable_max_c=83.0,
+    theta_jc_k_w=0.015,
+    year=2024,
+)
+
+
+def gpu_catalog() -> List[FpgaFamily]:
+    """The GPU-class devices in chronological order."""
+    return [H100_SXM, H200_SXM, B200_SXM]
+
+
+@dataclass(frozen=True)
+class TrainingTraceSpec:
+    """A deterministic training-workload power trace.
+
+    Renders the canonical shape of a large-model training run — a
+    reduced-power *warmup* (data loading, graph capture), then optimizer
+    steps that alternate between full-power compute and a lower-power
+    *all-reduce dip* while the interconnect is busy — as a piecewise-
+    constant workload fraction of the device's commanded utilization.
+
+    Parameters
+    ----------
+    warmup_s:
+        Duration of the warmup phase from t = 0.
+    warmup_fraction:
+        Workload fraction during warmup.
+    step_period_s:
+        Optimizer step period (compute phase + all-reduce dip).
+    allreduce_fraction:
+        Share of each step spent in the all-reduce dip.
+    peak_fraction:
+        Workload fraction in the compute phase.
+    dip_fraction:
+        Workload fraction during the all-reduce dip.
+    jitter:
+        Half-width of the uniform per-step jitter applied to the compute-
+        phase fraction (step-time variation between optimizer steps).
+    seed:
+        Seed of the jitter stream; the same spec always renders the same
+        event list.
+    """
+
+    warmup_s: float = 60.0
+    warmup_fraction: float = 0.35
+    step_period_s: float = 30.0
+    allreduce_fraction: float = 0.25
+    peak_fraction: float = 1.0
+    dip_fraction: float = 0.78
+    jitter: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warmup_s < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.step_period_s <= 0:
+            raise ValueError("step period must be positive")
+        if not 0.0 < self.allreduce_fraction < 1.0:
+            raise ValueError("all-reduce share must be within (0, 1)")
+        for label, value in (
+            ("warmup", self.warmup_fraction),
+            ("peak", self.peak_fraction),
+            ("dip", self.dip_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} fraction must be within [0, 1]")
+        if self.dip_fraction > self.peak_fraction:
+            raise ValueError("dip cannot exceed the compute-phase fraction")
+        if not 0.0 <= self.jitter <= 0.1:
+            raise ValueError("jitter must be within [0, 0.1]")
+
+
+def _snap_to_grid(time_s: float, dt_s: float, duration_s: float) -> float:
+    """Align a phase boundary to the simulation grid."""
+    snapped = round(time_s / dt_s) * dt_s
+    return min(max(snapped, 0.0), duration_s)
+
+
+def training_power_events(
+    spec: TrainingTraceSpec,
+    duration_s: float,
+    dt_s: float,
+    target: str = COMPUTE_TARGET,
+) -> List[FailureEvent]:
+    """Render a training trace as grid-aligned ``power_step`` events.
+
+    Phase boundaries are snapped to the ``dt_s`` grid and deduplicated
+    (one event per instant — the later phase wins, matching the
+    latest-due-event-wins fold of the simulators), magnitudes are rounded
+    to 3 decimals, and the list comes back sorted on the canonical
+    ``(time_s, kind, target)`` event order.
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration and timestep must be positive")
+    rng = random.Random(spec.seed)
+    phases: List[Tuple[float, float]] = [(0.0, spec.warmup_fraction)]
+    t = spec.warmup_s
+    while t < duration_s:
+        peak = spec.peak_fraction + rng.uniform(-spec.jitter, spec.jitter)
+        phases.append((t, peak))
+        dip_at = t + spec.step_period_s * (1.0 - spec.allreduce_fraction)
+        if dip_at < duration_s:
+            phases.append((dip_at, spec.dip_fraction))
+        t += spec.step_period_s
+
+    events: List[FailureEvent] = []
+    by_time = {}
+    for time_s, fraction in phases:
+        snapped = _snap_to_grid(time_s, dt_s, duration_s)
+        magnitude = round(min(max(fraction, 0.0), 1.0), 3)
+        by_time[snapped] = magnitude  # later phase wins a shared instant
+    for time_s in sorted(by_time):
+        events.append(power_step_event(time_s, by_time[time_s], target=target))
+    return events
+
+
+__all__ = [
+    "B200_SXM",
+    "COMPUTE_TARGET",
+    "H100_SXM",
+    "H200_SXM",
+    "TrainingTraceSpec",
+    "gpu_catalog",
+    "training_power_events",
+]

@@ -15,6 +15,7 @@ from repro.facility.campaign import (
     run_facility_campaign,
 )
 from repro.facility.network import FacilityLoopSystem
+from repro.facility.recovery import HeatRecovery
 from repro.facility.simulator import (
     ChillerPlant,
     FacilityResult,
@@ -22,23 +23,38 @@ from repro.facility.simulator import (
     PlantDispatch,
 )
 from repro.facility.sweep import (
+    GPU_JUNCTION_LIMIT_C,
+    HOT_WATER_SETPOINT_C,
     SCENARIOS,
+    WORKLOAD_SCENARIOS,
+    WorkloadScenario,
     evaluate_facility_case,
+    evaluate_workload_case,
     run_facility_sweep,
+    run_workload_sweep,
     smoke_cases,
+    workload_cases,
 )
 
 __all__ = [
+    "GPU_JUNCTION_LIMIT_C",
+    "HOT_WATER_SETPOINT_C",
     "SCENARIOS",
+    "WORKLOAD_SCENARIOS",
     "ChillerPlant",
     "FacilityLoopSystem",
     "FacilityResult",
     "FacilitySimulator",
+    "HeatRecovery",
     "PlantDispatch",
+    "WorkloadScenario",
     "draw_facility_scenarios",
     "evaluate_facility_case",
+    "evaluate_workload_case",
     "facility_fault_scenarios",
     "run_facility_campaign",
     "run_facility_sweep",
+    "run_workload_sweep",
     "smoke_cases",
+    "workload_cases",
 ]

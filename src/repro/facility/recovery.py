@@ -1,0 +1,63 @@
+"""Heat recovery on the facility secondary loop (iDataCool-style reuse).
+
+The hot-water scenario family raises the plant setpoint until the loop
+return is hot enough to feed an adsorption chiller or a district-heating
+header, then harvests part of the rejected heat *before* it reaches the
+chiller plant. The recovered fraction offsets the plant's compressor
+load, so the facility's power-usage effectiveness improves with coolant
+temperature — the economic argument of the iDataCool line of work.
+
+The model is deliberately steady and conservative: a recovery heat
+exchanger with a fixed effectiveness harvests at most ``effectiveness``
+of the mean rejected load, capped by the sink's own capacity. Energy
+accounting stays exact: recovered heat can never exceed rejected heat,
+and the chiller only carries the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HeatRecovery:
+    """A heat-recovery sink tapping the facility loop return header.
+
+    Parameters
+    ----------
+    effectiveness:
+        Fraction of the loop's rejected heat the recovery exchanger can
+        transfer to the reuse sink, in ``[0, 1]``.
+    sink_capacity_w:
+        The reuse sink's absorption limit (district-heating header,
+        adsorption chiller, ...), W. ``inf`` means the sink always
+        absorbs its effectiveness share.
+    minimum_return_c:
+        Loop return temperature below which the sink cannot accept heat
+        (a district-heating header needs a minimum feed temperature).
+        Recovery is all-or-nothing on this threshold.
+    """
+
+    effectiveness: float = 0.6
+    sink_capacity_w: float = float("inf")
+    minimum_return_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.effectiveness <= 1.0:
+            raise ValueError("recovery effectiveness must be within [0, 1]")
+        if self.sink_capacity_w < 0.0:
+            raise ValueError("sink capacity cannot be negative")
+
+    def recovered_w(self, rejected_w: float, return_water_c: float) -> float:
+        """Heat harvested from a mean rejected load at a return temperature.
+
+        Bounded by the effectiveness share, the sink capacity, and the
+        rejected load itself; zero when the return is too cold for the
+        sink or the load is non-positive.
+        """
+        if rejected_w <= 0.0 or return_water_c < self.minimum_return_c:
+            return 0.0
+        return min(self.effectiveness * rejected_w, self.sink_capacity_w, rejected_w)
+
+
+__all__ = ["HeatRecovery"]

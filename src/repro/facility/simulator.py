@@ -31,6 +31,9 @@ Facility event grammar (on top of the rack grammar):
 - ``target="rack_<j>/<inner>"`` — forwarded to rack *j*'s own simulation
   with target ``<inner>`` (e.g. ``rack_1/loop_2`` valves CM 2 off inside
   rack 1, ``rack_0/chiller`` trips rack 0's local chiller).
+- ``target="compute"``, kind ``power_step`` — a facility-wide workload
+  step (an AI-training trace), broadcast verbatim to **every** rack;
+  ``rack_<j>/compute`` steps a single rack's workload.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.core.rack import Rack
 from repro.core.racksim import RackSimResult, RackSimulator
 from repro.core.skat import skat
 from repro.facility.network import FacilityLoopSystem
+from repro.facility.recovery import HeatRecovery
 from repro.obs import get_registry
 from repro.reliability.failures import FailureEvent
 from repro.sweep import SweepCase, run_sweep
@@ -205,6 +209,20 @@ class FacilityResult:
     #: Every rack's supervisory interventions, merged in time order, each
     #: detail prefixed with its rack (``rack_2: ...``).
     recovery_actions: Tuple[RecoveryAction, ...] = ()
+    #: IT energy over the run — the heat the compute pushed into the
+    #: facility loop, J (electrical in == heat out at steady state).
+    it_energy_j: float = 0.0
+    #: Secondary-loop circulation pump electrical energy, J.
+    pump_energy_j: float = 0.0
+    #: Chiller-plant compressor electrical energy carrying the load the
+    #: recovery sink did not absorb, J.
+    chiller_energy_j: float = 0.0
+    #: Heat harvested by the recovery sink over the run, J (0 without a
+    #: :class:`~repro.facility.recovery.HeatRecovery` attached).
+    recovered_heat_j: float = 0.0
+    #: Partial PUE of the cooling chain: (IT + pump + chiller) / IT.
+    #: Structurally >= 1; exactly 1.0 for a zero-IT (degenerate) run.
+    ppue: float = 1.0
 
     @property
     def mean_rejected_w(self) -> float:
@@ -272,6 +290,11 @@ class FacilityResult:
             "plant_capacity_w": r(self.plant.capacity_w),
             "plant_standby_started": self.plant.standby_started,
             "reuse_return_water_c": r(self.reuse_return_water_c),
+            "it_energy_j": r(self.it_energy_j),
+            "pump_energy_j": r(self.pump_energy_j),
+            "chiller_energy_j": r(self.chiller_energy_j),
+            "recovered_heat_j": r(self.recovered_heat_j),
+            "ppue": r(self.ppue),
             "final_state": self.final_state,
             "degraded_pflops": (
                 None if self.degraded_pflops is None else r(self.degraded_pflops)
@@ -334,6 +357,10 @@ class FacilitySimulator:
     #: execute serially, so one shared suite is safe) and applied to the
     #: facility loop solve and the aggregate result; None skips all hooks.
     checks: Optional["CheckSuite"] = None
+    #: Optional heat-recovery sink on the loop return header
+    #: (:class:`~repro.facility.recovery.HeatRecovery`). When set, the
+    #: harvested heat offsets the chiller load in the energy accounting.
+    heat_recovery: Optional[HeatRecovery] = None
 
     def __post_init__(self) -> None:
         if self.n_racks < 2:
@@ -361,6 +388,11 @@ class FacilitySimulator:
             if event.target == "plant":
                 plant.append(event)
                 continue
+            if event.target == "compute":
+                # Facility-wide workload step: every rack sees it.
+                for j in range(self.n_racks):
+                    forwarded[j].append(event)
+                continue
             if event.target.startswith("rack_"):
                 head, _, inner = event.target.partition("/")
                 try:
@@ -378,7 +410,7 @@ class FacilitySimulator:
                 continue
             raise ValueError(
                 f"facility event target {event.target!r} is not 'plant', "
-                "'rack_<j>' or 'rack_<j>/<inner>'"
+                "'compute', 'rack_<j>' or 'rack_<j>/<inner>'"
             )
         return plant, branch, forwarded
 
@@ -604,6 +636,28 @@ class FacilitySimulator:
         else:
             reuse_c = self.plant.setpoint_c
 
+        # Facility energy accounting (pPUE). IT energy is the heat the
+        # compute pushed into the loop; the cooling overhead is the loop
+        # pump plus the chiller compressors carrying whatever load the
+        # recovery sink did not absorb.
+        it_energy_j = heat_total
+        pump_energy_j = self.loop.pump.electrical_power_w(total_flow) * duration_s
+        recovered_w = (
+            self.heat_recovery.recovered_w(mean_load, reuse_c)
+            if self.heat_recovery is not None
+            else 0.0
+        )
+        recovered_heat_j = recovered_w * duration_s
+        chiller_energy_j = (
+            self.plant.electrical_power_w(max(0.0, mean_load - recovered_w))
+            * duration_s
+        )
+        ppue = (
+            1.0
+            if it_energy_j <= 0.0
+            else (it_energy_j + pump_energy_j + chiller_energy_j) / it_energy_j
+        )
+
         result = FacilityResult(
             n_racks=self.n_racks,
             duration_s=duration_s,
@@ -619,6 +673,11 @@ class FacilitySimulator:
             reuse_return_water_c=reuse_c,
             final_state=final_state,
             recovery_actions=actions,
+            it_energy_j=it_energy_j,
+            pump_energy_j=pump_energy_j,
+            chiller_energy_j=chiller_energy_j,
+            recovered_heat_j=recovered_heat_j,
+            ppue=ppue,
         )
         if self.checks is not None:
             self.checks.check_facility_run(self, result)

@@ -12,12 +12,17 @@ three pin the same bytes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.core.gpumodule import gpu_rack
 from repro.core.rack import Rack
 from repro.core.skat import skat
-from repro.facility.simulator import FacilitySimulator
+from repro.devices.gpu import TrainingTraceSpec, training_power_events
+from repro.facility.network import FacilityLoopSystem
+from repro.facility.recovery import HeatRecovery
+from repro.facility.simulator import ChillerPlant, FacilitySimulator
 from repro.reliability.failures import FailureEvent
 from repro.sweep import SweepCase, SweepOutcome, run_sweep
 
@@ -161,6 +166,175 @@ def smoke_cases(
     ]
 
 
+# -- the AI-factory workload scenario family ---------------------------------
+#
+# GPU racks under training traces, at the classic 20 degC chilled-water
+# setpoint and at the iDataCool-style hot-water setpoint with a recovery
+# sink on the loop return. Kept in a SEPARATE dict from ``SCENARIOS``:
+# ``smoke_cases`` feeds byte-pinned goldens from ``sorted(SCENARIOS)``,
+# so the legacy matrix must not grow.
+
+#: OCP-style junction ceiling for the GPU racks (the SKAT default of
+#: 67 degC is an FPGA reliability band, not a GPU one).
+GPU_JUNCTION_LIMIT_C = 88.0
+#: Hot-water secondary-loop supply temperature. 45 degC leaves under
+#: 1 K of junction margin on a B200-class die; 40 degC keeps ~7 K.
+HOT_WATER_SETPOINT_C = 40.0
+
+
+def gpu_facility_rack(n_modules: int) -> Rack:
+    """One rack of GPU modules (module-level, hence picklable)."""
+    return gpu_rack(n_modules)
+
+
+def hot_water_gpu_rack(n_modules: int) -> Rack:
+    """A GPU rack re-pointed at the hot-water supply temperature.
+
+    The condenser rises with the setpoint (a warm supply needs a warmer
+    rejection side); the smaller lift raises the chiller COP — part of
+    the hot-water economics.
+    """
+    rack = gpu_rack(n_modules)
+    return replace(
+        rack,
+        chiller=replace(
+            rack.chiller,
+            setpoint_c=HOT_WATER_SETPOINT_C,
+            condenser_temperature_c=HOT_WATER_SETPOINT_C + 10.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadScenario:
+    """One AI-factory scenario: rack family, plant setpoint, recovery."""
+
+    rack_factory: Callable[[int], Rack]
+    plant_setpoint_c: float
+    #: Recovery-sink effectiveness; None runs without a recovery sink.
+    recovery_effectiveness: Optional[float] = None
+    trace_seed: int = 0
+
+    def heat_recovery(self) -> Optional[HeatRecovery]:
+        if self.recovery_effectiveness is None:
+            return None
+        return HeatRecovery(
+            effectiveness=self.recovery_effectiveness,
+            minimum_return_c=HOT_WATER_SETPOINT_C,
+        )
+
+
+#: Workload scenario name -> configuration. Separate from ``SCENARIOS``
+#: on purpose (see the section comment above).
+WORKLOAD_SCENARIOS: Dict[str, WorkloadScenario] = {
+    "gpu_training": WorkloadScenario(
+        rack_factory=gpu_facility_rack, plant_setpoint_c=20.0
+    ),
+    "gpu_training_hot_water": WorkloadScenario(
+        rack_factory=hot_water_gpu_rack,
+        plant_setpoint_c=HOT_WATER_SETPOINT_C,
+        recovery_effectiveness=0.6,
+    ),
+}
+
+
+def workload_events(
+    name: str, duration_s: float, dt_s: float
+) -> List[FailureEvent]:
+    """The named workload scenario's training trace as facility events.
+
+    The trace expands to ``power_step`` events on the bare ``compute``
+    target, which the facility broadcasts to every rack — the same
+    expansion the fuzzer and the service gateway perform, so all three
+    paths hash and replay identically.
+    """
+    try:
+        scenario = WORKLOAD_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload scenario {name!r}; available: "
+            f"{sorted(WORKLOAD_SCENARIOS)}"
+        ) from None
+    spec = TrainingTraceSpec(seed=scenario.trace_seed)
+    return training_power_events(
+        spec, duration_s=duration_s, dt_s=dt_s, target="compute"
+    )
+
+
+def build_workload_facility(params: Mapping[str, Any]) -> FacilitySimulator:
+    """A GPU-era :class:`FacilitySimulator` from plain-data case params."""
+    scenario = WORKLOAD_SCENARIOS[str(params["scenario"])]
+    n_racks = int(params["racks"])
+    return FacilitySimulator(
+        n_racks=n_racks,
+        rack_factory=partial(scenario.rack_factory, int(params["modules"])),
+        plant=ChillerPlant(setpoint_c=scenario.plant_setpoint_c),
+        loop=FacilityLoopSystem(
+            n_racks=n_racks, temperature_c=scenario.plant_setpoint_c
+        ),
+        supervised=bool(params.get("supervised", False)),
+        junction_limit_c=GPU_JUNCTION_LIMIT_C,
+        heat_recovery=scenario.heat_recovery(),
+    )
+
+
+def evaluate_workload_case(case: SweepCase) -> Dict[str, Any]:
+    """Run one AI-factory workload scenario; return its canonical summary.
+
+    Module-level like :func:`evaluate_facility_case`, and for the same
+    reason: the process backend pickles this function by reference.
+    """
+    params = case.params
+    duration_s = float(params["duration_s"])
+    dt_s = float(params["dt_s"])
+    simulator = build_workload_facility(params)
+    events = workload_events(str(params["scenario"]), duration_s, dt_s)
+    result = simulator.run(duration_s=duration_s, events=events, dt_s=dt_s)
+    return {"case": case.name, **result.to_dict()}
+
+
+def workload_cases(
+    racks: int = 2,
+    modules: int = 2,
+    duration_s: float = 400.0,
+    dt_s: float = 20.0,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[SweepCase]:
+    """The pinned AI-factory workload matrix (every workload scenario once)."""
+    names = (
+        list(scenarios) if scenarios is not None else sorted(WORKLOAD_SCENARIOS)
+    )
+    return [
+        SweepCase(
+            name=name,
+            params={
+                "scenario": name,
+                "racks": racks,
+                "modules": modules,
+                "duration_s": duration_s,
+                "dt_s": dt_s,
+            },
+        )
+        for name in names
+    ]
+
+
+def run_workload_sweep(
+    cases: Sequence[SweepCase],
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    harness: Optional[Any] = None,
+) -> List[SweepOutcome]:
+    """Sweep workload cases on the chosen backend (errors re-raised)."""
+    return run_sweep(
+        evaluate_workload_case,
+        cases,
+        backend=backend,
+        max_workers=max_workers,
+        harness=harness,
+    )
+
+
 def run_facility_sweep(
     cases: Sequence[SweepCase],
     backend: str = "serial",
@@ -185,11 +359,22 @@ def run_facility_sweep(
 
 
 __all__ = [
+    "GPU_JUNCTION_LIMIT_C",
+    "HOT_WATER_SETPOINT_C",
     "SCENARIOS",
+    "WORKLOAD_SCENARIOS",
+    "WorkloadScenario",
     "build_facility",
+    "build_workload_facility",
     "evaluate_facility_case",
+    "evaluate_workload_case",
     "facility_rack",
+    "gpu_facility_rack",
+    "hot_water_gpu_rack",
     "run_facility_sweep",
+    "run_workload_sweep",
     "scenario_events",
     "smoke_cases",
+    "workload_cases",
+    "workload_events",
 ]

@@ -137,6 +137,30 @@ def tim_washout_drift(
     )
 
 
+def power_step_event(
+    time_s: float, workload_fraction: float, target: str = "compute"
+) -> FailureEvent:
+    """The computational load steps to a fraction of its commanded level.
+
+    Not a failure but the same grammar: training workloads (warmup,
+    optimizer steps, all-reduce dips) are piecewise-constant power levels,
+    and rendering them as timed events lets every simulator and the
+    batched open-loop core run them unchanged. The fraction multiplies
+    the commanded FPGA/GPU utilization; the *latest* due event wins (a
+    step function, unlike the cumulative min/max folds of the failure
+    kinds), and the fraction before the first event is 1.
+    """
+    if not math.isfinite(workload_fraction) or not 0.0 <= workload_fraction <= 1.0:
+        raise ValueError("workload fraction must be finite and within [0, 1]")
+    return FailureEvent(
+        kind="power_step",
+        time_s=time_s,
+        target=target,
+        magnitude=workload_fraction,
+        description=f"workload on {target} steps to {workload_fraction:.0%} power",
+    )
+
+
 def sensor_fault_event(
     time_s: float, sensor_name: str, offset_c: float, description: Optional[str] = None
 ) -> FailureEvent:
@@ -164,6 +188,7 @@ __all__ = [
     "MAX_TIM_MULTIPLIER",
     "leak_event",
     "loop_blockage_event",
+    "power_step_event",
     "pump_stop_event",
     "sensor_fault_event",
     "tim_washout_drift",

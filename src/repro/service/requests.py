@@ -42,8 +42,17 @@ from dataclasses import asdict, fields
 from functools import partial
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.devices.gpu import TrainingTraceSpec, training_power_events
+from repro.facility.network import FacilityLoopSystem
+from repro.facility.recovery import HeatRecovery
 from repro.facility.simulator import ChillerPlant, FacilitySimulator
-from repro.facility.sweep import facility_rack
+from repro.facility.sweep import (
+    GPU_JUNCTION_LIMIT_C,
+    HOT_WATER_SETPOINT_C,
+    facility_rack,
+    gpu_facility_rack,
+    hot_water_gpu_rack,
+)
 from repro.sweep.batched import SERIAL_FALLBACK
 from repro.sweep.cases import SweepCase
 from repro.verify.checkers import CheckSuite, Tolerances
@@ -77,7 +86,41 @@ LEVEL_DEFAULTS: Dict[str, Dict[str, float]] = {
     "module": {"duration_s": 240.0, "dt_s": 5.0, "n_modules": 1, "n_racks": 0},
     "rack": {"duration_s": 200.0, "dt_s": 20.0, "n_modules": 2, "n_racks": 0},
     "facility": {"duration_s": 200.0, "dt_s": 20.0, "n_modules": 2, "n_racks": 2},
+    "gpu_module": {
+        "duration_s": 240.0,
+        "dt_s": 5.0,
+        "n_modules": 1,
+        "n_racks": 0,
+    },
+    "gpu_facility": {
+        "duration_s": 200.0,
+        "dt_s": 20.0,
+        "n_modules": 2,
+        "n_racks": 2,
+    },
+    "hot_water_facility": {
+        "duration_s": 200.0,
+        "dt_s": 20.0,
+        "n_modules": 2,
+        "n_racks": 2,
+    },
 }
+
+#: Levels whose requests may carry a ``workload`` training-trace block
+#: (and whose scenarios run GPU device models).
+_WORKLOAD_LEVELS = frozenset(
+    {"gpu_module", "gpu_facility", "hot_water_facility"}
+)
+
+#: Levels that accept a ``plant`` override (anything with a chiller
+#: plant of its own).
+_PLANT_LEVELS = frozenset({"facility", "gpu_facility", "hot_water_facility"})
+
+#: Module-shaped levels (one CM, no racks).
+_MODULE_LEVELS = frozenset({"module", "gpu_module"})
+
+#: Facility-shaped levels (racks on a shared loop).
+_FACILITY_LEVELS = frozenset({"facility", "gpu_facility", "hot_water_facility"})
 
 _REQUEST_KEYS = frozenset(
     {
@@ -90,10 +133,25 @@ _REQUEST_KEYS = frozenset(
         "events",
         "tolerances",
         "plant",
+        "workload",
     }
 )
 
 _EVENT_KEYS = frozenset({"kind", "time_s", "target", "magnitude"})
+
+#: Workload-block keys, mirroring :class:`TrainingTraceSpec` fields.
+_WORKLOAD_KEYS = frozenset(
+    {
+        "warmup_s",
+        "warmup_fraction",
+        "step_period_s",
+        "allreduce_fraction",
+        "peak_fraction",
+        "dip_fraction",
+        "jitter",
+        "seed",
+    }
+)
 
 #: Plant keys in watts; each also accepts a ``_kw``-suffixed spelling.
 _PLANT_W_KEYS = ("primary_capacity_w", "standby_capacity_w")
@@ -158,6 +216,11 @@ def _normalize_events(raw: Any, duration_s: float) -> List[Dict[str, Any]]:
             _fail(
                 f"events[{i}].time_s {time_s} outside the run [0, {duration_s}]"
             )
+        if item["kind"] == "power_step" and not 0.0 <= magnitude <= 1.0:
+            _fail(
+                f"events[{i}].magnitude {magnitude} invalid for 'power_step': "
+                "workload fraction must be within [0, 1]"
+            )
         events.append(
             {
                 "kind": str(item["kind"]),
@@ -170,6 +233,54 @@ def _normalize_events(raw: Any, duration_s: float) -> List[Dict[str, Any]]:
     # order a client happened to list its events in.
     events.sort(key=lambda e: (e["time_s"], e["kind"], e["target"]))
     return events
+
+
+def _normalize_workload(
+    raw: Any, level: str, duration_s: float, dt_s: float
+) -> List[Dict[str, Any]]:
+    """Expand a ``workload`` training-trace block into power-step events.
+
+    The block is consumed here — the normalized payload carries only the
+    expanded events — so a request spelling its trace as a block digests
+    identically to one spelling the same trace as explicit
+    ``power_step`` events, and every downstream path (cache, batcher,
+    fuzzer replay) sees one grammar.
+    """
+    if raw is None:
+        return []
+    if level not in _WORKLOAD_LEVELS:
+        _fail(
+            "'workload' training traces apply to GPU workload levels only "
+            f"({', '.join(sorted(_WORKLOAD_LEVELS))}); got level {level!r}"
+        )
+    if not isinstance(raw, Mapping):
+        _fail(f"'workload' must be an object, got {raw!r}")
+    unknown = set(raw) - _WORKLOAD_KEYS
+    if unknown:
+        _fail(f"'workload' has unknown keys {sorted(unknown)}")
+    defaults = TrainingTraceSpec()
+    kwargs: Dict[str, Any] = {}
+    for key in sorted(_WORKLOAD_KEYS):
+        if key == "seed":
+            kwargs[key] = _int(raw, key, defaults.seed)
+        else:
+            kwargs[key] = _float(raw, key, getattr(defaults, key))
+    try:
+        spec = TrainingTraceSpec(**kwargs)
+    except ValueError as exc:
+        _fail(f"'workload' invalid: {exc}")
+    events = training_power_events(
+        spec, duration_s=duration_s, dt_s=dt_s, target="compute"
+    )
+    return [
+        {
+            "kind": e.kind,
+            "time_s": e.time_s,
+            "target": e.target,
+            "magnitude": e.magnitude,
+        }
+        for e in events
+    ]
 
 
 def _normalize_tolerances(raw: Any) -> Optional[Dict[str, float]]:
@@ -189,8 +300,11 @@ def _normalize_tolerances(raw: Any) -> Optional[Dict[str, float]]:
 def _normalize_plant(raw: Any, level: str) -> Optional[Dict[str, float]]:
     if raw is None:
         return None
-    if level != "facility":
-        _fail("'plant' overrides apply to facility-level requests only")
+    if level not in _PLANT_LEVELS:
+        _fail(
+            "'plant' overrides apply to facility-shaped requests only "
+            f"({', '.join(sorted(_PLANT_LEVELS))}); got level {level!r}"
+        )
     if not isinstance(raw, Mapping):
         _fail(f"'plant' must be an object, got {raw!r}")
     merged: Dict[str, Any] = dict(raw)
@@ -251,14 +365,14 @@ def normalize_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
         _fail("request exceeds 100000 time steps; raise dt_s")
     n_modules = _int(payload, "n_modules", int(defaults["n_modules"]))
     n_racks = _int(payload, "n_racks", int(defaults["n_racks"]))
-    if level == "module" and (n_modules != 1 or n_racks != 0):
+    if level in _MODULE_LEVELS and (n_modules != 1 or n_racks != 0):
         _fail("module-level requests are a single module (n_modules=1, n_racks=0)")
     if level == "rack":
         if n_racks != 0:
             _fail("rack-level requests take n_racks=0")
         if not 1 <= n_modules <= _MAX_MODULES:
             _fail(f"'n_modules' must be in [1, {_MAX_MODULES}]")
-    if level == "facility":
+    if level in _FACILITY_LEVELS:
         if not 2 <= n_racks <= _MAX_RACKS:
             _fail(f"'n_racks' must be in [2, {_MAX_RACKS}]")
         if not 1 <= n_modules <= _MAX_MODULES:
@@ -266,6 +380,14 @@ def normalize_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
     supervised = payload.get("supervised", False)
     if not isinstance(supervised, bool):
         _fail(f"'supervised' must be a boolean, got {supervised!r}")
+    events = _normalize_events(payload.get("events", []), duration_s)
+    events += _normalize_workload(
+        payload.get("workload"), level, duration_s, dt_s
+    )
+    # Re-sort after the trace expansion: a trace spelled as a 'workload'
+    # block must digest identically to the same trace spelled as
+    # explicit events, whatever order the client listed them in.
+    events.sort(key=lambda e: (e["time_s"], e["kind"], e["target"]))
     return {
         "level": level,
         "duration_s": duration_s,
@@ -273,7 +395,7 @@ def normalize_request(payload: Mapping[str, Any]) -> Dict[str, Any]:
         "n_modules": n_modules,
         "n_racks": n_racks,
         "supervised": supervised,
-        "events": _normalize_events(payload.get("events", []), duration_s),
+        "events": events,
         "tolerances": _normalize_tolerances(payload.get("tolerances")),
         "plant": _normalize_plant(payload.get("plant"), level),
     }
@@ -315,13 +437,42 @@ def evaluate_request(normalized: Mapping[str, Any]) -> Dict[str, Any]:
         strict=False,
         tolerances=_tolerances(normalized) or Tolerances(),
     )
-    facility = FacilitySimulator(
-        n_racks=scenario.n_racks,
-        rack_factory=partial(facility_rack, scenario.n_modules),
-        plant=ChillerPlant(**plant),
-        supervised=scenario.supervised,
-        checks=suite,
-    )
+    if scenario.level in ("gpu_facility", "hot_water_facility"):
+        # Mirror run_scenario's workload-facility branch, but let the
+        # plant override's setpoint drive the secondary loop so the
+        # override actually changes the supply water the racks see.
+        hot = scenario.level == "hot_water_facility"
+        custom_plant = ChillerPlant(**plant)
+        facility = FacilitySimulator(
+            n_racks=scenario.n_racks,
+            rack_factory=partial(
+                hot_water_gpu_rack if hot else gpu_facility_rack,
+                scenario.n_modules,
+            ),
+            plant=custom_plant,
+            loop=FacilityLoopSystem(
+                n_racks=scenario.n_racks,
+                temperature_c=custom_plant.setpoint_c,
+            ),
+            supervised=scenario.supervised,
+            junction_limit_c=GPU_JUNCTION_LIMIT_C,
+            heat_recovery=(
+                HeatRecovery(
+                    effectiveness=0.6, minimum_return_c=HOT_WATER_SETPOINT_C
+                )
+                if hot
+                else None
+            ),
+            checks=suite,
+        )
+    else:
+        facility = FacilitySimulator(
+            n_racks=scenario.n_racks,
+            rack_factory=partial(facility_rack, scenario.n_modules),
+            plant=ChillerPlant(**plant),
+            supervised=scenario.supervised,
+            checks=suite,
+        )
     result = facility.run(
         scenario.duration_s, events=list(scenario.events), dt_s=scenario.dt_s
     )
@@ -329,17 +480,21 @@ def evaluate_request(normalized: Mapping[str, Any]) -> Dict[str, Any]:
     def r(x: float) -> float:
         return round(float(x), 9)
 
+    summary = {
+        "max_fpga_c": r(result.max_fpga_c),
+        "max_water_c": r(result.max_water_c),
+        "heat_rejected_j": r(result.heat_rejected_j),
+        "final_state": result.final_state,
+    }
+    if scenario.level in ("gpu_facility", "hot_water_facility"):
+        summary["ppue"] = r(result.ppue)
+        summary["recovered_heat_j"] = r(result.recovered_heat_j)
     return {
         "scenario": scenario.name,
         "level": scenario.level,
         "violations": [v.to_dict() for v in suite.violations],
         "checks_run": suite.checks_run,
-        "summary": {
-            "max_fpga_c": r(result.max_fpga_c),
-            "max_water_c": r(result.max_water_c),
-            "heat_rejected_j": r(result.heat_rejected_j),
-            "final_state": result.final_state,
-        },
+        "summary": summary,
     }
 
 

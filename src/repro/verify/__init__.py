@@ -10,7 +10,10 @@ needs a hand-written expected value:
   (rack relabeling, load scaling, unit round-trips);
 - :mod:`repro.verify.fuzz` — a seeded scenario fuzzer that runs random
   configs and event scripts under all checkers on any sweep backend and
-  shrinks failures to minimal replayable artifacts.
+  shrinks failures to minimal replayable artifacts;
+- :mod:`repro.verify.ocp` — OCP-style golden-spec envelopes (junction
+  ceiling, sustained-band exceedance, coolant supply class, interface
+  service life) audited on finished results via the same suite.
 
 See ``docs/VERIFICATION.md`` for the invariant catalog, the tolerances
 and their physical justification, and the fuzzer workflow.
@@ -25,12 +28,22 @@ from repro.verify.checkers import (
 from repro.verify.fuzz import (
     FuzzReport,
     FuzzScenario,
+    WORKLOAD_LEVELS,
     generate_scenarios,
     run_fuzz,
     run_scenario,
     scenario_stream_digest,
     shrink_scenario,
     write_repro_artifact,
+)
+from repro.verify.ocp import (
+    OCP_W32,
+    OCP_W45,
+    OcpSpec,
+    check_ocp_facility,
+    check_ocp_interface,
+    check_ocp_module,
+    check_ocp_rack,
 )
 from repro.verify.metamorphic import (
     kilowatts_from_watts,
@@ -45,8 +58,16 @@ __all__ = [
     "FuzzReport",
     "FuzzScenario",
     "InvariantViolationError",
+    "OCP_W32",
+    "OCP_W45",
+    "OcpSpec",
     "Tolerances",
     "Violation",
+    "WORKLOAD_LEVELS",
+    "check_ocp_facility",
+    "check_ocp_interface",
+    "check_ocp_module",
+    "check_ocp_rack",
     "generate_scenarios",
     "kilowatts_from_watts",
     "relation_load_scaling",

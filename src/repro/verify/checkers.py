@@ -731,6 +731,55 @@ class CheckSuite:
                     )
                 )
 
+        # Energy-accounting invariants (pPUE ledger). Structural laws, not
+        # reconstructions: pPUE >= 1 by definition, the recovery sink can
+        # never harvest more than the loop rejected, and the pPUE value
+        # must replay from its own ledger entries.
+        it = result.it_energy_j
+        overhead = result.pump_energy_j + result.chiller_energy_j
+        if result.ppue < 1.0 - tol.share_abs:
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="ppue",
+                    detail=f"pPUE {result.ppue:.9f} is below 1",
+                    magnitude=1.0 - result.ppue,
+                    tolerance=tol.share_abs,
+                )
+            )
+        if result.recovered_heat_j > result.heat_rejected_j * (1.0 + tol.energy_rel):
+            found.append(
+                Violation(
+                    invariant="energy_balance",
+                    level="facility",
+                    where="recovered_heat_j",
+                    detail=(
+                        f"recovered heat {result.recovered_heat_j:.6e} J exceeds "
+                        f"the rejected heat {result.heat_rejected_j:.6e} J"
+                    ),
+                    magnitude=result.recovered_heat_j - result.heat_rejected_j,
+                    tolerance=tol.energy_rel * max(result.heat_rejected_j, 1.0),
+                )
+            )
+        if it > 0.0:
+            expected_ppue = (it + overhead) / it
+            error = abs(result.ppue - expected_ppue)
+            if not error <= tol.energy_rel * expected_ppue:
+                found.append(
+                    Violation(
+                        invariant="energy_balance",
+                        level="facility",
+                        where="ppue",
+                        detail=(
+                            f"pPUE {result.ppue:.9f} does not replay from "
+                            f"(IT + pump + chiller) / IT = {expected_ppue:.9f}"
+                        ),
+                        magnitude=error,
+                        tolerance=tol.energy_rel * expected_ppue,
+                    )
+                )
+
         if simulator.supervised:
             worst = max(
                 (r.final_state for r in racks if r.final_state is not None),
@@ -883,6 +932,58 @@ class CheckSuite:
                     tolerance=0.0,
                 )
             )
+        if "ppue" in summary:
+            # Energy-ledger keys (rounded to 9 decimals in the summary).
+            it = _num(summary["it_energy_j"])
+            overhead = _num(summary["pump_energy_j"]) + _num(
+                summary["chiller_energy_j"]
+            )
+            ppue = _num(summary["ppue"])
+            if ppue < 1.0 - 2.0e-9:
+                found.append(
+                    Violation(
+                        invariant="energy_balance",
+                        level="facility",
+                        where="ppue",
+                        detail=f"summary pPUE {ppue:.9f} is below 1",
+                        magnitude=1.0 - ppue,
+                        tolerance=2.0e-9,
+                    )
+                )
+            recovered = _num(summary["recovered_heat_j"])
+            if recovered > heat + max(1.0e-6, 1.0e-9 * abs(heat)):
+                found.append(
+                    Violation(
+                        invariant="energy_balance",
+                        level="facility",
+                        where="recovered_heat_j",
+                        detail=(
+                            f"summary recovered heat {recovered:.6e} J exceeds "
+                            f"the rejected heat {heat:.6e} J"
+                        ),
+                        magnitude=recovered - heat,
+                        tolerance=max(1.0e-6, 1.0e-9 * abs(heat)),
+                    )
+                )
+            if it > 0.0:
+                expected_ppue = (it + overhead) / it
+                # it/overhead each carry 5e-10 rounding; ppue carries its own.
+                tol_ppue = 2.0e-9 + 2.0e-9 * expected_ppue
+                if not abs(ppue - expected_ppue) <= tol_ppue:
+                    found.append(
+                        Violation(
+                            invariant="energy_balance",
+                            level="facility",
+                            where="ppue",
+                            detail=(
+                                f"summary pPUE {ppue:.9f} does not replay from "
+                                f"(IT + pump + chiller) / IT = "
+                                f"{expected_ppue:.9f}"
+                            ),
+                            magnitude=abs(ppue - expected_ppue),
+                            tolerance=tol_ppue,
+                        )
+                    )
         states = [r["final_state"] for r in racks if r["final_state"] is not None]
         worst_state = (
             max(states, key=lambda name: SupervisorState[name].value)

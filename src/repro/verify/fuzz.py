@@ -37,11 +37,21 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.control.supervisor import Supervisor
+from repro.core.gpumodule import GPU_WATER_FLOW_M3_S, gpu_module
 from repro.core.simulation import ModuleSimulator
 from repro.core.racksim import RackSimulator
 from repro.core.skat import skat
-from repro.facility.simulator import FacilitySimulator
-from repro.facility.sweep import facility_rack
+from repro.devices.gpu import TrainingTraceSpec, training_power_events
+from repro.facility.network import FacilityLoopSystem
+from repro.facility.recovery import HeatRecovery
+from repro.facility.simulator import ChillerPlant, FacilitySimulator
+from repro.facility.sweep import (
+    GPU_JUNCTION_LIMIT_C,
+    HOT_WATER_SETPOINT_C,
+    facility_rack,
+    gpu_facility_rack,
+    hot_water_gpu_rack,
+)
 from repro.reliability.failures import FailureEvent
 from repro.sweep import SweepCase, run_sweep
 from repro.verify.checkers import (
@@ -52,7 +62,19 @@ from repro.verify.checkers import (
 )
 
 #: Scenario levels the fuzzer cycles through, in generation order.
+#: Frozen: the default stream digest is pinned byte-for-byte, so new
+#: families extend :data:`WORKLOAD_LEVELS` instead of this tuple.
 LEVELS: Tuple[str, ...] = ("module", "rack", "facility")
+
+#: The AI-factory workload scenario levels (GPU devices, training-trace
+#: ``power_step`` scripts, hot-water plants). Opt-in via the ``levels``
+#: argument — default streams, and therefore their digests, are
+#: prefix-stable against the pre-workload fuzzer.
+WORKLOAD_LEVELS: Tuple[str, ...] = (
+    "gpu_module",
+    "gpu_facility",
+    "hot_water_facility",
+)
 
 #: Decimal places magnitudes are rounded to, per event kind (leaks are
 #: m^3/s-scale, everything else is O(1)).
@@ -251,6 +273,25 @@ def _facility_events(
     return events
 
 
+def _trace_events(
+    rng: np.random.Generator, duration_s: float, dt_s: float
+) -> List[FailureEvent]:
+    """A seeded training trace expanded to grid-snapped power steps.
+
+    The same expansion the service gateway performs at normalization
+    time: the trace exists only at generation; downstream sees events.
+    """
+    spec = TrainingTraceSpec(
+        warmup_s=float((30.0, 60.0)[int(rng.integers(0, 2))]),
+        step_period_s=float((40.0, 60.0, 80.0)[int(rng.integers(0, 3))]),
+        dip_fraction=round(float(rng.uniform(0.6, 0.9)), 3),
+        seed=int(rng.integers(0, 2**16)),
+    )
+    return training_power_events(
+        spec, duration_s=duration_s, dt_s=dt_s, target="compute"
+    )
+
+
 def generate_scenarios(
     seed: int,
     n_scenarios: int,
@@ -260,11 +301,14 @@ def generate_scenarios(
 
     One :class:`numpy.random.Generator` drives everything in a fixed
     draw order, so the stream — and its canonical-JSON digest — depends
-    on nothing but ``(seed, n_scenarios, levels)``.
+    on nothing but ``(seed, n_scenarios, levels)``. The default
+    ``levels`` draws exactly the pre-workload stream (digest-pinned);
+    the :data:`WORKLOAD_LEVELS` families are opt-in.
     """
+    known = LEVELS + WORKLOAD_LEVELS
     for level in levels:
-        if level not in LEVELS:
-            raise ValueError(f"unknown fuzz level {level!r}; choose from {LEVELS}")
+        if level not in known:
+            raise ValueError(f"unknown fuzz level {level!r}; choose from {known}")
     rng = np.random.default_rng(seed)
     scenarios: List[FuzzScenario] = []
     for index in range(n_scenarios):
@@ -282,6 +326,21 @@ def generate_scenarios(
             n_modules = int(rng.integers(2, 5))
             n_racks = 0
             events = _rack_events(rng, duration, dt, n_modules, n_events)
+        elif level == "gpu_module":
+            duration = float((240.0, 480.0)[int(rng.integers(0, 2))])
+            dt = 5.0
+            events = _trace_events(rng, duration, dt)
+            events += _module_events(rng, duration, dt, min(n_events, 2))
+            n_modules, n_racks = 1, 0
+        elif level in ("gpu_facility", "hot_water_facility"):
+            duration = float((200.0, 400.0)[int(rng.integers(0, 2))])
+            dt = 20.0
+            n_modules = 2
+            n_racks = int(rng.integers(2, 4))
+            events = _trace_events(rng, duration, dt)
+            events += _facility_events(
+                rng, duration, dt, n_racks, n_modules, min(n_events, 2)
+            )
         else:
             duration = float((200.0, 400.0)[int(rng.integers(0, 2))])
             dt = 20.0
@@ -355,12 +414,20 @@ def run_scenario(
     def r(x: float) -> float:
         return round(float(x), 9)
 
-    if scenario.level == "module":
-        simulator = ModuleSimulator(
-            module=skat(),
-            supervisor=Supervisor() if scenario.supervised else None,
-            checks=suite,
-        )
+    if scenario.level in ("module", "gpu_module"):
+        if scenario.level == "gpu_module":
+            simulator = ModuleSimulator(
+                module=gpu_module(),
+                water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+                supervisor=Supervisor() if scenario.supervised else None,
+                checks=suite,
+            )
+        else:
+            simulator = ModuleSimulator(
+                module=skat(),
+                supervisor=Supervisor() if scenario.supervised else None,
+                checks=suite,
+            )
         result = simulator.run(
             scenario.duration_s, events=events, dt_s=scenario.dt_s
         )
@@ -396,6 +463,41 @@ def run_scenario(
             "heat_rejected_j": r(facility_result.heat_rejected_j),
             "final_state": facility_result.final_state,
         }
+    elif scenario.level in ("gpu_facility", "hot_water_facility"):
+        hot = scenario.level == "hot_water_facility"
+        setpoint = HOT_WATER_SETPOINT_C if hot else 20.0
+        facility = FacilitySimulator(
+            n_racks=scenario.n_racks,
+            rack_factory=partial(
+                hot_water_gpu_rack if hot else gpu_facility_rack,
+                scenario.n_modules,
+            ),
+            plant=ChillerPlant(setpoint_c=setpoint),
+            loop=FacilityLoopSystem(
+                n_racks=scenario.n_racks, temperature_c=setpoint
+            ),
+            supervised=scenario.supervised,
+            junction_limit_c=GPU_JUNCTION_LIMIT_C,
+            heat_recovery=(
+                HeatRecovery(
+                    effectiveness=0.6, minimum_return_c=HOT_WATER_SETPOINT_C
+                )
+                if hot
+                else None
+            ),
+            checks=suite,
+        )
+        facility_result = facility.run(
+            scenario.duration_s, events=events, dt_s=scenario.dt_s
+        )
+        summary = {
+            "max_fpga_c": r(facility_result.max_fpga_c),
+            "max_water_c": r(facility_result.max_water_c),
+            "heat_rejected_j": r(facility_result.heat_rejected_j),
+            "final_state": facility_result.final_state,
+            "ppue": r(facility_result.ppue),
+            "recovered_heat_j": r(facility_result.recovered_heat_j),
+        }
     else:
         raise ValueError(f"unknown fuzz level {scenario.level!r}")
 
@@ -428,10 +530,12 @@ def _batchable(scenario: FuzzScenario) -> bool:
     Mirrors the fault campaign's eligibility rule: open-loop module runs
     only (``run_many`` refuses closed-loop simulators) and no
     ``sensor_fault`` events (sensor voting is a closed-loop concern the
-    structure-of-arrays engine does not model).
+    structure-of-arrays engine does not model). GPU module scenarios
+    batch under the same rule — training-trace ``power_step`` scripts
+    are fully supported by the structure-of-arrays engine.
     """
     return (
-        scenario.level == "module"
+        scenario.level in ("module", "gpu_module")
         and not scenario.supervised
         and not any(e.kind == "sensor_fault" for e in scenario.events)
     )
@@ -459,14 +563,24 @@ def fuzz_module_batch(cases: List[SweepCase]) -> List[Any]:
         for case in cases
     ]
     results: List[Any] = [SERIAL_FALLBACK] * len(cases)
-    groups: Dict[Tuple[float, float, str], List[int]] = {}
+    groups: Dict[Tuple[str, float, float, str], List[int]] = {}
     for i, (scenario, tol) in enumerate(parsed):
         if not _batchable(scenario):
             continue
-        key = (scenario.duration_s, scenario.dt_s, canonical_json(tol))
+        key = (
+            scenario.level,
+            scenario.duration_s,
+            scenario.dt_s,
+            canonical_json(tol),
+        )
         groups.setdefault(key, []).append(i)
-    for (duration_s, dt_s, _), lanes in groups.items():
-        simulator = ModuleSimulator(module=skat())
+    for (level, duration_s, dt_s, _), lanes in groups.items():
+        if level == "gpu_module":
+            simulator = ModuleSimulator(
+                module=gpu_module(), water_flow_m3_s=GPU_WATER_FLOW_M3_S
+            )
+        else:
+            simulator = ModuleSimulator(module=skat())
         try:
             batch = simulator.run_many(
                 duration_s,
@@ -639,7 +753,7 @@ def _events_valid(scenario: FuzzScenario) -> bool:
     """Whether every event target still exists at the scenario's size."""
     for event in scenario.events:
         target = event.target
-        if scenario.level == "facility" and target.startswith("rack_"):
+        if scenario.level.endswith("facility") and target.startswith("rack_"):
             head, _, inner = target.partition("/")
             if int(head[len("rack_") :]) >= scenario.n_racks:
                 return False
@@ -659,6 +773,7 @@ def _simpler_magnitude(event: FailureEvent) -> Optional[float]:
         "leak": 1.0e-4,
         "tim_washout": 2.0,
         "sensor_fault": 10.0,
+        "power_step": 1.0,  # full power == the event is a no-op
     }.get(event.kind)
     if canonical is None or event.magnitude == canonical:
         return None
@@ -700,7 +815,7 @@ def shrink_scenario(
             shorter = replace(current, duration_s=half)
             if all(e.time_s <= half for e in shorter.events):
                 out.append(shorter)
-        if current.level == "facility" and current.n_racks > 2:
+        if current.level.endswith("facility") and current.n_racks > 2:
             out.append(replace(current, n_racks=current.n_racks - 1))
         if current.level in ("rack", "facility") and current.n_modules > 2:
             out.append(replace(current, n_modules=current.n_modules - 1))
@@ -754,6 +869,7 @@ __all__ = [
     "FuzzReport",
     "FuzzScenario",
     "LEVELS",
+    "WORKLOAD_LEVELS",
     "canonical_json",
     "evaluate_fuzz_case",
     "fuzz_module_batch",

@@ -1,0 +1,324 @@
+"""OCP-style golden-spec compliance checks for the workload catalog.
+
+The Open Compute cold-plate/immersion specifications bound a deployment
+by a handful of hard numbers: a junction ceiling the silicon must never
+cross, a *sustained* junction band it must mostly stay inside, a
+facility-water supply-temperature class (W32, W45, ...) and a service
+life over which the thermal stack may not degrade past a small margin.
+This module expresses those numbers as an :class:`OcpSpec` and audits
+finished simulator results against them through the same
+:class:`~repro.verify.checkers.CheckSuite` machinery as the conservation
+laws — violations collect on the suite, count in the metrics registry
+and raise in strict mode.
+
+The two presets mirror the workload catalog (``docs/WORKLOADS.md``):
+
+- :data:`OCP_W32` — the classic chilled-water hall (supply <= 32 degC);
+- :data:`OCP_W45` — the iDataCool-style hot-water hall (supply <=
+  45 degC). The hard junction ceiling is the same 88 degC — the silicon
+  does not care where the water came from — but W45-qualified parts
+  carry a higher *sustained*-band rating (85 degC): a hot-water hall
+  runs the die warm on purpose and the qualification accounts for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, TYPE_CHECKING
+
+from repro.core.tim import ThermalInterface
+from repro.verify.checkers import CheckSuite, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.racksim import RackSimResult
+    from repro.core.simulation import SimulationResult
+    from repro.facility.simulator import FacilityResult
+
+
+@dataclass(frozen=True)
+class OcpSpec:
+    """One OCP-style golden-spec envelope.
+
+    Parameters
+    ----------
+    name:
+        Spec label, quoted in every violation (e.g. ``"OCP W45"``).
+    junction_max_c:
+        Hard junction ceiling: no sample may reach it.
+    junction_sustained_c:
+        Sustained junction band: time above it counts as exceedance.
+    max_exceedance_fraction:
+        Largest tolerable fraction of telemetry samples above the
+        sustained band (transients during all-reduce spikes are fine;
+        living there is not).
+    coolant_supply_min_c, coolant_supply_max_c:
+        Facility-water supply class, e.g. 2-32 degC for W32. The run's
+        worst water temperature must stay inside the band (a supply
+        below the dew-point floor condenses; above the class ceiling
+        voids the spec).
+    service_life_h:
+        Service life the thermal stack is qualified for, hours.
+    max_interface_degradation:
+        Largest tolerable thermal-interface resistance multiplier at
+        end of life — washout-prone pastes fail this, oil-stable and
+        liquid-metal interfaces pass it at exactly 1.0.
+    """
+
+    name: str
+    junction_max_c: float = 88.0
+    junction_sustained_c: float = 83.0
+    max_exceedance_fraction: float = 0.1
+    coolant_supply_min_c: float = 2.0
+    coolant_supply_max_c: float = 32.0
+    service_life_h: float = 43_800.0  # five years
+    max_interface_degradation: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.junction_sustained_c > self.junction_max_c:
+            raise ValueError("sustained band cannot exceed the junction ceiling")
+        if not 0.0 <= self.max_exceedance_fraction <= 1.0:
+            raise ValueError("exceedance fraction must be within [0, 1]")
+        if self.coolant_supply_min_c >= self.coolant_supply_max_c:
+            raise ValueError("coolant band must have min < max")
+        if self.service_life_h <= 0.0:
+            raise ValueError("service life must be positive")
+        if self.max_interface_degradation < 1.0:
+            raise ValueError("degradation bound cannot be below 1")
+
+
+#: The classic chilled-water hall: facility water at or below 32 degC.
+OCP_W32 = OcpSpec(name="OCP W32")
+
+#: The hot-water hall (heat-recovery economics): supply up to 45 degC,
+#: sustained junction band re-qualified at 85 degC (ceiling unchanged).
+OCP_W45 = OcpSpec(
+    name="OCP W45", coolant_supply_max_c=45.0, junction_sustained_c=85.0
+)
+
+
+def _junction_violations(
+    spec: OcpSpec,
+    *,
+    level: str,
+    where: str,
+    max_junction_c: float,
+    samples: Sequence[float],
+) -> List[Violation]:
+    """Ceiling + exceedance violations for one junction history."""
+    found: List[Violation] = []
+    if not max_junction_c < spec.junction_max_c:
+        found.append(
+            Violation(
+                invariant="ocp_junction",
+                level=level,
+                where=where,
+                detail=(
+                    f"worst junction {max_junction_c:.3f} C reaches the "
+                    f"{spec.name} ceiling {spec.junction_max_c:g} C"
+                ),
+                magnitude=max_junction_c - spec.junction_max_c,
+                tolerance=0.0,
+            )
+        )
+    if len(samples):
+        over = sum(1 for v in samples if v > spec.junction_sustained_c)
+        fraction = over / len(samples)
+        if fraction > spec.max_exceedance_fraction:
+            found.append(
+                Violation(
+                    invariant="ocp_exceedance",
+                    level=level,
+                    where=where,
+                    detail=(
+                        f"{fraction:.1%} of samples above the sustained band "
+                        f"{spec.junction_sustained_c:g} C (spec allows "
+                        f"{spec.max_exceedance_fraction:.1%})"
+                    ),
+                    magnitude=fraction - spec.max_exceedance_fraction,
+                    tolerance=spec.max_exceedance_fraction,
+                )
+            )
+    return found
+
+
+def _coolant_violations(
+    spec: OcpSpec, *, level: str, where: str, supply_c: float, worst_water_c: float
+) -> List[Violation]:
+    """Supply-class violations for one water loop."""
+    found: List[Violation] = []
+    if not spec.coolant_supply_min_c <= supply_c <= spec.coolant_supply_max_c:
+        found.append(
+            Violation(
+                invariant="ocp_coolant_band",
+                level=level,
+                where=where,
+                detail=(
+                    f"water supply {supply_c:.3f} C outside the {spec.name} "
+                    f"class [{spec.coolant_supply_min_c:g}, "
+                    f"{spec.coolant_supply_max_c:g}] C"
+                ),
+                magnitude=max(
+                    spec.coolant_supply_min_c - supply_c,
+                    supply_c - spec.coolant_supply_max_c,
+                ),
+                tolerance=0.0,
+            )
+        )
+    # The loop may warm above the supply class under overload; the spec
+    # bounds the *excursion* by the same ceiling the class defines.
+    if worst_water_c > spec.coolant_supply_max_c:
+        found.append(
+            Violation(
+                invariant="ocp_coolant_band",
+                level=level,
+                where=where,
+                detail=(
+                    f"loop water reached {worst_water_c:.3f} C, above the "
+                    f"{spec.name} class ceiling {spec.coolant_supply_max_c:g} C"
+                ),
+                magnitude=worst_water_c - spec.coolant_supply_max_c,
+                tolerance=0.0,
+            )
+        )
+    return found
+
+
+def check_ocp_interface(
+    suite: CheckSuite, spec: OcpSpec, tim: ThermalInterface, *, where: str = "tim"
+) -> List[Violation]:
+    """Service-life check: the interface must survive the qualified life.
+
+    Washout-prone pastes blow through the degradation bound within a few
+    thousand hours in the bath; the oil-stable and liquid-metal
+    interfaces hold a multiplier of exactly 1 forever.
+    """
+    multiplier = tim.degradation_multiplier(spec.service_life_h)
+    found: List[Violation] = []
+    if multiplier > spec.max_interface_degradation:
+        found.append(
+            Violation(
+                invariant="ocp_service_life",
+                level="device",
+                where=where,
+                detail=(
+                    f"{tim.name}: interface resistance x{multiplier:.3f} after "
+                    f"{spec.service_life_h:g} h exceeds the {spec.name} bound "
+                    f"x{spec.max_interface_degradation:g}"
+                ),
+                magnitude=multiplier - spec.max_interface_degradation,
+                tolerance=spec.max_interface_degradation - 1.0,
+            )
+        )
+    return suite._report(found)
+
+
+def check_ocp_module(
+    suite: CheckSuite,
+    spec: OcpSpec,
+    result: "SimulationResult",
+    *,
+    where: str = "module",
+) -> List[Violation]:
+    """OCP envelope on one finished module run."""
+    _, junction = result.telemetry.series("junction_c")
+    found = _junction_violations(
+        spec,
+        level="module",
+        where=where,
+        max_junction_c=result.max_junction_c,
+        samples=[float(v) for v in junction],
+    )
+    return suite._report(found)
+
+
+def check_ocp_rack(
+    suite: CheckSuite,
+    spec: OcpSpec,
+    result: "RackSimResult",
+    *,
+    supply_c: float,
+    where: str = "rack",
+) -> List[Violation]:
+    """OCP envelope on one finished rack run.
+
+    Junction exceedance uses the per-module telemetry channels when the
+    run recorded them (checks enabled); otherwise only the hard ceiling
+    is audited from the result maxima.
+    """
+    telemetry = result.telemetry
+    samples: List[float] = []
+    for channel in telemetry.channels:
+        if channel.startswith("junction_"):
+            _, series = telemetry.series(channel)
+            samples.extend(float(v) for v in series)
+    found = _junction_violations(
+        spec,
+        level="rack",
+        where=where,
+        max_junction_c=result.max_fpga_c,
+        samples=samples,
+    )
+    found.extend(
+        _coolant_violations(
+            spec,
+            level="rack",
+            where=where,
+            supply_c=supply_c,
+            worst_water_c=result.max_water_c,
+        )
+    )
+    return suite._report(found)
+
+
+def check_ocp_facility(
+    suite: CheckSuite,
+    spec: OcpSpec,
+    result: "FacilityResult",
+    *,
+    supply_c: float,
+) -> List[Violation]:
+    """OCP envelope on one finished facility run, rack by rack.
+
+    ``supply_c`` is the plant's secondary-loop supply setpoint (the
+    supply class is audited per rack against it); every rack's junction
+    history and loop excursion is checked individually, so a violation
+    names the offending rack.
+    """
+    found: List[Violation] = []
+    for j, rack_result in enumerate(result.rack_results):
+        telemetry = rack_result.telemetry
+        samples: List[float] = []
+        for channel in telemetry.channels:
+            if channel.startswith("junction_"):
+                _, series = telemetry.series(channel)
+                samples.extend(float(v) for v in series)
+        found.extend(
+            _junction_violations(
+                spec,
+                level="facility",
+                where=f"rack_{j}",
+                max_junction_c=rack_result.max_fpga_c,
+                samples=samples,
+            )
+        )
+        found.extend(
+            _coolant_violations(
+                spec,
+                level="facility",
+                where=f"rack_{j}",
+                supply_c=supply_c,
+                worst_water_c=rack_result.max_water_c,
+            )
+        )
+    return suite._report(found)
+
+
+__all__ = [
+    "OCP_W32",
+    "OCP_W45",
+    "OcpSpec",
+    "check_ocp_facility",
+    "check_ocp_interface",
+    "check_ocp_module",
+    "check_ocp_rack",
+]

@@ -180,12 +180,15 @@ def test_goldens_have_no_strays():
     # tests/test_facility_differential.py, and the batched-sweep goldens
     # (batch_sweep/batch_metrics) by tests/test_batch_differential.py,
     # and the Monte Carlo goldens (montecarlo_*) by
-    # tests/test_montecarlo_goldens.py; all of those pin bytes, not
-    # values.
+    # tests/test_montecarlo_goldens.py, and the workload-catalog goldens
+    # (workloads_*) by tests/test_workload_fuzz.py; all of those pin
+    # bytes, not values.
     committed = {
         p.stem
         for p in GOLDEN_DIR.glob("*.json")
-        if not p.stem.startswith(("obs_", "facility_", "batch_", "montecarlo_"))
+        if not p.stem.startswith(
+            ("obs_", "facility_", "batch_", "montecarlo_", "workloads_")
+        )
     }
     assert committed == set(GOLDEN_BUILDERS)
 

@@ -1,0 +1,149 @@
+"""The GPU-class device catalog and its training-workload traces.
+
+The catalog models AI-factory accelerators (H100/H200/B200-style SXM
+parts) inside the existing :class:`~repro.devices.fpga.FpgaFamily`
+grammar, and :func:`~repro.devices.gpu.training_power_events` expands a
+:class:`~repro.devices.gpu.TrainingTraceSpec` into the ``power_step``
+event grammar every simulator already speaks. The contract under test:
+traces are deterministic pure functions of their spec, stay inside the
+[0, 1] workload-fraction band, and a full-power step is an exact no-op
+on the serial module simulator.
+"""
+
+import pytest
+
+from repro.core.gpumodule import GPU_WATER_FLOW_M3_S, gpu_module, gpu_rack
+from repro.core.simulation import ModuleSimulator
+from repro.devices import (
+    B200_SXM,
+    H100_SXM,
+    H200_SXM,
+    TrainingTraceSpec,
+    gpu_catalog,
+    training_power_events,
+)
+from repro.reliability.failures import power_step_event
+
+
+class TestCatalog:
+    def test_catalog_lists_all_three_parts(self):
+        parts = gpu_catalog()
+        assert [p.part for p in parts] == [
+            H100_SXM.part,
+            H200_SXM.part,
+            B200_SXM.part,
+        ]
+
+    def test_generations_escalate_power_and_density(self):
+        assert H100_SXM.year < H200_SXM.year < B200_SXM.year
+        assert B200_SXM.max_power_w > H100_SXM.max_power_w
+        assert B200_SXM.logic_cells > H100_SXM.logic_cells
+
+    def test_thermal_envelope_is_gpu_class(self):
+        for part in gpu_catalog():
+            assert part.operating_power_w >= 600.0
+            assert part.t_junction_max_c == 90.0
+            assert part.theta_jc_k_w < 0.05  # vapor-chamber-class package
+
+
+class TestTrainingTrace:
+    def test_trace_is_deterministic(self):
+        spec = TrainingTraceSpec(seed=42)
+        first = training_power_events(spec, 600.0, 10.0)
+        second = training_power_events(spec, 600.0, 10.0)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = training_power_events(TrainingTraceSpec(seed=1), 600.0, 10.0)
+        b = training_power_events(TrainingTraceSpec(seed=2), 600.0, 10.0)
+        assert a != b
+
+    def test_events_are_sorted_bounded_power_steps(self):
+        duration = 480.0
+        events = training_power_events(TrainingTraceSpec(), duration, 20.0)
+        assert events, "a training trace is never empty"
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+        for event in events:
+            assert event.kind == "power_step"
+            assert event.target == "compute"
+            assert 0.0 <= event.time_s <= duration
+            assert 0.0 <= event.magnitude <= 1.0
+
+    def test_warmup_starts_below_steady_state(self):
+        spec = TrainingTraceSpec(warmup_fraction=0.35)
+        events = training_power_events(spec, 400.0, 20.0)
+        assert events[0].time_s == 0.0
+        assert events[0].magnitude == pytest.approx(0.35)
+
+    def test_custom_target_is_honored(self):
+        events = training_power_events(
+            TrainingTraceSpec(), 200.0, 20.0, target="rack_1"
+        )
+        assert {e.target for e in events} == {"rack_1"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup_s": -1.0},
+            {"warmup_fraction": 1.5},
+            {"step_period_s": 0.0},
+            {"dip_fraction": -0.1},
+            {"peak_fraction": 0.5, "dip_fraction": 0.9},
+            {"jitter": 2.0},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingTraceSpec(**kwargs)
+
+
+class TestPowerStepEvent:
+    def test_helper_builds_the_grammar(self):
+        event = power_step_event(120.0, 0.75)
+        assert event.kind == "power_step"
+        assert event.target == "compute"
+        assert event.magnitude == 0.75
+
+    def test_out_of_band_fraction_is_rejected(self):
+        with pytest.raises(ValueError):
+            power_step_event(120.0, 1.5)
+
+
+class TestGpuModule:
+    def test_steady_state_stays_under_the_sustained_band(self):
+        report = gpu_module().solve_steady(
+            water_in_c=20.0, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        )
+        assert report.max_fpga_c < 83.0
+
+    def test_rack_scales_with_module_count(self):
+        small = gpu_rack(n_modules=2)
+        large = gpu_rack(n_modules=4)
+        assert large.n_modules == 2 * small.n_modules
+        assert small.chiller.setpoint_c == large.chiller.setpoint_c
+
+    def test_full_power_step_is_an_exact_noop(self):
+        """magnitude 1.0 multiplies utilization by exactly 1 — the run is
+        bitwise identical to a run with no events at all."""
+        module = gpu_module()
+        base = ModuleSimulator(
+            module, water_in_c=20.0, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(300.0, dt_s=10.0)
+        stepped = ModuleSimulator(
+            module, water_in_c=20.0, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(300.0, events=[power_step_event(100.0, 1.0)], dt_s=10.0)
+        for channel in base.telemetry.channels:
+            _, expected = base.telemetry.series(channel)
+            _, measured = stepped.telemetry.series(channel)
+            assert list(measured) == list(expected), channel
+
+    def test_reduced_workload_cools_the_die(self):
+        module = gpu_module()
+        base = ModuleSimulator(
+            module, water_in_c=20.0, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(300.0, dt_s=10.0)
+        halved = ModuleSimulator(
+            module, water_in_c=20.0, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(300.0, events=[power_step_event(0.0, 0.5)], dt_s=10.0)
+        assert halved.max_junction_c < base.max_junction_c

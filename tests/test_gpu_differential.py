@@ -1,0 +1,142 @@
+"""Differential tests: batched GPU training runs against the serial oracle.
+
+The workload catalog rides the same structure-of-arrays transient engine
+as everything else, so the same contract applies: a batch of GPU modules
+under training-trace ``power_step`` scripts reproduces the untouched
+serial :class:`~repro.core.simulation.ModuleSimulator` lane for lane at
+the transient tolerance, for batch widths 1, 7 and 64, and the fuzzer's
+batched evaluator emits byte-identical result records for the
+``gpu_module`` family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.transient import run_module_transient_batch
+from repro.core.gpumodule import GPU_WATER_FLOW_M3_S, gpu_module
+from repro.core.simulation import ModuleSimulator
+from repro.devices import TrainingTraceSpec, training_power_events
+from repro.reliability.failures import pump_stop_event
+
+#: The batch engine replays the serial float arithmetic elementwise (see
+#: tests/test_batch_differential.py for the derivation of the bound).
+TRANSIENT_RTOL = 1.0e-9
+
+DURATION_S = 480.0
+DT_S = 10.0
+
+#: Lane widths of the contract: singleton, odd mid-size, full chunk.
+BATCH_WIDTHS = [1, 7, 64]
+
+
+def _trace_lanes(n):
+    """n distinct training traces (one spec seed per lane)."""
+    return [
+        list(
+            training_power_events(
+                TrainingTraceSpec(seed=seed, dip_fraction=0.7 + 0.002 * seed),
+                DURATION_S,
+                DT_S,
+            )
+        )
+        for seed in range(n)
+    ]
+
+
+class TestGpuTransientDifferential:
+    @pytest.mark.parametrize("n", BATCH_WIDTHS)
+    def test_batched_equals_serial(self, n):
+        module = gpu_module()
+        scenarios = _trace_lanes(n)
+        water_in = np.linspace(18.0, 26.0, n) if n > 1 else np.array([20.0])
+        batch = run_module_transient_batch(
+            module,
+            DURATION_S,
+            scenarios,
+            dt_s=DT_S,
+            water_in_c=water_in,
+            water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+        )
+        assert batch.ok.all()
+        for i, events in enumerate(scenarios):
+            serial = ModuleSimulator(
+                module,
+                water_in_c=float(water_in[i]),
+                water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+            ).run(duration_s=DURATION_S, events=list(events), dt_s=DT_S)
+            rebuilt = batch.result(i)
+            for channel in serial.telemetry.channels:
+                _, expected = serial.telemetry.series(channel)
+                _, measured = rebuilt.telemetry.series(channel)
+                np.testing.assert_allclose(
+                    measured,
+                    expected,
+                    rtol=TRANSIENT_RTOL,
+                    atol=1.0e-12,
+                    err_msg=f"lane {i} channel {channel}",
+                )
+            assert rebuilt.max_junction_c == pytest.approx(
+                serial.max_junction_c, rel=TRANSIENT_RTOL
+            )
+            assert rebuilt.shutdown_time_s == serial.shutdown_time_s
+            assert rebuilt.alarms_raised == serial.alarms_raised
+
+    def test_mixed_trace_and_fault_lane(self):
+        """A lane mixing the training trace with a pump failure still
+        replays the serial composition exactly."""
+        module = gpu_module()
+        events = _trace_lanes(1)[0] + [pump_stop_event(240.0, "oil_pump")]
+        events.sort(key=lambda e: e.time_s)
+        batch = run_module_transient_batch(
+            module,
+            DURATION_S,
+            [events],
+            dt_s=DT_S,
+            water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+        )
+        serial = ModuleSimulator(
+            module, water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(duration_s=DURATION_S, events=list(events), dt_s=DT_S)
+        rebuilt = batch.result(0)
+        _, expected = serial.telemetry.series("junction_c")
+        _, measured = rebuilt.telemetry.series("junction_c")
+        np.testing.assert_allclose(
+            measured, expected, rtol=TRANSIENT_RTOL, atol=1.0e-12
+        )
+
+    def test_duplicate_trace_lanes_are_bitwise_identical(self):
+        """Lane independence: identical GPU lanes return identical rows."""
+        module = gpu_module()
+        events = _trace_lanes(1)[0]
+        batch = run_module_transient_batch(
+            module,
+            DURATION_S,
+            [events, events, events],
+            dt_s=DT_S,
+            water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+        )
+        first = batch.result(0)
+        for i in (1, 2):
+            other = batch.result(i)
+            for channel in first.telemetry.channels:
+                _, a = first.telemetry.series(channel)
+                _, b = other.telemetry.series(channel)
+                assert list(a) == list(b), f"lane {i} channel {channel}"
+
+
+class TestGpuFuzzBatchParity:
+    """The fuzzer's batched gpu_module path is byte-identical to serial."""
+
+    def test_gpu_module_stream_batches_end_to_end(self):
+        from repro.verify.fuzz import _batchable, generate_scenarios, run_fuzz
+
+        # Seed 11 draws a mixed stream: some open-loop (batchable) GPU
+        # lanes, some supervised ones that stay on the serial path.
+        assert any(
+            _batchable(s)
+            for s in generate_scenarios(11, 9, levels=("gpu_module",))
+        )
+        never = run_fuzz(11, 9, levels=("gpu_module",), batch="never")
+        always = run_fuzz(11, 9, levels=("gpu_module",), batch="always")
+        assert never.ok
+        assert always.to_json() == never.to_json()

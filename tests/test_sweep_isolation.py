@@ -73,6 +73,7 @@ MUTABLE_ALLOWLIST = {
     ("repro.configio", "_TIMS"),
     ("repro.core.serviceability", "SERVICE_CATALOG"),
     ("repro.facility.sweep", "SCENARIOS"),
+    ("repro.facility.sweep", "WORKLOAD_SCENARIOS"),
     ("repro.hydraulics.curves", "DEFAULT_CATALOG"),
     ("repro.performance.tasks", "OPERATION_COSTS_CELLS"),
     ("repro.resilience.campaign", "_DEFAULT_RATES_PER_HOUR"),

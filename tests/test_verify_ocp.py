@@ -1,0 +1,196 @@
+"""OCP golden-spec compliance: the workload catalog clears its envelopes.
+
+The acceptance bar from the ISSUE, verified end to end: a facility with
+two GPU racks under a training trace — and its iDataCool-style hot-water
+variant — passes the full OCP CheckSuite in **strict** mode (junction
+ceiling, sustained-band exceedance, coolant supply class, interface
+service life) alongside the conservation-law checkers. The negative
+directions are covered too: washout-prone paste fails the service-life
+bound, an out-of-class supply fails the coolant band, and a synthetic
+hot die fails ceiling and exceedance.
+"""
+
+import pytest
+
+from repro.core.gpumodule import GPU_WATER_FLOW_M3_S, gpu_module
+from repro.core.simulation import ModuleSimulator
+from repro.core.tim import (
+    CONVENTIONAL_PASTE,
+    LIQUID_METAL_INTERFACE,
+    SRC_OIL_STABLE_INTERFACE,
+)
+from repro.devices import TrainingTraceSpec, training_power_events
+from repro.facility.sweep import (
+    HOT_WATER_SETPOINT_C,
+    WORKLOAD_SCENARIOS,
+    build_workload_facility,
+    workload_events,
+)
+from repro.verify import (
+    CheckSuite,
+    InvariantViolationError,
+    OCP_W32,
+    OCP_W45,
+    OcpSpec,
+    check_ocp_facility,
+    check_ocp_interface,
+    check_ocp_module,
+)
+
+DURATION_S = 400.0
+DT_S = 20.0
+
+
+def _run_workload(name, *, strict):
+    """One catalog scenario under the conservation checkers; returns
+    (facility simulator, result, suite)."""
+    suite = CheckSuite(strict=strict)
+    params = {
+        "scenario": name,
+        "racks": 2,
+        "modules": 2,
+        "duration_s": DURATION_S,
+        "dt_s": DT_S,
+    }
+    facility = build_workload_facility(params)
+    facility.checks = suite
+    events = workload_events(name, DURATION_S, DT_S)
+    result = facility.run(duration_s=DURATION_S, events=events, dt_s=DT_S)
+    return facility, result, suite
+
+
+class TestSpecValidation:
+    def test_presets_are_self_consistent(self):
+        assert OCP_W32.coolant_supply_max_c == 32.0
+        assert OCP_W45.coolant_supply_max_c == 45.0
+        # Same silicon, same hard ceiling; W45 parts carry a higher
+        # sustained-band qualification.
+        assert OCP_W45.junction_max_c == OCP_W32.junction_max_c == 88.0
+        assert OCP_W45.junction_sustained_c > OCP_W32.junction_sustained_c
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"junction_sustained_c": 95.0},
+            {"max_exceedance_fraction": 1.5},
+            {"coolant_supply_min_c": 40.0, "coolant_supply_max_c": 32.0},
+            {"service_life_h": 0.0},
+            {"max_interface_degradation": 0.9},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            OcpSpec(name="bad", **kwargs)
+
+
+class TestAcceptance:
+    """Both catalog scenarios clear their OCP class in strict mode."""
+
+    @pytest.mark.parametrize(
+        "name,spec,supply_c",
+        [
+            ("gpu_training", OCP_W32, 20.0),
+            ("gpu_training_hot_water", OCP_W45, HOT_WATER_SETPOINT_C),
+        ],
+    )
+    def test_catalog_scenario_passes_strict_ocp_suite(
+        self, name, spec, supply_c
+    ):
+        # strict=True: any conservation-law violation raises during the
+        # run, and any OCP violation raises inside check_ocp_facility.
+        _, result, suite = _run_workload(name, strict=True)
+        found = check_ocp_facility(suite, spec, result, supply_c=supply_c)
+        assert found == []
+        assert suite.violations == []
+        assert suite.checks_run > 0
+        assert result.final_state is None  # no supervisor shutdown
+
+    def test_hot_water_variant_actually_runs_hot(self):
+        _, cold, _ = _run_workload("gpu_training", strict=False)
+        _, hot, _ = _run_workload("gpu_training_hot_water", strict=False)
+        assert hot.max_fpga_c > cold.max_fpga_c
+        assert hot.max_fpga_c < 88.0
+        assert hot.recovered_heat_j > 0.0
+        assert cold.recovered_heat_j == 0.0
+        # Heat recovery offsets the chiller: the hot hall's overhead
+        # ratio beats the chilled hall's despite the warmer silicon.
+        assert hot.ppue < cold.ppue
+
+    def test_hot_water_fails_the_w32_class(self):
+        """The same hot-water run is out of class against W32 — the spec
+        preset choice is load-bearing, not decorative."""
+        _, result, _ = _run_workload("gpu_training_hot_water", strict=False)
+        audit = CheckSuite(strict=False)
+        found = check_ocp_facility(
+            audit, OCP_W32, result, supply_c=HOT_WATER_SETPOINT_C
+        )
+        assert any(v.invariant == "ocp_coolant_band" for v in found)
+
+    def test_strict_mode_raises_on_violation(self):
+        _, result, _ = _run_workload("gpu_training_hot_water", strict=False)
+        strict = CheckSuite(strict=True)
+        with pytest.raises(InvariantViolationError):
+            check_ocp_facility(
+                strict, OCP_W32, result, supply_c=HOT_WATER_SETPOINT_C
+            )
+
+
+class TestServiceLife:
+    def test_paste_fails_the_five_year_bound(self):
+        suite = CheckSuite(strict=False)
+        found = check_ocp_interface(suite, OCP_W32, CONVENTIONAL_PASTE)
+        assert [v.invariant for v in found] == ["ocp_service_life"]
+        assert "conventional silicone paste" in found[0].detail
+
+    @pytest.mark.parametrize(
+        "tim", [LIQUID_METAL_INTERFACE, SRC_OIL_STABLE_INTERFACE]
+    )
+    def test_stable_interfaces_pass(self, tim):
+        suite = CheckSuite(strict=False)
+        assert check_ocp_interface(suite, OCP_W32, tim) == []
+
+
+class TestModuleEnvelope:
+    def test_cool_module_passes(self):
+        result = ModuleSimulator(
+            gpu_module(), water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(
+            300.0,
+            events=list(
+                training_power_events(TrainingTraceSpec(), 300.0, 10.0)
+            ),
+            dt_s=10.0,
+        )
+        suite = CheckSuite(strict=False)
+        assert check_ocp_module(suite, OCP_W32, result) == []
+
+    def test_synthetic_hot_die_fails_ceiling_and_exceedance(self):
+        result = ModuleSimulator(
+            gpu_module(), water_flow_m3_s=GPU_WATER_FLOW_M3_S
+        ).run(300.0, dt_s=10.0)
+        tight = OcpSpec(
+            name="tight",
+            junction_max_c=50.0,
+            junction_sustained_c=45.0,
+            max_exceedance_fraction=0.0,
+        )
+        suite = CheckSuite(strict=False)
+        found = check_ocp_module(suite, tight, result)
+        assert {v.invariant for v in found} == {
+            "ocp_junction",
+            "ocp_exceedance",
+        }
+
+
+def test_catalog_and_presets_line_up():
+    """Every catalog scenario has a spec whose class contains its plant
+    setpoint — the pairing the acceptance tests above assert."""
+    pairing = {
+        "gpu_training": (OCP_W32, 20.0),
+        "gpu_training_hot_water": (OCP_W45, HOT_WATER_SETPOINT_C),
+    }
+    assert set(pairing) == set(WORKLOAD_SCENARIOS)
+    for name, (spec, supply) in pairing.items():
+        assert (
+            spec.coolant_supply_min_c <= supply <= spec.coolant_supply_max_c
+        ), name

@@ -1,0 +1,163 @@
+"""Determinism of the fuzzer's GPU workload families, end to end.
+
+Two contracts:
+
+- **The default stream is frozen.** Adding the workload families
+  (``gpu_module``, ``gpu_facility``, ``hot_water_facility``) must not
+  move a single byte of the pre-existing default stream — the pinned
+  SHA-256 digests below were captured before the families landed, and
+  any drift invalidates every committed fuzz artifact at once.
+- **The workload stream is deterministic.** Workload scenarios are as
+  reproducible as the classic ones: seeded streams digest identically
+  across runs and backends, prefixes are extension-stable, every run
+  passes the conservation checkers, and the committed workload goldens
+  (``tests/goldens/workloads_*.json``) come back byte-identical from the
+  serial, thread and process backends. Regenerate after an intentional
+  physics change with::
+
+      PYTHONPATH=src python scripts/run_workloads.py --backend serial \\
+          --out tests/goldens/workloads_sweep.json \\
+          --fuzz-out tests/goldens/workloads_fuzz.json
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.facility.sweep import run_workload_sweep, workload_cases
+from repro.verify import (
+    WORKLOAD_LEVELS,
+    generate_scenarios,
+    run_fuzz,
+    scenario_stream_digest,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+SEED = 2124
+
+#: Digests of the default (pre-workload) scenario stream, captured
+#: before the workload families existed. generate_scenarios' default
+#: ``levels`` must keep reproducing these bytes forever.
+FROZEN_DEFAULT_DIGESTS = {
+    (0, 12): "2aeef003886d676a276a1f47f0e9d669f5533805a861f8ec7c80f35cbc748927",
+    (7, 30): "023e839f8b6f5133255aa508660a34836b7e3d0ed8d7c7f4e3ec9812a149ec19",
+    (123, 9): "d667316cab069f47f2534a73c2eae1cf6b56b01f5feaaf7fae49e90d269b4a83",
+}
+
+
+class TestDefaultStreamFrozen:
+    @pytest.mark.parametrize("seed_n", sorted(FROZEN_DEFAULT_DIGESTS))
+    def test_default_stream_digest_is_unchanged(self, seed_n):
+        seed, n = seed_n
+        assert (
+            scenario_stream_digest(generate_scenarios(seed, n))
+            == FROZEN_DEFAULT_DIGESTS[seed_n]
+        ), (
+            "the default fuzz stream moved — the workload families must "
+            "stay opt-in (separate WORKLOAD_LEVELS tuple, separate rng "
+            "draws) so committed fuzz artifacts remain replayable"
+        )
+
+    def test_workload_levels_are_not_in_the_default_stream(self):
+        levels = {s.level for s in generate_scenarios(0, 30)}
+        assert levels.isdisjoint(WORKLOAD_LEVELS)
+
+
+class TestWorkloadStreamDeterminism:
+    def test_same_seed_yields_a_byte_identical_stream(self):
+        first = generate_scenarios(SEED, 9, levels=WORKLOAD_LEVELS)
+        second = generate_scenarios(SEED, 9, levels=WORKLOAD_LEVELS)
+        assert [s.to_json() for s in first] == [s.to_json() for s in second]
+
+    def test_prefix_stability(self):
+        short = generate_scenarios(SEED, 6, levels=WORKLOAD_LEVELS)
+        long = generate_scenarios(SEED, 12, levels=WORKLOAD_LEVELS)
+        assert [s.to_json() for s in long[:6]] == [s.to_json() for s in short]
+
+    def test_stream_covers_every_workload_family(self):
+        levels = {s.level for s in generate_scenarios(SEED, 9, levels=WORKLOAD_LEVELS)}
+        assert levels == set(WORKLOAD_LEVELS)
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz level"):
+            generate_scenarios(SEED, 3, levels=("gpu_rack",))
+
+    def test_workload_scenarios_carry_training_traces(self):
+        for scenario in generate_scenarios(SEED, 6, levels=WORKLOAD_LEVELS):
+            steps = [e for e in scenario.events if e.kind == "power_step"]
+            assert steps, f"{scenario.name} has no training trace"
+            assert all(e.target == "compute" for e in steps)
+            assert all(0.0 <= e.magnitude <= 1.0 for e in steps)
+
+
+class TestWorkloadBackendParity:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backends_agree_with_serial(self, backend):
+        serial = run_fuzz(SEED, 6, backend="serial", levels=WORKLOAD_LEVELS)
+        other = run_fuzz(
+            SEED, 6, backend=backend, max_workers=2, levels=WORKLOAD_LEVELS
+        )
+        assert serial.ok and other.ok
+        assert other.scenario_digest == serial.scenario_digest
+        assert other.results == serial.results
+        assert other.checks_run == serial.checks_run
+
+    def test_batched_report_matches_per_object(self):
+        never = run_fuzz(SEED, 9, levels=WORKLOAD_LEVELS, batch="never")
+        auto = run_fuzz(SEED, 9, levels=WORKLOAD_LEVELS, batch="auto")
+        assert auto.to_json() == never.to_json()
+
+    def test_facility_records_expose_the_energy_ledger(self):
+        report = run_fuzz(SEED, 6, levels=WORKLOAD_LEVELS)
+        facility_records = [
+            r for r in report.results if r["level"].endswith("facility")
+        ]
+        assert facility_records
+        for record in facility_records:
+            assert record["summary"]["ppue"] >= 1.0
+            assert record["summary"]["recovered_heat_j"] >= 0.0
+
+
+class TestPinnedWorkloadGoldens:
+    """All three backends must reproduce the committed workload bytes."""
+
+    @pytest.fixture(scope="class")
+    def golden_sweep(self):
+        return (GOLDEN_DIR / "workloads_sweep.json").read_text()
+
+    @pytest.fixture(scope="class")
+    def golden_fuzz(self):
+        return (GOLDEN_DIR / "workloads_fuzz.json").read_text()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_reproduces_sweep_golden(self, backend, golden_sweep):
+        outcomes = run_workload_sweep(
+            workload_cases(), backend=backend, max_workers=2
+        )
+        payload = json.dumps(
+            [o.value for o in outcomes], sort_keys=True, separators=(",", ":")
+        )
+        assert payload + "\n" == golden_sweep, (
+            "workload sweep payload drifted from tests/goldens/"
+            "workloads_sweep.json — regenerate with "
+            "scripts/run_workloads.py (see module docstring) and review "
+            "the diff"
+        )
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backend_reproduces_fuzz_golden(self, backend, golden_fuzz):
+        report = run_fuzz(
+            11, 6, backend=backend, max_workers=2, levels=WORKLOAD_LEVELS
+        )
+        payload = {
+            key: value
+            for key, value in json.loads(report.to_json()).items()
+            if key != "backend"
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        assert text + "\n" == golden_fuzz, (
+            "workload fuzz report drifted from tests/goldens/"
+            "workloads_fuzz.json — regenerate with scripts/run_workloads.py"
+        )

@@ -1,0 +1,152 @@
+"""Property tests: physical invariants of the AI-factory workload layer.
+
+Hypothesis drives the training-trace generator and the workload facility
+with random specs and setpoints; four families of invariants must hold
+for *any* draw:
+
+- **trace sanity** — every expanded trace is a sorted ``power_step``
+  script inside the [0, 1] workload-fraction band, and the module energy
+  balance closes under it (the checker suite audits conservation);
+- **pPUE floor** — partial PUE is structurally >= 1: the facility cannot
+  spend negative overhead energy;
+- **recovery bound** — a heat-recovery sink never recovers more energy
+  than the facility rejected;
+- **setpoint monotonicity** — warming the plant supply setpoint never
+  cools the reuse return water (the heat-recovery feed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gpumodule import GPU_WATER_FLOW_M3_S, gpu_module
+from repro.core.simulation import ModuleSimulator
+from repro.devices import TrainingTraceSpec, training_power_events
+from repro.facility import (
+    ChillerPlant,
+    FacilityLoopSystem,
+    FacilitySimulator,
+    GPU_JUNCTION_LIMIT_C,
+    HeatRecovery,
+    HOT_WATER_SETPOINT_C,
+)
+from repro.facility.sweep import gpu_facility_rack, hot_water_gpu_rack
+from repro.verify import CheckSuite
+
+from functools import partial
+
+#: Facility transients dominate the runtime; a handful of random draws
+#: per property is the budget (the differential and golden suites pin
+#: the exact numbers — these pin the *shape* of the physics).
+COMMON = dict(deadline=None, max_examples=6)
+
+specs = st.builds(
+    TrainingTraceSpec,
+    warmup_s=st.floats(0.0, 120.0),
+    warmup_fraction=st.floats(0.1, 0.9),
+    step_period_s=st.sampled_from([30.0, 45.0, 60.0, 90.0]),
+    dip_fraction=st.floats(0.5, 0.95),
+    jitter=st.floats(0.0, 0.1),
+    seed=st.integers(0, 2**16 - 1),
+)
+
+
+def _workload_facility(hot, effectiveness, setpoint_c=None):
+    setpoint = setpoint_c if setpoint_c is not None else (
+        HOT_WATER_SETPOINT_C if hot else 20.0
+    )
+    return FacilitySimulator(
+        n_racks=2,
+        rack_factory=partial(
+            hot_water_gpu_rack if hot else gpu_facility_rack, 2
+        ),
+        plant=ChillerPlant(setpoint_c=setpoint),
+        loop=FacilityLoopSystem(n_racks=2, temperature_c=setpoint),
+        junction_limit_c=GPU_JUNCTION_LIMIT_C,
+        heat_recovery=(
+            HeatRecovery(
+                effectiveness=effectiveness,
+                minimum_return_c=HOT_WATER_SETPOINT_C if hot else 0.0,
+            )
+            if effectiveness is not None
+            else None
+        ),
+    )
+
+
+class TestTraceInvariants:
+    @given(spec=specs, duration_s=st.floats(200.0, 900.0))
+    @settings(**COMMON)
+    def test_trace_is_a_bounded_sorted_power_script(self, spec, duration_s):
+        events = training_power_events(spec, duration_s, 10.0)
+        assert events
+        assert [e.time_s for e in events] == sorted(e.time_s for e in events)
+        for event in events:
+            assert event.kind == "power_step"
+            assert 0.0 <= event.magnitude <= 1.0
+
+    @given(spec=specs)
+    @settings(**COMMON)
+    def test_module_energy_balance_closes_under_any_trace(self, spec):
+        """The conservation-law suite audits every step of a module run
+        driven by an arbitrary training trace — energy in the oil, bath
+        and water ledgers must still reconcile."""
+        suite = CheckSuite(strict=True)
+        simulator = ModuleSimulator(
+            gpu_module(),
+            water_flow_m3_s=GPU_WATER_FLOW_M3_S,
+            checks=suite,
+        )
+        simulator.run(
+            300.0,
+            events=list(training_power_events(spec, 300.0, 10.0)),
+            dt_s=10.0,
+        )
+        assert suite.violations == []
+
+
+class TestFacilityEnergyLedger:
+    @given(
+        seed=st.integers(0, 2**16 - 1),
+        hot=st.booleans(),
+        effectiveness=st.one_of(st.none(), st.floats(0.0, 1.0)),
+    )
+    @settings(**COMMON)
+    def test_ppue_floor_and_recovery_bound(self, seed, hot, effectiveness):
+        facility = _workload_facility(hot, effectiveness)
+        events = training_power_events(
+            TrainingTraceSpec(seed=seed), 400.0, 20.0, target="compute"
+        )
+        result = facility.run(400.0, events=list(events), dt_s=20.0)
+        assert result.ppue >= 1.0
+        assert result.recovered_heat_j <= result.heat_rejected_j * (
+            1.0 + 1.0e-9
+        )
+        assert result.recovered_heat_j >= 0.0
+        overhead = result.pump_energy_j + result.chiller_energy_j
+        assert result.ppue * result.it_energy_j == (
+            result.it_energy_j + overhead
+        ) or abs(
+            result.ppue * result.it_energy_j - (result.it_energy_j + overhead)
+        ) <= 1.0e-6 * (result.it_energy_j + overhead)
+
+    @given(
+        low=st.floats(16.0, 30.0),
+        lift=st.floats(2.0, 12.0),
+        seed=st.integers(0, 2**12 - 1),
+    )
+    @settings(**COMMON)
+    def test_warmer_setpoint_never_cools_the_reuse_return(
+        self, low, lift, seed
+    ):
+        events = list(
+            training_power_events(
+                TrainingTraceSpec(seed=seed), 400.0, 20.0, target="compute"
+            )
+        )
+        cold = _workload_facility(False, None, setpoint_c=low).run(
+            400.0, events=list(events), dt_s=20.0
+        )
+        warm = _workload_facility(False, None, setpoint_c=low + lift).run(
+            400.0, events=list(events), dt_s=20.0
+        )
+        assert warm.reuse_return_water_c >= cold.reuse_return_water_c - 1.0e-9

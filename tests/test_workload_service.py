@@ -1,0 +1,217 @@
+"""Service parity for the GPU workload catalog.
+
+The gateway must treat the new workload levels exactly like the classic
+ones: a ``workload`` training-trace block normalizes onto the same event
+grammar (and therefore the same digest) as its explicit ``power_step``
+spelling, kW and W plant spellings coincide, responses are byte-identical
+to the in-process serial oracle with cache hits on duplicates, and a
+trace on a non-GPU level is a schema violation the ASGI adapter maps to
+HTTP 400 with a stable message.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.devices import TrainingTraceSpec, training_power_events
+from repro.obs import MetricsRegistry
+from repro.service import SimulationGateway, create_app
+from repro.service.requests import (
+    ServiceRequestError,
+    evaluate_request,
+    normalize_request,
+    request_digest,
+)
+from repro.verify.fuzz import canonical_json
+
+GPU_FACILITY = {
+    "level": "gpu_facility",
+    "duration_s": 400.0,
+    "dt_s": 20.0,
+    "n_racks": 2,
+    "n_modules": 2,
+    "workload": {"seed": 3, "dip_fraction": 0.8},
+}
+HOT_WATER = {
+    "level": "hot_water_facility",
+    "n_racks": 2,
+    "n_modules": 2,
+    "workload": {"seed": 1},
+}
+GPU_MODULE = {"level": "gpu_module", "workload": {"seed": 5}}
+
+
+def _call(app, payload):
+    """One ASGI POST /simulate round-trip; returns (status, body dict)."""
+
+    async def go():
+        scope = {
+            "type": "http",
+            "method": "POST",
+            "path": "/simulate",
+            "headers": [],
+            "query_string": b"",
+        }
+        body = json.dumps(payload).encode("utf-8")
+        messages = []
+        sent = {"given": False}
+
+        async def receive():
+            if sent["given"]:
+                return {"type": "http.disconnect"}
+            sent["given"] = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            messages.append(message)
+
+        await app(scope, receive, send)
+        return messages
+
+    messages = asyncio.run(go())
+    return messages[0]["status"], json.loads(messages[1]["body"])
+
+
+class TestDigestIdentities:
+    def test_trace_block_and_explicit_events_share_a_digest(self):
+        spec = TrainingTraceSpec(seed=3, dip_fraction=0.8)
+        events = [
+            {
+                "kind": e.kind,
+                "time_s": e.time_s,
+                "target": e.target,
+                "magnitude": e.magnitude,
+            }
+            for e in training_power_events(spec, 400.0, 20.0)
+        ]
+        explicit = {
+            k: v for k, v in GPU_FACILITY.items() if k != "workload"
+        } | {"events": events}
+        a = normalize_request(GPU_FACILITY)
+        b = normalize_request(explicit)
+        assert "workload" not in a
+        assert a == b
+        assert request_digest(a) == request_digest(b)
+
+    def test_kilowatt_and_watt_plant_spellings_share_a_digest(self):
+        kw = dict(
+            HOT_WATER,
+            plant={"setpoint_c": 40.0, "primary_capacity_kw": 700},
+        )
+        w = dict(
+            HOT_WATER,
+            plant={"setpoint_c": 40.0, "primary_capacity_w": 700000},
+        )
+        assert request_digest(normalize_request(kw)) == request_digest(
+            normalize_request(w)
+        )
+
+    def test_workload_defaults_fill_in(self):
+        """Spelling only the seed equals spelling the full default spec."""
+        defaults = TrainingTraceSpec()
+        full = dict(
+            HOT_WATER,
+            workload={
+                "seed": 1,
+                "warmup_s": defaults.warmup_s,
+                "warmup_fraction": defaults.warmup_fraction,
+                "step_period_s": defaults.step_period_s,
+                "allreduce_fraction": defaults.allreduce_fraction,
+                "peak_fraction": defaults.peak_fraction,
+                "dip_fraction": defaults.dip_fraction,
+                "jitter": defaults.jitter,
+            },
+        )
+        assert request_digest(normalize_request(HOT_WATER)) == request_digest(
+            normalize_request(full)
+        )
+
+
+class TestLevelRejection:
+    @pytest.mark.parametrize("level", ["module", "rack", "facility"])
+    def test_workload_on_classic_levels_is_rejected(self, level):
+        with pytest.raises(ServiceRequestError) as err:
+            normalize_request({"level": level, "workload": {"seed": 0}})
+        assert str(err.value) == (
+            "'workload' training traces apply to GPU workload levels only "
+            "(gpu_facility, gpu_module, hot_water_facility); "
+            f"got level {level!r}"
+        )
+
+    def test_rejection_maps_to_http_400(self):
+        gateway = SimulationGateway(
+            registry=MetricsRegistry(), max_batch_size=1
+        )
+        app = create_app(gateway)
+        try:
+            status, body = _call(
+                app, {"level": "module", "workload": {"seed": 0}}
+            )
+        finally:
+            asyncio.run(gateway.close())
+        assert status == 400
+        assert "GPU workload levels only" in body["error"]
+
+    def test_out_of_band_power_step_is_rejected(self):
+        with pytest.raises(ServiceRequestError, match=r"within \[0, 1\]"):
+            normalize_request(
+                {
+                    "level": "gpu_module",
+                    "events": [
+                        {
+                            "time_s": 10.0,
+                            "kind": "power_step",
+                            "target": "compute",
+                            "magnitude": 1.5,
+                        }
+                    ],
+                }
+            )
+
+    def test_unknown_workload_key_is_rejected(self):
+        with pytest.raises(ServiceRequestError, match="unknown keys"):
+            normalize_request(dict(GPU_MODULE, workload={"epochs": 3}))
+
+
+class TestGatewayParity:
+    def test_workload_requests_match_serial_oracle_with_cache_hits(self):
+        payloads = [
+            GPU_MODULE,
+            GPU_FACILITY,
+            HOT_WATER,
+            dict(
+                HOT_WATER,
+                plant={"setpoint_c": 40.0, "primary_capacity_kw": 700},
+            ),
+        ]
+
+        async def go():
+            gateway = SimulationGateway(
+                registry=MetricsRegistry(), max_batch_size=1
+            )
+            solved = [await gateway.simulate(p) for p in payloads]
+            cached = [await gateway.simulate(p) for p in payloads]
+            await gateway.close()
+            return solved, cached
+
+        solved, cached = asyncio.run(go())
+        for payload, miss, hit in zip(payloads, solved, cached):
+            expected = canonical_json(
+                evaluate_request(normalize_request(payload))
+            )
+            assert canonical_json(miss["result"]) == expected
+            assert canonical_json(hit["result"]) == expected
+            assert miss["cached"] is False and hit["cached"] is True
+            assert miss["digest"] == hit["digest"]
+
+    def test_facility_results_carry_the_energy_ledger(self):
+        record = evaluate_request(normalize_request(HOT_WATER))
+        summary = record["summary"]
+        assert summary["ppue"] >= 1.0
+        assert summary["recovered_heat_j"] >= 0.0
+        assert record["violations"] == []
+
+    def test_module_record_has_no_facility_ledger(self):
+        record = evaluate_request(normalize_request(GPU_MODULE))
+        assert "ppue" not in record["summary"]
